@@ -1,0 +1,71 @@
+//! E10 — parallel speedup of the full-domain validity scans and of
+//! replica simulation (1 vs N worker threads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unity_mc::prelude::*;
+use unity_sim::prelude::*;
+use unity_systems::toy_counter::{toy_system, ToySpec};
+
+fn bench_e10(c: &mut Criterion) {
+    // A deliberately large instance so the scan has real work.
+    let toy = toy_system(ToySpec::new(6, 3)).unwrap();
+    let space = toy.system.vocab().space_size().unwrap();
+
+    let mut group = c.benchmark_group("e10_parallel_scan");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(space));
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = ScanConfig {
+            par: ParConfig::with_threads(threads),
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("unchanged_scan", threads),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    check_unchanged(
+                        &toy.system.composed,
+                        &toy.difference_expr(),
+                        cfg,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let sim_toy = toy_system(ToySpec::new(4, 3)).unwrap();
+    let mut group = c.benchmark_group("e10_parallel_replicas");
+    group.sample_size(10);
+    const REPLICAS: usize = 16;
+    const STEPS: u64 = 4_000;
+    group.throughput(Throughput::Elements(REPLICAS as u64 * STEPS));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("simulation", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    run_replicas(
+                        &sim_toy.system.composed,
+                        REPLICAS,
+                        99,
+                        threads,
+                        |program, _r, seed| {
+                            let mut sched = AgedLottery::new(seed, 16);
+                            let mut exec = Executor::from_first_initial(program);
+                            exec.run(STEPS, &mut sched, &mut []);
+                            exec.step_count()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e10);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E12 — ablation of the linear-normal-form fast path (DESIGN.md §3.8).
+//!
+//! The §3.3 derivation's "removing unused dummies" rewrites are linear
+//! arithmetic identities. The equivalence discharger first compares
+//! linear normal forms in `O(|expr|)` and only falls back to a
+//! full-domain scan. This bench measures both deciders on the same
+//! queries — `C − (c_0 + ⋯ + c_{n−1})` against its reassociated form —
+//! as the vocabulary grows: the fast path stays flat, the scan grows with
+//! the domain product.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_core::expr::linear::linear_equivalent;
+use unity_core::prelude::*;
+use unity_mc::prelude::*;
+
+/// Builds the n-component vocabulary and the two equivalent expressions:
+/// left-nested and right-nested subtraction chains of the counters.
+fn workload(n: usize) -> (Arc<Vocabulary>, Expr, Expr) {
+    let mut v = Vocabulary::new();
+    let cs: Vec<VarId> = (0..n)
+        .map(|i| v.declare(&format!("c{i}"), Domain::int_range(0, 2).unwrap()).unwrap())
+        .collect();
+    let big = v.declare("C", Domain::int_range(0, 2 * n as i64).unwrap()).unwrap();
+    // a = ((C - c0) - c1) - ... ; b = C - (c0 + (c1 + ...)).
+    let mut a = var(big);
+    for &ci in &cs {
+        a = sub(a, var(ci));
+    }
+    let mut sum = var(cs[n - 1]);
+    for &ci in cs[..n - 1].iter().rev() {
+        sum = add(var(ci), sum);
+    }
+    let b = sub(var(big), sum);
+    (Arc::new(v), a, b)
+}
+
+fn bench_e12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_linear_fastpath");
+    for n in [2usize, 4, 6, 8] {
+        let (vocab, a, b) = workload(n);
+        // Sanity: the fast path decides these queries affirmatively.
+        assert_eq!(linear_equivalent(&a, &b, &vocab), Some(true));
+        group.bench_with_input(
+            BenchmarkId::new("linear_normal_form", n),
+            &(&vocab, &a, &b),
+            |bch, (vocab, a, b)| bch.iter(|| linear_equivalent(a, b, vocab).unwrap()),
+        );
+        // The ablated decider: a full-domain validity scan of the
+        // equality (what every equivalence would cost without the fast
+        // path). Projection is disabled so the scan covers the whole
+        // product, isolating the fast path's contribution.
+        let query = eq(a.clone(), b.clone());
+        let cfg = ScanConfig::without_projection();
+        group.bench_with_input(
+            BenchmarkId::new("full_scan", n),
+            &(&vocab, &query, &cfg),
+            |bch, (vocab, query, cfg)| {
+                bch.iter(|| check_valid(vocab, query, cfg).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e12);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E13 — symmetry reduction and bounded refutation at scale.
+//!
+//! The toy system's N components are interchangeable, so its reachable
+//! space carries a full `S_N` action. This bench compares:
+//!
+//! * exact reachable invariant checking (`check_invariant_reachable`),
+//! * quotient checking over canonical orbit representatives
+//!   (`check_invariant_symmetric`) — `O(reachable / ≈N!)` states, and
+//! * random-walk refutation (`random_walk_invariant`) on the *broken*
+//!   variant — the incomplete mode whose cost is walk-length, not
+//!   state-space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_core::prelude::*;
+use unity_mc::prelude::*;
+use unity_mc::symmetry::SymmetrySpec;
+use unity_systems::toy_counter::{toy_system, toy_system_broken, ToySpec};
+
+fn invariant_pred(toy: &unity_systems::toy_counter::ToySystem) -> Expr {
+    match toy.system_invariant() {
+        Property::Invariant(p) => p,
+        _ => unreachable!(),
+    }
+}
+
+fn blocks(toy: &unity_systems::toy_counter::ToySystem, n: usize) -> SymmetrySpec {
+    let vocab = toy.system.vocab();
+    let blocks: Vec<Vec<VarId>> = (0..n)
+        .map(|i| vec![vocab.lookup(&format!("c{i}")).unwrap()])
+        .collect();
+    SymmetrySpec::new(blocks, vocab).unwrap()
+}
+
+fn bench_e13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_symmetry");
+    for n in [4usize, 6, 8, 10] {
+        let toy = toy_system(ToySpec::new(n, 2)).unwrap();
+        let pred = invariant_pred(&toy);
+        let spec = blocks(&toy, n);
+        let cfg = ScanConfig::default();
+        // Soundness validation runs once, outside the timed loop — the
+        // amortized usage the prevalidated entry point exists for.
+        spec.validate_program(&toy.system.composed, 512, 7).unwrap();
+        spec.validate_predicate(&pred, toy.system.vocab(), 512, 11)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("exact_reachable", n),
+            &(&toy, &pred, &cfg),
+            |b, (toy, pred, cfg)| {
+                b.iter(|| check_invariant_reachable(&toy.system.composed, pred, cfg).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("symmetry_quotient", n),
+            &(&toy, &pred, &spec),
+            |b, (toy, pred, spec)| {
+                b.iter(|| {
+                    check_invariant_symmetric_prevalidated(
+                        &toy.system.composed,
+                        pred,
+                        spec,
+                        1 << 22,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Refutation: random walks find the broken component's conservation
+    // violation without building any state space.
+    let mut group = c.benchmark_group("e13_refutation");
+    for n in [4usize, 6, 8] {
+        let broken = toy_system_broken(ToySpec::new(n, 2), 0).unwrap();
+        let pred = invariant_pred(&broken);
+        let bmc = BmcConfig {
+            walks: 64,
+            walk_len: 256,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("random_walk_refute", n),
+            &(&broken, &pred, &bmc),
+            |b, (broken, pred, bmc)| {
+                b.iter(|| {
+                    random_walk_invariant(&broken.system.composed, pred, bmc).unwrap_err()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bounded_bfs_refute", n),
+            &(&broken, &pred, &bmc),
+            |b, (broken, pred, bmc)| {
+                b.iter(|| bounded_invariant(&broken.system.composed, pred, bmc).unwrap_err())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e13);
+criterion_main!(benches);

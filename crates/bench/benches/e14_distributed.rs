@@ -1,0 +1,109 @@
+//! E14 — distributed edge reversal: event throughput and message cost by
+//! topology and scheduler; Chandy–Lamport snapshot overhead; threaded
+//! executor throughput. (The distributed realization of §4 — no paper
+//! counterpart; characterizes the `unity-dist` substrate.)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prio_graph::orientation::Orientation;
+use prio_graph::topology;
+use unity_dist::prelude::*;
+
+fn bench_event_driven(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_event_driven");
+    group.sample_size(10);
+    for (name, graph) in [
+        ("ring8", topology::ring(8)),
+        ("grid4x4", topology::grid(4, 4)),
+        ("torus4x4", topology::torus(4, 4)),
+        ("complete6", topology::complete(6)),
+    ] {
+        let graph = Arc::new(graph);
+        let o = Orientation::index_order(graph.clone());
+        group.bench_with_input(
+            BenchmarkId::new("fair_until_5_actions", name),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let mut run =
+                        DistRun::new(graph.clone(), &o, Box::new(OldestFirst::new()));
+                    let stats = run.run(RunLimits::until_actions(5));
+                    assert!(stats.min_actions() >= 5);
+                    stats.steps
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random_2000_events", name),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let mut run =
+                        DistRun::new(graph.clone(), &o, Box::new(SeededRandom::new(7)));
+                    run.run(RunLimits::steps(2_000)).tokens_sent
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_snapshot_overhead");
+    group.sample_size(10);
+    let graph = Arc::new(topology::grid(4, 4));
+    let o = Orientation::index_order(graph.clone());
+    group.bench_function("no_snapshots", |b| {
+        b.iter(|| {
+            let mut run = DistRun::new(graph.clone(), &o, Box::new(SeededRandom::new(3)));
+            run.run(RunLimits::steps(4_000)).steps
+        })
+    });
+    group.bench_function("snapshot_every_500", |b| {
+        b.iter(|| {
+            let mut run = DistRun::new(graph.clone(), &o, Box::new(SeededRandom::new(3)));
+            for i in 0..8 {
+                run.run(RunLimits::steps(run.stats().steps + 500));
+                run.initiate_snapshot(i % graph.node_count());
+            }
+            assert!(!run.snapshots().is_empty());
+            run.stats().steps
+        })
+    });
+    group.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_threaded");
+    group.sample_size(10);
+    for (name, graph) in [("ring8", topology::ring(8)), ("grid3x3", topology::grid(3, 3))] {
+        let graph = Arc::new(graph);
+        let o = Orientation::index_order(graph.clone());
+        group.bench_with_input(BenchmarkId::new("500_actions_each", name), &graph, |b, graph| {
+            b.iter(|| {
+                let out = run_threaded(
+                    graph,
+                    &o,
+                    ThreadedConfig {
+                        target_actions_per_node: 500,
+                        max_duration: Duration::from_secs(30),
+                        ..ThreadedConfig::default()
+                    },
+                );
+                assert!(out.reached_target);
+                out.tokens_sent
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_driven,
+    bench_snapshot_overhead,
+    bench_threaded
+);
+criterion_main!(benches);

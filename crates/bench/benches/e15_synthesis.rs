@@ -1,0 +1,141 @@
+//! E15 — proof synthesis cost: producing a *kernel-checked derivation* of
+//! a liveness property vs just deciding it with the exact fair checker,
+//! on the §3 toy family and the §4 ring. Also the conserved-combination
+//! discovery (linear algebra) vs verifying one `Unchanged` premise.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_core::conserve::conserved_linear_combinations;
+use unity_core::expr::build::{eq, int, tt, var};
+use unity_mc::prelude::*;
+use unity_mc::synth::{synthesize_and_check, synthesize_leadsto, SynthConfig};
+use unity_systems::priority::PrioritySystem;
+use unity_systems::toy_counter::{toy_system, ToySpec};
+
+fn bench_toy_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_toy_liveness");
+    group.sample_size(10);
+    for (n, k) in [(2usize, 1i64), (2, 2), (3, 1)] {
+        let toy = toy_system(ToySpec::new(n, k)).unwrap();
+        let program = toy.system.composed.clone();
+        let goal = eq(var(toy.shared), int(n as i64 * k));
+        let id = format!("n{n}_k{k}");
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_only", &id),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    synthesize_leadsto(
+                        program,
+                        &tt(),
+                        &goal,
+                        &SynthConfig::default(),
+                        &ScanConfig::default(),
+                    )
+                    .unwrap()
+                    .layers
+                    .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_and_kernel_check", &id),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    synthesize_and_check(
+                        program,
+                        &tt(),
+                        &goal,
+                        &SynthConfig::default(),
+                        &ScanConfig::default(),
+                    )
+                    .unwrap()
+                    .1
+                    .premises
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fair_mc_verdict_only", &id),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    check_leadsto(program, &tt(), &goal, Universe::Reachable, &ScanConfig::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_priority_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_priority_liveness");
+    group.sample_size(10);
+    let graph = Arc::new(prio_graph::topology::ring(3));
+    let ps = PrioritySystem::new(graph).unwrap();
+    let goal = ps.priority_expr(0);
+    group.bench_function("synthesize_and_kernel_check_ring3", |b| {
+        b.iter(|| {
+            synthesize_and_check(
+                &ps.system.composed,
+                &tt(),
+                &goal,
+                &SynthConfig::default(),
+                &ScanConfig::default(),
+            )
+            .unwrap()
+            .0
+            .layers
+            .len()
+        })
+    });
+    group.bench_function("fair_mc_verdict_only_ring3", |b| {
+        b.iter(|| {
+            check_leadsto(
+                &ps.system.composed,
+                &tt(),
+                &goal,
+                Universe::Reachable,
+                &ScanConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_conservation_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_conservation");
+    group.sample_size(20);
+    for n in [2usize, 4, 8, 12] {
+        let toy = toy_system(ToySpec::new(n, 2)).unwrap();
+        let program = toy.system.composed.clone();
+        group.bench_with_input(BenchmarkId::new("discover_basis", n), &program, |b, program| {
+            b.iter(|| conserved_linear_combinations(program).dimension())
+        });
+        // The discovered law, verified by the model checker (one premise).
+        let combo = conserved_linear_combinations(&program)
+            .nontrivial()
+            .first()
+            .map(|c| c.to_expr());
+        if let Some(e) = combo {
+            if n <= 4 {
+                group.bench_with_input(BenchmarkId::new("verify_unchanged", n), &program, |b, program| {
+                    b.iter(|| check_unchanged(program, &e, &ScanConfig::default()).unwrap())
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_toy_synthesis,
+    bench_priority_synthesis,
+    bench_conservation_discovery
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E16 — mutation-audit cost: mutant generation, exhaustive equivalence
+//! detection, and the full audit against the §3 specifications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_core::program::Program;
+use unity_mc::prelude::*;
+use unity_systems::toy_counter::{toy_system, ToySpec};
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_mutation");
+    group.sample_size(10);
+    for (n, k) in [(2usize, 1i64), (2, 2)] {
+        let toy = toy_system(ToySpec::new(n, k)).unwrap();
+        let program = toy.system.composed.clone();
+        let id = format!("n{n}_k{k}");
+        group.bench_with_input(BenchmarkId::new("generate", &id), &program, |b, program| {
+            b.iter(|| mutants(program).len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("equivalence_scan", &id),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    mutants(program)
+                        .iter()
+                        .filter(|m| same_behavior(program, &m.program))
+                        .count()
+                })
+            },
+        );
+        let conservation = toy.system_invariant();
+        let saturation = toy.saturation_liveness();
+        let inv_spec = move |p: &Program| {
+            check_property(p, &conservation, Universe::Reachable, &ScanConfig::default()).is_ok()
+        };
+        let live_spec = move |p: &Program| {
+            check_property(p, &saturation, Universe::Reachable, &ScanConfig::default()).is_ok()
+        };
+        group.bench_with_input(BenchmarkId::new("full_audit", &id), &program, |b, program| {
+            b.iter(|| {
+                mutation_audit(program, &[("inv", &inv_spec), ("live", &live_spec)])
+                    .unwrap()
+                    .kill_ratio()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E1 — §3 toy example: cost of establishing `invariant C = Σ cᵢ`
+//! compositionally (kernel proof, premises on components) vs.
+//! monolithically (inductive model check of the composed program), over a
+//! parameter sweep. Also E1b: the footnote-1 asymmetric-init variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_core::proof::check::{check_concludes, CheckCtx};
+use unity_mc::prelude::*;
+use unity_systems::toy_counter::{toy_system, toy_system_asymmetric, ToySpec};
+use unity_systems::toy_proof::{toy_invariant_proof, toy_invariant_proof_asymmetric};
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_toy_invariant");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        for k in [1i64, 2] {
+            let toy = toy_system(ToySpec::new(n, k)).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("compositional_proof", format!("n{n}_k{k}")),
+                &toy,
+                |b, toy| {
+                    b.iter(|| {
+                        let (proof, conclusion) = toy_invariant_proof(toy);
+                        let mut mc = McDischarger::new(&toy.system);
+                        let mut ctx = CheckCtx::new(&mut mc).with_components(toy.spec.n);
+                        check_concludes(&proof, &conclusion, &mut ctx).unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("monolithic_mc", format!("n{n}_k{k}")),
+                &toy,
+                |b, toy| {
+                    b.iter(|| {
+                        check_property(
+                            &toy.system.composed,
+                            &toy.system_invariant(),
+                            Universe::Reachable,
+                            &ScanConfig::default(),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e1b_asymmetric_variant");
+    group.sample_size(10);
+    let toy = toy_system_asymmetric(ToySpec::new(3, 1)).unwrap();
+    group.bench_function("proof", |b| {
+        b.iter(|| {
+            let (proof, conclusion) = toy_invariant_proof_asymmetric(&toy);
+            let mut mc = McDischarger::new(&toy.system);
+            let mut ctx = CheckCtx::new(&mut mc).with_components(3);
+            check_concludes(&proof, &conclusion, &mut ctx).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E2 — §4 safety (17) across conflict-graph topologies: inductive model
+//! check of the mutual-exclusion invariant, plus the kernel safety proof.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prio_graph::topology::Topology;
+use unity_core::proof::check::{check_concludes, CheckCtx};
+use unity_mc::prelude::*;
+use unity_systems::priority::PrioritySystem;
+use unity_systems::priority_proofs::safety_proof;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_safety");
+    group.sample_size(10);
+    for t in [Topology::Path, Topology::Ring, Topology::Star, Topology::Complete] {
+        for n in [3usize, 4, 5] {
+            let sys = PrioritySystem::new(Arc::new(t.build(n))).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("mc_{}", t.name()), n),
+                &sys,
+                |b, sys| {
+                    b.iter(|| {
+                        check_property(
+                            &sys.system.composed,
+                            &sys.safety_invariant(),
+                            Universe::Reachable,
+                            &ScanConfig::default(),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("proof_{}", t.name()), n),
+                &sys,
+                |b, sys| {
+                    b.iter(|| {
+                        let (p, j) = safety_proof(sys);
+                        let mut mc = McDischarger::new(&sys.system);
+                        let mut ctx = CheckCtx::new(&mut mc).with_components(sys.len());
+                        check_concludes(&p, &j, &mut ctx).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

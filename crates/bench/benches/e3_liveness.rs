@@ -1,0 +1,57 @@
+//! E3 — §4 liveness (18): exact fair `leadsto` checking across topologies,
+//! and the mechanized Property-8 induction proof on small instances.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prio_graph::topology::Topology;
+use unity_core::proof::check::{check_concludes, CheckCtx};
+use unity_mc::prelude::*;
+use unity_systems::priority::PrioritySystem;
+use unity_systems::priority_proofs::liveness_proof;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_liveness_fair_mc");
+    group.sample_size(10);
+    for t in [Topology::Path, Topology::Ring, Topology::Star, Topology::Complete] {
+        for n in [3usize, 4, 5] {
+            let sys = PrioritySystem::new(Arc::new(t.build(n))).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(t.name(), n),
+                &sys,
+                |b, sys| {
+                    b.iter(|| {
+                        for i in 0..sys.len() {
+                            check_property(
+                                &sys.system.composed,
+                                &sys.liveness(i),
+                                Universe::Reachable,
+                                &ScanConfig::default(),
+                            )
+                            .unwrap();
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e3_liveness_kernel_proof");
+    group.sample_size(10);
+    for t in [Topology::Path, Topology::Ring, Topology::Star] {
+        let sys = PrioritySystem::new(Arc::new(t.build(3))).unwrap();
+        group.bench_with_input(BenchmarkId::new(t.name(), 3), &sys, |b, sys| {
+            b.iter(|| {
+                let (p, j) = liveness_proof(sys, 1);
+                let mut mc = McDischarger::new(&sys.system);
+                let mut ctx = CheckCtx::new(&mut mc).with_components(sys.len());
+                check_concludes(&p, &j, &mut ctx).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E4 — Property 5 (25): acyclicity preservation, including fault
+//! injection: the correct full-yield mechanism keeps acyclicity stable;
+//! the broken half-yield variant is refuted (we measure
+//! time-to-counterexample, which is the fault-detection latency).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prio_graph::topology::Topology;
+use unity_mc::prelude::*;
+use unity_systems::baselines::broken_yield_system;
+use unity_systems::priority::PrioritySystem;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_acyclicity");
+    group.sample_size(10);
+    for t in [Topology::Ring, Topology::Complete] {
+        for n in [3usize, 4, 5] {
+            let good = PrioritySystem::new(Arc::new(t.build(n))).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("stable_{}", t.name()), n),
+                &good,
+                |b, sys| {
+                    b.iter(|| {
+                        check_property(
+                            &sys.system.composed,
+                            &sys.acyclicity_stable(),
+                            Universe::Reachable,
+                            &ScanConfig::default(),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+            let broken = broken_yield_system(Arc::new(t.build(n))).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("fault_detect_{}", t.name()), n),
+                &broken,
+                |b, sys| {
+                    b.iter(|| {
+                        check_property(
+                            &sys.system.composed,
+                            &sys.acyclicity_stable(),
+                            Universe::Reachable,
+                            &ScanConfig::default(),
+                        )
+                        .unwrap_err()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

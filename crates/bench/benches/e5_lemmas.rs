@@ -1,0 +1,54 @@
+//! E5 — the graph-theory substrate: closure computation (BFS vs. the
+//! naive saturation reference), and exhaustive Lemma 1 / Lemma 2
+//! validation over all orientations of small graphs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prio_graph::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_e5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_closures");
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Arc::new(prio_graph::topology::connected_random(n, 0.15, &mut rng));
+        let o = Orientation::index_order(g);
+        group.bench_with_input(BenchmarkId::new("bfs", n), &o, |b, o| {
+            b.iter(|| all_reach_sets(o))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &o, |b, o| {
+            b.iter(|| prio_graph::closure::reach_sets_naive(o))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e5_exhaustive_lemmas");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        group.bench_with_input(BenchmarkId::new("ring_orientations", n), &n, |b, &n| {
+            let g = Arc::new(prio_graph::topology::ring(n));
+            b.iter(|| {
+                let mut ok = 0usize;
+                for o in Orientation::enumerate(&g) {
+                    assert!(duality_holds(&o));
+                    if is_acyclic(&o) {
+                        assert!(lemma2_holds(&o));
+                    }
+                    for i0 in 0..n {
+                        if let Some(d) = derive(&o, i0) {
+                            assert!(lemma1_holds(&o, &d, i0));
+                            ok += 1;
+                        }
+                    }
+                }
+                ok
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

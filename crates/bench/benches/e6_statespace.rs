@@ -1,0 +1,61 @@
+//! E6 — state-space growth: transition-system construction cost versus
+//! component count for both case studies (the scaling wall that motivates
+//! compositional reasoning).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unity_mc::prelude::*;
+use unity_systems::priority::PrioritySystem;
+use unity_systems::toy_counter::{toy_system, ToySpec};
+
+fn bench_e6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_statespace_toy");
+    for n in [2usize, 3, 4, 5] {
+        let toy = toy_system(ToySpec::new(n, 2)).unwrap();
+        let ts = TransitionSystem::build(
+            &toy.system.composed,
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        group.throughput(Throughput::Elements(ts.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("build_reachable", format!("n{n}_{}states", ts.len())),
+            &toy,
+            |b, toy| {
+                b.iter(|| {
+                    TransitionSystem::build(
+                        &toy.system.composed,
+                        Universe::Reachable,
+                        &ScanConfig::default(),
+                    )
+                    .unwrap()
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e6_statespace_priority_ring");
+    for n in [4usize, 6, 8, 10, 12] {
+        let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(n))).unwrap();
+        group.throughput(Throughput::Elements(1 << n));
+        group.bench_with_input(BenchmarkId::new("build_all_states", n), &sys, |b, sys| {
+            b.iter(|| {
+                TransitionSystem::build(
+                    &sys.system.composed,
+                    Universe::AllStates,
+                    &ScanConfig::default(),
+                )
+                .unwrap()
+                .transition_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

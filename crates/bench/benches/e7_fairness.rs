@@ -1,0 +1,71 @@
+//! E7 — simulated fairness of the priority mechanism vs. the centralized
+//! arbiter baseline: time-to-priority distributions over fixed-length fair
+//! runs. (The static no-yield baseline starves and is covered by E2/E4
+//! refutation benches; here we compare the *working* mechanisms.)
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unity_sim::prelude::*;
+use unity_systems::baselines::centralized_arbiter;
+use unity_systems::priority::PrioritySystem;
+
+const STEPS: u64 = 10_000;
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_fairness");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(STEPS));
+    for n in [6usize, 10, 14] {
+        let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(n))).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("priority_ring", n),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    let mut monitor = RecurrenceMonitor::new(
+                        (0..sys.len()).map(|i| sys.priority_expr(i)).collect(),
+                    );
+                    let mut sched = AgedLottery::new(42, 4 * sys.len() as u64);
+                    let mut exec = Executor::from_first_initial(&sys.system.composed);
+                    {
+                        let mut monitors: Vec<&mut dyn Monitor> = vec![&mut monitor];
+                        exec.run(STEPS, &mut sched, &mut monitors);
+                    }
+                    // Return the fairness index so criterion can't optimize
+                    // the work away; assert sanity.
+                    let means: Vec<f64> = (0..sys.len())
+                        .map(|i| {
+                            Summary::of(&monitor.gaps[i]).map_or(f64::INFINITY, |s| s.mean)
+                        })
+                        .collect();
+                    let jain = jain_index(&means);
+                    assert!(jain > 0.5, "mechanism should be roughly fair");
+                    jain
+                })
+            },
+        );
+        let arb = centralized_arbiter(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("arbiter", n), &arb, |b, arb| {
+            b.iter(|| {
+                let mut monitor = RecurrenceMonitor::new(
+                    (0..arb.n).map(|i| arb.priority_expr(i)).collect(),
+                );
+                let mut sched = AgedLottery::new(42, 8);
+                let mut exec = Executor::from_first_initial(&arb.system.composed);
+                {
+                    let mut monitors: Vec<&mut dyn Monitor> = vec![&mut monitor];
+                    exec.run(STEPS, &mut sched, &mut monitors);
+                }
+                let means: Vec<f64> = (0..arb.n)
+                    .map(|i| Summary::of(&monitor.gaps[i]).map_or(f64::INFINITY, |s| s.mean))
+                    .collect();
+                jain_index(&means)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

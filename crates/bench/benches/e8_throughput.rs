@@ -1,0 +1,63 @@
+//! E8 — simulator throughput (steps/second) across schedulers and system
+//! sizes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unity_sim::prelude::*;
+use unity_systems::dining::{dining_system, DiningSpec};
+use unity_systems::priority::PrioritySystem;
+
+const STEPS: u64 = 20_000;
+
+fn bench_e8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(STEPS));
+
+    type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+    let ring = PrioritySystem::new(Arc::new(prio_graph::topology::ring(10))).unwrap();
+    let schedulers: Vec<(&str, SchedulerFactory)> = vec![
+        ("round_robin", Box::new(|| Box::new(RoundRobin::default()))),
+        ("aged_lottery", Box::new(|| Box::new(AgedLottery::new(7, 40)))),
+        (
+            "adversarial",
+            Box::new(|| Box::new(AdversarialDelay::new(9, 0, 40))),
+        ),
+    ];
+    for (name, mk) in &schedulers {
+        group.bench_with_input(
+            BenchmarkId::new("priority_ring10", name),
+            &ring,
+            |b, sys| {
+                b.iter(|| {
+                    let mut sched = mk();
+                    let mut exec = Executor::from_first_initial(&sys.system.composed);
+                    exec.run(STEPS, sched.as_mut(), &mut []);
+                    exec.step_count()
+                })
+            },
+        );
+    }
+
+    let table = dining_system(&DiningSpec {
+        graph: Arc::new(prio_graph::topology::ring(10)),
+    })
+    .unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("dining_ring10", "aged_lottery"),
+        &table,
+        |b, d| {
+            b.iter(|| {
+                let mut sched = AgedLottery::new(3, 60);
+                let mut exec = Executor::from_first_initial(&d.system.composed);
+                exec.run(STEPS, &mut sched, &mut []);
+                exec.step_count()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E9 scaling table: compositional vs. monolithic verification cost for
+//! the §3 toy invariant as the number of components grows.
+//!
+//! ```text
+//! cargo run --release -p composition-bench --bin e9_scaling
+//! ```
+//!
+//! Three columns:
+//! * `premises(1)` — re-verifying ONE component's local specification
+//!   (the repository-reuse scenario: all components are isomorphic, so a
+//!   library of verified parts pays this once);
+//! * `proof(all)` — checking the full compositional derivation (all
+//!   components' premises + lifting + side conditions);
+//! * `monolithic` — inductive model check of the composed program over the
+//!   full product space.
+
+use std::time::Instant;
+
+use unity_mc::prelude::*;
+use unity_mc::transition::Universe;
+use unity_core::proof::check::{check_concludes, CheckCtx};
+use unity_systems::toy_counter::{toy_system, ToySpec};
+use unity_systems::toy_proof::toy_invariant_proof;
+
+fn time<T>(iters: u32, mut f: impl FnMut() -> T) -> std::time::Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t0.elapsed() / iters
+}
+
+fn main() {
+    let k = 2i64;
+    println!("E9: toy invariant C = Σ cᵢ, K = {k} (times per verification)");
+    println!(
+        "{:>3} {:>12} {:>14} {:>14} {:>14}",
+        "n", "states", "premises(1)", "proof(all)", "monolithic"
+    );
+    for n in [2usize, 3, 4, 5, 6, 7, 8] {
+        let toy = toy_system(ToySpec::new(n, k)).unwrap();
+        let cfg = ScanConfig::default();
+        let states = toy.system.vocab().space_size().unwrap();
+        let iters: u32 = if n <= 5 { 200 } else { 20 };
+
+        let one = time(iters, || {
+            let comp = &toy.system.components[0];
+            check_property(comp, &toy.spec_init(0), Universe::Reachable, &cfg).unwrap();
+            check_property(comp, &toy.spec_unchanged(0), Universe::Reachable, &cfg).unwrap();
+            for loc in toy.spec_locality(0) {
+                check_property(comp, &loc, Universe::Reachable, &cfg).unwrap();
+            }
+        });
+        let proof = time(iters, || {
+            let (proof, conclusion) = toy_invariant_proof(&toy);
+            let mut mc = McDischarger::new(&toy.system);
+            let mut ctx = CheckCtx::new(&mut mc).with_components(n);
+            check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+        });
+        let mono = time(iters, || {
+            check_property(
+                &toy.system.composed,
+                &toy.system_invariant(),
+                Universe::Reachable,
+                &cfg,
+            )
+            .unwrap();
+        });
+        println!("{n:>3} {states:>12} {one:>14.2?} {proof:>14.2?} {mono:>14.2?}");
+    }
+}

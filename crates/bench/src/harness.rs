@@ -1,0 +1,19 @@
+//! Shared workload builders for the benchmark suite.
+
+/// Standard node counts for topology sweeps (kept small enough that the
+/// exhaustive checkers stay fast in CI).
+pub const SWEEP_NODES: [usize; 3] = [3, 4, 5];
+
+/// Standard counter bounds for the toy-example sweeps.
+pub const SWEEP_BOUNDS: [i64; 2] = [1, 2];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_nonempty() {
+        assert!(!SWEEP_NODES.is_empty());
+        assert!(!SWEEP_BOUNDS.is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! # composition-bench
+//!
+//! Criterion benchmark harness for the experiment suite E1–E10 (see
+//! `EXPERIMENTS.md` at the workspace root). The library part hosts shared
+//! workload builders; the actual benches live in `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod harness;

@@ -1,0 +1,109 @@
+//! Existential / universal classification of property types (§2).
+//!
+//! Using the definitions of reference \[6\] (Chandy & Sanders), as the paper does:
+//!
+//! ```text
+//! X is existential ≝ ⟨∀ F,G : F ⊥ G : X.F ∨ X.G  ⇒  X.(F ∥ G)⟩
+//! X is universal   ≝ ⟨∀ F,G : F ⊥ G : X.F ∧ X.G  ⇒  X.(F ∥ G)⟩
+//! ```
+//!
+//! `init` and `transient` (and `guarantees`) are existential; `next`,
+//! `stable`, `invariant` (and `unchanged`) are universal; `leadsto` is in
+//! general neither. These classifications justify the *lifting* proof rules
+//! in [`crate::proof`]: an existential property of one component, or a
+//! universal property of all components, is a system property.
+
+use crate::properties::Property;
+
+/// Composition behaviour of a property type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyClass {
+    /// Held by the composition if *some* component holds it.
+    Existential,
+    /// Held by the composition if *all* components hold it.
+    Universal,
+    /// Neither existential nor universal (e.g. `leadsto`).
+    Neither,
+}
+
+/// Classifies a property per the paper's table.
+pub fn classify(p: &Property) -> PropertyClass {
+    match p {
+        Property::Init(_) | Property::Transient(_) => PropertyClass::Existential,
+        Property::Next(..)
+        | Property::Stable(_)
+        | Property::Invariant(_)
+        | Property::Unchanged(_) => PropertyClass::Universal,
+        Property::LeadsTo(..) => PropertyClass::Neither,
+    }
+}
+
+/// Why each classification is sound, in terms of the model:
+///
+/// * `init` is existential **and** universal in effect: composition
+///   *conjoins* `initially` predicates, so every component's `init p`
+///   survives. (The paper files it under existential.)
+/// * `transient p` names one fair command `d ∈ D` falsifying `p`;
+///   composition unions `D`, so the witness survives — existential.
+/// * `next`/`stable` quantify over **all** commands; composition unions
+///   command sets, so all components must satisfy them — universal.
+/// * `invariant p = init p ∧ stable p` — universal (each conjunct lifts
+///   when all components have it).
+/// * `leadsto` proofs may interleave many components' transient witnesses —
+///   neither.
+pub fn classification_rationale(p: &Property) -> &'static str {
+    match classify(p) {
+        PropertyClass::Existential => {
+            "the witness (initial predicate conjunct / fair command) survives composition"
+        }
+        PropertyClass::Universal => {
+            "the property quantifies over all commands, and composition unions command sets"
+        }
+        PropertyClass::Neither => {
+            "liveness derivations may interleave several components' fair commands"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::build::*;
+
+    #[test]
+    fn paper_table() {
+        assert_eq!(classify(&Property::Init(tt())), PropertyClass::Existential);
+        assert_eq!(
+            classify(&Property::Transient(tt())),
+            PropertyClass::Existential
+        );
+        assert_eq!(
+            classify(&Property::Next(tt(), tt())),
+            PropertyClass::Universal
+        );
+        assert_eq!(classify(&Property::Stable(tt())), PropertyClass::Universal);
+        assert_eq!(
+            classify(&Property::Invariant(tt())),
+            PropertyClass::Universal
+        );
+        assert_eq!(
+            classify(&Property::Unchanged(int(0))),
+            PropertyClass::Universal
+        );
+        assert_eq!(
+            classify(&Property::LeadsTo(tt(), tt())),
+            PropertyClass::Neither
+        );
+    }
+
+    #[test]
+    fn rationales_exist() {
+        for p in [
+            Property::Init(tt()),
+            Property::Stable(tt()),
+            Property::LeadsTo(tt(), tt()),
+        ] {
+            assert!(!classification_rationale(&p).is_empty());
+        }
+    }
+}

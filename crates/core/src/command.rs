@@ -1,0 +1,322 @@
+//! Guarded multiple-assignment commands.
+//!
+//! A command is `name: guard -> x₁,…,xₖ := e₁,…,eₖ` with *guarded-else-skip*
+//! semantics: in a state where the guard is false the command behaves as
+//! `skip`. This makes every command total (always executable), as the UNITY
+//! model requires, so weak fairness is simply "every command of `D` is
+//! executed infinitely often".
+//!
+//! **Domain-guarded semantics.** If any update would drive its target
+//! outside the declared finite domain, the command also behaves as `skip`.
+//! Well-written programs guard their updates explicitly (as the paper's toy
+//! example does with bounded counters); [`Command::domain_guard`] exposes the
+//! implicit part so tools can lint for accidental reliance on it.
+
+use std::collections::BTreeSet;
+
+use crate::error::CoreError;
+use crate::expr::build::{and, and2, ge, int, le, not, or2, tt, var};
+use crate::expr::eval::{eval, eval_bool};
+use crate::expr::subst::Subst;
+use crate::expr::{pretty::Render, Expr};
+use crate::ident::{VarId, Vocabulary};
+use crate::state::State;
+use crate::value::Value;
+
+/// A guarded simultaneous multiple-assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// Command name (diagnostics, fairness auditing, trace labels).
+    pub name: String,
+    /// Boolean guard.
+    pub guard: Expr,
+    /// Simultaneous updates `(target, rhs)`; targets are pairwise distinct.
+    pub updates: Vec<(VarId, Expr)>,
+}
+
+impl Command {
+    /// Builds a command, checking guard/update types and target uniqueness
+    /// against `vocab`.
+    pub fn new(
+        name: impl Into<String>,
+        guard: Expr,
+        updates: Vec<(VarId, Expr)>,
+        vocab: &Vocabulary,
+    ) -> Result<Self, CoreError> {
+        let name = name.into();
+        guard.check_pred(vocab)?;
+        let mut seen = BTreeSet::new();
+        for (x, e) in &updates {
+            if !seen.insert(*x) {
+                return Err(CoreError::DuplicateAssignment {
+                    command: name.clone(),
+                    var: vocab.name(*x).to_string(),
+                });
+            }
+            let want = vocab.domain(*x).ty();
+            let found = e.infer_type(vocab)?;
+            if want != found {
+                return Err(CoreError::TypeError {
+                    expr: format!("{} := {}", vocab.name(*x), Render::new(e, vocab)),
+                    expected: want,
+                    found,
+                });
+            }
+        }
+        Ok(Command {
+            name,
+            guard,
+            updates,
+        })
+    }
+
+    /// The `skip` command: always enabled, changes nothing.
+    pub fn skip() -> Self {
+        Command {
+            name: "skip".into(),
+            guard: tt(),
+            updates: Vec::new(),
+        }
+    }
+
+    /// Whether this command can never change any state (no updates).
+    pub fn is_skip(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The set of variables this command may write.
+    pub fn writes(&self) -> BTreeSet<VarId> {
+        self.updates.iter().map(|(x, _)| *x).collect()
+    }
+
+    /// Executes one step from `state`.
+    ///
+    /// Returns `None` when the command acts as `skip` (guard false or a
+    /// domain violation); callers treating `skip` uniformly can use
+    /// [`Command::step`].
+    pub fn apply(&self, state: &State, vocab: &Vocabulary) -> Option<State> {
+        if !eval_bool(&self.guard, state) {
+            return None;
+        }
+        // Evaluate all right-hand sides in the *pre*-state (simultaneous
+        // assignment), checking domains before committing.
+        let mut new_vals: Vec<(VarId, Value)> = Vec::with_capacity(self.updates.len());
+        for (x, e) in &self.updates {
+            let v = eval(e, state);
+            if !vocab.domain(*x).contains(v) {
+                return None;
+            }
+            new_vals.push((*x, v));
+        }
+        let mut out = state.clone();
+        for (x, v) in new_vals {
+            out.set(x, v);
+        }
+        Some(out)
+    }
+
+    /// Executes one step, yielding the post-state (`state` itself when the
+    /// command acts as `skip`).
+    pub fn step(&self, state: &State, vocab: &Vocabulary) -> State {
+        self.apply(state, vocab).unwrap_or_else(|| state.clone())
+    }
+
+    /// The *effective* guard: the declared guard conjoined with the implicit
+    /// domain guard. The command changes state exactly in states where this
+    /// holds (and some update actually differs).
+    pub fn effective_guard(&self, vocab: &Vocabulary) -> Expr {
+        and2(self.guard.clone(), self.domain_guard(vocab))
+    }
+
+    /// The implicit domain guard: every update's value stays in its target's
+    /// domain. `true` when all targets are booleans.
+    pub fn domain_guard(&self, vocab: &Vocabulary) -> Expr {
+        let mut parts = Vec::new();
+        for (x, e) in &self.updates {
+            if let crate::domain::Domain::IntRange(lo, hi) = vocab.domain(*x) {
+                parts.push(ge(e.clone(), int(*lo)));
+                parts.push(le(e.clone(), int(*hi)));
+            }
+        }
+        if parts.is_empty() {
+            tt()
+        } else {
+            and(parts)
+        }
+    }
+
+    /// Weakest precondition of this command with respect to postcondition
+    /// `q`:
+    ///
+    /// ```text
+    /// wp(c, q) = (G ∧ q[x̄ := ē]) ∨ (¬G ∧ q)      where G = effective guard
+    /// ```
+    ///
+    /// The substitution is simultaneous. For deterministic total commands
+    /// this coincides with "executing the command from any state satisfying
+    /// `wp(c,q)` lands in `q`" — the equivalence is enforced by property
+    /// tests against [`Command::step`].
+    pub fn wp(&self, q: &Expr, vocab: &Vocabulary) -> Expr {
+        let g = self.effective_guard(vocab);
+        let subst = Subst::from_pairs(self.updates.iter().cloned());
+        let fired = and2(g.clone(), subst.apply(q));
+        let skipped = and2(not(g), q.clone());
+        or2(fired, skipped)
+    }
+
+    /// Lint: states in which the *declared* guard holds but the implicit
+    /// domain guard blocks the command. Returns a predicate describing such
+    /// states; if it is unsatisfiable the command never relies on the
+    /// implicit domain guard.
+    pub fn domain_block_pred(&self, vocab: &Vocabulary) -> Expr {
+        and2(self.guard.clone(), not(self.domain_guard(vocab)))
+    }
+
+    /// Renders the command with variable names.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let mut s = format!("{}: {} -> ", self.name, Render::new(&self.guard, vocab));
+        if self.updates.is_empty() {
+            s.push_str("skip");
+        } else {
+            for (i, (x, e)) in self.updates.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("{} := {}", vocab.name(*x), Render::new(e, vocab)));
+            }
+        }
+        s
+    }
+}
+
+/// Convenience: builds an increment command `name: guard -> x := x + k`.
+pub fn increment(
+    name: impl Into<String>,
+    guard: Expr,
+    x: VarId,
+    k: i64,
+    vocab: &Vocabulary,
+) -> Result<Command, CoreError> {
+    Command::new(
+        name,
+        guard,
+        vec![(x, crate::expr::build::add(var(x), int(k)))],
+        vocab,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::expr::build::*;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        v.declare("flag", Domain::Bool).unwrap();
+        v
+    }
+
+    #[test]
+    fn guarded_step() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let c = Command::new("inc", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))], &v)
+            .unwrap();
+        let s0 = State::minimum(&v);
+        let s1 = c.step(&s0, &v);
+        assert_eq!(s1.get(x), Value::Int(1));
+        // At the bound, the guard blocks: command skips.
+        let mut s3 = State::minimum(&v);
+        s3.set(x, Value::Int(3));
+        assert_eq!(c.apply(&s3, &v), None);
+        assert_eq!(c.step(&s3, &v), s3);
+    }
+
+    #[test]
+    fn domain_guard_blocks_overflow() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        // No declared guard: relies on the implicit domain guard.
+        let c = Command::new("inc", tt(), vec![(x, add(var(x), int(1)))], &v).unwrap();
+        let mut s3 = State::minimum(&v);
+        s3.set(x, Value::Int(3));
+        assert_eq!(c.apply(&s3, &v), None, "update to 4 is out of domain");
+        // The lint predicate is satisfiable exactly at x = 3.
+        let block = c.domain_block_pred(&v);
+        assert!(eval_bool(&block, &s3));
+        assert!(!eval_bool(&block, &State::minimum(&v)));
+    }
+
+    #[test]
+    fn simultaneous_swap() {
+        let mut v = Vocabulary::new();
+        let a = v.declare("a", Domain::int_range(0, 9).unwrap()).unwrap();
+        let b = v.declare("b", Domain::int_range(0, 9).unwrap()).unwrap();
+        let c = Command::new("swap", tt(), vec![(a, var(b)), (b, var(a))], &v).unwrap();
+        let mut s = State::minimum(&v);
+        s.set(a, Value::Int(2));
+        s.set(b, Value::Int(7));
+        let s2 = c.step(&s, &v);
+        assert_eq!(s2.get(a), Value::Int(7));
+        assert_eq!(s2.get(b), Value::Int(2));
+    }
+
+    #[test]
+    fn wp_agrees_with_step() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let f = v.lookup("flag").unwrap();
+        let c = Command::new(
+            "c",
+            var(f),
+            vec![(x, add(var(x), int(1))), (f, not(var(f)))],
+            &v,
+        )
+        .unwrap();
+        let q = eq(var(x), int(2));
+        let wp = c.wp(&q, &v);
+        for s in crate::state::StateSpaceIter::new(&v) {
+            let semantic = eval_bool(&q, &c.step(&s, &v));
+            let syntactic = eval_bool(&wp, &s);
+            assert_eq!(semantic, syntactic, "state {}", s.display(&v));
+        }
+    }
+
+    #[test]
+    fn duplicate_target_rejected() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let r = Command::new("bad", tt(), vec![(x, int(0)), (x, int(1))], &v);
+        assert!(matches!(r, Err(CoreError::DuplicateAssignment { .. })));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let f = v.lookup("flag").unwrap();
+        assert!(Command::new("bad", tt(), vec![(x, var(f))], &v).is_err());
+        assert!(Command::new("bad", var(x), vec![], &v).is_err());
+    }
+
+    #[test]
+    fn skip_properties() {
+        let v = vocab();
+        let s = State::minimum(&v);
+        let sk = Command::skip();
+        assert!(sk.is_skip());
+        assert_eq!(sk.step(&s, &v), s);
+        assert!(sk.writes().is_empty());
+    }
+
+    #[test]
+    fn display_renders() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let c = increment("inc", lt(var(x), int(3)), x, 1, &v).unwrap();
+        assert_eq!(c.display(&v), "inc: x < 3 -> x := x + 1");
+        assert_eq!(Command::skip().display(&v), "skip: true -> skip");
+    }
+}

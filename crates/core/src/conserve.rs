@@ -1,0 +1,566 @@
+//! Automatic discovery of conserved linear quantities.
+//!
+//! §3.3 of the paper *constructs* the shared universal property
+//! `∀k. stable (C − Σᵢ cᵢ = k)` from the components' local specifications
+//! and calls the step creative ("we found no mechanical way of bridging
+//! this gap"). For the linear fragment the bridge *is* mechanical: a
+//! linear combination `L = Σ aᵥ·v` is unchanged by a multi-assignment
+//! `x̄ := ē` exactly when the (linear) update leaves `L`'s normal form
+//! fixed, which is a homogeneous linear system in the coefficients `aᵥ`.
+//! Solving it — one equation block per command, null space over the
+//! rationals — yields *every* linear quantity conserved by *every*
+//! command: precisely the candidates for the paper's weakened universal
+//! property, found by Gaussian elimination instead of insight.
+//!
+//! Soundness notes:
+//!
+//! * Guards are ignored (we require the update to conserve `L`
+//!   unconditionally), so every reported combination really is
+//!   `Unchanged` in the paper's sense — the analysis is sound and only
+//!   *incomplete* for guard-dependent conservation.
+//! * Updates whose right-hand side is not exactly linear (or could
+//!   saturate — see [`crate::expr::linear`]) make their target variable
+//!   **tainted**: its coefficient is pinned to zero rather than failing
+//!   the whole analysis. Tainted variables are reported.
+//! * Results can be independently re-verified: wrap a combination in
+//!   [`crate::properties::Property::Unchanged`] and hand it to the model
+//!   checker (the test-suites do).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::expr::build::{eq, int, mul, neg, sum, var};
+use crate::expr::linear::linear_form;
+use crate::expr::Expr;
+use crate::ident::VarId;
+use crate::program::Program;
+use crate::state::State;
+use crate::value::{Type, Value};
+
+/// An integer-coefficient linear combination of program variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearCombo {
+    /// Non-zero coefficients per variable.
+    pub coeffs: BTreeMap<VarId, i64>,
+}
+
+impl LinearCombo {
+    /// Builds the combination as an expression (`Σ aᵥ·v`, with `±1`
+    /// coefficients rendered without the multiplication).
+    pub fn to_expr(&self) -> Expr {
+        let terms: Vec<Expr> = self
+            .coeffs
+            .iter()
+            .map(|(&v, &a)| match a {
+                1 => var(v),
+                -1 => neg(var(v)),
+                a => mul(int(a), var(v)),
+            })
+            .collect();
+        sum(terms)
+    }
+
+    /// Exact (non-saturating) value of the combination in `state`.
+    pub fn evaluate(&self, state: &State) -> i128 {
+        self.coeffs
+            .iter()
+            .map(|(&v, &a)| {
+                let Value::Int(x) = state.get(v) else {
+                    return 0;
+                };
+                a as i128 * x as i128
+            })
+            .sum()
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn support_size(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+/// The full basis of conserved linear combinations of a program.
+#[derive(Debug, Clone)]
+pub struct ConservedBasis {
+    /// A basis (over ℚ, scaled to coprime integers) of the space of
+    /// conserved linear combinations.
+    pub combos: Vec<LinearCombo>,
+    /// Integer variables excluded from the analysis because some update
+    /// of theirs is non-linear or could saturate.
+    pub tainted: Vec<VarId>,
+}
+
+impl ConservedBasis {
+    /// Dimension of the conserved space (excluding tainted variables).
+    pub fn dimension(&self) -> usize {
+        self.combos.len()
+    }
+
+    /// The combinations whose support has at least two variables — the
+    /// interesting ones (single-variable members are just never-written
+    /// variables).
+    pub fn nontrivial(&self) -> Vec<&LinearCombo> {
+        self.combos
+            .iter()
+            .filter(|c| c.support_size() >= 2)
+            .collect()
+    }
+}
+
+/// Computes the basis of linear combinations conserved by **every**
+/// command of `program` (see the module docs for scope and soundness).
+pub fn conserved_linear_combinations(program: &Program) -> ConservedBasis {
+    let vocab = &program.vocab;
+    // Columns: integer-typed variables, in VarId order.
+    let int_vars: Vec<VarId> = vocab
+        .iter()
+        .filter(|(_, d)| d.domain.ty() == Type::Int)
+        .map(|(id, _)| id)
+        .collect();
+    let col_of: BTreeMap<VarId, usize> = int_vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    let ncols = int_vars.len();
+
+    // Taint analysis: non-linearizable updates pin their target to 0.
+    let mut tainted: BTreeSet<VarId> = BTreeSet::new();
+    for c in &program.commands {
+        for (x, e) in &c.updates {
+            if vocab.domain(*x).ty() != Type::Int {
+                continue;
+            }
+            if linear_form(e, vocab).is_none() {
+                tainted.insert(*x);
+            }
+        }
+    }
+
+    let mut rows: Vec<Vec<Ratio>> = Vec::new();
+    for &t in &tainted {
+        let mut row = vec![Ratio::ZERO; ncols];
+        row[col_of[&t]] = Ratio::ONE;
+        rows.push(row);
+    }
+
+    for c in &program.commands {
+        // Written integer variables with their update's linear form.
+        let mut written: BTreeMap<VarId, crate::expr::linear::LinearForm> = BTreeMap::new();
+        let mut skip_cmd = false;
+        for (x, e) in &c.updates {
+            if vocab.domain(*x).ty() != Type::Int || tainted.contains(x) {
+                continue;
+            }
+            match linear_form(e, vocab) {
+                Some(lf) => {
+                    // A tainted variable may still appear on the RHS of a
+                    // clean update; its coefficient there matters, so keep
+                    // the form (its column is pinned to zero anyway).
+                    written.insert(*x, lf);
+                }
+                None => {
+                    // Shouldn't happen (taint pass covered it) — but stay
+                    // conservative.
+                    skip_cmd = true;
+                }
+            }
+        }
+        if skip_cmd || written.is_empty() {
+            continue;
+        }
+        // Per variable w: Σ_x coef(e_x, w)·a_x − [w written]·a_w = 0.
+        for &w in &int_vars {
+            let mut row = vec![Ratio::ZERO; ncols];
+            let mut nonzero = false;
+            for (x, lf) in &written {
+                let coef = lf.coeffs.get(&w).copied().unwrap_or(0);
+                if coef != 0 {
+                    row[col_of[x]] = row[col_of[x]].add(Ratio::of(coef));
+                    nonzero = true;
+                }
+            }
+            if written.contains_key(&w) {
+                row[col_of[&w]] = row[col_of[&w]].sub(Ratio::ONE);
+                nonzero = true;
+            }
+            if nonzero {
+                rows.push(row);
+            }
+        }
+        // Constant: Σ_x const(e_x)·a_x = 0.
+        let mut row = vec![Ratio::ZERO; ncols];
+        let mut nonzero = false;
+        for (x, lf) in &written {
+            if lf.constant != 0 {
+                row[col_of[x]] = row[col_of[x]].add(Ratio::of(lf.constant));
+                nonzero = true;
+            }
+        }
+        if nonzero {
+            rows.push(row);
+        }
+    }
+
+    let basis = null_space(rows, ncols);
+    let combos = basis
+        .into_iter()
+        .map(|vec| {
+            let coeffs = int_vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| vec[*i] != 0)
+                .map(|(i, &v)| (v, vec[i]))
+                .collect();
+            LinearCombo { coeffs }
+        })
+        .collect();
+    ConservedBasis {
+        combos,
+        tainted: tainted.into_iter().collect(),
+    }
+}
+
+/// If every initial state gives the combination the same value, returns
+/// the derived invariant `L = value` — the automatic analogue of §3.3's
+/// `invariant C = Σᵢ cᵢ` (whose initial value is 0). Enumerates the full
+/// initial-state set; intended for finite instances.
+pub fn invariant_from_combo(program: &Program, combo: &LinearCombo) -> Option<Expr> {
+    let inits = program.initial_states();
+    let first = combo.evaluate(inits.first()?);
+    if inits.iter().any(|s| combo.evaluate(s) != first) {
+        return None;
+    }
+    let k = i64::try_from(first).ok()?;
+    Some(eq(combo.to_expr(), int(k)))
+}
+
+// ---------------------------------------------------------------------
+// Exact rational arithmetic + null space (small dense systems).
+// ---------------------------------------------------------------------
+
+/// A reduced rational with positive denominator, over `i128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+impl Ratio {
+    const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    fn of(n: i64) -> Ratio {
+        Ratio {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    fn reduced(num: i128, den: i128) -> Ratio {
+        debug_assert!(den != 0);
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        let sign = if den < 0 { -1 } else { 1 };
+        if g == 0 {
+            return Ratio::ZERO;
+        }
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    fn add(self, o: Ratio) -> Ratio {
+        Ratio::reduced(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+
+    fn sub(self, o: Ratio) -> Ratio {
+        Ratio::reduced(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+
+    fn mul(self, o: Ratio) -> Ratio {
+        Ratio::reduced(self.num * o.num, self.den * o.den)
+    }
+
+    fn div(self, o: Ratio) -> Ratio {
+        debug_assert!(o.num != 0);
+        Ratio::reduced(self.num * o.den, self.den * o.num)
+    }
+
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: u128, b: u128) -> u128 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+/// Null-space basis of the homogeneous system `rows · a = 0`, returned as
+/// coprime integer vectors with positive leading entry.
+fn null_space(mut rows: Vec<Vec<Ratio>>, ncols: usize) -> Vec<Vec<i64>> {
+    // Reduced row echelon form.
+    let mut pivot_cols: Vec<usize> = Vec::new();
+    let mut r = 0;
+    for c in 0..ncols {
+        let Some(pr) = (r..rows.len()).find(|&i| !rows[i][c].is_zero()) else {
+            continue;
+        };
+        rows.swap(r, pr);
+        let pv = rows[r][c];
+        for x in rows[r].iter_mut() {
+            *x = x.div(pv);
+        }
+        let pivot_row = rows[r].clone();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if i != r && !row[c].is_zero() {
+                let f = row[c];
+                for (cell, p) in row.iter_mut().zip(&pivot_row) {
+                    *cell = cell.sub(p.mul(f));
+                }
+            }
+        }
+        pivot_cols.push(c);
+        r += 1;
+        if r == rows.len() {
+            break;
+        }
+    }
+
+    let is_pivot = |c: usize| pivot_cols.contains(&c);
+    let mut basis = Vec::new();
+    for free in (0..ncols).filter(|&c| !is_pivot(c)) {
+        // a_free = 1; pivots determined by their row.
+        let mut vec_q = vec![Ratio::ZERO; ncols];
+        vec_q[free] = Ratio::ONE;
+        for (row_idx, &pc) in pivot_cols.iter().enumerate() {
+            // Row: a_pc + Σ_{free cols c} rows[row_idx][c]·a_c = 0.
+            vec_q[pc] = Ratio::ZERO.sub(rows[row_idx][free]);
+        }
+        // Scale to coprime integers.
+        let denom_lcm = vec_q
+            .iter()
+            .fold(1u128, |acc, x| lcm(acc, x.den.unsigned_abs()));
+        let ints: Vec<i128> = vec_q
+            .iter()
+            .map(|x| x.num * (denom_lcm as i128 / x.den))
+            .collect();
+        let g = ints
+            .iter()
+            .fold(0u128, |acc, &x| gcd(acc, x.unsigned_abs()))
+            .max(1);
+        let mut out: Vec<i64> = ints.iter().map(|&x| (x / g as i128) as i64).collect();
+        if let Some(first) = out.iter().find(|&&x| x != 0) {
+            if *first < 0 {
+                for x in &mut out {
+                    *x = -*x;
+                }
+            }
+        }
+        basis.push(out);
+    }
+    basis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::expr::build::{add, and2, lt, mul as bmul, sub as bsub, tt};
+    use crate::ident::Vocabulary;
+    use std::sync::Arc;
+
+    fn toy_two() -> (Program, VarId, VarId, VarId) {
+        let mut v = Vocabulary::new();
+        let c0 = v.declare("c0", Domain::int_range(0, 2).unwrap()).unwrap();
+        let c1 = v.declare("c1", Domain::int_range(0, 2).unwrap()).unwrap();
+        let big = v.declare("C", Domain::int_range(0, 4).unwrap()).unwrap();
+        let vocab = Arc::new(v);
+        let p = Program::builder("toy", vocab)
+            .init(and2(
+                and2(eq(var(c0), int(0)), eq(var(c1), int(0))),
+                eq(var(big), int(0)),
+            ))
+            .fair_command(
+                "a0",
+                and2(lt(var(c0), int(2)), lt(var(big), int(4))),
+                vec![(c0, add(var(c0), int(1))), (big, add(var(big), int(1)))],
+            )
+            .fair_command(
+                "a1",
+                and2(lt(var(c1), int(2)), lt(var(big), int(4))),
+                vec![(c1, add(var(c1), int(1))), (big, add(var(big), int(1)))],
+            )
+            .build()
+            .unwrap();
+        (p, c0, c1, big)
+    }
+
+    #[test]
+    fn discovers_the_toy_conservation_law() {
+        let (p, c0, c1, big) = toy_two();
+        let basis = conserved_linear_combinations(&p);
+        assert!(basis.tainted.is_empty());
+        let nontrivial = basis.nontrivial();
+        assert_eq!(nontrivial.len(), 1, "exactly the paper's law");
+        let combo = nontrivial[0];
+        // C − c0 − c1 up to global sign; leading coefficient normalized
+        // positive means c0 gets +1 (it is the lowest VarId).
+        let expected: BTreeMap<VarId, i64> =
+            [(c0, 1), (c1, 1), (big, -1)].into_iter().collect();
+        assert_eq!(combo.coeffs, expected);
+    }
+
+    #[test]
+    fn derives_the_invariant_with_initial_value() {
+        let (p, ..) = toy_two();
+        let basis = conserved_linear_combinations(&p);
+        let combo = basis.nontrivial()[0];
+        let inv = invariant_from_combo(&p, combo).expect("init pins the value");
+        // c0 + c1 − C = 0.
+        let rendered = format!(
+            "{}",
+            crate::expr::pretty::Render::new(&inv, &p.vocab)
+        );
+        assert!(rendered.contains('='), "an equation: {rendered}");
+    }
+
+    #[test]
+    fn swap_conserves_the_sum() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+        let p = Program::builder("swap", Arc::new(v))
+            .init(tt())
+            .command("swap", tt(), vec![(x, var(y)), (y, var(x))])
+            .build()
+            .unwrap();
+        let basis = conserved_linear_combinations(&p);
+        let expected: BTreeMap<VarId, i64> = [(x, 1), (y, 1)].into_iter().collect();
+        assert!(basis.combos.iter().any(|c| c.coeffs == expected));
+        // x − y is *not* conserved (it flips sign).
+        let flipped: BTreeMap<VarId, i64> = [(x, 1), (y, -1)].into_iter().collect();
+        assert!(basis.combos.iter().all(|c| c.coeffs != flipped));
+    }
+
+    #[test]
+    fn transfer_conserves_weighted_sum() {
+        // x -= 1, y += 2 conserves 2x + y.
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 4).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 8).unwrap()).unwrap();
+        let p = Program::builder("transfer", Arc::new(v))
+            .init(tt())
+            .command(
+                "t",
+                and2(lt(int(0), var(x)), lt(var(y), int(7))),
+                vec![(x, bsub(var(x), int(1))), (y, add(var(y), int(2)))],
+            )
+            .build()
+            .unwrap();
+        let basis = conserved_linear_combinations(&p);
+        let expected: BTreeMap<VarId, i64> = [(x, 2), (y, 1)].into_iter().collect();
+        assert_eq!(basis.nontrivial().len(), 1);
+        assert_eq!(basis.nontrivial()[0].coeffs, expected);
+    }
+
+    #[test]
+    fn unwritten_variable_is_trivially_conserved() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 2).unwrap()).unwrap();
+        let z = v.declare("z", Domain::int_range(0, 2).unwrap()).unwrap();
+        let p = Program::builder("inc", Arc::new(v))
+            .init(tt())
+            .command("i", lt(var(x), int(2)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap();
+        let basis = conserved_linear_combinations(&p);
+        let z_alone: BTreeMap<VarId, i64> = [(z, 1)].into_iter().collect();
+        assert!(basis.combos.iter().any(|c| c.coeffs == z_alone));
+        // x alone is not conserved.
+        let x_alone: BTreeMap<VarId, i64> = [(x, 1)].into_iter().collect();
+        assert!(basis.combos.iter().all(|c| c.coeffs != x_alone));
+    }
+
+    #[test]
+    fn nonlinear_update_taints_only_its_target() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+        let z = v.declare("z", Domain::int_range(0, 3).unwrap()).unwrap();
+        let p = Program::builder("mixed", Arc::new(v))
+            .init(tt())
+            .command("sq", tt(), vec![(x, bmul(var(x), var(x)))])
+            .command("swap", tt(), vec![(y, var(z)), (z, var(y))])
+            .build()
+            .unwrap();
+        let basis = conserved_linear_combinations(&p);
+        assert_eq!(basis.tainted, vec![x]);
+        let yz: BTreeMap<VarId, i64> = [(y, 1), (z, 1)].into_iter().collect();
+        assert!(basis.combos.iter().any(|c| c.coeffs == yz));
+        assert!(basis.combos.iter().all(|c| !c.coeffs.contains_key(&x)));
+    }
+
+    #[test]
+    fn combo_expr_and_eval_agree() {
+        let (p, c0, c1, big) = toy_two();
+        let basis = conserved_linear_combinations(&p);
+        let combo = basis.nontrivial()[0].clone();
+        let e = combo.to_expr();
+        e.infer_type(&p.vocab).unwrap();
+        let mut s = State::minimum(&p.vocab);
+        s.set(c0, Value::Int(2));
+        s.set(c1, Value::Int(1));
+        s.set(big, Value::Int(3));
+        // c0 + c1 − C = 0 on a conserved trajectory point.
+        assert_eq!(combo.evaluate(&s), 0);
+        let v = crate::expr::eval::eval_int(&e, &s);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn invariant_from_combo_rejects_unpinned_inits() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+        let p = Program::builder("free", Arc::new(v))
+            .init(tt()) // any initial value
+            .command("swap", tt(), vec![(x, var(y)), (y, var(x))])
+            .build()
+            .unwrap();
+        let basis = conserved_linear_combinations(&p);
+        let combo = basis
+            .combos
+            .iter()
+            .find(|c| c.support_size() == 2)
+            .unwrap();
+        assert!(invariant_from_combo(&p, combo).is_none());
+    }
+
+    #[test]
+    fn rational_arithmetic_reduces() {
+        let a = Ratio::reduced(2, 4);
+        assert_eq!(a, Ratio { num: 1, den: 2 });
+        let b = Ratio::reduced(-3, -6);
+        assert_eq!(b, Ratio { num: 1, den: 2 });
+        let c = Ratio::reduced(3, -6);
+        assert_eq!(c, Ratio { num: -1, den: 2 });
+        assert_eq!(a.add(b), Ratio::ONE);
+        assert_eq!(a.sub(b), Ratio::ZERO);
+        assert_eq!(a.mul(Ratio::of(4)), Ratio::of(2));
+        assert_eq!(Ratio::of(3).div(Ratio::of(3)), Ratio::ONE);
+        assert!(Ratio::ZERO.is_zero());
+    }
+}

@@ -1,0 +1,162 @@
+//! Finite variable domains.
+//!
+//! Every variable ranges over a finite domain so that the paper's inductive
+//! property definitions (`next` quantifies over *all* states, not just
+//! reachable ones) can be decided by enumeration.
+
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::value::{Type, Value};
+
+/// A finite domain of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// `{false, true}`.
+    Bool,
+    /// Inclusive integer range `lo..=hi` with `lo <= hi`.
+    IntRange(i64, i64),
+}
+
+impl Domain {
+    /// Constructs an inclusive integer range, checking `lo <= hi`.
+    pub fn int_range(lo: i64, hi: i64) -> Result<Self, CoreError> {
+        if lo > hi {
+            return Err(CoreError::EmptyDomain { lo, hi });
+        }
+        Ok(Domain::IntRange(lo, hi))
+    }
+
+    /// Number of values in the domain.
+    pub fn size(&self) -> u64 {
+        match self {
+            Domain::Bool => 2,
+            Domain::IntRange(lo, hi) => (hi - lo) as u64 + 1,
+        }
+    }
+
+    /// The static type of values in this domain.
+    pub fn ty(&self) -> Type {
+        match self {
+            Domain::Bool => Type::Bool,
+            Domain::IntRange(..) => Type::Int,
+        }
+    }
+
+    /// Whether `v` belongs to the domain.
+    pub fn contains(&self, v: Value) -> bool {
+        match (self, v) {
+            (Domain::Bool, Value::Bool(_)) => true,
+            (Domain::IntRange(lo, hi), Value::Int(n)) => *lo <= n && n <= *hi,
+            _ => false,
+        }
+    }
+
+    /// The `k`-th value of the domain in canonical order (`false < true`,
+    /// integers ascending).
+    ///
+    /// # Panics
+    /// Panics if `k >= self.size()`.
+    pub fn value_at(&self, k: u64) -> Value {
+        debug_assert!(k < self.size(), "domain index out of range");
+        match self {
+            Domain::Bool => Value::Bool(k == 1),
+            Domain::IntRange(lo, _) => Value::Int(lo + k as i64),
+        }
+    }
+
+    /// The canonical index of `v` within the domain, if it belongs.
+    pub fn index_of(&self, v: Value) -> Option<u64> {
+        match (self, v) {
+            (Domain::Bool, Value::Bool(b)) => Some(b as u64),
+            (Domain::IntRange(lo, hi), Value::Int(n)) if *lo <= n && n <= *hi => {
+                Some((n - lo) as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over all values of the domain in canonical order.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.size()).map(move |k| self.value_at(k))
+    }
+
+    /// The minimal value of the domain.
+    pub fn min_value(&self) -> Value {
+        self.value_at(0)
+    }
+
+    /// The maximal value of the domain.
+    pub fn max_value(&self) -> Value {
+        self.value_at(self.size() - 1)
+    }
+
+    /// Number of bits needed to store a canonical index into this domain.
+    pub fn bits(&self) -> u32 {
+        let n = self.size();
+        if n <= 1 {
+            0
+        } else {
+            64 - (n - 1).leading_zeros()
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Bool => write!(f, "bool"),
+            Domain::IntRange(lo, hi) => write!(f, "int {lo}..{hi}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_domain() {
+        let d = Domain::Bool;
+        assert_eq!(d.size(), 2);
+        assert_eq!(d.value_at(0), Value::Bool(false));
+        assert_eq!(d.value_at(1), Value::Bool(true));
+        assert_eq!(d.index_of(Value::Bool(true)), Some(1));
+        assert!(d.contains(Value::Bool(false)));
+        assert!(!d.contains(Value::Int(0)));
+        assert_eq!(d.bits(), 1);
+    }
+
+    #[test]
+    fn int_range_domain() {
+        let d = Domain::int_range(-2, 3).unwrap();
+        assert_eq!(d.size(), 6);
+        assert_eq!(d.value_at(0), Value::Int(-2));
+        assert_eq!(d.value_at(5), Value::Int(3));
+        assert_eq!(d.index_of(Value::Int(0)), Some(2));
+        assert_eq!(d.index_of(Value::Int(4)), None);
+        assert_eq!(d.min_value(), Value::Int(-2));
+        assert_eq!(d.max_value(), Value::Int(3));
+        assert_eq!(d.bits(), 3);
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        assert!(Domain::int_range(2, 1).is_err());
+    }
+
+    #[test]
+    fn singleton_has_zero_bits() {
+        let d = Domain::int_range(5, 5).unwrap();
+        assert_eq!(d.size(), 1);
+        assert_eq!(d.bits(), 0);
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let d = Domain::int_range(0, 9).unwrap();
+        for (k, v) in d.values().enumerate() {
+            assert_eq!(d.index_of(v), Some(k as u64));
+        }
+    }
+}

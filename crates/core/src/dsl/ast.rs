@@ -1,0 +1,144 @@
+//! Surface abstract syntax (names unresolved).
+
+/// Surface expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Named variable reference.
+    Name(String),
+    /// Unary operator application.
+    Unary(SUnOp, Box<SExpr>),
+    /// Binary operator application.
+    Binary(SBinOp, Box<SExpr>, Box<SExpr>),
+    /// `if c then t else e`.
+    Ite(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    /// N-ary call: `all(..)`, `any(..)`, `sum(..)`, `min(..)`, `max(..)`.
+    Call(SCall, Vec<SExpr>),
+}
+
+/// Surface unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SUnOp {
+    /// Boolean `!`.
+    Not,
+    /// Integer `-`.
+    Neg,
+}
+
+/// Surface binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SBinOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Mod,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    And,
+    /// `||`.
+    Or,
+    /// `=>`.
+    Implies,
+    /// `<=>`.
+    Iff,
+}
+
+/// N-ary call kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SCall {
+    /// `all(p, ...)` — conjunction.
+    All,
+    /// `any(p, ...)` — disjunction.
+    Any,
+    /// `sum(e, ...)`.
+    Sum,
+    /// `min(e, ...)`.
+    Min,
+    /// `max(e, ...)`.
+    Max,
+}
+
+/// Surface type annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SType {
+    /// `bool`.
+    Bool,
+    /// `int lo..hi`.
+    IntRange(i64, i64),
+}
+
+/// Surface variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SVarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Type annotation.
+    pub ty: SType,
+    /// Whether declared `local`.
+    pub local: bool,
+}
+
+/// Surface command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SCommand {
+    /// Command name.
+    pub name: String,
+    /// Whether declared `fair` (member of `D`).
+    pub fair: bool,
+    /// Guard expression.
+    pub guard: SExpr,
+    /// Updates `name := expr` (empty for `skip`).
+    pub updates: Vec<(String, SExpr)>,
+}
+
+/// Surface program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SProgram {
+    /// Program name.
+    pub name: String,
+    /// Variable declarations in order.
+    pub vars: Vec<SVarDecl>,
+    /// `init` clauses (conjoined).
+    pub inits: Vec<SExpr>,
+    /// Commands in order.
+    pub commands: Vec<SCommand>,
+}
+
+/// Surface property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SProperty {
+    /// `init p`.
+    Init(SExpr),
+    /// `transient p`.
+    Transient(SExpr),
+    /// `stable p`.
+    Stable(SExpr),
+    /// `invariant p`.
+    Invariant(SExpr),
+    /// `unchanged e`.
+    Unchanged(SExpr),
+    /// `p next q`.
+    Next(SExpr, SExpr),
+    /// `p leadsto q`.
+    LeadsTo(SExpr, SExpr),
+}

@@ -1,0 +1,306 @@
+//! Tokenizer for the DSL.
+
+use crate::error::CoreError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal (non-negative; unary minus is a parser concern).
+    Int(i64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `:`.
+    Colon,
+    /// `:=`.
+    Assign,
+    /// `->`.
+    Arrow,
+    /// `,`.
+    Comma,
+    /// `..`.
+    DotDot,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+    /// `=>`.
+    Implies,
+    /// `<=>`.
+    Iff,
+}
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Tokenizes `src`. Comments run from `#` or `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CoreError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! err {
+        ($msg:expr) => {
+            return Err(CoreError::Parse {
+                line,
+                col,
+                msg: $msg.to_string(),
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tline, tcol) = (line, col);
+        let mut push = |tok: Tok, len: usize| {
+            out.push(Spanned {
+                tok,
+                line: tline,
+                col: tcol,
+            });
+            len
+        };
+        let advance = match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+                continue;
+            }
+            ' ' | '\t' | '\r' => 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                    col += 1;
+                }
+                continue;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                    col += 1;
+                }
+                continue;
+            }
+            '(' => push(Tok::LParen, 1),
+            ')' => push(Tok::RParen, 1),
+            ',' => push(Tok::Comma, 1),
+            '+' => push(Tok::Plus, 1),
+            '*' => push(Tok::Star, 1),
+            '/' => push(Tok::Slash, 1),
+            '%' => push(Tok::Percent, 1),
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(Tok::Assign, 2)
+                } else {
+                    push(Tok::Colon, 1)
+                }
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push(Tok::Arrow, 2)
+                } else {
+                    push(Tok::Minus, 1)
+                }
+            }
+            '.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    push(Tok::DotDot, 2)
+                } else {
+                    err!("unexpected `.`")
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(Tok::EqEq, 2)
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push(Tok::Implies, 2)
+                } else {
+                    err!("unexpected `=` (use `==`, `=>` or `:=`)")
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(Tok::NotEq, 2)
+                } else {
+                    push(Tok::Bang, 1)
+                }
+            }
+            '<' => {
+                if i + 2 < bytes.len() && bytes[i + 1] == b'=' && bytes[i + 2] == b'>' {
+                    push(Tok::Iff, 3)
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(Tok::Le, 2)
+                } else {
+                    push(Tok::Lt, 1)
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(Tok::Ge, 2)
+                } else {
+                    push(Tok::Gt, 1)
+                }
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    push(Tok::AndAnd, 2)
+                } else {
+                    err!("unexpected `&` (use `&&`)")
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    push(Tok::OrOr, 2)
+                } else {
+                    err!("unexpected `|` (use `||`)")
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &src[start..j];
+                let n: i64 = text.parse().map_err(|_| CoreError::Parse {
+                    line,
+                    col,
+                    msg: format!("integer literal `{text}` out of range"),
+                })?;
+                push(Tok::Int(n), j - i)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_alphanumeric() || cj == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(Tok::Ident(src[start..j].to_string()), j - i)
+            }
+            other => err!(format!("unexpected character `{other}`")),
+        };
+        i += advance;
+        col += advance as u32;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("== != <= >= < > && || ! => <=> := -> .. : , % / * + -"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Implies,
+                Tok::Iff,
+                Tok::Assign,
+                Tok::Arrow,
+                Tok::DotDot,
+                Tok::Colon,
+                Tok::Comma,
+                Tok::Percent,
+                Tok::Slash,
+                Tok::Star,
+                Tok::Plus,
+                Tok::Minus,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_idents_and_ints() {
+        assert_eq!(
+            toks("foo _bar9 42"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Ident("_bar9".into()),
+                Tok::Int(42)
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("a # comment\nb // another\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_stray_chars() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a = b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

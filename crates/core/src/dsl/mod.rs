@@ -1,0 +1,156 @@
+//! A textual DSL for UNITY-style programs and properties.
+//!
+//! The concrete syntax mirrors [`Program::listing`](crate::program::Program::listing):
+//!
+//! ```text
+//! program Counter0
+//!   var c0 : int 0..2 local
+//!   var C  : int 0..4
+//!   init c0 == 0 && C == 0
+//!   fair cmd a0: c0 < 2 -> c0 := c0 + 1, C := C + 1
+//! end
+//! ```
+//!
+//! Properties use the paper's keywords:
+//!
+//! ```text
+//! invariant C == sum(c0, c1)
+//! true leadsto C == 4
+//! c0 == 0 next c0 <= 1
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod resolve;
+
+use crate::error::CoreError;
+use crate::expr::Expr;
+use crate::ident::Vocabulary;
+use crate::program::Program;
+use crate::properties::Property;
+
+/// Parses a single `program ... end` block into a [`Program`] over its own
+/// fresh vocabulary.
+pub fn parse_program(src: &str) -> Result<Program, CoreError> {
+    let mut programs = parse_programs(src)?;
+    if programs.len() != 1 {
+        return Err(CoreError::Parse {
+            line: 1,
+            col: 1,
+            msg: format!("expected exactly one program, found {}", programs.len()),
+        });
+    }
+    Ok(programs.remove(0))
+}
+
+/// Parses any number of `program ... end` blocks. Each program gets its own
+/// vocabulary; compose them with
+/// [`System::compose_merging`](crate::compose::System::compose_merging).
+pub fn parse_programs(src: &str) -> Result<Vec<Program>, CoreError> {
+    let tokens = lexer::lex(src)?;
+    let ast_programs = parser::Parser::new(tokens).parse_programs()?;
+    ast_programs.iter().map(resolve::resolve_program).collect()
+}
+
+/// Parses an expression against an existing vocabulary.
+pub fn parse_expr(src: &str, vocab: &Vocabulary) -> Result<Expr, CoreError> {
+    let tokens = lexer::lex(src)?;
+    let ast = parser::Parser::new(tokens).parse_expr_eof()?;
+    resolve::resolve_expr(&ast, vocab)
+}
+
+/// Parses a property (`init p`, `transient p`, `stable p`, `invariant p`,
+/// `unchanged e`, `p next q`, `p leadsto q`) against a vocabulary.
+pub fn parse_property(src: &str, vocab: &Vocabulary) -> Result<Property, CoreError> {
+    let tokens = lexer::lex(src)?;
+    let ast = parser::Parser::new(tokens).parse_property_eof()?;
+    resolve::resolve_property(&ast, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::{InitSatCheck, System};
+    use crate::value::Value;
+
+    const COUNTER: &str = r#"
+        program Counter0
+          var c0 : int 0..2 local
+          var C : int 0..4
+          init c0 == 0 && C == 0
+          fair cmd a0: c0 < 2 -> c0 := c0 + 1, C := C + 1
+        end
+    "#;
+
+    #[test]
+    fn parses_counter_program() {
+        let p = parse_program(COUNTER).unwrap();
+        assert_eq!(p.name, "Counter0");
+        assert_eq!(p.commands.len(), 1);
+        assert_eq!(p.fair.len(), 1);
+        assert_eq!(p.locals.len(), 1);
+        let inits = p.initial_states();
+        assert_eq!(inits.len(), 1);
+        assert!(inits[0].values().iter().all(|v| *v == Value::Int(0)));
+    }
+
+    #[test]
+    fn listing_round_trips() {
+        let p = parse_program(COUNTER).unwrap();
+        let listing = p.listing();
+        let p2 = parse_program(&listing).unwrap();
+        assert_eq!(p2.name, p.name);
+        assert_eq!(p2.commands.len(), p.commands.len());
+        assert_eq!(p2.init, p.init);
+        assert_eq!(p2.commands[0].guard, p.commands[0].guard);
+        assert_eq!(p2.commands[0].updates, p.commands[0].updates);
+    }
+
+    #[test]
+    fn parses_two_programs_and_composes() {
+        let src = format!(
+            "{COUNTER}
+            program Counter1
+              var c1 : int 0..2 local
+              var C : int 0..4
+              init c1 == 0 && C == 0
+              fair cmd a1: c1 < 2 -> c1 := c1 + 1, C := C + 1
+            end"
+        );
+        let ps = parse_programs(&src).unwrap();
+        assert_eq!(ps.len(), 2);
+        let sys = System::compose_merging(&ps, InitSatCheck::Exhaustive).unwrap();
+        assert_eq!(sys.vocab().len(), 3);
+        assert_eq!(sys.composed.commands.len(), 2);
+    }
+
+    #[test]
+    fn parses_properties() {
+        let p = parse_program(COUNTER).unwrap();
+        let v = &p.vocab;
+        let inv = parse_property("invariant C == sum(c0)", v).unwrap();
+        assert_eq!(inv.kind(), "invariant");
+        let lt = parse_property("true leadsto C == 2", v).unwrap();
+        assert_eq!(lt.kind(), "leadsto");
+        let nx = parse_property("c0 == 0 next c0 <= 1", v).unwrap();
+        assert_eq!(nx.kind(), "next");
+        let un = parse_property("unchanged C - c0", v).unwrap();
+        assert_eq!(un.kind(), "unchanged");
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let p = parse_program(COUNTER).unwrap();
+        assert!(parse_expr("zz + 1", &p.vocab).is_err());
+    }
+
+    #[test]
+    fn reports_position_on_syntax_error() {
+        let err = parse_program("program X\n  var ! : bool\nend").unwrap_err();
+        match err {
+            CoreError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+}

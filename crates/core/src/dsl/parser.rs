@@ -1,0 +1,499 @@
+//! Recursive-descent parser for the DSL.
+
+use crate::error::CoreError;
+
+use super::ast::*;
+use super::lexer::{Spanned, Tok};
+
+/// Parser over a token stream.
+pub struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over `toks`.
+    pub fn new(toks: Vec<Spanned>) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        match self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))) {
+            Some(s) => (s.line, s.col),
+            None => (1, 1),
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CoreError> {
+        let (line, col) = self.here();
+        Err(CoreError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), CoreError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => self.err(format!("expected {what}, found {t:?}")),
+            None => self.err(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, CoreError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) => self.err(format!("expected {what}, found {t:?}")),
+            None => self.err(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), CoreError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword `{kw}`"))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    // ----- programs -----
+
+    /// Parses all `program ... end` blocks to end of input.
+    pub fn parse_programs(&mut self) -> Result<Vec<SProgram>, CoreError> {
+        let mut out = Vec::new();
+        while self.peek().is_some() {
+            out.push(self.parse_program_block()?);
+        }
+        if out.is_empty() {
+            return self.err("expected at least one `program` block");
+        }
+        Ok(out)
+    }
+
+    fn parse_program_block(&mut self) -> Result<SProgram, CoreError> {
+        self.expect_keyword("program")?;
+        let name = self.expect_ident("program name")?;
+        let mut vars = Vec::new();
+        let mut inits = Vec::new();
+        let mut commands = Vec::new();
+        loop {
+            if self.eat_keyword("end") {
+                break;
+            }
+            if self.eat_keyword("var") {
+                vars.push(self.parse_var_decl()?);
+            } else if self.eat_keyword("init") {
+                inits.push(self.parse_expr()?);
+            } else if self.peek_keyword("fair") || self.peek_keyword("cmd") {
+                let fair = self.eat_keyword("fair");
+                self.expect_keyword("cmd")?;
+                commands.push(self.parse_command(fair)?);
+            } else if self.peek().is_none() {
+                return self.err("unexpected end of input inside program (missing `end`?)");
+            } else {
+                return self.err("expected `var`, `init`, `cmd`, `fair cmd` or `end`");
+            }
+        }
+        Ok(SProgram {
+            name,
+            vars,
+            inits,
+            commands,
+        })
+    }
+
+    fn parse_var_decl(&mut self) -> Result<SVarDecl, CoreError> {
+        let name = self.expect_ident("variable name")?;
+        self.expect(&Tok::Colon, "`:`")?;
+        let ty = if self.eat_keyword("bool") {
+            SType::Bool
+        } else if self.eat_keyword("int") {
+            let lo = self.parse_signed_int()?;
+            self.expect(&Tok::DotDot, "`..`")?;
+            let hi = self.parse_signed_int()?;
+            SType::IntRange(lo, hi)
+        } else {
+            return self.err("expected `bool` or `int lo..hi`");
+        };
+        let local = self.eat_keyword("local");
+        Ok(SVarDecl { name, ty, local })
+    }
+
+    fn parse_signed_int(&mut self) -> Result<i64, CoreError> {
+        let negative = matches!(self.peek(), Some(Tok::Minus));
+        if negative {
+            self.pos += 1;
+        }
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(if negative { -n } else { n }),
+            _ => self.err("expected integer literal"),
+        }
+    }
+
+    fn parse_command(&mut self, fair: bool) -> Result<SCommand, CoreError> {
+        let name = self.expect_ident("command name")?;
+        self.expect(&Tok::Colon, "`:`")?;
+        let guard = self.parse_expr()?;
+        self.expect(&Tok::Arrow, "`->`")?;
+        let mut updates = Vec::new();
+        if self.eat_keyword("skip") {
+            // no updates
+        } else {
+            loop {
+                let target = self.expect_ident("assignment target")?;
+                self.expect(&Tok::Assign, "`:=`")?;
+                let rhs = self.parse_expr()?;
+                updates.push((target, rhs));
+                if matches!(self.peek(), Some(Tok::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(SCommand {
+            name,
+            fair,
+            guard,
+            updates,
+        })
+    }
+
+    // ----- properties -----
+
+    /// Parses a property and requires end of input.
+    pub fn parse_property_eof(&mut self) -> Result<SProperty, CoreError> {
+        let p = self.parse_property()?;
+        if self.peek().is_some() {
+            return self.err("unexpected trailing tokens after property");
+        }
+        Ok(p)
+    }
+
+    fn parse_property(&mut self) -> Result<SProperty, CoreError> {
+        for (kw, mk) in [
+            ("init", SProperty::Init as fn(SExpr) -> SProperty),
+            ("transient", SProperty::Transient as fn(SExpr) -> SProperty),
+            ("stable", SProperty::Stable as fn(SExpr) -> SProperty),
+            ("invariant", SProperty::Invariant as fn(SExpr) -> SProperty),
+            ("unchanged", SProperty::Unchanged as fn(SExpr) -> SProperty),
+        ] {
+            if self.eat_keyword(kw) {
+                return Ok(mk(self.parse_expr()?));
+            }
+        }
+        let lhs = self.parse_expr()?;
+        if self.eat_keyword("next") {
+            let rhs = self.parse_expr()?;
+            return Ok(SProperty::Next(lhs, rhs));
+        }
+        if self.eat_keyword("leadsto") {
+            let rhs = self.parse_expr()?;
+            return Ok(SProperty::LeadsTo(lhs, rhs));
+        }
+        self.err("expected a property keyword, `next` or `leadsto`")
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    /// Parses an expression and requires end of input.
+    pub fn parse_expr_eof(&mut self) -> Result<SExpr, CoreError> {
+        let e = self.parse_expr()?;
+        if self.peek().is_some() {
+            return self.err("unexpected trailing tokens after expression");
+        }
+        Ok(e)
+    }
+
+    /// Parses an expression (lowest precedence: `<=>`).
+    pub fn parse_expr(&mut self) -> Result<SExpr, CoreError> {
+        self.parse_iff()
+    }
+
+    fn parse_iff(&mut self) -> Result<SExpr, CoreError> {
+        let mut lhs = self.parse_implies()?;
+        while matches!(self.peek(), Some(Tok::Iff)) {
+            self.pos += 1;
+            let rhs = self.parse_implies()?;
+            lhs = SExpr::Binary(SBinOp::Iff, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_implies(&mut self) -> Result<SExpr, CoreError> {
+        let lhs = self.parse_or()?;
+        if matches!(self.peek(), Some(Tok::Implies)) {
+            self.pos += 1;
+            // Right-associative.
+            let rhs = self.parse_implies()?;
+            return Ok(SExpr::Binary(SBinOp::Implies, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_or(&mut self) -> Result<SExpr, CoreError> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Some(Tok::OrOr)) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = SExpr::Binary(SBinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<SExpr, CoreError> {
+        let mut lhs = self.parse_cmp()?;
+        while matches!(self.peek(), Some(Tok::AndAnd)) {
+            self.pos += 1;
+            let rhs = self.parse_cmp()?;
+            lhs = SExpr::Binary(SBinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<SExpr, CoreError> {
+        let lhs = self.parse_addsub()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => Some(SBinOp::Eq),
+            Some(Tok::NotEq) => Some(SBinOp::Ne),
+            Some(Tok::Lt) => Some(SBinOp::Lt),
+            Some(Tok::Le) => Some(SBinOp::Le),
+            Some(Tok::Gt) => Some(SBinOp::Gt),
+            Some(Tok::Ge) => Some(SBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_addsub()?;
+            return Ok(SExpr::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_addsub(&mut self) -> Result<SExpr, CoreError> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => SBinOp::Add,
+                Some(Tok::Minus) => SBinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_muldiv()?;
+            lhs = SExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_muldiv(&mut self) -> Result<SExpr, CoreError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => SBinOp::Mul,
+                Some(Tok::Slash) => SBinOp::Div,
+                Some(Tok::Percent) => SBinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = SExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<SExpr, CoreError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(SExpr::Unary(SUnOp::Not, Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(SExpr::Unary(SUnOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<SExpr, CoreError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(SExpr::Int(n))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "true" => {
+                    self.pos += 1;
+                    Ok(SExpr::Bool(true))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(SExpr::Bool(false))
+                }
+                "if" => {
+                    self.pos += 1;
+                    let c = self.parse_expr()?;
+                    self.expect_keyword("then")?;
+                    let t = self.parse_expr()?;
+                    self.expect_keyword("else")?;
+                    let e = self.parse_expr()?;
+                    Ok(SExpr::Ite(Box::new(c), Box::new(t), Box::new(e)))
+                }
+                "all" | "any" | "sum" | "min" | "max"
+                    if matches!(self.peek2(), Some(Tok::LParen)) =>
+                {
+                    let call = match name.as_str() {
+                        "all" => SCall::All,
+                        "any" => SCall::Any,
+                        "sum" => SCall::Sum,
+                        "min" => SCall::Min,
+                        _ => SCall::Max,
+                    };
+                    self.pos += 2; // ident + lparen
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Some(Tok::RParen)) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if matches!(self.peek(), Some(Tok::Comma)) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(SExpr::Call(call, args))
+                }
+                _ => {
+                    self.pos += 1;
+                    Ok(SExpr::Name(name))
+                }
+            },
+            Some(t) => self.err(format!("expected expression, found {t:?}")),
+            None => self.err("expected expression, found end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn expr(src: &str) -> SExpr {
+        Parser::new(lex(src).unwrap()).parse_expr_eof().unwrap()
+    }
+
+    #[test]
+    fn precedence() {
+        // a + b * c parses as a + (b * c)
+        let e = expr("a + b * c");
+        match e {
+            SExpr::Binary(SBinOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, SExpr::Binary(SBinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // p => q => r is right-associative
+        let e = expr("p => q => r");
+        match e {
+            SExpr::Binary(SBinOp::Implies, _, rhs) => {
+                assert!(matches!(*rhs, SExpr::Binary(SBinOp::Implies, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_and_calls() {
+        assert_eq!(
+            expr("!p"),
+            SExpr::Unary(SUnOp::Not, Box::new(SExpr::Name("p".into())))
+        );
+        assert_eq!(
+            expr("sum(a, b, 1)"),
+            SExpr::Call(
+                SCall::Sum,
+                vec![
+                    SExpr::Name("a".into()),
+                    SExpr::Name("b".into()),
+                    SExpr::Int(1)
+                ]
+            )
+        );
+        // `min` as plain identifier when not followed by `(`.
+        assert_eq!(expr("min"), SExpr::Name("min".into()));
+    }
+
+    #[test]
+    fn ite() {
+        let e = expr("if p then 1 else 2");
+        assert!(matches!(e, SExpr::Ite(..)));
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        // a < b < c is a parse error (comparison doesn't chain).
+        let r = Parser::new(lex("a < b < c").unwrap()).parse_expr_eof();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn property_forms() {
+        let p = Parser::new(lex("invariant x == 0").unwrap())
+            .parse_property_eof()
+            .unwrap();
+        assert!(matches!(p, SProperty::Invariant(_)));
+        let p = Parser::new(lex("x == 0 next x <= 1").unwrap())
+            .parse_property_eof()
+            .unwrap();
+        assert!(matches!(p, SProperty::Next(..)));
+        let p = Parser::new(lex("true leadsto done").unwrap())
+            .parse_property_eof()
+            .unwrap();
+        assert!(matches!(p, SProperty::LeadsTo(..)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Name resolution: surface AST → core IR.
+
+use std::sync::Arc;
+
+use crate::domain::Domain;
+use crate::error::CoreError;
+use crate::expr::{BinOp, Expr, NAryOp};
+use crate::ident::Vocabulary;
+use crate::program::Program;
+use crate::properties::Property;
+use crate::value::Value;
+
+use super::ast::*;
+
+/// Resolves a surface program into a [`Program`] over a fresh vocabulary.
+pub fn resolve_program(sp: &SProgram) -> Result<Program, CoreError> {
+    let mut vocab = Vocabulary::new();
+    let mut locals = Vec::new();
+    for v in &sp.vars {
+        let domain = match v.ty {
+            SType::Bool => Domain::Bool,
+            SType::IntRange(lo, hi) => Domain::int_range(lo, hi)?,
+        };
+        let id = vocab.declare(&v.name, domain)?;
+        if v.local {
+            locals.push(id);
+        }
+    }
+    let vocab = Arc::new(vocab);
+    let mut b = Program::builder(sp.name.clone(), vocab.clone());
+    for l in locals {
+        b = b.local(l);
+    }
+    for init in &sp.inits {
+        b = b.init(resolve_expr(init, &vocab)?);
+    }
+    for c in &sp.commands {
+        let guard = resolve_expr(&c.guard, &vocab)?;
+        let mut updates = Vec::with_capacity(c.updates.len());
+        for (name, rhs) in &c.updates {
+            let id = vocab.lookup(name).ok_or_else(|| CoreError::UnknownVar {
+                name: name.clone(),
+            })?;
+            updates.push((id, resolve_expr(rhs, &vocab)?));
+        }
+        b = if c.fair {
+            b.fair_command(c.name.clone(), guard, updates)
+        } else {
+            b.command(c.name.clone(), guard, updates)
+        };
+    }
+    b.build()
+}
+
+/// Resolves a surface expression against `vocab`.
+pub fn resolve_expr(se: &SExpr, vocab: &Vocabulary) -> Result<Expr, CoreError> {
+    let e = go(se, vocab)?;
+    e.infer_type(vocab)?;
+    Ok(e)
+}
+
+fn go(se: &SExpr, vocab: &Vocabulary) -> Result<Expr, CoreError> {
+    Ok(match se {
+        SExpr::Int(n) => Expr::Lit(Value::Int(*n)),
+        SExpr::Bool(b) => Expr::Lit(Value::Bool(*b)),
+        SExpr::Name(name) => {
+            let id = vocab.lookup(name).ok_or_else(|| CoreError::UnknownVar {
+                name: name.clone(),
+            })?;
+            Expr::Var(id)
+        }
+        SExpr::Unary(SUnOp::Not, a) => Expr::Not(Box::new(go(a, vocab)?)),
+        SExpr::Unary(SUnOp::Neg, a) => Expr::Neg(Box::new(go(a, vocab)?)),
+        SExpr::Binary(op, a, b) => Expr::Bin(
+            resolve_binop(*op),
+            Box::new(go(a, vocab)?),
+            Box::new(go(b, vocab)?),
+        ),
+        SExpr::Ite(c, t, f) => Expr::Ite(
+            Box::new(go(c, vocab)?),
+            Box::new(go(t, vocab)?),
+            Box::new(go(f, vocab)?),
+        ),
+        SExpr::Call(call, args) => {
+            let op = match call {
+                SCall::All => NAryOp::And,
+                SCall::Any => NAryOp::Or,
+                SCall::Sum => NAryOp::Sum,
+                SCall::Min => NAryOp::Min,
+                SCall::Max => NAryOp::Max,
+            };
+            Expr::NAry(
+                op,
+                args.iter().map(|a| go(a, vocab)).collect::<Result<_, _>>()?,
+            )
+        }
+    })
+}
+
+fn resolve_binop(op: SBinOp) -> BinOp {
+    match op {
+        SBinOp::Add => BinOp::Add,
+        SBinOp::Sub => BinOp::Sub,
+        SBinOp::Mul => BinOp::Mul,
+        SBinOp::Div => BinOp::Div,
+        SBinOp::Mod => BinOp::Mod,
+        SBinOp::Eq => BinOp::Eq,
+        SBinOp::Ne => BinOp::Ne,
+        SBinOp::Lt => BinOp::Lt,
+        SBinOp::Le => BinOp::Le,
+        SBinOp::Gt => BinOp::Gt,
+        SBinOp::Ge => BinOp::Ge,
+        SBinOp::And => BinOp::And,
+        SBinOp::Or => BinOp::Or,
+        SBinOp::Implies => BinOp::Implies,
+        SBinOp::Iff => BinOp::Iff,
+    }
+}
+
+/// Resolves a surface property against `vocab`, type checking it.
+pub fn resolve_property(sp: &SProperty, vocab: &Vocabulary) -> Result<Property, CoreError> {
+    let prop = match sp {
+        SProperty::Init(p) => Property::Init(resolve_expr(p, vocab)?),
+        SProperty::Transient(p) => Property::Transient(resolve_expr(p, vocab)?),
+        SProperty::Stable(p) => Property::Stable(resolve_expr(p, vocab)?),
+        SProperty::Invariant(p) => Property::Invariant(resolve_expr(p, vocab)?),
+        SProperty::Unchanged(e) => Property::Unchanged(resolve_expr(e, vocab)?),
+        SProperty::Next(p, q) => {
+            Property::Next(resolve_expr(p, vocab)?, resolve_expr(q, vocab)?)
+        }
+        SProperty::LeadsTo(p, q) => {
+            Property::LeadsTo(resolve_expr(p, vocab)?, resolve_expr(q, vocab)?)
+        }
+    };
+    prop.check_types(vocab)?;
+    Ok(prop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_names() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let se = SExpr::Binary(
+            SBinOp::Add,
+            Box::new(SExpr::Name("x".into())),
+            Box::new(SExpr::Int(1)),
+        );
+        let e = resolve_expr(&se, &v).unwrap();
+        assert_eq!(e, crate::expr::build::add(crate::expr::build::var(x), crate::expr::build::int(1)));
+    }
+
+    #[test]
+    fn rejects_unknown_name() {
+        let v = Vocabulary::new();
+        let se = SExpr::Name("nope".into());
+        assert!(matches!(
+            resolve_expr(&se, &v),
+            Err(CoreError::UnknownVar { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ill_typed() {
+        let mut v = Vocabulary::new();
+        v.declare("b", Domain::Bool).unwrap();
+        let se = SExpr::Binary(
+            SBinOp::Add,
+            Box::new(SExpr::Name("b".into())),
+            Box::new(SExpr::Int(1)),
+        );
+        assert!(resolve_expr(&se, &v).is_err());
+    }
+}

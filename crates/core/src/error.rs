@@ -1,0 +1,157 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+use crate::domain::Domain;
+use crate::value::Type;
+
+/// Errors raised while building, typing, composing or proving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An integer range with `lo > hi`.
+    EmptyDomain {
+        /// Lower bound supplied.
+        lo: i64,
+        /// Upper bound supplied.
+        hi: i64,
+    },
+    /// The same variable name declared with two different domains.
+    DomainMismatch {
+        /// Variable name.
+        var: String,
+        /// Domain on one side.
+        left: Domain,
+        /// Domain on the other side.
+        right: Domain,
+    },
+    /// An expression failed to type check.
+    TypeError {
+        /// Human-readable description of the offending expression.
+        expr: String,
+        /// Expected type.
+        expected: Type,
+        /// Actual type.
+        found: Type,
+    },
+    /// A variable id referenced outside the vocabulary.
+    UnknownVar {
+        /// The offending name (or rendered id).
+        name: String,
+    },
+    /// A command assigns the same variable twice.
+    DuplicateAssignment {
+        /// Command name.
+        command: String,
+        /// Variable assigned twice.
+        var: String,
+    },
+    /// Composition violates variable locality: a component writes a variable
+    /// another component declared `local`.
+    LocalityViolation {
+        /// The writing program.
+        writer: String,
+        /// The program owning the local variable.
+        owner: String,
+        /// The variable written.
+        var: String,
+    },
+    /// The conjunction of initial predicates is unsatisfiable, so the
+    /// composition has no initial state.
+    UnsatisfiableInit {
+        /// Names of the composed programs.
+        programs: Vec<String>,
+    },
+    /// A proof rule was applied to conclusions that do not fit its shape.
+    ProofShape {
+        /// Which rule.
+        rule: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A leaf obligation failed to discharge.
+    Discharge {
+        /// Description of the obligation.
+        obligation: String,
+        /// Reason (e.g. a counterexample rendering).
+        reason: String,
+    },
+    /// DSL parse error with line/column information.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyDomain { lo, hi } => {
+                write!(f, "empty integer domain {lo}..{hi}")
+            }
+            CoreError::DomainMismatch { var, left, right } => {
+                write!(f, "variable `{var}` declared with domains {left} and {right}")
+            }
+            CoreError::TypeError {
+                expr,
+                expected,
+                found,
+            } => write!(f, "type error in `{expr}`: expected {expected}, found {found}"),
+            CoreError::UnknownVar { name } => write!(f, "unknown variable `{name}`"),
+            CoreError::DuplicateAssignment { command, var } => {
+                write!(f, "command `{command}` assigns `{var}` more than once")
+            }
+            CoreError::LocalityViolation { writer, owner, var } => write!(
+                f,
+                "locality violation: `{writer}` writes `{var}` which is local to `{owner}`"
+            ),
+            CoreError::UnsatisfiableInit { programs } => write!(
+                f,
+                "composition of [{}] has no initial state (inconsistent init predicates)",
+                programs.join(", ")
+            ),
+            CoreError::ProofShape { rule, detail } => {
+                write!(f, "proof rule {rule} misapplied: {detail}")
+            }
+            CoreError::Discharge { obligation, reason } => {
+                write!(f, "failed to discharge {obligation}: {reason}")
+            }
+            CoreError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::LocalityViolation {
+            writer: "G".into(),
+            owner: "F".into(),
+            var: "x".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("locality"));
+        assert!(s.contains('G'));
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn parse_error_carries_position() {
+        let e = CoreError::Parse {
+            line: 3,
+            col: 14,
+            msg: "expected `->`".into(),
+        };
+        assert!(e.to_string().contains("3:14"));
+    }
+}

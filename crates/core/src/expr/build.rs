@@ -1,0 +1,175 @@
+//! Ergonomic expression constructors.
+//!
+//! These free functions keep system-builder code close to the paper's
+//! notation, e.g. `eq(var(c), sum(counters))` for `C = Σᵢ cᵢ`.
+
+use super::{BinOp, Expr, NAryOp};
+use crate::ident::VarId;
+use crate::value::Value;
+
+/// Literal `true`.
+pub fn tt() -> Expr {
+    Expr::Lit(Value::Bool(true))
+}
+
+/// Literal `false`.
+pub fn ff() -> Expr {
+    Expr::Lit(Value::Bool(false))
+}
+
+/// Integer literal.
+pub fn int(n: i64) -> Expr {
+    Expr::Lit(Value::Int(n))
+}
+
+/// Boolean literal.
+pub fn boolean(b: bool) -> Expr {
+    Expr::Lit(Value::Bool(b))
+}
+
+/// Variable reference.
+pub fn var(id: VarId) -> Expr {
+    Expr::Var(id)
+}
+
+/// Boolean negation.
+pub fn not(e: Expr) -> Expr {
+    Expr::Not(Box::new(e))
+}
+
+/// Integer negation.
+pub fn neg(e: Expr) -> Expr {
+    Expr::Neg(Box::new(e))
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::Bin(op, Box::new(a), Box::new(b))
+}
+
+/// `a + b` (saturating).
+pub fn add(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Add, a, b)
+}
+
+/// `a - b` (saturating).
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Sub, a, b)
+}
+
+/// `a * b` (saturating).
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Mul, a, b)
+}
+
+/// Total Euclidean division.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Div, a, b)
+}
+
+/// Total Euclidean remainder.
+pub fn rem(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Mod, a, b)
+}
+
+/// `a = b`.
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Eq, a, b)
+}
+
+/// `a ≠ b`.
+pub fn ne(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Ne, a, b)
+}
+
+/// `a < b`.
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Lt, a, b)
+}
+
+/// `a ≤ b`.
+pub fn le(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Le, a, b)
+}
+
+/// `a > b`.
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Gt, a, b)
+}
+
+/// `a ≥ b`.
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Ge, a, b)
+}
+
+/// Binary conjunction.
+pub fn and2(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::And, a, b)
+}
+
+/// Binary disjunction.
+pub fn or2(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Or, a, b)
+}
+
+/// `a ⇒ b`.
+pub fn implies(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Implies, a, b)
+}
+
+/// `a ⇔ b`.
+pub fn iff(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Iff, a, b)
+}
+
+/// N-ary conjunction (`true` when empty) — the paper's `⟨∀i :: pᵢ⟩`.
+pub fn and(args: Vec<Expr>) -> Expr {
+    Expr::NAry(NAryOp::And, args)
+}
+
+/// N-ary disjunction (`false` when empty) — the paper's `⟨∃i :: pᵢ⟩`.
+pub fn or(args: Vec<Expr>) -> Expr {
+    Expr::NAry(NAryOp::Or, args)
+}
+
+/// N-ary sum (`0` when empty) — the paper's `Σᵢ eᵢ`.
+pub fn sum(args: Vec<Expr>) -> Expr {
+    Expr::NAry(NAryOp::Sum, args)
+}
+
+/// N-ary minimum (must be non-empty).
+pub fn min(args: Vec<Expr>) -> Expr {
+    Expr::NAry(NAryOp::Min, args)
+}
+
+/// N-ary maximum (must be non-empty).
+pub fn max(args: Vec<Expr>) -> Expr {
+    Expr::NAry(NAryOp::Max, args)
+}
+
+/// If-then-else.
+pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+    Expr::Ite(Box::new(c), Box::new(t), Box::new(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_build_expected_shapes() {
+        let e = implies(and2(tt(), ff()), or(vec![tt()]));
+        match e {
+            Expr::Bin(BinOp::Implies, a, b) => {
+                assert!(matches!(*a, Expr::Bin(BinOp::And, _, _)));
+                assert!(matches!(*b, Expr::NAry(NAryOp::Or, _)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_nary_units() {
+        assert!(matches!(and(vec![]), Expr::NAry(NAryOp::And, ref v) if v.is_empty()));
+        assert!(matches!(sum(vec![]), Expr::NAry(NAryOp::Sum, ref v) if v.is_empty()));
+    }
+}

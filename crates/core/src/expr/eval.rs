@@ -1,0 +1,201 @@
+//! Expression evaluation.
+//!
+//! Evaluation is *total* on well-typed expressions: arithmetic saturates at
+//! the `i64` boundaries and division/remainder by zero yield `0` (a
+//! documented convention, also used by SMT-LIB-style totalizations). This
+//! keeps the hot model-checking loops free of `Result` plumbing; types are
+//! checked once at program construction.
+
+use super::{BinOp, Expr, NAryOp};
+use crate::state::State;
+use crate::value::Value;
+
+/// Evaluates `e` in `state`.
+///
+/// # Panics
+/// Panics on ill-typed expressions (callers type check at construction) or
+/// variable ids outside the state.
+pub fn eval(e: &Expr, state: &State) -> Value {
+    match e {
+        Expr::Lit(v) => *v,
+        Expr::Var(id) => state.get(*id),
+        Expr::Not(a) => Value::Bool(!eval(a, state).expect_bool()),
+        Expr::Neg(a) => Value::Int(eval(a, state).expect_int().saturating_neg()),
+        Expr::Bin(op, a, b) => eval_bin(*op, a, b, state),
+        Expr::Ite(c, t, f) => {
+            if eval(c, state).expect_bool() {
+                eval(t, state)
+            } else {
+                eval(f, state)
+            }
+        }
+        Expr::NAry(op, args) => eval_nary(*op, args, state),
+    }
+}
+
+/// Evaluates a boolean expression in `state`.
+#[inline]
+pub fn eval_bool(e: &Expr, state: &State) -> bool {
+    eval(e, state).expect_bool()
+}
+
+/// Evaluates an integer expression in `state`.
+#[inline]
+pub fn eval_int(e: &Expr, state: &State) -> i64 {
+    eval(e, state).expect_int()
+}
+
+fn eval_bin(op: BinOp, a: &Expr, b: &Expr, state: &State) -> Value {
+    // Short-circuit the lazy boolean connectives first.
+    match op {
+        BinOp::And => {
+            return Value::Bool(eval_bool(a, state) && eval_bool(b, state));
+        }
+        BinOp::Or => {
+            return Value::Bool(eval_bool(a, state) || eval_bool(b, state));
+        }
+        BinOp::Implies => {
+            return Value::Bool(!eval_bool(a, state) || eval_bool(b, state));
+        }
+        BinOp::Iff => {
+            return Value::Bool(eval_bool(a, state) == eval_bool(b, state));
+        }
+        _ => {}
+    }
+    let va = eval(a, state);
+    let vb = eval(b, state);
+    match op {
+        BinOp::Eq => Value::Bool(va == vb),
+        BinOp::Ne => Value::Bool(va != vb),
+        BinOp::Add => Value::Int(va.expect_int().saturating_add(vb.expect_int())),
+        BinOp::Sub => Value::Int(va.expect_int().saturating_sub(vb.expect_int())),
+        BinOp::Mul => Value::Int(va.expect_int().saturating_mul(vb.expect_int())),
+        BinOp::Div => Value::Int(euclid_div(va.expect_int(), vb.expect_int())),
+        BinOp::Mod => Value::Int(euclid_rem(va.expect_int(), vb.expect_int())),
+        BinOp::Lt => Value::Bool(va.expect_int() < vb.expect_int()),
+        BinOp::Le => Value::Bool(va.expect_int() <= vb.expect_int()),
+        BinOp::Gt => Value::Bool(va.expect_int() > vb.expect_int()),
+        BinOp::Ge => Value::Bool(va.expect_int() >= vb.expect_int()),
+        BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff => unreachable!(),
+    }
+}
+
+fn eval_nary(op: NAryOp, args: &[Expr], state: &State) -> Value {
+    match op {
+        NAryOp::And => Value::Bool(args.iter().all(|a| eval_bool(a, state))),
+        NAryOp::Or => Value::Bool(args.iter().any(|a| eval_bool(a, state))),
+        NAryOp::Sum => Value::Int(
+            args.iter()
+                .map(|a| eval_int(a, state))
+                .fold(0i64, i64::saturating_add),
+        ),
+        NAryOp::Min => Value::Int(
+            args.iter()
+                .map(|a| eval_int(a, state))
+                .min()
+                .expect("min of empty list rejected by type checker"),
+        ),
+        NAryOp::Max => Value::Int(
+            args.iter()
+                .map(|a| eval_int(a, state))
+                .max()
+                .expect("max of empty list rejected by type checker"),
+        ),
+    }
+}
+
+/// Total Euclidean division: result rounds toward negative infinity such
+/// that the remainder is non-negative; division by zero yields 0.
+pub fn euclid_div(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        0
+    } else {
+        a.div_euclid(b)
+    }
+}
+
+/// Total Euclidean remainder; remainder by zero yields 0.
+pub fn euclid_rem(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        0
+    } else {
+        a.rem_euclid(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::build::*;
+    use super::*;
+    use crate::domain::Domain;
+    use crate::ident::Vocabulary;
+
+    fn setup() -> (Vocabulary, State) {
+        let mut v = Vocabulary::new();
+        let b = v.declare("b", Domain::Bool).unwrap();
+        let n = v.declare("n", Domain::int_range(-10, 10).unwrap()).unwrap();
+        let mut s = State::minimum(&v);
+        s.set(b, Value::Bool(true));
+        s.set(n, Value::Int(4));
+        (v, s)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let (v, s) = setup();
+        let n = v.lookup("n").unwrap();
+        assert_eq!(eval_int(&add(var(n), int(3)), &s), 7);
+        assert_eq!(eval_int(&sub(var(n), int(10)), &s), -6);
+        assert_eq!(eval_int(&mul(var(n), int(2)), &s), 8);
+        assert_eq!(eval_int(&neg(var(n)), &s), -4);
+    }
+
+    #[test]
+    fn total_division() {
+        let (_, s) = setup();
+        assert_eq!(eval_int(&div(int(7), int(2)), &s), 3);
+        assert_eq!(eval_int(&div(int(-7), int(2)), &s), -4);
+        assert_eq!(eval_int(&rem(int(-7), int(2)), &s), 1);
+        assert_eq!(eval_int(&div(int(7), int(0)), &s), 0);
+        assert_eq!(eval_int(&rem(int(7), int(0)), &s), 0);
+    }
+
+    #[test]
+    fn saturation() {
+        let (_, s) = setup();
+        assert_eq!(eval_int(&add(int(i64::MAX), int(1)), &s), i64::MAX);
+        assert_eq!(eval_int(&sub(int(i64::MIN), int(1)), &s), i64::MIN);
+        assert_eq!(eval_int(&neg(int(i64::MIN)), &s), i64::MAX);
+    }
+
+    #[test]
+    fn booleans_and_comparisons() {
+        let (v, s) = setup();
+        let b = v.lookup("b").unwrap();
+        let n = v.lookup("n").unwrap();
+        assert!(eval_bool(&and2(var(b), lt(var(n), int(5))), &s));
+        assert!(!eval_bool(&not(var(b)), &s));
+        assert!(eval_bool(&implies(ff(), ff()), &s));
+        assert!(eval_bool(&iff(var(b), ge(var(n), int(0))), &s));
+        assert!(eval_bool(&ne(var(n), int(5)), &s));
+    }
+
+    #[test]
+    fn nary_reductions() {
+        let (_, s) = setup();
+        assert_eq!(eval_int(&sum(vec![int(1), int(2), int(3)]), &s), 6);
+        assert_eq!(eval_int(&sum(vec![]), &s), 0);
+        assert_eq!(eval_int(&min(vec![int(4), int(-1)]), &s), -1);
+        assert_eq!(eval_int(&max(vec![int(4), int(-1)]), &s), 4);
+        assert!(eval_bool(&and(vec![]), &s));
+        assert!(!eval_bool(&or(vec![]), &s));
+    }
+
+    #[test]
+    fn ite_branches() {
+        let (v, s) = setup();
+        let b = v.lookup("b").unwrap();
+        assert_eq!(eval_int(&ite(var(b), int(1), int(2)), &s), 1);
+        assert_eq!(eval_int(&ite(not(var(b)), int(1), int(2)), &s), 2);
+    }
+}

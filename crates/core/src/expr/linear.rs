@@ -1,0 +1,276 @@
+//! Linear normal forms for integer expressions.
+//!
+//! Many of the equivalence side conditions arising in the paper's proofs
+//! are pure linear arithmetic — e.g. §3.3's
+//! `(C − cᵢ) − Σ_{j≠i} cⱼ  =  C − Σⱼ cⱼ`. Deciding those by state-space
+//! scan costs the full domain product; normalizing both sides to
+//! `Σ aᵥ·v + b` and comparing coefficient maps costs `O(|expr|)`.
+//!
+//! **Saturation soundness.** Runtime evaluation saturates at the `i64`
+//! boundaries, so "equal linear forms" implies "equal value in every
+//! state" only when no intermediate computation can saturate. We therefore
+//! carry interval bounds (from the variables' declared domains) through
+//! the normalization with *checked* arithmetic and return `None` — caller
+//! falls back to scanning — if any intermediate could clip.
+
+use std::collections::BTreeMap;
+
+use crate::ident::{VarId, Vocabulary};
+use crate::value::{Type, Value};
+
+use super::{BinOp, Expr, NAryOp};
+
+/// A linear form `Σ coeffs[v]·v + constant` with a guaranteed-exact value
+/// interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearForm {
+    /// Variable coefficients (zero coefficients removed).
+    pub coeffs: BTreeMap<VarId, i64>,
+    /// Constant term.
+    pub constant: i64,
+    /// Lower bound of the value over all type-consistent states.
+    pub lo: i64,
+    /// Upper bound of the value over all type-consistent states.
+    pub hi: i64,
+}
+
+impl LinearForm {
+    fn constant(n: i64) -> Self {
+        LinearForm {
+            coeffs: BTreeMap::new(),
+            constant: n,
+            lo: n,
+            hi: n,
+        }
+    }
+
+    /// Whether two forms denote the same function (identical coefficients
+    /// and constants).
+    pub fn same_function(&self, other: &LinearForm) -> bool {
+        self.constant == other.constant && self.coeffs == other.coeffs
+    }
+}
+
+/// Attempts to compute the linear normal form of an integer expression.
+/// Returns `None` for non-linear expressions (comparisons, `ite`,
+/// `min`/`max`, division, variable products) or when intermediate
+/// saturation cannot be ruled out.
+pub fn linear_form(e: &Expr, vocab: &Vocabulary) -> Option<LinearForm> {
+    match e {
+        Expr::Lit(Value::Int(n)) => Some(LinearForm::constant(*n)),
+        Expr::Lit(Value::Bool(_)) => None,
+        Expr::Var(v) => {
+            let d = vocab.domain(*v);
+            if d.ty() != Type::Int {
+                return None;
+            }
+            let (lo, hi) = match d {
+                crate::domain::Domain::IntRange(lo, hi) => (*lo, *hi),
+                crate::domain::Domain::Bool => unreachable!("type checked above"),
+            };
+            let mut coeffs = BTreeMap::new();
+            coeffs.insert(*v, 1);
+            Some(LinearForm {
+                coeffs,
+                constant: 0,
+                lo,
+                hi,
+            })
+        }
+        Expr::Neg(a) => {
+            let a = linear_form(a, vocab)?;
+            scale(&a, -1)
+        }
+        Expr::Bin(BinOp::Add, a, b) => {
+            let a = linear_form(a, vocab)?;
+            let b = linear_form(b, vocab)?;
+            combine(&a, &b, 1)
+        }
+        Expr::Bin(BinOp::Sub, a, b) => {
+            let a = linear_form(a, vocab)?;
+            let b = linear_form(b, vocab)?;
+            combine(&a, &b, -1)
+        }
+        Expr::Bin(BinOp::Mul, a, b) => {
+            // Constant × linear (either side).
+            let fa = linear_form(a, vocab)?;
+            let fb = linear_form(b, vocab)?;
+            if fa.coeffs.is_empty() {
+                scale(&fb, fa.constant)
+            } else if fb.coeffs.is_empty() {
+                scale(&fa, fb.constant)
+            } else {
+                None
+            }
+        }
+        Expr::NAry(NAryOp::Sum, args) => {
+            let mut acc = LinearForm::constant(0);
+            for arg in args {
+                let f = linear_form(arg, vocab)?;
+                acc = combine(&acc, &f, 1)?;
+            }
+            Some(acc)
+        }
+        _ => None,
+    }
+}
+
+/// `a + sign·b` with checked interval arithmetic.
+fn combine(a: &LinearForm, b: &LinearForm, sign: i64) -> Option<LinearForm> {
+    debug_assert!(sign == 1 || sign == -1);
+    let mut coeffs = a.coeffs.clone();
+    for (&v, &c) in &b.coeffs {
+        let entry = coeffs.entry(v).or_insert(0);
+        *entry = entry.checked_add(c.checked_mul(sign)?)?;
+        if *entry == 0 {
+            coeffs.remove(&v);
+        }
+    }
+    let constant = a.constant.checked_add(b.constant.checked_mul(sign)?)?;
+    let (blo, bhi) = if sign == 1 { (b.lo, b.hi) } else { (-b.hi, -b.lo) };
+    let lo = a.lo.checked_add(blo)?;
+    let hi = a.hi.checked_add(bhi)?;
+    Some(LinearForm {
+        coeffs,
+        constant,
+        lo,
+        hi,
+    })
+}
+
+/// `k·a` with checked interval arithmetic.
+fn scale(a: &LinearForm, k: i64) -> Option<LinearForm> {
+    let mut coeffs = BTreeMap::new();
+    for (&v, &c) in &a.coeffs {
+        let scaled = c.checked_mul(k)?;
+        if scaled != 0 {
+            coeffs.insert(v, scaled);
+        }
+    }
+    let constant = a.constant.checked_mul(k)?;
+    let e1 = a.lo.checked_mul(k)?;
+    let e2 = a.hi.checked_mul(k)?;
+    Some(LinearForm {
+        coeffs,
+        constant,
+        lo: e1.min(e2),
+        hi: e1.max(e2),
+    })
+}
+
+/// Fast-path equivalence: `Some(true)` when both expressions have linear
+/// forms denoting the same function (hence equal in every state);
+/// `Some(false)` when both have forms but they differ **and** the
+/// difference is a non-zero constant (definitely inequivalent); `None`
+/// when the fast path cannot decide (fall back to scanning).
+pub fn linear_equivalent(a: &Expr, b: &Expr, vocab: &Vocabulary) -> Option<bool> {
+    let fa = linear_form(a, vocab)?;
+    let fb = linear_form(b, vocab)?;
+    if fa.same_function(&fb) {
+        return Some(true);
+    }
+    // Same coefficients but different constants: values differ everywhere.
+    if fa.coeffs == fb.coeffs && fa.constant != fb.constant {
+        return Some(false);
+    }
+    // Coefficients differ: over restricted domains the functions could
+    // still coincide; undecided here.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::expr::build::*;
+    use crate::expr::eval::eval_int;
+    use crate::state::StateSpaceIter;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::int_range(0, 5).unwrap()).unwrap();
+        v.declare("y", Domain::int_range(-2, 3).unwrap()).unwrap();
+        v.declare("z", Domain::int_range(0, 4).unwrap()).unwrap();
+        v.declare("b", Domain::Bool).unwrap();
+        v
+    }
+
+    #[test]
+    fn normalizes_the_toy_identity() {
+        // (C - c0) - (c1 + c2)  ==  C - (c0 + c1 + c2), modeled with x,y,z.
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let y = v.lookup("y").unwrap();
+        let z = v.lookup("z").unwrap();
+        let lhs = sub(sub(var(x), var(y)), var(z));
+        let rhs = sub(var(x), sum(vec![var(y), var(z)]));
+        assert_eq!(linear_equivalent(&lhs, &rhs, &v), Some(true));
+    }
+
+    #[test]
+    fn distinguishes_constants() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        assert_eq!(
+            linear_equivalent(&add(var(x), int(1)), &var(x), &v),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn rejects_non_linear() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let y = v.lookup("y").unwrap();
+        assert!(linear_form(&mul(var(x), var(y)), &v).is_none());
+        assert!(linear_form(&div(var(x), int(2)), &v).is_none());
+        assert!(linear_form(&ite(tt(), var(x), var(y)), &v).is_none());
+        assert!(linear_form(&var(v.lookup("b").unwrap()), &v).is_none());
+    }
+
+    #[test]
+    fn form_agrees_with_eval_everywhere() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let y = v.lookup("y").unwrap();
+        let z = v.lookup("z").unwrap();
+        let exprs = [
+            sub(sum(vec![var(x), var(y), var(z)]), mul(int(2), var(y))),
+            neg(sub(var(x), int(7))),
+            mul(int(-3), add(var(y), int(1))),
+        ];
+        for e in exprs {
+            let f = linear_form(&e, &v).expect("linear");
+            for s in StateSpaceIter::new(&v) {
+                let direct = eval_int(&e, &s);
+                let from_form: i64 = f.constant
+                    + f.coeffs
+                        .iter()
+                        .map(|(&var_id, &c)| c * s.get(var_id).expect_int())
+                        .sum::<i64>();
+                assert_eq!(direct, from_form);
+                assert!(f.lo <= direct && direct <= f.hi, "interval bound violated");
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_risk_bails_out() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        // A chain whose intermediate bound overflows i64: must bail, not
+        // produce a wrong "equivalence".
+        let huge = mul(int(i64::MAX / 2), mul(int(4), var(x)));
+        assert!(linear_form(&huge, &v).is_none());
+    }
+
+    #[test]
+    fn cancellation_removes_coefficients() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let e = sub(add(var(x), int(3)), var(x));
+        let f = linear_form(&e, &v).unwrap();
+        assert!(f.coeffs.is_empty());
+        assert_eq!(f.constant, 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Expressions: the term language for guards, assignments and predicates.
+//!
+//! Expressions are finite first-order terms over a vocabulary's variables.
+//! Boolean-typed expressions double as *predicates on states*; the paper's
+//! properties (`init p`, `p next q`, ...) are stated with them.
+//!
+//! Quantifiers over component indices (the paper's `⟨∀i :: ...⟩`,
+//! `Σ_i c_i`) are expanded at construction time into the n-ary [`NAryOp`]
+//! nodes, since systems are built for concrete finite component counts.
+
+pub mod build;
+pub mod eval;
+pub mod linear;
+pub mod pretty;
+pub mod simplify;
+pub mod subst;
+pub mod vars;
+
+use crate::error::CoreError;
+use crate::ident::{VarId, Vocabulary};
+use crate::value::{Type, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Saturating integer addition.
+    Add,
+    /// Saturating integer subtraction.
+    Sub,
+    /// Saturating integer multiplication.
+    Mul,
+    /// Total Euclidean division (`x / 0 = 0` by convention).
+    Div,
+    /// Total Euclidean remainder (`x % 0 = 0` by convention).
+    Mod,
+    /// Equality (both operands the same type).
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Strictly less (integers).
+    Lt,
+    /// Less or equal (integers).
+    Le,
+    /// Strictly greater (integers).
+    Gt,
+    /// Greater or equal (integers).
+    Ge,
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Implication.
+    Implies,
+    /// Bi-implication.
+    Iff,
+}
+
+impl BinOp {
+    /// Whether the operator takes integer operands.
+    pub fn arith_or_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Div
+                | BinOp::Mod
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+        )
+    }
+
+    /// Result type of the operator.
+    pub fn result_type(self) -> Type {
+        match self {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => Type::Int,
+            _ => Type::Bool,
+        }
+    }
+}
+
+/// N-ary operators (flattened associative/commutative reductions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NAryOp {
+    /// Conjunction of boolean operands; empty = `true`.
+    And,
+    /// Disjunction of boolean operands; empty = `false`.
+    Or,
+    /// Sum of integer operands; empty = `0`.
+    Sum,
+    /// Minimum of integer operands; must be non-empty.
+    Min,
+    /// Maximum of integer operands; must be non-empty.
+    Max,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Literal constant.
+    Lit(Value),
+    /// Variable reference.
+    Var(VarId),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Integer negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// If-then-else (`cond` boolean; branches share a type).
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// N-ary reduction.
+    NAry(NAryOp, Vec<Expr>),
+}
+
+impl Expr {
+    /// Infers the type of the expression against `vocab`, checking
+    /// well-typedness throughout.
+    pub fn infer_type(&self, vocab: &Vocabulary) -> Result<Type, CoreError> {
+        match self {
+            Expr::Lit(v) => Ok(v.ty()),
+            Expr::Var(id) => {
+                if id.index() >= vocab.len() {
+                    return Err(CoreError::UnknownVar {
+                        name: id.to_string(),
+                    });
+                }
+                Ok(vocab.domain(*id).ty())
+            }
+            Expr::Not(e) => {
+                expect(e, vocab, Type::Bool)?;
+                Ok(Type::Bool)
+            }
+            Expr::Neg(e) => {
+                expect(e, vocab, Type::Int)?;
+                Ok(Type::Int)
+            }
+            Expr::Bin(op, a, b) => {
+                if op.arith_or_cmp() {
+                    expect(a, vocab, Type::Int)?;
+                    expect(b, vocab, Type::Int)?;
+                } else if matches!(op, BinOp::Eq | BinOp::Ne) {
+                    let ta = a.infer_type(vocab)?;
+                    let tb = b.infer_type(vocab)?;
+                    if ta != tb {
+                        return Err(CoreError::TypeError {
+                            expr: format!("{}", pretty::Render::new(self, vocab)),
+                            expected: ta,
+                            found: tb,
+                        });
+                    }
+                } else {
+                    expect(a, vocab, Type::Bool)?;
+                    expect(b, vocab, Type::Bool)?;
+                }
+                Ok(op.result_type())
+            }
+            Expr::Ite(c, t, e) => {
+                expect(c, vocab, Type::Bool)?;
+                let tt = t.infer_type(vocab)?;
+                expect(e, vocab, tt)?;
+                Ok(tt)
+            }
+            Expr::NAry(op, args) => {
+                let elem = match op {
+                    NAryOp::And | NAryOp::Or => Type::Bool,
+                    NAryOp::Sum | NAryOp::Min | NAryOp::Max => Type::Int,
+                };
+                if matches!(op, NAryOp::Min | NAryOp::Max) && args.is_empty() {
+                    return Err(CoreError::TypeError {
+                        expr: "min/max of empty list".into(),
+                        expected: Type::Int,
+                        found: Type::Int,
+                    });
+                }
+                for a in args {
+                    expect(a, vocab, elem)?;
+                }
+                Ok(elem)
+            }
+        }
+    }
+
+    /// Checks that the expression is a boolean predicate over `vocab`.
+    pub fn check_pred(&self, vocab: &Vocabulary) -> Result<(), CoreError> {
+        expect_self(self, vocab, Type::Bool)
+    }
+
+    /// Structural size (number of AST nodes); useful in tests and stats.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => 1,
+            Expr::Not(e) | Expr::Neg(e) => 1 + e.size(),
+            Expr::Bin(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Ite(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Expr::NAry(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// Whether the expression is the literal `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Expr::Lit(Value::Bool(true)))
+    }
+
+    /// Whether the expression is the literal `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Expr::Lit(Value::Bool(false)))
+    }
+}
+
+fn expect(e: &Expr, vocab: &Vocabulary, want: Type) -> Result<(), CoreError> {
+    expect_self(e, vocab, want)
+}
+
+fn expect_self(e: &Expr, vocab: &Vocabulary, want: Type) -> Result<(), CoreError> {
+    let found = e.infer_type(vocab)?;
+    if found != want {
+        return Err(CoreError::TypeError {
+            expr: format!("{}", pretty::Render::new(e, vocab)),
+            expected: want,
+            found,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+    use crate::domain::Domain;
+
+    fn vocab() -> (Vocabulary, VarId, VarId) {
+        let mut v = Vocabulary::new();
+        let b = v.declare("b", Domain::Bool).unwrap();
+        let n = v.declare("n", Domain::int_range(0, 5).unwrap()).unwrap();
+        (v, b, n)
+    }
+
+    #[test]
+    fn well_typed() {
+        let (vocab, b, n) = vocab();
+        let e = and2(var(b), eq(var(n), int(3)));
+        assert_eq!(e.infer_type(&vocab).unwrap(), Type::Bool);
+        let a = add(var(n), int(1));
+        assert_eq!(a.infer_type(&vocab).unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn ill_typed_rejected() {
+        let (vocab, b, n) = vocab();
+        assert!(add(var(b), int(1)).infer_type(&vocab).is_err());
+        assert!(eq(var(b), var(n)).infer_type(&vocab).is_err());
+        assert!(not(var(n)).infer_type(&vocab).is_err());
+        assert!(Expr::NAry(NAryOp::Min, vec![]).infer_type(&vocab).is_err());
+    }
+
+    #[test]
+    fn unknown_var_rejected() {
+        let vocab = Vocabulary::new();
+        assert!(var(VarId(7)).infer_type(&vocab).is_err());
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let (_, b, _) = vocab();
+        assert_eq!(var(b).size(), 1);
+        assert_eq!(and2(var(b), var(b)).size(), 3);
+    }
+
+    #[test]
+    fn truth_literal_predicates() {
+        assert!(tt().is_true());
+        assert!(ff().is_false());
+        assert!(!tt().is_false());
+    }
+}

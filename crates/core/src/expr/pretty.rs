@@ -1,0 +1,195 @@
+//! Pretty-printing of expressions with named variables.
+//!
+//! The renderer produces the same concrete syntax the DSL parser accepts,
+//! enabling round-trip property tests (`parse(print(e)) == e` up to
+//! associativity of n-ary nodes).
+
+use std::fmt;
+
+use super::{BinOp, Expr, NAryOp};
+use crate::ident::Vocabulary;
+
+/// Binding strength used for parenthesization (higher binds tighter).
+fn bin_prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Iff => 1,
+        Implies => 2,
+        Or => 3,
+        And => 4,
+        Eq | Ne | Lt | Le | Gt | Ge => 5,
+        Add | Sub => 6,
+        Mul | Div | Mod => 7,
+    }
+}
+
+fn bin_symbol(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Mod => "%",
+        Eq => "==",
+        Ne => "!=",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        And => "&&",
+        Or => "||",
+        Implies => "=>",
+        Iff => "<=>",
+    }
+}
+
+/// An [`Expr`] paired with its vocabulary for display.
+pub struct Render<'a> {
+    expr: &'a Expr,
+    vocab: &'a Vocabulary,
+}
+
+impl<'a> Render<'a> {
+    /// Pairs `expr` with `vocab` for rendering.
+    pub fn new(expr: &'a Expr, vocab: &'a Vocabulary) -> Self {
+        Render { expr, vocab }
+    }
+
+    fn fmt_expr(&self, e: &Expr, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        match e {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Var(id) => {
+                if id.index() < self.vocab.len() {
+                    write!(f, "{}", self.vocab.name(*id))
+                } else {
+                    write!(f, "{id}")
+                }
+            }
+            Expr::Not(a) => {
+                write!(f, "!")?;
+                self.fmt_expr(a, f, 9)
+            }
+            Expr::Neg(a) => {
+                write!(f, "-")?;
+                self.fmt_expr(a, f, 9)
+            }
+            Expr::Bin(op, a, b) => {
+                let prec = bin_prec(*op);
+                let need = prec <= parent_prec;
+                if need {
+                    write!(f, "(")?;
+                }
+                // Parenthesization must mirror the parser's associativity:
+                // `+ - * / % && || <=>` parse left-associative (left child
+                // may share the level), `=>` parses right-associative, and
+                // comparisons do not chain at all.
+                let (lp, rp) = match op {
+                    BinOp::Implies => (prec, prec - 1),
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        (prec, prec)
+                    }
+                    _ => (prec - 1, prec),
+                };
+                self.fmt_expr(a, f, lp)?;
+                write!(f, " {} ", bin_symbol(*op))?;
+                self.fmt_expr(b, f, rp)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Ite(c, t, els) => {
+                write!(f, "(if ")?;
+                self.fmt_expr(c, f, 0)?;
+                write!(f, " then ")?;
+                self.fmt_expr(t, f, 0)?;
+                write!(f, " else ")?;
+                self.fmt_expr(els, f, 0)?;
+                write!(f, ")")
+            }
+            Expr::NAry(op, args) => {
+                let (name, empty) = match op {
+                    NAryOp::And => ("all", "true"),
+                    NAryOp::Or => ("any", "false"),
+                    NAryOp::Sum => ("sum", "0"),
+                    NAryOp::Min => ("min", "?"),
+                    NAryOp::Max => ("max", "?"),
+                };
+                if args.is_empty() {
+                    return write!(f, "{empty}");
+                }
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    self.fmt_expr(a, f, 0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Render<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_expr(self.expr, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::build::*;
+    use super::*;
+    use crate::domain::Domain;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::int_range(0, 9).unwrap()).unwrap();
+        v.declare("y", Domain::int_range(0, 9).unwrap()).unwrap();
+        v.declare("p", Domain::Bool).unwrap();
+        v
+    }
+
+    #[test]
+    fn renders_names_and_precedence() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let y = v.lookup("y").unwrap();
+        let e = mul(add(var(x), var(y)), int(2));
+        assert_eq!(Render::new(&e, &v).to_string(), "(x + y) * 2");
+        let e2 = add(var(x), mul(var(y), int(2)));
+        assert_eq!(Render::new(&e2, &v).to_string(), "x + y * 2");
+    }
+
+    #[test]
+    fn renders_logic() {
+        let v = vocab();
+        let p = v.lookup("p").unwrap();
+        let x = v.lookup("x").unwrap();
+        let e = implies(var(p), eq(var(x), int(0)));
+        assert_eq!(Render::new(&e, &v).to_string(), "p => x == 0");
+    }
+
+    #[test]
+    fn renders_nary() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let e = sum(vec![var(x), int(1)]);
+        assert_eq!(Render::new(&e, &v).to_string(), "sum(x, 1)");
+        assert_eq!(Render::new(&and(vec![]), &v).to_string(), "true");
+    }
+
+    #[test]
+    fn left_associative_subtraction_needs_no_parens() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let y = v.lookup("y").unwrap();
+        // (x - y) - 1 renders without parens; x - (y - 1) keeps them.
+        let l = sub(sub(var(x), var(y)), int(1));
+        assert_eq!(Render::new(&l, &v).to_string(), "x - y - 1");
+        let r = sub(var(x), sub(var(y), int(1)));
+        assert_eq!(Render::new(&r, &v).to_string(), "x - (y - 1)");
+    }
+}

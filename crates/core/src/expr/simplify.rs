@@ -1,0 +1,261 @@
+//! Expression simplification.
+//!
+//! A conservative, evaluation-preserving rewriter: constant folding,
+//! neutral/absorbing element elimination, double-negation removal and
+//! flattening of nested n-ary nodes. Used to keep `wp`-generated formulas
+//! small before validity scans; *must not* change the value of the
+//! expression in any state (enforced by property tests).
+
+use super::eval::{euclid_div, euclid_rem};
+use super::{BinOp, Expr, NAryOp};
+use crate::value::Value;
+
+/// Simplifies `e`, preserving its value in every state.
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Lit(v) => Expr::Lit(*v),
+        Expr::Var(id) => Expr::Var(*id),
+        Expr::Not(a) => {
+            let a = simplify(a);
+            match a {
+                Expr::Lit(Value::Bool(b)) => Expr::Lit(Value::Bool(!b)),
+                Expr::Not(inner) => *inner,
+                other => Expr::Not(Box::new(other)),
+            }
+        }
+        Expr::Neg(a) => {
+            let a = simplify(a);
+            match a {
+                Expr::Lit(Value::Int(n)) => Expr::Lit(Value::Int(n.saturating_neg())),
+                other => Expr::Neg(Box::new(other)),
+            }
+        }
+        Expr::Bin(op, a, b) => simplify_bin(*op, simplify(a), simplify(b)),
+        Expr::Ite(c, t, f) => {
+            let c = simplify(c);
+            match c {
+                Expr::Lit(Value::Bool(true)) => simplify(t),
+                Expr::Lit(Value::Bool(false)) => simplify(f),
+                other => {
+                    let t = simplify(t);
+                    let f = simplify(f);
+                    if t == f {
+                        t
+                    } else {
+                        Expr::Ite(Box::new(other), Box::new(t), Box::new(f))
+                    }
+                }
+            }
+        }
+        Expr::NAry(op, args) => simplify_nary(*op, args),
+    }
+}
+
+fn simplify_bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    use BinOp::*;
+    // Constant folding.
+    if let (Expr::Lit(va), Expr::Lit(vb)) = (&a, &b) {
+        if let Some(v) = fold_bin(op, *va, *vb) {
+            return Expr::Lit(v);
+        }
+    }
+    match (op, &a, &b) {
+        // Boolean identities.
+        (And, x, _) if x.is_false() => return super::build::ff(),
+        (And, _, x) if x.is_false() => return super::build::ff(),
+        (And, x, _) if x.is_true() => return b,
+        (And, _, x) if x.is_true() => return a,
+        (Or, x, _) if x.is_true() => return super::build::tt(),
+        (Or, _, x) if x.is_true() => return super::build::tt(),
+        (Or, x, _) if x.is_false() => return b,
+        (Or, _, x) if x.is_false() => return a,
+        (Implies, x, _) if x.is_false() => return super::build::tt(),
+        (Implies, _, x) if x.is_true() => return super::build::tt(),
+        (Implies, x, _) if x.is_true() => return b,
+        (Implies, _, x) if x.is_false() => return simplify(&Expr::Not(Box::new(a))),
+        (Iff, x, _) if x.is_true() => return b,
+        (Iff, _, x) if x.is_true() => return a,
+        // Arithmetic identities.
+        (Add, Expr::Lit(Value::Int(0)), _) => return b,
+        (Add, _, Expr::Lit(Value::Int(0))) => return a,
+        (Sub, _, Expr::Lit(Value::Int(0))) => return a,
+        (Mul, Expr::Lit(Value::Int(1)), _) => return b,
+        (Mul, _, Expr::Lit(Value::Int(1))) => return a,
+        _ => {}
+    }
+    // Syntactic reflexivity for relations on identical subtrees. Sound
+    // because evaluation is deterministic and side-effect free.
+    if a == b {
+        match op {
+            Eq | Le | Ge | Iff | Implies => return super::build::tt(),
+            Ne | Lt | Gt => return super::build::ff(),
+            Sub => return super::build::int(0),
+            _ => {}
+        }
+    }
+    Expr::Bin(op, Box::new(a), Box::new(b))
+}
+
+fn fold_bin(op: BinOp, a: Value, b: Value) -> Option<Value> {
+    use BinOp::*;
+    Some(match (op, a, b) {
+        (Add, Value::Int(x), Value::Int(y)) => Value::Int(x.saturating_add(y)),
+        (Sub, Value::Int(x), Value::Int(y)) => Value::Int(x.saturating_sub(y)),
+        (Mul, Value::Int(x), Value::Int(y)) => Value::Int(x.saturating_mul(y)),
+        (Div, Value::Int(x), Value::Int(y)) => Value::Int(euclid_div(x, y)),
+        (Mod, Value::Int(x), Value::Int(y)) => Value::Int(euclid_rem(x, y)),
+        (Eq, x, y) => Value::Bool(x == y),
+        (Ne, x, y) => Value::Bool(x != y),
+        (Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
+        (Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
+        (Gt, Value::Int(x), Value::Int(y)) => Value::Bool(x > y),
+        (Ge, Value::Int(x), Value::Int(y)) => Value::Bool(x >= y),
+        (And, Value::Bool(x), Value::Bool(y)) => Value::Bool(x && y),
+        (Or, Value::Bool(x), Value::Bool(y)) => Value::Bool(x || y),
+        (Implies, Value::Bool(x), Value::Bool(y)) => Value::Bool(!x || y),
+        (Iff, Value::Bool(x), Value::Bool(y)) => Value::Bool(x == y),
+        _ => return None,
+    })
+}
+
+fn simplify_nary(op: NAryOp, args: &[Expr]) -> Expr {
+    let mut flat = Vec::with_capacity(args.len());
+    for a in args {
+        let a = simplify(a);
+        match a {
+            // Flatten nested same-operator nodes.
+            Expr::NAry(inner_op, inner) if inner_op == op => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    match op {
+        NAryOp::And => {
+            if flat.iter().any(Expr::is_false) {
+                return super::build::ff();
+            }
+            flat.retain(|e| !e.is_true());
+            match flat.len() {
+                0 => super::build::tt(),
+                1 => flat.pop().unwrap(),
+                _ => Expr::NAry(op, flat),
+            }
+        }
+        NAryOp::Or => {
+            if flat.iter().any(Expr::is_true) {
+                return super::build::tt();
+            }
+            flat.retain(|e| !e.is_false());
+            match flat.len() {
+                0 => super::build::ff(),
+                1 => flat.pop().unwrap(),
+                _ => Expr::NAry(op, flat),
+            }
+        }
+        NAryOp::Sum => {
+            let mut acc: i64 = 0;
+            let mut rest = Vec::with_capacity(flat.len());
+            for e in flat {
+                if let Expr::Lit(Value::Int(n)) = e {
+                    acc = acc.saturating_add(n);
+                } else {
+                    rest.push(e);
+                }
+            }
+            if rest.is_empty() {
+                return super::build::int(acc);
+            }
+            if acc != 0 {
+                rest.push(super::build::int(acc));
+            }
+            if rest.len() == 1 {
+                rest.pop().unwrap()
+            } else {
+                Expr::NAry(op, rest)
+            }
+        }
+        NAryOp::Min | NAryOp::Max => {
+            if flat.iter().all(|e| matches!(e, Expr::Lit(Value::Int(_)))) && !flat.is_empty() {
+                let vals = flat.iter().map(|e| match e {
+                    Expr::Lit(Value::Int(n)) => *n,
+                    _ => unreachable!(),
+                });
+                let v = if op == NAryOp::Min {
+                    vals.min().unwrap()
+                } else {
+                    vals.max().unwrap()
+                };
+                return super::build::int(v);
+            }
+            if flat.len() == 1 {
+                return flat.pop().unwrap();
+            }
+            Expr::NAry(op, flat)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::build::*;
+    use super::*;
+
+    #[test]
+    fn folds_constants() {
+        assert_eq!(simplify(&add(int(2), int(3))), int(5));
+        assert_eq!(simplify(&and2(tt(), ff())), ff());
+        assert_eq!(simplify(&lt(int(1), int(2))), tt());
+        assert_eq!(simplify(&div(int(7), int(0))), int(0));
+    }
+
+    #[test]
+    fn identities() {
+        let x = var(crate::ident::VarId(0));
+        assert_eq!(simplify(&and2(tt(), x.clone())), x);
+        assert_eq!(simplify(&or2(x.clone(), ff())), x);
+        assert_eq!(simplify(&add(x.clone(), int(0))), x);
+        assert_eq!(simplify(&mul(int(1), x.clone())), x);
+        assert_eq!(simplify(&implies(ff(), x.clone())), tt());
+        assert_eq!(simplify(&not(not(x.clone()))), x);
+    }
+
+    #[test]
+    fn reflexive_relations() {
+        let x = var(crate::ident::VarId(0));
+        assert_eq!(simplify(&eq(x.clone(), x.clone())), tt());
+        assert_eq!(simplify(&ne(x.clone(), x.clone())), ff());
+        assert_eq!(simplify(&sub(x.clone(), x.clone())), int(0));
+    }
+
+    #[test]
+    fn nary_flattening_and_units() {
+        let x = var(crate::ident::VarId(0));
+        let e = and(vec![tt(), and(vec![x.clone(), tt()]), tt()]);
+        assert_eq!(simplify(&e), x);
+        let e = or(vec![ff(), tt(), x.clone()]);
+        assert_eq!(simplify(&e), tt());
+        let e = sum(vec![int(1), sum(vec![int(2), var(crate::ident::VarId(1))]), int(3)]);
+        // 1 + 2 + 3 folded into single literal alongside the variable.
+        match simplify(&e) {
+            Expr::NAry(NAryOp::Sum, parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(parts.contains(&int(6)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ite_simplification() {
+        let x = var(crate::ident::VarId(0));
+        assert_eq!(simplify(&ite(tt(), x.clone(), int(0))), x);
+        assert_eq!(simplify(&ite(ff(), x.clone(), int(0))), int(0));
+        // Identical branches collapse.
+        assert_eq!(simplify(&ite(x.clone(), int(4), int(4))), int(4));
+    }
+
+    #[test]
+    fn min_max_folding() {
+        assert_eq!(simplify(&min(vec![int(3), int(1), int(2)])), int(1));
+        assert_eq!(simplify(&max(vec![int(3), int(1), int(2)])), int(3));
+    }
+}

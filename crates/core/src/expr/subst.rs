@@ -1,0 +1,159 @@
+//! Simultaneous substitution of expressions for variables.
+//!
+//! This implements the syntactic engine behind `wp` for multiple-assignment
+//! commands: `wp(x₁,…,xₖ := e₁,…,eₖ, q) = q[x₁,…,xₖ := e₁,…,eₖ]` with all
+//! substitutions applied *simultaneously*.
+
+use std::collections::BTreeMap;
+
+use super::Expr;
+use crate::ident::VarId;
+
+/// A simultaneous substitution `{xᵢ ↦ eᵢ}`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<VarId, Expr>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from `(var, replacement)` pairs. Later bindings for the same
+    /// variable overwrite earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (VarId, Expr)>) -> Self {
+        Subst {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Adds or replaces a binding.
+    pub fn bind(&mut self, v: VarId, e: Expr) -> &mut Self {
+        self.map.insert(v, e);
+        self
+    }
+
+    /// Replacement for `v`, if bound.
+    pub fn get(&self, v: VarId) -> Option<&Expr> {
+        self.map.get(&v)
+    }
+
+    /// Whether the substitution binds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over bindings in `VarId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Expr)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Applies the substitution to `e`, returning the transformed tree.
+    pub fn apply(&self, e: &Expr) -> Expr {
+        if self.is_empty() {
+            return e.clone();
+        }
+        self.apply_inner(e)
+    }
+
+    fn apply_inner(&self, e: &Expr) -> Expr {
+        match e {
+            Expr::Lit(v) => Expr::Lit(*v),
+            Expr::Var(id) => match self.map.get(id) {
+                Some(rep) => rep.clone(),
+                None => Expr::Var(*id),
+            },
+            Expr::Not(a) => Expr::Not(Box::new(self.apply_inner(a))),
+            Expr::Neg(a) => Expr::Neg(Box::new(self.apply_inner(a))),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(self.apply_inner(a)),
+                Box::new(self.apply_inner(b)),
+            ),
+            Expr::Ite(c, t, f) => Expr::Ite(
+                Box::new(self.apply_inner(c)),
+                Box::new(self.apply_inner(t)),
+                Box::new(self.apply_inner(f)),
+            ),
+            Expr::NAry(op, args) => {
+                Expr::NAry(*op, args.iter().map(|a| self.apply_inner(a)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::build::*;
+    use super::super::eval::eval;
+    use super::*;
+    use crate::domain::Domain;
+    use crate::ident::Vocabulary;
+    use crate::state::State;
+    use crate::value::Value;
+
+    #[test]
+    fn simultaneity_swap() {
+        // q = (x = 1 ∧ y = 2); q[x,y := y,x] must swap, not chain.
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+        let q = and2(eq(var(x), int(1)), eq(var(y), int(2)));
+        let s = Subst::from_pairs([(x, var(y)), (y, var(x))]);
+        let q2 = s.apply(&q);
+        // q2 = (y = 1 ∧ x = 2)
+        let mut st = State::minimum(&v);
+        st.set(x, Value::Int(2));
+        st.set(y, Value::Int(1));
+        assert_eq!(eval(&q2, &st), Value::Bool(true));
+        let mut st2 = State::minimum(&v);
+        st2.set(x, Value::Int(1));
+        st2.set(y, Value::Int(2));
+        assert_eq!(eval(&q2, &st2), Value::Bool(false));
+    }
+
+    #[test]
+    fn unbound_vars_untouched() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+        let e = add(var(x), var(y));
+        let s = Subst::from_pairs([(x, int(7))]);
+        assert_eq!(s.apply(&e), add(int(7), var(y)));
+    }
+
+    #[test]
+    fn empty_subst_is_identity() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::Bool).unwrap();
+        let e = not(var(x));
+        assert_eq!(Subst::new().apply(&e), e);
+    }
+
+    #[test]
+    fn substitution_lemma() {
+        // eval(q[x:=e], s) == eval(q, s[x := eval(e, s)])  — the semantic
+        // substitution lemma that wp relies on.
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 10).unwrap()).unwrap();
+        let q = lt(var(x), int(5));
+        let e = add(var(x), int(2));
+        let s = Subst::from_pairs([(x, e.clone())]);
+        for n in 0..=10 {
+            let mut st = State::minimum(&v);
+            st.set(x, Value::Int(n));
+            let lhs = eval(&s.apply(&q), &st);
+            let mut st2 = st.clone();
+            st2.set(x, eval(&e, &st));
+            let rhs = eval(&q, &st2);
+            assert_eq!(lhs, rhs, "mismatch at x={n}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Free-variable analysis.
+
+use std::collections::BTreeSet;
+
+use super::Expr;
+use crate::ident::VarId;
+
+/// Collects the set of variables occurring in `e`.
+pub fn free_vars(e: &Expr) -> BTreeSet<VarId> {
+    let mut out = BTreeSet::new();
+    collect(e, &mut out);
+    out
+}
+
+/// Adds the variables of `e` into `out`.
+pub fn collect(e: &Expr, out: &mut BTreeSet<VarId>) {
+    match e {
+        Expr::Lit(_) => {}
+        Expr::Var(id) => {
+            out.insert(*id);
+        }
+        Expr::Not(a) | Expr::Neg(a) => collect(a, out),
+        Expr::Bin(_, a, b) => {
+            collect(a, out);
+            collect(b, out);
+        }
+        Expr::Ite(c, t, f) => {
+            collect(c, out);
+            collect(t, out);
+            collect(f, out);
+        }
+        Expr::NAry(_, args) => {
+            for a in args {
+                collect(a, out);
+            }
+        }
+    }
+}
+
+/// Whether `e` mentions `v`.
+pub fn mentions(e: &Expr, v: VarId) -> bool {
+    match e {
+        Expr::Lit(_) => false,
+        Expr::Var(id) => *id == v,
+        Expr::Not(a) | Expr::Neg(a) => mentions(a, v),
+        Expr::Bin(_, a, b) => mentions(a, v) || mentions(b, v),
+        Expr::Ite(c, t, f) => mentions(c, v) || mentions(t, v) || mentions(f, v),
+        Expr::NAry(_, args) => args.iter().any(|a| mentions(a, v)),
+    }
+}
+
+/// Whether every variable of `e` lies in `allowed` — the *locality* test:
+/// a property of a component is **local** when it names only that
+/// component's variables (its locals plus the shared variables it uses).
+pub fn is_local_to(e: &Expr, allowed: &BTreeSet<VarId>) -> bool {
+    free_vars(e).is_subset(allowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::build::*;
+    use super::*;
+
+    #[test]
+    fn collects_all_vars() {
+        let e = and2(
+            eq(var(VarId(0)), int(1)),
+            or(vec![var(VarId(2)), not(var(VarId(1)))]),
+        );
+        let fv = free_vars(&e);
+        assert_eq!(
+            fv.into_iter().collect::<Vec<_>>(),
+            vec![VarId(0), VarId(1), VarId(2)]
+        );
+    }
+
+    #[test]
+    fn mentions_works() {
+        let e = ite(var(VarId(3)), int(0), var(VarId(5)));
+        assert!(mentions(&e, VarId(3)));
+        assert!(mentions(&e, VarId(5)));
+        assert!(!mentions(&e, VarId(4)));
+    }
+
+    #[test]
+    fn locality_subset() {
+        let e = add(var(VarId(0)), var(VarId(1)));
+        let mut allowed = BTreeSet::new();
+        allowed.insert(VarId(0));
+        assert!(!is_local_to(&e, &allowed));
+        allowed.insert(VarId(1));
+        assert!(is_local_to(&e, &allowed));
+    }
+
+    #[test]
+    fn literals_have_no_vars() {
+        assert!(free_vars(&int(5)).is_empty());
+        assert!(free_vars(&tt()).is_empty());
+    }
+}

@@ -1,0 +1,611 @@
+//! A checked inference calculus for `guarantees` clauses.
+//!
+//! The paper uses `guarantees` only to note that existential liveness
+//! properties beyond `transient` can be obtained by putting `leadsto` on
+//! the right-hand side (§2, citing \[3, 6\]). This module mechanizes the
+//! *algebra* of the operator from Chandy & Sanders, *Reasoning about
+//! program composition*: clauses `X guarantees Y` where `X` and `Y` are
+//! finite conjunctions of [`Property`]s, with the checked rules
+//!
+//! ```text
+//! consequence     X ⊒ Y                    ⊢  X guarantees Y
+//! weaken          X guarantees Y, X' ⊒ X, Y ⊒ Y'
+//!                                          ⊢  X' guarantees Y'
+//! transitivity    X guarantees Y, Y' guarantees Z, Y ⊒ Y'
+//!                                          ⊢  X guarantees Z
+//! conjunction     X guarantees Y, X' guarantees Y'
+//!                                          ⊢  X ∪ X' guarantees Y ∪ Y'
+//! existential     F ⊨ P, P existential     ⊢  ∅ guarantees {P}   (for F's
+//!                                             environments)
+//! ```
+//!
+//! where `X ⊒ Y` ("X entails Y") is the sound, incomplete per-property
+//! entailment of [`set_entails`]: every property of `Y` is entailed by
+//! some property of `X` under [`prop_entails`], whose side conditions
+//! (`⊨ p ⇒ q`) are discharged by a caller-supplied validity oracle —
+//! in practice `unity-mc`'s full-domain scan, mirroring how the proof
+//! kernel discharges its side conditions.
+//!
+//! Soundness arguments are given rule by rule on [`GProof`]'s variants;
+//! the semantic facts behind [`prop_entails`] are re-verified against the
+//! model checker by the cross-crate test suite (`tests/guarantees.rs`).
+//!
+//! ```
+//! use unity_core::domain::Domain;
+//! use unity_core::expr::build::*;
+//! use unity_core::guarantee::calculus::*;
+//! use unity_core::ident::Vocabulary;
+//! use unity_core::properties::Property;
+//!
+//! let mut v = Vocabulary::new();
+//! let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+//! // A published clause and a consequence step, chained by transitivity.
+//! let published = GProof::Premise(GuaranteeClause::new(
+//!     vec![Property::Init(eq(var(x), int(0)))],
+//!     vec![Property::Invariant(le(var(x), int(2)))],
+//! ));
+//! let unpack = GProof::Consequence {
+//!     hypothesis: vec![Property::Invariant(le(var(x), int(2)))],
+//!     conclusion: vec![Property::Stable(le(var(x), int(2)))],
+//! };
+//! let chain = GProof::Transitivity { first: Box::new(published), second: Box::new(unpack) };
+//! // Side conditions here are decided by a naive full-domain scan.
+//! let mut valid = |e: &unity_core::expr::Expr| {
+//!     unity_core::state::StateSpaceIter::new(&v)
+//!         .all(|s| unity_core::expr::eval::eval_bool(e, &s))
+//! };
+//! let mut holds = |_: &Property| true;
+//! let mut ctx = CalcCtx { valid: &mut valid, component_holds: &mut holds };
+//! let clause = check_gproof(&chain, &mut ctx).unwrap();
+//! assert_eq!(clause.conclusion, vec![Property::Stable(le(var(x), int(2)))]);
+//! ```
+
+use crate::classify::{classify, PropertyClass};
+use crate::error::CoreError;
+use crate::expr::build::implies;
+use crate::expr::Expr;
+use crate::properties::Property;
+
+/// A finite conjunction of properties (the empty set is `true`).
+pub type PropSet = Vec<Property>;
+
+/// A guarantees clause `hypothesis guarantees conclusion` with
+/// conjunction-set sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuaranteeClause {
+    /// The hypothesis conjunction `X`.
+    pub hypothesis: PropSet,
+    /// The conclusion conjunction `Y`.
+    pub conclusion: PropSet,
+}
+
+impl GuaranteeClause {
+    /// Builds a clause.
+    pub fn new(hypothesis: PropSet, conclusion: PropSet) -> Self {
+        GuaranteeClause {
+            hypothesis,
+            conclusion,
+        }
+    }
+}
+
+/// Derivation trees for guarantees clauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GProof {
+    /// An assumed clause (e.g. published with a component's specification).
+    /// The checker returns it unchanged; trust is the caller's concern,
+    /// exactly like [`crate::proof::rules::Proof::Premise`].
+    Premise(GuaranteeClause),
+    /// `X guarantees Y` when `X ⊒ Y`. Sound: in any system where the
+    /// hypothesis conjunction holds, entailment gives the conclusion —
+    /// no component behaviour is even consulted.
+    Consequence {
+        /// Hypothesis set `X`.
+        hypothesis: PropSet,
+        /// Conclusion set `Y` with `X ⊒ Y`.
+        conclusion: PropSet,
+    },
+    /// Strengthen the hypothesis and/or weaken the conclusion. Sound:
+    /// anti-monotonicity of `guarantees` in its hypothesis and
+    /// monotonicity in its conclusion (immediate from the definition).
+    Weaken {
+        /// Proof of the original clause.
+        sub: Box<GProof>,
+        /// New hypothesis `X'` with `X' ⊒ X`.
+        hypothesis: PropSet,
+        /// New conclusion `Y'` with `Y ⊒ Y'`.
+        conclusion: PropSet,
+    },
+    /// Chain two clauses: from `X g Y` and `Y' g Z` with `Y ⊒ Y'`,
+    /// conclude `X g Z`. Sound: in a system containing both components
+    /// (or one component holding both clauses), `X` gives `Y`, entailment
+    /// gives `Y'`, the second clause gives `Z`.
+    Transitivity {
+        /// Proof of `X guarantees Y`.
+        first: Box<GProof>,
+        /// Proof of `Y' guarantees Z`.
+        second: Box<GProof>,
+    },
+    /// Conjoin two clauses side-wise. Sound: both definitions instantiate
+    /// on the same composed system.
+    Conjunction {
+        /// Proof of `X guarantees Y`.
+        left: Box<GProof>,
+        /// Proof of `X' guarantees Y'`.
+        right: Box<GProof>,
+    },
+    /// `∅ guarantees {prop}` from a component-scope fact: `prop` is
+    /// existential, so it survives into every composition containing the
+    /// component. The component-scope fact itself is discharged by the
+    /// `component_holds` oracle of [`CalcCtx`]. This is the paper's route
+    /// to existential liveness (`leadsto` on the right of `guarantees`)
+    /// when combined with `Premise`s proved by the leads-to kernel.
+    FromExistential {
+        /// The existential component property.
+        prop: Property,
+    },
+}
+
+impl GProof {
+    /// Short rule name for diagnostics.
+    pub fn rule_name(&self) -> &'static str {
+        match self {
+            GProof::Premise(_) => "g-premise",
+            GProof::Consequence { .. } => "g-consequence",
+            GProof::Weaken { .. } => "g-weaken",
+            GProof::Transitivity { .. } => "g-transitivity",
+            GProof::Conjunction { .. } => "g-conjunction",
+            GProof::FromExistential { .. } => "g-existential",
+        }
+    }
+
+    /// Number of rule applications in the tree.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            GProof::Premise(_) | GProof::Consequence { .. } | GProof::FromExistential { .. } => 0,
+            GProof::Weaken { sub, .. } => sub.size(),
+            GProof::Transitivity { first, second } => first.size() + second.size(),
+            GProof::Conjunction { left, right } => left.size() + right.size(),
+        }
+    }
+}
+
+/// Oracles the calculus checker needs: a validity decider for expression
+/// side conditions and a component-fact decider for `FromExistential`.
+pub struct CalcCtx<'a> {
+    /// Decides `⊨ e` (full-domain validity). `unity-mc`'s scan fits.
+    pub valid: &'a mut dyn FnMut(&Expr) -> bool,
+    /// Decides whether the clause-owning component satisfies a property.
+    pub component_holds: &'a mut dyn FnMut(&Property) -> bool,
+}
+
+fn shape(detail: String) -> CoreError {
+    CoreError::ProofShape {
+        rule: "guarantees",
+        detail,
+    }
+}
+
+/// Sound per-property entailment `a ⊩ b` ("any program satisfying `a`
+/// satisfies `b`"), with expression side conditions discharged by `valid`.
+///
+/// The facts used (each proved against the inductive semantics in the
+/// cross-crate tests):
+///
+/// * reflexivity (syntactic equality);
+/// * `invariant p ⊩ init p` and `invariant p ⊩ stable p` (unpacking the
+///   definition `invariant = init ∧ stable`);
+/// * `init p ⊩ init q` when `⊨ p ⇒ q`;
+/// * `next(p,q) ⊩ next(p',q')` when `⊨ p' ⇒ p` and `⊨ q ⇒ q'`
+///   (`stable` participates as `next(p,p)`);
+/// * `transient p ⊩ transient p'` when `⊨ p' ⇒ p` (a fair command
+///   falsifying `p` everywhere falsifies the smaller `p'` from every
+///   `p'`-state);
+/// * `leadsto(p,q) ⊩ leadsto(p',q')` when `⊨ p' ⇒ p` and `⊨ q ⇒ q'`
+///   (the kernel's `lt-mono`).
+///
+/// Deliberately *not* included: monotonicity of `stable`/`invariant` in
+/// `p` (unsound — stability is not upward closed).
+pub fn prop_entails(a: &Property, b: &Property, valid: &mut dyn FnMut(&Expr) -> bool) -> bool {
+    use Property::*;
+    if a == b {
+        return true;
+    }
+    // Normalize stable to next for uniform treatment.
+    let as_next = |p: &Property| -> Option<(Expr, Expr)> {
+        match p {
+            Next(x, y) => Some((x.clone(), y.clone())),
+            Stable(x) => Some((x.clone(), x.clone())),
+            _ => None,
+        }
+    };
+    match (a, b) {
+        (Invariant(p), Init(q)) | (Init(p), Init(q)) => valid(&implies(p.clone(), q.clone())),
+        (Invariant(p), Stable(q)) => p == q,
+        (Invariant(p), Next(q, r)) => {
+            valid(&implies(q.clone(), p.clone())) && valid(&implies(p.clone(), r.clone()))
+        }
+        (Transient(p), Transient(q)) => valid(&implies(q.clone(), p.clone())),
+        (LeadsTo(p, q), LeadsTo(p2, q2)) => {
+            valid(&implies(p2.clone(), p.clone())) && valid(&implies(q.clone(), q2.clone()))
+        }
+        _ => match (as_next(a), as_next(b)) {
+            (Some((p, q)), Some((p2, q2))) => {
+                valid(&implies(p2.clone(), p.clone())) && valid(&implies(q.clone(), q2.clone()))
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Set entailment `xs ⊒ ys`: every `y ∈ ys` is entailed by some `x ∈ xs`.
+/// Sound (the conjunction of `xs` implies each `y`), incomplete (no
+/// cross-property reasoning).
+pub fn set_entails(xs: &[Property], ys: &[Property], valid: &mut dyn FnMut(&Expr) -> bool) -> bool {
+    ys.iter()
+        .all(|y| xs.iter().any(|x| prop_entails(x, y, valid)))
+}
+
+/// Checks a derivation and returns the clause it proves.
+pub fn check_gproof(proof: &GProof, ctx: &mut CalcCtx<'_>) -> Result<GuaranteeClause, CoreError> {
+    match proof {
+        GProof::Premise(c) => Ok(c.clone()),
+        GProof::Consequence {
+            hypothesis,
+            conclusion,
+        } => {
+            if !set_entails(hypothesis, conclusion, ctx.valid) {
+                return Err(shape(
+                    "consequence: hypothesis set does not entail conclusion set".into(),
+                ));
+            }
+            Ok(GuaranteeClause::new(hypothesis.clone(), conclusion.clone()))
+        }
+        GProof::Weaken {
+            sub,
+            hypothesis,
+            conclusion,
+        } => {
+            let inner = check_gproof(sub, ctx)?;
+            if !set_entails(hypothesis, &inner.hypothesis, ctx.valid) {
+                return Err(shape(
+                    "weaken: new hypothesis does not entail the original hypothesis".into(),
+                ));
+            }
+            if !set_entails(&inner.conclusion, conclusion, ctx.valid) {
+                return Err(shape(
+                    "weaken: original conclusion does not entail the new conclusion".into(),
+                ));
+            }
+            Ok(GuaranteeClause::new(hypothesis.clone(), conclusion.clone()))
+        }
+        GProof::Transitivity { first, second } => {
+            let a = check_gproof(first, ctx)?;
+            let b = check_gproof(second, ctx)?;
+            if !set_entails(&a.conclusion, &b.hypothesis, ctx.valid) {
+                return Err(shape(
+                    "transitivity: first conclusion does not entail second hypothesis".into(),
+                ));
+            }
+            Ok(GuaranteeClause::new(a.hypothesis, b.conclusion))
+        }
+        GProof::Conjunction { left, right } => {
+            let a = check_gproof(left, ctx)?;
+            let b = check_gproof(right, ctx)?;
+            let mut hypothesis = a.hypothesis;
+            for h in b.hypothesis {
+                if !hypothesis.contains(&h) {
+                    hypothesis.push(h);
+                }
+            }
+            let mut conclusion = a.conclusion;
+            for c in b.conclusion {
+                if !conclusion.contains(&c) {
+                    conclusion.push(c);
+                }
+            }
+            Ok(GuaranteeClause::new(hypothesis, conclusion))
+        }
+        GProof::FromExistential { prop } => {
+            if classify(prop) != PropertyClass::Existential {
+                return Err(shape(format!(
+                    "existential intro on a {} property",
+                    prop.kind()
+                )));
+            }
+            if !(ctx.component_holds)(prop) {
+                return Err(shape(format!(
+                    "component does not satisfy the {} premise",
+                    prop.kind()
+                )));
+            }
+            Ok(GuaranteeClause::new(vec![], vec![prop.clone()]))
+        }
+    }
+}
+
+/// Elimination on a concrete system: given properties `established` of the
+/// composed system and a clause held by one of its components, returns the
+/// clause's conclusions (now system properties) if the established facts
+/// entail the hypothesis.
+pub fn eliminate(
+    clause: &GuaranteeClause,
+    established: &[Property],
+    valid: &mut dyn FnMut(&Expr) -> bool,
+) -> Result<PropSet, CoreError> {
+    if !set_entails(established, &clause.hypothesis, valid) {
+        return Err(shape(
+            "eliminate: established system facts do not entail the hypothesis".into(),
+        ));
+    }
+    Ok(clause.conclusion.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::expr::build::*;
+    use crate::expr::eval::eval_bool;
+    use crate::ident::Vocabulary;
+    use crate::state::StateSpaceIter;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        v
+    }
+
+    /// A real validity oracle: full-domain scan over the tiny vocabulary.
+    fn scan_valid(v: &Vocabulary) -> impl FnMut(&Expr) -> bool + '_ {
+        move |e: &Expr| StateSpaceIter::new(v).all(|s| eval_bool(e, &s))
+    }
+
+    fn ctx_parts(
+        v: &Vocabulary,
+    ) -> (
+        impl FnMut(&Expr) -> bool + '_,
+        impl FnMut(&Property) -> bool,
+    ) {
+        (scan_valid(v), |_: &Property| true)
+    }
+
+    #[test]
+    fn entailment_facts() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let mut valid = scan_valid(&v);
+        let p = le(var(x), int(1));
+        let q = le(var(x), int(2));
+        // init is monotone.
+        assert!(prop_entails(
+            &Property::Init(p.clone()),
+            &Property::Init(q.clone()),
+            &mut valid
+        ));
+        assert!(!prop_entails(
+            &Property::Init(q.clone()),
+            &Property::Init(p.clone()),
+            &mut valid
+        ));
+        // invariant unpacks.
+        assert!(prop_entails(
+            &Property::Invariant(p.clone()),
+            &Property::Stable(p.clone()),
+            &mut valid
+        ));
+        assert!(prop_entails(
+            &Property::Invariant(p.clone()),
+            &Property::Init(p.clone()),
+            &mut valid
+        ));
+        // invariant p entails next(q',r') for q' ⇒ p ⇒ r'.
+        assert!(prop_entails(
+            &Property::Invariant(p.clone()),
+            &Property::Next(eq(var(x), int(0)), q.clone()),
+            &mut valid
+        ));
+        // stable is NOT monotone.
+        assert!(!prop_entails(
+            &Property::Stable(p.clone()),
+            &Property::Stable(q.clone()),
+            &mut valid
+        ));
+        // but stable p entails next(p', q') with p' ⇒ p and p ⇒ q'.
+        assert!(prop_entails(
+            &Property::Stable(p.clone()),
+            &Property::Next(eq(var(x), int(0)), q.clone()),
+            &mut valid
+        ));
+        // transient is anti-monotone.
+        assert!(prop_entails(
+            &Property::Transient(q.clone()),
+            &Property::Transient(p.clone()),
+            &mut valid
+        ));
+        assert!(!prop_entails(
+            &Property::Transient(p.clone()),
+            &Property::Transient(q.clone()),
+            &mut valid
+        ));
+        // leadsto: strengthen lhs, weaken rhs.
+        assert!(prop_entails(
+            &Property::LeadsTo(q.clone(), p.clone()),
+            &Property::LeadsTo(p.clone(), q.clone()),
+            &mut valid
+        ));
+        assert!(!prop_entails(
+            &Property::LeadsTo(p, q.clone()),
+            &Property::LeadsTo(q.clone(), eq(var(x), int(0))),
+            &mut valid
+        ));
+    }
+
+    #[test]
+    fn consequence_and_weaken() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let (mut valid, mut holds) = ctx_parts(&v);
+        let mut ctx = CalcCtx {
+            valid: &mut valid,
+            component_holds: &mut holds,
+        };
+        let p = le(var(x), int(1));
+        let q = le(var(x), int(2));
+        let proof = GProof::Consequence {
+            hypothesis: vec![Property::Invariant(p.clone())],
+            conclusion: vec![Property::Stable(p.clone()), Property::Init(q.clone())],
+        };
+        let clause = check_gproof(&proof, &mut ctx).unwrap();
+        assert_eq!(clause.conclusion.len(), 2);
+        // Wrap in a weaken: stronger hypothesis, weaker conclusion.
+        let weak = GProof::Weaken {
+            sub: Box::new(proof),
+            hypothesis: vec![Property::Invariant(eq(var(x), int(0)))],
+            conclusion: vec![Property::Init(q)],
+        };
+        // Hypothesis `invariant (x==0)` entails `invariant (x<=1)`? Not by
+        // our facts (invariant not monotone) — so this must FAIL.
+        assert!(check_gproof(&weak, &mut ctx).is_err());
+        // A legitimate weaken: identical hypothesis, dropped conclusion.
+        let p2 = le(var(x), int(1));
+        let weak = GProof::Weaken {
+            sub: Box::new(GProof::Consequence {
+                hypothesis: vec![Property::Invariant(p2.clone())],
+                conclusion: vec![Property::Stable(p2.clone()), Property::Init(p2.clone())],
+            }),
+            hypothesis: vec![Property::Invariant(p2.clone())],
+            conclusion: vec![Property::Init(le(var(x), int(3)))],
+        };
+        let clause = check_gproof(&weak, &mut ctx).unwrap();
+        assert_eq!(clause.conclusion.len(), 1);
+    }
+
+    #[test]
+    fn transitivity_chains_and_rejects_gaps() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let (mut valid, mut holds) = ctx_parts(&v);
+        let mut ctx = CalcCtx {
+            valid: &mut valid,
+            component_holds: &mut holds,
+        };
+        let p0 = eq(var(x), int(0));
+        let p1 = le(var(x), int(1));
+        let p2 = le(var(x), int(2));
+        let first = GProof::Premise(GuaranteeClause::new(
+            vec![Property::Init(p0.clone())],
+            vec![Property::Init(p1.clone())],
+        ));
+        let second = GProof::Premise(GuaranteeClause::new(
+            vec![Property::Init(p2.clone())],
+            vec![Property::LeadsTo(tt(), p2.clone())],
+        ));
+        // init(x<=1) entails init(x<=2): chain is fine.
+        let chain = GProof::Transitivity {
+            first: Box::new(first.clone()),
+            second: Box::new(second),
+        };
+        let clause = check_gproof(&chain, &mut ctx).unwrap();
+        assert_eq!(clause.hypothesis, vec![Property::Init(p0.clone())]);
+        assert_eq!(clause.conclusion.len(), 1);
+        // A gap (second hypothesis not entailed) is rejected.
+        let second_bad = GProof::Premise(GuaranteeClause::new(
+            vec![Property::Init(p0)],
+            vec![Property::LeadsTo(tt(), p2)],
+        ));
+        let chain = GProof::Transitivity {
+            first: Box::new(first),
+            second: Box::new(second_bad),
+        };
+        assert!(check_gproof(&chain, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn conjunction_unions_without_duplicates() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let (mut valid, mut holds) = ctx_parts(&v);
+        let mut ctx = CalcCtx {
+            valid: &mut valid,
+            component_holds: &mut holds,
+        };
+        let h = Property::Init(le(var(x), int(1)));
+        let a = GProof::Premise(GuaranteeClause::new(
+            vec![h.clone()],
+            vec![Property::Stable(tt())],
+        ));
+        let b = GProof::Premise(GuaranteeClause::new(
+            vec![h.clone()],
+            vec![Property::Init(tt())],
+        ));
+        let c = check_gproof(
+            &GProof::Conjunction {
+                left: Box::new(a),
+                right: Box::new(b),
+            },
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(c.hypothesis, vec![h]);
+        assert_eq!(c.conclusion.len(), 2);
+    }
+
+    #[test]
+    fn existential_intro_checks_class_and_fact() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let mut valid = scan_valid(&v);
+        let tr = Property::Transient(eq(var(x), int(0)));
+        // Oracle says the component has it.
+        let mut yes = |_: &Property| true;
+        let mut ctx = CalcCtx {
+            valid: &mut valid,
+            component_holds: &mut yes,
+        };
+        let clause = check_gproof(&GProof::FromExistential { prop: tr.clone() }, &mut ctx).unwrap();
+        assert!(clause.hypothesis.is_empty());
+        assert_eq!(clause.conclusion, vec![tr.clone()]);
+        // A universal property is rejected regardless of the oracle.
+        let st = Property::Stable(tt());
+        assert!(check_gproof(&GProof::FromExistential { prop: st }, &mut ctx).is_err());
+        // Oracle refusal is fatal.
+        let mut valid2 = scan_valid(&v);
+        let mut no = |_: &Property| false;
+        let mut ctx = CalcCtx {
+            valid: &mut valid2,
+            component_holds: &mut no,
+        };
+        assert!(check_gproof(&GProof::FromExistential { prop: tr }, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn eliminate_discharges_hypothesis() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let mut valid = scan_valid(&v);
+        let clause = GuaranteeClause::new(
+            vec![Property::Init(le(var(x), int(2)))],
+            vec![Property::LeadsTo(tt(), eq(var(x), int(3)))],
+        );
+        // The system established a *stronger* init.
+        let est = vec![Property::Init(eq(var(x), int(0)))];
+        let out = eliminate(&clause, &est, &mut valid).unwrap();
+        assert_eq!(out, clause.conclusion);
+        // Weaker facts do not discharge.
+        let est = vec![Property::Init(le(var(x), int(3)))];
+        assert!(eliminate(&clause, &est, &mut valid).is_err());
+    }
+
+    #[test]
+    fn rule_names_and_size() {
+        let prem = GProof::Premise(GuaranteeClause::new(vec![], vec![]));
+        assert_eq!(prem.rule_name(), "g-premise");
+        let conj = GProof::Conjunction {
+            left: Box::new(prem.clone()),
+            right: Box::new(prem),
+        };
+        assert_eq!(conj.size(), 3);
+        assert_eq!(conj.rule_name(), "g-conjunction");
+    }
+}

@@ -1,0 +1,105 @@
+//! The `guarantees` operator (§2).
+//!
+//! ```text
+//! X guarantees Y  ≝  λF. ⟨∀G : F ⊥ G : X.(F ∥ G) ⇒ Y.(F ∥ G)⟩
+//! ```
+//!
+//! `guarantees` properties are existential: if one component of a system
+//! satisfies `X guarantees Y`, the whole system does. The paper notes that
+//! in its two case studies the operator is *not* needed (universal
+//! properties suffice), but it is part of the theory, so we provide it:
+//! a representation, the existential-composition theorem as a derived rule,
+//! and an *instance checker* that verifies the implication `X ⇒ Y` on one
+//! concrete composed system (the universally-quantified-over-environments
+//! statement is established by the kernel's rules, not by enumeration of
+//! all environments, which is impossible).
+
+pub mod calculus;
+
+use crate::properties::Property;
+
+/// The property `X guarantees Y`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Guarantees {
+    /// Hypothesis property `X` (on the composed system).
+    pub hypothesis: Box<Property>,
+    /// Conclusion property `Y` (on the composed system).
+    pub conclusion: Box<Property>,
+}
+
+impl Guarantees {
+    /// Builds `hypothesis guarantees conclusion`.
+    pub fn new(hypothesis: Property, conclusion: Property) -> Self {
+        Guarantees {
+            hypothesis: Box::new(hypothesis),
+            conclusion: Box::new(conclusion),
+        }
+    }
+
+    /// The *elimination* rule: in a system `S` containing a component with
+    /// this guarantee, if `S ⊨ X` then `S ⊨ Y`. Returns the conclusion to
+    /// be recorded once the hypothesis has been established.
+    ///
+    /// (Soundness: existentiality of `guarantees` lifts the component's
+    /// guarantee to `S`, and the definition then discharges `Y` from `X`.)
+    pub fn eliminate(&self) -> &Property {
+        &self.conclusion
+    }
+
+    /// The hypothesis that must be established on the composed system.
+    pub fn hypothesis(&self) -> &Property {
+        &self.hypothesis
+    }
+}
+
+impl std::fmt::Debug for DisplayGuarantees<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+/// Display helper for [`Guarantees`].
+pub struct DisplayGuarantees<'a> {
+    g: &'a Guarantees,
+    vocab: &'a crate::ident::Vocabulary,
+}
+
+impl Guarantees {
+    /// Renders with variable names.
+    pub fn display<'a>(&'a self, vocab: &'a crate::ident::Vocabulary) -> DisplayGuarantees<'a> {
+        DisplayGuarantees { g: self, vocab }
+    }
+}
+
+impl std::fmt::Display for DisplayGuarantees<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} guarantees {}",
+            self.g.hypothesis.display(self.vocab),
+            self.g.conclusion.display(self.vocab)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::expr::build::*;
+    use crate::ident::Vocabulary;
+
+    #[test]
+    fn construct_and_display() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let g = Guarantees::new(
+            Property::Stable(eq(var(x), int(0))),
+            Property::LeadsTo(tt(), eq(var(x), int(0))),
+        );
+        let s = g.display(&v).to_string();
+        assert!(s.contains("guarantees"));
+        assert_eq!(g.eliminate(), &Property::LeadsTo(tt(), eq(var(x), int(0))));
+        assert_eq!(g.hypothesis(), &Property::Stable(eq(var(x), int(0))));
+    }
+}

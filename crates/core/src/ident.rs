@@ -1,0 +1,214 @@
+//! Variable identifiers and vocabularies.
+//!
+//! A [`Vocabulary`] is the set of typed variables a program (or a composed
+//! system) may mention. Variables are referred to by dense [`VarId`] indices
+//! so that states can be stored as flat arrays and expressions can be
+//! evaluated without hashing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::domain::Domain;
+use crate::error::CoreError;
+
+/// Index of a variable within a [`Vocabulary`].
+///
+/// `VarId`s are only meaningful relative to the vocabulary that issued them;
+/// composing programs built over different vocabularies remaps ids (see
+/// [`Vocabulary::merge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A declared variable: a name plus a finite domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name, unique within a vocabulary.
+    pub name: String,
+    /// Finite domain of values the variable ranges over.
+    pub domain: Domain,
+}
+
+/// An ordered collection of variable declarations with unique names.
+///
+/// The order of declaration fixes the [`VarId`] assignment and therefore the
+/// layout of [`State`](crate::state::State) vectors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    vars: Vec<VarDecl>,
+    index: HashMap<String, VarId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a variable, returning its id.
+    ///
+    /// Fails if a variable of the same name but a *different* domain already
+    /// exists. Re-declaring an identical variable returns the existing id,
+    /// which makes building shared-variable components convenient.
+    pub fn declare(&mut self, name: &str, domain: Domain) -> Result<VarId, CoreError> {
+        if let Some(&id) = self.index.get(name) {
+            let existing = &self.vars[id.index()];
+            if existing.domain == domain {
+                return Ok(id);
+            }
+            return Err(CoreError::DomainMismatch {
+                var: name.to_string(),
+                left: existing.domain.clone(),
+                right: domain,
+            });
+        }
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl {
+            name: name.to_string(),
+            domain,
+        });
+        self.index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a variable id by name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.index.get(name).copied()
+    }
+
+    /// The declaration for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this vocabulary.
+    pub fn decl(&self, id: VarId) -> &VarDecl {
+        &self.vars[id.index()]
+    }
+
+    /// The name of `id`.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.vars[id.index()].name
+    }
+
+    /// The domain of `id`.
+    pub fn domain(&self, id: VarId) -> &Domain {
+        &self.vars[id.index()].domain
+    }
+
+    /// Number of declared variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variables are declared.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over `(id, decl)` pairs in declaration order.
+    pub fn iter(
+        &self,
+    ) -> impl DoubleEndedIterator<Item = (VarId, &VarDecl)> + ExactSizeIterator {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (VarId(i as u32), d))
+    }
+
+    /// All ids in declaration order.
+    pub fn ids(&self) -> impl Iterator<Item = VarId> + 'static {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// Total number of states in the full domain product.
+    ///
+    /// Returns `None` on overflow (astronomically large spaces).
+    pub fn space_size(&self) -> Option<u64> {
+        let mut n: u64 = 1;
+        for d in &self.vars {
+            n = n.checked_mul(d.domain.size())?;
+        }
+        Some(n)
+    }
+
+    /// Merges `other` into `self`, returning a remapping table such that
+    /// `map[old.index()]` is the id of the same-named variable in `self`.
+    ///
+    /// Fails on domain mismatches for shared names.
+    pub fn merge(&mut self, other: &Vocabulary) -> Result<Vec<VarId>, CoreError> {
+        let mut map = Vec::with_capacity(other.len());
+        for (_, decl) in other.iter() {
+            let id = self.declare(&decl.name, decl.domain.clone())?;
+            map.push(id);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::Bool).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(v.lookup("x"), Some(x));
+        assert_eq!(v.lookup("y"), Some(y));
+        assert_eq!(v.lookup("z"), None);
+        assert_eq!(v.name(x), "x");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn redeclare_same_domain_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.declare("x", Domain::Bool).unwrap();
+        let b = v.declare("x", Domain::Bool).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn redeclare_different_domain_fails() {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::Bool).unwrap();
+        let err = v.declare("x", Domain::int_range(0, 1).unwrap());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn space_size_products() {
+        let mut v = Vocabulary::new();
+        v.declare("a", Domain::Bool).unwrap();
+        v.declare("b", Domain::int_range(0, 4).unwrap()).unwrap();
+        assert_eq!(v.space_size(), Some(10));
+    }
+
+    #[test]
+    fn merge_remaps() {
+        let mut v1 = Vocabulary::new();
+        v1.declare("x", Domain::Bool).unwrap();
+        let mut v2 = Vocabulary::new();
+        let y2 = v2.declare("y", Domain::Bool).unwrap();
+        let x2 = v2.declare("x", Domain::Bool).unwrap();
+        let map = v1.merge(&v2).unwrap();
+        assert_eq!(map[y2.index()], VarId(1));
+        assert_eq!(map[x2.index()], VarId(0));
+        assert_eq!(v1.len(), 2);
+    }
+}

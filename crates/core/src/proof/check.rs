@@ -1,0 +1,873 @@
+//! The proof checker: computes each node's conclusion bottom-up and
+//! verifies every side condition, delegating semantic leaves to a
+//! [`Discharger`].
+
+use crate::classify::{classify, PropertyClass};
+use crate::error::CoreError;
+use crate::expr::build::{and, and2, implies, not, or, tt};
+use crate::expr::Expr;
+use crate::ident::Vocabulary;
+use crate::properties::Property;
+
+use super::rules::{induction_bound_condition, induction_step_goal, Proof};
+use super::{Discharger, Judgment, Scope};
+
+/// Statistics about a checked proof.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Total rule applications (tree nodes).
+    pub rules: usize,
+    /// Premise leaves discharged.
+    pub premises: usize,
+    /// Validity / equivalence side conditions discharged.
+    pub side_conditions: usize,
+}
+
+/// Context for checking a proof.
+pub struct CheckCtx<'a> {
+    /// Semantic back-end for leaves and side conditions.
+    pub discharger: &'a mut dyn Discharger,
+    /// Number of components of the system (required by universal lifting).
+    pub n_components: Option<usize>,
+    /// Vocabulary for type checking conclusions (optional but recommended).
+    pub vocab: Option<&'a Vocabulary>,
+    /// Accumulated statistics.
+    pub stats: CheckStats,
+}
+
+impl<'a> CheckCtx<'a> {
+    /// Builds a context.
+    pub fn new(discharger: &'a mut dyn Discharger) -> Self {
+        CheckCtx {
+            discharger,
+            n_components: None,
+            vocab: None,
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// Sets the component count (needed by [`Proof::LiftUniversal`]).
+    pub fn with_components(mut self, n: usize) -> Self {
+        self.n_components = Some(n);
+        self
+    }
+
+    /// Sets the vocabulary for conclusion type checking.
+    pub fn with_vocab(mut self, v: &'a Vocabulary) -> Self {
+        self.vocab = Some(v);
+        self
+    }
+
+    fn valid(&mut self, p: &Expr) -> Result<(), CoreError> {
+        self.stats.side_conditions += 1;
+        self.discharger.valid(p)
+    }
+
+    fn equivalent(&mut self, a: &Expr, b: &Expr) -> Result<(), CoreError> {
+        self.stats.side_conditions += 1;
+        self.discharger.equivalent(a, b)
+    }
+}
+
+fn shape_err(rule: &'static str, detail: impl Into<String>) -> CoreError {
+    CoreError::ProofShape {
+        rule,
+        detail: detail.into(),
+    }
+}
+
+/// Views `Next(p,q)` or `Stable(p)` (i.e. `p next p`) uniformly.
+fn as_next(prop: &Property, rule: &'static str) -> Result<(Expr, Expr), CoreError> {
+    match prop {
+        Property::Next(p, q) => Ok((p.clone(), q.clone())),
+        Property::Stable(p) => Ok((p.clone(), p.clone())),
+        other => Err(shape_err(
+            rule,
+            format!("expected a next/stable judgment, found {}", other.kind()),
+        )),
+    }
+}
+
+fn as_leadsto(prop: &Property, rule: &'static str) -> Result<(Expr, Expr), CoreError> {
+    match prop {
+        Property::LeadsTo(p, q) => Ok((p.clone(), q.clone())),
+        other => Err(shape_err(
+            rule,
+            format!("expected a leadsto judgment, found {}", other.kind()),
+        )),
+    }
+}
+
+fn require_scope(j: &Judgment, want: Scope, rule: &'static str) -> Result<(), CoreError> {
+    if j.scope != want {
+        return Err(shape_err(
+            rule,
+            format!("expected a {want}-scoped judgment, found {}", j.scope),
+        ));
+    }
+    Ok(())
+}
+
+/// Whether `expr` is syntactically *covered* by the set `parts`: every
+/// branch of `expr` bottoms out in a literal or in a subterm syntactically
+/// equal to one of `parts`. If so, the value of `expr` is a function of the
+/// values of `parts` — this is the soundness condition of
+/// [`Proof::UnchangedCompose`].
+pub fn covers(expr: &Expr, parts: &[&Expr]) -> bool {
+    if parts.contains(&expr) {
+        return true;
+    }
+    match expr {
+        Expr::Lit(_) => true,
+        Expr::Var(_) => false,
+        Expr::Not(a) | Expr::Neg(a) => covers(a, parts),
+        Expr::Bin(_, a, b) => covers(a, parts) && covers(b, parts),
+        Expr::Ite(c, t, f) => covers(c, parts) && covers(t, parts) && covers(f, parts),
+        Expr::NAry(_, args) => args.iter().all(|a| covers(a, parts)),
+    }
+}
+
+/// Checks `proof`, returning its conclusion.
+pub fn check(proof: &Proof, ctx: &mut CheckCtx<'_>) -> Result<Judgment, CoreError> {
+    ctx.stats.rules += 1;
+    let concluded = match proof {
+        Proof::Premise(j) => {
+            ctx.stats.premises += 1;
+            ctx.discharger.discharge(j)?;
+            j.clone()
+        }
+
+        // ----- leadsto -----
+        Proof::LtTransient { sub } => {
+            let j = check(sub, ctx)?;
+            require_scope(&j, Scope::System, "lt-transient")?;
+            match &j.prop {
+                Property::Transient(q) => {
+                    Judgment::system(Property::LeadsTo(tt(), not(q.clone())))
+                }
+                other => {
+                    return Err(shape_err(
+                        "lt-transient",
+                        format!("expected transient, found {}", other.kind()),
+                    ))
+                }
+            }
+        }
+        Proof::LtImplication { p, q } => {
+            ctx.valid(&implies(p.clone(), q.clone()))?;
+            Judgment::system(Property::LeadsTo(p.clone(), q.clone()))
+        }
+        Proof::LtDisjunction { subs } => {
+            if subs.is_empty() {
+                return Err(shape_err("lt-disjunction", "no disjuncts"));
+            }
+            let mut ps = Vec::with_capacity(subs.len());
+            let mut q_common: Option<Expr> = None;
+            for s in subs {
+                let j = check(s, ctx)?;
+                require_scope(&j, Scope::System, "lt-disjunction")?;
+                let (p, q) = as_leadsto(&j.prop, "lt-disjunction")?;
+                match &q_common {
+                    None => q_common = Some(q),
+                    Some(qc) if *qc == q => {}
+                    Some(_) => {
+                        return Err(shape_err(
+                            "lt-disjunction",
+                            "right-hand sides differ across disjuncts",
+                        ))
+                    }
+                }
+                ps.push(p);
+            }
+            Judgment::system(Property::LeadsTo(or(ps), q_common.unwrap()))
+        }
+        Proof::LtTransitivity { first, second } => {
+            let j1 = check(first, ctx)?;
+            let j2 = check(second, ctx)?;
+            require_scope(&j1, Scope::System, "lt-transitivity")?;
+            require_scope(&j2, Scope::System, "lt-transitivity")?;
+            let (p, q) = as_leadsto(&j1.prop, "lt-transitivity")?;
+            let (q2, r) = as_leadsto(&j2.prop, "lt-transitivity")?;
+            if q != q2 {
+                return Err(shape_err(
+                    "lt-transitivity",
+                    "middle predicates do not match syntactically (use lt-mono to align)",
+                ));
+            }
+            Judgment::system(Property::LeadsTo(p, r))
+        }
+        Proof::LtPsp { lt, next } => {
+            let jl = check(lt, ctx)?;
+            let jn = check(next, ctx)?;
+            require_scope(&jl, Scope::System, "lt-psp")?;
+            require_scope(&jn, Scope::System, "lt-psp")?;
+            let (p, q) = as_leadsto(&jl.prop, "lt-psp")?;
+            let (s, t) = as_next(&jn.prop, "lt-psp")?;
+            let (lhs, rhs) = super::rules::psp_goal(&p, &q, &s, &t);
+            Judgment::system(Property::LeadsTo(lhs, rhs))
+        }
+        Proof::LtInduction {
+            p,
+            q,
+            metric,
+            bound,
+            steps,
+        } => {
+            if *bound < 0 {
+                return Err(shape_err("lt-induction", "negative bound"));
+            }
+            if steps.len() as i64 != bound + 1 {
+                return Err(shape_err(
+                    "lt-induction",
+                    format!("need {} steps, found {}", bound + 1, steps.len()),
+                ));
+            }
+            ctx.valid(&induction_bound_condition(p, metric, *bound))?;
+            for (m, step) in steps.iter().enumerate() {
+                let j = check(step, ctx)?;
+                require_scope(&j, Scope::System, "lt-induction")?;
+                let (lhs, rhs) = as_leadsto(&j.prop, "lt-induction")?;
+                let (want_l, want_r) = induction_step_goal(p, q, metric, m as i64);
+                if lhs != want_l || rhs != want_r {
+                    return Err(shape_err(
+                        "lt-induction",
+                        format!("step {m} does not match the required goal shape"),
+                    ));
+                }
+            }
+            Judgment::system(Property::LeadsTo(p.clone(), q.clone()))
+        }
+        Proof::LtMono { sub, p_new, q_new } => {
+            let j = check(sub, ctx)?;
+            require_scope(&j, Scope::System, "lt-mono")?;
+            let (p, q) = as_leadsto(&j.prop, "lt-mono")?;
+            ctx.valid(&implies(p_new.clone(), p))?;
+            ctx.valid(&implies(q, q_new.clone()))?;
+            Judgment::system(Property::LeadsTo(p_new.clone(), q_new.clone()))
+        }
+        Proof::LtInvariantLhs { lt, inv } => {
+            let jl = check(lt, ctx)?;
+            let ji = check(inv, ctx)?;
+            require_scope(&jl, Scope::System, "lt-invariant-lhs")?;
+            require_scope(&ji, Scope::System, "lt-invariant-lhs")?;
+            let (lhs, q) = as_leadsto(&jl.prop, "lt-invariant-lhs")?;
+            let inv_pred = match &ji.prop {
+                Property::Invariant(i) => i.clone(),
+                other => {
+                    return Err(shape_err(
+                        "lt-invariant-lhs",
+                        format!("expected invariant, found {}", other.kind()),
+                    ))
+                }
+            };
+            // lhs must be syntactically (p ∧ I).
+            match lhs {
+                Expr::Bin(crate::expr::BinOp::And, p, i) if *i == inv_pred => {
+                    Judgment::system(Property::LeadsTo(*p, q))
+                }
+                _ => {
+                    return Err(shape_err(
+                        "lt-invariant-lhs",
+                        "leadsto left-hand side is not syntactically `p && I`",
+                    ))
+                }
+            }
+        }
+
+        // ----- inductive safety -----
+        Proof::StableConj { subs } => {
+            if subs.is_empty() {
+                return Err(shape_err("stable-conj", "no conjuncts"));
+            }
+            let mut scope = None;
+            let mut ps = Vec::with_capacity(subs.len());
+            for s in subs {
+                let j = check(s, ctx)?;
+                match &j.prop {
+                    Property::Stable(p) => ps.push(p.clone()),
+                    other => {
+                        return Err(shape_err(
+                            "stable-conj",
+                            format!("expected stable, found {}", other.kind()),
+                        ))
+                    }
+                }
+                match scope {
+                    None => scope = Some(j.scope),
+                    Some(sc) if sc == j.scope => {}
+                    Some(_) => return Err(shape_err("stable-conj", "mixed scopes")),
+                }
+            }
+            Judgment::new(scope.unwrap(), Property::Stable(and(ps)))
+        }
+        Proof::NextWeaken { sub, p_new, q_new } => {
+            let j = check(sub, ctx)?;
+            let (p, q) = as_next(&j.prop, "next-weaken")?;
+            ctx.valid(&implies(p_new.clone(), p))?;
+            ctx.valid(&implies(q, q_new.clone()))?;
+            Judgment::new(j.scope, Property::Next(p_new.clone(), q_new.clone()))
+        }
+        Proof::NextDisj { left, right } => {
+            let jl = check(left, ctx)?;
+            let jr = check(right, ctx)?;
+            if jl.scope != jr.scope {
+                return Err(shape_err("next-disj", "mixed scopes"));
+            }
+            let (p1, q1) = as_next(&jl.prop, "next-disj")?;
+            let (p2, q2) = as_next(&jr.prop, "next-disj")?;
+            Judgment::new(
+                jl.scope,
+                Property::Next(
+                    crate::expr::build::or2(p1, p2),
+                    crate::expr::build::or2(q1, q2),
+                ),
+            )
+        }
+        Proof::NextConj { left, right } => {
+            let jl = check(left, ctx)?;
+            let jr = check(right, ctx)?;
+            if jl.scope != jr.scope {
+                return Err(shape_err("next-conj", "mixed scopes"));
+            }
+            let (p1, q1) = as_next(&jl.prop, "next-conj")?;
+            let (p2, q2) = as_next(&jr.prop, "next-conj")?;
+            Judgment::new(jl.scope, Property::Next(and2(p1, p2), and2(q1, q2)))
+        }
+        Proof::UnchangedCompose { parts, expr } => {
+            if parts.is_empty() {
+                return Err(shape_err("unchanged-compose", "no parts"));
+            }
+            let mut scope = None;
+            let mut exprs = Vec::with_capacity(parts.len());
+            for s in parts {
+                let j = check(s, ctx)?;
+                match &j.prop {
+                    Property::Unchanged(e) => exprs.push(e.clone()),
+                    other => {
+                        return Err(shape_err(
+                            "unchanged-compose",
+                            format!("expected unchanged, found {}", other.kind()),
+                        ))
+                    }
+                }
+                match scope {
+                    None => scope = Some(j.scope),
+                    Some(sc) if sc == j.scope => {}
+                    Some(_) => return Err(shape_err("unchanged-compose", "mixed scopes")),
+                }
+            }
+            let refs: Vec<&Expr> = exprs.iter().collect();
+            if !covers(expr, &refs) {
+                return Err(shape_err(
+                    "unchanged-compose",
+                    "expression is not syntactically covered by the unchanged parts",
+                ));
+            }
+            Judgment::new(scope.unwrap(), Property::Unchanged(expr.clone()))
+        }
+        Proof::UnchangedEquiv { sub, to } => {
+            let j = check(sub, ctx)?;
+            match &j.prop {
+                Property::Unchanged(e) => {
+                    ctx.equivalent(e, to)?;
+                    Judgment::new(j.scope, Property::Unchanged(to.clone()))
+                }
+                other => {
+                    return Err(shape_err(
+                        "unchanged-equiv",
+                        format!("expected unchanged, found {}", other.kind()),
+                    ))
+                }
+            }
+        }
+        Proof::StableFromUnchanged { sub } => {
+            let j = check(sub, ctx)?;
+            match &j.prop {
+                Property::Unchanged(p) => {
+                    if let Some(v) = ctx.vocab {
+                        p.check_pred(v)?;
+                    }
+                    Judgment::new(j.scope, Property::Stable(p.clone()))
+                }
+                other => {
+                    return Err(shape_err(
+                        "stable-from-unchanged",
+                        format!("expected unchanged, found {}", other.kind()),
+                    ))
+                }
+            }
+        }
+        Proof::InvariantIntro { init, stable } => {
+            let ji = check(init, ctx)?;
+            let js = check(stable, ctx)?;
+            if ji.scope != js.scope {
+                return Err(shape_err("invariant-intro", "mixed scopes"));
+            }
+            match (&ji.prop, &js.prop) {
+                (Property::Init(p), Property::Stable(q)) if p == q => {
+                    Judgment::new(ji.scope, Property::Invariant(p.clone()))
+                }
+                _ => {
+                    return Err(shape_err(
+                        "invariant-intro",
+                        "need init p and stable p with the same p",
+                    ))
+                }
+            }
+        }
+        Proof::InvariantStrengthen { sub, q } => {
+            let j = check(sub, ctx)?;
+            match &j.prop {
+                Property::Invariant(p) => {
+                    ctx.valid(&implies(p.clone(), q.clone()))?;
+                    Judgment::new(j.scope, Property::Invariant(and2(p.clone(), q.clone())))
+                }
+                other => {
+                    return Err(shape_err(
+                        "invariant-strengthen",
+                        format!("expected invariant, found {}", other.kind()),
+                    ))
+                }
+            }
+        }
+        Proof::InitWeaken { sub, q } => {
+            let j = check(sub, ctx)?;
+            match &j.prop {
+                Property::Init(p) => {
+                    ctx.valid(&implies(p.clone(), q.clone()))?;
+                    Judgment::new(j.scope, Property::Init(q.clone()))
+                }
+                other => {
+                    return Err(shape_err(
+                        "init-weaken",
+                        format!("expected init, found {}", other.kind()),
+                    ))
+                }
+            }
+        }
+        Proof::InitConj { subs } => {
+            if subs.is_empty() {
+                return Err(shape_err("init-conj", "no conjuncts"));
+            }
+            let mut scope = None;
+            let mut ps = Vec::with_capacity(subs.len());
+            for s in subs {
+                let j = check(s, ctx)?;
+                match &j.prop {
+                    Property::Init(p) => ps.push(p.clone()),
+                    other => {
+                        return Err(shape_err(
+                            "init-conj",
+                            format!("expected init, found {}", other.kind()),
+                        ))
+                    }
+                }
+                match scope {
+                    None => scope = Some(j.scope),
+                    Some(sc) if sc == j.scope => {}
+                    Some(_) => return Err(shape_err("init-conj", "mixed scopes")),
+                }
+            }
+            Judgment::new(scope.unwrap(), Property::Init(and(ps)))
+        }
+        Proof::TransientStrengthen { sub, q } => {
+            let j = check(sub, ctx)?;
+            match &j.prop {
+                Property::Transient(p) => {
+                    ctx.valid(&implies(q.clone(), p.clone()))?;
+                    Judgment::new(j.scope, Property::Transient(q.clone()))
+                }
+                other => {
+                    return Err(shape_err(
+                        "transient-strengthen",
+                        format!("expected transient, found {}", other.kind()),
+                    ))
+                }
+            }
+        }
+
+        // ----- lifting -----
+        Proof::LiftUniversal {
+            prop,
+            per_component,
+        } => {
+            if classify(prop) != PropertyClass::Universal {
+                return Err(shape_err(
+                    "lift-universal",
+                    format!("{} is not a universal property type", prop.kind()),
+                ));
+            }
+            let n = ctx.n_components.ok_or_else(|| {
+                shape_err("lift-universal", "component count unknown in this context")
+            })?;
+            if per_component.len() != n {
+                return Err(shape_err(
+                    "lift-universal",
+                    format!("need {n} component proofs, found {}", per_component.len()),
+                ));
+            }
+            for (i, s) in per_component.iter().enumerate() {
+                let j = check(s, ctx)?;
+                if j.scope != Scope::Component(i) {
+                    return Err(shape_err(
+                        "lift-universal",
+                        format!("proof {i} is scoped to {}, expected component {i}", j.scope),
+                    ));
+                }
+                if j.prop != *prop {
+                    return Err(shape_err(
+                        "lift-universal",
+                        format!("component {i} proves a different property"),
+                    ));
+                }
+            }
+            Judgment::system(prop.clone())
+        }
+        Proof::LiftExistential { component, sub } => {
+            let j = check(sub, ctx)?;
+            if classify(&j.prop) != PropertyClass::Existential {
+                return Err(shape_err(
+                    "lift-existential",
+                    format!("{} is not an existential property type", j.prop.kind()),
+                ));
+            }
+            if j.scope != Scope::Component(*component) {
+                return Err(shape_err(
+                    "lift-existential",
+                    format!("expected a proof scoped to component {component}"),
+                ));
+            }
+            if let Some(n) = ctx.n_components {
+                if *component >= n {
+                    return Err(shape_err(
+                        "lift-existential",
+                        format!("component {component} out of range ({n} components)"),
+                    ));
+                }
+            }
+            Judgment::system(j.prop)
+        }
+    };
+    if let Some(v) = ctx.vocab {
+        concluded.prop.check_types(v)?;
+    }
+    Ok(concluded)
+}
+
+/// Convenience wrapper: check `proof` and verify the conclusion equals
+/// `expected`.
+pub fn check_concludes(
+    proof: &Proof,
+    expected: &Judgment,
+    ctx: &mut CheckCtx<'_>,
+) -> Result<CheckStats, CoreError> {
+    let got = check(proof, ctx)?;
+    if got != *expected {
+        return Err(CoreError::ProofShape {
+            rule: "conclusion",
+            detail: format!(
+                "proof concludes a different judgment than expected (got {} {:?})",
+                got.prop.kind(),
+                got.scope
+            ),
+        });
+    }
+    Ok(ctx.stats.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::build::*;
+    use crate::ident::VarId;
+    use crate::proof::AssumeAll;
+
+    fn sysj(p: Property) -> Judgment {
+        Judgment::system(p)
+    }
+
+    #[test]
+    fn transient_rule() {
+        let q = eq(var(VarId(0)), int(1));
+        let proof = Proof::LtTransient {
+            sub: Box::new(Proof::premise(sysj(Property::Transient(q.clone())))),
+        };
+        let mut d = AssumeAll::default();
+        let mut ctx = CheckCtx::new(&mut d);
+        let j = check(&proof, &mut ctx).unwrap();
+        assert_eq!(j, sysj(Property::LeadsTo(tt(), not(q))));
+        assert_eq!(ctx.stats.premises, 1);
+    }
+
+    #[test]
+    fn transitivity_requires_matching_middle() {
+        let a = var(VarId(0));
+        let b = var(VarId(1));
+        let c = var(VarId(2));
+        let good = Proof::LtTransitivity {
+            first: Box::new(Proof::premise(sysj(Property::LeadsTo(a.clone(), b.clone())))),
+            second: Box::new(Proof::premise(sysj(Property::LeadsTo(b.clone(), c.clone())))),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&good, &mut CheckCtx::new(&mut d)).unwrap();
+        assert_eq!(j, sysj(Property::LeadsTo(a.clone(), c.clone())));
+
+        let bad = Proof::LtTransitivity {
+            first: Box::new(Proof::premise(sysj(Property::LeadsTo(a.clone(), b)))),
+            second: Box::new(Proof::premise(sysj(Property::LeadsTo(c.clone(), a)))),
+        };
+        let mut d = AssumeAll::default();
+        assert!(check(&bad, &mut CheckCtx::new(&mut d)).is_err());
+    }
+
+    #[test]
+    fn psp_shape() {
+        let p = var(VarId(0));
+        let q = var(VarId(1));
+        let s = var(VarId(2));
+        let t = var(VarId(3));
+        let proof = Proof::LtPsp {
+            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(p.clone(), q.clone())))),
+            next: Box::new(Proof::premise(sysj(Property::Next(s.clone(), t.clone())))),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d)).unwrap();
+        let (lhs, rhs) = super::super::rules::psp_goal(&p, &q, &s, &t);
+        assert_eq!(j, sysj(Property::LeadsTo(lhs, rhs)));
+    }
+
+    #[test]
+    fn stable_feeds_psp_as_next() {
+        let p = var(VarId(0));
+        let q = var(VarId(1));
+        let s = var(VarId(2));
+        let proof = Proof::LtPsp {
+            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(p.clone(), q.clone())))),
+            next: Box::new(Proof::premise(sysj(Property::Stable(s.clone())))),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d)).unwrap();
+        let (lhs, rhs) = super::super::rules::psp_goal(&p, &q, &s, &s);
+        assert_eq!(j, sysj(Property::LeadsTo(lhs, rhs)));
+    }
+
+    #[test]
+    fn lift_universal_needs_all_components() {
+        let prop = Property::Stable(var(VarId(0)));
+        let mk = |i| Proof::premise(Judgment::component(i, prop.clone()));
+        let proof = Proof::LiftUniversal {
+            prop: prop.clone(),
+            per_component: vec![mk(0), mk(1)],
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d).with_components(2)).unwrap();
+        assert_eq!(j, sysj(prop.clone()));
+        // Wrong count fails.
+        let proof_short = Proof::LiftUniversal {
+            prop: prop.clone(),
+            per_component: vec![mk(0)],
+        };
+        let mut d = AssumeAll::default();
+        assert!(check(&proof_short, &mut CheckCtx::new(&mut d).with_components(2)).is_err());
+        // Existential property type rejected.
+        let bad = Proof::LiftUniversal {
+            prop: Property::Init(tt()),
+            per_component: vec![Proof::premise(Judgment::component(0, Property::Init(tt())))],
+        };
+        let mut d = AssumeAll::default();
+        assert!(check(&bad, &mut CheckCtx::new(&mut d).with_components(1)).is_err());
+    }
+
+    #[test]
+    fn lift_existential() {
+        let prop = Property::Transient(var(VarId(0)));
+        let proof = Proof::LiftExistential {
+            component: 1,
+            sub: Box::new(Proof::premise(Judgment::component(1, prop.clone()))),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d).with_components(3)).unwrap();
+        assert_eq!(j, sysj(prop));
+        // Universal property type rejected.
+        let bad = Proof::LiftExistential {
+            component: 0,
+            sub: Box::new(Proof::premise(Judgment::component(0, Property::Stable(tt())))),
+        };
+        let mut d = AssumeAll::default();
+        assert!(check(&bad, &mut CheckCtx::new(&mut d)).is_err());
+    }
+
+    #[test]
+    fn unchanged_compose_coverage() {
+        let e0 = sub(var(VarId(2)), var(VarId(0))); // C - c0
+        let e1 = var(VarId(1)); // c1
+        let composed = sub(e0.clone(), e1.clone()); // (C - c0) - c1
+        let proof = Proof::UnchangedCompose {
+            parts: vec![
+                Proof::premise(Judgment::component(0, Property::Unchanged(e0.clone()))),
+                Proof::premise(Judgment::component(0, Property::Unchanged(e1.clone()))),
+            ],
+            expr: composed.clone(),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d)).unwrap();
+        assert_eq!(
+            j,
+            Judgment::component(0, Property::Unchanged(composed))
+        );
+        // Not covered: mentions a variable outside the parts.
+        let bad = Proof::UnchangedCompose {
+            parts: vec![Proof::premise(Judgment::component(
+                0,
+                Property::Unchanged(e0.clone()),
+            ))],
+            expr: sub(e0, var(VarId(5))),
+        };
+        let mut d = AssumeAll::default();
+        assert!(check(&bad, &mut CheckCtx::new(&mut d)).is_err());
+    }
+
+    #[test]
+    fn invariant_intro_and_strengthen() {
+        let p = var(VarId(0));
+        let q = var(VarId(1));
+        let proof = Proof::InvariantStrengthen {
+            sub: Box::new(Proof::InvariantIntro {
+                init: Box::new(Proof::premise(sysj(Property::Init(p.clone())))),
+                stable: Box::new(Proof::premise(sysj(Property::Stable(p.clone())))),
+            }),
+            q: q.clone(),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d)).unwrap();
+        assert_eq!(j, sysj(Property::Invariant(and2(p, q))));
+    }
+
+    #[test]
+    fn induction_structure() {
+        let p = tt();
+        let q = var(VarId(0));
+        let metric = var(VarId(1));
+        let steps: Vec<Proof> = (0..=2)
+            .map(|m| {
+                let (l, r) = induction_step_goal(&p, &q, &metric, m);
+                Proof::premise(sysj(Property::LeadsTo(l, r)))
+            })
+            .collect();
+        let proof = Proof::LtInduction {
+            p: p.clone(),
+            q: q.clone(),
+            metric,
+            bound: 2,
+            steps,
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d)).unwrap();
+        assert_eq!(j, sysj(Property::LeadsTo(p, q)));
+    }
+
+    #[test]
+    fn induction_wrong_step_count_fails() {
+        let proof = Proof::LtInduction {
+            p: tt(),
+            q: ff(),
+            metric: int(0),
+            bound: 2,
+            steps: vec![],
+        };
+        let mut d = AssumeAll::default();
+        assert!(check(&proof, &mut CheckCtx::new(&mut d)).is_err());
+    }
+
+    #[test]
+    fn check_concludes_mismatch() {
+        let proof = Proof::premise(sysj(Property::Init(tt())));
+        let mut d = AssumeAll::default();
+        let mut ctx = CheckCtx::new(&mut d);
+        let wrong = sysj(Property::Init(ff()));
+        assert!(check_concludes(&proof, &wrong, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn invariant_lhs_elimination() {
+        let p = var(VarId(0));
+        let inv = var(VarId(1));
+        let q = var(VarId(2));
+        let proof = Proof::LtInvariantLhs {
+            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(
+                and2(p.clone(), inv.clone()),
+                q.clone(),
+            )))),
+            inv: Box::new(Proof::premise(sysj(Property::Invariant(inv.clone())))),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d)).unwrap();
+        assert_eq!(j, sysj(Property::LeadsTo(p, q)));
+    }
+
+    #[test]
+    fn invariant_lhs_requires_exact_conjunction_shape() {
+        let p = var(VarId(0));
+        let inv = var(VarId(1));
+        // lhs is `inv && p` (wrong order w.r.t. `Invariant(inv)`) — must be rejected.
+        let proof = Proof::LtInvariantLhs {
+            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(
+                and2(inv.clone(), p.clone()),
+                tt(),
+            )))),
+            inv: Box::new(Proof::premise(sysj(Property::Invariant(inv.clone())))),
+        };
+        let mut d = AssumeAll::default();
+        assert!(check(&proof, &mut CheckCtx::new(&mut d)).is_err());
+        // And a non-invariant second premise is rejected.
+        let proof = Proof::LtInvariantLhs {
+            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(
+                and2(p.clone(), inv.clone()),
+                tt(),
+            )))),
+            inv: Box::new(Proof::premise(sysj(Property::Stable(inv)))),
+        };
+        let mut d = AssumeAll::default();
+        assert!(check(&proof, &mut CheckCtx::new(&mut d)).is_err());
+    }
+
+    #[test]
+    fn next_weaken_and_disj_shapes() {
+        let p = var(VarId(0));
+        let q = var(VarId(1));
+        let r = var(VarId(2));
+        let weaken = Proof::NextWeaken {
+            sub: Box::new(Proof::premise(sysj(Property::Next(p.clone(), q.clone())))),
+            p_new: r.clone(),
+            q_new: tt(),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&weaken, &mut CheckCtx::new(&mut d)).unwrap();
+        assert_eq!(j, sysj(Property::Next(r.clone(), tt())));
+        assert_eq!(d.validities, 2, "two implication side conditions");
+
+        let disj = Proof::NextDisj {
+            left: Box::new(Proof::premise(sysj(Property::Next(p.clone(), q.clone())))),
+            right: Box::new(Proof::premise(sysj(Property::Stable(r.clone())))),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&disj, &mut CheckCtx::new(&mut d)).unwrap();
+        assert_eq!(
+            j,
+            sysj(Property::Next(or2(p, r.clone()), or2(q, r)))
+        );
+    }
+
+    #[test]
+    fn transient_strengthen_shape() {
+        let p = var(VarId(0));
+        let q = and2(var(VarId(0)), var(VarId(1)));
+        let proof = Proof::TransientStrengthen {
+            sub: Box::new(Proof::premise(sysj(Property::Transient(p)))),
+            q: q.clone(),
+        };
+        let mut d = AssumeAll::default();
+        let j = check(&proof, &mut CheckCtx::new(&mut d)).unwrap();
+        assert_eq!(j, sysj(Property::Transient(q)));
+    }
+}

@@ -1,0 +1,241 @@
+//! A proof kernel for the paper's theory of composition.
+//!
+//! The paper derives system properties from component specifications using
+//! a small set of inference rules: the `leadsto` rules {Transient,
+//! Implication, Disjunction, Transitivity, PSP} plus induction over a
+//! well-founded metric, inductive-safety manipulations (`stable`/`next`
+//! conjunction and weakening, `invariant` introduction/strengthening), and
+//! the two *composition* rules — existential and universal lifting — that
+//! move component-scope judgments to system scope.
+//!
+//! [`Proof`](rules::Proof) trees encode derivations; [`check`](check::check)
+//! verifies them. Leaves are *premises*: base judgments discharged by a
+//! [`Discharger`] — in practice the `unity-mc` model checker (semantic
+//! check over a finite instance), or a [`FactBase`] of already-established
+//! facts. This split mirrors the paper's methodology: "almost mechanical"
+//! steps are rule applications; the "creative" steps (inventing the shared
+//! universal property) appear as the *statements* the proof author chooses
+//! to route through the lifting rules.
+
+pub mod check;
+pub mod pretty;
+pub mod rules;
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::expr::Expr;
+use crate::properties::Property;
+
+/// Where a judgment holds: of one component, or of the composed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// The `i`-th component of the system under consideration.
+    Component(usize),
+    /// The composed system.
+    System,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Component(i) => write!(f, "component {i}"),
+            Scope::System => write!(f, "system"),
+        }
+    }
+}
+
+/// A judgment: `scope ⊨ prop`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Judgment {
+    /// Scope of the judgment.
+    pub scope: Scope,
+    /// The property judged to hold.
+    pub prop: Property,
+}
+
+impl Judgment {
+    /// Builds a judgment.
+    pub fn new(scope: Scope, prop: Property) -> Self {
+        Judgment { scope, prop }
+    }
+
+    /// System-scoped judgment.
+    pub fn system(prop: Property) -> Self {
+        Judgment::new(Scope::System, prop)
+    }
+
+    /// Component-scoped judgment.
+    pub fn component(i: usize, prop: Property) -> Self {
+        Judgment::new(Scope::Component(i), prop)
+    }
+}
+
+/// Discharges leaf obligations of proofs.
+///
+/// Implementations: `unity-mc`'s model-checking discharger (semantic,
+/// exact on finite instances), [`FactBase`] (syntactic lookup of
+/// already-proved facts), and [`AssumeAll`] (for rendering/testing).
+pub trait Discharger {
+    /// Establishes `judgment` (a premise leaf).
+    fn discharge(&mut self, judgment: &Judgment) -> Result<(), CoreError>;
+
+    /// Establishes validity `⊨ p` over *all* type-consistent states.
+    fn valid(&mut self, p: &Expr) -> Result<(), CoreError>;
+
+    /// Establishes `⊨ a = b` (same value in every state).
+    fn equivalent(&mut self, a: &Expr, b: &Expr) -> Result<(), CoreError>;
+}
+
+/// A discharger that accepts everything. Useful for computing the
+/// conclusion of a proof tree or exercising the structural checks without
+/// semantic backing. **Never** use it to claim a theorem.
+#[derive(Debug, Default)]
+pub struct AssumeAll {
+    /// Count of discharged premises (for reporting).
+    pub premises: usize,
+    /// Count of accepted validity side conditions.
+    pub validities: usize,
+}
+
+impl Discharger for AssumeAll {
+    fn discharge(&mut self, _j: &Judgment) -> Result<(), CoreError> {
+        self.premises += 1;
+        Ok(())
+    }
+    fn valid(&mut self, _p: &Expr) -> Result<(), CoreError> {
+        self.validities += 1;
+        Ok(())
+    }
+    fn equivalent(&mut self, _a: &Expr, _b: &Expr) -> Result<(), CoreError> {
+        self.validities += 1;
+        Ok(())
+    }
+}
+
+/// A store of established judgments; discharges premises by (syntactic)
+/// lookup. Validity side conditions are rejected (route them through a
+/// semantic discharger).
+#[derive(Debug, Default, Clone)]
+pub struct FactBase {
+    facts: HashSet<Judgment>,
+}
+
+impl FactBase {
+    /// Empty fact base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a judgment as established.
+    pub fn record(&mut self, j: Judgment) -> &mut Self {
+        self.facts.insert(j);
+        self
+    }
+
+    /// Whether `j` has been recorded.
+    pub fn contains(&self, j: &Judgment) -> bool {
+        self.facts.contains(j)
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+impl Discharger for FactBase {
+    fn discharge(&mut self, j: &Judgment) -> Result<(), CoreError> {
+        if self.contains(j) {
+            Ok(())
+        } else {
+            Err(CoreError::Discharge {
+                obligation: format!("{:?} |= {}", j.scope, j.prop.kind()),
+                reason: "not in fact base".into(),
+            })
+        }
+    }
+    fn valid(&mut self, _p: &Expr) -> Result<(), CoreError> {
+        Err(CoreError::Discharge {
+            obligation: "validity side condition".into(),
+            reason: "FactBase cannot decide validity; use a semantic discharger".into(),
+        })
+    }
+    fn equivalent(&mut self, _a: &Expr, _b: &Expr) -> Result<(), CoreError> {
+        Err(CoreError::Discharge {
+            obligation: "equivalence side condition".into(),
+            reason: "FactBase cannot decide equivalence; use a semantic discharger".into(),
+        })
+    }
+}
+
+/// A discharger that consults a [`FactBase`] for premises and delegates
+/// validity/equivalence side conditions to another discharger.
+pub struct Layered<'a, D: Discharger> {
+    /// Fact base consulted first for premises.
+    pub facts: &'a mut FactBase,
+    /// Fallback (and side-condition) discharger.
+    pub fallback: &'a mut D,
+}
+
+impl<D: Discharger> Discharger for Layered<'_, D> {
+    fn discharge(&mut self, j: &Judgment) -> Result<(), CoreError> {
+        if self.facts.contains(j) {
+            return Ok(());
+        }
+        self.fallback.discharge(j)
+    }
+    fn valid(&mut self, p: &Expr) -> Result<(), CoreError> {
+        self.fallback.valid(p)
+    }
+    fn equivalent(&mut self, a: &Expr, b: &Expr) -> Result<(), CoreError> {
+        self.fallback.equivalent(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::build::*;
+
+    #[test]
+    fn fact_base_lookup() {
+        let mut fb = FactBase::new();
+        let j = Judgment::system(Property::Stable(tt()));
+        assert!(fb.discharge(&j).is_err());
+        fb.record(j.clone());
+        assert!(fb.discharge(&j).is_ok());
+        assert!(fb.valid(&tt()).is_err());
+        assert_eq!(fb.len(), 1);
+    }
+
+    #[test]
+    fn assume_all_counts() {
+        let mut d = AssumeAll::default();
+        d.discharge(&Judgment::component(0, Property::Init(tt()))).unwrap();
+        d.valid(&tt()).unwrap();
+        assert_eq!(d.premises, 1);
+        assert_eq!(d.validities, 1);
+    }
+
+    #[test]
+    fn layered_prefers_facts() {
+        let mut fb = FactBase::new();
+        let j = Judgment::system(Property::Init(tt()));
+        fb.record(j.clone());
+        let mut fallback = FactBase::new(); // empty: would fail
+        let mut layered = Layered {
+            facts: &mut fb,
+            fallback: &mut fallback,
+        };
+        assert!(layered.discharge(&j).is_ok());
+        let other = Judgment::system(Property::Init(ff()));
+        assert!(layered.discharge(&other).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Rendering of derivation trees.
+
+use crate::ident::Vocabulary;
+use crate::proof::check::{check, CheckCtx};
+use crate::proof::AssumeAll;
+
+use super::rules::Proof;
+
+/// Renders a proof tree as an indented outline, annotating each node with
+/// the judgment it concludes (conclusions are computed with an
+/// assume-everything discharger — this is a *display* aid, not a check).
+pub fn render(proof: &Proof, vocab: &Vocabulary) -> String {
+    let mut out = String::new();
+    render_into(proof, vocab, 0, &mut out);
+    out
+}
+
+fn render_into(proof: &Proof, vocab: &Vocabulary, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let conclusion = {
+        let mut d = AssumeAll::default();
+        let mut ctx = CheckCtx::new(&mut d).with_components(usize::MAX >> 1);
+        // For display purposes, universal lifts with arbitrary component
+        // counts must not fail; fall back to the rule name alone on error.
+        match check_for_display(proof, &mut ctx) {
+            Some(j) => format!("{} ⊨ {}", j.scope, j.prop.display(vocab)),
+            None => "<unrenderable conclusion>".to_string(),
+        }
+    };
+    out.push_str(&format!("{indent}[{}] {}\n", proof.rule_name(), conclusion));
+    for c in proof.children() {
+        render_into(c, vocab, depth + 1, out);
+    }
+}
+
+fn check_for_display(
+    proof: &Proof,
+    ctx: &mut CheckCtx<'_>,
+) -> Option<crate::proof::Judgment> {
+    // Universal lifting checks the exact component count; for display we
+    // infer it from the node itself.
+    if let Proof::LiftUniversal { per_component, .. } = proof {
+        ctx.n_components = Some(per_component.len());
+    }
+    check(proof, ctx).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::build::*;
+    use crate::properties::Property;
+    use crate::proof::{Judgment, Scope};
+
+    #[test]
+    fn renders_tree() {
+        let mut v = Vocabulary::new();
+        let x = v
+            .declare("x", crate::domain::Domain::Bool)
+            .unwrap();
+        let proof = Proof::LtTransient {
+            sub: Box::new(Proof::premise(Judgment::new(
+                Scope::System,
+                Property::Transient(var(x)),
+            ))),
+        };
+        let s = render(&proof, &v);
+        assert!(s.contains("[lt-transient]"));
+        assert!(s.contains("[premise]"));
+        assert!(s.contains("transient x"));
+        assert!(s.contains("leadsto"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Derivation trees and the inference rules they may use.
+//!
+//! Every variant of [`Proof`] is one of the paper's rules (or a standard
+//! UNITY rule the paper uses implicitly, e.g. `next` weakening in the proof
+//! of Property 5: "strengthening the left-hand side of the next"). The
+//! conclusion of each node is *computed* by the checker, never trusted from
+//! the author.
+
+use crate::expr::build::{and2, eq, ge, implies, int, le, lt, not, or, or2};
+use crate::expr::Expr;
+use crate::properties::Property;
+
+use super::Judgment;
+
+/// A derivation tree.
+#[derive(Debug, Clone)]
+pub enum Proof {
+    /// Leaf: a base judgment discharged semantically (model checker) or by
+    /// fact-base lookup.
+    Premise(Judgment),
+
+    // ----- leadsto rules (the paper's inductive definition of ↦) -----
+    /// **Transient**: from `transient q` conclude `true ↦ ¬q`.
+    LtTransient {
+        /// Proves `transient q` (same scope).
+        sub: Box<Proof>,
+    },
+    /// **Implication**: from validity `⊨ p ⇒ q` conclude `p ↦ q`.
+    LtImplication {
+        /// Left-hand side.
+        p: Expr,
+        /// Right-hand side.
+        q: Expr,
+    },
+    /// **Disjunction**: from `pᵢ ↦ q` for all `i` conclude `(∨ᵢ pᵢ) ↦ q`.
+    /// All sub-conclusions must share the same `q` syntactically.
+    LtDisjunction {
+        /// Sub-proofs of the disjuncts.
+        subs: Vec<Proof>,
+    },
+    /// **Transitivity**: from `p ↦ q` and `q ↦ r` conclude `p ↦ r`.
+    /// The middle predicate must match syntactically (use [`Proof::LtMono`]
+    /// to align shapes).
+    LtTransitivity {
+        /// Proves `p ↦ q`.
+        first: Box<Proof>,
+        /// Proves `q ↦ r`.
+        second: Box<Proof>,
+    },
+    /// **PSP**: from `p ↦ q` and `s next t` conclude
+    /// `(p ∧ s) ↦ (q ∧ s) ∨ (¬s ∧ t)`.
+    LtPsp {
+        /// Proves `p ↦ q`.
+        lt: Box<Proof>,
+        /// Proves `s next t`.
+        next: Box<Proof>,
+    },
+    /// **Induction** over a bounded non-negative integer metric `M`
+    /// (the paper's final step: "through induction on the cardinality of
+    /// `A*(i)`"). From, for each `0 ≤ m ≤ bound`,
+    /// `(p ∧ M = m) ↦ (p ∧ M < m) ∨ q`, plus validity
+    /// `⊨ p ⇒ (0 ≤ M ∧ M ≤ bound)`, conclude `p ↦ q`.
+    ///
+    /// Use [`induction_step_goal`] to build the exact sub-goal shapes.
+    LtInduction {
+        /// Invariant part of the induction hypothesis.
+        p: Expr,
+        /// Target predicate.
+        q: Expr,
+        /// The metric expression `M` (integer-typed).
+        metric: Expr,
+        /// Upper bound of the metric under `p`.
+        bound: i64,
+        /// `steps[m]` proves the goal for metric value `m`.
+        steps: Vec<Proof>,
+    },
+    /// **Monotonicity** (derived from Implication + Transitivity, provided
+    /// for convenience): from `p ↦ q`, `⊨ p' ⇒ p` and `⊨ q ⇒ q'`,
+    /// conclude `p' ↦ q'`.
+    LtMono {
+        /// Proves `p ↦ q`.
+        sub: Box<Proof>,
+        /// New (stronger or equivalent) left-hand side.
+        p_new: Expr,
+        /// New (weaker or equivalent) right-hand side.
+        q_new: Expr,
+    },
+    /// **Invariant elimination on the left of ↦**: from `(p ∧ I) ↦ q` and
+    /// `invariant I`, conclude `p ↦ q` (both system-scoped).
+    ///
+    /// This is the move the paper makes in the final step of Property 8
+    /// ("From the invariant (26) … the previous formula implies …"): sound
+    /// for *initialized* executions — every reachable `p`-state satisfies
+    /// the invariant — which is exactly the paper's remark that the
+    /// substitution axiom "could" be used for global system properties.
+    /// The `lt` sub-proof's left-hand side must be syntactically
+    /// `p ∧ I`.
+    LtInvariantLhs {
+        /// Proves `(p ∧ I) ↦ q`.
+        lt: Box<Proof>,
+        /// Proves `invariant I`.
+        inv: Box<Proof>,
+    },
+
+    // ----- inductive-safety rules -----
+    /// From `stable pᵢ` for all `i` conclude `stable (∧ᵢ pᵢ)` (conjunction
+    /// built with the n-ary `all`).
+    StableConj {
+        /// Sub-proofs, each concluding some `stable pᵢ` (same scope).
+        subs: Vec<Proof>,
+    },
+    /// **Next weakening**: from `p next q`, `⊨ p' ⇒ p`, `⊨ q ⇒ q'`,
+    /// conclude `p' next q'`.
+    NextWeaken {
+        /// Proves `p next q`.
+        sub: Box<Proof>,
+        /// Strengthened left-hand side.
+        p_new: Expr,
+        /// Weakened right-hand side.
+        q_new: Expr,
+    },
+    /// **Next disjunction**: from `p₁ next q₁` and `p₂ next q₂` conclude
+    /// `(p₁ ∨ p₂) next (q₁ ∨ q₂)` (used in the proof of Property 5).
+    NextDisj {
+        /// Proves `p₁ next q₁`.
+        left: Box<Proof>,
+        /// Proves `p₂ next q₂`.
+        right: Box<Proof>,
+    },
+    /// **Next conjunction**: from `p₁ next q₁` and `p₂ next q₂` conclude
+    /// `(p₁ ∧ p₂) next (q₁ ∧ q₂)`.
+    NextConj {
+        /// Proves `p₁ next q₁`.
+        left: Box<Proof>,
+        /// Proves `p₂ next q₂`.
+        right: Box<Proof>,
+    },
+    /// From `Unchanged eᵢ` proofs, conclude `Unchanged E` where `E` is
+    /// syntactically *covered* by the `eᵢ` (every leaf-to-subterm path in
+    /// `E` hits a literal or one of the `eᵢ`). This is the "conjunction of
+    /// stable properties, removing unused dummies" step of §3.3.
+    UnchangedCompose {
+        /// Sub-proofs of `Unchanged eᵢ`.
+        parts: Vec<Proof>,
+        /// The composed expression.
+        expr: Expr,
+    },
+    /// From `Unchanged e` and `⊨ e = e'`, conclude `Unchanged e'`.
+    UnchangedEquiv {
+        /// Proves `Unchanged e`.
+        sub: Box<Proof>,
+        /// The equivalent expression.
+        to: Expr,
+    },
+    /// From `Unchanged p` for *boolean* `p`, conclude `stable p` (a
+    /// predicate whose truth value never changes is in particular stable).
+    StableFromUnchanged {
+        /// Proves `Unchanged p`.
+        sub: Box<Proof>,
+    },
+    /// From `init p` and `stable p`, conclude `invariant p` (the paper's
+    /// definition of `invariant`).
+    InvariantIntro {
+        /// Proves `init p`.
+        init: Box<Proof>,
+        /// Proves `stable p`.
+        stable: Box<Proof>,
+    },
+    /// From `invariant p` and `⊨ p ⇒ q`, conclude `invariant (p ∧ q)`
+    /// (sound for the inductive definition; used for Property 6).
+    InvariantStrengthen {
+        /// Proves `invariant p`.
+        sub: Box<Proof>,
+        /// The implied predicate.
+        q: Expr,
+    },
+    /// From `init p` and `⊨ p ⇒ q`, conclude `init q`.
+    InitWeaken {
+        /// Proves `init p`.
+        sub: Box<Proof>,
+        /// Weakened predicate.
+        q: Expr,
+    },
+    /// From `init p` and `init q` (same scope), conclude `init (p ∧ q)`.
+    InitConj {
+        /// Sub-proofs.
+        subs: Vec<Proof>,
+    },
+    /// From `transient p` and `⊨ q ⇒ p`, conclude `transient q` (the same
+    /// fair command falsifies the stronger predicate).
+    TransientStrengthen {
+        /// Proves `transient p`.
+        sub: Box<Proof>,
+        /// Strengthened predicate.
+        q: Expr,
+    },
+
+    // ----- composition (lifting) rules -----
+    /// **Universal lifting**: `prop` is of a universal type and holds of
+    /// *every* component ⇒ it holds of the system. `per_component[i]` must
+    /// conclude `Component(i) ⊨ prop` for `i = 0..n_components`.
+    LiftUniversal {
+        /// The property being lifted.
+        prop: Property,
+        /// One proof per component, in order.
+        per_component: Vec<Proof>,
+    },
+    /// **Existential lifting**: `prop` is of an existential type and holds
+    /// of *some* component ⇒ it holds of the system.
+    LiftExistential {
+        /// Index of the witnessing component.
+        component: usize,
+        /// Proves `Component(component) ⊨ prop`.
+        sub: Box<Proof>,
+    },
+}
+
+impl Proof {
+    /// Convenience: a premise leaf.
+    pub fn premise(j: Judgment) -> Proof {
+        Proof::Premise(j)
+    }
+
+    /// Number of nodes in the tree (reporting).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Immediate children of this node.
+    pub fn children(&self) -> Vec<&Proof> {
+        match self {
+            Proof::Premise(_) | Proof::LtImplication { .. } => vec![],
+            Proof::LtTransient { sub }
+            | Proof::LtMono { sub, .. }
+            | Proof::NextWeaken { sub, .. }
+            | Proof::UnchangedEquiv { sub, .. }
+            | Proof::StableFromUnchanged { sub }
+            | Proof::InvariantStrengthen { sub, .. }
+            | Proof::InitWeaken { sub, .. }
+            | Proof::TransientStrengthen { sub, .. }
+            | Proof::LiftExistential { sub, .. } => vec![sub],
+            Proof::LtTransitivity { first, second } => vec![first, second],
+            Proof::LtPsp { lt, next } => vec![lt, next],
+            Proof::LtInvariantLhs { lt, inv } => vec![lt, inv],
+            Proof::NextDisj { left, right } | Proof::NextConj { left, right } => {
+                vec![left, right]
+            }
+            Proof::InvariantIntro { init, stable } => vec![init, stable],
+            Proof::LtDisjunction { subs }
+            | Proof::StableConj { subs }
+            | Proof::InitConj { subs } => subs.iter().collect(),
+            Proof::UnchangedCompose { parts, .. } => parts.iter().collect(),
+            Proof::LtInduction { steps, .. } => steps.iter().collect(),
+            Proof::LiftUniversal { per_component, .. } => per_component.iter().collect(),
+        }
+    }
+
+    /// The rule name of this node.
+    pub fn rule_name(&self) -> &'static str {
+        match self {
+            Proof::Premise(_) => "premise",
+            Proof::LtTransient { .. } => "lt-transient",
+            Proof::LtImplication { .. } => "lt-implication",
+            Proof::LtDisjunction { .. } => "lt-disjunction",
+            Proof::LtTransitivity { .. } => "lt-transitivity",
+            Proof::LtPsp { .. } => "lt-psp",
+            Proof::LtInduction { .. } => "lt-induction",
+            Proof::LtMono { .. } => "lt-mono",
+            Proof::LtInvariantLhs { .. } => "lt-invariant-lhs",
+            Proof::StableConj { .. } => "stable-conj",
+            Proof::NextWeaken { .. } => "next-weaken",
+            Proof::NextDisj { .. } => "next-disj",
+            Proof::NextConj { .. } => "next-conj",
+            Proof::UnchangedCompose { .. } => "unchanged-compose",
+            Proof::UnchangedEquiv { .. } => "unchanged-equiv",
+            Proof::StableFromUnchanged { .. } => "stable-from-unchanged",
+            Proof::InvariantIntro { .. } => "invariant-intro",
+            Proof::InvariantStrengthen { .. } => "invariant-strengthen",
+            Proof::InitWeaken { .. } => "init-weaken",
+            Proof::InitConj { .. } => "init-conj",
+            Proof::TransientStrengthen { .. } => "transient-strengthen",
+            Proof::LiftUniversal { .. } => "lift-universal",
+            Proof::LiftExistential { .. } => "lift-existential",
+        }
+    }
+}
+
+/// The exact sub-goal shape required by [`Proof::LtInduction`] for metric
+/// value `m`:
+///
+/// ```text
+/// (p ∧ M = m) ↦ (p ∧ M < m) ∨ q
+/// ```
+pub fn induction_step_goal(p: &Expr, q: &Expr, metric: &Expr, m: i64) -> (Expr, Expr) {
+    let lhs = and2(p.clone(), eq(metric.clone(), int(m)));
+    let rhs = or2(and2(p.clone(), lt(metric.clone(), int(m))), q.clone());
+    (lhs, rhs)
+}
+
+/// The validity side condition of [`Proof::LtInduction`]:
+/// `p ⇒ (0 ≤ M ∧ M ≤ bound)`.
+pub fn induction_bound_condition(p: &Expr, metric: &Expr, bound: i64) -> Expr {
+    implies(
+        p.clone(),
+        and2(ge(metric.clone(), int(0)), le(metric.clone(), int(bound))),
+    )
+}
+
+/// The conclusion shape of [`Proof::LtPsp`]:
+/// `(p ∧ s) ↦ (q ∧ s) ∨ (¬s ∧ t)`.
+pub fn psp_goal(p: &Expr, q: &Expr, s: &Expr, t: &Expr) -> (Expr, Expr) {
+    (
+        and2(p.clone(), s.clone()),
+        or2(
+            and2(q.clone(), s.clone()),
+            and2(not(s.clone()), t.clone()),
+        ),
+    )
+}
+
+/// The left-hand side produced by [`Proof::LtDisjunction`] over `ps`.
+pub fn disjunction_lhs(ps: Vec<Expr>) -> Expr {
+    or(ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::build::*;
+    use crate::proof::Scope;
+
+    #[test]
+    fn node_count_and_children() {
+        let leaf = Proof::premise(Judgment::new(
+            Scope::System,
+            Property::Transient(tt()),
+        ));
+        let tree = Proof::LtTransient {
+            sub: Box::new(leaf),
+        };
+        assert_eq!(tree.node_count(), 2);
+        assert_eq!(tree.children().len(), 1);
+        assert_eq!(tree.rule_name(), "lt-transient");
+    }
+
+    #[test]
+    fn induction_goal_shapes() {
+        let p = tt();
+        let q = ff();
+        let m = int(0); // degenerate metric for shape test
+        let (lhs, rhs) = induction_step_goal(&p, &q, &m, 2);
+        assert_eq!(lhs, and2(tt(), eq(int(0), int(2))));
+        assert_eq!(rhs, or2(and2(tt(), lt(int(0), int(2))), ff()));
+        let cond = induction_bound_condition(&p, &m, 2);
+        assert_eq!(
+            cond,
+            implies(tt(), and2(ge(int(0), int(0)), le(int(0), int(2))))
+        );
+    }
+
+    #[test]
+    fn psp_goal_shape() {
+        let (l, r) = psp_goal(&tt(), &ff(), &tt(), &ff());
+        assert_eq!(l, and2(tt(), tt()));
+        assert_eq!(r, or2(and2(ff(), tt()), and2(not(tt()), ff())));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property types (§2 of the paper).
+//!
+//! ```text
+//! init p        ≝  initially ⇒ p
+//! transient p   ≝  ⟨∃c : c ∈ D : p ⇒ wp.c.(¬p)⟩
+//! p next q      ≝  ⟨∀c : c ∈ C : p ⇒ wp.c.q⟩
+//! stable p      ≝  p next p
+//! invariant p   ≝  init p ∧ stable p
+//! p ↦ q         ≝  inductively from {Transient, Implication, Disjunction,
+//!                  Transitivity, PSP}
+//! ```
+//!
+//! We additionally make the paper's universally-quantified stability schema
+//! `⟨∀k :: stable (e = k)⟩` first-class as [`Property::Unchanged`] — "no
+//! command changes the value of `e`" — because it is the workhorse of the
+//! §3.3 derivation and of Property 2 in §4.
+//!
+//! Note the paper uses these with their **inductive** definitions (over
+//! *all* states, not just reachable ones) and avoids the substitution
+//! axiom; our checkers in `unity-mc` follow suit.
+
+use std::fmt;
+
+use crate::expr::{pretty::Render, Expr};
+use crate::ident::Vocabulary;
+
+/// A program property in the paper's property language.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// `init p`: every initial state satisfies `p`.
+    Init(Expr),
+    /// `transient p`: some weakly-fair command falsifies `p` from every
+    /// `p`-state.
+    Transient(Expr),
+    /// `p next q`: every command (including the implicit `skip`) steps
+    /// `p`-states into `q`-states. With `skip ∈ C` this entails `p ⇒ q`.
+    Next(Expr, Expr),
+    /// `stable p ≝ p next p`.
+    Stable(Expr),
+    /// `invariant p ≝ init p ∧ stable p`.
+    Invariant(Expr),
+    /// `Unchanged e ≝ ⟨∀k :: stable (e = k)⟩`: no command changes `e`.
+    Unchanged(Expr),
+    /// `p ↦ q` (leads-to) under weak fairness on `D`.
+    LeadsTo(Expr, Expr),
+}
+
+impl Property {
+    /// The predicates mentioned by the property, for typechecking.
+    pub fn exprs(&self) -> Vec<&Expr> {
+        match self {
+            Property::Init(p)
+            | Property::Transient(p)
+            | Property::Stable(p)
+            | Property::Invariant(p)
+            | Property::Unchanged(p) => vec![p],
+            Property::Next(p, q) | Property::LeadsTo(p, q) => vec![p, q],
+        }
+    }
+
+    /// Type checks the property against `vocab`. `Unchanged` accepts any
+    /// well-typed expression; the rest require boolean predicates.
+    pub fn check_types(&self, vocab: &Vocabulary) -> Result<(), crate::error::CoreError> {
+        match self {
+            Property::Unchanged(e) => {
+                e.infer_type(vocab)?;
+                Ok(())
+            }
+            _ => {
+                for e in self.exprs() {
+                    e.check_pred(vocab)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// A short keyword for the property kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Property::Init(_) => "init",
+            Property::Transient(_) => "transient",
+            Property::Next(..) => "next",
+            Property::Stable(_) => "stable",
+            Property::Invariant(_) => "invariant",
+            Property::Unchanged(_) => "unchanged",
+            Property::LeadsTo(..) => "leadsto",
+        }
+    }
+
+    /// Renders with variable names.
+    pub fn display<'a>(&'a self, vocab: &'a Vocabulary) -> PropertyDisplay<'a> {
+        PropertyDisplay { prop: self, vocab }
+    }
+}
+
+/// Display helper pairing a property with its vocabulary.
+pub struct PropertyDisplay<'a> {
+    prop: &'a Property,
+    vocab: &'a Vocabulary,
+}
+
+impl fmt::Display for PropertyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.vocab;
+        match self.prop {
+            Property::Init(p) => write!(f, "init {}", Render::new(p, v)),
+            Property::Transient(p) => write!(f, "transient {}", Render::new(p, v)),
+            Property::Next(p, q) => {
+                write!(f, "{} next {}", Render::new(p, v), Render::new(q, v))
+            }
+            Property::Stable(p) => write!(f, "stable {}", Render::new(p, v)),
+            Property::Invariant(p) => write!(f, "invariant {}", Render::new(p, v)),
+            Property::Unchanged(e) => write!(f, "unchanged {}", Render::new(e, v)),
+            Property::LeadsTo(p, q) => {
+                write!(f, "{} leadsto {}", Render::new(p, v), Render::new(q, v))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::expr::build::*;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        v.declare("b", Domain::Bool).unwrap();
+        v
+    }
+
+    #[test]
+    fn type_checking() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        assert!(Property::Invariant(eq(var(x), int(0))).check_types(&v).is_ok());
+        assert!(Property::Invariant(var(x)).check_types(&v).is_err());
+        // Unchanged accepts integer expressions.
+        assert!(Property::Unchanged(var(x)).check_types(&v).is_ok());
+        assert!(Property::LeadsTo(tt(), eq(var(x), int(3))).check_types(&v).is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let p = Property::LeadsTo(tt(), eq(var(x), int(3)));
+        assert_eq!(p.display(&v).to_string(), "true leadsto x == 3");
+        assert_eq!(p.kind(), "leadsto");
+        let s = Property::Stable(le(var(x), int(1)));
+        assert_eq!(s.display(&v).to_string(), "stable x <= 1");
+    }
+}

@@ -1,0 +1,625 @@
+//! Rely–guarantee specifications over two-state **action predicates**.
+//!
+//! The paper's conclusion names the "traditional rely-guarantee approach"
+//! as the theory it is being related to. This module supplies that
+//! bridge, fully checked on finite instances:
+//!
+//! * an [`ActionPred`] is a predicate over a *pair* of states — the
+//!   pre-state and the post-state of a step — written over a doubled
+//!   vocabulary in which every program variable `v` has a primed copy
+//!   `v'` ([`ActionVocab`]);
+//! * a component *satisfies a guarantee* `G` when every step of every one
+//!   of its commands (and the implicit `skip`) satisfies `G`
+//!   ([`steps_satisfy`]);
+//! * a predicate is *stable under a rely* `R` when no `R`-step can
+//!   falsify it ([`stable_under`]);
+//! * the **parallel composition rule** — if each component's guarantee
+//!   implies every sibling's rely, the composed system guarantees the
+//!   disjunction of the component guarantees, and any predicate stable
+//!   under all guarantees and initially true is a system invariant
+//!   ([`invariant_via_rg`]).
+//!
+//! The connection to the paper's property types is exact and is enforced
+//! by tests: a program has `stable p` (a **universal** property) iff its
+//! steps satisfy the action predicate `p ⇒ p'` ([`preserves`]); and the
+//! locality discipline of composition is itself a rely — the environment
+//! of a component is obliged to leave the component's `local` variables
+//! unchanged ([`locality_rely`]), which is how the paper's "variables
+//! declared local … should not be written by another component" reads in
+//! rely-guarantee terms.
+
+use std::sync::Arc;
+
+use crate::error::CoreError;
+use crate::expr::build::{and, eq, implies, var};
+use crate::expr::eval::eval_bool;
+use crate::expr::Expr;
+use crate::ident::{VarId, Vocabulary};
+use crate::program::Program;
+use crate::state::{State, StateSpaceIter};
+
+/// A vocabulary doubled with primed copies: variable `v` of the base
+/// vocabulary has id `v` (pre-state) and [`ActionVocab::prime`]`(v)`
+/// (post-state) in the doubled vocabulary.
+#[derive(Debug, Clone)]
+pub struct ActionVocab {
+    base: Arc<Vocabulary>,
+    doubled: Arc<Vocabulary>,
+}
+
+impl ActionVocab {
+    /// Doubles `base`. Fails if `base` already contains a primed name
+    /// (`x` and `x'` both declared), which would alias.
+    pub fn new(base: Arc<Vocabulary>) -> Result<Self, CoreError> {
+        let mut doubled = Vocabulary::new();
+        for (_, d) in base.iter() {
+            doubled.declare(&d.name, d.domain.clone())?;
+        }
+        for (_, d) in base.iter() {
+            let primed = format!("{}'", d.name);
+            let id = doubled.declare(&primed, d.domain.clone())?;
+            if id.index() < base.len() {
+                return Err(CoreError::DuplicateAssignment {
+                    command: "action-vocabulary".into(),
+                    var: primed,
+                });
+            }
+        }
+        Ok(ActionVocab {
+            base,
+            doubled: Arc::new(doubled),
+        })
+    }
+
+    /// The unprimed (program) vocabulary.
+    pub fn base(&self) -> &Arc<Vocabulary> {
+        &self.base
+    }
+
+    /// The doubled vocabulary (pre + post variables).
+    pub fn doubled(&self) -> &Arc<Vocabulary> {
+        &self.doubled
+    }
+
+    /// The primed (post-state) id of `v`.
+    pub fn prime(&self, v: VarId) -> VarId {
+        debug_assert!(v.index() < self.base.len());
+        VarId((v.index() + self.base.len()) as u32)
+    }
+
+    /// Packs a `(pre, post)` state pair into one doubled-vocabulary state.
+    pub fn pair(&self, pre: &State, post: &State) -> State {
+        let mut values = Vec::with_capacity(2 * self.base.len());
+        values.extend(pre.values().iter().copied());
+        values.extend(post.values().iter().copied());
+        State::new(values)
+    }
+
+    /// Rewrites a base-vocabulary expression to speak about the
+    /// post-state (every variable replaced by its primed copy).
+    pub fn primed_expr(&self, e: &Expr) -> Expr {
+        match e {
+            Expr::Lit(v) => Expr::Lit(*v),
+            Expr::Var(v) => Expr::Var(self.prime(*v)),
+            Expr::Not(a) => Expr::Not(Box::new(self.primed_expr(a))),
+            Expr::Neg(a) => Expr::Neg(Box::new(self.primed_expr(a))),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(self.primed_expr(a)),
+                Box::new(self.primed_expr(b)),
+            ),
+            Expr::Ite(c, t, f) => Expr::Ite(
+                Box::new(self.primed_expr(c)),
+                Box::new(self.primed_expr(t)),
+                Box::new(self.primed_expr(f)),
+            ),
+            Expr::NAry(op, args) => {
+                Expr::NAry(*op, args.iter().map(|a| self.primed_expr(a)).collect())
+            }
+        }
+    }
+}
+
+/// A predicate over steps `(s, s')`, as a boolean expression over a
+/// doubled vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionPred {
+    expr: Expr,
+}
+
+impl ActionPred {
+    /// Builds an action predicate, type checking it against the doubled
+    /// vocabulary.
+    pub fn new(expr: Expr, av: &ActionVocab) -> Result<Self, CoreError> {
+        expr.check_pred(av.doubled())?;
+        Ok(ActionPred { expr })
+    }
+
+    /// The underlying doubled-vocabulary expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Whether the step `(pre, post)` satisfies the predicate.
+    pub fn holds(&self, av: &ActionVocab, pre: &State, post: &State) -> bool {
+        eval_bool(&self.expr, &av.pair(pre, post))
+    }
+
+    /// Conjunction of two action predicates.
+    pub fn and(&self, other: &ActionPred) -> ActionPred {
+        ActionPred {
+            expr: crate::expr::build::and2(self.expr.clone(), other.expr.clone()),
+        }
+    }
+
+    /// Disjunction of two action predicates.
+    pub fn or(&self, other: &ActionPred) -> ActionPred {
+        ActionPred {
+            expr: crate::expr::build::or2(self.expr.clone(), other.expr.clone()),
+        }
+    }
+}
+
+/// The action predicate `⋀ᵥ v' = v` for the given variables — "this step
+/// does not touch them". With all variables it is the stutter action.
+pub fn unchanged_vars(av: &ActionVocab, vars: impl IntoIterator<Item = VarId>) -> ActionPred {
+    let conj: Vec<Expr> = vars
+        .into_iter()
+        .map(|v| eq(var(av.prime(v)), var(v)))
+        .collect();
+    ActionPred { expr: and(conj) }
+}
+
+/// The action predicate `p ⇒ p'`: a step may do anything except falsify
+/// `p`. This is the rely-guarantee reading of the paper's (universal)
+/// `stable p`.
+pub fn preserves(av: &ActionVocab, p: &Expr) -> ActionPred {
+    ActionPred {
+        expr: implies(p.clone(), av.primed_expr(p)),
+    }
+}
+
+/// A rely-guarantee pair: what the component assumes of every
+/// *environment* step and what it promises of every *own* step.
+#[derive(Debug, Clone)]
+pub struct RelyGuarantee {
+    /// Assumption on environment steps.
+    pub rely: ActionPred,
+    /// Commitment on the component's own steps.
+    pub guar: ActionPred,
+}
+
+/// A concrete step of a program violating an obligation.
+#[derive(Debug, Clone)]
+pub struct RgViolation {
+    /// Name of the offending command (or `"skip"`).
+    pub command: String,
+    /// Pre-state of the violating step.
+    pub before: State,
+    /// Post-state of the violating step.
+    pub after: State,
+}
+
+impl RgViolation {
+    /// Renders the violation with variable names.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        format!(
+            "command `{}`: {} -> {}",
+            self.command,
+            self.before.display(vocab),
+            self.after.display(vocab)
+        )
+    }
+}
+
+/// Checks that **every step** of `program` — each command from each
+/// type-consistent state, plus the implicit `skip` — satisfies `act`.
+/// This is "`program` guarantees `act`". Exhaustive over the base state
+/// space.
+pub fn steps_satisfy(
+    program: &Program,
+    av: &ActionVocab,
+    act: &ActionPred,
+) -> Result<(), RgViolation> {
+    for s in StateSpaceIter::new(&program.vocab) {
+        if !act.holds(av, &s, &s) {
+            return Err(RgViolation {
+                command: "skip".into(),
+                before: s.clone(),
+                after: s,
+            });
+        }
+        for c in &program.commands {
+            let t = c.step(&s, &program.vocab);
+            if !act.holds(av, &s, &t) {
+                return Err(RgViolation {
+                    command: c.name.clone(),
+                    before: s,
+                    after: t,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `p` is stable under `act`-steps: for every type-consistent
+/// pair `(s, s')` with `act(s, s')`, `p(s) ⇒ p(s')`. Exhaustive over
+/// state *pairs*; intended for small instances.
+pub fn stable_under(av: &ActionVocab, p: &Expr, act: &ActionPred) -> Result<(), RgViolation> {
+    for s in StateSpaceIter::new(av.base()) {
+        if !eval_bool(p, &s) {
+            continue;
+        }
+        for t in StateSpaceIter::new(av.base()) {
+            if act.holds(av, &s, &t) && !eval_bool(p, &t) {
+                return Err(RgViolation {
+                    command: "environment".into(),
+                    before: s,
+                    after: t,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks `⊨ a ⇒ b` over all type-consistent state pairs (action
+/// implication).
+pub fn action_implies(av: &ActionVocab, a: &ActionPred, b: &ActionPred) -> Result<(), RgViolation> {
+    for s in StateSpaceIter::new(av.base()) {
+        for t in StateSpaceIter::new(av.base()) {
+            if a.holds(av, &s, &t) && !b.holds(av, &s, &t) {
+                return Err(RgViolation {
+                    command: "implication".into(),
+                    before: s,
+                    after: t,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Why a rely-guarantee composition check failed.
+#[derive(Debug)]
+pub enum RgError {
+    /// Component `component`'s own step broke its guarantee.
+    GuaranteeBroken {
+        /// Index of the component.
+        component: usize,
+        /// The violating step.
+        violation: RgViolation,
+    },
+    /// Component `promiser`'s guarantee does not imply `relier`'s rely:
+    /// the interference assumption is unjustified.
+    InterferenceUnjustified {
+        /// Component whose guarantee is too weak.
+        promiser: usize,
+        /// Component whose rely is violated.
+        relier: usize,
+        /// A step allowed by the guarantee but not the rely.
+        violation: RgViolation,
+    },
+    /// The invariant candidate is not stable under some guarantee.
+    NotStable {
+        /// Component whose guarantee admits the falsifying step.
+        component: usize,
+        /// The falsifying step.
+        violation: RgViolation,
+    },
+    /// The invariant candidate fails in an initial state.
+    InitFails {
+        /// An initial state violating the candidate.
+        state: State,
+    },
+}
+
+/// The **parallel composition rule**, checked semantically: every
+/// component satisfies its guarantee, and every guarantee implies every
+/// sibling's rely. On success the composed system's every step satisfies
+/// `⋁ᵢ guarᵢ ∨ stutter` — which the function also verifies directly
+/// against `composed` as a soundness cross-check.
+pub fn parallel_rule(
+    components: &[(&Program, &RelyGuarantee)],
+    composed: &Program,
+    av: &ActionVocab,
+) -> Result<(), Box<RgError>> {
+    for (i, (p, rg)) in components.iter().enumerate() {
+        steps_satisfy(p, av, &rg.guar)
+            .map_err(|violation| Box::new(RgError::GuaranteeBroken { component: i, violation }))?;
+    }
+    for (j, (_, rg_j)) in components.iter().enumerate() {
+        for (i, (_, rg_i)) in components.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            action_implies(av, &rg_j.guar, &rg_i.rely).map_err(|violation| {
+                Box::new(RgError::InterferenceUnjustified {
+                    promiser: j,
+                    relier: i,
+                    violation,
+                })
+            })?;
+        }
+    }
+    // Soundness cross-check on the composition itself.
+    let disj = components
+        .iter()
+        .map(|(_, rg)| rg.guar.clone())
+        .reduce(|a, b| a.or(&b))
+        .unwrap_or_else(|| unchanged_vars(av, av.base().ids()));
+    let with_stutter = disj.or(&unchanged_vars(av, av.base().ids()));
+    steps_satisfy(composed, av, &with_stutter).map_err(|violation| {
+        Box::new(RgError::GuaranteeBroken {
+            component: usize::MAX,
+            violation,
+        })
+    })
+}
+
+/// The rely-guarantee **invariant rule**: if every component satisfies
+/// its guarantee, `p` is stable under every guarantee, and every initial
+/// state of the composition satisfies `p`, then `p` is an invariant of
+/// the composed system — verified here both by the rule's premises and
+/// (cross-check) directly against `composed`.
+pub fn invariant_via_rg(
+    components: &[(&Program, &RelyGuarantee)],
+    composed: &Program,
+    av: &ActionVocab,
+    p: &Expr,
+) -> Result<(), Box<RgError>> {
+    for (i, (prog, rg)) in components.iter().enumerate() {
+        steps_satisfy(prog, av, &rg.guar)
+            .map_err(|violation| Box::new(RgError::GuaranteeBroken { component: i, violation }))?;
+        stable_under(av, p, &rg.guar)
+            .map_err(|violation| Box::new(RgError::NotStable { component: i, violation }))?;
+    }
+    for s in composed.initial_states() {
+        if !eval_bool(p, &s) {
+            return Err(Box::new(RgError::InitFails { state: s }));
+        }
+    }
+    // Cross-check: p really is inductive on the composition.
+    steps_satisfy(composed, av, &preserves(av, p)).map_err(|violation| {
+        Box::new(RgError::NotStable {
+            component: usize::MAX,
+            violation,
+        })
+    })
+}
+
+/// The rely induced by the locality discipline: the environment of
+/// `program` may not write `program`'s local variables. This is the
+/// paper's composition precondition, stated as an assumption on
+/// interference.
+pub fn locality_rely(av: &ActionVocab, program: &Program) -> ActionPred {
+    unchanged_vars(av, program.locals.iter().copied())
+}
+
+/// Checks the bridge theorem for one program: `stable p` (checked
+/// operationally over all states) holds iff the program's steps satisfy
+/// `preserves p`. Returns the two verdicts (they must agree; tests
+/// assert it).
+pub fn stable_agrees_with_rg(program: &Program, av: &ActionVocab, p: &Expr) -> (bool, bool) {
+    let op = StateSpaceIter::new(&program.vocab).all(|s| {
+        !eval_bool(p, &s)
+            || program
+                .commands
+                .iter()
+                .all(|c| eval_bool(p, &c.step(&s, &program.vocab)))
+    });
+    let rg = steps_satisfy(program, av, &preserves(av, p)).is_ok();
+    (op, rg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::{InitSatCheck, System};
+    use crate::domain::Domain;
+    use crate::expr::build::*;
+
+    /// The §3 toy pair over a shared vocabulary.
+    fn toy() -> (System, ActionVocab, VarId, VarId, VarId) {
+        let mut v = Vocabulary::new();
+        let c0 = v.declare("c0", Domain::int_range(0, 1).unwrap()).unwrap();
+        let c1 = v.declare("c1", Domain::int_range(0, 1).unwrap()).unwrap();
+        let big = v.declare("C", Domain::int_range(0, 2).unwrap()).unwrap();
+        let vocab = Arc::new(v);
+        let mk = |name: &str, c: VarId, other: VarId| {
+            Program::builder(name, vocab.clone())
+                .local(c)
+                .init(and(vec![
+                    eq(var(c), int(0)),
+                    eq(var(other), int(0)),
+                    eq(var(big), int(0)),
+                ]))
+                .fair_command(
+                    format!("a_{name}"),
+                    and2(lt(var(c), int(1)), lt(var(big), int(2))),
+                    vec![(c, add(var(c), int(1))), (big, add(var(big), int(1)))],
+                )
+                .build()
+                .unwrap()
+        };
+        let f = mk("F", c0, c1);
+        let g = mk("G", c1, c0);
+        let sys = System::compose(vec![f, g], InitSatCheck::Exhaustive).unwrap();
+        let av = ActionVocab::new(vocab).unwrap();
+        (sys, av, c0, c1, big)
+    }
+
+    /// Guarantee of component writing `c`: it bumps `C` and `c` in
+    /// lockstep and never touches `other`.
+    fn lockstep_guar(av: &ActionVocab, c: VarId, other: VarId, big: VarId) -> ActionPred {
+        let delta_eq = eq(
+            sub(var(av.prime(big)), var(big)),
+            sub(var(av.prime(c)), var(c)),
+        );
+        ActionPred::new(
+            and2(delta_eq, eq(var(av.prime(other)), var(other))),
+            av,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn action_vocab_doubles_and_primes() {
+        let (_, av, c0, ..) = toy();
+        assert_eq!(av.doubled().len(), 2 * av.base().len());
+        assert_eq!(av.doubled().name(av.prime(c0)), "c0'");
+        let e = add(var(c0), int(1));
+        let pe = av.primed_expr(&e);
+        assert_eq!(pe, add(var(av.prime(c0)), int(1)));
+    }
+
+    #[test]
+    fn primed_name_collision_rejected() {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::Bool).unwrap();
+        v.declare("x'", Domain::Bool).unwrap();
+        assert!(ActionVocab::new(Arc::new(v)).is_err());
+    }
+
+    #[test]
+    fn components_satisfy_their_lockstep_guarantee() {
+        let (sys, av, c0, c1, big) = toy();
+        let g0 = lockstep_guar(&av, c0, c1, big);
+        let g1 = lockstep_guar(&av, c1, c0, big);
+        steps_satisfy(&sys.components[0], &av, &g0).unwrap();
+        steps_satisfy(&sys.components[1], &av, &g1).unwrap();
+        // And each *fails* the other's guarantee: the paper's observation
+        // that the naive universal property is not shared.
+        assert!(steps_satisfy(&sys.components[0], &av, &g1).is_err());
+        assert!(steps_satisfy(&sys.components[1], &av, &g0).is_err());
+    }
+
+    #[test]
+    fn parallel_rule_composes_the_toy() {
+        let (sys, av, c0, c1, big) = toy();
+        let g0 = lockstep_guar(&av, c0, c1, big);
+        let g1 = lockstep_guar(&av, c1, c0, big);
+        let rg0 = RelyGuarantee {
+            rely: g1.clone(),
+            guar: g0.clone(),
+        };
+        let rg1 = RelyGuarantee {
+            rely: g0,
+            guar: g1,
+        };
+        parallel_rule(
+            &[(&sys.components[0], &rg0), (&sys.components[1], &rg1)],
+            &sys.composed,
+            &av,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn interference_mismatch_is_reported() {
+        let (sys, av, c0, c1, big) = toy();
+        let g0 = lockstep_guar(&av, c0, c1, big);
+        let g1 = lockstep_guar(&av, c1, c0, big);
+        // Component 1 relies on *nobody touching C at all* — too strong.
+        let rg0 = RelyGuarantee {
+            rely: g1.clone(),
+            guar: g0.clone(),
+        };
+        let rg1 = RelyGuarantee {
+            rely: unchanged_vars(&av, [big]),
+            guar: g1,
+        };
+        let err = parallel_rule(
+            &[(&sys.components[0], &rg0), (&sys.components[1], &rg1)],
+            &sys.composed,
+            &av,
+        )
+        .unwrap_err();
+        match *err {
+            RgError::InterferenceUnjustified { promiser, relier, .. } => {
+                assert_eq!((promiser, relier), (0, 1));
+            }
+            other => panic!("expected interference error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invariant_rule_derives_the_conservation_law() {
+        let (sys, av, c0, c1, big) = toy();
+        let g0 = lockstep_guar(&av, c0, c1, big);
+        let g1 = lockstep_guar(&av, c1, c0, big);
+        let rg0 = RelyGuarantee {
+            rely: g1.clone(),
+            guar: g0.clone(),
+        };
+        let rg1 = RelyGuarantee {
+            rely: g0,
+            guar: g1,
+        };
+        let p = eq(var(big), add(var(c0), var(c1)));
+        invariant_via_rg(
+            &[(&sys.components[0], &rg0), (&sys.components[1], &rg1)],
+            &sys.composed,
+            &av,
+            &p,
+        )
+        .unwrap();
+        // A wrong candidate is rejected with a concrete step.
+        let wrong = eq(var(big), var(c0));
+        let err = invariant_via_rg(
+            &[(&sys.components[0], &rg0), (&sys.components[1], &rg1)],
+            &sys.composed,
+            &av,
+            &wrong,
+        )
+        .unwrap_err();
+        assert!(matches!(*err, RgError::NotStable { .. }));
+    }
+
+    #[test]
+    fn locality_is_a_rely_the_siblings_justify() {
+        let (sys, av, ..) = toy();
+        // Environment of F = G's steps; G must satisfy F's locality rely.
+        let rely_f = locality_rely(&av, &sys.components[0]);
+        steps_satisfy(&sys.components[1], &av, &rely_f).unwrap();
+        let rely_g = locality_rely(&av, &sys.components[1]);
+        steps_satisfy(&sys.components[0], &av, &rely_g).unwrap();
+        // F itself does *not* satisfy its own locality rely (it writes c0).
+        assert!(steps_satisfy(&sys.components[0], &av, &rely_f).is_err());
+    }
+
+    #[test]
+    fn stable_bridge_holds_on_the_toy() {
+        let (sys, av, c0, _, big) = toy();
+        for p in [
+            le(var(c0), int(1)),
+            eq(var(big), int(0)),
+            ge(var(big), var(c0)),
+        ] {
+            let (op, rg) = stable_agrees_with_rg(&sys.composed, &av, &p);
+            assert_eq!(op, rg, "bridge disagrees on {p:?}");
+        }
+    }
+
+    #[test]
+    fn stable_under_finds_interference() {
+        let (_, av, c0, c1, big) = toy();
+        let g1 = lockstep_guar(&av, c1, c0, big);
+        // `C = c0` is not stable under component 1's steps (it bumps C).
+        let err = stable_under(&av, &eq(var(big), var(c0)), &g1).unwrap_err();
+        assert_eq!(err.command, "environment");
+        // But `c0 = 1` is: component 1 never touches c0.
+        stable_under(&av, &eq(var(c0), int(1)), &g1).unwrap();
+    }
+
+    #[test]
+    fn violation_display_names_variables() {
+        let (sys, av, c0, c1, big) = toy();
+        let g0 = lockstep_guar(&av, c0, c1, big);
+        let err = steps_satisfy(&sys.components[1], &av, &g0).unwrap_err();
+        let text = err.display(av.base());
+        assert!(text.contains("a_G"), "offending command named: {text}");
+        assert!(text.contains("c0="), "states rendered: {text}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Program states.
+//!
+//! A [`State`] assigns a value to every variable of a vocabulary, laid out as
+//! a flat array indexed by [`VarId`]. States are small and cheap to clone;
+//! the model checker additionally packs them into `u64` keys when the
+//! vocabulary fits (see `unity-mc`).
+
+use std::fmt;
+
+use crate::ident::{VarId, Vocabulary};
+use crate::value::Value;
+
+/// A total assignment of values to the variables of a vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State {
+    values: Box<[Value]>,
+}
+
+impl State {
+    /// Builds a state from a value vector (one entry per variable, in
+    /// [`VarId`] order).
+    pub fn new(values: Vec<Value>) -> Self {
+        State {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// The all-minimum state of `vocab` (each variable at its domain minimum).
+    pub fn minimum(vocab: &Vocabulary) -> Self {
+        State::new(vocab.iter().map(|(_, d)| d.domain.min_value()).collect())
+    }
+
+    /// Value of variable `id`.
+    #[inline]
+    pub fn get(&self, id: VarId) -> Value {
+        self.values[id.index()]
+    }
+
+    /// Sets variable `id` to `v`.
+    #[inline]
+    pub fn set(&mut self, id: VarId, v: Value) {
+        self.values[id.index()] = v;
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the state has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw value slice in [`VarId`] order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Whether every variable's value lies in its declared domain.
+    pub fn in_domains(&self, vocab: &Vocabulary) -> bool {
+        self.values
+            .iter()
+            .zip(vocab.iter())
+            .all(|(v, (_, d))| d.domain.contains(*v))
+    }
+
+    /// Renders the state with variable names from `vocab`, e.g.
+    /// `{c0=1, C=1}`.
+    pub fn display<'a>(&'a self, vocab: &'a Vocabulary) -> StateDisplay<'a> {
+        StateDisplay { state: self, vocab }
+    }
+}
+
+/// Helper for rendering states with variable names.
+pub struct StateDisplay<'a> {
+    state: &'a State,
+    vocab: &'a Vocabulary,
+}
+
+impl fmt::Display for StateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (id, decl)) in self.vocab.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", decl.name, self.state.get(id))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the full domain product of a vocabulary, in canonical
+/// (mixed-radix, first variable slowest) order.
+///
+/// The iterator yields every type-consistent state exactly once; this is the
+/// state universe over which the paper's inductive `next`/`stable`/`transient`
+/// definitions quantify.
+pub struct StateSpaceIter<'a> {
+    vocab: &'a Vocabulary,
+    /// Canonical indices per variable; `None` once exhausted.
+    cursor: Option<Vec<u64>>,
+}
+
+impl<'a> StateSpaceIter<'a> {
+    /// Creates the iterator. An empty vocabulary yields exactly one (empty)
+    /// state.
+    pub fn new(vocab: &'a Vocabulary) -> Self {
+        StateSpaceIter {
+            vocab,
+            cursor: Some(vec![0; vocab.len()]),
+        }
+    }
+
+    /// Decodes a flat index (in the same canonical order as iteration) into a
+    /// state. `flat` must be `< vocab.space_size()`.
+    pub fn decode(vocab: &Vocabulary, mut flat: u64) -> State {
+        let mut vals = vec![Value::Bool(false); vocab.len()];
+        for (id, decl) in vocab.iter().rev() {
+            let size = decl.domain.size();
+            vals[id.index()] = decl.domain.value_at(flat % size);
+            flat /= size;
+        }
+        State::new(vals)
+    }
+
+    /// Encodes a state into its flat canonical index.
+    pub fn encode(vocab: &Vocabulary, state: &State) -> Option<u64> {
+        let mut flat: u64 = 0;
+        for (id, decl) in vocab.iter() {
+            let idx = decl.domain.index_of(state.get(id))?;
+            flat = flat.checked_mul(decl.domain.size())?.checked_add(idx)?;
+        }
+        Some(flat)
+    }
+}
+
+impl Iterator for StateSpaceIter<'_> {
+    type Item = State;
+
+    fn next(&mut self) -> Option<State> {
+        let cursor = self.cursor.as_mut()?;
+        let state = State::new(
+            cursor
+                .iter()
+                .zip(self.vocab.iter())
+                .map(|(&k, (_, d))| d.domain.value_at(k))
+                .collect(),
+        );
+        // Advance mixed-radix counter, last variable fastest.
+        let mut i = cursor.len();
+        loop {
+            if i == 0 {
+                self.cursor = None;
+                break;
+            }
+            i -= 1;
+            let size = self.vocab.domain(VarId(i as u32)).size();
+            let c = self.cursor.as_mut().unwrap();
+            c[i] += 1;
+            if c[i] < size {
+                break;
+            }
+            c[i] = 0;
+        }
+        Some(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.declare("b", Domain::Bool).unwrap();
+        v.declare("n", Domain::int_range(0, 2).unwrap()).unwrap();
+        v
+    }
+
+    #[test]
+    fn get_set() {
+        let v = vocab();
+        let mut s = State::minimum(&v);
+        assert_eq!(s.get(VarId(0)), Value::Bool(false));
+        s.set(VarId(1), Value::Int(2));
+        assert_eq!(s.get(VarId(1)), Value::Int(2));
+        assert!(s.in_domains(&v));
+        s.set(VarId(1), Value::Int(9));
+        assert!(!s.in_domains(&v));
+    }
+
+    #[test]
+    fn iteration_covers_product() {
+        let v = vocab();
+        let states: Vec<State> = StateSpaceIter::new(&v).collect();
+        assert_eq!(states.len(), 6);
+        // All distinct.
+        for i in 0..states.len() {
+            for j in (i + 1)..states.len() {
+                assert_ne!(states[i], states[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let v = vocab();
+        for (flat, s) in StateSpaceIter::new(&v).enumerate() {
+            assert_eq!(StateSpaceIter::encode(&v, &s), Some(flat as u64));
+            assert_eq!(StateSpaceIter::decode(&v, flat as u64), s);
+        }
+    }
+
+    #[test]
+    fn empty_vocabulary_yields_one_state() {
+        let v = Vocabulary::new();
+        let states: Vec<State> = StateSpaceIter::new(&v).collect();
+        assert_eq!(states.len(), 1);
+        assert!(states[0].is_empty());
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let v = vocab();
+        let s = State::minimum(&v);
+        assert_eq!(s.display(&v).to_string(), "{b=false, n=0}");
+    }
+}

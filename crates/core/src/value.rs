@@ -1,0 +1,136 @@
+//! Runtime values.
+
+use std::fmt;
+
+/// A runtime value: either a boolean or a (bounded) integer.
+///
+/// The programming model of the paper is untyped mathematically; we give it
+/// the minimal type structure needed for the two case studies (counters and
+/// edge orientations) and for finite-state enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// Extracts a boolean, if this is one.
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Extracts an integer, if this is one.
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// Extracts a boolean, panicking on type confusion.
+    ///
+    /// Only used after expressions have been type checked.
+    #[inline]
+    pub fn expect_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Int(n) => panic!("type confusion: expected bool, found int {n}"),
+        }
+    }
+
+    /// Extracts an integer, panicking on type confusion.
+    #[inline]
+    pub fn expect_int(self) -> i64 {
+        match self {
+            Value::Int(n) => n,
+            Value::Bool(b) => panic!("type confusion: expected int, found bool {b}"),
+        }
+    }
+
+    /// The type of this value.
+    #[inline]
+    pub fn ty(self) -> Type {
+        match self {
+            Value::Bool(_) => Type::Bool,
+            Value::Int(_) => Type::Int,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Static types of expressions and variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Boolean type.
+    Bool,
+    /// Integer type.
+    Int,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(7i64).as_int(), Some(7));
+        assert_eq!(Value::from(true).as_int(), None);
+        assert_eq!(Value::from(7i64).as_bool(), None);
+    }
+
+    #[test]
+    fn types() {
+        assert_eq!(Value::Bool(false).ty(), Type::Bool);
+        assert_eq!(Value::Int(0).ty(), Type::Int);
+        assert_eq!(Type::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "type confusion")]
+    fn expect_bool_panics_on_int() {
+        Value::Int(1).expect_bool();
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the expression layer: evaluation-preserving
+//! simplification, the semantic substitution lemma, `wp` vs. operational
+//! agreement, and pretty-print/parse round-trips.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::command::Command;
+use unity_core::domain::Domain;
+use unity_core::dsl::parse_expr;
+use unity_core::expr::build::*;
+use unity_core::expr::eval::{eval, eval_bool};
+use unity_core::expr::pretty::Render;
+use unity_core::expr::simplify::simplify;
+use unity_core::expr::subst::Subst;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::state::StateSpaceIter;
+
+/// The fixed test vocabulary: x:int 0..4, y:int 0..3, p:bool, q:bool.
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("x", Domain::int_range(0, 4).unwrap()).unwrap();
+    v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+    v.declare("p", Domain::Bool).unwrap();
+    v.declare("q", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+const X: VarId = VarId(0);
+const Y: VarId = VarId(1);
+const P: VarId = VarId(2);
+const Q: VarId = VarId(3);
+
+/// Strategy for well-typed integer expressions (non-negative literals so
+/// parse round-trips are exact).
+fn arb_int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..=6).prop_map(int),
+        Just(var(X)),
+        Just(var(Y)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| div(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| rem(a, b)),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(sum),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(min),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(max),
+            (arb_bool_leaf(), inner.clone(), inner).prop_map(|(c, t, e)| ite(c, t, e)),
+        ]
+    })
+}
+
+fn arb_bool_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(tt()),
+        Just(ff()),
+        Just(var(P)),
+        Just(var(Q)),
+    ]
+}
+
+/// Strategy for well-typed boolean expressions.
+fn arb_bool_expr() -> impl Strategy<Value = Expr> {
+    let leaf = arb_bool_leaf();
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| and2(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| or2(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| iff(a, b)),
+            (arb_int_expr(), arb_int_expr()).prop_map(|(a, b)| eq(a, b)),
+            (arb_int_expr(), arb_int_expr()).prop_map(|(a, b)| lt(a, b)),
+            (arb_int_expr(), arb_int_expr()).prop_map(|(a, b)| le(a, b)),
+            (arb_int_expr(), arb_int_expr()).prop_map(|(a, b)| ne(a, b)),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(and),
+            prop::collection::vec(inner, 1..3).prop_map(or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simplify_preserves_value_int(e in arb_int_expr()) {
+        let v = vocab();
+        prop_assert!(e.infer_type(&v).is_ok());
+        let s = simplify(&e);
+        for state in StateSpaceIter::new(&v) {
+            prop_assert_eq!(eval(&e, &state), eval(&s, &state));
+        }
+        prop_assert!(s.size() <= e.size(), "simplification never grows the tree");
+    }
+
+    #[test]
+    fn simplify_preserves_value_bool(e in arb_bool_expr()) {
+        let v = vocab();
+        prop_assert!(e.infer_type(&v).is_ok());
+        let s = simplify(&e);
+        for state in StateSpaceIter::new(&v) {
+            prop_assert_eq!(eval(&e, &state), eval(&s, &state));
+        }
+    }
+
+    #[test]
+    fn substitution_lemma(q in arb_bool_expr(), ex in arb_int_expr(), ey in arb_int_expr()) {
+        // eval(q[x,y := ex,ey], s) == eval(q, s[x := eval(ex,s), y := eval(ey,s)])
+        let v = vocab();
+        let subst = Subst::from_pairs([(X, ex.clone()), (Y, ey.clone())]);
+        let q2 = subst.apply(&q);
+        for state in StateSpaceIter::new(&v) {
+            let lhs = eval(&q2, &state);
+            let mut shifted = state.clone();
+            shifted.set(X, eval(&ex, &state));
+            shifted.set(Y, eval(&ey, &state));
+            let rhs = eval(&q, &shifted);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn wp_agrees_with_operational_step(
+        guard in arb_bool_expr(),
+        ex in arb_int_expr(),
+        eb in arb_bool_expr(),
+        post in arb_bool_expr(),
+    ) {
+        let v = vocab();
+        let cmd = Command::new("c", guard, vec![(X, ex), (P, eb)], &v).unwrap();
+        let wp = cmd.wp(&post, &v);
+        for state in StateSpaceIter::new(&v) {
+            let semantic = eval_bool(&post, &cmd.step(&state, &v));
+            let syntactic = eval_bool(&wp, &state);
+            prop_assert_eq!(semantic, syntactic, "state {}", state.display(&v));
+        }
+    }
+
+    #[test]
+    fn pretty_parse_roundtrip_int(e in arb_int_expr()) {
+        let v = vocab();
+        let text = Render::new(&e, &v).to_string();
+        let parsed = parse_expr(&text, &v)
+            .unwrap_or_else(|err| panic!("`{text}` failed to parse: {err}"));
+        prop_assert_eq!(parsed, e, "pretty output `{}`", text);
+    }
+
+    #[test]
+    fn pretty_parse_roundtrip_bool(e in arb_bool_expr()) {
+        let v = vocab();
+        let text = Render::new(&e, &v).to_string();
+        let parsed = parse_expr(&text, &v)
+            .unwrap_or_else(|err| panic!("`{text}` failed to parse: {err}"));
+        prop_assert_eq!(parsed, e, "pretty output `{}`", text);
+    }
+
+    #[test]
+    fn double_simplify_is_idempotent(e in arb_bool_expr()) {
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the guarantees calculus algebra
+//! (`unity_core::guarantee::calculus`): entailment is a preorder on the
+//! generated property pool, the checker's conclusions are stable under
+//! the rules' algebraic laws, and unsound shapes are rejected.
+
+use proptest::prelude::*;
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::Expr;
+use unity_core::guarantee::calculus::*;
+use unity_core::ident::Vocabulary;
+use unity_core::properties::Property;
+use unity_core::state::StateSpaceIter;
+
+fn vocab() -> Vocabulary {
+    let mut v = Vocabulary::new();
+    v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+    v.declare("f", Domain::Bool).unwrap();
+    v
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let v = vocab();
+    let x = v.lookup("x").unwrap();
+    let f = v.lookup("f").unwrap();
+    prop_oneof![
+        (0i64..=3).prop_map(move |k| eq(var(x), int(k))),
+        (0i64..=3).prop_map(move |k| le(var(x), int(k))),
+        (0i64..=3).prop_map(move |k| ge(var(x), int(k))),
+        Just(var(f)),
+        Just(not(var(f))),
+        Just(tt()),
+        Just(ff()),
+    ]
+}
+
+fn arb_prop() -> impl Strategy<Value = Property> {
+    prop_oneof![
+        arb_pred().prop_map(Property::Init),
+        arb_pred().prop_map(Property::Transient),
+        arb_pred().prop_map(Property::Stable),
+        arb_pred().prop_map(Property::Invariant),
+        (arb_pred(), arb_pred()).prop_map(|(p, q)| Property::Next(p, q)),
+        (arb_pred(), arb_pred()).prop_map(|(p, q)| Property::LeadsTo(p, q)),
+    ]
+}
+
+fn scan_valid(v: &Vocabulary) -> impl FnMut(&Expr) -> bool + '_ {
+    move |e: &Expr| StateSpaceIter::new(v).all(|s| eval_bool(e, &s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Entailment is reflexive and transitive on the pool.
+    #[test]
+    fn entailment_is_a_preorder(a in arb_prop(), b in arb_prop(), c in arb_prop()) {
+        let v = vocab();
+        let mut valid = scan_valid(&v);
+        prop_assert!(prop_entails(&a, &a, &mut valid), "reflexive");
+        if prop_entails(&a, &b, &mut valid) && prop_entails(&b, &c, &mut valid) {
+            prop_assert!(
+                prop_entails(&a, &c, &mut valid),
+                "transitivity gap: {} / {} / {}",
+                a.display(&v), b.display(&v), c.display(&v)
+            );
+        }
+    }
+
+    /// Set entailment is monotone in the hypothesis set and reflexive.
+    #[test]
+    fn set_entailment_monotone(
+        xs in prop::collection::vec(arb_prop(), 0..4),
+        extra in arb_prop(),
+        ys in prop::collection::vec(arb_prop(), 0..3),
+    ) {
+        let v = vocab();
+        let mut valid = scan_valid(&v);
+        prop_assert!(set_entails(&xs, &xs, &mut valid), "reflexive");
+        if set_entails(&xs, &ys, &mut valid) {
+            let mut bigger = xs.clone();
+            bigger.push(extra);
+            prop_assert!(set_entails(&bigger, &ys, &mut valid), "monotone");
+        }
+    }
+
+    /// The Consequence rule accepts exactly the set-entailment pairs, and
+    /// its conclusion round-trips through the checker.
+    #[test]
+    fn consequence_matches_set_entailment(
+        xs in prop::collection::vec(arb_prop(), 1..3),
+        ys in prop::collection::vec(arb_prop(), 1..3),
+    ) {
+        let v = vocab();
+        let mut valid = scan_valid(&v);
+        let entails = set_entails(&xs, &ys, &mut valid);
+        let mut valid = scan_valid(&v);
+        let mut holds = |_: &Property| true;
+        let mut ctx = CalcCtx { valid: &mut valid, component_holds: &mut holds };
+        let proof = GProof::Consequence { hypothesis: xs.clone(), conclusion: ys.clone() };
+        match check_gproof(&proof, &mut ctx) {
+            Ok(clause) => {
+                prop_assert!(entails);
+                prop_assert_eq!(clause.hypothesis, xs);
+                prop_assert_eq!(clause.conclusion, ys);
+            }
+            Err(_) => prop_assert!(!entails),
+        }
+    }
+
+    /// Conjunction is commutative up to set membership and never drops
+    /// conclusions.
+    #[test]
+    fn conjunction_is_commutative_as_sets(
+        xs in prop::collection::vec(arb_prop(), 1..3),
+        ys in prop::collection::vec(arb_prop(), 1..3),
+        zs in prop::collection::vec(arb_prop(), 1..3),
+        ws in prop::collection::vec(arb_prop(), 1..3),
+    ) {
+        let v = vocab();
+        let a = GProof::Premise(GuaranteeClause::new(xs, ys));
+        let b = GProof::Premise(GuaranteeClause::new(zs, ws));
+        let run = |l: &GProof, r: &GProof| {
+            let mut valid = scan_valid(&v);
+            let mut holds = |_: &Property| true;
+            let mut ctx = CalcCtx { valid: &mut valid, component_holds: &mut holds };
+            check_gproof(
+                &GProof::Conjunction { left: Box::new(l.clone()), right: Box::new(r.clone()) },
+                &mut ctx,
+            ).unwrap()
+        };
+        let ab = run(&a, &b);
+        let ba = run(&b, &a);
+        for p in &ab.conclusion {
+            prop_assert!(ba.conclusion.contains(p));
+        }
+        for p in &ba.hypothesis {
+            prop_assert!(ab.hypothesis.contains(p));
+        }
+    }
+
+    /// FromExistential accepts exactly the existential property kinds.
+    #[test]
+    fn existential_intro_gate(p in arb_prop()) {
+        let v = vocab();
+        let mut valid = scan_valid(&v);
+        let mut holds = |_: &Property| true;
+        let mut ctx = CalcCtx { valid: &mut valid, component_holds: &mut holds };
+        let accepted = check_gproof(&GProof::FromExistential { prop: p.clone() }, &mut ctx).is_ok();
+        let existential = matches!(p, Property::Init(_) | Property::Transient(_));
+        prop_assert_eq!(accepted, existential);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the rely-guarantee bridge and the
+//! conserved-combination discovery.
+//!
+//! * **Bridge theorem** on random programs: `stable p` (operational,
+//!   all-states) coincides with "every step satisfies the action
+//!   predicate `p ⇒ p'`" for every predicate in the pool.
+//! * **Conservation soundness** on random linear programs: every
+//!   discovered combination is genuinely unchanged by every command from
+//!   every state (checked by brute force, independent of the linear
+//!   algebra), and a *planted* conservation law is always found.
+//! * **Locality-as-rely** on random two-component compositions: each
+//!   component's steps satisfy the sibling's locality rely.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::compose::{InitSatCheck, System};
+use unity_core::conserve::conserved_linear_combinations;
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::rg::{locality_rely, stable_agrees_with_rg, steps_satisfy, ActionVocab};
+use unity_core::state::StateSpaceIter;
+
+const X: VarId = VarId(0);
+const Y: VarId = VarId(1);
+const FLAG: VarId = VarId(2);
+
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("x", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("y", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("flag", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+fn arb_update() -> impl Strategy<Value = (VarId, Expr)> {
+    prop_oneof![
+        Just((X, add(var(X), int(1)))),
+        Just((X, var(Y))),
+        Just((X, int(0))),
+        Just((Y, sub(var(Y), int(1)))),
+        Just((Y, var(X))),
+        Just((FLAG, not(var(FLAG)))),
+    ]
+}
+
+fn arb_guard() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(tt()),
+        Just(var(FLAG)),
+        (0i64..=2).prop_map(|k| lt(var(X), int(k))),
+        (0i64..=2).prop_map(|k| ge(var(Y), int(k))),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec((arb_guard(), prop::collection::vec(arb_update(), 1..3)), 1..4)
+        .prop_map(|cmds| {
+            let mut b = Program::builder("p", vocab()).init(tt());
+            for (i, (g, mut ups)) in cmds.into_iter().enumerate() {
+                ups.sort_by_key(|(x, _)| *x);
+                ups.dedup_by_key(|(x, _)| *x);
+                b = b.command(format!("c{i}"), g, ups);
+            }
+            b.build().expect("pool is well-typed")
+        })
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..=2).prop_map(|k| le(var(X), int(k))),
+        (0i64..=2).prop_map(|k| eq(var(Y), int(k))),
+        Just(var(FLAG)),
+        Just(eq(var(X), var(Y))),
+        (0i64..=4).prop_map(|k| eq(add(var(X), var(Y)), int(k))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The operational `stable p` and its action-predicate reading agree
+    /// on every random program and predicate.
+    #[test]
+    fn stable_bridge(prog in arb_program(), p in arb_pred()) {
+        let av = ActionVocab::new(prog.vocab.clone()).unwrap();
+        let (op, rg) = stable_agrees_with_rg(&prog, &av, &p);
+        prop_assert_eq!(op, rg);
+    }
+
+    /// Every discovered conserved combination really is conserved —
+    /// verified by brute-force execution, independent of the algebra.
+    #[test]
+    fn conservation_is_sound(prog in arb_program()) {
+        let basis = conserved_linear_combinations(&prog);
+        for combo in &basis.combos {
+            for s in StateSpaceIter::new(&prog.vocab) {
+                let before = combo.evaluate(&s);
+                for c in &prog.commands {
+                    let t = c.step(&s, &prog.vocab);
+                    prop_assert_eq!(
+                        combo.evaluate(&t), before,
+                        "combo {:?} changed by {} from {}",
+                        combo.coeffs, c.name, s.display(&prog.vocab)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Planting a transfer command (x -= 1, y += 1) in an otherwise
+    /// y-free program guarantees `x + y` is in the discovered space
+    /// whenever every other command also conserves it.
+    #[test]
+    fn planted_law_is_found(flip_flag in any::<bool>()) {
+        let v = vocab();
+        let mut b = Program::builder("planted", v)
+            .init(tt())
+            .command(
+                "transfer",
+                and2(gt(var(X), int(0)), lt(var(Y), int(2))),
+                vec![(X, sub(var(X), int(1))), (Y, add(var(Y), int(1)))],
+            );
+        if flip_flag {
+            b = b.command("flip", tt(), vec![(FLAG, not(var(FLAG)))]);
+        }
+        let prog = b.build().unwrap();
+        let basis = conserved_linear_combinations(&prog);
+        let want: std::collections::BTreeMap<VarId, i64> =
+            [(X, 1), (Y, 1)].into_iter().collect();
+        prop_assert!(
+            basis.combos.iter().any(|c| c.coeffs == want),
+            "x + y not found; basis = {:?}",
+            basis.combos
+        );
+    }
+
+    /// In a locality-respecting composition, each component justifies the
+    /// sibling's locality rely; violations are impossible by construction.
+    #[test]
+    fn locality_rely_is_justified(
+        f_cmds in prop::collection::vec((arb_guard(), prop_oneof![
+            Just((X, add(var(X), int(1)))),
+            Just((X, int(0))),
+        ]), 1..3),
+        g_cmds in prop::collection::vec((arb_guard(), prop_oneof![
+            Just((Y, add(var(Y), int(1)))),
+            Just((Y, int(0))),
+        ]), 1..3),
+    ) {
+        let v = vocab();
+        let mut fb = Program::builder("F", v.clone()).init(tt()).local(X);
+        for (i, (g, up)) in f_cmds.into_iter().enumerate() {
+            fb = fb.command(format!("f{i}"), g, vec![up]);
+        }
+        let mut gb = Program::builder("G", v.clone()).init(tt()).local(Y);
+        for (i, (g, up)) in g_cmds.into_iter().enumerate() {
+            gb = gb.command(format!("g{i}"), g, vec![up]);
+        }
+        let f = fb.build().unwrap();
+        let g = gb.build().unwrap();
+        let sys = System::compose(vec![f, g], InitSatCheck::Skip).unwrap();
+        let av = ActionVocab::new(v).unwrap();
+        // G's steps satisfy F's locality rely and vice versa.
+        let rely_f = locality_rely(&av, &sys.components[0]);
+        let rely_g = locality_rely(&av, &sys.components[1]);
+        prop_assert!(steps_satisfy(&sys.components[1], &av, &rely_f).is_ok());
+        prop_assert!(steps_satisfy(&sys.components[0], &av, &rely_g).is_ok());
+    }
+}

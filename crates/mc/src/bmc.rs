@@ -1,0 +1,518 @@
+//! Bounded and randomized refutation for instances beyond exact checking.
+//!
+//! Exact checking ([`crate::check`], [`crate::fair`]) is limited by the
+//! state-space bound in [`crate::space::ScanConfig`]. For larger instances this module
+//! provides two *incomplete but sound-for-refutation* modes:
+//!
+//! * [`bounded_invariant`] — breadth-first exploration from the initial
+//!   states up to a depth/state budget. If the frontier empties before the
+//!   budget is hit the result is a **complete** proof of the reachable
+//!   invariant (equivalent to [`crate::check::check_invariant_reachable`]);
+//!   otherwise it is a bounded guarantee up to the reported depth.
+//! * [`random_walk_invariant`] — seeded random walks. Any violation found
+//!   is real (a concrete path witnesses it); absence of violations is
+//!   evidence, not proof.
+//!
+//! Both return a path counterexample ([`Counterexample::Reach`]) on
+//! violation, so a refutation can be replayed step by step.
+//!
+//! These modes check *reachable* semantics by construction (they follow
+//! transitions from initial states). The paper's inductive semantics is
+//! stronger; a bounded run can therefore accept an invariant that the
+//! inductive checker rejects — the same gap as
+//! `check_invariant` vs `check_invariant_reachable`, which the test suite
+//! demonstrates.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use unity_core::prelude::*;
+//! use unity_mc::prelude::*;
+//!
+//! let mut v = Vocabulary::new();
+//! let x = v.declare("x", Domain::int_range(0, 9).unwrap()).unwrap();
+//! let p = Program::builder("count", Arc::new(v))
+//!     .init(eq(var(x), int(0)))
+//!     .fair_command("inc", lt(var(x), int(9)), vec![(x, add(var(x), int(1)))])
+//!     .build()
+//!     .unwrap();
+//! // Exhaustive BFS: the frontier drains, so this is a complete proof.
+//! let verdict = bounded_invariant(&p, &le(var(x), int(9)), &BmcConfig::default()).unwrap();
+//! assert!(verdict.is_complete());
+//! // A violated predicate comes back as the *shortest* violating path.
+//! let err = bounded_invariant(&p, &lt(var(x), int(3)), &BmcConfig::default()).unwrap_err();
+//! match err {
+//!     McError::Refuted { cex: Counterexample::Reach { path }, .. } => {
+//!         assert_eq!(path.len(), 4); // x = 0, 1, 2, 3
+//!     }
+//!     other => panic!("{other}"),
+//! }
+//! ```
+
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::pretty::Render;
+use unity_core::expr::Expr;
+use unity_core::program::Program;
+use unity_core::state::State;
+
+use crate::hasher::FxHashMap;
+use crate::trace::{Counterexample, McError};
+
+/// Budget and seed configuration for bounded exploration.
+#[derive(Debug, Clone)]
+pub struct BmcConfig {
+    /// Maximum BFS depth (number of command applications from an initial
+    /// state). `u32::MAX` effectively means "until the state budget".
+    pub max_depth: u32,
+    /// Maximum number of distinct states to intern before giving up.
+    pub max_states: usize,
+    /// PRNG seed for random walks (deterministic given the seed).
+    pub seed: u64,
+    /// Number of independent random walks.
+    pub walks: u32,
+    /// Steps per walk.
+    pub walk_len: u32,
+}
+
+impl Default for BmcConfig {
+    fn default() -> Self {
+        BmcConfig {
+            max_depth: u32::MAX,
+            max_states: 1 << 20,
+            seed: 0x5DEECE66D,
+            walks: 64,
+            walk_len: 4096,
+        }
+    }
+}
+
+/// Outcome of a bounded exploration that found no violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedVerdict {
+    /// The frontier emptied: every reachable state was visited, so the
+    /// invariant holds outright (over the reachable universe).
+    Complete {
+        /// Number of distinct reachable states.
+        explored: usize,
+        /// Depth of the deepest state.
+        depth: u32,
+    },
+    /// The budget ran out first: no violation up to this depth/state count.
+    BudgetExhausted {
+        /// Number of distinct states interned before stopping.
+        explored: usize,
+        /// Last fully processed BFS depth.
+        depth: u32,
+    },
+}
+
+impl BoundedVerdict {
+    /// Whether the exploration covered the entire reachable space.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, BoundedVerdict::Complete { .. })
+    }
+}
+
+/// Statistics from a clean random-walk campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Total steps taken across all walks.
+    pub steps: u64,
+    /// Number of walks performed.
+    pub walks: u32,
+    /// Distinct states seen (exact, via interning).
+    pub distinct_states: usize,
+}
+
+/// SplitMix64: tiny deterministic PRNG, adequate for walk scheduling.
+/// (Kept local so the checker has no RNG dependency.)
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0) by rejection-free multiply-shift.
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+fn refuted(p: &Expr, vocab: &unity_core::ident::Vocabulary, path: Vec<State>) -> McError {
+    McError::Refuted {
+        property: format!("invariant {} (bounded)", Render::new(p, vocab)),
+        cex: Counterexample::Reach { path },
+    }
+}
+
+/// Reconstructs the path from an initial state to `target` using BFS
+/// parent pointers.
+fn path_to(parents: &[(u32, u32)], states: &[State], target: u32) -> Vec<State> {
+    let mut rev = vec![states[target as usize].clone()];
+    let mut cur = target;
+    while parents[cur as usize].0 != cur {
+        cur = parents[cur as usize].0;
+        rev.push(states[cur as usize].clone());
+    }
+    rev.reverse();
+    rev
+}
+
+/// Bounded BFS invariant check from the program's own initial states.
+///
+/// Initial states are enumerated from the full domain product, so this
+/// convenience wrapper is only usable when the vocabulary is enumerable;
+/// for large systems use [`bounded_invariant_from`] with explicitly
+/// constructed starting states.
+pub fn bounded_invariant(
+    program: &Program,
+    p: &Expr,
+    cfg: &BmcConfig,
+) -> Result<BoundedVerdict, McError> {
+    let starts = program.initial_states();
+    bounded_invariant_from(program, &starts, p, cfg)
+}
+
+/// Bounded BFS invariant check from the given starting states.
+///
+/// Explores successors of `starts` under every explicit command, breadth
+/// first, up to `cfg.max_depth` levels or `cfg.max_states` distinct
+/// states. Returns a path counterexample on violation.
+pub fn bounded_invariant_from(
+    program: &Program,
+    starts: &[State],
+    p: &Expr,
+    cfg: &BmcConfig,
+) -> Result<BoundedVerdict, McError> {
+    p.check_pred(&program.vocab)?;
+    let vocab = &program.vocab;
+    let mut index: FxHashMap<State, u32> = FxHashMap::default();
+    let mut states: Vec<State> = Vec::new();
+    // parent pointers: (parent id, depth); roots point at themselves.
+    let mut parents: Vec<(u32, u32)> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+
+    for s in starts {
+        if index.contains_key(s) {
+            continue;
+        }
+        let id = states.len() as u32;
+        index.insert(s.clone(), id);
+        states.push(s.clone());
+        parents.push((id, 0));
+        if !eval_bool(p, s) {
+            return Err(refuted(p, vocab, path_to(&parents, &states, id)));
+        }
+        frontier.push(id);
+    }
+
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        if depth >= cfg.max_depth {
+            return Ok(BoundedVerdict::BudgetExhausted {
+                explored: states.len(),
+                depth,
+            });
+        }
+        let mut next = Vec::new();
+        for &id in &frontier {
+            let state = states[id as usize].clone();
+            for c in &program.commands {
+                let succ = c.step(&state, vocab);
+                if index.contains_key(&succ) {
+                    continue;
+                }
+                let nid = states.len() as u32;
+                index.insert(succ.clone(), nid);
+                states.push(succ.clone());
+                parents.push((id, depth + 1));
+                if !eval_bool(p, &succ) {
+                    return Err(refuted(p, vocab, path_to(&parents, &states, nid)));
+                }
+                if states.len() >= cfg.max_states {
+                    return Ok(BoundedVerdict::BudgetExhausted {
+                        explored: states.len(),
+                        depth,
+                    });
+                }
+                next.push(nid);
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    Ok(BoundedVerdict::Complete {
+        explored: states.len(),
+        depth: depth.saturating_sub(1),
+    })
+}
+
+/// Random-walk invariant refutation from the program's own initial states.
+///
+/// Runs `cfg.walks` independent walks of up to `cfg.walk_len` steps each,
+/// picking a uniformly random explicit command at every step. Sound for
+/// refutation: a returned counterexample is a genuine path. A clean run
+/// returns coverage statistics only.
+pub fn random_walk_invariant(
+    program: &Program,
+    p: &Expr,
+    cfg: &BmcConfig,
+) -> Result<WalkStats, McError> {
+    let starts = program.initial_states();
+    random_walk_invariant_from(program, &starts, p, cfg)
+}
+
+/// Random-walk invariant refutation from the given starting states.
+pub fn random_walk_invariant_from(
+    program: &Program,
+    starts: &[State],
+    p: &Expr,
+    cfg: &BmcConfig,
+) -> Result<WalkStats, McError> {
+    p.check_pred(&program.vocab)?;
+    let vocab = &program.vocab;
+    if starts.is_empty() || program.commands.is_empty() {
+        // Nothing to walk: check the starts themselves and stop.
+        for s in starts {
+            if !eval_bool(p, s) {
+                return Err(refuted(p, vocab, vec![s.clone()]));
+            }
+        }
+        return Ok(WalkStats {
+            steps: 0,
+            walks: 0,
+            distinct_states: starts.len(),
+        });
+    }
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut seen: FxHashMap<State, ()> = FxHashMap::default();
+    let mut steps = 0u64;
+    for _ in 0..cfg.walks {
+        let mut state = starts[rng.below(starts.len())].clone();
+        let mut path = vec![state.clone()];
+        if !eval_bool(p, &state) {
+            return Err(refuted(p, vocab, path));
+        }
+        seen.entry(state.clone()).or_insert(());
+        for _ in 0..cfg.walk_len {
+            let c = &program.commands[rng.below(program.commands.len())];
+            state = c.step(&state, vocab);
+            steps += 1;
+            seen.entry(state.clone()).or_insert(());
+            path.push(state.clone());
+            if !eval_bool(p, &state) {
+                return Err(refuted(p, vocab, path));
+            }
+        }
+    }
+    Ok(WalkStats {
+        steps,
+        walks: cfg.walks,
+        distinct_states: seen.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+
+    /// `x` counts 0..=k; invariant `x <= k` holds, `x < k` is violated at
+    /// depth k.
+    fn counter(k: i64) -> Program {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, k).unwrap()).unwrap();
+        Program::builder("counter", Arc::new(v))
+            .init(eq(var(x), int(0)))
+            .fair_command("inc", lt(var(x), int(k)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bounded_complete_on_safe_counter() {
+        let p = counter(8);
+        let x = p.vocab.lookup("x").unwrap();
+        let v = bounded_invariant(&p, &le(var(x), int(8)), &BmcConfig::default()).unwrap();
+        assert_eq!(
+            v,
+            BoundedVerdict::Complete {
+                explored: 9,
+                depth: 8
+            }
+        );
+        assert!(v.is_complete());
+    }
+
+    #[test]
+    fn bounded_finds_violation_with_shortest_path() {
+        let p = counter(8);
+        let x = p.vocab.lookup("x").unwrap();
+        let err = bounded_invariant(&p, &lt(var(x), int(5)), &BmcConfig::default()).unwrap_err();
+        match err {
+            McError::Refuted {
+                cex: Counterexample::Reach { path },
+                ..
+            } => {
+                // BFS ⇒ shortest path: 0,1,2,3,4,5.
+                assert_eq!(path.len(), 6);
+                assert_eq!(path[0].get(x), unity_core::value::Value::Int(0));
+                assert_eq!(path[5].get(x), unity_core::value::Value::Int(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_respects_depth_budget() {
+        let p = counter(50);
+        let x = p.vocab.lookup("x").unwrap();
+        let cfg = BmcConfig {
+            max_depth: 3,
+            ..Default::default()
+        };
+        // The violation at depth 10 is beyond the budget: verdict is
+        // BudgetExhausted, not a refutation — bounded soundness only.
+        let v = bounded_invariant(&p, &lt(var(x), int(10)), &cfg).unwrap();
+        assert_eq!(
+            v,
+            BoundedVerdict::BudgetExhausted {
+                explored: 4,
+                depth: 3
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_respects_state_budget() {
+        let p = counter(50);
+        let x = p.vocab.lookup("x").unwrap();
+        let cfg = BmcConfig {
+            max_states: 5,
+            ..Default::default()
+        };
+        let v = bounded_invariant(&p, &le(var(x), int(50)), &cfg).unwrap();
+        assert!(matches!(v, BoundedVerdict::BudgetExhausted { explored, .. } if explored == 5));
+    }
+
+    #[test]
+    fn bounded_checks_initial_states() {
+        let p = counter(3);
+        let x = p.vocab.lookup("x").unwrap();
+        let err = bounded_invariant(&p, &gt(var(x), int(0)), &BmcConfig::default()).unwrap_err();
+        match err {
+            McError::Refuted {
+                cex: Counterexample::Reach { path },
+                ..
+            } => assert_eq!(path.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_finds_violation() {
+        let p = counter(8);
+        let x = p.vocab.lookup("x").unwrap();
+        let err =
+            random_walk_invariant(&p, &lt(var(x), int(5)), &BmcConfig::default()).unwrap_err();
+        match err {
+            McError::Refuted {
+                cex: Counterexample::Reach { path },
+                ..
+            } => {
+                // The path is a real execution: every adjacent pair is one
+                // command step, and only the final state violates.
+                assert!(path.len() >= 6);
+                assert_eq!(path.last().unwrap().get(x), unity_core::value::Value::Int(5));
+                for w in path.windows(2) {
+                    let stepped: Vec<State> = p
+                        .commands
+                        .iter()
+                        .map(|c| c.step(&w[0], &p.vocab))
+                        .collect();
+                    assert!(stepped.contains(&w[1]));
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_clean_on_safe_property_reports_coverage() {
+        let p = counter(8);
+        let x = p.vocab.lookup("x").unwrap();
+        let stats = random_walk_invariant(&p, &le(var(x), int(8)), &BmcConfig::default()).unwrap();
+        assert_eq!(stats.distinct_states, 9, "walks saturate the chain");
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn walk_is_deterministic_in_seed() {
+        let p = counter(8);
+        let x = p.vocab.lookup("x").unwrap();
+        let cfg = BmcConfig {
+            walks: 3,
+            walk_len: 11,
+            ..Default::default()
+        };
+        let a = random_walk_invariant(&p, &le(var(x), int(8)), &cfg).unwrap();
+        let b = random_walk_invariant(&p, &le(var(x), int(8)), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn splitmix_below_is_in_range() {
+        let mut r = SplitMix64::new(42);
+        for n in 1..20usize {
+            for _ in 0..100 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact_reachable_checker() {
+        // Cross-validation against check_invariant_reachable on a
+        // two-variable system with a non-trivial reachable set.
+        let mut v = Vocabulary::new();
+        let a = v.declare("a", Domain::int_range(0, 3).unwrap()).unwrap();
+        let b = v.declare("b", Domain::int_range(0, 3).unwrap()).unwrap();
+        let p = Program::builder("pair", Arc::new(v))
+            .init(and2(eq(var(a), int(0)), eq(var(b), int(0))))
+            .fair_command("ia", lt(var(a), int(3)), vec![(a, add(var(a), int(1)))])
+            .fair_command(
+                "ib",
+                lt(var(b), var(a)),
+                vec![(b, add(var(b), int(1)))],
+            )
+            .build()
+            .unwrap();
+        // b <= a is invariant over reachable states.
+        let prop = le(var(b), var(a));
+        let bounded = bounded_invariant(&p, &prop, &BmcConfig::default()).unwrap();
+        assert!(bounded.is_complete());
+        crate::check::check_invariant_reachable(&p, &prop, &crate::space::ScanConfig::default())
+            .unwrap();
+        // And both reject a falsifiable one, bounded with a real path.
+        let bad = lt(add(var(a), var(b)), int(4));
+        assert!(bounded_invariant(&p, &bad, &BmcConfig::default()).is_err());
+        assert!(crate::check::check_invariant_reachable(
+            &p,
+            &bad,
+            &crate::space::ScanConfig::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! # unity-mc
+//!
+//! Explicit-state model checker for `unity-core` programs.
+//!
+//! * Safety properties (`init`, `next`, `stable`, `invariant`,
+//!   `unchanged`, `transient`) are decided with the paper's **inductive**
+//!   semantics: quantification over *all* type-consistent states (no
+//!   substitution axiom, no reachability strengthening). Both operational
+//!   (execute the command) and symbolic (`wp` + validity scan) deciders are
+//!   provided and must agree.
+//! * `p ↦ q` is decided **exactly under weak fairness** by SCC analysis of
+//!   the `¬q`-restricted transition graph (see [`fair`]), with lasso
+//!   counterexamples.
+//! * Scans are chunk-parallel over the flat state index
+//!   ([`parallel`]), using `crossbeam` scoped threads with atomic early
+//!   exit.
+//! * [`check::McDischarger`] plugs the checker into the `unity-core` proof
+//!   kernel as the semantic back-end for premises and side conditions.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use unity_core::prelude::*;
+//! use unity_mc::prelude::*;
+//!
+//! let mut v = Vocabulary::new();
+//! let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+//! let p = Program::builder("count", Arc::new(v))
+//!     .init(eq(var(x), int(0)))
+//!     .fair_command("inc", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))])
+//!     .build()
+//!     .unwrap();
+//! // Safety: x never exceeds 3 (inductive).
+//! check_invariant(&p, &le(var(x), int(3)), &ScanConfig::default()).unwrap();
+//! // Liveness under weak fairness: x reaches 3.
+//! check_leadsto(&p, &tt(), &eq(var(x), int(3)), Universe::Reachable,
+//!               &ScanConfig::default()).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bmc;
+pub mod check;
+pub mod fair;
+pub mod mutate;
+pub mod hasher;
+pub mod parallel;
+pub mod scc;
+pub mod space;
+pub mod stats;
+pub mod symmetry;
+pub mod synth;
+pub mod trace;
+pub mod transition;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::bmc::{
+        bounded_invariant, bounded_invariant_from, random_walk_invariant,
+        random_walk_invariant_from, BmcConfig, BoundedVerdict, WalkStats,
+    };
+    pub use crate::check::{
+        check_init, check_invariant, check_invariant_reachable, check_next, check_next_wp,
+        check_property, check_stable, check_transient, check_unchanged, McDischarger,
+    };
+    pub use crate::fair::{check_leadsto, check_leadsto_on, LeadsToReport};
+    pub use crate::mutate::{
+        mutants, mutation_audit, same_behavior, AuditError, Mutant, MutantOutcome, MutationKind,
+        MutationReport, Spec,
+    };
+    pub use crate::parallel::ParConfig;
+    pub use crate::space::{check_equivalent, check_valid, find_satisfying, ScanConfig};
+    pub use crate::stats::McStats;
+    pub use crate::symmetry::{
+        check_invariant_symmetric, check_invariant_symmetric_prevalidated, QuotientStats,
+        SymmetrySpec, SymmetryViolation,
+    };
+    pub use crate::synth::{
+        synthesize_always_leadsto, synthesize_and_check, synthesize_leadsto, ProgramDischarger,
+        SynthConfig, SynthError, SynthesizedLeadsto,
+    };
+    pub use crate::trace::{Counterexample, McError};
+    pub use crate::transition::{TransitionSystem, Universe};
+}

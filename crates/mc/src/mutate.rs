@@ -1,0 +1,538 @@
+//! Mutation testing for specifications ("test the tests").
+//!
+//! The paper's methodology stands on specifications pinning down exactly
+//! the behaviours that matter. This module measures that: it generates
+//! single-point **mutants** of a program — guard replacements, operator
+//! and comparison swaps, constant shifts, dropped updates, dropped
+//! fairness — and reports which specification kills each one.
+//!
+//! Mutants that are *behaviourally equivalent* to the original (identical
+//! transition relation, initial states and fairness — decidable here by
+//! exhaustive comparison) are detected and excluded from the kill ratio;
+//! saturation-by-guard programs produce several (e.g. weakening `x < 2`
+//! to `true` changes nothing when the update clips at the domain bound),
+//! and counting those as survivors would slander the specs.
+//!
+//! Survivors — non-equivalent mutants no spec kills — are the actionable
+//! output: each one is a behaviour change the specification suite cannot
+//! see.
+
+use unity_core::expr::build::{ff, int, tt};
+use unity_core::expr::{BinOp, Expr};
+use unity_core::program::Program;
+use unity_core::state::StateSpaceIter;
+use unity_core::value::Value;
+
+/// What a mutant changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// A command guard replaced by `true`.
+    GuardTrue,
+    /// A command guard replaced by `false`.
+    GuardFalse,
+    /// `+` ↔ `−` swap inside an update or guard.
+    OpSwap,
+    /// An integer literal shifted by one.
+    ConstShift,
+    /// A strict/non-strict comparison swap (`<`↔`≤`, `>`↔`≥`).
+    CompareSwap,
+    /// One update of a multi-assignment removed.
+    DropUpdate,
+    /// A fair command demoted to an unfair one.
+    DropFairness,
+}
+
+impl MutationKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MutationKind::GuardTrue => "guard-true",
+            MutationKind::GuardFalse => "guard-false",
+            MutationKind::OpSwap => "op-swap",
+            MutationKind::ConstShift => "const-shift",
+            MutationKind::CompareSwap => "compare-swap",
+            MutationKind::DropUpdate => "drop-update",
+            MutationKind::DropFairness => "drop-fairness",
+        }
+    }
+}
+
+/// A generated mutant.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// The mutated program.
+    pub program: Program,
+    /// Human-readable description (kind + location).
+    pub description: String,
+    /// The mutation applied.
+    pub kind: MutationKind,
+}
+
+/// All single-point expression mutations of `e` (op swaps, comparison
+/// swaps, constant shifts), with a location string.
+fn expr_mutations(e: &Expr) -> Vec<(Expr, MutationKind)> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Lit(Value::Int(n)) => {
+            out.push((int(n + 1), MutationKind::ConstShift));
+        }
+        Expr::Lit(_) | Expr::Var(_) => {}
+        Expr::Not(a) | Expr::Neg(a) => {
+            let rebuild: fn(Expr) -> Expr = if matches!(e, Expr::Not(_)) {
+                |x| Expr::Not(Box::new(x))
+            } else {
+                |x| Expr::Neg(Box::new(x))
+            };
+            for (m, k) in expr_mutations(a) {
+                out.push((rebuild(m), k));
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let swapped = match op {
+                BinOp::Add => Some(BinOp::Sub),
+                BinOp::Sub => Some(BinOp::Add),
+                BinOp::Lt => Some(BinOp::Le),
+                BinOp::Le => Some(BinOp::Lt),
+                BinOp::Gt => Some(BinOp::Ge),
+                BinOp::Ge => Some(BinOp::Gt),
+                _ => None,
+            };
+            if let Some(op2) = swapped {
+                let kind = if matches!(op, BinOp::Add | BinOp::Sub) {
+                    MutationKind::OpSwap
+                } else {
+                    MutationKind::CompareSwap
+                };
+                out.push((Expr::Bin(op2, a.clone(), b.clone()), kind));
+            }
+            for (m, k) in expr_mutations(a) {
+                out.push((Expr::Bin(*op, Box::new(m), b.clone()), k));
+            }
+            for (m, k) in expr_mutations(b) {
+                out.push((Expr::Bin(*op, a.clone(), Box::new(m)), k));
+            }
+        }
+        Expr::Ite(c, t, f) => {
+            for (m, k) in expr_mutations(c) {
+                out.push((Expr::Ite(Box::new(m), t.clone(), f.clone()), k));
+            }
+            for (m, k) in expr_mutations(t) {
+                out.push((Expr::Ite(c.clone(), Box::new(m), f.clone()), k));
+            }
+            for (m, k) in expr_mutations(f) {
+                out.push((Expr::Ite(c.clone(), t.clone(), Box::new(m)), k));
+            }
+        }
+        Expr::NAry(op, args) => {
+            for (i, a) in args.iter().enumerate() {
+                for (m, k) in expr_mutations(a) {
+                    let mut args2 = args.clone();
+                    args2[i] = m;
+                    out.push((Expr::NAry(*op, args2), k));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generates every single-point mutant of `program`. Mutants that fail to
+/// rebuild (they should not) are silently skipped; syntactically identical
+/// mutants are not deduplicated here (equivalence is semantic — see
+/// [`same_behavior`]).
+pub fn mutants(program: &Program) -> Vec<Mutant> {
+    let mut out = Vec::new();
+    let mut push = |prog: Result<Program, _>, description: String, kind: MutationKind| {
+        if let Ok(program) = prog {
+            out.push(Mutant {
+                program,
+                description,
+                kind,
+            });
+        }
+    };
+
+    for (ci, cmd) in program.commands.iter().enumerate() {
+        // Guard replacements.
+        if !cmd.guard.is_true() {
+            let mut p = program.clone();
+            p.commands[ci].guard = tt();
+            push(
+                p.validate().map(|()| p.clone()),
+                format!("{}: guard -> true", cmd.name),
+                MutationKind::GuardTrue,
+            );
+        }
+        if !cmd.guard.is_false() {
+            let mut p = program.clone();
+            p.commands[ci].guard = ff();
+            push(
+                p.validate().map(|()| p.clone()),
+                format!("{}: guard -> false", cmd.name),
+                MutationKind::GuardFalse,
+            );
+        }
+        // Guard expression mutations.
+        for (idx, (g2, kind)) in expr_mutations(&cmd.guard).into_iter().enumerate() {
+            let mut p = program.clone();
+            p.commands[ci].guard = g2;
+            push(
+                p.validate().map(|()| p.clone()),
+                format!("{}: guard {} #{idx}", cmd.name, kind.label()),
+                kind,
+            );
+        }
+        // Update expression mutations + dropped updates.
+        for (ui, (x, rhs)) in cmd.updates.iter().enumerate() {
+            for (idx, (r2, kind)) in expr_mutations(rhs).into_iter().enumerate() {
+                let mut p = program.clone();
+                p.commands[ci].updates[ui].1 = r2;
+                push(
+                    p.validate().map(|()| p.clone()),
+                    format!(
+                        "{}: update {} {} #{idx}",
+                        cmd.name,
+                        program.vocab.name(*x),
+                        kind.label()
+                    ),
+                    kind,
+                );
+            }
+            let mut p = program.clone();
+            p.commands[ci].updates.remove(ui);
+            push(
+                p.validate().map(|()| p.clone()),
+                format!("{}: drop update of {}", cmd.name, program.vocab.name(*x)),
+                MutationKind::DropUpdate,
+            );
+        }
+        // Fairness demotion.
+        if program.fair.contains(&ci) {
+            let mut p = program.clone();
+            p.fair.remove(&ci);
+            push(
+                p.validate().map(|()| p.clone()),
+                format!("{}: drop fairness", cmd.name),
+                MutationKind::DropFairness,
+            );
+        }
+    }
+    out
+}
+
+/// Exhaustive behavioural equivalence: identical initial-state sets,
+/// identical per-command successors from every type-consistent state, and
+/// identical fairness. Sound and complete on finite instances (given
+/// equal command counts, which mutation preserves).
+pub fn same_behavior(a: &Program, b: &Program) -> bool {
+    if a.commands.len() != b.commands.len() || a.fair != b.fair {
+        return false;
+    }
+    for s in StateSpaceIter::new(&a.vocab) {
+        if a.satisfies_init(&s) != b.satisfies_init(&s) {
+            return false;
+        }
+        for ci in 0..a.commands.len() {
+            if a.step(ci, &s) != b.step(ci, &s) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Outcome for one mutant.
+#[derive(Debug, Clone)]
+pub struct MutantOutcome {
+    /// What was mutated.
+    pub description: String,
+    /// The mutation kind.
+    pub kind: MutationKind,
+    /// Behaviourally identical to the original.
+    pub equivalent: bool,
+    /// Name of the first spec that killed it (None = survivor, if not
+    /// equivalent).
+    pub killed_by: Option<String>,
+}
+
+/// Aggregate result of a mutation audit.
+#[derive(Debug, Clone)]
+pub struct MutationReport {
+    /// Per-mutant outcomes.
+    pub outcomes: Vec<MutantOutcome>,
+}
+
+impl MutationReport {
+    /// Total mutants generated.
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Behaviourally equivalent mutants (excluded from the ratio).
+    pub fn equivalent(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.equivalent).count()
+    }
+
+    /// Killed mutants.
+    pub fn killed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.killed_by.is_some()).count()
+    }
+
+    /// Non-equivalent mutants no spec killed.
+    pub fn survivors(&self) -> Vec<&MutantOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.equivalent && o.killed_by.is_none())
+            .collect()
+    }
+
+    /// `killed / (total − equivalent)`; 1.0 when there is nothing to kill.
+    pub fn kill_ratio(&self) -> f64 {
+        let denom = self.total() - self.equivalent();
+        if denom == 0 {
+            1.0
+        } else {
+            self.killed() as f64 / denom as f64
+        }
+    }
+
+    /// A compact multi-line summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "mutants: {} ({} equivalent), killed {} / {} -> kill ratio {:.2}",
+            self.total(),
+            self.equivalent(),
+            self.killed(),
+            self.total() - self.equivalent(),
+            self.kill_ratio()
+        );
+        for surv in self.survivors() {
+            let _ = writeln!(s, "  SURVIVOR: {}", surv.description);
+        }
+        s
+    }
+}
+
+/// A named specification predicate: returns `true` when the spec *holds*
+/// of the program.
+pub type Spec<'a> = (&'a str, &'a dyn Fn(&Program) -> bool);
+
+/// Errors from [`mutation_audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// A spec fails on the *original* program — the audit would be
+    /// meaningless.
+    SpecFailsOnOriginal {
+        /// The failing spec's name.
+        spec: String,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::SpecFailsOnOriginal { spec } => {
+                write!(f, "spec `{spec}` fails on the original program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Runs the full audit: generate mutants, detect equivalents, and record
+/// the first spec killing each remaining mutant.
+pub fn mutation_audit(program: &Program, specs: &[Spec<'_>]) -> Result<MutationReport, AuditError> {
+    for (name, spec) in specs {
+        if !spec(program) {
+            return Err(AuditError::SpecFailsOnOriginal {
+                spec: (*name).to_string(),
+            });
+        }
+    }
+    let outcomes = mutants(program)
+        .into_iter()
+        .map(|m| {
+            let equivalent = same_behavior(program, &m.program);
+            let killed_by = if equivalent {
+                None
+            } else {
+                specs
+                    .iter()
+                    .find(|(_, spec)| !spec(&m.program))
+                    .map(|(name, _)| (*name).to_string())
+            };
+            MutantOutcome {
+                description: m.description,
+                kind: m.kind,
+                equivalent,
+                killed_by,
+            }
+        })
+        .collect();
+    Ok(MutationReport { outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_invariant;
+    use crate::fair::check_leadsto;
+    use crate::space::ScanConfig;
+    use crate::transition::Universe;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::{VarId, Vocabulary};
+
+    const X: VarId = VarId(0);
+
+    fn counter() -> Program {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::int_range(0, 2).unwrap()).unwrap();
+        Program::builder("count", Arc::new(v))
+            .init(eq(var(X), int(0)))
+            .fair_command("inc", lt(var(X), int(2)), vec![(X, add(var(X), int(1)))])
+            .build()
+            .unwrap()
+    }
+
+    fn spec_inv(p: &Program) -> bool {
+        check_invariant(p, &le(var(X), int(2)), &ScanConfig::default()).is_ok()
+    }
+
+    fn spec_live(p: &Program) -> bool {
+        check_leadsto(
+            p,
+            &tt(),
+            &eq(var(X), int(2)),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .is_ok()
+    }
+
+    fn spec_no_jumps(p: &Program) -> bool {
+        crate::check::check_next(p, &eq(var(X), int(0)), &le(var(X), int(1)), &ScanConfig::default())
+            .is_ok()
+    }
+
+    #[test]
+    fn generates_a_mutant_per_point() {
+        let ms = mutants(&counter());
+        // guard true/false, guard {compare-swap, const-shift x<2 -> x<3},
+        // update {op-swap, const-shift}, drop update, drop fairness.
+        let kinds: Vec<MutationKind> = ms.iter().map(|m| m.kind).collect();
+        for want in [
+            MutationKind::GuardTrue,
+            MutationKind::GuardFalse,
+            MutationKind::CompareSwap,
+            MutationKind::ConstShift,
+            MutationKind::OpSwap,
+            MutationKind::DropUpdate,
+            MutationKind::DropFairness,
+        ] {
+            assert!(kinds.contains(&want), "missing {want:?} in {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn saturation_makes_guard_weakenings_equivalent() {
+        // x < 2 -> true: at x = 2 the update clips out of domain -> skip.
+        let p = counter();
+        let m = mutants(&p)
+            .into_iter()
+            .find(|m| m.kind == MutationKind::GuardTrue)
+            .unwrap();
+        assert!(same_behavior(&p, &m.program));
+    }
+
+    #[test]
+    fn op_swap_changes_behavior_and_is_killed_by_liveness() {
+        let p = counter();
+        let report = mutation_audit(&p, &[("inv", &spec_inv), ("live", &spec_live)]).unwrap();
+        let swap = report
+            .outcomes
+            .iter()
+            .find(|o| o.kind == MutationKind::OpSwap)
+            .unwrap();
+        assert!(!swap.equivalent);
+        assert_eq!(swap.killed_by.as_deref(), Some("live"));
+    }
+
+    #[test]
+    fn drop_fairness_is_killed_only_by_liveness() {
+        let p = counter();
+        let report = mutation_audit(&p, &[("inv", &spec_inv), ("live", &spec_live)]).unwrap();
+        let dropped = report
+            .outcomes
+            .iter()
+            .find(|o| o.kind == MutationKind::DropFairness)
+            .unwrap();
+        assert_eq!(dropped.killed_by.as_deref(), Some("live"));
+    }
+
+    #[test]
+    fn survivor_reveals_a_spec_gap_and_a_new_spec_closes_it() {
+        let p = counter();
+        // With only inv+live, the x+1 -> x+2 const shift survives (it
+        // still reaches x = 2 and never exceeds it).
+        let weak = mutation_audit(&p, &[("inv", &spec_inv), ("live", &spec_live)]).unwrap();
+        let survivor_descs: Vec<&str> = weak
+            .survivors()
+            .iter()
+            .map(|o| o.description.as_str())
+            .collect();
+        assert!(
+            survivor_descs.iter().any(|d| d.contains("const-shift")),
+            "expected the update const-shift to survive: {survivor_descs:?}"
+        );
+        assert!(weak.kill_ratio() < 1.0);
+        // Adding the no-jumps spec kills it.
+        let strong = mutation_audit(
+            &p,
+            &[
+                ("inv", &spec_inv),
+                ("live", &spec_live),
+                ("no-jumps", &spec_no_jumps),
+            ],
+        )
+        .unwrap();
+        assert!(
+            strong
+                .survivors()
+                .iter()
+                .all(|o| !o.description.contains("update x const-shift")),
+            "no-jumps must kill the update const shift: {}",
+            strong.summary()
+        );
+        assert!(strong.kill_ratio() > weak.kill_ratio());
+    }
+
+    #[test]
+    fn audit_rejects_failing_specs() {
+        let p = counter();
+        let bad = |prog: &Program| {
+            check_invariant(prog, &le(var(X), int(1)), &ScanConfig::default()).is_ok()
+        };
+        let err = mutation_audit(&p, &[("bad", &bad)]).unwrap_err();
+        assert_eq!(
+            err,
+            AuditError::SpecFailsOnOriginal { spec: "bad".into() }
+        );
+    }
+
+    #[test]
+    fn report_arithmetic_is_consistent() {
+        let p = counter();
+        let report = mutation_audit(&p, &[("inv", &spec_inv), ("live", &spec_live)]).unwrap();
+        assert_eq!(
+            report.total(),
+            report.equivalent() + report.killed() + report.survivors().len()
+        );
+        assert!(report.summary().contains("kill ratio"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Chunk-parallel search over flat index ranges.
+//!
+//! Validity scans, `next` checks and the like are embarrassingly parallel
+//! over the state index; we split the range into chunks across scoped
+//! `crossbeam` threads with an atomic early-exit flag, and keep the
+//! sequential path allocation-light for small spaces (threads cost more
+//! than they save below ~2¹⁴ states).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+/// Parallelism settings.
+#[derive(Debug, Clone)]
+pub struct ParConfig {
+    /// Number of worker threads (1 = sequential).
+    pub threads: usize,
+    /// Below this many items, run sequentially regardless of `threads`.
+    pub sequential_cutoff: u64,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            sequential_cutoff: 1 << 14,
+        }
+    }
+}
+
+impl ParConfig {
+    /// A strictly sequential configuration.
+    pub fn sequential() -> Self {
+        ParConfig {
+            threads: 1,
+            sequential_cutoff: u64::MAX,
+        }
+    }
+
+    /// A configuration with exactly `threads` workers and no cutoff.
+    pub fn with_threads(threads: usize) -> Self {
+        ParConfig {
+            threads: threads.max(1),
+            sequential_cutoff: 0,
+        }
+    }
+}
+
+/// Searches `0..n` for the first index where `f` returns `Some`, in
+/// parallel. Returns *some* witness (not necessarily the smallest) when one
+/// exists; `None` otherwise. `f` must be pure.
+pub fn par_find<T, F>(n: u64, cfg: &ParConfig, f: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(u64) -> Option<T> + Sync,
+{
+    if cfg.threads <= 1 || n < cfg.sequential_cutoff {
+        return (0..n).find_map(f);
+    }
+    let threads = cfg.threads.min(usize::try_from(n).unwrap_or(usize::MAX)).max(1);
+    let found: Mutex<Option<T>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+    let chunk = n.div_ceil(threads as u64);
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let lo = t as u64 * chunk;
+            let hi = (lo + chunk).min(n);
+            let f = &f;
+            let found = &found;
+            let stop = &stop;
+            scope.spawn(move |_| {
+                for i in lo..hi {
+                    // Check the stop flag periodically, not on every state.
+                    if i % 1024 == 0 && stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Some(w) = f(i) {
+                        *found.lock() = Some(w);
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    })
+    .expect("scan worker panicked");
+    found.into_inner()
+}
+
+/// Fold `0..n` in parallel: `map` each index, `reduce` associatively.
+/// Used by statistics passes (counting satisfying states etc.).
+pub fn par_fold<A, M, R>(n: u64, cfg: &ParConfig, zero: A, map: M, reduce: R) -> A
+where
+    A: Send + Clone,
+    M: Fn(u64) -> A + Sync,
+    R: Fn(A, A) -> A + Sync + Send + Copy,
+{
+    if cfg.threads <= 1 || n < cfg.sequential_cutoff {
+        return (0..n).fold(zero, |acc, i| reduce(acc, map(i)));
+    }
+    let threads = cfg.threads.min(usize::try_from(n).unwrap_or(usize::MAX)).max(1);
+    let chunk = n.div_ceil(threads as u64);
+    let partials: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(threads));
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let lo = t as u64 * chunk;
+            let hi = (lo + chunk).min(n);
+            let map = &map;
+            let partials = &partials;
+            let zero = zero.clone();
+            scope.spawn(move |_| {
+                let local = (lo..hi).fold(zero, |acc, i| reduce(acc, map(i)));
+                partials.lock().push(local);
+            });
+        }
+    })
+    .expect("fold worker panicked");
+    partials
+        .into_inner()
+        .into_iter()
+        .fold(zero, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_witness_sequential_and_parallel() {
+        for cfg in [ParConfig::sequential(), ParConfig::with_threads(4)] {
+            let w = par_find(1_000_000, &cfg, |i| (i == 777_777).then_some(i));
+            assert_eq!(w, Some(777_777));
+            let none = par_find(10_000, &cfg, |_| None::<u64>);
+            assert_eq!(none, None);
+        }
+    }
+
+    #[test]
+    fn empty_range() {
+        assert_eq!(par_find(0, &ParConfig::default(), Some::<u64>), None);
+    }
+
+    #[test]
+    fn fold_counts() {
+        for cfg in [ParConfig::sequential(), ParConfig::with_threads(3)] {
+            let count = par_fold(
+                100_000,
+                &cfg,
+                0u64,
+                |i| u64::from(i % 7 == 0),
+                |a, b| a + b,
+            );
+            assert_eq!(count, 14_286);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_randomish_predicate() {
+        let pred = |i: u64| (i * i % 104_729 == 1).then_some(());
+        let seq = par_find(50_000, &ParConfig::sequential(), pred).is_some();
+        let par = par_find(50_000, &ParConfig::with_threads(8), pred).is_some();
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,164 @@
+//! Strongly connected components (iterative Tarjan) over masked subgraphs.
+
+/// Computes the strongly connected components of the subgraph of
+/// `0..mask.len()` induced by `mask`, with successors given by `succ`
+/// (successors outside the mask are ignored).
+///
+/// Returns the components in reverse topological order (Tarjan's natural
+/// output); each component lists its member node ids.
+pub fn tarjan_scc(
+    mask: &[bool],
+    succ: impl Fn(u32) -> Vec<u32> + Copy,
+) -> Vec<Vec<u32>> {
+    let n = mask.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut components: Vec<Vec<u32>> = Vec::new();
+
+    // Iterative DFS frame: (node, successor list, next successor position).
+    enum Frame {
+        Enter(u32),
+        Resume(u32, Vec<u32>, usize),
+    }
+
+    for start in 0..n as u32 {
+        if !mask[start as usize] || index[start as usize] != UNVISITED {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(start)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v as usize] = next_index;
+                    low[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    let succs: Vec<u32> = succ(v)
+                        .into_iter()
+                        .filter(|&w| mask[w as usize])
+                        .collect();
+                    work.push(Frame::Resume(v, succs, 0));
+                }
+                Frame::Resume(v, succs, mut pos) => {
+                    let mut descended = false;
+                    while pos < succs.len() {
+                        let w = succs[pos];
+                        pos += 1;
+                        if index[w as usize] == UNVISITED {
+                            work.push(Frame::Resume(v, succs, pos));
+                            work.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w as usize] {
+                            low[v as usize] = low[v as usize].min(index[w as usize]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors done: close v.
+                    if low[v as usize] == index[v as usize] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                    // Propagate lowlink to parent (if any).
+                    if let Some(Frame::Resume(parent, _, _)) = work.last() {
+                        let p = *parent as usize;
+                        low[p] = low[p].min(low[v as usize]);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn succ_from(edges: &[(u32, u32)]) -> impl Fn(u32) -> Vec<u32> + Copy + '_ {
+        move |v| {
+            edges
+                .iter()
+                .filter(|&&(a, _)| a == v)
+                .map(|&(_, b)| b)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn single_cycle() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 0)];
+        let mask = vec![true; 3];
+        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        assert_eq!(sccs.len(), 1);
+        let mut c = sccs[0].clone();
+        c.sort();
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        let edges = [(0u32, 1u32), (1, 2), (0, 2)];
+        let mask = vec![true; 3];
+        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        // Reverse topological: sinks first.
+        assert_eq!(sccs[0], vec![2]);
+    }
+
+    #[test]
+    fn two_components_with_bridge() {
+        // 0 <-> 1 -> 2 <-> 3
+        let edges = [(0u32, 1u32), (1, 0), (1, 2), (2, 3), (3, 2)];
+        let mask = vec![true; 4];
+        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        assert_eq!(sccs.len(), 2);
+        let mut sizes: Vec<usize> = sccs.iter().map(Vec::len).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn mask_excludes_nodes() {
+        // Cycle 0 -> 1 -> 2 -> 0 broken by masking 2.
+        let edges = [(0u32, 1u32), (1, 2), (2, 0)];
+        let mask = vec![true, true, false];
+        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 100k-node chain: iterative DFS must not overflow.
+        let n = 100_000u32;
+        let mask = vec![true; n as usize];
+        let succ = move |v: u32| if v + 1 < n { vec![v + 1] } else { vec![] };
+        let sccs = tarjan_scc(&mask, succ);
+        assert_eq!(sccs.len(), n as usize);
+    }
+
+    #[test]
+    fn self_loop_is_component() {
+        let edges = [(0u32, 0u32), (0, 1)];
+        let mask = vec![true; 2];
+        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        assert_eq!(sccs.len(), 2);
+    }
+}

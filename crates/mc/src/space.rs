@@ -1,0 +1,334 @@
+//! Full-domain validity and satisfiability scans.
+//!
+//! The paper's inductive property definitions quantify over *all*
+//! type-consistent states (it deliberately avoids the substitution axiom
+//! and reachability-based strengthenings), so the kernel's side conditions
+//! (`⊨ p`, `⊨ a = b`) are decided by scanning the full domain product.
+//! Scans are chunk-parallel over the flat state index (see
+//! [`crate::parallel`]).
+
+use unity_core::expr::eval::{eval, eval_bool};
+use unity_core::expr::Expr;
+use unity_core::ident::Vocabulary;
+use unity_core::state::{State, StateSpaceIter};
+
+use crate::parallel::{par_find, ParConfig};
+use crate::trace::{Counterexample, McError};
+
+/// Configuration for scans.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Refuse spaces larger than this many states.
+    pub max_states: u64,
+    /// Parallelism settings.
+    pub par: ParConfig,
+    /// Project scans onto the *support* of the checked property (the
+    /// variables it mentions plus those the relevant commands read or
+    /// write). Sound because evaluation cannot depend on the other
+    /// variables; this is what makes a *local* component property checkable
+    /// at component cost, independent of how many other components share
+    /// the vocabulary — the executable face of the paper's insistence on
+    /// local specifications.
+    pub projection: bool,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            max_states: 1 << 26,
+            par: ParConfig::default(),
+            projection: true,
+        }
+    }
+}
+
+impl ScanConfig {
+    /// A configuration with projection disabled (full-product scans).
+    pub fn without_projection() -> Self {
+        ScanConfig {
+            projection: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// A projection of the state space onto a support set: only the support
+/// variables are enumerated; all others are pinned at their domain
+/// minimum.
+pub struct Projection {
+    support: Vec<unity_core::ident::VarId>,
+    base: State,
+    size: u64,
+}
+
+impl Projection {
+    /// Builds the projection of `vocab` onto `support`. Returns `None` when
+    /// the sub-space size overflows.
+    pub fn new(
+        vocab: &Vocabulary,
+        support: &std::collections::BTreeSet<unity_core::ident::VarId>,
+    ) -> Option<Projection> {
+        let support: Vec<_> = support.iter().copied().collect();
+        let mut size: u64 = 1;
+        for &v in &support {
+            size = size.checked_mul(vocab.domain(v).size())?;
+        }
+        Some(Projection {
+            support,
+            base: State::minimum(vocab),
+            size,
+        })
+    }
+
+    /// Number of states in the projected space.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Decodes a flat projected index into a full state (non-support
+    /// variables at their minimum).
+    pub fn decode(&self, vocab: &Vocabulary, mut flat: u64) -> State {
+        let mut s = self.base.clone();
+        for &v in self.support.iter().rev() {
+            let d = vocab.domain(v);
+            s.set(v, d.value_at(flat % d.size()));
+            flat /= d.size();
+        }
+        s
+    }
+}
+
+/// The number of states of `vocab`, checked against `cfg.max_states`.
+pub fn space_size(vocab: &Vocabulary, cfg: &ScanConfig) -> Result<u64, McError> {
+    match vocab.space_size() {
+        Some(n) if n <= cfg.max_states => Ok(n),
+        other => Err(McError::SpaceTooLarge {
+            size: other,
+            limit: cfg.max_states,
+        }),
+    }
+}
+
+/// Scans states for a witness, projecting onto `support` when enabled.
+/// `support = None` forces a full-product scan.
+pub fn scan_for<T, F>(
+    vocab: &Vocabulary,
+    support: Option<&std::collections::BTreeSet<unity_core::ident::VarId>>,
+    cfg: &ScanConfig,
+    f: F,
+) -> Result<Option<T>, McError>
+where
+    T: Send,
+    F: Fn(State) -> Option<T> + Sync,
+{
+    if cfg.projection {
+        if let Some(support) = support {
+            if (support.len() as u64) < vocab.len() as u64 {
+                let proj = Projection::new(vocab, support).ok_or(McError::SpaceTooLarge {
+                    size: None,
+                    limit: cfg.max_states,
+                })?;
+                if proj.size() > cfg.max_states {
+                    return Err(McError::SpaceTooLarge {
+                        size: Some(proj.size()),
+                        limit: cfg.max_states,
+                    });
+                }
+                return Ok(par_find(proj.size(), &cfg.par, |flat| {
+                    f(proj.decode(vocab, flat))
+                }));
+            }
+        }
+    }
+    let n = space_size(vocab, cfg)?;
+    Ok(par_find(n, &cfg.par, |flat| {
+        f(StateSpaceIter::decode(vocab, flat))
+    }))
+}
+
+/// Checks `⊨ p` (true in every type-consistent state); returns the first
+/// falsifying state otherwise. The scan is projected onto `p`'s variables.
+pub fn check_valid(vocab: &Vocabulary, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
+    p.check_pred(vocab)?;
+    let support = unity_core::expr::vars::free_vars(p);
+    let found = scan_for(vocab, Some(&support), cfg, |s| {
+        (!eval_bool(p, &s)).then_some(s)
+    })?;
+    match found {
+        None => Ok(()),
+        Some(state) => Err(McError::Refuted {
+            property: "validity".into(),
+            cex: Counterexample::Validity { state },
+        }),
+    }
+}
+
+/// Checks `⊨ a = b` (both expressions have the same value in every state).
+pub fn check_equivalent(
+    vocab: &Vocabulary,
+    a: &Expr,
+    b: &Expr,
+    cfg: &ScanConfig,
+) -> Result<(), McError> {
+    let ta = a.infer_type(vocab)?;
+    let tb = b.infer_type(vocab)?;
+    if ta != tb {
+        return Err(McError::Core(unity_core::error::CoreError::TypeError {
+            expr: "equivalence check".into(),
+            expected: ta,
+            found: tb,
+        }));
+    }
+    // Fast path: linear normal forms decide the common case (the paper's
+    // "removing unused dummies" rewrites are all linear) in O(|expr|).
+    match unity_core::expr::linear::linear_equivalent(a, b, vocab) {
+        Some(true) => return Ok(()),
+        Some(false) => {
+            return Err(McError::Refuted {
+                property: "equivalence".into(),
+                cex: Counterexample::Validity {
+                    state: State::minimum(vocab),
+                },
+            })
+        }
+        None => {}
+    }
+    let mut support = unity_core::expr::vars::free_vars(a);
+    unity_core::expr::vars::collect(b, &mut support);
+    let found = scan_for(vocab, Some(&support), cfg, |s| {
+        (eval(a, &s) != eval(b, &s)).then_some(s)
+    })?;
+    match found {
+        None => Ok(()),
+        Some(state) => Err(McError::Refuted {
+            property: "equivalence".into(),
+            cex: Counterexample::Validity { state },
+        }),
+    }
+}
+
+/// Finds a state satisfying `p`, if any.
+pub fn find_satisfying(
+    vocab: &Vocabulary,
+    p: &Expr,
+    cfg: &ScanConfig,
+) -> Result<Option<State>, McError> {
+    p.check_pred(vocab)?;
+    let support = unity_core::expr::vars::free_vars(p);
+    scan_for(vocab, Some(&support), cfg, |s| eval_bool(p, &s).then_some(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::int_range(0, 7).unwrap()).unwrap();
+        v.declare("b", Domain::Bool).unwrap();
+        v
+    }
+
+    #[test]
+    fn valid_tautology() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let p = or2(le(var(x), int(3)), gt(var(x), int(3)));
+        check_valid(&v, &p, &ScanConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn invalid_reports_state() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let p = le(var(x), int(6));
+        let err = check_valid(&v, &p, &ScanConfig::default()).unwrap_err();
+        match err {
+            McError::Refuted { cex: Counterexample::Validity { state }, .. } => {
+                assert_eq!(state.get(x), unity_core::value::Value::Int(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equivalence() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        check_equivalent(&v, &add(var(x), var(x)), &mul(int(2), var(x)), &ScanConfig::default())
+            .unwrap();
+        assert!(check_equivalent(
+            &v,
+            &add(var(x), int(1)),
+            &var(x),
+            &ScanConfig::default()
+        )
+        .is_err());
+        // Mixed types rejected.
+        let b = v.lookup("b").unwrap();
+        assert!(check_equivalent(&v, &var(b), &var(x), &ScanConfig::default()).is_err());
+    }
+
+    #[test]
+    fn satisfiability() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let s = find_satisfying(&v, &eq(var(x), int(5)), &ScanConfig::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.get(x), unity_core::value::Value::Int(5));
+        assert!(find_satisfying(&v, &lt(var(x), int(0)), &ScanConfig::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn space_limit_enforced() {
+        let v = vocab();
+        let cfg = ScanConfig {
+            max_states: 3,
+            ..Default::default()
+        };
+        // `true` has empty support: with projection the scan is a single
+        // state and succeeds even under a tiny limit.
+        check_valid(&v, &tt(), &cfg).unwrap();
+        // A predicate over `x` (8 values) exceeds the limit either way.
+        let x = v.lookup("x").unwrap();
+        assert!(matches!(
+            check_valid(&v, &le(var(x), int(7)), &cfg),
+            Err(McError::SpaceTooLarge { .. })
+        ));
+        // And with projection disabled, even `true` must scan everything.
+        let cfg = ScanConfig {
+            max_states: 3,
+            projection: false,
+            ..Default::default()
+        };
+        assert!(matches!(
+            check_valid(&v, &tt(), &cfg),
+            Err(McError::SpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_agrees_with_full_scan() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let b = v.lookup("b").unwrap();
+        let preds = [
+            le(var(x), int(6)),
+            or2(var(b), le(var(x), int(7))),
+            implies(var(b), ge(var(x), int(0))),
+        ];
+        let with = ScanConfig::default();
+        let without = ScanConfig::without_projection();
+        for p in preds {
+            assert_eq!(
+                check_valid(&v, &p, &with).is_ok(),
+                check_valid(&v, &p, &without).is_ok()
+            );
+        }
+    }
+}

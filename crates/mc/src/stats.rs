@@ -1,0 +1,93 @@
+//! Cost accounting for verification runs (feeds the E6/E9 experiments).
+
+use std::time::{Duration, Instant};
+
+/// Aggregated cost of a verification activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// States enumerated or visited.
+    pub states: u64,
+    /// Transitions computed.
+    pub transitions: u64,
+    /// Individual property checks performed.
+    pub checks: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl McStats {
+    /// Zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &McStats) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.checks += other.checks;
+        self.elapsed += other.elapsed;
+    }
+
+    /// Runs `f`, adding its wall-clock time to `elapsed` and bumping
+    /// `checks`.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.elapsed += t0.elapsed();
+        self.checks += 1;
+        out
+    }
+}
+
+impl std::fmt::Display for McStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, {} checks, {:?}",
+            self.states, self.transitions, self.checks, self.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = McStats {
+            states: 10,
+            transitions: 20,
+            checks: 1,
+            elapsed: Duration::from_millis(5),
+        };
+        let b = McStats {
+            states: 1,
+            transitions: 2,
+            checks: 3,
+            elapsed: Duration::from_millis(1),
+        };
+        a.merge(&b);
+        assert_eq!(a.states, 11);
+        assert_eq!(a.transitions, 22);
+        assert_eq!(a.checks, 4);
+        assert_eq!(a.elapsed, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn time_measures_and_counts() {
+        let mut s = McStats::new();
+        let x = s.time(|| 21 * 2);
+        assert_eq!(x, 42);
+        assert_eq!(s.checks, 1);
+    }
+
+    #[test]
+    fn display_mentions_fields() {
+        let s = McStats::new();
+        let text = s.to_string();
+        assert!(text.contains("states"));
+        assert!(text.contains("checks"));
+    }
+}

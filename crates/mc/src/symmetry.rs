@@ -1,0 +1,737 @@
+//! Symmetry reduction for replicated-component systems.
+//!
+//! The paper's systems are families of *identical* components — N toy
+//! counters (§3), N symmetric priority components on a vertex-transitive
+//! conflict graph (§4). Composed state spaces then carry a full symmetric
+//! group action: permuting the components' local-variable *blocks* maps
+//! reachable states to reachable states and preserves every symmetric
+//! property. Exploring one canonical representative per orbit shrinks the
+//! reachable exploration by up to `N!`.
+//!
+//! The orbit representative is computed by **sorting the block value
+//! tuples** — for the full symmetric group on interchangeable blocks this
+//! is exactly the lexicographically minimal element of the orbit, at
+//! `O(N log N)` per state instead of `O(N!)`.
+//!
+//! Soundness requires (a) the program's command family to be closed under
+//! block permutation and (b) the checked predicate to be symmetric. Both
+//! are *checked*, not assumed: [`SymmetrySpec::validate_program`] and
+//! [`SymmetrySpec::validate_predicate`] verify closure under the
+//! adjacent-transposition generators (exhaustively when the support is
+//! small, by seeded sampling otherwise). The transpositions generate the
+//! whole group, so generator-closure implies group-closure.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use unity_core::prelude::*;
+//! use unity_mc::prelude::*;
+//!
+//! // Two interchangeable toggles sharing a parity bit.
+//! let mut v = Vocabulary::new();
+//! let a = v.declare("a", Domain::Bool).unwrap();
+//! let b = v.declare("b", Domain::Bool).unwrap();
+//! let s = v.declare("s", Domain::Bool).unwrap();
+//! let p = Program::builder("toggles", Arc::new(v))
+//!     .init(and(vec![not(var(a)), not(var(b)), not(var(s))]))
+//!     .fair_command("fa", tt(), vec![(a, not(var(a))), (s, not(var(s)))])
+//!     .fair_command("fb", tt(), vec![(b, not(var(b))), (s, not(var(s)))])
+//!     .build()
+//!     .unwrap();
+//! let spec = SymmetrySpec::new(vec![vec![a], vec![b]], &p.vocab).unwrap();
+//! // `s == (a XOR b)` is symmetric and invariant; the quotient proves it
+//! // while exploring only canonical representatives.
+//! let stats = check_invariant_symmetric(
+//!     &p, &eq(var(s), ne(var(a), var(b))), &spec, 1 << 20).unwrap();
+//! assert!(stats.quotient_states < stats.full_states as usize);
+//! ```
+
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::pretty::Render;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::state::{State, StateSpaceIter};
+use unity_core::value::Value;
+
+use crate::bmc::SplitMix64;
+use crate::hasher::FxHashMap;
+use crate::trace::{Counterexample, McError};
+
+/// A block decomposition of the vocabulary: `blocks[i]` lists component
+/// `i`'s local variables, in a fixed role order (the k-th variable of every
+/// block plays the same role). Variables in no block are shared and fixed
+/// by the group action.
+#[derive(Debug, Clone)]
+pub struct SymmetrySpec {
+    blocks: Vec<Vec<VarId>>,
+}
+
+/// How a symmetry validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymmetryViolation {
+    /// No command matches `command` under the transposition of blocks
+    /// `(block, block+1)`; `state` witnesses the mismatch.
+    Command {
+        /// Name of the unmatched command.
+        command: String,
+        /// Index of the transposed block pair's first block.
+        block: usize,
+        /// Witness state.
+        state: State,
+    },
+    /// The predicate distinguishes a state from its image under the
+    /// transposition `(block, block+1)`.
+    Predicate {
+        /// Index of the transposed block pair's first block.
+        block: usize,
+        /// Witness state.
+        state: State,
+    },
+    /// A command and its permuted counterpart differ in fairness class.
+    Fairness {
+        /// Name of the command whose image has the wrong fairness.
+        command: String,
+        /// Index of the transposed block pair's first block.
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for SymmetryViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymmetryViolation::Command { command, block, .. } => write!(
+                f,
+                "command {command} has no counterpart under swap of blocks {block},{}",
+                block + 1
+            ),
+            SymmetryViolation::Predicate { block, .. } => write!(
+                f,
+                "predicate is not invariant under swap of blocks {block},{}",
+                block + 1
+            ),
+            SymmetryViolation::Fairness { command, block } => write!(
+                f,
+                "command {command}'s image under swap of blocks {block},{} differs in fairness",
+                block + 1
+            ),
+        }
+    }
+}
+
+/// Statistics of a quotient exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotientStats {
+    /// Number of canonical (orbit-representative) states explored.
+    pub quotient_states: usize,
+    /// Sum of orbit sizes — the size of the symmetrized closure of the
+    /// explored set (equals the plain reachable count when the program is
+    /// symmetric).
+    pub full_states: u128,
+}
+
+impl SymmetrySpec {
+    /// Builds and validates a block decomposition: blocks must be nonempty,
+    /// equal length, pairwise disjoint, and positionally domain-identical.
+    pub fn new(blocks: Vec<Vec<VarId>>, vocab: &Vocabulary) -> Result<Self, McError> {
+        let shape_err = |detail: String| {
+            McError::Core(unity_core::error::CoreError::ProofShape {
+                rule: "symmetry",
+                detail,
+            })
+        };
+        if blocks.len() < 2 {
+            return Err(shape_err("need at least two blocks".into()));
+        }
+        let len = blocks[0].len();
+        if len == 0 {
+            return Err(shape_err("blocks must be nonempty".into()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for b in &blocks {
+            if b.len() != len {
+                return Err(shape_err("blocks must have equal length".into()));
+            }
+            for &v in b {
+                if v.index() >= vocab.len() {
+                    return Err(shape_err(format!("unknown variable {v}")));
+                }
+                if !seen.insert(v) {
+                    return Err(shape_err(format!(
+                        "variable {} appears in two blocks",
+                        vocab.name(v)
+                    )));
+                }
+            }
+        }
+        for k in 0..len {
+            let d0 = vocab.domain(blocks[0][k]);
+            for b in &blocks[1..] {
+                if vocab.domain(b[k]) != d0 {
+                    return Err(shape_err(format!(
+                        "role {k} domains differ between blocks ({} vs {})",
+                        vocab.domain(b[k]),
+                        d0
+                    )));
+                }
+            }
+        }
+        Ok(SymmetrySpec { blocks })
+    }
+
+    /// Number of blocks (components).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block decomposition.
+    pub fn blocks(&self) -> &[Vec<VarId>] {
+        &self.blocks
+    }
+
+    /// Extracts block `i`'s value tuple from `state`.
+    fn tuple(&self, state: &State, i: usize) -> Vec<Value> {
+        self.blocks[i].iter().map(|&v| state.get(v)).collect()
+    }
+
+    /// Applies the block permutation `perm` (component `i`'s values move to
+    /// block `perm[i]`) to `state`.
+    pub fn apply(&self, state: &State, perm: &[usize]) -> State {
+        debug_assert_eq!(perm.len(), self.blocks.len());
+        let mut out = state.clone();
+        for (i, &target) in perm.iter().enumerate() {
+            for (k, &v) in self.blocks[i].iter().enumerate() {
+                out.set(self.blocks[target][k], state.get(v));
+            }
+        }
+        out
+    }
+
+    /// Swaps blocks `i` and `i+1` in `state` (an adjacent-transposition
+    /// generator of the group).
+    pub fn swap_adjacent(&self, state: &State, i: usize) -> State {
+        let mut out = state.clone();
+        for (&a, &b) in self.blocks[i].iter().zip(&self.blocks[i + 1]) {
+            out.set(a, state.get(b));
+            out.set(b, state.get(a));
+        }
+        out
+    }
+
+    /// The canonical orbit representative: block tuples sorted
+    /// lexicographically (shared variables untouched).
+    pub fn canonicalize(&self, state: &State) -> State {
+        let mut tuples: Vec<Vec<Value>> =
+            (0..self.blocks.len()).map(|i| self.tuple(state, i)).collect();
+        tuples.sort_unstable();
+        let mut out = state.clone();
+        for (i, t) in tuples.iter().enumerate() {
+            for (k, &v) in t.iter().enumerate() {
+                out.set(self.blocks[i][k], v);
+            }
+        }
+        out
+    }
+
+    /// Exact orbit size of `state`: `N! / ∏ m_t!` over tuple
+    /// multiplicities `m_t`.
+    pub fn orbit_size(&self, state: &State) -> u128 {
+        let mut tuples: Vec<Vec<Value>> =
+            (0..self.blocks.len()).map(|i| self.tuple(state, i)).collect();
+        tuples.sort_unstable();
+        let mut size: u128 = 1;
+        // N! incrementally divided by multiplicities: process runs.
+        let mut i = 0;
+        let mut placed = 0u128;
+        while i < tuples.len() {
+            let mut j = i + 1;
+            while j < tuples.len() && tuples[j] == tuples[i] {
+                j += 1;
+            }
+            let run = (j - i) as u128;
+            // multiply by C(placed + run, run)
+            for k in 1..=run {
+                size = size * (placed + k) / k;
+            }
+            placed += run;
+            i = j;
+        }
+        size
+    }
+
+    /// Enumerates states to probe for validation: the full support product
+    /// when it is small, otherwise `samples` seeded random states.
+    fn probe_states(&self, vocab: &Vocabulary, samples: usize, seed: u64) -> Vec<State> {
+        const EXHAUSTIVE_LIMIT: u64 = 1 << 14;
+        match vocab.space_size() {
+            Some(n) if n <= EXHAUSTIVE_LIMIT => StateSpaceIter::new(vocab).collect(),
+            _ => {
+                let mut rng = SplitMix64::new(seed);
+                (0..samples)
+                    .map(|_| {
+                        let mut s = State::minimum(vocab);
+                        for (id, d) in vocab.iter() {
+                            let k = rng.below(d.domain.size() as usize) as u64;
+                            s.set(id, d.domain.value_at(k));
+                        }
+                        s
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Verifies the program's command family is closed under every
+    /// adjacent transposition: for each generator π and command `c` there
+    /// must be a command `c'` with `step(c', π(s)) = π(step(c, s))` on all
+    /// probed states, with matching fairness. Exhaustive for small
+    /// vocabularies, seeded sampling otherwise.
+    pub fn validate_program(
+        &self,
+        program: &Program,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(), SymmetryViolation> {
+        let vocab = &program.vocab;
+        let states = self.probe_states(vocab, samples, seed);
+        for b in 0..self.blocks.len() - 1 {
+            for (ci, c) in program.commands.iter().enumerate() {
+                //
+
+                // Find the command whose action matches c's conjugate.
+                let mut matched = None;
+                'cands: for (cj, cand) in program.commands.iter().enumerate() {
+                    for s in &states {
+                        let permuted = self.swap_adjacent(s, b);
+                        let lhs = cand.step(&permuted, vocab);
+                        let rhs = self.swap_adjacent(&c.step(s, vocab), b);
+                        if lhs != rhs {
+                            continue 'cands;
+                        }
+                    }
+                    matched = Some(cj);
+                    break;
+                }
+                match matched {
+                    None => {
+                        // Re-find a witness state for the closest candidate
+                        // (the first probe that breaks every candidate is
+                        // not well-defined; report the first probe).
+                        return Err(SymmetryViolation::Command {
+                            command: c.name.clone(),
+                            block: b,
+                            state: states.first().cloned().unwrap_or_else(|| {
+                                State::minimum(vocab)
+                            }),
+                        });
+                    }
+                    Some(cj) => {
+                        if program.fair.contains(&ci) != program.fair.contains(&cj) {
+                            return Err(SymmetryViolation::Fairness {
+                                command: c.name.clone(),
+                                block: b,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies `p` is invariant under every adjacent transposition on the
+    /// probed states.
+    pub fn validate_predicate(
+        &self,
+        p: &Expr,
+        vocab: &Vocabulary,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(), SymmetryViolation> {
+        let states = self.probe_states(vocab, samples, seed);
+        for b in 0..self.blocks.len() - 1 {
+            for s in &states {
+                let t = self.swap_adjacent(s, b);
+                if eval_bool(p, s) != eval_bool(p, &t) {
+                    return Err(SymmetryViolation::Predicate {
+                        block: b,
+                        state: s.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks `invariant p` over the quotient of the reachable space by the
+/// block symmetry: BFS over canonical representatives only.
+///
+/// Soundness preconditions (command-family closure and predicate symmetry)
+/// are validated first — with exhaustive probing when the vocabulary is
+/// small, seeded sampling otherwise — and a violation aborts the check
+/// with a typed error rather than a wrong verdict.
+///
+/// On success returns quotient statistics; on violation returns a
+/// counterexample path of *canonical* states (each adjacent pair is one
+/// command step followed by canonicalization).
+pub fn check_invariant_symmetric(
+    program: &Program,
+    p: &Expr,
+    spec: &SymmetrySpec,
+    max_states: usize,
+) -> Result<QuotientStats, McError> {
+    let sym_err = |v: SymmetryViolation| {
+        McError::Core(unity_core::error::CoreError::ProofShape {
+            rule: "symmetry",
+            detail: v.to_string(),
+        })
+    };
+    spec.validate_program(program, 512, 7).map_err(sym_err)?;
+    spec.validate_predicate(p, &program.vocab, 512, 11)
+        .map_err(sym_err)?;
+    check_invariant_symmetric_prevalidated(program, p, spec, max_states)
+}
+
+/// [`check_invariant_symmetric`] without the up-front soundness
+/// validation — for callers that have already run
+/// [`SymmetrySpec::validate_program`] / [`SymmetrySpec::validate_predicate`]
+/// once and are checking many predicates (or re-checking after small
+/// state changes): validation cost is then amortized instead of paid per
+/// call. **The quotient verdict is only meaningful under those two
+/// preconditions**; an asymmetric program or predicate makes the verdict
+/// unsound rather than erroneous.
+pub fn check_invariant_symmetric_prevalidated(
+    program: &Program,
+    p: &Expr,
+    spec: &SymmetrySpec,
+    max_states: usize,
+) -> Result<QuotientStats, McError> {
+    p.check_pred(&program.vocab)?;
+    let vocab = &program.vocab;
+    let mut index: FxHashMap<State, u32> = FxHashMap::default();
+    let mut states: Vec<State> = Vec::new();
+    let mut parents: Vec<u32> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut full: u128 = 0;
+
+    let refute = |p: &Expr, states: &[State], parents: &[u32], id: u32| {
+        let mut rev = vec![states[id as usize].clone()];
+        let mut cur = id;
+        while parents[cur as usize] != cur {
+            cur = parents[cur as usize];
+            rev.push(states[cur as usize].clone());
+        }
+        rev.reverse();
+        McError::Refuted {
+            property: format!("invariant {} (symmetry-reduced)", Render::new(p, vocab)),
+            cex: Counterexample::Reach { path: rev },
+        }
+    };
+
+    for s in program.initial_states() {
+        let c = spec.canonicalize(&s);
+        if index.contains_key(&c) {
+            continue;
+        }
+        let id = states.len() as u32;
+        index.insert(c.clone(), id);
+        full += spec.orbit_size(&c);
+        states.push(c.clone());
+        parents.push(id);
+        if !eval_bool(p, &c) {
+            return Err(refute(p, &states, &parents, id));
+        }
+        frontier.push(id);
+    }
+
+    while let Some(id) = frontier.pop() {
+        let state = states[id as usize].clone();
+        for cmd in &program.commands {
+            let succ = spec.canonicalize(&cmd.step(&state, vocab));
+            if index.contains_key(&succ) {
+                continue;
+            }
+            let nid = states.len() as u32;
+            index.insert(succ.clone(), nid);
+            full += spec.orbit_size(&succ);
+            states.push(succ.clone());
+            parents.push(id);
+            if !eval_bool(p, &succ) {
+                return Err(refute(p, &states, &parents, nid));
+            }
+            if states.len() > max_states {
+                return Err(McError::SpaceTooLarge {
+                    size: Some(states.len() as u64),
+                    limit: max_states as u64,
+                });
+            }
+            frontier.push(nid);
+        }
+    }
+    Ok(QuotientStats {
+        quotient_states: states.len(),
+        full_states: full,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+
+    /// N toy-counter components: local `c_i ∈ 0..=k`, shared `C`, each with
+    /// the fair command `c_i < k -> c_i += 1, C += 1`.
+    fn toy(n: usize, k: i64) -> (Program, SymmetrySpec) {
+        let mut v = Vocabulary::new();
+        let locals: Vec<VarId> = (0..n)
+            .map(|i| v.declare(&format!("c{i}"), Domain::int_range(0, k).unwrap()).unwrap())
+            .collect();
+        let big = v
+            .declare("C", Domain::int_range(0, k * n as i64).unwrap())
+            .unwrap();
+        let vocab = Arc::new(v);
+        let mut b = Program::builder("toy", vocab.clone());
+        let mut init = eq(var(big), int(0));
+        for &c in &locals {
+            init = and2(init, eq(var(c), int(0)));
+        }
+        b = b.init(init);
+        for (i, &c) in locals.iter().enumerate() {
+            b = b.fair_command(
+                format!("a{i}"),
+                lt(var(c), int(k)),
+                vec![(c, add(var(c), int(1))), (big, add(var(big), int(1)))],
+            );
+        }
+        let p = b.build().unwrap();
+        let spec = SymmetrySpec::new(locals.iter().map(|&c| vec![c]).collect(), &p.vocab).unwrap();
+        (p, spec)
+    }
+
+    fn sum_expr(p: &Program, n: usize) -> Expr {
+        let mut e = var(p.vocab.lookup("c0").unwrap());
+        for i in 1..n {
+            e = add(e, var(p.vocab.lookup(&format!("c{i}")).unwrap()));
+        }
+        e
+    }
+
+    #[test]
+    fn spec_rejects_malformed_blocks() {
+        let (p, _) = toy(3, 2);
+        let c0 = p.vocab.lookup("c0").unwrap();
+        let c1 = p.vocab.lookup("c1").unwrap();
+        let big = p.vocab.lookup("C").unwrap();
+        // Single block.
+        assert!(SymmetrySpec::new(vec![vec![c0]], &p.vocab).is_err());
+        // Overlapping blocks.
+        assert!(SymmetrySpec::new(vec![vec![c0], vec![c0]], &p.vocab).is_err());
+        // Unequal lengths.
+        assert!(SymmetrySpec::new(vec![vec![c0, c1], vec![c1]], &p.vocab).is_err());
+        // Domain mismatch (C has a different range).
+        assert!(SymmetrySpec::new(vec![vec![c0], vec![big]], &p.vocab).is_err());
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_orbit_minimal() {
+        let (p, spec) = toy(3, 2);
+        for s in StateSpaceIter::new(&p.vocab) {
+            let c = spec.canonicalize(&s);
+            assert_eq!(spec.canonicalize(&c), c);
+            // c is the lexicographic minimum over all 3! permutations.
+            let perms: [[usize; 3]; 6] = [
+                [0, 1, 2],
+                [0, 2, 1],
+                [1, 0, 2],
+                [1, 2, 0],
+                [2, 0, 1],
+                [2, 1, 0],
+            ];
+            let min = perms
+                .iter()
+                .map(|perm| spec.apply(&s, perm))
+                .min()
+                .unwrap();
+            // Both orders states by the Ord derive; block variables were
+            // declared first and in order, so tuple-sorting = state min.
+            assert_eq!(c, min);
+        }
+    }
+
+    #[test]
+    fn orbit_sizes_are_multinomials() {
+        let (p, spec) = toy(3, 2);
+        let mut s = State::minimum(&p.vocab);
+        // all equal: orbit 1
+        assert_eq!(spec.orbit_size(&s), 1);
+        // two equal, one distinct: 3!/2! = 3
+        s.set(p.vocab.lookup("c0").unwrap(), unity_core::value::Value::Int(1));
+        assert_eq!(spec.orbit_size(&s), 3);
+        // all distinct: 3! = 6
+        s.set(p.vocab.lookup("c1").unwrap(), unity_core::value::Value::Int(2));
+        assert_eq!(spec.orbit_size(&s), 6);
+    }
+
+    #[test]
+    fn orbit_sizes_partition_the_full_space() {
+        let (p, spec) = toy(3, 2);
+        // Group states by canonical representative; each group's size must
+        // equal the representative's orbit size, and sizes must sum to the
+        // whole space.
+        let mut groups: std::collections::BTreeMap<State, u128> = Default::default();
+        let mut total = 0u128;
+        for s in StateSpaceIter::new(&p.vocab) {
+            *groups.entry(spec.canonicalize(&s)).or_default() += 1;
+            total += 1;
+        }
+        for (rep, count) in &groups {
+            assert_eq!(spec.orbit_size(rep), *count, "rep {}", rep.display(&p.vocab));
+        }
+        assert_eq!(groups.values().sum::<u128>(), total);
+    }
+
+    #[test]
+    fn toy_program_validates_symmetric() {
+        let (p, spec) = toy(3, 2);
+        spec.validate_program(&p, 256, 1).unwrap();
+        let n = 3;
+        let big = p.vocab.lookup("C").unwrap();
+        let inv = eq(var(big), sum_expr(&p, n));
+        spec.validate_predicate(&inv, &p.vocab, 256, 2).unwrap();
+        // An asymmetric predicate is rejected.
+        let c0 = p.vocab.lookup("c0").unwrap();
+        let asym = eq(var(c0), int(1));
+        assert!(spec.validate_predicate(&asym, &p.vocab, 256, 3).is_err());
+    }
+
+    #[test]
+    fn asymmetric_program_is_rejected() {
+        // Component 0 increments C by 2 — breaks interchangeability.
+        let mut v = Vocabulary::new();
+        let c0 = v.declare("c0", Domain::int_range(0, 2).unwrap()).unwrap();
+        let c1 = v.declare("c1", Domain::int_range(0, 2).unwrap()).unwrap();
+        let big = v.declare("C", Domain::int_range(0, 8).unwrap()).unwrap();
+        let p = Program::builder("bad", Arc::new(v))
+            .init(tt())
+            .fair_command(
+                "a0",
+                lt(var(c0), int(2)),
+                vec![(c0, add(var(c0), int(1))), (big, add(var(big), int(2)))],
+            )
+            .fair_command(
+                "a1",
+                lt(var(c1), int(2)),
+                vec![(c1, add(var(c1), int(1))), (big, add(var(big), int(1)))],
+            )
+            .build()
+            .unwrap();
+        let spec = SymmetrySpec::new(vec![vec![c0], vec![c1]], &p.vocab).unwrap();
+        assert!(matches!(
+            spec.validate_program(&p, 256, 1),
+            Err(SymmetryViolation::Command { .. })
+        ));
+    }
+
+    #[test]
+    fn fairness_mismatch_is_rejected() {
+        let mut v = Vocabulary::new();
+        let c0 = v.declare("c0", Domain::int_range(0, 2).unwrap()).unwrap();
+        let c1 = v.declare("c1", Domain::int_range(0, 2).unwrap()).unwrap();
+        let p = Program::builder("mixed", Arc::new(v))
+            .init(tt())
+            .fair_command("a0", lt(var(c0), int(2)), vec![(c0, add(var(c0), int(1)))])
+            .command("a1", lt(var(c1), int(2)), vec![(c1, add(var(c1), int(1)))])
+            .build()
+            .unwrap();
+        let spec = SymmetrySpec::new(vec![vec![c0], vec![c1]], &p.vocab).unwrap();
+        assert!(matches!(
+            spec.validate_program(&p, 256, 1),
+            Err(SymmetryViolation::Fairness { .. })
+        ));
+    }
+
+    #[test]
+    fn quotient_agrees_with_plain_reachability() {
+        let (p, spec) = toy(3, 2);
+        let big = p.vocab.lookup("C").unwrap();
+        let inv = eq(var(big), sum_expr(&p, 3));
+        let stats = check_invariant_symmetric(&p, &inv, &spec, 1 << 20).unwrap();
+        // Plain reachable count for cross-validation.
+        let ts = crate::transition::TransitionSystem::build(
+            &p,
+            crate::transition::Universe::Reachable,
+            &crate::space::ScanConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.full_states, ts.len() as u128);
+        assert!(stats.quotient_states < ts.len());
+        // Distinct canonical forms of the reachable set = quotient size.
+        let mut canon: std::collections::BTreeSet<State> = Default::default();
+        for s in &ts.states {
+            canon.insert(spec.canonicalize(s));
+        }
+        assert_eq!(canon.len(), stats.quotient_states);
+    }
+
+    #[test]
+    fn quotient_refutes_with_canonical_path() {
+        let (p, spec) = toy(3, 2);
+        let big = p.vocab.lookup("C").unwrap();
+        let bad = lt(var(big), int(4)); // violated once C reaches 4
+        let err = check_invariant_symmetric(&p, &bad, &spec, 1 << 20).unwrap_err();
+        match err {
+            McError::Refuted {
+                cex: Counterexample::Reach { path },
+                ..
+            } => {
+                for s in &path {
+                    assert_eq!(spec.canonicalize(s), *s, "path states are canonical");
+                }
+                assert!(!eval_bool(&bad, path.last().unwrap()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prevalidated_agrees_with_validated() {
+        let (p, spec) = toy(3, 2);
+        let big = p.vocab.lookup("C").unwrap();
+        let inv = eq(var(big), sum_expr(&p, 3));
+        let a = check_invariant_symmetric(&p, &inv, &spec, 1 << 20).unwrap();
+        let b = check_invariant_symmetric_prevalidated(&p, &inv, &spec, 1 << 20).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduction_factor_grows_with_n() {
+        // The quotient shrinks roughly by N!: measure N=2..4 on k=1.
+        let mut factors = Vec::new();
+        for n in 2..=4usize {
+            let (p, spec) = toy(n, 1);
+            let big = p.vocab.lookup("C").unwrap();
+            let inv = eq(var(big), sum_expr(&p, n));
+            let stats = check_invariant_symmetric(&p, &inv, &spec, 1 << 20).unwrap();
+            factors.push(stats.full_states as f64 / stats.quotient_states as f64);
+        }
+        assert!(factors[0] > 1.0);
+        assert!(factors[1] > factors[0]);
+        assert!(factors[2] > factors[1]);
+    }
+
+    #[test]
+    fn asymmetric_check_aborts_instead_of_lying() {
+        let (p, spec) = toy(3, 2);
+        let c0 = p.vocab.lookup("c0").unwrap();
+        // Predicate singles out component 0 — must abort, not report.
+        // (`c0 <= 2` would be vacuously true on the 0..=2 domain and
+        // therefore symmetric; `c0 <= 1` genuinely distinguishes.)
+        let asym = le(var(c0), int(1));
+        assert!(matches!(
+            check_invariant_symmetric(&p, &asym, &spec, 1 << 20),
+            Err(McError::Core(_))
+        ));
+    }
+}

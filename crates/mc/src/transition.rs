@@ -1,0 +1,264 @@
+//! Labeled transition systems of programs.
+//!
+//! States are interned into dense ids; for each state and each explicit
+//! command we store the unique successor id (commands are total functions —
+//! guard or domain failure means "stay put"). The implicit `skip` is the
+//! identity on every state and is left implicit here too; the fairness
+//! analysis accounts for it.
+
+use unity_core::program::Program;
+use unity_core::state::{State, StateSpaceIter};
+
+use crate::hasher::FxHashMap;
+use crate::space::ScanConfig;
+use crate::trace::McError;
+
+/// Which states to include when building the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Universe {
+    /// States reachable from the initial states (standard model checking).
+    Reachable,
+    /// The full domain product (the paper's inductive semantics — no
+    /// reachability strengthening).
+    AllStates,
+}
+
+/// An explicit-state labeled transition system.
+#[derive(Debug, Clone)]
+pub struct TransitionSystem {
+    /// Interned states, indexed by id.
+    pub states: Vec<State>,
+    /// `succ[s][c]` = id of the post-state of command `c` from state `s`.
+    pub succ: Vec<Vec<u32>>,
+    /// Ids of initial states.
+    pub init: Vec<u32>,
+    /// Number of explicit commands (`succ[s].len()`).
+    pub n_commands: usize,
+    /// Indices (into commands) of the weakly-fair subset `D`.
+    pub fair: Vec<usize>,
+}
+
+impl TransitionSystem {
+    /// Builds the transition system of `program` over the chosen universe.
+    pub fn build(
+        program: &Program,
+        universe: Universe,
+        cfg: &ScanConfig,
+    ) -> Result<Self, McError> {
+        match universe {
+            Universe::Reachable => Self::build_reachable(program, cfg),
+            Universe::AllStates => Self::build_all(program, cfg),
+        }
+    }
+
+    fn build_reachable(program: &Program, cfg: &ScanConfig) -> Result<Self, McError> {
+        crate::space::space_size(&program.vocab, cfg)?;
+        let n_commands = program.commands.len();
+        let mut index: FxHashMap<State, u32> = FxHashMap::default();
+        let mut states: Vec<State> = Vec::new();
+        let mut succ: Vec<Vec<u32>> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
+
+        let intern = |s: State,
+                          states: &mut Vec<State>,
+                          index: &mut FxHashMap<State, u32>,
+                          frontier: &mut Vec<u32>| {
+            if let Some(&id) = index.get(&s) {
+                return id;
+            }
+            let id = states.len() as u32;
+            states.push(s.clone());
+            index.insert(s, id);
+            frontier.push(id);
+            id
+        };
+
+        let mut init = Vec::new();
+        for s in program.initial_states() {
+            let id = intern(s, &mut states, &mut index, &mut frontier);
+            init.push(id);
+        }
+        init.sort_unstable();
+        init.dedup();
+
+        while let Some(id) = frontier.pop() {
+            // Successor rows are filled in id order; rows may be created
+            // out of order because interning new states extends `states`.
+            let state = states[id as usize].clone();
+            let mut row = Vec::with_capacity(n_commands);
+            for c in &program.commands {
+                let next = c.step(&state, &program.vocab);
+                let nid = intern(next, &mut states, &mut index, &mut frontier);
+                row.push(nid);
+            }
+            if succ.len() <= id as usize {
+                succ.resize(id as usize + 1, Vec::new());
+            }
+            succ[id as usize] = row;
+        }
+        // States discovered last may not have rows yet if frontier order
+        // skipped them — fill any missing rows.
+        for id in 0..states.len() {
+            if succ.len() <= id {
+                succ.resize(id + 1, Vec::new());
+            }
+            if succ[id].is_empty() && n_commands > 0 {
+                let state = states[id].clone();
+                let row: Vec<u32> = program
+                    .commands
+                    .iter()
+                    .map(|c| {
+                        let next = c.step(&state, &program.vocab);
+                        *index.get(&next).expect("successors were interned")
+                    })
+                    .collect();
+                succ[id] = row;
+            }
+        }
+        Ok(TransitionSystem {
+            states,
+            succ,
+            init,
+            n_commands,
+            fair: program.fair.iter().copied().collect(),
+        })
+    }
+
+    fn build_all(program: &Program, cfg: &ScanConfig) -> Result<Self, McError> {
+        let n = crate::space::space_size(&program.vocab, cfg)?;
+        let n_commands = program.commands.len();
+        let vocab = &program.vocab;
+        let mut states = Vec::with_capacity(n as usize);
+        for flat in 0..n {
+            states.push(StateSpaceIter::decode(vocab, flat));
+        }
+        let mut succ = Vec::with_capacity(n as usize);
+        let mut init = Vec::new();
+        for (id, s) in states.iter().enumerate() {
+            let row: Vec<u32> = program
+                .commands
+                .iter()
+                .map(|c| {
+                    let next = c.step(s, vocab);
+                    StateSpaceIter::encode(vocab, &next).expect("in-domain successor") as u32
+                })
+                .collect();
+            succ.push(row);
+            if program.satisfies_init(s) {
+                init.push(id as u32);
+            }
+        }
+        Ok(TransitionSystem {
+            states,
+            succ,
+            init,
+            n_commands,
+            fair: program.fair.iter().copied().collect(),
+        })
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the system has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total number of stored transitions.
+    pub fn transition_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Ids of states satisfying `pred`.
+    pub fn states_where(&self, mut pred: impl FnMut(&State) -> bool) -> Vec<u32> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| pred(s).then_some(id as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+    use unity_core::program::Program;
+    use unity_core::value::Value;
+
+    fn counter(k: i64) -> Program {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, k).unwrap()).unwrap();
+        Program::builder("counter", Arc::new(v))
+            .init(eq(var(x), int(0)))
+            .fair_command("inc", lt(var(x), int(k)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reachable_chain() {
+        let p = counter(5);
+        let ts = TransitionSystem::build(&p, Universe::Reachable, &ScanConfig::default()).unwrap();
+        assert_eq!(ts.len(), 6, "0..=5 reachable");
+        assert_eq!(ts.init.len(), 1);
+        assert_eq!(ts.n_commands, 1);
+        assert_eq!(ts.fair, vec![0]);
+        // The final state self-loops (guard blocks).
+        let last = ts
+            .states_where(|s| s.get(unity_core::ident::VarId(0)) == Value::Int(5))[0];
+        assert_eq!(ts.succ[last as usize][0], last);
+    }
+
+    #[test]
+    fn all_states_universe() {
+        let p = counter(5);
+        let ts = TransitionSystem::build(&p, Universe::AllStates, &ScanConfig::default()).unwrap();
+        assert_eq!(ts.len(), 6);
+        assert_eq!(ts.transition_count(), 6);
+        assert_eq!(ts.init.len(), 1);
+    }
+
+    #[test]
+    fn reachable_smaller_than_all() {
+        // Start at 3: states 0..3 unreachable.
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 5).unwrap()).unwrap();
+        let p = Program::builder("c", Arc::new(v))
+            .init(eq(var(x), int(3)))
+            .fair_command("inc", lt(var(x), int(5)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap();
+        let reach =
+            TransitionSystem::build(&p, Universe::Reachable, &ScanConfig::default()).unwrap();
+        let all = TransitionSystem::build(&p, Universe::AllStates, &ScanConfig::default()).unwrap();
+        assert_eq!(reach.len(), 3); // 3, 4, 5
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn multi_command_product() {
+        let mut v = Vocabulary::new();
+        let a = v.declare("a", Domain::Bool).unwrap();
+        let b = v.declare("b", Domain::Bool).unwrap();
+        let p = Program::builder("flip", Arc::new(v))
+            .init(and2(not(var(a)), not(var(b))))
+            .fair_command("fa", tt(), vec![(a, not(var(a)))])
+            .fair_command("fb", tt(), vec![(b, not(var(b)))])
+            .build()
+            .unwrap();
+        let ts = TransitionSystem::build(&p, Universe::Reachable, &ScanConfig::default()).unwrap();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.transition_count(), 8);
+        // Every state's rows are filled.
+        for row in &ts.succ {
+            assert_eq!(row.len(), 2);
+        }
+    }
+}

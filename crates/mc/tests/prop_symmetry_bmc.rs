@@ -1,0 +1,256 @@
+//! Property-based cross-validation of the bounded checker ([`unity_mc::bmc`])
+//! against the exact reachable checker, and of the symmetry quotient
+//! ([`unity_mc::symmetry`]) against plain reachability — on *random
+//! programs* (for BMC) and *randomly generated symmetric programs* (for
+//! the quotient).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::state::StateSpaceIter;
+use unity_mc::prelude::*;
+use unity_mc::symmetry::SymmetrySpec;
+
+const A: VarId = VarId(0);
+const B: VarId = VarId(1);
+const F: VarId = VarId(2);
+
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("a", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("b", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("f", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+fn arb_guard() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(tt()),
+        Just(var(F)),
+        Just(not(var(F))),
+        (0i64..=2).prop_map(|k| lt(var(A), int(k))),
+        (0i64..=2).prop_map(|k| eq(var(B), int(k))),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = (VarId, Expr)> {
+    prop_oneof![
+        Just((A, add(var(A), int(1)))),
+        Just((A, int(0))),
+        Just((B, add(var(B), int(1)))),
+        Just((B, var(A))),
+        Just((F, not(var(F)))),
+    ]
+}
+
+fn arb_program(name: &'static str) -> impl Strategy<Value = Program> {
+    prop::collection::vec((arb_guard(), prop::collection::vec(arb_update(), 1..3)), 1..4)
+        .prop_map(move |cmds| {
+            let v = vocab();
+            let mut builder = Program::builder(name, v).init(and(vec![
+                eq(var(A), int(0)),
+                eq(var(B), int(0)),
+                not(var(F)),
+            ]));
+            for (i, (g, mut ups)) in cmds.into_iter().enumerate() {
+                ups.sort_by_key(|(x, _)| *x);
+                ups.dedup_by_key(|(x, _)| *x);
+                builder = builder.fair_command(format!("{name}_c{i}"), g, ups);
+            }
+            builder.build().expect("pool commands are well-typed")
+        })
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..=2).prop_map(|k| le(var(A), int(k))),
+        (0i64..=2).prop_map(|k| lt(add(var(A), var(B)), int(k))),
+        Just(not(var(F))),
+        Just(or2(var(F), le(var(B), int(1)))),
+    ]
+}
+
+/// Checks that `path` is a genuine execution of `prog`: starts in an
+/// initial state, each adjacent pair is one command step, only the final
+/// state violates `p`.
+fn assert_real_violation(
+    prog: &Program,
+    p: &Expr,
+    path: &[unity_core::state::State],
+) -> Result<(), TestCaseError> {
+    prop_assert!(!path.is_empty());
+    prop_assert!(prog.satisfies_init(&path[0]), "path must start initial");
+    for w in path.windows(2) {
+        let ok = prog
+            .commands
+            .iter()
+            .any(|c| c.step(&w[0], &prog.vocab) == w[1]);
+        prop_assert!(ok, "path step is not a command step");
+    }
+    for s in &path[..path.len() - 1] {
+        prop_assert!(eval_bool(p, s), "only the final state may violate");
+    }
+    prop_assert!(!eval_bool(p, path.last().unwrap()));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exhaustive bounded BFS and the exact reachable checker must agree
+    /// on every (program, predicate) pair; refutations must be genuine.
+    #[test]
+    fn bounded_bfs_agrees_with_exact_reachable(prog in arb_program("r"), p in arb_pred()) {
+        let exact = check_invariant_reachable(&prog, &p, &ScanConfig::default());
+        let bounded = bounded_invariant(&prog, &p, &BmcConfig::default());
+        match (&exact, &bounded) {
+            (Ok(()), Ok(v)) => prop_assert!(v.is_complete()),
+            (Err(_), Err(McError::Refuted { cex: Counterexample::Reach { path }, .. })) => {
+                assert_real_violation(&prog, &p, path)?;
+            }
+            other => prop_assert!(false, "verdicts diverge: {other:?}"),
+        }
+    }
+
+    /// Random walks never refute a property the exact checker proves, and
+    /// any refutation they do produce is a genuine execution.
+    #[test]
+    fn random_walks_are_sound(prog in arb_program("w"), p in arb_pred(), seed in any::<u64>()) {
+        let cfg = BmcConfig { seed, walks: 16, walk_len: 64, ..Default::default() };
+        match random_walk_invariant(&prog, &p, &cfg) {
+            Ok(_) => {}
+            Err(McError::Refuted { cex: Counterexample::Reach { path }, .. }) => {
+                assert_real_violation(&prog, &p, &path)?;
+                prop_assert!(
+                    check_invariant_reachable(&prog, &p, &ScanConfig::default()).is_err(),
+                    "walk refuted a true invariant"
+                );
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symmetric-by-construction programs for quotient validation.
+// ---------------------------------------------------------------------
+
+/// Command templates over (own-block variable `x`, shared variable `s`).
+#[derive(Debug, Clone, Copy)]
+enum Template {
+    /// `x < 2 -> x := x + 1, s := s + 1`
+    IncBoth,
+    /// `s == k -> x := 0`
+    ResetOnShared(i64),
+    /// `x == k -> s := x`
+    PushToShared(i64),
+    /// `true -> x := x + 1` (may saturate via skip semantics)
+    IncOwn,
+}
+
+fn arb_template() -> impl Strategy<Value = Template> {
+    prop_oneof![
+        Just(Template::IncBoth),
+        (0i64..=2).prop_map(Template::ResetOnShared),
+        (0i64..=2).prop_map(Template::PushToShared),
+        Just(Template::IncOwn),
+    ]
+}
+
+/// Instantiates the templates for `n` interchangeable blocks over a fresh
+/// vocabulary `x0..x_{n-1}, s` — symmetric by construction.
+fn symmetric_program(templates: &[Template], n: usize) -> (Program, SymmetrySpec) {
+    let mut v = Vocabulary::new();
+    let xs: Vec<VarId> = (0..n)
+        .map(|i| v.declare(&format!("x{i}"), Domain::int_range(0, 2).unwrap()).unwrap())
+        .collect();
+    let s = v.declare("s", Domain::int_range(0, 2).unwrap()).unwrap();
+    let vocab = Arc::new(v);
+    let mut init = eq(var(s), int(0));
+    for &x in &xs {
+        init = and2(init, eq(var(x), int(0)));
+    }
+    let mut b = Program::builder("sym", vocab.clone()).init(init);
+    for (t_idx, t) in templates.iter().enumerate() {
+        for (i, &x) in xs.iter().enumerate() {
+            let (guard, ups): (Expr, Vec<(VarId, Expr)>) = match t {
+                Template::IncBoth => (
+                    lt(var(x), int(2)),
+                    vec![(x, add(var(x), int(1))), (s, add(var(s), int(1)))],
+                ),
+                Template::ResetOnShared(k) => (eq(var(s), int(*k)), vec![(x, int(0))]),
+                Template::PushToShared(k) => (eq(var(x), int(*k)), vec![(s, var(x))]),
+                Template::IncOwn => (tt(), vec![(x, add(var(x), int(1)))]),
+            };
+            b = b.fair_command(format!("t{t_idx}_b{i}"), guard, ups);
+        }
+    }
+    let p = b.build().expect("templates are well-typed");
+    let spec = SymmetrySpec::new(xs.iter().map(|&x| vec![x]).collect(), &p.vocab).unwrap();
+    (p, spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Symmetric-by-construction programs pass validation, and the
+    /// quotient's orbit arithmetic reproduces the plain reachable count.
+    #[test]
+    fn quotient_orbit_arithmetic_matches_reachability(
+        templates in prop::collection::vec(arb_template(), 1..4),
+        n in 2usize..4,
+    ) {
+        let (prog, spec) = symmetric_program(&templates, n);
+        prop_assert!(spec.validate_program(&prog, 256, 3).is_ok());
+        // A symmetric, trivially-true predicate to drive the exploration.
+        let stats = check_invariant_symmetric(&prog, &tt(), &spec, 1 << 20).unwrap();
+        let ts = TransitionSystem::build(&prog, Universe::Reachable, &ScanConfig::default())
+            .unwrap();
+        prop_assert_eq!(stats.full_states, ts.len() as u128);
+        // Distinct canonical forms of the reachable set = quotient size.
+        let mut canon = std::collections::BTreeSet::new();
+        for s in &ts.states {
+            canon.insert(spec.canonicalize(s));
+        }
+        prop_assert_eq!(canon.len(), stats.quotient_states);
+    }
+
+    /// Canonicalization is an idempotent retraction constant on orbits,
+    /// and orbit sizes count distinct permutation images.
+    #[test]
+    fn canonicalization_laws(
+        templates in prop::collection::vec(arb_template(), 1..3),
+        n in 2usize..4,
+    ) {
+        let (prog, spec) = symmetric_program(&templates, n);
+        for s in StateSpaceIter::new(&prog.vocab) {
+            let c = spec.canonicalize(&s);
+            prop_assert_eq!(spec.canonicalize(&c), c.clone(), "idempotent");
+            // Constant on the orbit: swapping any adjacent pair first
+            // does not change the representative.
+            for b in 0..n - 1 {
+                let t = spec.swap_adjacent(&s, b);
+                prop_assert_eq!(spec.canonicalize(&t), c.clone(), "orbit-constant");
+            }
+            // Orbit size counts distinct images over all permutations
+            // (n ≤ 3 here, so enumerate them directly).
+            let perms: Vec<Vec<usize>> = match n {
+                2 => vec![vec![0, 1], vec![1, 0]],
+                3 => vec![
+                    vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2],
+                    vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0],
+                ],
+                _ => unreachable!(),
+            };
+            let distinct: std::collections::BTreeSet<_> =
+                perms.iter().map(|perm| spec.apply(&s, perm)).collect();
+            prop_assert_eq!(spec.orbit_size(&s), distinct.len() as u128);
+        }
+    }
+}

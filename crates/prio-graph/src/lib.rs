@@ -1,0 +1,54 @@
+//! # prio-graph
+//!
+//! The graph substrate of the paper's §4 priority mechanism: undirected
+//! conflict graphs, edge orientations (the priority relation `→`), the
+//! reachability closures `R*`/`A*`, acyclicity, Definition 1 (derivation
+//! through a node) with Lemma 1, and Lemma 2 (maximal nodes) — all as
+//! executable, exhaustively-tested functions.
+//!
+//! The paper takes Lemmas 1 and 2 "from graph theory"; this crate is the
+//! substitute substrate: the lemmas are implemented and validated by
+//! exhaustive enumeration over all orientations of all small graphs plus
+//! property-based tests on random larger ones (see `tests/` and the E5
+//! bench).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use prio_graph::prelude::*;
+//!
+//! let ring = Arc::new(topology::ring(5));
+//! let mut orientation = Orientation::index_order(ring);
+//! assert!(is_acyclic(&orientation));
+//! assert!(orientation.priority(0));
+//! orientation.yield_node(0);           // node 0 yields to its neighbours
+//! assert!(is_acyclic(&orientation));   // Property 5: acyclicity preserved
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod acyclic;
+pub mod bitset;
+pub mod closure;
+pub mod derive;
+pub mod graph;
+pub mod maximal;
+pub mod orientation;
+pub mod paths;
+pub mod topology;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::acyclic::{is_acyclic, is_acyclic_by_closure, sinks, sources, topological_order};
+    pub use crate::bitset::BitSet;
+    pub use crate::closure::{
+        above_set, all_above_sets, all_reach_sets, duality_holds,
+        priority_characterization_holds, reach_set,
+    };
+    pub use crate::derive::{derive, derives_through, is_legal_step, lemma1_holds};
+    pub use crate::graph::{ConflictGraph, GraphError};
+    pub use crate::maximal::{above_cardinality, lemma2_holds, maximal_above};
+    pub use crate::orientation::Orientation;
+    pub use crate::paths::{simple_cycles, simple_paths};
+    pub use crate::topology::{self, Topology};
+}

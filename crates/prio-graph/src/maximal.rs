@@ -1,0 +1,119 @@
+//! Lemma 2 of the paper: maximal nodes in above-sets.
+//!
+//! **Lemma 2.** In a finite acyclic graph, any non-empty above-set contains
+//! a maximal node:
+//! `Acyclicity ⇒ ⟨∀i : A*(i) ≠ ∅ : ⟨∃j : j ∈ A*(i) : A*(j) = ∅⟩⟩`.
+//!
+//! With (20) this is the paper's Property 6: every non-priority component
+//! always has a *priority* component above it — the pivot of the liveness
+//! proof.
+
+use crate::closure::above_set;
+use crate::orientation::Orientation;
+
+/// Returns a maximal node above `i`: some `j ∈ A*(i)` with `A*(j) = ∅`
+/// (equivalently, `Priority(j)`), or `None` when `A*(i) = ∅`.
+///
+/// On cyclic orientations a maximal node may not exist; the function then
+/// also returns `None` even though `A*(i)` is non-empty — use
+/// [`lemma2_holds`] to check the lemma's statement.
+pub fn maximal_above(o: &Orientation, i: usize) -> Option<usize> {
+    // Walk upward greedily: from any node with a non-empty direct
+    // above-set, move to a predecessor; in an acyclic finite graph this
+    // terminates at a source. Guard against cycles with a step budget.
+    let n = o.node_count();
+    let above = above_set(o, i);
+    if above.is_empty() {
+        return None;
+    }
+    let mut current = above.iter().next().expect("non-empty");
+    for _ in 0..=n {
+        let a = o.a_set(current);
+        let up = a.iter().next();
+        match up {
+            None => return Some(current),
+            Some(up) => current = up,
+        }
+    }
+    None // cycle: no maximal node found within the budget
+}
+
+/// Checks Lemma 2's statement on a concrete acyclic orientation: for every
+/// node with non-empty `A*`, a maximal node exists *within* `A*`.
+pub fn lemma2_holds(o: &Orientation) -> bool {
+    let n = o.node_count();
+    (0..n).all(|i| {
+        let above = above_set(o, i);
+        if above.is_empty() {
+            return true;
+        }
+        let has_max = above.iter().any(|j| above_set(o, j).is_empty());
+        has_max
+    })
+}
+
+/// The cardinality `|A*(i)|` — the induction metric of the paper's final
+/// liveness proof (Property 8).
+pub fn above_cardinality(o: &Orientation, i: usize) -> usize {
+    above_set(o, i).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic::is_acyclic;
+    use crate::graph::ConflictGraph;
+    use std::sync::Arc;
+
+    #[test]
+    fn finds_maximal_on_chain() {
+        let g = Arc::new(ConflictGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap());
+        let o = Orientation::index_order(g); // 0 → 1 → 2 → 3
+        assert_eq!(maximal_above(&o, 3), Some(0));
+        assert_eq!(maximal_above(&o, 1), Some(0));
+        assert_eq!(maximal_above(&o, 0), None, "A*(0) is empty");
+        assert_eq!(above_cardinality(&o, 3), 3);
+        assert!(lemma2_holds(&o));
+    }
+
+    #[test]
+    fn maximal_is_in_above_set() {
+        let g = Arc::new(
+            ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap(),
+        );
+        for o in Orientation::enumerate(&g) {
+            if !is_acyclic(&o) {
+                continue;
+            }
+            for i in 0..5 {
+                if let Some(j) = maximal_above(&o, i) {
+                    let above = above_set(&o, i);
+                    assert!(above.contains(j), "maximal node must lie in A*({i})");
+                    assert!(above_set(&o, j).is_empty(), "maximal node has empty A*");
+                    assert!(o.priority(j), "paper (20): maximal ⇔ Priority");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_exhaustive_on_ring() {
+        let g = Arc::new(
+            ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap(),
+        );
+        for o in Orientation::enumerate(&g) {
+            if is_acyclic(&o) {
+                assert!(lemma2_holds(&o));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_may_lack_maximal() {
+        let g = Arc::new(ConflictGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap());
+        let mut o = Orientation::index_order(g);
+        o.set_points(2, 0); // cycle 0→1→2→0
+        assert_eq!(maximal_above(&o, 0), None);
+        assert!(!lemma2_holds(&o), "Lemma 2's hypothesis (acyclicity) matters");
+    }
+}

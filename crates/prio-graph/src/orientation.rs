@@ -1,0 +1,224 @@
+//! Edge orientations of a conflict graph (the priority relation `→`).
+//!
+//! `i → j` means *component `i` has priority over component `j`* (paper
+//! §4.2). Exactly one of `i → j`, `j → i` holds for every conflict edge —
+//! the paper's implementation invariant
+//! `⟨∀i,j : j ∈ N(i) : (i → j) ⇎ (j → i)⟩` is guaranteed by construction
+//! here: each edge carries a single direction bit.
+
+use std::sync::Arc;
+
+use crate::bitset::BitSet;
+use crate::graph::ConflictGraph;
+
+/// An orientation of every edge of a conflict graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Orientation {
+    graph: Arc<ConflictGraph>,
+    /// `dir[e] == true` ⇔ the edge points from its lower endpoint to its
+    /// higher endpoint (`u → v` for the stored `(u, v)` with `u < v`).
+    dir: Vec<bool>,
+}
+
+impl Orientation {
+    /// All edges oriented from lower to higher node index — always acyclic
+    /// (node order is a topological order), a convenient initial priority
+    /// assignment.
+    pub fn index_order(graph: Arc<ConflictGraph>) -> Self {
+        let m = graph.edge_count();
+        Orientation {
+            graph,
+            dir: vec![true; m],
+        }
+    }
+
+    /// Builds from an explicit direction-bit vector (bit per edge id).
+    pub fn from_bits(graph: Arc<ConflictGraph>, bits: u64) -> Self {
+        let m = graph.edge_count();
+        assert!(m <= 64, "from_bits supports at most 64 edges");
+        Orientation {
+            graph,
+            dir: (0..m).map(|e| bits >> e & 1 == 1).collect(),
+        }
+    }
+
+    /// Direction bits as a `u64` (inverse of [`Orientation::from_bits`]).
+    pub fn to_bits(&self) -> u64 {
+        assert!(self.dir.len() <= 64);
+        self.dir
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (e, &d)| acc | (u64::from(d) << e))
+    }
+
+    /// Enumerates all `2^m` orientations of `graph` (requires `m ≤ 63`).
+    pub fn enumerate(graph: &Arc<ConflictGraph>) -> impl Iterator<Item = Orientation> + '_ {
+        let m = graph.edge_count();
+        assert!(m <= 63, "enumerate supports at most 63 edges");
+        (0u64..(1u64 << m)).map(move |bits| Orientation::from_bits(graph.clone(), bits))
+    }
+
+    /// The underlying conflict graph.
+    pub fn graph(&self) -> &Arc<ConflictGraph> {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Whether `i → j` (requires `i ~ j`).
+    pub fn points(&self, i: usize, j: usize) -> bool {
+        let e = self
+            .graph
+            .edge_id(i, j)
+            .expect("points() requires a conflict edge");
+        let (u, _v) = self.graph.endpoints(e);
+        if i == u {
+            self.dir[e as usize]
+        } else {
+            !self.dir[e as usize]
+        }
+    }
+
+    /// Orients the edge so that `i → j`.
+    pub fn set_points(&mut self, i: usize, j: usize) {
+        let e = self
+            .graph
+            .edge_id(i, j)
+            .expect("set_points() requires a conflict edge");
+        let (u, _v) = self.graph.endpoints(e);
+        self.dir[e as usize] = i == u;
+    }
+
+    /// The paper's `R(i) = { j ∈ N(i) : i → j }` (nodes `i` has priority
+    /// over).
+    pub fn r_set(&self, i: usize) -> BitSet {
+        let mut out = BitSet::new(self.node_count());
+        for j in self.graph.neighbors(i).iter() {
+            if self.points(i, j) {
+                out.insert(j);
+            }
+        }
+        out
+    }
+
+    /// The paper's `A(i) = { j ∈ N(i) : j → i }` (nodes with priority over
+    /// `i`).
+    pub fn a_set(&self, i: usize) -> BitSet {
+        let mut out = BitSet::new(self.node_count());
+        for j in self.graph.neighbors(i).iter() {
+            if !self.points(i, j) {
+                out.insert(j);
+            }
+        }
+        out
+    }
+
+    /// The paper's `Priority(i) ≝ ⟨∀j : j ∈ N(i) : i → j⟩`.
+    pub fn priority(&self, i: usize) -> bool {
+        self.graph.neighbors(i).iter().all(|j| self.points(i, j))
+    }
+
+    /// Nodes currently holding priority.
+    pub fn priority_nodes(&self) -> Vec<usize> {
+        (0..self.node_count()).filter(|&i| self.priority(i)).collect()
+    }
+
+    /// Reverses every edge incident to `i` so that all of them point
+    /// *toward* `i` (the yielding move: `i` becomes lower-priority than all
+    /// its neighbours). This is the graph effect of the paper's component
+    /// action; see [`crate::derive`] for the derivation relation.
+    pub fn yield_node(&mut self, i: usize) {
+        let graph = self.graph.clone();
+        for j in graph.neighbors(i).iter() {
+            self.set_points(j, i);
+        }
+    }
+
+    /// Per-edge direction bits (edge id order).
+    pub fn direction_bits(&self) -> &[bool] {
+        &self.dir
+    }
+
+    /// Checks the paper's antisymmetry invariant
+    /// `(i → j) ⇎ (j → i)` for every edge. Trivially true by
+    /// representation; exercised by property tests.
+    pub fn check_antisymmetry(&self) -> bool {
+        self.graph
+            .edges()
+            .iter()
+            .all(|&(u, v)| self.points(u, v) != self.points(v, u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap())
+    }
+
+    #[test]
+    fn index_order_orients_down() {
+        let o = Orientation::index_order(triangle());
+        assert!(o.points(0, 1));
+        assert!(o.points(1, 2));
+        assert!(o.points(0, 2));
+        assert!(!o.points(2, 0));
+        assert!(o.check_antisymmetry());
+        assert!(o.priority(0));
+        assert!(!o.priority(1));
+        assert_eq!(o.priority_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn r_and_a_sets() {
+        let o = Orientation::index_order(triangle());
+        assert_eq!(o.r_set(0).to_vec(), vec![1, 2]);
+        assert!(o.a_set(0).is_empty());
+        assert_eq!(o.a_set(2).to_vec(), vec![0, 1]);
+        assert_eq!(o.r_set(1).to_vec(), vec![2]);
+        assert_eq!(o.a_set(1).to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn yield_reverses_incident_edges() {
+        let mut o = Orientation::index_order(triangle());
+        o.yield_node(0);
+        assert!(o.points(1, 0));
+        assert!(o.points(2, 0));
+        // Edge 1-2 untouched.
+        assert!(o.points(1, 2));
+        assert!(!o.priority(0));
+        assert!(o.priority(1));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let g = triangle();
+        for bits in 0u64..8 {
+            let o = Orientation::from_bits(g.clone(), bits);
+            assert_eq!(o.to_bits(), bits);
+            assert!(o.check_antisymmetry());
+        }
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        let g = triangle();
+        assert_eq!(Orientation::enumerate(&g).count(), 8);
+    }
+
+    #[test]
+    fn set_points_both_directions() {
+        let g = triangle();
+        let mut o = Orientation::index_order(g);
+        o.set_points(2, 0);
+        assert!(o.points(2, 0));
+        o.set_points(0, 2);
+        assert!(o.points(0, 2));
+    }
+}

@@ -1,0 +1,422 @@
+//! Conflict-graph topology generators for experiments and benches.
+
+use rand::Rng;
+
+use crate::graph::ConflictGraph;
+
+/// A named topology family, for experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Path `0 - 1 - ... - (n-1)`.
+    Path,
+    /// Cycle on `n ≥ 3` nodes.
+    Ring,
+    /// Star with centre 0.
+    Star,
+    /// Complete graph `K_n`.
+    Complete,
+    /// Approximately-square grid.
+    Grid,
+    /// Complete binary tree.
+    BinaryTree,
+    /// Wheel: a ring plus a hub adjacent to every rim node.
+    Wheel,
+    /// Hypercube of the largest dimension fitting `n`, truncated to `n`
+    /// nodes.
+    Hypercube,
+}
+
+impl Topology {
+    /// All families, for sweeps.
+    pub const ALL: [Topology; 8] = [
+        Topology::Path,
+        Topology::Ring,
+        Topology::Star,
+        Topology::Complete,
+        Topology::Grid,
+        Topology::BinaryTree,
+        Topology::Wheel,
+        Topology::Hypercube,
+    ];
+
+    /// Builds the family member with `n` nodes.
+    pub fn build(self, n: usize) -> ConflictGraph {
+        match self {
+            Topology::Path => path(n),
+            Topology::Ring => ring(n),
+            Topology::Star => star(n),
+            Topology::Complete => complete(n),
+            Topology::Grid => {
+                let w = (n as f64).sqrt().ceil() as usize;
+                grid_n(w.max(1), n)
+            }
+            Topology::BinaryTree => binary_tree(n),
+            Topology::Wheel => wheel(n),
+            Topology::Hypercube => hypercube_n(n),
+        }
+    }
+
+    /// A short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Path => "path",
+            Topology::Ring => "ring",
+            Topology::Star => "star",
+            Topology::Complete => "complete",
+            Topology::Grid => "grid",
+            Topology::BinaryTree => "tree",
+            Topology::Wheel => "wheel",
+            Topology::Hypercube => "hypercube",
+        }
+    }
+}
+
+/// Path graph on `n` nodes.
+pub fn path(n: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i).expect("path edges are simple");
+    }
+    g
+}
+
+/// Ring (cycle) on `n` nodes; `n < 3` degenerates to a path.
+pub fn ring(n: usize) -> ConflictGraph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(n - 1, 0).expect("closing edge is fresh");
+    }
+    g
+}
+
+/// Star with centre node `0` and `n - 1` leaves — the maximally contended
+/// topology (every conflict involves the centre).
+pub fn star(n: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(n);
+    for i in 1..n {
+        g.add_edge(0, i).expect("star edges are simple");
+    }
+    g
+}
+
+/// Complete graph `K_n` — the paper's "dining philosophers around one
+/// table" extreme: everybody conflicts with everybody.
+pub fn complete(n: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("complete edges are simple");
+        }
+    }
+    g
+}
+
+/// `w × h` grid.
+pub fn grid(w: usize, h: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(w * h);
+    let id = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                g.add_edge(id(x, y), id(x + 1, y)).expect("grid edge");
+            }
+            if y + 1 < h {
+                g.add_edge(id(x, y), id(x, y + 1)).expect("grid edge");
+            }
+        }
+    }
+    g
+}
+
+/// First `n` nodes of a `w`-wide grid (row-major), so sweeps can use exact
+/// node counts.
+pub fn grid_n(w: usize, n: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(n);
+    for i in 0..n {
+        let (x, y) = (i % w, i / w);
+        if x + 1 < w && i + 1 < n {
+            g.add_edge(i, i + 1).expect("grid edge");
+        }
+        let below = (y + 1) * w + x;
+        if below < n {
+            g.add_edge(i, below).expect("grid edge");
+        }
+    }
+    g
+}
+
+/// Complete binary tree on `n` nodes (node `i`'s children are `2i+1`,
+/// `2i+2`).
+pub fn binary_tree(n: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(n);
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                g.add_edge(i, c).expect("tree edge");
+            }
+        }
+    }
+    g
+}
+
+/// Wheel on `n` nodes: hub `0` plus a rim ring `1..n`. Combines the
+/// star's central contention with the ring's peer conflicts; `n < 4`
+/// degenerates to a star/complete graph.
+pub fn wheel(n: usize) -> ConflictGraph {
+    let mut g = star(n);
+    if n >= 3 {
+        for i in 1..n - 1 {
+            g.add_edge(i, i + 1).expect("rim edge");
+        }
+        if n >= 4 {
+            g.add_edge(n - 1, 1).expect("closing rim edge");
+        }
+    }
+    g
+}
+
+/// Hypercube `Q_d` on `2^d` nodes: nodes are bit strings, edges connect
+/// strings at Hamming distance one. The regular, vertex-transitive
+/// topology used for symmetry experiments.
+pub fn hypercube(d: u32) -> ConflictGraph {
+    let n = 1usize << d;
+    let mut g = ConflictGraph::new(n);
+    for u in 0..n {
+        for b in 0..d {
+            let v = u ^ (1 << b);
+            if u < v {
+                g.add_edge(u, v).expect("hypercube edge");
+            }
+        }
+    }
+    g
+}
+
+/// First `n` nodes of the smallest hypercube with at least `n` nodes
+/// (edges between retained nodes only), so sweeps can use exact counts.
+/// `hypercube_n(2^d)` is exactly `Q_d`. Connected for every `n ≥ 1`:
+/// dropping the highest nodes of a hypercube leaves each survivor `u > 0`
+/// adjacent to the smaller node `u` with its top bit cleared.
+pub fn hypercube_n(n: usize) -> ConflictGraph {
+    let d = usize::BITS - n.saturating_sub(1).leading_zeros();
+    let mut g = ConflictGraph::new(n);
+    for u in 0..n {
+        for b in 0..d {
+            let v = u ^ (1 << b);
+            if u < v && v < n {
+                g.add_edge(u, v).expect("hypercube edge");
+            }
+        }
+    }
+    g
+}
+
+/// `w × h` torus: the grid with wrap-around rows and columns. Every node
+/// has degree 4 (for `w, h ≥ 3`) — vertex-transitive, used in symmetry
+/// experiments.
+pub fn torus(w: usize, h: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(w * h);
+    let id = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            let right = id((x + 1) % w, y);
+            let down = id(x, (y + 1) % h);
+            for v in [right, down] {
+                let u = id(x, y);
+                if u != v && !g.is_edge(u, v) {
+                    g.add_edge(u, v).expect("torus edge");
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}`: parts `0..a` and `a..a+b` — the
+/// client/server conflict pattern (every client conflicts with every
+/// server, never with another client).
+pub fn complete_bipartite(a: usize, b: usize) -> ConflictGraph {
+    let mut g = ConflictGraph::new(a + b);
+    for u in 0..a {
+        for v in a..a + b {
+            g.add_edge(u, v).expect("bipartite edge");
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` random graph.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> ConflictGraph {
+    let mut g = ConflictGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v).expect("ER edges are simple");
+            }
+        }
+    }
+    g
+}
+
+/// A connected random graph: random spanning tree plus `G(n, p)` extras.
+pub fn connected_random(n: usize, p: f64, rng: &mut impl Rng) -> ConflictGraph {
+    let mut g = ConflictGraph::new(n);
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        g.add_edge(u, v).expect("spanning tree edge");
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.is_edge(u, v) && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v).expect("extra edge is fresh");
+            }
+        }
+    }
+    g
+}
+
+/// Iterates over *all* simple graphs on `n` nodes (one per edge subset).
+/// `n ≤ 7` keeps this tractable (`2^21` graphs at `n = 7`).
+pub fn all_graphs(n: usize) -> impl Iterator<Item = ConflictGraph> {
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    let m = pairs.len();
+    assert!(m <= 31, "all_graphs supports at most 31 candidate edges");
+    (0u32..(1u32 << m)).map(move |mask| {
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask >> *k & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        ConflictGraph::from_edges(n, &edges).expect("subset of simple edges")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_shapes() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(ring(5).edge_count(), 5);
+        assert_eq!(ring(2).edge_count(), 1, "degenerate ring is a path");
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(star(5).degree(0), 4);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(grid(3, 2).edge_count(), 7);
+        assert_eq!(binary_tree(7).edge_count(), 6);
+    }
+
+    #[test]
+    fn all_families_connected_and_simple() {
+        for t in Topology::ALL {
+            for n in [1usize, 2, 3, 6, 9] {
+                let g = t.build(n);
+                assert_eq!(g.node_count(), n, "{} n={n}", t.name());
+                g.check_invariants().unwrap();
+                assert!(g.is_connected(), "{} n={n} must be connected", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_shapes() {
+        let g = wheel(6); // hub + 5-rim
+        assert_eq!(g.edge_count(), 10); // 5 spokes + 5 rim
+        assert_eq!(g.degree(0), 5);
+        for i in 1..6 {
+            assert_eq!(g.degree(i), 3, "rim node {i}");
+        }
+        assert_eq!(wheel(4).edge_count(), 6, "W4 = K4");
+        assert_eq!(wheel(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn hypercube_shapes() {
+        for d in 0..5u32 {
+            let g = hypercube(d);
+            assert_eq!(g.node_count(), 1 << d);
+            assert_eq!(g.edge_count(), (d as usize) << d.saturating_sub(1));
+            for i in 0..g.node_count() {
+                assert_eq!(g.degree(i), d as usize);
+            }
+            assert!(g.is_connected());
+            g.check_invariants().unwrap();
+        }
+        // Truncation keeps exactly n nodes, stays connected, and matches
+        // the full cube at powers of two.
+        for n in 1..=20usize {
+            let g = hypercube_n(n);
+            assert_eq!(g.node_count(), n);
+            assert!(g.is_connected(), "hypercube_n({n})");
+            g.check_invariants().unwrap();
+        }
+        assert_eq!(hypercube_n(8).edge_count(), hypercube(3).edge_count());
+    }
+
+    #[test]
+    fn torus_shapes() {
+        let g = torus(3, 3);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 18);
+        for i in 0..9 {
+            assert_eq!(g.degree(i), 4);
+        }
+        assert!(g.is_connected());
+        g.check_invariants().unwrap();
+        // Degenerate widths collapse duplicate wrap edges instead of
+        // panicking.
+        let small = torus(2, 2);
+        small.check_invariants().unwrap();
+        assert!(small.is_connected());
+    }
+
+    #[test]
+    fn complete_bipartite_shapes() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 6);
+        for u in 0..2 {
+            assert_eq!(g.degree(u), 3);
+        }
+        for v in 2..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+        // No intra-part edges.
+        assert!(!g.is_edge(0, 1));
+        assert!(!g.is_edge(2, 3));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(erdos_renyi(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn connected_random_is_connected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 5, 12, 30] {
+            let g = connected_random(n, 0.1, &mut rng);
+            assert!(g.is_connected());
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn all_graphs_counts() {
+        assert_eq!(all_graphs(3).count(), 8); // 2^3 subsets of K3's edges
+        assert_eq!(all_graphs(4).count(), 64);
+        // Every generated graph satisfies the invariants.
+        for g in all_graphs(4) {
+            g.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based validation of the graph substrate on *random* graphs —
+//! the probabilistic companion to the exhaustive small-graph checks in the
+//! unit tests. Together these discharge the paper's "from graph theory"
+//! citations for Lemmas 1 and 2.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use prio_graph::acyclic::{is_acyclic, is_acyclic_by_closure, topological_order};
+use prio_graph::closure::{
+    all_reach_sets, duality_holds, priority_characterization_holds, reach_sets_naive,
+};
+use prio_graph::derive::{derive, derives_through, lemma1_holds};
+use prio_graph::maximal::{lemma2_holds, maximal_above};
+use prio_graph::orientation::Orientation;
+use prio_graph::topology::connected_random;
+
+/// A random connected conflict graph with up to 10 nodes plus a random
+/// orientation of its edges.
+fn arb_oriented() -> impl Strategy<Value = Orientation> {
+    (2usize..10, 0.0f64..0.5, any::<u64>(), any::<u64>()).prop_map(|(n, p, seed, bits)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(connected_random(n, p, &mut rng));
+        let mask = if g.edge_count() == 0 {
+            0
+        } else {
+            bits & ((1u64 << g.edge_count().min(63)) - 1)
+        };
+        Orientation::from_bits(g, mask)
+    })
+}
+
+/// A random connected graph with an *acyclic* orientation (random
+/// permutation order).
+fn arb_acyclic() -> impl Strategy<Value = Orientation> {
+    (2usize..10, 0.0f64..0.5, any::<u64>(), any::<u64>()).prop_map(|(n, p, seed, perm_seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(connected_random(n, p, &mut rng));
+        // Random node ranking; orient every edge from lower rank to higher.
+        let mut rank: Vec<usize> = (0..n).collect();
+        let mut prng = StdRng::seed_from_u64(perm_seed);
+        use rand::seq::SliceRandom;
+        rank.shuffle(&mut prng);
+        let mut o = Orientation::index_order(g.clone());
+        for &(u, v) in g.edges() {
+            if rank[u] < rank[v] {
+                o.set_points(u, v);
+            } else {
+                o.set_points(v, u);
+            }
+        }
+        o
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bfs_closure_matches_naive(o in arb_oriented()) {
+        prop_assert_eq!(all_reach_sets(&o), reach_sets_naive(&o));
+    }
+
+    #[test]
+    fn duality_and_priority_characterization(o in arb_oriented()) {
+        // The paper's (19) and (20) on random graphs.
+        prop_assert!(duality_holds(&o));
+        prop_assert!(priority_characterization_holds(&o));
+    }
+
+    #[test]
+    fn kahn_agrees_with_closure_acyclicity(o in arb_oriented()) {
+        prop_assert_eq!(is_acyclic(&o), is_acyclic_by_closure(&o));
+    }
+
+    #[test]
+    fn rank_orientations_are_acyclic(o in arb_acyclic()) {
+        prop_assert!(is_acyclic(&o));
+        let order = topological_order(&o).expect("acyclic has topo order");
+        let mut pos = vec![0usize; o.node_count()];
+        for (k, &v) in order.iter().enumerate() {
+            pos[v] = k;
+        }
+        for &(u, v) in o.graph().edges() {
+            let (hi, lo) = if o.points(u, v) { (u, v) } else { (v, u) };
+            prop_assert!(pos[hi] < pos[lo]);
+        }
+    }
+
+    #[test]
+    fn lemma1_on_random_derivations(o in arb_oriented()) {
+        for i0 in 0..o.node_count() {
+            if let Some(derived) = derive(&o, i0) {
+                prop_assert!(derives_through(&o, &derived, i0));
+                prop_assert!(lemma1_holds(&o, &derived, i0));
+            }
+        }
+    }
+
+    #[test]
+    fn derivations_preserve_acyclicity(o in arb_acyclic()) {
+        // Property 5's graph-theoretic core on random acyclic graphs.
+        for i0 in 0..o.node_count() {
+            if let Some(derived) = derive(&o, i0) {
+                prop_assert!(is_acyclic(&derived), "yield through {i0} made a cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_on_random_acyclic(o in arb_acyclic()) {
+        prop_assert!(lemma2_holds(&o));
+        for i in 0..o.node_count() {
+            if let Some(j) = maximal_above(&o, i) {
+                prop_assert!(o.priority(j), "maximal node must hold priority");
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_has_a_priority_node(o in arb_acyclic()) {
+        // The paper: "there is always a node which has the priority".
+        prop_assert!(!o.priority_nodes().is_empty());
+    }
+
+    #[test]
+    fn repeated_yields_visit_every_node(seed in any::<u64>(), n in 3usize..8) {
+        // Deterministic greedy run: always yield the lowest priority
+        // holder; within a bounded number of rounds every node must have
+        // held priority at least once (the liveness shape, graph-level).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(connected_random(n, 0.3, &mut rng));
+        let mut o = Orientation::index_order(g);
+        let mut seen = vec![false; n];
+        for _ in 0..(n * n * 4) {
+            let holders = o.priority_nodes();
+            prop_assert!(!holders.is_empty());
+            for &h in &holders {
+                seen[h] = true;
+            }
+            let &pick = holders.first().expect("nonempty");
+            o.yield_node(pick);
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some node never got priority: {seen:?}");
+    }
+}
+
+#[test]
+fn exhaustive_all_graphs_n4_lemmas() {
+    // Every orientation of every graph on 4 nodes: Lemma 1, Lemma 2,
+    // duality, acyclicity agreement. (~64 graphs × ≤64 orientations.)
+    for g in prio_graph::topology::all_graphs(4) {
+        let g = Arc::new(g);
+        for o in Orientation::enumerate(&g) {
+            assert!(duality_holds(&o));
+            assert!(priority_characterization_holds(&o));
+            assert_eq!(is_acyclic(&o), is_acyclic_by_closure(&o));
+            if is_acyclic(&o) {
+                assert!(lemma2_holds(&o));
+            }
+            for i0 in 0..4 {
+                if let Some(d) = derive(&o, i0) {
+                    assert!(lemma1_holds(&o, &d, i0));
+                    if is_acyclic(&o) {
+                        assert!(is_acyclic(&d));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The operational execution engine.
+//!
+//! Executes a program step by step under a pluggable scheduler, updating
+//! the state **in place** (no per-step allocation: right-hand sides are
+//! evaluated into a scratch buffer, domains checked, then written back).
+
+use unity_core::expr::eval::{eval, eval_bool};
+use unity_core::program::Program;
+use unity_core::state::State;
+use unity_core::value::Value;
+
+use crate::monitor::Monitor;
+use crate::scheduler::{SchedCtx, Scheduler};
+
+/// One executed step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Global step number (0-based).
+    pub step: u64,
+    /// Command index chosen by the scheduler.
+    pub command: usize,
+    /// Whether the command fired (guard and domains allowed the update) —
+    /// `false` means it behaved as `skip`.
+    pub fired: bool,
+}
+
+/// The execution engine.
+pub struct Executor<'a> {
+    program: &'a Program,
+    state: State,
+    steps_since: Vec<u64>,
+    step: u64,
+    scratch: Vec<(usize, Value)>,
+    /// Executed command log (bounded; see [`Executor::set_log_limit`]).
+    log: Vec<StepRecord>,
+    log_limit: usize,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor positioned at `initial`.
+    ///
+    /// # Panics
+    /// Panics if `initial` does not satisfy the program's `initially`
+    /// predicate (runs must start in initial states).
+    pub fn new(program: &'a Program, initial: State) -> Self {
+        assert!(
+            program.satisfies_init(&initial),
+            "executor must start in an initial state"
+        );
+        Executor {
+            program,
+            state: initial,
+            steps_since: vec![0; program.commands.len()],
+            step: 0,
+            scratch: Vec::new(),
+            log: Vec::new(),
+            log_limit: 0,
+        }
+    }
+
+    /// Creates an executor at the program's first initial state (by
+    /// canonical enumeration order).
+    pub fn from_first_initial(program: &'a Program) -> Self {
+        let init = program
+            .initial_states()
+            .into_iter()
+            .next()
+            .expect("program has an initial state");
+        Self::new(program, init)
+    }
+
+    /// Keeps at most `limit` step records (0 = keep none).
+    pub fn set_log_limit(&mut self, limit: usize) {
+        self.log_limit = limit;
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// The global step counter.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Steps since each command last ran.
+    pub fn steps_since(&self) -> &[u64] {
+        &self.steps_since
+    }
+
+    /// The recorded step log.
+    pub fn log(&self) -> &[StepRecord] {
+        &self.log
+    }
+
+    /// Executes one step under `scheduler`, notifying `monitors`.
+    pub fn step(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        monitors: &mut [&mut dyn Monitor],
+    ) -> StepRecord {
+        let n = self.program.commands.len();
+        assert!(n > 0, "cannot schedule an empty command set");
+        let ctx = SchedCtx {
+            n_commands: n,
+            fair: &[],
+            steps_since: &self.steps_since,
+            step: self.step,
+        };
+        // Borrow juggling: fair indices live in a BTreeSet; materialize
+        // once per executor instead of per step.
+        let fair: Vec<usize> = self.program.fair.iter().copied().collect();
+        let ctx = SchedCtx { fair: &fair, ..ctx };
+        let pick = scheduler.next(&ctx);
+        assert!(pick < n, "scheduler returned out-of-range command");
+        let fired = self.execute_in_place(pick);
+        for (c, s) in self.steps_since.iter_mut().enumerate() {
+            if c == pick {
+                *s = 0;
+            } else {
+                *s = s.saturating_add(1);
+            }
+        }
+        let record = StepRecord {
+            step: self.step,
+            command: pick,
+            fired,
+        };
+        self.step += 1;
+        for m in monitors.iter_mut() {
+            m.on_step(record, &self.state);
+        }
+        if self.log.len() < self.log_limit {
+            self.log.push(record);
+        }
+        record
+    }
+
+    /// Runs `n` steps.
+    pub fn run(
+        &mut self,
+        n: u64,
+        scheduler: &mut dyn Scheduler,
+        monitors: &mut [&mut dyn Monitor],
+    ) {
+        for _ in 0..n {
+            self.step(scheduler, monitors);
+        }
+    }
+
+    /// Executes command `idx` in place; returns whether it fired.
+    fn execute_in_place(&mut self, idx: usize) -> bool {
+        let cmd = &self.program.commands[idx];
+        if !eval_bool(&cmd.guard, &self.state) {
+            return false;
+        }
+        self.scratch.clear();
+        for (x, e) in &cmd.updates {
+            let v = eval(e, &self.state);
+            if !self.program.vocab.domain(*x).contains(v) {
+                return false; // domain-guarded skip
+            }
+            self.scratch.push((x.index(), v));
+        }
+        let mut changed = false;
+        for &(i, v) in &self.scratch {
+            let id = unity_core::ident::VarId(i as u32);
+            if self.state.get(id) != v {
+                changed = true;
+            }
+            self.state.set(id, v);
+        }
+        // A command that rewrites variables to identical values still
+        // "fired" logically; report true as long as the guard passed.
+        let _ = changed;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FixedSequence, RoundRobin};
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+
+    fn two_counters() -> Program {
+        let mut v = Vocabulary::new();
+        let a = v.declare("a", Domain::int_range(0, 5).unwrap()).unwrap();
+        let b = v.declare("b", Domain::int_range(0, 5).unwrap()).unwrap();
+        Program::builder("two", Arc::new(v))
+            .init(and2(eq(var(a), int(0)), eq(var(b), int(0))))
+            .fair_command("ia", lt(var(a), int(5)), vec![(a, add(var(a), int(1)))])
+            .fair_command("ib", lt(var(b), int(5)), vec![(b, add(var(b), int(1)))])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn executes_in_place_and_matches_core_step() {
+        let p = two_counters();
+        let mut ex = Executor::from_first_initial(&p);
+        let mut sched = FixedSequence::new(vec![0, 1, 0]);
+        let mut reference = ex.state().clone();
+        for &cmd in &[0usize, 1, 0] {
+            ex.step(&mut sched, &mut []);
+            reference = p.commands[cmd].step(&reference, &p.vocab);
+        }
+        assert_eq!(ex.state(), &reference);
+        assert_eq!(ex.step_count(), 3);
+    }
+
+    #[test]
+    fn guard_blocking_counts_as_skip() {
+        let p = two_counters();
+        let mut ex = Executor::from_first_initial(&p);
+        let mut sched = FixedSequence::new(vec![0]);
+        for _ in 0..5 {
+            let r = ex.step(&mut sched, &mut []);
+            assert!(r.fired);
+        }
+        let r = ex.step(&mut sched, &mut []);
+        assert!(!r.fired, "a reaches its bound; further steps skip");
+    }
+
+    #[test]
+    fn steps_since_tracks_waits() {
+        let p = two_counters();
+        let mut ex = Executor::from_first_initial(&p);
+        let mut sched = FixedSequence::new(vec![0, 0, 0, 1]);
+        ex.run(4, &mut sched, &mut []);
+        // Command 1 ran last (0 steps ago); command 0 ran one step before.
+        assert_eq!(ex.steps_since()[1], 0);
+        assert_eq!(ex.steps_since()[0], 1);
+    }
+
+    #[test]
+    fn log_respects_limit() {
+        let p = two_counters();
+        let mut ex = Executor::from_first_initial(&p);
+        ex.set_log_limit(2);
+        let mut sched = RoundRobin::default();
+        ex.run(10, &mut sched, &mut []);
+        assert_eq!(ex.log().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state")]
+    fn rejects_non_initial_start() {
+        let p = two_counters();
+        let mut bad = p.initial_states().remove(0);
+        bad.set(unity_core::ident::VarId(0), unity_core::value::Value::Int(3));
+        let _ = Executor::new(&p, bad);
+    }
+}

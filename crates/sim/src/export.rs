@@ -1,0 +1,204 @@
+//! Trace capture and JSON export.
+//!
+//! [`TraceRecorder`] is a [`Monitor`] that captures post-states alongside
+//! step records; [`TraceRecorder::to_json`] serializes the trace in a
+//! small, stable JSON shape for external tooling (plotting, diffing,
+//! replay in other harnesses):
+//!
+//! ```json
+//! {
+//!   "program": "toy",
+//!   "vars": ["c0", "C"],
+//!   "steps": [
+//!     {"step": 0, "command": "a0", "fired": true, "state": [1, 1]}
+//!   ]
+//! }
+//! ```
+//!
+//! Booleans serialize as JSON booleans, integers as numbers. The writer
+//! is hand-rolled (the workspace deliberately carries no JSON dependency)
+//! and escapes strings per RFC 8259.
+
+use std::fmt::Write as _;
+
+use unity_core::program::Program;
+use unity_core::state::State;
+use unity_core::value::Value;
+
+use crate::executor::StepRecord;
+use crate::monitor::Monitor;
+
+/// Captures `(record, post-state)` pairs up to a limit.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    steps: Vec<(StepRecord, State)>,
+    limit: usize,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder keeping at most `limit` steps.
+    pub fn new(limit: usize) -> Self {
+        TraceRecorder {
+            steps: Vec::new(),
+            limit,
+        }
+    }
+
+    /// The captured steps.
+    pub fn steps(&self) -> &[(StepRecord, State)] {
+        &self.steps
+    }
+
+    /// Whether the limit cut the capture short.
+    pub fn truncated(&self, total_steps: u64) -> bool {
+        (self.steps.len() as u64) < total_steps
+    }
+
+    /// Serializes the trace as JSON against `program` (for the program
+    /// name, variable names and command names).
+    pub fn to_json(&self, program: &Program) -> String {
+        let mut out = String::with_capacity(64 + self.steps.len() * 48);
+        out.push_str("{\"program\":");
+        json_string(&mut out, &program.name);
+        out.push_str(",\"vars\":[");
+        for (k, (_, decl)) in program.vocab.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, &decl.name);
+        }
+        out.push_str("],\"steps\":[");
+        for (k, (rec, state)) in self.steps.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"step\":{},\"command\":", rec.step);
+            json_string(&mut out, &program.commands[rec.command].name);
+            let _ = write!(out, ",\"fired\":{},\"state\":[", rec.fired);
+            for (j, v) in state.values().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match v {
+                    Value::Bool(b) => {
+                        let _ = write!(out, "{b}");
+                    }
+                    Value::Int(i) => {
+                        let _ = write!(out, "{i}");
+                    }
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Monitor for TraceRecorder {
+    fn on_step(&mut self, record: StepRecord, state: &State) {
+        if self.steps.len() < self.limit {
+            self.steps.push((record, state.clone()));
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (RFC 8259 escaping).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::scheduler::FixedSequence;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+
+    fn counter() -> Program {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let b = v.declare("flag", Domain::Bool).unwrap();
+        Program::builder("counter", Arc::new(v))
+            .init(and2(eq(var(x), int(0)), not(var(b))))
+            .fair_command("inc", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))])
+            .fair_command("mark", tt(), vec![(b, tt())])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn records_and_serializes() {
+        let p = counter();
+        let mut rec = TraceRecorder::new(16);
+        let mut sched = FixedSequence::new(vec![0, 1]);
+        let mut ex = Executor::from_first_initial(&p);
+        {
+            let mut ms: [&mut dyn Monitor; 1] = [&mut rec];
+            ex.run(3, &mut sched, &mut ms);
+        }
+        assert_eq!(rec.steps().len(), 3);
+        let json = rec.to_json(&p);
+        assert_eq!(
+            json,
+            "{\"program\":\"counter\",\"vars\":[\"x\",\"flag\"],\"steps\":[\
+             {\"step\":0,\"command\":\"inc\",\"fired\":true,\"state\":[1,false]},\
+             {\"step\":1,\"command\":\"mark\",\"fired\":true,\"state\":[1,true]},\
+             {\"step\":2,\"command\":\"inc\",\"fired\":true,\"state\":[2,true]}]}"
+        );
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let p = counter();
+        let mut rec = TraceRecorder::new(2);
+        let mut sched = FixedSequence::new(vec![0]);
+        let mut ex = Executor::from_first_initial(&p);
+        {
+            let mut ms: [&mut dyn Monitor; 1] = [&mut rec];
+            ex.run(10, &mut sched, &mut ms);
+        }
+        assert_eq!(rec.steps().len(), 2);
+        assert!(rec.truncated(10));
+        assert!(!rec.truncated(2));
+    }
+
+    #[test]
+    fn skip_steps_serialize_as_unfired() {
+        let p = counter();
+        let mut rec = TraceRecorder::new(16);
+        // Saturate x, then drive `inc` into skip territory.
+        let mut sched = FixedSequence::new(vec![0, 0, 0, 0]);
+        let mut ex = Executor::from_first_initial(&p);
+        {
+            let mut ms: [&mut dyn Monitor; 1] = [&mut rec];
+            ex.run(4, &mut sched, &mut ms);
+        }
+        let json = rec.to_json(&p);
+        assert!(json.contains("\"fired\":false"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+}

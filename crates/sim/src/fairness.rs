@@ -1,0 +1,94 @@
+//! Fairness auditing of executed schedules.
+//!
+//! Weak fairness is a property of infinite executions; for finite runs we
+//! audit the quantitative surrogate: the largest gap between consecutive
+//! occurrences of each fair command. Schedulers built from aging bounds
+//! (see [`crate::scheduler`]) must pass the audit with their configured
+//! bound — enforced by tests.
+
+use crate::executor::StepRecord;
+
+/// Result of auditing one fair command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandAudit {
+    /// Command index.
+    pub command: usize,
+    /// Number of times it was scheduled.
+    pub occurrences: u64,
+    /// Largest gap between consecutive occurrences (including the leading
+    /// gap from step 0 and the trailing gap to the end of the run).
+    pub max_gap: u64,
+}
+
+/// Audits a step log against the fair set.
+pub fn audit(log: &[StepRecord], fair: &[usize], total_steps: u64) -> Vec<CommandAudit> {
+    fair.iter()
+        .map(|&c| {
+            let mut last: i64 = -1;
+            let mut max_gap: u64 = 0;
+            let mut occurrences = 0;
+            for r in log {
+                if r.command == c {
+                    occurrences += 1;
+                    let gap = (r.step as i64 - last) as u64;
+                    max_gap = max_gap.max(gap);
+                    last = r.step as i64;
+                }
+            }
+            let trailing = (total_steps as i64 - 1 - last).max(0) as u64;
+            max_gap = max_gap.max(trailing);
+            CommandAudit {
+                command: c,
+                occurrences,
+                max_gap,
+            }
+        })
+        .collect()
+}
+
+/// Whether every fair command's max gap is within `bound`.
+pub fn is_weakly_fair_within(log: &[StepRecord], fair: &[usize], total: u64, bound: u64) -> bool {
+    audit(log, fair, total).iter().all(|a| a.max_gap <= bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_from(commands: &[usize]) -> Vec<StepRecord> {
+        commands
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| StepRecord {
+                step: i as u64,
+                command: c,
+                fired: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn audits_gaps() {
+        // Command 0 at steps 0, 3; command 1 at steps 1, 2.
+        let log = log_from(&[0, 1, 1, 0]);
+        let audits = audit(&log, &[0, 1], 4);
+        assert_eq!(audits[0].occurrences, 2);
+        assert_eq!(audits[0].max_gap, 3);
+        assert_eq!(audits[1].max_gap, 2, "leading gap counts");
+    }
+
+    #[test]
+    fn never_scheduled_command_has_total_gap() {
+        let log = log_from(&[0, 0, 0]);
+        let audits = audit(&log, &[1], 3);
+        assert_eq!(audits[0].occurrences, 0);
+        assert_eq!(audits[0].max_gap, 3, "has been waiting for the whole run");
+        assert!(!is_weakly_fair_within(&log, &[1], 3, 1));
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        let log = log_from(&[0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        assert!(is_weakly_fair_within(&log, &[0, 1, 2], 9, 3));
+    }
+}

@@ -1,0 +1,39 @@
+//! # unity-sim
+//!
+//! Operational simulator for `unity-core` programs: pluggable weakly-fair
+//! schedulers (round-robin, aged lottery, starvation adversary), an
+//! in-place execution engine, runtime monitors (invariants, recurrence
+//! gaps, response times), fairness auditing, summary statistics, and
+//! parallel replica execution.
+//!
+//! The simulator complements the model checker: `unity-mc` proves the
+//! paper's properties exactly on small instances; `unity-sim` measures
+//! their quantitative shape (e.g. time-to-priority distributions for the
+//! §4 mechanism) on larger ones, under schedules that are weakly fair *by
+//! construction* (aging bounds).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod executor;
+pub mod export;
+pub mod fairness;
+pub mod metrics;
+pub mod monitor;
+pub mod record;
+pub mod replica;
+pub mod scheduler;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::executor::{Executor, StepRecord};
+    pub use crate::export::TraceRecorder;
+    pub use crate::fairness::{audit, is_weakly_fair_within, CommandAudit};
+    pub use crate::metrics::{jain_index, Summary};
+    pub use crate::monitor::{InvariantMonitor, Monitor, RecurrenceMonitor, ResponseMonitor};
+    pub use crate::record::{Recording, Unfair};
+    pub use crate::replica::{run_replicas, seed_for};
+    pub use crate::scheduler::{
+        AdversarialDelay, AgedLottery, FixedSequence, RoundRobin, SchedCtx, Scheduler,
+    };
+}

@@ -1,0 +1,120 @@
+//! Summary statistics for simulation measurements.
+
+use serde::Serialize;
+
+/// Summary of a sample of non-negative integers (latencies, gaps).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Summarizes `samples` (unsorted input is fine). Returns `None` for an
+    /// empty sample.
+    pub fn of(samples: &[u64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let rank = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[rank.min(count - 1)]
+        };
+        Some(Summary {
+            count,
+            mean: sum as f64 / count as f64,
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// Jain's fairness index over per-entity throughput/latency means:
+/// `(Σxᵢ)² / (n · Σxᵢ²)`. 1.0 = perfectly fair; `1/n` = maximally unfair.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[5, 1, 3, 2, 4]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.p50, 3);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_on_large_sample() {
+        let samples: Vec<u64> = (0..1000).collect();
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.p50, 500);
+        assert_eq!(s.p95, 949);
+        assert_eq!(s.p99, 989);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let unfair = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((unfair - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn display_renders_all_stats() {
+        let s = Summary::of(&[1, 2, 3]).unwrap();
+        let text = s.to_string();
+        for needle in ["n=3", "mean=2.0", "p50=2", "p95", "p99", "max=3"] {
+            assert!(text.contains(needle), "missing {needle} in `{text}`");
+        }
+    }
+}

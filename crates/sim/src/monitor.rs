@@ -1,0 +1,220 @@
+//! Runtime monitors: online property observation during simulation.
+
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::Expr;
+use unity_core::state::State;
+
+use crate::executor::StepRecord;
+
+/// Observes every executed step.
+pub trait Monitor {
+    /// Called after each step with the post-state.
+    fn on_step(&mut self, record: StepRecord, state: &State);
+}
+
+/// Records steps at which a supposed invariant was violated.
+#[derive(Debug)]
+pub struct InvariantMonitor {
+    /// The predicate expected to hold in every state.
+    pub pred: Expr,
+    /// Steps (post-state) where it failed.
+    pub violations: Vec<u64>,
+    /// Cap on recorded violations.
+    pub limit: usize,
+}
+
+impl InvariantMonitor {
+    /// Creates a monitor for `pred`.
+    pub fn new(pred: Expr) -> Self {
+        InvariantMonitor {
+            pred,
+            violations: Vec::new(),
+            limit: 64,
+        }
+    }
+
+    /// Whether the invariant held throughout.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl Monitor for InvariantMonitor {
+    fn on_step(&mut self, record: StepRecord, state: &State) {
+        if self.violations.len() < self.limit && !eval_bool(&self.pred, state) {
+            self.violations.push(record.step);
+        }
+    }
+}
+
+/// Measures recurrence gaps of a family of predicates — e.g. for each
+/// component `i`, steps between consecutive `Priority(i)` observations.
+/// This is the quantitative face of the paper's liveness property (18):
+/// `true ↦ Priority(i)` means every gap is finite; the monitor reports the
+/// distribution.
+#[derive(Debug)]
+pub struct RecurrenceMonitor {
+    preds: Vec<Expr>,
+    last_true: Vec<Option<u64>>,
+    /// `gaps[i]` = observed waits (in steps) between satisfactions of
+    /// predicate `i` (and from step 0 to its first satisfaction).
+    pub gaps: Vec<Vec<u64>>,
+    started: Vec<u64>,
+}
+
+impl RecurrenceMonitor {
+    /// Creates a monitor over the predicate family.
+    pub fn new(preds: Vec<Expr>) -> Self {
+        let n = preds.len();
+        RecurrenceMonitor {
+            preds,
+            last_true: vec![None; n],
+            gaps: vec![Vec::new(); n],
+            started: vec![0; n],
+        }
+    }
+
+    /// Number of monitored predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The largest gap observed for predicate `i` *including* the
+    /// still-open wait at `now` (a starvation detector).
+    pub fn worst_gap(&self, i: usize, now: u64) -> u64 {
+        let open = now.saturating_sub(self.started[i]);
+        self.gaps[i].iter().copied().max().unwrap_or(0).max(open)
+    }
+}
+
+impl Monitor for RecurrenceMonitor {
+    fn on_step(&mut self, record: StepRecord, state: &State) {
+        for (i, p) in self.preds.iter().enumerate() {
+            if eval_bool(p, state) {
+                let gap = record.step.saturating_sub(self.started[i]);
+                self.gaps[i].push(gap);
+                self.last_true[i] = Some(record.step);
+                self.started[i] = record.step + 1;
+            }
+        }
+    }
+}
+
+/// Detects first satisfaction of a target predicate (response probe for a
+/// single `p ↦ q` query: arm when `p` observed, fire when `q` observed).
+#[derive(Debug)]
+pub struct ResponseMonitor {
+    /// Trigger predicate `p`.
+    pub trigger: Expr,
+    /// Target predicate `q`.
+    pub target: Expr,
+    armed_at: Option<u64>,
+    /// Collected response times (steps from trigger to target).
+    pub responses: Vec<u64>,
+}
+
+impl ResponseMonitor {
+    /// Creates the monitor.
+    pub fn new(trigger: Expr, target: Expr) -> Self {
+        ResponseMonitor {
+            trigger,
+            target,
+            armed_at: None,
+            responses: Vec::new(),
+        }
+    }
+
+    /// Whether a trigger is pending without response.
+    pub fn pending(&self) -> bool {
+        self.armed_at.is_some()
+    }
+}
+
+impl Monitor for ResponseMonitor {
+    fn on_step(&mut self, record: StepRecord, state: &State) {
+        if let Some(t0) = self.armed_at {
+            if eval_bool(&self.target, state) {
+                self.responses.push(record.step - t0);
+                self.armed_at = None;
+            }
+        } else if eval_bool(&self.trigger, state) && !eval_bool(&self.target, state) {
+            self.armed_at = Some(record.step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_core::state::State;
+    use unity_core::value::Value;
+
+    fn rec(step: u64) -> StepRecord {
+        StepRecord {
+            step,
+            command: 0,
+            fired: true,
+        }
+    }
+
+    fn bool_state(b: bool) -> State {
+        State::new(vec![Value::Bool(b)])
+    }
+
+    #[test]
+    fn invariant_monitor_records_violations() {
+        use unity_core::expr::build::*;
+        let x = unity_core::ident::VarId(0);
+        let mut m = InvariantMonitor::new(var(x));
+        m.on_step(rec(0), &bool_state(true));
+        m.on_step(rec(1), &bool_state(false));
+        m.on_step(rec(2), &bool_state(true));
+        assert!(!m.clean());
+        assert_eq!(m.violations, vec![1]);
+    }
+
+    #[test]
+    fn recurrence_gaps() {
+        use unity_core::expr::build::*;
+        let x = unity_core::ident::VarId(0);
+        let mut m = RecurrenceMonitor::new(vec![var(x)]);
+        // True at steps 2 and 5.
+        for (step, val) in [(0, false), (1, false), (2, true), (3, false), (4, false), (5, true)]
+        {
+            m.on_step(rec(step), &bool_state(val));
+        }
+        assert_eq!(m.gaps[0], vec![2, 2]);
+        assert_eq!(m.worst_gap(0, 6), 2);
+    }
+
+    #[test]
+    fn worst_gap_includes_open_wait() {
+        use unity_core::expr::build::*;
+        let x = unity_core::ident::VarId(0);
+        let mut m = RecurrenceMonitor::new(vec![var(x)]);
+        m.on_step(rec(0), &bool_state(true));
+        for s in 1..=10 {
+            m.on_step(rec(s), &bool_state(false));
+        }
+        assert_eq!(m.worst_gap(0, 11), 10, "open starvation counted");
+    }
+
+    #[test]
+    fn response_monitor_measures() {
+        use unity_core::expr::build::*;
+        let x = unity_core::ident::VarId(0);
+        // trigger: !x, target: x
+        let mut m = ResponseMonitor::new(not(var(x)), var(x));
+        m.on_step(rec(0), &bool_state(false)); // armed at 0
+        assert!(m.pending());
+        m.on_step(rec(1), &bool_state(false));
+        m.on_step(rec(2), &bool_state(true)); // response = 2
+        assert!(!m.pending());
+        assert_eq!(m.responses, vec![2]);
+    }
+}

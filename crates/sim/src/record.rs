@@ -1,0 +1,203 @@
+//! Record/replay of schedules and fairness fault injection.
+//!
+//! * [`Recording`] wraps any scheduler and captures its decisions, so a
+//!   run can be replayed *bit-for-bit* with
+//!   [`FixedSequence`](crate::scheduler::FixedSequence) — the standard
+//!   trick for turning a flaky randomized failure into a deterministic
+//!   regression test.
+//! * [`Unfair`] deliberately **violates weak fairness** by never
+//!   scheduling a victim command. Running the paper's systems under it
+//!   demonstrates what the fairness hypothesis buys: safety properties
+//!   survive (they are scheduler-independent), liveness starves — the
+//!   model's `D`-fairness is exactly the assumption carrying (18).
+
+use crate::scheduler::{SchedCtx, Scheduler};
+
+/// Wraps a scheduler and records every decision.
+pub struct Recording<S> {
+    inner: S,
+    picks: Vec<usize>,
+}
+
+impl<S: Scheduler> Recording<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        Recording {
+            inner,
+            picks: Vec::new(),
+        }
+    }
+
+    /// The decisions made so far.
+    pub fn picks(&self) -> &[usize] {
+        &self.picks
+    }
+
+    /// Consumes the recorder, returning the decision sequence (feed it to
+    /// [`FixedSequence`](crate::scheduler::FixedSequence) to replay).
+    pub fn into_sequence(self) -> Vec<usize> {
+        self.picks
+    }
+}
+
+impl<S: Scheduler> Scheduler for Recording<S> {
+    fn next(&mut self, ctx: &SchedCtx<'_>) -> usize {
+        let pick = self.inner.next(ctx);
+        self.picks.push(pick);
+        pick
+    }
+    fn name(&self) -> &'static str {
+        "recording"
+    }
+}
+
+/// A scheduler that **breaks weak fairness**: it never schedules `victim`
+/// (unless it is the only command), cycling uniformly over the rest. For
+/// fault-injection experiments only — the resulting schedules are outside
+/// the paper's model.
+#[derive(Debug, Clone)]
+pub struct Unfair {
+    /// The command index never scheduled.
+    pub victim: usize,
+    cursor: usize,
+}
+
+impl Unfair {
+    /// Creates the scheduler.
+    pub fn new(victim: usize) -> Self {
+        Unfair { victim, cursor: 0 }
+    }
+}
+
+impl Scheduler for Unfair {
+    fn next(&mut self, ctx: &SchedCtx<'_>) -> usize {
+        let n = ctx.n_commands.max(1);
+        if n == 1 {
+            return 0;
+        }
+        loop {
+            let pick = self.cursor % n;
+            self.cursor = self.cursor.wrapping_add(1);
+            if pick != self.victim {
+                return pick;
+            }
+        }
+    }
+    fn name(&self) -> &'static str {
+        "unfair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::monitor::RecurrenceMonitor;
+    use crate::scheduler::{AgedLottery, FixedSequence};
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+    use unity_core::program::Program;
+
+    /// Two independent toggles.
+    fn toggles() -> Program {
+        let mut v = Vocabulary::new();
+        let a = v.declare("a", Domain::Bool).unwrap();
+        let b = v.declare("b", Domain::Bool).unwrap();
+        Program::builder("toggles", Arc::new(v))
+            .init(and2(not(var(a)), not(var(b))))
+            .fair_command("fa", tt(), vec![(a, not(var(a)))])
+            .fair_command("fb", tt(), vec![(b, not(var(b)))])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_run() {
+        let p = toggles();
+        let mut rec = Recording::new(AgedLottery::new(99, 16));
+        let mut ex = Executor::from_first_initial(&p);
+        ex.run(200, &mut rec, &mut []);
+        let end_state = ex.state().clone();
+        let seq = rec.into_sequence();
+        assert_eq!(seq.len(), 200);
+
+        let mut replay = FixedSequence::new(seq);
+        let mut ex2 = Executor::from_first_initial(&p);
+        ex2.run(200, &mut replay, &mut []);
+        assert_eq!(ex2.state(), &end_state, "replay diverged");
+    }
+
+    #[test]
+    fn recording_reports_inner_picks() {
+        let p = toggles();
+        let mut rec = Recording::new(FixedSequence::new(vec![1, 0, 1]));
+        let mut ex = Executor::from_first_initial(&p);
+        ex.run(6, &mut rec, &mut []);
+        assert_eq!(rec.picks(), &[1, 0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unfair_starves_the_victim() {
+        let p = toggles();
+        let mut sched = Unfair::new(1);
+        // Recurrence of command 1's effect: `b` must flip; under the
+        // unfair scheduler it never does.
+        let b = p.vocab.lookup("b").unwrap();
+        let mut mon = RecurrenceMonitor::new(vec![var(b)]);
+        let mut ex = Executor::from_first_initial(&p);
+        {
+            let mut ms: [&mut dyn crate::monitor::Monitor; 1] = [&mut mon];
+            ex.run(500, &mut sched, &mut ms);
+        }
+        // Command 1 never ran...
+        assert_eq!(ex.steps_since()[1], 500);
+        // ...so `b` never held: the recurrence gap is the whole run.
+        assert_eq!(mon.worst_gap(0, ex.step_count()), 500);
+    }
+
+    #[test]
+    fn unfair_still_schedules_when_victim_is_only_command() {
+        let mut v = Vocabulary::new();
+        let a = v.declare("a", Domain::Bool).unwrap();
+        let p = Program::builder("one", Arc::new(v))
+            .init(not(var(a)))
+            .fair_command("fa", tt(), vec![(a, not(var(a)))])
+            .build()
+            .unwrap();
+        let mut sched = Unfair::new(0);
+        let mut ex = Executor::from_first_initial(&p);
+        ex.run(3, &mut sched, &mut []);
+        assert_eq!(ex.steps_since()[0], 0, "sole command must run");
+    }
+
+    #[test]
+    fn fairness_audit_flags_unfair_runs() {
+        // Cross-check with the fairness auditor: an Unfair run is not
+        // weakly fair within any bound smaller than the run.
+        let p = toggles();
+        let mut sched = Unfair::new(0);
+        let mut ex = Executor::from_first_initial(&p);
+        ex.set_log_limit(1000);
+        ex.run(300, &mut sched, &mut []);
+        let fair: Vec<usize> = p.fair.iter().copied().collect();
+        assert!(!crate::fairness::is_weakly_fair_within(
+            ex.log(),
+            &fair,
+            300,
+            128
+        ));
+        // While an AgedLottery run is.
+        let mut sched = AgedLottery::new(5, 16);
+        let mut ex = Executor::from_first_initial(&p);
+        ex.set_log_limit(1000);
+        ex.run(300, &mut sched, &mut []);
+        assert!(crate::fairness::is_weakly_fair_within(
+            ex.log(),
+            &fair,
+            300,
+            16 + fair.len() as u64 - 1
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+//! Weakly-fair schedulers.
+//!
+//! The paper's model demands *weak fairness*: every command of `D` is
+//! executed infinitely often. For finite simulations we enforce a
+//! quantitative version via *aging*: any scheduler decision is overridden
+//! when some fair command becomes overdue. Since only one command runs per
+//! step, simultaneous overdues queue up; the resulting hard guarantee is
+//!
+//! ```text
+//! max gap between executions of a fair command ≤ bound + |D| − 1
+//! ```
+//!
+//! Under that override even the adversarial scheduler yields a weakly-fair
+//! schedule, which is exactly the regime the paper's liveness proof covers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a scheduler sees when picking the next command.
+#[derive(Debug)]
+pub struct SchedCtx<'a> {
+    /// Number of explicit commands (indices `0..n`).
+    pub n_commands: usize,
+    /// Indices of the weakly-fair subset `D`.
+    pub fair: &'a [usize],
+    /// For each command index, steps since it last ran (saturating).
+    pub steps_since: &'a [u64],
+    /// Global step counter.
+    pub step: u64,
+}
+
+/// The *most overdue* fair command (largest wait ≥ `bound − 1`), if any.
+///
+/// Serving by maximum age (not lowest index) is what makes the
+/// `bound + |D| − 1` gap guarantee hold: once a command is overdue, every
+/// other command can overtake it at most once, because being served resets
+/// a command's age below the waiter's.
+fn most_overdue(ctx: &SchedCtx<'_>, bound: u64) -> Option<usize> {
+    ctx.fair
+        .iter()
+        .copied()
+        .filter(|&c| ctx.steps_since[c] + 1 >= bound)
+        .max_by_key(|&c| (ctx.steps_since[c], std::cmp::Reverse(c)))
+}
+
+/// Picks the next command to execute.
+pub trait Scheduler: Send {
+    /// Chooses a command index in `0..ctx.n_commands`.
+    fn next(&mut self, ctx: &SchedCtx<'_>) -> usize;
+
+    /// A short name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+/// Deterministic round-robin over all commands — the simplest weakly-fair
+/// scheduler (every command runs every `n` steps).
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, ctx: &SchedCtx<'_>) -> usize {
+        let pick = self.cursor % ctx.n_commands.max(1);
+        self.cursor = self.cursor.wrapping_add(1);
+        pick
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniformly random choice with an aging override: any fair command about
+/// to exceed a wait of `bound` steps is scheduled immediately (ties: lowest
+/// index), so the gap between consecutive executions of a fair command
+/// never exceeds `bound + |D| − 1` (the module docs explain the slack).
+/// With the override this is weakly fair *surely*, not just almost-surely.
+#[derive(Debug)]
+pub struct AgedLottery {
+    rng: StdRng,
+    /// Maximum tolerated wait for a fair command.
+    pub bound: u64,
+}
+
+impl AgedLottery {
+    /// Creates the scheduler from a seed.
+    pub fn new(seed: u64, bound: u64) -> Self {
+        AgedLottery {
+            rng: StdRng::seed_from_u64(seed),
+            bound: bound.max(1),
+        }
+    }
+}
+
+impl Scheduler for AgedLottery {
+    fn next(&mut self, ctx: &SchedCtx<'_>) -> usize {
+        if let Some(overdue) = most_overdue(ctx, self.bound) {
+            return overdue;
+        }
+        self.rng.gen_range(0..ctx.n_commands.max(1))
+    }
+    fn name(&self) -> &'static str {
+        "aged-lottery"
+    }
+}
+
+/// An adversary that starves `victim` as long as fairness permits: it never
+/// schedules the victim until the aging bound forces it, and otherwise
+/// picks uniformly among the other commands. The schedule is still weakly
+/// fair — this is the worst case the paper's liveness property must
+/// survive.
+#[derive(Debug)]
+pub struct AdversarialDelay {
+    rng: StdRng,
+    /// The command index being starved.
+    pub victim: usize,
+    /// Fairness bound after which the victim must run.
+    pub bound: u64,
+}
+
+impl AdversarialDelay {
+    /// Creates the adversary.
+    pub fn new(seed: u64, victim: usize, bound: u64) -> Self {
+        AdversarialDelay {
+            rng: StdRng::seed_from_u64(seed),
+            victim,
+            bound: bound.max(1),
+        }
+    }
+}
+
+impl Scheduler for AdversarialDelay {
+    fn next(&mut self, ctx: &SchedCtx<'_>) -> usize {
+        // Honour aging for every fair command (weak fairness).
+        if let Some(overdue) = most_overdue(ctx, self.bound) {
+            return overdue;
+        }
+        if ctx.n_commands <= 1 {
+            return 0;
+        }
+        // Avoid the victim.
+        loop {
+            let pick = self.rng.gen_range(0..ctx.n_commands);
+            if pick != self.victim {
+                return pick;
+            }
+        }
+    }
+    fn name(&self) -> &'static str {
+        "adversarial-delay"
+    }
+}
+
+/// Replays a fixed command sequence (cycling); for deterministic tests.
+#[derive(Debug, Clone)]
+pub struct FixedSequence {
+    seq: Vec<usize>,
+    cursor: usize,
+}
+
+impl FixedSequence {
+    /// Creates a scheduler replaying `seq` cyclically.
+    pub fn new(seq: Vec<usize>) -> Self {
+        assert!(!seq.is_empty(), "sequence must be non-empty");
+        FixedSequence { seq, cursor: 0 }
+    }
+}
+
+impl Scheduler for FixedSequence {
+    fn next(&mut self, _ctx: &SchedCtx<'_>) -> usize {
+        let pick = self.seq[self.cursor % self.seq.len()];
+        self.cursor += 1;
+        pick
+    }
+    fn name(&self) -> &'static str {
+        "fixed-sequence"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(n: usize, fair: &'a [usize], since: &'a [u64]) -> SchedCtx<'a> {
+        SchedCtx {
+            n_commands: n,
+            fair,
+            steps_since: since,
+            step: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::default();
+        let since = vec![0u64; 3];
+        let picks: Vec<usize> = (0..6).map(|_| s.next(&ctx(3, &[], &since))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn lottery_respects_aging() {
+        let mut s = AgedLottery::new(1, 10);
+        let since = vec![3, 11, 0];
+        assert_eq!(s.next(&ctx(3, &[0, 1, 2], &since)), 1, "overdue command forced");
+    }
+
+    #[test]
+    fn lottery_in_range() {
+        let mut s = AgedLottery::new(42, 100);
+        let since = vec![0u64; 5];
+        for _ in 0..100 {
+            let pick = s.next(&ctx(5, &[0], &since));
+            assert!(pick < 5);
+        }
+    }
+
+    #[test]
+    fn adversary_avoids_victim_until_forced() {
+        let mut s = AdversarialDelay::new(7, 2, 50);
+        let since = vec![0u64; 4];
+        for _ in 0..200 {
+            assert_ne!(s.next(&ctx(4, &[2], &since)), 2);
+        }
+        let overdue = vec![0, 0, 50, 0];
+        assert_eq!(s.next(&ctx(4, &[2], &overdue)), 2);
+    }
+
+    #[test]
+    fn fixed_sequence_replays() {
+        let mut s = FixedSequence::new(vec![2, 0]);
+        let since = vec![0u64; 3];
+        let picks: Vec<usize> = (0..4).map(|_| s.next(&ctx(3, &[], &since))).collect();
+        assert_eq!(picks, vec![2, 0, 2, 0]);
+    }
+}

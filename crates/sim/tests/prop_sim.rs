@@ -1,0 +1,191 @@
+//! Property-based tests for the simulator: the in-place executor agrees
+//! exactly with the core step semantics, and the aging schedulers honour
+//! their fairness bounds on arbitrary programs.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_sim::prelude::*;
+
+const A: VarId = VarId(0);
+const B: VarId = VarId(1);
+const F: VarId = VarId(2);
+
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("a", Domain::int_range(0, 3).unwrap()).unwrap();
+    v.declare("b", Domain::int_range(0, 3).unwrap()).unwrap();
+    v.declare("f", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    let cmd = prop_oneof![
+        Just((tt(), vec![(A, add(var(A), int(1)))])),
+        Just((lt(var(A), int(3)), vec![(A, add(var(A), int(1))), (F, not(var(F)))])),
+        Just((var(F), vec![(B, add(var(B), int(1)))])),
+        Just((not(var(F)), vec![(F, tt())])),
+        Just((eq(var(B), int(3)), vec![(B, int(0)), (A, int(0))])),
+        Just((tt(), vec![(A, rem(add(var(A), int(1)), int(4)))])),
+    ];
+    prop::collection::vec(cmd, 1..5).prop_map(|cmds| {
+        let v = vocab();
+        let mut b = Program::builder("rand", v).init(and(vec![
+            eq(var(A), int(0)),
+            eq(var(B), int(0)),
+            not(var(F)),
+        ]));
+        for (i, (g, ups)) in cmds.into_iter().enumerate() {
+            b = b.fair_command(format!("c{i}"), g, ups);
+        }
+        b.build().expect("pool commands are well-typed")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn executor_agrees_with_core_semantics(
+        prog in arb_program(),
+        picks in prop::collection::vec(0usize..5, 1..60),
+    ) {
+        let n = prog.commands.len();
+        let schedule: Vec<usize> = picks.into_iter().map(|p| p % n).collect();
+        let mut sched = FixedSequence::new(schedule.clone());
+        let mut exec = Executor::from_first_initial(&prog);
+        let mut reference = exec.state().clone();
+        for &cmd in &schedule {
+            exec.step(&mut sched, &mut []);
+            reference = prog.commands[cmd].step(&reference, &prog.vocab);
+        }
+        prop_assert_eq!(exec.state(), &reference);
+        prop_assert!(reference.in_domains(&prog.vocab), "states stay in domain");
+    }
+
+    #[test]
+    fn aged_lottery_honours_its_bound(
+        prog in arb_program(),
+        seed in any::<u64>(),
+        bound in 2u64..20,
+    ) {
+        let steps = 600u64;
+        let fair: Vec<usize> = prog.fair.iter().copied().collect();
+        let mut sched = AgedLottery::new(seed, bound);
+        let mut exec = Executor::from_first_initial(&prog);
+        exec.set_log_limit(steps as usize);
+        exec.run(steps, &mut sched, &mut []);
+        let guarantee = bound + fair.len() as u64 - 1;
+        prop_assert!(
+            is_weakly_fair_within(exec.log(), &fair, steps, guarantee),
+            "a fair command exceeded the aging guarantee {guarantee}"
+        );
+    }
+
+    #[test]
+    fn adversary_is_still_weakly_fair(
+        prog in arb_program(),
+        seed in any::<u64>(),
+        victim_raw in 0usize..5,
+        bound in 3u64..25,
+    ) {
+        let steps = 600u64;
+        let victim = victim_raw % prog.commands.len();
+        let fair: Vec<usize> = prog.fair.iter().copied().collect();
+        let mut sched = AdversarialDelay::new(seed, victim, bound);
+        let mut exec = Executor::from_first_initial(&prog);
+        exec.set_log_limit(steps as usize);
+        exec.run(steps, &mut sched, &mut []);
+        let guarantee = bound + fair.len() as u64 - 1;
+        prop_assert!(
+            is_weakly_fair_within(exec.log(), &fair, steps, guarantee),
+            "adversarial schedule broke the fairness guarantee"
+        );
+    }
+
+    #[test]
+    fn round_robin_gap_is_command_count(prog in arb_program()) {
+        let steps = 200u64;
+        let n = prog.commands.len() as u64;
+        let fair: Vec<usize> = prog.fair.iter().copied().collect();
+        let mut sched = RoundRobin::default();
+        let mut exec = Executor::from_first_initial(&prog);
+        exec.set_log_limit(steps as usize);
+        exec.run(steps, &mut sched, &mut []);
+        prop_assert!(is_weakly_fair_within(exec.log(), &fair, steps, n));
+    }
+
+    #[test]
+    fn recurrence_monitor_gaps_sum_to_run_length(
+        prog in arb_program(),
+        seed in any::<u64>(),
+    ) {
+        // Each recorded gap sequence plus the open tail partitions the run.
+        let steps = 400u64;
+        let mut monitor = RecurrenceMonitor::new(vec![tt()]); // true every step
+        let mut sched = AgedLottery::new(seed, 8);
+        let mut exec = Executor::from_first_initial(&prog);
+        {
+            let mut monitors: Vec<&mut dyn Monitor> = vec![&mut monitor];
+            exec.run(steps, &mut sched, &mut monitors);
+        }
+        // `true` holds at every step, so gaps are all 0 and count == steps.
+        prop_assert_eq!(monitor.gaps[0].len() as u64, steps);
+        prop_assert!(monitor.gaps[0].iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn record_replay_is_bit_exact(prog in arb_program(), seed in any::<u64>()) {
+        // Any randomized run, replayed from its recorded decision
+        // sequence, reaches the same state through the same firing log.
+        let steps = 300u64;
+        let mut rec = Recording::new(AgedLottery::new(seed, 16));
+        let mut exec = Executor::from_first_initial(&prog);
+        exec.set_log_limit(steps as usize);
+        exec.run(steps, &mut rec, &mut []);
+        let end = exec.state().clone();
+        let log: Vec<_> = exec.log().to_vec();
+
+        let mut replay = FixedSequence::new(rec.into_sequence());
+        let mut exec2 = Executor::from_first_initial(&prog);
+        exec2.set_log_limit(steps as usize);
+        exec2.run(steps, &mut replay, &mut []);
+        prop_assert_eq!(exec2.state(), &end);
+        prop_assert_eq!(exec2.log(), &log[..]);
+    }
+
+    #[test]
+    fn trace_export_is_balanced_and_complete(prog in arb_program(), seed in any::<u64>()) {
+        // Structural well-formedness of the hand-rolled JSON writer on
+        // arbitrary runs: balanced braces/brackets, one step object per
+        // executed step, every state row the width of the vocabulary.
+        let steps = 50u64;
+        let mut recorder = TraceRecorder::new(steps as usize);
+        let mut sched = AgedLottery::new(seed, 8);
+        let mut exec = Executor::from_first_initial(&prog);
+        {
+            let mut monitors: Vec<&mut dyn Monitor> = vec![&mut recorder];
+            exec.run(steps, &mut sched, &mut monitors);
+        }
+        let json = recorder.to_json(&prog);
+        let braces: i64 = json.chars().map(|c| match c {
+            '{' => 1, '}' => -1, _ => 0,
+        }).sum();
+        let brackets: i64 = json.chars().map(|c| match c {
+            '[' => 1, ']' => -1, _ => 0,
+        }).sum();
+        prop_assert_eq!(braces, 0);
+        prop_assert_eq!(brackets, 0);
+        prop_assert_eq!(json.matches("\"step\":").count() as u64, steps);
+        prop_assert_eq!(
+            json.matches("\"fired\":").count() as u64, steps);
+        // Every captured state row has the vocabulary's width.
+        for (_, state) in recorder.steps() {
+            prop_assert_eq!(state.len(), prog.vocab.len());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Baseline mechanisms for the comparison experiments.
+//!
+//! The paper has no experimental baselines; these provide the natural
+//! comparison points for the E4/E7 experiments:
+//!
+//! * [`static_priority_system`] — orientations that never change
+//!   (components violate the paper's (14) `transient Priority(i)`):
+//!   safety still holds, liveness starves every non-source node.
+//! * [`broken_yield_system`] — a faulty yield that flips only *one* edge
+//!   (violating (15)): acyclicity preservation (25) fails, and with it the
+//!   liveness argument's foundation.
+//! * [`centralized_arbiter`] — a token ring: the trivially fair
+//!   centralized alternative the distributed mechanism competes against.
+
+use std::sync::Arc;
+
+use prio_graph::graph::ConflictGraph;
+use unity_core::compose::{InitSatCheck, System};
+use unity_core::domain::Domain;
+use unity_core::error::CoreError;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::Vocabulary;
+use unity_core::program::Program;
+
+use crate::priority::{PrioritySystem, PrioritySystemBuilder};
+
+/// A priority system whose components never yield: each component's fair
+/// command is a guarded no-op. Violates the paper's (14); liveness (18)
+/// fails for every node that does not start with priority.
+pub fn static_priority_system(graph: Arc<ConflictGraph>) -> Result<PrioritySystem, CoreError> {
+    let base = PrioritySystemBuilder::new(graph.clone()).build()?;
+    let vocab = base.system.vocab().clone();
+    let n = graph.node_count();
+    let mut components = Vec::with_capacity(n);
+    for i in 0..n {
+        let program = Program::builder(format!("StaticNode{i}"), vocab.clone())
+            .init(base.system.components[i].init.clone())
+            .fair_command(format!("work{i}"), base.priority_expr(i), vec![])
+            .build()?;
+        components.push(program);
+    }
+    let system = System::compose(components, InitSatCheck::BoundedExhaustive(1 << 22))?;
+    Ok(PrioritySystem {
+        graph,
+        system,
+        edge_vars: base.edge_vars,
+    })
+}
+
+/// A faulty variant violating the paper's (15): the yield flips only the
+/// *first* incident edge instead of all of them, so a yielding node can
+/// close a directed cycle. Acyclicity (25) is not preserved.
+pub fn broken_yield_system(graph: Arc<ConflictGraph>) -> Result<PrioritySystem, CoreError> {
+    let base = PrioritySystemBuilder::new(graph.clone()).build()?;
+    let vocab = base.system.vocab().clone();
+    let n = graph.node_count();
+    let mut components = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut updates = Vec::new();
+        if let Some(j) = graph.neighbors(i).iter().next() {
+            let e = graph.edge_id(i, j).expect("incident edge");
+            let (u, _) = graph.endpoints(e);
+            updates.push((base.edge_vars[e as usize], boolean(j == u)));
+        }
+        let program = Program::builder(format!("BrokenNode{i}"), vocab.clone())
+            .init(base.system.components[i].init.clone())
+            .fair_command(format!("halfyield{i}"), base.priority_expr(i), updates)
+            .build()?;
+        components.push(program);
+    }
+    let system = System::compose(components, InitSatCheck::BoundedExhaustive(1 << 22))?;
+    Ok(PrioritySystem {
+        graph,
+        system,
+        edge_vars: base.edge_vars,
+    })
+}
+
+/// A centralized round-robin arbiter over `n` clients: a single token
+/// variable `turn` advanced by one fair command. "Priority" of client `i`
+/// is `turn = i`.
+pub struct Arbiter {
+    /// The composed (single-component) system.
+    pub system: System,
+    /// Number of clients.
+    pub n: usize,
+    /// The `turn` variable.
+    pub turn: unity_core::ident::VarId,
+}
+
+impl Arbiter {
+    /// The arbiter's "priority" predicate for client `i`.
+    pub fn priority_expr(&self, i: usize) -> Expr {
+        eq(var(self.turn), int(i as i64))
+    }
+}
+
+/// Builds the centralized arbiter baseline.
+pub fn centralized_arbiter(n: usize) -> Result<Arbiter, CoreError> {
+    assert!(n >= 1);
+    let mut vocab = Vocabulary::new();
+    let turn = vocab.declare("turn", Domain::int_range(0, n as i64 - 1)?)?;
+    let vocab = Arc::new(vocab);
+    let program = Program::builder("Arbiter", vocab)
+        .init(eq(var(turn), int(0)))
+        .fair_command(
+            "advance",
+            tt(),
+            vec![(turn, rem(add(var(turn), int(1)), int(n as i64)))],
+        )
+        .build()?;
+    let system = System::compose(vec![program], InitSatCheck::Exhaustive)?;
+    Ok(Arbiter { system, n, turn })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_core::properties::Property;
+    use unity_mc::prelude::*;
+
+    fn ring(n: usize) -> Arc<ConflictGraph> {
+        Arc::new(prio_graph::topology::ring(n))
+    }
+
+    #[test]
+    fn static_system_keeps_safety_but_starves() {
+        let sys = static_priority_system(ring(4)).unwrap();
+        let cfg = ScanConfig::default();
+        check_property(
+            &sys.system.composed,
+            &sys.safety_invariant(),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap();
+        // Node 0 has initial priority and keeps it; node 1 starves.
+        check_property(&sys.system.composed, &sys.liveness(0), Universe::Reachable, &cfg)
+            .unwrap();
+        assert!(
+            check_property(&sys.system.composed, &sys.liveness(1), Universe::Reachable, &cfg)
+                .is_err(),
+            "without (14) the mechanism starves non-sources"
+        );
+    }
+
+    #[test]
+    fn broken_yield_loses_acyclicity() {
+        let sys = broken_yield_system(ring(3)).unwrap();
+        let cfg = ScanConfig::default();
+        // Property 5 fails: acyclicity is not stable.
+        let r = check_property(
+            &sys.system.composed,
+            &sys.acyclicity_stable(),
+            Universe::Reachable,
+            &cfg,
+        );
+        assert!(r.is_err(), "violating (15) breaks acyclicity preservation");
+    }
+
+    #[test]
+    fn arbiter_is_fair() {
+        let arb = centralized_arbiter(4).unwrap();
+        let cfg = ScanConfig::default();
+        for i in 0..4 {
+            check_property(
+                &arb.system.composed,
+                &Property::LeadsTo(unity_core::expr::build::tt(), arb.priority_expr(i)),
+                Universe::Reachable,
+                &cfg,
+            )
+            .unwrap();
+        }
+        // Mutual exclusion is structural: turn has one value.
+        check_property(
+            &arb.system.composed,
+            &Property::Invariant(unity_core::expr::build::le(
+                unity_core::expr::build::var(arb.turn),
+                unity_core::expr::build::int(3),
+            )),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap();
+    }
+}

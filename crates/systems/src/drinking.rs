@@ -1,0 +1,432 @@
+//! Drinking philosophers on the §4 priority substrate.
+//!
+//! The Chandy–Misra *drinking* philosophers generalize dining: a thirsty
+//! philosopher needs only a **subset** of its incident bottles per
+//! session, so non-conflicting neighbours may drink simultaneously. This
+//! module realizes the problem on the paper's acyclic-orientation
+//! substrate with three protocol moves per philosopher `i`:
+//!
+//! ```text
+//! thirst_i^S : phase_i = 0                  -> phase_i := 1, need_i := S
+//! drink_i    : phase_i = 1 ∧
+//!              ⟨∀e=(i,j) : need_i(e) ⇒ i→j⟩ -> phase_i := 2
+//! finish_i   : phase_i = 2                  -> phase_i := 0, need_i := ∅,
+//!                                              yield all edges
+//! grant_i    : phase_i = 0                  -> yield all edges
+//! ```
+//!
+//! `thirst` is one (non-fair) command per subset `S` of incident edges —
+//! the environment chooses the demand; `drink`, `finish` and `grant` are
+//! weakly fair.
+//!
+//! Two points of contact with the paper's theory:
+//!
+//! * `finish` is exactly the §4 yield (specification (15)): a
+//!   Definition-1 derivation through `i`, so Lemma 1 applies.
+//! * `grant` — a *tranquil* node relinquishing priority — flips a node's
+//!   edges to all-incoming **without** the priority precondition. This is
+//!   not a Definition-1 derivation, but it is still acyclicity-safe: a
+//!   node with no outgoing edges lies on no directed cycle, so making a
+//!   node a sink can close no cycle. The tests check this sharper fact
+//!   (`acyclicity_stable` holds even though Property 2's universal shape
+//!   does not cover `grant`), an instructive boundary of the paper's
+//!   universal property (22).
+//!
+//! Safety is the *bottle* exclusion — two neighbours never drink while
+//! both needing the shared bottle — proved inductively via the
+//! strengthening `drinking_i ⇒ ⟨∀e=(i,j) : need_i(e) ⇒ i→j⟩`; liveness
+//! is `thirsty_i ↦ drinking_i`. Both are model-checked; the
+//! fault-injected variant ([`DrinkGuard::Unguarded`]) demonstrates that
+//! the priority conjunct is what carries safety.
+
+use std::sync::Arc;
+
+use prio_graph::graph::ConflictGraph;
+use unity_core::compose::{InitSatCheck, System};
+use unity_core::domain::Domain;
+use unity_core::error::CoreError;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+
+use crate::priority::PrioritySystem;
+
+/// Tranquil phase.
+pub const TRANQUIL: i64 = 0;
+/// Thirsty phase.
+pub const THIRSTY: i64 = 1;
+/// Drinking phase.
+pub const DRINKING: i64 = 2;
+
+/// Guard discipline for the `drink` move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrinkGuard {
+    /// The correct protocol: drink only with priority on every needed
+    /// edge.
+    Priority,
+    /// Fault injection: drink whenever thirsty. Violates bottle
+    /// exclusion; exists to demonstrate *why* the priority conjunct is
+    /// load-bearing.
+    Unguarded,
+}
+
+/// Parameters for the drinking system.
+#[derive(Debug, Clone)]
+pub struct DrinkingSpec {
+    /// The conflict graph (bottles = edges).
+    pub graph: Arc<ConflictGraph>,
+    /// Guard discipline (use [`DrinkGuard::Priority`] unless injecting
+    /// faults).
+    pub guard: DrinkGuard,
+}
+
+impl DrinkingSpec {
+    /// The correct protocol over `graph`.
+    pub fn new(graph: Arc<ConflictGraph>) -> Self {
+        DrinkingSpec {
+            graph,
+            guard: DrinkGuard::Priority,
+        }
+    }
+}
+
+/// The built drinking-philosophers system.
+#[derive(Debug, Clone)]
+pub struct DrinkingSystem {
+    /// Priority-mechanism view sharing the edge-variable layout.
+    pub mechanism: PrioritySystem,
+    /// The composed system.
+    pub system: System,
+    /// Phase variable per philosopher.
+    pub phases: Vec<VarId>,
+    /// `needs[i]` lists `(edge id, need variable)` for node `i`'s
+    /// incident edges.
+    pub needs: Vec<Vec<(u32, VarId)>>,
+}
+
+/// Builds the drinking system over `spec.graph`.
+pub fn drinking_system(spec: &DrinkingSpec) -> Result<DrinkingSystem, CoreError> {
+    let graph = spec.graph.clone();
+    let n = graph.node_count();
+
+    // Vocabulary: edge orientations first (ids align with edge ids), then
+    // phases, then per-(node, incident edge) need bits.
+    let mut vocab = Vocabulary::new();
+    let mut edge_vars = Vec::with_capacity(graph.edge_count());
+    for &(u, v) in graph.edges() {
+        edge_vars.push(vocab.declare(&format!("e_{u}_{v}"), Domain::Bool)?);
+    }
+    let mut phases: Vec<VarId> = Vec::with_capacity(n);
+    for i in 0..n {
+        phases.push(vocab.declare(&format!("phase{i}"), Domain::int_range(0, 2)?)?);
+    }
+    let mut needs: Vec<Vec<(u32, VarId)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = Vec::new();
+        for e in graph.incident_edges(i) {
+            row.push((e, vocab.declare(&format!("need{i}_e{e}"), Domain::Bool)?));
+        }
+        needs.push(row);
+    }
+    let vocab = Arc::new(vocab);
+
+    let mechanism_view = PrioritySystem {
+        graph: graph.clone(),
+        system: System {
+            components: Vec::new(),
+            composed: Program::builder("view", vocab.clone()).build()?,
+            provenance: Vec::new(),
+        },
+        edge_vars: edge_vars.clone(),
+    };
+
+    // Initial orientation: every edge points low→high endpoint (acyclic);
+    // edge var true ⇔ u→v for endpoints (u, v) with u < v, so all true.
+    let init_edges = and(edge_vars.iter().map(|&e| var(e)).collect::<Vec<_>>());
+
+    // i→j for the edge between i and j.
+    let points = |i: usize, e: u32| -> Expr {
+        let (u, _) = graph.endpoints(e);
+        if i == u {
+            var(edge_vars[e as usize])
+        } else {
+            not(var(edge_vars[e as usize]))
+        }
+    };
+    // Yield all of i's edges: each incident edge points at i.
+    let yield_updates = |i: usize| -> Vec<(VarId, Expr)> {
+        graph
+            .incident_edges(i)
+            .into_iter()
+            .map(|e| {
+                let (u, _) = graph.endpoints(e);
+                // After yielding, the *neighbour* has priority: edge var
+                // true iff the neighbour is the low endpoint.
+                (edge_vars[e as usize], boolean(u != i))
+            })
+            .collect()
+    };
+
+    let mut components = Vec::with_capacity(n);
+    for (i, need_row) in needs.iter().enumerate() {
+        let mut init = and2(init_edges.clone(), eq(var(phases[i]), int(TRANQUIL)));
+        for &(_, nv) in need_row {
+            init = and2(init, not(var(nv)));
+        }
+        let mut b = Program::builder(format!("Drinker{i}"), vocab.clone())
+            .local(phases[i])
+            .init(init);
+        for &(_, nv) in need_row {
+            b = b.local(nv);
+        }
+
+        // One (non-fair) thirst command per demand subset.
+        for mask in 0..(1u32 << need_row.len()) {
+            let mut updates = vec![(phases[i], int(THIRSTY))];
+            for (k, &(_, nv)) in need_row.iter().enumerate() {
+                updates.push((nv, boolean(mask & (1 << k) != 0)));
+            }
+            b = b.command(
+                format!("thirst{i}_s{mask}"),
+                eq(var(phases[i]), int(TRANQUIL)),
+                updates,
+            );
+        }
+
+        // drink: thirsty, and (per discipline) priority on needed edges.
+        let mut drink_guard = eq(var(phases[i]), int(THIRSTY));
+        if spec.guard == DrinkGuard::Priority {
+            for &(e, nv) in need_row {
+                drink_guard = and2(drink_guard, or2(not(var(nv)), points(i, e)));
+            }
+        }
+        b = b.fair_command(
+            format!("drink{i}"),
+            drink_guard,
+            vec![(phases[i], int(DRINKING))],
+        );
+
+        // finish: back to tranquil, clear demand, yield everything.
+        let mut finish_updates = yield_updates(i);
+        finish_updates.push((phases[i], int(TRANQUIL)));
+        for &(_, nv) in need_row {
+            finish_updates.push((nv, ff()));
+        }
+        b = b.fair_command(
+            format!("finish{i}"),
+            eq(var(phases[i]), int(DRINKING)),
+            finish_updates,
+        );
+
+        // grant: a tranquil node becomes a sink (acyclicity-safe even
+        // without the Definition-1 precondition).
+        b = b.fair_command(
+            format!("grant{i}"),
+            eq(var(phases[i]), int(TRANQUIL)),
+            yield_updates(i),
+        );
+
+        components.push(b.build()?);
+    }
+    let system = System::compose(components, InitSatCheck::BoundedExhaustive(1 << 22))?;
+    Ok(DrinkingSystem {
+        mechanism: mechanism_view,
+        system,
+        phases,
+        needs,
+    })
+}
+
+impl DrinkingSystem {
+    /// Number of philosophers.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether there are no philosophers.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// `phase_i = DRINKING`.
+    pub fn drinking_expr(&self, i: usize) -> Expr {
+        eq(var(self.phases[i]), int(DRINKING))
+    }
+
+    /// `phase_i = THIRSTY`.
+    pub fn thirsty_expr(&self, i: usize) -> Expr {
+        eq(var(self.phases[i]), int(THIRSTY))
+    }
+
+    /// `need_i(e)` for an edge incident to `i`.
+    pub fn need_expr(&self, i: usize, e: u32) -> Expr {
+        let (_, nv) = self.needs[i]
+            .iter()
+            .find(|(eid, _)| *eid == e)
+            .expect("edge incident to node");
+        var(*nv)
+    }
+
+    /// Bottle exclusion: for every edge `(u, v)`, never both endpoints
+    /// drinking while both need the bottle. Not inductive bare — check
+    /// over reachable states, or use the strengthening below.
+    pub fn bottle_exclusion(&self) -> Property {
+        let mut parts = Vec::new();
+        for (e, &(u, v)) in self.mechanism.graph.edges().iter().enumerate() {
+            let e = e as u32;
+            parts.push(not(and(vec![
+                self.drinking_expr(u),
+                self.need_expr(u, e),
+                self.drinking_expr(v),
+                self.need_expr(v, e),
+            ])));
+        }
+        Property::Invariant(and(parts))
+    }
+
+    /// The inductive strengthening: a drinking philosopher holds priority
+    /// on every needed edge.
+    pub fn drinking_holds_needed(&self) -> Property {
+        let graph = &self.mechanism.graph;
+        let parts = (0..self.len())
+            .map(|i| {
+                let mut held = Vec::new();
+                for &(e, nv) in &self.needs[i] {
+                    let (u, _) = graph.endpoints(e);
+                    let pts = if i == u {
+                        var(self.mechanism.edge_vars[e as usize])
+                    } else {
+                        not(var(self.mechanism.edge_vars[e as usize]))
+                    };
+                    held.push(or2(not(var(nv)), pts));
+                }
+                implies(self.drinking_expr(i), and(held))
+            })
+            .collect();
+        Property::Invariant(and(parts))
+    }
+
+    /// Starvation freedom: `thirsty_i ↦ drinking_i`.
+    pub fn progress(&self, i: usize) -> Property {
+        Property::LeadsTo(self.thirsty_expr(i), self.drinking_expr(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_mc::prelude::*;
+
+    fn ring_drinking(n: usize, guard: DrinkGuard) -> DrinkingSystem {
+        drinking_system(&DrinkingSpec {
+            graph: Arc::new(prio_graph::topology::ring(n)),
+            guard,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let d = ring_drinking(3, DrinkGuard::Priority);
+        assert_eq!(d.len(), 3);
+        // Per philosopher: 4 thirst subsets (degree 2) + drink + finish
+        // + grant.
+        assert_eq!(d.system.composed.commands.len(), 21);
+        assert_eq!(d.system.initial_states().len(), 1);
+        // Needs rows match degrees.
+        for i in 0..3 {
+            assert_eq!(d.needs[i].len(), 2);
+        }
+    }
+
+    #[test]
+    fn strengthening_is_inductive_over_reachable() {
+        let d = ring_drinking(3, DrinkGuard::Priority);
+        let pred = match d.drinking_holds_needed() {
+            Property::Invariant(p) => p,
+            _ => unreachable!(),
+        };
+        check_invariant_reachable(&d.system.composed, &pred, &ScanConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn bottle_exclusion_holds() {
+        let d = ring_drinking(3, DrinkGuard::Priority);
+        let pred = match d.bottle_exclusion() {
+            Property::Invariant(p) => p,
+            _ => unreachable!(),
+        };
+        check_invariant_reachable(&d.system.composed, &pred, &ScanConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn unguarded_variant_violates_bottle_exclusion() {
+        let d = ring_drinking(3, DrinkGuard::Unguarded);
+        let pred = match d.bottle_exclusion() {
+            Property::Invariant(p) => p,
+            _ => unreachable!(),
+        };
+        let err =
+            check_invariant_reachable(&d.system.composed, &pred, &ScanConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, McError::Refuted { .. }));
+    }
+
+    #[test]
+    fn thirsty_philosophers_eventually_drink() {
+        let d = ring_drinking(3, DrinkGuard::Priority);
+        let cfg = ScanConfig::default();
+        for i in 0..3 {
+            check_property(&d.system.composed, &d.progress(i), Universe::Reachable, &cfg)
+                .unwrap_or_else(|e| panic!("progress({i}): {e}"));
+        }
+    }
+
+    #[test]
+    fn acyclicity_survives_grant_moves() {
+        // `grant` is not a Definition-1 derivation, yet acyclicity still
+        // holds — the become-sink argument.
+        let d = ring_drinking(3, DrinkGuard::Priority);
+        let pred = match d.mechanism.acyclicity_stable() {
+            Property::Stable(p) => p,
+            _ => unreachable!(),
+        };
+        check_invariant_reachable(&d.system.composed, &pred, &ScanConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn non_conflicting_neighbours_can_drink_together() {
+        // The whole point of drinking vs dining: find a reachable state
+        // with two adjacent drinkers (with disjoint demands).
+        let d = ring_drinking(3, DrinkGuard::Priority);
+        let ts = TransitionSystem::build(
+            &d.system.composed,
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        let both = ts.states_where(|s| {
+            unity_core::expr::eval::eval_bool(&d.drinking_expr(0), s)
+                && unity_core::expr::eval::eval_bool(&d.drinking_expr(1), s)
+        });
+        assert!(
+            !both.is_empty(),
+            "adjacent philosophers with disjoint demands should drink together"
+        );
+    }
+
+    #[test]
+    fn path_topology_also_checks() {
+        let d = drinking_system(&DrinkingSpec::new(Arc::new(prio_graph::topology::path(3))))
+            .unwrap();
+        let cfg = ScanConfig::default();
+        let pred = match d.bottle_exclusion() {
+            Property::Invariant(p) => p,
+            _ => unreachable!(),
+        };
+        check_invariant_reachable(&d.system.composed, &pred, &cfg).unwrap();
+        check_property(&d.system.composed, &d.progress(1), Universe::Reachable, &cfg).unwrap();
+    }
+}

@@ -1,0 +1,563 @@
+//! §4 of the paper: the priority mechanism for conflicting components.
+//!
+//! The conflict graph `P` is fixed; its edge orientations are the system
+//! state (one shared boolean per edge: `e_{u,v} = true ⇔ u → v`, "u has
+//! priority over v"). Component `i` owns a single weakly-fair command:
+//!
+//! ```text
+//! yield_i:  Priority(i) -> every incident edge points toward i
+//! ```
+//!
+//! which realizes the paper's component specification:
+//!
+//! ```text
+//! (13) ⟨∀b, j ∈ N(i) :: (i→j) = b ∧ ¬Priority(i) next (i→j) = b⟩
+//! (14) transient Priority(i)
+//! (15) Priority(i) next Priority(i) ∨ ⟨∀j ∈ N(i) :: j → i⟩
+//! (16) ⟨∀b; j, j' ≠ i :: (j→j') = b next (j→j') = b⟩
+//! ```
+//!
+//! System specifications: safety (17) — no two neighbours simultaneously
+//! hold priority — and liveness (18) — `true ↦ Priority(i)` for every `i`.
+//!
+//! Reachability-closure notions (`A*`, acyclicity, `|A*(i)|`) are encoded
+//! as *expressions over the edge variables* via simple-path/cycle
+//! enumeration ([`prio_graph::paths`]), which is what lets the proof
+//! kernel state and check the paper's Properties 1–8 on concrete
+//! instances (see [`crate::priority_proofs`]).
+
+use std::sync::Arc;
+
+use prio_graph::graph::ConflictGraph;
+use prio_graph::orientation::Orientation;
+use prio_graph::paths::{simple_cycles, simple_paths};
+use unity_core::compose::{InitSatCheck, System};
+use unity_core::domain::Domain;
+use unity_core::error::CoreError;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+use unity_core::state::State;
+use unity_core::value::Value;
+
+/// How the initial orientation is constrained.
+#[derive(Debug, Clone)]
+pub enum InitialOrientation {
+    /// `i → j` iff `i < j` (always acyclic; the default).
+    IndexOrder,
+    /// A specific orientation.
+    Exact(Orientation),
+    /// Unconstrained (`init true`) — every orientation is initial. Useful
+    /// for checking universal properties; liveness from cyclic initial
+    /// states does *not* hold (the paper assumes an acyclic start).
+    Any,
+}
+
+/// Builder for [`PrioritySystem`].
+pub struct PrioritySystemBuilder {
+    graph: Arc<ConflictGraph>,
+    init: InitialOrientation,
+}
+
+impl PrioritySystemBuilder {
+    /// Starts a builder over `graph`.
+    pub fn new(graph: Arc<ConflictGraph>) -> Self {
+        PrioritySystemBuilder {
+            graph,
+            init: InitialOrientation::IndexOrder,
+        }
+    }
+
+    /// Sets the initial-orientation constraint.
+    pub fn initial(mut self, init: InitialOrientation) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> Result<PrioritySystem, CoreError> {
+        let graph = self.graph;
+        let mut vocab = Vocabulary::new();
+        let mut edge_vars = Vec::with_capacity(graph.edge_count());
+        for (id, &(u, v)) in graph.edges().iter().enumerate() {
+            let _ = id;
+            edge_vars.push(vocab.declare(&format!("e_{u}_{v}"), Domain::Bool)?);
+        }
+        let vocab = Arc::new(vocab);
+
+        let helper = PrioritySystem {
+            graph: graph.clone(),
+            system: System {
+                components: Vec::new(),
+                composed: Program::builder("placeholder", vocab.clone()).build()?,
+                provenance: Vec::new(),
+            },
+            edge_vars: edge_vars.clone(),
+        };
+
+        let init_pred = match &self.init {
+            InitialOrientation::IndexOrder => and(
+                edge_vars.iter().map(|&e| var(e)).collect::<Vec<_>>(),
+            ),
+            InitialOrientation::Exact(o) => {
+                assert!(Arc::ptr_eq(o.graph(), &graph) || o.graph().as_ref() == graph.as_ref());
+                and(o
+                    .direction_bits()
+                    .iter()
+                    .enumerate()
+                    .map(|(e, &d)| {
+                        if d {
+                            var(edge_vars[e])
+                        } else {
+                            not(var(edge_vars[e]))
+                        }
+                    })
+                    .collect())
+            }
+            InitialOrientation::Any => tt(),
+        };
+
+        let n = graph.node_count();
+        let mut components = Vec::with_capacity(n);
+        for i in 0..n {
+            let guard = helper.priority_expr(i);
+            // Yield: every incident edge flips to point toward i.
+            let updates: Vec<(VarId, Expr)> = graph
+                .neighbors(i)
+                .iter()
+                .map(|j| {
+                    let e = graph.edge_id(i, j).expect("incident edge");
+                    let (u, _v) = graph.endpoints(e);
+                    // j → i: direction bit true iff j is the lower endpoint.
+                    let bit = j == u;
+                    (edge_vars[e as usize], boolean(bit))
+                })
+                .collect();
+            let program = Program::builder(format!("Node{i}"), vocab.clone())
+                .init(init_pred.clone())
+                .fair_command(format!("yield{i}"), guard, updates)
+                .build()?;
+            components.push(program);
+        }
+        let system = System::compose(components, InitSatCheck::BoundedExhaustive(1 << 22))?;
+        Ok(PrioritySystem {
+            graph,
+            system,
+            edge_vars,
+        })
+    }
+}
+
+/// The built priority mechanism.
+#[derive(Debug, Clone)]
+pub struct PrioritySystem {
+    /// The conflict graph.
+    pub graph: Arc<ConflictGraph>,
+    /// The composed system (one component per node).
+    pub system: System,
+    /// Edge-orientation variables, indexed by edge id
+    /// (`true ⇔ u → v` for endpoints `(u, v)` with `u < v`).
+    pub edge_vars: Vec<VarId>,
+}
+
+impl PrioritySystem {
+    /// Builds with default settings (index-order initial orientation).
+    pub fn new(graph: Arc<ConflictGraph>) -> Result<Self, CoreError> {
+        PrioritySystemBuilder::new(graph).build()
+    }
+
+    /// Number of components/nodes.
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Whether the system has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.node_count() == 0
+    }
+
+    // ----- expression encodings -----------------------------------------
+
+    /// `i → j` as an expression (requires `i ~ j`).
+    pub fn edge_points_expr(&self, i: usize, j: usize) -> Expr {
+        let e = self.graph.edge_id(i, j).expect("conflict edge required");
+        let (u, _) = self.graph.endpoints(e);
+        if i == u {
+            var(self.edge_vars[e as usize])
+        } else {
+            not(var(self.edge_vars[e as usize]))
+        }
+    }
+
+    /// The paper's `Priority(i) ≝ ⟨∀j ∈ N(i) :: i → j⟩`.
+    pub fn priority_expr(&self, i: usize) -> Expr {
+        and(self
+            .graph
+            .neighbors(i)
+            .iter()
+            .map(|j| self.edge_points_expr(i, j))
+            .collect())
+    }
+
+    /// `R*(i) = ∅` (no outgoing edge — equivalent to the closure being
+    /// empty since any outgoing edge puts its head in `R*`).
+    pub fn rstar_empty_expr(&self, i: usize) -> Expr {
+        and(self
+            .graph
+            .neighbors(i)
+            .iter()
+            .map(|j| self.edge_points_expr(j, i))
+            .collect())
+    }
+
+    /// A directed path `nodes[0] → nodes[1] → …` fully oriented forward.
+    fn path_oriented_expr(&self, nodes: &[usize]) -> Expr {
+        and(nodes
+            .windows(2)
+            .map(|w| self.edge_points_expr(w[0], w[1]))
+            .collect())
+    }
+
+    /// `j ∈ A*(i)` — some simple path from `j` to `i` is fully oriented
+    /// (for `j = i`: some simple cycle through `i` is oriented around).
+    pub fn above_member_expr(&self, j: usize, i: usize) -> Expr {
+        if j == i {
+            let mut arms = Vec::new();
+            for cycle in simple_cycles(&self.graph) {
+                if cycle.contains(&i) {
+                    arms.push(self.cycle_forward_expr(&cycle));
+                    arms.push(self.cycle_backward_expr(&cycle));
+                }
+            }
+            or(arms)
+        } else {
+            or(simple_paths(&self.graph, j, i)
+                .iter()
+                .map(|p| self.path_oriented_expr(p))
+                .collect())
+        }
+    }
+
+    fn cycle_forward_expr(&self, cycle: &[usize]) -> Expr {
+        let mut parts: Vec<Expr> = cycle
+            .windows(2)
+            .map(|w| self.edge_points_expr(w[0], w[1]))
+            .collect();
+        parts.push(self.edge_points_expr(cycle[cycle.len() - 1], cycle[0]));
+        and(parts)
+    }
+
+    fn cycle_backward_expr(&self, cycle: &[usize]) -> Expr {
+        let mut parts: Vec<Expr> = cycle
+            .windows(2)
+            .map(|w| self.edge_points_expr(w[1], w[0]))
+            .collect();
+        parts.push(self.edge_points_expr(cycle[0], cycle[cycle.len() - 1]));
+        and(parts)
+    }
+
+    /// `|A*(i)|` as an integer expression (counts every node including a
+    /// possible self-membership through a cycle, so it is defined over
+    /// *all* states, cyclic ones included).
+    pub fn above_card_expr(&self, i: usize) -> Expr {
+        sum((0..self.len())
+            .map(|j| ite(self.above_member_expr(j, i), int(1), int(0)))
+            .collect())
+    }
+
+    /// `A*(i) ⊆ a` for a concrete node set `a` (with `i ∉ a`): no node
+    /// outside `a` (including `i` itself) is a member.
+    pub fn above_subset_expr(&self, i: usize, a: &[usize]) -> Expr {
+        let mut parts = vec![not(self.above_member_expr(i, i))];
+        for k in 0..self.len() {
+            if k != i && !a.contains(&k) {
+                parts.push(not(self.above_member_expr(k, i)));
+            }
+        }
+        and(parts)
+    }
+
+    /// `A*(i) = a` exactly.
+    pub fn above_equals_expr(&self, i: usize, a: &[usize]) -> Expr {
+        let mut parts = vec![self.above_subset_expr(i, a)];
+        for &k in a {
+            parts.push(self.above_member_expr(k, i));
+        }
+        and(parts)
+    }
+
+    /// The paper's `Acyclicity ≝ ⟨∀i :: i ∉ R*(i)⟩`: no simple cycle of
+    /// the conflict graph is oriented all the way around (either
+    /// direction).
+    pub fn acyclicity_expr(&self) -> Expr {
+        let mut parts = Vec::new();
+        for cycle in simple_cycles(&self.graph) {
+            parts.push(not(self.cycle_forward_expr(&cycle)));
+            parts.push(not(self.cycle_backward_expr(&cycle)));
+        }
+        and(parts)
+    }
+
+    /// Lemma 2 instantiated at `i`: `|A*(i)| ≥ 1 ⇒ ∃j ∈ A*(i)` with
+    /// priority. Valid exactly on acyclic orientations.
+    pub fn lemma2_expr(&self, i: usize) -> Expr {
+        let arms = (0..self.len())
+            .filter(|&j| j != i)
+            .map(|j| and2(self.above_member_expr(j, i), self.priority_expr(j)))
+            .collect();
+        implies(ge(self.above_card_expr(i), int(1)), or(arms))
+    }
+
+    // ----- the paper's numbered properties -------------------------------
+
+    /// (13) for component `i`: its edges do not change while it lacks
+    /// priority (one `next` property per incident edge and polarity).
+    pub fn spec_13(&self, i: usize) -> Vec<Property> {
+        let mut out = Vec::new();
+        for j in self.graph.neighbors(i).iter() {
+            for b in [true, false] {
+                let lit = if b {
+                    self.edge_points_expr(i, j)
+                } else {
+                    not(self.edge_points_expr(i, j))
+                };
+                out.push(Property::Next(
+                    and2(lit.clone(), not(self.priority_expr(i))),
+                    lit,
+                ));
+            }
+        }
+        out
+    }
+
+    /// (14) for component `i`: `transient Priority(i)`.
+    pub fn spec_14(&self, i: usize) -> Property {
+        Property::Transient(self.priority_expr(i))
+    }
+
+    /// (15) for component `i`: when it moves, it becomes lower-priority
+    /// than all its neighbours.
+    pub fn spec_15(&self, i: usize) -> Property {
+        let all_in = and(self
+            .graph
+            .neighbors(i)
+            .iter()
+            .map(|j| self.edge_points_expr(j, i))
+            .collect::<Vec<_>>());
+        Property::Next(
+            self.priority_expr(i),
+            or2(self.priority_expr(i), all_in),
+        )
+    }
+
+    /// (16) for component `i`: non-incident edges are untouched
+    /// (`unchanged` per foreign edge).
+    pub fn spec_16(&self, i: usize) -> Vec<Property> {
+        self.graph
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, &(u, v))| u != i && v != i)
+            .map(|(e, _)| Property::Unchanged(var(self.edge_vars[e])))
+            .collect()
+    }
+
+    /// (17): safety — no two neighbours hold priority simultaneously.
+    pub fn safety_invariant(&self) -> Property {
+        let body = and((0..self.len())
+            .map(|i| {
+                implies(
+                    self.priority_expr(i),
+                    and(self
+                        .graph
+                        .neighbors(i)
+                        .iter()
+                        .map(|j| not(self.priority_expr(j)))
+                        .collect::<Vec<_>>()),
+                )
+            })
+            .collect::<Vec<_>>());
+        Property::Invariant(body)
+    }
+
+    /// (18): liveness — `true ↦ Priority(i)`.
+    pub fn liveness(&self, i: usize) -> Property {
+        Property::LeadsTo(tt(), self.priority_expr(i))
+    }
+
+    /// (25): `Acyclicity` is stable.
+    pub fn acyclicity_stable(&self) -> Property {
+        Property::Stable(self.acyclicity_expr())
+    }
+
+    /// The paper's Property 4 (24) stated for node `j`:
+    /// `Priority(j) next Priority(j) ∨ R*(j) = ∅`.
+    pub fn prop_24(&self, j: usize) -> Property {
+        Property::Next(
+            self.priority_expr(j),
+            or2(self.priority_expr(j), self.rstar_empty_expr(j)),
+        )
+    }
+
+    // ----- state helpers --------------------------------------------------
+
+    /// Decodes a model-checker/simulator state into an [`Orientation`].
+    pub fn orientation_of(&self, state: &State) -> Orientation {
+        let mut bits = 0u64;
+        for (e, &v) in self.edge_vars.iter().enumerate() {
+            if state.get(v) == Value::Bool(true) {
+                bits |= 1 << e;
+            }
+        }
+        Orientation::from_bits(self.graph.clone(), bits)
+    }
+
+    /// Encodes an [`Orientation`] as a state.
+    pub fn state_of(&self, o: &Orientation) -> State {
+        State::new(
+            o.direction_bits()
+                .iter()
+                .map(|&b| Value::Bool(b))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_graph::prelude::*;
+    use unity_core::expr::eval::eval_bool;
+    use unity_mc::prelude::*;
+
+    fn ring(n: usize) -> Arc<ConflictGraph> {
+        Arc::new(prio_graph::topology::ring(n))
+    }
+
+    #[test]
+    fn builds_with_single_initial_state() {
+        let sys = PrioritySystem::new(ring(4)).unwrap();
+        let inits = sys.system.initial_states();
+        assert_eq!(inits.len(), 1);
+        let o = sys.orientation_of(&inits[0]);
+        assert!(is_acyclic(&o));
+        assert!(o.priority(0), "node 0 starts with priority in index order");
+    }
+
+    #[test]
+    fn expr_encodings_agree_with_graph_functions() {
+        let sys = PrioritySystem::new(ring(5)).unwrap();
+        // Check every orientation: expression semantics == closure library.
+        for o in Orientation::enumerate(&sys.graph) {
+            let s = sys.state_of(&o);
+            for i in 0..5 {
+                assert_eq!(
+                    eval_bool(&sys.priority_expr(i), &s),
+                    o.priority(i),
+                    "priority mismatch"
+                );
+                let above = above_set(&o, i);
+                for j in 0..5 {
+                    assert_eq!(
+                        eval_bool(&sys.above_member_expr(j, i), &s),
+                        above.contains(j),
+                        "membership {j} ∈ A*({i}) at bits {:b}",
+                        o.to_bits()
+                    );
+                }
+                let card =
+                    unity_core::expr::eval::eval_int(&sys.above_card_expr(i), &s) as usize;
+                assert_eq!(card, above.len(), "cardinality mismatch");
+            }
+            assert_eq!(
+                eval_bool(&sys.acyclicity_expr(), &s),
+                is_acyclic(&o),
+                "acyclicity mismatch at bits {:b}",
+                o.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn component_specs_hold() {
+        let sys = PrioritySystem::new(ring(4)).unwrap();
+        let cfg = ScanConfig::default();
+        for i in 0..4 {
+            let comp = &sys.system.components[i];
+            for p in sys.spec_13(i) {
+                check_property(comp, &p, Universe::Reachable, &cfg).unwrap();
+            }
+            check_property(comp, &sys.spec_14(i), Universe::Reachable, &cfg).unwrap();
+            check_property(comp, &sys.spec_15(i), Universe::Reachable, &cfg).unwrap();
+            for p in sys.spec_16(i) {
+                check_property(comp, &p, Universe::Reachable, &cfg).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn safety_and_liveness_hold_on_ring4() {
+        let sys = PrioritySystem::new(ring(4)).unwrap();
+        let cfg = ScanConfig::default();
+        check_property(
+            &sys.system.composed,
+            &sys.safety_invariant(),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap();
+        for i in 0..4 {
+            check_property(&sys.system.composed, &sys.liveness(i), Universe::Reachable, &cfg)
+                .unwrap_or_else(|e| panic!("liveness({i}): {e}"));
+        }
+    }
+
+    #[test]
+    fn acyclicity_is_stable_per_component_and_system() {
+        let sys = PrioritySystem::new(ring(4)).unwrap();
+        let cfg = ScanConfig::default();
+        for comp in &sys.system.components {
+            check_property(comp, &sys.acyclicity_stable(), Universe::Reachable, &cfg).unwrap();
+        }
+        check_property(
+            &sys.system.composed,
+            &sys.acyclicity_stable(),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn liveness_fails_from_cyclic_start() {
+        // With an unconstrained (Any) initial orientation, cyclic starts
+        // deadlock the ring: nobody has priority, nobody can yield.
+        let sys = PrioritySystemBuilder::new(ring(3))
+            .initial(InitialOrientation::Any)
+            .build()
+            .unwrap();
+        let err = check_property(
+            &sys.system.composed,
+            &sys.liveness(0),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        );
+        assert!(err.is_err(), "cyclic initial orientations violate liveness");
+    }
+
+    #[test]
+    fn exact_initial_orientation() {
+        let g = ring(3);
+        let mut o = Orientation::index_order(g.clone());
+        o.yield_node(0);
+        let sys = PrioritySystemBuilder::new(g)
+            .initial(InitialOrientation::Exact(o.clone()))
+            .build()
+            .unwrap();
+        let inits = sys.system.initial_states();
+        assert_eq!(inits.len(), 1);
+        assert_eq!(sys.orientation_of(&inits[0]), o);
+    }
+}

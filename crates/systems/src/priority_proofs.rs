@@ -1,0 +1,435 @@
+//! Machine-checked derivations of the paper's §4 properties.
+//!
+//! | Paper item | Here |
+//! |---|---|
+//! | Property 1 (21) / Property 2 (22) | [`check_steps_are_derivations`] — every component step is a no-op or a Definition-1 derivation |
+//! | Safety (17) | [`safety_proof`] |
+//! | Property 5 (25) — acyclicity stable | [`acyclicity_invariant_proof`] (stable half lifted universally) |
+//! | Lemma 2 + Property 6 (26) | [`lemma2_invariant_proof`] — the "from graph theory" lemma becomes a validity scan |
+//! | Property 7 (27) — escape | [`escape_proof`] (transient ∘ existential-lift ∘ PSP with (24)) |
+//! | Property 8 / liveness (18) | [`liveness_proof`] — induction on `|A*(i)|` with per-cardinality disjunction over concrete above-sets, PSP, and invariant elimination |
+//!
+//! Every premise is a component-scope base fact discharged by the model
+//! checker over *all* states (the paper's inductive semantics); every
+//! side condition is a full-domain validity scan. The "creative" content —
+//! which shared universal property to construct — lives in the *shape* of
+//! these trees, exactly as in the paper.
+
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::proof::rules::{induction_step_goal, Proof};
+use unity_core::proof::{Judgment, Scope};
+use unity_core::properties::Property;
+
+use crate::priority::PrioritySystem;
+
+/// Safety (17): `invariant ⟨∀i :: Priority(i) ⇒ no neighbour has it⟩`.
+///
+/// The paper calls this proof "trivial"; mechanized, it is an `init`
+/// premise plus per-component `stable` premises lifted universally (the
+/// predicate is in fact *valid* — two neighbours disagree on their shared
+/// edge — which is what makes every premise discharge instantly).
+pub fn safety_proof(sys: &PrioritySystem) -> (Proof, Judgment) {
+    let prop = sys.safety_invariant();
+    let pred = match &prop {
+        Property::Invariant(p) => p.clone(),
+        _ => unreachable!("safety_invariant returns an invariant"),
+    };
+    let stable = Proof::LiftUniversal {
+        prop: Property::Stable(pred.clone()),
+        per_component: (0..sys.len())
+            .map(|k| Proof::premise(Judgment::component(k, Property::Stable(pred.clone()))))
+            .collect(),
+    };
+    let init = Proof::premise(Judgment::system(Property::Init(pred.clone())));
+    let proof = Proof::InvariantIntro {
+        init: Box::new(init),
+        stable: Box::new(stable),
+    };
+    (proof, Judgment::system(prop))
+}
+
+/// Property 5 (25) upgraded to an invariant: acyclic initially (the
+/// builder's index orientation) and stable in every component, hence
+/// `invariant Acyclicity` of the system.
+pub fn acyclicity_invariant_proof(sys: &PrioritySystem) -> (Proof, Judgment) {
+    let acyc = sys.acyclicity_expr();
+    let stable = Proof::LiftUniversal {
+        prop: Property::Stable(acyc.clone()),
+        per_component: (0..sys.len())
+            .map(|k| Proof::premise(Judgment::component(k, Property::Stable(acyc.clone()))))
+            .collect(),
+    };
+    let init = Proof::premise(Judgment::system(Property::Init(acyc.clone())));
+    let proof = Proof::InvariantIntro {
+        init: Box::new(init),
+        stable: Box::new(stable),
+    };
+    (proof, Judgment::system(Property::Invariant(acyc)))
+}
+
+/// Lemma 2 + Property 6 (26), instantiated at node `i`:
+/// `invariant (Acyclicity ∧ (|A*(i)| ≥ 1 ⇒ ∃j ∈ A*(i) with priority))`.
+///
+/// The strengthening side condition `Acyclicity ⇒ lemma2(i)` *is* Lemma 2
+/// on this conflict graph, discharged by exhaustive scan over all
+/// orientations — the executable substitute for the paper's "from graph
+/// theory".
+pub fn lemma2_invariant_proof(sys: &PrioritySystem, i: usize) -> (Proof, Judgment) {
+    let (acyc_proof, _) = acyclicity_invariant_proof(sys);
+    let lemma2 = sys.lemma2_expr(i);
+    let proof = Proof::InvariantStrengthen {
+        sub: Box::new(acyc_proof),
+        q: lemma2.clone(),
+    };
+    let concluded = and2(sys.acyclicity_expr(), lemma2);
+    (proof, Judgment::system(Property::Invariant(concluded)))
+}
+
+/// Property 7 (27) for the pair `(j, i)`: `Priority(j) ↦ j ∉ A*(i)`.
+///
+/// Derivation (the paper's): `transient Priority(j)` is existential, so it
+/// lifts from component `j`; the Transient rule gives
+/// `true ↦ ¬Priority(j)`; PSP against Property 4 (24) — lifted universally
+/// — yields `Priority(j) ↦ R*(j) = ∅`, and `R*(j) = ∅ ⇒ j ∉ A*(i)` by
+/// duality (19).
+///
+/// Isolated nodes (no conflicts) hold priority forever; for them the
+/// property is a plain implication (`j ∉ A*(i)` is valid).
+pub fn escape_proof(sys: &PrioritySystem, j: usize, i: usize) -> Proof {
+    let pr_j = sys.priority_expr(j);
+    let not_mem = not(sys.above_member_expr(j, i));
+    if sys.graph.degree(j) == 0 {
+        return Proof::LtImplication {
+            p: pr_j,
+            q: not_mem,
+        };
+    }
+    let transient_lift = Proof::LiftExistential {
+        component: j,
+        sub: Box::new(Proof::premise(Judgment::component(
+            j,
+            Property::Transient(pr_j.clone()),
+        ))),
+    };
+    let lt_true = Proof::LtTransient {
+        sub: Box::new(transient_lift),
+    };
+    let prop24 = sys.prop_24(j);
+    let next24 = Proof::LiftUniversal {
+        prop: prop24.clone(),
+        per_component: (0..sys.len())
+            .map(|k| Proof::premise(Judgment::component(k, prop24.clone())))
+            .collect(),
+    };
+    let psp = Proof::LtPsp {
+        lt: Box::new(lt_true),
+        next: Box::new(next24),
+    };
+    Proof::LtMono {
+        sub: Box::new(psp),
+        p_new: pr_j,
+        q_new: not_mem,
+    }
+}
+
+/// All subsets of `0..n` excluding `i` with exactly `m` elements.
+fn subsets_excluding(n: usize, i: usize, m: usize) -> Vec<Vec<usize>> {
+    let pool: Vec<usize> = (0..n).filter(|&k| k != i).collect();
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    fn rec(pool: &[usize], m: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == m {
+            out.push(current.clone());
+            return;
+        }
+        for k in start..pool.len() {
+            current.push(pool[k]);
+            rec(pool, m, k + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(&pool, m, 0, &mut current, &mut out);
+    out
+}
+
+/// Liveness (18) for node `i`: `true ↦ Priority(i)`, by induction on the
+/// cardinality of `A*(i)` — the paper's Property 8, in full.
+///
+/// For each metric value `m ≥ 1` the step goal
+/// `(|A*(i)| = m) ↦ (|A*(i)| < m ∨ |A*(i)| = 0)` is proved by a
+/// disjunction over every concrete above-set `a` (`|a| = m`, `i ∉ a`) and
+/// every candidate maximal node `j ∈ a`:
+///
+/// * [`escape_proof`] gives `Priority(j) ↦ j ∉ A*(i)`;
+/// * the universal "above-sets of non-priority nodes never grow" property
+///   (`(A*(i) ⊆ a ∧ ¬Priority(i)) next A*(i) ⊆ a` — the system face of
+///   Property 3 (23) and Lemma 1) is lifted from the components;
+/// * PSP combines them; monotonicity lands the goal shape;
+/// * the Property-6 invariant supplies the existence of the priority node
+///   `j` (rule `lt-invariant-lhs` — the paper's "from the invariant (26)").
+pub fn liveness_proof(sys: &PrioritySystem, i: usize) -> (Proof, Judgment) {
+    let n = sys.len();
+    let card = sys.above_card_expr(i);
+    let q_goal = eq(card.clone(), int(0));
+    let bound = n as i64;
+    let inv_pred = and2(sys.acyclicity_expr(), sys.lemma2_expr(i));
+
+    let mut steps = Vec::with_capacity(n + 1);
+    for m in 0..=bound {
+        let (goal_l, goal_r) = induction_step_goal(&tt(), &q_goal, &card, m);
+        if m == 0 {
+            steps.push(Proof::LtImplication {
+                p: goal_l,
+                q: goal_r,
+            });
+            continue;
+        }
+        // Disjunction arms over concrete above-sets and witnesses.
+        let mut arms = Vec::new();
+        for a in subsets_excluding(n, i, m as usize) {
+            for &j in &a {
+                let lt27 = escape_proof(sys, j, i);
+                // s: A*(i) ⊆ a and i lacks priority; t: A*(i) ⊆ a.
+                let s = and2(sys.above_subset_expr(i, &a), not(sys.priority_expr(i)));
+                let t = sys.above_subset_expr(i, &a);
+                let next1_prop = Property::Next(s.clone(), t.clone());
+                let next1 = Proof::LiftUniversal {
+                    prop: next1_prop.clone(),
+                    per_component: (0..n)
+                        .map(|k| Proof::premise(Judgment::component(k, next1_prop.clone())))
+                        .collect(),
+                };
+                let psp = Proof::LtPsp {
+                    lt: Box::new(lt27),
+                    next: Box::new(next1),
+                };
+                let arm_lhs = and2(sys.above_equals_expr(i, &a), sys.priority_expr(j));
+                arms.push(Proof::LtMono {
+                    sub: Box::new(psp),
+                    p_new: arm_lhs,
+                    q_new: goal_r.clone(),
+                });
+            }
+        }
+        let with_invariant_lhs = and2(goal_l.clone(), inv_pred.clone());
+        let body = if arms.is_empty() {
+            // No above-set of this size exists under the invariant (e.g.
+            // m = n needs i ∈ A*(i), i.e. a cycle): vacuous implication.
+            Proof::LtImplication {
+                p: with_invariant_lhs.clone(),
+                q: goal_r.clone(),
+            }
+        } else {
+            Proof::LtMono {
+                sub: Box::new(Proof::LtDisjunction { subs: arms }),
+                p_new: with_invariant_lhs.clone(),
+                q_new: goal_r.clone(),
+            }
+        };
+        let (inv_proof, _) = lemma2_invariant_proof(sys, i);
+        steps.push(Proof::LtInvariantLhs {
+            lt: Box::new(body),
+            inv: Box::new(inv_proof),
+        });
+    }
+    let induction = Proof::LtInduction {
+        p: tt(),
+        q: q_goal,
+        metric: card,
+        bound,
+        steps,
+    };
+    let final_proof = Proof::LtMono {
+        sub: Box::new(induction),
+        p_new: tt(),
+        q_new: sys.priority_expr(i),
+    };
+    let conclusion = Judgment::new(Scope::System, sys.liveness(i));
+    (final_proof, conclusion)
+}
+
+/// Properties 1 (21) and 2 (22), checked semantically: every command of
+/// every component, from *every* orientation, either leaves the graph
+/// unchanged or performs a Definition-1 derivation through its own node —
+/// and hence every system step is legal. Returns the number of
+/// (state, command) pairs checked.
+pub fn check_steps_are_derivations(sys: &PrioritySystem) -> Result<usize, String> {
+    use prio_graph::derive::{derives_through, is_legal_step};
+    use prio_graph::orientation::Orientation;
+
+    let mut checked = 0usize;
+    for o in Orientation::enumerate(&sys.graph) {
+        let state = sys.state_of(&o);
+        for (ci, comp) in sys.system.components.iter().enumerate() {
+            for cmd in &comp.commands {
+                let after = cmd.step(&state, &comp.vocab);
+                let o2 = sys.orientation_of(&after);
+                checked += 1;
+                // Property 1: the only changes component ci can make are
+                // derivations through its own node.
+                if o2 != o && !derives_through(&o, &o2, ci) {
+                    return Err(format!(
+                        "component {ci} made an illegal step from bits {:b}",
+                        o.to_bits()
+                    ));
+                }
+                // Property 2 (the shared universal property): the step is
+                // legal at the system level too.
+                if !is_legal_step(&o, &o2) {
+                    return Err(format!(
+                        "system step from bits {:b} is not identity-or-derivation",
+                        o.to_bits()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Helper: the judgment concluded by [`escape_proof`].
+pub fn escape_judgment(sys: &PrioritySystem, j: usize, i: usize) -> Judgment {
+    Judgment::system(Property::LeadsTo(
+        sys.priority_expr(j),
+        not(sys.above_member_expr(j, i)),
+    ))
+}
+
+/// Re-export of the expression `A*(i) = ∅` equivalence face used by (20):
+/// `Priority(i) ⇔ |A*(i)| = 0` is validity-checkable on any instance.
+pub fn prop20_expr(sys: &PrioritySystem, i: usize) -> Expr {
+    iff(
+        sys.priority_expr(i),
+        eq(sys.above_card_expr(i), int(0)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::PrioritySystem;
+    use std::sync::Arc;
+    use unity_core::proof::check::{check_concludes, CheckCtx};
+    use unity_core::proof::AssumeAll;
+    use unity_mc::prelude::*;
+
+    fn ring_sys(n: usize) -> PrioritySystem {
+        PrioritySystem::new(Arc::new(prio_graph::topology::ring(n))).unwrap()
+    }
+
+    fn path_sys(n: usize) -> PrioritySystem {
+        PrioritySystem::new(Arc::new(prio_graph::topology::path(n))).unwrap()
+    }
+
+    #[test]
+    fn steps_are_derivations_exhaustively() {
+        for sys in [ring_sys(4), path_sys(4)] {
+            let checked = check_steps_are_derivations(&sys).unwrap();
+            assert!(checked > 0);
+        }
+    }
+
+    #[test]
+    fn safety_proof_discharges() {
+        let sys = ring_sys(4);
+        let (proof, conclusion) = safety_proof(&sys);
+        let mut mc = McDischarger::new(&sys.system);
+        let mut ctx = CheckCtx::new(&mut mc).with_components(sys.len());
+        check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn acyclicity_invariant_proof_discharges() {
+        for sys in [ring_sys(4), path_sys(3)] {
+            let (proof, conclusion) = acyclicity_invariant_proof(&sys);
+            let mut mc = McDischarger::new(&sys.system);
+            let mut ctx = CheckCtx::new(&mut mc).with_components(sys.len());
+            check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+        }
+    }
+
+    #[test]
+    fn lemma2_invariant_proof_discharges() {
+        let sys = ring_sys(4);
+        let (proof, conclusion) = lemma2_invariant_proof(&sys, 2);
+        let mut mc = McDischarger::new(&sys.system);
+        let mut ctx = CheckCtx::new(&mut mc).with_components(sys.len());
+        check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn escape_proof_discharges() {
+        let sys = ring_sys(3);
+        for j in 0..3 {
+            for i in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let proof = escape_proof(&sys, j, i);
+                let expected = escape_judgment(&sys, j, i);
+                let mut mc = McDischarger::new(&sys.system);
+                let mut ctx = CheckCtx::new(&mut mc).with_components(sys.len());
+                check_concludes(&proof, &expected, &mut ctx)
+                    .unwrap_or_else(|e| panic!("escape({j},{i}): {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_proof_structure_is_well_formed() {
+        let sys = ring_sys(4);
+        let (proof, conclusion) = liveness_proof(&sys, 1);
+        let mut d = AssumeAll::default();
+        let mut ctx = CheckCtx::new(&mut d).with_components(4);
+        check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+        assert!(proof.node_count() > 50, "the induction has real content");
+    }
+
+    #[test]
+    fn liveness_proof_discharges_on_ring3() {
+        let sys = ring_sys(3);
+        for i in 0..3 {
+            let (proof, conclusion) = liveness_proof(&sys, i);
+            let mut mc = McDischarger::new(&sys.system);
+            let mut ctx = CheckCtx::new(&mut mc).with_components(3);
+            check_concludes(&proof, &conclusion, &mut ctx)
+                .unwrap_or_else(|e| panic!("liveness({i}): {e}"));
+        }
+    }
+
+    #[test]
+    fn liveness_proof_discharges_on_path3() {
+        let sys = path_sys(3);
+        let (proof, conclusion) = liveness_proof(&sys, 2);
+        let mut mc = McDischarger::new(&sys.system);
+        let mut ctx = CheckCtx::new(&mut mc).with_components(3);
+        check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn prop20_is_valid() {
+        let sys = ring_sys(4);
+        for i in 0..4 {
+            check_valid(
+                sys.system.vocab(),
+                &prop20_expr(&sys, i),
+                &ScanConfig::default(),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn proved_liveness_reverified_by_fair_mc() {
+        let sys = ring_sys(3);
+        let (_, conclusion) = liveness_proof(&sys, 0);
+        check_property(
+            &sys.system.composed,
+            &conclusion.prop,
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+    }
+}

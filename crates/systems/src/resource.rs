@@ -1,0 +1,291 @@
+//! The resource-allocator example sketched in the paper's conclusion.
+//!
+//! The conclusion points to a companion case study (its reference \[3\]: Chandy &
+//! Charpentier, *An experiment in program composition and proof*) — a
+//! resource allocator whose "safety points are local" and whose
+//! composition uses existential properties. We reproduce its shape: `T`
+//! interchangeable tokens, `n` clients. Each client cycles
+//! request → hold → release; the allocator grants tokens from the shared
+//! pool.
+//!
+//! The conservation law `avail + Σᵢ holdᵢ = T` is *exactly* the toy
+//! example's pattern (§3): each component changes `avail` and its own
+//! `holdᵢ` by opposite amounts, so `unchanged (avail + Σ holdᵢ)` lifts
+//! universally — see the test that replays the §3.3 proof technique here.
+
+use std::sync::Arc;
+
+use unity_core::compose::{InitSatCheck, System};
+use unity_core::domain::Domain;
+use unity_core::error::CoreError;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+
+/// Parameters of the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceSpec {
+    /// Number of clients.
+    pub n: usize,
+    /// Number of tokens in the pool.
+    pub tokens: i64,
+}
+
+/// The built allocator system.
+#[derive(Debug, Clone)]
+pub struct ResourceSystem {
+    /// Parameters.
+    pub spec: ResourceSpec,
+    /// Composed system; component `i` is client `i`.
+    pub system: System,
+    /// Shared pool variable.
+    pub avail: VarId,
+    /// Per-client `want` flags (local).
+    pub wants: Vec<VarId>,
+    /// Per-client hold counts (local, 0/1).
+    pub holds: Vec<VarId>,
+}
+
+/// Builds the allocator: every client is one component owning `wantᵢ` and
+/// `holdᵢ` (both local) and sharing `avail`.
+pub fn resource_allocator(spec: ResourceSpec) -> Result<ResourceSystem, CoreError> {
+    assert!(spec.n >= 1 && spec.tokens >= 1);
+    let mut vocab = Vocabulary::new();
+    let avail = vocab.declare("avail", Domain::int_range(0, spec.tokens)?)?;
+    let mut wants = Vec::with_capacity(spec.n);
+    let mut holds = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        wants.push(vocab.declare(&format!("want{i}"), Domain::Bool)?);
+        holds.push(vocab.declare(&format!("hold{i}"), Domain::int_range(0, 1)?)?);
+    }
+    let vocab = Arc::new(vocab);
+
+    let mut components = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let (w, h) = (wants[i], holds[i]);
+        let program = Program::builder(format!("Client{i}"), vocab.clone())
+            .local(w)
+            .local(h)
+            .init(and(vec![
+                eq(var(avail), int(spec.tokens)),
+                not(var(w)),
+                eq(var(h), int(0)),
+            ]))
+            .fair_command(
+                format!("request{i}"),
+                and2(not(var(w)), eq(var(h), int(0))),
+                vec![(w, tt())],
+            )
+            .fair_command(
+                format!("acquire{i}"),
+                and(vec![var(w), eq(var(h), int(0)), gt(var(avail), int(0))]),
+                vec![(h, int(1)), (avail, sub(var(avail), int(1)))],
+            )
+            .fair_command(
+                format!("release{i}"),
+                eq(var(h), int(1)),
+                vec![
+                    (h, int(0)),
+                    (avail, add(var(avail), int(1))),
+                    (w, ff()),
+                ],
+            )
+            .build()?;
+        components.push(program);
+    }
+    let system = System::compose(components, InitSatCheck::BoundedExhaustive(1 << 22))?;
+    Ok(ResourceSystem {
+        spec,
+        system,
+        avail,
+        wants,
+        holds,
+    })
+}
+
+impl ResourceSystem {
+    /// The conserved expression `avail + Σᵢ holdᵢ`.
+    pub fn conservation_expr(&self) -> Expr {
+        add(
+            var(self.avail),
+            sum(self.holds.iter().map(|&h| var(h)).collect()),
+        )
+    }
+
+    /// Conservation invariant: `avail + Σ holdᵢ = T`.
+    pub fn conservation_invariant(&self) -> Property {
+        Property::Invariant(eq(self.conservation_expr(), int(self.spec.tokens)))
+    }
+
+    /// Per-component conservation obligation (the §3-style local spec):
+    /// `unchanged (avail + holdᵢ)` — client `i` moves tokens between the
+    /// pool and its own hand, never minting or destroying them.
+    pub fn spec_unchanged(&self, i: usize) -> Property {
+        Property::Unchanged(add(var(self.avail), var(self.holds[i])))
+    }
+
+    /// No over-allocation: `Σ holdᵢ ≤ T`. Not inductive on its own (it
+    /// needs the conservation strengthening), so state it conjoined with
+    /// conservation; the bare predicate holds over reachable states.
+    pub fn no_overallocation(&self) -> Property {
+        Property::Invariant(and2(
+            eq(self.conservation_expr(), int(self.spec.tokens)),
+            le(
+                sum(self.holds.iter().map(|&h| var(h)).collect()),
+                int(self.spec.tokens),
+            ),
+        ))
+    }
+
+    /// Client progress: `wantᵢ ↦ holdᵢ = 1`.
+    ///
+    /// **Holds iff `T ≥ n`.** With fewer tokens than clients, weak
+    /// fairness of the `acquire` commands is *not* enough: a client's fair
+    /// `acquire` may always be scheduled while the pool is empty, and the
+    /// model checker produces the starvation lasso (the other clients
+    /// cycle request → acquire → release forever). This is the classic gap
+    /// between weak fairness on commands and strong fairness on guards —
+    /// closing it is exactly what the §4 priority mechanism is for (see
+    /// [`crate::dining`], where progress holds with one shared resource
+    /// per conflict). The experiment suite records both regimes.
+    pub fn progress(&self, i: usize) -> Property {
+        Property::LeadsTo(var(self.wants[i]), eq(var(self.holds[i]), int(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_core::proof::check::{check_concludes, CheckCtx};
+    use unity_core::proof::rules::Proof;
+    use unity_core::proof::{Judgment, Scope};
+    use unity_mc::prelude::*;
+
+    #[test]
+    fn builds() {
+        let r = resource_allocator(ResourceSpec { n: 2, tokens: 1 }).unwrap();
+        assert_eq!(r.system.composed.commands.len(), 6);
+        assert_eq!(r.system.initial_states().len(), 1);
+    }
+
+    #[test]
+    fn conservation_holds() {
+        for (n, t) in [(1usize, 1i64), (2, 1), (2, 2), (3, 2)] {
+            let r = resource_allocator(ResourceSpec { n, tokens: t }).unwrap();
+            check_property(
+                &r.system.composed,
+                &r.conservation_invariant(),
+                Universe::Reachable,
+                &ScanConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("n={n} t={t}: {e}"));
+        }
+    }
+
+    #[test]
+    fn no_overallocation_holds() {
+        let r = resource_allocator(ResourceSpec { n: 3, tokens: 2 }).unwrap();
+        // Strengthened form is inductive.
+        check_property(
+            &r.system.composed,
+            &r.no_overallocation(),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        // Bare form holds over reachable states.
+        check_invariant_reachable(
+            &r.system.composed,
+            &le(
+                sum(r.holds.iter().map(|&h| var(h)).collect()),
+                int(2),
+            ),
+            &ScanConfig::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn progress_holds_iff_enough_tokens() {
+        let cfg = ScanConfig::default();
+        // T >= n: weak fairness suffices (the pool can never be empty
+        // while a handless client waits).
+        let ample = resource_allocator(ResourceSpec { n: 2, tokens: 2 }).unwrap();
+        for i in 0..2 {
+            check_property(&ample.system.composed, &ample.progress(i), Universe::Reachable, &cfg)
+                .unwrap_or_else(|e| panic!("progress({i}) with ample tokens: {e}"));
+        }
+        // T < n: starvation lasso exists — weak fairness on `acquire` is
+        // not strong fairness on its guard.
+        let scarce = resource_allocator(ResourceSpec { n: 2, tokens: 1 }).unwrap();
+        let err = check_property(
+            &scarce.system.composed,
+            &scarce.progress(0),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap_err();
+        match err {
+            McError::Refuted { cex: Counterexample::LeadsTo { trap, .. }, .. } => {
+                assert!(!trap.is_empty(), "starvation trap is concrete");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conservation_proof_via_toy_pattern() {
+        // Replay the §3.3 derivation: per-client unchanged + locality ⇒
+        // shared universal property ⇒ system invariant.
+        let r = resource_allocator(ResourceSpec { n: 2, tokens: 2 }).unwrap();
+        let conserved = r.conservation_expr();
+        let per_component: Vec<Proof> = (0..2)
+            .map(|i| {
+                let own = add(var(r.avail), var(r.holds[i]));
+                let mut parts = vec![Proof::premise(Judgment::component(
+                    i,
+                    Property::Unchanged(own.clone()),
+                ))];
+                let mut foreign = Vec::new();
+                for (j, &h) in r.holds.iter().enumerate() {
+                    if j != i {
+                        parts.push(Proof::premise(Judgment::component(
+                            i,
+                            Property::Unchanged(var(h)),
+                        )));
+                        foreign.push(var(h));
+                    }
+                }
+                Proof::UnchangedEquiv {
+                    sub: Box::new(Proof::UnchangedCompose {
+                        parts,
+                        expr: add(own, sum(foreign)),
+                    }),
+                    to: conserved.clone(),
+                }
+            })
+            .collect();
+        let lifted = Proof::LiftUniversal {
+            prop: Property::Unchanged(conserved.clone()),
+            per_component,
+        };
+        let target = eq(conserved.clone(), int(2));
+        let stable = Proof::StableFromUnchanged {
+            sub: Box::new(Proof::UnchangedCompose {
+                parts: vec![lifted],
+                expr: target.clone(),
+            }),
+        };
+        let init = Proof::premise(Judgment::system(Property::Init(target.clone())));
+        let proof = Proof::InvariantIntro {
+            init: Box::new(init),
+            stable: Box::new(stable),
+        };
+        let conclusion = Judgment::new(Scope::System, Property::Invariant(target));
+        let mut mc = McDischarger::new(&r.system);
+        let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+        check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+    }
+}

@@ -1,0 +1,312 @@
+//! §3 of the paper: the shared-counter toy example.
+//!
+//! N components each own a local counter `cᵢ` and share a global counter
+//! `C`; each performs an action `a` that increments both simultaneously.
+//! The component specification is exactly the paper's (1)–(4):
+//!
+//! ```text
+//! (1)  init (cᵢ = 0 ∧ C = 0)
+//! (2)  ⟨∀k :: stable (C − cᵢ = k)⟩            — here: unchanged (C − cᵢ)
+//! (3)  ⟨∀v ≠ cᵢ, C; k :: stable (v = k)⟩      — locality, from `local cᵢ`
+//! ```
+//!
+//! and the system goal is `invariant C = Σᵢ cᵢ` (the paper's (4)).
+//!
+//! Counters are bounded (`cᵢ ∈ 0..K`, `C ∈ 0..N·K`) so the state space is
+//! finite; increments are guarded by `cᵢ < K`, which keeps the bound from
+//! ever blocking `C`'s update (`C = Σ cᵢ ≤ N·K` whenever the guard holds —
+//! see the domain-blocking lint test).
+
+use std::sync::Arc;
+
+use unity_core::compose::{InitSatCheck, System};
+use unity_core::domain::Domain;
+use unity_core::error::CoreError;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+
+/// Parameters of the toy system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToySpec {
+    /// Number of components.
+    pub n: usize,
+    /// Per-component counter bound `K` (counters range over `0..=K`).
+    pub k: i64,
+}
+
+impl ToySpec {
+    /// Creates a spec; `n ≥ 1`, `k ≥ 1`.
+    pub fn new(n: usize, k: i64) -> Self {
+        assert!(n >= 1 && k >= 1, "need n >= 1 and k >= 1");
+        ToySpec { n, k }
+    }
+}
+
+/// The built toy system with its variable handles.
+#[derive(Debug, Clone)]
+pub struct ToySystem {
+    /// Parameters.
+    pub spec: ToySpec,
+    /// The composed system (components share the vocabulary).
+    pub system: System,
+    /// Ids of the local counters `c₀..`.
+    pub counters: Vec<VarId>,
+    /// Id of the shared counter `C`.
+    pub shared: VarId,
+}
+
+/// Builds the paper's toy system with symmetric initial conditions
+/// (`init cᵢ = 0 ∧ C = 0` in every component — the paper's preferred,
+/// symmetric form; see [`toy_system_asymmetric`] for footnote 1).
+pub fn toy_system(spec: ToySpec) -> Result<ToySystem, CoreError> {
+    build(spec, InitStyle::Symmetric)
+}
+
+/// The paper's footnote-1 variant: component 0 instead assumes
+/// `init C = c₀` and the others `init cᵢ = 0`, introducing a dissymmetry
+/// but still pinning `C = Σ cᵢ` initially.
+pub fn toy_system_asymmetric(spec: ToySpec) -> Result<ToySystem, CoreError> {
+    build(spec, InitStyle::Asymmetric)
+}
+
+/// A deliberately broken variant: component `faulty` forgets to update `C`
+/// along with its own counter, violating specification (2). Used by tests
+/// and the fault-injection experiments to show both the proof and the
+/// model checker reject it.
+pub fn toy_system_broken(spec: ToySpec, faulty: usize) -> Result<ToySystem, CoreError> {
+    assert!(faulty < spec.n);
+    build(spec, InitStyle::Broken(faulty))
+}
+
+enum InitStyle {
+    Symmetric,
+    Asymmetric,
+    Broken(usize),
+}
+
+fn build(spec: ToySpec, style: InitStyle) -> Result<ToySystem, CoreError> {
+    let mut vocab = Vocabulary::new();
+    let counters: Vec<VarId> = (0..spec.n)
+        .map(|i| vocab.declare(&format!("c{i}"), Domain::int_range(0, spec.k)?))
+        .collect::<Result<_, _>>()?;
+    let shared = vocab.declare("C", Domain::int_range(0, spec.n as i64 * spec.k)?)?;
+    let vocab = Arc::new(vocab);
+
+    let mut components = Vec::with_capacity(spec.n);
+    for (i, &ci) in counters.iter().enumerate() {
+        let init_pred = match style {
+            InitStyle::Asymmetric if i == 0 => eq(var(shared), var(ci)),
+            InitStyle::Asymmetric => eq(var(ci), int(0)),
+            _ => and2(eq(var(ci), int(0)), eq(var(shared), int(0))),
+        };
+        let broken = matches!(style, InitStyle::Broken(f) if f == i);
+        let updates = if broken {
+            vec![(ci, add(var(ci), int(1)))]
+        } else {
+            vec![
+                (ci, add(var(ci), int(1))),
+                (shared, add(var(shared), int(1))),
+            ]
+        };
+        let program = Program::builder(format!("Component{i}"), vocab.clone())
+            .local(ci)
+            .init(init_pred)
+            .fair_command(format!("a{i}"), lt(var(ci), int(spec.k)), updates)
+            .build()?;
+        components.push(program);
+    }
+    let system = System::compose(components, InitSatCheck::BoundedExhaustive(1 << 22))?;
+    Ok(ToySystem {
+        spec,
+        system,
+        counters,
+        shared,
+    })
+}
+
+impl ToySystem {
+    /// The paper's (1) for component `i`: `init (cᵢ = 0 ∧ C = 0)`.
+    pub fn spec_init(&self, i: usize) -> Property {
+        Property::Init(and2(
+            eq(var(self.counters[i]), int(0)),
+            eq(var(self.shared), int(0)),
+        ))
+    }
+
+    /// The paper's (2) for component `i`, in `unchanged` form:
+    /// `⟨∀k :: stable (C − cᵢ = k)⟩  ≡  unchanged (C − cᵢ)`.
+    pub fn spec_unchanged(&self, i: usize) -> Property {
+        Property::Unchanged(sub(var(self.shared), var(self.counters[i])))
+    }
+
+    /// The paper's (3) for component `i` and foreign variable `v`:
+    /// `unchanged v` for every `v ∉ {cᵢ, C}` (locality).
+    pub fn spec_locality(&self, i: usize) -> Vec<Property> {
+        self.counters
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &cj)| Property::Unchanged(var(cj)))
+            .collect()
+    }
+
+    /// The expression `Σⱼ cⱼ`.
+    pub fn sum_expr(&self) -> Expr {
+        sum(self.counters.iter().map(|&c| var(c)).collect())
+    }
+
+    /// The canonical difference expression `C − Σⱼ cⱼ` used by the proof.
+    pub fn difference_expr(&self) -> Expr {
+        sub(var(self.shared), self.sum_expr())
+    }
+
+    /// The target system property (paper (4)): `invariant C = Σⱼ cⱼ`,
+    /// stated as `invariant (C − Σⱼ cⱼ = 0)` (the canonical form the
+    /// mechanized proof concludes; the two are equivalent over the finite
+    /// domains).
+    pub fn system_invariant(&self) -> Property {
+        Property::Invariant(eq(self.difference_expr(), int(0)))
+    }
+
+    /// The same invariant in the paper's surface form `C = Σⱼ cⱼ`.
+    pub fn system_invariant_surface(&self) -> Property {
+        Property::Invariant(eq(var(self.shared), self.sum_expr()))
+    }
+
+    /// Terminal-progress property: under weak fairness every counter
+    /// saturates, so `true ↦ C = N·K` (not stated in the paper, but the
+    /// natural liveness companion; exercised in the experiments).
+    pub fn saturation_liveness(&self) -> Property {
+        Property::LeadsTo(
+            tt(),
+            eq(var(self.shared), int(self.spec.n as i64 * self.spec.k)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_mc::prelude::*;
+
+    #[test]
+    fn builds_and_has_single_initial_state() {
+        let toy = toy_system(ToySpec::new(3, 2)).unwrap();
+        let inits = toy.system.initial_states();
+        assert_eq!(inits.len(), 1);
+        assert_eq!(toy.system.composed.commands.len(), 3);
+        assert_eq!(toy.system.composed.fair.len(), 3);
+    }
+
+    #[test]
+    fn component_specs_hold() {
+        let toy = toy_system(ToySpec::new(2, 2)).unwrap();
+        let cfg = ScanConfig::default();
+        for i in 0..2 {
+            let comp = &toy.system.components[i];
+            check_property(comp, &toy.spec_init(i), Universe::Reachable, &cfg).unwrap();
+            check_property(comp, &toy.spec_unchanged(i), Universe::Reachable, &cfg).unwrap();
+            for loc in toy.spec_locality(i) {
+                check_property(comp, &loc, Universe::Reachable, &cfg).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn system_invariant_holds() {
+        for (n, k) in [(1usize, 1i64), (2, 2), (3, 1), (3, 2)] {
+            let toy = toy_system(ToySpec::new(n, k)).unwrap();
+            let inv = toy.system_invariant();
+            check_property(
+                &toy.system.composed,
+                &inv,
+                Universe::Reachable,
+                &ScanConfig::default(),
+            )
+            .unwrap();
+            // Surface form too.
+            check_property(
+                &toy.system.composed,
+                &toy.system_invariant_surface(),
+                Universe::Reachable,
+                &ScanConfig::default(),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn asymmetric_variant_also_works() {
+        let toy = toy_system_asymmetric(ToySpec::new(3, 1)).unwrap();
+        // More initial states (c0 = C free along the diagonal).
+        assert!(toy.system.initial_states().len() > 1);
+        check_property(
+            &toy.system.composed,
+            &toy.system_invariant(),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn broken_component_refutes_spec_and_invariant() {
+        let toy = toy_system_broken(ToySpec::new(2, 2), 1).unwrap();
+        let cfg = ScanConfig::default();
+        // The faulty component violates its own (2).
+        let bad = check_property(
+            &toy.system.components[1],
+            &toy.spec_unchanged(1),
+            Universe::Reachable,
+            &cfg,
+        );
+        assert!(bad.is_err());
+        // And the system invariant is refuted.
+        assert!(check_property(
+            &toy.system.composed,
+            &toy.system_invariant(),
+            Universe::Reachable,
+            &cfg
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn guards_never_rely_on_domain_blocking() {
+        // With the c_i < K guards, the implicit domain guard never fires on
+        // reachable states: C = Σ c_i < N·K whenever some c_i < K.
+        let toy = toy_system(ToySpec::new(2, 2)).unwrap();
+        let ts = TransitionSystem::build(
+            &toy.system.composed,
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        for s in &ts.states {
+            for c in &toy.system.composed.commands {
+                let declared =
+                    unity_core::expr::eval::eval_bool(&c.guard, s);
+                let blocked = unity_core::expr::eval::eval_bool(
+                    &c.domain_block_pred(&toy.system.composed.vocab),
+                    s,
+                );
+                assert!(!(declared && blocked), "domain guard engaged on a reachable state");
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_liveness_holds() {
+        let toy = toy_system(ToySpec::new(2, 2)).unwrap();
+        check_property(
+            &toy.system.composed,
+            &toy.saturation_liveness(),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+    }
+}

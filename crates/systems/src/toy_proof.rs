@@ -1,0 +1,222 @@
+//! The §3.3 correctness proof, mechanized.
+//!
+//! The paper derives `invariant C = Σⱼ cⱼ` from the local specifications
+//! by *weakening* each component's `stable (C − cᵢ = k)` into the shared
+//! universal property `stable (C − Σⱼ cⱼ = k)` and lifting. The derivation
+//! below is the same proof as a checkable tree:
+//!
+//! 1. per component `i`: premises `unchanged (C − cᵢ)` (spec (2)) and
+//!    `unchanged cⱼ` for `j ≠ i` (locality (3));
+//! 2. `unchanged-compose`: `unchanged ((C − cᵢ) − Σ_{j≠i} cⱼ)`
+//!    (the "conjunction of stable properties, removing unused dummies");
+//! 3. `unchanged-equiv` to the canonical `C − Σⱼ cⱼ` — the *weakened,
+//!    shared* property of the paper;
+//! 4. `lift-universal`: all components share it ⇒ the system has it;
+//! 5. `init` facts are existential: each component's (1) lifts, their
+//!    conjunction pins `C − Σⱼ cⱼ = 0` initially;
+//! 6. `invariant-intro` concludes the goal.
+//!
+//! Every premise is discharged semantically by the model checker on the
+//! component programs; side conditions by full-domain validity scans.
+
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::proof::rules::Proof;
+use unity_core::proof::{Judgment, Scope};
+use unity_core::properties::Property;
+
+use crate::toy_counter::ToySystem;
+
+/// Builds the mechanized §3.3 derivation for `toy`. Returns the proof tree
+/// and the judgment it concludes
+/// (`system ⊨ invariant (C − Σⱼ cⱼ = 0)`).
+pub fn toy_invariant_proof(toy: &ToySystem) -> (Proof, Judgment) {
+    let n = toy.spec.n;
+    let diff_canonical = toy.difference_expr();
+
+    // --- safety half: the shared universal property -------------------
+    let per_component: Vec<Proof> = (0..n)
+        .map(|i| {
+            let ci = toy.counters[i];
+            // Spec (2): unchanged (C - c_i).
+            let base = sub(var(toy.shared), var(ci));
+            let mut parts = vec![Proof::premise(Judgment::component(
+                i,
+                Property::Unchanged(base.clone()),
+            ))];
+            // Locality (3): unchanged c_j for j != i.
+            let mut foreign = Vec::new();
+            for (j, &cj) in toy.counters.iter().enumerate() {
+                if j != i {
+                    parts.push(Proof::premise(Judgment::component(
+                        i,
+                        Property::Unchanged(var(cj)),
+                    )));
+                    foreign.push(var(cj));
+                }
+            }
+            // Compose: (C - c_i) - sum(c_j for j != i), covered by parts.
+            let composed: Expr = sub(base, sum(foreign));
+            let compose = Proof::UnchangedCompose {
+                parts,
+                expr: composed,
+            };
+            // Rewrite to the canonical difference (semantic equivalence).
+            Proof::UnchangedEquiv {
+                sub: Box::new(compose),
+                to: diff_canonical.clone(),
+            }
+        })
+        .collect();
+    let shared_unchanged = Proof::LiftUniversal {
+        prop: Property::Unchanged(diff_canonical.clone()),
+        per_component,
+    };
+    // unchanged (C - Σc) ⊢ unchanged ((C - Σc) = 0) ⊢ stable (C - Σc = 0).
+    let zero_pred = eq(diff_canonical.clone(), int(0));
+    let stable = Proof::StableFromUnchanged {
+        sub: Box::new(Proof::UnchangedCompose {
+            parts: vec![shared_unchanged],
+            expr: zero_pred.clone(),
+        }),
+    };
+
+    // --- init half: existential lifting + conjunction ------------------
+    let init_lifts: Vec<Proof> = (0..n)
+        .map(|i| {
+            let prop = Property::Init(and2(
+                eq(var(toy.counters[i]), int(0)),
+                eq(var(toy.shared), int(0)),
+            ));
+            Proof::LiftExistential {
+                component: i,
+                sub: Box::new(Proof::premise(Judgment::component(i, prop))),
+            }
+        })
+        .collect();
+    let init_conj = Proof::InitConj { subs: init_lifts };
+    let init_goal = Proof::InitWeaken {
+        sub: Box::new(init_conj),
+        q: zero_pred.clone(),
+    };
+
+    // --- combine --------------------------------------------------------
+    let proof = Proof::InvariantIntro {
+        init: Box::new(init_goal),
+        stable: Box::new(stable),
+    };
+    let conclusion = Judgment::new(Scope::System, Property::Invariant(zero_pred));
+    (proof, conclusion)
+}
+
+/// Builds the footnote-1 (asymmetric-init) variant of the proof: component
+/// 0 contributes `init C = c₀`, the others `init cᵢ = 0`; the conjunction
+/// still implies `C − Σⱼ cⱼ = 0`.
+pub fn toy_invariant_proof_asymmetric(toy: &ToySystem) -> (Proof, Judgment) {
+    let n = toy.spec.n;
+    let diff = toy.difference_expr();
+    let zero_pred = eq(diff.clone(), int(0));
+
+    // Safety half is identical to the symmetric proof.
+    let (sym_proof, _) = toy_invariant_proof(toy);
+    let stable = match sym_proof {
+        Proof::InvariantIntro { stable, .. } => *stable,
+        _ => unreachable!("toy_invariant_proof returns invariant-intro"),
+    };
+
+    let init_lifts: Vec<Proof> = (0..n)
+        .map(|i| {
+            let prop = if i == 0 {
+                Property::Init(eq(var(toy.shared), var(toy.counters[0])))
+            } else {
+                Property::Init(eq(var(toy.counters[i]), int(0)))
+            };
+            Proof::LiftExistential {
+                component: i,
+                sub: Box::new(Proof::premise(Judgment::component(i, prop))),
+            }
+        })
+        .collect();
+    let init_goal = Proof::InitWeaken {
+        sub: Box::new(Proof::InitConj { subs: init_lifts }),
+        q: zero_pred.clone(),
+    };
+    let proof = Proof::InvariantIntro {
+        init: Box::new(init_goal),
+        stable: Box::new(stable),
+    };
+    (proof, Judgment::new(Scope::System, Property::Invariant(zero_pred)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy_counter::{toy_system, toy_system_asymmetric, toy_system_broken, ToySpec};
+    use unity_core::proof::check::{check_concludes, CheckCtx};
+    use unity_core::proof::AssumeAll;
+    use unity_mc::prelude::*;
+
+    #[test]
+    fn proof_structure_checks_with_assumed_premises() {
+        let toy = toy_system(ToySpec::new(3, 2)).unwrap();
+        let (proof, conclusion) = toy_invariant_proof(&toy);
+        let mut d = AssumeAll::default();
+        let mut ctx = CheckCtx::new(&mut d).with_components(3);
+        check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+        // The proof has real content: n unchanged premises + n(n-1)
+        // locality premises + n init premises.
+        assert!(ctx.stats.premises >= 3 + 6 + 3);
+    }
+
+    #[test]
+    fn proof_discharges_semantically() {
+        for (n, k) in [(1usize, 1i64), (2, 1), (2, 2), (3, 1)] {
+            let toy = toy_system(ToySpec::new(n, k)).unwrap();
+            let (proof, conclusion) = toy_invariant_proof(&toy);
+            let mut mc = McDischarger::new(&toy.system);
+            let mut ctx = CheckCtx::new(&mut mc)
+                .with_components(n)
+                .with_vocab(toy.system.vocab());
+            check_concludes(&proof, &conclusion, &mut ctx)
+                .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn proved_invariant_reverified_by_model_checker() {
+        // Kernel-proved ⇒ semantically true (soundness cross-check).
+        let toy = toy_system(ToySpec::new(2, 2)).unwrap();
+        let (_, conclusion) = toy_invariant_proof(&toy);
+        check_property(
+            &toy.system.composed,
+            &conclusion.prop,
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn asymmetric_proof_discharges() {
+        let toy = toy_system_asymmetric(ToySpec::new(3, 1)).unwrap();
+        let (proof, conclusion) = toy_invariant_proof_asymmetric(&toy);
+        let mut mc = McDischarger::new(&toy.system);
+        let mut ctx = CheckCtx::new(&mut mc)
+            .with_components(3)
+            .with_vocab(toy.system.vocab());
+        check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn broken_system_fails_at_the_right_premise() {
+        let toy = toy_system_broken(ToySpec::new(2, 1), 0).unwrap();
+        let (proof, conclusion) = toy_invariant_proof(&toy);
+        let mut mc = McDischarger::new(&toy.system);
+        let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+        let err = check_concludes(&proof, &conclusion, &mut ctx).unwrap_err();
+        // The failure is a discharge failure (the faulty component's
+        // unchanged premise), not a proof-shape error.
+        let msg = err.to_string();
+        assert!(msg.contains("discharge") || msg.contains("refuted"), "{msg}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Dining philosophers built on the §4 priority mechanism: verify mutual
+//! exclusion and starvation freedom exactly on a small table, then
+//! simulate a bigger one and compare schedulers (including the starvation
+//! adversary, which weak fairness defeats).
+//!
+//! ```text
+//! cargo run --example dining_philosophers [table_size_for_simulation]
+//! ```
+
+use std::sync::Arc;
+
+use unity_composition::prio_graph::topology;
+use unity_composition::unity_mc::prelude::*;
+use unity_composition::unity_sim::prelude::*;
+use unity_composition::unity_systems::dining::{dining_system, DiningSpec};
+
+fn main() {
+    // ----- exact verification --------------------------------------------
+    let n = 3;
+    println!("== Dining philosophers, table of {n} (exact verification) ==");
+    let d = dining_system(&DiningSpec {
+        graph: Arc::new(topology::ring(n)),
+    })
+    .expect("dining system builds");
+    let cfg = ScanConfig::default();
+
+    check_property(
+        &d.system.composed,
+        &d.eating_implies_priority(),
+        Universe::Reachable,
+        &cfg,
+    )
+    .expect("eating ⇒ priority (inductive)");
+    let mutex_pred = match d.mutual_exclusion() {
+        unity_composition::unity_core::properties::Property::Invariant(p) => p,
+        _ => unreachable!(),
+    };
+    check_invariant_reachable(&d.system.composed, &mutex_pred, &cfg).expect("mutual exclusion");
+    println!("mutual exclusion ✓ (via the inductive eating ⇒ Priority strengthening)");
+
+    for i in 0..n {
+        check_property(&d.system.composed, &d.progress(i), Universe::Reachable, &cfg)
+            .expect("progress");
+    }
+    println!("starvation freedom: hungry_i leadsto eating_i for every i ✓\n");
+
+    // ----- simulation ------------------------------------------------------
+    let big = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9usize);
+    println!("== Simulating a table of {big} ==");
+    let d = dining_system(&DiningSpec {
+        graph: Arc::new(topology::ring(big)),
+    })
+    .expect("big table");
+    let steps = 60_000u64;
+
+    for (name, mut scheduler) in [
+        (
+            "round-robin ",
+            Box::new(RoundRobin::default()) as Box<dyn Scheduler>,
+        ),
+        (
+            "aged-lottery",
+            Box::new(AgedLottery::new(7, 6 * big as u64)) as Box<dyn Scheduler>,
+        ),
+        (
+            // Try to starve philosopher 0's eat command; aging defeats it.
+            "adversarial ",
+            Box::new(AdversarialDelay::new(9, 1, 6 * big as u64)) as Box<dyn Scheduler>,
+        ),
+    ] {
+        let mut meals = RecurrenceMonitor::new((0..big).map(|i| d.eating_expr(i)).collect());
+        let mut exec = Executor::from_first_initial(&d.system.composed);
+        {
+            let mut monitors: Vec<&mut dyn Monitor> = vec![&mut meals];
+            exec.run(steps, scheduler.as_mut(), &mut monitors);
+        }
+        let meal_counts: Vec<f64> = (0..big).map(|i| meals.gaps[i].len() as f64).collect();
+        let total: f64 = meal_counts.iter().sum();
+        let starving = (0..big)
+            .filter(|&i| meals.gaps[i].is_empty())
+            .count();
+        println!(
+            "  {name}: {total:>6.0} meals in {steps} steps, {} starving, Jain fairness {:.4}",
+            starving,
+            jain_index(&meal_counts)
+        );
+        assert_eq!(starving, 0, "weak fairness guarantees every philosopher eats");
+    }
+    println!("\nno philosopher starves under any weakly-fair scheduler — the paper's (18) at work");
+}

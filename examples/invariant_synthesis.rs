@@ -1,0 +1,101 @@
+//! Mechanizing the paper's "creative" steps on finite instances:
+//!
+//! 1. §3.3's shared universal property `∀k. stable (C − Σcᵢ = k)` is
+//!    *discovered* by linear algebra over the commands' update effects
+//!    (`unity_core::conserve`), then verified by the model checker.
+//! 2. §4's liveness (18) is *derived automatically*: the synthesizer
+//!    extracts an ensures chain from the reachable state space and emits
+//!    a derivation using only the paper's rules, which the proof kernel
+//!    re-checks with every premise model-checked.
+//!
+//! ```text
+//! cargo run --release --example invariant_synthesis
+//! ```
+
+use std::sync::Arc;
+
+use unity_composition::prelude::*;
+use unity_composition::unity_core::conserve::{
+    conserved_linear_combinations, invariant_from_combo,
+};
+use unity_composition::unity_mc::prelude::*;
+use unity_composition::unity_mc::synth::{synthesize_and_check, SynthConfig};
+use unity_composition::unity_systems::priority::PrioritySystem;
+use unity_composition::unity_systems::toy_counter::{toy_system, ToySpec};
+
+fn main() {
+    println!("== Part 1: discovering the §3.3 conservation law ==\n");
+    let toy = toy_system(ToySpec::new(3, 2)).expect("toy builds");
+    let program = &toy.system.composed;
+    let vocab = &program.vocab;
+
+    let basis = conserved_linear_combinations(program);
+    println!(
+        "conserved-combination basis: dimension {} (tainted vars: {})",
+        basis.dimension(),
+        basis.tainted.len()
+    );
+    for combo in basis.nontrivial() {
+        let e = combo.to_expr();
+        println!("  discovered: Unchanged({})", Render::new(&e, vocab));
+        check_unchanged(program, &e, &ScanConfig::default()).expect("model checker agrees");
+        if let Some(inv) = invariant_from_combo(program, combo) {
+            println!("  derived invariant: {}", Render::new(&inv, vocab));
+            check_invariant(program, &inv, &ScanConfig::default()).expect("invariant holds");
+        }
+    }
+    println!("  (this is the paper's `invariant C = Σ cᵢ`, found mechanically)");
+
+    println!("\n== Part 2: synthesizing liveness derivations ==\n");
+
+    // Toy saturation: C eventually reaches n·k.
+    let target = eq(
+        var(toy.shared),
+        int(toy.spec.n as i64 * toy.spec.k),
+    );
+    let (synth, stats) = synthesize_and_check(
+        program,
+        &tt(),
+        &target,
+        &SynthConfig::default(),
+        &ScanConfig::default(),
+    )
+    .expect("toy liveness synthesizes");
+    println!(
+        "toy (n=3, k=2): true ↦ C=6 — {} ensures layers over {} reachable states",
+        synth.layers.len(),
+        synth.reachable_states
+    );
+    println!(
+        "  kernel re-check: {} rules, {} premises, {} side conditions — all discharged",
+        stats.rules, stats.premises, stats.side_conditions
+    );
+
+    // Priority liveness (18) on a ring.
+    let graph = Arc::new(unity_composition::prio_graph::topology::ring(3));
+    let ps = PrioritySystem::new(graph).expect("priority system builds");
+    for i in 0..3 {
+        let goal = ps.priority_expr(i);
+        let (synth, stats) = synthesize_and_check(
+            &ps.system.composed,
+            &tt(),
+            &goal,
+            &SynthConfig::default(),
+            &ScanConfig::default(),
+        )
+        .expect("liveness (18) synthesizes");
+        println!(
+            "ring(3), node {i}: true ↦ Priority({i}) — {} layers, {} premises, commands used: {:?}",
+            synth.layers.len(),
+            stats.premises,
+            synth
+                .layers
+                .iter()
+                .map(|l| &ps.system.composed.commands[l.fair_command].name)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    println!("\nThe paper: \"we found no mechanical way of bridging this gap\" (§6).");
+    println!("On finite instances, the bridge is mechanical — and checked.");
+}

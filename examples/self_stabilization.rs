@@ -1,0 +1,66 @@
+//! Dijkstra's self-stabilizing K-state token ring, verified under the
+//! paper's inductive all-states semantics: the `initially` predicate is
+//! `true`, so convergence is checked from *every* type-consistent state —
+//! there is no reachable set to hide behind.
+//!
+//! ```text
+//! cargo run --release --example self_stabilization
+//! ```
+
+use unity_composition::prelude::*;
+use unity_composition::unity_mc::prelude::*;
+use unity_composition::unity_mc::synth::{synthesize_and_check, SynthConfig};
+use unity_composition::unity_systems::stabilize::{stabilizing_ring, StabilizeSpec};
+
+fn main() {
+    println!("== Dijkstra's K-state token ring (self-stabilization) ==\n");
+
+    println!("{:<10} {:>8} {:>12} {:>12}", "(n, K)", "states", "converges?", "closure?");
+    for (n, k) in [(2usize, 2i64), (3, 3), (3, 4), (4, 4), (3, 2), (4, 2)] {
+        let ring = stabilizing_ring(StabilizeSpec::new(n, k)).expect("ring builds");
+        let program = &ring.system.composed;
+        let states: u64 = (k as u64).pow(n as u32);
+        let cfg = ScanConfig::default();
+        let converges =
+            check_property(program, &ring.convergence(), Universe::AllStates, &cfg).is_ok();
+        let closed = check_property(program, &ring.closure(), Universe::AllStates, &cfg).is_ok();
+        println!(
+            "({n}, {k})     {states:>8} {:>12} {:>12}",
+            if converges { "yes" } else { "NO (lasso)" },
+            if closed { "yes" } else { "no" }
+        );
+    }
+    println!("\nDijkstra's bound K ≥ n separates cleanly: below it the exact fair");
+    println!("checker finds a fair cycle that never reaches legitimacy.");
+
+    // The pigeonhole fact is a validity, stronger than an invariant.
+    let ring = stabilizing_ring(StabilizeSpec::new(4, 4)).expect("ring builds");
+    check_valid(
+        &ring.system.composed.vocab,
+        &ring.at_least_one_expr(),
+        &ScanConfig::default(),
+    )
+    .expect("some node is always privileged");
+    println!("\nvalidity: in every one of the 256 states of (n=4, K=4), ≥1 privilege ✓");
+
+    // And the convergence proof can be synthesized and kernel-checked.
+    let ring = stabilizing_ring(StabilizeSpec::new(3, 3)).expect("ring builds");
+    let (synth, stats) = synthesize_and_check(
+        &ring.system.composed,
+        &tt(),
+        &ring.legitimate_expr(),
+        &SynthConfig::default(),
+        &ScanConfig::default(),
+    )
+    .expect("stabilization synthesizes");
+    println!(
+        "synthesized convergence proof for (3,3): {} ensures layers over {} states,",
+        synth.layers.len(),
+        synth.reachable_states
+    );
+    println!(
+        "kernel-checked with {} premises and {} side conditions — a machine-found,",
+        stats.premises, stats.side_conditions
+    );
+    println!("machine-checked self-stabilization argument in the paper's own rule system.");
+}

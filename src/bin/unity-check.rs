@@ -1,0 +1,331 @@
+//! `unity-check` — check a `.unity` specification file.
+//!
+//! ```text
+//! unity-check FILE [--universe reachable|all] [--sim STEPS] [--seed N]
+//!             [--trace FILE] [--list] [--quiet]
+//!             [--conserve] [--synthesize] [--mutate]
+//! ```
+//!
+//! Parses the file's `program` blocks, composes them (vocabularies merged
+//! by name, locality and init-consistency enforced), then decides every
+//! `spec` check with the exact model checker: safety properties with the
+//! paper's inductive all-states semantics, `leadsto` exactly under weak
+//! fairness over the chosen universe. Exit code: `0` if all checks pass,
+//! `1` if any fails, `2` on usage/parse errors.
+//!
+//! `--sim N` additionally runs an `N`-step weakly-fair simulation
+//! (aged-lottery scheduler) with every `invariant` check attached as a
+//! runtime monitor; `--trace FILE` dumps the simulated trace as JSON.
+//!
+//! Analysis modes (informational; they do not affect the exit code):
+//!
+//! * `--conserve` prints the basis of linear combinations conserved by
+//!   every command (the mechanical §3.3 bridge) with derived invariants;
+//! * `--synthesize` attempts an ensures-chain derivation for every
+//!   `leadsto` check and re-verifies it in the proof kernel;
+//! * `--mutate` runs a mutation audit of the file's own `spec` checks
+//!   and reports the kill ratio and any survivors (spec gaps).
+
+use std::process::ExitCode;
+
+use unity_composition::spec::{load_spec, NamedCheck};
+use unity_core::conserve::{conserved_linear_combinations, invariant_from_combo};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+use unity_mc::prelude::*;
+use unity_mc::synth::{synthesize_and_check, SynthConfig, SynthError};
+use unity_sim::prelude::*;
+
+struct Options {
+    file: String,
+    universe: Universe,
+    sim_steps: u64,
+    seed: u64,
+    trace: Option<String>,
+    list: bool,
+    quiet: bool,
+    conserve: bool,
+    synthesize: bool,
+    mutate: bool,
+}
+
+const USAGE: &str = "usage: unity-check FILE [--universe reachable|all] [--sim STEPS] \
+                     [--seed N] [--trace FILE] [--list] [--quiet] \
+                     [--conserve] [--synthesize] [--mutate]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut file = None;
+    let mut opts = Options {
+        file: String::new(),
+        universe: Universe::Reachable,
+        sim_steps: 0,
+        seed: 1,
+        trace: None,
+        list: false,
+        quiet: false,
+        conserve: false,
+        synthesize: false,
+        mutate: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--universe" => {
+                opts.universe = match it.next().map(String::as_str) {
+                    Some("reachable") => Universe::Reachable,
+                    Some("all") => Universe::AllStates,
+                    other => return Err(format!("bad --universe {other:?}; {USAGE}")),
+                }
+            }
+            "--sim" => {
+                opts.sim_steps = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--sim needs a step count; {USAGE}"))?;
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--seed needs a number; {USAGE}"))?;
+            }
+            "--trace" => {
+                opts.trace = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("--trace needs a path; {USAGE}"))?,
+                );
+            }
+            "--list" => opts.list = true,
+            "--quiet" => opts.quiet = true,
+            "--conserve" => opts.conserve = true,
+            "--synthesize" => opts.synthesize = true,
+            "--mutate" => opts.mutate = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`; {USAGE}")),
+        }
+    }
+    opts.file = file.ok_or_else(|| USAGE.to_string())?;
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let src = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("{}: {e}", opts.file))?;
+    let spec = load_spec(&src).map_err(|e| format!("{}: {e}", opts.file))?;
+    let vocab = spec.system.vocab().clone();
+
+    if !opts.quiet {
+        println!(
+            "composed {} program(s), {} variable(s), {} command(s), {} check(s)",
+            spec.system.len(),
+            vocab.len(),
+            spec.system.composed.commands.len(),
+            spec.checks.len()
+        );
+    }
+    if opts.list {
+        for c in &spec.checks {
+            println!("  {} (line {}): {}", c.name, c.line, c.property.display(&vocab));
+        }
+        return Ok(true);
+    }
+
+    let cfg = ScanConfig::default();
+    let mut ok = true;
+    for NamedCheck { name, property, .. } in &spec.checks {
+        match check_property(&spec.system.composed, property, opts.universe, &cfg) {
+            Ok(()) => {
+                if !opts.quiet {
+                    println!("PASS {name}: {}", property.display(&vocab));
+                }
+            }
+            Err(McError::Refuted { cex, .. }) => {
+                ok = false;
+                println!("FAIL {name}: {}", property.display(&vocab));
+                println!("     {}", cex.display(&vocab));
+            }
+            Err(e) => return Err(format!("check `{name}`: {e}")),
+        }
+    }
+
+    if opts.sim_steps > 0 {
+        ok &= simulate(opts, &spec)?;
+    }
+    if opts.conserve {
+        conserve_report(&spec);
+    }
+    if opts.synthesize {
+        synthesize_report(opts, &spec);
+    }
+    if opts.mutate {
+        mutate_report(opts, &spec);
+    }
+    Ok(ok)
+}
+
+/// `--conserve`: print the conserved-combination basis and any derived
+/// invariants (informational).
+fn conserve_report(spec: &unity_composition::spec::SpecFile) {
+    let program = &spec.system.composed;
+    let vocab = spec.system.vocab();
+    let basis = conserved_linear_combinations(program);
+    println!(
+        "CONSERVE: basis dimension {} ({} tainted variable(s))",
+        basis.dimension(),
+        basis.tainted.len()
+    );
+    for combo in &basis.combos {
+        let e = combo.to_expr();
+        print!(
+            "  unchanged {}",
+            unity_core::expr::pretty::Render::new(&e, vocab)
+        );
+        match invariant_from_combo(program, combo) {
+            Some(inv) => println!(
+                "   => invariant {}",
+                unity_core::expr::pretty::Render::new(&inv, vocab)
+            ),
+            None => println!("   (initial value not pinned by init)"),
+        }
+    }
+}
+
+/// `--synthesize`: attempt a kernel-checked ensures-chain derivation for
+/// every `leadsto` check (informational).
+fn synthesize_report(opts: &Options, spec: &unity_composition::spec::SpecFile) {
+    let program = &spec.system.composed;
+    let vocab = spec.system.vocab();
+    let cfg = SynthConfig::default();
+    let scan = ScanConfig::default();
+    for c in &spec.checks {
+        let Property::LeadsTo(p, q) = &c.property else {
+            continue;
+        };
+        match synthesize_and_check(program, p, q, &cfg, &scan) {
+            Ok((synth, stats)) => println!(
+                "SYNTH {}: {} ensures layer(s) over {} state(s); kernel: {} rules, {} premises, {} side conditions",
+                c.name,
+                synth.layers.len(),
+                synth.reachable_states,
+                stats.rules,
+                stats.premises,
+                stats.side_conditions
+            ),
+            Err(SynthError::NotLive { uncovered }) => {
+                println!(
+                    "SYNTH-FAIL {}: {} state(s) never absorbed (property false or beyond ensures chains)",
+                    c.name,
+                    uncovered.len()
+                );
+                if !opts.quiet {
+                    if let Some(s) = uncovered.first() {
+                        println!("     e.g. {}", s.display(vocab));
+                    }
+                }
+            }
+            Err(e) => println!("SYNTH-ERROR {}: {e}", c.name),
+        }
+    }
+}
+
+/// `--mutate`: audit the file's own `spec` checks by mutation
+/// (informational).
+fn mutate_report(opts: &Options, spec: &unity_composition::spec::SpecFile) {
+    type BoxedSpec = (String, Box<dyn Fn(&Program) -> bool>);
+    let program = &spec.system.composed;
+    let scan = ScanConfig::default();
+    let universe = opts.universe;
+    let specs: Vec<BoxedSpec> = spec
+        .checks
+        .iter()
+        .map(|c| {
+            let prop = c.property.clone();
+            let scan = scan.clone();
+            let f: Box<dyn Fn(&Program) -> bool> =
+                Box::new(move |p: &Program| check_property(p, &prop, universe, &scan).is_ok());
+            (c.name.clone(), f)
+        })
+        .collect();
+    let named: Vec<Spec<'_>> = specs
+        .iter()
+        .map(|(n, f)| (n.as_str(), f.as_ref() as &dyn Fn(&Program) -> bool))
+        .collect();
+    match mutation_audit(program, &named) {
+        Ok(report) => print!("MUTATE: {}", report.summary()),
+        Err(e) => println!("MUTATE-ERROR: {e}"),
+    }
+}
+
+/// Runs the weakly-fair simulation with invariant monitors and optional
+/// trace export. Returns whether no monitor fired.
+fn simulate(opts: &Options, spec: &unity_composition::spec::SpecFile) -> Result<bool, String> {
+    let program = &spec.system.composed;
+    let vocab = spec.system.vocab();
+    let mut invariants: Vec<(String, InvariantMonitor)> = spec
+        .checks
+        .iter()
+        .filter_map(|c| match &c.property {
+            Property::Invariant(p) => Some((c.name.clone(), InvariantMonitor::new(p.clone()))),
+            _ => None,
+        })
+        .collect();
+    let mut recorder = TraceRecorder::new(if opts.trace.is_some() {
+        opts.sim_steps as usize
+    } else {
+        0
+    });
+
+    let mut sched = AgedLottery::new(opts.seed, 64);
+    let mut ex = Executor::from_first_initial(program);
+    {
+        let mut monitors: Vec<&mut dyn Monitor> = Vec::new();
+        for (_, m) in invariants.iter_mut() {
+            monitors.push(m);
+        }
+        monitors.push(&mut recorder);
+        ex.run(opts.sim_steps, &mut sched, &mut monitors);
+    }
+
+    let mut ok = true;
+    for (name, m) in &invariants {
+        if m.clean() {
+            if !opts.quiet {
+                println!("SIM-PASS {name}: no violation in {} steps", opts.sim_steps);
+            }
+        } else {
+            ok = false;
+            println!("SIM-FAIL {name}: violated during simulation");
+        }
+    }
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, recorder.to_json(program)).map_err(|e| format!("{path}: {e}"))?;
+        if !opts.quiet {
+            println!("trace written to {path}");
+        }
+    }
+    let _ = vocab;
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end tests of the `unity-check` binary against the shipped
+//! example specifications.
+
+use std::process::Command;
+
+fn unity_check(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_unity-check"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn toy_spec_passes() {
+    let out = unity_check(&["examples/specs/toy.unity"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("PASS conservation"), "{stdout}");
+    assert!(stdout.contains("PASS weakened0"), "{stdout}");
+    assert!(stdout.contains("PASS saturation"), "{stdout}");
+    assert!(!stdout.contains("FAIL"), "{stdout}");
+}
+
+#[test]
+fn priority_ring_spec_passes() {
+    let out = unity_check(&["examples/specs/priority_ring3.unity"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    for check in ["excl01", "excl12", "excl02", "live0", "live1", "live2", "acyclic"] {
+        assert!(stdout.contains(&format!("PASS {check}")), "{check}: {stdout}");
+    }
+}
+
+#[test]
+fn broken_spec_fails_with_counterexample() {
+    let out = unity_check(&["examples/specs/broken.unity"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL conservation"), "{stdout}");
+    // The counterexample names the offending command.
+    assert!(stdout.contains("a1"), "{stdout}");
+}
+
+#[test]
+fn list_mode_shows_checks_without_checking() {
+    let out = unity_check(&["examples/specs/broken.unity", "--list"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "--list must not run checks: {stdout}");
+    assert!(stdout.contains("conservation"), "{stdout}");
+}
+
+#[test]
+fn sim_mode_writes_a_trace() {
+    let dir = std::env::temp_dir().join("unity_check_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("toy_trace.json");
+    let out = unity_check(&[
+        "examples/specs/toy.unity",
+        "--sim",
+        "200",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("SIM-PASS conservation"), "{stdout}");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(json.starts_with("{\"program\":"));
+    assert!(json.contains("\"vars\":[\"c0\",\"C\",\"c1\"]"), "{json}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = unity_check(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = unity_check(&["examples/specs/toy.unity", "--universe", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = unity_check(&["/nonexistent/file.unity"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stabilize_spec_passes_under_all_states_and_synthesizes() {
+    // Dijkstra's ring has `initially = true`: convergence must hold from
+    // *every* state, so the all-states universe is the honest one here.
+    let out = unity_check(&[
+        "examples/specs/stabilize_ring3.unity",
+        "--universe",
+        "all",
+        "--synthesize",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    for check in ["pigeonhole", "closure", "convergence"] {
+        assert!(stdout.contains(&format!("PASS {check}")), "{check}: {stdout}");
+    }
+    assert!(stdout.contains("SYNTH convergence:"), "{stdout}");
+    assert!(!stdout.contains("SYNTH-FAIL"), "{stdout}");
+}
+
+#[test]
+fn conserve_mode_discovers_the_law() {
+    let out = unity_check(&["examples/specs/toy.unity", "--conserve", "--quiet"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("CONSERVE: basis dimension 1"), "{stdout}");
+    assert!(stdout.contains("=> invariant"), "{stdout}");
+}
+
+#[test]
+fn synthesize_mode_proves_the_leadsto_checks() {
+    let out = unity_check(&["examples/specs/toy.unity", "--synthesize", "--quiet"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("SYNTH saturation:"), "{stdout}");
+    assert!(stdout.contains("premises"), "{stdout}");
+    assert!(!stdout.contains("SYNTH-FAIL"), "{stdout}");
+}
+
+#[test]
+fn synthesize_mode_reports_unprovable_goals() {
+    // Under the all-states universe, saturation is a reachable-only truth:
+    // the synthesizer must refuse (unreachable saturated traps), while the
+    // safety checks still pass.
+    let out = unity_check(&[
+        "examples/specs/toy.unity",
+        "--universe",
+        "all",
+        "--synthesize",
+        "--quiet",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Exit code 1 comes from the FAIL of the leadsto *check* itself.
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    // The synthesizer works over the reachable universe and still
+    // succeeds — the report makes the semantic split visible.
+    assert!(stdout.contains("SYNTH"), "{stdout}");
+}
+
+#[test]
+fn mutate_mode_audits_the_file_specs() {
+    let out = unity_check(&["examples/specs/toy.unity", "--mutate", "--quiet"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("MUTATE: mutants:"), "{stdout}");
+    assert!(stdout.contains("kill ratio 1.00"), "{stdout}");
+}
+
+#[test]
+fn mutate_mode_on_failing_spec_reports_error() {
+    // The broken file's conservation check fails on the original program:
+    // the audit must refuse rather than produce a meaningless ratio.
+    let out = unity_check(&["examples/specs/broken.unity", "--mutate", "--quiet"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("MUTATE-ERROR"), "{stdout}");
+}
+
+#[test]
+fn all_states_universe_distinguishes_liveness() {
+    // Safety checks are insensitive to the universe, but `true ↦ C == 4`
+    // is a *reachable* truth: the all-states universe contains unreachable
+    // saturated states (e.g. c0=2, c1=2, C=3) where no command can fire,
+    // and the checker correctly reports the trap. The CLI exposes exactly
+    // this semantic distinction.
+    let out = unity_check(&["examples/specs/toy.unity", "--universe", "all"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("PASS conservation"), "{stdout}");
+    assert!(stdout.contains("PASS weakened0"), "{stdout}");
+    assert!(stdout.contains("FAIL saturation"), "{stdout}");
+    assert!(stdout.contains("fair trap"), "{stdout}");
+}

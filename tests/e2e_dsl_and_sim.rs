@@ -1,0 +1,170 @@
+//! End-to-end tests for the DSL pipeline and the simulator, cross-checked
+//! against the model checker.
+
+use std::sync::Arc;
+
+use unity_composition::unity_core::compose::{InitSatCheck, System};
+use unity_composition::unity_core::dsl::{parse_program, parse_programs, parse_property};
+use unity_composition::unity_mc::prelude::*;
+use unity_composition::unity_sim::prelude::*;
+use unity_composition::unity_systems::priority::PrioritySystem;
+use unity_composition::unity_systems::toy_counter::{toy_system, ToySpec};
+
+#[test]
+fn built_systems_round_trip_through_the_dsl() {
+    // Every programmatically-built component pretty-prints to a listing
+    // the parser accepts, and the re-parsed program is equivalent.
+    let toy = toy_system(ToySpec::new(2, 2)).unwrap();
+    for comp in &toy.system.components {
+        let listing = comp.listing();
+        let reparsed = parse_program(&listing).unwrap_or_else(|e| panic!("{listing}\n{e}"));
+        assert_eq!(reparsed.name, comp.name);
+        assert_eq!(reparsed.commands.len(), comp.commands.len());
+        assert_eq!(reparsed.fair.len(), comp.fair.len());
+    }
+    let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(3))).unwrap();
+    for comp in &sys.system.components {
+        let listing = comp.listing();
+        parse_program(&listing).unwrap_or_else(|e| panic!("{listing}\n{e}"));
+    }
+}
+
+#[test]
+fn dsl_composition_equals_api_composition() {
+    let src = r#"
+        program A
+          var a : int 0..2 local
+          var C : int 0..4
+          init a == 0 && C == 0
+          fair cmd ia: a < 2 -> a := a + 1, C := C + 1
+        end
+        program B
+          var b : int 0..2 local
+          var C : int 0..4
+          init b == 0 && C == 0
+          fair cmd ib: b < 2 -> b := b + 1, C := C + 1
+        end
+    "#;
+    let programs = parse_programs(src).unwrap();
+    let sys = System::compose_merging(&programs, InitSatCheck::Exhaustive).unwrap();
+    let vocab = Arc::clone(sys.vocab());
+    let inv = parse_property("invariant C == sum(a, b)", &vocab).unwrap();
+    check_property(&sys.composed, &inv, Universe::Reachable, &ScanConfig::default()).unwrap();
+    let live = parse_property("true leadsto C == 4", &vocab).unwrap();
+    check_property(&sys.composed, &live, Universe::Reachable, &ScanConfig::default()).unwrap();
+}
+
+#[test]
+fn dsl_rejects_locality_violations_on_composition() {
+    let src = r#"
+        program Owner
+          var secret : bool local
+          init !secret
+        end
+        program Intruder
+          var secret : bool
+          cmd poke: true -> secret := true
+        end
+    "#;
+    let programs = parse_programs(src).unwrap();
+    let err = System::compose_merging(&programs, InitSatCheck::Skip).unwrap_err();
+    assert!(err.to_string().contains("locality"));
+}
+
+#[test]
+fn simulation_respects_model_checked_invariants() {
+    // Run the toy system for many steps under every scheduler; the
+    // model-checked invariant must hold at every step.
+    let toy = toy_system(ToySpec::new(3, 2)).unwrap();
+    let inv_pred = match toy.system_invariant() {
+        unity_composition::unity_core::properties::Property::Invariant(p) => p,
+        _ => unreachable!(),
+    };
+    let program = &toy.system.composed;
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RoundRobin::default()),
+        Box::new(AgedLottery::new(3, 16)),
+        Box::new(AdversarialDelay::new(5, 0, 16)),
+    ];
+    for mut sched in schedulers {
+        let mut inv = InvariantMonitor::new(inv_pred.clone());
+        let mut exec = Executor::from_first_initial(program);
+        {
+            let mut monitors: Vec<&mut dyn Monitor> = vec![&mut inv];
+            exec.run(5_000, sched.as_mut(), &mut monitors);
+        }
+        assert!(inv.clean(), "invariant violated under {}", sched.name());
+    }
+}
+
+#[test]
+fn fairness_audit_matches_scheduler_bounds() {
+    let toy = toy_system(ToySpec::new(2, 2)).unwrap();
+    let program = &toy.system.composed;
+    let fair: Vec<usize> = program.fair.iter().copied().collect();
+    let steps = 2_000u64;
+
+    let mut sched = AgedLottery::new(11, 10);
+    let mut exec = Executor::from_first_initial(program);
+    exec.set_log_limit(steps as usize);
+    exec.run(steps, &mut sched, &mut []);
+    // Aging bound 10 with 2 fair commands ⇒ max gap ≤ 10 + 2 − 1.
+    assert!(is_weakly_fair_within(exec.log(), &fair, steps, 11));
+
+    let mut sched = AdversarialDelay::new(13, 0, 25);
+    let mut exec = Executor::from_first_initial(program);
+    exec.set_log_limit(steps as usize);
+    exec.run(steps, &mut sched, &mut []);
+    let audits = audit(exec.log(), &fair, steps);
+    let guarantee = 25 + fair.len() as u64 - 1;
+    assert!(audits.iter().all(|a| a.max_gap <= guarantee));
+    // The victim is starved right up to (but never beyond) the bound.
+    let victim = &audits[0];
+    assert!(victim.max_gap >= 20, "adversary should push near the bound");
+}
+
+#[test]
+fn simulated_priority_recurrence_confirms_liveness() {
+    // On a ring where MC proves true ↦ Priority(i), simulation under a
+    // fair scheduler must observe Priority(i) recurring for every node.
+    let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(6))).unwrap();
+    let mut monitor =
+        RecurrenceMonitor::new((0..6).map(|i| sys.priority_expr(i)).collect());
+    let mut sched = AgedLottery::new(17, 24);
+    let mut exec = Executor::from_first_initial(&sys.system.composed);
+    {
+        let mut monitors: Vec<&mut dyn Monitor> = vec![&mut monitor];
+        exec.run(20_000, &mut sched, &mut monitors);
+    }
+    for i in 0..6 {
+        assert!(
+            monitor.gaps[i].len() > 10,
+            "node {i} must receive priority repeatedly"
+        );
+    }
+}
+
+#[test]
+fn replicas_are_deterministic_and_parallel_consistent() {
+    let toy = toy_system(ToySpec::new(2, 2)).unwrap();
+    let run = |program: &unity_composition::unity_core::program::Program,
+               _r: usize,
+               seed: u64|
+     -> u64 {
+        let mut sched = AgedLottery::new(seed, 8);
+        let mut exec = Executor::from_first_initial(program);
+        exec.run(500, &mut sched, &mut []);
+        // Hash of final state values for comparison.
+        exec.state()
+            .values()
+            .iter()
+            .map(|v| match v {
+                unity_composition::unity_core::value::Value::Int(n) => *n as u64,
+                unity_composition::unity_core::value::Value::Bool(b) => u64::from(*b),
+            })
+            .fold(0u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+    };
+    let seq = run_replicas(&toy.system.composed, 8, 77, 1, run);
+    let par = run_replicas(&toy.system.composed, 8, 77, 4, run);
+    assert_eq!(seq, par);
+}

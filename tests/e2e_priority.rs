@@ -1,0 +1,181 @@
+//! End-to-end tests for the §4 priority mechanism across topologies:
+//! safety (17), liveness (18), acyclicity (25), Properties 1/2, the
+//! mechanized proofs, and the baselines' failure modes.
+
+use std::sync::Arc;
+
+use unity_composition::prio_graph::prelude::*;
+use unity_composition::unity_core::proof::check::{check_concludes, CheckCtx};
+use unity_composition::unity_mc::prelude::*;
+use unity_composition::unity_systems::baselines::{
+    broken_yield_system, centralized_arbiter, static_priority_system,
+};
+use unity_composition::unity_systems::priority::PrioritySystem;
+use unity_composition::unity_systems::priority_proofs::{
+    check_steps_are_derivations, liveness_proof, safety_proof,
+};
+
+fn systems_under_test() -> Vec<(String, PrioritySystem)> {
+    let mut out = Vec::new();
+    for t in Topology::ALL {
+        for n in [3usize, 4] {
+            let g = Arc::new(t.build(n));
+            let name = format!("{}({n})", t.name());
+            out.push((name, PrioritySystem::new(g).unwrap()));
+        }
+    }
+    out
+}
+
+#[test]
+fn safety_and_acyclicity_on_all_topologies() {
+    let cfg = ScanConfig::default();
+    for (name, sys) in systems_under_test() {
+        check_property(
+            &sys.system.composed,
+            &sys.safety_invariant(),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("safety {name}: {e}"));
+        check_property(
+            &sys.system.composed,
+            &sys.acyclicity_stable(),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("acyclicity {name}: {e}"));
+    }
+}
+
+#[test]
+fn liveness_on_all_topologies() {
+    let cfg = ScanConfig::default();
+    for (name, sys) in systems_under_test() {
+        for i in 0..sys.len() {
+            check_property(&sys.system.composed, &sys.liveness(i), Universe::Reachable, &cfg)
+                .unwrap_or_else(|e| panic!("liveness {name} node {i}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn all_steps_are_derivations_on_all_topologies() {
+    for (name, sys) in systems_under_test() {
+        check_steps_are_derivations(&sys).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn component_specs_hold_on_star_and_complete() {
+    let cfg = ScanConfig::default();
+    for g in [
+        Arc::new(prio_graph::topology::star(4)),
+        Arc::new(prio_graph::topology::complete(4)),
+    ] {
+        let sys = PrioritySystem::new(g).unwrap();
+        for i in 0..sys.len() {
+            let comp = &sys.system.components[i];
+            for p in sys.spec_13(i) {
+                check_property(comp, &p, Universe::Reachable, &cfg).unwrap();
+            }
+            check_property(comp, &sys.spec_14(i), Universe::Reachable, &cfg).unwrap();
+            check_property(comp, &sys.spec_15(i), Universe::Reachable, &cfg).unwrap();
+            for p in sys.spec_16(i) {
+                check_property(comp, &p, Universe::Reachable, &cfg).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn mechanized_safety_proof_on_every_topology() {
+    for (name, sys) in systems_under_test() {
+        let (p, j) = safety_proof(&sys);
+        let mut mc = McDischarger::new(&sys.system);
+        let mut ctx = CheckCtx::new(&mut mc).with_components(sys.len());
+        check_concludes(&p, &j, &mut ctx).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn mechanized_liveness_proof_on_path_and_star() {
+    for g in [
+        Arc::new(prio_graph::topology::path(3)),
+        Arc::new(prio_graph::topology::star(3)),
+    ] {
+        let sys = PrioritySystem::new(g).unwrap();
+        for i in 0..sys.len() {
+            let (p, j) = liveness_proof(&sys, i);
+            let mut mc = McDischarger::new(&sys.system);
+            let mut ctx = CheckCtx::new(&mut mc).with_components(sys.len());
+            check_concludes(&p, &j, &mut ctx)
+                .unwrap_or_else(|e| panic!("liveness proof node {i}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn static_baseline_starves_everywhere_but_sources() {
+    let cfg = ScanConfig::default();
+    let sys = static_priority_system(Arc::new(prio_graph::topology::path(4))).unwrap();
+    // Index-order orientation: node 0 is the unique source on a path.
+    check_property(&sys.system.composed, &sys.liveness(0), Universe::Reachable, &cfg).unwrap();
+    for i in 1..4 {
+        assert!(
+            check_property(&sys.system.composed, &sys.liveness(i), Universe::Reachable, &cfg)
+                .is_err(),
+            "node {i} must starve without yields"
+        );
+    }
+}
+
+#[test]
+fn broken_yield_violates_spec15_and_acyclicity() {
+    let cfg = ScanConfig::default();
+    let sys = broken_yield_system(Arc::new(prio_graph::topology::ring(3))).unwrap();
+    // Spec (15) fails for at least one component.
+    let mut spec15_failures = 0;
+    for i in 0..3 {
+        if check_property(
+            &sys.system.components[i],
+            &sys.spec_15(i),
+            Universe::Reachable,
+            &cfg,
+        )
+        .is_err()
+        {
+            spec15_failures += 1;
+        }
+    }
+    assert!(spec15_failures > 0, "half-yield must violate (15) somewhere");
+    // And Properties 1/2 fail: some step is not a derivation.
+    assert!(check_steps_are_derivations(&sys).is_err());
+}
+
+#[test]
+fn arbiter_baseline_is_fair_and_safe() {
+    let arb = centralized_arbiter(5).unwrap();
+    let cfg = ScanConfig::default();
+    use unity_composition::unity_core::expr::build::tt;
+    use unity_composition::unity_core::properties::Property;
+    for i in 0..5 {
+        check_property(
+            &arb.system.composed,
+            &Property::LeadsTo(tt(), arb.priority_expr(i)),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn orientation_roundtrip_through_states() {
+    let g = Arc::new(prio_graph::topology::complete(4));
+    let sys = PrioritySystem::new(g.clone()).unwrap();
+    for o in Orientation::enumerate(&g) {
+        let s = sys.state_of(&o);
+        assert_eq!(sys.orientation_of(&s), o);
+    }
+}

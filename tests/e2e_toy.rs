@@ -1,0 +1,138 @@
+//! End-to-end tests for the §3 toy example across parameter sweeps:
+//! component specs, compositional proof, monolithic check, fault
+//! injection, and the footnote-1 variant.
+
+use unity_composition::unity_core::proof::check::{check_concludes, CheckCtx};
+use unity_composition::unity_mc::prelude::*;
+use unity_composition::unity_systems::toy_counter::{
+    toy_system, toy_system_asymmetric, toy_system_broken, ToySpec,
+};
+use unity_composition::unity_systems::toy_proof::{
+    toy_invariant_proof, toy_invariant_proof_asymmetric,
+};
+
+#[test]
+fn sweep_proof_and_mc_agree() {
+    for n in 1..=4usize {
+        for k in 1..=2i64 {
+            let toy = toy_system(ToySpec::new(n, k)).unwrap();
+            // Compositional proof.
+            let (proof, conclusion) = toy_invariant_proof(&toy);
+            let mut mc = McDischarger::new(&toy.system);
+            let mut ctx = CheckCtx::new(&mut mc)
+                .with_components(n)
+                .with_vocab(toy.system.vocab());
+            check_concludes(&proof, &conclusion, &mut ctx)
+                .unwrap_or_else(|e| panic!("proof n={n} k={k}: {e}"));
+            // Monolithic model check of the same conclusion.
+            check_property(
+                &toy.system.composed,
+                &conclusion.prop,
+                Universe::Reachable,
+                &ScanConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("mc n={n} k={k}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn every_component_satisfies_its_local_spec() {
+    let toy = toy_system(ToySpec::new(3, 2)).unwrap();
+    let cfg = ScanConfig::default();
+    for i in 0..3 {
+        let comp = &toy.system.components[i];
+        check_property(comp, &toy.spec_init(i), Universe::Reachable, &cfg).unwrap();
+        check_property(comp, &toy.spec_unchanged(i), Universe::Reachable, &cfg).unwrap();
+        for loc in toy.spec_locality(i) {
+            check_property(comp, &loc, Universe::Reachable, &cfg).unwrap();
+        }
+        // Crucially, component i does NOT satisfy the *other* components'
+        // (2) — the paper's point that the naive spec is unshareable.
+        for j in 0..3 {
+            if j != i {
+                assert!(
+                    check_property(comp, &toy.spec_unchanged(j), Universe::Reachable, &cfg)
+                        .is_err(),
+                    "component {i} must violate component {j}'s stable C - c_{j}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_injection_breaks_exactly_the_faulty_component() {
+    for faulty in 0..3usize {
+        let toy = toy_system_broken(ToySpec::new(3, 1), faulty).unwrap();
+        let cfg = ScanConfig::default();
+        for i in 0..3 {
+            let ok = check_property(
+                &toy.system.components[i],
+                &toy.spec_unchanged(i),
+                Universe::Reachable,
+                &cfg,
+            )
+            .is_ok();
+            assert_eq!(ok, i != faulty, "component {i}, faulty {faulty}");
+        }
+        // System invariant refuted with a concrete counterexample.
+        let err = check_property(
+            &toy.system.composed,
+            &toy.system_invariant(),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, McError::Refuted { .. }));
+    }
+}
+
+#[test]
+fn asymmetric_footnote_variant() {
+    let toy = toy_system_asymmetric(ToySpec::new(2, 2)).unwrap();
+    let (proof, conclusion) = toy_invariant_proof_asymmetric(&toy);
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+    check_concludes(&proof, &conclusion, &mut ctx).unwrap();
+    // The dissymmetry: component 0's init premise differs from the others,
+    // and the *symmetric* proof does not discharge on this system.
+    let (sym_proof, sym_conclusion) = toy_invariant_proof(&toy);
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+    assert!(check_concludes(&sym_proof, &sym_conclusion, &mut ctx).is_err());
+}
+
+#[test]
+fn unreachable_invariant_still_inductive() {
+    // The paper's inductive reading: the invariant must be preserved from
+    // *all* states, not just reachable ones. C - Σc is unchanged even from
+    // wild states, so the inductive check passes; a reachably-true but
+    // non-inductive predicate fails it.
+    let toy = toy_system(ToySpec::new(2, 1)).unwrap();
+    let cfg = ScanConfig::default();
+    check_property(
+        &toy.system.composed,
+        &toy.system_invariant(),
+        Universe::Reachable,
+        &cfg,
+    )
+    .unwrap();
+    // "C <= 1" holds reachably for n=2,k=1? No — C reaches 2. Use C != 1 ∨
+    // c0+c1 == 1: reachably true (C=Σ), not inductive.
+    use unity_composition::unity_core::expr::build::*;
+    use unity_composition::unity_core::properties::Property;
+    let c = toy.shared;
+    let tricky = or2(
+        ne(var(c), int(1)),
+        eq(toy.sum_expr(), int(1)),
+    );
+    check_invariant_reachable(&toy.system.composed, &tricky, &cfg).unwrap();
+    assert!(check_property(
+        &toy.system.composed,
+        &Property::Invariant(tricky),
+        Universe::Reachable,
+        &cfg
+    )
+    .is_err());
+}

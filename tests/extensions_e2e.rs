@@ -1,0 +1,220 @@
+//! End-to-end tests for the post-reproduction extensions, exercised on
+//! the paper's own systems:
+//!
+//! * **proof synthesis** (`unity-mc::synth`) derives the §3 saturation
+//!   liveness and the §4 liveness (18) automatically, and the derivations
+//!   re-check in the kernel with every premise model-checked;
+//! * **conserved-quantity discovery** (`unity-core::conserve`) finds the
+//!   §3.3 law `C = Σ cᵢ` by linear algebra and the result survives the
+//!   model checker;
+//! * **rely-guarantee** (`unity-core::rg`) re-derives the toy invariant
+//!   through the parallel composition rule on the *systems* builder;
+//! * **mutation audit** (`unity-mc::mutate`) measures the §3 specs' kill
+//!   power and flags no gap on the composed toy;
+//! * **distributed refinement** (`unity-dist`) runs against the same
+//!   conflict graphs the model checker verifies, and its abstract traces
+//!   satisfy the checked safety property (17).
+
+use std::sync::Arc;
+
+use unity_composition::prelude::*;
+use unity_core::conserve::{conserved_linear_combinations, invariant_from_combo};
+use unity_core::rg::{self, ActionPred, ActionVocab, RelyGuarantee};
+use unity_dist::prelude::*;
+use unity_mc::prelude::*;
+use unity_mc::synth::{synthesize_and_check, SynthConfig};
+use unity_systems::priority::PrioritySystem;
+use unity_systems::toy_counter::{toy_system, ToySpec};
+
+#[test]
+fn synthesis_derives_toy_saturation_liveness() {
+    let toy = toy_system(ToySpec::new(2, 2)).unwrap();
+    let program = &toy.system.composed;
+    let target = eq(var(toy.shared), int(4)); // C reaches n·k = 4
+    let (synth, stats) = synthesize_and_check(
+        program,
+        &tt(),
+        &target,
+        &SynthConfig::default(),
+        &ScanConfig::default(),
+    )
+    .unwrap();
+    assert!(!synth.layers.is_empty());
+    assert!(stats.premises > 0 && stats.side_conditions > 0);
+    // The chain must use both components' fair commands: neither can
+    // saturate C alone.
+    let used: std::collections::BTreeSet<usize> =
+        synth.layers.iter().map(|l| l.fair_command).collect();
+    assert_eq!(used.len(), 2, "both components appear in the chain");
+    // Cross-check against the exact fair checker.
+    check_leadsto(program, &tt(), &target, Universe::Reachable, &ScanConfig::default()).unwrap();
+}
+
+#[test]
+fn synthesis_derives_priority_liveness_18() {
+    let graph = Arc::new(prio_graph::topology::ring(3));
+    let ps = PrioritySystem::new(graph).unwrap();
+    let program = &ps.system.composed;
+    for i in 0..3 {
+        let goal = ps.priority_expr(i);
+        let (synth, _) = synthesize_and_check(
+            program,
+            &tt(),
+            &goal,
+            &SynthConfig::default(),
+            &ScanConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("node {i}: {e}"));
+        assert!(
+            !synth.layers.is_empty(),
+            "node {i}: rotation needs at least one yield"
+        );
+    }
+}
+
+#[test]
+fn synthesis_fails_on_the_static_baseline() {
+    // Without spec (14) (yield), liveness (18) is false for non-top
+    // nodes; the synthesizer must refuse rather than fabricate a proof.
+    let graph = Arc::new(prio_graph::topology::ring(3));
+    let baseline = unity_systems::baselines::static_priority_system(graph).unwrap();
+    let program = &baseline.system.composed;
+    // Node 2 never gains priority under the index-order orientation.
+    let goal = baseline.priority_expr(2);
+    let err = unity_mc::synth::synthesize_leadsto(
+        program,
+        &tt(),
+        &goal,
+        &SynthConfig::default(),
+        &ScanConfig::default(),
+    );
+    assert!(
+        matches!(err, Err(unity_mc::synth::SynthError::NotLive { .. })),
+        "static baseline must not admit a liveness proof"
+    );
+}
+
+#[test]
+fn conservation_discovery_matches_section_3() {
+    let toy = toy_system(ToySpec::new(3, 2)).unwrap();
+    let program = &toy.system.composed;
+    let basis = conserved_linear_combinations(program);
+    assert!(basis.tainted.is_empty());
+    let nontrivial = basis.nontrivial();
+    assert_eq!(nontrivial.len(), 1, "exactly the paper's law");
+    let combo = nontrivial[0];
+    // Its Unchanged property holds (the shared universal property of
+    // §3.3), checked by the model checker.
+    check_unchanged(program, &combo.to_expr(), &ScanConfig::default()).unwrap();
+    // And the derived invariant is the paper's `C = Σ cᵢ` (as `Σcᵢ − C = 0`).
+    let inv = invariant_from_combo(program, combo).unwrap();
+    check_invariant(program, &inv, &ScanConfig::default()).unwrap();
+}
+
+#[test]
+fn rely_guarantee_rederives_the_toy_invariant() {
+    let toy = toy_system(ToySpec::new(2, 1)).unwrap();
+    let av = ActionVocab::new(toy.system.composed.vocab.clone()).unwrap();
+    // Component i guarantees: ΔC = Δcᵢ and it leaves every other local
+    // counter alone.
+    let guar = |i: usize| {
+        let c = toy.counters[i];
+        let delta =
+            eq(sub(var(av.prime(toy.shared)), var(toy.shared)), sub(var(av.prime(c)), var(c)));
+        let others: Vec<Expr> = toy
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, &o)| eq(var(av.prime(o)), var(o)))
+            .collect();
+        ActionPred::new(and2(delta, and(others)), &av).unwrap()
+    };
+    let rgs: Vec<RelyGuarantee> = (0..2)
+        .map(|i| RelyGuarantee {
+            rely: guar(1 - i),
+            guar: guar(i),
+        })
+        .collect();
+    let pairs: Vec<(&_, &_)> = toy
+        .system
+        .components
+        .iter()
+        .zip(rgs.iter())
+        .collect();
+    rg::parallel_rule(&pairs, &toy.system.composed, &av).unwrap();
+    // The invariant rule derives §3.3's conclusion.
+    let p = eq(var(toy.shared), toy.sum_expr());
+    rg::invariant_via_rg(&pairs, &toy.system.composed, &av, &p).unwrap();
+}
+
+#[test]
+fn mutation_audit_on_the_composed_toy() {
+    let toy = toy_system(ToySpec::new(2, 1)).unwrap();
+    let program = toy.system.composed.clone();
+    let conservation = toy.system_invariant();
+    let inv_spec = move |p: &unity_core::program::Program| {
+        check_property(p, &conservation, Universe::Reachable, &ScanConfig::default()).is_ok()
+    };
+    let sat = toy.saturation_liveness();
+    let live_spec = move |p: &unity_core::program::Program| {
+        check_property(p, &sat, Universe::Reachable, &ScanConfig::default()).is_ok()
+    };
+    let report = mutation_audit(
+        &program,
+        &[("conservation", &inv_spec), ("saturation", &live_spec)],
+    )
+    .unwrap();
+    assert!(report.total() > 10, "a real mutant population");
+    // Every drop of a C-update must be caught by conservation.
+    for o in &report.outcomes {
+        if o.description.contains("drop update of C") {
+            assert_eq!(o.killed_by.as_deref(), Some("conservation"), "{}", o.description);
+        }
+        if o.description.contains("drop fairness") {
+            assert_eq!(o.killed_by.as_deref(), Some("saturation"), "{}", o.description);
+        }
+    }
+    // The two paper specs see most behaviour changes; any survivor must
+    // be an honest spec gap, not an equivalent mutant misclassified.
+    for s in report.survivors() {
+        assert!(!s.equivalent);
+    }
+    assert!(report.kill_ratio() > 0.5, "{}", report.summary());
+}
+
+#[test]
+fn distributed_runs_satisfy_the_checked_safety_17() {
+    // The model checker proves (17) on the abstract system; the
+    // distributed run's abstract trace must never violate it.
+    let graph = Arc::new(prio_graph::topology::ring(4));
+    let ps = PrioritySystem::new(graph.clone()).unwrap();
+    check_property(
+        &ps.system.composed,
+        &ps.safety_invariant(),
+        Universe::Reachable,
+        &ScanConfig::default(),
+    )
+    .unwrap();
+
+    let o = prio_graph::orientation::Orientation::index_order(graph.clone());
+    let mut run = DistRun::new(graph.clone(), &o, Box::new(SeededRandom::new(5)));
+    run.run(RunLimits::until_actions(3));
+    assert!(run.refinement_violations().is_empty());
+    // Check (17) on the current abstraction and on every snapshot.
+    let check_17 = |orientation: &prio_graph::orientation::Orientation| {
+        let holders = orientation.priority_nodes();
+        for (a, &i) in holders.iter().enumerate() {
+            for &j in &holders[a + 1..] {
+                assert!(!graph.is_edge(i, j), "neighbours {i},{j} both have priority");
+            }
+        }
+    };
+    check_17(run.abstraction());
+    run.initiate_snapshot(0);
+    run.run(RunLimits::steps(run.stats().steps + 2_000));
+    for snap in run.snapshots() {
+        let o = snap.validate(&graph).unwrap();
+        check_17(&o);
+    }
+}

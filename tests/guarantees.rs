@@ -1,0 +1,235 @@
+//! Cross-crate soundness tests for the guarantees calculus
+//! (`unity_core::guarantee::calculus`).
+//!
+//! The calculus's entailment facts (`prop_entails`) claim: "any program
+//! satisfying `a` satisfies `b`". Here those claims are validated
+//! *semantically* against the model checker — for a pool of programs and
+//! an exhaustive pool of property pairs, whenever the calculus says
+//! `a ⊩ b` and the checker proves `a`, the checker must also prove `b`.
+//! Then the end-to-end flow of the paper's §2 remark (existential
+//! liveness via `guarantees`) is exercised on the toy system.
+
+use std::sync::Arc;
+
+use unity_core::prelude::*;
+use unity_mc::prelude::*;
+
+/// Small program pool: a bounded counter, a flip-flop pair, and a
+/// saturating two-variable machine — diverse enough to kill unsound
+/// entailment facts.
+fn program_pool() -> Vec<Program> {
+    let mut out = Vec::new();
+    {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        out.push(
+            Program::builder("count", Arc::new(v))
+                .init(eq(var(x), int(0)))
+                .fair_command("inc", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))])
+                .build()
+                .unwrap(),
+        );
+    }
+    {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        out.push(
+            Program::builder("flip", Arc::new(v))
+                .init(le(var(x), int(1)))
+                .fair_command("up", eq(var(x), int(0)), vec![(x, int(1))])
+                .fair_command("down", eq(var(x), int(1)), vec![(x, int(0))])
+                .build()
+                .unwrap(),
+        );
+    }
+    {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        out.push(
+            Program::builder("sat", Arc::new(v))
+                .init(eq(var(x), int(2)))
+                .command("dec", gt(var(x), int(0)), vec![(x, sub(var(x), int(1)))])
+                .fair_command("cap", gt(var(x), int(2)), vec![(x, int(2))])
+                .build()
+                .unwrap(),
+        );
+    }
+    out
+}
+
+/// Exhaustive property pool over the (single) variable `x`.
+fn property_pool(v: &Vocabulary) -> Vec<Property> {
+    let x = v.lookup("x").unwrap();
+    let preds = [
+        eq(var(x), int(0)),
+        eq(var(x), int(1)),
+        le(var(x), int(1)),
+        le(var(x), int(2)),
+        ge(var(x), int(1)),
+        tt(),
+        ff(),
+    ];
+    let mut out = Vec::new();
+    for p in &preds {
+        out.push(Property::Init(p.clone()));
+        out.push(Property::Transient(p.clone()));
+        out.push(Property::Stable(p.clone()));
+        out.push(Property::Invariant(p.clone()));
+        for q in &preds {
+            out.push(Property::Next(p.clone(), q.clone()));
+            out.push(Property::LeadsTo(p.clone(), q.clone()));
+        }
+    }
+    out
+}
+
+#[test]
+fn prop_entails_is_semantically_sound() {
+    let cfg = ScanConfig::default();
+    let mut checked_pairs = 0usize;
+    for program in program_pool() {
+        let vocab = program.vocab.clone();
+        let pool = property_pool(&vocab);
+        let mut valid = |e: &unity_core::expr::Expr| check_valid(&vocab, e, &cfg).is_ok();
+        // Which pool properties does this program satisfy?
+        let holds: Vec<bool> = pool
+            .iter()
+            .map(|p| check_property(&program, p, Universe::Reachable, &cfg).is_ok())
+            .collect();
+        for (i, a) in pool.iter().enumerate() {
+            if !holds[i] {
+                continue;
+            }
+            for (j, b) in pool.iter().enumerate() {
+                if prop_entails(a, b, &mut valid) {
+                    checked_pairs += 1;
+                    assert!(
+                        holds[j],
+                        "[{}] claims {} ⊩ {} but the checker refutes the conclusion",
+                        program.name,
+                        a.display(&vocab),
+                        b.display(&vocab),
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        checked_pairs > 200,
+        "expected a substantial number of entailment pairs, got {checked_pairs}"
+    );
+}
+
+#[test]
+fn set_entails_soundness_on_random_subsets() {
+    // Conjunction-set entailment: if xs ⊒ ys and a program satisfies all
+    // of xs, it satisfies all of ys.
+    let cfg = ScanConfig::default();
+    for program in program_pool() {
+        let vocab = program.vocab.clone();
+        let pool = property_pool(&vocab);
+        let mut valid = |e: &unity_core::expr::Expr| check_valid(&vocab, e, &cfg).is_ok();
+        let holds: Vec<bool> = pool
+            .iter()
+            .map(|p| check_property(&program, p, Universe::Reachable, &cfg).is_ok())
+            .collect();
+        let held: Vec<Property> = pool
+            .iter()
+            .zip(&holds)
+            .filter(|(_, h)| **h)
+            .map(|(p, _)| p.clone())
+            .take(12)
+            .collect();
+        for b in &pool {
+            if set_entails(&held, std::slice::from_ref(b), &mut valid) {
+                assert!(
+                    check_property(&program, b, Universe::Reachable, &cfg).is_ok(),
+                    "[{}] held set entails {} but the checker refutes it",
+                    program.name,
+                    b.display(&vocab),
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end: the paper's remark that existential liveness properties
+/// (leadsto on the right of guarantees) compose. Component 0 of the toy
+/// system publishes `init (C == 0 && c0 == 0) guarantees (true ↦ C ≥ 1)`
+/// — proved here by `transient`-style reasoning at the component level —
+/// and elimination on the composed system yields a fact the fair checker
+/// confirms on the composition.
+#[test]
+fn guarantees_elimination_on_toy_composition() {
+    // Two toy components sharing C.
+    let mut v = Vocabulary::new();
+    let c0 = v.declare("c0", Domain::int_range(0, 1).unwrap()).unwrap();
+    let c1 = v.declare("c1", Domain::int_range(0, 1).unwrap()).unwrap();
+    let big = v.declare("C", Domain::int_range(0, 2).unwrap()).unwrap();
+    let vocab = Arc::new(v);
+    let mk = |name: &str, c: VarId, vocab: Arc<Vocabulary>| {
+        Program::builder(name, vocab)
+            .local(c)
+            .init(and2(eq(var(c), int(0)), eq(var(big), int(0))))
+            .fair_command(
+                format!("a_{name}"),
+                lt(var(c), int(1)),
+                vec![(c, add(var(c), int(1))), (big, add(var(big), int(1)))],
+            )
+            .build()
+            .unwrap()
+    };
+    let f = mk("F", c0, vocab.clone());
+    let g = mk("G", c1, vocab.clone());
+    let sys = System::compose(vec![f.clone(), g], InitSatCheck::Exhaustive).unwrap();
+    let cfg = ScanConfig::default();
+
+    // Component-level existential fact: transient (c0 == 0 && C == 0).
+    // (Fair command a_F falsifies it from every such state.)
+    let tr = Property::Transient(and2(eq(var(c0), int(0)), eq(var(big), int(0))));
+    check_property(&f, &tr, Universe::Reachable, &cfg).unwrap();
+
+    // Introduce ∅ guarantees {transient ...} via the calculus.
+    let mut valid = |e: &unity_core::expr::Expr| check_valid(&vocab, e, &cfg).is_ok();
+    let mut holds = |p: &Property| check_property(&f, p, Universe::Reachable, &cfg).is_ok();
+    let mut ctx = CalcCtx {
+        valid: &mut valid,
+        component_holds: &mut holds,
+    };
+    let clause = check_gproof(&GProof::FromExistential { prop: tr.clone() }, &mut ctx).unwrap();
+    assert!(clause.hypothesis.is_empty());
+
+    // Eliminate on the composed system (empty hypothesis: trivially
+    // discharged) and confirm the conclusion on the composition.
+    let mut valid = |e: &unity_core::expr::Expr| check_valid(&vocab, e, &cfg).is_ok();
+    let out = eliminate(&clause, &[], &mut valid).unwrap();
+    assert_eq!(out, vec![tr.clone()]);
+    check_property(&sys.composed, &tr, Universe::Reachable, &cfg).unwrap();
+
+    // And the existential fact feeds the fair checker's liveness:
+    // true ↦ C ≥ 1 holds on the composition.
+    check_leadsto(
+        &sys.composed,
+        &tt(),
+        &ge(var(big), int(1)),
+        Universe::Reachable,
+        &cfg,
+    )
+    .unwrap();
+}
+
+/// The elimination direction must not be reversible: conclusions do not
+/// discharge hypotheses.
+#[test]
+fn eliminate_rejects_insufficient_facts() {
+    let mut v = Vocabulary::new();
+    let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+    let vocab = Arc::new(v);
+    let cfg = ScanConfig::default();
+    let mut valid = |e: &unity_core::expr::Expr| check_valid(&vocab, e, &cfg).is_ok();
+    let clause = GuaranteeClause::new(
+        vec![Property::Stable(eq(var(x), int(0)))],
+        vec![Property::Init(tt())],
+    );
+    assert!(eliminate(&clause, &[Property::Init(tt())], &mut valid).is_err());
+}

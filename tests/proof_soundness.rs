@@ -1,0 +1,149 @@
+//! Kernel soundness cross-checks: everything the proof kernel derives must
+//! be independently verifiable by the exact model checker, and broken
+//! premises must make the whole derivation fail (no rule "launders" a
+//! false base fact into a theorem).
+
+use std::sync::Arc;
+
+use unity_composition::unity_core::expr::build::*;
+use unity_composition::unity_core::proof::check::{check, check_concludes, CheckCtx};
+use unity_composition::unity_core::proof::rules::Proof;
+use unity_composition::unity_core::proof::{Judgment, Scope};
+use unity_composition::unity_core::properties::Property;
+use unity_composition::unity_mc::prelude::*;
+use unity_composition::unity_systems::priority::PrioritySystem;
+use unity_composition::unity_systems::priority_proofs::{
+    acyclicity_invariant_proof, escape_judgment, escape_proof, liveness_proof, safety_proof,
+};
+use unity_composition::unity_systems::toy_counter::{toy_system, ToySpec};
+use unity_composition::unity_systems::toy_proof::toy_invariant_proof;
+
+fn ring_sys(n: usize) -> PrioritySystem {
+    PrioritySystem::new(Arc::new(prio_graph::topology::ring(n))).unwrap()
+}
+
+#[test]
+fn every_kernel_theorem_is_mc_true() {
+    // Collect kernel-derived judgments from both case studies and replay
+    // them through the model checker.
+    let toy = toy_system(ToySpec::new(2, 1)).unwrap();
+    let sys = ring_sys(3);
+    let mut theorems: Vec<(String, unity_composition::unity_core::compose::System, Judgment)> =
+        Vec::new();
+
+    let (p, j) = toy_invariant_proof(&toy);
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+    check_concludes(&p, &j, &mut ctx).unwrap();
+    theorems.push(("toy".into(), toy.system.clone(), j));
+
+    for (name, (p, j)) in [
+        ("safety", safety_proof(&sys)),
+        ("acyclicity", acyclicity_invariant_proof(&sys)),
+        ("liveness0", liveness_proof(&sys, 0)),
+        ("liveness2", liveness_proof(&sys, 2)),
+    ] {
+        let mut mc = McDischarger::new(&sys.system);
+        let mut ctx = CheckCtx::new(&mut mc).with_components(3);
+        check_concludes(&p, &j, &mut ctx).unwrap_or_else(|e| panic!("{name}: {e}"));
+        theorems.push((name.into(), sys.system.clone(), j));
+    }
+    for (j_idx, i) in [(0usize, 1usize), (2, 0)] {
+        let p = escape_proof(&sys, j_idx, i);
+        let j = escape_judgment(&sys, j_idx, i);
+        let mut mc = McDischarger::new(&sys.system);
+        let mut ctx = CheckCtx::new(&mut mc).with_components(3);
+        check_concludes(&p, &j, &mut ctx).unwrap();
+        theorems.push((format!("escape({j_idx},{i})"), sys.system.clone(), j));
+    }
+
+    let cfg = ScanConfig::default();
+    for (name, system, judgment) in theorems {
+        assert_eq!(judgment.scope, Scope::System);
+        check_property(&system.composed, &judgment.prop, Universe::Reachable, &cfg)
+            .unwrap_or_else(|e| panic!("MC rejects kernel theorem `{name}`: {e}"));
+    }
+}
+
+#[test]
+fn false_premises_cannot_be_laundered() {
+    // Take the real toy proof and corrupt one premise; the kernel must
+    // reject the derivation (because the discharger refutes the leaf).
+    let toy = toy_system(ToySpec::new(2, 1)).unwrap();
+    // A false component fact: component 0 claims C itself never changes.
+    let bad_leaf = Proof::premise(Judgment::component(
+        0,
+        Property::Unchanged(var(toy.shared)),
+    ));
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+    assert!(check(&bad_leaf, &mut ctx).is_err());
+
+    // A structurally-valid lift of a false fact also fails.
+    let bad_lift = Proof::LiftUniversal {
+        prop: Property::Unchanged(var(toy.shared)),
+        per_component: (0..2)
+            .map(|i| {
+                Proof::premise(Judgment::component(i, Property::Unchanged(var(toy.shared))))
+            })
+            .collect(),
+    };
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+    assert!(check(&bad_lift, &mut ctx).is_err());
+}
+
+#[test]
+fn lifting_rules_enforce_classification() {
+    // Trying to lift a universal property existentially (or vice versa)
+    // is a shape error even with a cooperative discharger.
+    let toy = toy_system(ToySpec::new(2, 1)).unwrap();
+    let stable_prop = Property::Stable(tt());
+    let bad_existential = Proof::LiftExistential {
+        component: 0,
+        sub: Box::new(Proof::premise(Judgment::component(0, stable_prop))),
+    };
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+    let err = check(&bad_existential, &mut ctx).unwrap_err();
+    assert!(err.to_string().contains("not an existential"));
+
+    let init_prop = Property::Init(tt());
+    let bad_universal = Proof::LiftUniversal {
+        prop: init_prop.clone(),
+        per_component: (0..2)
+            .map(|i| Proof::premise(Judgment::component(i, init_prop.clone())))
+            .collect(),
+    };
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(2);
+    let err = check(&bad_universal, &mut ctx).unwrap_err();
+    assert!(err.to_string().contains("not a universal"));
+}
+
+#[test]
+fn universal_lift_requires_every_component() {
+    let toy = toy_system(ToySpec::new(3, 1)).unwrap();
+    let prop = toy.spec_unchanged(0); // unchanged (C - c0): true of c0 only
+    let partial = Proof::LiftUniversal {
+        prop: prop.clone(),
+        per_component: vec![Proof::premise(Judgment::component(0, prop))],
+    };
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(3);
+    assert!(check(&partial, &mut ctx).is_err(), "1 of 3 proofs is not enough");
+}
+
+#[test]
+fn psp_side_shapes_are_enforced() {
+    // PSP with a leadsto in the `next` slot is rejected.
+    let bad = Proof::LtPsp {
+        lt: Box::new(Proof::premise(Judgment::system(Property::LeadsTo(tt(), tt())))),
+        next: Box::new(Proof::premise(Judgment::system(Property::LeadsTo(tt(), tt())))),
+    };
+    let toy = toy_system(ToySpec::new(1, 1)).unwrap();
+    let mut mc = McDischarger::new(&toy.system);
+    let mut ctx = CheckCtx::new(&mut mc).with_components(1);
+    let err = check(&bad, &mut ctx).unwrap_err();
+    assert!(err.to_string().contains("next"));
+}
