@@ -24,12 +24,7 @@ fn bench_e10(c: &mut Criterion) {
             &cfg,
             |b, cfg| {
                 b.iter(|| {
-                    check_unchanged(
-                        &toy.system.composed,
-                        &toy.difference_expr(),
-                        cfg,
-                    )
-                    .unwrap()
+                    check_unchanged(&toy.system.composed, &toy.difference_expr(), cfg).unwrap()
                 })
             },
         );

@@ -20,9 +20,14 @@ use unity_mc::prelude::*;
 fn workload(n: usize) -> (Arc<Vocabulary>, Expr, Expr) {
     let mut v = Vocabulary::new();
     let cs: Vec<VarId> = (0..n)
-        .map(|i| v.declare(&format!("c{i}"), Domain::int_range(0, 2).unwrap()).unwrap())
+        .map(|i| {
+            v.declare(&format!("c{i}"), Domain::int_range(0, 2).unwrap())
+                .unwrap()
+        })
         .collect();
-    let big = v.declare("C", Domain::int_range(0, 2 * n as i64).unwrap()).unwrap();
+    let big = v
+        .declare("C", Domain::int_range(0, 2 * n as i64).unwrap())
+        .unwrap();
     // a = ((C - c0) - c1) - ... ; b = C - (c0 + (c1 + ...)).
     let mut a = var(big);
     for &ci in &cs {
@@ -56,9 +61,7 @@ fn bench_e12(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("full_scan", n),
             &(&vocab, &query, &cfg),
-            |bch, (vocab, query, cfg)| {
-                bch.iter(|| check_valid(vocab, query, cfg).unwrap())
-            },
+            |bch, (vocab, query, cfg)| bch.iter(|| check_valid(vocab, query, cfg).unwrap()),
         );
     }
     group.finish();

@@ -83,9 +83,7 @@ fn bench_e13(c: &mut Criterion) {
             BenchmarkId::new("random_walk_refute", n),
             &(&broken, &pred, &bmc),
             |b, (broken, pred, bmc)| {
-                b.iter(|| {
-                    random_walk_invariant(&broken.system.composed, pred, bmc).unwrap_err()
-                })
+                b.iter(|| random_walk_invariant(&broken.system.composed, pred, bmc).unwrap_err())
             },
         );
         group.bench_with_input(

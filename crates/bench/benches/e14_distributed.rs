@@ -27,8 +27,7 @@ fn bench_event_driven(c: &mut Criterion) {
             &graph,
             |b, graph| {
                 b.iter(|| {
-                    let mut run =
-                        DistRun::new(graph.clone(), &o, Box::new(OldestFirst::new()));
+                    let mut run = DistRun::new(graph.clone(), &o, Box::new(OldestFirst::new()));
                     let stats = run.run(RunLimits::until_actions(5));
                     assert!(stats.min_actions() >= 5);
                     stats.steps
@@ -40,8 +39,7 @@ fn bench_event_driven(c: &mut Criterion) {
             &graph,
             |b, graph| {
                 b.iter(|| {
-                    let mut run =
-                        DistRun::new(graph.clone(), &o, Box::new(SeededRandom::new(7)));
+                    let mut run = DistRun::new(graph.clone(), &o, Box::new(SeededRandom::new(7)));
                     run.run(RunLimits::steps(2_000)).tokens_sent
                 })
             },
@@ -78,24 +76,31 @@ fn bench_snapshot_overhead(c: &mut Criterion) {
 fn bench_threaded(c: &mut Criterion) {
     let mut group = c.benchmark_group("e14_threaded");
     group.sample_size(10);
-    for (name, graph) in [("ring8", topology::ring(8)), ("grid3x3", topology::grid(3, 3))] {
+    for (name, graph) in [
+        ("ring8", topology::ring(8)),
+        ("grid3x3", topology::grid(3, 3)),
+    ] {
         let graph = Arc::new(graph);
         let o = Orientation::index_order(graph.clone());
-        group.bench_with_input(BenchmarkId::new("500_actions_each", name), &graph, |b, graph| {
-            b.iter(|| {
-                let out = run_threaded(
-                    graph,
-                    &o,
-                    ThreadedConfig {
-                        target_actions_per_node: 500,
-                        max_duration: Duration::from_secs(30),
-                        ..ThreadedConfig::default()
-                    },
-                );
-                assert!(out.reached_target);
-                out.tokens_sent
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("500_actions_each", name),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let out = run_threaded(
+                        graph,
+                        &o,
+                        ThreadedConfig {
+                            target_actions_per_node: 500,
+                            max_duration: Duration::from_secs(30),
+                            ..ThreadedConfig::default()
+                        },
+                    );
+                    assert!(out.reached_target);
+                    out.tokens_sent
+                })
+            },
+        );
     }
     group.finish();
 }

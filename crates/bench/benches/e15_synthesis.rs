@@ -62,8 +62,14 @@ fn bench_toy_synthesis(c: &mut Criterion) {
             &program,
             |b, program| {
                 b.iter(|| {
-                    check_leadsto(program, &tt(), &goal, Universe::Reachable, &ScanConfig::default())
-                        .unwrap()
+                    check_leadsto(
+                        program,
+                        &tt(),
+                        &goal,
+                        Universe::Reachable,
+                        &ScanConfig::default(),
+                    )
+                    .unwrap()
                 })
             },
         );
@@ -113,9 +119,11 @@ fn bench_conservation_discovery(c: &mut Criterion) {
     for n in [2usize, 4, 8, 12] {
         let toy = toy_system(ToySpec::new(n, 2)).unwrap();
         let program = toy.system.composed.clone();
-        group.bench_with_input(BenchmarkId::new("discover_basis", n), &program, |b, program| {
-            b.iter(|| conserved_linear_combinations(program).dimension())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("discover_basis", n),
+            &program,
+            |b, program| b.iter(|| conserved_linear_combinations(program).dimension()),
+        );
         // The discovered law, verified by the model checker (one premise).
         let combo = conserved_linear_combinations(&program)
             .nontrivial()
@@ -123,9 +131,13 @@ fn bench_conservation_discovery(c: &mut Criterion) {
             .map(|c| c.to_expr());
         if let Some(e) = combo {
             if n <= 4 {
-                group.bench_with_input(BenchmarkId::new("verify_unchanged", n), &program, |b, program| {
-                    b.iter(|| check_unchanged(program, &e, &ScanConfig::default()).unwrap())
-                });
+                group.bench_with_input(
+                    BenchmarkId::new("verify_unchanged", n),
+                    &program,
+                    |b, program| {
+                        b.iter(|| check_unchanged(program, &e, &ScanConfig::default()).unwrap())
+                    },
+                );
             }
         }
     }

@@ -31,18 +31,28 @@ fn bench_mutation(c: &mut Criterion) {
         let conservation = toy.system_invariant();
         let saturation = toy.saturation_liveness();
         let inv_spec = move |p: &Program| {
-            check_property(p, &conservation, Universe::Reachable, &ScanConfig::default()).is_ok()
+            check_property(
+                p,
+                &conservation,
+                Universe::Reachable,
+                &ScanConfig::default(),
+            )
+            .is_ok()
         };
         let live_spec = move |p: &Program| {
             check_property(p, &saturation, Universe::Reachable, &ScanConfig::default()).is_ok()
         };
-        group.bench_with_input(BenchmarkId::new("full_audit", &id), &program, |b, program| {
-            b.iter(|| {
-                mutation_audit(program, &[("inv", &inv_spec), ("live", &live_spec)])
-                    .unwrap()
-                    .kill_ratio()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_audit", &id),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    mutation_audit(program, &[("inv", &inv_spec), ("live", &live_spec)])
+                        .unwrap()
+                        .kill_ratio()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -13,24 +13,34 @@ use unity_systems::priority_proofs::safety_proof;
 fn bench_e2(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_safety");
     group.sample_size(10);
-    for t in [Topology::Path, Topology::Ring, Topology::Star, Topology::Complete] {
+    for t in [
+        Topology::Path,
+        Topology::Ring,
+        Topology::Star,
+        Topology::Complete,
+    ] {
         for n in [3usize, 4, 5] {
             let sys = PrioritySystem::new(Arc::new(t.build(n))).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(format!("mc_{}", t.name()), n),
-                &sys,
-                |b, sys| {
-                    b.iter(|| {
-                        check_property(
-                            &sys.system.composed,
-                            &sys.safety_invariant(),
-                            Universe::Reachable,
-                            &ScanConfig::default(),
-                        )
-                        .unwrap()
-                    })
-                },
-            );
+            for (engine, cfg) in [
+                ("compiled", ScanConfig::default()),
+                ("reference", ScanConfig::reference()),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("mc_{}_{engine}", t.name()), n),
+                    &(&sys, cfg),
+                    |b, (sys, cfg)| {
+                        b.iter(|| {
+                            check_property(
+                                &sys.system.composed,
+                                &sys.safety_invariant(),
+                                Universe::Reachable,
+                                cfg,
+                            )
+                            .unwrap()
+                        })
+                    },
+                );
+            }
             group.bench_with_input(
                 BenchmarkId::new(format!("proof_{}", t.name()), n),
                 &sys,

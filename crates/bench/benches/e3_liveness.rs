@@ -13,26 +13,27 @@ use unity_systems::priority_proofs::liveness_proof;
 fn bench_e3(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_liveness_fair_mc");
     group.sample_size(10);
-    for t in [Topology::Path, Topology::Ring, Topology::Star, Topology::Complete] {
+    for t in [
+        Topology::Path,
+        Topology::Ring,
+        Topology::Star,
+        Topology::Complete,
+    ] {
         for n in [3usize, 4, 5] {
             let sys = PrioritySystem::new(Arc::new(t.build(n))).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(t.name(), n),
-                &sys,
-                |b, sys| {
-                    b.iter(|| {
-                        for i in 0..sys.len() {
-                            check_property(
-                                &sys.system.composed,
-                                &sys.liveness(i),
-                                Universe::Reachable,
-                                &ScanConfig::default(),
-                            )
-                            .unwrap();
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(t.name(), n), &sys, |b, sys| {
+                b.iter(|| {
+                    for i in 0..sys.len() {
+                        check_property(
+                            &sys.system.composed,
+                            &sys.liveness(i),
+                            Universe::Reachable,
+                            &ScanConfig::default(),
+                        )
+                        .unwrap();
+                    }
+                })
+            });
         }
     }
     group.finish();

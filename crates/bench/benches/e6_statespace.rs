@@ -9,6 +9,15 @@ use unity_mc::prelude::*;
 use unity_systems::priority::PrioritySystem;
 use unity_systems::toy_counter::{toy_system, ToySpec};
 
+/// The two evaluation engines, benched side by side: `compiled` is the
+/// bytecode/packed-word pipeline, `reference` the tree-walking evaluator.
+fn engines() -> [(&'static str, ScanConfig); 2] {
+    [
+        ("compiled", ScanConfig::default()),
+        ("reference", ScanConfig::reference()),
+    ]
+}
+
 fn bench_e6(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_statespace_toy");
     for n in [2usize, 3, 4, 5] {
@@ -20,21 +29,22 @@ fn bench_e6(c: &mut Criterion) {
         )
         .unwrap();
         group.throughput(Throughput::Elements(ts.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("build_reachable", format!("n{n}_{}states", ts.len())),
-            &toy,
-            |b, toy| {
-                b.iter(|| {
-                    TransitionSystem::build(
-                        &toy.system.composed,
-                        Universe::Reachable,
-                        &ScanConfig::default(),
-                    )
-                    .unwrap()
-                    .len()
-                })
-            },
-        );
+        for (engine, cfg) in engines() {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("build_reachable_{engine}"),
+                    format!("n{n}_{}states", ts.len()),
+                ),
+                &(&toy, cfg),
+                |b, (toy, cfg)| {
+                    b.iter(|| {
+                        TransitionSystem::build(&toy.system.composed, Universe::Reachable, cfg)
+                            .unwrap()
+                            .len()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 
@@ -42,17 +52,19 @@ fn bench_e6(c: &mut Criterion) {
     for n in [4usize, 6, 8, 10, 12] {
         let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(n))).unwrap();
         group.throughput(Throughput::Elements(1 << n));
-        group.bench_with_input(BenchmarkId::new("build_all_states", n), &sys, |b, sys| {
-            b.iter(|| {
-                TransitionSystem::build(
-                    &sys.system.composed,
-                    Universe::AllStates,
-                    &ScanConfig::default(),
-                )
-                .unwrap()
-                .transition_count()
-            })
-        });
+        for (engine, cfg) in engines() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("build_all_states_{engine}"), n),
+                &(&sys, cfg),
+                |b, (sys, cfg)| {
+                    b.iter(|| {
+                        TransitionSystem::build(&sys.system.composed, Universe::AllStates, cfg)
+                            .unwrap()
+                            .transition_count()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -18,39 +18,31 @@ fn bench_e7(c: &mut Criterion) {
     group.throughput(Throughput::Elements(STEPS));
     for n in [6usize, 10, 14] {
         let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(n))).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("priority_ring", n),
-            &sys,
-            |b, sys| {
-                b.iter(|| {
-                    let mut monitor = RecurrenceMonitor::new(
-                        (0..sys.len()).map(|i| sys.priority_expr(i)).collect(),
-                    );
-                    let mut sched = AgedLottery::new(42, 4 * sys.len() as u64);
-                    let mut exec = Executor::from_first_initial(&sys.system.composed);
-                    {
-                        let mut monitors: Vec<&mut dyn Monitor> = vec![&mut monitor];
-                        exec.run(STEPS, &mut sched, &mut monitors);
-                    }
-                    // Return the fairness index so criterion can't optimize
-                    // the work away; assert sanity.
-                    let means: Vec<f64> = (0..sys.len())
-                        .map(|i| {
-                            Summary::of(&monitor.gaps[i]).map_or(f64::INFINITY, |s| s.mean)
-                        })
-                        .collect();
-                    let jain = jain_index(&means);
-                    assert!(jain > 0.5, "mechanism should be roughly fair");
-                    jain
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("priority_ring", n), &sys, |b, sys| {
+            b.iter(|| {
+                let mut monitor =
+                    RecurrenceMonitor::new((0..sys.len()).map(|i| sys.priority_expr(i)).collect());
+                let mut sched = AgedLottery::new(42, 4 * sys.len() as u64);
+                let mut exec = Executor::from_first_initial(&sys.system.composed);
+                {
+                    let mut monitors: Vec<&mut dyn Monitor> = vec![&mut monitor];
+                    exec.run(STEPS, &mut sched, &mut monitors);
+                }
+                // Return the fairness index so criterion can't optimize
+                // the work away; assert sanity.
+                let means: Vec<f64> = (0..sys.len())
+                    .map(|i| Summary::of(&monitor.gaps[i]).map_or(f64::INFINITY, |s| s.mean))
+                    .collect();
+                let jain = jain_index(&means);
+                assert!(jain > 0.5, "mechanism should be roughly fair");
+                jain
+            })
+        });
         let arb = centralized_arbiter(n).unwrap();
         group.bench_with_input(BenchmarkId::new("arbiter", n), &arb, |b, arb| {
             b.iter(|| {
-                let mut monitor = RecurrenceMonitor::new(
-                    (0..arb.n).map(|i| arb.priority_expr(i)).collect(),
-                );
+                let mut monitor =
+                    RecurrenceMonitor::new((0..arb.n).map(|i| arb.priority_expr(i)).collect());
                 let mut sched = AgedLottery::new(42, 8);
                 let mut exec = Executor::from_first_initial(&arb.system.composed);
                 {

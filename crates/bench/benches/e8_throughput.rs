@@ -19,7 +19,10 @@ fn bench_e8(c: &mut Criterion) {
     let ring = PrioritySystem::new(Arc::new(prio_graph::topology::ring(10))).unwrap();
     let schedulers: Vec<(&str, SchedulerFactory)> = vec![
         ("round_robin", Box::new(|| Box::new(RoundRobin::default()))),
-        ("aged_lottery", Box::new(|| Box::new(AgedLottery::new(7, 40)))),
+        (
+            "aged_lottery",
+            Box::new(|| Box::new(AgedLottery::new(7, 40))),
+        ),
         (
             "adversarial",
             Box::new(|| Box::new(AdversarialDelay::new(9, 0, 40))),

@@ -45,17 +45,22 @@ fn bench_e9(c: &mut Criterion) {
         // Component-reuse scenario: premises for one representative
         // component only (all components are isomorphic, which is exactly
         // how a repository of verified parts would amortize the cost).
-        group.bench_with_input(BenchmarkId::new("one_component_premises", n), &toy, |b, toy| {
-            b.iter(|| {
-                let comp = &toy.system.components[0];
-                let cfg = ScanConfig::default();
-                check_property(comp, &toy.spec_init(0), Universe::Reachable, &cfg).unwrap();
-                check_property(comp, &toy.spec_unchanged(0), Universe::Reachable, &cfg).unwrap();
-                for loc in toy.spec_locality(0) {
-                    check_property(comp, &loc, Universe::Reachable, &cfg).unwrap();
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("one_component_premises", n),
+            &toy,
+            |b, toy| {
+                b.iter(|| {
+                    let comp = &toy.system.components[0];
+                    let cfg = ScanConfig::default();
+                    check_property(comp, &toy.spec_init(0), Universe::Reachable, &cfg).unwrap();
+                    check_property(comp, &toy.spec_unchanged(0), Universe::Reachable, &cfg)
+                        .unwrap();
+                    for loc in toy.spec_locality(0) {
+                        check_property(comp, &loc, Universe::Reachable, &cfg).unwrap();
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -16,9 +16,9 @@
 
 use std::time::Instant;
 
+use unity_core::proof::check::{check_concludes, CheckCtx};
 use unity_mc::prelude::*;
 use unity_mc::transition::Universe;
-use unity_core::proof::check::{check_concludes, CheckCtx};
 use unity_systems::toy_counter::{toy_system, ToySpec};
 use unity_systems::toy_proof::toy_invariant_proof;
 

@@ -1,0 +1,52 @@
+//! Quick engine comparison: times one full-domain validity scan of the
+//! toy-counter conservation invariant under the compiled and reference
+//! evaluation engines.
+//!
+//! ```text
+//! cargo run --release -p composition-bench --bin scan_probe
+//! ```
+
+use std::time::Instant;
+
+use unity_core::properties::Property;
+use unity_mc::prelude::*;
+use unity_systems::toy_counter::{toy_system, ToySpec};
+
+fn main() {
+    println!("full-domain validity scan: compiled vs reference evaluation");
+    for n in [6usize, 8, 10] {
+        let toy = toy_system(ToySpec::new(n, 2)).unwrap();
+        let vocab = toy.system.vocab();
+        let Property::Invariant(inv) = toy.system_invariant() else {
+            unreachable!("system invariant is an invariant");
+        };
+        let query = unity_core::expr::build::implies(inv.clone(), inv.clone());
+        let mut times = Vec::new();
+        for (name, cfg) in [
+            ("compiled", ScanConfig::without_projection()),
+            (
+                "reference",
+                ScanConfig {
+                    compiled: false,
+                    ..ScanConfig::without_projection()
+                },
+            ),
+        ] {
+            let iters = if n <= 8 { 20 } else { 5 };
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                check_valid(vocab, &query, &cfg).unwrap();
+            }
+            let el = t0.elapsed() / iters;
+            println!(
+                "  n={n:<2} {name:<10} {el:>12.2?}  ({} states)",
+                vocab.space_size().unwrap()
+            );
+            times.push(el);
+        }
+        println!(
+            "  n={n:<2} speedup    {:>11.1}x",
+            times[1].as_secs_f64() / times[0].as_secs_f64()
+        );
+    }
+}

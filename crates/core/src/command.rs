@@ -222,8 +222,13 @@ mod tests {
     fn guarded_step() {
         let v = vocab();
         let x = v.lookup("x").unwrap();
-        let c = Command::new("inc", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))], &v)
-            .unwrap();
+        let c = Command::new(
+            "inc",
+            lt(var(x), int(3)),
+            vec![(x, add(var(x), int(1)))],
+            &v,
+        )
+        .unwrap();
         let s0 = State::minimum(&v);
         let s1 = c.step(&s0, &v);
         assert_eq!(s1.get(x), Value::Int(1));

@@ -76,10 +76,7 @@ pub fn compatible(programs: &[&Program]) -> Result<(), CoreError> {
 
 /// Composes `programs` (already over a shared vocabulary) into one program,
 /// enforcing compatibility and initial-state existence.
-pub fn compose(
-    programs: &[Program],
-    init_check: InitSatCheck,
-) -> Result<Program, CoreError> {
+pub fn compose(programs: &[Program], init_check: InitSatCheck) -> Result<Program, CoreError> {
     assert!(!programs.is_empty(), "cannot compose zero programs");
     let refs: Vec<&Program> = programs.iter().collect();
     compatible(&refs)?;
@@ -112,9 +109,7 @@ pub fn compose(
 
     let do_check = match init_check {
         InitSatCheck::Exhaustive => true,
-        InitSatCheck::BoundedExhaustive(limit) => {
-            vocab.space_size().is_some_and(|n| n <= limit)
-        }
+        InitSatCheck::BoundedExhaustive(limit) => vocab.space_size().is_some_and(|n| n <= limit),
         InitSatCheck::Skip => false,
     };
     if do_check {
@@ -144,11 +139,7 @@ pub fn merge_programs(programs: &[Program]) -> Result<Vec<Program>, CoreError> {
     Ok(out)
 }
 
-fn remap_program(
-    p: &Program,
-    map: &[VarId],
-    vocab: Arc<Vocabulary>,
-) -> Result<Program, CoreError> {
+fn remap_program(p: &Program, map: &[VarId], vocab: Arc<Vocabulary>) -> Result<Program, CoreError> {
     let remap_expr = |e: &crate::expr::Expr| remap(e, map);
     let mut commands = Vec::with_capacity(p.commands.len());
     for c in &p.commands {
@@ -322,7 +313,10 @@ mod tests {
     fn double_local_rejected() {
         let (vocab, p0, _) = two_counters();
         let c0 = vocab.lookup("c0").unwrap();
-        let q = Program::builder("Q", vocab.clone()).local(c0).build().unwrap();
+        let q = Program::builder("Q", vocab.clone())
+            .local(c0)
+            .build()
+            .unwrap();
         let err = System::compose(vec![p0, q], InitSatCheck::Skip).unwrap_err();
         assert!(matches!(err, CoreError::LocalityViolation { .. }));
     }
@@ -332,8 +326,14 @@ mod tests {
         let mut v = Vocabulary::new();
         let x = v.declare("x", Domain::Bool).unwrap();
         let vocab = Arc::new(v);
-        let f = Program::builder("F", vocab.clone()).init(var(x)).build().unwrap();
-        let g = Program::builder("G", vocab.clone()).init(not(var(x))).build().unwrap();
+        let f = Program::builder("F", vocab.clone())
+            .init(var(x))
+            .build()
+            .unwrap();
+        let g = Program::builder("G", vocab.clone())
+            .init(not(var(x)))
+            .build()
+            .unwrap();
         let err = System::compose(vec![f, g], InitSatCheck::Exhaustive).unwrap_err();
         assert!(matches!(err, CoreError::UnsatisfiableInit { .. }));
     }
@@ -385,8 +385,18 @@ mod tests {
         let s01 = System::compose(vec![p0.clone(), p1.clone()], InitSatCheck::Skip).unwrap();
         let s10 = System::compose(vec![p1, p0], InitSatCheck::Skip).unwrap();
         // Same command multiset.
-        let mut names01: Vec<_> = s01.composed.commands.iter().map(|c| c.name.clone()).collect();
-        let mut names10: Vec<_> = s10.composed.commands.iter().map(|c| c.name.clone()).collect();
+        let mut names01: Vec<_> = s01
+            .composed
+            .commands
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let mut names10: Vec<_> = s10
+            .composed
+            .commands
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         names01.sort();
         names10.sort();
         assert_eq!(names01, names10);

@@ -116,11 +116,8 @@ pub fn conserved_linear_combinations(program: &Program) -> ConservedBasis {
         .filter(|(_, d)| d.domain.ty() == Type::Int)
         .map(|(id, _)| id)
         .collect();
-    let col_of: BTreeMap<VarId, usize> = int_vars
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let col_of: BTreeMap<VarId, usize> =
+        int_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let ncols = int_vars.len();
 
     // Taint analysis: non-linearizable updates pin their target to 0.
@@ -418,8 +415,7 @@ mod tests {
         let combo = nontrivial[0];
         // C − c0 − c1 up to global sign; leading coefficient normalized
         // positive means c0 gets +1 (it is the lowest VarId).
-        let expected: BTreeMap<VarId, i64> =
-            [(c0, 1), (c1, 1), (big, -1)].into_iter().collect();
+        let expected: BTreeMap<VarId, i64> = [(c0, 1), (c1, 1), (big, -1)].into_iter().collect();
         assert_eq!(combo.coeffs, expected);
     }
 
@@ -430,10 +426,7 @@ mod tests {
         let combo = basis.nontrivial()[0];
         let inv = invariant_from_combo(&p, combo).expect("init pins the value");
         // c0 + c1 − C = 0.
-        let rendered = format!(
-            "{}",
-            crate::expr::pretty::Render::new(&inv, &p.vocab)
-        );
+        let rendered = format!("{}", crate::expr::pretty::Render::new(&inv, &p.vocab));
         assert!(rendered.contains('='), "an equation: {rendered}");
     }
 
@@ -541,11 +534,7 @@ mod tests {
             .build()
             .unwrap();
         let basis = conserved_linear_combinations(&p);
-        let combo = basis
-            .combos
-            .iter()
-            .find(|c| c.support_size() == 2)
-            .unwrap();
+        let combo = basis.combos.iter().find(|c| c.support_size() == 2).unwrap();
         assert!(invariant_from_combo(&p, combo).is_none());
     }
 

@@ -26,7 +26,10 @@ impl Parser {
     }
 
     fn here(&self) -> (u32, u32) {
-        match self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))) {
+        match self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+        {
             Some(s) => (s.line, s.col),
             None => (1, 1),
         }

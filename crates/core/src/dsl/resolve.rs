@@ -38,9 +38,9 @@ pub fn resolve_program(sp: &SProgram) -> Result<Program, CoreError> {
         let guard = resolve_expr(&c.guard, &vocab)?;
         let mut updates = Vec::with_capacity(c.updates.len());
         for (name, rhs) in &c.updates {
-            let id = vocab.lookup(name).ok_or_else(|| CoreError::UnknownVar {
-                name: name.clone(),
-            })?;
+            let id = vocab
+                .lookup(name)
+                .ok_or_else(|| CoreError::UnknownVar { name: name.clone() })?;
             updates.push((id, resolve_expr(rhs, &vocab)?));
         }
         b = if c.fair {
@@ -64,9 +64,9 @@ fn go(se: &SExpr, vocab: &Vocabulary) -> Result<Expr, CoreError> {
         SExpr::Int(n) => Expr::Lit(Value::Int(*n)),
         SExpr::Bool(b) => Expr::Lit(Value::Bool(*b)),
         SExpr::Name(name) => {
-            let id = vocab.lookup(name).ok_or_else(|| CoreError::UnknownVar {
-                name: name.clone(),
-            })?;
+            let id = vocab
+                .lookup(name)
+                .ok_or_else(|| CoreError::UnknownVar { name: name.clone() })?;
             Expr::Var(id)
         }
         SExpr::Unary(SUnOp::Not, a) => Expr::Not(Box::new(go(a, vocab)?)),
@@ -91,7 +91,9 @@ fn go(se: &SExpr, vocab: &Vocabulary) -> Result<Expr, CoreError> {
             };
             Expr::NAry(
                 op,
-                args.iter().map(|a| go(a, vocab)).collect::<Result<_, _>>()?,
+                args.iter()
+                    .map(|a| go(a, vocab))
+                    .collect::<Result<_, _>>()?,
             )
         }
     })
@@ -125,9 +127,7 @@ pub fn resolve_property(sp: &SProperty, vocab: &Vocabulary) -> Result<Property, 
         SProperty::Stable(p) => Property::Stable(resolve_expr(p, vocab)?),
         SProperty::Invariant(p) => Property::Invariant(resolve_expr(p, vocab)?),
         SProperty::Unchanged(e) => Property::Unchanged(resolve_expr(e, vocab)?),
-        SProperty::Next(p, q) => {
-            Property::Next(resolve_expr(p, vocab)?, resolve_expr(q, vocab)?)
-        }
+        SProperty::Next(p, q) => Property::Next(resolve_expr(p, vocab)?, resolve_expr(q, vocab)?),
         SProperty::LeadsTo(p, q) => {
             Property::LeadsTo(resolve_expr(p, vocab)?, resolve_expr(q, vocab)?)
         }
@@ -150,7 +150,10 @@ mod tests {
             Box::new(SExpr::Int(1)),
         );
         let e = resolve_expr(&se, &v).unwrap();
-        assert_eq!(e, crate::expr::build::add(crate::expr::build::var(x), crate::expr::build::int(1)));
+        assert_eq!(
+            e,
+            crate::expr::build::add(crate::expr::build::var(x), crate::expr::build::int(1))
+        );
     }
 
     #[test]

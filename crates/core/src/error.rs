@@ -93,13 +93,19 @@ impl fmt::Display for CoreError {
                 write!(f, "empty integer domain {lo}..{hi}")
             }
             CoreError::DomainMismatch { var, left, right } => {
-                write!(f, "variable `{var}` declared with domains {left} and {right}")
+                write!(
+                    f,
+                    "variable `{var}` declared with domains {left} and {right}"
+                )
             }
             CoreError::TypeError {
                 expr,
                 expected,
                 found,
-            } => write!(f, "type error in `{expr}`: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type error in `{expr}`: expected {expected}, found {found}"
+            ),
             CoreError::UnknownVar { name } => write!(f, "unknown variable `{name}`"),
             CoreError::DuplicateAssignment { command, var } => {
                 write!(f, "command `{command}` assigns `{var}` more than once")

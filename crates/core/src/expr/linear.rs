@@ -127,7 +127,11 @@ fn combine(a: &LinearForm, b: &LinearForm, sign: i64) -> Option<LinearForm> {
         }
     }
     let constant = a.constant.checked_add(b.constant.checked_mul(sign)?)?;
-    let (blo, bhi) = if sign == 1 { (b.lo, b.hi) } else { (-b.hi, -b.lo) };
+    let (blo, bhi) = if sign == 1 {
+        (b.lo, b.hi)
+    } else {
+        (-b.hi, -b.lo)
+    };
     let lo = a.lo.checked_add(blo)?;
     let hi = a.hi.checked_add(bhi)?;
     Some(LinearForm {

@@ -9,6 +9,7 @@
 //! nodes, since systems are built for concrete finite component counts.
 
 pub mod build;
+pub mod compile;
 pub mod eval;
 pub mod linear;
 pub mod pretty;

@@ -233,7 +233,11 @@ mod tests {
         assert_eq!(simplify(&e), x);
         let e = or(vec![ff(), tt(), x.clone()]);
         assert_eq!(simplify(&e), tt());
-        let e = sum(vec![int(1), sum(vec![int(2), var(crate::ident::VarId(1))]), int(3)]);
+        let e = sum(vec![
+            int(1),
+            sum(vec![int(2), var(crate::ident::VarId(1))]),
+            int(3),
+        ]);
         // 1 + 2 + 3 folded into single literal alongside the variable.
         match simplify(&e) {
             Expr::NAry(NAryOp::Sum, parts) => {

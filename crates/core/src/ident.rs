@@ -118,9 +118,7 @@ impl Vocabulary {
     }
 
     /// Iterates over `(id, decl)` pairs in declaration order.
-    pub fn iter(
-        &self,
-    ) -> impl DoubleEndedIterator<Item = (VarId, &VarDecl)> + ExactSizeIterator {
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = (VarId, &VarDecl)> + ExactSizeIterator {
         self.vars
             .iter()
             .enumerate()

@@ -74,6 +74,7 @@ pub mod prelude {
     pub use crate::domain::Domain;
     pub use crate::error::CoreError;
     pub use crate::expr::build::*;
+    pub use crate::expr::compile::{CompiledCommand, CompiledExpr, PackedLayout, Scratch};
     pub use crate::expr::eval::{eval, eval_bool, eval_int};
     pub use crate::expr::pretty::Render;
     pub use crate::expr::simplify::simplify;
@@ -91,9 +92,9 @@ pub mod prelude {
     pub use crate::proof::{AssumeAll, Discharger, FactBase, Judgment, Scope};
     pub use crate::properties::Property;
     pub use crate::rg::{
-        action_implies, invariant_via_rg, locality_rely, parallel_rule, preserves,
-        stable_under, steps_satisfy, unchanged_vars, ActionPred, ActionVocab, RelyGuarantee,
-        RgError, RgViolation,
+        action_implies, invariant_via_rg, locality_rely, parallel_rule, preserves, stable_under,
+        steps_satisfy, unchanged_vars, ActionPred, ActionVocab, RelyGuarantee, RgError,
+        RgViolation,
     };
     pub use crate::state::{State, StateSpaceIter};
     pub use crate::value::{Type, Value};

@@ -109,7 +109,12 @@ impl Program {
         self.init.check_pred(&self.vocab)?;
         for c in &self.commands {
             // Re-run the constructor checks.
-            Command::new(c.name.clone(), c.guard.clone(), c.updates.clone(), &self.vocab)?;
+            Command::new(
+                c.name.clone(),
+                c.guard.clone(),
+                c.updates.clone(),
+                &self.vocab,
+            )?;
         }
         if let Some(&bad) = self.fair.iter().find(|&&i| i >= self.commands.len()) {
             return Err(CoreError::ProofShape {
@@ -133,7 +138,11 @@ impl Program {
         let mut out = String::new();
         let _ = writeln!(out, "program {}", self.name);
         for (id, d) in self.vocab.iter() {
-            let loc = if self.locals.contains(&id) { " local" } else { "" };
+            let loc = if self.locals.contains(&id) {
+                " local"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  var {} : {}{}", d.name, d.domain, loc);
         }
         let _ = writeln!(
@@ -142,7 +151,11 @@ impl Program {
             crate::expr::pretty::Render::new(&self.init, &self.vocab)
         );
         for (i, c) in self.commands.iter().enumerate() {
-            let kw = if self.fair.contains(&i) { "fair cmd" } else { "cmd" };
+            let kw = if self.fair.contains(&i) {
+                "fair cmd"
+            } else {
+                "cmd"
+            };
             let _ = writeln!(out, "  {} {}", kw, c.display(&self.vocab));
         }
         let _ = writeln!(out, "end");
@@ -178,7 +191,10 @@ impl ProgramBuilder {
             self.init = if self.init.is_true() {
                 p
             } else {
-                crate::expr::build::and2(std::mem::replace(&mut self.init, crate::expr::build::tt()), p)
+                crate::expr::build::and2(
+                    std::mem::replace(&mut self.init, crate::expr::build::tt()),
+                    p,
+                )
             };
         }
         self

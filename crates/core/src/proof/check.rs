@@ -142,9 +142,7 @@ pub fn check(proof: &Proof, ctx: &mut CheckCtx<'_>) -> Result<Judgment, CoreErro
             let j = check(sub, ctx)?;
             require_scope(&j, Scope::System, "lt-transient")?;
             match &j.prop {
-                Property::Transient(q) => {
-                    Judgment::system(Property::LeadsTo(tt(), not(q.clone())))
-                }
+                Property::Transient(q) => Judgment::system(Property::LeadsTo(tt(), not(q.clone()))),
                 other => {
                     return Err(shape_err(
                         "lt-transient",
@@ -605,8 +603,14 @@ mod tests {
         let b = var(VarId(1));
         let c = var(VarId(2));
         let good = Proof::LtTransitivity {
-            first: Box::new(Proof::premise(sysj(Property::LeadsTo(a.clone(), b.clone())))),
-            second: Box::new(Proof::premise(sysj(Property::LeadsTo(b.clone(), c.clone())))),
+            first: Box::new(Proof::premise(sysj(Property::LeadsTo(
+                a.clone(),
+                b.clone(),
+            )))),
+            second: Box::new(Proof::premise(sysj(Property::LeadsTo(
+                b.clone(),
+                c.clone(),
+            )))),
         };
         let mut d = AssumeAll::default();
         let j = check(&good, &mut CheckCtx::new(&mut d)).unwrap();
@@ -627,7 +631,10 @@ mod tests {
         let s = var(VarId(2));
         let t = var(VarId(3));
         let proof = Proof::LtPsp {
-            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(p.clone(), q.clone())))),
+            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(
+                p.clone(),
+                q.clone(),
+            )))),
             next: Box::new(Proof::premise(sysj(Property::Next(s.clone(), t.clone())))),
         };
         let mut d = AssumeAll::default();
@@ -642,7 +649,10 @@ mod tests {
         let q = var(VarId(1));
         let s = var(VarId(2));
         let proof = Proof::LtPsp {
-            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(p.clone(), q.clone())))),
+            lt: Box::new(Proof::premise(sysj(Property::LeadsTo(
+                p.clone(),
+                q.clone(),
+            )))),
             next: Box::new(Proof::premise(sysj(Property::Stable(s.clone())))),
         };
         let mut d = AssumeAll::default();
@@ -691,7 +701,10 @@ mod tests {
         // Universal property type rejected.
         let bad = Proof::LiftExistential {
             component: 0,
-            sub: Box::new(Proof::premise(Judgment::component(0, Property::Stable(tt())))),
+            sub: Box::new(Proof::premise(Judgment::component(
+                0,
+                Property::Stable(tt()),
+            ))),
         };
         let mut d = AssumeAll::default();
         assert!(check(&bad, &mut CheckCtx::new(&mut d)).is_err());
@@ -711,10 +724,7 @@ mod tests {
         };
         let mut d = AssumeAll::default();
         let j = check(&proof, &mut CheckCtx::new(&mut d)).unwrap();
-        assert_eq!(
-            j,
-            Judgment::component(0, Property::Unchanged(composed))
-        );
+        assert_eq!(j, Judgment::component(0, Property::Unchanged(composed)));
         // Not covered: mentions a variable outside the parts.
         let bad = Proof::UnchangedCompose {
             parts: vec![Proof::premise(Judgment::component(
@@ -852,10 +862,7 @@ mod tests {
         };
         let mut d = AssumeAll::default();
         let j = check(&disj, &mut CheckCtx::new(&mut d)).unwrap();
-        assert_eq!(
-            j,
-            sysj(Property::Next(or2(p, r.clone()), or2(q, r)))
-        );
+        assert_eq!(j, sysj(Property::Next(or2(p, r.clone()), or2(q, r))));
     }
 
     #[test]

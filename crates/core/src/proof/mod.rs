@@ -218,7 +218,8 @@ mod tests {
     #[test]
     fn assume_all_counts() {
         let mut d = AssumeAll::default();
-        d.discharge(&Judgment::component(0, Property::Init(tt()))).unwrap();
+        d.discharge(&Judgment::component(0, Property::Init(tt())))
+            .unwrap();
         d.valid(&tt()).unwrap();
         assert_eq!(d.premises, 1);
         assert_eq!(d.validities, 1);

@@ -33,10 +33,7 @@ fn render_into(proof: &Proof, vocab: &Vocabulary, depth: usize, out: &mut String
     }
 }
 
-fn check_for_display(
-    proof: &Proof,
-    ctx: &mut CheckCtx<'_>,
-) -> Option<crate::proof::Judgment> {
+fn check_for_display(proof: &Proof, ctx: &mut CheckCtx<'_>) -> Option<crate::proof::Judgment> {
     // Universal lifting checks the exact component count; for display we
     // infer it from the node itself.
     if let Proof::LiftUniversal { per_component, .. } = proof {
@@ -49,15 +46,13 @@ fn check_for_display(
 mod tests {
     use super::*;
     use crate::expr::build::*;
-    use crate::properties::Property;
     use crate::proof::{Judgment, Scope};
+    use crate::properties::Property;
 
     #[test]
     fn renders_tree() {
         let mut v = Vocabulary::new();
-        let x = v
-            .declare("x", crate::domain::Domain::Bool)
-            .unwrap();
+        let x = v.declare("x", crate::domain::Domain::Bool).unwrap();
         let proof = Proof::LtTransient {
             sub: Box::new(Proof::premise(Judgment::new(
                 Scope::System,

@@ -223,7 +223,11 @@ impl Proof {
 
     /// Number of nodes in the tree (reporting).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Immediate children of this node.
@@ -311,10 +315,7 @@ pub fn induction_bound_condition(p: &Expr, metric: &Expr, bound: i64) -> Expr {
 pub fn psp_goal(p: &Expr, q: &Expr, s: &Expr, t: &Expr) -> (Expr, Expr) {
     (
         and2(p.clone(), s.clone()),
-        or2(
-            and2(q.clone(), s.clone()),
-            and2(not(s.clone()), t.clone()),
-        ),
+        or2(and2(q.clone(), s.clone()), and2(not(s.clone()), t.clone())),
     )
 }
 
@@ -331,10 +332,7 @@ mod tests {
 
     #[test]
     fn node_count_and_children() {
-        let leaf = Proof::premise(Judgment::new(
-            Scope::System,
-            Property::Transient(tt()),
-        ));
+        let leaf = Proof::premise(Judgment::new(Scope::System, Property::Transient(tt())));
         let tree = Proof::LtTransient {
             sub: Box::new(leaf),
         };

@@ -136,11 +136,15 @@ mod tests {
     fn type_checking() {
         let v = vocab();
         let x = v.lookup("x").unwrap();
-        assert!(Property::Invariant(eq(var(x), int(0))).check_types(&v).is_ok());
+        assert!(Property::Invariant(eq(var(x), int(0)))
+            .check_types(&v)
+            .is_ok());
         assert!(Property::Invariant(var(x)).check_types(&v).is_err());
         // Unchanged accepts integer expressions.
         assert!(Property::Unchanged(var(x)).check_types(&v).is_ok());
-        assert!(Property::LeadsTo(tt(), eq(var(x), int(3))).check_types(&v).is_ok());
+        assert!(Property::LeadsTo(tt(), eq(var(x), int(3)))
+            .check_types(&v)
+            .is_ok());
     }
 
     #[test]

@@ -326,8 +326,12 @@ pub fn parallel_rule(
     av: &ActionVocab,
 ) -> Result<(), Box<RgError>> {
     for (i, (p, rg)) in components.iter().enumerate() {
-        steps_satisfy(p, av, &rg.guar)
-            .map_err(|violation| Box::new(RgError::GuaranteeBroken { component: i, violation }))?;
+        steps_satisfy(p, av, &rg.guar).map_err(|violation| {
+            Box::new(RgError::GuaranteeBroken {
+                component: i,
+                violation,
+            })
+        })?;
     }
     for (j, (_, rg_j)) in components.iter().enumerate() {
         for (i, (_, rg_i)) in components.iter().enumerate() {
@@ -370,10 +374,18 @@ pub fn invariant_via_rg(
     p: &Expr,
 ) -> Result<(), Box<RgError>> {
     for (i, (prog, rg)) in components.iter().enumerate() {
-        steps_satisfy(prog, av, &rg.guar)
-            .map_err(|violation| Box::new(RgError::GuaranteeBroken { component: i, violation }))?;
-        stable_under(av, p, &rg.guar)
-            .map_err(|violation| Box::new(RgError::NotStable { component: i, violation }))?;
+        steps_satisfy(prog, av, &rg.guar).map_err(|violation| {
+            Box::new(RgError::GuaranteeBroken {
+                component: i,
+                violation,
+            })
+        })?;
+        stable_under(av, p, &rg.guar).map_err(|violation| {
+            Box::new(RgError::NotStable {
+                component: i,
+                violation,
+            })
+        })?;
     }
     for s in composed.initial_states() {
         if !eval_bool(p, &s) {
@@ -457,11 +469,7 @@ mod tests {
             sub(var(av.prime(big)), var(big)),
             sub(var(av.prime(c)), var(c)),
         );
-        ActionPred::new(
-            and2(delta_eq, eq(var(av.prime(other)), var(other))),
-            av,
-        )
-        .unwrap()
+        ActionPred::new(and2(delta_eq, eq(var(av.prime(other)), var(other))), av).unwrap()
     }
 
     #[test]
@@ -504,10 +512,7 @@ mod tests {
             rely: g1.clone(),
             guar: g0.clone(),
         };
-        let rg1 = RelyGuarantee {
-            rely: g0,
-            guar: g1,
-        };
+        let rg1 = RelyGuarantee { rely: g0, guar: g1 };
         parallel_rule(
             &[(&sys.components[0], &rg0), (&sys.components[1], &rg1)],
             &sys.composed,
@@ -537,7 +542,9 @@ mod tests {
         )
         .unwrap_err();
         match *err {
-            RgError::InterferenceUnjustified { promiser, relier, .. } => {
+            RgError::InterferenceUnjustified {
+                promiser, relier, ..
+            } => {
                 assert_eq!((promiser, relier), (0, 1));
             }
             other => panic!("expected interference error, got {other:?}"),
@@ -553,10 +560,7 @@ mod tests {
             rely: g1.clone(),
             guar: g0.clone(),
         };
-        let rg1 = RelyGuarantee {
-            rely: g0,
-            guar: g1,
-        };
+        let rg1 = RelyGuarantee { rely: g0, guar: g1 };
         let p = eq(var(big), add(var(c0), var(c1)));
         invariant_via_rg(
             &[(&sys.components[0], &rg0), (&sys.components[1], &rg1)],

@@ -35,11 +35,7 @@ const Q: VarId = VarId(3);
 /// Strategy for well-typed integer expressions (non-negative literals so
 /// parse round-trips are exact).
 fn arb_int_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..=6).prop_map(int),
-        Just(var(X)),
-        Just(var(Y)),
-    ];
+    let leaf = prop_oneof![(0i64..=6).prop_map(int), Just(var(X)), Just(var(Y)),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
@@ -56,12 +52,7 @@ fn arb_int_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_bool_leaf() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        Just(tt()),
-        Just(ff()),
-        Just(var(P)),
-        Just(var(Q)),
-    ]
+    prop_oneof![Just(tt()), Just(ff()), Just(var(P)), Just(var(Q)),]
 }
 
 /// Strategy for well-typed boolean expressions.

@@ -57,16 +57,19 @@ fn arb_guard() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec((arb_guard(), prop::collection::vec(arb_update(), 1..3)), 1..4)
-        .prop_map(|cmds| {
-            let mut b = Program::builder("p", vocab()).init(tt());
-            for (i, (g, mut ups)) in cmds.into_iter().enumerate() {
-                ups.sort_by_key(|(x, _)| *x);
-                ups.dedup_by_key(|(x, _)| *x);
-                b = b.command(format!("c{i}"), g, ups);
-            }
-            b.build().expect("pool is well-typed")
-        })
+    prop::collection::vec(
+        (arb_guard(), prop::collection::vec(arb_update(), 1..3)),
+        1..4,
+    )
+    .prop_map(|cmds| {
+        let mut b = Program::builder("p", vocab()).init(tt());
+        for (i, (g, mut ups)) in cmds.into_iter().enumerate() {
+            ups.sort_by_key(|(x, _)| *x);
+            ups.dedup_by_key(|(x, _)| *x);
+            b = b.command(format!("c{i}"), g, ups);
+        }
+        b.build().expect("pool is well-typed")
+    })
 }
 
 fn arb_pred() -> impl Strategy<Value = Expr> {

@@ -1,0 +1,588 @@
+//! Event-driven executor for the token-based edge-reversal protocol.
+//!
+//! The only events are message deliveries; a [`DeliveryScheduler`] picks
+//! which in-flight message is delivered next. Actions (a node holding all
+//! of its edge tokens performs its critical step and yields every token)
+//! fire *atomically* at the delivery that completes the node's hold — the
+//! distributed image of the paper's abstract `yield` command.
+//!
+//! A **refinement shadow** is maintained: an abstract
+//! [`Orientation`] updated by `yield_node` at every action. After each
+//! action the shadow is compared against the orientation *derived from
+//! token positions* (in-flight tokens attributed to their receiver); any
+//! disagreement — or an action by a node without abstract priority — is
+//! recorded as a [`RefinementViolation`]. A correct protocol produces
+//! none, under any scheduler.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use prio_graph::graph::ConflictGraph;
+use prio_graph::orientation::Orientation;
+
+use crate::sched::{DeliveryScheduler, PendingMsg};
+use crate::snapshot::{ActiveSnapshot, ChannelRec, Snapshot};
+
+/// A message in a directed FIFO channel.
+#[derive(Debug, Clone, Copy)]
+enum Msg {
+    /// The edge's token (the priority over that edge's other endpoint).
+    Token { edge: u32, seq: u64 },
+    /// A Chandy–Lamport marker for snapshot `snapshot`.
+    Marker { snapshot: usize, seq: u64 },
+}
+
+impl Msg {
+    fn seq(&self) -> u64 {
+        match self {
+            Msg::Token { seq, .. } | Msg::Marker { seq, .. } => *seq,
+        }
+    }
+}
+
+/// One classified protocol step (delivery events, plus the actions they
+/// trigger).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Token of `edge` delivered to node `to`.
+    Deliver {
+        /// Edge whose token arrived.
+        edge: u32,
+        /// Receiving node.
+        to: usize,
+    },
+    /// Node performed its action and yielded all its tokens.
+    Action {
+        /// The acting node.
+        node: usize,
+    },
+    /// Snapshot marker delivered to node `to`.
+    Marker {
+        /// Snapshot id.
+        snapshot: usize,
+        /// Receiving node.
+        to: usize,
+    },
+}
+
+/// A detected divergence between the protocol and its abstraction.
+#[derive(Debug, Clone)]
+pub struct RefinementViolation {
+    /// Step at which the divergence was detected.
+    pub step: u64,
+    /// Node involved.
+    pub node: usize,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Cumulative run statistics.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Delivery events processed (tokens and markers).
+    pub steps: u64,
+    /// Tokens sent (each action sends one per incident edge).
+    pub tokens_sent: u64,
+    /// Snapshot markers sent.
+    pub markers_sent: u64,
+    /// Per-node action counts.
+    pub actions: Vec<u64>,
+}
+
+impl RunStats {
+    /// Minimum per-node action count.
+    pub fn min_actions(&self) -> u64 {
+        self.actions.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Total actions across all nodes.
+    pub fn total_actions(&self) -> u64 {
+        self.actions.iter().sum()
+    }
+
+    /// Jain's fairness index over per-node action counts
+    /// (`(Σxᵢ)² / (n·Σxᵢ²)`; 1.0 = perfectly balanced).
+    pub fn fairness_index(&self) -> f64 {
+        if self.actions.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self.actions.iter().map(|&a| a as f64).sum();
+        let sq: f64 = self.actions.iter().map(|&a| (a as f64) * (a as f64)).sum();
+        if sq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (self.actions.len() as f64 * sq)
+    }
+
+    /// Tokens sent per action (equals the average degree in steady state).
+    pub fn messages_per_action(&self) -> f64 {
+        let total = self.total_actions();
+        if total == 0 {
+            return 0.0;
+        }
+        self.tokens_sent as f64 / total as f64
+    }
+}
+
+/// Stop condition for [`DistRun::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Stop once the *cumulative* step counter reaches this value.
+    pub max_steps: Option<u64>,
+    /// Stop once every node has performed at least this many actions.
+    pub min_actions: Option<u64>,
+}
+
+impl RunLimits {
+    /// Run until the cumulative step counter reaches `n`.
+    pub fn steps(n: u64) -> Self {
+        RunLimits {
+            max_steps: Some(n),
+            min_actions: None,
+        }
+    }
+
+    /// Run until every node has acted at least `k` times.
+    pub fn until_actions(k: u64) -> Self {
+        RunLimits {
+            max_steps: None,
+            min_actions: Some(k),
+        }
+    }
+}
+
+/// The event-driven distributed run.
+pub struct DistRun {
+    graph: Arc<ConflictGraph>,
+    /// FIFO channels, indexed `2 * edge + dir` (`dir` 0: low→high
+    /// endpoint, 1: high→low).
+    channels: Vec<VecDeque<Msg>>,
+    /// Tokens held per node (edge ids, sorted).
+    held: Vec<Vec<u32>>,
+    scheduler: Box<dyn DeliveryScheduler>,
+    /// The refinement shadow: abstract orientation advanced by
+    /// `yield_node` at every action.
+    shadow: Orientation,
+    stats: RunStats,
+    seq: u64,
+    trace: Vec<TraceEvent>,
+    violations: Vec<RefinementViolation>,
+    active_snapshots: Vec<ActiveSnapshot>,
+    completed_snapshots: Vec<Snapshot>,
+    next_snapshot_id: usize,
+}
+
+impl DistRun {
+    /// Sets up the protocol from an initial abstract orientation: each
+    /// edge's token starts at its priority-side endpoint, and every node
+    /// that initially holds all its tokens acts (and yields) immediately.
+    pub fn new(
+        graph: Arc<ConflictGraph>,
+        initial: &Orientation,
+        scheduler: Box<dyn DeliveryScheduler>,
+    ) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let mut held: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for e in 0..m as u32 {
+            let (u, v) = graph.endpoints(e);
+            let holder = if initial.points(u, v) { u } else { v };
+            held[holder].push(e);
+        }
+        let mut run = DistRun {
+            shadow: initial.clone(),
+            channels: vec![VecDeque::new(); 2 * m],
+            held,
+            scheduler,
+            stats: RunStats {
+                steps: 0,
+                tokens_sent: 0,
+                markers_sent: 0,
+                actions: vec![0; n],
+            },
+            seq: 0,
+            trace: Vec::new(),
+            violations: Vec::new(),
+            active_snapshots: Vec::new(),
+            completed_snapshots: Vec::new(),
+            next_snapshot_id: 0,
+            graph,
+        };
+        for i in 0..n {
+            run.maybe_act(i);
+        }
+        run
+    }
+
+    /// The channel index for messages from `from` to `to`.
+    fn channel(&self, from: usize, to: usize) -> usize {
+        let e = self
+            .graph
+            .edge_id(from, to)
+            .expect("channel requires a conflict edge");
+        let (u, _) = self.graph.endpoints(e);
+        2 * e as usize + usize::from(from != u)
+    }
+
+    /// The `(from, to)` endpoints of channel `c`.
+    fn channel_ends(&self, c: usize) -> (usize, usize) {
+        let (u, v) = self.graph.endpoints((c / 2) as u32);
+        if c.is_multiple_of(2) {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// If `i` holds every incident token, perform its action: count it,
+    /// yield every token to its neighbour, advance the shadow, and check
+    /// refinement.
+    fn maybe_act(&mut self, i: usize) {
+        let degree = self.graph.degree(i);
+        if degree == 0 || self.held[i].len() < degree {
+            return;
+        }
+        // Abstract precondition: the shadow must grant `i` priority.
+        if !self.shadow.priority(i) {
+            self.violations.push(RefinementViolation {
+                step: self.stats.steps,
+                node: i,
+                detail: format!("node {i} acted without abstract priority"),
+            });
+        }
+        self.stats.actions[i] += 1;
+        self.trace.push(TraceEvent::Action { node: i });
+        let tokens = std::mem::take(&mut self.held[i]);
+        for e in tokens {
+            let (u, v) = self.graph.endpoints(e);
+            let to = if u == i { v } else { u };
+            let c = self.channel(i, to);
+            self.seq += 1;
+            self.channels[c].push_back(Msg::Token {
+                edge: e,
+                seq: self.seq,
+            });
+            self.stats.tokens_sent += 1;
+        }
+        self.shadow.yield_node(i);
+        self.check_refinement(i);
+    }
+
+    /// Compares the shadow orientation against the orientation derived
+    /// from token positions (in-flight tokens attributed to receivers).
+    fn check_refinement(&mut self, node: usize) {
+        let derived = self.derive_orientation();
+        if derived != self.shadow {
+            self.violations.push(RefinementViolation {
+                step: self.stats.steps,
+                node,
+                detail: "token-derived orientation diverged from abstract shadow".into(),
+            });
+        }
+    }
+
+    /// The orientation implied by current token positions.
+    fn derive_orientation(&self) -> Orientation {
+        let mut o = Orientation::index_order(self.graph.clone());
+        for (i, tokens) in self.held.iter().enumerate() {
+            for &e in tokens {
+                let (u, v) = self.graph.endpoints(e);
+                let other = if u == i { v } else { u };
+                o.set_points(i, other);
+            }
+        }
+        for (c, ch) in self.channels.iter().enumerate() {
+            for msg in ch {
+                if let Msg::Token { edge, .. } = msg {
+                    // A channel carries exactly its own edge's token; the
+                    // in-flight token is attributed to the receiver.
+                    debug_assert_eq!((c / 2) as u32, *edge);
+                    let (from, to) = self.channel_ends(c);
+                    o.set_points(to, from);
+                }
+            }
+        }
+        o
+    }
+
+    /// Runs until `limits` is satisfied; returns the cumulative stats.
+    ///
+    /// Limits are cumulative: `RunLimits::steps(n)` stops once the total
+    /// step counter reaches `n` (so consecutive calls continue the run).
+    pub fn run(&mut self, limits: RunLimits) -> RunStats {
+        loop {
+            if let Some(n) = limits.max_steps {
+                if self.stats.steps >= n {
+                    break;
+                }
+            }
+            if let Some(k) = limits.min_actions {
+                if self.stats.min_actions() >= k {
+                    break;
+                }
+            }
+            let pending: Vec<PendingMsg> = self
+                .channels
+                .iter()
+                .enumerate()
+                .filter_map(|(c, ch)| {
+                    ch.front().map(|m| PendingMsg {
+                        channel: c,
+                        seq: m.seq(),
+                    })
+                })
+                .collect();
+            if pending.is_empty() {
+                // Quiescent: every token at rest. With eager actions this
+                // only happens on an edgeless graph.
+                break;
+            }
+            let k = self.scheduler.pick(&pending);
+            let c = pending[k].channel;
+            let msg = self.channels[c]
+                .pop_front()
+                .expect("picked channel non-empty");
+            let (_, to) = self.channel_ends(c);
+            self.stats.steps += 1;
+            match msg {
+                Msg::Token { edge, .. } => {
+                    self.trace.push(TraceEvent::Deliver { edge, to });
+                    // Snapshot rule: a token crossing a recording channel
+                    // belongs to the snapshot's channel state.
+                    for snap in &mut self.active_snapshots {
+                        if let ChannelRec::Recording(v) = &mut snap.channels[c] {
+                            v.push(edge);
+                        }
+                    }
+                    self.held[to].push(edge);
+                    self.maybe_act(to);
+                }
+                Msg::Marker { snapshot, .. } => {
+                    self.trace.push(TraceEvent::Marker { snapshot, to });
+                    self.deliver_marker(snapshot, c, to);
+                }
+            }
+        }
+        self.stats.clone()
+    }
+
+    /// Starts a Chandy–Lamport snapshot at `initiator` while the protocol
+    /// keeps running. Completed snapshots appear in [`DistRun::snapshots`].
+    pub fn initiate_snapshot(&mut self, initiator: usize) {
+        let id = self.next_snapshot_id;
+        self.next_snapshot_id += 1;
+        let mut snap = ActiveSnapshot::new(
+            id,
+            self.stats.steps,
+            self.graph.node_count(),
+            2 * self.graph.edge_count(),
+        );
+        self.record_node(&mut snap, initiator);
+        self.active_snapshots.push(snap);
+        self.try_complete_snapshots();
+    }
+
+    /// Records `node`'s local state into `snap` and floods markers.
+    fn record_node(&mut self, snap: &mut ActiveSnapshot, node: usize) {
+        debug_assert!(snap.nodes[node].is_none());
+        snap.nodes[node] = Some(self.held[node].clone());
+        // Start recording every incoming channel (channels on which the
+        // marker already arrived are overridden to Done by the caller).
+        let neighbors: Vec<usize> = self.graph.neighbors(node).iter().collect();
+        for &j in &neighbors {
+            let incoming = self.channel(j, node);
+            if matches!(snap.channels[incoming], ChannelRec::NotStarted) {
+                snap.channels[incoming] = ChannelRec::Recording(Vec::new());
+            }
+            let outgoing = self.channel(node, j);
+            self.seq += 1;
+            self.channels[outgoing].push_back(Msg::Marker {
+                snapshot: snap.id,
+                seq: self.seq,
+            });
+            self.stats.markers_sent += 1;
+        }
+    }
+
+    /// Chandy–Lamport marker rule.
+    fn deliver_marker(&mut self, snapshot: usize, channel: usize, to: usize) {
+        let Some(pos) = self.active_snapshots.iter().position(|s| s.id == snapshot) else {
+            return; // late marker of an already-completed snapshot
+        };
+        let mut snap = self.active_snapshots.swap_remove(pos);
+        if snap.nodes[to].is_none() {
+            // First marker: record now; this channel's state is empty.
+            self.record_node(&mut snap, to);
+        }
+        let collected = match std::mem::replace(&mut snap.channels[channel], ChannelRec::NotStarted)
+        {
+            ChannelRec::Recording(v) => v,
+            ChannelRec::NotStarted => Vec::new(),
+            ChannelRec::Done(v) => v, // duplicate marker: keep first record
+        };
+        snap.channels[channel] = ChannelRec::Done(collected);
+        self.active_snapshots.push(snap);
+        self.try_complete_snapshots();
+    }
+
+    /// Moves finished snapshots to the completed list.
+    fn try_complete_snapshots(&mut self) {
+        let steps = self.stats.steps;
+        let graph = self.graph.clone();
+        let completed = &mut self.completed_snapshots;
+        self.active_snapshots.retain_mut(|snap| {
+            if !snap.is_complete() {
+                return true;
+            }
+            completed.push(snap.finish(&graph, steps));
+            false
+        });
+        completed.sort_by_key(|s| s.id);
+    }
+
+    /// Current cumulative statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats.clone()
+    }
+
+    /// The abstract orientation the protocol currently refines.
+    pub fn abstraction(&self) -> &Orientation {
+        &self.shadow
+    }
+
+    /// Refinement violations detected so far (empty for a correct run).
+    pub fn refinement_violations(&self) -> &[RefinementViolation] {
+        &self.violations
+    }
+
+    /// The classified event trace.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Completed snapshots, in initiation order.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.completed_snapshots
+    }
+
+    /// The underlying conflict graph.
+    pub fn graph(&self) -> &Arc<ConflictGraph> {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Lifo, OldestFirst, SeededRandom};
+    use prio_graph::acyclic::is_acyclic;
+    use prio_graph::topology;
+
+    fn ring_run(scheduler: Box<dyn DeliveryScheduler>) -> DistRun {
+        let graph = Arc::new(topology::ring(5));
+        let o = Orientation::index_order(graph.clone());
+        DistRun::new(graph, &o, scheduler)
+    }
+
+    #[test]
+    fn bootstrap_fires_initial_priority_holders() {
+        let run = ring_run(Box::new(OldestFirst::new()));
+        // index_order on a ring: only node 0 has initial priority.
+        assert_eq!(run.stats().total_actions(), 1);
+        assert_eq!(run.stats().tokens_sent, 2);
+        assert!(run.refinement_violations().is_empty());
+    }
+
+    #[test]
+    fn fair_schedule_reaches_action_targets() {
+        let mut run = ring_run(Box::new(OldestFirst::new()));
+        let stats = run.run(RunLimits::until_actions(4));
+        assert!(stats.min_actions() >= 4);
+        assert!(run.refinement_violations().is_empty());
+        assert!(is_acyclic(run.abstraction()));
+        // Every token delivery moves one token: messages per action equals
+        // the average degree (2 on a ring).
+        assert!((stats.messages_per_action() - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn random_and_lifo_preserve_safety() {
+        for sched in [
+            Box::new(SeededRandom::new(9)) as Box<dyn DeliveryScheduler>,
+            Box::new(Lifo),
+        ] {
+            let graph = Arc::new(topology::grid(3, 3));
+            let o = Orientation::index_order(graph.clone());
+            let mut run = DistRun::new(graph, &o, sched);
+            run.run(RunLimits::steps(3_000));
+            assert!(run.refinement_violations().is_empty());
+            assert!(is_acyclic(run.abstraction()));
+            // No two adjacent nodes simultaneously hold priority.
+            let holders = run.abstraction().priority_nodes();
+            for (a, &i) in holders.iter().enumerate() {
+                for &j in &holders[a + 1..] {
+                    assert!(!run.graph().is_edge(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oldest_first_is_fairer_than_lifo() {
+        let steps = 4_000;
+        let mut fair = ring_run(Box::new(OldestFirst::new()));
+        let f = fair.run(RunLimits::steps(steps));
+        let mut adv = ring_run(Box::new(Lifo));
+        let a = adv.run(RunLimits::steps(steps));
+        assert!(f.fairness_index() >= a.fairness_index() - 1e-9);
+        assert!(f.fairness_index() > 0.95, "oldest-first balances the ring");
+    }
+
+    #[test]
+    fn snapshots_complete_and_validate() {
+        let graph = Arc::new(topology::torus(3, 3));
+        let o = Orientation::index_order(graph.clone());
+        let mut run = DistRun::new(graph.clone(), &o, Box::new(SeededRandom::new(3)));
+        for i in 0..4 {
+            run.run(RunLimits::steps(run.stats().steps + 200));
+            run.initiate_snapshot(i % graph.node_count());
+        }
+        run.run(RunLimits::steps(run.stats().steps + 2_000));
+        assert!(
+            !run.snapshots().is_empty(),
+            "snapshots complete in 2000 steps"
+        );
+        for snap in run.snapshots() {
+            let o = snap.validate(&graph).expect("consistent cut");
+            assert!(
+                is_acyclic(&o),
+                "snapshot #{} cut must stay acyclic",
+                snap.id
+            );
+            assert!(snap.span.0 <= snap.span.1);
+        }
+    }
+
+    #[test]
+    fn trace_classifies_every_step() {
+        let mut run = ring_run(Box::new(OldestFirst::new()));
+        run.run(RunLimits::steps(500));
+        let delivered = run
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { .. } | TraceEvent::Marker { .. }))
+            .count() as u64;
+        assert_eq!(delivered, run.stats().steps);
+    }
+
+    #[test]
+    fn quiescent_edgeless_graph_stops() {
+        let graph = Arc::new(topology::ring(3));
+        let empty = Arc::new(prio_graph::graph::ConflictGraph::new(4));
+        let o = Orientation::index_order(empty.clone());
+        let mut run = DistRun::new(empty, &o, Box::new(OldestFirst::new()));
+        let stats = run.run(RunLimits::steps(100));
+        assert_eq!(stats.steps, 0, "no messages exist on an edgeless graph");
+        drop(graph);
+    }
+}

@@ -1,0 +1,153 @@
+//! Delivery schedulers: which in-flight message is delivered next.
+//!
+//! The protocol is safe under *any* delivery order (safety is
+//! schedule-independent — the refinement check in [`crate::run`] verifies
+//! this empirically); fairness of the schedule decides liveness and
+//! per-node throughput balance.
+
+/// What a scheduler sees: for every non-empty channel, its index and the
+/// sequence number of the message at its head (FIFO order within a
+/// channel is fixed; schedulers only pick *between* channels).
+#[derive(Debug)]
+pub struct PendingMsg {
+    /// Channel index (dense, `2 * edge_count` channels).
+    pub channel: usize,
+    /// Global send sequence number of the head message.
+    pub seq: u64,
+}
+
+/// Picks the channel whose head message is delivered next.
+pub trait DeliveryScheduler: Send {
+    /// Chooses one entry of `pending` (guaranteed non-empty).
+    fn pick(&mut self, pending: &[PendingMsg]) -> usize;
+
+    /// A short name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+/// Delivers the globally oldest in-flight message first. This is the
+/// fairest schedule: no message waits behind more than the messages sent
+/// before it, so every token keeps moving and every node keeps acting.
+#[derive(Debug, Default, Clone)]
+pub struct OldestFirst;
+
+impl OldestFirst {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        OldestFirst
+    }
+}
+
+impl DeliveryScheduler for OldestFirst {
+    fn pick(&mut self, pending: &[PendingMsg]) -> usize {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| p.seq)
+            .map(|(k, _)| k)
+            .expect("pending is non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "oldest-first"
+    }
+}
+
+/// Uniformly random choice among non-empty channels, deterministic in the
+/// seed (SplitMix64). Almost-surely fair.
+#[derive(Debug, Clone)]
+pub struct SeededRandom {
+    state: u64,
+}
+
+impl SeededRandom {
+    /// Creates the scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl DeliveryScheduler for SeededRandom {
+    fn pick(&mut self, pending: &[PendingMsg]) -> usize {
+        ((self.next_u64() as u128 * pending.len() as u128) >> 64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "seeded-random"
+    }
+}
+
+/// Adversarial last-in-first-out: always delivers the *newest* message.
+/// Channels stay FIFO internally (required for snapshot correctness);
+/// the adversary only maximizes the age of the oldest in-flight message.
+/// Safety must survive this; fairness does not.
+#[derive(Debug, Default, Clone)]
+pub struct Lifo;
+
+impl DeliveryScheduler for Lifo {
+    fn pick(&mut self, pending: &[PendingMsg]) -> usize {
+        pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.seq)
+            .map(|(k, _)| k)
+            .expect("pending is non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "lifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending() -> Vec<PendingMsg> {
+        vec![
+            PendingMsg { channel: 4, seq: 9 },
+            PendingMsg { channel: 1, seq: 2 },
+            PendingMsg {
+                channel: 7,
+                seq: 30,
+            },
+        ]
+    }
+
+    #[test]
+    fn oldest_first_picks_min_seq() {
+        assert_eq!(OldestFirst::new().pick(&pending()), 1);
+    }
+
+    #[test]
+    fn lifo_picks_max_seq() {
+        assert_eq!(Lifo.pick(&pending()), 2);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let p = pending();
+        let picks_a: Vec<usize> = {
+            let mut s = SeededRandom::new(5);
+            (0..50).map(|_| s.pick(&p)).collect()
+        };
+        let picks_b: Vec<usize> = {
+            let mut s = SeededRandom::new(5);
+            (0..50).map(|_| s.pick(&p)).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        assert!(picks_a.iter().all(|&k| k < p.len()));
+        assert!(
+            (0..p.len()).all(|k| picks_a.contains(&k)),
+            "all channels hit"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Chandy–Lamport snapshots of the running protocol.
+//!
+//! A snapshot is initiated at any node while messages keep flowing; the
+//! marker algorithm assembles a **consistent cut**: per-node token
+//! holdings plus per-channel in-flight tokens. [`Snapshot::validate`]
+//! checks the cut's global invariant — every edge's token exists exactly
+//! once — and reconstructs the abstract [`Orientation`] of the cut, which
+//! the §4 theory says must be acyclic.
+
+use std::sync::Arc;
+
+use prio_graph::graph::ConflictGraph;
+use prio_graph::orientation::Orientation;
+
+/// Recording state of one directed channel within an active snapshot.
+#[derive(Debug, Clone)]
+pub(crate) enum ChannelRec {
+    /// Neither endpoint has recorded yet.
+    NotStarted,
+    /// The receiver recorded; tokens arriving before the marker belong to
+    /// the snapshot.
+    Recording(Vec<u32>),
+    /// The marker arrived; the channel's snapshot state is final.
+    Done(Vec<u32>),
+}
+
+/// An in-progress snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveSnapshot {
+    pub(crate) id: usize,
+    pub(crate) started_at: u64,
+    /// Recorded per-node holdings (`None` until the node records).
+    pub(crate) nodes: Vec<Option<Vec<u32>>>,
+    /// Recording state per directed channel.
+    pub(crate) channels: Vec<ChannelRec>,
+}
+
+impl ActiveSnapshot {
+    pub(crate) fn new(id: usize, started_at: u64, n_nodes: usize, n_channels: usize) -> Self {
+        ActiveSnapshot {
+            id,
+            started_at,
+            nodes: vec![None; n_nodes],
+            channels: vec![ChannelRec::NotStarted; n_channels],
+        }
+    }
+
+    /// Complete once every node recorded and every channel's marker
+    /// arrived.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.nodes.iter().all(Option::is_some)
+            && self
+                .channels
+                .iter()
+                .all(|c| matches!(c, ChannelRec::Done(_)))
+    }
+
+    /// Finalizes into a [`Snapshot`] (requires [`Self::is_complete`]).
+    pub(crate) fn finish(&mut self, graph: &Arc<ConflictGraph>, completed_at: u64) -> Snapshot {
+        let node_tokens: Vec<Vec<u32>> = self
+            .nodes
+            .iter_mut()
+            .map(|n| n.take().expect("complete snapshot records every node"))
+            .collect();
+        let channel_tokens: Vec<((usize, usize), Vec<u32>)> = self
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(c, rec)| {
+                let (u, v) = graph.endpoints((c / 2) as u32);
+                let ends = if c.is_multiple_of(2) { (u, v) } else { (v, u) };
+                let tokens = match rec {
+                    ChannelRec::Done(t) => t.clone(),
+                    _ => unreachable!("complete snapshot finished every channel"),
+                };
+                (ends, tokens)
+            })
+            .collect();
+        Snapshot {
+            id: self.id,
+            span: (self.started_at, completed_at),
+            node_tokens,
+            channel_tokens,
+        }
+    }
+}
+
+/// A completed consistent cut of the distributed protocol.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Snapshot id (initiation order).
+    pub id: usize,
+    /// `(initiated_at, completed_at)` in protocol steps.
+    pub span: (u64, u64),
+    /// Recorded token holdings per node (edge ids).
+    pub node_tokens: Vec<Vec<u32>>,
+    /// Recorded in-flight tokens per directed channel `(from, to)`.
+    pub channel_tokens: Vec<((usize, usize), Vec<u32>)>,
+}
+
+/// Why a snapshot fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An edge's token appears nowhere in the cut.
+    MissingToken {
+        /// The tokenless edge.
+        edge: u32,
+    },
+    /// An edge's token appears more than once.
+    DuplicateToken {
+        /// The duplicated edge.
+        edge: u32,
+    },
+    /// A node holds a token of an edge it is not an endpoint of.
+    WrongHolder {
+        /// The holding node.
+        node: usize,
+        /// The misplaced edge.
+        edge: u32,
+    },
+    /// A channel carries another edge's token.
+    ForeignToken {
+        /// The channel `(from, to)`.
+        channel: (usize, usize),
+        /// The foreign edge.
+        edge: u32,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::MissingToken { edge } => write!(f, "edge {edge} has no token"),
+            SnapshotError::DuplicateToken { edge } => {
+                write!(f, "edge {edge} has more than one token")
+            }
+            SnapshotError::WrongHolder { node, edge } => {
+                write!(f, "node {node} holds token of non-incident edge {edge}")
+            }
+            SnapshotError::ForeignToken { channel, edge } => write!(
+                f,
+                "channel {}→{} carries foreign token {edge}",
+                channel.0, channel.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Snapshot {
+    /// Checks the cut's token-conservation invariant and reconstructs its
+    /// abstract orientation (in-flight tokens attributed to receivers).
+    pub fn validate(&self, graph: &Arc<ConflictGraph>) -> Result<Orientation, SnapshotError> {
+        let m = graph.edge_count();
+        let mut seen = vec![false; m];
+        let mut orientation = Orientation::index_order(graph.clone());
+        for (node, tokens) in self.node_tokens.iter().enumerate() {
+            for &e in tokens {
+                let (u, v) = graph.endpoints(e);
+                if node != u && node != v {
+                    return Err(SnapshotError::WrongHolder { node, edge: e });
+                }
+                if std::mem::replace(&mut seen[e as usize], true) {
+                    return Err(SnapshotError::DuplicateToken { edge: e });
+                }
+                orientation.set_points(node, if node == u { v } else { u });
+            }
+        }
+        for ((from, to), tokens) in &self.channel_tokens {
+            for &e in tokens {
+                let (u, v) = graph.endpoints(e);
+                if !((u == *from && v == *to) || (v == *from && u == *to)) {
+                    return Err(SnapshotError::ForeignToken {
+                        channel: (*from, *to),
+                        edge: e,
+                    });
+                }
+                if std::mem::replace(&mut seen[e as usize], true) {
+                    return Err(SnapshotError::DuplicateToken { edge: e });
+                }
+                orientation.set_points(*to, *from);
+            }
+        }
+        if let Some(e) = seen.iter().position(|s| !s) {
+            return Err(SnapshotError::MissingToken { edge: e as u32 });
+        }
+        Ok(orientation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_graph::topology;
+
+    fn triangle() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap())
+    }
+
+    fn snap(
+        node_tokens: Vec<Vec<u32>>,
+        channel_tokens: Vec<((usize, usize), Vec<u32>)>,
+    ) -> Snapshot {
+        Snapshot {
+            id: 0,
+            span: (0, 1),
+            node_tokens,
+            channel_tokens,
+        }
+    }
+
+    #[test]
+    fn valid_cut_reconstructs_orientation() {
+        let g = triangle();
+        // Node 0 holds edges 0 (0-1) and 2 (0-2); edge 1 (1-2) in flight 1→2.
+        let s = snap(vec![vec![0, 2], vec![], vec![]], vec![((1, 2), vec![1])]);
+        let o = s.validate(&g).unwrap();
+        assert!(o.points(0, 1));
+        assert!(o.points(0, 2));
+        assert!(o.points(2, 1), "in-flight token attributed to receiver");
+    }
+
+    #[test]
+    fn missing_and_duplicate_tokens_rejected() {
+        let g = triangle();
+        let s = snap(vec![vec![0], vec![], vec![]], vec![]);
+        assert!(matches!(
+            s.validate(&g),
+            Err(SnapshotError::MissingToken { .. })
+        ));
+        let s = snap(vec![vec![0, 2], vec![0, 1], vec![]], vec![]);
+        assert!(matches!(
+            s.validate(&g),
+            Err(SnapshotError::DuplicateToken { edge: 0 })
+        ));
+    }
+
+    #[test]
+    fn misplaced_tokens_rejected() {
+        let g = Arc::new(topology::path(4)); // edges 0:(0,1) 1:(1,2) 2:(2,3)
+        let s = snap(vec![vec![2], vec![0], vec![1], vec![]], vec![]);
+        assert!(matches!(
+            s.validate(&g),
+            Err(SnapshotError::WrongHolder { node: 0, edge: 2 })
+        ));
+        let s = snap(
+            vec![vec![0], vec![1], vec![], vec![]],
+            vec![((0, 1), vec![2])],
+        );
+        assert!(matches!(
+            s.validate(&g),
+            Err(SnapshotError::ForeignToken { .. })
+        ));
+    }
+}

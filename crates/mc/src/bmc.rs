@@ -48,13 +48,16 @@
 //! }
 //! ```
 
+use unity_core::expr::compile::Scratch;
 use unity_core::expr::eval::eval_bool;
 use unity_core::expr::pretty::Render;
 use unity_core::expr::Expr;
 use unity_core::program::Program;
 use unity_core::state::State;
 
+use crate::compiled::CompiledProgram;
 use crate::hasher::FxHashMap;
+use crate::space::ScanConfig;
 use crate::trace::{Counterexample, McError};
 
 /// Budget and seed configuration for bounded exploration.
@@ -71,6 +74,11 @@ pub struct BmcConfig {
     pub walks: u32,
     /// Steps per walk.
     pub walk_len: u32,
+    /// Use the compiled packed-state fast path when the vocabulary
+    /// allows it (set false to pin the tree-walking reference engine;
+    /// both explore in the same order and must agree — see the
+    /// differential suite).
+    pub compiled: bool,
 }
 
 impl Default for BmcConfig {
@@ -81,6 +89,7 @@ impl Default for BmcConfig {
             seed: 0x5DEECE66D,
             walks: 64,
             walk_len: 4096,
+            compiled: true,
         }
     }
 }
@@ -194,6 +203,13 @@ pub fn bounded_invariant_from(
     cfg: &BmcConfig,
 ) -> Result<BoundedVerdict, McError> {
     p.check_pred(&program.vocab)?;
+    if cfg.compiled {
+        if let Some(cp) = CompiledProgram::try_compile(program, &ScanConfig::default()) {
+            if let Ok(cpred) = unity_core::expr::compile::CompiledExpr::compile(p, &cp.layout) {
+                return bounded_invariant_packed(program, starts, p, &cp, &cpred, cfg);
+            }
+        }
+    }
     let vocab = &program.vocab;
     let mut index: FxHashMap<State, u32> = FxHashMap::default();
     let mut states: Vec<State> = Vec::new();
@@ -256,6 +272,95 @@ pub fn bounded_invariant_from(
     })
 }
 
+/// The packed BFS: identical exploration order to the reference loop
+/// (so verdicts, counts and shortest-path counterexamples agree
+/// exactly), but states intern as `u64` words and successors come from
+/// compiled command steps — the dominant cost of the reference path,
+/// hashing `Box<[Value]>` keys and cloning states, disappears.
+fn bounded_invariant_packed(
+    program: &Program,
+    starts: &[State],
+    p: &Expr,
+    cp: &CompiledProgram,
+    cpred: &unity_core::expr::compile::CompiledExpr,
+    cfg: &BmcConfig,
+) -> Result<BoundedVerdict, McError> {
+    let vocab = &program.vocab;
+    let layout = &cp.layout;
+    let mut scratch = Scratch::new();
+    let mut index: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut words: Vec<u64> = Vec::new();
+    // parent pointers: (parent id, depth); roots point at themselves.
+    let mut parents: Vec<(u32, u32)> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+
+    let decode_path = |parents: &[(u32, u32)], words: &[u64], target: u32| -> Vec<State> {
+        let mut rev = vec![layout.unpack(words[target as usize], vocab)];
+        let mut cur = target;
+        while parents[cur as usize].0 != cur {
+            cur = parents[cur as usize].0;
+            rev.push(layout.unpack(words[cur as usize], vocab));
+        }
+        rev.reverse();
+        rev
+    };
+
+    for s in starts {
+        let w = layout.pack(s);
+        if index.contains_key(&w) {
+            continue;
+        }
+        let id = words.len() as u32;
+        index.insert(w, id);
+        words.push(w);
+        parents.push((id, 0));
+        if !cpred.eval_packed_bool(w, &mut scratch) {
+            return Err(refuted(p, vocab, decode_path(&parents, &words, id)));
+        }
+        frontier.push(id);
+    }
+
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        if depth >= cfg.max_depth {
+            return Ok(BoundedVerdict::BudgetExhausted {
+                explored: words.len(),
+                depth,
+            });
+        }
+        let mut next = Vec::new();
+        for &id in &frontier {
+            let w = words[id as usize];
+            for c in &cp.commands {
+                let succ = c.step_packed(w, layout, &mut scratch);
+                if index.contains_key(&succ) {
+                    continue;
+                }
+                let nid = words.len() as u32;
+                index.insert(succ, nid);
+                words.push(succ);
+                parents.push((id, depth + 1));
+                if !cpred.eval_packed_bool(succ, &mut scratch) {
+                    return Err(refuted(p, vocab, decode_path(&parents, &words, nid)));
+                }
+                if words.len() >= cfg.max_states {
+                    return Ok(BoundedVerdict::BudgetExhausted {
+                        explored: words.len(),
+                        depth,
+                    });
+                }
+                next.push(nid);
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    Ok(BoundedVerdict::Complete {
+        explored: words.len(),
+        depth: depth.saturating_sub(1),
+    })
+}
+
 /// Random-walk invariant refutation from the program's own initial states.
 ///
 /// Runs `cfg.walks` independent walks of up to `cfg.walk_len` steps each,
@@ -294,6 +399,48 @@ pub fn random_walk_invariant_from(
         });
     }
     let mut rng = SplitMix64::new(cfg.seed);
+    // Packed walks: states are `u64` words, the path decodes only on a
+    // violation. The RNG stream is consumed identically to the reference
+    // loop, so both paths walk the same trajectories.
+    let compiled_program = if cfg.compiled {
+        CompiledProgram::try_compile(program, &ScanConfig::default())
+    } else {
+        None
+    };
+    if let Some(cp) = &compiled_program {
+        if let Ok(cpred) = unity_core::expr::compile::CompiledExpr::compile(p, &cp.layout) {
+            let layout = &cp.layout;
+            let mut scratch = Scratch::new();
+            let start_words: Vec<u64> = starts.iter().map(|s| layout.pack(s)).collect();
+            let mut seen: FxHashMap<u64, ()> = FxHashMap::default();
+            let mut steps = 0u64;
+            for _ in 0..cfg.walks {
+                let mut w = start_words[rng.below(start_words.len())];
+                let mut path = vec![w];
+                if !cpred.eval_packed_bool(w, &mut scratch) {
+                    let states = path.iter().map(|&x| layout.unpack(x, vocab)).collect();
+                    return Err(refuted(p, vocab, states));
+                }
+                seen.entry(w).or_insert(());
+                for _ in 0..cfg.walk_len {
+                    let c = &cp.commands[rng.below(cp.commands.len())];
+                    w = c.step_packed(w, layout, &mut scratch);
+                    steps += 1;
+                    seen.entry(w).or_insert(());
+                    path.push(w);
+                    if !cpred.eval_packed_bool(w, &mut scratch) {
+                        let states = path.iter().map(|&x| layout.unpack(x, vocab)).collect();
+                        return Err(refuted(p, vocab, states));
+                    }
+                }
+            }
+            return Ok(WalkStats {
+                steps,
+                walks: cfg.walks,
+                distinct_states: seen.len(),
+            });
+        }
+    }
     let mut seen: FxHashMap<State, ()> = FxHashMap::default();
     let mut steps = 0u64;
     for _ in 0..cfg.walks {
@@ -435,13 +582,13 @@ mod tests {
                 // The path is a real execution: every adjacent pair is one
                 // command step, and only the final state violates.
                 assert!(path.len() >= 6);
-                assert_eq!(path.last().unwrap().get(x), unity_core::value::Value::Int(5));
+                assert_eq!(
+                    path.last().unwrap().get(x),
+                    unity_core::value::Value::Int(5)
+                );
                 for w in path.windows(2) {
-                    let stepped: Vec<State> = p
-                        .commands
-                        .iter()
-                        .map(|c| c.step(&w[0], &p.vocab))
-                        .collect();
+                    let stepped: Vec<State> =
+                        p.commands.iter().map(|c| c.step(&w[0], &p.vocab)).collect();
                     assert!(stepped.contains(&w[1]));
                 }
             }
@@ -492,11 +639,7 @@ mod tests {
         let p = Program::builder("pair", Arc::new(v))
             .init(and2(eq(var(a), int(0)), eq(var(b), int(0))))
             .fair_command("ia", lt(var(a), int(3)), vec![(a, add(var(a), int(1)))])
-            .fair_command(
-                "ib",
-                lt(var(b), var(a)),
-                vec![(b, add(var(b), int(1)))],
-            )
+            .fair_command("ib", lt(var(b), var(a)), vec![(b, add(var(b), int(1)))])
             .build()
             .unwrap();
         // b <= a is invariant over reachable states.

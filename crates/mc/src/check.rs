@@ -8,6 +8,7 @@
 use std::collections::BTreeSet;
 
 use unity_core::command::Command;
+use unity_core::expr::compile::{CompiledCommand, CompiledExpr, PackedLayout, Scratch};
 use unity_core::expr::eval::{eval, eval_bool};
 use unity_core::expr::{vars, Expr};
 use unity_core::ident::VarId;
@@ -15,9 +16,45 @@ use unity_core::program::Program;
 use unity_core::properties::Property;
 use unity_core::value::Value;
 
+use crate::compiled::{decode_witness, scan_packed, try_layout};
 use crate::space::{scan_for, ScanConfig};
 use crate::trace::{Counterexample, McError};
 use crate::transition::Universe;
+
+/// Compiled ingredients of a program-level check: the layout, compiled
+/// commands, and any extra predicates lowered alongside. `None` when the
+/// fast path does not apply (config opt-out, oversized vocabulary, or a
+/// pathological expression the compiler rejects) — callers then use the
+/// reference path.
+fn compile_for_check(
+    program: &Program,
+    exprs: &[&Expr],
+    cfg: &ScanConfig,
+) -> Option<(PackedLayout, Vec<CompiledCommand>, Vec<CompiledExpr>)> {
+    let (layout, preds) = compile_preds(program, exprs, cfg)?;
+    let commands = program
+        .commands
+        .iter()
+        .map(|c| CompiledCommand::compile(c, &layout).ok())
+        .collect::<Option<Vec<_>>>()?;
+    Some((layout, commands, preds))
+}
+
+/// Like [`compile_for_check`] but for checks that never step commands
+/// (`init`): only the predicates are lowered, so a pathological command
+/// expression cannot disqualify the fast path.
+fn compile_preds(
+    program: &Program,
+    exprs: &[&Expr],
+    cfg: &ScanConfig,
+) -> Option<(PackedLayout, Vec<CompiledExpr>)> {
+    let layout = try_layout(&program.vocab, cfg)?;
+    let preds = exprs
+        .iter()
+        .map(|e| CompiledExpr::compile(e, &layout).ok())
+        .collect::<Option<Vec<_>>>()?;
+    Some((layout, preds))
+}
 
 /// The support of a command: variables its guard or right-hand sides read
 /// plus its targets.
@@ -55,9 +92,24 @@ pub fn check_init(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), M
     p.check_pred(&program.vocab)?;
     let mut support = vars::free_vars(&program.init);
     vars::collect(p, &mut support);
-    let found = scan_for(&program.vocab, Some(&support), cfg, |s| {
-        (program.satisfies_init(&s) && !eval_bool(p, &s)).then_some(s)
-    })?;
+    let vocab = &program.vocab;
+    let found = 'found: {
+        if let Some((layout, preds)) = compile_preds(program, &[&program.init, p], cfg) {
+            let (cinit, cp) = (&preds[0], &preds[1]);
+            let word = scan_packed(vocab, &layout, Some(&support), cfg, || {
+                let mut scratch = Scratch::new();
+                move |w: u64| {
+                    (cinit.eval_packed_bool(w, &mut scratch)
+                        && !cp.eval_packed_bool(w, &mut scratch))
+                    .then_some(w)
+                }
+            })?;
+            break 'found word.map(|w| decode_witness(&layout, vocab, w));
+        }
+        scan_for(vocab, Some(&support), cfg, |s| {
+            (program.satisfies_init(s) && !eval_bool(p, s)).then(|| s.clone())
+        })?
+    };
     match found {
         None => Ok(()),
         Some(state) => Err(refuted(
@@ -75,30 +127,65 @@ pub fn check_next(program: &Program, p: &Expr, q: &Expr, cfg: &ScanConfig) -> Re
     q.check_pred(&program.vocab)?;
     let support = program_support(program, &[p, q]);
     let vocab = &program.vocab;
-    let found = scan_for(vocab, Some(&support), cfg, |s| {
-        if !eval_bool(p, &s) {
-            return None;
-        }
-        // Implicit skip: p-states must already satisfy q.
-        if !eval_bool(q, &s) {
-            return Some(Counterexample::Next {
-                state: s.clone(),
-                command: None,
-                after: s,
+    // `stable p` arrives here as `p next p`: compile the predicate once.
+    let pq = if p == q { vec![p] } else { vec![p, q] };
+    let found = 'found: {
+        if let Some((layout, commands, preds)) = compile_for_check(program, &pq, cfg) {
+            let (cp, cq) = (&preds[0], preds.last().expect("at least one predicate"));
+            let commands = &commands;
+            let layout_ref = &layout;
+            let word = scan_packed(vocab, layout_ref, Some(&support), cfg, || {
+                let mut scratch = Scratch::new();
+                move |w: u64| {
+                    if !cp.eval_packed_bool(w, &mut scratch) {
+                        return None;
+                    }
+                    // Implicit skip: p-states must already satisfy q.
+                    if !cq.eval_packed_bool(w, &mut scratch) {
+                        return Some((w, None, w));
+                    }
+                    for (k, c) in commands.iter().enumerate() {
+                        let after = c.step_packed(w, layout_ref, &mut scratch);
+                        // A skipping command lands on w, where q already
+                        // held — no need to re-evaluate.
+                        if after != w && !cq.eval_packed_bool(after, &mut scratch) {
+                            return Some((w, Some(k), after));
+                        }
+                    }
+                    None
+                }
+            })?;
+            break 'found word.map(|(w, cmd, after)| Counterexample::Next {
+                state: decode_witness(&layout, vocab, w),
+                command: cmd.map(|k| program.commands[k].name.clone()),
+                after: decode_witness(&layout, vocab, after),
             });
         }
-        for c in &program.commands {
-            let after = c.step(&s, vocab);
-            if !eval_bool(q, &after) {
+        scan_for(vocab, Some(&support), cfg, |s| {
+            if !eval_bool(p, s) {
+                return None;
+            }
+            // Implicit skip: p-states must already satisfy q.
+            if !eval_bool(q, s) {
                 return Some(Counterexample::Next {
-                    state: s,
-                    command: Some(c.name.clone()),
-                    after,
+                    state: s.clone(),
+                    command: None,
+                    after: s.clone(),
                 });
             }
-        }
-        None
-    })?;
+            for c in &program.commands {
+                let after = c.step(s, vocab);
+                if !eval_bool(q, &after) {
+                    return Some(Counterexample::Next {
+                        state: s.clone(),
+                        command: Some(c.name.clone()),
+                        after,
+                    });
+                }
+            }
+            None
+        })?
+    };
     match found {
         None => Ok(()),
         Some(cex) => Err(refuted(program, &Property::Next(p.clone(), q.clone()), cex)),
@@ -149,6 +236,7 @@ pub fn check_invariant_reachable(
     let bmc = crate::bmc::BmcConfig {
         max_depth: u32::MAX,
         max_states: usize::MAX,
+        compiled: cfg.compiled,
         ..Default::default()
     };
     match crate::bmc::bounded_invariant(program, p, &bmc) {
@@ -156,11 +244,9 @@ pub fn check_invariant_reachable(
             debug_assert!(verdict.is_complete());
             Ok(())
         }
-        Err(McError::Refuted { cex, .. }) => Err(refuted(
-            program,
-            &Property::Invariant(p.clone()),
-            cex,
-        )),
+        Err(McError::Refuted { cex, .. }) => {
+            Err(refuted(program, &Property::Invariant(p.clone()), cex))
+        }
         Err(other) => Err(other),
     }
 }
@@ -175,22 +261,52 @@ pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<
         Value::Int(n) => n,
         Value::Bool(b) => i64::from(b),
     };
-    let found = scan_for(vocab, Some(&support), cfg, |s| {
-        let before = eval(e, &s);
-        for c in &program.commands {
-            let after_state = c.step(&s, vocab);
-            let after = eval(e, &after_state);
-            if after != before {
-                return Some(Counterexample::Unchanged {
-                    state: s,
-                    command: c.name.clone(),
-                    before: as_i64(before),
-                    after: as_i64(after),
-                });
-            }
+    let found = 'found: {
+        if let Some((layout, commands, preds)) = compile_for_check(program, &[e], cfg) {
+            let ce = &preds[0];
+            let commands = &commands;
+            let layout_ref = &layout;
+            let word = scan_packed(vocab, layout_ref, Some(&support), cfg, || {
+                let mut scratch = Scratch::new();
+                move |w: u64| {
+                    let before = ce.eval_packed(w, &mut scratch);
+                    for (k, c) in commands.iter().enumerate() {
+                        let after_w = c.step_packed(w, layout_ref, &mut scratch);
+                        if after_w == w {
+                            continue; // skip step: e cannot have changed
+                        }
+                        let after = ce.eval_packed(after_w, &mut scratch);
+                        if after != before {
+                            return Some((w, k, before, after));
+                        }
+                    }
+                    None
+                }
+            })?;
+            break 'found word.map(|(w, k, before, after)| Counterexample::Unchanged {
+                state: decode_witness(&layout, vocab, w),
+                command: program.commands[k].name.clone(),
+                before,
+                after,
+            });
         }
-        None
-    })?;
+        scan_for(vocab, Some(&support), cfg, |s| {
+            let before = eval(e, s);
+            for c in &program.commands {
+                let after_state = c.step(s, vocab);
+                let after = eval(e, &after_state);
+                if after != before {
+                    return Some(Counterexample::Unchanged {
+                        state: s.clone(),
+                        command: c.name.clone(),
+                        before: as_i64(before),
+                        after: as_i64(after),
+                    });
+                }
+            }
+            None
+        })?
+    };
     match found {
         None => Ok(()),
         Some(cex) => Err(refuted(program, &Property::Unchanged(e.clone()), cex)),
@@ -202,19 +318,45 @@ pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<
 pub fn check_transient(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
     let vocab = &program.vocab;
+    let compiled = try_layout(vocab, cfg).and_then(|layout| {
+        let cp = CompiledExpr::compile(p, &layout).ok()?;
+        Some((layout, cp))
+    });
     let mut witnesses = Vec::new();
     for (idx, cmd) in program.fair_commands() {
         let _ = idx;
         // Per-command support: p's variables plus this command's.
         let mut support = vars::free_vars(p);
         command_support(cmd, &mut support);
-        let stuck = scan_for(vocab, Some(&support), cfg, |s| {
-            if !eval_bool(p, &s) {
-                return None;
+        let stuck = 'stuck: {
+            if let Some((layout, cp)) = &compiled {
+                if let Ok(ccmd) = CompiledCommand::compile(cmd, layout) {
+                    let word = scan_packed(vocab, layout, Some(&support), cfg, || {
+                        let (cp, ccmd) = (cp, &ccmd);
+                        let mut scratch = Scratch::new();
+                        move |w: u64| {
+                            if !cp.eval_packed_bool(w, &mut scratch) {
+                                return None;
+                            }
+                            let after = ccmd.step_packed(w, layout, &mut scratch);
+                            // Skip step ⇒ still a p-state: stuck witness.
+                            if after == w {
+                                return Some(w);
+                            }
+                            cp.eval_packed_bool(after, &mut scratch).then_some(w)
+                        }
+                    })?;
+                    break 'stuck word.map(|w| decode_witness(layout, vocab, w));
+                }
             }
-            let after = cmd.step(&s, vocab);
-            eval_bool(p, &after).then_some(s)
-        })?;
+            scan_for(vocab, Some(&support), cfg, |s| {
+                if !eval_bool(p, s) {
+                    return None;
+                }
+                let after = cmd.step(s, vocab);
+                eval_bool(p, &after).then(|| s.clone())
+            })?
+        };
         match stuck {
             None => return Ok(()), // this fair command is a witness
             Some(state) => witnesses.push((cmd.name.clone(), state)),
@@ -375,12 +517,21 @@ mod tests {
         let c = p.vocab.lookup("c").unwrap();
         check_stable(&p, &ge(var(c), int(1)), &ScanConfig::default()).unwrap();
         assert!(check_stable(&p, &le(var(c), int(1)), &ScanConfig::default()).is_err());
-        check_next(&p, &eq(var(c), int(1)), &le(var(c), int(2)), &ScanConfig::default()).unwrap();
+        check_next(
+            &p,
+            &eq(var(c), int(1)),
+            &le(var(c), int(2)),
+            &ScanConfig::default(),
+        )
+        .unwrap();
         // skip violation: p-state not in q.
-        assert!(
-            check_next(&p, &eq(var(c), int(2)), &eq(var(c), int(3)), &ScanConfig::default())
-                .is_err()
-        );
+        assert!(check_next(
+            &p,
+            &eq(var(c), int(2)),
+            &eq(var(c), int(3)),
+            &ScanConfig::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -427,7 +578,10 @@ mod tests {
         let c = p.vocab.lookup("c").unwrap();
         let err = check_transient(&p, &eq(var(c), int(1)), &ScanConfig::default()).unwrap_err();
         match err {
-            McError::Refuted { cex: Counterexample::Transient { witnesses }, .. } => {
+            McError::Refuted {
+                cex: Counterexample::Transient { witnesses },
+                ..
+            } => {
                 assert_eq!(witnesses.len(), 1);
             }
             other => panic!("unexpected {other:?}"),
@@ -468,7 +622,10 @@ mod tests {
         let tricky = or2(ne(var(big), int(1)), eq(var(c), int(1)));
         check_invariant_reachable(&p, &tricky, &ScanConfig::default()).unwrap();
         let r = check_invariant(&p, &tricky, &ScanConfig::default());
-        assert!(r.is_err(), "non-inductive predicate must fail the inductive check");
+        assert!(
+            r.is_err(),
+            "non-inductive predicate must fail the inductive check"
+        );
     }
 
     #[test]
@@ -494,8 +651,10 @@ mod tests {
             .discharge(&Judgment::new(Scope::System, Property::Init(ff())))
             .is_err());
         assert_eq!(d.discharged, 2);
-        d.valid(&implies(eq(var(c), int(0)), le(var(c), int(3)))).unwrap();
-        d.equivalent(&add(var(c), var(c)), &mul(int(2), var(c))).unwrap();
+        d.valid(&implies(eq(var(c), int(0)), le(var(c), int(3))))
+            .unwrap();
+        d.equivalent(&add(var(c), var(c)), &mul(int(2), var(c)))
+            .unwrap();
         assert_eq!(d.discharged, 4);
     }
 }

@@ -1,0 +1,279 @@
+//! The compiled fast path of the model checker.
+//!
+//! Every hot loop in this crate quantifies a predicate (or a command
+//! step) over a huge, regular index space. This module bridges
+//! `unity-core`'s compilation layer
+//! ([`unity_core::expr::compile`]) into those loops:
+//!
+//! * [`CompiledProgram`] lowers a whole [`Program`] once per check —
+//!   init predicate plus every command's guard and updates — into
+//!   register bytecode over a [`PackedLayout`];
+//! * [`scan_packed`] runs a chunk-parallel, allocation-free scan over a
+//!   (possibly projected) packed state space: each worker walks its
+//!   range with an incremental mixed-radix [`SupportCursor`] and a
+//!   per-chunk [`Scratch`] register file — no per-state heap traffic at
+//!   all;
+//! * [`try_layout`] is the gate: the fast path engages exactly when the
+//!   vocabulary packs into 64 bits and compilation succeeds (true for
+//!   every shipped system), and callers fall back to the tree-walking
+//!   reference semantics otherwise. `ScanConfig::compiled = false`
+//!   forces the reference path — the differential test suite runs both
+//!   and demands identical verdicts.
+
+use std::collections::BTreeSet;
+
+use unity_core::expr::compile::{
+    CompileError, CompiledCommand, CompiledExpr, PackedLayout, SupportCursor,
+};
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::state::State;
+
+use crate::parallel::par_find_ranges;
+use crate::space::ScanConfig;
+use crate::trace::McError;
+
+/// The packed layout for `vocab` if the compiled fast path is enabled
+/// and applicable.
+pub fn try_layout(vocab: &Vocabulary, cfg: &ScanConfig) -> Option<PackedLayout> {
+    if !cfg.compiled {
+        return None;
+    }
+    PackedLayout::new(vocab)
+}
+
+/// A program lowered for packed execution: compiled `init` and compiled
+/// commands, in command order.
+pub struct CompiledProgram {
+    /// The layout shared by every compiled part.
+    pub layout: PackedLayout,
+    /// Compiled `initially` predicate.
+    pub init: CompiledExpr,
+    /// Compiled commands (same order as `program.commands`).
+    pub commands: Vec<CompiledCommand>,
+}
+
+impl CompiledProgram {
+    /// Lowers `program` over `layout`.
+    pub fn compile(program: &Program, layout: PackedLayout) -> Result<Self, CompileError> {
+        Ok(CompiledProgram {
+            init: CompiledExpr::compile(&program.init, &layout)?,
+            commands: program
+                .commands
+                .iter()
+                .map(|c| CompiledCommand::compile(c, &layout))
+                .collect::<Result<_, _>>()?,
+            layout,
+        })
+    }
+
+    /// Lowers `program` when the fast path applies (layout fits and
+    /// every expression compiles).
+    pub fn try_compile(program: &Program, cfg: &ScanConfig) -> Option<Self> {
+        let layout = try_layout(&program.vocab, cfg)?;
+        Self::compile(program, layout).ok()
+    }
+}
+
+/// The effective support of a projected scan: the given support when
+/// projection is enabled and strictly smaller than the vocabulary, the
+/// full vocabulary otherwise. Returned in `VarId` order, which keeps
+/// packed enumeration in the same canonical order as the reference
+/// scans.
+fn effective_support(
+    vocab: &Vocabulary,
+    support: Option<&BTreeSet<VarId>>,
+    cfg: &ScanConfig,
+) -> Vec<VarId> {
+    if cfg.projection {
+        if let Some(s) = support {
+            if s.len() < vocab.len() {
+                return s.iter().copied().collect();
+            }
+        }
+    }
+    vocab.ids().collect()
+}
+
+/// The projected sub-space size, checked against `cfg.max_states`.
+fn projected_size(
+    layout: &PackedLayout,
+    support: &[VarId],
+    cfg: &ScanConfig,
+) -> Result<u64, McError> {
+    let mut size: u64 = 1;
+    for v in support {
+        size = size
+            .checked_mul(layout.domain_size(v.index()))
+            .ok_or(McError::SpaceTooLarge {
+                size: None,
+                limit: cfg.max_states,
+            })?;
+    }
+    if size > cfg.max_states {
+        return Err(McError::SpaceTooLarge {
+            size: Some(size),
+            limit: cfg.max_states,
+        });
+    }
+    Ok(size)
+}
+
+/// Chunk-parallel scan over the (projected) packed state space.
+///
+/// `mk` builds one closure per worker chunk; the closure sees packed
+/// words in canonical order and returns a witness to stop the scan.
+/// Non-support variables are pinned at their domain minimum — the same
+/// convention as the reference [`crate::space::Projection`].
+pub fn scan_packed<T, Mk, G>(
+    vocab: &Vocabulary,
+    layout: &PackedLayout,
+    support: Option<&BTreeSet<VarId>>,
+    cfg: &ScanConfig,
+    mk: Mk,
+) -> Result<Option<T>, McError>
+where
+    T: Send,
+    Mk: Fn() -> G + Sync,
+    G: FnMut(u64) -> Option<T>,
+{
+    let support = effective_support(vocab, support, cfg);
+    let size = projected_size(layout, &support, cfg)?;
+    Ok(par_find_ranges(size, &cfg.par, |lo, hi| {
+        let mut g = mk();
+        let mut cursor: SupportCursor = layout
+            .support_cursor(&support, lo)
+            .expect("size already validated");
+        for _ in lo..hi {
+            if let Some(t) = g(cursor.word()) {
+                return Some(t);
+            }
+            cursor.advance(layout);
+        }
+        None
+    }))
+}
+
+/// Decodes a packed witness into a [`State`] (cold path: only on
+/// counterexamples).
+pub fn decode_witness(layout: &PackedLayout, vocab: &Vocabulary, word: u64) -> State {
+    layout.unpack(word, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::expr::compile::Scratch;
+    use unity_core::state::StateSpaceIter;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.declare("x", Domain::int_range(0, 7).unwrap()).unwrap();
+        v.declare("b", Domain::Bool).unwrap();
+        v.declare("y", Domain::int_range(-2, 2).unwrap()).unwrap();
+        v
+    }
+
+    #[test]
+    fn try_layout_respects_the_config_gate() {
+        let v = vocab();
+        assert!(try_layout(&v, &ScanConfig::default()).is_some());
+        assert!(try_layout(&v, &ScanConfig::reference()).is_none());
+    }
+
+    #[test]
+    fn packed_scan_finds_the_same_witnesses_as_reference_enumeration() {
+        let v = vocab();
+        let layout = PackedLayout::new(&v).unwrap();
+        let x = v.lookup("x").unwrap();
+        let y = v.lookup("y").unwrap();
+        let p = and2(eq(var(x), int(5)), eq(var(y), int(-2)));
+        let prog = CompiledExpr::compile(&p, &layout).unwrap();
+        let cfg = ScanConfig::default();
+        // Full scan (no projection argument).
+        let found = scan_packed(&v, &layout, None, &cfg, || {
+            let mut scratch = Scratch::new();
+            let prog = &prog;
+            move |w: u64| prog.eval_packed_bool(w, &mut scratch).then_some(w)
+        })
+        .unwrap()
+        .expect("satisfiable");
+        let s = decode_witness(&layout, &v, found);
+        assert_eq!(s.get(x), unity_core::value::Value::Int(5));
+        assert_eq!(s.get(y), unity_core::value::Value::Int(-2));
+    }
+
+    #[test]
+    fn projection_pins_nonsupport_variables() {
+        let v = vocab();
+        let layout = PackedLayout::new(&v).unwrap();
+        let b = v.lookup("b").unwrap();
+        let support: BTreeSet<VarId> = [b].into_iter().collect();
+        let cfg = ScanConfig::default();
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let collected = scan_packed(&v, &layout, Some(&support), &cfg, || {
+            |w: u64| {
+                seen.lock().push(w);
+                None::<u64>
+            }
+        });
+        assert!(collected.unwrap().is_none());
+        let seen = seen.into_inner();
+        assert_eq!(seen.len(), 2, "projected space is just {{b}}");
+        for w in seen {
+            let s = decode_witness(&layout, &v, w);
+            assert_eq!(
+                s.get(v.lookup("x").unwrap()),
+                unity_core::value::Value::Int(0)
+            );
+            assert_eq!(
+                s.get(v.lookup("y").unwrap()),
+                unity_core::value::Value::Int(-2)
+            );
+        }
+    }
+
+    #[test]
+    fn space_limit_enforced_on_packed_scans() {
+        let v = vocab();
+        let layout = PackedLayout::new(&v).unwrap();
+        let cfg = ScanConfig {
+            max_states: 3,
+            ..Default::default()
+        };
+        let r = scan_packed(&v, &layout, None, &cfg, || |_w: u64| None::<u64>);
+        assert!(matches!(r, Err(McError::SpaceTooLarge { .. })));
+    }
+
+    #[test]
+    fn compiled_program_steps_agree_with_reference_on_every_state() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 5).unwrap()).unwrap();
+        let b = v.declare("b", Domain::Bool).unwrap();
+        let vocab = Arc::new(v);
+        let program = Program::builder("p", vocab.clone())
+            .init(and2(eq(var(x), int(0)), not(var(b))))
+            .fair_command("inc", lt(var(x), int(5)), vec![(x, add(var(x), int(1)))])
+            .command("flip", var(b), vec![(b, not(var(b)))])
+            .fair_command("wrap", tt(), vec![(x, rem(add(var(x), int(1)), int(6)))])
+            .build()
+            .unwrap();
+        let cp = CompiledProgram::try_compile(&program, &ScanConfig::default()).unwrap();
+        let mut scratch = Scratch::new();
+        for s in StateSpaceIter::new(&vocab) {
+            let w = cp.layout.pack(&s);
+            assert_eq!(
+                cp.init.eval_packed_bool(w, &mut scratch),
+                program.satisfies_init(&s)
+            );
+            for (c, cc) in program.commands.iter().zip(&cp.commands) {
+                let expect = c.step(&s, &vocab);
+                let got = cc.step_packed(w, &cp.layout, &mut scratch);
+                assert_eq!(cp.layout.unpack(got, &vocab), expect, "cmd {}", c.name);
+            }
+        }
+    }
+}

@@ -18,7 +18,6 @@
 //! Counterexamples are lassos: a `¬q` prefix from the violating `p`-state
 //! into the fair trap.
 
-use unity_core::expr::eval::eval_bool;
 use unity_core::expr::Expr;
 use unity_core::program::Program;
 use unity_core::state::State;
@@ -64,10 +63,10 @@ pub fn check_leadsto_on(
     q: &Expr,
 ) -> Result<LeadsToReport, McError> {
     let n = ts.len();
-    let not_q: Vec<bool> = ts.states.iter().map(|s| !eval_bool(q, s)).collect();
+    let not_q: Vec<bool> = ts.sat_vec(q).into_iter().map(|b| !b).collect();
 
     // SCCs of the ¬q-restricted graph.
-    let succ = |v: u32| ts.succ[v as usize].clone();
+    let succ = |v: u32| ts.succ_row(v as usize);
     let sccs = tarjan_scc(&not_q, succ);
 
     // A trap: for every fair command d, some member state keeps its
@@ -84,7 +83,7 @@ pub fn check_leadsto_on(
     let is_trap = |comp: &[u32]| -> bool {
         ts.fair.iter().all(|&d| {
             comp.iter().any(|&v| {
-                let w = ts.succ[v as usize][d];
+                let w = ts.succ_at(v as usize, d);
                 not_q[w as usize] && comp_of[w as usize] == comp_of[v as usize]
             })
         })
@@ -109,7 +108,7 @@ pub fn check_leadsto_on(
             if !not_q[v] || dangerous[v] {
                 continue;
             }
-            if ts.succ[v].iter().any(|&w| dangerous[w as usize]) {
+            if ts.succ_row(v).iter().any(|&w| dangerous[w as usize]) {
                 dangerous[v] = true;
                 changed = true;
             }
@@ -121,7 +120,8 @@ pub fn check_leadsto_on(
 
     // A violation starts at any state satisfying p ∧ ¬q that is dangerous.
     // (p-states satisfying q are immediately fine.)
-    let start = (0..n).find(|&v| not_q[v] && dangerous[v] && eval_bool(p, &ts.states[v]));
+    let p_sat = ts.sat_vec(p);
+    let start = (0..n).find(|&v| not_q[v] && dangerous[v] && p_sat[v]);
 
     let report = LeadsToReport {
         states: n,
@@ -175,7 +175,7 @@ fn build_lasso(
             target = Some(u);
             break 'bfs;
         }
-        for &w in &ts.succ[u as usize] {
+        for &w in ts.succ_row(u as usize) {
             if not_q[w as usize] && !seen[w as usize] {
                 seen[w as usize] = true;
                 prev[w as usize] = Some(u);
@@ -202,18 +202,12 @@ fn build_lasso(
                 .iter()
                 .position(|c| c.contains(&t))
                 .expect("target in some SCC");
-            sccs[cid]
-                .iter()
-                .map(|&v| ts.states[v as usize].clone())
-                .collect()
+            sccs[cid].iter().map(|&v| ts.state(v)).collect()
         }
         None => Vec::new(),
     };
     Counterexample::LeadsTo {
-        prefix: prefix_ids
-            .into_iter()
-            .map(|v| ts.states[v as usize].clone())
-            .collect(),
+        prefix: prefix_ids.into_iter().map(|v| ts.state(v)).collect(),
         trap: trap_states,
     }
 }
@@ -293,10 +287,22 @@ mod tests {
             .fair_command("ib", lt(var(b), int(2)), vec![(b, add(var(b), int(1)))])
             .build()
             .unwrap();
-        check_leadsto(&p, &tt(), &eq(var(a), int(2)), Universe::Reachable, &ScanConfig::default())
-            .unwrap();
-        check_leadsto(&p, &tt(), &eq(var(b), int(2)), Universe::Reachable, &ScanConfig::default())
-            .unwrap();
+        check_leadsto(
+            &p,
+            &tt(),
+            &eq(var(a), int(2)),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        check_leadsto(
+            &p,
+            &tt(),
+            &eq(var(b), int(2)),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
         check_leadsto(
             &p,
             &tt(),
@@ -318,9 +324,22 @@ mod tests {
             .fair_command("flip", tt(), vec![(x, not(var(x)))])
             .build()
             .unwrap();
-        check_leadsto(&p, &tt(), &var(x), Universe::Reachable, &ScanConfig::default()).unwrap();
-        check_leadsto(&p, &tt(), &not(var(x)), Universe::Reachable, &ScanConfig::default())
-            .unwrap();
+        check_leadsto(
+            &p,
+            &tt(),
+            &var(x),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        check_leadsto(
+            &p,
+            &tt(),
+            &not(var(x)),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
         // But it never *stays*: false leadsto is about reaching, so to see
         // failure we ask for an unreachable target.
         let mut w = Vocabulary::new();
@@ -347,8 +366,14 @@ mod tests {
             .build()
             .unwrap();
         // Reachable: only state 2; x == 2 already satisfies the target.
-        check_leadsto(&p, &tt(), &ge(var(x), int(2)), Universe::Reachable, &ScanConfig::default())
-            .unwrap();
+        check_leadsto(
+            &p,
+            &tt(),
+            &ge(var(x), int(2)),
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
         // All states: from 0 we can only climb to 2 — fine; but target
         // x == 3 is unreachable from everywhere: fails in both universes.
         assert!(check_leadsto(

@@ -41,9 +41,10 @@
 
 pub mod bmc;
 pub mod check;
+pub mod compiled;
 pub mod fair;
-pub mod mutate;
 pub mod hasher;
+pub mod mutate;
 pub mod parallel;
 pub mod scc;
 pub mod space;
@@ -63,6 +64,7 @@ pub mod prelude {
         check_init, check_invariant, check_invariant_reachable, check_next, check_next_wp,
         check_property, check_stable, check_transient, check_unchanged, McDischarger,
     };
+    pub use crate::compiled::{scan_packed, try_layout, CompiledProgram};
     pub use crate::fair::{check_leadsto, check_leadsto_on, LeadsToReport};
     pub use crate::mutate::{
         mutants, mutation_audit, same_behavior, AuditError, Mutant, MutantOutcome, MutationKind,

@@ -275,7 +275,10 @@ impl MutationReport {
 
     /// Killed mutants.
     pub fn killed(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.killed_by.is_some()).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.killed_by.is_some())
+            .count()
     }
 
     /// Non-equivalent mutants no spec killed.
@@ -416,8 +419,13 @@ mod tests {
     }
 
     fn spec_no_jumps(p: &Program) -> bool {
-        crate::check::check_next(p, &eq(var(X), int(0)), &le(var(X), int(1)), &ScanConfig::default())
-            .is_ok()
+        crate::check::check_next(
+            p,
+            &eq(var(X), int(0)),
+            &le(var(X), int(1)),
+            &ScanConfig::default(),
+        )
+        .is_ok()
     }
 
     #[test]
@@ -519,10 +527,7 @@ mod tests {
             check_invariant(prog, &le(var(X), int(1)), &ScanConfig::default()).is_ok()
         };
         let err = mutation_audit(&p, &[("bad", &bad)]).unwrap_err();
-        assert_eq!(
-            err,
-            AuditError::SpecFailsOnOriginal { spec: "bad".into() }
-        );
+        assert_eq!(err, AuditError::SpecFailsOnOriginal { spec: "bad".into() });
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! sequential path allocation-light for small spaces (threads cost more
 //! than they save below ~2¹⁴ states).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -46,39 +46,52 @@ impl ParConfig {
     }
 }
 
-/// Searches `0..n` for the first index where `f` returns `Some`, in
-/// parallel. Returns *some* witness (not necessarily the smallest) when one
-/// exists; `None` otherwise. `f` must be pure.
-pub fn par_find<T, F>(n: u64, cfg: &ParConfig, f: F) -> Option<T>
+/// Chunk size for [`par_find_ranges`]: big enough to amortize the atomic
+/// claim and per-chunk setup (cursor decode, scratch registers), small
+/// enough for prompt early exit and load balance.
+pub const RANGE_CHUNK: u64 = 8 * 1024;
+
+/// Searches `0..n` by handing contiguous **ranges** to workers: `f(lo,
+/// hi)` scans `[lo, hi)` and returns a witness if it finds one (*some*
+/// witness when several exist — not necessarily the smallest). Workers
+/// claim chunks from a shared atomic counter (work stealing), so skewed
+/// chunk costs balance out. The range interface lets both engines pay
+/// their per-chunk setup once: the compiled scans decode a packed
+/// cursor, the reference scans clone a scratch state.
+pub fn par_find_ranges<T, F>(n: u64, cfg: &ParConfig, f: F) -> Option<T>
 where
     T: Send,
-    F: Fn(u64) -> Option<T> + Sync,
+    F: Fn(u64, u64) -> Option<T> + Sync,
 {
     if cfg.threads <= 1 || n < cfg.sequential_cutoff {
-        return (0..n).find_map(f);
+        return f(0, n);
     }
-    let threads = cfg.threads.min(usize::try_from(n).unwrap_or(usize::MAX)).max(1);
+    let threads = cfg
+        .threads
+        .min(usize::try_from(n.div_ceil(RANGE_CHUNK)).unwrap_or(usize::MAX))
+        .max(1);
     let found: Mutex<Option<T>> = Mutex::new(None);
     let stop = AtomicBool::new(false);
-    let chunk = n.div_ceil(threads as u64);
+    let next = AtomicU64::new(0);
     crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let lo = t as u64 * chunk;
-            let hi = (lo + chunk).min(n);
+        for _ in 0..threads {
             let f = &f;
             let found = &found;
             let stop = &stop;
-            scope.spawn(move |_| {
-                for i in lo..hi {
-                    // Check the stop flag periodically, not on every state.
-                    if i % 1024 == 0 && stop.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    if let Some(w) = f(i) {
-                        *found.lock() = Some(w);
-                        stop.store(true, Ordering::Relaxed);
-                        return;
-                    }
+            let next = &next;
+            scope.spawn(move |_| loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let lo = next.fetch_add(RANGE_CHUNK, Ordering::Relaxed);
+                if lo >= n {
+                    return;
+                }
+                let hi = (lo + RANGE_CHUNK).min(n);
+                if let Some(w) = f(lo, hi) {
+                    *found.lock() = Some(w);
+                    stop.store(true, Ordering::Relaxed);
+                    return;
                 }
             });
         }
@@ -87,78 +100,60 @@ where
     found.into_inner()
 }
 
-/// Fold `0..n` in parallel: `map` each index, `reduce` associatively.
-/// Used by statistics passes (counting satisfying states etc.).
-pub fn par_fold<A, M, R>(n: u64, cfg: &ParConfig, zero: A, map: M, reduce: R) -> A
-where
-    A: Send + Clone,
-    M: Fn(u64) -> A + Sync,
-    R: Fn(A, A) -> A + Sync + Send + Copy,
-{
-    if cfg.threads <= 1 || n < cfg.sequential_cutoff {
-        return (0..n).fold(zero, |acc, i| reduce(acc, map(i)));
-    }
-    let threads = cfg.threads.min(usize::try_from(n).unwrap_or(usize::MAX)).max(1);
-    let chunk = n.div_ceil(threads as u64);
-    let partials: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(threads));
-    crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let lo = t as u64 * chunk;
-            let hi = (lo + chunk).min(n);
-            let map = &map;
-            let partials = &partials;
-            let zero = zero.clone();
-            scope.spawn(move |_| {
-                let local = (lo..hi).fold(zero, |acc, i| reduce(acc, map(i)));
-                partials.lock().push(local);
-            });
-        }
-    })
-    .expect("fold worker panicked");
-    partials
-        .into_inner()
-        .into_iter()
-        .fold(zero, reduce)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Per-index search on top of the range interface, as the scan
+    /// drivers use it.
+    fn find<T: Send>(n: u64, cfg: &ParConfig, f: impl Fn(u64) -> Option<T> + Sync) -> Option<T> {
+        par_find_ranges(n, cfg, |lo, hi| (lo..hi).find_map(&f))
+    }
+
     #[test]
     fn finds_witness_sequential_and_parallel() {
         for cfg in [ParConfig::sequential(), ParConfig::with_threads(4)] {
-            let w = par_find(1_000_000, &cfg, |i| (i == 777_777).then_some(i));
+            let w = find(1_000_000, &cfg, |i| (i == 777_777).then_some(i));
             assert_eq!(w, Some(777_777));
-            let none = par_find(10_000, &cfg, |_| None::<u64>);
+            let none = find(10_000, &cfg, |_| None::<u64>);
             assert_eq!(none, None);
         }
     }
 
     #[test]
     fn empty_range() {
-        assert_eq!(par_find(0, &ParConfig::default(), Some::<u64>), None);
+        assert_eq!(find(0, &ParConfig::default(), Some::<u64>), None);
     }
 
     #[test]
-    fn fold_counts() {
+    fn every_index_is_visited_exactly_once_without_witness() {
+        use std::sync::atomic::AtomicU64;
         for cfg in [ParConfig::sequential(), ParConfig::with_threads(3)] {
-            let count = par_fold(
-                100_000,
-                &cfg,
-                0u64,
-                |i| u64::from(i % 7 == 0),
-                |a, b| a + b,
-            );
-            assert_eq!(count, 14_286);
+            let visited = AtomicU64::new(0);
+            let n = 100_000u64;
+            let r = par_find_ranges(n, &cfg, |lo, hi| {
+                visited.fetch_add(hi - lo, Ordering::Relaxed);
+                None::<()>
+            });
+            assert!(r.is_none());
+            assert_eq!(visited.load(Ordering::Relaxed), n);
         }
     }
 
     #[test]
     fn parallel_matches_sequential_on_randomish_predicate() {
         let pred = |i: u64| (i * i % 104_729 == 1).then_some(());
-        let seq = par_find(50_000, &ParConfig::sequential(), pred).is_some();
-        let par = par_find(50_000, &ParConfig::with_threads(8), pred).is_some();
+        let seq = find(50_000, &ParConfig::sequential(), pred).is_some();
+        let par = find(50_000, &ParConfig::with_threads(8), pred).is_some();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn workers_receive_aligned_chunks() {
+        let cfg = ParConfig::with_threads(4);
+        let bad = par_find_ranges(100_000, &cfg, |lo, hi| {
+            (lo % RANGE_CHUNK != 0 || hi > 100_000 || lo >= hi).then_some((lo, hi))
+        });
+        assert_eq!(bad, None);
     }
 }

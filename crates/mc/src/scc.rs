@@ -6,10 +6,7 @@
 ///
 /// Returns the components in reverse topological order (Tarjan's natural
 /// output); each component lists its member node ids.
-pub fn tarjan_scc(
-    mask: &[bool],
-    succ: impl Fn(u32) -> Vec<u32> + Copy,
-) -> Vec<Vec<u32>> {
+pub fn tarjan_scc<'a>(mask: &[bool], succ: impl Fn(u32) -> &'a [u32] + Copy) -> Vec<Vec<u32>> {
     let n = mask.len();
     const UNVISITED: u32 = u32::MAX;
     let mut index = vec![UNVISITED; n];
@@ -19,10 +16,10 @@ pub fn tarjan_scc(
     let mut next_index: u32 = 0;
     let mut components: Vec<Vec<u32>> = Vec::new();
 
-    // Iterative DFS frame: (node, successor list, next successor position).
-    enum Frame {
+    // Iterative DFS frame: (node, successor slice, next successor position).
+    enum Frame<'a> {
         Enter(u32),
-        Resume(u32, Vec<u32>, usize),
+        Resume(u32, &'a [u32], usize),
     }
 
     for start in 0..n as u32 {
@@ -38,17 +35,16 @@ pub fn tarjan_scc(
                     next_index += 1;
                     stack.push(v);
                     on_stack[v as usize] = true;
-                    let succs: Vec<u32> = succ(v)
-                        .into_iter()
-                        .filter(|&w| mask[w as usize])
-                        .collect();
-                    work.push(Frame::Resume(v, succs, 0));
+                    work.push(Frame::Resume(v, succ(v), 0));
                 }
                 Frame::Resume(v, succs, mut pos) => {
                     let mut descended = false;
                     while pos < succs.len() {
                         let w = succs[pos];
                         pos += 1;
+                        if !mask[w as usize] {
+                            continue; // successors outside the mask are ignored
+                        }
                         if index[w as usize] == UNVISITED {
                             work.push(Frame::Resume(v, succs, pos));
                             work.push(Frame::Enter(w));
@@ -90,21 +86,19 @@ pub fn tarjan_scc(
 mod tests {
     use super::*;
 
-    fn succ_from(edges: &[(u32, u32)]) -> impl Fn(u32) -> Vec<u32> + Copy + '_ {
-        move |v| {
-            edges
-                .iter()
-                .filter(|&&(a, _)| a == v)
-                .map(|&(_, b)| b)
-                .collect()
+    fn adjacency(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a as usize].push(b);
         }
+        adj
     }
 
     #[test]
     fn single_cycle() {
-        let edges = [(0u32, 1u32), (1, 2), (2, 0)];
+        let adj = adjacency(3, &[(0u32, 1u32), (1, 2), (2, 0)]);
         let mask = vec![true; 3];
-        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        let sccs = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
         assert_eq!(sccs.len(), 1);
         let mut c = sccs[0].clone();
         c.sort();
@@ -113,9 +107,9 @@ mod tests {
 
     #[test]
     fn dag_gives_singletons() {
-        let edges = [(0u32, 1u32), (1, 2), (0, 2)];
+        let adj = adjacency(3, &[(0u32, 1u32), (1, 2), (0, 2)]);
         let mask = vec![true; 3];
-        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        let sccs = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
         assert_eq!(sccs.len(), 3);
         assert!(sccs.iter().all(|c| c.len() == 1));
         // Reverse topological: sinks first.
@@ -125,9 +119,9 @@ mod tests {
     #[test]
     fn two_components_with_bridge() {
         // 0 <-> 1 -> 2 <-> 3
-        let edges = [(0u32, 1u32), (1, 0), (1, 2), (2, 3), (3, 2)];
+        let adj = adjacency(4, &[(0u32, 1u32), (1, 0), (1, 2), (2, 3), (3, 2)]);
         let mask = vec![true; 4];
-        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        let sccs = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
         assert_eq!(sccs.len(), 2);
         let mut sizes: Vec<usize> = sccs.iter().map(Vec::len).collect();
         sizes.sort();
@@ -137,9 +131,9 @@ mod tests {
     #[test]
     fn mask_excludes_nodes() {
         // Cycle 0 -> 1 -> 2 -> 0 broken by masking 2.
-        let edges = [(0u32, 1u32), (1, 2), (2, 0)];
+        let adj = adjacency(3, &[(0u32, 1u32), (1, 2), (2, 0)]);
         let mask = vec![true, true, false];
-        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        let sccs = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
         assert_eq!(sccs.len(), 2);
         assert!(sccs.iter().all(|c| c.len() == 1));
     }
@@ -149,16 +143,19 @@ mod tests {
         // 100k-node chain: iterative DFS must not overflow.
         let n = 100_000u32;
         let mask = vec![true; n as usize];
-        let succ = move |v: u32| if v + 1 < n { vec![v + 1] } else { vec![] };
-        let sccs = tarjan_scc(&mask, succ);
+        let adj = adjacency(
+            n as usize,
+            &(0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>(),
+        );
+        let sccs = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
         assert_eq!(sccs.len(), n as usize);
     }
 
     #[test]
     fn self_loop_is_component() {
-        let edges = [(0u32, 0u32), (0, 1)];
+        let adj = adjacency(2, &[(0u32, 0u32), (0, 1)]);
         let mask = vec![true; 2];
-        let sccs = tarjan_scc(&mask, succ_from(&edges));
+        let sccs = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
         assert_eq!(sccs.len(), 2);
     }
 }

@@ -6,13 +6,25 @@
 //! (`⊨ p`, `⊨ a = b`) are decided by scanning the full domain product.
 //! Scans are chunk-parallel over the flat state index (see
 //! [`crate::parallel`]).
+//!
+//! Two evaluation strategies decide the same scans:
+//!
+//! * the **compiled fast path** (default): predicates lower once to
+//!   register bytecode and states stream as packed `u64` words — see
+//!   [`crate::compiled`] and `unity_core::expr::compile`;
+//! * the **reference path**: the tree-walking evaluator over explicit
+//!   [`State`]s, kept as the executable semantics (and for vocabularies
+//!   beyond 64 packed bits). `ScanConfig::reference()` forces it; the
+//!   differential test suite checks both paths agree verdict-for-verdict.
 
+use unity_core::expr::compile::{CompiledExpr, Scratch};
 use unity_core::expr::eval::{eval, eval_bool};
 use unity_core::expr::Expr;
 use unity_core::ident::Vocabulary;
 use unity_core::state::{State, StateSpaceIter};
 
-use crate::parallel::{par_find, ParConfig};
+use crate::compiled::{decode_witness, scan_packed, try_layout};
+use crate::parallel::{par_find_ranges, ParConfig};
 use crate::trace::{Counterexample, McError};
 
 /// Configuration for scans.
@@ -30,6 +42,11 @@ pub struct ScanConfig {
     /// the vocabulary — the executable face of the paper's insistence on
     /// local specifications.
     pub projection: bool,
+    /// Use the compiled bytecode/packed-state fast path when the
+    /// vocabulary allows it. The reference tree-walk remains the
+    /// semantics of record; this flag exists so differential tests (and
+    /// bench baselines) can pin either engine.
+    pub compiled: bool,
 }
 
 impl Default for ScanConfig {
@@ -38,6 +55,7 @@ impl Default for ScanConfig {
             max_states: 1 << 26,
             par: ParConfig::default(),
             projection: true,
+            compiled: true,
         }
     }
 }
@@ -47,6 +65,14 @@ impl ScanConfig {
     pub fn without_projection() -> Self {
         ScanConfig {
             projection: false,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration pinned to the tree-walking reference evaluator.
+    pub fn reference() -> Self {
+        ScanConfig {
+            compiled: false,
             ..Default::default()
         }
     }
@@ -85,15 +111,30 @@ impl Projection {
         self.size
     }
 
-    /// Decodes a flat projected index into a full state (non-support
-    /// variables at their minimum).
-    pub fn decode(&self, vocab: &Vocabulary, mut flat: u64) -> State {
-        let mut s = self.base.clone();
+    /// The all-minimum base state (clone it once per worker as the
+    /// scratch for [`Projection::decode_into`]).
+    pub fn base(&self) -> &State {
+        &self.base
+    }
+
+    /// Decodes a flat projected index into `out`, overwriting the
+    /// support variables (all others keep their minimum from the base
+    /// clone). This is the allocation-free form of [`Projection::decode`]:
+    /// scan workers reuse one scratch state per chunk instead of cloning
+    /// the base per state.
+    pub fn decode_into(&self, vocab: &Vocabulary, mut flat: u64, out: &mut State) {
         for &v in self.support.iter().rev() {
             let d = vocab.domain(v);
-            s.set(v, d.value_at(flat % d.size()));
+            out.set(v, d.value_at(flat % d.size()));
             flat /= d.size();
         }
+    }
+
+    /// Decodes a flat projected index into a fresh full state
+    /// (non-support variables at their minimum).
+    pub fn decode(&self, vocab: &Vocabulary, flat: u64) -> State {
+        let mut s = self.base.clone();
+        self.decode_into(vocab, flat, &mut s);
         s
     }
 }
@@ -110,7 +151,10 @@ pub fn space_size(vocab: &Vocabulary, cfg: &ScanConfig) -> Result<u64, McError> 
 }
 
 /// Scans states for a witness, projecting onto `support` when enabled.
-/// `support = None` forces a full-product scan.
+/// `support = None` forces a full-product scan. This is the *reference*
+/// scan driver: `f` sees explicit states (borrowed — clone to keep one
+/// as a witness). The compiled paths go through
+/// [`crate::compiled::scan_packed`] instead.
 pub fn scan_for<T, F>(
     vocab: &Vocabulary,
     support: Option<&std::collections::BTreeSet<unity_core::ident::VarId>>,
@@ -119,7 +163,7 @@ pub fn scan_for<T, F>(
 ) -> Result<Option<T>, McError>
 where
     T: Send,
-    F: Fn(State) -> Option<T> + Sync,
+    F: Fn(&State) -> Option<T> + Sync,
 {
     if cfg.projection {
         if let Some(support) = support {
@@ -134,15 +178,22 @@ where
                         limit: cfg.max_states,
                     });
                 }
-                return Ok(par_find(proj.size(), &cfg.par, |flat| {
-                    f(proj.decode(vocab, flat))
+                return Ok(par_find_ranges(proj.size(), &cfg.par, |lo, hi| {
+                    let mut scratch = proj.base().clone();
+                    for flat in lo..hi {
+                        proj.decode_into(vocab, flat, &mut scratch);
+                        if let Some(t) = f(&scratch) {
+                            return Some(t);
+                        }
+                    }
+                    None
                 }));
             }
         }
     }
     let n = space_size(vocab, cfg)?;
-    Ok(par_find(n, &cfg.par, |flat| {
-        f(StateSpaceIter::decode(vocab, flat))
+    Ok(par_find_ranges(n, &cfg.par, |lo, hi| {
+        (lo..hi).find_map(|flat| f(&StateSpaceIter::decode(vocab, flat)))
     }))
 }
 
@@ -151,9 +202,21 @@ where
 pub fn check_valid(vocab: &Vocabulary, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     p.check_pred(vocab)?;
     let support = unity_core::expr::vars::free_vars(p);
-    let found = scan_for(vocab, Some(&support), cfg, |s| {
-        (!eval_bool(p, &s)).then_some(s)
-    })?;
+    let found = 'found: {
+        if let Some(layout) = try_layout(vocab, cfg) {
+            if let Ok(prog) = CompiledExpr::compile(p, &layout) {
+                let word = scan_packed(vocab, &layout, Some(&support), cfg, || {
+                    let prog = &prog;
+                    let mut scratch = Scratch::new();
+                    move |w: u64| (!prog.eval_packed_bool(w, &mut scratch)).then_some(w)
+                })?;
+                break 'found word.map(|w| decode_witness(&layout, vocab, w));
+            }
+        }
+        scan_for(vocab, Some(&support), cfg, |s| {
+            (!eval_bool(p, s)).then(|| s.clone())
+        })?
+    };
     match found {
         None => Ok(()),
         Some(state) => Err(McError::Refuted {
@@ -195,9 +258,27 @@ pub fn check_equivalent(
     }
     let mut support = unity_core::expr::vars::free_vars(a);
     unity_core::expr::vars::collect(b, &mut support);
-    let found = scan_for(vocab, Some(&support), cfg, |s| {
-        (eval(a, &s) != eval(b, &s)).then_some(s)
-    })?;
+    let found = 'found: {
+        if let Some(layout) = try_layout(vocab, cfg) {
+            if let (Ok(pa), Ok(pb)) = (
+                CompiledExpr::compile(a, &layout),
+                CompiledExpr::compile(b, &layout),
+            ) {
+                let word = scan_packed(vocab, &layout, Some(&support), cfg, || {
+                    let (pa, pb) = (&pa, &pb);
+                    let mut scratch = Scratch::new();
+                    move |w: u64| {
+                        (pa.eval_packed(w, &mut scratch) != pb.eval_packed(w, &mut scratch))
+                            .then_some(w)
+                    }
+                })?;
+                break 'found word.map(|w| decode_witness(&layout, vocab, w));
+            }
+        }
+        scan_for(vocab, Some(&support), cfg, |s| {
+            (eval(a, s) != eval(b, s)).then(|| s.clone())
+        })?
+    };
     match found {
         None => Ok(()),
         Some(state) => Err(McError::Refuted {
@@ -215,7 +296,19 @@ pub fn find_satisfying(
 ) -> Result<Option<State>, McError> {
     p.check_pred(vocab)?;
     let support = unity_core::expr::vars::free_vars(p);
-    scan_for(vocab, Some(&support), cfg, |s| eval_bool(p, &s).then_some(s))
+    if let Some(layout) = try_layout(vocab, cfg) {
+        if let Ok(prog) = CompiledExpr::compile(p, &layout) {
+            let word = scan_packed(vocab, &layout, Some(&support), cfg, || {
+                let prog = &prog;
+                let mut scratch = Scratch::new();
+                move |w: u64| prog.eval_packed_bool(w, &mut scratch).then_some(w)
+            })?;
+            return Ok(word.map(|w| decode_witness(&layout, vocab, w)));
+        }
+    }
+    scan_for(vocab, Some(&support), cfg, |s| {
+        eval_bool(p, s).then(|| s.clone())
+    })
 }
 
 #[cfg(test)]
@@ -231,12 +324,19 @@ mod tests {
         v
     }
 
+    /// Both engines must be exercised by every test below.
+    fn engines() -> [ScanConfig; 2] {
+        [ScanConfig::default(), ScanConfig::reference()]
+    }
+
     #[test]
     fn valid_tautology() {
         let v = vocab();
         let x = v.lookup("x").unwrap();
         let p = or2(le(var(x), int(3)), gt(var(x), int(3)));
-        check_valid(&v, &p, &ScanConfig::default()).unwrap();
+        for cfg in engines() {
+            check_valid(&v, &p, &cfg).unwrap();
+        }
     }
 
     #[test]
@@ -244,12 +344,17 @@ mod tests {
         let v = vocab();
         let x = v.lookup("x").unwrap();
         let p = le(var(x), int(6));
-        let err = check_valid(&v, &p, &ScanConfig::default()).unwrap_err();
-        match err {
-            McError::Refuted { cex: Counterexample::Validity { state }, .. } => {
-                assert_eq!(state.get(x), unity_core::value::Value::Int(7));
+        for cfg in engines() {
+            let err = check_valid(&v, &p, &cfg).unwrap_err();
+            match err {
+                McError::Refuted {
+                    cex: Counterexample::Validity { state },
+                    ..
+                } => {
+                    assert_eq!(state.get(x), unity_core::value::Value::Int(7));
+                }
+                other => panic!("unexpected {other:?}"),
             }
-            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -257,59 +362,60 @@ mod tests {
     fn equivalence() {
         let v = vocab();
         let x = v.lookup("x").unwrap();
-        check_equivalent(&v, &add(var(x), var(x)), &mul(int(2), var(x)), &ScanConfig::default())
-            .unwrap();
-        assert!(check_equivalent(
-            &v,
-            &add(var(x), int(1)),
-            &var(x),
-            &ScanConfig::default()
-        )
-        .is_err());
-        // Mixed types rejected.
-        let b = v.lookup("b").unwrap();
-        assert!(check_equivalent(&v, &var(b), &var(x), &ScanConfig::default()).is_err());
+        for cfg in engines() {
+            check_equivalent(&v, &add(var(x), var(x)), &mul(int(2), var(x)), &cfg).unwrap();
+            assert!(check_equivalent(&v, &add(var(x), int(1)), &var(x), &cfg).is_err());
+            // Mixed types rejected.
+            let b = v.lookup("b").unwrap();
+            assert!(check_equivalent(&v, &var(b), &var(x), &cfg).is_err());
+        }
     }
 
     #[test]
     fn satisfiability() {
         let v = vocab();
         let x = v.lookup("x").unwrap();
-        let s = find_satisfying(&v, &eq(var(x), int(5)), &ScanConfig::default())
-            .unwrap()
-            .unwrap();
-        assert_eq!(s.get(x), unity_core::value::Value::Int(5));
-        assert!(find_satisfying(&v, &lt(var(x), int(0)), &ScanConfig::default())
-            .unwrap()
-            .is_none());
+        for cfg in engines() {
+            let s = find_satisfying(&v, &eq(var(x), int(5)), &cfg)
+                .unwrap()
+                .unwrap();
+            assert_eq!(s.get(x), unity_core::value::Value::Int(5));
+            assert!(find_satisfying(&v, &lt(var(x), int(0)), &cfg)
+                .unwrap()
+                .is_none());
+        }
     }
 
     #[test]
     fn space_limit_enforced() {
         let v = vocab();
-        let cfg = ScanConfig {
-            max_states: 3,
-            ..Default::default()
-        };
-        // `true` has empty support: with projection the scan is a single
-        // state and succeeds even under a tiny limit.
-        check_valid(&v, &tt(), &cfg).unwrap();
-        // A predicate over `x` (8 values) exceeds the limit either way.
-        let x = v.lookup("x").unwrap();
-        assert!(matches!(
-            check_valid(&v, &le(var(x), int(7)), &cfg),
-            Err(McError::SpaceTooLarge { .. })
-        ));
-        // And with projection disabled, even `true` must scan everything.
-        let cfg = ScanConfig {
-            max_states: 3,
-            projection: false,
-            ..Default::default()
-        };
-        assert!(matches!(
-            check_valid(&v, &tt(), &cfg),
-            Err(McError::SpaceTooLarge { .. })
-        ));
+        for compiled in [true, false] {
+            let cfg = ScanConfig {
+                max_states: 3,
+                compiled,
+                ..Default::default()
+            };
+            // `true` has empty support: with projection the scan is a single
+            // state and succeeds even under a tiny limit.
+            check_valid(&v, &tt(), &cfg).unwrap();
+            // A predicate over `x` (8 values) exceeds the limit either way.
+            let x = v.lookup("x").unwrap();
+            assert!(matches!(
+                check_valid(&v, &le(var(x), int(7)), &cfg),
+                Err(McError::SpaceTooLarge { .. })
+            ));
+            // And with projection disabled, even `true` must scan everything.
+            let cfg = ScanConfig {
+                max_states: 3,
+                projection: false,
+                compiled,
+                ..Default::default()
+            };
+            assert!(matches!(
+                check_valid(&v, &tt(), &cfg),
+                Err(McError::SpaceTooLarge { .. })
+            ));
+        }
     }
 
     #[test]
@@ -322,12 +428,42 @@ mod tests {
             or2(var(b), le(var(x), int(7))),
             implies(var(b), ge(var(x), int(0))),
         ];
-        let with = ScanConfig::default();
-        let without = ScanConfig::without_projection();
-        for p in preds {
+        for base in engines() {
+            let with = base.clone();
+            let without = ScanConfig {
+                projection: false,
+                ..base
+            };
+            for p in &preds {
+                assert_eq!(
+                    check_valid(&v, p, &with).is_ok(),
+                    check_valid(&v, p, &without).is_ok()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_and_reference_verdicts_agree() {
+        let v = vocab();
+        let x = v.lookup("x").unwrap();
+        let b = v.lookup("b").unwrap();
+        let preds = [
+            tt(),
+            ff(),
+            le(var(x), int(7)),
+            le(var(x), int(6)),
+            iff(var(b), ge(var(x), int(4))),
+            implies(
+                and2(var(b), ge(var(x), int(2))),
+                gt(add(var(x), int(1)), int(2)),
+            ),
+        ];
+        for p in &preds {
             assert_eq!(
-                check_valid(&v, &p, &with).is_ok(),
-                check_valid(&v, &p, &without).is_ok()
+                check_valid(&v, p, &ScanConfig::default()).is_ok(),
+                check_valid(&v, p, &ScanConfig::reference()).is_ok(),
+                "engines disagree on {p:?}"
             );
         }
     }

@@ -220,8 +220,9 @@ impl SymmetrySpec {
     /// The canonical orbit representative: block tuples sorted
     /// lexicographically (shared variables untouched).
     pub fn canonicalize(&self, state: &State) -> State {
-        let mut tuples: Vec<Vec<Value>> =
-            (0..self.blocks.len()).map(|i| self.tuple(state, i)).collect();
+        let mut tuples: Vec<Vec<Value>> = (0..self.blocks.len())
+            .map(|i| self.tuple(state, i))
+            .collect();
         tuples.sort_unstable();
         let mut out = state.clone();
         for (i, t) in tuples.iter().enumerate() {
@@ -235,8 +236,9 @@ impl SymmetrySpec {
     /// Exact orbit size of `state`: `N! / ∏ m_t!` over tuple
     /// multiplicities `m_t`.
     pub fn orbit_size(&self, state: &State) -> u128 {
-        let mut tuples: Vec<Vec<Value>> =
-            (0..self.blocks.len()).map(|i| self.tuple(state, i)).collect();
+        let mut tuples: Vec<Vec<Value>> = (0..self.blocks.len())
+            .map(|i| self.tuple(state, i))
+            .collect();
         tuples.sort_unstable();
         let mut size: u128 = 1;
         // N! incrementally divided by multiplicities: process runs.
@@ -319,9 +321,10 @@ impl SymmetrySpec {
                         return Err(SymmetryViolation::Command {
                             command: c.name.clone(),
                             block: b,
-                            state: states.first().cloned().unwrap_or_else(|| {
-                                State::minimum(vocab)
-                            }),
+                            state: states
+                                .first()
+                                .cloned()
+                                .unwrap_or_else(|| State::minimum(vocab)),
                         });
                     }
                     Some(cj) => {
@@ -486,7 +489,10 @@ mod tests {
     fn toy(n: usize, k: i64) -> (Program, SymmetrySpec) {
         let mut v = Vocabulary::new();
         let locals: Vec<VarId> = (0..n)
-            .map(|i| v.declare(&format!("c{i}"), Domain::int_range(0, k).unwrap()).unwrap())
+            .map(|i| {
+                v.declare(&format!("c{i}"), Domain::int_range(0, k).unwrap())
+                    .unwrap()
+            })
             .collect();
         let big = v
             .declare("C", Domain::int_range(0, k * n as i64).unwrap())
@@ -549,11 +555,7 @@ mod tests {
                 [2, 0, 1],
                 [2, 1, 0],
             ];
-            let min = perms
-                .iter()
-                .map(|perm| spec.apply(&s, perm))
-                .min()
-                .unwrap();
+            let min = perms.iter().map(|perm| spec.apply(&s, perm)).min().unwrap();
             // Both orders states by the Ord derive; block variables were
             // declared first and in order, so tuple-sorting = state min.
             assert_eq!(c, min);
@@ -567,10 +569,16 @@ mod tests {
         // all equal: orbit 1
         assert_eq!(spec.orbit_size(&s), 1);
         // two equal, one distinct: 3!/2! = 3
-        s.set(p.vocab.lookup("c0").unwrap(), unity_core::value::Value::Int(1));
+        s.set(
+            p.vocab.lookup("c0").unwrap(),
+            unity_core::value::Value::Int(1),
+        );
         assert_eq!(spec.orbit_size(&s), 3);
         // all distinct: 3! = 6
-        s.set(p.vocab.lookup("c1").unwrap(), unity_core::value::Value::Int(2));
+        s.set(
+            p.vocab.lookup("c1").unwrap(),
+            unity_core::value::Value::Int(2),
+        );
         assert_eq!(spec.orbit_size(&s), 6);
     }
 
@@ -587,7 +595,12 @@ mod tests {
             total += 1;
         }
         for (rep, count) in &groups {
-            assert_eq!(spec.orbit_size(rep), *count, "rep {}", rep.display(&p.vocab));
+            assert_eq!(
+                spec.orbit_size(rep),
+                *count,
+                "rep {}",
+                rep.display(&p.vocab)
+            );
         }
         assert_eq!(groups.values().sum::<u128>(), total);
     }
@@ -669,9 +682,9 @@ mod tests {
         assert!(stats.quotient_states < ts.len());
         // Distinct canonical forms of the reachable set = quotient size.
         let mut canon: std::collections::BTreeSet<State> = Default::default();
-        for s in &ts.states {
+        ts.for_each_state(|_, s| {
             canon.insert(spec.canonicalize(s));
-        }
+        });
         assert_eq!(canon.len(), stats.quotient_states);
     }
 

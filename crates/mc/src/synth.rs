@@ -39,7 +39,6 @@
 //! ```
 
 use unity_core::expr::build::{and, and2, boolean, eq, int, not, or, or2, tt, var};
-use unity_core::expr::eval::eval_bool;
 use unity_core::expr::Expr;
 use unity_core::ident::Vocabulary;
 use unity_core::program::Program;
@@ -154,7 +153,7 @@ fn dnf(vocab: &Vocabulary, ts: &TransitionSystem, ids: &[u32]) -> Expr {
     ids.sort_unstable();
     or(ids
         .iter()
-        .map(|&id| state_conj(vocab, &ts.states[id as usize]))
+        .map(|&id| state_conj(vocab, &ts.state(id)))
         .collect())
 }
 
@@ -181,8 +180,10 @@ pub fn synthesize_leadsto(
     let vocab = &program.vocab;
     let n = ts.len();
 
-    let q_ids: Vec<u32> = ts.states_where(|s| eval_bool(q, s));
-    let p_ids: Vec<u32> = ts.states_where(|s| eval_bool(p, s));
+    let q_sat = ts.sat_vec(q);
+    let p_sat = ts.sat_vec(p);
+    let q_ids: Vec<u32> = (0..n as u32).filter(|&s| q_sat[s as usize]).collect();
+    let p_ids: Vec<u32> = (0..n as u32).filter(|&s| p_sat[s as usize]).collect();
     let mut in_u = vec![false; n];
     for &id in &q_ids {
         in_u[id as usize] = true;
@@ -199,7 +200,7 @@ pub fn synthesize_leadsto(
             let mut in_x = vec![false; n];
             let mut any = false;
             for s in 0..n {
-                if !in_u[s] && in_u[ts.succ[s][d] as usize] {
+                if !in_u[s] && in_u[ts.succ_at(s, d) as usize] {
                     in_x[s] = true;
                     any = true;
                 }
@@ -215,7 +216,7 @@ pub fn synthesize_leadsto(
                         continue;
                     }
                     let escapes = (0..ts.n_commands).any(|c| {
-                        let t = ts.succ[s][c] as usize;
+                        let t = ts.succ_at(s, c) as usize;
                         !in_x[t] && !in_u[t]
                     });
                     if escapes {
@@ -247,8 +248,8 @@ pub fn synthesize_leadsto(
 
     // Every reachable p-state must be covered.
     let uncovered: Vec<State> = (0..n)
-        .filter(|&s| eval_bool(p, &ts.states[s]) && !in_u[s])
-        .map(|s| ts.states[s].clone())
+        .filter(|&s| p_sat[s] && !in_u[s])
+        .map(|s| ts.state(s as u32))
         .collect();
     if !uncovered.is_empty() {
         return Err(SynthError::NotLive { uncovered });
@@ -427,9 +428,8 @@ pub fn synthesize_and_check(
     let mut discharger = ProgramDischarger::new(program);
     discharger.cfg = scan.clone();
     let mut ctx = CheckCtx::new(&mut discharger).with_vocab(&program.vocab);
-    let stats = check_concludes(&synth.proof, &synth.conclusion, &mut ctx).map_err(|e| {
-        SynthError::Mc(McError::Core(e))
-    })?;
+    let stats = check_concludes(&synth.proof, &synth.conclusion, &mut ctx)
+        .map_err(|e| SynthError::Mc(McError::Core(e)))?;
     Ok((synth, stats))
 }
 
@@ -475,7 +475,14 @@ mod tests {
         assert_eq!(synth.reachable_states, 4);
         assert!(stats.premises >= 2 * synth.layers.len() + 2);
         // Independent cross-check by the exact fair checker.
-        check_leadsto(&p, &tt(), &goal, Universe::Reachable, &ScanConfig::default()).unwrap();
+        check_leadsto(
+            &p,
+            &tt(),
+            &goal,
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -547,9 +554,14 @@ mod tests {
             .build()
             .unwrap();
         let goal = and2(eq(var(x), int(1)), eq(var(y), int(1)));
-        let (synth, _) =
-            synthesize_and_check(&p, &tt(), &goal, &SynthConfig::default(), &ScanConfig::default())
-                .unwrap();
+        let (synth, _) = synthesize_and_check(
+            &p,
+            &tt(),
+            &goal,
+            &SynthConfig::default(),
+            &ScanConfig::default(),
+        )
+        .unwrap();
         let used: std::collections::BTreeSet<usize> =
             synth.layers.iter().map(|l| l.fair_command).collect();
         assert_eq!(used.len(), 2, "both fair commands must appear");

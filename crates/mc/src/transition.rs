@@ -6,9 +6,16 @@
 //! identity on every state and is left implicit here too; the fairness
 //! analysis accounts for it.
 
+use std::sync::Arc;
+
+use unity_core::expr::compile::{CompiledExpr, PackedLayout, Scratch};
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::Expr;
+use unity_core::ident::Vocabulary;
 use unity_core::program::Program;
 use unity_core::state::{State, StateSpaceIter};
 
+use crate::compiled::CompiledProgram;
 use crate::hasher::FxHashMap;
 use crate::space::ScanConfig;
 use crate::trace::McError;
@@ -23,16 +30,43 @@ pub enum Universe {
     AllStates,
 }
 
+/// How a transition system stores its states.
+///
+/// The compiled builders keep states **packed** — one `u64` word each
+/// (or nothing at all for the full product, whose id ↔ word mapping is
+/// pure arithmetic) — and materialize explicit [`State`]s only on
+/// demand. Predicate sweeps over the state set go through
+/// [`TransitionSystem::sat_vec`], which evaluates compiled bytecode
+/// straight over the packed words.
+#[derive(Debug, Clone)]
+enum StateStore {
+    /// Explicit states (reference builders, oversized vocabularies).
+    Explicit(Vec<State>),
+    /// Interned packed words (reachable universe, compiled builder).
+    PackedWords {
+        layout: PackedLayout,
+        words: Vec<u64>,
+    },
+    /// The full domain product: state `id`'s word is
+    /// `layout.word_of_flat(id)` — nothing is stored.
+    PackedRange { layout: PackedLayout, n: usize },
+}
+
 /// An explicit-state labeled transition system.
 #[derive(Debug, Clone)]
 pub struct TransitionSystem {
-    /// Interned states, indexed by id.
-    pub states: Vec<State>,
-    /// `succ[s][c]` = id of the post-state of command `c` from state `s`.
-    pub succ: Vec<Vec<u32>>,
+    /// The vocabulary states decode against.
+    vocab: Arc<Vocabulary>,
+    /// State storage (packed on the compiled path).
+    store: StateStore,
+    /// Successor table, row-major: the post-state of command `c` from
+    /// state `s` is `succ[s * n_commands + c]`. One flat allocation
+    /// instead of a `Vec` per state — access through
+    /// [`TransitionSystem::succ_row`] / [`TransitionSystem::succ_at`].
+    succ: Vec<u32>,
     /// Ids of initial states.
     pub init: Vec<u32>,
-    /// Number of explicit commands (`succ[s].len()`).
+    /// Number of explicit commands (the row stride of `succ`).
     pub n_commands: usize,
     /// Indices (into commands) of the weakly-fair subset `D`.
     pub fair: Vec<usize>,
@@ -40,11 +74,7 @@ pub struct TransitionSystem {
 
 impl TransitionSystem {
     /// Builds the transition system of `program` over the chosen universe.
-    pub fn build(
-        program: &Program,
-        universe: Universe,
-        cfg: &ScanConfig,
-    ) -> Result<Self, McError> {
+    pub fn build(program: &Program, universe: Universe, cfg: &ScanConfig) -> Result<Self, McError> {
         match universe {
             Universe::Reachable => Self::build_reachable(program, cfg),
             Universe::AllStates => Self::build_all(program, cfg),
@@ -53,6 +83,9 @@ impl TransitionSystem {
 
     fn build_reachable(program: &Program, cfg: &ScanConfig) -> Result<Self, McError> {
         crate::space::space_size(&program.vocab, cfg)?;
+        if let Some(cp) = CompiledProgram::try_compile(program, cfg) {
+            return Ok(Self::build_reachable_packed(program, cp));
+        }
         let n_commands = program.commands.len();
         let mut index: FxHashMap<State, u32> = FxHashMap::default();
         let mut states: Vec<State> = Vec::new();
@@ -60,9 +93,9 @@ impl TransitionSystem {
         let mut frontier: Vec<u32> = Vec::new();
 
         let intern = |s: State,
-                          states: &mut Vec<State>,
-                          index: &mut FxHashMap<State, u32>,
-                          frontier: &mut Vec<u32>| {
+                      states: &mut Vec<State>,
+                      index: &mut FxHashMap<State, u32>,
+                      frontier: &mut Vec<u32>| {
             if let Some(&id) = index.get(&s) {
                 return id;
             }
@@ -82,8 +115,8 @@ impl TransitionSystem {
         init.dedup();
 
         while let Some(id) = frontier.pop() {
-            // Successor rows are filled in id order; rows may be created
-            // out of order because interning new states extends `states`.
+            // Rows may be produced out of id order (interning extends
+            // `states`); stage them as rows and flatten once at the end.
             let state = states[id as usize].clone();
             let mut row = Vec::with_capacity(n_commands);
             for c in &program.commands {
@@ -96,27 +129,11 @@ impl TransitionSystem {
             }
             succ[id as usize] = row;
         }
-        // States discovered last may not have rows yet if frontier order
-        // skipped them — fill any missing rows.
-        for id in 0..states.len() {
-            if succ.len() <= id {
-                succ.resize(id + 1, Vec::new());
-            }
-            if succ[id].is_empty() && n_commands > 0 {
-                let state = states[id].clone();
-                let row: Vec<u32> = program
-                    .commands
-                    .iter()
-                    .map(|c| {
-                        let next = c.step(&state, &program.vocab);
-                        *index.get(&next).expect("successors were interned")
-                    })
-                    .collect();
-                succ[id] = row;
-            }
-        }
+        succ.resize(states.len(), Vec::new());
+        let succ: Vec<u32> = succ.into_iter().flatten().collect();
         Ok(TransitionSystem {
-            states,
+            vocab: program.vocab.clone(),
+            store: StateStore::Explicit(states),
             succ,
             init,
             n_commands,
@@ -124,32 +141,106 @@ impl TransitionSystem {
         })
     }
 
+    /// Packed breadth-first construction: states intern as `u64` words in
+    /// an integer-keyed table (no per-probe hashing of value slices) and
+    /// successors come from compiled command steps. Explicit [`State`]s
+    /// are only materialized once per interned state, at the end.
+    fn build_reachable_packed(program: &Program, cp: CompiledProgram) -> Self {
+        let n_commands = program.commands.len();
+        let layout = &cp.layout;
+        let mut scratch = Scratch::new();
+        let mut index: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut words: Vec<u64> = Vec::new();
+        let mut succ: Vec<u32> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
+
+        let intern = |w: u64,
+                      words: &mut Vec<u64>,
+                      index: &mut FxHashMap<u64, u32>,
+                      frontier: &mut Vec<u32>| {
+            *index.entry(w).or_insert_with(|| {
+                let id = words.len() as u32;
+                words.push(w);
+                frontier.push(id);
+                id
+            })
+        };
+
+        // Initial states: scan the full packed space with the compiled
+        // init predicate (the reference path materializes every state).
+        let mut init = Vec::new();
+        if let Some(total) = program.vocab.space_size() {
+            let mut cursor = layout
+                .support_cursor(&program.vocab.ids().collect::<Vec<_>>(), 0)
+                .expect("space_size checked by caller");
+            for _ in 0..total {
+                let w = cursor.word();
+                if cp.init.eval_packed_bool(w, &mut scratch) {
+                    init.push(intern(w, &mut words, &mut index, &mut frontier));
+                }
+                cursor.advance(layout);
+            }
+        }
+        init.sort_unstable();
+        init.dedup();
+
+        while let Some(id) = frontier.pop() {
+            // Each interned id enters the frontier exactly once, so each
+            // row is written exactly once (possibly out of id order —
+            // the flat table is grown with placeholder zeros and written
+            // in place).
+            let w = words[id as usize];
+            let at = id as usize * n_commands;
+            if succ.len() < at + n_commands {
+                succ.resize(at + n_commands, 0);
+            }
+            for (c, cc) in cp.commands.iter().enumerate() {
+                let next = cc.step_packed(w, layout, &mut scratch);
+                succ[at + c] = intern(next, &mut words, &mut index, &mut frontier);
+            }
+        }
+        succ.resize(words.len() * n_commands, 0);
+
+        TransitionSystem {
+            vocab: program.vocab.clone(),
+            succ,
+            init,
+            n_commands,
+            fair: program.fair.iter().copied().collect(),
+            store: StateStore::PackedWords {
+                layout: cp.layout,
+                words,
+            },
+        }
+    }
+
     fn build_all(program: &Program, cfg: &ScanConfig) -> Result<Self, McError> {
         let n = crate::space::space_size(&program.vocab, cfg)?;
+        if let Some(cp) = CompiledProgram::try_compile(program, cfg) {
+            return Ok(Self::build_all_packed(program, cp, n));
+        }
         let n_commands = program.commands.len();
         let vocab = &program.vocab;
         let mut states = Vec::with_capacity(n as usize);
         for flat in 0..n {
             states.push(StateSpaceIter::decode(vocab, flat));
         }
-        let mut succ = Vec::with_capacity(n as usize);
+        let mut succ: Vec<u32> = Vec::with_capacity(n as usize * n_commands);
         let mut init = Vec::new();
         for (id, s) in states.iter().enumerate() {
-            let row: Vec<u32> = program
-                .commands
-                .iter()
-                .map(|c| {
-                    let next = c.step(s, vocab);
-                    StateSpaceIter::encode(vocab, &next).expect("in-domain successor") as u32
-                })
-                .collect();
-            succ.push(row);
+            for c in &program.commands {
+                let next = c.step(s, vocab);
+                succ.push(
+                    StateSpaceIter::encode(vocab, &next).expect("in-domain successor") as u32,
+                );
+            }
             if program.satisfies_init(s) {
                 init.push(id as u32);
             }
         }
         Ok(TransitionSystem {
-            states,
+            vocab: program.vocab.clone(),
+            store: StateStore::Explicit(states),
             succ,
             init,
             n_commands,
@@ -157,28 +248,174 @@ impl TransitionSystem {
         })
     }
 
+    /// Packed full-product construction: one incremental cursor walks the
+    /// whole space in canonical order; successors are compiled command
+    /// steps on `u64` words encoded back to flat ids with mixed-radix
+    /// arithmetic — no hashing, no per-state allocation in the scan loop.
+    fn build_all_packed(program: &Program, cp: CompiledProgram, n: u64) -> Self {
+        let n_commands = program.commands.len();
+        let layout = &cp.layout;
+        let vocab = &program.vocab;
+        let mut scratch = Scratch::new();
+        let all_vars: Vec<_> = vocab.ids().collect();
+        let mut cursor = layout
+            .support_cursor(&all_vars, 0)
+            .expect("space_size checked by caller");
+        let mut succ: Vec<u32> = Vec::with_capacity(n as usize * n_commands);
+        let mut init = Vec::new();
+        for id in 0..n {
+            let w = cursor.word();
+            for cc in &cp.commands {
+                // The successor's flat id comes from the incremental
+                // weighted-delta encoding — O(updates), not O(vars).
+                let (_, flat) = cc.step_packed_flat(w, id, layout, &mut scratch);
+                succ.push(flat as u32);
+            }
+            if cp.init.eval_packed_bool(w, &mut scratch) {
+                init.push(id as u32);
+            }
+            cursor.advance(layout);
+        }
+        TransitionSystem {
+            vocab: program.vocab.clone(),
+            succ,
+            init,
+            n_commands,
+            fair: program.fair.iter().copied().collect(),
+            store: StateStore::PackedRange {
+                layout: cp.layout,
+                n: n as usize,
+            },
+        }
+    }
+
     /// Number of states.
     pub fn len(&self) -> usize {
-        self.states.len()
+        match &self.store {
+            StateStore::Explicit(states) => states.len(),
+            StateStore::PackedWords { words, .. } => words.len(),
+            StateStore::PackedRange { n, .. } => *n,
+        }
     }
 
     /// Whether the system has no states.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.len() == 0
+    }
+
+    /// The vocabulary states decode against.
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// The explicit state of `id` (decoded on demand on the packed
+    /// store — use [`TransitionSystem::for_each_state`] or
+    /// [`TransitionSystem::sat_vec`] for sweeps).
+    pub fn state(&self, id: u32) -> State {
+        match &self.store {
+            StateStore::Explicit(states) => states[id as usize].clone(),
+            StateStore::PackedWords { layout, words } => {
+                layout.unpack(words[id as usize], &self.vocab)
+            }
+            StateStore::PackedRange { layout, .. } => {
+                layout.unpack(layout.word_of_flat(id as u64), &self.vocab)
+            }
+        }
+    }
+
+    /// Visits every state in id order without per-state allocation (the
+    /// packed stores decode into one reused scratch state).
+    pub fn for_each_state(&self, mut f: impl FnMut(u32, &State)) {
+        match &self.store {
+            StateStore::Explicit(states) => {
+                for (id, s) in states.iter().enumerate() {
+                    f(id as u32, s);
+                }
+            }
+            StateStore::PackedWords { layout, words } => {
+                let mut scratch = State::minimum(&self.vocab);
+                for (id, &w) in words.iter().enumerate() {
+                    layout.unpack_into(w, &self.vocab, &mut scratch);
+                    f(id as u32, &scratch);
+                }
+            }
+            StateStore::PackedRange { layout, n } => {
+                let mut scratch = State::minimum(&self.vocab);
+                let all: Vec<_> = self.vocab.ids().collect();
+                let mut cursor = layout
+                    .support_cursor(&all, 0)
+                    .expect("layout built from this vocabulary");
+                for id in 0..*n {
+                    layout.unpack_into(cursor.word(), &self.vocab, &mut scratch);
+                    f(id as u32, &scratch);
+                    cursor.advance(layout);
+                }
+            }
+        }
+    }
+
+    /// Truth value of predicate `e` at every state, in id order. On the
+    /// packed stores this evaluates compiled bytecode over the `u64`
+    /// words directly — the fast path for the fairness analysis.
+    pub fn sat_vec(&self, e: &Expr) -> Vec<bool> {
+        match &self.store {
+            StateStore::Explicit(_) => {}
+            StateStore::PackedWords { layout, words } => {
+                if let Ok(prog) = CompiledExpr::compile(e, layout) {
+                    let mut scratch = Scratch::new();
+                    return words
+                        .iter()
+                        .map(|&w| prog.eval_packed_bool(w, &mut scratch))
+                        .collect();
+                }
+            }
+            StateStore::PackedRange { layout, n } => {
+                if let Ok(prog) = CompiledExpr::compile(e, layout) {
+                    let mut scratch = Scratch::new();
+                    let all: Vec<_> = self.vocab.ids().collect();
+                    let mut cursor = layout
+                        .support_cursor(&all, 0)
+                        .expect("layout built from this vocabulary");
+                    let mut out = Vec::with_capacity(*n);
+                    for _ in 0..*n {
+                        out.push(prog.eval_packed_bool(cursor.word(), &mut scratch));
+                        cursor.advance(layout);
+                    }
+                    return out;
+                }
+            }
+        }
+        let mut out = vec![false; self.len()];
+        self.for_each_state(|id, s| out[id as usize] = eval_bool(e, s));
+        out
     }
 
     /// Total number of stored transitions.
     pub fn transition_count(&self) -> usize {
-        self.succ.iter().map(Vec::len).sum()
+        self.succ.len()
+    }
+
+    /// The successor row of state `s` (one entry per command).
+    #[inline(always)]
+    pub fn succ_row(&self, s: usize) -> &[u32] {
+        &self.succ[s * self.n_commands..(s + 1) * self.n_commands]
+    }
+
+    /// The successor of state `s` under command `c`.
+    #[inline(always)]
+    pub fn succ_at(&self, s: usize, c: usize) -> u32 {
+        self.succ[s * self.n_commands + c]
     }
 
     /// Ids of states satisfying `pred`.
     pub fn states_where(&self, mut pred: impl FnMut(&State) -> bool) -> Vec<u32> {
-        self.states
-            .iter()
-            .enumerate()
-            .filter_map(|(id, s)| pred(s).then_some(id as u32))
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_state(|id, s| {
+            if pred(s) {
+                out.push(id);
+            }
+        });
+        out
     }
 }
 
@@ -211,9 +448,8 @@ mod tests {
         assert_eq!(ts.n_commands, 1);
         assert_eq!(ts.fair, vec![0]);
         // The final state self-loops (guard blocks).
-        let last = ts
-            .states_where(|s| s.get(unity_core::ident::VarId(0)) == Value::Int(5))[0];
-        assert_eq!(ts.succ[last as usize][0], last);
+        let last = ts.states_where(|s| s.get(unity_core::ident::VarId(0)) == Value::Int(5))[0];
+        assert_eq!(ts.succ_at(last as usize, 0), last);
     }
 
     #[test]
@@ -256,9 +492,9 @@ mod tests {
         let ts = TransitionSystem::build(&p, Universe::Reachable, &ScanConfig::default()).unwrap();
         assert_eq!(ts.len(), 4);
         assert_eq!(ts.transition_count(), 8);
-        // Every state's rows are filled.
-        for row in &ts.succ {
-            assert_eq!(row.len(), 2);
+        // Every state's row is filled.
+        for s in 0..ts.len() {
+            assert_eq!(ts.succ_row(s).len(), 2);
         }
     }
 }

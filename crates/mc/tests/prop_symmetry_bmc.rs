@@ -50,21 +50,24 @@ fn arb_update() -> impl Strategy<Value = (VarId, Expr)> {
 }
 
 fn arb_program(name: &'static str) -> impl Strategy<Value = Program> {
-    prop::collection::vec((arb_guard(), prop::collection::vec(arb_update(), 1..3)), 1..4)
-        .prop_map(move |cmds| {
-            let v = vocab();
-            let mut builder = Program::builder(name, v).init(and(vec![
-                eq(var(A), int(0)),
-                eq(var(B), int(0)),
-                not(var(F)),
-            ]));
-            for (i, (g, mut ups)) in cmds.into_iter().enumerate() {
-                ups.sort_by_key(|(x, _)| *x);
-                ups.dedup_by_key(|(x, _)| *x);
-                builder = builder.fair_command(format!("{name}_c{i}"), g, ups);
-            }
-            builder.build().expect("pool commands are well-typed")
-        })
+    prop::collection::vec(
+        (arb_guard(), prop::collection::vec(arb_update(), 1..3)),
+        1..4,
+    )
+    .prop_map(move |cmds| {
+        let v = vocab();
+        let mut builder = Program::builder(name, v).init(and(vec![
+            eq(var(A), int(0)),
+            eq(var(B), int(0)),
+            not(var(F)),
+        ]));
+        for (i, (g, mut ups)) in cmds.into_iter().enumerate() {
+            ups.sort_by_key(|(x, _)| *x);
+            ups.dedup_by_key(|(x, _)| *x);
+            builder = builder.fair_command(format!("{name}_c{i}"), g, ups);
+        }
+        builder.build().expect("pool commands are well-typed")
+    })
 }
 
 fn arb_pred() -> impl Strategy<Value = Expr> {
@@ -168,7 +171,10 @@ fn arb_template() -> impl Strategy<Value = Template> {
 fn symmetric_program(templates: &[Template], n: usize) -> (Program, SymmetrySpec) {
     let mut v = Vocabulary::new();
     let xs: Vec<VarId> = (0..n)
-        .map(|i| v.declare(&format!("x{i}"), Domain::int_range(0, 2).unwrap()).unwrap())
+        .map(|i| {
+            v.declare(&format!("x{i}"), Domain::int_range(0, 2).unwrap())
+                .unwrap()
+        })
         .collect();
     let s = v.declare("s", Domain::int_range(0, 2).unwrap()).unwrap();
     let vocab = Arc::new(v);
@@ -215,9 +221,9 @@ proptest! {
         prop_assert_eq!(stats.full_states, ts.len() as u128);
         // Distinct canonical forms of the reachable set = quotient size.
         let mut canon = std::collections::BTreeSet::new();
-        for s in &ts.states {
+        ts.for_each_state(|_, s| {
             canon.insert(spec.canonicalize(s));
-        }
+        });
         prop_assert_eq!(canon.len(), stats.quotient_states);
     }
 

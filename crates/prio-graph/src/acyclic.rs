@@ -38,12 +38,16 @@ pub fn topological_order(o: &Orientation) -> Option<Vec<usize>> {
 /// exactly the `Priority` holders. In a non-empty acyclic finite graph at
 /// least one exists ("there is always a node which has the priority").
 pub fn sources(o: &Orientation) -> Vec<usize> {
-    (0..o.node_count()).filter(|&i| o.a_set(i).is_empty()).collect()
+    (0..o.node_count())
+        .filter(|&i| o.a_set(i).is_empty())
+        .collect()
 }
 
 /// Nodes with no outgoing priority edge (globally lowest priority).
 pub fn sinks(o: &Orientation) -> Vec<usize> {
-    (0..o.node_count()).filter(|&i| o.r_set(i).is_empty()).collect()
+    (0..o.node_count())
+        .filter(|&i| o.r_set(i).is_empty())
+        .collect()
 }
 
 #[cfg(test)]
@@ -53,9 +57,7 @@ mod tests {
     use std::sync::Arc;
 
     fn ring5() -> Arc<ConflictGraph> {
-        Arc::new(
-            ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap(),
-        )
+        Arc::new(ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap())
     }
 
     #[test]

@@ -66,11 +66,7 @@ pub fn is_legal_step(from: &Orientation, to: &Orientation) -> bool {
 pub fn lemma1_holds(from: &Orientation, to: &Orientation, i0: usize) -> bool {
     let r_from = all_reach_sets(from);
     let r_to = all_reach_sets(to);
-    (0..from.node_count()).all(|i| {
-        r_to[i]
-            .iter()
-            .all(|x| r_from[i].contains(x) || x == i0)
-    })
+    (0..from.node_count()).all(|i| r_to[i].iter().all(|x| r_from[i].contains(x) || x == i0))
 }
 
 #[cfg(test)]
@@ -116,8 +112,9 @@ mod tests {
     #[test]
     fn lemma1_exhaustive_small() {
         // All orientations of all graphs on 4 nodes (every edge subset).
-        let all_pairs: Vec<(usize, usize)> =
-            (0..4).flat_map(|u| ((u + 1)..4).map(move |v| (u, v))).collect();
+        let all_pairs: Vec<(usize, usize)> = (0..4)
+            .flat_map(|u| ((u + 1)..4).map(move |v| (u, v)))
+            .collect();
         for mask in 0u32..(1 << all_pairs.len()) {
             let edges: Vec<(usize, usize)> = all_pairs
                 .iter()

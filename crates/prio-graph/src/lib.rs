@@ -39,11 +39,13 @@ pub mod topology;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::acyclic::{is_acyclic, is_acyclic_by_closure, sinks, sources, topological_order};
+    pub use crate::acyclic::{
+        is_acyclic, is_acyclic_by_closure, sinks, sources, topological_order,
+    };
     pub use crate::bitset::BitSet;
     pub use crate::closure::{
-        above_set, all_above_sets, all_reach_sets, duality_holds,
-        priority_characterization_holds, reach_set,
+        above_set, all_above_sets, all_reach_sets, duality_holds, priority_characterization_holds,
+        reach_set,
     };
     pub use crate::derive::{derive, derives_through, is_legal_step, lemma1_holds};
     pub use crate::graph::{ConflictGraph, GraphError};

@@ -114,6 +114,9 @@ mod tests {
         let mut o = Orientation::index_order(g);
         o.set_points(2, 0); // cycle 0→1→2→0
         assert_eq!(maximal_above(&o, 0), None);
-        assert!(!lemma2_holds(&o), "Lemma 2's hypothesis (acyclicity) matters");
+        assert!(
+            !lemma2_holds(&o),
+            "Lemma 2's hypothesis (acyclicity) matters"
+        );
     }
 }

@@ -123,7 +123,9 @@ impl Orientation {
 
     /// Nodes currently holding priority.
     pub fn priority_nodes(&self) -> Vec<usize> {
-        (0..self.node_count()).filter(|&i| self.priority(i)).collect()
+        (0..self.node_count())
+            .filter(|&i| self.priority(i))
+            .collect()
     }
 
     /// Reverses every edge incident to `i` so that all of them point

@@ -184,8 +184,14 @@ mod tests {
         let x = unity_core::ident::VarId(0);
         let mut m = RecurrenceMonitor::new(vec![var(x)]);
         // True at steps 2 and 5.
-        for (step, val) in [(0, false), (1, false), (2, true), (3, false), (4, false), (5, true)]
-        {
+        for (step, val) in [
+            (0, false),
+            (1, false),
+            (2, true),
+            (3, false),
+            (4, false),
+            (5, true),
+        ] {
             m.on_step(rec(step), &bool_state(val));
         }
         assert_eq!(m.gaps[0], vec![2, 2]);

@@ -53,8 +53,7 @@ where
 
 /// Derives a per-replica seed (splitmix64 of the pair).
 pub fn seed_for(base: u64, replica: usize) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(replica as u64 + 1));
+    let mut z = base.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(replica as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)

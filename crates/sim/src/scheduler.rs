@@ -202,7 +202,11 @@ mod tests {
     fn lottery_respects_aging() {
         let mut s = AgedLottery::new(1, 10);
         let since = vec![3, 11, 0];
-        assert_eq!(s.next(&ctx(3, &[0, 1, 2], &since)), 1, "overdue command forced");
+        assert_eq!(
+            s.next(&ctx(3, &[0, 1, 2], &since)),
+            1,
+            "overdue command forced"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ fn vocab() -> Arc<Vocabulary> {
 fn arb_program() -> impl Strategy<Value = Program> {
     let cmd = prop_oneof![
         Just((tt(), vec![(A, add(var(A), int(1)))])),
-        Just((lt(var(A), int(3)), vec![(A, add(var(A), int(1))), (F, not(var(F)))])),
+        Just((
+            lt(var(A), int(3)),
+            vec![(A, add(var(A), int(1))), (F, not(var(F)))]
+        )),
         Just((var(F), vec![(B, add(var(B), int(1)))])),
         Just((not(var(F)), vec![(F, tt())])),
         Just((eq(var(B), int(3)), vec![(B, int(0)), (A, int(0))])),

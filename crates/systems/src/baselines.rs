@@ -136,11 +136,21 @@ mod tests {
         )
         .unwrap();
         // Node 0 has initial priority and keeps it; node 1 starves.
-        check_property(&sys.system.composed, &sys.liveness(0), Universe::Reachable, &cfg)
-            .unwrap();
+        check_property(
+            &sys.system.composed,
+            &sys.liveness(0),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap();
         assert!(
-            check_property(&sys.system.composed, &sys.liveness(1), Universe::Reachable, &cfg)
-                .is_err(),
+            check_property(
+                &sys.system.composed,
+                &sys.liveness(1),
+                Universe::Reachable,
+                &cfg
+            )
+            .is_err(),
             "without (14) the mechanism starves non-sources"
         );
     }

@@ -171,12 +171,7 @@ impl DiningSystem {
     /// The inductive strengthening `⟨∀i :: eating_i ⇒ Priority(i)⟩`.
     pub fn eating_implies_priority(&self) -> Property {
         let parts = (0..self.len())
-            .map(|i| {
-                implies(
-                    self.eating_expr(i),
-                    self.mechanism.priority_expr(i),
-                )
-            })
+            .map(|i| implies(self.eating_expr(i), self.mechanism.priority_expr(i)))
             .collect();
         Property::Invariant(and(parts))
     }
@@ -237,8 +232,13 @@ mod tests {
         let d = ring_dining(3);
         let cfg = ScanConfig::default();
         for i in 0..3 {
-            check_property(&d.system.composed, &d.progress(i), Universe::Reachable, &cfg)
-                .unwrap_or_else(|e| panic!("progress({i}): {e}"));
+            check_property(
+                &d.system.composed,
+                &d.progress(i),
+                Universe::Reachable,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("progress({i}): {e}"));
         }
     }
 

@@ -368,9 +368,8 @@ mod tests {
             Property::Invariant(p) => p,
             _ => unreachable!(),
         };
-        let err =
-            check_invariant_reachable(&d.system.composed, &pred, &ScanConfig::default())
-                .unwrap_err();
+        let err = check_invariant_reachable(&d.system.composed, &pred, &ScanConfig::default())
+            .unwrap_err();
         assert!(matches!(err, McError::Refuted { .. }));
     }
 
@@ -379,8 +378,13 @@ mod tests {
         let d = ring_drinking(3, DrinkGuard::Priority);
         let cfg = ScanConfig::default();
         for i in 0..3 {
-            check_property(&d.system.composed, &d.progress(i), Universe::Reachable, &cfg)
-                .unwrap_or_else(|e| panic!("progress({i}): {e}"));
+            check_property(
+                &d.system.composed,
+                &d.progress(i),
+                Universe::Reachable,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("progress({i}): {e}"));
         }
     }
 
@@ -419,14 +423,20 @@ mod tests {
 
     #[test]
     fn path_topology_also_checks() {
-        let d = drinking_system(&DrinkingSpec::new(Arc::new(prio_graph::topology::path(3))))
-            .unwrap();
+        let d =
+            drinking_system(&DrinkingSpec::new(Arc::new(prio_graph::topology::path(3)))).unwrap();
         let cfg = ScanConfig::default();
         let pred = match d.bottle_exclusion() {
             Property::Invariant(p) => p,
             _ => unreachable!(),
         };
         check_invariant_reachable(&d.system.composed, &pred, &cfg).unwrap();
-        check_property(&d.system.composed, &d.progress(1), Universe::Reachable, &cfg).unwrap();
+        check_property(
+            &d.system.composed,
+            &d.progress(1),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap();
     }
 }

@@ -98,9 +98,9 @@ impl PrioritySystemBuilder {
         };
 
         let init_pred = match &self.init {
-            InitialOrientation::IndexOrder => and(
-                edge_vars.iter().map(|&e| var(e)).collect::<Vec<_>>(),
-            ),
+            InitialOrientation::IndexOrder => {
+                and(edge_vars.iter().map(|&e| var(e)).collect::<Vec<_>>())
+            }
             InitialOrientation::Exact(o) => {
                 assert!(Arc::ptr_eq(o.graph(), &graph) || o.graph().as_ref() == graph.as_ref());
                 and(o
@@ -346,10 +346,7 @@ impl PrioritySystem {
             .iter()
             .map(|j| self.edge_points_expr(j, i))
             .collect::<Vec<_>>());
-        Property::Next(
-            self.priority_expr(i),
-            or2(self.priority_expr(i), all_in),
-        )
+        Property::Next(self.priority_expr(i), or2(self.priority_expr(i), all_in))
     }
 
     /// (16) for component `i`: non-incident edges are untouched
@@ -416,12 +413,7 @@ impl PrioritySystem {
 
     /// Encodes an [`Orientation`] as a state.
     pub fn state_of(&self, o: &Orientation) -> State {
-        State::new(
-            o.direction_bits()
-                .iter()
-                .map(|&b| Value::Bool(b))
-                .collect(),
-        )
+        State::new(o.direction_bits().iter().map(|&b| Value::Bool(b)).collect())
     }
 }
 
@@ -467,8 +459,7 @@ mod tests {
                         o.to_bits()
                     );
                 }
-                let card =
-                    unity_core::expr::eval::eval_int(&sys.above_card_expr(i), &s) as usize;
+                let card = unity_core::expr::eval::eval_int(&sys.above_card_expr(i), &s) as usize;
                 assert_eq!(card, above.len(), "cardinality mismatch");
             }
             assert_eq!(
@@ -509,8 +500,13 @@ mod tests {
         )
         .unwrap();
         for i in 0..4 {
-            check_property(&sys.system.composed, &sys.liveness(i), Universe::Reachable, &cfg)
-                .unwrap_or_else(|e| panic!("liveness({i}): {e}"));
+            check_property(
+                &sys.system.composed,
+                &sys.liveness(i),
+                Universe::Reachable,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("liveness({i}): {e}"));
         }
     }
 

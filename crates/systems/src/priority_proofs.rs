@@ -138,7 +138,13 @@ fn subsets_excluding(n: usize, i: usize, m: usize) -> Vec<Vec<usize>> {
     let pool: Vec<usize> = (0..n).filter(|&k| k != i).collect();
     let mut out = Vec::new();
     let mut current = Vec::new();
-    fn rec(pool: &[usize], m: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        pool: &[usize],
+        m: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == m {
             out.push(current.clone());
             return;
@@ -299,10 +305,7 @@ pub fn escape_judgment(sys: &PrioritySystem, j: usize, i: usize) -> Judgment {
 /// Re-export of the expression `A*(i) = ∅` equivalence face used by (20):
 /// `Priority(i) ⇔ |A*(i)| = 0` is validity-checkable on any instance.
 pub fn prop20_expr(sys: &PrioritySystem, i: usize) -> Expr {
-    iff(
-        sys.priority_expr(i),
-        eq(sys.above_card_expr(i), int(0)),
-    )
+    iff(sys.priority_expr(i), eq(sys.above_card_expr(i), int(0)))
 }
 
 #[cfg(test)]

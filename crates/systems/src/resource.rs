@@ -86,11 +86,7 @@ pub fn resource_allocator(spec: ResourceSpec) -> Result<ResourceSystem, CoreErro
             .fair_command(
                 format!("release{i}"),
                 eq(var(h), int(1)),
-                vec![
-                    (h, int(0)),
-                    (avail, add(var(avail), int(1))),
-                    (w, ff()),
-                ],
+                vec![(h, int(0)), (avail, add(var(avail), int(1))), (w, ff())],
             )
             .build()?;
         components.push(program);
@@ -198,10 +194,7 @@ mod tests {
         // Bare form holds over reachable states.
         check_invariant_reachable(
             &r.system.composed,
-            &le(
-                sum(r.holds.iter().map(|&h| var(h)).collect()),
-                int(2),
-            ),
+            &le(sum(r.holds.iter().map(|&h| var(h)).collect()), int(2)),
             &ScanConfig::default(),
         )
         .unwrap();
@@ -214,8 +207,13 @@ mod tests {
         // while a handless client waits).
         let ample = resource_allocator(ResourceSpec { n: 2, tokens: 2 }).unwrap();
         for i in 0..2 {
-            check_property(&ample.system.composed, &ample.progress(i), Universe::Reachable, &cfg)
-                .unwrap_or_else(|e| panic!("progress({i}) with ample tokens: {e}"));
+            check_property(
+                &ample.system.composed,
+                &ample.progress(i),
+                Universe::Reachable,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("progress({i}) with ample tokens: {e}"));
         }
         // T < n: starvation lasso exists — weak fairness on `acquire` is
         // not strong fairness on its guard.
@@ -228,7 +226,10 @@ mod tests {
         )
         .unwrap_err();
         match err {
-            McError::Refuted { cex: Counterexample::LeadsTo { trap, .. }, .. } => {
+            McError::Refuted {
+                cex: Counterexample::LeadsTo { trap, .. },
+                ..
+            } => {
                 assert!(!trap.is_empty(), "starvation trap is concrete");
             }
             other => panic!("unexpected {other:?}"),

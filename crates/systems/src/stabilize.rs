@@ -246,7 +246,11 @@ mod tests {
                 .find(|&i| eval_bool(&ring.privileged_expr(i), &s))
                 .expect("legitimate => a privilege exists");
             let t = ring.system.composed.step(holder, &s);
-            assert!(eval_bool(&legit, &t), "closure broken at {}", s.display(vocab));
+            assert!(
+                eval_bool(&legit, &t),
+                "closure broken at {}",
+                s.display(vocab)
+            );
             assert_ne!(s, t, "the privileged move must change the state");
         }
     }

@@ -285,17 +285,19 @@ mod tests {
             &ScanConfig::default(),
         )
         .unwrap();
-        for s in &ts.states {
+        ts.for_each_state(|_, s| {
             for c in &toy.system.composed.commands {
-                let declared =
-                    unity_core::expr::eval::eval_bool(&c.guard, s);
+                let declared = unity_core::expr::eval::eval_bool(&c.guard, s);
                 let blocked = unity_core::expr::eval::eval_bool(
                     &c.domain_block_pred(&toy.system.composed.vocab),
                     s,
                 );
-                assert!(!(declared && blocked), "domain guard engaged on a reachable state");
+                assert!(
+                    !(declared && blocked),
+                    "domain guard engaged on a reachable state"
+                );
             }
-        }
+        });
     }
 
     #[test]

@@ -145,7 +145,10 @@ pub fn toy_invariant_proof_asymmetric(toy: &ToySystem) -> (Proof, Judgment) {
         init: Box::new(init_goal),
         stable: Box::new(stable),
     };
-    (proof, Judgment::new(Scope::System, Property::Invariant(zero_pred)))
+    (
+        proof,
+        Judgment::new(Scope::System, Property::Invariant(zero_pred)),
+    )
 }
 
 #[cfg(test)]
@@ -217,6 +220,9 @@ mod tests {
         // The failure is a discharge failure (the faulty component's
         // unchanged premise), not a proof-shape error.
         let msg = err.to_string();
-        assert!(msg.contains("discharge") || msg.contains("refuted"), "{msg}");
+        assert!(
+            msg.contains("discharge") || msg.contains("refuted"),
+            "{msg}"
+        );
     }
 }

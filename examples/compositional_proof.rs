@@ -40,14 +40,20 @@ fn main() {
     println!("{}", render(&sp, sys.system.vocab()));
     let mut mc = McDischarger::new(&sys.system);
     let mut ctx = CheckCtx::new(&mut mc).with_components(3);
-    println!("checked: {:?}\n", check_concludes(&sp, &sj, &mut ctx).expect("safety"));
+    println!(
+        "checked: {:?}\n",
+        check_concludes(&sp, &sj, &mut ctx).expect("safety")
+    );
 
     println!("================ §4 Property 5 (25) + 6 (26) ============");
     let (ap, aj) = acyclicity_invariant_proof(&sys);
     println!("{}", render(&ap, sys.system.vocab()));
     let mut mc = McDischarger::new(&sys.system);
     let mut ctx = CheckCtx::new(&mut mc).with_components(3);
-    println!("checked: {:?}", check_concludes(&ap, &aj, &mut ctx).expect("acyclicity"));
+    println!(
+        "checked: {:?}",
+        check_concludes(&ap, &aj, &mut ctx).expect("acyclicity")
+    );
     let (lp6, lj6) = lemma2_invariant_proof(&sys, 1);
     let mut mc = McDischarger::new(&sys.system);
     let mut ctx = CheckCtx::new(&mut mc).with_components(3);
@@ -62,7 +68,10 @@ fn main() {
     let ej = escape_judgment(&sys, 0, 1);
     let mut mc = McDischarger::new(&sys.system);
     let mut ctx = CheckCtx::new(&mut mc).with_components(3);
-    println!("checked: {:?}\n", check_concludes(&ep, &ej, &mut ctx).expect("escape"));
+    println!(
+        "checked: {:?}\n",
+        check_concludes(&ep, &ej, &mut ctx).expect("escape")
+    );
 
     println!("================ §4 Property 8 / liveness (18) ==========");
     let (lp, lj) = liveness_proof(&sys, 0);

@@ -39,8 +39,13 @@ fn main() {
     println!("mutual exclusion ✓ (via the inductive eating ⇒ Priority strengthening)");
 
     for i in 0..n {
-        check_property(&d.system.composed, &d.progress(i), Universe::Reachable, &cfg)
-            .expect("progress");
+        check_property(
+            &d.system.composed,
+            &d.progress(i),
+            Universe::Reachable,
+            &cfg,
+        )
+        .expect("progress");
     }
     println!("starvation freedom: hungry_i leadsto eating_i for every i ✓\n");
 
@@ -79,15 +84,16 @@ fn main() {
         }
         let meal_counts: Vec<f64> = (0..big).map(|i| meals.gaps[i].len() as f64).collect();
         let total: f64 = meal_counts.iter().sum();
-        let starving = (0..big)
-            .filter(|&i| meals.gaps[i].is_empty())
-            .count();
+        let starving = (0..big).filter(|&i| meals.gaps[i].is_empty()).count();
         println!(
             "  {name}: {total:>6.0} meals in {steps} steps, {} starving, Jain fairness {:.4}",
             starving,
             jain_index(&meal_counts)
         );
-        assert_eq!(starving, 0, "weak fairness guarantees every philosopher eats");
+        assert_eq!(
+            starving, 0,
+            "weak fairness guarantees every philosopher eats"
+        );
     }
     println!("\nno philosopher starves under any weakly-fair scheduler — the paper's (18) at work");
 }

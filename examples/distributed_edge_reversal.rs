@@ -38,10 +38,17 @@ fn main() {
 
     println!("\nfair (oldest-first) schedule:");
     println!("  events executed     : {}", stats.steps);
-    println!("  min/total actions   : {} / {}", stats.min_actions(), stats.total_actions());
+    println!(
+        "  min/total actions   : {} / {}",
+        stats.min_actions(),
+        stats.total_actions()
+    );
     println!("  Jain fairness index : {:.4}", stats.fairness_index());
     println!("  tokens sent         : {}", stats.tokens_sent);
-    println!("  messages per action : {:.2} (= average degree)", stats.messages_per_action());
+    println!(
+        "  messages per action : {:.2} (= average degree)",
+        stats.messages_per_action()
+    );
     println!(
         "  refinement          : {} violations over {} classified steps",
         run.refinement_violations().len(),

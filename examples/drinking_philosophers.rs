@@ -38,8 +38,13 @@ fn main() {
 
     // Liveness: every thirsty philosopher eventually drinks.
     for i in 0..d.len() {
-        check_property(&d.system.composed, &d.progress(i), Universe::Reachable, &cfg)
-            .unwrap_or_else(|e| panic!("progress({i}): {e}"));
+        check_property(
+            &d.system.composed,
+            &d.progress(i),
+            Universe::Reachable,
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("progress({i}): {e}"));
     }
     println!("liveness: thirsty ↦ drinking for all philosophers (weak fairness, exact)");
 
@@ -72,10 +77,8 @@ fn main() {
     let mut ex = Executor::from_first_initial(program);
     ex.set_log_limit(20_000);
     {
-        let mut ms: Vec<&mut dyn Monitor> = monitors
-            .iter_mut()
-            .map(|m| m as &mut dyn Monitor)
-            .collect();
+        let mut ms: Vec<&mut dyn Monitor> =
+            monitors.iter_mut().map(|m| m as &mut dyn Monitor).collect();
         ex.run(20_000, &mut sched, &mut ms);
     }
     let fair: Vec<usize> = program.fair.iter().copied().collect();

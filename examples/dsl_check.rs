@@ -54,11 +54,15 @@ fn main() {
     let programs = parse_programs(&source).expect("programs parse");
     println!("parsed {} program(s):", programs.len());
     for p in &programs {
-        println!("  {} ({} commands, {} fair)", p.name, p.commands.len(), p.fair.len());
+        println!(
+            "  {} ({} commands, {} fair)",
+            p.name,
+            p.commands.len(),
+            p.fair.len()
+        );
     }
-    let system =
-        System::compose_merging(&programs, InitSatCheck::BoundedExhaustive(1 << 22))
-            .expect("programs compose");
+    let system = System::compose_merging(&programs, InitSatCheck::BoundedExhaustive(1 << 22))
+        .expect("programs compose");
     println!(
         "composed: {} over {} variables, {} states\n",
         system.composed.name,

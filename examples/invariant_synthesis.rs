@@ -49,10 +49,7 @@ fn main() {
     println!("\n== Part 2: synthesizing liveness derivations ==\n");
 
     // Toy saturation: C eventually reaches n·k.
-    let target = eq(
-        var(toy.shared),
-        int(toy.spec.n as i64 * toy.spec.k),
-    );
+    let target = eq(var(toy.shared), int(toy.spec.n as i64 * toy.spec.k));
     let (synth, stats) = synthesize_and_check(
         program,
         &tt(),

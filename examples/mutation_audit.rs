@@ -23,9 +23,7 @@ fn main() {
     let inv_spec = {
         let conservation = conservation.clone();
         let cfg = cfg.clone();
-        move |p: &Program| {
-            check_property(p, &conservation, Universe::Reachable, &cfg).is_ok()
-        }
+        move |p: &Program| check_property(p, &conservation, Universe::Reachable, &cfg).is_ok()
     };
     let live_spec = {
         let saturation = saturation.clone();
@@ -35,7 +33,10 @@ fn main() {
 
     let report = mutation_audit(
         &program,
-        &[("conservation C=Σcᵢ", &inv_spec), ("saturation ↦", &live_spec)],
+        &[
+            ("conservation C=Σcᵢ", &inv_spec),
+            ("saturation ↦", &live_spec),
+        ],
     )
     .expect("specs hold on the original");
 
@@ -52,13 +53,21 @@ fn main() {
             e.2 += 1;
         }
     }
-    println!("  {:<14} {:>6} {:>11} {:>7}", "kind", "total", "equivalent", "killed");
+    println!(
+        "  {:<14} {:>6} {:>11} {:>7}",
+        "kind", "total", "equivalent", "killed"
+    );
     for (kind, (total, equiv, killed)) in &by_kind {
         println!("  {kind:<14} {total:>6} {equiv:>11} {killed:>7}");
     }
 
     println!("\nsample kills:");
-    for o in report.outcomes.iter().filter(|o| o.killed_by.is_some()).take(8) {
+    for o in report
+        .outcomes
+        .iter()
+        .filter(|o| o.killed_by.is_some())
+        .take(8)
+    {
         println!(
             "  {:<45} killed by {}",
             o.description,

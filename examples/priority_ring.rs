@@ -25,18 +25,33 @@ fn main() {
     let sys = PrioritySystem::new(Arc::new(topology::ring(n))).expect("system builds");
     let cfg = ScanConfig::default();
 
-    check_property(&sys.system.composed, &sys.safety_invariant(), Universe::Reachable, &cfg)
-        .expect("safety (17)");
+    check_property(
+        &sys.system.composed,
+        &sys.safety_invariant(),
+        Universe::Reachable,
+        &cfg,
+    )
+    .expect("safety (17)");
     println!("(17) safety: no two neighbours simultaneously have priority ✓");
 
     for i in 0..n {
-        check_property(&sys.system.composed, &sys.liveness(i), Universe::Reachable, &cfg)
-            .expect("liveness (18)");
+        check_property(
+            &sys.system.composed,
+            &sys.liveness(i),
+            Universe::Reachable,
+            &cfg,
+        )
+        .expect("liveness (18)");
     }
     println!("(18) liveness: true leadsto Priority(i) for every i ✓ (exact, weak fairness)");
 
-    check_property(&sys.system.composed, &sys.acyclicity_stable(), Universe::Reachable, &cfg)
-        .expect("acyclicity (25)");
+    check_property(
+        &sys.system.composed,
+        &sys.acyclicity_stable(),
+        Universe::Reachable,
+        &cfg,
+    )
+    .expect("acyclicity (25)");
     println!("(25) acyclicity preserved ✓");
 
     let checked = check_steps_are_derivations(&sys).expect("Property 1/2");
@@ -70,9 +85,7 @@ fn main() {
     let program = &sim_sys.system.composed;
     let steps: u64 = 50_000;
 
-    let mut monitor = RecurrenceMonitor::new(
-        (0..big).map(|i| sim_sys.priority_expr(i)).collect(),
-    );
+    let mut monitor = RecurrenceMonitor::new((0..big).map(|i| sim_sys.priority_expr(i)).collect());
     let mut safety = InvariantMonitor::new(match sim_sys.safety_invariant() {
         unity_composition::unity_core::properties::Property::Invariant(p) => p,
         _ => unreachable!(),
@@ -97,5 +110,8 @@ fn main() {
             println!("  ...");
         }
     }
-    println!("\nJain fairness index over mean gaps: {:.4}", jain_index(&means));
+    println!(
+        "\nJain fairness index over mean gaps: {:.4}",
+        jain_index(&means)
+    );
 }

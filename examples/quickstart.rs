@@ -13,7 +13,10 @@ use unity_composition::unity_systems::toy_proof::toy_invariant_proof;
 
 fn main() {
     let spec = ToySpec::new(3, 2);
-    println!("== Toy example (§3): {} components, counters 0..={} ==\n", spec.n, spec.k);
+    println!(
+        "== Toy example (§3): {} components, counters 0..={} ==\n",
+        spec.n, spec.k
+    );
     let toy = toy_system(spec).expect("toy system builds");
 
     // Show the component programs as the DSL would render them.

@@ -60,9 +60,7 @@ fn main() {
     // 2. The §3.3 invariant via the rely-guarantee invariant rule.
     let p = eq(var(toy.shared), toy.sum_expr());
     rg::invariant_via_rg(&pairs, &toy.system.composed, &av, &p).expect("invariant rule");
-    println!(
-        "invariant rule: C = Σ cᵢ is initially true and stable under every guarantee ✓"
-    );
+    println!("invariant rule: C = Σ cᵢ is initially true and stable under every guarantee ✓");
 
     // 3. The bridge to the paper's property types.
     //    `stable p` (universal) == "steps satisfy `preserves p`".

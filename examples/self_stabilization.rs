@@ -15,7 +15,10 @@ use unity_composition::unity_systems::stabilize::{stabilizing_ring, StabilizeSpe
 fn main() {
     println!("== Dijkstra's K-state token ring (self-stabilization) ==\n");
 
-    println!("{:<10} {:>8} {:>12} {:>12}", "(n, K)", "states", "converges?", "closure?");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12}",
+        "(n, K)", "states", "converges?", "closure?"
+    );
     for (n, k) in [(2usize, 2i64), (3, 3), (3, 4), (4, 4), (3, 2), (4, 2)] {
         let ring = stabilizing_ring(StabilizeSpec::new(n, k)).expect("ring builds");
         let program = &ring.system.composed;

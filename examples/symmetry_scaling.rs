@@ -80,7 +80,10 @@ fn main() {
         Err(McError::Refuted {
             cex: Counterexample::Reach { path },
             ..
-        }) => println!("bounded BFS: shortest violation has {} step(s)", path.len() - 1),
+        }) => println!(
+            "bounded BFS: shortest violation has {} step(s)",
+            path.len() - 1
+        ),
         other => panic!("expected a refutation, got {other:?}"),
     }
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the headline criterion groups (e6 state-space build, e8 simulator
+# throughput, plus any extra groups passed as arguments) and emits one
+# machine-readable summary file per group: BENCH_<group>.json, a JSON
+# array of {id, median_ns, mean_ns, min_ns, samples, iters_per_sample,
+# elements} records (the vendored criterion shim appends one object per
+# benchmark when CRITERION_SUMMARY_JSON is set).
+#
+#   scripts/bench.sh                 # e6 + e8
+#   scripts/bench.sh e2_safety e11_projection
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+groups=("$@")
+if [ ${#groups[@]} -eq 0 ]; then
+    groups=(e6_statespace e8_throughput)
+fi
+
+for group in "${groups[@]}"; do
+    raw="$(mktemp)"
+    out="BENCH_${group}.json"
+    echo "== ${group} -> ${out}"
+    CRITERION_SUMMARY_JSON="$raw" cargo bench -q -p composition-bench --bench "$group"
+    # jsonl -> json array
+    {
+        echo '['
+        sed '$!s/$/,/' "$raw"
+        echo ']'
+    } > "$out"
+    rm -f "$raw"
+    echo "   $(grep -c '"id"' "$out") benchmark(s) summarized"
+done

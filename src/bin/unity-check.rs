@@ -113,8 +113,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn run(opts: &Options) -> Result<bool, String> {
-    let src = std::fs::read_to_string(&opts.file)
-        .map_err(|e| format!("{}: {e}", opts.file))?;
+    let src = std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
     let spec = load_spec(&src).map_err(|e| format!("{}: {e}", opts.file))?;
     let vocab = spec.system.vocab().clone();
 
@@ -129,7 +128,12 @@ fn run(opts: &Options) -> Result<bool, String> {
     }
     if opts.list {
         for c in &spec.checks {
-            println!("  {} (line {}): {}", c.name, c.line, c.property.display(&vocab));
+            println!(
+                "  {} (line {}): {}",
+                c.name,
+                c.line,
+                c.property.display(&vocab)
+            );
         }
         return Ok(true);
     }

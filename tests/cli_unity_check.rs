@@ -26,8 +26,13 @@ fn priority_ring_spec_passes() {
     let out = unity_check(&["examples/specs/priority_ring3.unity"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
-    for check in ["excl01", "excl12", "excl02", "live0", "live1", "live2", "acyclic"] {
-        assert!(stdout.contains(&format!("PASS {check}")), "{check}: {stdout}");
+    for check in [
+        "excl01", "excl12", "excl02", "live0", "live1", "live2", "acyclic",
+    ] {
+        assert!(
+            stdout.contains(&format!("PASS {check}")),
+            "{check}: {stdout}"
+        );
     }
 }
 
@@ -93,7 +98,10 @@ fn stabilize_spec_passes_under_all_states_and_synthesizes() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
     for check in ["pigeonhole", "closure", "convergence"] {
-        assert!(stdout.contains(&format!("PASS {check}")), "{check}: {stdout}");
+        assert!(
+            stdout.contains(&format!("PASS {check}")),
+            "{check}: {stdout}"
+        );
     }
     assert!(stdout.contains("SYNTH convergence:"), "{stdout}");
     assert!(!stdout.contains("SYNTH-FAIL"), "{stdout}");

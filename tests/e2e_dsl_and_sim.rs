@@ -49,9 +49,21 @@ fn dsl_composition_equals_api_composition() {
     let sys = System::compose_merging(&programs, InitSatCheck::Exhaustive).unwrap();
     let vocab = Arc::clone(sys.vocab());
     let inv = parse_property("invariant C == sum(a, b)", &vocab).unwrap();
-    check_property(&sys.composed, &inv, Universe::Reachable, &ScanConfig::default()).unwrap();
+    check_property(
+        &sys.composed,
+        &inv,
+        Universe::Reachable,
+        &ScanConfig::default(),
+    )
+    .unwrap();
     let live = parse_property("true leadsto C == 4", &vocab).unwrap();
-    check_property(&sys.composed, &live, Universe::Reachable, &ScanConfig::default()).unwrap();
+    check_property(
+        &sys.composed,
+        &live,
+        Universe::Reachable,
+        &ScanConfig::default(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -128,8 +140,7 @@ fn simulated_priority_recurrence_confirms_liveness() {
     // On a ring where MC proves true ↦ Priority(i), simulation under a
     // fair scheduler must observe Priority(i) recurring for every node.
     let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(6))).unwrap();
-    let mut monitor =
-        RecurrenceMonitor::new((0..6).map(|i| sys.priority_expr(i)).collect());
+    let mut monitor = RecurrenceMonitor::new((0..6).map(|i| sys.priority_expr(i)).collect());
     let mut sched = AgedLottery::new(17, 24);
     let mut exec = Executor::from_first_initial(&sys.system.composed);
     {
@@ -147,23 +158,21 @@ fn simulated_priority_recurrence_confirms_liveness() {
 #[test]
 fn replicas_are_deterministic_and_parallel_consistent() {
     let toy = toy_system(ToySpec::new(2, 2)).unwrap();
-    let run = |program: &unity_composition::unity_core::program::Program,
-               _r: usize,
-               seed: u64|
-     -> u64 {
-        let mut sched = AgedLottery::new(seed, 8);
-        let mut exec = Executor::from_first_initial(program);
-        exec.run(500, &mut sched, &mut []);
-        // Hash of final state values for comparison.
-        exec.state()
-            .values()
-            .iter()
-            .map(|v| match v {
-                unity_composition::unity_core::value::Value::Int(n) => *n as u64,
-                unity_composition::unity_core::value::Value::Bool(b) => u64::from(*b),
-            })
-            .fold(0u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
-    };
+    let run =
+        |program: &unity_composition::unity_core::program::Program, _r: usize, seed: u64| -> u64 {
+            let mut sched = AgedLottery::new(seed, 8);
+            let mut exec = Executor::from_first_initial(program);
+            exec.run(500, &mut sched, &mut []);
+            // Hash of final state values for comparison.
+            exec.state()
+                .values()
+                .iter()
+                .map(|v| match v {
+                    unity_composition::unity_core::value::Value::Int(n) => *n as u64,
+                    unity_composition::unity_core::value::Value::Bool(b) => u64::from(*b),
+                })
+                .fold(0u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+        };
     let seq = run_replicas(&toy.system.composed, 8, 77, 1, run);
     let par = run_replicas(&toy.system.composed, 8, 77, 4, run);
     assert_eq!(seq, par);

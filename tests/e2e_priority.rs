@@ -53,8 +53,13 @@ fn liveness_on_all_topologies() {
     let cfg = ScanConfig::default();
     for (name, sys) in systems_under_test() {
         for i in 0..sys.len() {
-            check_property(&sys.system.composed, &sys.liveness(i), Universe::Reachable, &cfg)
-                .unwrap_or_else(|e| panic!("liveness {name} node {i}: {e}"));
+            check_property(
+                &sys.system.composed,
+                &sys.liveness(i),
+                Universe::Reachable,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("liveness {name} node {i}: {e}"));
         }
     }
 }
@@ -120,11 +125,22 @@ fn static_baseline_starves_everywhere_but_sources() {
     let cfg = ScanConfig::default();
     let sys = static_priority_system(Arc::new(prio_graph::topology::path(4))).unwrap();
     // Index-order orientation: node 0 is the unique source on a path.
-    check_property(&sys.system.composed, &sys.liveness(0), Universe::Reachable, &cfg).unwrap();
+    check_property(
+        &sys.system.composed,
+        &sys.liveness(0),
+        Universe::Reachable,
+        &cfg,
+    )
+    .unwrap();
     for i in 1..4 {
         assert!(
-            check_property(&sys.system.composed, &sys.liveness(i), Universe::Reachable, &cfg)
-                .is_err(),
+            check_property(
+                &sys.system.composed,
+                &sys.liveness(i),
+                Universe::Reachable,
+                &cfg
+            )
+            .is_err(),
             "node {i} must starve without yields"
         );
     }
@@ -148,7 +164,10 @@ fn broken_yield_violates_spec15_and_acyclicity() {
             spec15_failures += 1;
         }
     }
-    assert!(spec15_failures > 0, "half-yield must violate (15) somewhere");
+    assert!(
+        spec15_failures > 0,
+        "half-yield must violate (15) somewhere"
+    );
     // And Properties 1/2 fail: some step is not a derivation.
     assert!(check_steps_are_derivations(&sys).is_err());
 }

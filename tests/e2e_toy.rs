@@ -123,10 +123,7 @@ fn unreachable_invariant_still_inductive() {
     use unity_composition::unity_core::expr::build::*;
     use unity_composition::unity_core::properties::Property;
     let c = toy.shared;
-    let tricky = or2(
-        ne(var(c), int(1)),
-        eq(toy.sum_expr(), int(1)),
-    );
+    let tricky = or2(ne(var(c), int(1)), eq(toy.sum_expr(), int(1)));
     check_invariant_reachable(&toy.system.composed, &tricky, &cfg).unwrap();
     assert!(check_property(
         &toy.system.composed,

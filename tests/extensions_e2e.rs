@@ -47,7 +47,14 @@ fn synthesis_derives_toy_saturation_liveness() {
         synth.layers.iter().map(|l| l.fair_command).collect();
     assert_eq!(used.len(), 2, "both components appear in the chain");
     // Cross-check against the exact fair checker.
-    check_leadsto(program, &tt(), &target, Universe::Reachable, &ScanConfig::default()).unwrap();
+    check_leadsto(
+        program,
+        &tt(),
+        &target,
+        Universe::Reachable,
+        &ScanConfig::default(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -119,8 +126,10 @@ fn rely_guarantee_rederives_the_toy_invariant() {
     // counter alone.
     let guar = |i: usize| {
         let c = toy.counters[i];
-        let delta =
-            eq(sub(var(av.prime(toy.shared)), var(toy.shared)), sub(var(av.prime(c)), var(c)));
+        let delta = eq(
+            sub(var(av.prime(toy.shared)), var(toy.shared)),
+            sub(var(av.prime(c)), var(c)),
+        );
         let others: Vec<Expr> = toy
             .counters
             .iter()
@@ -136,12 +145,7 @@ fn rely_guarantee_rederives_the_toy_invariant() {
             guar: guar(i),
         })
         .collect();
-    let pairs: Vec<(&_, &_)> = toy
-        .system
-        .components
-        .iter()
-        .zip(rgs.iter())
-        .collect();
+    let pairs: Vec<(&_, &_)> = toy.system.components.iter().zip(rgs.iter()).collect();
     rg::parallel_rule(&pairs, &toy.system.composed, &av).unwrap();
     // The invariant rule derives §3.3's conclusion.
     let p = eq(var(toy.shared), toy.sum_expr());
@@ -154,7 +158,13 @@ fn mutation_audit_on_the_composed_toy() {
     let program = toy.system.composed.clone();
     let conservation = toy.system_invariant();
     let inv_spec = move |p: &unity_core::program::Program| {
-        check_property(p, &conservation, Universe::Reachable, &ScanConfig::default()).is_ok()
+        check_property(
+            p,
+            &conservation,
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .is_ok()
     };
     let sat = toy.saturation_liveness();
     let live_spec = move |p: &unity_core::program::Program| {
@@ -169,10 +179,20 @@ fn mutation_audit_on_the_composed_toy() {
     // Every drop of a C-update must be caught by conservation.
     for o in &report.outcomes {
         if o.description.contains("drop update of C") {
-            assert_eq!(o.killed_by.as_deref(), Some("conservation"), "{}", o.description);
+            assert_eq!(
+                o.killed_by.as_deref(),
+                Some("conservation"),
+                "{}",
+                o.description
+            );
         }
         if o.description.contains("drop fairness") {
-            assert_eq!(o.killed_by.as_deref(), Some("saturation"), "{}", o.description);
+            assert_eq!(
+                o.killed_by.as_deref(),
+                Some("saturation"),
+                "{}",
+                o.description
+            );
         }
     }
     // The two paper specs see most behaviour changes; any survivor must
@@ -206,7 +226,10 @@ fn distributed_runs_satisfy_the_checked_safety_17() {
         let holders = orientation.priority_nodes();
         for (a, &i) in holders.iter().enumerate() {
             for &j in &holders[a + 1..] {
-                assert!(!graph.is_edge(i, j), "neighbours {i},{j} both have priority");
+                assert!(
+                    !graph.is_edge(i, j),
+                    "neighbours {i},{j} both have priority"
+                );
             }
         }
     };

@@ -28,8 +28,11 @@ fn every_kernel_theorem_is_mc_true() {
     // them through the model checker.
     let toy = toy_system(ToySpec::new(2, 1)).unwrap();
     let sys = ring_sys(3);
-    let mut theorems: Vec<(String, unity_composition::unity_core::compose::System, Judgment)> =
-        Vec::new();
+    let mut theorems: Vec<(
+        String,
+        unity_composition::unity_core::compose::System,
+        Judgment,
+    )> = Vec::new();
 
     let (p, j) = toy_invariant_proof(&toy);
     let mut mc = McDischarger::new(&toy.system);
@@ -71,10 +74,7 @@ fn false_premises_cannot_be_laundered() {
     // reject the derivation (because the discharger refutes the leaf).
     let toy = toy_system(ToySpec::new(2, 1)).unwrap();
     // A false component fact: component 0 claims C itself never changes.
-    let bad_leaf = Proof::premise(Judgment::component(
-        0,
-        Property::Unchanged(var(toy.shared)),
-    ));
+    let bad_leaf = Proof::premise(Judgment::component(0, Property::Unchanged(var(toy.shared))));
     let mut mc = McDischarger::new(&toy.system);
     let mut ctx = CheckCtx::new(&mut mc).with_components(2);
     assert!(check(&bad_leaf, &mut ctx).is_err());
@@ -83,9 +83,7 @@ fn false_premises_cannot_be_laundered() {
     let bad_lift = Proof::LiftUniversal {
         prop: Property::Unchanged(var(toy.shared)),
         per_component: (0..2)
-            .map(|i| {
-                Proof::premise(Judgment::component(i, Property::Unchanged(var(toy.shared))))
-            })
+            .map(|i| Proof::premise(Judgment::component(i, Property::Unchanged(var(toy.shared)))))
             .collect(),
     };
     let mut mc = McDischarger::new(&toy.system);
@@ -131,15 +129,24 @@ fn universal_lift_requires_every_component() {
     };
     let mut mc = McDischarger::new(&toy.system);
     let mut ctx = CheckCtx::new(&mut mc).with_components(3);
-    assert!(check(&partial, &mut ctx).is_err(), "1 of 3 proofs is not enough");
+    assert!(
+        check(&partial, &mut ctx).is_err(),
+        "1 of 3 proofs is not enough"
+    );
 }
 
 #[test]
 fn psp_side_shapes_are_enforced() {
     // PSP with a leadsto in the `next` slot is rejected.
     let bad = Proof::LtPsp {
-        lt: Box::new(Proof::premise(Judgment::system(Property::LeadsTo(tt(), tt())))),
-        next: Box::new(Proof::premise(Judgment::system(Property::LeadsTo(tt(), tt())))),
+        lt: Box::new(Proof::premise(Judgment::system(Property::LeadsTo(
+            tt(),
+            tt(),
+        )))),
+        next: Box::new(Proof::premise(Judgment::system(Property::LeadsTo(
+            tt(),
+            tt(),
+        )))),
     };
     let toy = toy_system(ToySpec::new(1, 1)).unwrap();
     let mut mc = McDischarger::new(&toy.system);

@@ -1,0 +1,398 @@
+//! Vendored, API-compatible subset of `criterion` (offline build).
+//!
+//! Provides the macro/entry-point surface the `composition-bench` suite
+//! uses — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], [`criterion_group!`], [`criterion_main!`],
+//! [`black_box`] — backed by a simple but honest wall-clock harness:
+//!
+//! 1. warm up and estimate the iteration time;
+//! 2. pick a per-sample iteration count so one sample takes ≥ ~5 ms;
+//! 3. collect `sample_size` samples and report median / mean / min.
+//!
+//! Machine-readable output: when `CRITERION_SUMMARY_JSON` names a file,
+//! one JSON object per finished benchmark is appended to it (used by
+//! `scripts/bench.sh` to build the `BENCH_*.json` artifacts).
+//!
+//! A positional CLI argument acts as a substring filter on
+//! `group/benchmark` ids, mirroring `cargo bench -- <filter>`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (reported, not used in timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Per-iteration timing handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time and iteration count of the measured samples.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in sized batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up + estimate: run until we have spent ≥ 20 ms or 3 iters.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        // One sample should take ≥ ~5 ms to keep timer noise small.
+        let iters = (5_000_000u128 / est.max(1)).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Report {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+impl Report {
+    fn elems_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) if self.median_ns > 0.0 => {
+                Some(n as f64 * 1e9 / self.median_ns)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards arguments after `--`; flags (e.g. `--bench`)
+        // are ignored, the first positional is a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            json_path: std::env::var("CRITERION_SUMMARY_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.id.clone(), f);
+        group.finish();
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        full_id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            sample_size: sample_size.max(2),
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            return; // routine never called iter()
+        }
+        let mut ns: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / bencher.iters_per_sample.max(1) as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let report = Report {
+            id: full_id,
+            mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
+            median_ns: ns[ns.len() / 2],
+            min_ns: ns[0],
+            samples: ns.len(),
+            iters_per_sample: bencher.iters_per_sample,
+            throughput,
+        };
+        let throughput_txt = report
+            .elems_per_sec()
+            .map(|e| format!("  thrpt: {e:.0} elem/s"))
+            .unwrap_or_default();
+        println!(
+            "{:<60} time: [{} {} {}]{}",
+            report.id,
+            fmt_ns(report.min_ns),
+            fmt_ns(report.median_ns),
+            fmt_ns(report.mean_ns),
+            throughput_txt
+        );
+        self.append_json(&report);
+    }
+
+    fn append_json(&self, r: &Report) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        let elems = match r.throughput {
+            Some(Throughput::Elements(n)) => n.to_string(),
+            _ => "null".into(),
+        };
+        let line = format!(
+            "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{},\"elements\":{}}}\n",
+            r.id.replace('"', "'"),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            r.iters_per_sample,
+            elems
+        );
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement time hint (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.id
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion
+            .run_one(full, sample_size, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` without an input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.id
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion.run_one(full, sample_size, throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(8));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        // Criterion::default() reads process args; build one by hand so the
+        // test binary's own arguments don't act as filters.
+        let mut c = Criterion {
+            filter: None,
+            json_path: None,
+        };
+        tiny_bench(&mut c);
+    }
+
+    #[test]
+    fn json_lines_are_emitted() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_test_{}.jsonl", std::process::id()));
+        let mut c = Criterion {
+            filter: None,
+            json_path: Some(path.to_string_lossy().into_owned()),
+        };
+        tiny_bench(&mut c);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"id\":\"shim_smoke/sum/8\""));
+        assert!(text.contains("\"elements\":8"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,111 @@
+//! Vendored, API-compatible subset of `crossbeam` (offline build).
+//!
+//! Only the pieces this workspace uses are provided: [`scope`] with
+//! [`Scope::spawn`], delegating to `std::thread::scope` (stabilized after
+//! the original crossbeam API was designed, which is why the shim is this
+//! small). One behavioural difference: a panicking child thread propagates
+//! its panic when the scope exits instead of surfacing as `Err` — callers
+//! here always `.expect(..)` the result, so either way the process aborts
+//! loudly with the worker's panic message.
+
+#![warn(missing_docs)]
+
+use std::thread;
+
+/// Payload of a panicked scoped thread.
+pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle; spawn scoped threads off it. `Copy`, mirroring how
+/// crossbeam hands the same scope to nested closures.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread (joined implicitly at scope exit).
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, yielding its result.
+    pub fn join(self) -> Result<T, ScopeError> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again (as
+    /// crossbeam's does); all users in this workspace ignore it (`|_| ..`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(me)),
+        }
+    }
+}
+
+/// Creates a scope in which borrowing scoped threads can be spawned;
+/// returns `Ok` with the closure's value once every spawned thread joined.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn borrows_locals_mutably_through_handles() {
+        let mut values = vec![0u64; 3];
+        super::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slot) in values.iter_mut().enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                    i
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+}

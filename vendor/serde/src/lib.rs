@@ -1,0 +1,29 @@
+//! Vendored shim of `serde` (offline build).
+//!
+//! The workspace uses `Serialize` only as a marker on metric structs (all
+//! real serialization is hand-rolled JSON in `unity-sim::export`), so the
+//! traits carry no methods. The derive macros emit empty marker impls.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, str);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}

@@ -1,0 +1,47 @@
+//! Vendored shim of `serde_derive` (offline build).
+//!
+//! The workspace only uses `#[derive(Serialize)]` as a marker (all actual
+//! serialization is hand-rolled JSON in `unity-sim`), so the derive simply
+//! emits `impl serde::Serialize for <Name> {}`. Written against
+//! `proc_macro` directly — `syn`/`quote` are unavailable offline.
+//!
+//! Limitation (documented, not hit in-tree): generic types are not
+//! supported; deriving on one fails to compile with a clear error.
+
+use proc_macro::TokenStream;
+use proc_macro::TokenTree;
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Serialize")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Deserialize")
+}
+
+fn derive_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                for tt2 in tokens.by_ref() {
+                    if let TokenTree::Ident(id2) = tt2 {
+                        name = Some(id2.to_string());
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive target must be a struct/enum");
+    format!("impl serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
