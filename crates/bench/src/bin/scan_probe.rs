@@ -27,7 +27,7 @@ fn main() {
             (
                 "reference",
                 ScanConfig {
-                    compiled: false,
+                    engine: unity_mc::space::Engine::Reference,
                     ..ScanConfig::without_projection()
                 },
             ),

@@ -120,6 +120,22 @@ impl PackedLayout {
         self.bits[v]
     }
 
+    /// Bit offset of variable `v`'s field within a packed word.
+    ///
+    /// Together with [`PackedLayout::field_bits`],
+    /// [`PackedLayout::field_base`] and [`PackedLayout::domain_size`] this
+    /// exposes the full packed layout, so alternative backends (the
+    /// symbolic BDD engine) can share the exact bit encoding.
+    pub fn field_shift(&self, v: usize) -> u32 {
+        self.shift[v]
+    }
+
+    /// Decoded value of field 0 of variable `v` (the domain minimum;
+    /// 0 for booleans).
+    pub fn field_base(&self, v: usize) -> i64 {
+        self.base[v]
+    }
+
     /// Decoded value of variable `v` in `word` (booleans as 0/1).
     #[inline(always)]
     pub fn get(&self, word: u64, v: usize) -> i64 {

@@ -90,6 +90,14 @@ fn refuted(program: &Program, prop: &Property, cex: Counterexample) -> McError {
 /// satisfies `p`.
 pub fn check_init(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
+    if crate::symbolic::wants(cfg) {
+        if let Some(found) = crate::symbolic::try_check_init(program, p) {
+            return match found {
+                None => Ok(()),
+                Some(cex) => Err(refuted(program, &Property::Init(p.clone()), cex)),
+            };
+        }
+    }
     let mut support = vars::free_vars(&program.init);
     vars::collect(p, &mut support);
     let vocab = &program.vocab;
@@ -125,6 +133,14 @@ pub fn check_init(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), M
 pub fn check_next(program: &Program, p: &Expr, q: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
     q.check_pred(&program.vocab)?;
+    if crate::symbolic::wants(cfg) {
+        if let Some(found) = crate::symbolic::try_check_next(program, p, q) {
+            return match found {
+                None => Ok(()),
+                Some(cex) => Err(refuted(program, &Property::Next(p.clone(), q.clone()), cex)),
+            };
+        }
+    }
     let support = program_support(program, &[p, q]);
     let vocab = &program.vocab;
     // `stable p` arrives here as `p next p`: compile the predicate once.
@@ -217,6 +233,17 @@ pub fn check_stable(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(),
 
 /// Checks `invariant p` (= `init p ∧ stable p` — the inductive definition).
 pub fn check_invariant(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
+    if crate::symbolic::wants(cfg) {
+        p.check_pred(&program.vocab)?;
+        // One symbolic lowering decides both halves (the split call
+        // below would build the transition relations twice).
+        if let Some(found) = crate::symbolic::try_check_invariant(program, p) {
+            return match found {
+                None => Ok(()),
+                Some(cex) => Err(refuted(program, &Property::Invariant(p.clone()), cex)),
+            };
+        }
+    }
     check_init(program, p, cfg)?;
     check_stable(program, p, cfg)
 }
@@ -236,7 +263,7 @@ pub fn check_invariant_reachable(
     let bmc = crate::bmc::BmcConfig {
         max_depth: u32::MAX,
         max_states: usize::MAX,
-        compiled: cfg.compiled,
+        compiled: cfg.uses_compiled(),
         ..Default::default()
     };
     match crate::bmc::bounded_invariant(program, p, &bmc) {
@@ -255,6 +282,14 @@ pub fn check_invariant_reachable(
 /// `⟨∀k :: stable (e = k)⟩` schema).
 pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     e.infer_type(&program.vocab)?;
+    if crate::symbolic::wants(cfg) {
+        if let Some(found) = crate::symbolic::try_check_unchanged(program, e) {
+            return match found {
+                None => Ok(()),
+                Some(cex) => Err(refuted(program, &Property::Unchanged(e.clone()), cex)),
+            };
+        }
+    }
     let support = program_support(program, &[e]);
     let vocab = &program.vocab;
     let as_i64 = |v: Value| match v {
@@ -317,6 +352,14 @@ pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<
 /// `p`-state.
 pub fn check_transient(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
+    if crate::symbolic::wants(cfg) {
+        if let Some(found) = crate::symbolic::try_check_transient(program, p) {
+            return match found {
+                None => Ok(()),
+                Some(cex) => Err(refuted(program, &Property::Transient(p.clone()), cex)),
+            };
+        }
+    }
     let vocab = &program.vocab;
     let compiled = try_layout(vocab, cfg).and_then(|layout| {
         let cp = CompiledExpr::compile(p, &layout).ok()?;

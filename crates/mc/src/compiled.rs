@@ -36,7 +36,7 @@ use crate::trace::McError;
 /// The packed layout for `vocab` if the compiled fast path is enabled
 /// and applicable.
 pub fn try_layout(vocab: &Vocabulary, cfg: &ScanConfig) -> Option<PackedLayout> {
-    if !cfg.compiled {
+    if !cfg.uses_compiled() {
         return None;
     }
     PackedLayout::new(vocab)

@@ -1,6 +1,8 @@
 //! # unity-mc
 //!
-//! Explicit-state model checker for `unity-core` programs.
+//! Model checker for `unity-core` programs, with three interchangeable
+//! engines (reference tree-walk, compiled bytecode over packed states,
+//! and the symbolic BDD backend — see [`space::Engine`]).
 //!
 //! * Safety properties (`init`, `next`, `stable`, `invariant`,
 //!   `unchanged`, `transient`) are decided with the paper's **inductive**
@@ -14,6 +16,10 @@
 //! * Scans are chunk-parallel over the flat state index
 //!   ([`parallel`]), using `crossbeam` scoped threads with atomic early
 //!   exit.
+//! * Under [`space::Engine::Symbolic`] the safety checks route through
+//!   `unity-symbolic` ([`symbolic`]): state sets as BDDs over the packed
+//!   bit layout, with identical verdicts and replayable counterexamples
+//!   — the engine whose cost does not grow with the state count.
 //! * [`check::McDischarger`] plugs the checker into the `unity-core` proof
 //!   kernel as the semantic back-end for premises and side conditions.
 //!
@@ -49,6 +55,7 @@ pub mod parallel;
 pub mod scc;
 pub mod space;
 pub mod stats;
+pub mod symbolic;
 pub mod symmetry;
 pub mod synth;
 pub mod trace;
@@ -71,8 +78,9 @@ pub mod prelude {
         MutationReport, Spec,
     };
     pub use crate::parallel::ParConfig;
-    pub use crate::space::{check_equivalent, check_valid, find_satisfying, ScanConfig};
+    pub use crate::space::{check_equivalent, check_valid, find_satisfying, Engine, ScanConfig};
     pub use crate::stats::McStats;
+    pub use crate::symbolic::reachable_count;
     pub use crate::symmetry::{
         check_invariant_symmetric, check_invariant_symmetric_prevalidated, QuotientStats,
         SymmetrySpec, SymmetryViolation,

@@ -27,10 +27,29 @@ use crate::compiled::{decode_witness, scan_packed, try_layout};
 use crate::parallel::{par_find_ranges, ParConfig};
 use crate::trace::{Counterexample, McError};
 
+/// Which evaluation engine decides a check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The tree-walking evaluator over explicit [`State`]s — the
+    /// semantics of record, and the only engine for vocabularies beyond
+    /// 64 packed bits.
+    Reference,
+    /// The compiled bytecode/packed-state fast path (default).
+    #[default]
+    Compiled,
+    /// The symbolic BDD backend (`unity-symbolic`): state *sets* instead
+    /// of state enumeration — the only engine whose cost is independent
+    /// of the state count. Checks it does not implement (`leadsto`,
+    /// bounded modes) and programs it cannot lower fall back to the
+    /// compiled path.
+    Symbolic,
+}
+
 /// Configuration for scans.
 #[derive(Debug, Clone)]
 pub struct ScanConfig {
-    /// Refuse spaces larger than this many states.
+    /// Refuse spaces larger than this many states (enumerating engines
+    /// only — the symbolic engine never enumerates, so it ignores this).
     pub max_states: u64,
     /// Parallelism settings.
     pub par: ParConfig,
@@ -42,11 +61,10 @@ pub struct ScanConfig {
     /// the vocabulary — the executable face of the paper's insistence on
     /// local specifications.
     pub projection: bool,
-    /// Use the compiled bytecode/packed-state fast path when the
-    /// vocabulary allows it. The reference tree-walk remains the
-    /// semantics of record; this flag exists so differential tests (and
-    /// bench baselines) can pin either engine.
-    pub compiled: bool,
+    /// Which engine decides checks. The reference tree-walk remains the
+    /// semantics of record; this field exists so differential tests (and
+    /// bench baselines) can pin any engine.
+    pub engine: Engine,
 }
 
 impl Default for ScanConfig {
@@ -55,7 +73,7 @@ impl Default for ScanConfig {
             max_states: 1 << 26,
             par: ParConfig::default(),
             projection: true,
-            compiled: true,
+            engine: Engine::Compiled,
         }
     }
 }
@@ -72,9 +90,24 @@ impl ScanConfig {
     /// A configuration pinned to the tree-walking reference evaluator.
     pub fn reference() -> Self {
         ScanConfig {
-            compiled: false,
+            engine: Engine::Reference,
             ..Default::default()
         }
+    }
+
+    /// A configuration pinned to the symbolic BDD engine.
+    pub fn symbolic() -> Self {
+        ScanConfig {
+            engine: Engine::Symbolic,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the compiled packed-state machinery may engage (true for
+    /// both the compiled and the symbolic engine — the latter falls back
+    /// to compiled scans for anything it does not decide symbolically).
+    pub fn uses_compiled(&self) -> bool {
+        !matches!(self.engine, Engine::Reference)
     }
 }
 
@@ -203,6 +236,11 @@ pub fn check_valid(vocab: &Vocabulary, p: &Expr, cfg: &ScanConfig) -> Result<(),
     p.check_pred(vocab)?;
     let support = unity_core::expr::vars::free_vars(p);
     let found = 'found: {
+        if crate::symbolic::wants(cfg) {
+            if let Some(witness) = crate::symbolic::try_check_valid(vocab, p) {
+                break 'found witness;
+            }
+        }
         if let Some(layout) = try_layout(vocab, cfg) {
             if let Ok(prog) = CompiledExpr::compile(p, &layout) {
                 let word = scan_packed(vocab, &layout, Some(&support), cfg, || {
@@ -259,6 +297,11 @@ pub fn check_equivalent(
     let mut support = unity_core::expr::vars::free_vars(a);
     unity_core::expr::vars::collect(b, &mut support);
     let found = 'found: {
+        if crate::symbolic::wants(cfg) {
+            if let Some(witness) = crate::symbolic::try_check_equivalent(vocab, a, b) {
+                break 'found witness;
+            }
+        }
         if let Some(layout) = try_layout(vocab, cfg) {
             if let (Ok(pa), Ok(pb)) = (
                 CompiledExpr::compile(a, &layout),
@@ -296,6 +339,11 @@ pub fn find_satisfying(
 ) -> Result<Option<State>, McError> {
     p.check_pred(vocab)?;
     let support = unity_core::expr::vars::free_vars(p);
+    if crate::symbolic::wants(cfg) {
+        if let Some(witness) = crate::symbolic::try_find_satisfying(vocab, p) {
+            return Ok(witness);
+        }
+    }
     if let Some(layout) = try_layout(vocab, cfg) {
         if let Ok(prog) = CompiledExpr::compile(p, &layout) {
             let word = scan_packed(vocab, &layout, Some(&support), cfg, || {
@@ -324,9 +372,13 @@ mod tests {
         v
     }
 
-    /// Both engines must be exercised by every test below.
-    fn engines() -> [ScanConfig; 2] {
-        [ScanConfig::default(), ScanConfig::reference()]
+    /// All three engines must be exercised by every test below.
+    fn engines() -> [ScanConfig; 3] {
+        [
+            ScanConfig::default(),
+            ScanConfig::reference(),
+            ScanConfig::symbolic(),
+        ]
     }
 
     #[test]
@@ -389,10 +441,10 @@ mod tests {
     #[test]
     fn space_limit_enforced() {
         let v = vocab();
-        for compiled in [true, false] {
+        for engine in [Engine::Compiled, Engine::Reference] {
             let cfg = ScanConfig {
                 max_states: 3,
-                compiled,
+                engine,
                 ..Default::default()
             };
             // `true` has empty support: with projection the scan is a single
@@ -408,7 +460,7 @@ mod tests {
             let cfg = ScanConfig {
                 max_states: 3,
                 projection: false,
-                compiled,
+                engine,
                 ..Default::default()
             };
             assert!(matches!(

@@ -1,0 +1,170 @@
+//! Bridge to the symbolic BDD backend (`unity-symbolic`).
+//!
+//! [`Engine::Symbolic`](crate::space::Engine) routes every inductive
+//! safety check through [`unity_symbolic::SymbolicProgram`]: state sets
+//! become BDDs over the compiled pipeline's packed bit layout, and the
+//! paper's quantifications over all type-consistent states become BDD
+//! implications whose cost tracks the *structure* of the sets, not
+//! their cardinality. Failing checks come back as packed-word witness
+//! cubes, which this module decodes into the same explicit
+//! [`Counterexample`]s the enumerating engines produce (post-states are
+//! recomputed with the reference `Command::step`, so a symbolic
+//! counterexample is by construction replayable on the semantics of
+//! record).
+//!
+//! Fallback contract: each `try_*` function returns `None` when the
+//! symbolic engine cannot handle the instance (vocabulary beyond 64
+//! packed bits, or a value partition exploding past
+//! [`unity_symbolic::lower::MAX_VALUES`]); callers then continue into
+//! the explicit paths. Verdicts are *never* approximated.
+
+use unity_core::expr::Expr;
+use unity_core::program::Program;
+use unity_core::state::State;
+use unity_symbolic::SymbolicProgram;
+
+use crate::space::{Engine, ScanConfig};
+use crate::trace::Counterexample;
+
+/// Whether the configuration asks for the symbolic engine.
+pub(crate) fn wants(cfg: &ScanConfig) -> bool {
+    matches!(cfg.engine, Engine::Symbolic)
+}
+
+/// Builds the symbolic program, or `None` on fallback conditions.
+fn build(program: &Program) -> Option<SymbolicProgram> {
+    SymbolicProgram::build(program).ok()
+}
+
+fn decode(program: &Program, sym: &SymbolicProgram, word: u64) -> State {
+    sym.space().layout().unpack(word, &program.vocab)
+}
+
+/// Symbolic `init p`. `None` = fall back to the explicit engines.
+pub(crate) fn try_check_init(program: &Program, p: &Expr) -> Option<Option<Counterexample>> {
+    let mut sym = build(program)?;
+    let witness = sym.check_init(p).ok()?;
+    Some(witness.map(|w| Counterexample::Init {
+        state: decode(program, &sym, w),
+    }))
+}
+
+fn next_cex(
+    program: &Program,
+    sym: &SymbolicProgram,
+    cmd: Option<usize>,
+    w: u64,
+) -> Counterexample {
+    let state = decode(program, sym, w);
+    let (command, after) = match cmd {
+        None => (None, state.clone()),
+        Some(k) => (
+            Some(program.commands[k].name.clone()),
+            program.commands[k].step(&state, &program.vocab),
+        ),
+    };
+    Counterexample::Next {
+        state,
+        command,
+        after,
+    }
+}
+
+/// Symbolic `p next q` (and `stable p` as `p next p`).
+pub(crate) fn try_check_next(
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+) -> Option<Option<Counterexample>> {
+    let mut sym = build(program)?;
+    let witness = sym.check_next(p, q).ok()?;
+    Some(witness.map(|(cmd, w)| next_cex(program, &sym, cmd, w)))
+}
+
+/// Symbolic `invariant p` (= `init p ∧ stable p`), both halves decided
+/// over **one** lowered program — the transition relations are built
+/// once, not once per half.
+pub(crate) fn try_check_invariant(program: &Program, p: &Expr) -> Option<Option<Counterexample>> {
+    let mut sym = build(program)?;
+    if let Some(w) = sym.check_init(p).ok()? {
+        return Some(Some(Counterexample::Init {
+            state: decode(program, &sym, w),
+        }));
+    }
+    let witness = sym.check_next(p, p).ok()?;
+    Some(witness.map(|(cmd, w)| next_cex(program, &sym, cmd, w)))
+}
+
+/// Symbolic `unchanged e`.
+pub(crate) fn try_check_unchanged(program: &Program, e: &Expr) -> Option<Option<Counterexample>> {
+    use unity_core::value::Value;
+    let mut sym = build(program)?;
+    let witness = sym.check_unchanged(e).ok()?;
+    Some(witness.map(|(k, w)| {
+        let state = decode(program, &sym, w);
+        let cmd = &program.commands[k];
+        let after_state = cmd.step(&state, &program.vocab);
+        let as_i64 = |v: Value| match v {
+            Value::Int(n) => n,
+            Value::Bool(b) => i64::from(b),
+        };
+        Counterexample::Unchanged {
+            before: as_i64(unity_core::expr::eval::eval(e, &state)),
+            after: as_i64(unity_core::expr::eval::eval(e, &after_state)),
+            state,
+            command: cmd.name.clone(),
+        }
+    }))
+}
+
+/// Symbolic `transient p`.
+pub(crate) fn try_check_transient(program: &Program, p: &Expr) -> Option<Option<Counterexample>> {
+    let mut sym = build(program)?;
+    let witness = sym.check_transient(p).ok()?;
+    Some(witness.map(|stuck| {
+        Counterexample::Transient {
+            witnesses: stuck
+                .into_iter()
+                .map(|(k, w)| (program.commands[k].name.clone(), decode(program, &sym, w)))
+                .collect(),
+        }
+    }))
+}
+
+/// Symbolic `⊨ p` over a bare vocabulary (kernel side conditions).
+pub(crate) fn try_check_valid(
+    vocab: &unity_core::ident::Vocabulary,
+    p: &Expr,
+) -> Option<Option<State>> {
+    let space = unity_symbolic::encode::SymSpace::new(vocab)?;
+    let witness = unity_symbolic::engine::valid_witness(vocab, p).ok()?;
+    Some(witness.map(|w| space.layout().unpack(w, vocab)))
+}
+
+/// Symbolic `⊨ a = b` over a bare vocabulary.
+pub(crate) fn try_check_equivalent(
+    vocab: &unity_core::ident::Vocabulary,
+    a: &Expr,
+    b: &Expr,
+) -> Option<Option<State>> {
+    let space = unity_symbolic::encode::SymSpace::new(vocab)?;
+    let witness = unity_symbolic::engine::equivalent_witness(vocab, a, b).ok()?;
+    Some(witness.map(|w| space.layout().unpack(w, vocab)))
+}
+
+/// Symbolic satisfiability over a bare vocabulary.
+pub(crate) fn try_find_satisfying(
+    vocab: &unity_core::ident::Vocabulary,
+    p: &Expr,
+) -> Option<Option<State>> {
+    let space = unity_symbolic::encode::SymSpace::new(vocab)?;
+    let witness = unity_symbolic::engine::satisfying_witness(vocab, p).ok()?;
+    Some(witness.map(|w| space.layout().unpack(w, vocab)))
+}
+
+/// The symbolically computed number of reachable states, for parity
+/// tests and scale experiments (`None` on fallback conditions).
+pub fn reachable_count(program: &Program) -> Option<u128> {
+    let mut sym = build(program)?;
+    Some(sym.reachable().count)
+}

@@ -14,6 +14,7 @@ use unity_core::expr::Expr;
 use unity_core::ident::{VarId, Vocabulary};
 use unity_core::program::Program;
 use unity_mc::prelude::*;
+use unity_mc::space::Engine;
 
 const X: VarId = VarId(0);
 const Y: VarId = VarId(1);
@@ -171,7 +172,7 @@ fn toy_counter_projection_and_packing_agree() {
             ScanConfig::reference(),
             ScanConfig::without_projection(),
             ScanConfig {
-                compiled: false,
+                engine: Engine::Reference,
                 ..ScanConfig::without_projection()
             },
         ];

@@ -1,0 +1,292 @@
+//! Differential tests of the symbolic BDD engine: on random small
+//! programs, every safety verdict and the reachable-state count must be
+//! **identical** under `Engine::Symbolic` and the compiled explicit
+//! engine (which the existing `prop_compiled_scan.rs` suite already
+//! pins against the tree-walking reference). Additionally, every
+//! symbolic counterexample must be accepted as a genuine violation by
+//! the reference evaluator — symbolic witnesses are replayable facts,
+//! not artifacts of the encoding.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+use unity_mc::prelude::*;
+use unity_mc::trace::Counterexample;
+
+const X: VarId = VarId(0);
+const Y: VarId = VarId(1);
+const B: VarId = VarId(2);
+
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+    v.declare("y", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("b", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        Just(tt()),
+        Just(var(B)),
+        (0i64..=3).prop_map(|k| le(var(X), int(k))),
+        (0i64..=2).prop_map(|k| eq(var(Y), int(k))),
+        (0i64..=5).prop_map(|k| lt(add(var(X), var(Y)), int(k))),
+        (0i64..=3).prop_map(|k| eq(rem(add(var(X), var(Y)), int(2)), int(k % 2))),
+    ];
+    atom.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| and2(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| or2(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| implies(a, b)),
+        ]
+    })
+}
+
+/// Small random programs over the fixed vocabulary (the
+/// `prop_compiled_scan.rs` generator, reused so all three engines are
+/// exercised on the same program distribution).
+fn arb_program() -> impl Strategy<Value = Program> {
+    (arb_pred(), 0i64..=2, 1i64..=2, any::<bool>(), arb_pred()).prop_map(
+        |(guard1, y0, dx, fair2, guard2)| {
+            let v = vocab();
+            let builder = Program::builder("rand", v)
+                .init(and2(eq(var(X), int(0)), eq(var(Y), int(y0))))
+                .fair_command(
+                    "cx",
+                    and2(guard1, lt(var(X), int(3))),
+                    vec![(X, add(var(X), int(dx)))],
+                );
+            let cy_updates = vec![(Y, rem(add(var(Y), int(1)), int(3))), (B, not(var(B)))];
+            let builder = if fair2 {
+                builder.fair_command("cy", guard2, cy_updates)
+            } else {
+                builder.command("cy", guard2, cy_updates)
+            };
+            builder.build().unwrap()
+        },
+    )
+}
+
+/// Replays a symbolic counterexample on the reference evaluator: the
+/// witness must genuinely violate the property it refutes.
+fn assert_genuine(program: &Program, prop: &Property, cex: &Counterexample) {
+    let vocab = &program.vocab;
+    match (prop, cex) {
+        (Property::Init(p), Counterexample::Init { state }) => {
+            assert!(state.in_domains(vocab), "witness is type-consistent");
+            assert!(program.satisfies_init(state), "witness satisfies init");
+            assert!(!eval_bool(p, state), "witness falsifies p");
+        }
+        (Property::Invariant(p), Counterexample::Init { state }) => {
+            assert!(program.satisfies_init(state) && !eval_bool(p, state));
+        }
+        (
+            Property::Stable(p) | Property::Invariant(p),
+            Counterexample::Next {
+                state,
+                command,
+                after,
+            },
+        ) => {
+            assert!(state.in_domains(vocab));
+            assert!(eval_bool(p, state), "pre-state satisfies p");
+            assert!(!eval_bool(p, after), "post-state violates p");
+            let cmd = command.as_ref().expect("stable violations step a command");
+            let c = program
+                .commands
+                .iter()
+                .find(|c| &c.name == cmd)
+                .expect("named command exists");
+            assert_eq!(&c.step(state, vocab), after, "step replays");
+        }
+        (
+            Property::Next(p, q),
+            Counterexample::Next {
+                state,
+                command,
+                after,
+            },
+        ) => {
+            assert!(eval_bool(p, state));
+            assert!(!eval_bool(q, after));
+            match command {
+                None => assert_eq!(state, after, "skip violation stays put"),
+                Some(name) => {
+                    let c = program.commands.iter().find(|c| &c.name == name).unwrap();
+                    assert_eq!(&c.step(state, vocab), after);
+                }
+            }
+        }
+        (Property::Transient(p), Counterexample::Transient { witnesses }) => {
+            assert_eq!(
+                witnesses.len(),
+                program.fair.len(),
+                "one stuck witness per fair command"
+            );
+            for (name, state) in witnesses {
+                let c = program.commands.iter().find(|c| &c.name == name).unwrap();
+                assert!(eval_bool(p, state), "stuck witness satisfies p");
+                assert!(
+                    eval_bool(p, &c.step(state, vocab)),
+                    "command leaves the witness inside p"
+                );
+            }
+        }
+        (Property::Unchanged(e), Counterexample::Unchanged { state, command, .. }) => {
+            let c = program
+                .commands
+                .iter()
+                .find(|c| &c.name == command)
+                .unwrap();
+            let after = c.step(state, vocab);
+            assert_ne!(
+                unity_core::expr::eval::eval(e, state),
+                unity_core::expr::eval::eval(e, &after),
+                "command really changes the expression"
+            );
+        }
+        (prop, cex) => panic!("unexpected counterexample shape for {prop:?}: {cex:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Symbolic verdicts ≡ compiled verdicts on every safety property,
+    /// and every symbolic counterexample replays on the reference
+    /// semantics.
+    #[test]
+    fn safety_verdicts_agree_and_witnesses_replay(
+        prog in arb_program(), p in arb_pred(), q in arb_pred()
+    ) {
+        let symbolic = ScanConfig::symbolic();
+        let explicit = ScanConfig::default();
+        for prop in [
+            Property::Init(p.clone()),
+            Property::Stable(p.clone()),
+            Property::Invariant(p.clone()),
+            Property::Next(p.clone(), q.clone()),
+            Property::Transient(p.clone()),
+            Property::Unchanged(add(var(X), var(Y))),
+            Property::Unchanged(var(B)),
+        ] {
+            let s = check_property(&prog, &prop, Universe::AllStates, &symbolic);
+            let e = check_property(&prog, &prop, Universe::AllStates, &explicit);
+            prop_assert_eq!(
+                s.is_ok(), e.is_ok(),
+                "engines disagree on {:?}: {:?} vs {:?}", prop, s, e
+            );
+            if let Err(McError::Refuted { cex, .. }) = &s {
+                assert_genuine(&prog, &prop, cex);
+            }
+        }
+    }
+
+    /// The symbolic reachable-state count equals the explicit
+    /// transition system's state count.
+    #[test]
+    fn reachable_counts_agree(prog in arb_program()) {
+        let sym = reachable_count(&prog).expect("vocabulary fits");
+        let ts = TransitionSystem::build(&prog, Universe::Reachable, &ScanConfig::default())
+            .unwrap();
+        prop_assert_eq!(sym, ts.len() as u128);
+    }
+
+    /// Validity / satisfiability / equivalence side conditions agree.
+    #[test]
+    fn side_conditions_agree(p in arb_pred(), q in arb_pred()) {
+        let v = vocab();
+        let symbolic = ScanConfig::symbolic();
+        let explicit = ScanConfig::default();
+        prop_assert_eq!(
+            check_valid(&v, &p, &symbolic).is_ok(),
+            check_valid(&v, &p, &explicit).is_ok()
+        );
+        prop_assert_eq!(
+            find_satisfying(&v, &p, &symbolic).unwrap().is_some(),
+            find_satisfying(&v, &p, &explicit).unwrap().is_some()
+        );
+        prop_assert_eq!(
+            check_equivalent(&v, &p, &q, &symbolic).is_ok(),
+            check_equivalent(&v, &p, &q, &explicit).is_ok()
+        );
+        // A symbolic validity witness falsifies the predicate for real.
+        if let Err(McError::Refuted { cex: Counterexample::Validity { state }, .. }) =
+            check_valid(&v, &p, &symbolic)
+        {
+            prop_assert!(!eval_bool(&p, &state));
+            prop_assert!(state.in_domains(&v));
+        }
+    }
+}
+
+/// Fixed regression: the paper's two systems under the symbolic engine.
+#[test]
+fn paper_systems_check_symbolically() {
+    use unity_systems::priority::PrioritySystem;
+    use unity_systems::toy_counter::{toy_system, ToySpec};
+    let symbolic = ScanConfig::symbolic();
+    for n in [2usize, 3] {
+        let toy = toy_system(ToySpec::new(n, 2)).unwrap();
+        check_property(
+            &toy.system.composed,
+            &toy.system_invariant(),
+            Universe::AllStates,
+            &symbolic,
+        )
+        .unwrap();
+        check_property(
+            &toy.system.components[0],
+            &toy.spec_unchanged(0),
+            Universe::AllStates,
+            &symbolic,
+        )
+        .unwrap();
+    }
+    let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(4))).unwrap();
+    check_property(
+        &sys.system.composed,
+        &sys.safety_invariant(),
+        Universe::AllStates,
+        &symbolic,
+    )
+    .unwrap();
+    // Reachable-set parity on the ring.
+    let sym = reachable_count(&sys.system.composed).unwrap();
+    let ts = TransitionSystem::build(
+        &sys.system.composed,
+        Universe::Reachable,
+        &ScanConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(sym, ts.len() as u128);
+}
+
+/// The invariant-counterexample parity bar from the issue: when
+/// `invariant` fails symbolically, the decoded witness state must be
+/// accepted as a genuine violation by the reference evaluator.
+#[test]
+fn symbolic_invariant_witness_is_a_genuine_violation() {
+    use unity_systems::toy_counter::{toy_system_broken, ToySpec};
+    let broken = toy_system_broken(ToySpec::new(2, 2), 1).unwrap();
+    let program = &broken.system.composed;
+    let Property::Invariant(inv) = broken.system_invariant() else {
+        panic!("system invariant is an invariant");
+    };
+    let err = check_invariant(program, &inv, &ScanConfig::symbolic()).unwrap_err();
+    let McError::Refuted { cex, .. } = err else {
+        panic!("expected refutation");
+    };
+    assert_genuine(program, &Property::Invariant(inv.clone()), &cex);
+    // And the explicit engine refutes it too.
+    assert!(check_invariant(program, &inv, &ScanConfig::default()).is_err());
+}

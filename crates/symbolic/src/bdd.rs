@@ -1,0 +1,648 @@
+//! A self-contained reduced ordered binary decision diagram (ROBDD)
+//! package.
+//!
+//! Design points, all driven by the model checker's access pattern:
+//!
+//! * **Hash-consed node arena.** Nodes live in one `Vec`; a unique table
+//!   maps `(var, lo, hi)` triples to existing nodes, so structural
+//!   equality is pointer (index) equality and every boolean function has
+//!   exactly one representation per variable order.
+//! * **Terminals first.** Node 0 is `false`, node 1 is `true`; their
+//!   `var` is `u32::MAX`, which doubles as the "below every real
+//!   variable" sentinel in the ordering logic.
+//! * **Operation caches.** `not` and the strict binary connectives
+//!   (`and`/`or`/`xor`) memoize on node indices for the lifetime of the
+//!   arena. Traversals whose results depend on call-specific context
+//!   (quantifier cubes, renamings, counting sets) memoize per call.
+//! * **Garbage-free arena with explicit [`Bdd::reset`].** Nothing is
+//!   reference-counted and nothing is ever freed piecemeal: a checking
+//!   session grows the arena monotonically and throws the whole thing
+//!   away (or `reset`s it) when done. This trades peak memory for zero
+//!   bookkeeping in the hot ops — the right trade for one-shot
+//!   fixpoint computations.
+//!
+//! Variables are plain `u32` levels; smaller numbers are closer to the
+//! root. The encoding layer (`crate::encode`) interleaves current- and
+//! next-state bits as `2b` / `2b + 1`, which keeps relational ops local.
+
+use std::collections::HashMap;
+
+/// A reference to a BDD node (an index into the arena).
+///
+/// Refs are only meaningful relative to the [`Bdd`] that issued them and
+/// are invalidated by [`Bdd::reset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+/// The constant-false BDD.
+pub const FALSE: Ref = Ref(0);
+/// The constant-true BDD.
+pub const TRUE: Ref = Ref(1);
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// Binary operation codes for the shared apply cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BinOp {
+    And,
+    Or,
+    Xor,
+}
+
+/// The node arena plus its unique table and operation caches.
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    bin_cache: HashMap<(BinOp, u32, u32), u32>,
+    not_cache: HashMap<u32, u32>,
+}
+
+impl Bdd {
+    /// Creates an arena holding only the two terminals.
+    pub fn new() -> Self {
+        let mut b = Bdd {
+            nodes: Vec::with_capacity(1 << 12),
+            unique: HashMap::default(),
+            bin_cache: HashMap::default(),
+            not_cache: HashMap::default(),
+        };
+        b.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: 0,
+            hi: 0,
+        });
+        b.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: 1,
+            hi: 1,
+        });
+        b
+    }
+
+    /// Number of live nodes (terminals included) — a size/pressure metric.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds only the terminals.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// Drops every non-terminal node and all caches, invalidating every
+    /// outstanding [`Ref`] except [`FALSE`] and [`TRUE`]. The arena's
+    /// allocation is kept, so a reset engine rebuilds without paying
+    /// allocator traffic again.
+    pub fn reset(&mut self) {
+        self.nodes.truncate(2);
+        self.unique.clear();
+        self.bin_cache.clear();
+        self.not_cache.clear();
+    }
+
+    #[inline]
+    fn var_of(&self, u: u32) -> u32 {
+        self.nodes[u as usize].var
+    }
+
+    /// The `(var, lo, hi)` of a non-terminal node (inspection/tests).
+    pub fn node(&self, u: Ref) -> Option<(u32, Ref, Ref)> {
+        if u.0 <= 1 {
+            return None;
+        }
+        let n = self.nodes[u.0 as usize];
+        Some((n.var, Ref(n.lo), Ref(n.hi)))
+    }
+
+    /// Hash-consing constructor: reduced (no redundant test) and unique.
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi), "ordering");
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node { var, lo, hi });
+            id
+        })
+    }
+
+    /// The single-variable function `v`.
+    pub fn var(&mut self, v: u32) -> Ref {
+        Ref(self.mk(v, 0, 1))
+    }
+
+    /// The negated single-variable function `¬v`.
+    pub fn nvar(&mut self, v: u32) -> Ref {
+        Ref(self.mk(v, 1, 0))
+    }
+
+    /// Boolean negation.
+    pub fn not(&mut self, u: Ref) -> Ref {
+        Ref(self.not_rec(u.0))
+    }
+
+    fn not_rec(&mut self, u: u32) -> u32 {
+        if u <= 1 {
+            return 1 - u;
+        }
+        if let Some(&r) = self.not_cache.get(&u) {
+            return r;
+        }
+        let Node { var, lo, hi } = self.nodes[u as usize];
+        let nl = self.not_rec(lo);
+        let nh = self.not_rec(hi);
+        let r = self.mk(var, nl, nh);
+        self.not_cache.insert(u, r);
+        self.not_cache.insert(r, u);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: Ref, b: Ref) -> Ref {
+        Ref(self.apply(BinOp::And, a.0, b.0))
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: Ref, b: Ref) -> Ref {
+        Ref(self.apply(BinOp::Or, a.0, b.0))
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Ref, b: Ref) -> Ref {
+        Ref(self.apply(BinOp::Xor, a.0, b.0))
+    }
+
+    /// Bi-implication.
+    pub fn iff(&mut self, a: Ref, b: Ref) -> Ref {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// Implication.
+    pub fn implies(&mut self, a: Ref, b: Ref) -> Ref {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// Difference `a ∧ ¬b`.
+    pub fn diff(&mut self, a: Ref, b: Ref) -> Ref {
+        let nb = self.not(b);
+        self.and(a, nb)
+    }
+
+    /// If-then-else `(c ∧ t) ∨ (¬c ∧ e)`.
+    pub fn ite(&mut self, c: Ref, t: Ref, e: Ref) -> Ref {
+        let ct = self.and(c, t);
+        let nc = self.not(c);
+        let ce = self.and(nc, e);
+        self.or(ct, ce)
+    }
+
+    fn apply(&mut self, op: BinOp, a: u32, b: u32) -> u32 {
+        // Terminal rules.
+        match op {
+            BinOp::And => {
+                if a == 0 || b == 0 {
+                    return 0;
+                }
+                if a == 1 {
+                    return b;
+                }
+                if b == 1 || a == b {
+                    return a;
+                }
+            }
+            BinOp::Or => {
+                if a == 1 || b == 1 {
+                    return 1;
+                }
+                if a == 0 {
+                    return b;
+                }
+                if b == 0 || a == b {
+                    return a;
+                }
+            }
+            BinOp::Xor => {
+                if a == b {
+                    return 0;
+                }
+                if a == 0 {
+                    return b;
+                }
+                if b == 0 {
+                    return a;
+                }
+                if a == 1 {
+                    return self.not_rec(b);
+                }
+                if b == 1 {
+                    return self.not_rec(a);
+                }
+            }
+        }
+        // All three ops are commutative: normalize the cache key.
+        let key = (op, a.min(b), a.max(b));
+        if let Some(&r) = self.bin_cache.get(&key) {
+            return r;
+        }
+        let (na, nb) = (self.nodes[a as usize], self.nodes[b as usize]);
+        let m = na.var.min(nb.var);
+        let (a0, a1) = if na.var == m { (na.lo, na.hi) } else { (a, a) };
+        let (b0, b1) = if nb.var == m { (nb.lo, nb.hi) } else { (b, b) };
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.mk(m, lo, hi);
+        self.bin_cache.insert(key, r);
+        r
+    }
+
+    /// Cofactor: `u` with variable `v` fixed to `val`.
+    pub fn restrict(&mut self, u: Ref, v: u32, val: bool) -> Ref {
+        let mut memo = HashMap::default();
+        Ref(self.restrict_rec(u.0, v, val, &mut memo))
+    }
+
+    fn restrict_rec(&mut self, u: u32, v: u32, val: bool, memo: &mut HashMap<u32, u32>) -> u32 {
+        let node = self.nodes[u as usize];
+        if node.var > v {
+            // Terminals and nodes entirely below v: v does not occur.
+            return u;
+        }
+        if node.var == v {
+            return if val { node.hi } else { node.lo };
+        }
+        if let Some(&r) = memo.get(&u) {
+            return r;
+        }
+        let lo = self.restrict_rec(node.lo, v, val, memo);
+        let hi = self.restrict_rec(node.hi, v, val, memo);
+        let r = self.mk(node.var, lo, hi);
+        memo.insert(u, r);
+        r
+    }
+
+    /// Existential quantification `∃ vars. u`. `vars` must be sorted
+    /// ascending.
+    pub fn exists(&mut self, u: Ref, vars: &[u32]) -> Ref {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "sorted cube");
+        let mut memo = HashMap::default();
+        Ref(self.exists_rec(u.0, vars, &mut memo))
+    }
+
+    fn exists_rec(&mut self, u: u32, vars: &[u32], memo: &mut HashMap<u32, u32>) -> u32 {
+        if u <= 1 {
+            return u;
+        }
+        let node = self.nodes[u as usize];
+        // Variables above this node cannot occur in it.
+        let vars = &vars[vars.partition_point(|&v| v < node.var)..];
+        if vars.is_empty() {
+            return u;
+        }
+        if let Some(&r) = memo.get(&u) {
+            return r;
+        }
+        let lo = self.exists_rec(node.lo, vars, memo);
+        let hi = self.exists_rec(node.hi, vars, memo);
+        let r = if node.var == vars[0] {
+            self.apply(BinOp::Or, lo, hi)
+        } else {
+            self.mk(node.var, lo, hi)
+        };
+        memo.insert(u, r);
+        r
+    }
+
+    /// Relational product `∃ vars. a ∧ b`, fused so the conjunction is
+    /// never fully materialized. `vars` must be sorted ascending. This is
+    /// the image-computation workhorse.
+    pub fn relprod(&mut self, a: Ref, b: Ref, vars: &[u32]) -> Ref {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "sorted cube");
+        let mut memo = HashMap::default();
+        Ref(self.relprod_rec(a.0, b.0, vars, &mut memo))
+    }
+
+    fn relprod_rec(
+        &mut self,
+        a: u32,
+        b: u32,
+        vars: &[u32],
+        memo: &mut HashMap<(u32, u32), u32>,
+    ) -> u32 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        if a == 1 && b == 1 {
+            return 1;
+        }
+        let m = self.var_of(a).min(self.var_of(b));
+        let vars = &vars[vars.partition_point(|&v| v < m)..];
+        if vars.is_empty() {
+            // No quantified variable occurs in either operand any more.
+            return self.apply(BinOp::And, a, b);
+        }
+        let key = (a, b);
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let (na, nb) = (self.nodes[a as usize], self.nodes[b as usize]);
+        let (a0, a1) = if na.var == m { (na.lo, na.hi) } else { (a, a) };
+        let (b0, b1) = if nb.var == m { (nb.lo, nb.hi) } else { (b, b) };
+        let lo = self.relprod_rec(a0, b0, vars, memo);
+        let r = if m == vars[0] {
+            if lo == 1 {
+                // Early exit: ∃v. f already true on the low branch.
+                1
+            } else {
+                let hi = self.relprod_rec(a1, b1, vars, memo);
+                self.apply(BinOp::Or, lo, hi)
+            }
+        } else {
+            let hi = self.relprod_rec(a1, b1, vars, memo);
+            self.mk(m, lo, hi)
+        };
+        memo.insert(key, r);
+        r
+    }
+
+    /// Renames variables according to `map` (pairs `(from, to)`, sorted by
+    /// `from`). The renaming must preserve the variable order on the
+    /// support of `u` and must not collide with variables already in `u`
+    /// — both hold for the engine's current↔next shifts, where `from`
+    /// and `to` are adjacent interleaved levels and the source level was
+    /// just quantified away (or never present).
+    pub fn rename(&mut self, u: Ref, map: &[(u32, u32)]) -> Ref {
+        debug_assert!(map.windows(2).all(|w| w[0].0 < w[1].0), "sorted map");
+        let mut memo = HashMap::default();
+        Ref(self.rename_rec(u.0, map, &mut memo))
+    }
+
+    fn rename_rec(&mut self, u: u32, map: &[(u32, u32)], memo: &mut HashMap<u32, u32>) -> u32 {
+        if u <= 1 {
+            return u;
+        }
+        let node = self.nodes[u as usize];
+        let map = &map[map.partition_point(|&(from, _)| from < node.var)..];
+        if map.is_empty() {
+            return u;
+        }
+        if let Some(&r) = memo.get(&u) {
+            return r;
+        }
+        let lo = self.rename_rec(node.lo, map, memo);
+        let hi = self.rename_rec(node.hi, map, memo);
+        let var = if map[0].0 == node.var {
+            map[0].1
+        } else {
+            node.var
+        };
+        let r = self.mk(var, lo, hi);
+        memo.insert(u, r);
+        r
+    }
+
+    /// Number of satisfying assignments of `u` over exactly the variables
+    /// in `vars` (sorted ascending). Every variable in `u`'s support must
+    /// be listed.
+    pub fn sat_count(&self, u: Ref, vars: &[u32]) -> u128 {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "sorted set");
+        let mut memo = HashMap::default();
+        self.count_rec(u.0, vars, 0, &mut memo)
+    }
+
+    fn count_rec(&self, u: u32, vars: &[u32], pos: usize, memo: &mut HashMap<u32, u128>) -> u128 {
+        if u == 0 {
+            return 0;
+        }
+        if u == 1 {
+            return 1u128 << (vars.len() - pos);
+        }
+        let node = self.nodes[u as usize];
+        let idx = pos
+            + vars[pos..]
+                .binary_search(&node.var)
+                .expect("support must be within the counting set");
+        // memo holds the count *from this node's own level*; scale by the
+        // variables skipped between `pos` and the node.
+        let below = if let Some(&c) = memo.get(&u) {
+            c
+        } else {
+            let lo = self.count_rec(node.lo, vars, idx + 1, memo);
+            let hi = self.count_rec(node.hi, vars, idx + 1, memo);
+            let c = lo + hi;
+            memo.insert(u, c);
+            c
+        };
+        below << (idx - pos)
+    }
+
+    /// One satisfying assignment of `u` as `(var, value)` pairs along a
+    /// path to `true` (variables missing from the result are don't-cares);
+    /// `None` iff `u` is unsatisfiable. Prefers the low branch, so with
+    /// all-zero defaults the decoded witness is the canonically smallest.
+    pub fn pick_one(&self, u: Ref) -> Option<Vec<(u32, bool)>> {
+        if u == FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut at = u.0;
+        while at > 1 {
+            let node = self.nodes[at as usize];
+            if node.lo != 0 {
+                path.push((node.var, false));
+                at = node.lo;
+            } else {
+                path.push((node.var, true));
+                at = node.hi;
+            }
+        }
+        debug_assert_eq!(at, 1);
+        Some(path)
+    }
+
+    /// Builds the conjunction of literals `(var, value)`; `vars` need not
+    /// be sorted.
+    pub fn cube(&mut self, literals: &[(u32, bool)]) -> Ref {
+        let mut lits: Vec<(u32, bool)> = literals.to_vec();
+        lits.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(v));
+        let mut acc = 1u32;
+        for (v, val) in lits {
+            acc = if val {
+                self.mk(v, 0, acc)
+            } else {
+                self.mk(v, acc, 0)
+            };
+        }
+        Ref(acc)
+    }
+
+    /// Evaluates `u` under a total assignment (`assign(v)` = value of
+    /// variable `v`).
+    pub fn eval(&self, u: Ref, mut assign: impl FnMut(u32) -> bool) -> bool {
+        let mut at = u.0;
+        while at > 1 {
+            let node = self.nodes[at as usize];
+            at = if assign(node.var) { node.hi } else { node.lo };
+        }
+        at == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive truth-table check of a BDD against a reference closure
+    /// over `n` variables.
+    fn table_eq(bdd: &Bdd, u: Ref, n: u32, f: impl Fn(&[bool]) -> bool) {
+        for bits in 0u32..(1 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                bdd.eval(u, |v| assign[v as usize]),
+                f(&assign),
+                "assignment {assign:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        let xy = b.and(x, y);
+        let u = b.or(xy, z);
+        table_eq(&b, u, 3, |a| (a[0] && a[1]) || a[2]);
+        let v = b.xor(x, y);
+        table_eq(&b, v, 3, |a| a[0] ^ a[1]);
+        let w = b.implies(x, y);
+        table_eq(&b, w, 3, |a| !a[0] || a[1]);
+        let i = b.iff(x, z);
+        table_eq(&b, i, 3, |a| a[0] == a[2]);
+        let nx = b.not(x);
+        table_eq(&b, nx, 3, |a| !a[0]);
+    }
+
+    #[test]
+    fn hash_consing_makes_equality_structural() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let a1 = b.and(x, y);
+        let a2 = b.and(y, x);
+        assert_eq!(a1, a2);
+        let n1 = b.not(a1);
+        let n2 = b.not(n1);
+        assert_eq!(n2, a1, "double negation is the identity node");
+        let t = b.or(x, TRUE);
+        assert_eq!(t, TRUE);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let u = b.and(x, y);
+        assert_eq!(b.restrict(u, 0, true), y);
+        assert_eq!(b.restrict(u, 0, false), FALSE);
+        assert_eq!(b.restrict(u, 2, true), u, "absent variable is a no-op");
+    }
+
+    #[test]
+    fn exists_and_relprod_agree() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        let xz = b.and(x, z);
+        let yz = b.not(z);
+        let yzn = b.and(y, yz);
+        let u = b.or(xz, yzn);
+        // ∃z. u  =  x ∨ y
+        let q = b.exists(u, &[2]);
+        table_eq(&b, q, 3, |a| a[0] || a[1]);
+        // relprod(a, b, vars) ≡ exists(and(a, b), vars) on random-ish forms.
+        let v = b.or(y, z);
+        let anded = b.and(u, v);
+        let e1 = b.exists(anded, &[0, 2]);
+        let e2 = b.relprod(u, v, &[0, 2]);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn rename_shifts_levels() {
+        let mut b = Bdd::new();
+        // f(x0, x2) = x0 ∧ ¬x2 ; rename 0→1, 2→3.
+        let x0 = b.var(0);
+        let nx2 = b.nvar(2);
+        let f = b.and(x0, nx2);
+        let g = b.rename(f, &[(0, 1), (2, 3)]);
+        table_eq(&b, g, 4, |a| a[1] && !a[3]);
+        // Partial map: only shift 2→3.
+        let h = b.rename(f, &[(2, 3)]);
+        table_eq(&b, h, 4, |a| a[0] && !a[3]);
+    }
+
+    #[test]
+    fn sat_count_counts() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(2);
+        let u = b.or(x, y);
+        // Over {0, 2}: 3 of 4. Over {0, 1, 2}: 6 of 8 (var 1 free).
+        assert_eq!(b.sat_count(u, &[0, 2]), 3);
+        assert_eq!(b.sat_count(u, &[0, 1, 2]), 6);
+        assert_eq!(b.sat_count(TRUE, &[0, 1, 2]), 8);
+        assert_eq!(b.sat_count(FALSE, &[0, 1, 2]), 0);
+    }
+
+    #[test]
+    fn pick_one_satisfies() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let ny = b.nvar(1);
+        let u = b.and(x, ny);
+        let lits = b.pick_one(u).unwrap();
+        let value = |v: u32| lits.iter().find(|&&(w, _)| w == v).map(|&(_, x)| x);
+        assert_eq!(value(0), Some(true));
+        assert_eq!(value(1), Some(false));
+        assert!(b.pick_one(FALSE).is_none());
+        assert_eq!(b.pick_one(TRUE).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn cube_roundtrips_through_pick() {
+        let mut b = Bdd::new();
+        let c = b.cube(&[(3, true), (1, false), (5, true)]);
+        assert_eq!(b.sat_count(c, &[1, 3, 5]), 1);
+        let lits = b.pick_one(c).unwrap();
+        let rebuilt = b.cube(&lits);
+        assert_eq!(rebuilt, c);
+    }
+
+    #[test]
+    fn reset_clears_arena() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        b.and(x, y);
+        assert!(b.len() > 2);
+        b.reset();
+        assert!(b.is_empty());
+        // Rebuilding after reset works from scratch.
+        let x2 = b.var(0);
+        assert_eq!(x2, Ref(2), "arena restarts at the first free slot");
+    }
+}

@@ -1,9 +1,10 @@
 //! `unity-check` — check a `.unity` specification file.
 //!
 //! ```text
-//! unity-check FILE [--universe reachable|all] [--sim STEPS] [--seed N]
+//! unity-check FILE [--engine explicit|symbolic|reference]
+//!             [--universe reachable|all] [--sim STEPS] [--seed N]
 //!             [--trace FILE] [--list] [--quiet]
-//!             [--conserve] [--synthesize] [--mutate]
+//!             [--conserve] [--synthesize] [--mutate] [--version]
 //! ```
 //!
 //! Parses the file's `program` blocks, composes them (vocabularies merged
@@ -11,7 +12,14 @@
 //! `spec` check with the exact model checker: safety properties with the
 //! paper's inductive all-states semantics, `leadsto` exactly under weak
 //! fairness over the chosen universe. Exit code: `0` if all checks pass,
-//! `1` if any fails, `2` on usage/parse errors.
+//! `1` if any fails, `2` on usage/parse errors (unknown flags included).
+//!
+//! `--engine` selects the evaluation engine for every check:
+//! `explicit` (default — the compiled bytecode/packed-state scans),
+//! `symbolic` (the BDD set-based engine; safety checks never enumerate
+//! states, `leadsto` falls back to the explicit engine), or `reference`
+//! (the tree-walking evaluator, the semantics of record). All engines
+//! return identical verdicts — pinned by the differential test suites.
 //!
 //! `--sim N` additionally runs an `N`-step weakly-fair simulation
 //! (aged-lottery scheduler) with every `invariant` check attached as a
@@ -38,6 +46,7 @@ use unity_sim::prelude::*;
 
 struct Options {
     file: String,
+    engine: Engine,
     universe: Universe,
     sim_steps: u64,
     seed: u64,
@@ -49,14 +58,16 @@ struct Options {
     mutate: bool,
 }
 
-const USAGE: &str = "usage: unity-check FILE [--universe reachable|all] [--sim STEPS] \
+const USAGE: &str = "usage: unity-check FILE [--engine explicit|symbolic|reference] \
+                     [--universe reachable|all] [--sim STEPS] \
                      [--seed N] [--trace FILE] [--list] [--quiet] \
-                     [--conserve] [--synthesize] [--mutate]";
+                     [--conserve] [--synthesize] [--mutate] [--version]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut file = None;
     let mut opts = Options {
         file: String::new(),
+        engine: Engine::Compiled,
         universe: Universe::Reachable,
         sim_steps: 0,
         seed: 1,
@@ -70,6 +81,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--engine" => {
+                opts.engine = match it.next().map(String::as_str) {
+                    Some("explicit") | Some("compiled") => Engine::Compiled,
+                    Some("symbolic") => Engine::Symbolic,
+                    Some("reference") => Engine::Reference,
+                    other => return Err(format!("bad --engine {other:?}; {USAGE}")),
+                }
+            }
             "--universe" => {
                 opts.universe = match it.next().map(String::as_str) {
                     Some("reachable") => Universe::Reachable,
@@ -102,10 +121,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--synthesize" => opts.synthesize = true,
             "--mutate" => opts.mutate = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
-            other if file.is_none() && !other.starts_with('-') => {
+            "--version" | "-V" => {
+                println!("unity-check {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            // Anything dash-prefixed that is not a known flag is an
+            // error (exit 2) — never a FILE candidate, even before FILE
+            // is set; and once FILE is set, every stray argument is
+            // rejected rather than silently shadowing it.
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`; {USAGE}"))
+            }
+            other if file.is_none() => {
                 file = Some(other.to_string());
             }
-            other => return Err(format!("unexpected argument `{other}`; {USAGE}")),
+            other => {
+                return Err(format!(
+                    "unexpected argument `{other}` (FILE already given as `{}`); {USAGE}",
+                    file.as_deref().unwrap_or("")
+                ))
+            }
         }
     }
     opts.file = file.ok_or_else(|| USAGE.to_string())?;
@@ -138,7 +173,10 @@ fn run(opts: &Options) -> Result<bool, String> {
         return Ok(true);
     }
 
-    let cfg = ScanConfig::default();
+    let cfg = ScanConfig {
+        engine: opts.engine,
+        ..Default::default()
+    };
     let mut ok = true;
     for NamedCheck { name, property, .. } in &spec.checks {
         match check_property(&spec.system.composed, property, opts.universe, &cfg) {

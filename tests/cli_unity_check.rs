@@ -180,3 +180,74 @@ fn all_states_universe_distinguishes_liveness() {
     assert!(stdout.contains("FAIL saturation"), "{stdout}");
     assert!(stdout.contains("fair trap"), "{stdout}");
 }
+
+#[test]
+fn version_flag_prints_and_exits_0() {
+    let out = unity_check(&["--version"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.starts_with("unity-check "),
+        "version banner: {stdout}"
+    );
+    // -V shorthand, and --version wins even when other arguments follow.
+    let out = unity_check(&["-V"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn unknown_flags_exit_2_even_with_file_set() {
+    // A stray flag after FILE must be a usage error, not silently
+    // ignored (or worse, treated as a second FILE).
+    let out = unity_check(&["examples/specs/toy.unity", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    // Before FILE too.
+    let out = unity_check(&["--bogus", "examples/specs/toy.unity"]);
+    assert_eq!(out.status.code(), Some(2));
+    // A second bare argument is rejected as well.
+    let out = unity_check(&["examples/specs/toy.unity", "examples/specs/broken.unity"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("FILE already given"), "{stderr}");
+}
+
+#[test]
+fn engine_flag_selects_identical_verdicts() {
+    // Every engine must agree check-for-check on the shipped specs —
+    // passing and failing alike (the acceptance bar for the symbolic
+    // backend).
+    for spec in [
+        "examples/specs/toy.unity",
+        "examples/specs/broken.unity",
+        "examples/specs/priority_ring3.unity",
+        "examples/specs/stabilize_ring3.unity",
+    ] {
+        let baseline = unity_check(&[spec, "--engine", "explicit"]);
+        let base_out = String::from_utf8_lossy(&baseline.stdout).to_string();
+        for engine in ["symbolic", "reference"] {
+            let out = unity_check(&[spec, "--engine", engine]);
+            assert_eq!(
+                out.status.code(),
+                baseline.status.code(),
+                "{spec} under {engine}"
+            );
+            let text = String::from_utf8_lossy(&out.stdout);
+            // PASS/FAIL lines must match verdict-for-verdict.
+            let verdicts = |s: &str| -> Vec<String> {
+                s.lines()
+                    .filter(|l| l.starts_with("PASS") || l.starts_with("FAIL"))
+                    .map(|l| l.split(':').next().unwrap().to_string())
+                    .collect()
+            };
+            assert_eq!(
+                verdicts(&text),
+                verdicts(&base_out),
+                "{spec} under {engine}: {text}"
+            );
+        }
+    }
+    let out = unity_check(&["examples/specs/toy.unity", "--engine", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
