@@ -1,19 +1,51 @@
 //! Quick engine comparison: times one full-domain validity scan of the
-//! toy-counter conservation invariant under the compiled and reference
-//! evaluation engines.
+//! toy-counter conservation invariant under any of the three evaluation
+//! engines on the same spec.
 //!
 //! ```text
-//! cargo run --release -p composition-bench --bin scan_probe
+//! cargo run --release -p composition-bench --bin scan_probe \
+//!     [-- --engine reference|compiled|symbolic]
 //! ```
+//!
+//! Without `--engine`, all three engines are probed and the speedups
+//! over the reference evaluator are reported.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use unity_core::properties::Property;
 use unity_mc::prelude::*;
 use unity_systems::toy_counter::{toy_system, ToySpec};
 
+fn parse_engines(args: &[String]) -> Result<Vec<(&'static str, Engine)>, String> {
+    let all = vec![
+        ("reference", Engine::Reference),
+        ("compiled", Engine::Compiled),
+        ("symbolic", Engine::Symbolic),
+    ];
+    match args {
+        [] => Ok(all),
+        [flag, value] if flag == "--engine" => match value.as_str() {
+            "reference" => Ok(vec![all[0]]),
+            "compiled" | "explicit" => Ok(vec![all[1]]),
+            "symbolic" => Ok(vec![all[2]]),
+            other => Err(format!(
+                "bad --engine `{other}` (want reference|compiled|symbolic)"
+            )),
+        },
+        _ => Err("usage: scan_probe [--engine reference|compiled|symbolic]".to_string()),
+    }
+}
+
 fn main() {
-    println!("full-domain validity scan: compiled vs reference evaluation");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engines = match parse_engines(&args) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    println!("full-domain validity scan of the toy conservation invariant");
     for n in [6usize, 8, 10] {
         let toy = toy_system(ToySpec::new(n, 2)).unwrap();
         let vocab = toy.system.vocab();
@@ -21,18 +53,17 @@ fn main() {
             unreachable!("system invariant is an invariant");
         };
         let query = unity_core::expr::build::implies(inv.clone(), inv.clone());
-        let mut times = Vec::new();
-        for (name, cfg) in [
-            ("compiled", ScanConfig::without_projection()),
-            (
-                "reference",
-                ScanConfig {
-                    engine: unity_mc::space::Engine::Reference,
-                    ..ScanConfig::without_projection()
-                },
-            ),
-        ] {
-            let iters = if n <= 8 { 20 } else { 5 };
+        let mut times: Vec<(&str, Duration)> = Vec::new();
+        for &(name, engine) in &engines {
+            let cfg = ScanConfig {
+                engine,
+                ..ScanConfig::without_projection()
+            };
+            let iters = if n <= 8 || engine != Engine::Reference {
+                20
+            } else {
+                5
+            };
             let t0 = Instant::now();
             for _ in 0..iters {
                 check_valid(vocab, &query, &cfg).unwrap();
@@ -42,11 +73,18 @@ fn main() {
                 "  n={n:<2} {name:<10} {el:>12.2?}  ({} states)",
                 vocab.space_size().unwrap()
             );
-            times.push(el);
+            times.push((name, el));
         }
-        println!(
-            "  n={n:<2} speedup    {:>11.1}x",
-            times[1].as_secs_f64() / times[0].as_secs_f64()
-        );
+        if let Some(&(_, base)) = times.iter().find(|&&(name, _)| name == "reference") {
+            for &(name, el) in &times {
+                if name != "reference" {
+                    println!(
+                        "  n={n:<2} {:<10} {:>11.1}x vs reference",
+                        format!("{name}↑"),
+                        base.as_secs_f64() / el.as_secs_f64()
+                    );
+                }
+            }
+        }
     }
 }

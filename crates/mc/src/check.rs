@@ -91,7 +91,7 @@ fn refuted(program: &Program, prop: &Property, cex: Counterexample) -> McError {
 pub fn check_init(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
     if crate::symbolic::wants(cfg) {
-        if let Some(found) = crate::symbolic::try_check_init(program, p) {
+        if let Some(found) = crate::symbolic::try_check_init(program, p, cfg) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Init(p.clone()), cex)),
@@ -134,7 +134,7 @@ pub fn check_next(program: &Program, p: &Expr, q: &Expr, cfg: &ScanConfig) -> Re
     p.check_pred(&program.vocab)?;
     q.check_pred(&program.vocab)?;
     if crate::symbolic::wants(cfg) {
-        if let Some(found) = crate::symbolic::try_check_next(program, p, q) {
+        if let Some(found) = crate::symbolic::try_check_next(program, p, q, cfg) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Next(p.clone(), q.clone()), cex)),
@@ -237,7 +237,7 @@ pub fn check_invariant(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<
         p.check_pred(&program.vocab)?;
         // One symbolic lowering decides both halves (the split call
         // below would build the transition relations twice).
-        if let Some(found) = crate::symbolic::try_check_invariant(program, p) {
+        if let Some(found) = crate::symbolic::try_check_invariant(program, p, cfg) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Invariant(p.clone()), cex)),
@@ -283,7 +283,7 @@ pub fn check_invariant_reachable(
 pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     e.infer_type(&program.vocab)?;
     if crate::symbolic::wants(cfg) {
-        if let Some(found) = crate::symbolic::try_check_unchanged(program, e) {
+        if let Some(found) = crate::symbolic::try_check_unchanged(program, e, cfg) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Unchanged(e.clone()), cex)),
@@ -353,7 +353,7 @@ pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<
 pub fn check_transient(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
     if crate::symbolic::wants(cfg) {
-        if let Some(found) = crate::symbolic::try_check_transient(program, p) {
+        if let Some(found) = crate::symbolic::try_check_transient(program, p, cfg) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Transient(p.clone()), cex)),

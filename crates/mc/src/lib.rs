@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::parallel::ParConfig;
     pub use crate::space::{check_equivalent, check_valid, find_satisfying, Engine, ScanConfig};
     pub use crate::stats::McStats;
-    pub use crate::symbolic::reachable_count;
+    pub use crate::symbolic::{reachable_count, reachable_count_with};
     pub use crate::symmetry::{
         check_invariant_symmetric, check_invariant_symmetric_prevalidated, QuotientStats,
         SymmetrySpec, SymmetryViolation,
@@ -91,4 +91,5 @@ pub mod prelude {
     };
     pub use crate::trace::{Counterexample, McError};
     pub use crate::transition::{TransitionSystem, Universe};
+    pub use unity_symbolic::{OrderMode, SymStats, SymbolicOptions, SymbolicProgram};
 }

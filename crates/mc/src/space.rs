@@ -65,6 +65,10 @@ pub struct ScanConfig {
     /// semantics of record; this field exists so differential tests (and
     /// bench baselines) can pin any engine.
     pub engine: Engine,
+    /// Options for the symbolic engine (variable-order strategy and
+    /// sift watermark); ignored by the enumerating engines. Defaults to
+    /// static dependency ordering plus dynamic sifting.
+    pub symbolic: unity_symbolic::SymbolicOptions,
 }
 
 impl Default for ScanConfig {
@@ -74,6 +78,7 @@ impl Default for ScanConfig {
             par: ParConfig::default(),
             projection: true,
             engine: Engine::Compiled,
+            symbolic: unity_symbolic::SymbolicOptions::default(),
         }
     }
 }

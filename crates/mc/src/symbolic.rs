@@ -23,6 +23,8 @@ use unity_core::program::Program;
 use unity_core::state::State;
 use unity_symbolic::SymbolicProgram;
 
+use unity_symbolic::SymbolicOptions;
+
 use crate::space::{Engine, ScanConfig};
 use crate::trace::Counterexample;
 
@@ -31,9 +33,10 @@ pub(crate) fn wants(cfg: &ScanConfig) -> bool {
     matches!(cfg.engine, Engine::Symbolic)
 }
 
-/// Builds the symbolic program, or `None` on fallback conditions.
-fn build(program: &Program) -> Option<SymbolicProgram> {
-    SymbolicProgram::build(program).ok()
+/// Builds the symbolic program under `opts`, or `None` on fallback
+/// conditions.
+fn build(program: &Program, opts: &SymbolicOptions) -> Option<SymbolicProgram> {
+    SymbolicProgram::build_with(program, opts).ok()
 }
 
 fn decode(program: &Program, sym: &SymbolicProgram, word: u64) -> State {
@@ -41,8 +44,12 @@ fn decode(program: &Program, sym: &SymbolicProgram, word: u64) -> State {
 }
 
 /// Symbolic `init p`. `None` = fall back to the explicit engines.
-pub(crate) fn try_check_init(program: &Program, p: &Expr) -> Option<Option<Counterexample>> {
-    let mut sym = build(program)?;
+pub(crate) fn try_check_init(
+    program: &Program,
+    p: &Expr,
+    cfg: &ScanConfig,
+) -> Option<Option<Counterexample>> {
+    let mut sym = build(program, &cfg.symbolic)?;
     let witness = sym.check_init(p).ok()?;
     Some(witness.map(|w| Counterexample::Init {
         state: decode(program, &sym, w),
@@ -75,8 +82,9 @@ pub(crate) fn try_check_next(
     program: &Program,
     p: &Expr,
     q: &Expr,
+    cfg: &ScanConfig,
 ) -> Option<Option<Counterexample>> {
-    let mut sym = build(program)?;
+    let mut sym = build(program, &cfg.symbolic)?;
     let witness = sym.check_next(p, q).ok()?;
     Some(witness.map(|(cmd, w)| next_cex(program, &sym, cmd, w)))
 }
@@ -84,8 +92,12 @@ pub(crate) fn try_check_next(
 /// Symbolic `invariant p` (= `init p ∧ stable p`), both halves decided
 /// over **one** lowered program — the transition relations are built
 /// once, not once per half.
-pub(crate) fn try_check_invariant(program: &Program, p: &Expr) -> Option<Option<Counterexample>> {
-    let mut sym = build(program)?;
+pub(crate) fn try_check_invariant(
+    program: &Program,
+    p: &Expr,
+    cfg: &ScanConfig,
+) -> Option<Option<Counterexample>> {
+    let mut sym = build(program, &cfg.symbolic)?;
     if let Some(w) = sym.check_init(p).ok()? {
         return Some(Some(Counterexample::Init {
             state: decode(program, &sym, w),
@@ -96,9 +108,13 @@ pub(crate) fn try_check_invariant(program: &Program, p: &Expr) -> Option<Option<
 }
 
 /// Symbolic `unchanged e`.
-pub(crate) fn try_check_unchanged(program: &Program, e: &Expr) -> Option<Option<Counterexample>> {
+pub(crate) fn try_check_unchanged(
+    program: &Program,
+    e: &Expr,
+    cfg: &ScanConfig,
+) -> Option<Option<Counterexample>> {
     use unity_core::value::Value;
-    let mut sym = build(program)?;
+    let mut sym = build(program, &cfg.symbolic)?;
     let witness = sym.check_unchanged(e).ok()?;
     Some(witness.map(|(k, w)| {
         let state = decode(program, &sym, w);
@@ -118,8 +134,12 @@ pub(crate) fn try_check_unchanged(program: &Program, e: &Expr) -> Option<Option<
 }
 
 /// Symbolic `transient p`.
-pub(crate) fn try_check_transient(program: &Program, p: &Expr) -> Option<Option<Counterexample>> {
-    let mut sym = build(program)?;
+pub(crate) fn try_check_transient(
+    program: &Program,
+    p: &Expr,
+    cfg: &ScanConfig,
+) -> Option<Option<Counterexample>> {
+    let mut sym = build(program, &cfg.symbolic)?;
     let witness = sym.check_transient(p).ok()?;
     Some(witness.map(|stuck| {
         Counterexample::Transient {
@@ -165,6 +185,13 @@ pub(crate) fn try_find_satisfying(
 /// The symbolically computed number of reachable states, for parity
 /// tests and scale experiments (`None` on fallback conditions).
 pub fn reachable_count(program: &Program) -> Option<u128> {
-    let mut sym = build(program)?;
+    reachable_count_with(program, &SymbolicOptions::default())
+}
+
+/// [`reachable_count`] under explicit ordering options (the
+/// differential suites pin verdict/count parity across orders with
+/// this).
+pub fn reachable_count_with(program: &Program, opts: &SymbolicOptions) -> Option<u128> {
+    let mut sym = build(program, opts)?;
     Some(sym.reachable().count)
 }

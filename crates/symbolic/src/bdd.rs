@@ -1,36 +1,51 @@
 //! A self-contained reduced ordered binary decision diagram (ROBDD)
-//! package.
+//! package with a *mutable variable order*.
 //!
 //! Design points, all driven by the model checker's access pattern:
 //!
-//! * **Hash-consed node arena.** Nodes live in one `Vec`; a unique table
+//! * **Hash-consed node arena.** Nodes live in one `Vec`; a chained
+//!   unique table (bucket heads plus an intrusive `next` link per node)
 //!   maps `(var, lo, hi)` triples to existing nodes, so structural
 //!   equality is pointer (index) equality and every boolean function has
 //!   exactly one representation per variable order.
-//! * **Terminals first.** Node 0 is `false`, node 1 is `true`; their
-//!   `var` is `u32::MAX`, which doubles as the "below every real
-//!   variable" sentinel in the ordering logic.
-//! * **Operation caches.** `not` and the strict binary connectives
-//!   (`and`/`or`/`xor`) memoize on node indices for the lifetime of the
-//!   arena. Traversals whose results depend on call-specific context
+//! * **Order as data.** Nodes store *variable ids*; the order that makes
+//!   the diagram "ordered" is a separate `var ↔ level` permutation
+//!   ([`Bdd::set_order`]). All traversals compare **levels**, never raw
+//!   ids, so the order is a first-class, optimisable artifact: an
+//!   adjacent-level swap ([`Bdd::swap_levels`]) rewrites only the nodes
+//!   at the upper level **in place** — every outstanding [`Ref`] keeps
+//!   denoting the same boolean function — and Rudell-style grouped
+//!   sifting ([`Bdd::sift`]) walks each block of levels to its locally
+//!   optimal position.
+//! * **Operation cache.** The strict connectives (`and`/`or`/`xor`) and
+//!   negation memoize through one lossy direct-mapped cache tagged with
+//!   an arena *generation*: invalidation (after a sweep or reset) is a
+//!   single counter bump, never a rebuild. Commutative operands are
+//!   normalized (`min`/`max`) so `a ∧ b` and `b ∧ a` share an entry.
+//!   Traversals whose results depend on call-specific context
 //!   (quantifier cubes, renamings, counting sets) memoize per call.
-//! * **Garbage-free arena with explicit [`Bdd::reset`].** Nothing is
-//!   reference-counted and nothing is ever freed piecemeal: a checking
-//!   session grows the arena monotonically and throws the whole thing
-//!   away (or `reset`s it) when done. This trades peak memory for zero
-//!   bookkeeping in the hot ops — the right trade for one-shot
-//!   fixpoint computations.
+//! * **Generational arena with mark-and-sweep.** [`Bdd::sweep`] marks
+//!   from caller-supplied roots and returns every unreachable node to a
+//!   free list — *non-moving*, so live `Ref`s stay valid — and bumps the
+//!   cache generation. Engines register their long-lived roots and
+//!   reclaim dead intermediates mid-run instead of paying the old
+//!   all-or-nothing [`Bdd::reset`] (still available for whole-session
+//!   teardown).
 //!
-//! Variables are plain `u32` levels; smaller numbers are closer to the
-//! root. The encoding layer (`crate::encode`) interleaves current- and
-//! next-state bits as `2b` / `2b + 1`, which keeps relational ops local.
+//! Variables are plain `u32` ids; the encoding layer (`crate::encode`)
+//! names each packed state bit `b` as the pair `2b` (current) / `2b + 1`
+//! (next) and keeps the two **adjacent in every order** (grouped
+//! sifting moves them as one block), which keeps relational ops local
+//! and the current↔next renamings order-preserving.
 
 use std::collections::HashMap;
 
 /// A reference to a BDD node (an index into the arena).
 ///
-/// Refs are only meaningful relative to the [`Bdd`] that issued them and
-/// are invalidated by [`Bdd::reset`].
+/// Refs are only meaningful relative to the [`Bdd`] that issued them.
+/// They survive [`Bdd::swap_levels`], [`Bdd::sift`] and — for nodes
+/// reachable from the sweep roots — [`Bdd::sweep`]; they are
+/// invalidated by [`Bdd::reset`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ref(u32);
 
@@ -40,77 +55,247 @@ pub const FALSE: Ref = Ref(0);
 pub const TRUE: Ref = Ref(1);
 
 const TERMINAL_VAR: u32 = u32::MAX;
+/// Marks a node slot on the free list.
+const FREE_VAR: u32 = u32::MAX - 1;
+/// End-of-chain sentinel for the unique table's intrusive links.
+const NIL: u32 = u32::MAX;
+
+const INITIAL_BUCKETS: usize = 1 << 12;
+const INITIAL_CACHE: usize = 1 << 13;
 
 #[derive(Debug, Clone, Copy)]
 struct Node {
     var: u32,
     lo: u32,
     hi: u32,
+    /// Next node in this unique-table bucket.
+    next: u32,
 }
 
-/// Binary operation codes for the shared apply cache.
+/// Binary operation codes for the shared apply cache. `Not` shares the
+/// cache with code 0 (its key has no second operand).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum BinOp {
-    And,
-    Or,
-    Xor,
+    And = 1,
+    Or = 2,
+    Xor = 3,
 }
 
-/// The node arena plus its unique table and operation caches.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheSlot {
+    key: u64,
+    result: u32,
+    generation: u64,
+}
+
+/// Lifetime counters of one arena: node pressure, cache effectiveness,
+/// and reorder/GC activity. All monotonically non-decreasing except
+/// none; a caller diffs two snapshots to attribute cost to a phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// High-water mark of allocated (live + not-yet-swept) nodes,
+    /// terminals included.
+    pub peak_nodes: usize,
+    /// Operation-cache probes (apply + not).
+    pub cache_lookups: u64,
+    /// Operation-cache hits.
+    pub cache_hits: u64,
+    /// Adjacent-level swaps performed (by [`Bdd::swap_levels`], directly
+    /// or through sifting).
+    pub swaps: u64,
+    /// Completed [`Bdd::sift`] passes.
+    pub sift_passes: u64,
+    /// Mark-and-sweep collections run.
+    pub gc_runs: u64,
+    /// Nodes reclaimed across all sweeps.
+    pub reclaimed_nodes: u64,
+}
+
+impl BddStats {
+    /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+}
+
+/// The node arena plus its unique table, operation cache, and variable
+/// order.
+#[derive(Debug)]
 pub struct Bdd {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    bin_cache: HashMap<(BinOp, u32, u32), u32>,
-    not_cache: HashMap<u32, u32>,
+    /// Reclaimed node slots available for reuse.
+    free: Vec<u32>,
+    /// Unique-table bucket heads (power-of-two length).
+    heads: Vec<u32>,
+    /// `var2level[v]` = level of variable `v` (smaller = closer to root).
+    var2level: Vec<u32>,
+    /// `level2var[l]` = variable sitting at level `l`.
+    level2var: Vec<u32>,
+    /// Per-variable candidate node lists for swaps. Lazily maintained:
+    /// entries may be stale (node freed or moved to another variable) and
+    /// are filtered on use; [`Bdd::sweep`] compacts them.
+    var_nodes: Vec<Vec<u32>>,
+    /// Lossy direct-mapped operation cache (power-of-two length).
+    cache: Vec<CacheSlot>,
+    /// Cache generation: entries from older generations are invisible.
+    generation: u64,
+    stats: BddStats,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Bdd::new()
+    }
+}
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn triple_hash(var: u32, lo: u32, hi: u32) -> u64 {
+    mix64(
+        (var as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((lo as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+            .wrapping_add((hi as u64).wrapping_mul(0x1656_67b1_9e37_79f9)),
+    )
 }
 
 impl Bdd {
-    /// Creates an arena holding only the two terminals.
+    /// Creates an arena holding only the two terminals, with the
+    /// identity variable order.
     pub fn new() -> Self {
         let mut b = Bdd {
             nodes: Vec::with_capacity(1 << 12),
-            unique: HashMap::default(),
-            bin_cache: HashMap::default(),
-            not_cache: HashMap::default(),
+            free: Vec::new(),
+            heads: vec![NIL; INITIAL_BUCKETS],
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            var_nodes: Vec::new(),
+            cache: vec![CacheSlot::default(); INITIAL_CACHE],
+            generation: 1,
+            stats: BddStats::default(),
         };
         b.nodes.push(Node {
             var: TERMINAL_VAR,
             lo: 0,
             hi: 0,
+            next: NIL,
         });
         b.nodes.push(Node {
             var: TERMINAL_VAR,
             lo: 1,
             hi: 1,
+            next: NIL,
         });
+        b.stats.peak_nodes = 2;
         b
     }
 
-    /// Number of live nodes (terminals included) — a size/pressure metric.
+    /// Number of allocated nodes (terminals included) — a size/pressure
+    /// metric. Nodes on the free list are not counted.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
     }
 
     /// Whether the arena holds only the terminals.
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 2
+        self.len() <= 2
     }
 
-    /// Drops every non-terminal node and all caches, invalidating every
-    /// outstanding [`Ref`] except [`FALSE`] and [`TRUE`]. The arena's
-    /// allocation is kept, so a reset engine rebuilds without paying
-    /// allocator traffic again.
+    /// Lifetime counters (peak nodes, cache hits, swaps, sweeps).
+    pub fn stats(&self) -> &BddStats {
+        &self.stats
+    }
+
+    /// The current variable order: `order()[l]` is the variable at level
+    /// `l` (level 0 is the root).
+    pub fn order(&self) -> &[u32] {
+        &self.level2var
+    }
+
+    /// Drops every non-terminal node and invalidates every outstanding
+    /// [`Ref`] except [`FALSE`] and [`TRUE`]. The arena's allocation and
+    /// the variable order are kept, so a reset engine rebuilds without
+    /// paying allocator traffic again.
     pub fn reset(&mut self) {
         self.nodes.truncate(2);
-        self.unique.clear();
-        self.bin_cache.clear();
-        self.not_cache.clear();
+        self.free.clear();
+        for h in &mut self.heads {
+            *h = NIL;
+        }
+        for list in &mut self.var_nodes {
+            list.clear();
+        }
+        self.generation += 1;
     }
 
+    /// Fixes the variable order before any nodes exist: `level2var[l]`
+    /// is the variable to place at level `l`. Must be a permutation of
+    /// `0..level2var.len()`; variables first seen later are appended at
+    /// the bottom.
+    ///
+    /// # Panics
+    /// If the arena already holds non-terminal nodes or the argument is
+    /// not a permutation.
+    pub fn set_order(&mut self, level2var: &[u32]) {
+        assert!(self.is_empty(), "set_order requires an empty arena");
+        let n = level2var.len();
+        let mut var2level = vec![u32::MAX; n];
+        for (l, &v) in level2var.iter().enumerate() {
+            assert!(
+                (v as usize) < n && var2level[v as usize] == u32::MAX,
+                "order must be a permutation of 0..{n}"
+            );
+            var2level[v as usize] = l as u32;
+        }
+        self.level2var = level2var.to_vec();
+        self.var2level = var2level;
+        self.var_nodes = vec![Vec::new(); n];
+    }
+
+    /// Registers variables `0..=v` (appended at the bottom of the order
+    /// if unseen).
+    fn ensure_var(&mut self, v: u32) {
+        assert!(
+            v < FREE_VAR,
+            "variable id {v} collides with the arena sentinels \
+             (a freed node was used as an operand?)"
+        );
+        while (self.var2level.len() as u32) <= v {
+            let id = self.var2level.len() as u32;
+            self.var2level.push(self.level2var.len() as u32);
+            self.level2var.push(id);
+            self.var_nodes.push(Vec::new());
+        }
+    }
+
+    /// Level of variable `v` (terminals and freed slots sort below
+    /// everything).
     #[inline]
-    fn var_of(&self, u: u32) -> u32 {
-        self.nodes[u as usize].var
+    fn level_of_var(&self, v: u32) -> u32 {
+        if v >= FREE_VAR {
+            u32::MAX
+        } else {
+            self.var2level[v as usize]
+        }
+    }
+
+    /// Level of the node `u` (its variable's level; `u32::MAX` for
+    /// terminals).
+    #[inline]
+    fn node_level(&self, u: u32) -> u32 {
+        self.level_of_var(self.nodes[u as usize].var)
     }
 
     /// The `(var, lo, hi)` of a non-terminal node (inspection/tests).
@@ -122,17 +307,111 @@ impl Bdd {
         Some((n.var, Ref(n.lo), Ref(n.hi)))
     }
 
+    #[inline]
+    fn bucket_of(&self, var: u32, lo: u32, hi: u32) -> usize {
+        (triple_hash(var, lo, hi) as usize) & (self.heads.len() - 1)
+    }
+
+    fn unique_insert(&mut self, idx: u32) {
+        let n = self.nodes[idx as usize];
+        let b = self.bucket_of(n.var, n.lo, n.hi);
+        self.nodes[idx as usize].next = self.heads[b];
+        self.heads[b] = idx;
+    }
+
+    /// Unlinks `idx` from its unique-table bucket (it must be present).
+    fn unique_remove(&mut self, idx: u32) {
+        let n = self.nodes[idx as usize];
+        let b = self.bucket_of(n.var, n.lo, n.hi);
+        let mut at = self.heads[b];
+        if at == idx {
+            self.heads[b] = n.next;
+            return;
+        }
+        while at != NIL {
+            let next = self.nodes[at as usize].next;
+            if next == idx {
+                self.nodes[at as usize].next = n.next;
+                return;
+            }
+            at = next;
+        }
+        debug_assert!(false, "node {idx} missing from its unique bucket");
+    }
+
+    /// Doubles the bucket array and relinks every allocated node.
+    fn rehash(&mut self) {
+        let new_len = self.heads.len() * 2;
+        self.heads = vec![NIL; new_len];
+        for i in 2..self.nodes.len() {
+            if self.nodes[i].var == FREE_VAR {
+                continue;
+            }
+            self.unique_insert(i as u32);
+        }
+    }
+
+    fn grow_cache(&mut self) {
+        self.cache = vec![CacheSlot::default(); self.cache.len() * 2];
+    }
+
     /// Hash-consing constructor: reduced (no redundant test) and unique.
     fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
         if lo == hi {
             return lo;
         }
-        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi), "ordering");
-        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
-            let id = self.nodes.len() as u32;
-            self.nodes.push(Node { var, lo, hi });
-            id
-        })
+        self.ensure_var(var);
+        debug_assert!(
+            self.level_of_var(var) < self.node_level(lo)
+                && self.level_of_var(var) < self.node_level(hi),
+            "ordering"
+        );
+        let b = self.bucket_of(var, lo, hi);
+        let mut at = self.heads[b];
+        while at != NIL {
+            let n = &self.nodes[at as usize];
+            if n.var == var && n.lo == lo && n.hi == hi {
+                return at;
+            }
+            at = n.next;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node {
+                    var,
+                    lo,
+                    hi,
+                    next: self.heads[b],
+                };
+                i
+            }
+            None => {
+                let i = self.nodes.len() as u32;
+                // The op-cache key packs two indices into 31-bit
+                // fields; refuse to alias rather than silently corrupt.
+                assert!(i < 1 << 31, "arena exceeds 2³¹ nodes (cache-key limit)");
+                self.nodes.push(Node {
+                    var,
+                    lo,
+                    hi,
+                    next: self.heads[b],
+                });
+                i
+            }
+        };
+        self.heads[b] = idx;
+        self.var_nodes[var as usize].push(idx);
+        let live = self.len();
+        if live > self.stats.peak_nodes {
+            self.stats.peak_nodes = live;
+        }
+        if live > self.heads.len() {
+            self.rehash();
+        }
+        if live > self.cache.len() {
+            self.grow_cache();
+        }
+        idx
     }
 
     /// The single-variable function `v`.
@@ -145,6 +424,29 @@ impl Bdd {
         Ref(self.mk(v, 1, 0))
     }
 
+    #[inline]
+    fn cache_probe(&mut self, key: u64) -> Option<u32> {
+        self.stats.cache_lookups += 1;
+        let slot = self.cache[(mix64(key) as usize) & (self.cache.len() - 1)];
+        if slot.generation == self.generation && slot.key == key {
+            self.stats.cache_hits += 1;
+            Some(slot.result)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn cache_store(&mut self, key: u64, result: u32) {
+        // Recompute the slot: the cache may have grown during recursion.
+        let i = (mix64(key) as usize) & (self.cache.len() - 1);
+        self.cache[i] = CacheSlot {
+            key,
+            result,
+            generation: self.generation,
+        };
+    }
+
     /// Boolean negation.
     pub fn not(&mut self, u: Ref) -> Ref {
         Ref(self.not_rec(u.0))
@@ -154,15 +456,17 @@ impl Bdd {
         if u <= 1 {
             return 1 - u;
         }
-        if let Some(&r) = self.not_cache.get(&u) {
+        let key = (u as u64) << 31;
+        if let Some(r) = self.cache_probe(key) {
             return r;
         }
-        let Node { var, lo, hi } = self.nodes[u as usize];
+        let Node { var, lo, hi, .. } = self.nodes[u as usize];
         let nl = self.not_rec(lo);
         let nh = self.not_rec(hi);
         let r = self.mk(var, nl, nh);
-        self.not_cache.insert(u, r);
-        self.not_cache.insert(r, u);
+        self.cache_store(key, r);
+        // Negation is an involution: prime the reverse entry too.
+        self.cache_store((r as u64) << 31, u);
         r
     }
 
@@ -250,31 +554,43 @@ impl Bdd {
                 }
             }
         }
-        // All three ops are commutative: normalize the cache key.
-        let key = (op, a.min(b), a.max(b));
-        if let Some(&r) = self.bin_cache.get(&key) {
+        // All three ops are commutative: normalize the cache key so both
+        // operand orders share one entry.
+        let key = ((op as u64) << 62) | ((a.min(b) as u64) << 31) | (a.max(b) as u64);
+        if let Some(r) = self.cache_probe(key) {
             return r;
         }
         let (na, nb) = (self.nodes[a as usize], self.nodes[b as usize]);
-        let m = na.var.min(nb.var);
-        let (a0, a1) = if na.var == m { (na.lo, na.hi) } else { (a, a) };
-        let (b0, b1) = if nb.var == m { (nb.lo, nb.hi) } else { (b, b) };
+        let (la, lb) = (self.level_of_var(na.var), self.level_of_var(nb.var));
+        let m = la.min(lb);
+        let (a0, a1) = if la == m { (na.lo, na.hi) } else { (a, a) };
+        let (b0, b1) = if lb == m { (nb.lo, nb.hi) } else { (b, b) };
         let lo = self.apply(op, a0, b0);
         let hi = self.apply(op, a1, b1);
-        let r = self.mk(m, lo, hi);
-        self.bin_cache.insert(key, r);
+        let split = if la == m { na.var } else { nb.var };
+        let r = self.mk(split, lo, hi);
+        self.cache_store(key, r);
         r
     }
 
     /// Cofactor: `u` with variable `v` fixed to `val`.
     pub fn restrict(&mut self, u: Ref, v: u32, val: bool) -> Ref {
+        self.ensure_var(v);
+        let vl = self.level_of_var(v);
         let mut memo = HashMap::default();
-        Ref(self.restrict_rec(u.0, v, val, &mut memo))
+        Ref(self.restrict_rec(u.0, v, vl, val, &mut memo))
     }
 
-    fn restrict_rec(&mut self, u: u32, v: u32, val: bool, memo: &mut HashMap<u32, u32>) -> u32 {
+    fn restrict_rec(
+        &mut self,
+        u: u32,
+        v: u32,
+        vl: u32,
+        val: bool,
+        memo: &mut HashMap<u32, u32>,
+    ) -> u32 {
         let node = self.nodes[u as usize];
-        if node.var > v {
+        if self.level_of_var(node.var) > vl {
             // Terminals and nodes entirely below v: v does not occur.
             return u;
         }
@@ -284,37 +600,64 @@ impl Bdd {
         if let Some(&r) = memo.get(&u) {
             return r;
         }
-        let lo = self.restrict_rec(node.lo, v, val, memo);
-        let hi = self.restrict_rec(node.hi, v, val, memo);
+        let lo = self.restrict_rec(node.lo, v, vl, val, memo);
+        let hi = self.restrict_rec(node.hi, v, vl, val, memo);
         let r = self.mk(node.var, lo, hi);
         memo.insert(u, r);
         r
     }
 
-    /// Existential quantification `∃ vars. u`. `vars` must be sorted
-    /// ascending.
-    pub fn exists(&mut self, u: Ref, vars: &[u32]) -> Ref {
-        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "sorted cube");
-        let mut memo = HashMap::default();
-        Ref(self.exists_rec(u.0, vars, &mut memo))
+    /// The levels of `vars` under the current order, sorted ascending.
+    /// Variables never registered in the arena (no node tests them) get
+    /// distinct virtual levels below every real one, in id order — they
+    /// can appear in counting sets.
+    fn sorted_levels(&self, vars: &[u32]) -> Vec<u32> {
+        let registered = self.var2level.len() as u32;
+        let mut levels: Vec<u32> = vars
+            .iter()
+            .map(|&v| {
+                if v < registered {
+                    self.var2level[v as usize]
+                } else {
+                    registered + v
+                }
+            })
+            .collect();
+        levels.sort_unstable();
+        debug_assert!(
+            levels.windows(2).all(|w| w[0] < w[1]) && levels.last().copied() != Some(u32::MAX),
+            "vars must be distinct registered variables"
+        );
+        levels
     }
 
-    fn exists_rec(&mut self, u: u32, vars: &[u32], memo: &mut HashMap<u32, u32>) -> u32 {
+    /// Existential quantification `∃ vars. u`.
+    pub fn exists(&mut self, u: Ref, vars: &[u32]) -> Ref {
+        for &v in vars {
+            self.ensure_var(v);
+        }
+        let levels = self.sorted_levels(vars);
+        let mut memo = HashMap::default();
+        Ref(self.exists_rec(u.0, &levels, &mut memo))
+    }
+
+    fn exists_rec(&mut self, u: u32, levels: &[u32], memo: &mut HashMap<u32, u32>) -> u32 {
         if u <= 1 {
             return u;
         }
-        let node = self.nodes[u as usize];
-        // Variables above this node cannot occur in it.
-        let vars = &vars[vars.partition_point(|&v| v < node.var)..];
-        if vars.is_empty() {
+        let nl = self.node_level(u);
+        // Levels above this node cannot occur in it.
+        let levels = &levels[levels.partition_point(|&l| l < nl)..];
+        if levels.is_empty() {
             return u;
         }
         if let Some(&r) = memo.get(&u) {
             return r;
         }
-        let lo = self.exists_rec(node.lo, vars, memo);
-        let hi = self.exists_rec(node.hi, vars, memo);
-        let r = if node.var == vars[0] {
+        let node = self.nodes[u as usize];
+        let lo = self.exists_rec(node.lo, levels, memo);
+        let hi = self.exists_rec(node.hi, levels, memo);
+        let r = if nl == levels[0] {
             self.apply(BinOp::Or, lo, hi)
         } else {
             self.mk(node.var, lo, hi)
@@ -324,19 +667,21 @@ impl Bdd {
     }
 
     /// Relational product `∃ vars. a ∧ b`, fused so the conjunction is
-    /// never fully materialized. `vars` must be sorted ascending. This is
-    /// the image-computation workhorse.
+    /// never fully materialized. This is the image-computation workhorse.
     pub fn relprod(&mut self, a: Ref, b: Ref, vars: &[u32]) -> Ref {
-        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "sorted cube");
+        for &v in vars {
+            self.ensure_var(v);
+        }
+        let levels = self.sorted_levels(vars);
         let mut memo = HashMap::default();
-        Ref(self.relprod_rec(a.0, b.0, vars, &mut memo))
+        Ref(self.relprod_rec(a.0, b.0, &levels, &mut memo))
     }
 
     fn relprod_rec(
         &mut self,
         a: u32,
         b: u32,
-        vars: &[u32],
+        levels: &[u32],
         memo: &mut HashMap<(u32, u32), u32>,
     ) -> u32 {
         if a == 0 || b == 0 {
@@ -345,9 +690,10 @@ impl Bdd {
         if a == 1 && b == 1 {
             return 1;
         }
-        let m = self.var_of(a).min(self.var_of(b));
-        let vars = &vars[vars.partition_point(|&v| v < m)..];
-        if vars.is_empty() {
+        let (la, lb) = (self.node_level(a), self.node_level(b));
+        let m = la.min(lb);
+        let levels = &levels[levels.partition_point(|&l| l < m)..];
+        if levels.is_empty() {
             // No quantified variable occurs in either operand any more.
             return self.apply(BinOp::And, a, b);
         }
@@ -356,89 +702,97 @@ impl Bdd {
             return r;
         }
         let (na, nb) = (self.nodes[a as usize], self.nodes[b as usize]);
-        let (a0, a1) = if na.var == m { (na.lo, na.hi) } else { (a, a) };
-        let (b0, b1) = if nb.var == m { (nb.lo, nb.hi) } else { (b, b) };
-        let lo = self.relprod_rec(a0, b0, vars, memo);
-        let r = if m == vars[0] {
+        let (a0, a1) = if la == m { (na.lo, na.hi) } else { (a, a) };
+        let (b0, b1) = if lb == m { (nb.lo, nb.hi) } else { (b, b) };
+        let lo = self.relprod_rec(a0, b0, levels, memo);
+        let r = if m == levels[0] {
             if lo == 1 {
                 // Early exit: ∃v. f already true on the low branch.
                 1
             } else {
-                let hi = self.relprod_rec(a1, b1, vars, memo);
+                let hi = self.relprod_rec(a1, b1, levels, memo);
                 self.apply(BinOp::Or, lo, hi)
             }
         } else {
-            let hi = self.relprod_rec(a1, b1, vars, memo);
-            self.mk(m, lo, hi)
+            let hi = self.relprod_rec(a1, b1, levels, memo);
+            let split = if la == m { na.var } else { nb.var };
+            self.mk(split, lo, hi)
         };
         memo.insert(key, r);
         r
     }
 
-    /// Renames variables according to `map` (pairs `(from, to)`, sorted by
-    /// `from`). The renaming must preserve the variable order on the
-    /// support of `u` and must not collide with variables already in `u`
-    /// — both hold for the engine's current↔next shifts, where `from`
-    /// and `to` are adjacent interleaved levels and the source level was
-    /// just quantified away (or never present).
+    /// Renames variables according to `map` (pairs `(from, to)`). The
+    /// renaming must preserve the variable order on the support of `u`
+    /// and must not collide with variables already in `u` — both hold
+    /// for the engine's current↔next shifts, where `from` and `to` are
+    /// adjacent interleaved levels and the source level was just
+    /// quantified away (or never present).
     pub fn rename(&mut self, u: Ref, map: &[(u32, u32)]) -> Ref {
-        debug_assert!(map.windows(2).all(|w| w[0].0 < w[1].0), "sorted map");
+        for &(f, t) in map {
+            self.ensure_var(f);
+            self.ensure_var(t);
+        }
+        // Work in level space: (level of from, replacement var).
+        let mut m: Vec<(u32, u32)> = map
+            .iter()
+            .map(|&(f, t)| (self.level_of_var(f), t))
+            .collect();
+        m.sort_unstable_by_key(|&(fl, _)| fl);
         let mut memo = HashMap::default();
-        Ref(self.rename_rec(u.0, map, &mut memo))
+        Ref(self.rename_rec(u.0, &m, &mut memo))
     }
 
     fn rename_rec(&mut self, u: u32, map: &[(u32, u32)], memo: &mut HashMap<u32, u32>) -> u32 {
         if u <= 1 {
             return u;
         }
-        let node = self.nodes[u as usize];
-        let map = &map[map.partition_point(|&(from, _)| from < node.var)..];
+        let nl = self.node_level(u);
+        let map = &map[map.partition_point(|&(fl, _)| fl < nl)..];
         if map.is_empty() {
             return u;
         }
         if let Some(&r) = memo.get(&u) {
             return r;
         }
+        let node = self.nodes[u as usize];
         let lo = self.rename_rec(node.lo, map, memo);
         let hi = self.rename_rec(node.hi, map, memo);
-        let var = if map[0].0 == node.var {
-            map[0].1
-        } else {
-            node.var
-        };
+        let var = if map[0].0 == nl { map[0].1 } else { node.var };
         let r = self.mk(var, lo, hi);
         memo.insert(u, r);
         r
     }
 
-    /// Number of satisfying assignments of `u` over exactly the variables
-    /// in `vars` (sorted ascending). Every variable in `u`'s support must
-    /// be listed.
+    /// Number of satisfying assignments of `u` over exactly the
+    /// variables in `vars`. Every variable in `u`'s support must be
+    /// listed.
     pub fn sat_count(&self, u: Ref, vars: &[u32]) -> u128 {
-        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "sorted set");
+        let levels = self.sorted_levels(vars);
         let mut memo = HashMap::default();
-        self.count_rec(u.0, vars, 0, &mut memo)
+        self.count_rec(u.0, &levels, 0, &mut memo)
     }
 
-    fn count_rec(&self, u: u32, vars: &[u32], pos: usize, memo: &mut HashMap<u32, u128>) -> u128 {
+    fn count_rec(&self, u: u32, levels: &[u32], pos: usize, memo: &mut HashMap<u32, u128>) -> u128 {
         if u == 0 {
             return 0;
         }
         if u == 1 {
-            return 1u128 << (vars.len() - pos);
+            return 1u128 << (levels.len() - pos);
         }
-        let node = self.nodes[u as usize];
+        let nl = self.node_level(u);
         let idx = pos
-            + vars[pos..]
-                .binary_search(&node.var)
+            + levels[pos..]
+                .binary_search(&nl)
                 .expect("support must be within the counting set");
         // memo holds the count *from this node's own level*; scale by the
         // variables skipped between `pos` and the node.
         let below = if let Some(&c) = memo.get(&u) {
             c
         } else {
-            let lo = self.count_rec(node.lo, vars, idx + 1, memo);
-            let hi = self.count_rec(node.hi, vars, idx + 1, memo);
+            let node = self.nodes[u as usize];
+            let lo = self.count_rec(node.lo, levels, idx + 1, memo);
+            let hi = self.count_rec(node.hi, levels, idx + 1, memo);
             let c = lo + hi;
             memo.insert(u, c);
             c
@@ -473,8 +827,12 @@ impl Bdd {
     /// Builds the conjunction of literals `(var, value)`; `vars` need not
     /// be sorted.
     pub fn cube(&mut self, literals: &[(u32, bool)]) -> Ref {
+        for &(v, _) in literals {
+            self.ensure_var(v);
+        }
         let mut lits: Vec<(u32, bool)> = literals.to_vec();
-        lits.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(v));
+        // Deepest level first keeps `mk` building bottom-up in one pass.
+        lits.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(self.level_of_var(v)));
         let mut acc = 1u32;
         for (v, val) in lits {
             acc = if val {
@@ -496,6 +854,336 @@ impl Bdd {
         }
         at == 1
     }
+
+    // ------------------------------------------------------------------
+    // Generational mark-and-sweep
+    // ------------------------------------------------------------------
+
+    /// Reclaims every node unreachable from `roots` (terminals always
+    /// survive) and invalidates the operation cache by bumping the
+    /// generation. Non-moving: `Ref`s to surviving nodes stay valid,
+    /// `Ref`s to reclaimed nodes must no longer be used. Returns the
+    /// number of nodes reclaimed.
+    ///
+    /// Callers must list **every** `Ref` they intend to keep using —
+    /// reachability from the listed roots is the sole liveness
+    /// criterion.
+    pub fn sweep(&mut self, roots: &[Ref]) -> usize {
+        let n = self.nodes.len();
+        let mut marked = vec![false; n];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.0).filter(|&i| i > 1).collect();
+        while let Some(i) = stack.pop() {
+            if marked[i as usize] {
+                continue;
+            }
+            marked[i as usize] = true;
+            let nd = self.nodes[i as usize];
+            debug_assert_ne!(nd.var, FREE_VAR, "root reaches a freed node");
+            if nd.lo > 1 {
+                stack.push(nd.lo);
+            }
+            if nd.hi > 1 {
+                stack.push(nd.hi);
+            }
+        }
+        let mut reclaimed = 0;
+        for (i, &live) in marked.iter().enumerate().skip(2) {
+            if !live && self.nodes[i].var != FREE_VAR {
+                self.nodes[i].var = FREE_VAR;
+                self.free.push(i as u32);
+                reclaimed += 1;
+            }
+        }
+        // Relink the unique table over the survivors and compact the
+        // per-variable lists.
+        for h in &mut self.heads {
+            *h = NIL;
+        }
+        for i in 2..n {
+            if self.nodes[i].var != FREE_VAR {
+                self.unique_insert(i as u32);
+            }
+        }
+        let Bdd {
+            nodes, var_nodes, ..
+        } = self;
+        for (v, list) in var_nodes.iter_mut().enumerate() {
+            list.retain(|&i| nodes[i as usize].var == v as u32);
+            list.sort_unstable();
+            list.dedup();
+        }
+        self.generation += 1;
+        self.stats.gc_runs += 1;
+        self.stats.reclaimed_nodes += reclaimed as u64;
+        reclaimed as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Variable reordering
+    // ------------------------------------------------------------------
+
+    /// Swaps the variables at levels `i` and `i + 1` by rewriting the
+    /// affected upper-level nodes **in place**: every outstanding
+    /// [`Ref`] keeps denoting the same boolean function, and the
+    /// operation cache stays valid (results are functions of node
+    /// identity, which is preserved).
+    pub fn swap_levels(&mut self, i: usize) {
+        self.swap_levels_impl(i, None);
+    }
+
+    fn swap_levels_impl(&mut self, i: usize, mut ctx: Option<&mut SiftCtx>) {
+        assert!(i + 1 < self.level2var.len(), "level {i} has no successor");
+        let u = self.level2var[i];
+        let v = self.level2var[i + 1];
+        // Snapshot the upper level's candidate nodes; `mk` during the
+        // rewrite pushes *new* u-nodes into the (now empty) list.
+        let list = std::mem::take(&mut self.var_nodes[u as usize]);
+        // Install the new order first so `mk` sees consistent levels.
+        self.level2var.swap(i, i + 1);
+        self.var2level[u as usize] = (i + 1) as u32;
+        self.var2level[v as usize] = i as u32;
+        let mut keep: Vec<u32> = Vec::new();
+        for idx in list {
+            let n = self.nodes[idx as usize];
+            if n.var != u {
+                continue; // stale entry (freed or already rewritten)
+            }
+            let (f0, f1) = (n.lo, n.hi);
+            let dep0 = self.nodes[f0 as usize].var == v;
+            let dep1 = self.nodes[f1 as usize].var == v;
+            if !dep0 && !dep1 {
+                // v does not occur: the node migrates with u unchanged.
+                keep.push(idx);
+                continue;
+            }
+            self.unique_remove(idx);
+            // Detach the node while it is out of the table: the `mk`
+            // calls below can trigger a unique-table rehash, which
+            // relinks every non-free node — the sentinel keeps the
+            // half-rewritten node (whose stored triple is stale) out of
+            // the rebuilt chains.
+            self.nodes[idx as usize].var = FREE_VAR;
+            let (f00, f01) = if dep0 {
+                let c = self.nodes[f0 as usize];
+                (c.lo, c.hi)
+            } else {
+                (f0, f0)
+            };
+            let (f10, f11) = if dep1 {
+                let c = self.nodes[f1 as usize];
+                (c.lo, c.hi)
+            } else {
+                (f1, f1)
+            };
+            let a = self.mk(u, f00, f10);
+            let b = self.mk(u, f01, f11);
+            // The function depends on v, so the swapped cofactors differ.
+            debug_assert_ne!(a, b);
+            if let Some(ctx) = ctx.as_deref_mut() {
+                // Exact live-size maintenance for sifting: idx's two
+                // outgoing edges move from (f0, f1) to (a, b).
+                ctx.inc(&self.nodes, a);
+                ctx.inc(&self.nodes, b);
+                ctx.dec(&self.nodes, f0);
+                ctx.dec(&self.nodes, f1);
+            }
+            self.nodes[idx as usize] = Node {
+                var: v,
+                lo: a,
+                hi: b,
+                next: NIL,
+            };
+            self.unique_insert(idx);
+            self.var_nodes[v as usize].push(idx);
+        }
+        self.var_nodes[u as usize].extend(keep);
+        self.stats.swaps += 1;
+    }
+
+    /// Exchanges the adjacent level *blocks* `[p·group, (p+1)·group)` and
+    /// `[(p+1)·group, (p+2)·group)` by `group²` adjacent swaps.
+    fn swap_blocks(&mut self, p: usize, group: usize, ctx: &mut SiftCtx) {
+        for k in 0..group {
+            let from = (p + 1) * group + k;
+            let to = p * group + k;
+            for l in (to..from).rev() {
+                self.swap_levels_impl(l, Some(ctx));
+            }
+        }
+    }
+
+    /// One pass of Rudell-style sifting over level *blocks* of width
+    /// `group` (the symbolic engine uses `group = 2` so each packed
+    /// bit's interleaved current/next pair moves as a unit, keeping the
+    /// pair adjacent and every rename order-preserving).
+    ///
+    /// Each block, heaviest first, is walked to both ends of the order
+    /// and parked at the position minimizing the allocated node count
+    /// (with a 2× growth abort per direction). `roots` must cover every
+    /// `Ref` the caller keeps using — the pass sweeps dead nodes so the
+    /// size metric tracks live structure.
+    pub fn sift(&mut self, roots: &[Ref], group: usize) {
+        assert!(group >= 1, "group width must be positive");
+        let levels = self.level2var.len();
+        if levels < 2 * group {
+            return;
+        }
+        // Trailing unregistered levels (when levels % group != 0) are
+        // left parked at the bottom.
+        let blocks = levels / group;
+        if blocks < 2 {
+            return;
+        }
+        self.sweep(roots);
+        let mut ctx = SiftCtx::build(self, roots);
+        // Heaviest blocks first: their placement matters most. Identify
+        // each block by its variables (positions move during the pass);
+        // the representative is the top variable of the block now.
+        let mut weighted: Vec<(usize, u32)> = (0..blocks)
+            .map(|p| {
+                let size: usize = (0..group)
+                    .map(|k| {
+                        let v = self.level2var[p * group + k] as usize;
+                        self.var_nodes[v].len()
+                    })
+                    .sum();
+                (size, self.level2var[p * group])
+            })
+            .collect();
+        weighted.sort_unstable_by_key(|&(size, _)| std::cmp::Reverse(size));
+        for (_, rep) in weighted {
+            // Sweeping is safe mid-pass: only rc-dead nodes are freed,
+            // so the sift context stays consistent. It bounds the
+            // garbage the journeys leave behind.
+            self.sweep(roots);
+            self.sift_block(rep, group, blocks, &mut ctx);
+        }
+        self.sweep(roots);
+        self.stats.sift_passes += 1;
+    }
+
+    /// Sifts the block containing variable `rep` to its locally optimal
+    /// position, measured by the exact live node count in `ctx`.
+    fn sift_block(&mut self, rep: u32, group: usize, blocks: usize, ctx: &mut SiftCtx) {
+        let mut pos = (self.var2level[rep as usize] as usize) / group;
+        let start_size = ctx.live;
+        let limit = start_size.saturating_mul(2).saturating_add(64);
+        let mut best_pos = pos;
+        let mut best_size = start_size;
+        // Explore the nearer end first to minimize total swaps.
+        let up_first = pos <= blocks / 2;
+        for phase in 0..2 {
+            let upward = (phase == 0) == up_first;
+            if upward {
+                while pos > 0 {
+                    self.swap_blocks(pos - 1, group, ctx);
+                    pos -= 1;
+                    if ctx.live < best_size {
+                        best_size = ctx.live;
+                        best_pos = pos;
+                    }
+                    if ctx.live > limit {
+                        break;
+                    }
+                }
+            } else {
+                while pos + 1 < blocks {
+                    self.swap_blocks(pos, group, ctx);
+                    pos += 1;
+                    if ctx.live < best_size {
+                        best_size = ctx.live;
+                        best_pos = pos;
+                    }
+                    if ctx.live > limit {
+                        break;
+                    }
+                }
+            }
+        }
+        while pos > best_pos {
+            self.swap_blocks(pos - 1, group, ctx);
+            pos -= 1;
+        }
+        while pos < best_pos {
+            self.swap_blocks(pos, group, ctx);
+            pos += 1;
+        }
+    }
+}
+
+/// Exact live-size accounting for a sift pass, without permanent
+/// reference counts: `rc[x]` is the number of references to `x` from
+/// *live* nodes plus the caller's roots, maintained by
+/// death/resurrection cascades as swaps rewire edges. A node is live
+/// iff `rc > 0` (sound on a DAG), so `live` tracks the true
+/// reachable-node count swap by swap — the metric sifting minimizes.
+/// Built after a sweep (when allocated = live) and kept consistent
+/// across further sweeps (which free exactly the rc-dead nodes).
+struct SiftCtx {
+    rc: Vec<u32>,
+    live: usize,
+}
+
+impl SiftCtx {
+    fn build(bdd: &Bdd, roots: &[Ref]) -> SiftCtx {
+        let mut rc = vec![0u32; bdd.nodes.len()];
+        for i in 2..bdd.nodes.len() {
+            let n = bdd.nodes[i];
+            if n.var == FREE_VAR {
+                continue;
+            }
+            if n.lo > 1 {
+                rc[n.lo as usize] += 1;
+            }
+            if n.hi > 1 {
+                rc[n.hi as usize] += 1;
+            }
+        }
+        for r in roots {
+            if r.0 > 1 {
+                rc[r.0 as usize] += 1;
+            }
+        }
+        SiftCtx {
+            rc,
+            live: bdd.len(),
+        }
+    }
+
+    fn inc(&mut self, nodes: &[Node], x: u32) {
+        if x <= 1 {
+            return;
+        }
+        if self.rc.len() < nodes.len() {
+            self.rc.resize(nodes.len(), 0);
+        }
+        self.rc[x as usize] += 1;
+        if self.rc[x as usize] == 1 {
+            // Resurrected (or freshly allocated): it now holds its
+            // children again.
+            self.live += 1;
+            let n = nodes[x as usize];
+            self.inc(nodes, n.lo);
+            self.inc(nodes, n.hi);
+        }
+    }
+
+    fn dec(&mut self, nodes: &[Node], x: u32) {
+        if x <= 1 {
+            return;
+        }
+        debug_assert!(self.rc[x as usize] > 0, "rc underflow at {x}");
+        self.rc[x as usize] -= 1;
+        if self.rc[x as usize] == 0 {
+            // Died: release its holds on the children.
+            self.live -= 1;
+            let n = nodes[x as usize];
+            self.dec(nodes, n.lo);
+            self.dec(nodes, n.hi);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -512,6 +1200,34 @@ mod tests {
                 f(&assign),
                 "assignment {assign:?}"
             );
+        }
+    }
+
+    /// Structural invariants every reachable node must satisfy: reduced
+    /// (`lo != hi`), ordered (children strictly below), and canonical
+    /// (no two allocated nodes share a triple).
+    fn assert_canonical(bdd: &Bdd) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 2..bdd.nodes.len() {
+            let n = bdd.nodes[i];
+            if n.var == FREE_VAR {
+                continue;
+            }
+            assert_ne!(n.lo, n.hi, "node {i} is redundant");
+            let l = bdd.level_of_var(n.var);
+            assert!(
+                l < bdd.node_level(n.lo) && l < bdd.node_level(n.hi),
+                "node {i} out of order"
+            );
+            assert_ne!(
+                bdd.nodes[n.lo as usize].var, FREE_VAR,
+                "node {i} has a freed lo child"
+            );
+            assert_ne!(
+                bdd.nodes[n.hi as usize].var, FREE_VAR,
+                "node {i} has a freed hi child"
+            );
+            assert!(seen.insert((n.var, n.lo, n.hi)), "duplicate triple at {i}");
         }
     }
 
@@ -644,5 +1360,298 @@ mod tests {
         // Rebuilding after reset works from scratch.
         let x2 = b.var(0);
         assert_eq!(x2, Ref(2), "arena restarts at the first free slot");
+    }
+
+    /// A deterministic xorshift for the randomized swap/sift tests.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    /// A random-ish function over `n` vars built from a seed.
+    fn random_function(b: &mut Bdd, n: u32, rng: &mut XorShift) -> Ref {
+        let mut acc = FALSE;
+        for _ in 0..(2 * n) {
+            let mut cube = TRUE;
+            for v in 0..n {
+                match rng.next() % 3 {
+                    0 => {
+                        let lit = b.var(v);
+                        cube = b.and(cube, lit);
+                    }
+                    1 => {
+                        let lit = b.nvar(v);
+                        cube = b.and(cube, lit);
+                    }
+                    _ => {}
+                }
+            }
+            acc = b.or(acc, cube);
+        }
+        acc
+    }
+
+    #[test]
+    fn adjacent_swap_preserves_eval_on_random_assignments() {
+        let mut rng = XorShift(0x9e3779b97f4a7c15);
+        for case in 0..20 {
+            let mut b = Bdd::new();
+            let n = 6;
+            let f = random_function(&mut b, n, &mut rng);
+            let g = random_function(&mut b, n, &mut rng);
+            // Reference truth tables before any swap.
+            let tf: Vec<bool> = (0u32..(1 << n))
+                .map(|bits| b.eval(f, |v| bits >> v & 1 == 1))
+                .collect();
+            let tg: Vec<bool> = (0u32..(1 << n))
+                .map(|bits| b.eval(g, |v| bits >> v & 1 == 1))
+                .collect();
+            let level = (rng.next() % (n as u64 - 1)) as usize;
+            b.swap_levels(level);
+            assert_canonical(&b);
+            for bits in 0u32..(1 << n) {
+                assert_eq!(
+                    b.eval(f, |v| bits >> v & 1 == 1),
+                    tf[bits as usize],
+                    "case {case}: f changed at {bits:#b} after swapping level {level}"
+                );
+                assert_eq!(
+                    b.eval(g, |v| bits >> v & 1 == 1),
+                    tg[bits as usize],
+                    "case {case}: g changed at {bits:#b} after swapping level {level}"
+                );
+            }
+            // Swapping back restores the original order (an involution
+            // on the level maps).
+            let order_after = b.order().to_vec();
+            b.swap_levels(level);
+            b.swap_levels(level);
+            assert_eq!(b.order(), &order_after[..]);
+        }
+    }
+
+    #[test]
+    fn swap_keeps_ops_consistent_afterwards() {
+        // After a swap, fresh operations must still agree with the
+        // truth tables (the operation cache stays valid because node
+        // identity is preserved).
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        let xy = b.and(x, y);
+        let f = b.or(xy, z);
+        b.swap_levels(0);
+        b.swap_levels(1);
+        assert_canonical(&b);
+        let nf = b.not(f);
+        table_eq(&b, nf, 3, |a| !((a[0] && a[1]) || a[2]));
+        let yz = b.and(y, z);
+        let g = b.or(f, yz);
+        // y ∧ z is absorbed by the z disjunct: g = (x ∧ y) ∨ z.
+        table_eq(&b, g, 3, |a| (a[0] && a[1]) || a[2]);
+        let q = b.exists(g, &[1]);
+        // ∃y. g  =  x ∨ z
+        table_eq(&b, q, 3, |a| a[0] || a[2]);
+    }
+
+    #[test]
+    fn sweep_reclaims_dead_nodes_and_keeps_roots() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        let keepme = b.and(x, y);
+        let dead1 = b.and(y, z);
+        let dead2 = b.or(dead1, x);
+        let before = b.len();
+        // Every Ref still in use must be listed as a root — dead1/dead2
+        // are not, so they are reclaimed.
+        let reclaimed = b.sweep(&[keepme, x, y, z]);
+        assert!(reclaimed > 0, "dead nodes {dead2:?} reclaimed");
+        assert_eq!(b.len(), before - reclaimed);
+        assert_canonical(&b);
+        table_eq(&b, keepme, 3, |a| a[0] && a[1]);
+        // The arena stays fully usable: rebuilding the dead function
+        // reuses freed slots and yields a canonical node again.
+        let d1 = b.and(y, z);
+        let d2 = b.or(d1, x);
+        table_eq(&b, d2, 3, |a| (a[1] && a[2]) || a[0]);
+        assert_canonical(&b);
+    }
+
+    #[test]
+    fn sweep_invalidates_the_op_cache_by_generation() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        b.sweep(&[x, y]); // f is dead; its slot may be reused
+        let g = b.and(y, x);
+        // The cached (And, x, y) entry is from the old generation; the
+        // rebuilt node must be canonical and correct regardless.
+        assert_eq!(f.0, g.0, "slot reuse gives the same index back here");
+        table_eq(&b, g, 2, |a| a[0] && a[1]);
+        assert_canonical(&b);
+    }
+
+    #[test]
+    fn custom_order_and_sat_count_agree() {
+        // Same function under two orders: identical counts and truth
+        // tables (Refs differ).
+        let check = |order: Option<&[u32]>| {
+            let mut b = Bdd::new();
+            if let Some(o) = order {
+                b.set_order(o);
+            }
+            let x = b.var(0);
+            let y = b.var(1);
+            let z = b.var(2);
+            let xy = b.and(x, y);
+            let u = b.or(xy, z);
+            table_eq(&b, u, 3, |a| (a[0] && a[1]) || a[2]);
+            b.sat_count(u, &[0, 1, 2])
+        };
+        let a = check(None);
+        let c = check(Some(&[2, 0, 1]));
+        assert_eq!(a, c);
+        assert_eq!(a, 5);
+    }
+
+    #[test]
+    fn sifting_shrinks_an_order_hostile_function() {
+        // f = ⋀ᵢ (xᵢ ↔ xᵢ₊ₙ) under the blocked order x₀..xₙ₋₁ xₙ..x₂ₙ₋₁
+        // needs ~2ⁿ nodes; the interleaved order needs 3n. Sifting must
+        // find (something close to) the small order.
+        let n = 6u32;
+        let mut b = Bdd::new();
+        let mut f = TRUE;
+        for i in 0..n {
+            let x = b.var(i);
+            let y = b.var(i + n);
+            let eq = b.iff(x, y);
+            f = b.and(f, eq);
+        }
+        b.sweep(&[f]);
+        let before = b.len();
+        assert!(before > 2u32.pow(n) as usize, "blocked order is hostile");
+        b.sift(&[f], 1);
+        b.sweep(&[f]);
+        let after = b.len();
+        assert!(
+            after <= 3 * n as usize + 2,
+            "sifting found an interleaved-quality order ({before} -> {after})"
+        );
+        assert_canonical(&b);
+        // Semantics preserved on every assignment.
+        for bits in 0u32..(1 << (2 * n)) {
+            let expect = (0..n).all(|i| (bits >> i & 1) == (bits >> (i + n) & 1));
+            assert_eq!(b.eval(f, |v| bits >> v & 1 == 1), expect);
+        }
+        assert!(b.stats().swaps > 0);
+        assert_eq!(b.stats().sift_passes, 1);
+    }
+
+    #[test]
+    fn sift_survives_unique_table_rehash() {
+        // Regression: a sift journey whose allocations cross the bucket
+        // boundary triggers a unique-table rehash *while a node is
+        // detached mid-rewrite*; the detached node must not be relinked
+        // under its stale triple (that orphaned chains and broke
+        // canonicity).
+        // Build ⋀ᵢ (xᵢ ↔ xᵢ₊ₙ) garbage-free with raw `mk` so the arena
+        // stays below the initial bucket count until the sift runs
+        // (going through the connectives would rehash during *build*).
+        fn bottom(b: &mut Bdd, i: u32, n: u32, pattern: u32) -> u32 {
+            if i == n {
+                return 1;
+            }
+            let rest = bottom(b, i + 1, n, pattern);
+            if pattern >> i & 1 == 1 {
+                b.mk(n + i, 0, rest)
+            } else {
+                b.mk(n + i, rest, 0)
+            }
+        }
+        fn top(b: &mut Bdd, i: u32, n: u32, pattern: u32) -> u32 {
+            if i == n {
+                return bottom(b, 0, n, pattern);
+            }
+            let lo = top(b, i + 1, n, pattern);
+            let hi = top(b, i + 1, n, pattern | 1 << i);
+            b.mk(i, lo, hi)
+        }
+        let n = 10u32;
+        let mut b = Bdd::new();
+        for v in 0..2 * n {
+            b.ensure_var(v);
+        }
+        let f = Ref(top(&mut b, 0, n, 0));
+        assert!(
+            b.stats().peak_nodes < INITIAL_BUCKETS,
+            "the hostile function must start below the bucket boundary"
+        );
+        b.sift(&[f], 1);
+        assert!(
+            b.stats().peak_nodes > INITIAL_BUCKETS,
+            "the pass must cross the rehash boundary to exercise the bug"
+        );
+        b.sweep(&[f]);
+        assert_canonical(&b);
+        let mut rng = XorShift(0x2545f4914f6cdd1d);
+        for _ in 0..2000 {
+            let bits = (rng.next() % (1 << (2 * n))) as u32;
+            let expect = (0..n).all(|i| (bits >> i & 1) == (bits >> (i + n) & 1));
+            assert_eq!(b.eval(f, |v| bits >> v & 1 == 1), expect);
+        }
+    }
+
+    #[test]
+    fn grouped_sifting_keeps_pairs_adjacent() {
+        // Pairs (2k, 2k+1) must stay adjacent (and in cur-above-next
+        // order) through a grouped sift — the engine's interleaving
+        // invariant.
+        let n_pairs = 4u32;
+        let mut b = Bdd::new();
+        let mut f = TRUE;
+        // Couple pair k with pair (k + 2) % n to give sifting a reason
+        // to move blocks.
+        for k in 0..n_pairs {
+            let j = (k + 2) % n_pairs;
+            let x = b.var(2 * k);
+            let y = b.var(2 * j + 1);
+            let eq = b.iff(x, y);
+            f = b.and(f, eq);
+        }
+        b.sift(&[f], 2);
+        let order = b.order();
+        for p in 0..n_pairs as usize {
+            let top = order[2 * p];
+            let bot = order[2 * p + 1];
+            assert_eq!(top % 2, 0, "block top is a current bit");
+            assert_eq!(bot, top + 1, "pair stays adjacent: {order:?}");
+        }
+        assert_canonical(&b);
+    }
+
+    #[test]
+    fn stats_track_cache_and_peak() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f1 = b.and(x, y);
+        let f2 = b.and(y, x); // commutative normalization → cache hit
+        assert_eq!(f1, f2);
+        let s = b.stats();
+        assert!(s.cache_lookups >= 2);
+        assert!(s.cache_hits >= 1);
+        assert!(s.peak_nodes >= b.len());
     }
 }

@@ -23,7 +23,11 @@ use unity_core::program::Program;
 use crate::bdd::{Bdd, Ref, FALSE};
 use crate::encode::{cur, nxt, SymSpace};
 use crate::lower::{lower, lower_pred, ValueMap};
+use crate::order::{initial_level_order, OrderMode, SiftPolicy, SymbolicOptions};
 use crate::SymbolicError;
+
+/// Interleaved current/next pairs move as one block through sifting.
+const SIFT_GROUP: usize = 2;
 
 /// One command lowered to relational form.
 #[derive(Debug, Clone)]
@@ -49,14 +53,53 @@ pub struct SymCommand {
 /// Outcome of symbolic reachability.
 #[derive(Debug, Clone)]
 pub struct ReachReport {
-    /// The reachable set (over current-state bits).
+    /// The reachable set (over current-state bits), pinned against the
+    /// engine's collections until [`SymbolicProgram::release_pins`].
     pub set: Ref,
     /// Exact number of reachable states.
     pub count: u128,
     /// Fixpoint iterations until closure.
     pub iterations: usize,
-    /// Arena size after the fixpoint (node-count pressure metric).
+    /// Live arena size after the fixpoint (node-count pressure metric).
     pub nodes: usize,
+}
+
+/// Engine counters surfaced by [`SymbolicProgram::stats`] (and
+/// `unity-check --stats`): the current live node count plus the
+/// arena's lifetime counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymStats {
+    /// Live BDD nodes right now (terminals included).
+    pub live_nodes: usize,
+    /// The arena's lifetime counters (peak nodes, apply-cache
+    /// probes/hits, sift passes, swaps, GC runs/reclaimed).
+    pub bdd: crate::bdd::BddStats,
+}
+
+impl SymStats {
+    /// Apply-cache hit rate in `[0, 1]` (0 without lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.bdd.cache_hit_rate()
+    }
+}
+
+impl std::fmt::Display for SymStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes {} live / {} peak; apply cache {}/{} ({:.1}%); \
+             {} sift pass(es), {} swap(s); {} gc run(s), {} reclaimed",
+            self.live_nodes,
+            self.bdd.peak_nodes,
+            self.bdd.cache_hits,
+            self.bdd.cache_lookups,
+            100.0 * self.cache_hit_rate(),
+            self.bdd.sift_passes,
+            self.bdd.swaps,
+            self.bdd.gc_runs,
+            self.bdd.reclaimed_nodes,
+        )
+    }
 }
 
 /// A program lowered to the symbolic backend.
@@ -69,23 +112,58 @@ pub struct SymbolicProgram {
     init: Ref,
     commands: Vec<SymCommand>,
     fair: Vec<usize>,
+    opts: SymbolicOptions,
+    policy: SiftPolicy,
+    /// Caller-held `Ref`s that must survive collections: results of
+    /// [`SymbolicProgram::pred`]/[`SymbolicProgram::intersect`] and the
+    /// last [`ReachReport::set`] are pinned here automatically (see
+    /// [`SymbolicProgram::release_pins`]).
+    pinned: Vec<Ref>,
 }
 
 impl SymbolicProgram {
-    /// Lowers `program`. Fails when the vocabulary exceeds 64 packed
-    /// bits or an expression's value partition explodes — callers fall
-    /// back to the explicit engines.
+    /// Lowers `program` under the default options (static dependency
+    /// order plus dynamic sifting). Fails when the vocabulary exceeds
+    /// 64 packed bits or an expression's value partition explodes —
+    /// callers fall back to the explicit engines.
     pub fn build(program: &Program) -> Result<SymbolicProgram, SymbolicError> {
+        Self::build_with(program, &SymbolicOptions::default())
+    }
+
+    /// Lowers `program` with explicit ordering options.
+    pub fn build_with(
+        program: &Program,
+        opts: &SymbolicOptions,
+    ) -> Result<SymbolicProgram, SymbolicError> {
         let space = SymSpace::new(&program.vocab).ok_or(SymbolicError::VocabularyTooWide)?;
         let mut bdd = Bdd::new();
+        if let Some(level2var) = initial_level_order(program, &space, &opts.order) {
+            bdd.set_order(&level2var);
+        }
         let domain = space.domain(&mut bdd);
         let init_pred = lower_pred(&mut bdd, &space, &program.init)?;
         let init = bdd.and(domain, init_pred);
-        let commands = program
-            .commands
-            .iter()
-            .map(|c| lower_command(&mut bdd, &space, c))
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut policy = SiftPolicy::new(opts.sift_threshold, bdd.len());
+        let mut commands: Vec<SymCommand> = Vec::with_capacity(program.commands.len());
+        for c in &program.commands {
+            commands.push(lower_command(&mut bdd, &space, c)?);
+            // Safe point: everything live is rooted in domain/init and
+            // the commands lowered so far. Sweep first — lowering
+            // garbage usually explains the growth; sift only when the
+            // live relations themselves outgrew the watermark.
+            if matches!(opts.order, OrderMode::Sifting) && policy.due(bdd.len()) {
+                let roots = roots_of(domain, init, &commands);
+                bdd.sweep(&roots);
+                if policy.due(bdd.len()) {
+                    bdd.sift(&roots, SIFT_GROUP);
+                }
+                policy.rearm(bdd.len());
+            }
+        }
+        // Reclaim lowering intermediates in every mode before first use.
+        let roots = roots_of(domain, init, &commands);
+        bdd.sweep(&roots);
+        let policy = SiftPolicy::new(opts.sift_threshold, bdd.len());
         Ok(SymbolicProgram {
             bdd,
             space,
@@ -93,6 +171,9 @@ impl SymbolicProgram {
             init,
             commands,
             fair: program.fair.iter().copied().collect(),
+            opts: opts.clone(),
+            policy,
+            pinned: Vec::new(),
         })
     }
 
@@ -101,9 +182,73 @@ impl SymbolicProgram {
         &self.space
     }
 
-    /// Current arena size in nodes.
+    /// Current live arena size in nodes.
     pub fn node_count(&self) -> usize {
         self.bdd.len()
+    }
+
+    /// The options this engine was built with.
+    pub fn options(&self) -> &SymbolicOptions {
+        &self.opts
+    }
+
+    /// Engine counters (live/peak nodes, apply-cache hit rate, sift and
+    /// GC activity).
+    pub fn stats(&self) -> SymStats {
+        SymStats {
+            live_nodes: self.bdd.len(),
+            bdd: self.bdd.stats().clone(),
+        }
+    }
+
+    /// The BDD variable order currently in effect (`order()[l]` = the
+    /// encoding-level variable at level `l`).
+    pub fn level_order(&self) -> &[u32] {
+        self.bdd.order()
+    }
+
+    /// The engine's persistent roots: every `Ref` that must survive a
+    /// collection (domain, initial set, per-command relations).
+    fn roots(&self) -> Vec<Ref> {
+        let mut roots = roots_of(self.domain, self.init, &self.commands);
+        roots.extend_from_slice(&self.pinned);
+        roots
+    }
+
+    /// Releases every automatically pinned `Ref` (reachable sets,
+    /// `pred`/`intersect` results), letting the next collection reclaim
+    /// them. Call between query batches on a long-lived engine.
+    pub fn release_pins(&mut self) {
+        self.pinned.clear();
+    }
+
+    /// Watermark-gated service point: reclaims dead intermediates and,
+    /// under [`OrderMode::Sifting`], re-optimises the variable order.
+    /// `extra` lists the caller's additional live roots. An unproductive
+    /// sift pass backs the watermark off so a converged order stops
+    /// paying reorder cost.
+    fn service(&mut self, extra: &[Ref]) {
+        if !self.policy.due(self.bdd.len()) {
+            return;
+        }
+        let mut roots = self.roots();
+        roots.extend_from_slice(extra);
+        // Collect first: most watermark hits are transient image/lowering
+        // garbage, which a sweep reclaims at a fraction of a sift's cost.
+        self.bdd.sweep(&roots);
+        let before = self.bdd.len();
+        if matches!(self.opts.order, OrderMode::Sifting) && self.policy.due(before) {
+            // The *live* structure itself outgrew the watermark: the
+            // order is genuinely bad for this fixpoint — re-optimise.
+            self.bdd.sift(&roots, SIFT_GROUP);
+            let after = self.bdd.len();
+            if after * 10 > before * 9 {
+                // Saved < 10%: the order has converged — back off hard.
+                self.policy.rearm(after * 4);
+                return;
+            }
+        }
+        self.policy.rearm(self.bdd.len());
     }
 
     /// Number of type-consistent states.
@@ -133,6 +278,10 @@ impl SymbolicProgram {
 
     /// Least fixpoint of the transition relation from the initial
     /// states, by partitioned image computation with frontier chaining.
+    /// Between rounds a watermark-gated service pass reclaims dead
+    /// image intermediates and (under sifting) re-optimises the
+    /// variable order — swaps are in-place, so the running sets stay
+    /// valid across a reorder.
     pub fn reachable(&mut self) -> ReachReport {
         let mut reached = self.init;
         let mut frontier = self.init;
@@ -148,7 +297,9 @@ impl SymbolicProgram {
             }
             frontier = self.bdd.diff(layer, reached);
             reached = self.bdd.or(reached, frontier);
+            self.service(&[reached, frontier]);
         }
+        self.pinned.push(reached);
         ReachReport {
             set: reached,
             count: self.bdd.sat_count(reached, &self.space.all_cur_bits()),
@@ -158,9 +309,13 @@ impl SymbolicProgram {
     }
 
     /// Lowers a predicate over the current-state bits (for callers
-    /// composing their own set algebra on top of the engine).
+    /// composing their own set algebra on top of the engine). The
+    /// result is pinned across collections until
+    /// [`SymbolicProgram::release_pins`].
     pub fn pred(&mut self, p: &Expr) -> Result<Ref, SymbolicError> {
-        lower_pred(&mut self.bdd, &self.space, p)
+        let r = lower_pred(&mut self.bdd, &self.space, p)?;
+        self.pinned.push(r);
+        Ok(r)
     }
 
     /// Set intersection/counting helpers over current-state bits.
@@ -169,13 +324,18 @@ impl SymbolicProgram {
     }
 
     /// Intersects `a ∧ b` (exposed for reachable ∧ predicate queries).
+    /// The result is pinned across collections until
+    /// [`SymbolicProgram::release_pins`].
     pub fn intersect(&mut self, a: Ref, b: Ref) -> Ref {
-        self.bdd.and(a, b)
+        let r = self.bdd.and(a, b);
+        self.pinned.push(r);
+        r
     }
 
     /// `init p`: every initial state satisfies `p`. Returns a violating
     /// packed state word, if any.
     pub fn check_init(&mut self, p: &Expr) -> Result<Option<u64>, SymbolicError> {
+        self.service(&[]);
         let p = lower_pred(&mut self.bdd, &self.space, p)?;
         let np = self.bdd.not(p);
         let bad = self.bdd.and(self.init, np);
@@ -191,6 +351,7 @@ impl SymbolicProgram {
         p: &Expr,
         q: &Expr,
     ) -> Result<Option<(Option<usize>, u64)>, SymbolicError> {
+        self.service(&[]);
         let p = lower_pred(&mut self.bdd, &self.space, p)?;
         let q = lower_pred(&mut self.bdd, &self.space, q)?;
         let dp = self.bdd.and(self.domain, p);
@@ -217,6 +378,7 @@ impl SymbolicProgram {
     /// `unchanged e`: no command changes the value of `e`. Returns the
     /// violating pre-state and command index.
     pub fn check_unchanged(&mut self, e: &Expr) -> Result<Option<(usize, u64)>, SymbolicError> {
+        self.service(&[]);
         let lowered = lower(&mut self.bdd, &self.space, e)?;
         let values: ValueMap = lowered.into_values(&mut self.bdd);
         for k in 0..self.commands.len() {
@@ -246,6 +408,7 @@ impl SymbolicProgram {
         &mut self,
         p: &Expr,
     ) -> Result<Option<Vec<(usize, u64)>>, SymbolicError> {
+        self.service(&[]);
         let p = lower_pred(&mut self.bdd, &self.space, p)?;
         let dp = self.bdd.and(self.domain, p);
         let mut witnesses = Vec::new();
@@ -346,6 +509,19 @@ pub fn equivalent_witness(
     let differ = bdd.not(same);
     let bad = bdd.and(dom, differ);
     Ok(bdd.pick_one(bad).map(|lits| space.word_of_cube(&lits)))
+}
+
+/// The persistent roots of an engine state: domain, initial set, and
+/// every command's effective guard and transition relation.
+fn roots_of(domain: Ref, init: Ref, commands: &[SymCommand]) -> Vec<Ref> {
+    let mut roots = Vec::with_capacity(2 + 2 * commands.len());
+    roots.push(domain);
+    roots.push(init);
+    for c in commands {
+        roots.push(c.enabled);
+        roots.push(c.trans);
+    }
+    roots
 }
 
 fn lower_command(

@@ -15,9 +15,16 @@
 //! point by point:
 //!
 //! * [`bdd`] — a self-contained, dependency-free BDD package:
-//!   hash-consed node arena, memoized `not`/`and`/`or`/`xor`,
+//!   hash-consed node arena with a *mutable variable order* (in-place
+//!   adjacent-level swaps, grouped Rudell sifting), memoized
+//!   `not`/`and`/`or`/`xor` through a generation-tagged lossy cache,
 //!   `restrict`/`exists`/`relprod`/`rename`, exact model counting, cube
-//!   extraction, and a garbage-free arena with explicit reset;
+//!   extraction, and generational mark-and-sweep over engine-registered
+//!   roots;
+//! * [`order`] — variable-order optimisation: static orders from the
+//!   program's weighted variable-dependency graph (FORCE/min-span style
+//!   greedy maximum adjacency), the `SymbolicOptions`/`OrderMode`
+//!   configuration surface, and the growth-watermark sift policy;
 //! * [`encode`] — each packed state bit `b` becomes the interleaved BDD
 //!   variable pair `2b` (current) / `2b+1` (next), so packed `u64` words
 //!   and BDD cubes describe identical states;
@@ -59,8 +66,10 @@ pub mod bdd;
 pub mod encode;
 pub mod engine;
 pub mod lower;
+pub mod order;
 
-pub use engine::{ReachReport, SymbolicProgram};
+pub use engine::{ReachReport, SymStats, SymbolicProgram};
+pub use order::{OrderMode, SymbolicOptions};
 
 /// Why a program or expression cannot be handled symbolically. Callers
 /// treat every variant as "fall back to the explicit engines".

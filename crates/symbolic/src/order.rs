@@ -1,0 +1,379 @@
+//! Variable-order optimisation: static orders from the program's
+//! variable-dependency graph, and the options/policy that drive dynamic
+//! sifting.
+//!
+//! ROBDD size is exponentially sensitive to the variable order, and the
+//! packed-layout *declaration* order is an accident of how the spec was
+//! written: composed specifications routinely declare one component's
+//! variables en bloc after another's, while the commands couple
+//! variables *across* the blocks (two lockstep rings, a monitor
+//! shadowing a plant, …). The paper's characterization-by-properties
+//! view makes the cure principled — the properties fix the object, so
+//! the engine is free to pick any internal order that decides them
+//! fastest.
+//!
+//! Two mechanisms, layered:
+//!
+//! 1. **Static order** ([`static_field_order`]): build the weighted
+//!    co-occurrence graph of program variables (guard/assignment
+//!    read–write coupling per command, plus the `initially` predicate),
+//!    then place variables by greedy maximum adjacency — each step
+//!    appends the unplaced variable most strongly connected to the
+//!    placed prefix (FORCE/min-span style), so variables that interact
+//!    in the same command sit adjacently. The derived *level* order
+//!    ([`level_order`]) preserves the interleaved current/next pairing
+//!    from [`crate::encode`].
+//! 2. **Dynamic sifting** ([`crate::bdd::Bdd::sift`], policy in
+//!    [`SiftPolicy`]): when the arena grows past a watermark during
+//!    lowering or between reachability fixpoint rounds, each
+//!    current/next pair block is sifted to its locally optimal level.
+//!
+//! Both are selected through [`SymbolicOptions`] /
+//! [`OrderMode`], threaded from `ScanConfig::symbolic()` and
+//! `unity-check --order`.
+
+use prio_graph::bitset::BitSet;
+use unity_core::expr::vars;
+use unity_core::program::Program;
+
+use crate::encode::{cur, nxt, SymSpace};
+
+/// How the symbolic engine orders its BDD variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum OrderMode {
+    /// The packed-layout declaration order (the pre-optimisation
+    /// behaviour; kept for comparison and as the differential-test
+    /// baseline).
+    Declaration,
+    /// A static order computed from the variable-dependency graph at
+    /// construction, fixed for the run.
+    Static,
+    /// The static order as a starting point plus dynamic sifting when
+    /// the arena grows past a watermark (the default).
+    #[default]
+    Sifting,
+    /// An explicit field order (indices into the vocabulary). Used by
+    /// the differential tests to pin order-independence under arbitrary
+    /// permutations; available to callers that know better than the
+    /// heuristics.
+    Fields(Vec<usize>),
+}
+
+/// Tuning knobs for the symbolic engine, carried on
+/// `unity_mc::ScanConfig` and `unity-check --order`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicOptions {
+    /// Variable-order strategy.
+    pub order: OrderMode,
+    /// Arena size (in nodes) below which sifting never triggers —
+    /// small instances never pay reorder overhead.
+    pub sift_threshold: usize,
+}
+
+impl Default for SymbolicOptions {
+    fn default() -> Self {
+        SymbolicOptions {
+            order: OrderMode::default(),
+            sift_threshold: 4096,
+        }
+    }
+}
+
+impl SymbolicOptions {
+    /// Options pinned to the declaration order (no reordering at all).
+    pub fn declaration() -> Self {
+        SymbolicOptions {
+            order: OrderMode::Declaration,
+            ..Default::default()
+        }
+    }
+
+    /// Options pinned to the static dependency order, without sifting.
+    pub fn static_order() -> Self {
+        SymbolicOptions {
+            order: OrderMode::Static,
+            ..Default::default()
+        }
+    }
+
+    /// Options with static order plus dynamic sifting (the default).
+    pub fn sifting() -> Self {
+        SymbolicOptions {
+            order: OrderMode::Sifting,
+            ..Default::default()
+        }
+    }
+}
+
+/// Growth-watermark trigger for sweeps and sift passes: fires when the
+/// arena has grown past `factor ×` its size at the last service point,
+/// and re-arms at the new size. Doubling watermarks keep total reorder
+/// cost proportional to total allocation.
+#[derive(Debug, Clone)]
+pub struct SiftPolicy {
+    watermark: usize,
+    floor: usize,
+}
+
+impl SiftPolicy {
+    /// A policy armed at `max(floor, 2 × current)` nodes.
+    pub fn new(floor: usize, current: usize) -> Self {
+        SiftPolicy {
+            watermark: floor.max(current * 2),
+            floor,
+        }
+    }
+
+    /// Whether the arena size warrants a service pass now.
+    pub fn due(&self, nodes: usize) -> bool {
+        nodes > self.watermark
+    }
+
+    /// Re-arms after a service pass left the arena at `nodes`.
+    pub fn rearm(&mut self, nodes: usize) {
+        self.watermark = self.floor.max(nodes * 2);
+    }
+}
+
+/// The weighted variable co-occurrence graph of a program: vertices are
+/// program variables, and two variables are adjacent with weight `w`
+/// when they appear together in `w` commands (guard ∪ right-hand sides
+/// ∪ targets; the `initially` predicate counts as one more pseudo
+/// command). This is the "dependency graph" that static ordering
+/// optimises over.
+#[derive(Debug)]
+pub struct VarDependencyGraph {
+    n: usize,
+    /// Dense symmetric weight matrix (`n ≤ 64` because the packed
+    /// layout caps the vocabulary at 64 bits).
+    weight: Vec<u32>,
+}
+
+impl VarDependencyGraph {
+    /// Builds the co-occurrence graph of `program`.
+    pub fn new(program: &Program) -> VarDependencyGraph {
+        let n = program.vocab.len();
+        let mut g = VarDependencyGraph {
+            n,
+            weight: vec![0; n * n],
+        };
+        let mut group = std::collections::BTreeSet::new();
+        vars::collect(&program.init, &mut group);
+        g.add_clique(&group);
+        for c in &program.commands {
+            group.clear();
+            vars::collect(&c.guard, &mut group);
+            for (x, e) in &c.updates {
+                group.insert(*x);
+                vars::collect(e, &mut group);
+            }
+            g.add_clique(&group);
+        }
+        g
+    }
+
+    fn add_clique(&mut self, group: &std::collections::BTreeSet<unity_core::ident::VarId>) {
+        let ids: Vec<usize> = group.iter().map(|v| v.index()).collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                self.weight[a * self.n + b] += 1;
+                self.weight[b * self.n + a] += 1;
+            }
+        }
+    }
+
+    /// Co-occurrence weight between variables `a` and `b`.
+    pub fn weight(&self, a: usize, b: usize) -> u32 {
+        self.weight[a * self.n + b]
+    }
+
+    /// Total connectivity of variable `v`.
+    pub fn degree_weight(&self, v: usize) -> u32 {
+        (0..self.n).map(|w| self.weight(v, w)).sum()
+    }
+}
+
+/// Derives a static field order for `program` by greedy maximum
+/// adjacency over the variable-dependency graph: start from the most
+/// connected variable, then repeatedly append the unplaced variable
+/// with the largest total weight into the placed set (ties broken by
+/// declaration index, so independent variables keep their declaration
+/// order and the result is deterministic). Disconnected components are
+/// placed consecutively, each seeded by its most connected member.
+pub fn static_field_order(program: &Program) -> Vec<usize> {
+    let g = VarDependencyGraph::new(program);
+    let n = g.n;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut placed = BitSet::new(n);
+    let mut order = Vec::with_capacity(n);
+    // Attachment weight of each unplaced variable to the placed set.
+    let mut attach = vec![0u32; n];
+    while order.len() < n {
+        // Pick the next seed / best-attached variable: prefer the
+        // highest attachment to the placed prefix, then the highest
+        // overall connectivity, then declaration order.
+        let mut best: Option<usize> = None;
+        for v in 0..n {
+            if placed.contains(v) {
+                continue;
+            }
+            match best {
+                None => best = Some(v),
+                Some(b) => {
+                    let key_v = (attach[v], g.degree_weight(v));
+                    let key_b = (attach[b], g.degree_weight(b));
+                    if key_v > key_b {
+                        best = Some(v);
+                    }
+                }
+            }
+        }
+        let v = best.expect("an unplaced variable exists");
+        placed.insert(v);
+        order.push(v);
+        for (w, slot) in attach.iter_mut().enumerate() {
+            if !placed.contains(w) {
+                *slot += g.weight(v, w);
+            }
+        }
+    }
+    order
+}
+
+/// Expands a field order into the BDD *level* order `level2var`:
+/// fields in the given order, bits within a field in ascending packed
+/// position, each bit as its interleaved current/next pair — so every
+/// pair is adjacent (current immediately above next) and grouped
+/// sifting (`group = 2`) preserves the invariant.
+pub fn level_order(space: &SymSpace, field_order: &[usize]) -> Vec<u32> {
+    debug_assert_eq!(field_order.len(), space.n_vars());
+    let layout = space.layout();
+    let mut level2var = Vec::with_capacity(2 * space.total_bits() as usize);
+    for &v in field_order {
+        let shift = layout.field_shift(v);
+        for i in 0..layout.field_bits(v) {
+            level2var.push(cur(shift + i));
+            level2var.push(nxt(shift + i));
+        }
+    }
+    level2var
+}
+
+/// The level order for `mode`, or `None` when the declaration order
+/// (the arena's identity default) should be kept.
+pub fn initial_level_order(
+    program: &Program,
+    space: &SymSpace,
+    mode: &OrderMode,
+) -> Option<Vec<u32>> {
+    match mode {
+        OrderMode::Declaration => None,
+        OrderMode::Static | OrderMode::Sifting => {
+            Some(level_order(space, &static_field_order(program)))
+        }
+        OrderMode::Fields(perm) => {
+            assert_eq!(
+                {
+                    let mut sorted = perm.clone();
+                    sorted.sort_unstable();
+                    sorted
+                },
+                (0..space.n_vars()).collect::<Vec<_>>(),
+                "field order must be a permutation of 0..{}",
+                space.n_vars()
+            );
+            Some(level_order(space, perm))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+
+    /// Two mirrored banks declared en bloc: a₀ a₁ a₂ b₀ b₁ b₂, with
+    /// commands coupling aᵢ ↔ bᵢ. The static order must pair them.
+    fn mirrored(n: usize) -> Program {
+        let mut v = Vocabulary::new();
+        let a: Vec<_> = (0..n)
+            .map(|i| v.declare(&format!("a{i}"), Domain::Bool).unwrap())
+            .collect();
+        let b: Vec<_> = (0..n)
+            .map(|i| v.declare(&format!("b{i}"), Domain::Bool).unwrap())
+            .collect();
+        let mut builder = Program::builder("mirror", Arc::new(v)).init(tt());
+        for i in 0..n {
+            builder = builder.fair_command(
+                format!("flip{i}"),
+                tt(),
+                vec![(a[i], not(var(a[i]))), (b[i], not(var(b[i])))],
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn dependency_graph_weights_co_occurrence() {
+        let p = mirrored(3);
+        let g = VarDependencyGraph::new(&p);
+        assert_eq!(g.weight(0, 3), 1, "a0 couples b0");
+        assert_eq!(g.weight(0, 1), 0, "a0 independent of a1");
+        assert_eq!(g.weight(1, 4), 1);
+    }
+
+    #[test]
+    fn static_order_pairs_coupled_fields() {
+        let p = mirrored(3);
+        let order = static_field_order(&p);
+        assert_eq!(order.len(), 6);
+        // Every aᵢ must sit adjacent to its bᵢ (= index i + 3).
+        for pos in (0..6).step_by(2) {
+            let (x, y) = (order[pos], order[pos + 1]);
+            assert_eq!(x.max(y) - x.min(y), 3, "coupled pair adjacent in {order:?}");
+        }
+    }
+
+    #[test]
+    fn independent_variables_keep_declaration_order() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::Bool).unwrap();
+        let _y = v.declare("y", Domain::Bool).unwrap();
+        let _z = v.declare("z", Domain::Bool).unwrap();
+        let p = Program::builder("indep", Arc::new(v))
+            .init(tt())
+            .fair_command("t", tt(), vec![(x, not(var(x)))])
+            .build()
+            .unwrap();
+        assert_eq!(static_field_order(&p), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn level_order_interleaves_pairs() {
+        let p = mirrored(2);
+        let space = SymSpace::new(&p.vocab).unwrap();
+        let order = level_order(&space, &[2, 0, 1, 3]);
+        assert_eq!(order.len(), 8);
+        // Every even position holds a current bit, followed by its next
+        // bit.
+        for pos in (0..8).step_by(2) {
+            assert_eq!(order[pos] % 2, 0);
+            assert_eq!(order[pos + 1], order[pos] + 1);
+        }
+    }
+
+    #[test]
+    fn sift_policy_doubles() {
+        let mut p = SiftPolicy::new(100, 30);
+        assert!(!p.due(100));
+        assert!(p.due(101));
+        p.rearm(400);
+        assert!(!p.due(800));
+        assert!(p.due(801));
+    }
+}

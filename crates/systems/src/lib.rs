@@ -20,6 +20,10 @@
 //! * [`stabilize`] — Dijkstra's self-stabilizing K-state token ring: the
 //!   showcase for the paper's all-states inductive semantics
 //!   (convergence from *arbitrary* initial states).
+//! * [`mirror`] — two mirrored rings stepping in lockstep: the
+//!   order-hostile composed workload behind the `e18_reorder` variable-
+//!   ordering experiments (declaration-order BDDs are exponential, the
+//!   dependency order is linear).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +31,7 @@
 pub mod baselines;
 pub mod dining;
 pub mod drinking;
+pub mod mirror;
 pub mod priority;
 pub mod priority_proofs;
 pub mod resource;
@@ -39,6 +44,7 @@ pub mod prelude {
     pub use crate::baselines::{centralized_arbiter, static_priority_system};
     pub use crate::dining::{dining_system, DiningSpec};
     pub use crate::drinking::{drinking_system, DrinkGuard, DrinkingSpec, DrinkingSystem};
+    pub use crate::mirror::{mirrored_rings, mirrored_rings_opaque, MirroredRings};
     pub use crate::priority::{PrioritySystem, PrioritySystemBuilder};
     pub use crate::resource::{resource_allocator, ResourceSpec};
     pub use crate::stabilize::{stabilizing_ring, StabilizeSpec, StabilizingRing};

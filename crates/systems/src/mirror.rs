@@ -1,0 +1,199 @@
+//! An order-hostile composed workload: two mirrored rings stepping in
+//! lockstep.
+//!
+//! Two rings of `n` boolean cells are declared *en bloc* — all of ring
+//! A's cells first, then all of ring B's — exactly how a composed
+//! specification naturally lists one component's vocabulary after the
+//! other's. The commands, however, couple the rings *across* the
+//! blocks: `flip i` toggles cell `i` of **both** rings simultaneously
+//! (a shared action in the paper's superposition sense), guarded by the
+//! mirror condition on the preceding ring position, which links
+//! neighbouring flips around each ring.
+//!
+//! From the all-false initial state the reachable set is the full
+//! mirror diagonal `{ (x, x) : x ∈ 𝔹ⁿ }` — `2ⁿ` states whose BDD is
+//! *exponential* (`Θ(2ⁿ)` nodes) under the blocked declaration order
+//! but *linear* (`3n + 2` nodes) once each `aᵢ` sits next to its `bᵢ`.
+//! This is precisely the regime the ROADMAP's reordering item calls
+//! out: the variable-dependency graph (which pairs `aᵢ` with `bᵢ`)
+//! crosses the declaration order, so declaration-order BDDs blow up
+//! while the static dependency order stays small. The `e18_reorder`
+//! bench group and the order-independence proptests are built on this
+//! system.
+
+use std::sync::Arc;
+
+use unity_core::domain::Domain;
+use unity_core::error::CoreError;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+
+/// Two mirrored `n`-cell rings flipping in lockstep (see the module
+/// docs for why this is order-hostile).
+pub struct MirroredRings {
+    /// The composed program (single `Program`; the two rings share
+    /// every command).
+    pub program: Program,
+    /// Ring A's cells, in ring order (declared first, en bloc).
+    pub a: Vec<VarId>,
+    /// Ring B's cells, in ring order (declared after all of A).
+    pub b: Vec<VarId>,
+}
+
+/// Builds the mirrored-rings system with `n ≥ 2` cells per ring.
+pub fn mirrored_rings(n: usize) -> Result<MirroredRings, CoreError> {
+    build_rings(n, false)
+}
+
+/// The *opaque* variant: every flip is guarded by the **whole** mirror
+/// condition `⋀ⱼ aⱼ = bⱼ` instead of just the preceding position. The
+/// reachable set is the same full diagonal, but the variable
+/// co-occurrence graph is now complete — every command reads every
+/// variable — so the static dependency heuristic degenerates to the
+/// declaration order and *dynamic sifting is the only rescue*: the
+/// per-command transition relations themselves are `Θ(2ⁿ)` until the
+/// build-time watermark sift discovers the pairing. The workload that
+/// separates `--order static` from `--order sift`.
+pub fn mirrored_rings_opaque(n: usize) -> Result<MirroredRings, CoreError> {
+    build_rings(n, true)
+}
+
+fn build_rings(n: usize, opaque: bool) -> Result<MirroredRings, CoreError> {
+    assert!(n >= 2, "a ring needs at least two cells");
+    let mut vocab = Vocabulary::new();
+    let a: Vec<VarId> = (0..n)
+        .map(|i| vocab.declare(&format!("a{i}"), Domain::Bool))
+        .collect::<Result<_, _>>()?;
+    let b: Vec<VarId> = (0..n)
+        .map(|i| vocab.declare(&format!("b{i}"), Domain::Bool))
+        .collect::<Result<_, _>>()?;
+    let init = and(a
+        .iter()
+        .chain(b.iter())
+        .map(|&v| not(var(v)))
+        .collect::<Vec<_>>());
+    let name = if opaque {
+        "mirrored_rings_opaque"
+    } else {
+        "mirrored_rings"
+    };
+    let mut builder = Program::builder(name, Arc::new(vocab)).init(init);
+    for i in 0..n {
+        let guard = if opaque {
+            // Full mirror condition: semantically equivalent on the
+            // reachable diagonal, structurally opaque to the
+            // dependency heuristic.
+            and(a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| iff(var(x), var(y)))
+                .collect::<Vec<_>>())
+        } else {
+            // The ring coupling: a flip is enabled while the preceding
+            // position is still mirrored (always true on the reachable
+            // diagonal, so the full diagonal stays reachable).
+            let prev = (i + n - 1) % n;
+            iff(var(a[prev]), var(b[prev]))
+        };
+        builder = builder.fair_command(
+            format!("flip{i}"),
+            guard,
+            vec![(a[i], not(var(a[i]))), (b[i], not(var(b[i])))],
+        );
+    }
+    Ok(MirroredRings {
+        program: builder.build()?,
+        a,
+        b,
+    })
+}
+
+impl MirroredRings {
+    /// Number of cells per ring.
+    pub fn n(&self) -> usize {
+        self.a.len()
+    }
+
+    /// The mirror predicate `⋀ᵢ aᵢ = bᵢ` (the reachable diagonal).
+    pub fn mirrored(&self) -> Expr {
+        and(self
+            .a
+            .iter()
+            .zip(&self.b)
+            .map(|(&x, &y)| iff(var(x), var(y)))
+            .collect::<Vec<_>>())
+    }
+
+    /// `invariant mirrored` — the system safety property (every command
+    /// flips both rings together, so the diagonal is inductive).
+    pub fn mirror_invariant(&self) -> Property {
+        Property::Invariant(self.mirrored())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_mc::prelude::*;
+
+    #[test]
+    fn reachable_set_is_the_full_diagonal() {
+        let sys = mirrored_rings(4).unwrap();
+        // Symbolic count (any order) vs the explicit transition system.
+        let sym = reachable_count(&sys.program).unwrap();
+        assert_eq!(sym, 1 << 4);
+        let ts = TransitionSystem::build(&sys.program, Universe::Reachable, &ScanConfig::default())
+            .unwrap();
+        assert_eq!(sym, ts.len() as u128);
+    }
+
+    #[test]
+    fn mirror_invariant_holds_on_all_engines() {
+        let sys = mirrored_rings(3).unwrap();
+        let inv = sys.mirror_invariant();
+        for cfg in [
+            ScanConfig::default(),
+            ScanConfig::reference(),
+            ScanConfig::symbolic(),
+        ] {
+            check_property(&sys.program, &inv, Universe::AllStates, &cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn opaque_variant_has_the_same_reachable_set() {
+        let plain = mirrored_rings(4).unwrap();
+        let opaque = mirrored_rings_opaque(4).unwrap();
+        assert_eq!(
+            reachable_count(&plain.program).unwrap(),
+            reachable_count(&opaque.program).unwrap(),
+        );
+        check_property(
+            &opaque.program,
+            &opaque.mirror_invariant(),
+            Universe::AllStates,
+            &ScanConfig::symbolic(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn static_order_interleaves_the_rings() {
+        let sys = mirrored_rings(5).unwrap();
+        let order = unity_symbolic::order::static_field_order(&sys.program);
+        let n = sys.n();
+        // Wherever aᵢ is placed, bᵢ is adjacent.
+        for i in 0..n {
+            let pa = order.iter().position(|&v| v == i).unwrap();
+            let pb = order.iter().position(|&v| v == i + n).unwrap();
+            assert_eq!(
+                pa.abs_diff(pb),
+                1,
+                "a{i}/b{i} adjacent in static order {order:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Regression gate over the committed criterion baselines: re-runs one
+# bench group through scripts/bench.sh (regenerating BENCH_<group>.json)
+# and fails if any benchmark id shared with the previously committed
+# baseline regressed its median by more than 30%. New/removed benchmark
+# ids are ignored (they have no baseline to regress against), but the
+# two runs must share at least one id.
+#
+#   scripts/bench_compare.sh e17_symbolic
+#
+# The fresh summary replaces BENCH_<group>.json in the working tree
+# (CI uploads it as an artifact); use git to restore the baseline.
+#
+# Baselines carry absolute times from the machine that committed them,
+# so cross-machine runs (CI runners vs a dev box) measure hardware
+# difference as well as code difference. BENCH_COMPARE_TOLERANCE
+# (default 1.30) widens the gate where that skew is known to be large.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+group="${1:?usage: scripts/bench_compare.sh <bench-group>}"
+file="BENCH_${group}.json"
+if [ ! -f "$file" ]; then
+    echo "error: no committed baseline ${file} to compare against" >&2
+    exit 1
+fi
+
+baseline="$(mktemp)"
+trap 'rm -f "$baseline"' EXIT
+cp "$file" "$baseline"
+
+scripts/bench.sh "$group"
+
+tol="${BENCH_COMPARE_TOLERANCE:-1.30}"
+
+python3 - "$baseline" "$file" "$tol" <<'EOF'
+import json, sys
+
+tol = float(sys.argv[3])
+base = {r["id"]: r["median_ns"] for r in json.load(open(sys.argv[1]))}
+fresh = {r["id"]: r["median_ns"] for r in json.load(open(sys.argv[2]))}
+shared = sorted(set(base) & set(fresh))
+if not shared:
+    sys.exit("error: baseline and fresh run share no benchmark ids")
+bad = []
+for k in shared:
+    ratio = fresh[k] / base[k]
+    flag = "  <-- REGRESSION" if ratio > tol else ""
+    print(f"  {k}: {base[k]/1e3:.1f}us -> {fresh[k]/1e3:.1f}us (x{ratio:.2f}){flag}")
+    if ratio > tol:
+        bad.append(k)
+if bad:
+    sys.exit(
+        f"error: {len(bad)} benchmark(s) regressed >{tol:.0%}-of-baseline "
+        f"vs the committed medians: {', '.join(bad)}"
+    )
+print(f"OK: no >x{tol:.2f} median regression across {len(shared)} shared benchmark(s)")
+EOF

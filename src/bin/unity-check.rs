@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! unity-check FILE [--engine explicit|symbolic|reference]
+//!             [--order declaration|static|sift] [--stats]
 //!             [--universe reachable|all] [--sim STEPS] [--seed N]
 //!             [--trace FILE] [--list] [--quiet]
 //!             [--conserve] [--synthesize] [--mutate] [--version]
@@ -20,6 +21,18 @@
 //! states, `leadsto` falls back to the explicit engine), or `reference`
 //! (the tree-walking evaluator, the semantics of record). All engines
 //! return identical verdicts — pinned by the differential test suites.
+//!
+//! `--order` picks the symbolic engine's BDD variable-order strategy:
+//! `declaration` (the packed-layout order, an accident of how the spec
+//! was written), `static` (derived from the program's variable-
+//! dependency graph at construction), or `sift` (static start plus
+//! dynamic Rudell sifting when the arena grows — the default). The
+//! explicit engines ignore it.
+//!
+//! `--stats` prints engine counters after the checks: states visited
+//! and transitions computed for the enumerating engines; live/peak BDD
+//! nodes, apply-cache hit rate, sift passes/swaps and GC activity for
+//! the symbolic engine.
 //!
 //! `--sim N` additionally runs an `N`-step weakly-fair simulation
 //! (aged-lottery scheduler) with every `invariant` check attached as a
@@ -47,6 +60,8 @@ use unity_sim::prelude::*;
 struct Options {
     file: String,
     engine: Engine,
+    order: OrderMode,
+    stats: bool,
     universe: Universe,
     sim_steps: u64,
     seed: u64,
@@ -59,6 +74,7 @@ struct Options {
 }
 
 const USAGE: &str = "usage: unity-check FILE [--engine explicit|symbolic|reference] \
+                     [--order declaration|static|sift] [--stats] \
                      [--universe reachable|all] [--sim STEPS] \
                      [--seed N] [--trace FILE] [--list] [--quiet] \
                      [--conserve] [--synthesize] [--mutate] [--version]";
@@ -68,6 +84,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         file: String::new(),
         engine: Engine::Compiled,
+        order: OrderMode::default(),
+        stats: false,
         universe: Universe::Reachable,
         sim_steps: 0,
         seed: 1,
@@ -89,6 +107,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("bad --engine {other:?}; {USAGE}")),
                 }
             }
+            "--order" => {
+                opts.order = match it.next().map(String::as_str) {
+                    Some("declaration") => OrderMode::Declaration,
+                    Some("static") => OrderMode::Static,
+                    Some("sift") | Some("sifting") => OrderMode::Sifting,
+                    other => return Err(format!("bad --order {other:?}; {USAGE}")),
+                }
+            }
+            "--stats" => opts.stats = true,
             "--universe" => {
                 opts.universe = match it.next().map(String::as_str) {
                     Some("reachable") => Universe::Reachable,
@@ -175,6 +202,10 @@ fn run(opts: &Options) -> Result<bool, String> {
 
     let cfg = ScanConfig {
         engine: opts.engine,
+        symbolic: SymbolicOptions {
+            order: opts.order.clone(),
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut ok = true;
@@ -194,6 +225,9 @@ fn run(opts: &Options) -> Result<bool, String> {
         }
     }
 
+    if opts.stats {
+        stats_report(opts, &cfg, &spec);
+    }
     if opts.sim_steps > 0 {
         ok &= simulate(opts, &spec)?;
     }
@@ -207,6 +241,40 @@ fn run(opts: &Options) -> Result<bool, String> {
         mutate_report(opts, &spec);
     }
     Ok(ok)
+}
+
+/// `--stats`: print engine counters for the file's composed program
+/// (informational). The symbolic engine reports arena/reorder/cache
+/// activity from a reachability run; the enumerating engines report the
+/// transition system's size.
+fn stats_report(opts: &Options, cfg: &ScanConfig, spec: &unity_composition::spec::SpecFile) {
+    let program = &spec.system.composed;
+    match opts.engine {
+        Engine::Symbolic => match SymbolicProgram::build_with(program, &cfg.symbolic) {
+            Ok(mut sym) => {
+                let reach = sym.reachable();
+                println!(
+                    "STATS symbolic: {} reachable state(s) in {} iteration(s); order {:?}; {}",
+                    reach.count,
+                    reach.iterations,
+                    opts.order,
+                    sym.stats()
+                );
+            }
+            Err(e) => println!("STATS symbolic: not applicable ({e}); explicit fallback"),
+        },
+        Engine::Compiled | Engine::Reference => {
+            match TransitionSystem::build(program, opts.universe, cfg) {
+                Ok(ts) => println!(
+                    "STATS explicit: {} state(s) visited, {} transition(s) computed ({:?} universe)",
+                    ts.len(),
+                    ts.transition_count(),
+                    opts.universe
+                ),
+                Err(e) => println!("STATS explicit: {e}"),
+            }
+        }
+    }
 }
 
 /// `--conserve`: print the conserved-combination basis and any derived
