@@ -1,0 +1,178 @@
+//! E19 — verifier session reuse: an N-property specification decided by
+//! per-check rebuild (the stateless free functions) vs one `Verifier`
+//! session (shared compiled pipeline, transition system + reachable
+//! set, symbolic engine).
+//!
+//! This is the access pattern the paper's method induces — *many*
+//! universal properties posed against *one* composed program — and the
+//! pattern `unity-check`, `--mutate`, `--synthesize` and the proof
+//! dischargers all hit. The session must win by the number of times the
+//! dominant artifact would otherwise be rebuilt (≈ the property count
+//! for artifact-dominated checks).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_core::expr::build::tt;
+use unity_core::properties::Property;
+use unity_mc::prelude::*;
+use unity_systems::priority::PrioritySystem;
+
+/// A 10-check liveness-heavy spec on a priority ring: the paper's (18)
+/// `true ↦ Priority(i)` per node plus the (17) safety invariant and one
+/// (15) next property. Every `leadsto` needs the reachable transition
+/// system — the artifact the session shares.
+fn live_spec(sys: &PrioritySystem) -> Vec<NamedCheck> {
+    let mut checks: Vec<NamedCheck> = (0..sys.len())
+        .map(|i| NamedCheck {
+            name: format!("live{i}"),
+            property: Property::LeadsTo(tt(), sys.priority_expr(i)),
+            line: 0,
+        })
+        .collect();
+    checks.push(NamedCheck {
+        name: "safety".into(),
+        property: sys.safety_invariant(),
+        line: 0,
+    });
+    checks.push(NamedCheck {
+        name: "yield0".into(),
+        property: sys.spec_15(0),
+        line: 0,
+    });
+    checks
+}
+
+/// A 10-check safety spec on a bigger ring for the symbolic engine: the
+/// shared artifact is the lowered `SymbolicProgram` (partitioned
+/// transition relations + tuned variable order).
+fn safety_spec(sys: &PrioritySystem) -> Vec<NamedCheck> {
+    let mut checks = vec![NamedCheck {
+        name: "safety".into(),
+        property: sys.safety_invariant(),
+        line: 0,
+    }];
+    checks.extend((0..9).map(|i| NamedCheck {
+        name: format!("yield{i}"),
+        property: sys.spec_15(i),
+        line: 0,
+    }));
+    checks
+}
+
+fn passes_rebuild(checks: &[NamedCheck], sys: &PrioritySystem, cfg: &ScanConfig) -> usize {
+    checks
+        .iter()
+        .filter(|c| {
+            check_property(&sys.system.composed, &c.property, Universe::Reachable, cfg).is_ok()
+        })
+        .count()
+}
+
+fn passes_session(checks: &[NamedCheck], sys: &PrioritySystem, cfg: &ScanConfig) -> usize {
+    let mut session = Verifier::new(&sys.system.composed, cfg.clone());
+    let report = session.verify_all(checks);
+    report.checks.iter().filter(|c| c.verdict.passed()).count()
+}
+
+fn bench_e19(c: &mut Criterion) {
+    // Explicit engine, leadsto-heavy: the transition system + reachable
+    // set is rebuilt 8x by the free functions, once by the session.
+    let mut group = c.benchmark_group("e19_session_explicit");
+    group.sample_size(10);
+    let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(12))).unwrap();
+    let checks = live_spec(&sys);
+    assert_eq!(checks.len(), 14);
+    let cfg = ScanConfig::default();
+    assert_eq!(passes_rebuild(&checks, &sys, &cfg), checks.len());
+    assert_eq!(passes_session(&checks, &sys, &cfg), checks.len());
+    group.bench_with_input(
+        BenchmarkId::new("rebuild_per_check", "ring12_14props"),
+        &(&checks, &sys),
+        |b, (checks, sys)| b.iter(|| passes_rebuild(checks, sys, &cfg)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("session", "ring12_14props"),
+        &(&checks, &sys),
+        |b, (checks, sys)| b.iter(|| passes_session(checks, sys, &cfg)),
+    );
+    group.finish();
+
+    // Symbolic engine, inductive safety at scale: the lowered symbolic
+    // program is rebuilt 10x by the free functions, once by the session.
+    let mut group = c.benchmark_group("e19_session_symbolic");
+    group.sample_size(10);
+    let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(16))).unwrap();
+    let checks = safety_spec(&sys);
+    assert_eq!(checks.len(), 10);
+    let cfg = ScanConfig::symbolic();
+    assert_eq!(passes_rebuild(&checks, &sys, &cfg), checks.len());
+    assert_eq!(passes_session(&checks, &sys, &cfg), checks.len());
+    group.bench_with_input(
+        BenchmarkId::new("rebuild_per_check", "ring16_10props"),
+        &(&checks, &sys),
+        |b, (checks, sys)| b.iter(|| passes_rebuild(checks, sys, &cfg)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("session", "ring16_10props"),
+        &(&checks, &sys),
+        |b, (checks, sys)| b.iter(|| passes_session(checks, sys, &cfg)),
+    );
+    group.finish();
+
+    // Mutation audit (the `--mutate` path): every mutant re-checks the
+    // whole spec. The closure form rebuilds per property per mutant;
+    // `mutation_audit_checks` opens one session per mutant.
+    let mut group = c.benchmark_group("e19_session_mutate");
+    group.sample_size(10);
+    let sys = PrioritySystem::new(Arc::new(prio_graph::topology::ring(5))).unwrap();
+    let checks = live_spec(&sys);
+    let cfg = ScanConfig::default();
+    group.bench_with_input(
+        BenchmarkId::new("audit_rebuild_per_check", "ring5"),
+        &(&checks, &sys),
+        |b, (checks, sys)| {
+            b.iter(|| {
+                let program = &sys.system.composed;
+                type Boxed = (String, Box<dyn Fn(&unity_core::program::Program) -> bool>);
+                let specs: Vec<Boxed> = checks
+                    .iter()
+                    .map(|c| {
+                        let prop = c.property.clone();
+                        let cfg = cfg.clone();
+                        let f: Box<dyn Fn(&unity_core::program::Program) -> bool> =
+                            Box::new(move |p| {
+                                check_property(p, &prop, Universe::Reachable, &cfg).is_ok()
+                            });
+                        (c.name.clone(), f)
+                    })
+                    .collect();
+                let named: Vec<Spec<'_>> = specs
+                    .iter()
+                    .map(|(n, f)| {
+                        (
+                            n.as_str(),
+                            f.as_ref() as &dyn Fn(&unity_core::program::Program) -> bool,
+                        )
+                    })
+                    .collect();
+                mutation_audit(program, &named).unwrap().killed()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("audit_session", "ring5"),
+        &(&checks, &sys),
+        |b, (checks, sys)| {
+            b.iter(|| {
+                mutation_audit_checks(&sys.system.composed, checks, Universe::Reachable, &cfg)
+                    .unwrap()
+                    .killed()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_e19);
+criterion_main!(benches);

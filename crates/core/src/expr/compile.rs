@@ -9,7 +9,7 @@
 //! * a flat, post-order [`CompiledExpr`] — a register bytecode with
 //!   short-circuit jumps for `&&`/`||`/`⇒` and if-then-else, n-ary
 //!   reductions unrolled, and constants folded (via
-//!   [`simplify`](super::simplify::simplify)); and
+//!   [`simplify`]); and
 //! * a [`PackedLayout`] that bit-packs a whole state into one `u64` word
 //!   (each variable a contiguous field holding its canonical domain
 //!   index), so the scan loops stream plain integers instead of chasing

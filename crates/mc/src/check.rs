@@ -4,39 +4,50 @@
 //! quantify over **all** type-consistent states, never just reachable ones
 //! (the paper explicitly avoids the substitution axiom). Reachability-aware
 //! variants exist under explicit names for comparison experiments.
+//!
+//! Every public checker here is a **one-shot wrapper**: it opens a
+//! throwaway engine cache and forwards to the cache-threaded `*_in`
+//! form the [`Verifier`](crate::verifier::Verifier) session shares its
+//! memoized artifacts through. Checking many properties of one program?
+//! Use a session — same verdicts, one set of artifacts.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use unity_core::command::Command;
 use unity_core::expr::compile::{CompiledCommand, CompiledExpr, PackedLayout, Scratch};
-use unity_core::expr::eval::{eval, eval_bool};
+use unity_core::expr::eval::eval_bool;
 use unity_core::expr::{vars, Expr};
 use unity_core::ident::VarId;
 use unity_core::program::Program;
 use unity_core::properties::Property;
-use unity_core::value::Value;
 
-use crate::compiled::{decode_witness, scan_packed, try_layout};
+use crate::compiled::{decode_witness, scan_packed};
 use crate::space::{scan_for, ScanConfig};
 use crate::trace::{Counterexample, McError};
 use crate::transition::Universe;
+use crate::verifier::EngineCache;
+use crate::witness;
 
 /// Compiled ingredients of a program-level check: the layout, compiled
 /// commands, and any extra predicates lowered alongside. `None` when the
 /// fast path does not apply (config opt-out, oversized vocabulary, or a
 /// pathological expression the compiler rejects) — callers then use the
-/// reference path.
+/// reference path. Layout and commands come from the session cache;
+/// only the per-property predicates are compiled per call.
+#[allow(clippy::type_complexity)]
 fn compile_for_check(
     program: &Program,
     exprs: &[&Expr],
     cfg: &ScanConfig,
-) -> Option<(PackedLayout, Vec<CompiledCommand>, Vec<CompiledExpr>)> {
-    let (layout, preds) = compile_preds(program, exprs, cfg)?;
-    let commands = program
-        .commands
-        .iter()
-        .map(|c| CompiledCommand::compile(c, &layout).ok())
-        .collect::<Option<Vec<_>>>()?;
+    cache: &mut EngineCache,
+) -> Option<(
+    Arc<PackedLayout>,
+    Arc<Vec<CompiledCommand>>,
+    Vec<CompiledExpr>,
+)> {
+    let (_, commands) = cache.compiled(program, cfg)?;
+    let (layout, preds) = compile_preds(program, exprs, cfg, cache)?;
     Some((layout, commands, preds))
 }
 
@@ -47,8 +58,9 @@ fn compile_preds(
     program: &Program,
     exprs: &[&Expr],
     cfg: &ScanConfig,
-) -> Option<(PackedLayout, Vec<CompiledExpr>)> {
-    let layout = try_layout(&program.vocab, cfg)?;
+    cache: &mut EngineCache,
+) -> Option<(Arc<PackedLayout>, Vec<CompiledExpr>)> {
+    let layout = cache.layout(program, cfg)?;
     let preds = exprs
         .iter()
         .map(|e| CompiledExpr::compile(e, &layout).ok())
@@ -89,9 +101,18 @@ fn refuted(program: &Program, prop: &Property, cex: Counterexample) -> McError {
 /// Checks `init p`: every state satisfying the `initially` predicate
 /// satisfies `p`.
 pub fn check_init(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
+    check_init_in(program, p, cfg, &mut EngineCache::default())
+}
+
+pub(crate) fn check_init_in(
+    program: &Program,
+    p: &Expr,
+    cfg: &ScanConfig,
+    cache: &mut EngineCache,
+) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
     if crate::symbolic::wants(cfg) {
-        if let Some(found) = crate::symbolic::try_check_init(program, p, cfg) {
+        if let Some(found) = crate::symbolic::try_check_init(program, p, cfg, cache) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Init(p.clone()), cex)),
@@ -102,7 +123,7 @@ pub fn check_init(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), M
     vars::collect(p, &mut support);
     let vocab = &program.vocab;
     let found = 'found: {
-        if let Some((layout, preds)) = compile_preds(program, &[&program.init, p], cfg) {
+        if let Some((layout, preds)) = compile_preds(program, &[&program.init, p], cfg, cache) {
             let (cinit, cp) = (&preds[0], &preds[1]);
             let word = scan_packed(vocab, &layout, Some(&support), cfg, || {
                 let mut scratch = Scratch::new();
@@ -131,10 +152,20 @@ pub fn check_init(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), M
 /// Checks `p next q`: from every `p`-state, the implicit `skip` and every
 /// command land in `q`.
 pub fn check_next(program: &Program, p: &Expr, q: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
+    check_next_in(program, p, q, cfg, &mut EngineCache::default())
+}
+
+pub(crate) fn check_next_in(
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+    cfg: &ScanConfig,
+    cache: &mut EngineCache,
+) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
     q.check_pred(&program.vocab)?;
     if crate::symbolic::wants(cfg) {
-        if let Some(found) = crate::symbolic::try_check_next(program, p, q, cfg) {
+        if let Some(found) = crate::symbolic::try_check_next(program, p, q, cfg, cache) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Next(p.clone(), q.clone()), cex)),
@@ -145,11 +176,14 @@ pub fn check_next(program: &Program, p: &Expr, q: &Expr, cfg: &ScanConfig) -> Re
     let vocab = &program.vocab;
     // `stable p` arrives here as `p next p`: compile the predicate once.
     let pq = if p == q { vec![p] } else { vec![p, q] };
-    let found = 'found: {
-        if let Some((layout, commands, preds)) = compile_for_check(program, &pq, cfg) {
+    // Both paths report the same raw witness — pre-state plus command
+    // index — and the counterexample is assembled once, with the
+    // post-state replayed on the reference semantics (`witness`).
+    let found: Option<(unity_core::state::State, Option<usize>)> = 'found: {
+        if let Some((layout, commands, preds)) = compile_for_check(program, &pq, cfg, cache) {
             let (cp, cq) = (&preds[0], preds.last().expect("at least one predicate"));
-            let commands = &commands;
-            let layout_ref = &layout;
+            let commands = &commands[..];
+            let layout_ref = &*layout;
             let word = scan_packed(vocab, layout_ref, Some(&support), cfg, || {
                 let mut scratch = Scratch::new();
                 move |w: u64| {
@@ -158,24 +192,20 @@ pub fn check_next(program: &Program, p: &Expr, q: &Expr, cfg: &ScanConfig) -> Re
                     }
                     // Implicit skip: p-states must already satisfy q.
                     if !cq.eval_packed_bool(w, &mut scratch) {
-                        return Some((w, None, w));
+                        return Some((w, None));
                     }
                     for (k, c) in commands.iter().enumerate() {
                         let after = c.step_packed(w, layout_ref, &mut scratch);
                         // A skipping command lands on w, where q already
                         // held — no need to re-evaluate.
                         if after != w && !cq.eval_packed_bool(after, &mut scratch) {
-                            return Some((w, Some(k), after));
+                            return Some((w, Some(k)));
                         }
                     }
                     None
                 }
             })?;
-            break 'found word.map(|(w, cmd, after)| Counterexample::Next {
-                state: decode_witness(&layout, vocab, w),
-                command: cmd.map(|k| program.commands[k].name.clone()),
-                after: decode_witness(&layout, vocab, after),
-            });
+            break 'found word.map(|(w, cmd)| (decode_witness(&layout, vocab, w), cmd));
         }
         scan_for(vocab, Some(&support), cfg, |s| {
             if !eval_bool(p, s) {
@@ -183,20 +213,12 @@ pub fn check_next(program: &Program, p: &Expr, q: &Expr, cfg: &ScanConfig) -> Re
             }
             // Implicit skip: p-states must already satisfy q.
             if !eval_bool(q, s) {
-                return Some(Counterexample::Next {
-                    state: s.clone(),
-                    command: None,
-                    after: s.clone(),
-                });
+                return Some((s.clone(), None));
             }
-            for c in &program.commands {
+            for (k, c) in program.commands.iter().enumerate() {
                 let after = c.step(s, vocab);
                 if !eval_bool(q, &after) {
-                    return Some(Counterexample::Next {
-                        state: s.clone(),
-                        command: Some(c.name.clone()),
-                        after,
-                    });
+                    return Some((s.clone(), Some(k)));
                 }
             }
             None
@@ -204,7 +226,11 @@ pub fn check_next(program: &Program, p: &Expr, q: &Expr, cfg: &ScanConfig) -> Re
     };
     match found {
         None => Ok(()),
-        Some(cex) => Err(refuted(program, &Property::Next(p.clone(), q.clone()), cex)),
+        Some((state, cmd)) => Err(refuted(
+            program,
+            &Property::Next(p.clone(), q.clone()),
+            witness::next_cex(program, state, cmd),
+        )),
     }
 }
 
@@ -228,24 +254,42 @@ pub fn check_next_wp(
 
 /// Checks `stable p` (= `p next p`).
 pub fn check_stable(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
-    check_next(program, p, p, cfg)
+    check_stable_in(program, p, cfg, &mut EngineCache::default())
+}
+
+pub(crate) fn check_stable_in(
+    program: &Program,
+    p: &Expr,
+    cfg: &ScanConfig,
+    cache: &mut EngineCache,
+) -> Result<(), McError> {
+    check_next_in(program, p, p, cfg, cache)
 }
 
 /// Checks `invariant p` (= `init p ∧ stable p` — the inductive definition).
 pub fn check_invariant(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
+    check_invariant_in(program, p, cfg, &mut EngineCache::default())
+}
+
+pub(crate) fn check_invariant_in(
+    program: &Program,
+    p: &Expr,
+    cfg: &ScanConfig,
+    cache: &mut EngineCache,
+) -> Result<(), McError> {
     if crate::symbolic::wants(cfg) {
         p.check_pred(&program.vocab)?;
         // One symbolic lowering decides both halves (the split call
-        // below would build the transition relations twice).
-        if let Some(found) = crate::symbolic::try_check_invariant(program, p, cfg) {
+        // below would lower the predicate twice).
+        if let Some(found) = crate::symbolic::try_check_invariant(program, p, cfg, cache) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Invariant(p.clone()), cex)),
             };
         }
     }
-    check_init(program, p, cfg)?;
-    check_stable(program, p, cfg)
+    check_init_in(program, p, cfg, cache)?;
+    check_stable_in(program, p, cfg, cache)
 }
 
 /// Checks `invariant p` over *reachable* states only (the
@@ -281,9 +325,18 @@ pub fn check_invariant_reachable(
 /// Checks `unchanged e`: no command changes the value of `e` (the paper's
 /// `⟨∀k :: stable (e = k)⟩` schema).
 pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
+    check_unchanged_in(program, e, cfg, &mut EngineCache::default())
+}
+
+pub(crate) fn check_unchanged_in(
+    program: &Program,
+    e: &Expr,
+    cfg: &ScanConfig,
+    cache: &mut EngineCache,
+) -> Result<(), McError> {
     e.infer_type(&program.vocab)?;
     if crate::symbolic::wants(cfg) {
-        if let Some(found) = crate::symbolic::try_check_unchanged(program, e, cfg) {
+        if let Some(found) = crate::symbolic::try_check_unchanged(program, e, cfg, cache) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Unchanged(e.clone()), cex)),
@@ -292,15 +345,13 @@ pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<
     }
     let support = program_support(program, &[e]);
     let vocab = &program.vocab;
-    let as_i64 = |v: Value| match v {
-        Value::Int(n) => n,
-        Value::Bool(b) => i64::from(b),
-    };
-    let found = 'found: {
-        if let Some((layout, commands, preds)) = compile_for_check(program, &[e], cfg) {
+    // Raw witness: pre-state plus offending command index; before/after
+    // values are recomputed once by the shared constructor (`witness`).
+    let found: Option<(unity_core::state::State, usize)> = 'found: {
+        if let Some((layout, commands, preds)) = compile_for_check(program, &[e], cfg, cache) {
             let ce = &preds[0];
-            let commands = &commands;
-            let layout_ref = &layout;
+            let commands = &commands[..];
+            let layout_ref = &*layout;
             let word = scan_packed(vocab, layout_ref, Some(&support), cfg, || {
                 let mut scratch = Scratch::new();
                 move |w: u64| {
@@ -312,31 +363,20 @@ pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<
                         }
                         let after = ce.eval_packed(after_w, &mut scratch);
                         if after != before {
-                            return Some((w, k, before, after));
+                            return Some((w, k));
                         }
                     }
                     None
                 }
             })?;
-            break 'found word.map(|(w, k, before, after)| Counterexample::Unchanged {
-                state: decode_witness(&layout, vocab, w),
-                command: program.commands[k].name.clone(),
-                before,
-                after,
-            });
+            break 'found word.map(|(w, k)| (decode_witness(&layout, vocab, w), k));
         }
         scan_for(vocab, Some(&support), cfg, |s| {
-            let before = eval(e, s);
-            for c in &program.commands {
+            let before = unity_core::expr::eval::eval(e, s);
+            for (k, c) in program.commands.iter().enumerate() {
                 let after_state = c.step(s, vocab);
-                let after = eval(e, &after_state);
-                if after != before {
-                    return Some(Counterexample::Unchanged {
-                        state: s.clone(),
-                        command: c.name.clone(),
-                        before: as_i64(before),
-                        after: as_i64(after),
-                    });
+                if unity_core::expr::eval::eval(e, &after_state) != before {
+                    return Some((s.clone(), k));
                 }
             }
             None
@@ -344,16 +384,29 @@ pub fn check_unchanged(program: &Program, e: &Expr, cfg: &ScanConfig) -> Result<
     };
     match found {
         None => Ok(()),
-        Some(cex) => Err(refuted(program, &Property::Unchanged(e.clone()), cex)),
+        Some((state, k)) => Err(refuted(
+            program,
+            &Property::Unchanged(e.clone()),
+            witness::unchanged_cex(program, e, state, k),
+        )),
     }
 }
 
 /// Checks `transient p`: some fair command falsifies `p` from *every*
 /// `p`-state.
 pub fn check_transient(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {
+    check_transient_in(program, p, cfg, &mut EngineCache::default())
+}
+
+pub(crate) fn check_transient_in(
+    program: &Program,
+    p: &Expr,
+    cfg: &ScanConfig,
+    cache: &mut EngineCache,
+) -> Result<(), McError> {
     p.check_pred(&program.vocab)?;
     if crate::symbolic::wants(cfg) {
-        if let Some(found) = crate::symbolic::try_check_transient(program, p, cfg) {
+        if let Some(found) = crate::symbolic::try_check_transient(program, p, cfg, cache) {
             return match found {
                 None => Ok(()),
                 Some(cex) => Err(refuted(program, &Property::Transient(p.clone()), cex)),
@@ -361,19 +414,27 @@ pub fn check_transient(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<
         }
     }
     let vocab = &program.vocab;
-    let compiled = try_layout(vocab, cfg).and_then(|layout| {
+    // Session-cached commands when the whole program compiles; a
+    // pathological command elsewhere only costs a per-command compile
+    // here, never the fast path for the others.
+    let cached_commands = cache.compiled(program, cfg).map(|(_, commands)| commands);
+    let compiled = cache.layout(program, cfg).and_then(|layout| {
         let cp = CompiledExpr::compile(p, &layout).ok()?;
         Some((layout, cp))
     });
     let mut witnesses = Vec::new();
     for (idx, cmd) in program.fair_commands() {
-        let _ = idx;
         // Per-command support: p's variables plus this command's.
         let mut support = vars::free_vars(p);
         command_support(cmd, &mut support);
         let stuck = 'stuck: {
             if let Some((layout, cp)) = &compiled {
-                if let Ok(ccmd) = CompiledCommand::compile(cmd, layout) {
+                let ccmd = match &cached_commands {
+                    Some(commands) => Ok(commands[idx].clone()),
+                    None => CompiledCommand::compile(cmd, layout),
+                };
+                if let Ok(ccmd) = ccmd {
+                    let layout = &**layout;
                     let word = scan_packed(vocab, layout, Some(&support), cfg, || {
                         let (cp, ccmd) = (cp, &ccmd);
                         let mut scratch = Scratch::new();
@@ -402,13 +463,13 @@ pub fn check_transient(program: &Program, p: &Expr, cfg: &ScanConfig) -> Result<
         };
         match stuck {
             None => return Ok(()), // this fair command is a witness
-            Some(state) => witnesses.push((cmd.name.clone(), state)),
+            Some(state) => witnesses.push((idx, state)),
         }
     }
     Err(refuted(
         program,
         &Property::Transient(p.clone()),
-        Counterexample::Transient { witnesses },
+        witness::transient_cex(program, witnesses),
     ))
 }
 
@@ -420,15 +481,25 @@ pub fn check_property(
     universe: Universe,
     cfg: &ScanConfig,
 ) -> Result<(), McError> {
+    check_property_in(program, prop, universe, cfg, &mut EngineCache::default())
+}
+
+pub(crate) fn check_property_in(
+    program: &Program,
+    prop: &Property,
+    universe: Universe,
+    cfg: &ScanConfig,
+    cache: &mut EngineCache,
+) -> Result<(), McError> {
     match prop {
-        Property::Init(p) => check_init(program, p, cfg),
-        Property::Transient(p) => check_transient(program, p, cfg),
-        Property::Next(p, q) => check_next(program, p, q, cfg),
-        Property::Stable(p) => check_stable(program, p, cfg),
-        Property::Invariant(p) => check_invariant(program, p, cfg),
-        Property::Unchanged(e) => check_unchanged(program, e, cfg),
+        Property::Init(p) => check_init_in(program, p, cfg, cache),
+        Property::Transient(p) => check_transient_in(program, p, cfg, cache),
+        Property::Next(p, q) => check_next_in(program, p, q, cfg, cache),
+        Property::Stable(p) => check_stable_in(program, p, cfg, cache),
+        Property::Invariant(p) => check_invariant_in(program, p, cfg, cache),
+        Property::Unchanged(e) => check_unchanged_in(program, e, cfg, cache),
         Property::LeadsTo(p, q) => {
-            crate::fair::check_leadsto(program, p, q, universe, cfg).map(|_| ())
+            crate::fair::check_leadsto_in(program, p, q, universe, cfg, cache).map(|_| ())
         }
     }
 }
@@ -436,41 +507,58 @@ pub fn check_property(
 /// A [`Discharger`](unity_core::proof::Discharger) backed by this model
 /// checker: premises are checked semantically on the scoped program,
 /// validity/equivalence side conditions by full-domain scans.
+///
+/// The discharger is a verification *session*: each scope (the system
+/// and every component) keeps its own memoized engine artifacts across
+/// premises, so a derivation with many obligations per scope pays for
+/// the compiled pipeline / symbolic engine once per scope, not once per
+/// premise.
 pub struct McDischarger<'a> {
     /// The composed system providing component and system programs.
     pub system: &'a unity_core::compose::System,
     /// Universe for leadsto premises.
     pub universe: Universe,
-    /// Scan configuration.
+    /// Scan configuration. Set it **before** the first discharge:
+    /// artifacts already memoized by earlier premises were built under
+    /// the configuration in effect at that time and are not rebuilt on
+    /// a change.
     pub cfg: ScanConfig,
     /// Count of discharged obligations (reporting).
     pub discharged: usize,
+    /// Memoized per-scope artifacts (`[system, components...]`).
+    caches: Vec<EngineCache>,
 }
 
 impl<'a> McDischarger<'a> {
     /// Builds a discharger over `system` with default configuration.
     pub fn new(system: &'a unity_core::compose::System) -> Self {
+        let caches = (0..=system.components.len())
+            .map(|_| EngineCache::default())
+            .collect();
         McDischarger {
             system,
             universe: Universe::Reachable,
             cfg: ScanConfig::default(),
             discharged: 0,
+            caches,
         }
     }
 
-    fn program_for(
-        &self,
+    /// The scoped program plus its session cache.
+    fn scope_session(
+        &mut self,
         scope: &unity_core::proof::Scope,
-    ) -> Result<&'a Program, unity_core::error::CoreError> {
+    ) -> Result<(&'a Program, &mut EngineCache), unity_core::error::CoreError> {
         match scope {
-            unity_core::proof::Scope::System => Ok(&self.system.composed),
+            unity_core::proof::Scope::System => Ok((&self.system.composed, &mut self.caches[0])),
             unity_core::proof::Scope::Component(i) => {
-                self.system.components.get(*i).ok_or_else(|| {
+                let program = self.system.components.get(*i).ok_or_else(|| {
                     unity_core::error::CoreError::Discharge {
                         obligation: format!("component {i}"),
                         reason: "no such component".into(),
                     }
-                })
+                })?;
+                Ok((program, &mut self.caches[i + 1]))
             }
         }
     }
@@ -491,20 +579,29 @@ impl unity_core::proof::Discharger for McDischarger<'_> {
         &mut self,
         judgment: &unity_core::proof::Judgment,
     ) -> Result<(), unity_core::error::CoreError> {
-        let program = self.program_for(&judgment.scope)?;
-        check_property(program, &judgment.prop, self.universe, &self.cfg).map_err(to_core)?;
+        let universe = self.universe;
+        let cfg = self.cfg.clone();
+        let (program, cache) = self.scope_session(&judgment.scope)?;
+        check_property_in(program, &judgment.prop, universe, &cfg, cache).map_err(to_core)?;
         self.discharged += 1;
         Ok(())
     }
 
     fn valid(&mut self, p: &Expr) -> Result<(), unity_core::error::CoreError> {
-        crate::space::check_valid(self.system.vocab(), p, &self.cfg).map_err(to_core)?;
+        let cfg = self.cfg.clone();
+        // Side conditions range over the merged vocabulary — the system
+        // scope's session (its symbolic engine, when configured) serves
+        // them.
+        crate::space::check_valid_in(&self.system.composed, p, &cfg, &mut self.caches[0])
+            .map_err(to_core)?;
         self.discharged += 1;
         Ok(())
     }
 
     fn equivalent(&mut self, a: &Expr, b: &Expr) -> Result<(), unity_core::error::CoreError> {
-        crate::space::check_equivalent(self.system.vocab(), a, b, &self.cfg).map_err(to_core)?;
+        let cfg = self.cfg.clone();
+        crate::space::check_equivalent_in(&self.system.composed, a, b, &cfg, &mut self.caches[0])
+            .map_err(to_core)?;
         self.discharged += 1;
         Ok(())
     }

@@ -11,7 +11,7 @@
 //! * [`scan_packed`] runs a chunk-parallel, allocation-free scan over a
 //!   (possibly projected) packed state space: each worker walks its
 //!   range with an incremental mixed-radix [`SupportCursor`] and a
-//!   per-chunk [`Scratch`] register file — no per-state heap traffic at
+//!   per-chunk [`Scratch`](unity_core::expr::compile::Scratch) register file — no per-state heap traffic at
 //!   all;
 //! * [`try_layout`] is the gate: the fast path engages exactly when the
 //!   vocabulary packs into 64 bits and compilation succeeds (true for

@@ -48,9 +48,30 @@ pub fn check_leadsto(
     universe: Universe,
     cfg: &ScanConfig,
 ) -> Result<LeadsToReport, McError> {
+    check_leadsto_in(
+        program,
+        p,
+        q,
+        universe,
+        cfg,
+        &mut crate::verifier::EngineCache::default(),
+    )
+}
+
+/// Session form of [`check_leadsto`]: the transition system (and with
+/// it the reachable set) comes from the cache, so a spec with many
+/// `leadsto` checks builds it once.
+pub(crate) fn check_leadsto_in(
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+    universe: Universe,
+    cfg: &ScanConfig,
+    cache: &mut crate::verifier::EngineCache,
+) -> Result<LeadsToReport, McError> {
     p.check_pred(&program.vocab)?;
     q.check_pred(&program.vocab)?;
-    let ts = TransitionSystem::build(program, universe, cfg)?;
+    let ts = cache.transition_system(program, universe, cfg)?;
     check_leadsto_on(&ts, program, p, q)
 }
 

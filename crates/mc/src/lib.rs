@@ -52,6 +52,7 @@ pub mod fair;
 pub mod hasher;
 pub mod mutate;
 pub mod parallel;
+pub mod report;
 pub mod scc;
 pub mod space;
 pub mod stats;
@@ -60,6 +61,8 @@ pub mod symmetry;
 pub mod synth;
 pub mod trace;
 pub mod transition;
+pub mod verifier;
+mod witness;
 
 /// Commonly used items.
 pub mod prelude {
@@ -74,10 +77,11 @@ pub mod prelude {
     pub use crate::compiled::{scan_packed, try_layout, CompiledProgram};
     pub use crate::fair::{check_leadsto, check_leadsto_on, LeadsToReport};
     pub use crate::mutate::{
-        mutants, mutation_audit, same_behavior, AuditError, Mutant, MutantOutcome, MutationKind,
-        MutationReport, Spec,
+        mutants, mutation_audit, mutation_audit_checks, mutation_audit_in, same_behavior,
+        AuditError, Mutant, MutantOutcome, MutationKind, MutationReport, Spec,
     };
     pub use crate::parallel::ParConfig;
+    pub use crate::report::{CheckReport, Report, SimCheck};
     pub use crate::space::{check_equivalent, check_valid, find_satisfying, Engine, ScanConfig};
     pub use crate::stats::McStats;
     pub use crate::symbolic::{reachable_count, reachable_count_with};
@@ -86,10 +90,14 @@ pub mod prelude {
         SymmetrySpec, SymmetryViolation,
     };
     pub use crate::synth::{
-        synthesize_always_leadsto, synthesize_and_check, synthesize_leadsto, ProgramDischarger,
-        SynthConfig, SynthError, SynthesizedLeadsto,
+        synthesize_always_leadsto, synthesize_and_check, synthesize_and_check_in,
+        synthesize_leadsto, synthesize_leadsto_in, ProgramDischarger, SynthConfig, SynthError,
+        SynthesizedLeadsto,
     };
     pub use crate::trace::{Counterexample, McError};
     pub use crate::transition::{TransitionSystem, Universe};
+    pub use crate::verifier::{
+        NamedCheck, Outcome, SessionStatus, Verdict, VerdictStats, Verifier,
+    };
     pub use unity_symbolic::{OrderMode, SymStats, SymbolicOptions, SymbolicProgram};
 }

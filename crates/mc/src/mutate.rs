@@ -346,6 +346,64 @@ impl std::fmt::Display for AuditError {
 
 impl std::error::Error for AuditError {}
 
+/// [`mutation_audit`] over named property checks, session-style: the
+/// original program and every mutant get **one**
+/// [`Verifier`](crate::verifier::Verifier) session each, so the N
+/// specification properties share that mutant's compiled pipeline,
+/// transition system and symbolic engine instead of rebuilding them per
+/// property. This is the backend of `unity-check --mutate`.
+pub fn mutation_audit_checks(
+    program: &Program,
+    checks: &[crate::verifier::NamedCheck],
+    universe: crate::transition::Universe,
+    cfg: &crate::space::ScanConfig,
+) -> Result<MutationReport, AuditError> {
+    let mut session = crate::verifier::Verifier::new(program, cfg.clone()).with_universe(universe);
+    mutation_audit_in(&mut session, checks)
+}
+
+/// [`mutation_audit_checks`] over an existing session: the
+/// original-program pass reuses whatever `session` already memoized
+/// (callers that just verified the spec pay nothing again). Mutant
+/// programs still get one fresh session each.
+pub fn mutation_audit_in(
+    session: &mut crate::verifier::Verifier<'_>,
+    checks: &[crate::verifier::NamedCheck],
+) -> Result<MutationReport, AuditError> {
+    let program = session.program();
+    let (universe, cfg) = (session.universe(), session.cfg().clone());
+    for c in checks {
+        if !session.verify(&c.property).passed() {
+            return Err(AuditError::SpecFailsOnOriginal {
+                spec: c.name.clone(),
+            });
+        }
+    }
+    let outcomes = mutants(program)
+        .into_iter()
+        .map(|m| {
+            let equivalent = same_behavior(program, &m.program);
+            let killed_by = if equivalent {
+                None
+            } else {
+                let mut session =
+                    crate::verifier::Verifier::new(&m.program, cfg.clone()).with_universe(universe);
+                checks
+                    .iter()
+                    .find(|c| !session.verify(&c.property).passed())
+                    .map(|c| c.name.clone())
+            };
+            MutantOutcome {
+                description: m.description,
+                kind: m.kind,
+                equivalent,
+                killed_by,
+            }
+        })
+        .collect();
+    Ok(MutationReport { outcomes })
+}
+
 /// Runs the full audit: generate mutants, detect equivalents, and record
 /// the first spec killing each remaining mutant.
 pub fn mutation_audit(program: &Program, specs: &[Spec<'_>]) -> Result<MutationReport, AuditError> {

@@ -1,0 +1,978 @@
+//! Machine-readable verification reports.
+//!
+//! [`Report`] is what [`Verifier::verify_all`](crate::verifier::Verifier)
+//! produces: one [`Verdict`] per named check plus the session context
+//! (program, variable order, engine, universe, wall time). It is the
+//! single backend behind every `unity-check` output mode — the
+//! PASS/FAIL lines, `--json`, and the simulation monitors all render
+//! from it.
+//!
+//! The JSON shape is **stable** (`"schema": 1`) and round-trips:
+//! [`Report::to_json`] and [`Report::from_json`] are exact inverses on
+//! the serialized form. States serialize as value arrays in vocabulary
+//! order (`vars` gives the names), booleans as JSON booleans, integers
+//! as numbers — the same conventions as `unity-sim`'s trace export. The
+//! writer and reader are hand-rolled per RFC 8259 (the workspace
+//! deliberately carries no JSON dependency; the vendored `serde` derive
+//! is a marker).
+//!
+//! ```
+//! use unity_mc::prelude::*;
+//! let report = Report {
+//!     program: "toy".into(),
+//!     vars: vec!["x".into()],
+//!     engine: Engine::Compiled,
+//!     universe: Universe::Reachable,
+//!     checks: vec![],
+//!     sim: vec![],
+//!     elapsed: std::time::Duration::from_millis(1),
+//! };
+//! let json = report.to_json();
+//! assert_eq!(Report::from_json(&json).unwrap().to_json(), json);
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use unity_core::state::State;
+use unity_core::value::Value;
+use unity_symbolic::SymStats;
+
+use crate::space::Engine;
+use crate::trace::{Counterexample, McError};
+use crate::transition::Universe;
+use crate::verifier::{Outcome, Verdict, VerdictStats};
+
+/// One named check's result inside a [`Report`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use = "a check report carries the check's outcome"]
+pub struct CheckReport {
+    /// Check label.
+    pub name: String,
+    /// 1-based source line (0 = not from a file).
+    pub line: usize,
+    /// The structured verdict.
+    pub verdict: Verdict,
+}
+
+/// One invariant monitor's outcome from a weakly-fair simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimCheck {
+    /// Monitor label (the invariant check's name).
+    pub name: String,
+    /// Steps simulated.
+    pub steps: u64,
+    /// Whether the invariant held throughout.
+    pub passed: bool,
+    /// First violating step, if any.
+    pub violation_step: Option<u64>,
+    /// Post-state of the first violation, if captured.
+    pub violation_state: Option<State>,
+}
+
+/// A full verification run: the session context plus every check's
+/// verdict. Serializable ([`Report::to_json`]) with a stable schema;
+/// see the [module docs](crate::report) for a round-trip example.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use = "a report carries every check's outcome; inspect or serialize it"]
+pub struct Report {
+    /// The checked program's name.
+    pub program: String,
+    /// Variable names in vocabulary order (the decoding key for every
+    /// serialized state).
+    pub vars: Vec<String>,
+    /// The engine the session was configured with.
+    pub engine: Engine,
+    /// The universe `leadsto` checks quantified over.
+    pub universe: Universe,
+    /// Per-check results, in check order.
+    pub checks: Vec<CheckReport>,
+    /// Simulation monitor results (empty unless a simulation ran).
+    pub sim: Vec<SimCheck>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl Report {
+    /// Whether every check passed and no simulation monitor fired.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.verdict.passed()) && self.sim.iter().all(|s| s.passed)
+    }
+
+    /// The first check that ended in an infrastructure error, if any.
+    pub fn first_error(&self) -> Option<&CheckReport> {
+        self.checks.iter().find(|c| c.verdict.error().is_some())
+    }
+
+    /// Serializes to the stable JSON schema (`"schema": 1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.checks.len() * 192);
+        out.push_str("{\"schema\":1,\"program\":");
+        json_string(&mut out, &self.program);
+        out.push_str(",\"engine\":");
+        json_string(&mut out, engine_str(self.engine));
+        out.push_str(",\"universe\":");
+        json_string(&mut out, universe_str(self.universe));
+        out.push_str(",\"vars\":[");
+        for (k, v) in self.vars.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, v);
+        }
+        let _ = write!(
+            out,
+            "],\"elapsed_ns\":{},\"checks\":[",
+            self.elapsed.as_nanos()
+        );
+        for (k, c) in self.checks.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            write_check(&mut out, c);
+        }
+        out.push_str("],\"sim\":[");
+        for (k, s) in self.sim.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            write_sim(&mut out, s);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report serialized by [`Report::to_json`]. Errors
+    /// ([`McError::Message`] inside verdicts) come back in rendered
+    /// form; everything else reconstructs exactly —
+    /// `Report::from_json(&r.to_json())?.to_json() == r.to_json()`.
+    pub fn from_json(src: &str) -> Result<Report, String> {
+        let root = parse_json(src)?;
+        if root.field("schema")?.as_int()? != 1 {
+            return Err("unsupported report schema".into());
+        }
+        let vars: Vec<String> = root
+            .field("vars")?
+            .as_arr()?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Result<_, _>>()?;
+        let checks = root
+            .field("checks")?
+            .as_arr()?
+            .iter()
+            .map(read_check)
+            .collect::<Result<_, _>>()?;
+        let sim = root
+            .field("sim")?
+            .as_arr()?
+            .iter()
+            .map(read_sim)
+            .collect::<Result<_, _>>()?;
+        Ok(Report {
+            program: root.field("program")?.as_str()?.to_string(),
+            vars,
+            engine: engine_from(root.field("engine")?.as_str()?)?,
+            universe: universe_from(root.field("universe")?.as_str()?)?,
+            checks,
+            sim,
+            elapsed: duration_from(root.field("elapsed_ns")?.as_int()?),
+        })
+    }
+}
+
+fn engine_str(e: Engine) -> &'static str {
+    match e {
+        Engine::Reference => "reference",
+        Engine::Compiled => "compiled",
+        Engine::Symbolic => "symbolic",
+    }
+}
+
+fn engine_from(s: &str) -> Result<Engine, String> {
+    match s {
+        "reference" => Ok(Engine::Reference),
+        "compiled" => Ok(Engine::Compiled),
+        "symbolic" => Ok(Engine::Symbolic),
+        other => Err(format!("unknown engine `{other}`")),
+    }
+}
+
+fn universe_str(u: Universe) -> &'static str {
+    match u {
+        Universe::Reachable => "reachable",
+        Universe::AllStates => "all",
+    }
+}
+
+fn universe_from(s: &str) -> Result<Universe, String> {
+    match s {
+        "reachable" => Ok(Universe::Reachable),
+        "all" => Ok(Universe::AllStates),
+        other => Err(format!("unknown universe `{other}`")),
+    }
+}
+
+fn duration_from(ns: i128) -> Duration {
+    Duration::from_nanos(ns.clamp(0, u64::MAX as i128) as u64)
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_check(out: &mut String, c: &CheckReport) {
+    out.push_str("{\"name\":");
+    json_string(out, &c.name);
+    let _ = write!(out, ",\"line\":{},\"property\":", c.line);
+    json_string(out, &c.verdict.property);
+    let verdict = match &c.verdict.outcome {
+        Outcome::Pass => "pass",
+        Outcome::Fail { .. } => "fail",
+        Outcome::Error { .. } => "error",
+    };
+    out.push_str(",\"verdict\":");
+    json_string(out, verdict);
+    out.push_str(",\"engine\":");
+    json_string(out, engine_str(c.verdict.engine));
+    let _ = write!(
+        out,
+        ",\"elapsed_ns\":{},\"stats\":",
+        c.verdict.elapsed.as_nanos()
+    );
+    write_stats(out, &c.verdict.stats);
+    out.push_str(",\"counterexample\":");
+    match &c.verdict.outcome {
+        Outcome::Fail { cex } => write_cex(out, cex),
+        _ => out.push_str("null"),
+    }
+    out.push_str(",\"error\":");
+    match &c.verdict.outcome {
+        Outcome::Error { error } => json_string(out, &error.to_string()),
+        _ => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn write_stats(out: &mut String, stats: &VerdictStats) {
+    match stats {
+        VerdictStats::Unmeasured => out.push_str("null"),
+        VerdictStats::Explicit {
+            states,
+            transitions,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"explicit\",\"states\":{states},\"transitions\":{transitions}}}"
+            );
+        }
+        VerdictStats::Symbolic { stats } => {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"symbolic\",\"live_nodes\":{},\"peak_nodes\":{},\
+                 \"cache_lookups\":{},\"cache_hits\":{},\"swaps\":{},\"sift_passes\":{},\
+                 \"gc_runs\":{},\"reclaimed_nodes\":{}}}",
+                stats.live_nodes,
+                stats.bdd.peak_nodes,
+                stats.bdd.cache_lookups,
+                stats.bdd.cache_hits,
+                stats.bdd.swaps,
+                stats.bdd.sift_passes,
+                stats.bdd.gc_runs,
+                stats.bdd.reclaimed_nodes,
+            );
+        }
+    }
+}
+
+fn write_state(out: &mut String, s: &State) {
+    out.push('[');
+    for (k, v) in s.values().iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        match v {
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+        }
+    }
+    out.push(']');
+}
+
+fn write_states(out: &mut String, states: &[State]) {
+    out.push('[');
+    for (k, s) in states.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        write_state(out, s);
+    }
+    out.push(']');
+}
+
+fn write_cex(out: &mut String, cex: &Counterexample) {
+    match cex {
+        Counterexample::Init { state } => {
+            out.push_str("{\"kind\":\"init\",\"state\":");
+            write_state(out, state);
+            out.push('}');
+        }
+        Counterexample::Next {
+            state,
+            command,
+            after,
+        } => {
+            out.push_str("{\"kind\":\"next\",\"state\":");
+            write_state(out, state);
+            out.push_str(",\"command\":");
+            match command {
+                Some(c) => json_string(out, c),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"after\":");
+            write_state(out, after);
+            out.push('}');
+        }
+        Counterexample::Transient { witnesses } => {
+            out.push_str("{\"kind\":\"transient\",\"witnesses\":[");
+            for (k, (cmd, s)) in witnesses.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"command\":");
+                json_string(out, cmd);
+                out.push_str(",\"state\":");
+                write_state(out, s);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        Counterexample::Unchanged {
+            state,
+            command,
+            before,
+            after,
+        } => {
+            out.push_str("{\"kind\":\"unchanged\",\"state\":");
+            write_state(out, state);
+            out.push_str(",\"command\":");
+            json_string(out, command);
+            let _ = write!(out, ",\"before\":{before},\"after\":{after}}}");
+        }
+        Counterexample::Validity { state } => {
+            out.push_str("{\"kind\":\"validity\",\"state\":");
+            write_state(out, state);
+            out.push('}');
+        }
+        Counterexample::Reach { path } => {
+            out.push_str("{\"kind\":\"reach\",\"path\":");
+            write_states(out, path);
+            out.push('}');
+        }
+        Counterexample::LeadsTo { prefix, trap } => {
+            out.push_str("{\"kind\":\"leadsto\",\"prefix\":");
+            write_states(out, prefix);
+            out.push_str(",\"trap\":");
+            write_states(out, trap);
+            out.push('}');
+        }
+    }
+}
+
+fn write_sim(out: &mut String, s: &SimCheck) {
+    out.push_str("{\"name\":");
+    json_string(out, &s.name);
+    let _ = write!(
+        out,
+        ",\"steps\":{},\"passed\":{},\"violation_step\":",
+        s.steps, s.passed
+    );
+    match s.violation_step {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"violation_state\":");
+    match &s.violation_state {
+        Some(state) => write_state(out, state),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+/// Appends `s` as a JSON string literal (RFC 8259 escaping).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- reader
+
+fn read_check(j: &Json) -> Result<CheckReport, String> {
+    let outcome = match j.field("verdict")?.as_str()? {
+        "pass" => Outcome::Pass,
+        "fail" => Outcome::Fail {
+            cex: read_cex(j.field("counterexample")?)?,
+        },
+        "error" => Outcome::Error {
+            error: McError::Message(j.field("error")?.as_str()?.to_string()),
+        },
+        other => return Err(format!("unknown verdict `{other}`")),
+    };
+    Ok(CheckReport {
+        name: j.field("name")?.as_str()?.to_string(),
+        line: j.field("line")?.as_int()? as usize,
+        verdict: Verdict {
+            property: j.field("property")?.as_str()?.to_string(),
+            outcome,
+            engine: engine_from(j.field("engine")?.as_str()?)?,
+            stats: read_stats(j.field("stats")?)?,
+            elapsed: duration_from(j.field("elapsed_ns")?.as_int()?),
+        },
+    })
+}
+
+fn read_stats(j: &Json) -> Result<VerdictStats, String> {
+    if matches!(j, Json::Null) {
+        return Ok(VerdictStats::Unmeasured);
+    }
+    match j.field("kind")?.as_str()? {
+        "explicit" => Ok(VerdictStats::Explicit {
+            states: j.field("states")?.as_int()? as u64,
+            transitions: j.field("transitions")?.as_int()? as u64,
+        }),
+        "symbolic" => {
+            let mut stats = SymStats {
+                live_nodes: j.field("live_nodes")?.as_int()? as usize,
+                ..Default::default()
+            };
+            stats.bdd.peak_nodes = j.field("peak_nodes")?.as_int()? as usize;
+            stats.bdd.cache_lookups = j.field("cache_lookups")?.as_int()? as u64;
+            stats.bdd.cache_hits = j.field("cache_hits")?.as_int()? as u64;
+            stats.bdd.swaps = j.field("swaps")?.as_int()? as u64;
+            stats.bdd.sift_passes = j.field("sift_passes")?.as_int()? as u64;
+            stats.bdd.gc_runs = j.field("gc_runs")?.as_int()? as u64;
+            stats.bdd.reclaimed_nodes = j.field("reclaimed_nodes")?.as_int()? as u64;
+            Ok(VerdictStats::Symbolic { stats })
+        }
+        other => Err(format!("unknown stats kind `{other}`")),
+    }
+}
+
+fn read_state(j: &Json) -> Result<State, String> {
+    let values = j
+        .as_arr()?
+        .iter()
+        .map(|v| match v {
+            Json::Bool(b) => Ok(Value::Bool(*b)),
+            Json::Int(n) => Ok(Value::Int(*n as i64)),
+            other => Err(format!("state value must be bool or int, got {other:?}")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(State::new(values))
+}
+
+fn read_states(j: &Json) -> Result<Vec<State>, String> {
+    j.as_arr()?.iter().map(read_state).collect()
+}
+
+fn read_cex(j: &Json) -> Result<Counterexample, String> {
+    match j.field("kind")?.as_str()? {
+        "init" => Ok(Counterexample::Init {
+            state: read_state(j.field("state")?)?,
+        }),
+        "next" => Ok(Counterexample::Next {
+            state: read_state(j.field("state")?)?,
+            command: match j.field("command")? {
+                Json::Null => None,
+                other => Some(other.as_str()?.to_string()),
+            },
+            after: read_state(j.field("after")?)?,
+        }),
+        "transient" => Ok(Counterexample::Transient {
+            witnesses: j
+                .field("witnesses")?
+                .as_arr()?
+                .iter()
+                .map(|w| {
+                    Ok((
+                        w.field("command")?.as_str()?.to_string(),
+                        read_state(w.field("state")?)?,
+                    ))
+                })
+                .collect::<Result<_, String>>()?,
+        }),
+        "unchanged" => Ok(Counterexample::Unchanged {
+            state: read_state(j.field("state")?)?,
+            command: j.field("command")?.as_str()?.to_string(),
+            before: j.field("before")?.as_int()? as i64,
+            after: j.field("after")?.as_int()? as i64,
+        }),
+        "validity" => Ok(Counterexample::Validity {
+            state: read_state(j.field("state")?)?,
+        }),
+        "reach" => Ok(Counterexample::Reach {
+            path: read_states(j.field("path")?)?,
+        }),
+        "leadsto" => Ok(Counterexample::LeadsTo {
+            prefix: read_states(j.field("prefix")?)?,
+            trap: read_states(j.field("trap")?)?,
+        }),
+        other => Err(format!("unknown counterexample kind `{other}`")),
+    }
+}
+
+fn read_sim(j: &Json) -> Result<SimCheck, String> {
+    Ok(SimCheck {
+        name: j.field("name")?.as_str()?.to_string(),
+        steps: j.field("steps")?.as_int()? as u64,
+        passed: j.field("passed")?.as_bool()?,
+        violation_step: match j.field("violation_step")? {
+            Json::Null => None,
+            other => Some(other.as_int()? as u64),
+        },
+        violation_state: match j.field("violation_state")? {
+            Json::Null => None,
+            other => Some(read_state(other)?),
+        },
+    })
+}
+
+// ------------------------------------------------------------ JSON core
+
+/// A parsed JSON value. Numbers are integers — the report schema emits
+/// no floats (derived ratios are recomputed from counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn field(&self, key: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            other => Err(format!("expected object with `{key}`, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_int(&self) -> Result<i128, String> {
+        match self {
+            Json::Int(n) => Ok(*n),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+/// Nesting bound for the parser: far above anything the writer emits
+/// (the schema nests ~6 deep), small enough that hostile input fails
+/// with an error instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+/// Recursive-descent JSON parser (RFC 8259, integer numbers only).
+fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if matches!(bytes.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
+        return Err(format!(
+            "floats are not part of the report schema (byte {start})"
+        ));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<i128>().ok())
+        .map(Json::Int)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        // The writer never emits surrogate pairs (only
+                        // control characters); reject surrogates.
+                        out.push(
+                            char::from_u32(hex)
+                                .ok_or_else(|| format!("bad \\u codepoint at byte {pos}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged — the input is a &str, so they're
+                // valid).
+                let s = &bytes[*pos..];
+                let ch_len = match s[0] {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let ch = std::str::from_utf8(&s[..ch_len])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                out.push_str(ch);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let state = State::new(vec![Value::Int(2), Value::Bool(true)]);
+        Report {
+            program: "toy \"quoted\"".into(),
+            vars: vec!["x".into(), "b".into()],
+            engine: Engine::Symbolic,
+            universe: Universe::AllStates,
+            checks: vec![
+                CheckReport {
+                    name: "safe".into(),
+                    line: 3,
+                    verdict: Verdict {
+                        property: "invariant x <= 3".into(),
+                        outcome: Outcome::Pass,
+                        engine: Engine::Symbolic,
+                        stats: VerdictStats::Symbolic {
+                            stats: SymStats::default(),
+                        },
+                        elapsed: Duration::from_micros(17),
+                    },
+                },
+                CheckReport {
+                    name: "broken".into(),
+                    line: 4,
+                    verdict: Verdict {
+                        property: "x == 0 next x == 2".into(),
+                        outcome: Outcome::Fail {
+                            cex: Counterexample::Next {
+                                state: state.clone(),
+                                command: Some("inc".into()),
+                                after: State::new(vec![Value::Int(3), Value::Bool(false)]),
+                            },
+                        },
+                        engine: Engine::Compiled,
+                        stats: VerdictStats::Explicit {
+                            states: 8,
+                            transitions: 0,
+                        },
+                        elapsed: Duration::from_nanos(123),
+                    },
+                },
+                CheckReport {
+                    name: "oversized".into(),
+                    line: 5,
+                    verdict: Verdict {
+                        property: "invariant x <= 3".into(),
+                        outcome: Outcome::Error {
+                            error: McError::Message(
+                                "state space of 8 states exceeds limit 3".into(),
+                            ),
+                        },
+                        engine: Engine::Compiled,
+                        stats: VerdictStats::Unmeasured,
+                        elapsed: Duration::from_nanos(7),
+                    },
+                },
+                CheckReport {
+                    name: "lasso".into(),
+                    line: 6,
+                    verdict: Verdict {
+                        property: "true leadsto x == 3".into(),
+                        outcome: Outcome::Fail {
+                            cex: Counterexample::LeadsTo {
+                                prefix: vec![state.clone()],
+                                trap: vec![state.clone()],
+                            },
+                        },
+                        engine: Engine::Compiled,
+                        stats: VerdictStats::Explicit {
+                            states: 4,
+                            transitions: 4,
+                        },
+                        elapsed: Duration::from_nanos(50),
+                    },
+                },
+            ],
+            sim: vec![SimCheck {
+                name: "safe".into(),
+                steps: 200,
+                passed: false,
+                violation_step: Some(17),
+                violation_state: Some(state),
+            }],
+            elapsed: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample();
+        let json = report.to_json();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back.to_json(), json, "serialized forms identical");
+        // Structural fields survive too (errors come back rendered).
+        assert_eq!(back.program, report.program);
+        assert_eq!(back.vars, report.vars);
+        assert_eq!(back.engine, report.engine);
+        assert_eq!(back.universe, report.universe);
+        assert_eq!(back.checks.len(), report.checks.len());
+        assert_eq!(back.checks[1], report.checks[1], "fail verdict exact");
+        assert_eq!(back.sim, report.sim);
+    }
+
+    #[test]
+    fn transient_and_unchanged_witnesses_round_trip() {
+        let mut report = sample();
+        report.checks = vec![
+            CheckReport {
+                name: "t".into(),
+                line: 0,
+                verdict: Verdict {
+                    property: "transient x == 1".into(),
+                    outcome: Outcome::Fail {
+                        cex: Counterexample::Transient {
+                            witnesses: vec![(
+                                "inc".into(),
+                                State::new(vec![Value::Int(1), Value::Bool(false)]),
+                            )],
+                        },
+                    },
+                    engine: Engine::Compiled,
+                    stats: VerdictStats::Unmeasured,
+                    elapsed: Duration::ZERO,
+                },
+            },
+            CheckReport {
+                name: "u".into(),
+                line: 0,
+                verdict: Verdict {
+                    property: "unchanged x".into(),
+                    outcome: Outcome::Fail {
+                        cex: Counterexample::Unchanged {
+                            state: State::new(vec![Value::Int(0), Value::Bool(false)]),
+                            command: "inc".into(),
+                            before: 0,
+                            after: 1,
+                        },
+                    },
+                    engine: Engine::Reference,
+                    stats: VerdictStats::Unmeasured,
+                    elapsed: Duration::ZERO,
+                },
+            },
+        ];
+        let json = report.to_json();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back.checks, report.checks);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn all_passed_accounts_for_sim() {
+        let mut report = sample();
+        assert!(!report.all_passed());
+        report.checks.clear();
+        assert!(!report.all_passed(), "sim violation still fails");
+        report.sim.clear();
+        assert!(report.all_passed());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Report::from_json("").is_err());
+        assert!(Report::from_json("{}").is_err());
+        assert!(Report::from_json("{\"schema\":2}").is_err());
+        assert!(Report::from_json("[1,2,").is_err());
+        assert!(Report::from_json("{\"schema\":1.5}").is_err());
+        // Hostile nesting fails with an error, not a stack overflow.
+        assert!(Report::from_json(&"[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn string_escapes_survive() {
+        let report = sample();
+        let json = report.to_json();
+        assert!(json.contains("toy \\\"quoted\\\""));
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back.program, "toy \"quoted\"");
+    }
+}

@@ -235,6 +235,67 @@ where
     }))
 }
 
+/// Session form of [`check_valid`] over a program's vocabulary: under
+/// [`Engine::Symbolic`] the session's memoized engine decides the side
+/// condition (its `domain` BDD *is* the quantification set); otherwise
+/// this is exactly the one-shot scan.
+pub(crate) fn check_valid_in(
+    program: &unity_core::program::Program,
+    p: &Expr,
+    cfg: &ScanConfig,
+    cache: &mut crate::verifier::EngineCache,
+) -> Result<(), McError> {
+    if crate::symbolic::wants(cfg) {
+        p.check_pred(&program.vocab)?;
+        if let Some(sym) = cache.symbolic(program, cfg) {
+            if let Ok(witness) = sym.check_valid(p) {
+                let state = witness.map(|w| sym.space().layout().unpack(w, &program.vocab));
+                cache.sym_decided = true;
+                return match state {
+                    None => Ok(()),
+                    Some(state) => Err(McError::Refuted {
+                        property: "validity".into(),
+                        cex: Counterexample::Validity { state },
+                    }),
+                };
+            }
+        }
+    }
+    check_valid(&program.vocab, p, cfg)
+}
+
+/// Session form of [`check_equivalent`]; see [`check_valid_in`].
+pub(crate) fn check_equivalent_in(
+    program: &unity_core::program::Program,
+    a: &Expr,
+    b: &Expr,
+    cfg: &ScanConfig,
+    cache: &mut crate::verifier::EngineCache,
+) -> Result<(), McError> {
+    if crate::symbolic::wants(cfg) {
+        // Type agreement first — the engine lowers happily across
+        // types, but the contract is to reject mismatches.
+        let ta = a.infer_type(&program.vocab)?;
+        let tb = b.infer_type(&program.vocab)?;
+        if ta == tb {
+            if let Some(sym) = cache.symbolic(program, cfg) {
+                if let Ok(witness) = sym.check_equivalent(a, b) {
+                    let state = witness.map(|w| sym.space().layout().unpack(w, &program.vocab));
+                    cache.sym_decided = true;
+                    return match state {
+                        None => Ok(()),
+                        Some(state) => Err(McError::Refuted {
+                            property: "equivalence".into(),
+                            cex: Counterexample::Validity { state },
+                        }),
+                    };
+                }
+            }
+        }
+    }
+    check_equivalent(&program.vocab, a, b, cfg)
+}
+
 /// Checks `⊨ p` (true in every type-consistent state); returns the first
 /// falsifying state otherwise. The scan is projected onto `p`'s variables.
 pub fn check_valid(vocab: &Vocabulary, p: &Expr, cfg: &ScanConfig) -> Result<(), McError> {

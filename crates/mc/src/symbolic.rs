@@ -8,9 +8,16 @@
 //! their cardinality. Failing checks come back as packed-word witness
 //! cubes, which this module decodes into the same explicit
 //! [`Counterexample`]s the enumerating engines produce (post-states are
-//! recomputed with the reference `Command::step`, so a symbolic
-//! counterexample is by construction replayable on the semantics of
-//! record).
+//! recomputed with the reference `Command::step` via the shared witness
+//! constructors,
+//! so a symbolic counterexample is by construction replayable on the
+//! semantics of record).
+//!
+//! The engine lives in the caller's session cache: it is lowered
+//! **once per session** — partitioned transition relations, tuned
+//! variable order and all — and every subsequent check reuses it. The
+//! one-shot wrappers in [`crate::check`] pass a throwaway cache, which
+//! reproduces the old build-per-call behaviour exactly.
 //!
 //! Fallback contract: each `try_*` function returns `None` when the
 //! symbolic engine cannot handle the instance (vocabulary beyond 64
@@ -27,16 +34,12 @@ use unity_symbolic::SymbolicOptions;
 
 use crate::space::{Engine, ScanConfig};
 use crate::trace::Counterexample;
+use crate::verifier::EngineCache;
+use crate::witness;
 
 /// Whether the configuration asks for the symbolic engine.
 pub(crate) fn wants(cfg: &ScanConfig) -> bool {
     matches!(cfg.engine, Engine::Symbolic)
-}
-
-/// Builds the symbolic program under `opts`, or `None` on fallback
-/// conditions.
-fn build(program: &Program, opts: &SymbolicOptions) -> Option<SymbolicProgram> {
-    SymbolicProgram::build_with(program, opts).ok()
 }
 
 fn decode(program: &Program, sym: &SymbolicProgram, word: u64) -> State {
@@ -48,33 +51,15 @@ pub(crate) fn try_check_init(
     program: &Program,
     p: &Expr,
     cfg: &ScanConfig,
+    cache: &mut EngineCache,
 ) -> Option<Option<Counterexample>> {
-    let mut sym = build(program, &cfg.symbolic)?;
+    let sym = cache.symbolic(program, cfg)?;
     let witness = sym.check_init(p).ok()?;
-    Some(witness.map(|w| Counterexample::Init {
-        state: decode(program, &sym, w),
-    }))
-}
-
-fn next_cex(
-    program: &Program,
-    sym: &SymbolicProgram,
-    cmd: Option<usize>,
-    w: u64,
-) -> Counterexample {
-    let state = decode(program, sym, w);
-    let (command, after) = match cmd {
-        None => (None, state.clone()),
-        Some(k) => (
-            Some(program.commands[k].name.clone()),
-            program.commands[k].step(&state, &program.vocab),
-        ),
-    };
-    Counterexample::Next {
-        state,
-        command,
-        after,
-    }
+    let found = witness.map(|w| Counterexample::Init {
+        state: decode(program, sym, w),
+    });
+    cache.sym_decided = true;
+    Some(found)
 }
 
 /// Symbolic `p next q` (and `stable p` as `p next p`).
@@ -83,10 +68,15 @@ pub(crate) fn try_check_next(
     p: &Expr,
     q: &Expr,
     cfg: &ScanConfig,
+    cache: &mut EngineCache,
 ) -> Option<Option<Counterexample>> {
-    let mut sym = build(program, &cfg.symbolic)?;
-    let witness = sym.check_next(p, q).ok()?;
-    Some(witness.map(|(cmd, w)| next_cex(program, &sym, cmd, w)))
+    let sym = cache.symbolic(program, cfg)?;
+    let found = sym
+        .check_next(p, q)
+        .ok()?
+        .map(|(cmd, w)| witness::next_cex(program, decode(program, sym, w), cmd));
+    cache.sym_decided = true;
+    Some(found)
 }
 
 /// Symbolic `invariant p` (= `init p ∧ stable p`), both halves decided
@@ -96,15 +86,22 @@ pub(crate) fn try_check_invariant(
     program: &Program,
     p: &Expr,
     cfg: &ScanConfig,
+    cache: &mut EngineCache,
 ) -> Option<Option<Counterexample>> {
-    let mut sym = build(program, &cfg.symbolic)?;
+    let sym = cache.symbolic(program, cfg)?;
     if let Some(w) = sym.check_init(p).ok()? {
-        return Some(Some(Counterexample::Init {
-            state: decode(program, &sym, w),
-        }));
+        let cex = Counterexample::Init {
+            state: decode(program, sym, w),
+        };
+        cache.sym_decided = true;
+        return Some(Some(cex));
     }
-    let witness = sym.check_next(p, p).ok()?;
-    Some(witness.map(|(cmd, w)| next_cex(program, &sym, cmd, w)))
+    let found = sym
+        .check_next(p, p)
+        .ok()?
+        .map(|(cmd, w)| witness::next_cex(program, decode(program, sym, w), cmd));
+    cache.sym_decided = true;
+    Some(found)
 }
 
 /// Symbolic `unchanged e`.
@@ -112,25 +109,15 @@ pub(crate) fn try_check_unchanged(
     program: &Program,
     e: &Expr,
     cfg: &ScanConfig,
+    cache: &mut EngineCache,
 ) -> Option<Option<Counterexample>> {
-    use unity_core::value::Value;
-    let mut sym = build(program, &cfg.symbolic)?;
-    let witness = sym.check_unchanged(e).ok()?;
-    Some(witness.map(|(k, w)| {
-        let state = decode(program, &sym, w);
-        let cmd = &program.commands[k];
-        let after_state = cmd.step(&state, &program.vocab);
-        let as_i64 = |v: Value| match v {
-            Value::Int(n) => n,
-            Value::Bool(b) => i64::from(b),
-        };
-        Counterexample::Unchanged {
-            before: as_i64(unity_core::expr::eval::eval(e, &state)),
-            after: as_i64(unity_core::expr::eval::eval(e, &after_state)),
-            state,
-            command: cmd.name.clone(),
-        }
-    }))
+    let sym = cache.symbolic(program, cfg)?;
+    let found = sym
+        .check_unchanged(e)
+        .ok()?
+        .map(|(k, w)| witness::unchanged_cex(program, e, decode(program, sym, w), k));
+    cache.sym_decided = true;
+    Some(found)
 }
 
 /// Symbolic `transient p`.
@@ -138,17 +125,18 @@ pub(crate) fn try_check_transient(
     program: &Program,
     p: &Expr,
     cfg: &ScanConfig,
+    cache: &mut EngineCache,
 ) -> Option<Option<Counterexample>> {
-    let mut sym = build(program, &cfg.symbolic)?;
-    let witness = sym.check_transient(p).ok()?;
-    Some(witness.map(|stuck| {
-        Counterexample::Transient {
-            witnesses: stuck
-                .into_iter()
-                .map(|(k, w)| (program.commands[k].name.clone(), decode(program, &sym, w)))
-                .collect(),
-        }
-    }))
+    let sym = cache.symbolic(program, cfg)?;
+    let found = sym.check_transient(p).ok()?.map(|stuck| {
+        let stuck = stuck
+            .into_iter()
+            .map(|(k, w)| (k, decode(program, sym, w)))
+            .collect();
+        witness::transient_cex(program, stuck)
+    });
+    cache.sym_decided = true;
+    Some(found)
 }
 
 /// Symbolic `⊨ p` over a bare vocabulary (kernel side conditions).
@@ -192,6 +180,6 @@ pub fn reachable_count(program: &Program) -> Option<u128> {
 /// differential suites pin verdict/count parity across orders with
 /// this).
 pub fn reachable_count_with(program: &Program, opts: &SymbolicOptions) -> Option<u128> {
-    let mut sym = build(program, opts)?;
+    let mut sym = SymbolicProgram::build_with(program, opts).ok()?;
     Some(sym.reachable().count)
 }

@@ -49,10 +49,10 @@ use unity_core::properties::Property;
 use unity_core::state::State;
 use unity_core::value::Value;
 
-use crate::check::check_property;
-use crate::space::{check_equivalent, check_valid, ScanConfig};
+use crate::space::ScanConfig;
 use crate::trace::McError;
 use crate::transition::{TransitionSystem, Universe};
+use crate::verifier::{EngineCache, Verifier};
 
 /// Limits for the synthesizer.
 #[derive(Debug, Clone, Copy)]
@@ -171,6 +171,34 @@ pub fn synthesize_leadsto(
     scan: &ScanConfig,
 ) -> Result<SynthesizedLeadsto, SynthError> {
     let ts = TransitionSystem::build(program, Universe::Reachable, scan)?;
+    synthesize_on(&ts, program, p, q, cfg)
+}
+
+/// [`synthesize_leadsto`] inside a [`Verifier`] session: the reachable
+/// transition system comes from (and stays in) the session, so a spec
+/// with several `leadsto` goals — or synthesis after checking — builds
+/// it once.
+pub fn synthesize_leadsto_in(
+    session: &mut Verifier<'_>,
+    p: &Expr,
+    q: &Expr,
+    cfg: &SynthConfig,
+) -> Result<SynthesizedLeadsto, SynthError> {
+    // Synthesis always explores the reachable universe, whatever the
+    // session's `leadsto` universe is — the emitted proof re-introduces
+    // reachability as an explicit invariant.
+    let ts = session.transition_system(Universe::Reachable)?;
+    synthesize_on(&ts, session.program(), p, q, cfg)
+}
+
+/// The synthesis core over a prebuilt reachable transition system.
+fn synthesize_on(
+    ts: &TransitionSystem,
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+    cfg: &SynthConfig,
+) -> Result<SynthesizedLeadsto, SynthError> {
     if ts.len() > cfg.max_states {
         return Err(SynthError::TooLarge {
             states: ts.len(),
@@ -259,11 +287,11 @@ pub fn synthesize_leadsto(
     // Canonical U-expressions: u_expr[0] = dnf(q ∩ reachable);
     // u_expr[k] = or([u_expr[k-1], x_k])  (NAry shape, matching the
     // Disjunction rule's computed conclusion).
-    let u0 = dnf(vocab, &ts, &q_ids);
+    let u0 = dnf(vocab, ts, &q_ids);
     let mut u_exprs: Vec<Expr> = vec![u0.clone()];
     let mut x_exprs: Vec<Expr> = Vec::new();
     for (_, xs) in &layers {
-        let x = dnf(vocab, &ts, xs);
+        let x = dnf(vocab, ts, xs);
         let prev = u_exprs.last().expect("u_exprs starts non-empty").clone();
         u_exprs.push(or(vec![prev, x.clone()]));
         x_exprs.push(x);
@@ -311,7 +339,7 @@ pub fn synthesize_leadsto(
 
     // Invariant: the reachable set itself.
     let all_ids: Vec<u32> = (0..n as u32).collect();
-    let inv_expr = dnf(vocab, &ts, &all_ids);
+    let inv_expr = dnf(vocab, ts, &all_ids);
     let inv_proof = Proof::InvariantIntro {
         init: Box::new(Proof::Premise(Judgment::system(Property::Init(
             inv_expr.clone(),
@@ -347,17 +375,24 @@ pub fn synthesize_leadsto(
 }
 
 /// A [`Discharger`] over a single program (system scope only), backed by
-/// the model checker's inductive semantics.
+/// the model checker's inductive semantics. A verification session: the
+/// per-engine artifacts are memoized across premises (a synthesized
+/// derivation discharges dozens against one program).
 pub struct ProgramDischarger<'a> {
     /// The program all judgments refer to.
     pub program: &'a Program,
     /// Universe for `leadsto` premises (safety premises are always
     /// checked inductively over all states).
     pub universe: Universe,
-    /// Scan configuration.
+    /// Scan configuration. Set it **before** the first discharge:
+    /// artifacts already memoized by earlier premises were built under
+    /// the configuration in effect at that time and are not rebuilt on
+    /// a change.
     pub cfg: ScanConfig,
     /// Obligations discharged so far.
     pub discharged: usize,
+    /// Memoized engine artifacts shared by every premise.
+    cache: EngineCache,
 }
 
 impl<'a> ProgramDischarger<'a> {
@@ -368,6 +403,7 @@ impl<'a> ProgramDischarger<'a> {
             universe: Universe::Reachable,
             cfg: ScanConfig::default(),
             discharged: 0,
+            cache: EngineCache::default(),
         }
     }
 }
@@ -380,18 +416,23 @@ impl Discharger for ProgramDischarger<'_> {
                 reason: "ProgramDischarger handles system-scope judgments only".into(),
             });
         }
-        check_property(self.program, &j.prop, self.universe, &self.cfg).map_err(|e| {
-            unity_core::error::CoreError::Discharge {
-                obligation: format!("{} premise", j.prop.kind()),
-                reason: e.to_string(),
-            }
+        crate::check::check_property_in(
+            self.program,
+            &j.prop,
+            self.universe,
+            &self.cfg,
+            &mut self.cache,
+        )
+        .map_err(|e| unity_core::error::CoreError::Discharge {
+            obligation: format!("{} premise", j.prop.kind()),
+            reason: e.to_string(),
         })?;
         self.discharged += 1;
         Ok(())
     }
 
     fn valid(&mut self, p: &Expr) -> Result<(), unity_core::error::CoreError> {
-        check_valid(&self.program.vocab, p, &self.cfg).map_err(|e| {
+        crate::space::check_valid_in(self.program, p, &self.cfg, &mut self.cache).map_err(|e| {
             unity_core::error::CoreError::Discharge {
                 obligation: "validity side condition".into(),
                 reason: e.to_string(),
@@ -402,12 +443,12 @@ impl Discharger for ProgramDischarger<'_> {
     }
 
     fn equivalent(&mut self, a: &Expr, b: &Expr) -> Result<(), unity_core::error::CoreError> {
-        check_equivalent(&self.program.vocab, a, b, &self.cfg).map_err(|e| {
-            unity_core::error::CoreError::Discharge {
+        crate::space::check_equivalent_in(self.program, a, b, &self.cfg, &mut self.cache).map_err(
+            |e| unity_core::error::CoreError::Discharge {
                 obligation: "equivalence side condition".into(),
                 reason: e.to_string(),
-            }
-        })?;
+            },
+        )?;
         self.discharged += 1;
         Ok(())
     }
@@ -425,6 +466,28 @@ pub fn synthesize_and_check(
     scan: &ScanConfig,
 ) -> Result<(SynthesizedLeadsto, CheckStats), SynthError> {
     let synth = synthesize_leadsto(program, p, q, cfg, scan)?;
+    kernel_check(program, scan, synth)
+}
+
+/// [`synthesize_and_check`] inside a [`Verifier`] session — the
+/// synthesis reuses the session's reachable transition system (the
+/// kernel re-check keeps its own premise session).
+pub fn synthesize_and_check_in(
+    session: &mut Verifier<'_>,
+    p: &Expr,
+    q: &Expr,
+    cfg: &SynthConfig,
+) -> Result<(SynthesizedLeadsto, CheckStats), SynthError> {
+    let synth = synthesize_leadsto_in(session, p, q, cfg)?;
+    let scan = session.cfg().clone();
+    kernel_check(session.program(), &scan, synth)
+}
+
+fn kernel_check(
+    program: &Program,
+    scan: &ScanConfig,
+    synth: SynthesizedLeadsto,
+) -> Result<(SynthesizedLeadsto, CheckStats), SynthError> {
     let mut discharger = ProgramDischarger::new(program);
     discharger.cfg = scan.clone();
     let mut ctx = CheckCtx::new(&mut discharger).with_vocab(&program.vocab);

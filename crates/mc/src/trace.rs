@@ -160,6 +160,11 @@ pub enum McError {
     },
     /// A core-level error (typing etc.).
     Core(unity_core::error::CoreError),
+    /// An error reconstructed from its rendered form (deserialized
+    /// [`Report`](crate::report::Report)s carry errors as text; the
+    /// structure of the original error is not recoverable). Displays
+    /// verbatim.
+    Message(String),
 }
 
 impl fmt::Display for McError {
@@ -171,6 +176,7 @@ impl fmt::Display for McError {
                 None => write!(f, "state space size overflows u64 (limit {limit})"),
             },
             McError::Core(e) => write!(f, "{e}"),
+            McError::Message(msg) => write!(f, "{msg}"),
         }
     }
 }

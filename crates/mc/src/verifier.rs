@@ -1,0 +1,737 @@
+//! The verifier session: one composed program, many properties.
+//!
+//! The paper's method is to pose *many* universal properties against one
+//! composed program. The free functions in [`crate::check`] decide each
+//! property from scratch — rebuilding the compiled pipeline, the
+//! transition system and its reachable set, and the symbolic engine with
+//! its tuned variable order on **every call**. [`Verifier`] is the
+//! session form of the same checkers: it characterizes the composite
+//! once — each per-engine artifact is built lazily on first use and
+//! memoized — and every subsequent property is decided against those
+//! shared artifacts. The free functions remain as thin one-shot wrappers
+//! over a throwaway session, so both forms return identical verdicts
+//! (pinned by the `prop_session` differential suite).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use unity_core::prelude::*;
+//! use unity_mc::prelude::*;
+//!
+//! let mut v = Vocabulary::new();
+//! let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+//! let p = Program::builder("count", Arc::new(v))
+//!     .init(eq(var(x), int(0)))
+//!     .fair_command("inc", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))])
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut session = Verifier::new(&p, ScanConfig::default());
+//! // Both checks share one set of engine artifacts.
+//! let safe = session.verify(&Property::Invariant(le(var(x), int(3))));
+//! assert!(safe.passed());
+//! let live = session.verify(&Property::LeadsTo(tt(), eq(var(x), int(3))));
+//! assert!(live.passed());
+//! // A failing check carries its decoded, replayable witness.
+//! let bad = session.verify(&Property::Invariant(le(var(x), int(2))));
+//! assert!(bad.failed() && bad.counterexample().is_some());
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use unity_core::expr::compile::{CompiledCommand, PackedLayout};
+use unity_core::expr::Expr;
+use unity_core::program::Program;
+use unity_core::properties::Property;
+use unity_symbolic::{SymStats, SymbolicProgram};
+
+use crate::compiled::try_layout;
+use crate::report::{CheckReport, Report};
+use crate::space::{Engine, ScanConfig};
+use crate::trace::{Counterexample, McError};
+use crate::transition::{TransitionSystem, Universe};
+
+/// One named property check — the unit of [`Verifier::verify_all`] and
+/// the shape `.unity` spec lines parse into.
+#[derive(Debug, Clone)]
+pub struct NamedCheck {
+    /// Check label (`check<k>` when the spec line had no label).
+    pub name: String,
+    /// The property to check.
+    pub property: Property,
+    /// 1-based source line for diagnostics (0 = not from a file).
+    pub line: usize,
+}
+
+/// Lazily built, memoized per-engine artifacts shared by every check of
+/// one session. Inner `None` marks an engine that *cannot* serve this
+/// program (vocabulary beyond 64 packed bits, uncompilable expression,
+/// value-partition explosion) — the fallback is then also memoized, so
+/// repeated checks don't retry a doomed build.
+#[derive(Default)]
+pub(crate) struct EngineCache {
+    /// `try_layout` result.
+    layout: Option<Option<Arc<PackedLayout>>>,
+    /// Compiled commands over `layout`.
+    commands: Option<Option<Arc<Vec<CompiledCommand>>>>,
+    /// The symbolic engine, with its partitioned transition relations,
+    /// tuned variable order, and memoized reachable set.
+    sym: Option<Option<Box<SymbolicProgram>>>,
+    /// Transition system + reachable set per universe
+    /// (`[Reachable, AllStates]`).
+    ts: [Option<Arc<TransitionSystem>>; 2],
+    /// Whether the last check was decided symbolically (set by the
+    /// bridge in [`crate::symbolic`], read back into the verdict).
+    pub(crate) sym_decided: bool,
+}
+
+impl EngineCache {
+    /// The packed layout, or `None` when the fast path is off/oversized.
+    pub(crate) fn layout(
+        &mut self,
+        program: &Program,
+        cfg: &ScanConfig,
+    ) -> Option<Arc<PackedLayout>> {
+        self.layout
+            .get_or_insert_with(|| try_layout(&program.vocab, cfg).map(Arc::new))
+            .clone()
+    }
+
+    /// Layout plus compiled commands, or `None` when any command fails
+    /// to compile (callers fall back to the reference path).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn compiled(
+        &mut self,
+        program: &Program,
+        cfg: &ScanConfig,
+    ) -> Option<(Arc<PackedLayout>, Arc<Vec<CompiledCommand>>)> {
+        let layout = self.layout(program, cfg)?;
+        let commands = self
+            .commands
+            .get_or_insert_with(|| {
+                program
+                    .commands
+                    .iter()
+                    .map(|c| CompiledCommand::compile(c, &layout).ok())
+                    .collect::<Option<Vec<_>>>()
+                    .map(Arc::new)
+            })
+            .clone()?;
+        Some((layout, commands))
+    }
+
+    /// The symbolic engine, built on first use; `None` when the program
+    /// cannot be lowered (callers fall back to the explicit engines).
+    pub(crate) fn symbolic(
+        &mut self,
+        program: &Program,
+        cfg: &ScanConfig,
+    ) -> Option<&mut SymbolicProgram> {
+        self.sym
+            .get_or_insert_with(|| {
+                SymbolicProgram::build_with(program, &cfg.symbolic)
+                    .ok()
+                    .map(Box::new)
+            })
+            .as_deref_mut()
+    }
+
+    /// The transition system over `universe`, built on first use.
+    pub(crate) fn transition_system(
+        &mut self,
+        program: &Program,
+        universe: Universe,
+        cfg: &ScanConfig,
+    ) -> Result<Arc<TransitionSystem>, McError> {
+        let slot = match universe {
+            Universe::Reachable => &mut self.ts[0],
+            Universe::AllStates => &mut self.ts[1],
+        };
+        if let Some(ts) = slot {
+            return Ok(ts.clone());
+        }
+        let ts = Arc::new(TransitionSystem::build(program, universe, cfg)?);
+        *slot = Some(ts.clone());
+        Ok(ts)
+    }
+
+    /// Whether a layout derivation was attempted at all (distinguishes
+    /// "not yet tried" from "tried and unavailable" in
+    /// [`EngineCache::status`]'s first component).
+    pub(crate) fn layout_attempted(&self) -> bool {
+        self.layout.is_some()
+    }
+
+    /// Whether each artifact has been built (and succeeded):
+    /// `(layout, compiled commands, symbolic engine, ts-reachable,
+    /// ts-all-states)`. Introspection for tests and tuning.
+    pub(crate) fn status(&self) -> (bool, bool, bool, bool, bool) {
+        (
+            matches!(self.layout, Some(Some(_))),
+            matches!(self.commands, Some(Some(_))),
+            matches!(self.sym, Some(Some(_))),
+            self.ts[0].is_some(),
+            self.ts[1].is_some(),
+        )
+    }
+}
+
+/// Which artifacts a [`Verifier`] session has materialized so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStatus {
+    /// Packed layout derived.
+    pub layout: bool,
+    /// Commands compiled to bytecode.
+    pub compiled: bool,
+    /// Symbolic engine built.
+    pub symbolic: bool,
+    /// Transition system over the reachable universe built.
+    pub ts_reachable: bool,
+    /// Transition system over the all-states universe built.
+    pub ts_all_states: bool,
+}
+
+/// Outcome of one property check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The property holds.
+    Pass,
+    /// The property is refuted, with a decoded, replayable witness.
+    Fail {
+        /// The counterexample.
+        cex: Counterexample,
+    },
+    /// The check could not be decided (space bound, typing error, …).
+    Error {
+        /// The underlying error.
+        error: McError,
+    },
+}
+
+/// Engine cost counters attached to a [`Verdict`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerdictStats {
+    /// No counters available for this check.
+    Unmeasured,
+    /// Enumerating engines: `states` the deciding scan quantified over
+    /// (projected onto the property's support) and, for `leadsto`,
+    /// the `transitions` of the underlying transition system.
+    Explicit {
+        /// States the scan quantified over.
+        states: u64,
+        /// Transitions computed (0 for pure scans).
+        transitions: u64,
+    },
+    /// Symbolic engine: a snapshot of the session's cumulative arena
+    /// counters at check completion.
+    Symbolic {
+        /// The engine counters.
+        stats: SymStats,
+    },
+}
+
+/// The structured result of one property check: pass/fail with witness,
+/// the engine that decided it, cost counters, and wall time.
+///
+/// Replaces the free functions' `Result<(), McError>` convention;
+/// [`Verdict::into_result`] recovers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a verdict carries the check's outcome; inspect or convert it"]
+pub struct Verdict {
+    /// The checked property, rendered with variable names.
+    pub property: String,
+    /// Pass, fail (with counterexample), or error.
+    pub outcome: Outcome,
+    /// The engine that (primarily) decided the check. `leadsto` always
+    /// reports an enumerating engine — the symbolic backend does not
+    /// implement it and falls back.
+    pub engine: Engine,
+    /// Cost counters.
+    pub stats: VerdictStats,
+    /// Wall-clock time of this check.
+    pub elapsed: Duration,
+}
+
+impl Verdict {
+    /// Whether the property holds.
+    pub fn passed(&self) -> bool {
+        matches!(self.outcome, Outcome::Pass)
+    }
+
+    /// Whether the property was refuted (errors are *not* failures).
+    pub fn failed(&self) -> bool {
+        matches!(self.outcome, Outcome::Fail { .. })
+    }
+
+    /// The counterexample of a failed check.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match &self.outcome {
+            Outcome::Fail { cex } => Some(cex),
+            _ => None,
+        }
+    }
+
+    /// The error of an undecidable check.
+    pub fn error(&self) -> Option<&McError> {
+        match &self.outcome {
+            Outcome::Error { error } => Some(error),
+            _ => None,
+        }
+    }
+
+    /// Converts back to the free functions' `Result` convention.
+    pub fn into_result(self) -> Result<(), McError> {
+        match self.outcome {
+            Outcome::Pass => Ok(()),
+            Outcome::Fail { cex } => Err(McError::Refuted {
+                property: self.property,
+                cex,
+            }),
+            Outcome::Error { error } => Err(error),
+        }
+    }
+}
+
+/// A verification session over one program: build the semantic artifacts
+/// once, decide every property by its relation to them.
+///
+/// See the [module docs](crate::verifier) for a quick-start example.
+/// The session is single-threaded (`&mut self` per check); the scans a
+/// check runs are themselves chunk-parallel per [`ScanConfig::par`].
+pub struct Verifier<'p> {
+    program: &'p Program,
+    cfg: ScanConfig,
+    universe: Universe,
+    pub(crate) cache: EngineCache,
+}
+
+impl<'p> Verifier<'p> {
+    /// Opens a session on `program`. Nothing is built until the first
+    /// check needs it.
+    pub fn new(program: &'p Program, cfg: ScanConfig) -> Self {
+        Verifier {
+            program,
+            cfg,
+            universe: Universe::Reachable,
+            cache: EngineCache::default(),
+        }
+    }
+
+    /// Sets the universe `leadsto` checks quantify over (safety checks
+    /// always use the paper's inductive all-states semantics). Default:
+    /// [`Universe::Reachable`].
+    pub fn with_universe(mut self, universe: Universe) -> Self {
+        self.universe = universe;
+        self
+    }
+
+    /// The program under verification.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The session's scan configuration.
+    pub fn cfg(&self) -> &ScanConfig {
+        &self.cfg
+    }
+
+    /// The universe `leadsto` checks run in.
+    pub fn universe(&self) -> Universe {
+        self.universe
+    }
+
+    /// Which artifacts have been materialized so far.
+    pub fn status(&self) -> SessionStatus {
+        let (layout, compiled, symbolic, ts_reachable, ts_all_states) = self.cache.status();
+        SessionStatus {
+            layout,
+            compiled,
+            symbolic,
+            ts_reachable,
+            ts_all_states,
+        }
+    }
+
+    /// The memoized transition system over `universe` (builds it on
+    /// first use). This *is* the reachable set when `universe` is
+    /// [`Universe::Reachable`].
+    pub fn transition_system(
+        &mut self,
+        universe: Universe,
+    ) -> Result<Arc<TransitionSystem>, McError> {
+        self.cache
+            .transition_system(self.program, universe, &self.cfg)
+    }
+
+    /// The memoized symbolic engine, or `None` when the program cannot
+    /// be lowered. Built on first use regardless of the configured
+    /// engine — callers wanting symbolic-only behaviour should check
+    /// `cfg().engine` themselves.
+    pub fn symbolic(&mut self) -> Option<&mut SymbolicProgram> {
+        self.cache.symbolic(self.program, &self.cfg)
+    }
+
+    /// Checks one property, sharing every memoized artifact with the
+    /// session's other checks.
+    pub fn verify(&mut self, prop: &Property) -> Verdict {
+        let rendered = prop.display(&self.program.vocab).to_string();
+        let t0 = Instant::now();
+        self.cache.sym_decided = false;
+        let (result, stats) = match prop {
+            Property::LeadsTo(p, q) => {
+                let result = crate::fair::check_leadsto_in(
+                    self.program,
+                    p,
+                    q,
+                    self.universe,
+                    &self.cfg,
+                    &mut self.cache,
+                );
+                match result {
+                    Ok(report) => (
+                        Ok(()),
+                        VerdictStats::Explicit {
+                            states: report.states as u64,
+                            transitions: report.transitions as u64,
+                        },
+                    ),
+                    Err(e) => (Err(e), VerdictStats::Unmeasured),
+                }
+            }
+            _ => {
+                let result = crate::check::check_property_in(
+                    self.program,
+                    prop,
+                    self.universe,
+                    &self.cfg,
+                    &mut self.cache,
+                );
+                let stats = if matches!(result, Err(ref e) if !matches!(e, McError::Refuted { .. }))
+                {
+                    // The check aborted before scanning (space bound,
+                    // typing error): no work to account for.
+                    VerdictStats::Unmeasured
+                } else if self.cache.sym_decided {
+                    match &mut self.cache.sym {
+                        Some(Some(sym)) => VerdictStats::Symbolic { stats: sym.stats() },
+                        _ => VerdictStats::Unmeasured,
+                    }
+                } else {
+                    match scan_domain(self.program, prop, &self.cfg) {
+                        Some(states) => VerdictStats::Explicit {
+                            states,
+                            transitions: 0,
+                        },
+                        None => VerdictStats::Unmeasured,
+                    }
+                };
+                (result, stats)
+            }
+        };
+        self.finish(rendered, result, stats, t0)
+    }
+
+    /// The engine that (primarily) decided the last check: symbolic when
+    /// the bridge recorded a symbolic decision; the reference tree-walk
+    /// when it was requested *or* when the compiled fast path never
+    /// materialized (oversized vocabulary — the scans then ran on the
+    /// reference evaluator); the compiled scans otherwise.
+    fn engine_used(&self) -> Engine {
+        if self.cache.sym_decided {
+            return Engine::Symbolic;
+        }
+        match self.cfg.engine {
+            Engine::Reference => Engine::Reference,
+            // The symbolic engine either decided above or fell back to
+            // the compiled scans, which themselves fall back to the
+            // reference evaluator when no layout exists.
+            Engine::Compiled | Engine::Symbolic => match self.cache.status() {
+                (false, _, _, _, _) if self.cache.layout_attempted() => Engine::Reference,
+                _ => Engine::Compiled,
+            },
+        }
+    }
+
+    /// Assembles a [`Verdict`] from a check result (shared by
+    /// [`Verifier::verify`] and the side-condition checks).
+    fn finish(
+        &self,
+        property: String,
+        result: Result<(), McError>,
+        stats: VerdictStats,
+        t0: Instant,
+    ) -> Verdict {
+        let engine = self.engine_used();
+        let outcome = match result {
+            Ok(()) => Outcome::Pass,
+            Err(McError::Refuted { cex, .. }) => Outcome::Fail { cex },
+            Err(error) => Outcome::Error { error },
+        };
+        Verdict {
+            property,
+            outcome,
+            engine,
+            stats,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// Checks `⊨ p` over every type-consistent state (kernel validity
+    /// side conditions), through the session's symbolic engine when one
+    /// is configured and available.
+    pub fn valid(&mut self, p: &Expr) -> Verdict {
+        let rendered = format!(
+            "valid {}",
+            unity_core::expr::pretty::Render::new(p, &self.program.vocab)
+        );
+        self.side_condition(rendered, |session| {
+            crate::space::check_valid_in(session.program, p, &session.cfg, &mut session.cache)
+        })
+    }
+
+    /// Checks `⊨ a = b` (kernel equivalence side conditions), through
+    /// the session's symbolic engine when one is configured and
+    /// available.
+    pub fn equivalent(&mut self, a: &Expr, b: &Expr) -> Verdict {
+        let rendered = format!(
+            "equivalent {} = {}",
+            unity_core::expr::pretty::Render::new(a, &self.program.vocab),
+            unity_core::expr::pretty::Render::new(b, &self.program.vocab)
+        );
+        self.side_condition(rendered, |session| {
+            crate::space::check_equivalent_in(
+                session.program,
+                a,
+                b,
+                &session.cfg,
+                &mut session.cache,
+            )
+        })
+    }
+
+    fn side_condition(
+        &mut self,
+        rendered: String,
+        run: impl FnOnce(&mut Self) -> Result<(), McError>,
+    ) -> Verdict {
+        let t0 = Instant::now();
+        self.cache.sym_decided = false;
+        let result = run(self);
+        self.finish(rendered, result, VerdictStats::Unmeasured, t0)
+    }
+
+    /// Checks every named property and assembles the machine-readable
+    /// [`Report`] — the single backend behind `unity-check` (including
+    /// `--json`), `--mutate`, `--synthesize` and the proof-kernel
+    /// dischargers.
+    pub fn verify_all(&mut self, checks: &[NamedCheck]) -> Report {
+        let t0 = Instant::now();
+        let results: Vec<CheckReport> = checks
+            .iter()
+            .map(|c| CheckReport {
+                name: c.name.clone(),
+                line: c.line,
+                verdict: self.verify(&c.property),
+            })
+            .collect();
+        Report {
+            program: self.program.name.clone(),
+            vars: self
+                .program
+                .vocab
+                .iter()
+                .map(|(_, decl)| decl.name.clone())
+                .collect(),
+            engine: self.cfg.engine,
+            universe: self.universe,
+            checks: results,
+            sim: Vec::new(),
+            elapsed: t0.elapsed(),
+        }
+    }
+}
+
+/// The number of states the dominant explicit scan of `prop` quantifies
+/// over: the projection of the space onto the property's support (the
+/// full product when projection is off). `None` when the size overflows
+/// or the property has no scan (informational only).
+fn scan_domain(program: &Program, prop: &Property, cfg: &ScanConfig) -> Option<u64> {
+    use unity_core::expr::vars;
+    let mut support = std::collections::BTreeSet::new();
+    let program_wide = |support: &mut std::collections::BTreeSet<unity_core::ident::VarId>| {
+        for c in &program.commands {
+            vars::collect(&c.guard, support);
+            for (x, e) in &c.updates {
+                support.insert(*x);
+                vars::collect(e, support);
+            }
+        }
+    };
+    match prop {
+        Property::Init(p) => {
+            vars::collect(&program.init, &mut support);
+            vars::collect(p, &mut support);
+        }
+        Property::Next(p, q) => {
+            vars::collect(p, &mut support);
+            vars::collect(q, &mut support);
+            program_wide(&mut support);
+        }
+        Property::Stable(p) | Property::Transient(p) => {
+            vars::collect(p, &mut support);
+            program_wide(&mut support);
+        }
+        Property::Invariant(p) => {
+            vars::collect(&program.init, &mut support);
+            vars::collect(p, &mut support);
+            program_wide(&mut support);
+        }
+        Property::Unchanged(e) => {
+            vars::collect(e, &mut support);
+            program_wide(&mut support);
+        }
+        Property::LeadsTo(..) => return None,
+    }
+    if cfg.projection && (support.len() as u64) < program.vocab.len() as u64 {
+        let mut size: u64 = 1;
+        for &v in &support {
+            size = size.checked_mul(program.vocab.domain(v).size())?;
+        }
+        Some(size)
+    } else {
+        program.vocab.space_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+
+    fn counter() -> Program {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        Program::builder("count", Arc::new(v))
+            .init(eq(var(x), int(0)))
+            .fair_command("inc", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn session_memoizes_the_transition_system() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        let mut s = Verifier::new(&p, ScanConfig::default());
+        assert!(!s.status().ts_reachable);
+        let v1 = s.verify(&Property::LeadsTo(tt(), eq(var(x), int(3))));
+        assert!(v1.passed(), "{v1:?}");
+        assert!(s.status().ts_reachable, "leadsto built the ts");
+        let ts = s.transition_system(Universe::Reachable).unwrap();
+        let again = s.transition_system(Universe::Reachable).unwrap();
+        assert!(Arc::ptr_eq(&ts, &again), "memoized, not rebuilt");
+    }
+
+    #[test]
+    fn session_memoizes_the_symbolic_engine() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        let mut s = Verifier::new(&p, ScanConfig::symbolic());
+        let v = s.verify(&Property::Invariant(le(var(x), int(3))));
+        assert!(v.passed());
+        assert_eq!(v.engine, Engine::Symbolic);
+        assert!(matches!(v.stats, VerdictStats::Symbolic { .. }));
+        assert!(s.status().symbolic);
+        // Second check reuses the engine (still one build).
+        let v2 = s.verify(&Property::Stable(ge(var(x), int(1))));
+        assert!(v2.passed());
+    }
+
+    #[test]
+    fn verdicts_match_the_free_functions() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        let props = [
+            Property::Invariant(le(var(x), int(3))),
+            Property::Invariant(le(var(x), int(2))),
+            Property::Stable(ge(var(x), int(2))),
+            Property::Transient(eq(var(x), int(0))),
+            Property::LeadsTo(tt(), eq(var(x), int(3))),
+        ];
+        for cfg in [
+            ScanConfig::default(),
+            ScanConfig::reference(),
+            ScanConfig::symbolic(),
+        ] {
+            let mut s = Verifier::new(&p, cfg.clone());
+            for prop in &props {
+                let session = s.verify(prop);
+                let oneshot = crate::check::check_property(&p, prop, Universe::Reachable, &cfg);
+                assert_eq!(session.passed(), oneshot.is_ok(), "{prop:?}");
+                if let (Some(cex), Err(McError::Refuted { cex: expect, .. })) =
+                    (session.counterexample(), &oneshot)
+                {
+                    assert_eq!(cex, expect, "witness identical: {prop:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_become_error_verdicts() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        let cfg = ScanConfig {
+            max_states: 1,
+            ..Default::default()
+        };
+        let mut s = Verifier::new(&p, cfg);
+        let v = s.verify(&Property::Invariant(le(var(x), int(3))));
+        assert!(v.error().is_some());
+        // No scan ran, so no scan is accounted for.
+        assert_eq!(v.stats, VerdictStats::Unmeasured);
+        assert!(matches!(
+            v.into_result(),
+            Err(McError::SpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_vocabulary_is_attributed_to_the_reference_engine() {
+        // 80 packed bits: no layout, the compiled request falls back to
+        // the tree-walk — and the verdict says so.
+        let mut v = Vocabulary::new();
+        for i in 0..10 {
+            v.declare(&format!("v{i}"), Domain::int_range(0, 255).unwrap())
+                .unwrap();
+        }
+        let x = v.lookup("v0").unwrap();
+        let p = Program::builder("wide", Arc::new(v))
+            .init(eq(var(x), int(0)))
+            .fair_command("inc", lt(var(x), int(255)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap();
+        let mut s = Verifier::new(&p, ScanConfig::default());
+        let verdict = s.verify(&Property::Init(le(var(x), int(255))));
+        assert!(verdict.passed());
+        assert_eq!(verdict.engine, Engine::Reference);
+    }
+
+    #[test]
+    fn side_conditions_run_in_session() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        for cfg in [ScanConfig::default(), ScanConfig::symbolic()] {
+            let mut s = Verifier::new(&p, cfg);
+            assert!(s.valid(&le(var(x), int(3))).passed());
+            assert!(s.valid(&le(var(x), int(2))).failed());
+            assert!(s
+                .equivalent(&add(var(x), var(x)), &mul(int(2), var(x)))
+                .passed());
+            assert!(s.equivalent(&add(var(x), int(1)), &var(x)).failed());
+        }
+    }
+}

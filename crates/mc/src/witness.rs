@@ -1,0 +1,139 @@
+//! Counterexample construction from raw witnesses.
+//!
+//! Every engine reports a failing check as a *pre-state* witness (an
+//! explicit [`State`] or a packed word plus a command index); the
+//! post-state half of the counterexample is **replayed** here with the
+//! reference `Command::step` and the tree-walking evaluator — the
+//! semantics of record. This is the single construction point shared by
+//! the compiled scans ([`crate::check`]) and the symbolic bridge
+//! ([`crate::symbolic`]): a counterexample is by construction a fact the
+//! reference semantics accepts, never an artifact of one engine's
+//! encoding.
+
+use unity_core::expr::eval::eval;
+use unity_core::expr::Expr;
+use unity_core::program::Program;
+use unity_core::state::State;
+use unity_core::value::Value;
+
+use crate::trace::Counterexample;
+
+/// Renders a value as the `i64` used by `unchanged` counterexamples
+/// (booleans as 0/1).
+pub(crate) fn as_i64(v: Value) -> i64 {
+    match v {
+        Value::Int(n) => n,
+        Value::Bool(b) => i64::from(b),
+    }
+}
+
+/// A `p next q` violation from pre-state `state` under command index
+/// `command` (`None` = the implicit skip). The post-state is replayed
+/// with the reference step.
+pub(crate) fn next_cex(program: &Program, state: State, command: Option<usize>) -> Counterexample {
+    let (command, after) = match command {
+        None => (None, state.clone()),
+        Some(k) => (
+            Some(program.commands[k].name.clone()),
+            program.commands[k].step(&state, &program.vocab),
+        ),
+    };
+    Counterexample::Next {
+        state,
+        command,
+        after,
+    }
+}
+
+/// An `unchanged e` violation: command `k` changes the value of `e`
+/// from pre-state `state`. Before/after values are recomputed with the
+/// reference evaluator.
+pub(crate) fn unchanged_cex(program: &Program, e: &Expr, state: State, k: usize) -> Counterexample {
+    let cmd = &program.commands[k];
+    let after_state = cmd.step(&state, &program.vocab);
+    Counterexample::Unchanged {
+        before: as_i64(eval(e, &state)),
+        after: as_i64(eval(e, &after_state)),
+        state,
+        command: cmd.name.clone(),
+    }
+}
+
+/// A `transient p` refutation: for each fair command (by index), a
+/// `p`-state it fails to leave `p` from.
+pub(crate) fn transient_cex(program: &Program, stuck: Vec<(usize, State)>) -> Counterexample {
+    Counterexample::Transient {
+        witnesses: stuck
+            .into_iter()
+            .map(|(k, s)| (program.commands[k].name.clone(), s))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+
+    fn counter() -> Program {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        Program::builder("c", Arc::new(v))
+            .init(eq(var(x), int(0)))
+            .fair_command("inc", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn next_replays_the_command() {
+        let p = counter();
+        let s = State::new(vec![Value::Int(1)]);
+        match next_cex(&p, s, Some(0)) {
+            Counterexample::Next {
+                state,
+                command,
+                after,
+            } => {
+                assert_eq!(state, State::new(vec![Value::Int(1)]));
+                assert_eq!(command.as_deref(), Some("inc"));
+                assert_eq!(after, State::new(vec![Value::Int(2)]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_keeps_the_state() {
+        let p = counter();
+        let s = State::new(vec![Value::Int(2)]);
+        match next_cex(&p, s.clone(), None) {
+            Counterexample::Next {
+                state,
+                command,
+                after,
+            } => {
+                assert_eq!(state, s);
+                assert!(command.is_none());
+                assert_eq!(after, s);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unchanged_recomputes_values() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        let s = State::new(vec![Value::Int(0)]);
+        match unchanged_cex(&p, &var(x), s, 0) {
+            Counterexample::Unchanged { before, after, .. } => {
+                assert_eq!((before, after), (0, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

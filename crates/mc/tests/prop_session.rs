@@ -1,0 +1,241 @@
+//! Differential tests of the verifier session: on random small programs
+//! and properties, a [`Verifier`] session's verdicts must be
+//! **identical** to the stateless one-shot wrappers — across all three
+//! engines and both universes, including the counterexample witnesses —
+//! even though the session decides everything against one memoized set
+//! of artifacts and the wrappers rebuild per call. Witnesses are
+//! additionally replayed on the reference semantics.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+use unity_mc::prelude::*;
+use unity_mc::trace::Counterexample;
+
+const X: VarId = VarId(0);
+const Y: VarId = VarId(1);
+const B: VarId = VarId(2);
+
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+    v.declare("y", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("b", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        Just(tt()),
+        Just(var(B)),
+        (0i64..=3).prop_map(|k| le(var(X), int(k))),
+        (0i64..=2).prop_map(|k| eq(var(Y), int(k))),
+        (0i64..=5).prop_map(|k| lt(add(var(X), var(Y)), int(k))),
+    ];
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| and2(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| or2(a, b)),
+        ]
+    })
+}
+
+/// Small random programs over the fixed vocabulary (the distribution the
+/// other differential suites use).
+fn arb_program() -> impl Strategy<Value = Program> {
+    (arb_pred(), 0i64..=2, 1i64..=2, any::<bool>(), arb_pred()).prop_map(
+        |(guard1, y0, dx, fair2, guard2)| {
+            let v = vocab();
+            let builder = Program::builder("rand", v)
+                .init(and2(eq(var(X), int(0)), eq(var(Y), int(y0))))
+                .fair_command(
+                    "cx",
+                    and2(guard1, lt(var(X), int(3))),
+                    vec![(X, add(var(X), int(dx)))],
+                );
+            let cy_updates = vec![(Y, rem(add(var(Y), int(1)), int(3))), (B, not(var(B)))];
+            let builder = if fair2 {
+                builder.fair_command("cy", guard2, cy_updates)
+            } else {
+                builder.command("cy", guard2, cy_updates)
+            };
+            builder.build().unwrap()
+        },
+    )
+}
+
+/// The property battery posed against every generated program — one of
+/// each kind, exercising every cached artifact in one session.
+fn battery(p: &Expr, q: &Expr) -> Vec<Property> {
+    vec![
+        Property::Init(p.clone()),
+        Property::Stable(p.clone()),
+        Property::Invariant(p.clone()),
+        Property::Next(p.clone(), q.clone()),
+        Property::Transient(p.clone()),
+        Property::Unchanged(sub(var(X), var(Y))),
+        Property::LeadsTo(p.clone(), q.clone()),
+    ]
+}
+
+/// A witness must refute its property on the reference semantics.
+fn assert_genuine(program: &Program, prop: &Property, cex: &Counterexample) {
+    let vocab = &program.vocab;
+    match (prop, cex) {
+        (Property::Init(p) | Property::Invariant(p), Counterexample::Init { state }) => {
+            assert!(state.in_domains(vocab));
+            assert!(program.satisfies_init(state));
+            assert!(!eval_bool(p, state));
+        }
+        (
+            Property::Stable(p) | Property::Invariant(p),
+            Counterexample::Next {
+                state,
+                command,
+                after,
+            },
+        ) => {
+            assert!(eval_bool(p, state) && !eval_bool(p, after));
+            replay(program, state, command.as_deref(), after);
+        }
+        (
+            Property::Next(p, q),
+            Counterexample::Next {
+                state,
+                command,
+                after,
+            },
+        ) => {
+            assert!(eval_bool(p, state) && !eval_bool(q, after));
+            replay(program, state, command.as_deref(), after);
+        }
+        (Property::Transient(p), Counterexample::Transient { witnesses }) => {
+            for (name, state) in witnesses {
+                assert!(eval_bool(p, state), "stuck witness satisfies p");
+                let cmd = program
+                    .commands
+                    .iter()
+                    .find(|c| &c.name == name)
+                    .expect("named command exists");
+                let after = cmd.step(state, vocab);
+                assert!(eval_bool(p, &after), "command fails to leave p");
+            }
+        }
+        (Property::Unchanged(e), Counterexample::Unchanged { state, command, .. }) => {
+            let cmd = program
+                .commands
+                .iter()
+                .find(|c| &c.name == command)
+                .expect("named command exists");
+            let after = cmd.step(state, vocab);
+            assert_ne!(
+                unity_core::expr::eval::eval(e, state),
+                unity_core::expr::eval::eval(e, &after)
+            );
+        }
+        (Property::LeadsTo(..), Counterexample::LeadsTo { prefix, trap }) => {
+            assert!(!prefix.is_empty() && !trap.is_empty());
+        }
+        (prop, cex) => panic!("mismatched witness {cex:?} for {prop:?}"),
+    }
+}
+
+fn replay(
+    program: &Program,
+    state: &unity_core::state::State,
+    command: Option<&str>,
+    after: &unity_core::state::State,
+) {
+    match command {
+        None => assert_eq!(state, after, "skip step"),
+        Some(name) => {
+            let cmd = program
+                .commands
+                .iter()
+                .find(|c| c.name == name)
+                .expect("named command exists");
+            assert_eq!(&cmd.step(state, &program.vocab), after, "step replays");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Session-cached verdicts ≡ one-shot wrappers, witness-for-witness,
+    /// across all three engines and both universes.
+    #[test]
+    fn session_equals_oneshot(program in arb_program(), p in arb_pred(), q in arb_pred()) {
+        let props = battery(&p, &q);
+        for engine in [Engine::Compiled, Engine::Reference, Engine::Symbolic] {
+            let cfg = ScanConfig { engine, ..Default::default() };
+            for universe in [Universe::Reachable, Universe::AllStates] {
+                let mut session = Verifier::new(&program, cfg.clone()).with_universe(universe);
+                for prop in &props {
+                    let verdict = session.verify(prop);
+                    let oneshot = check_property(&program, prop, universe, &cfg);
+                    prop_assert_eq!(
+                        verdict.passed(),
+                        oneshot.is_ok(),
+                        "verdict parity for {:?} under {:?}/{:?}",
+                        prop, engine, universe
+                    );
+                    match (&verdict.counterexample(), &oneshot) {
+                        (Some(cex), Err(McError::Refuted { cex: expect, .. })) => {
+                            prop_assert_eq!(*cex, expect, "witness identity for {:?}", prop);
+                            assert_genuine(&program, prop, cex);
+                        }
+                        (None, Ok(())) => {}
+                        (got, want) => panic!("outcome mismatch: {got:?} vs {want:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Repeating the whole battery on one session changes nothing: the
+    /// memoized artifacts answer exactly like the first pass.
+    #[test]
+    fn session_is_idempotent(program in arb_program(), p in arb_pred(), q in arb_pred()) {
+        let props = battery(&p, &q);
+        for engine in [Engine::Compiled, Engine::Symbolic] {
+            let cfg = ScanConfig { engine, ..Default::default() };
+            let mut session = Verifier::new(&program, cfg);
+            let first: Vec<_> = props.iter().map(|pr| session.verify(pr)).collect();
+            let second: Vec<_> = props.iter().map(|pr| session.verify(pr)).collect();
+            for (a, b) in first.iter().zip(&second) {
+                prop_assert_eq!(a.passed(), b.passed());
+                prop_assert_eq!(a.counterexample(), b.counterexample());
+            }
+        }
+    }
+
+    /// `verify_all` reports round-trip through the JSON schema with the
+    /// serialized form unchanged.
+    #[test]
+    fn reports_round_trip(program in arb_program(), p in arb_pred(), q in arb_pred()) {
+        let checks: Vec<NamedCheck> = battery(&p, &q)
+            .into_iter()
+            .enumerate()
+            .map(|(k, property)| NamedCheck {
+                name: format!("c{k}"),
+                property,
+                line: k + 1,
+            })
+            .collect();
+        let mut session = Verifier::new(&program, ScanConfig::default());
+        let report = session.verify_all(&checks);
+        let json = report.to_json();
+        let back = Report::from_json(&json).unwrap();
+        prop_assert_eq!(back.to_json(), json);
+        prop_assert_eq!(back.all_passed(), report.all_passed());
+    }
+}

@@ -21,6 +21,9 @@ pub struct InvariantMonitor {
     pub violations: Vec<u64>,
     /// Cap on recorded violations.
     pub limit: usize,
+    /// The first violating post-state (the replayable witness reports
+    /// carry), captured alongside its step.
+    witness: Option<(u64, State)>,
 }
 
 impl InvariantMonitor {
@@ -30,6 +33,7 @@ impl InvariantMonitor {
             pred,
             violations: Vec::new(),
             limit: 64,
+            witness: None,
         }
     }
 
@@ -37,11 +41,19 @@ impl InvariantMonitor {
     pub fn clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// The first violation as `(step, post-state)`, if any.
+    pub fn first_violation(&self) -> Option<&(u64, State)> {
+        self.witness.as_ref()
+    }
 }
 
 impl Monitor for InvariantMonitor {
     fn on_step(&mut self, record: StepRecord, state: &State) {
         if self.violations.len() < self.limit && !eval_bool(&self.pred, state) {
+            if self.witness.is_none() {
+                self.witness = Some((record.step, state.clone()));
+            }
             self.violations.push(record.step);
         }
     }

@@ -115,10 +115,14 @@ pub struct SymbolicProgram {
     opts: SymbolicOptions,
     policy: SiftPolicy,
     /// Caller-held `Ref`s that must survive collections: results of
-    /// [`SymbolicProgram::pred`]/[`SymbolicProgram::intersect`] and the
-    /// last [`ReachReport::set`] are pinned here automatically (see
+    /// [`SymbolicProgram::pred`]/[`SymbolicProgram::intersect`] are
+    /// pinned here automatically (see
     /// [`SymbolicProgram::release_pins`]).
     pinned: Vec<Ref>,
+    /// Memoized reachability fixpoint: a long-lived engine serving many
+    /// checks computes it once. The set is a permanent root (it survives
+    /// [`SymbolicProgram::release_pins`] and every collection).
+    reach: Option<ReachReport>,
 }
 
 impl SymbolicProgram {
@@ -174,6 +178,7 @@ impl SymbolicProgram {
             opts: opts.clone(),
             policy,
             pinned: Vec::new(),
+            reach: None,
         })
     }
 
@@ -212,6 +217,9 @@ impl SymbolicProgram {
     fn roots(&self) -> Vec<Ref> {
         let mut roots = roots_of(self.domain, self.init, &self.commands);
         roots.extend_from_slice(&self.pinned);
+        if let Some(reach) = &self.reach {
+            roots.push(reach.set);
+        }
         roots
     }
 
@@ -282,7 +290,16 @@ impl SymbolicProgram {
     /// image intermediates and (under sifting) re-optimises the
     /// variable order — swaps are in-place, so the running sets stay
     /// valid across a reorder.
+    ///
+    /// The fixpoint is **memoized**: a long-lived engine answering many
+    /// queries (a `unity_mc` verifier session, repeated `--stats`
+    /// probes) pays for it once; later calls return the cached report.
+    /// The cached set is rooted for the engine's lifetime, surviving
+    /// collections, sifting and [`SymbolicProgram::release_pins`].
     pub fn reachable(&mut self) -> ReachReport {
+        if let Some(reach) = &self.reach {
+            return reach.clone();
+        }
         let mut reached = self.init;
         let mut frontier = self.init;
         let mut iterations = 0;
@@ -299,13 +316,14 @@ impl SymbolicProgram {
             reached = self.bdd.or(reached, frontier);
             self.service(&[reached, frontier]);
         }
-        self.pinned.push(reached);
-        ReachReport {
+        let report = ReachReport {
             set: reached,
             count: self.bdd.sat_count(reached, &self.space.all_cur_bits()),
             iterations,
             nodes: self.bdd.len(),
-        }
+        };
+        self.reach = Some(report.clone());
+        report
     }
 
     /// Lowers a predicate over the current-state bits (for callers
@@ -447,6 +465,40 @@ impl SymbolicProgram {
         let sat = self.bdd.and(self.domain, p);
         Ok(self.pick_word(sat))
     }
+
+    /// Checks `⊨ a = b` (same value in every type-consistent state)
+    /// inside this engine's arena — the session-reuse form of
+    /// [`equivalent_witness`]. Returns a distinguishing packed word, if
+    /// any.
+    pub fn check_equivalent(&mut self, a: &Expr, b: &Expr) -> Result<Option<u64>, SymbolicError> {
+        self.service(&[]);
+        let la = lower(&mut self.bdd, &self.space, a)?;
+        let lb = lower(&mut self.bdd, &self.space, b)?;
+        let same = equal_set(&mut self.bdd, la, lb);
+        let differ = self.bdd.not(same);
+        let bad = self.bdd.and(self.domain, differ);
+        Ok(self.pick_word(bad))
+    }
+}
+
+/// The set of states where two lowered expressions take equal values.
+fn equal_set(bdd: &mut Bdd, la: crate::lower::Lowered, lb: crate::lower::Lowered) -> Ref {
+    match (la, lb) {
+        (crate::lower::Lowered::Bool(x), crate::lower::Lowered::Bool(y)) => bdd.iff(x, y),
+        (x, y) => {
+            let (x, y) = (x.into_values(bdd), y.into_values(bdd));
+            let mut acc = FALSE;
+            for &(vx, cx) in &x.0 {
+                for &(vy, cy) in &y.0 {
+                    if vx == vy {
+                        let c = bdd.and(cx, cy);
+                        acc = bdd.or(acc, c);
+                    }
+                }
+            }
+            acc
+        }
+    }
 }
 
 /// Checks `⊨ p` over all type-consistent states of `vocab` without a
@@ -490,22 +542,7 @@ pub fn equivalent_witness(
     let dom = space.domain(&mut bdd);
     let la = lower(&mut bdd, &space, a)?;
     let lb = lower(&mut bdd, &space, b)?;
-    let same = match (la, lb) {
-        (crate::lower::Lowered::Bool(x), crate::lower::Lowered::Bool(y)) => bdd.iff(x, y),
-        (x, y) => {
-            let (x, y) = (x.into_values(&mut bdd), y.into_values(&mut bdd));
-            let mut acc = FALSE;
-            for &(vx, cx) in &x.0 {
-                for &(vy, cy) in &y.0 {
-                    if vx == vy {
-                        let c = bdd.and(cx, cy);
-                        acc = bdd.or(acc, c);
-                    }
-                }
-            }
-            acc
-        }
-    };
+    let same = equal_set(&mut bdd, la, lb);
     let differ = bdd.not(same);
     let bad = bdd.and(dom, differ);
     Ok(bdd.pick_one(bad).map(|lits| space.word_of_cube(&lits)))

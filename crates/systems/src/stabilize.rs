@@ -5,7 +5,7 @@
 //! **inductive, all-states semantics**: convergence must hold from an
 //! *arbitrary* initial state — precisely a `true ↦ legitimate` judgment
 //! quantified over the full domain product
-//! ([`unity_mc::transition::Universe::AllStates`]), with no reachability
+//! (`unity_mc::transition::Universe::AllStates`), with no reachability
 //! strengthening available (there is nothing to strengthen by: `init` is
 //! `true`). The substitution axiom the paper deliberately avoids could
 //! not help here even in principle.
@@ -141,7 +141,7 @@ impl StabilizingRing {
     }
 
     /// Convergence: from **any** state, the ring reaches legitimacy.
-    /// Check with [`unity_mc::transition::Universe::AllStates`].
+    /// Check with `unity_mc::transition::Universe::AllStates`.
     pub fn convergence(&self) -> Property {
         Property::LeadsTo(tt(), self.legitimate_expr())
     }

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Runs the headline criterion groups (e6 state-space build, e8 simulator
-# throughput, e17 symbolic engine, plus any extra groups passed as
-# arguments) and emits one machine-readable summary file per group:
+# throughput, e17 symbolic engine, e19 verifier-session reuse, plus any
+# extra groups passed as arguments) and emits one machine-readable
+# summary file per group:
 # BENCH_<group>.json, a JSON array of {id, median_ns, mean_ns, min_ns,
 # samples, iters_per_sample, elements} records (the vendored criterion
 # shim appends one object per benchmark when CRITERION_SUMMARY_JSON is
 # set). The script fails if any summary it writes contains no benchmark
 # records — an empty artifact means the group silently did not run.
 #
-#   scripts/bench.sh                 # e6 + e8 + e17
+#   scripts/bench.sh                 # e6 + e8 + e17 + e19
 #   scripts/bench.sh e2_safety e11_projection
 set -euo pipefail
 
@@ -16,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 groups=("$@")
 if [ ${#groups[@]} -eq 0 ]; then
-    groups=(e6_statespace e8_throughput e17_symbolic)
+    groups=(e6_statespace e8_throughput e17_symbolic e19_session)
 fi
 
 for group in "${groups[@]}"; do

@@ -4,7 +4,7 @@
 //! unity-check FILE [--engine explicit|symbolic|reference]
 //!             [--order declaration|static|sift] [--stats]
 //!             [--universe reachable|all] [--sim STEPS] [--seed N]
-//!             [--trace FILE] [--list] [--quiet]
+//!             [--trace FILE] [--json FILE] [--list] [--quiet]
 //!             [--conserve] [--synthesize] [--mutate] [--version]
 //! ```
 //!
@@ -14,6 +14,16 @@
 //! paper's inductive all-states semantics, `leadsto` exactly under weak
 //! fairness over the chosen universe. Exit code: `0` if all checks pass,
 //! `1` if any fails, `2` on usage/parse errors (unknown flags included).
+//!
+//! All checks run in **one verifier session** (`unity_mc::Verifier`):
+//! the compiled pipeline, transition system + reachable set, and
+//! symbolic engine are built at most once per run and shared by every
+//! check, `--stats`, `--synthesize` and the simulation monitors.
+//!
+//! `--json FILE` writes the whole run as a machine-readable
+//! `unity_mc::Report` (stable schema: per-check verdict, decoded
+//! counterexample witness, deciding engine, cost counters, wall times,
+//! simulation monitor outcomes). Exit codes are unchanged by `--json`.
 //!
 //! `--engine` selects the evaluation engine for every check:
 //! `explicit` (default — the compiled bytecode/packed-state scans),
@@ -49,12 +59,12 @@
 
 use std::process::ExitCode;
 
-use unity_composition::spec::{load_spec, NamedCheck};
+use unity_composition::spec::load_spec;
 use unity_core::conserve::{conserved_linear_combinations, invariant_from_combo};
-use unity_core::program::Program;
 use unity_core::properties::Property;
 use unity_mc::prelude::*;
-use unity_mc::synth::{synthesize_and_check, SynthConfig, SynthError};
+use unity_mc::synth::{synthesize_and_check_in, SynthConfig, SynthError};
+use unity_mc::verifier::Outcome;
 use unity_sim::prelude::*;
 
 struct Options {
@@ -66,6 +76,7 @@ struct Options {
     sim_steps: u64,
     seed: u64,
     trace: Option<String>,
+    json: Option<String>,
     list: bool,
     quiet: bool,
     conserve: bool,
@@ -76,7 +87,7 @@ struct Options {
 const USAGE: &str = "usage: unity-check FILE [--engine explicit|symbolic|reference] \
                      [--order declaration|static|sift] [--stats] \
                      [--universe reachable|all] [--sim STEPS] \
-                     [--seed N] [--trace FILE] [--list] [--quiet] \
+                     [--seed N] [--trace FILE] [--json FILE] [--list] [--quiet] \
                      [--conserve] [--synthesize] [--mutate] [--version]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -90,6 +101,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         sim_steps: 0,
         seed: 1,
         trace: None,
+        json: None,
         list: false,
         quiet: false,
         conserve: false,
@@ -140,6 +152,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     it.next()
                         .cloned()
                         .ok_or_else(|| format!("--trace needs a path; {USAGE}"))?,
+                );
+            }
+            "--json" => {
+                opts.json = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("--json needs a path; {USAGE}"))?,
                 );
             }
             "--list" => opts.list = true,
@@ -208,50 +227,68 @@ fn run(opts: &Options) -> Result<bool, String> {
         },
         ..Default::default()
     };
-    let mut ok = true;
-    for NamedCheck { name, property, .. } in &spec.checks {
-        match check_property(&spec.system.composed, property, opts.universe, &cfg) {
-            Ok(()) => {
+    // One session serves every check and every analysis mode below: the
+    // compiled pipeline, transition system + reachable set, and symbolic
+    // engine are built at most once per run.
+    let t0 = std::time::Instant::now();
+    let mut session = Verifier::new(&spec.system.composed, cfg).with_universe(opts.universe);
+    let mut report = session.verify_all(&spec.checks);
+    for c in &report.checks {
+        match &c.verdict.outcome {
+            Outcome::Pass => {
                 if !opts.quiet {
-                    println!("PASS {name}: {}", property.display(&vocab));
+                    println!("PASS {}: {}", c.name, c.verdict.property);
                 }
             }
-            Err(McError::Refuted { cex, .. }) => {
-                ok = false;
-                println!("FAIL {name}: {}", property.display(&vocab));
+            Outcome::Fail { cex } => {
+                println!("FAIL {}: {}", c.name, c.verdict.property);
                 println!("     {}", cex.display(&vocab));
             }
-            Err(e) => return Err(format!("check `{name}`: {e}")),
+            // Infrastructure errors surface after the other modes (and
+            // after --json persists the partial report) as exit code 2.
+            Outcome::Error { .. } => {}
         }
     }
 
     if opts.stats {
-        stats_report(opts, &cfg, &spec);
+        stats_report(opts, &mut session);
     }
     if opts.sim_steps > 0 {
-        ok &= simulate(opts, &spec)?;
+        report.sim = simulate(opts, &spec)?;
+        // The report covers the simulation too; keep its wall time
+        // honest (checks + simulation).
+        report.elapsed = t0.elapsed();
     }
     if opts.conserve {
         conserve_report(&spec);
     }
     if opts.synthesize {
-        synthesize_report(opts, &spec);
+        synthesize_report(opts, &mut session, &spec);
     }
     if opts.mutate {
-        mutate_report(opts, &spec);
+        mutate_report(&mut session, &spec);
     }
-    Ok(ok)
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        if !opts.quiet {
+            println!("report written to {path}");
+        }
+    }
+    if let Some(errored) = report.first_error() {
+        let error = errored.verdict.error().expect("error outcome");
+        return Err(format!("check `{}`: {error}", errored.name));
+    }
+    Ok(report.all_passed())
 }
 
 /// `--stats`: print engine counters for the file's composed program
 /// (informational). The symbolic engine reports arena/reorder/cache
-/// activity from a reachability run; the enumerating engines report the
-/// transition system's size.
-fn stats_report(opts: &Options, cfg: &ScanConfig, spec: &unity_composition::spec::SpecFile) {
-    let program = &spec.system.composed;
+/// activity from the session's (memoized) reachability fixpoint; the
+/// enumerating engines report the session's transition-system size.
+fn stats_report(opts: &Options, session: &mut Verifier<'_>) {
     match opts.engine {
-        Engine::Symbolic => match SymbolicProgram::build_with(program, &cfg.symbolic) {
-            Ok(mut sym) => {
+        Engine::Symbolic => match session.symbolic() {
+            Some(sym) => {
                 let reach = sym.reachable();
                 println!(
                     "STATS symbolic: {} reachable state(s) in {} iteration(s); order {:?}; {}",
@@ -261,19 +298,17 @@ fn stats_report(opts: &Options, cfg: &ScanConfig, spec: &unity_composition::spec
                     sym.stats()
                 );
             }
-            Err(e) => println!("STATS symbolic: not applicable ({e}); explicit fallback"),
+            None => println!("STATS symbolic: not applicable (cannot lower); explicit fallback"),
         },
-        Engine::Compiled | Engine::Reference => {
-            match TransitionSystem::build(program, opts.universe, cfg) {
-                Ok(ts) => println!(
-                    "STATS explicit: {} state(s) visited, {} transition(s) computed ({:?} universe)",
-                    ts.len(),
-                    ts.transition_count(),
-                    opts.universe
-                ),
-                Err(e) => println!("STATS explicit: {e}"),
-            }
-        }
+        Engine::Compiled | Engine::Reference => match session.transition_system(opts.universe) {
+            Ok(ts) => println!(
+                "STATS explicit: {} state(s) visited, {} transition(s) computed ({:?} universe)",
+                ts.len(),
+                ts.transition_count(),
+                opts.universe
+            ),
+            Err(e) => println!("STATS explicit: {e}"),
+        },
     }
 }
 
@@ -305,17 +340,21 @@ fn conserve_report(spec: &unity_composition::spec::SpecFile) {
 }
 
 /// `--synthesize`: attempt a kernel-checked ensures-chain derivation for
-/// every `leadsto` check (informational).
-fn synthesize_report(opts: &Options, spec: &unity_composition::spec::SpecFile) {
-    let program = &spec.system.composed;
+/// every `leadsto` check (informational). The synthesis explores the
+/// session's memoized reachable transition system — with several
+/// `leadsto` goals in one file it is built once, not per goal.
+fn synthesize_report(
+    opts: &Options,
+    session: &mut Verifier<'_>,
+    spec: &unity_composition::spec::SpecFile,
+) {
     let vocab = spec.system.vocab();
     let cfg = SynthConfig::default();
-    let scan = ScanConfig::default();
     for c in &spec.checks {
         let Property::LeadsTo(p, q) = &c.property else {
             continue;
         };
-        match synthesize_and_check(program, p, q, &cfg, &scan) {
+        match synthesize_and_check_in(session, p, q, &cfg) {
             Ok((synth, stats)) => println!(
                 "SYNTH {}: {} ensures layer(s) over {} state(s); kernel: {} rules, {} premises, {} side conditions",
                 c.name,
@@ -343,38 +382,26 @@ fn synthesize_report(opts: &Options, spec: &unity_composition::spec::SpecFile) {
 }
 
 /// `--mutate`: audit the file's own `spec` checks by mutation
-/// (informational).
-fn mutate_report(opts: &Options, spec: &unity_composition::spec::SpecFile) {
-    type BoxedSpec = (String, Box<dyn Fn(&Program) -> bool>);
-    let program = &spec.system.composed;
-    let scan = ScanConfig::default();
-    let universe = opts.universe;
-    let specs: Vec<BoxedSpec> = spec
-        .checks
-        .iter()
-        .map(|c| {
-            let prop = c.property.clone();
-            let scan = scan.clone();
-            let f: Box<dyn Fn(&Program) -> bool> =
-                Box::new(move |p: &Program| check_property(p, &prop, universe, &scan).is_ok());
-            (c.name.clone(), f)
-        })
-        .collect();
-    let named: Vec<Spec<'_>> = specs
-        .iter()
-        .map(|(n, f)| (n.as_str(), f.as_ref() as &dyn Fn(&Program) -> bool))
-        .collect();
-    match mutation_audit(program, &named) {
+/// (informational). Session-backed: the original-program pass reuses
+/// the run's main session, and each mutant's checks share one fresh
+/// session over that mutant. The audit runs under the session's engine
+/// configuration (`--engine`), where it previously always used the
+/// compiled default.
+fn mutate_report(session: &mut Verifier<'_>, spec: &unity_composition::spec::SpecFile) {
+    match mutation_audit_in(session, &spec.checks) {
         Ok(report) => print!("MUTATE: {}", report.summary()),
         Err(e) => println!("MUTATE-ERROR: {e}"),
     }
 }
 
 /// Runs the weakly-fair simulation with invariant monitors and optional
-/// trace export. Returns whether no monitor fired.
-fn simulate(opts: &Options, spec: &unity_composition::spec::SpecFile) -> Result<bool, String> {
+/// trace export. Returns one [`SimCheck`] per monitored invariant for
+/// the run's [`Report`].
+fn simulate(
+    opts: &Options,
+    spec: &unity_composition::spec::SpecFile,
+) -> Result<Vec<SimCheck>, String> {
     let program = &spec.system.composed;
-    let vocab = spec.system.vocab();
     let mut invariants: Vec<(String, InvariantMonitor)> = spec
         .checks
         .iter()
@@ -400,16 +427,23 @@ fn simulate(opts: &Options, spec: &unity_composition::spec::SpecFile) -> Result<
         ex.run(opts.sim_steps, &mut sched, &mut monitors);
     }
 
-    let mut ok = true;
+    let mut outcomes = Vec::with_capacity(invariants.len());
     for (name, m) in &invariants {
         if m.clean() {
             if !opts.quiet {
                 println!("SIM-PASS {name}: no violation in {} steps", opts.sim_steps);
             }
         } else {
-            ok = false;
             println!("SIM-FAIL {name}: violated during simulation");
         }
+        let violation = m.first_violation();
+        outcomes.push(SimCheck {
+            name: name.clone(),
+            steps: opts.sim_steps,
+            passed: m.clean(),
+            violation_step: violation.map(|(step, _)| *step),
+            violation_state: violation.map(|(_, state)| state.clone()),
+        });
     }
     if let Some(path) = &opts.trace {
         std::fs::write(path, recorder.to_json(program)).map_err(|e| format!("{path}: {e}"))?;
@@ -417,8 +451,7 @@ fn simulate(opts: &Options, spec: &unity_composition::spec::SpecFile) -> Result<
             println!("trace written to {path}");
         }
     }
-    let _ = vocab;
-    Ok(ok)
+    Ok(outcomes)
 }
 
 fn main() -> ExitCode {

@@ -27,18 +27,10 @@
 use unity_core::compose::{InitSatCheck, System};
 use unity_core::dsl;
 use unity_core::error::CoreError;
-use unity_core::properties::Property;
 
-/// One named property check from a `spec` block.
-#[derive(Debug, Clone)]
-pub struct NamedCheck {
-    /// Check label (`check<k>` when the line had no label).
-    pub name: String,
-    /// The property to check on the composed system.
-    pub property: Property,
-    /// 1-based source line, for diagnostics.
-    pub line: usize,
-}
+// The named-check shape lives with the verifier session (spec files
+// parse straight into `Verifier::verify_all` input).
+pub use unity_mc::verifier::NamedCheck;
 
 /// A parsed specification file: the composed system plus its checks.
 #[derive(Debug)]

@@ -76,6 +76,120 @@ fn sim_mode_writes_a_trace() {
 }
 
 #[test]
+fn json_report_for_passing_spec() {
+    use unity_composition::unity_mc::prelude::*;
+    let dir = std::env::temp_dir().join("unity_check_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("toy_report.json");
+    let out = unity_check(&[
+        "examples/specs/toy.unity",
+        "--json",
+        path.to_str().unwrap(),
+        "--sim",
+        "50",
+        "--quiet",
+    ]);
+    assert!(out.status.success(), "exit 0 unchanged by --json");
+    let json = std::fs::read_to_string(&path).unwrap();
+    let report = Report::from_json(&json).expect("schema parses");
+    // Stable schema: engine/universe/vars and one verdict per check.
+    assert_eq!(report.engine, Engine::Compiled);
+    assert_eq!(report.universe, Universe::Reachable);
+    assert_eq!(report.vars, vec!["c0", "C", "c1"]);
+    let names: Vec<&str> = report.checks.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["conservation", "weakened0", "saturation"]);
+    assert!(report.checks.iter().all(|c| c.verdict.passed()));
+    // The leadsto check carries transition-system counters.
+    assert!(matches!(
+        report.checks[2].verdict.stats,
+        VerdictStats::Explicit { states, .. } if states > 0
+    ));
+    // Simulation monitors landed in the same report.
+    assert_eq!(report.sim.len(), 2, "two invariant checks monitored");
+    assert!(report.sim.iter().all(|s| s.passed && s.steps == 50));
+    assert!(report.all_passed());
+    // Round-trip: serialized forms identical.
+    assert_eq!(report.to_json(), json);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn json_report_for_failing_spec_carries_the_witness() {
+    use unity_composition::unity_mc::prelude::*;
+    let dir = std::env::temp_dir().join("unity_check_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken_report.json");
+    let out = unity_check(&[
+        "examples/specs/broken.unity",
+        "--json",
+        path.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "exit 1 unchanged by --json");
+    let json = std::fs::read_to_string(&path).unwrap();
+    let report = Report::from_json(&json).unwrap();
+    let failed = report
+        .checks
+        .iter()
+        .find(|c| c.name == "conservation")
+        .unwrap();
+    assert!(failed.verdict.failed());
+    // The decoded witness survives serialization: a next-step with the
+    // offending command and both states.
+    match failed.verdict.counterexample().unwrap() {
+        Counterexample::Next {
+            state,
+            command,
+            after,
+        } => {
+            assert_eq!(command.as_deref(), Some("a1"));
+            assert_eq!(state.values().len(), report.vars.len());
+            assert_eq!(after.values().len(), report.vars.len());
+        }
+        other => panic!("unexpected witness {other:?}"),
+    }
+    assert!(!report.all_passed());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn json_report_on_infrastructure_error_exits_2_but_persists() {
+    use unity_composition::unity_mc::prelude::*;
+    let dir = std::env::temp_dir().join("unity_check_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A space far past the scan budget: the check errors (exit 2), and
+    // the JSON report still records the error verdict.
+    let spec = dir.join("huge.unity");
+    std::fs::write(
+        &spec,
+        "program Huge\n  var x : int 0..99999999\n  init x == 0\n  \
+         fair cmd up: x < 99999999 -> x := x + 1\nend\n\
+         spec S\n  cap: invariant x <= 99999999\nend\n",
+    )
+    .unwrap();
+    let path = dir.join("huge_report.json");
+    let out = unity_check(&[
+        spec.to_str().unwrap(),
+        "--json",
+        path.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "infrastructure error is exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cap"), "{stderr}");
+    let report = Report::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(report.checks[0].verdict.error().is_some());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn json_flag_requires_a_path() {
+    let out = unity_check(&["examples/specs/toy.unity", "--json"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let out = unity_check(&[]);
     assert_eq!(out.status.code(), Some(2));

@@ -5,7 +5,7 @@
 //! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
 //! * strategies for integer ranges, tuples, [`strategy::Just`],
 //!   [`arbitrary::any`], `prop::collection::vec`, and unions
-//!   ([`prop_oneof!`]);
+//!   (`prop_oneof!`);
 //! * the [`proptest!`] macro with `#![proptest_config(..)]` and
 //!   [`prop_assert!`]/[`prop_assert_eq!`];
 //! * deterministic seeding (per-test-name), overridable with the
@@ -132,7 +132,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among component strategies ([`prop_oneof!`]).
+    /// Uniform choice among component strategies (`prop_oneof!`).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -282,7 +282,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Size specifications accepted by [`vec`].
+    /// Size specifications accepted by [`vec()`].
     pub trait SizeRange {
         /// Samples a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
