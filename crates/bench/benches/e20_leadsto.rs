@@ -1,0 +1,214 @@
+//! E20 — the explicit `leadsto` hot path: predecessor-CSR worklist
+//! (`check_leadsto_on`) vs the pre-PR quiescence formulation
+//! (`check_leadsto_on_reference`), on the same prebuilt transition
+//! system so only the liveness engine differs.
+//!
+//! Three workloads:
+//!
+//! * **ring battery** — token-ring circulation `token@i ↦ token@(i+1)`
+//!   for every node, on a ring with free per-node work bits (so the
+//!   space is `n · 2^m`, not a single cycle). Half the battery runs on
+//!   a fully fair ring (passing: the cost is the `¬q`-localized SCC
+//!   pass), half on a ring whose node-0 pass is *not* fair (failing:
+//!   the trap's backward reach spans the whole ring — the quiescence
+//!   loop rescans the table once per propagated layer, the worklist
+//!   walks each predecessor row once).
+//! * **dining progress** — `hungry(i) ↦ eating(i)` per philosopher on
+//!   the paper's dining ring (session-checked, worklist engine only:
+//!   an absolute number for the README).
+//! * **synthesis** — `synthesize_leadsto` on a fair token ring: hundreds
+//!   of candidate sweeps against one session-cached transition system
+//!   and predecessor index.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::Vocabulary;
+use unity_core::program::Program;
+use unity_core::properties::Property;
+use unity_mc::prelude::*;
+use unity_mc::synth::SynthConfig;
+use unity_systems::dining::{dining_system, DiningSpec};
+
+/// A token ring of `n` nodes with `m` free work bits: one fair `pass`
+/// command circulates the token (`t := t + 1 mod n`), `work_j` toggles
+/// bit `j` freely. With `stalled`, node 0 gains an *unfair* `brake`
+/// command: once braked, `pass` is guard-blocked, so the braked node-0
+/// states form a fair trap whose backward reach spans the whole ring —
+/// the access pattern that makes the quiescence loop quadratic.
+/// Reachable space: `n · 2^m` states (plus the braked node-0 layer).
+fn token_ring(n: i64, m: usize, stalled: bool) -> Program {
+    let mut v = Vocabulary::new();
+    let t = v
+        .declare("t", Domain::int_range(0, n - 1).unwrap())
+        .unwrap();
+    let brake = stalled.then(|| v.declare("brake", Domain::Bool).unwrap());
+    let bits: Vec<_> = (0..m)
+        .map(|j| v.declare(&format!("g{j}"), Domain::Bool).unwrap())
+        .collect();
+    let init = match brake {
+        Some(brk) => and2(eq(var(t), int(0)), not(var(brk))),
+        None => eq(var(t), int(0)),
+    };
+    let pass_guard = match brake {
+        Some(brk) => not(var(brk)),
+        None => tt(),
+    };
+    let mut b = Program::builder("token_ring", Arc::new(v))
+        .init(init)
+        .fair_command(
+            "pass",
+            pass_guard,
+            vec![(t, rem(add(var(t), int(1)), int(n)))],
+        );
+    if let Some(brk) = brake {
+        // Not in D: nothing forces the brake, but a fair run *may*
+        // brake forever — the trap the checker must find.
+        b = b.command("brake", eq(var(t), int(0)), vec![(brk, tt())]);
+    }
+    for (j, &g) in bits.iter().enumerate() {
+        b = b.fair_command(format!("work{j}"), tt(), vec![(g, not(var(g)))]);
+    }
+    b.build().unwrap()
+}
+
+/// The circulation battery: `token@i ↦ token@(i+1)` for every node.
+fn circulation(n: i64) -> Vec<(Expr, Expr)> {
+    let t = unity_core::ident::VarId(0);
+    (0..n)
+        .map(|i| (eq(var(t), int(i)), eq(var(t), int((i + 1) % n))))
+        .collect()
+}
+
+type Battery = Vec<(TransitionSystem, Program, Vec<(Expr, Expr)>)>;
+
+fn ring_battery(n: i64, m: usize) -> Battery {
+    let fair = token_ring(n, m, false);
+    let stalled = token_ring(n, m, true);
+    let checks = circulation(n);
+    [fair, stalled]
+        .into_iter()
+        .map(|p| {
+            let ts =
+                TransitionSystem::build(&p, Universe::Reachable, &ScanConfig::default()).unwrap();
+            (ts, p, checks.clone())
+        })
+        .collect()
+}
+
+/// Runs the whole battery with the worklist engine — one
+/// [`LeadsToEngine`] per ring, so the predecessor index and pooled
+/// scratch are built once per system, exactly as a `Verifier` session
+/// shares them.
+fn battery_worklist(battery: &Battery) -> usize {
+    battery
+        .iter()
+        .map(|(ts, p, checks)| {
+            let mut engine = LeadsToEngine::new(ts);
+            checks
+                .iter()
+                .filter(|(pp, qq)| engine.check(p, pp, qq).is_ok())
+                .count()
+        })
+        .sum()
+}
+
+/// The same battery with the pre-PR quiescence formulation.
+fn battery_quiescent(battery: &Battery) -> usize {
+    battery
+        .iter()
+        .map(|(ts, p, checks)| {
+            checks
+                .iter()
+                .filter(|(pp, qq)| check_leadsto_on_reference(ts, p, pp, qq).is_ok())
+                .count()
+        })
+        .sum()
+}
+
+fn bench_e20(c: &mut Criterion) {
+    // Ring battery: 2n leadsto properties over n·2^m-state rings.
+    let mut group = c.benchmark_group("e20_leadsto_ring");
+    group.sample_size(10);
+    let (n, m) = (384i64, 2usize);
+    let battery = ring_battery(n, m);
+    let states: usize = battery.iter().map(|(ts, ..)| ts.len()).sum();
+    // Fair ring: n·2^m. Stalled ring: n·2^m plus the braked node-0
+    // layer.
+    assert_eq!(states as i64, 2 * n * (1 << m) + (1 << m));
+    let passed = battery_worklist(&battery);
+    assert_eq!(
+        passed,
+        battery_quiescent(&battery),
+        "both formulations agree before we time them"
+    );
+    // Fair ring: all n circulation hops pass. Stalled ring: only the
+    // hop out of the stalled node fails (its layer is the trap); every
+    // other hop still completes before the token can reach the stall —
+    // but deciding that forces the backward propagation across the
+    // whole trap-reaching segment, which is exactly the hot path the
+    // two formulations price differently.
+    assert_eq!(passed as i64, 2 * n - 1);
+    let id = format!("ring{n}x{}", 1 << m);
+    group.bench_with_input(BenchmarkId::new("worklist", &id), &battery, |b, battery| {
+        b.iter(|| battery_worklist(battery))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("quiescent", &id),
+        &battery,
+        |b, battery| b.iter(|| battery_quiescent(battery)),
+    );
+    group.finish();
+
+    // Dining progress: hungry(i) ↦ eating(i) per philosopher, one
+    // session (shared transition system + predecessor index + scratch).
+    let mut group = c.benchmark_group("e20_leadsto_dining");
+    group.sample_size(10);
+    let dining = dining_system(&DiningSpec {
+        graph: Arc::new(prio_graph::topology::ring(5)),
+    })
+    .unwrap();
+    let checks: Vec<Property> = (0..dining.len()).map(|i| dining.progress(i)).collect();
+    group.bench_with_input(
+        BenchmarkId::new("session_progress", "dining5"),
+        &(&dining, &checks),
+        |b, (dining, checks)| {
+            b.iter(|| {
+                let mut session = Verifier::new(&dining.system.composed, ScanConfig::default());
+                checks.iter().filter(|p| session.verify(p).passed()).count()
+            })
+        },
+    );
+    group.finish();
+
+    // Synthesis: the ensures-chain extraction runs hundreds of
+    // candidate sweeps; session-cached ts + pred index serve them all.
+    let mut group = c.benchmark_group("e20_leadsto_synth");
+    group.sample_size(10);
+    let ring = token_ring(8, 2, false);
+    let t = unity_core::ident::VarId(0);
+    group.bench_with_input(
+        BenchmarkId::new("synthesize", "ring8x4"),
+        &ring,
+        |b, ring| {
+            b.iter(|| {
+                let mut session = Verifier::new(ring, ScanConfig::default());
+                let synth = unity_mc::synth::synthesize_leadsto_in(
+                    &mut session,
+                    &eq(var(t), int(0)),
+                    &eq(var(t), int(4)),
+                    &SynthConfig::default(),
+                )
+                .unwrap();
+                synth.layers.len()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_e20);
+criterion_main!(benches);

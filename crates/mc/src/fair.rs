@@ -15,6 +15,19 @@
 //! eventually stays inside one SCC of the `¬q` graph and must take each
 //! `d`-edge inside it infinitely often, so the condition is exact.
 //!
+//! **Engine.** The default formulation is a worklist over the session's
+//! CSR predecessor index ([`crate::pred::PredIndex`]): SCCs of the `¬q`
+//! subgraph come from a pooled-scratch Tarjan
+//! ([`crate::scc::tarjan_scc_pooled`] — components are ranges into one
+//! flat order array, no per-check allocation), and the "which `¬q`
+//! states can reach a fair trap" propagation walks predecessor rows
+//! from the trap members, touching `O(|¬q| + pred-edges into ¬q)`
+//! states instead of rescanning the whole table until quiescence. The
+//! pre-worklist formulation is kept verbatim as
+//! [`check_leadsto_on_reference`] (the `leadsto` engine under
+//! [`ScanConfig::reference`]); the `prop_leadsto_worklist` differential
+//! suite pins the two to identical verdicts and witnesses.
+//!
 //! Counterexamples are lassos: a `¬q` prefix from the violating `p`-state
 //! into the fair trap.
 
@@ -22,22 +35,52 @@ use unity_core::expr::Expr;
 use unity_core::program::Program;
 use unity_core::state::State;
 
-use crate::scc::tarjan_scc;
-use crate::space::ScanConfig;
+use crate::parallel::ParConfig;
+use crate::pred::PredIndex;
+use crate::scc::{tarjan_scc, tarjan_scc_pooled, SccScratch};
+use crate::space::{Engine, ScanConfig};
 use crate::trace::{Counterexample, McError};
 use crate::transition::{TransitionSystem, Universe};
 
-/// Outcome of a leadsto analysis, including simple size statistics.
+/// Outcome of a leadsto analysis, including size and traversal
+/// statistics.
 #[derive(Debug, Clone)]
 pub struct LeadsToReport {
     /// States explored.
     pub states: usize,
-    /// Transitions stored.
+    /// Transitions stored (the full successor table — the check itself
+    /// traverses only the `¬q` rows; see
+    /// [`LeadsToReport::scanned_states`]).
     pub transitions: usize,
     /// Number of SCCs in the `¬q` subgraph.
     pub sccs: usize,
     /// Number of fair traps found (0 when the property holds).
     pub traps: usize,
+    /// `¬q` states actually visited by the SCC pass — the region this
+    /// check's cost scales with.
+    pub scanned_states: usize,
+    /// Predecessor edges walked by the backward worklist (0 on the
+    /// reference formulation, which has no predecessor index).
+    pub pred_edges: usize,
+    /// States pushed onto the backward worklist, trap seeds included
+    /// (0 on the reference formulation).
+    pub worklist_pushes: usize,
+}
+
+/// Pooled per-session buffers for the worklist liveness engine: the
+/// Tarjan scratch plus trap/danger marks and the worklist itself. Held
+/// in the verifier session's `EngineCache`, so a spec with many
+/// `leadsto` checks reuses one set of arrays across all of them.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LivenessScratch {
+    /// Pooled Tarjan buffers (components as flat ranges).
+    scc: SccScratch,
+    /// Trap flag per component of the last run.
+    trap: Vec<bool>,
+    /// Backward-reachability marks ("can reach a trap through `¬q`").
+    dangerous: Vec<bool>,
+    /// The backward worklist.
+    worklist: Vec<u32>,
 }
 
 /// Checks `p ↦ q` on `program` over the chosen universe.
@@ -58,9 +101,9 @@ pub fn check_leadsto(
     )
 }
 
-/// Session form of [`check_leadsto`]: the transition system (and with
-/// it the reachable set) comes from the cache, so a spec with many
-/// `leadsto` checks builds it once.
+/// Session form of [`check_leadsto`]: the transition system, its CSR
+/// predecessor index, and the liveness scratch all come from the cache,
+/// so a spec with many `leadsto` checks builds each once.
 pub(crate) fn check_leadsto_in(
     program: &Program,
     p: &Expr,
@@ -69,20 +112,264 @@ pub(crate) fn check_leadsto_in(
     cfg: &ScanConfig,
     cache: &mut crate::verifier::EngineCache,
 ) -> Result<LeadsToReport, McError> {
+    into_result(check_leadsto_outcome_in(
+        program, p, q, universe, cfg, cache,
+    )?)
+}
+
+/// [`check_leadsto_in`] in outcome form: `Ok((report, refutation))`
+/// when the analysis ran (refuted checks keep their traversal
+/// counters), `Err` only for infrastructure failures (space bound,
+/// typing). This is what [`crate::verifier::Verifier::verify`] consumes
+/// so failing `leadsto` verdicts still carry cost stats.
+pub(crate) fn check_leadsto_outcome_in(
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+    universe: Universe,
+    cfg: &ScanConfig,
+    cache: &mut crate::verifier::EngineCache,
+) -> Result<(LeadsToReport, Option<McError>), McError> {
     p.check_pred(&program.vocab)?;
     q.check_pred(&program.vocab)?;
     let ts = cache.transition_system(program, universe, cfg)?;
-    check_leadsto_on(&ts, program, p, q)
+    if matches!(cfg.engine, Engine::Reference) {
+        // The pre-worklist formulation, kept as the semantics of record
+        // for the differential suites.
+        return Ok(reference_outcome(&ts, program, p, q));
+    }
+    let pred = cache.pred_index(&ts, universe);
+    Ok(check_leadsto_worklist(
+        &ts,
+        &pred,
+        &mut cache.liveness,
+        program,
+        p,
+        q,
+        &cfg.par,
+    ))
 }
 
 /// Checks `p ↦ q` on a prebuilt transition system (the program supplies
-/// the vocabulary for predicate evaluation).
+/// the vocabulary for predicate evaluation) with the worklist engine,
+/// building a throwaway predecessor index and scratch. Checking several
+/// properties against one system? Use a [`LeadsToEngine`] (or a full
+/// [`crate::verifier::Verifier`] session) so the index and scratch are
+/// built once.
 pub fn check_leadsto_on(
     ts: &TransitionSystem,
     program: &Program,
     p: &Expr,
     q: &Expr,
 ) -> Result<LeadsToReport, McError> {
+    LeadsToEngine::new(ts).check(program, p, q)
+}
+
+/// A reusable worklist liveness engine over one prebuilt transition
+/// system: the CSR predecessor index is inverted once and the scratch
+/// buffers are pooled, so a battery of `p ↦ q` checks pays for both
+/// exactly once. [`crate::verifier::Verifier`] sessions get the same
+/// sharing through their engine cache; this type serves callers that
+/// already hold a [`TransitionSystem`].
+pub struct LeadsToEngine<'ts> {
+    ts: &'ts TransitionSystem,
+    pred: PredIndex,
+    scratch: LivenessScratch,
+    par: ParConfig,
+}
+
+impl<'ts> LeadsToEngine<'ts> {
+    /// Builds the engine (inverts the predecessor index) with default
+    /// sweep parallelism.
+    pub fn new(ts: &'ts TransitionSystem) -> Self {
+        Self::with_par(ts, ParConfig::default())
+    }
+
+    /// Builds the engine with explicit sweep parallelism.
+    pub fn with_par(ts: &'ts TransitionSystem, par: ParConfig) -> Self {
+        LeadsToEngine {
+            ts,
+            pred: PredIndex::build(ts),
+            scratch: LivenessScratch::default(),
+            par,
+        }
+    }
+
+    /// Checks `p ↦ q` against the engine's transition system.
+    pub fn check(
+        &mut self,
+        program: &Program,
+        p: &Expr,
+        q: &Expr,
+    ) -> Result<LeadsToReport, McError> {
+        p.check_pred(&program.vocab)?;
+        q.check_pred(&program.vocab)?;
+        into_result(check_leadsto_worklist(
+            self.ts,
+            &self.pred,
+            &mut self.scratch,
+            program,
+            p,
+            q,
+            &self.par,
+        ))
+    }
+}
+
+/// The worklist liveness core: `¬q`-localized pooled Tarjan, trap
+/// detection over flat component ranges, and backward trap-reachability
+/// as a predecessor-row worklist. Returns the traversal report plus
+/// the refutation, if any — callers that want `Result` convention use
+/// [`into_result`]; the verifier keeps both so refuted checks still
+/// carry their cost counters.
+fn check_leadsto_worklist(
+    ts: &TransitionSystem,
+    pred: &PredIndex,
+    scratch: &mut LivenessScratch,
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+    par: &ParConfig,
+) -> (LeadsToReport, Option<McError>) {
+    let n = ts.len();
+    let mut not_q = ts.sat_vec_with(q, par);
+    for b in &mut not_q {
+        *b = !*b;
+    }
+
+    // SCCs of the ¬q-restricted graph, into the pooled scratch:
+    // components are ranges of one flat order array, comp ids are dense.
+    let succ = |v: u32| ts.succ_row(v as usize);
+    let LivenessScratch {
+        scc,
+        trap,
+        dangerous,
+        worklist,
+    } = scratch;
+    tarjan_scc_pooled(&not_q, succ, scc);
+
+    // A trap: for every fair command d, some member state keeps its
+    // d-successor inside the component. (Trivial SCCs — single state whose
+    // d-successors all leave or all equal itself — qualify iff the
+    // self-loop condition holds for all d; with D empty every SCC is a trap
+    // because skip alone realizes a fair run.)
+    trap.clear();
+    let mut traps = 0usize;
+    for cid in 0..scc.comp_count() {
+        let members = scc.members(cid);
+        let is_trap = ts.fair.iter().all(|&d| {
+            members.iter().any(|&v| {
+                let w = ts.succ_at(v as usize, d);
+                not_q[w as usize] && scc.comp_of(w) == cid as u32
+            })
+        });
+        trap.push(is_trap);
+        traps += is_trap as usize;
+    }
+
+    // Which ¬q states can reach a trap through ¬q states? Seed the
+    // worklist with the trap members and walk predecessor rows: each
+    // state is pushed at most once, so the propagation costs the trap
+    // region's in-edges, not whole-table rescans.
+    dangerous.clear();
+    dangerous.resize(n, false);
+    worklist.clear();
+    for (cid, &is_trap) in trap.iter().enumerate() {
+        if is_trap {
+            for &v in scc.members(cid) {
+                dangerous[v as usize] = true;
+                worklist.push(v);
+            }
+        }
+    }
+    let mut worklist_pushes = worklist.len();
+    let mut pred_edges = 0usize;
+    while let Some(v) = worklist.pop() {
+        let row = pred.row(v);
+        pred_edges += row.len();
+        for &u in row {
+            if not_q[u as usize] && !dangerous[u as usize] {
+                dangerous[u as usize] = true;
+                worklist.push(u);
+                worklist_pushes += 1;
+            }
+        }
+    }
+
+    let report = LeadsToReport {
+        states: n,
+        transitions: ts.transition_count(),
+        sccs: scc.comp_count(),
+        traps,
+        scanned_states: scc.visited(),
+        pred_edges,
+        worklist_pushes,
+    };
+
+    // No trap ⇒ nothing is dangerous ⇒ no start state can exist: the
+    // property holds without ever sweeping for `p`. (The common passing
+    // case costs only the `q` sweep and the localized SCC pass.)
+    if traps == 0 {
+        return (report, None);
+    }
+
+    // A violation starts at any state satisfying p ∧ ¬q that is dangerous.
+    // (p-states satisfying q are immediately fine.)
+    let p_sat = ts.sat_vec_with(p, par);
+    let start = (0..n).find(|&v| not_q[v] && dangerous[v] && p_sat[v]);
+
+    match start {
+        None => (report, None),
+        Some(v0) => {
+            let trap_member = |u: u32| not_q[u as usize] && trap[scc.comp_of(u) as usize];
+            let (prefix_ids, target) = lasso_prefix(ts, &not_q, trap_member, v0 as u32);
+            let trap_states: Vec<State> = match target {
+                Some(t) => scc
+                    .members(scc.comp_of(t) as usize)
+                    .iter()
+                    .map(|&v| ts.state(v))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let err = refuted_leadsto(program, p, q, ts, prefix_ids, trap_states);
+            (report, Some(err))
+        }
+    }
+}
+
+/// Collapses a core outcome back to the free functions' `Result`
+/// convention.
+fn into_result(outcome: (LeadsToReport, Option<McError>)) -> Result<LeadsToReport, McError> {
+    match outcome {
+        (report, None) => Ok(report),
+        (_, Some(err)) => Err(err),
+    }
+}
+
+/// Checks `p ↦ q` on a prebuilt transition system with the pre-worklist
+/// formulation: per-check [`tarjan_scc`] materialization and the
+/// whole-table backward `dangerous` fixpoint, rescanned until
+/// quiescent. This is the `leadsto` engine under
+/// [`ScanConfig::reference`]; the differential proptests (and the
+/// `e20_leadsto` bench) pin the worklist engine against it.
+pub fn check_leadsto_on_reference(
+    ts: &TransitionSystem,
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+) -> Result<LeadsToReport, McError> {
+    into_result(reference_outcome(ts, program, p, q))
+}
+
+/// The pre-worklist core in outcome form (report plus optional
+/// refutation) — the shape the verifier consumes so refuted checks
+/// keep their counters.
+fn reference_outcome(
+    ts: &TransitionSystem,
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+) -> (LeadsToReport, Option<McError>) {
     let n = ts.len();
     let not_q: Vec<bool> = ts.sat_vec(q).into_iter().map(|b| !b).collect();
 
@@ -90,11 +377,6 @@ pub fn check_leadsto_on(
     let succ = |v: u32| ts.succ_row(v as usize);
     let sccs = tarjan_scc(&not_q, succ);
 
-    // A trap: for every fair command d, some member state keeps its
-    // d-successor inside the component. (Trivial SCCs — single state whose
-    // d-successors all leave or all equal itself — qualify iff the
-    // self-loop condition holds for all d; with D empty every SCC is a trap
-    // because skip alone realizes a fair run.)
     let mut comp_of: Vec<u32> = vec![u32::MAX; n];
     for (cid, comp) in sccs.iter().enumerate() {
         for &v in comp {
@@ -113,8 +395,8 @@ pub fn check_leadsto_on(
     let traps = trap_flags.iter().filter(|&&t| t).count();
 
     // Which ¬q states can reach a trap through ¬q states? Propagate
-    // backwards: mark trap members, then iterate predecessors. Simple
-    // fixpoint over the (small) graph.
+    // backwards: mark trap members, then iterate successor scans over
+    // the whole table until quiescent.
     let mut dangerous: Vec<bool> = vec![false; n];
     for (comp, &flag) in sccs.iter().zip(&trap_flags) {
         if flag {
@@ -140,7 +422,6 @@ pub fn check_leadsto_on(
     }
 
     // A violation starts at any state satisfying p ∧ ¬q that is dangerous.
-    // (p-states satisfying q are immediately fine.)
     let p_sat = ts.sat_vec(p);
     let start = (0..n).find(|&v| not_q[v] && dangerous[v] && p_sat[v]);
 
@@ -149,42 +430,45 @@ pub fn check_leadsto_on(
         transitions: ts.transition_count(),
         sccs: sccs.len(),
         traps,
+        scanned_states: not_q.iter().filter(|&&b| b).count(),
+        pred_edges: 0,
+        worklist_pushes: 0,
     };
 
     match start {
-        None => Ok(report),
+        None => (report, None),
         Some(v0) => {
-            let cex = build_lasso(ts, &sccs, &trap_flags, &not_q, v0 as u32);
-            Err(McError::Refuted {
-                property: format!(
-                    "{} leadsto {}",
-                    unity_core::expr::pretty::Render::new(p, &program.vocab),
-                    unity_core::expr::pretty::Render::new(q, &program.vocab)
-                ),
-                cex,
-            })
+            let trap_member = |u: u32| {
+                let cid = comp_of[u as usize];
+                cid != u32::MAX && trap_flags[cid as usize]
+            };
+            let (prefix_ids, target) = lasso_prefix(ts, &not_q, trap_member, v0 as u32);
+            let trap_states: Vec<State> = match target {
+                // `comp_of` is already built — index it directly
+                // instead of rescanning every component for membership.
+                Some(t) => sccs[comp_of[t as usize] as usize]
+                    .iter()
+                    .map(|&v| ts.state(v))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let err = refuted_leadsto(program, p, q, ts, prefix_ids, trap_states);
+            (report, Some(err))
         }
     }
 }
 
-/// BFS from `v0` through `¬q` states to a trap member; returns the lasso
-/// counterexample.
-fn build_lasso(
+/// BFS from `v0` through `¬q` states to the nearest trap member (per
+/// `trap_member`); returns the prefix state ids and the trap entry
+/// point. Shared by both formulations so lassos are identical
+/// witness-for-witness.
+fn lasso_prefix(
     ts: &TransitionSystem,
-    sccs: &[Vec<u32>],
-    trap_flags: &[bool],
     not_q: &[bool],
+    trap_member: impl Fn(u32) -> bool,
     v0: u32,
-) -> Counterexample {
+) -> (Vec<u32>, Option<u32>) {
     let n = ts.len();
-    let mut trap_member = vec![false; n];
-    for (comp, &flag) in sccs.iter().zip(trap_flags) {
-        if flag {
-            for &v in comp {
-                trap_member[v as usize] = true;
-            }
-        }
-    }
     let mut prev: Vec<Option<u32>> = vec![None; n];
     let mut seen = vec![false; n];
     let mut queue = std::collections::VecDeque::new();
@@ -192,7 +476,7 @@ fn build_lasso(
     queue.push_back(v0);
     let mut target = None;
     'bfs: while let Some(u) = queue.pop_front() {
-        if trap_member[u as usize] {
+        if trap_member(u) {
             target = Some(u);
             break 'bfs;
         }
@@ -217,19 +501,28 @@ fn build_lasso(
     } else {
         prefix_ids.push(v0);
     }
-    let trap_states: Vec<State> = match target {
-        Some(t) => {
-            let cid = sccs
-                .iter()
-                .position(|c| c.contains(&t))
-                .expect("target in some SCC");
-            sccs[cid].iter().map(|&v| ts.state(v)).collect()
-        }
-        None => Vec::new(),
-    };
-    Counterexample::LeadsTo {
-        prefix: prefix_ids.into_iter().map(|v| ts.state(v)).collect(),
-        trap: trap_states,
+    (prefix_ids, target)
+}
+
+/// Assembles the refutation error from decoded lasso pieces.
+fn refuted_leadsto(
+    program: &Program,
+    p: &Expr,
+    q: &Expr,
+    ts: &TransitionSystem,
+    prefix_ids: Vec<u32>,
+    trap: Vec<State>,
+) -> McError {
+    McError::Refuted {
+        property: format!(
+            "{} leadsto {}",
+            unity_core::expr::pretty::Render::new(p, &program.vocab),
+            unity_core::expr::pretty::Render::new(q, &program.vocab)
+        ),
+        cex: Counterexample::LeadsTo {
+            prefix: prefix_ids.into_iter().map(|v| ts.state(v)).collect(),
+            trap,
+        },
     }
 }
 
@@ -268,6 +561,9 @@ mod tests {
         .unwrap();
         assert_eq!(report.states, 5);
         assert_eq!(report.traps, 0);
+        assert_eq!(report.scanned_states, 4, "only the ¬q chain is visited");
+        assert_eq!(report.worklist_pushes, 0, "no traps, nothing to propagate");
+        assert_eq!(report.pred_edges, 0);
     }
 
     #[test]
@@ -415,5 +711,83 @@ mod tests {
             &ScanConfig::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn worklist_and_reference_agree_on_the_counter_family() {
+        // Spot check ahead of the property suite: identical verdicts,
+        // trap counts and witnesses on the same transition system.
+        for fair in [true, false] {
+            let p = counter(4, fair);
+            let x = p.vocab.lookup("x").unwrap();
+            for universe in [Universe::Reachable, Universe::AllStates] {
+                let ts = TransitionSystem::build(&p, universe, &ScanConfig::default()).unwrap();
+                for q in [eq(var(x), int(4)), eq(var(x), int(2)), ff(), tt()] {
+                    let fast = check_leadsto_on(&ts, &p, &tt(), &q);
+                    let slow = check_leadsto_on_reference(&ts, &p, &tt(), &q);
+                    match (fast, slow) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a.sccs, b.sccs);
+                            assert_eq!(a.traps, b.traps);
+                            assert_eq!(a.scanned_states, b.scanned_states);
+                        }
+                        (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}")),
+                        (a, b) => panic!("verdicts diverged: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fair_set_makes_every_scc_a_trap() {
+        // D = ∅: skip alone is a fair run, so every ¬q SCC traps — in
+        // both formulations.
+        let p = counter(3, false);
+        let x = p.vocab.lookup("x").unwrap();
+        let ts = TransitionSystem::build(&p, Universe::Reachable, &ScanConfig::default()).unwrap();
+        let q = eq(var(x), int(3));
+        let fast = check_leadsto_on(&ts, &p, &tt(), &q).unwrap_err();
+        let slow = check_leadsto_on_reference(&ts, &p, &tt(), &q).unwrap_err();
+        assert_eq!(format!("{fast}"), format!("{slow}"));
+    }
+
+    #[test]
+    fn refuted_leadsto_verdicts_keep_their_counters() {
+        use unity_core::properties::Property;
+        // The analysis runs in full before refuting: the verdict must
+        // carry the traversal counters, on both engine stacks.
+        let p = counter(4, false);
+        let x = p.vocab.lookup("x").unwrap();
+        for cfg in [ScanConfig::default(), ScanConfig::reference()] {
+            let mut session = crate::verifier::Verifier::new(&p, cfg);
+            let v = session.verify(&Property::LeadsTo(tt(), eq(var(x), int(4))));
+            assert!(v.failed(), "{v:?}");
+            match v.stats {
+                crate::verifier::VerdictStats::Explicit {
+                    states,
+                    scanned_states,
+                    ..
+                } => {
+                    assert!(states > 0);
+                    assert!(scanned_states > 0);
+                }
+                ref other => panic!("refuted leadsto keeps explicit stats, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn session_reuses_pred_index_and_scratch() {
+        use unity_core::properties::Property;
+        let p = counter(4, true);
+        let x = p.vocab.lookup("x").unwrap();
+        let mut session = crate::verifier::Verifier::new(&p, ScanConfig::default());
+        for k in [4, 3, 2] {
+            let v = session.verify(&Property::LeadsTo(tt(), ge(var(x), int(k))));
+            assert!(v.passed(), "{v:?}");
+        }
+        // The pred index was built once and memoized.
+        assert!(session.status().ts_reachable);
     }
 }

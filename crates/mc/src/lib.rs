@@ -12,7 +12,9 @@
 //!   provided and must agree.
 //! * `p ↦ q` is decided **exactly under weak fairness** by SCC analysis of
 //!   the `¬q`-restricted transition graph (see [`fair`]), with lasso
-//!   counterexamples.
+//!   counterexamples. The default engine is a worklist over a CSR
+//!   predecessor index ([`pred`]) with pooled Tarjan scratch — each
+//!   check scales with the `¬q` region, not the whole table.
 //! * Scans are chunk-parallel over the flat state index
 //!   ([`parallel`]), using `crossbeam` scoped threads with atomic early
 //!   exit.
@@ -52,6 +54,7 @@ pub mod fair;
 pub mod hasher;
 pub mod mutate;
 pub mod parallel;
+pub mod pred;
 pub mod report;
 pub mod scc;
 pub mod space;
@@ -75,12 +78,15 @@ pub mod prelude {
         check_property, check_stable, check_transient, check_unchanged, McDischarger,
     };
     pub use crate::compiled::{scan_packed, try_layout, CompiledProgram};
-    pub use crate::fair::{check_leadsto, check_leadsto_on, LeadsToReport};
+    pub use crate::fair::{
+        check_leadsto, check_leadsto_on, check_leadsto_on_reference, LeadsToEngine, LeadsToReport,
+    };
     pub use crate::mutate::{
         mutants, mutation_audit, mutation_audit_checks, mutation_audit_in, same_behavior,
         AuditError, Mutant, MutantOutcome, MutationKind, MutationReport, Spec,
     };
     pub use crate::parallel::ParConfig;
+    pub use crate::pred::PredIndex;
     pub use crate::report::{CheckReport, Report, SimCheck};
     pub use crate::space::{check_equivalent, check_valid, find_satisfying, Engine, ScanConfig};
     pub use crate::stats::McStats;

@@ -100,6 +100,53 @@ where
     found.into_inner()
 }
 
+/// Fills `out` chunk-parallel: `f(lo, chunk)` computes the elements of
+/// `out[lo..lo + chunk.len()]` in place. Unlike [`par_find_ranges`]
+/// this is a *total* sweep — no early exit — so it suits dense
+/// per-state maps like [`TransitionSystem::sat_vec`]: the output is
+/// pre-split into [`RANGE_CHUNK`]-sized windows that workers claim from
+/// a shared queue (work stealing), each paying its per-chunk setup
+/// (scratch registers, cursor decode) once.
+///
+/// [`TransitionSystem::sat_vec`]: crate::transition::TransitionSystem::sat_vec
+pub fn par_fill<T, F>(out: &mut [T], cfg: &ParConfig, f: F)
+where
+    T: Send,
+    F: Fn(u64, &mut [T]) + Sync,
+{
+    let n = out.len() as u64;
+    if cfg.threads <= 1 || n < cfg.sequential_cutoff {
+        f(0, out);
+        return;
+    }
+    let threads = cfg
+        .threads
+        .min(usize::try_from(n.div_ceil(RANGE_CHUNK)).unwrap_or(usize::MAX))
+        .max(1);
+    // Chunks are handed out newest-first (a plain `Vec` pop); the lock
+    // is held only to claim a window, never while filling it.
+    let jobs: Mutex<Vec<(u64, &mut [T])>> = Mutex::new(
+        out.chunks_mut(RANGE_CHUNK as usize)
+            .enumerate()
+            .map(|(i, c)| (i as u64 * RANGE_CHUNK, c))
+            .collect(),
+    );
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let f = &f;
+            let jobs = &jobs;
+            scope.spawn(move |_| loop {
+                let job = jobs.lock().pop();
+                match job {
+                    Some((lo, chunk)) => f(lo, chunk),
+                    None => return,
+                }
+            });
+        }
+    })
+    .expect("fill worker panicked");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +193,40 @@ mod tests {
         let seq = find(50_000, &ParConfig::sequential(), pred).is_some();
         let par = find(50_000, &ParConfig::with_threads(8), pred).is_some();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_fill_matches_sequential() {
+        let n = 100_000usize;
+        let mut seq = vec![0u64; n];
+        par_fill(&mut seq, &ParConfig::sequential(), |lo, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (lo + k as u64) * 3 + 1;
+            }
+        });
+        let mut par = vec![0u64; n];
+        par_fill(&mut par, &ParConfig::with_threads(7), |lo, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (lo + k as u64) * 3 + 1;
+            }
+        });
+        assert_eq!(seq, par);
+        assert_eq!(par[0], 1);
+        assert_eq!(par[n - 1], (n as u64 - 1) * 3 + 1);
+    }
+
+    #[test]
+    fn par_fill_empty_and_tiny() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_fill(&mut empty, &ParConfig::with_threads(4), |_, _| {
+            panic!("no chunks for an empty slice")
+        });
+        let mut one = vec![0u8; 1];
+        par_fill(&mut one, &ParConfig::with_threads(4), |lo, chunk| {
+            assert_eq!(lo, 0);
+            chunk[0] = 9;
+        });
+        assert_eq!(one, vec![9]);
     }
 
     #[test]

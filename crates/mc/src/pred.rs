@@ -1,0 +1,162 @@
+//! Compressed-sparse-row predecessor index over a transition system.
+//!
+//! The `leadsto` decision procedure propagates *backwards*: "which `¬q`
+//! states can reach a fair trap?". The successor table in
+//! [`TransitionSystem`] answers the forward question in O(1); answering
+//! the backward one from it means rescanning every row until quiescence
+//! — the `O(rounds · states · commands)` loop this index replaces.
+//!
+//! [`PredIndex`] inverts the successor table once into the standard CSR
+//! shape: one flat `offsets` array (length `n + 1`) and one flat
+//! `edges` array (one entry per stored transition) listing, for each
+//! state, the ids of the states with a command stepping onto it. Built
+//! once per [`TransitionSystem`] and memoized in the verifier session's
+//! `EngineCache` next to the reachable set, it turns each backward
+//! propagation into a worklist walk that touches only the rows it
+//! marks.
+//!
+//! Rows list predecessors in ascending source-state order; a source
+//! appears once per command stepping onto the target (duplicates are
+//! harmless to the marking walks and cheaper than a per-row dedup).
+
+use crate::transition::TransitionSystem;
+
+/// A CSR predecessor index: `row(v)` lists the source states of every
+/// stored transition landing on `v`.
+#[derive(Debug, Clone)]
+pub struct PredIndex {
+    /// `edges[offsets[v] .. offsets[v + 1]]` are `v`'s predecessors.
+    offsets: Vec<u32>,
+    /// Flat predecessor lists (one entry per stored transition).
+    edges: Vec<u32>,
+}
+
+impl PredIndex {
+    /// Inverts the successor table of `ts`. Cost: two passes over the
+    /// transitions, no hashing.
+    pub fn build(ts: &TransitionSystem) -> Self {
+        let n = ts.len();
+        let m = ts.transition_count();
+        // Hard bound, not a debug assert: a wrapped u32 offset would
+        // corrupt rows silently and could flip a liveness verdict.
+        // (At the default `max_states` this needs ≥ 64 commands; the
+        // succ table itself is ≥ 16 GiB at that point.)
+        assert!(
+            m <= u32::MAX as usize,
+            "transition table ({m} edges) exceeds u32 predecessor offsets"
+        );
+        // Count in-degrees into offsets[1..], then prefix-sum.
+        let mut offsets = vec![0u32; n + 1];
+        for s in 0..n {
+            for &w in ts.succ_row(s) {
+                offsets[w as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Fill rows with a moving cursor per target.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut edges = vec![0u32; m];
+        for s in 0..n {
+            for &w in ts.succ_row(s) {
+                let at = cursor[w as usize];
+                edges[at as usize] = s as u32;
+                cursor[w as usize] = at + 1;
+            }
+        }
+        PredIndex { offsets, edges }
+    }
+
+    /// Number of states the index covers.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the index covers no states.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of stored predecessor edges (equals the transition
+    /// count of the indexed system).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The predecessors of state `v`, ascending, one entry per command
+    /// stepping onto `v`.
+    #[inline(always)]
+    pub fn row(&self, v: u32) -> &[u32] {
+        &self.edges[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ScanConfig;
+    use crate::transition::Universe;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+    use unity_core::program::Program;
+
+    fn counter(k: i64) -> Program {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, k).unwrap()).unwrap();
+        Program::builder("counter", Arc::new(v))
+            .init(eq(var(x), int(0)))
+            .fair_command("inc", lt(var(x), int(k)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inverts_the_successor_table_exactly() {
+        for universe in [Universe::Reachable, Universe::AllStates] {
+            let p = counter(5);
+            let ts = TransitionSystem::build(&p, universe, &ScanConfig::default()).unwrap();
+            let pred = PredIndex::build(&ts);
+            assert_eq!(pred.len(), ts.len());
+            assert_eq!(pred.edge_count(), ts.transition_count());
+            // Every forward edge appears backward, and nothing else.
+            let mut expect: Vec<Vec<u32>> = vec![Vec::new(); ts.len()];
+            for s in 0..ts.len() {
+                for &w in ts.succ_row(s) {
+                    expect[w as usize].push(s as u32);
+                }
+            }
+            for (v, row) in expect.iter_mut().enumerate() {
+                row.sort_unstable();
+                assert_eq!(pred.row(v as u32), row.as_slice(), "row {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_command_duplicates_are_kept() {
+        // Two commands stepping onto the same target from the same
+        // source yield two entries.
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::Bool).unwrap();
+        let p = Program::builder("dup", Arc::new(v))
+            .init(not(var(x)))
+            .fair_command("a", tt(), vec![(x, tt())])
+            .fair_command("b", tt(), vec![(x, tt())])
+            .build()
+            .unwrap();
+        let ts = TransitionSystem::build(&p, Universe::AllStates, &ScanConfig::default()).unwrap();
+        let pred = PredIndex::build(&ts);
+        assert_eq!(pred.edge_count(), ts.transition_count());
+        // The x = true state receives both commands from both states.
+        let target = (0..ts.len() as u32)
+            .find(|&id| {
+                ts.state(id).get(unity_core::ident::VarId(0))
+                    == unity_core::value::Value::Bool(true)
+            })
+            .unwrap();
+        assert_eq!(pred.row(target).len(), 4);
+    }
+}

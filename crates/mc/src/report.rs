@@ -259,10 +259,15 @@ fn write_stats(out: &mut String, stats: &VerdictStats) {
         VerdictStats::Explicit {
             states,
             transitions,
+            scanned_states,
+            pred_edges,
+            worklist_pushes,
         } => {
             let _ = write!(
                 out,
-                "{{\"kind\":\"explicit\",\"states\":{states},\"transitions\":{transitions}}}"
+                "{{\"kind\":\"explicit\",\"states\":{states},\"transitions\":{transitions},\
+                 \"scanned_states\":{scanned_states},\"pred_edges\":{pred_edges},\
+                 \"worklist_pushes\":{worklist_pushes}}}"
             );
         }
         VerdictStats::Symbolic { stats } => {
@@ -454,10 +459,19 @@ fn read_stats(j: &Json) -> Result<VerdictStats, String> {
         return Ok(VerdictStats::Unmeasured);
     }
     match j.field("kind")?.as_str()? {
-        "explicit" => Ok(VerdictStats::Explicit {
-            states: j.field("states")?.as_int()? as u64,
-            transitions: j.field("transitions")?.as_int()? as u64,
-        }),
+        "explicit" => {
+            // The traversal counters are additive (schema unchanged):
+            // reports written before they existed read back as 0.
+            let opt =
+                |key: &str| -> u64 { j.field(key).and_then(|v| v.as_int()).unwrap_or(0) as u64 };
+            Ok(VerdictStats::Explicit {
+                states: j.field("states")?.as_int()? as u64,
+                transitions: j.field("transitions")?.as_int()? as u64,
+                scanned_states: opt("scanned_states"),
+                pred_edges: opt("pred_edges"),
+                worklist_pushes: opt("worklist_pushes"),
+            })
+        }
         "symbolic" => {
             let mut stats = SymStats {
                 live_nodes: j.field("live_nodes")?.as_int()? as usize,
@@ -833,6 +847,9 @@ mod tests {
                         stats: VerdictStats::Explicit {
                             states: 8,
                             transitions: 0,
+                            scanned_states: 0,
+                            pred_edges: 0,
+                            worklist_pushes: 0,
                         },
                         elapsed: Duration::from_nanos(123),
                     },
@@ -867,6 +884,9 @@ mod tests {
                         stats: VerdictStats::Explicit {
                             states: 4,
                             transitions: 4,
+                            scanned_states: 3,
+                            pred_edges: 5,
+                            worklist_pushes: 2,
                         },
                         elapsed: Duration::from_nanos(50),
                     },
@@ -944,6 +964,45 @@ mod tests {
         let back = Report::from_json(&json).unwrap();
         assert_eq!(back.checks, report.checks);
         assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn leadsto_traversal_counters_round_trip() {
+        let report = sample();
+        let json = report.to_json();
+        assert!(json.contains("\"scanned_states\":3"));
+        assert!(json.contains("\"pred_edges\":5"));
+        assert!(json.contains("\"worklist_pushes\":2"));
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back.checks[3].verdict.stats, report.checks[3].verdict.stats);
+    }
+
+    #[test]
+    fn explicit_stats_without_traversal_counters_still_parse() {
+        // Reports written before the worklist engine lack the additive
+        // counters; they read back as 0.
+        let report = sample();
+        let json = report
+            .to_json()
+            .replace(
+                ",\"scanned_states\":3,\"pred_edges\":5,\"worklist_pushes\":2",
+                "",
+            )
+            .replace(
+                ",\"scanned_states\":0,\"pred_edges\":0,\"worklist_pushes\":0",
+                "",
+            );
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(
+            back.checks[3].verdict.stats,
+            VerdictStats::Explicit {
+                states: 4,
+                transitions: 4,
+                scanned_states: 0,
+                pred_edges: 0,
+                worklist_pushes: 0,
+            }
+        );
     }
 
     #[test]

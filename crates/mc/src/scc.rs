@@ -1,4 +1,145 @@
 //! Strongly connected components (iterative Tarjan) over masked subgraphs.
+//!
+//! Two forms: [`tarjan_scc`] materializes one `Vec` per component (the
+//! original interface, kept for the reference liveness path), and
+//! [`tarjan_scc_pooled`] writes into reusable [`SccScratch`] buffers —
+//! components become ranges into one flat order array, so a hot caller
+//! (the `leadsto` trap search runs once per property) performs no
+//! per-component allocation at all. Both must produce identical
+//! partitions in identical order; the unit tests below pin that.
+
+/// Reusable buffers for [`tarjan_scc_pooled`]. Sized to the graph on
+/// first use and reused across runs (pooled in the verifier session's
+/// `EngineCache`): repeated runs cost index resets, not allocations.
+#[derive(Debug, Clone, Default)]
+pub struct SccScratch {
+    /// Tarjan visit index per node (`u32::MAX` = unvisited).
+    index: Vec<u32>,
+    /// Lowlink per node.
+    low: Vec<u32>,
+    /// Whether a node is on the component stack.
+    on_stack: Vec<bool>,
+    /// The component stack.
+    stack: Vec<u32>,
+    /// Iterative DFS frames: (node, next successor position).
+    work: Vec<(u32, u32)>,
+    /// All visited nodes, grouped by component (each component's
+    /// members are contiguous, in the same order [`tarjan_scc`] lists
+    /// them).
+    order: Vec<u32>,
+    /// End offset into `order` of each component, in component order.
+    comp_ends: Vec<u32>,
+    /// Component id per node (`u32::MAX` for nodes outside the mask).
+    comp_of: Vec<u32>,
+}
+
+impl SccScratch {
+    /// Number of components found by the last run.
+    pub fn comp_count(&self) -> usize {
+        self.comp_ends.len()
+    }
+
+    /// Number of nodes visited by the last run (the mask's population).
+    pub fn visited(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Members of component `cid`, in [`tarjan_scc`]'s member order.
+    pub fn members(&self, cid: usize) -> &[u32] {
+        let lo = if cid == 0 {
+            0
+        } else {
+            self.comp_ends[cid - 1] as usize
+        };
+        &self.order[lo..self.comp_ends[cid] as usize]
+    }
+
+    /// Component id of node `v` (`u32::MAX` when `v` was outside the
+    /// mask of the last run).
+    pub fn comp_of(&self, v: u32) -> u32 {
+        self.comp_of[v as usize]
+    }
+}
+
+/// [`tarjan_scc`] with pooled scratch and flat component storage: same
+/// traversal, same component order, same member order — but the output
+/// lives in `scratch` as ranges into one order array instead of a
+/// `Vec<Vec<u32>>`, and every auxiliary array is reused across runs.
+pub fn tarjan_scc_pooled<'a>(
+    mask: &[bool],
+    succ: impl Fn(u32) -> &'a [u32] + Copy,
+    scratch: &mut SccScratch,
+) {
+    let n = mask.len();
+    const UNVISITED: u32 = u32::MAX;
+    let s = scratch;
+    s.index.clear();
+    s.index.resize(n, UNVISITED);
+    s.low.clear();
+    s.low.resize(n, 0);
+    s.on_stack.clear();
+    s.on_stack.resize(n, false);
+    s.comp_of.clear();
+    s.comp_of.resize(n, UNVISITED);
+    s.stack.clear();
+    s.work.clear();
+    s.order.clear();
+    s.comp_ends.clear();
+    let mut next_index: u32 = 0;
+
+    for start in 0..n as u32 {
+        if !mask[start as usize] || s.index[start as usize] != UNVISITED {
+            continue;
+        }
+        s.index[start as usize] = next_index;
+        s.low[start as usize] = next_index;
+        next_index += 1;
+        s.stack.push(start);
+        s.on_stack[start as usize] = true;
+        s.work.push((start, 0));
+        while let Some(&(v, pos)) = s.work.last() {
+            let succs = succ(v);
+            if (pos as usize) < succs.len() {
+                s.work.last_mut().expect("frame just read").1 = pos + 1;
+                let w = succs[pos as usize];
+                if !mask[w as usize] {
+                    continue; // successors outside the mask are ignored
+                }
+                if s.index[w as usize] == UNVISITED {
+                    s.index[w as usize] = next_index;
+                    s.low[w as usize] = next_index;
+                    next_index += 1;
+                    s.stack.push(w);
+                    s.on_stack[w as usize] = true;
+                    s.work.push((w, 0));
+                } else if s.on_stack[w as usize] {
+                    s.low[v as usize] = s.low[v as usize].min(s.index[w as usize]);
+                }
+            } else {
+                // All successors done: close v.
+                s.work.pop();
+                if s.low[v as usize] == s.index[v as usize] {
+                    let cid = s.comp_ends.len() as u32;
+                    loop {
+                        let w = s.stack.pop().expect("tarjan stack underflow");
+                        s.on_stack[w as usize] = false;
+                        s.comp_of[w as usize] = cid;
+                        s.order.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    s.comp_ends.push(s.order.len() as u32);
+                }
+                // Propagate lowlink to parent (if any).
+                if let Some(&(parent, _)) = s.work.last() {
+                    let p = parent as usize;
+                    s.low[p] = s.low[p].min(s.low[v as usize]);
+                }
+            }
+        }
+    }
+}
 
 /// Computes the strongly connected components of the subgraph of
 /// `0..mask.len()` induced by `mask`, with successors given by `succ`
@@ -157,5 +298,119 @@ mod tests {
         let mask = vec![true; 2];
         let sccs = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
         assert_eq!(sccs.len(), 2);
+    }
+
+    /// Collects the pooled output back into the `Vec<Vec<u32>>` shape
+    /// for exact comparison against [`tarjan_scc`].
+    fn pooled_components(
+        mask: &[bool],
+        adj: &[Vec<u32>],
+        scratch: &mut SccScratch,
+    ) -> Vec<Vec<u32>> {
+        tarjan_scc_pooled(mask, |v| adj[v as usize].as_slice(), scratch);
+        (0..scratch.comp_count())
+            .map(|cid| scratch.members(cid).to_vec())
+            .collect()
+    }
+
+    /// A deterministic pseudo-random graph (xorshift edges).
+    fn random_graph(n: usize, edges: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); n];
+        let mut x = seed | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..edges {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            adj[a as usize].push(b);
+        }
+        adj
+    }
+
+    #[test]
+    fn pooled_matches_original_on_full_graphs() {
+        // Full mask, structured and pseudo-random graphs: the pooled
+        // form must reproduce the `Vec<Vec>` partition exactly —
+        // component order and member order included.
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            adjacency(3, &[(0u32, 1u32), (1, 2), (2, 0)]),
+            adjacency(3, &[(0u32, 1u32), (1, 2), (0, 2)]),
+            adjacency(4, &[(0u32, 1u32), (1, 0), (1, 2), (2, 3), (3, 2)]),
+            adjacency(2, &[(0u32, 0u32), (0, 1)]),
+            random_graph(200, 600, 0xfeed),
+            random_graph(97, 97, 42),
+            random_graph(50, 400, 7),
+        ];
+        let mut scratch = SccScratch::default();
+        for adj in &cases {
+            let mask = vec![true; adj.len()];
+            let expect = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
+            let got = pooled_components(&mask, adj, &mut scratch);
+            assert_eq!(got, expect);
+            assert_eq!(scratch.visited(), adj.len());
+            // comp_of agrees with membership.
+            for (cid, comp) in expect.iter().enumerate() {
+                for &v in comp {
+                    assert_eq!(scratch.comp_of(v), cid as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_matches_original_under_masks() {
+        let adj = random_graph(120, 500, 0xabcd);
+        let mut scratch = SccScratch::default();
+        for seed in 1u64..6 {
+            let mut x = seed;
+            let mask: Vec<bool> = (0..adj.len())
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (x >> 33) & 1 == 0
+                })
+                .collect();
+            let expect = tarjan_scc(&mask, |v| adj[v as usize].as_slice());
+            let got = pooled_components(&mask, &adj, &mut scratch);
+            assert_eq!(got, expect, "masked partition diverged (seed {seed})");
+            // Unvisited nodes keep the sentinel.
+            for (v, &m) in mask.iter().enumerate() {
+                if !m {
+                    assert_eq!(scratch.comp_of(v as u32), u32::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_is_clean() {
+        // A big run followed by a small one: stale state from the first
+        // must not leak into the second.
+        let big = random_graph(300, 900, 3);
+        let small = adjacency(3, &[(0u32, 1u32), (1, 2), (2, 0)]);
+        let mut scratch = SccScratch::default();
+        let _ = pooled_components(&vec![true; 300], &big, &mut scratch);
+        let got = pooled_components(&[true; 3], &small, &mut scratch);
+        let expect = tarjan_scc(&[true; 3], |v| small[v as usize].as_slice());
+        assert_eq!(got, expect);
+        assert_eq!(scratch.comp_count(), 1);
+    }
+
+    #[test]
+    fn pooled_deep_chain_no_stack_overflow() {
+        let n = 100_000u32;
+        let mask = vec![true; n as usize];
+        let adj = adjacency(
+            n as usize,
+            &(0..n - 1).map(|v| (v, v + 1)).collect::<Vec<_>>(),
+        );
+        let mut scratch = SccScratch::default();
+        tarjan_scc_pooled(&mask, |v| adj[v as usize].as_slice(), &mut scratch);
+        assert_eq!(scratch.comp_count(), n as usize);
     }
 }

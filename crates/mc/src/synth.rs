@@ -49,6 +49,8 @@ use unity_core::properties::Property;
 use unity_core::state::State;
 use unity_core::value::Value;
 
+use crate::parallel::ParConfig;
+use crate::pred::PredIndex;
 use crate::space::ScanConfig;
 use crate::trace::McError;
 use crate::transition::{TransitionSystem, Universe};
@@ -171,7 +173,8 @@ pub fn synthesize_leadsto(
     scan: &ScanConfig,
 ) -> Result<SynthesizedLeadsto, SynthError> {
     let ts = TransitionSystem::build(program, Universe::Reachable, scan)?;
-    synthesize_on(&ts, program, p, q, cfg)
+    let pred = PredIndex::build(&ts);
+    synthesize_on(&ts, &pred, program, p, q, cfg, &scan.par)
 }
 
 /// [`synthesize_leadsto`] inside a [`Verifier`] session: the reachable
@@ -186,18 +189,24 @@ pub fn synthesize_leadsto_in(
 ) -> Result<SynthesizedLeadsto, SynthError> {
     // Synthesis always explores the reachable universe, whatever the
     // session's `leadsto` universe is — the emitted proof re-introduces
-    // reachability as an explicit invariant.
+    // reachability as an explicit invariant. The predecessor index is
+    // the session's own (shared with the `leadsto` checker).
     let ts = session.transition_system(Universe::Reachable)?;
-    synthesize_on(&ts, session.program(), p, q, cfg)
+    let pred = session.cache.pred_index(&ts, Universe::Reachable);
+    let par = session.cfg().par.clone();
+    synthesize_on(&ts, &pred, session.program(), p, q, cfg, &par)
 }
 
-/// The synthesis core over a prebuilt reachable transition system.
+/// The synthesis core over a prebuilt reachable transition system and
+/// its predecessor index.
 fn synthesize_on(
     ts: &TransitionSystem,
+    pred: &PredIndex,
     program: &Program,
     p: &Expr,
     q: &Expr,
     cfg: &SynthConfig,
+    par: &ParConfig,
 ) -> Result<SynthesizedLeadsto, SynthError> {
     if ts.len() > cfg.max_states {
         return Err(SynthError::TooLarge {
@@ -208,8 +217,8 @@ fn synthesize_on(
     let vocab = &program.vocab;
     let n = ts.len();
 
-    let q_sat = ts.sat_vec(q);
-    let p_sat = ts.sat_vec(p);
+    let q_sat = ts.sat_vec_with(q, par);
+    let p_sat = ts.sat_vec_with(p, par);
     let q_ids: Vec<u32> = (0..n as u32).filter(|&s| q_sat[s as usize]).collect();
     let p_ids: Vec<u32> = (0..n as u32).filter(|&s| p_sat[s as usize]).collect();
     let mut in_u = vec![false; n];
@@ -236,24 +245,26 @@ fn synthesize_on(
             if !any {
                 continue;
             }
-            // Refine: every command must keep X inside X ∪ U.
-            loop {
-                let mut changed = false;
-                for s in 0..n {
-                    if !in_x[s] {
-                        continue;
-                    }
-                    let escapes = (0..ts.n_commands).any(|c| {
-                        let t = ts.succ_at(s, c) as usize;
-                        !in_x[t] && !in_u[t]
-                    });
-                    if escapes {
-                        in_x[s] = false;
-                        changed = true;
-                    }
+            // Refine: every command must keep X inside X ∪ U. Worklist
+            // over the predecessor index: check each candidate once,
+            // and when a state falls out of X re-examine only its
+            // predecessors still in X — not the whole space again.
+            let escapes = |s: usize, in_x: &[bool]| {
+                (0..ts.n_commands).any(|c| {
+                    let t = ts.succ_at(s, c) as usize;
+                    !in_x[t] && !in_u[t]
+                })
+            };
+            let mut queue: Vec<u32> = (0..n as u32).filter(|&s| in_x[s as usize]).collect();
+            while let Some(s) = queue.pop() {
+                if !in_x[s as usize] || !escapes(s as usize, &in_x) {
+                    continue;
                 }
-                if !changed {
-                    break;
+                in_x[s as usize] = false;
+                for &u in pred.row(s) {
+                    if in_x[u as usize] {
+                        queue.push(u);
+                    }
                 }
             }
             let xs: Vec<u32> = (0..n as u32).filter(|&s| in_x[s as usize]).collect();

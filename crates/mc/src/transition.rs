@@ -357,30 +357,47 @@ impl TransitionSystem {
     /// Truth value of predicate `e` at every state, in id order. On the
     /// packed stores this evaluates compiled bytecode over the `u64`
     /// words directly — the fast path for the fairness analysis.
+    /// Sequential; [`TransitionSystem::sat_vec_with`] is the
+    /// chunk-parallel form the worklist liveness engine sweeps with.
     pub fn sat_vec(&self, e: &Expr) -> Vec<bool> {
+        self.sat_vec_with(e, &crate::parallel::ParConfig::sequential())
+    }
+
+    /// [`TransitionSystem::sat_vec`] with explicit parallelism: the
+    /// packed stores split the id range into chunks across the
+    /// work-stealing scan workers (each with its own register file and,
+    /// on the full product, its own mixed-radix cursor seeked to the
+    /// chunk start). The explicit store stays sequential — it is the
+    /// reference path. Output is identical to the sequential form.
+    pub fn sat_vec_with(&self, e: &Expr, par: &crate::parallel::ParConfig) -> Vec<bool> {
         match &self.store {
             StateStore::Explicit(_) => {}
             StateStore::PackedWords { layout, words } => {
                 if let Ok(prog) = CompiledExpr::compile(e, layout) {
-                    let mut scratch = Scratch::new();
-                    return words
-                        .iter()
-                        .map(|&w| prog.eval_packed_bool(w, &mut scratch))
-                        .collect();
+                    let mut out = vec![false; words.len()];
+                    crate::parallel::par_fill(&mut out, par, |lo, chunk| {
+                        let mut scratch = Scratch::new();
+                        for (k, b) in chunk.iter_mut().enumerate() {
+                            *b = prog.eval_packed_bool(words[lo as usize + k], &mut scratch);
+                        }
+                    });
+                    return out;
                 }
             }
             StateStore::PackedRange { layout, n } => {
                 if let Ok(prog) = CompiledExpr::compile(e, layout) {
-                    let mut scratch = Scratch::new();
                     let all: Vec<_> = self.vocab.ids().collect();
-                    let mut cursor = layout
-                        .support_cursor(&all, 0)
-                        .expect("layout built from this vocabulary");
-                    let mut out = Vec::with_capacity(*n);
-                    for _ in 0..*n {
-                        out.push(prog.eval_packed_bool(cursor.word(), &mut scratch));
-                        cursor.advance(layout);
-                    }
+                    let mut out = vec![false; *n];
+                    crate::parallel::par_fill(&mut out, par, |lo, chunk| {
+                        let mut scratch = Scratch::new();
+                        let mut cursor = layout
+                            .support_cursor(&all, lo)
+                            .expect("layout built from this vocabulary");
+                        for b in chunk.iter_mut() {
+                            *b = prog.eval_packed_bool(cursor.word(), &mut scratch);
+                            cursor.advance(layout);
+                        }
+                    });
                     return out;
                 }
             }
@@ -476,6 +493,44 @@ mod tests {
         let all = TransitionSystem::build(&p, Universe::AllStates, &ScanConfig::default()).unwrap();
         assert_eq!(reach.len(), 3); // 3, 4, 5
         assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn sat_vec_parallel_matches_sequential() {
+        // Both packed stores, forced-parallel vs sequential: bit-for-bit
+        // identical sweeps. The space (32768 states) spans four
+        // RANGE_CHUNK windows, so workers genuinely fill chunks with
+        // nonzero `lo` — on the full product that exercises the
+        // per-chunk cursor seek.
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 63).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 63).unwrap()).unwrap();
+        let z = v.declare("z", Domain::int_range(0, 7).unwrap()).unwrap();
+        let p = Program::builder("grid", Arc::new(v))
+            .init(and2(
+                and2(eq(var(x), int(0)), eq(var(y), int(0))),
+                eq(var(z), int(0)),
+            ))
+            .fair_command("ix", lt(var(x), int(63)), vec![(x, add(var(x), int(1)))])
+            .fair_command("iy", lt(var(y), int(63)), vec![(y, add(var(y), int(1)))])
+            .fair_command("iz", lt(var(z), int(7)), vec![(z, add(var(z), int(1)))])
+            .build()
+            .unwrap();
+        let preds = [
+            lt(add(var(x), var(y)), int(40)),
+            eq(rem(add(var(x), var(z)), int(3)), int(1)),
+            tt(),
+        ];
+        let n = 64 * 64 * 8;
+        assert!(n as u64 > 3 * crate::parallel::RANGE_CHUNK, "multi-chunk");
+        let par = crate::parallel::ParConfig::with_threads(4);
+        for universe in [Universe::Reachable, Universe::AllStates] {
+            let ts = TransitionSystem::build(&p, universe, &ScanConfig::default()).unwrap();
+            assert_eq!(ts.len(), n);
+            for e in &preds {
+                assert_eq!(ts.sat_vec(e), ts.sat_vec_with(e, &par), "{e:?}");
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub(crate) struct EngineCache {
     /// Transition system + reachable set per universe
     /// (`[Reachable, AllStates]`).
     ts: [Option<Arc<TransitionSystem>>; 2],
+    /// CSR predecessor index per universe, inverted once from the
+    /// memoized transition system (the `leadsto` worklist walks it).
+    pred: [Option<Arc<crate::pred::PredIndex>>; 2],
+    /// Pooled buffers for the worklist liveness engine (Tarjan scratch,
+    /// trap/danger marks, worklist) — reused across `leadsto` checks.
+    pub(crate) liveness: crate::fair::LivenessScratch,
     /// Whether the last check was decided symbolically (set by the
     /// bridge in [`crate::symbolic`], read back into the verdict).
     pub(crate) sym_decided: bool,
@@ -155,6 +161,21 @@ impl EngineCache {
         Ok(ts)
     }
 
+    /// The CSR predecessor index of `ts` over `universe`, inverted on
+    /// first use and memoized alongside the transition system.
+    pub(crate) fn pred_index(
+        &mut self,
+        ts: &TransitionSystem,
+        universe: Universe,
+    ) -> Arc<crate::pred::PredIndex> {
+        let slot = match universe {
+            Universe::Reachable => &mut self.pred[0],
+            Universe::AllStates => &mut self.pred[1],
+        };
+        slot.get_or_insert_with(|| Arc::new(crate::pred::PredIndex::build(ts)))
+            .clone()
+    }
+
     /// Whether a layout derivation was attempted at all (distinguishes
     /// "not yet tried" from "tried and unavailable" in
     /// [`EngineCache::status`]'s first component).
@@ -215,12 +236,20 @@ pub enum VerdictStats {
     Unmeasured,
     /// Enumerating engines: `states` the deciding scan quantified over
     /// (projected onto the property's support) and, for `leadsto`,
-    /// the `transitions` of the underlying transition system.
+    /// the `transitions` of the underlying transition system plus the
+    /// worklist engine's traversal counters (all 0 for pure scans).
     Explicit {
         /// States the scan quantified over.
         states: u64,
         /// Transitions computed (0 for pure scans).
         transitions: u64,
+        /// `¬q` states the leadsto SCC pass actually visited.
+        scanned_states: u64,
+        /// Predecessor edges walked by the leadsto worklist.
+        pred_edges: u64,
+        /// States pushed onto the leadsto worklist (trap seeds
+        /// included).
+        worklist_pushes: u64,
     },
     /// Symbolic engine: a snapshot of the session's cumulative arena
     /// counters at check completion.
@@ -379,7 +408,7 @@ impl<'p> Verifier<'p> {
         self.cache.sym_decided = false;
         let (result, stats) = match prop {
             Property::LeadsTo(p, q) => {
-                let result = crate::fair::check_leadsto_in(
+                let result = crate::fair::check_leadsto_outcome_in(
                     self.program,
                     p,
                     q,
@@ -388,11 +417,19 @@ impl<'p> Verifier<'p> {
                     &mut self.cache,
                 );
                 match result {
-                    Ok(report) => (
-                        Ok(()),
+                    // Refuted checks keep their counters: the analysis
+                    // ran in full either way.
+                    Ok((report, refutation)) => (
+                        match refutation {
+                            None => Ok(()),
+                            Some(e) => Err(e),
+                        },
                         VerdictStats::Explicit {
                             states: report.states as u64,
                             transitions: report.transitions as u64,
+                            scanned_states: report.scanned_states as u64,
+                            pred_edges: report.pred_edges as u64,
+                            worklist_pushes: report.worklist_pushes as u64,
                         },
                     ),
                     Err(e) => (Err(e), VerdictStats::Unmeasured),
@@ -421,6 +458,9 @@ impl<'p> Verifier<'p> {
                         Some(states) => VerdictStats::Explicit {
                             states,
                             transitions: 0,
+                            scanned_states: 0,
+                            pred_edges: 0,
+                            worklist_pushes: 0,
                         },
                         None => VerdictStats::Unmeasured,
                     }

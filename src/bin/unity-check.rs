@@ -251,7 +251,7 @@ fn run(opts: &Options) -> Result<bool, String> {
     }
 
     if opts.stats {
-        stats_report(opts, &mut session);
+        stats_report(opts, &mut session, &spec.checks, &report);
     }
     if opts.sim_steps > 0 {
         report.sim = simulate(opts, &spec)?;
@@ -284,8 +284,43 @@ fn run(opts: &Options) -> Result<bool, String> {
 /// `--stats`: print engine counters for the file's composed program
 /// (informational). The symbolic engine reports arena/reorder/cache
 /// activity from the session's (memoized) reachability fixpoint; the
-/// enumerating engines report the session's transition-system size.
-fn stats_report(opts: &Options, session: &mut Verifier<'_>) {
+/// enumerating engines report the session's transition-system size
+/// plus, when the spec has `leadsto` checks, the worklist liveness
+/// engine's traversal counters aggregated across them.
+fn stats_report(
+    opts: &Options,
+    session: &mut Verifier<'_>,
+    checks: &[NamedCheck],
+    report: &Report,
+) {
+    // Aggregate the liveness traversal counters over every leadsto
+    // check — keyed on the property kind (refuted checks carry their
+    // counters too), not on any counter being nonzero.
+    let mut leadsto_checks = 0u64;
+    let (mut scanned, mut edges, mut pushes) = (0u64, 0u64, 0u64);
+    for (named, c) in checks.iter().zip(&report.checks) {
+        if !matches!(named.property, Property::LeadsTo(..)) {
+            continue;
+        }
+        if let VerdictStats::Explicit {
+            scanned_states,
+            pred_edges,
+            worklist_pushes,
+            ..
+        } = &c.verdict.stats
+        {
+            leadsto_checks += 1;
+            scanned += scanned_states;
+            edges += pred_edges;
+            pushes += worklist_pushes;
+        }
+    }
+    if leadsto_checks > 0 {
+        println!(
+            "STATS leadsto: {leadsto_checks} check(s), {scanned} state(s) scanned, \
+             {edges} predecessor edge(s) walked, {pushes} worklist push(es)"
+        );
+    }
     match opts.engine {
         Engine::Symbolic => match session.symbolic() {
             Some(sym) => {

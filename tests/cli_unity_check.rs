@@ -114,6 +114,61 @@ fn json_report_for_passing_spec() {
 }
 
 #[test]
+fn json_report_for_leadsto_heavy_spec_round_trips_with_traversal_counters() {
+    use unity_composition::unity_mc::prelude::*;
+    let dir = std::env::temp_dir().join("unity_check_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("priority_report.json");
+    // Three of the seven checks are leadsto properties: the report must
+    // carry the worklist engine's traversal counters and round-trip
+    // exactly.
+    let out = unity_check(&[
+        "examples/specs/priority_ring3.unity",
+        "--json",
+        path.to_str().unwrap(),
+        "--stats",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    // --stats aggregates the liveness counters across leadsto checks.
+    assert!(stdout.contains("STATS leadsto: 3 check(s)"), "{stdout}");
+    assert!(stdout.contains("predecessor edge(s) walked"), "{stdout}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"scanned_states\":"), "{json}");
+    assert!(json.contains("\"pred_edges\":"), "{json}");
+    assert!(json.contains("\"worklist_pushes\":"), "{json}");
+    let report = Report::from_json(&json).expect("schema parses");
+    let live: Vec<_> = report
+        .checks
+        .iter()
+        .filter(|c| c.name.starts_with("live"))
+        .collect();
+    assert_eq!(live.len(), 3);
+    for c in &live {
+        assert!(c.verdict.passed());
+        match c.verdict.stats {
+            VerdictStats::Explicit {
+                states,
+                transitions,
+                scanned_states,
+                ..
+            } => {
+                assert!(states > 0 && transitions > 0);
+                assert!(
+                    scanned_states < states,
+                    "the ¬q region is a strict subset: {:?}",
+                    c.verdict.stats
+                );
+            }
+            ref other => panic!("leadsto carries explicit stats, got {other:?}"),
+        }
+    }
+    // Round-trip: serialized forms identical, counters included.
+    assert_eq!(report.to_json(), json);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn json_report_for_failing_spec_carries_the_witness() {
     use unity_composition::unity_mc::prelude::*;
     let dir = std::env::temp_dir().join("unity_check_test");
