@@ -1,0 +1,97 @@
+//! E21 — sharded parallel state-space construction: the work-stealing
+//! explorer (`--threads N`) vs the sequential reference builder
+//! (`--threads 1`) on fair token rings of growing packed state spaces.
+//!
+//! Each benchmark id is `threadsT/ringNxW`: a full
+//! [`TransitionSystem::build`] of the `n · 2^m`-state ring at `T`
+//! workers. `threads1` is the exact pre-sharding sequential path (the
+//! differential reference); `threads2/4/8` force the sharded path
+//! (hash-partitioned frontier, per-shard mailboxes, quiescence-counter
+//! termination, segment-parallel CSR stitch) via a zero sequential
+//! cutoff.
+//!
+//! Wall-clock scaling tracks the *host's* available parallelism — on a
+//! single-core container the sweep instead pins the sharding machinery's
+//! overhead bound (threads > 1 must stay within a small constant factor
+//! of sequential). Run on a multi-core host for the scaling table; the
+//! committed baseline records the measuring machine's core count in its
+//! absolute times.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::ident::Vocabulary;
+use unity_core::program::Program;
+use unity_mc::prelude::*;
+
+/// A fair token ring of `n` nodes with `m` free work bits: `pass`
+/// circulates the token, `work_j` toggles bit `j`. Reachable space
+/// `n · 2^m`, with `m + 1` commands — enough fan-out that frontier
+/// expansion, not interning, dominates the build.
+fn token_ring(n: i64, m: usize) -> Program {
+    let mut v = Vocabulary::new();
+    let t = v
+        .declare("t", Domain::int_range(0, n - 1).unwrap())
+        .unwrap();
+    let bits: Vec<_> = (0..m)
+        .map(|j| v.declare(&format!("g{j}"), Domain::Bool).unwrap())
+        .collect();
+    let mut b = Program::builder("token_ring", Arc::new(v))
+        .init(eq(var(t), int(0)))
+        .fair_command("pass", tt(), vec![(t, rem(add(var(t), int(1)), int(n)))]);
+    for (j, &g) in bits.iter().enumerate() {
+        b = b.fair_command(format!("work{j}"), tt(), vec![(g, not(var(g)))]);
+    }
+    b.build().unwrap()
+}
+
+/// Build configuration for `threads` workers: one worker is the exact
+/// sequential reference path; more force the sharded explorer even on
+/// small spaces (zero cutoff).
+fn cfg(threads: usize) -> ScanConfig {
+    ScanConfig {
+        par: if threads <= 1 {
+            ParConfig::sequential()
+        } else {
+            ParConfig::with_threads(threads)
+        },
+        ..Default::default()
+    }
+}
+
+fn bench_e21(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e21_parallel_build");
+    group.sample_size(10);
+    // Two ring sizes: a mid-size space and the headline large one.
+    for (n, m) in [(48i64, 10usize), (64, 12)] {
+        let ring = token_ring(n, m);
+        let expect = (n as usize) << m;
+        let id = format!("ring{n}x{}", 1u64 << m);
+        // Every thread count must construct the same system before we
+        // time any of them.
+        for threads in [1usize, 2, 4, 8] {
+            let ts = TransitionSystem::build(&ring, Universe::Reachable, &cfg(threads)).unwrap();
+            assert_eq!(ts.len(), expect, "state count at {threads} thread(s)");
+            assert_eq!(ts.transition_count(), expect * (m + 1));
+        }
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), &id),
+                &ring,
+                |b, ring| {
+                    b.iter(|| {
+                        TransitionSystem::build(ring, Universe::Reachable, &cfg(threads))
+                            .unwrap()
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e21);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ use unity_core::state::State;
 
 use crate::parallel::ParConfig;
 use crate::pred::PredIndex;
-use crate::scc::{tarjan_scc, tarjan_scc_pooled, SccScratch};
+use crate::scc::{tarjan_scc, tarjan_scc_pooled_seeded, SccScratch};
 use crate::space::{Engine, ScanConfig};
 use crate::trace::{Counterexample, McError};
 use crate::transition::{TransitionSystem, Universe};
@@ -65,6 +65,15 @@ pub struct LeadsToReport {
     /// States pushed onto the backward worklist, trap seeds included
     /// (0 on the reference formulation).
     pub worklist_pushes: usize,
+    /// Wall-clock milliseconds the transition-system construction took
+    /// (memoized sessions pay this once and report it on every check).
+    pub build_ms: u64,
+    /// Shards the exploration ran with (1 = sequential build).
+    pub shards: u32,
+    /// Work-stealing services of non-owned shards during the build.
+    pub steals: u64,
+    /// Successor edges crossing shard boundaries during the build.
+    pub cross_shard_edges: u64,
 }
 
 /// Pooled per-session buffers for the worklist liveness engine: the
@@ -138,7 +147,7 @@ pub(crate) fn check_leadsto_outcome_in(
         // for the differential suites.
         return Ok(reference_outcome(&ts, program, p, q));
     }
-    let pred = cache.pred_index(&ts, universe);
+    let pred = cache.pred_index(&ts, universe, &cfg.par);
     Ok(check_leadsto_worklist(
         &ts,
         &pred,
@@ -185,11 +194,12 @@ impl<'ts> LeadsToEngine<'ts> {
         Self::with_par(ts, ParConfig::default())
     }
 
-    /// Builds the engine with explicit sweep parallelism.
+    /// Builds the engine with explicit sweep parallelism (the
+    /// predecessor inversion itself runs under the same configuration).
     pub fn with_par(ts: &'ts TransitionSystem, par: ParConfig) -> Self {
         LeadsToEngine {
             ts,
-            pred: PredIndex::build(ts),
+            pred: PredIndex::build_with(ts, &par),
             scratch: LivenessScratch::default(),
             par,
         }
@@ -239,6 +249,8 @@ fn check_leadsto_worklist(
 
     // SCCs of the ¬q-restricted graph, into the pooled scratch:
     // components are ranges of one flat order array, comp ids are dense.
+    // Roots are seeded shard-by-shard (the sharded builder's memory
+    // layout) — for sequential builds this is plain ascending order.
     let succ = |v: u32| ts.succ_row(v as usize);
     let LivenessScratch {
         scc,
@@ -246,7 +258,7 @@ fn check_leadsto_worklist(
         dangerous,
         worklist,
     } = scratch;
-    tarjan_scc_pooled(&not_q, succ, scc);
+    tarjan_scc_pooled_seeded(&not_q, succ, ts.scc_seed_order(), scc);
 
     // A trap: for every fair command d, some member state keeps its
     // d-successor inside the component. (Trivial SCCs — single state whose
@@ -296,6 +308,7 @@ fn check_leadsto_worklist(
         }
     }
 
+    let build = ts.build_stats();
     let report = LeadsToReport {
         states: n,
         transitions: ts.transition_count(),
@@ -304,6 +317,10 @@ fn check_leadsto_worklist(
         scanned_states: scc.visited(),
         pred_edges,
         worklist_pushes,
+        build_ms: build.build_ms,
+        shards: build.shards,
+        steals: build.steals,
+        cross_shard_edges: build.cross_shard_edges,
     };
 
     // No trap ⇒ nothing is dangerous ⇒ no start state can exist: the
@@ -425,6 +442,7 @@ fn reference_outcome(
     let p_sat = ts.sat_vec(p);
     let start = (0..n).find(|&v| not_q[v] && dangerous[v] && p_sat[v]);
 
+    let build = ts.build_stats();
     let report = LeadsToReport {
         states: n,
         transitions: ts.transition_count(),
@@ -433,6 +451,10 @@ fn reference_outcome(
         scanned_states: not_q.iter().filter(|&&b| b).count(),
         pred_edges: 0,
         worklist_pushes: 0,
+        build_ms: build.build_ms,
+        shards: build.shards,
+        steals: build.steals,
+        cross_shard_edges: build.cross_shard_edges,
     };
 
     match start {

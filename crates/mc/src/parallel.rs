@@ -6,7 +6,7 @@
 //! sequential path allocation-light for small spaces (threads cost more
 //! than they save below ~2¹⁴ states).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -19,10 +19,27 @@ pub struct ParConfig {
     pub sequential_cutoff: u64,
 }
 
+/// The `UNITY_BUILD_THREADS` environment override, read once per
+/// process: CI pins the default thread count with it so the tier-1
+/// suite runs once over the parallel build paths and once (`=1`) over
+/// the exact sequential reference paths. An explicit `--threads` /
+/// [`ParConfig::with_threads`] still wins — the override only affects
+/// [`ParConfig::default`].
+fn env_threads() -> Option<usize> {
+    static CACHE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("UNITY_BUILD_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
 impl Default for ParConfig {
     fn default() -> Self {
         ParConfig {
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: env_threads()
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
             sequential_cutoff: 1 << 14,
         }
     }
@@ -114,6 +131,21 @@ where
     T: Send,
     F: Fn(u64, &mut [T]) + Sync,
 {
+    par_chunks(out, RANGE_CHUNK as usize, cfg, f)
+}
+
+/// [`par_fill`] with an explicit chunk size, for fills whose windows
+/// must stay aligned to a record stride (the parallel full-product
+/// builder hands out whole successor **rows**, so its chunk is a
+/// multiple of the command count). `f(lo, chunk)` computes
+/// `out[lo..lo + chunk.len()]`; every chunk except possibly the last
+/// has exactly `chunk` elements.
+pub fn par_chunks<T, F>(out: &mut [T], chunk: usize, cfg: &ParConfig, f: F)
+where
+    T: Send,
+    F: Fn(u64, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
     let n = out.len() as u64;
     if cfg.threads <= 1 || n < cfg.sequential_cutoff {
         f(0, out);
@@ -121,14 +153,14 @@ where
     }
     let threads = cfg
         .threads
-        .min(usize::try_from(n.div_ceil(RANGE_CHUNK)).unwrap_or(usize::MAX))
+        .min(usize::try_from(n.div_ceil(chunk as u64)).unwrap_or(usize::MAX))
         .max(1);
     // Chunks are handed out newest-first (a plain `Vec` pop); the lock
     // is held only to claim a window, never while filling it.
     let jobs: Mutex<Vec<(u64, &mut [T])>> = Mutex::new(
-        out.chunks_mut(RANGE_CHUNK as usize)
+        out.chunks_mut(chunk)
             .enumerate()
-            .map(|(i, c)| (i as u64 * RANGE_CHUNK, c))
+            .map(|(i, c)| (i as u64 * chunk as u64, c))
             .collect(),
     );
     crossbeam::scope(|scope| {
@@ -145,6 +177,61 @@ where
         }
     })
     .expect("fill worker panicked");
+}
+
+/// An unbounded multi-producer mailbox of message **batches**.
+///
+/// The sharded explorer routes cross-shard successor words through one
+/// mailbox per destination shard; producers post whole per-sender
+/// batches (one lock acquisition each), and the owning worker drains
+/// everything in one swap. The lock is never held across user work.
+#[derive(Debug, Default)]
+pub struct Mailbox<T> {
+    batches: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T> Mailbox<T> {
+    /// Posts one batch (no-op for an empty one).
+    pub fn post(&self, batch: Vec<T>) {
+        if !batch.is_empty() {
+            self.batches.lock().push(batch);
+        }
+    }
+
+    /// Takes every pending batch, leaving the mailbox empty.
+    pub fn drain(&self) -> Vec<Vec<T>> {
+        std::mem::take(&mut *self.batches.lock())
+    }
+}
+
+/// Chandy–Misra-style quiescence counter for the work-stealing loop.
+///
+/// The counter tracks outstanding work items (frontier entries plus
+/// undelivered mailbox batches). The invariant producers must keep:
+/// **every increment for derived work happens before the decrement of
+/// the work that produced it** — then `quiescent()` returning `true`
+/// means no worker holds work and no mailbox has mail, so termination
+/// is safe to declare without a second confirmation wave.
+#[derive(Debug, Default)]
+pub struct Quiescence {
+    in_flight: AtomicI64,
+}
+
+impl Quiescence {
+    /// Registers `n` new work items.
+    pub fn add(&self, n: i64) {
+        self.in_flight.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Retires `n` completed work items.
+    pub fn sub(&self, n: i64) {
+        self.in_flight.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// True when no work is outstanding anywhere.
+    pub fn quiescent(&self) -> bool {
+        self.in_flight.load(Ordering::SeqCst) == 0
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +314,73 @@ mod tests {
             chunk[0] = 9;
         });
         assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn par_chunks_respects_stride() {
+        let nc = 3usize;
+        let mut out = vec![0u32; 999 * nc];
+        par_chunks(
+            &mut out,
+            64 * nc,
+            &ParConfig::with_threads(4),
+            |lo, chunk| {
+                assert_eq!(lo as usize % nc, 0, "chunk start off stride");
+                assert_eq!(chunk.len() % nc, 0, "chunk length off stride");
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (lo as usize + k) as u32;
+                }
+            },
+        );
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn mailbox_posts_and_drains_batches() {
+        let mb: Mailbox<u64> = Mailbox::default();
+        mb.post(vec![1, 2]);
+        mb.post(Vec::new()); // dropped, not stored
+        mb.post(vec![3]);
+        let got: Vec<u64> = mb.drain().into_iter().flatten().collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(mb.drain().is_empty());
+    }
+
+    #[test]
+    fn mailbox_is_safe_under_concurrent_posts() {
+        let mb: Mailbox<u64> = Mailbox::default();
+        crossbeam::scope(|scope| {
+            for t in 0..4u64 {
+                let mb = &mb;
+                scope.spawn(move |_| {
+                    for i in 0..100 {
+                        mb.post(vec![t * 1000 + i]);
+                    }
+                });
+            }
+        })
+        .expect("poster panicked");
+        let mut got: Vec<u64> = mb.drain().into_iter().flatten().collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..4u64)
+            .flat_map(|t| (0..100).map(move |i| t * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quiescence_balances_to_zero() {
+        let q = Quiescence::default();
+        assert!(q.quiescent());
+        q.add(3);
+        assert!(!q.quiescent());
+        q.sub(2);
+        assert!(!q.quiescent());
+        q.sub(1);
+        assert!(q.quiescent());
     }
 
     #[test]

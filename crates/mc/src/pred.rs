@@ -18,7 +18,18 @@
 //! Rows list predecessors in ascending source-state order; a source
 //! appears once per command stepping onto the target (duplicates are
 //! harmless to the marking walks and cheaper than a per-row dedup).
+//!
+//! [`PredIndex::build_with`] inverts large tables in parallel —
+//! per-target atomic counting over source ranges, a sequential prefix
+//! sum, atomic-cursor scatter, then a segment-parallel per-row sort
+//! that restores the ascending contract — and produces output equal to
+//! the sequential build, element for element.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::parallel::{par_find_ranges, ParConfig};
 use crate::transition::TransitionSystem;
 
 /// A CSR predecessor index: `row(v)` lists the source states of every
@@ -35,8 +46,94 @@ impl PredIndex {
     /// Inverts the successor table of `ts`. Cost: two passes over the
     /// transitions, no hashing.
     pub fn build(ts: &TransitionSystem) -> Self {
+        Self::build_sequential(ts)
+    }
+
+    /// [`PredIndex::build`] with explicit parallelism: counting,
+    /// scatter, and the row-restoring sort all run over ranges of the
+    /// flat tables. The result equals the sequential build element for
+    /// element (same offsets, same ascending rows), so callers may mix
+    /// the two freely.
+    pub fn build_with(ts: &TransitionSystem, par: &ParConfig) -> Self {
         let n = ts.len();
         let m = ts.transition_count();
+        if par.threads <= 1 || (m as u64) < par.sequential_cutoff {
+            return Self::build_sequential(ts);
+        }
+        Self::check_bound(m);
+        // Per-target in-degrees, counted over source ranges.
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        par_find_ranges(n as u64, par, |lo, hi| {
+            for s in lo..hi {
+                for &w in ts.succ_row(s as usize) {
+                    counts[w as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None::<()>
+        });
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + counts[i].load(Ordering::Relaxed);
+        }
+        // Scatter sources through atomic row cursors. Rows come out in
+        // nondeterministic order; the sort below restores the ascending
+        // contract. (`forbid(unsafe_code)` rules out plain &mut
+        // scatter, so the edges start life atomic and convert after.)
+        let cursors: Vec<AtomicU32> = offsets[..n].iter().map(|&o| AtomicU32::new(o)).collect();
+        let staged: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(0)).collect();
+        par_find_ranges(n as u64, par, |lo, hi| {
+            for s in lo..hi {
+                for &w in ts.succ_row(s as usize) {
+                    let at = cursors[w as usize].fetch_add(1, Ordering::Relaxed);
+                    staged[at as usize].store(s as u32, Ordering::Relaxed);
+                }
+            }
+            None::<()>
+        });
+        let mut edges: Vec<u32> = staged.into_iter().map(AtomicU32::into_inner).collect();
+        // Segment-parallel per-row sort over row-aligned windows.
+        let mut segments: Vec<(usize, &mut [u32])> = Vec::new();
+        let goal = (m / (par.threads * 4)).max(1);
+        let mut rest: &mut [u32] = &mut edges;
+        let mut start_edge = 0usize;
+        let mut v = 0usize;
+        while v < n {
+            let mut end_v = v + 1;
+            while end_v < n && (offsets[end_v] as usize - start_edge) < goal {
+                end_v += 1;
+            }
+            let end_edge = offsets[end_v] as usize;
+            let (seg, tail) = rest.split_at_mut(end_edge - start_edge);
+            segments.push((v, seg));
+            rest = tail;
+            start_edge = end_edge;
+            v = end_v;
+        }
+        let jobs: Mutex<Vec<(usize, &mut [u32])>> = Mutex::new(segments);
+        crossbeam::scope(|scope| {
+            for _ in 0..par.threads {
+                let jobs = &jobs;
+                let offsets = &offsets;
+                scope.spawn(move |_| loop {
+                    let job = jobs.lock().pop();
+                    let Some((v0, seg)) = job else { return };
+                    let base = offsets[v0] as usize;
+                    let mut t = v0;
+                    let mut lo = 0usize;
+                    while lo < seg.len() {
+                        let hi = offsets[t + 1] as usize - base;
+                        seg[lo..hi].sort_unstable();
+                        lo = hi;
+                        t += 1;
+                    }
+                });
+            }
+        })
+        .expect("predecessor sort worker panicked");
+        PredIndex { offsets, edges }
+    }
+
+    fn check_bound(m: usize) {
         // Hard bound, not a debug assert: a wrapped u32 offset would
         // corrupt rows silently and could flip a liveness verdict.
         // (At the default `max_states` this needs ≥ 64 commands; the
@@ -45,6 +142,12 @@ impl PredIndex {
             m <= u32::MAX as usize,
             "transition table ({m} edges) exceeds u32 predecessor offsets"
         );
+    }
+
+    fn build_sequential(ts: &TransitionSystem) -> Self {
+        let n = ts.len();
+        let m = ts.transition_count();
+        Self::check_bound(m);
         // Count in-degrees into offsets[1..], then prefix-sum.
         let mut offsets = vec![0u32; n + 1];
         for s in 0..n {
@@ -131,6 +234,32 @@ mod tests {
             for (v, row) in expect.iter_mut().enumerate() {
                 row.sort_unstable();
                 assert_eq!(pred.row(v as u32), row.as_slice(), "row {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential_element_for_element() {
+        // Multi-command grid: rows with duplicates, skew, and empty
+        // rows (unreachable in-degrees on the full product).
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 40).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 40).unwrap()).unwrap();
+        let p = Program::builder("grid", Arc::new(v))
+            .init(and2(eq(var(x), int(0)), eq(var(y), int(0))))
+            .fair_command("ix", lt(var(x), int(40)), vec![(x, add(var(x), int(1)))])
+            .fair_command("iy", lt(var(y), int(40)), vec![(y, add(var(y), int(1)))])
+            .fair_command("rx", tt(), vec![(x, int(0))])
+            .build()
+            .unwrap();
+        for universe in [Universe::Reachable, Universe::AllStates] {
+            let ts = TransitionSystem::build(&p, universe, &ScanConfig::default()).unwrap();
+            let seq = PredIndex::build(&ts);
+            for threads in [2usize, 4, 8] {
+                let par =
+                    PredIndex::build_with(&ts, &crate::parallel::ParConfig::with_threads(threads));
+                assert_eq!(par.offsets, seq.offsets, "{universe:?} @ {threads}");
+                assert_eq!(par.edges, seq.edges, "{universe:?} @ {threads}");
             }
         }
     }

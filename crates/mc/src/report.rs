@@ -262,12 +262,18 @@ fn write_stats(out: &mut String, stats: &VerdictStats) {
             scanned_states,
             pred_edges,
             worklist_pushes,
+            build_ms,
+            shards,
+            steals,
+            cross_shard_edges,
         } => {
             let _ = write!(
                 out,
                 "{{\"kind\":\"explicit\",\"states\":{states},\"transitions\":{transitions},\
                  \"scanned_states\":{scanned_states},\"pred_edges\":{pred_edges},\
-                 \"worklist_pushes\":{worklist_pushes}}}"
+                 \"worklist_pushes\":{worklist_pushes},\"build_ms\":{build_ms},\
+                 \"shards\":{shards},\"steals\":{steals},\
+                 \"cross_shard_edges\":{cross_shard_edges}}}"
             );
         }
         VerdictStats::Symbolic { stats } => {
@@ -470,6 +476,10 @@ fn read_stats(j: &Json) -> Result<VerdictStats, String> {
                 scanned_states: opt("scanned_states"),
                 pred_edges: opt("pred_edges"),
                 worklist_pushes: opt("worklist_pushes"),
+                build_ms: opt("build_ms"),
+                shards: opt("shards") as u32,
+                steals: opt("steals"),
+                cross_shard_edges: opt("cross_shard_edges"),
             })
         }
         "symbolic" => {
@@ -850,6 +860,10 @@ mod tests {
                             scanned_states: 0,
                             pred_edges: 0,
                             worklist_pushes: 0,
+                            build_ms: 0,
+                            shards: 0,
+                            steals: 0,
+                            cross_shard_edges: 0,
                         },
                         elapsed: Duration::from_nanos(123),
                     },
@@ -887,6 +901,10 @@ mod tests {
                             scanned_states: 3,
                             pred_edges: 5,
                             worklist_pushes: 2,
+                            build_ms: 6,
+                            shards: 16,
+                            steals: 3,
+                            cross_shard_edges: 9,
                         },
                         elapsed: Duration::from_nanos(50),
                     },
@@ -973,14 +991,19 @@ mod tests {
         assert!(json.contains("\"scanned_states\":3"));
         assert!(json.contains("\"pred_edges\":5"));
         assert!(json.contains("\"worklist_pushes\":2"));
+        assert!(json.contains("\"build_ms\":6"));
+        assert!(json.contains("\"shards\":16"));
+        assert!(json.contains("\"steals\":3"));
+        assert!(json.contains("\"cross_shard_edges\":9"));
         let back = Report::from_json(&json).unwrap();
         assert_eq!(back.checks[3].verdict.stats, report.checks[3].verdict.stats);
     }
 
     #[test]
     fn explicit_stats_without_traversal_counters_still_parse() {
-        // Reports written before the worklist engine lack the additive
-        // counters; they read back as 0.
+        // Reports written before the worklist engine (or before the
+        // sharded build counters) lack the additive fields; they read
+        // back as 0.
         let report = sample();
         let json = report
             .to_json()
@@ -990,6 +1013,14 @@ mod tests {
             )
             .replace(
                 ",\"scanned_states\":0,\"pred_edges\":0,\"worklist_pushes\":0",
+                "",
+            )
+            .replace(
+                ",\"build_ms\":6,\"shards\":16,\"steals\":3,\"cross_shard_edges\":9",
+                "",
+            )
+            .replace(
+                ",\"build_ms\":0,\"shards\":0,\"steals\":0,\"cross_shard_edges\":0",
                 "",
             );
         let back = Report::from_json(&json).unwrap();
@@ -1001,6 +1032,10 @@ mod tests {
                 scanned_states: 0,
                 pred_edges: 0,
                 worklist_pushes: 0,
+                build_ms: 0,
+                shards: 0,
+                steals: 0,
+                cross_shard_edges: 0,
             }
         );
     }

@@ -1,0 +1,509 @@
+//! Sharded work-stealing exploration of the reachable packed space.
+//!
+//! State words are partitioned by [`shard_of_word`] into a power-of-two
+//! number of shards, each holding a local intern table, a local LIFO
+//! frontier, and per-shard successor rows in a **local** id space.
+//! Workers service the shards they own by affinity (`shard % threads`)
+//! and steal any other shard whose lock they can grab when their own
+//! run dry. Cross-shard successors travel as word batches through one
+//! [`Mailbox`] per destination shard; a Chandy–Misra-style
+//! [`Quiescence`] counter of in-flight work (frontier entries plus
+//! undelivered batches) decides termination without a confirmation
+//! wave, because every increment for derived work happens before the
+//! decrement of the work that produced it.
+//!
+//! After the workers join, per-shard segments are stitched into the one
+//! flat row-major `succ` table the rest of the checker expects: global
+//! id = shard base (prefix sum of shard sizes) + local id, and the
+//! `PENDING`-tagged cross-shard entries resolve through the owning
+//! shard's intern table in a segment-parallel remap. The resulting
+//! arrays are bit-identical *in shape* to the sequential builder's —
+//! only the id permutation differs — so every downstream consumer
+//! (`PredIndex`, the Tarjan sweeps, witness replay) works unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use unity_core::expr::compile::Scratch;
+use unity_core::program::Program;
+
+use crate::compiled::CompiledProgram;
+use crate::hasher::{hash_word, shard_of_word, FxHashMap};
+use crate::parallel::{par_find_ranges, Mailbox, ParConfig, Quiescence};
+use crate::stats::BuildStats;
+
+/// Tag bit marking a successor entry as a cross-shard placeholder: the
+/// low 31 bits then index the shard's `pending` word list instead of
+/// naming a local state. Local id spaces are asserted below this bit.
+const PENDING_BIT: u32 = 1 << 31;
+
+/// Slots in the per-shard direct-mapped "already mailed" filter. The
+/// filter only suppresses duplicate mail (the owner's intern table is
+/// the real dedup), so collisions cost bandwidth, never correctness.
+const SENT_SLOTS: usize = 1 << 12;
+
+/// Frontier states expanded per shard service, bounding how long one
+/// worker keeps a stealable shard locked.
+const BATCH: usize = 128;
+
+/// One hash partition of the state space.
+struct Shard {
+    /// word → local id.
+    index: FxHashMap<u64, u32>,
+    /// local id → word.
+    words: Vec<u64>,
+    /// Local ids interned but not yet expanded.
+    frontier: Vec<u32>,
+    /// Successor rows in local ids (stride = command count), grown with
+    /// placeholder zeros and written in place like the sequential path.
+    succ: Vec<u32>,
+    /// Words of cross-shard successors, indexed by `PENDING` entries.
+    pending: Vec<u64>,
+    /// Direct-mapped filter of words already mailed (`u64::MAX` =
+    /// empty; the word `u64::MAX` itself is simply always mailed).
+    sent: Vec<u64>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            index: FxHashMap::default(),
+            words: Vec::new(),
+            frontier: Vec::new(),
+            succ: Vec::new(),
+            pending: Vec::new(),
+            sent: vec![u64::MAX; SENT_SLOTS],
+        }
+    }
+
+    /// Interns `w`, crediting a newly discovered state to the frontier
+    /// and the quiescence counter.
+    fn intern(&mut self, w: u64, quiescence: &Quiescence) -> u32 {
+        if let Some(&id) = self.index.get(&w) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        assert!(id < PENDING_BIT, "shard exceeds 2^31 states");
+        self.words.push(w);
+        self.index.insert(w, id);
+        self.frontier.push(id);
+        quiescence.add(1);
+        id
+    }
+}
+
+/// The stitched result of a sharded exploration, ready to drop into a
+/// `TransitionSystem`.
+pub(crate) struct ShardedBuild {
+    /// Global id → packed word, concatenated in shard order.
+    pub words: Vec<u64>,
+    /// Flat row-major successor table over global ids.
+    pub succ: Vec<u32>,
+    /// Global ids of initial states, sorted and deduplicated.
+    pub init: Vec<u32>,
+    /// Global-id base of each shard (ascending, starting at 0).
+    pub bases: Vec<u32>,
+    /// Exploration counters (`build_ms` is stamped by the caller).
+    pub stats: BuildStats,
+}
+
+/// Collects the packed words satisfying the compiled init predicate, in
+/// canonical (ascending flat id) order, scanning the full domain
+/// product chunk-parallel. Sequential configurations degrade to exactly
+/// the old single-cursor sweep.
+pub(crate) fn collect_init_words(
+    program: &Program,
+    cp: &CompiledProgram,
+    par: &ParConfig,
+) -> Vec<u64> {
+    let layout = &cp.layout;
+    let Some(total) = program.vocab.space_size() else {
+        return Vec::new();
+    };
+    let all_vars: Vec<_> = program.vocab.ids().collect();
+    let chunks: Mutex<Vec<(u64, Vec<u64>)>> = Mutex::new(Vec::new());
+    let witness = par_find_ranges(total, par, |lo, hi| {
+        let mut scratch = Scratch::new();
+        let mut cursor = layout
+            .support_cursor(&all_vars, lo)
+            .expect("space_size checked by caller");
+        let mut found = Vec::new();
+        for _ in lo..hi {
+            let w = cursor.word();
+            if cp.init.eval_packed_bool(w, &mut scratch) {
+                found.push(w);
+            }
+            cursor.advance(layout);
+        }
+        if !found.is_empty() {
+            chunks.lock().push((lo, found));
+        }
+        None::<()>
+    });
+    debug_assert!(witness.is_none(), "total sweep never early-exits");
+    let mut chunks = chunks.into_inner();
+    chunks.sort_unstable_by_key(|&(lo, _)| lo);
+    chunks.into_iter().flat_map(|(_, ws)| ws).collect()
+}
+
+/// Services one shard: delivers inbound mail, expands up to [`BATCH`]
+/// frontier states, and flushes outbound batches — keeping the
+/// quiescence invariant that derived work is registered before the
+/// work that produced it retires. Returns whether anything was done.
+#[allow(clippy::too_many_arguments)]
+fn service(
+    s: usize,
+    shard: &mut Shard,
+    cp: &CompiledProgram,
+    nc: usize,
+    shard_count: u32,
+    inboxes: &[Mailbox<u64>],
+    quiescence: &Quiescence,
+    cross: &AtomicU64,
+    scratch: &mut Scratch,
+    out_buf: &mut [Vec<u64>],
+) -> bool {
+    let layout = &cp.layout;
+    let mut did_work = false;
+
+    // Deliver mail: duplicates collapse in the intern table.
+    let batches = inboxes[s].drain();
+    let delivered = batches.len() as i64;
+    if delivered > 0 {
+        did_work = true;
+        for batch in batches {
+            for w in batch {
+                shard.intern(w, quiescence);
+            }
+        }
+        quiescence.sub(delivered);
+    }
+
+    // Expand a bounded batch of frontier states.
+    let mut popped = 0i64;
+    while popped < BATCH as i64 {
+        let Some(id) = shard.frontier.pop() else {
+            break;
+        };
+        popped += 1;
+        let w = shard.words[id as usize];
+        let at = id as usize * nc;
+        if shard.succ.len() < at + nc {
+            shard.succ.resize(at + nc, 0);
+        }
+        for (c, cc) in cp.commands.iter().enumerate() {
+            let nw = cc.step_packed(w, layout, scratch);
+            let owner = shard_of_word(nw, shard_count) as usize;
+            if owner == s {
+                let nid = shard.intern(nw, quiescence);
+                shard.succ[at + c] = nid;
+            } else {
+                let pidx = shard.pending.len() as u32;
+                assert!(pidx < PENDING_BIT, "pending table exceeds 2^31 entries");
+                shard.pending.push(nw);
+                shard.succ[at + c] = PENDING_BIT | pidx;
+                cross.fetch_add(1, Ordering::Relaxed);
+                let slot = hash_word(nw) as usize & (SENT_SLOTS - 1);
+                if nw == u64::MAX || shard.sent[slot] != nw {
+                    shard.sent[slot] = nw;
+                    out_buf[owner].push(nw);
+                }
+            }
+        }
+    }
+    if popped > 0 {
+        did_work = true;
+        // Register derived work before retiring the states that
+        // produced it: the counter must never dip to zero while
+        // successors are still in flight.
+        for (dest, buf) in out_buf.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                quiescence.add(1);
+                inboxes[dest].post(std::mem::take(buf));
+            }
+        }
+        quiescence.sub(popped);
+    }
+    did_work
+}
+
+/// Explores the reachable packed space with `par.threads` workers over
+/// hash shards and stitches the result into global arrays. The state
+/// *set*, init *set*, and successor *relation* are identical to the
+/// sequential builder's up to the id permutation induced by shard
+/// bases and discovery order.
+pub(crate) fn explore(program: &Program, cp: &CompiledProgram, par: &ParConfig) -> ShardedBuild {
+    let nc = program.commands.len();
+    let threads = par.threads.max(2);
+    let shard_count = (threads * 4).next_power_of_two().min(256);
+    let shards: Vec<Mutex<Shard>> = (0..shard_count).map(|_| Mutex::new(Shard::new())).collect();
+    let inboxes: Vec<Mailbox<u64>> = (0..shard_count).map(|_| Mailbox::default()).collect();
+    let quiescence = Quiescence::default();
+    let steals = AtomicU64::new(0);
+    let cross = AtomicU64::new(0);
+
+    // Seed initial states into their owning shards before any worker
+    // starts, so the in-flight counter is exact from the first instant.
+    let init_words = collect_init_words(program, cp, par);
+    for &w in &init_words {
+        let s = shard_of_word(w, shard_count as u32) as usize;
+        shards[s].lock().intern(w, &quiescence);
+    }
+
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let shards = &shards;
+            let inboxes = &inboxes;
+            let quiescence = &quiescence;
+            let steals = &steals;
+            let cross = &cross;
+            scope.spawn(move |_| {
+                let mut scratch = Scratch::new();
+                let mut out_buf: Vec<Vec<u64>> = (0..shard_count).map(|_| Vec::new()).collect();
+                loop {
+                    let mut did_work = false;
+                    // Home pass: the shards this worker owns by affinity.
+                    for s in (t..shard_count).step_by(threads) {
+                        if let Some(mut shard) = shards[s].try_lock() {
+                            did_work |= service(
+                                s,
+                                &mut shard,
+                                cp,
+                                nc,
+                                shard_count as u32,
+                                inboxes,
+                                quiescence,
+                                cross,
+                                &mut scratch,
+                                &mut out_buf,
+                            );
+                        }
+                    }
+                    if !did_work {
+                        // Steal pass: any peer shard whose lock is free.
+                        for (s, slot) in shards.iter().enumerate() {
+                            if s % threads == t {
+                                continue;
+                            }
+                            if let Some(mut shard) = slot.try_lock() {
+                                if service(
+                                    s,
+                                    &mut shard,
+                                    cp,
+                                    nc,
+                                    shard_count as u32,
+                                    inboxes,
+                                    quiescence,
+                                    cross,
+                                    &mut scratch,
+                                    &mut out_buf,
+                                ) {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    did_work = true;
+                                }
+                            }
+                        }
+                    }
+                    if !did_work {
+                        if quiescence.quiescent() {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    })
+    .expect("exploration worker panicked");
+
+    // Stitch: global id = shard base + local id.
+    let shards: Vec<Shard> = shards.into_iter().map(Mutex::into_inner).collect();
+    let mut bases: Vec<u32> = Vec::with_capacity(shard_count);
+    let mut total: u64 = 0;
+    for sh in &shards {
+        assert!(total <= u32::MAX as u64, "state count exceeds u32 ids");
+        bases.push(total as u32);
+        total += sh.words.len() as u64;
+    }
+    assert!(total <= u32::MAX as u64, "state count exceeds u32 ids");
+    let n = total as usize;
+
+    let mut words: Vec<u64> = Vec::with_capacity(n);
+    for sh in &shards {
+        words.extend_from_slice(&sh.words);
+    }
+
+    // Segment-parallel remap of per-shard rows into the flat table:
+    // local entries shift by the shard base, `PENDING` entries resolve
+    // through the owning shard's intern table (guaranteed populated —
+    // every cross-shard word was mailed and delivered before
+    // quiescence). Segments are disjoint slices of the one allocation.
+    let mut succ = vec![0u32; n * nc];
+    {
+        let mut segments: Vec<(usize, &mut [u32])> = Vec::with_capacity(shard_count);
+        let mut rest: &mut [u32] = &mut succ;
+        for (s, sh) in shards.iter().enumerate() {
+            let (seg, tail) = rest.split_at_mut(sh.words.len() * nc);
+            segments.push((s, seg));
+            rest = tail;
+        }
+        let jobs: Mutex<Vec<(usize, &mut [u32])>> = Mutex::new(segments);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.min(shard_count) {
+                let jobs = &jobs;
+                let shards = &shards;
+                let bases = &bases;
+                scope.spawn(move |_| loop {
+                    let job = jobs.lock().pop();
+                    let Some((s, seg)) = job else { return };
+                    let sh = &shards[s];
+                    for (k, out) in seg.iter_mut().enumerate() {
+                        let e = sh.succ[k];
+                        *out = if e & PENDING_BIT != 0 {
+                            let w = sh.pending[(e & !PENDING_BIT) as usize];
+                            let owner = shard_of_word(w, shard_count as u32) as usize;
+                            bases[owner]
+                                + *shards[owner]
+                                    .index
+                                    .get(&w)
+                                    .expect("cross-shard successor interned by its owner")
+                        } else {
+                            bases[s] + e
+                        };
+                    }
+                });
+            }
+        })
+        .expect("remap worker panicked");
+    }
+
+    let mut init: Vec<u32> = init_words
+        .iter()
+        .map(|&w| {
+            let s = shard_of_word(w, shard_count as u32) as usize;
+            bases[s] + shards[s].index[&w]
+        })
+        .collect();
+    init.sort_unstable();
+    init.dedup();
+
+    ShardedBuild {
+        words,
+        succ,
+        init,
+        bases,
+        stats: BuildStats {
+            build_ms: 0,
+            shards: shard_count as u32,
+            steals: steals.into_inner(),
+            cross_shard_edges: cross.into_inner(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+    use unity_core::program::Program;
+
+    fn grid() -> Program {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 31).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 31).unwrap()).unwrap();
+        Program::builder("grid", Arc::new(v))
+            .init(and2(eq(var(x), int(0)), eq(var(y), int(0))))
+            .fair_command("ix", lt(var(x), int(31)), vec![(x, add(var(x), int(1)))])
+            .fair_command("iy", lt(var(y), int(31)), vec![(y, add(var(y), int(1)))])
+            .build()
+            .unwrap()
+    }
+
+    /// Reference BFS over packed words, independent of both builders.
+    fn reference_reachable(program: &Program, cp: &CompiledProgram) -> Vec<u64> {
+        let mut scratch = Scratch::new();
+        let mut seen: std::collections::HashSet<u64> =
+            collect_init_words(program, cp, &ParConfig::sequential())
+                .into_iter()
+                .collect();
+        let mut frontier: Vec<u64> = seen.iter().copied().collect();
+        while let Some(w) = frontier.pop() {
+            for cc in &cp.commands {
+                let nw = cc.step_packed(w, &cp.layout, &mut scratch);
+                if seen.insert(nw) {
+                    frontier.push(nw);
+                }
+            }
+        }
+        let mut out: Vec<u64> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn sharded_explore_matches_reference_bfs() {
+        let p = grid();
+        let cfg = crate::space::ScanConfig::default();
+        let cp = CompiledProgram::try_compile(&p, &cfg).expect("compilable");
+        let expected = reference_reachable(&p, &cp);
+        for threads in [2usize, 4, 8] {
+            let sb = explore(&p, &cp, &ParConfig::with_threads(threads));
+            assert_eq!(sb.stats.shards as usize, (threads * 4).next_power_of_two());
+
+            // Same state set.
+            let mut got = sb.words.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "state set differs at {threads} threads");
+
+            // Same successor relation, checked word-for-word against
+            // the compiled step function.
+            let mut scratch = Scratch::new();
+            let nc = p.commands.len();
+            for (id, &w) in sb.words.iter().enumerate() {
+                for (c, cc) in cp.commands.iter().enumerate() {
+                    let nw = cc.step_packed(w, &cp.layout, &mut scratch);
+                    let nid = sb.succ[id * nc + c] as usize;
+                    assert_eq!(sb.words[nid], nw, "wrong successor at ({id}, {c})");
+                }
+            }
+
+            // Init states decode back to the init predicate's words.
+            let init_words: Vec<u64> = sb.init.iter().map(|&i| sb.words[i as usize]).collect();
+            let mut expected_init = collect_init_words(&p, &cp, &ParConfig::sequential());
+            expected_init.sort_unstable();
+            let mut got_init = init_words;
+            got_init.sort_unstable();
+            assert_eq!(got_init, expected_init);
+
+            // Shard bases are an ascending partition of the id space.
+            assert_eq!(sb.bases[0], 0);
+            assert!(sb.bases.windows(2).all(|p| p[0] <= p[1]));
+            // Every word actually lives in the shard that owns it.
+            for (s, win) in sb.bases.windows(2).enumerate() {
+                for &w in &sb.words[win[0] as usize..win[1] as usize] {
+                    assert_eq!(shard_of_word(w, sb.stats.shards) as usize, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_init_is_an_empty_system() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 7).unwrap()).unwrap();
+        let p = Program::builder("void", Arc::new(v))
+            .init(ff())
+            .fair_command("ix", lt(var(x), int(7)), vec![(x, add(var(x), int(1)))])
+            .build()
+            .unwrap();
+        let cfg = crate::space::ScanConfig::default();
+        let cp = CompiledProgram::try_compile(&p, &cfg).expect("compilable");
+        let sb = explore(&p, &cp, &ParConfig::with_threads(4));
+        assert!(sb.words.is_empty());
+        assert!(sb.succ.is_empty());
+        assert!(sb.init.is_empty());
+    }
+}

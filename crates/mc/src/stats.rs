@@ -40,6 +40,37 @@ impl McStats {
     }
 }
 
+/// Cost accounting for one [`TransitionSystem`] construction.
+///
+/// Stamped by [`TransitionSystem::build`] and carried on the system so
+/// verdict stats and `--stats` output can report how the reachable
+/// graph was obtained. A sequential build reports `shards == 1` and
+/// zero steals/cross-shard edges.
+///
+/// [`TransitionSystem`]: crate::transition::TransitionSystem
+/// [`TransitionSystem::build`]: crate::transition::TransitionSystem::build
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Wall-clock milliseconds spent building the system.
+    pub build_ms: u64,
+    /// Number of shards the exploration ran with (1 = sequential).
+    pub shards: u32,
+    /// Times a worker serviced a shard it does not own.
+    pub steals: u64,
+    /// Successor edges whose source and target live in different shards.
+    pub cross_shard_edges: u64,
+}
+
+impl std::fmt::Display for BuildStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ms, {} shard(s), {} steal(s), {} cross-shard edge(s)",
+            self.build_ms, self.shards, self.steals, self.cross_shard_edges
+        )
+    }
+}
+
 impl std::fmt::Display for McStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -89,5 +120,20 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("states"));
         assert!(text.contains("checks"));
+    }
+
+    #[test]
+    fn build_stats_display_mentions_fields() {
+        let b = BuildStats {
+            build_ms: 7,
+            shards: 4,
+            steals: 2,
+            cross_shard_edges: 9,
+        };
+        let text = b.to_string();
+        assert!(text.contains("7 ms"));
+        assert!(text.contains("4 shard(s)"));
+        assert!(text.contains("2 steal(s)"));
+        assert!(text.contains("9 cross-shard edge(s)"));
     }
 }

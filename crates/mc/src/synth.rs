@@ -192,8 +192,8 @@ pub fn synthesize_leadsto_in(
     // reachability as an explicit invariant. The predecessor index is
     // the session's own (shared with the `leadsto` checker).
     let ts = session.transition_system(Universe::Reachable)?;
-    let pred = session.cache.pred_index(&ts, Universe::Reachable);
     let par = session.cfg().par.clone();
+    let pred = session.cache.pred_index(&ts, Universe::Reachable, &par);
     synthesize_on(&ts, &pred, session.program(), p, q, cfg, &par)
 }
 

@@ -17,8 +17,18 @@ use unity_core::state::{State, StateSpaceIter};
 
 use crate::compiled::CompiledProgram;
 use crate::hasher::FxHashMap;
+use crate::parallel::{par_chunks, ParConfig, RANGE_CHUNK};
 use crate::space::ScanConfig;
+use crate::stats::BuildStats;
 use crate::trace::McError;
+
+/// Build accounting for the single-threaded constructors.
+fn sequential_build_stats() -> BuildStats {
+    BuildStats {
+        shards: 1,
+        ..BuildStats::default()
+    }
+}
 
 /// Which states to include when building the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,26 +80,41 @@ pub struct TransitionSystem {
     pub n_commands: usize,
     /// Indices (into commands) of the weakly-fair subset `D`.
     pub fair: Vec<usize>,
+    /// Cost accounting for the construction (shards, steals, wall time).
+    build: BuildStats,
+    /// Global-id base of each exploration shard (ascending, `[0]` for
+    /// sequential builds) — the seed order for shard-aware SCC sweeps.
+    shard_bases: Vec<u32>,
 }
 
 impl TransitionSystem {
     /// Builds the transition system of `program` over the chosen universe.
+    ///
+    /// With `cfg.par.threads > 1` the reachable compiled path runs the
+    /// sharded work-stealing explorer (the `shard` module) and the
+    /// full-product compiled path fills rows chunk-parallel; one thread
+    /// keeps the exact sequential reference construction. Either way
+    /// the wall-clock cost is stamped into
+    /// [`TransitionSystem::build_stats`].
     pub fn build(program: &Program, universe: Universe, cfg: &ScanConfig) -> Result<Self, McError> {
-        match universe {
+        let t0 = std::time::Instant::now();
+        let mut ts = match universe {
             Universe::Reachable => Self::build_reachable(program, cfg),
             Universe::AllStates => Self::build_all(program, cfg),
-        }
+        }?;
+        ts.build.build_ms = t0.elapsed().as_millis() as u64;
+        Ok(ts)
     }
 
     fn build_reachable(program: &Program, cfg: &ScanConfig) -> Result<Self, McError> {
         crate::space::space_size(&program.vocab, cfg)?;
         if let Some(cp) = CompiledProgram::try_compile(program, cfg) {
-            return Ok(Self::build_reachable_packed(program, cp));
+            return Ok(Self::build_reachable_packed(program, cp, cfg));
         }
         let n_commands = program.commands.len();
         let mut index: FxHashMap<State, u32> = FxHashMap::default();
         let mut states: Vec<State> = Vec::new();
-        let mut succ: Vec<Vec<u32>> = Vec::new();
+        let mut succ: Vec<u32> = Vec::new();
         let mut frontier: Vec<u32> = Vec::new();
 
         let intern = |s: State,
@@ -116,21 +141,21 @@ impl TransitionSystem {
 
         while let Some(id) = frontier.pop() {
             // Rows may be produced out of id order (interning extends
-            // `states`); stage them as rows and flatten once at the end.
+            // `states`); the flat table is grown with placeholder zeros
+            // and written in place, exactly like the packed path — no
+            // per-state row allocation or final flatten.
             let state = states[id as usize].clone();
-            let mut row = Vec::with_capacity(n_commands);
-            for c in &program.commands {
-                let next = c.step(&state, &program.vocab);
+            let at = id as usize * n_commands;
+            if succ.len() < at + n_commands {
+                succ.resize(at + n_commands, 0);
+            }
+            for (c, cmd) in program.commands.iter().enumerate() {
+                let next = cmd.step(&state, &program.vocab);
                 let nid = intern(next, &mut states, &mut index, &mut frontier);
-                row.push(nid);
+                succ[at + c] = nid;
             }
-            if succ.len() <= id as usize {
-                succ.resize(id as usize + 1, Vec::new());
-            }
-            succ[id as usize] = row;
         }
-        succ.resize(states.len(), Vec::new());
-        let succ: Vec<u32> = succ.into_iter().flatten().collect();
+        succ.resize(states.len() * n_commands, 0);
         Ok(TransitionSystem {
             vocab: program.vocab.clone(),
             store: StateStore::Explicit(states),
@@ -138,6 +163,8 @@ impl TransitionSystem {
             init,
             n_commands,
             fair: program.fair.iter().copied().collect(),
+            build: sequential_build_stats(),
+            shard_bases: vec![0],
         })
     }
 
@@ -145,10 +172,35 @@ impl TransitionSystem {
     /// an integer-keyed table (no per-probe hashing of value slices) and
     /// successors come from compiled command steps. Explicit [`State`]s
     /// are only materialized once per interned state, at the end.
-    fn build_reachable_packed(program: &Program, cp: CompiledProgram) -> Self {
+    ///
+    /// With more than one worker (and a domain at least the sequential
+    /// cutoff) exploration runs sharded and work-stealing instead — same
+    /// state set, init set, and successor relation, different id
+    /// permutation (shard-major instead of discovery order).
+    fn build_reachable_packed(program: &Program, cp: CompiledProgram, cfg: &ScanConfig) -> Self {
+        let sharded = cfg.par.threads > 1
+            && program
+                .vocab
+                .space_size()
+                .is_some_and(|n| n >= cfg.par.sequential_cutoff);
+        if sharded {
+            let sb = crate::shard::explore(program, &cp, &cfg.par);
+            return TransitionSystem {
+                vocab: program.vocab.clone(),
+                succ: sb.succ,
+                init: sb.init,
+                n_commands: program.commands.len(),
+                fair: program.fair.iter().copied().collect(),
+                build: sb.stats,
+                shard_bases: sb.bases,
+                store: StateStore::PackedWords {
+                    layout: cp.layout,
+                    words: sb.words,
+                },
+            };
+        }
         let n_commands = program.commands.len();
         let layout = &cp.layout;
-        let mut scratch = Scratch::new();
         let mut index: FxHashMap<u64, u32> = FxHashMap::default();
         let mut words: Vec<u64> = Vec::new();
         let mut succ: Vec<u32> = Vec::new();
@@ -167,23 +219,17 @@ impl TransitionSystem {
         };
 
         // Initial states: scan the full packed space with the compiled
-        // init predicate (the reference path materializes every state).
+        // init predicate, chunk-parallel when configured (the collected
+        // words come back in canonical order, so the interned ids are
+        // identical to the old single-cursor sweep).
         let mut init = Vec::new();
-        if let Some(total) = program.vocab.space_size() {
-            let mut cursor = layout
-                .support_cursor(&program.vocab.ids().collect::<Vec<_>>(), 0)
-                .expect("space_size checked by caller");
-            for _ in 0..total {
-                let w = cursor.word();
-                if cp.init.eval_packed_bool(w, &mut scratch) {
-                    init.push(intern(w, &mut words, &mut index, &mut frontier));
-                }
-                cursor.advance(layout);
-            }
+        for w in crate::shard::collect_init_words(program, &cp, &cfg.par) {
+            init.push(intern(w, &mut words, &mut index, &mut frontier));
         }
         init.sort_unstable();
         init.dedup();
 
+        let mut scratch = Scratch::new();
         while let Some(id) = frontier.pop() {
             // Each interned id enters the frontier exactly once, so each
             // row is written exactly once (possibly out of id order —
@@ -207,6 +253,8 @@ impl TransitionSystem {
             init,
             n_commands,
             fair: program.fair.iter().copied().collect(),
+            build: sequential_build_stats(),
+            shard_bases: vec![0],
             store: StateStore::PackedWords {
                 layout: cp.layout,
                 words,
@@ -217,7 +265,7 @@ impl TransitionSystem {
     fn build_all(program: &Program, cfg: &ScanConfig) -> Result<Self, McError> {
         let n = crate::space::space_size(&program.vocab, cfg)?;
         if let Some(cp) = CompiledProgram::try_compile(program, cfg) {
-            return Ok(Self::build_all_packed(program, cp, n));
+            return Ok(Self::build_all_packed(program, cp, n, cfg));
         }
         let n_commands = program.commands.len();
         let vocab = &program.vocab;
@@ -245,6 +293,8 @@ impl TransitionSystem {
             init,
             n_commands,
             fair: program.fair.iter().copied().collect(),
+            build: sequential_build_stats(),
+            shard_bases: vec![0],
         })
     }
 
@@ -252,8 +302,13 @@ impl TransitionSystem {
     /// whole space in canonical order; successors are compiled command
     /// steps on `u64` words encoded back to flat ids with mixed-radix
     /// arithmetic — no hashing, no per-state allocation in the scan loop.
-    fn build_all_packed(program: &Program, cp: CompiledProgram, n: u64) -> Self {
+    /// With multiple workers the rows fill chunk-parallel (the id ↔ word
+    /// map is pure arithmetic, so the output is bit-identical).
+    fn build_all_packed(program: &Program, cp: CompiledProgram, n: u64, cfg: &ScanConfig) -> Self {
         let n_commands = program.commands.len();
+        if cfg.par.threads > 1 && n_commands > 0 && n >= cfg.par.sequential_cutoff {
+            return Self::build_all_packed_par(program, cp, n, &cfg.par);
+        }
         let layout = &cp.layout;
         let vocab = &program.vocab;
         let mut scratch = Scratch::new();
@@ -282,6 +337,69 @@ impl TransitionSystem {
             init,
             n_commands,
             fair: program.fair.iter().copied().collect(),
+            build: sequential_build_stats(),
+            shard_bases: vec![0],
+            store: StateStore::PackedRange {
+                layout: cp.layout,
+                n: n as usize,
+            },
+        }
+    }
+
+    /// Chunk-parallel form of [`TransitionSystem::build_all_packed`]:
+    /// workers claim row-aligned windows of the flat table, each with
+    /// its own scratch registers and mixed-radix cursor seeked to the
+    /// window start. Init ids are collected per chunk and stitched in
+    /// ascending order, so the whole system is bit-identical to the
+    /// sequential construction.
+    fn build_all_packed_par(
+        program: &Program,
+        cp: CompiledProgram,
+        n: u64,
+        par: &ParConfig,
+    ) -> Self {
+        let n_commands = program.commands.len();
+        let layout = &cp.layout;
+        let all_vars: Vec<_> = program.vocab.ids().collect();
+        let mut succ = vec![0u32; n as usize * n_commands];
+        let init_chunks: parking_lot::Mutex<Vec<(u64, Vec<u32>)>> =
+            parking_lot::Mutex::new(Vec::new());
+        let chunk = (RANGE_CHUNK as usize / n_commands).max(1) * n_commands;
+        par_chunks(&mut succ, chunk, par, |lo, out| {
+            let row0 = lo / n_commands as u64;
+            let rows = out.len() / n_commands;
+            let mut scratch = Scratch::new();
+            let mut cursor = layout
+                .support_cursor(&all_vars, row0)
+                .expect("space_size checked by caller");
+            let mut init_ids = Vec::new();
+            for r in 0..rows {
+                let id = row0 + r as u64;
+                let w = cursor.word();
+                for (c, cc) in cp.commands.iter().enumerate() {
+                    let (_, flat) = cc.step_packed_flat(w, id, layout, &mut scratch);
+                    out[r * n_commands + c] = flat as u32;
+                }
+                if cp.init.eval_packed_bool(w, &mut scratch) {
+                    init_ids.push(id as u32);
+                }
+                cursor.advance(layout);
+            }
+            if !init_ids.is_empty() {
+                init_chunks.lock().push((row0, init_ids));
+            }
+        });
+        let mut chunks = init_chunks.into_inner();
+        chunks.sort_unstable_by_key(|&(lo, _)| lo);
+        let init: Vec<u32> = chunks.into_iter().flat_map(|(_, v)| v).collect();
+        TransitionSystem {
+            vocab: program.vocab.clone(),
+            succ,
+            init,
+            n_commands,
+            fair: program.fair.iter().copied().collect(),
+            build: sequential_build_stats(),
+            shard_bases: vec![0],
             store: StateStore::PackedRange {
                 layout: cp.layout,
                 n: n as usize,
@@ -410,6 +528,28 @@ impl TransitionSystem {
     /// Total number of stored transitions.
     pub fn transition_count(&self) -> usize {
         self.succ.len()
+    }
+
+    /// Cost accounting for how this system was built (wall time, shard
+    /// count, steals, cross-shard edges). Sequential constructions
+    /// report one shard and zero steals.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build
+    }
+
+    /// Seed order for SCC sweeps: global ids grouped by owning
+    /// exploration shard, ascending within each shard. Shard bases are
+    /// contiguous and ascending, so this enumerates `0..len` — but
+    /// expressed shard-by-shard, which is the order the sharded builder
+    /// laid the ids out in memory.
+    pub fn scc_seed_order(&self) -> impl Iterator<Item = u32> + '_ {
+        let n = self.len() as u32;
+        let bases = &self.shard_bases;
+        (0..bases.len()).flat_map(move |i| {
+            let lo = bases[i];
+            let hi = bases.get(i + 1).copied().unwrap_or(n);
+            lo..hi
+        })
     }
 
     /// The successor row of state `s` (one entry per command).

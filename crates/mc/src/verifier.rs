@@ -162,17 +162,19 @@ impl EngineCache {
     }
 
     /// The CSR predecessor index of `ts` over `universe`, inverted on
-    /// first use and memoized alongside the transition system.
+    /// first use (in parallel when `par` allows) and memoized alongside
+    /// the transition system.
     pub(crate) fn pred_index(
         &mut self,
         ts: &TransitionSystem,
         universe: Universe,
+        par: &crate::parallel::ParConfig,
     ) -> Arc<crate::pred::PredIndex> {
         let slot = match universe {
             Universe::Reachable => &mut self.pred[0],
             Universe::AllStates => &mut self.pred[1],
         };
-        slot.get_or_insert_with(|| Arc::new(crate::pred::PredIndex::build(ts)))
+        slot.get_or_insert_with(|| Arc::new(crate::pred::PredIndex::build_with(ts, par)))
             .clone()
     }
 
@@ -250,6 +252,16 @@ pub enum VerdictStats {
         /// States pushed onto the leadsto worklist (trap seeds
         /// included).
         worklist_pushes: u64,
+        /// Wall-clock milliseconds the transition-system build took
+        /// (0 for pure scans, which build no system).
+        build_ms: u64,
+        /// Shards the build's exploration ran with (1 = sequential,
+        /// 0 for pure scans).
+        shards: u32,
+        /// Work-stealing services of non-owned shards during the build.
+        steals: u64,
+        /// Successor edges crossing shard boundaries during the build.
+        cross_shard_edges: u64,
     },
     /// Symbolic engine: a snapshot of the session's cumulative arena
     /// counters at check completion.
@@ -430,6 +442,10 @@ impl<'p> Verifier<'p> {
                             scanned_states: report.scanned_states as u64,
                             pred_edges: report.pred_edges as u64,
                             worklist_pushes: report.worklist_pushes as u64,
+                            build_ms: report.build_ms,
+                            shards: report.shards,
+                            steals: report.steals,
+                            cross_shard_edges: report.cross_shard_edges,
                         },
                     ),
                     Err(e) => (Err(e), VerdictStats::Unmeasured),
@@ -461,6 +477,10 @@ impl<'p> Verifier<'p> {
                             scanned_states: 0,
                             pred_edges: 0,
                             worklist_pushes: 0,
+                            build_ms: 0,
+                            shards: 0,
+                            steals: 0,
+                            cross_shard_edges: 0,
                         },
                         None => VerdictStats::Unmeasured,
                     }

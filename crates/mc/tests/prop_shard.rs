@@ -1,0 +1,315 @@
+//! Differential tests of the sharded work-stealing explorer: on random
+//! small programs the parallel builder must produce the *same system*
+//! as the sequential reference builder — identical state set, initial
+//! set, and successor relation — merely under a different (shard-major)
+//! state numbering. Verdicts must be identical across 1/2/4/8 threads
+//! and both universes; witnesses must be semantically interchangeable
+//! (each replays on the reference semantics), and at `--threads 1` the
+//! engine is the exact pre-existing sequential path, so the witness is
+//! identical state-for-state.
+//!
+//! The thread-count sweep deliberately exceeds the shard gate: the
+//! configs below use [`ParConfig::with_threads`], whose zero
+//! `sequential_cutoff` forces the sharded path even on these tiny
+//! spaces, so every case exercises interning, mailboxes, stealing, and
+//! the stitch.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::eval::eval_bool;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+use unity_core::state::State;
+use unity_mc::prelude::*;
+use unity_mc::trace::Counterexample;
+
+const X: VarId = VarId(0);
+const Y: VarId = VarId(1);
+const B: VarId = VarId(2);
+
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+    v.declare("y", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("b", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        Just(tt()),
+        Just(ff()),
+        Just(var(B)),
+        (0i64..=3).prop_map(|k| le(var(X), int(k))),
+        (0i64..=2).prop_map(|k| eq(var(Y), int(k))),
+        (0i64..=5).prop_map(|k| lt(add(var(X), var(Y)), int(k))),
+    ];
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| and2(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| or2(a, b)),
+        ]
+    })
+}
+
+/// Small random programs over the fixed vocabulary, with independently
+/// drawn fairness so verdict parity is exercised across `D = ∅`,
+/// partial, and all-fair shapes.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        arb_pred(),
+        0i64..=2,
+        1i64..=2,
+        any::<bool>(),
+        any::<bool>(),
+        arb_pred(),
+    )
+        .prop_map(|(guard1, y0, dx, fair1, fair2, guard2)| {
+            let v = vocab();
+            let builder =
+                Program::builder("rand", v).init(and2(eq(var(X), int(0)), eq(var(Y), int(y0))));
+            let cx_guard = and2(guard1, lt(var(X), int(3)));
+            let cx_updates = vec![(X, add(var(X), int(dx)))];
+            let builder = if fair1 {
+                builder.fair_command("cx", cx_guard, cx_updates)
+            } else {
+                builder.command("cx", cx_guard, cx_updates)
+            };
+            let cy_updates = vec![(Y, rem(add(var(Y), int(1)), int(3))), (B, not(var(B)))];
+            let builder = if fair2 {
+                builder.fair_command("cy", guard2, cy_updates)
+            } else {
+                builder.command("cy", guard2, cy_updates)
+            };
+            builder.build().unwrap()
+        })
+}
+
+/// Sequential packed build: one thread, cutoff at infinity — the exact
+/// pre-sharding code path.
+fn sequential_cfg() -> ScanConfig {
+    ScanConfig {
+        par: ParConfig::sequential(),
+        ..Default::default()
+    }
+}
+
+/// Sharded build at `threads` workers, cutoff zero so even tiny spaces
+/// take the parallel path.
+fn sharded_cfg(threads: usize) -> ScanConfig {
+    ScanConfig {
+        par: ParConfig::with_threads(threads),
+        ..Default::default()
+    }
+}
+
+/// A system rendered as a renumbering-independent value: state set,
+/// initial-state set, successor relation keyed by (pre-state, command
+/// index) — ids erased by resolving them to full [`State`]s.
+type Canonical = (
+    BTreeSet<State>,
+    BTreeSet<State>,
+    BTreeMap<(State, usize), State>,
+);
+
+fn canonical(ts: &TransitionSystem, n_commands: usize) -> Canonical {
+    let mut states = BTreeSet::new();
+    let mut rel = BTreeMap::new();
+    for id in 0..ts.len() as u32 {
+        let s = ts.state(id);
+        for c in 0..n_commands {
+            let succ = ts.state(ts.succ_at(id as usize, c));
+            rel.insert((s.clone(), c), succ);
+        }
+        states.insert(s);
+    }
+    let init = ts.init.iter().map(|&id| ts.state(id)).collect();
+    (states, init, rel)
+}
+
+/// A lasso witness must genuinely refute `p ↦ q` on the reference
+/// semantics, whatever numbering produced it.
+fn assert_replayable(program: &Program, p: &Expr, q: &Expr, cex: &Counterexample) {
+    let Counterexample::LeadsTo { prefix, trap } = cex else {
+        panic!("leadsto must produce a lasso, got {cex:?}");
+    };
+    let vocab = &program.vocab;
+    assert!(!prefix.is_empty(), "prefix holds at least the start state");
+    assert!(!trap.is_empty(), "a refutation names its trap");
+    assert!(eval_bool(p, &prefix[0]), "lasso starts in a p-state");
+    for s in prefix.iter().chain(trap.iter()) {
+        assert!(!eval_bool(q, s), "lasso never visits q");
+    }
+    for pair in prefix.windows(2) {
+        let stepped = program
+            .commands
+            .iter()
+            .any(|c| c.step(&pair[0], vocab) == pair[1]);
+        assert!(stepped, "prefix hop replays as a command step: {pair:?}");
+    }
+    let entry = prefix.last().expect("non-empty");
+    assert!(trap.contains(entry), "prefix ends inside the trap");
+}
+
+/// A safety witness must be semantically valid for its property; state
+/// numbering may legitimately pick a different (equally valid) one.
+fn assert_safety_witness(program: &Program, prop: &Property, cex: &Counterexample) {
+    match (prop, cex) {
+        (Property::Invariant(p), Counterexample::Init { state }) => {
+            assert!(!eval_bool(p, state), "init witness violates p");
+        }
+        (
+            Property::Invariant(p) | Property::Stable(p),
+            Counterexample::Next { state, after, .. },
+        ) => {
+            assert!(eval_bool(p, state), "stable witness starts inside p");
+            assert!(!eval_bool(p, after), "stable witness steps out of p");
+            let vocab = &program.vocab;
+            let stepped = program
+                .commands
+                .iter()
+                .any(|c| &c.step(state, vocab) == after);
+            assert!(stepped, "witness hop replays as a command step");
+        }
+        other => panic!("unexpected safety witness shape: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sharded builder constructs *the same transition system* as
+    /// the sequential reference builder at every thread count — state
+    /// set, init set, and successor relation all agree once ids are
+    /// resolved back to states.
+    #[test]
+    fn sharded_build_equals_sequential_build(program in arb_program()) {
+        let nc = program.commands.len();
+        for universe in [Universe::Reachable, Universe::AllStates] {
+            let seq = TransitionSystem::build(&program, universe, &sequential_cfg()).unwrap();
+            let (states, init, rel) = canonical(&seq, nc);
+            for threads in [2usize, 4, 8] {
+                let par =
+                    TransitionSystem::build(&program, universe, &sharded_cfg(threads)).unwrap();
+                prop_assert_eq!(par.len(), seq.len(), "state count at {} threads", threads);
+                prop_assert_eq!(
+                    par.transition_count(), seq.transition_count(),
+                    "transition count at {} threads", threads
+                );
+                let (p_states, p_init, p_rel) = canonical(&par, nc);
+                prop_assert_eq!(&p_states, &states, "state set at {} threads", threads);
+                prop_assert_eq!(&p_init, &init, "init set at {} threads", threads);
+                prop_assert_eq!(&p_rel, &rel, "successor relation at {} threads", threads);
+            }
+        }
+    }
+
+    /// Safety and liveness verdicts are identical across 1/2/4/8
+    /// threads and both universes. Witnesses from the sharded engine
+    /// replay on the reference semantics; at one thread the engine is
+    /// the exact sequential path, so the witness is identical
+    /// state-for-state.
+    #[test]
+    fn verdicts_agree_across_thread_counts(
+        program in arb_program(),
+        p in arb_pred(),
+        q in arb_pred(),
+    ) {
+        let props = [
+            Property::Invariant(p.clone()),
+            Property::Stable(p.clone()),
+            Property::LeadsTo(p.clone(), q.clone()),
+        ];
+        for universe in [Universe::Reachable, Universe::AllStates] {
+            let mut base = Verifier::new(&program, sequential_cfg()).with_universe(universe);
+            let expect: Vec<_> = props.iter().map(|pr| base.verify(pr)).collect();
+            for threads in [1usize, 2, 4, 8] {
+                let mut session =
+                    Verifier::new(&program, sharded_cfg(threads)).with_universe(universe);
+                for (prop, want) in props.iter().zip(&expect) {
+                    let got = session.verify(prop);
+                    prop_assert_eq!(
+                        got.passed(), want.passed(),
+                        "verdict parity for {:?} at {} threads under {:?}",
+                        prop, threads, universe
+                    );
+                    match (got.counterexample(), want.counterexample()) {
+                        (None, None) => {}
+                        (Some(cex), Some(expect_cex)) => {
+                            if threads == 1 {
+                                // One worker is the sequential engine:
+                                // bit-identical numbering, same witness.
+                                prop_assert_eq!(cex, expect_cex, "witness identity at 1 thread");
+                            }
+                            match prop {
+                                Property::LeadsTo(p, q) => {
+                                    assert_replayable(&program, p, q, cex);
+                                    assert_replayable(&program, p, q, expect_cex);
+                                }
+                                _ => assert_safety_witness(&program, prop, cex),
+                            }
+                        }
+                        (a, b) => panic!(
+                            "witness presence diverged for {prop:?} at {threads} threads: \
+                             {a:?} vs {b:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// A Verifier session over the sharded system is idempotent: asking
+    /// the same questions twice returns the same verdicts and the same
+    /// witnesses, and both agree with a one-shot sequential check.
+    #[test]
+    fn sharded_session_is_idempotent(
+        program in arb_program(),
+        p in arb_pred(),
+        q in arb_pred(),
+    ) {
+        let mut session = Verifier::new(&program, sharded_cfg(4));
+        let props = [
+            Property::Invariant(p.clone()),
+            Property::LeadsTo(p.clone(), q.clone()),
+            Property::LeadsTo(tt(), q.clone()),
+        ];
+        let first: Vec<_> = props.iter().map(|pr| session.verify(pr)).collect();
+        let second: Vec<_> = props.iter().map(|pr| session.verify(pr)).collect();
+        for ((prop, a), b) in props.iter().zip(&first).zip(&second) {
+            prop_assert_eq!(a.passed(), b.passed(), "idempotent: {:?}", prop);
+            prop_assert_eq!(a.counterexample(), b.counterexample(), "same witness on replay");
+        }
+        let oneshot = check_leadsto(&program, &p, &q, Universe::Reachable, &sequential_cfg());
+        prop_assert_eq!(first[1].passed(), oneshot.is_ok(),
+                        "session verdict matches one-shot sequential check");
+    }
+}
+
+/// An unsatisfiable init predicate must yield the same empty system on
+/// every path: no states, no init ids, zero transitions.
+#[test]
+fn empty_init_is_empty_everywhere() {
+    let v = vocab();
+    let program = Program::builder("void", v)
+        .init(ff())
+        .fair_command("cx", lt(var(X), int(3)), vec![(X, add(var(X), int(1)))])
+        .build()
+        .unwrap();
+    let seq = TransitionSystem::build(&program, Universe::Reachable, &sequential_cfg()).unwrap();
+    assert!(seq.is_empty());
+    for threads in [2usize, 4, 8] {
+        let par =
+            TransitionSystem::build(&program, Universe::Reachable, &sharded_cfg(threads)).unwrap();
+        assert!(par.is_empty(), "empty at {threads} threads");
+        assert!(par.init.is_empty());
+        assert_eq!(par.transition_count(), 0);
+    }
+}

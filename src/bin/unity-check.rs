@@ -3,7 +3,8 @@
 //! ```text
 //! unity-check FILE [--engine explicit|symbolic|reference]
 //!             [--order declaration|static|sift] [--stats]
-//!             [--universe reachable|all] [--sim STEPS] [--seed N]
+//!             [--universe reachable|all] [--threads N]
+//!             [--sim STEPS] [--seed N]
 //!             [--trace FILE] [--json FILE] [--list] [--quiet]
 //!             [--conserve] [--synthesize] [--mutate] [--version]
 //! ```
@@ -39,10 +40,20 @@
 //! dynamic Rudell sifting when the arena grows — the default). The
 //! explicit engines ignore it.
 //!
+//! `--threads N` sets the worker count for state-space construction and
+//! the parallel sweeps. More than one thread runs the sharded
+//! work-stealing explorer (hash-partitioned frontier, per-shard
+//! mailboxes, quiescence-counter termination); `--threads 1` keeps the
+//! exact sequential reference builder. Both produce the same state set,
+//! init set, and successor relation — only internal state numbering
+//! differs. The default is the machine's available parallelism, or the
+//! `UNITY_BUILD_THREADS` environment variable when set.
+//!
 //! `--stats` prints engine counters after the checks: states visited
-//! and transitions computed for the enumerating engines; live/peak BDD
-//! nodes, apply-cache hit rate, sift passes/swaps and GC activity for
-//! the symbolic engine.
+//! and transitions computed for the enumerating engines (plus build
+//! wall time and shard/steal counters); live/peak BDD nodes,
+//! apply-cache hit rate, sift passes/swaps and GC activity for the
+//! symbolic engine.
 //!
 //! `--sim N` additionally runs an `N`-step weakly-fair simulation
 //! (aged-lottery scheduler) with every `invariant` check attached as a
@@ -73,6 +84,7 @@ struct Options {
     order: OrderMode,
     stats: bool,
     universe: Universe,
+    threads: Option<usize>,
     sim_steps: u64,
     seed: u64,
     trace: Option<String>,
@@ -86,7 +98,7 @@ struct Options {
 
 const USAGE: &str = "usage: unity-check FILE [--engine explicit|symbolic|reference] \
                      [--order declaration|static|sift] [--stats] \
-                     [--universe reachable|all] [--sim STEPS] \
+                     [--universe reachable|all] [--threads N] [--sim STEPS] \
                      [--seed N] [--trace FILE] [--json FILE] [--list] [--quiet] \
                      [--conserve] [--synthesize] [--mutate] [--version]";
 
@@ -98,6 +110,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         order: OrderMode::default(),
         stats: false,
         universe: Universe::Reachable,
+        threads: None,
         sim_steps: 0,
         seed: 1,
         trace: None,
@@ -134,6 +147,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some("all") => Universe::AllStates,
                     other => return Err(format!("bad --universe {other:?}; {USAGE}")),
                 }
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--threads needs a count; {USAGE}"))?;
+                if t == 0 {
+                    return Err(format!("--threads must be at least 1; {USAGE}"));
+                }
+                opts.threads = Some(t);
             }
             "--sim" => {
                 opts.sim_steps = it
@@ -224,6 +247,16 @@ fn run(opts: &Options) -> Result<bool, String> {
         symbolic: SymbolicOptions {
             order: opts.order.clone(),
             ..Default::default()
+        },
+        par: match opts.threads {
+            // One thread pins the exact sequential reference builder.
+            Some(1) => ParConfig::sequential(),
+            Some(t) => ParConfig {
+                threads: t,
+                ..Default::default()
+            },
+            // Default honors UNITY_BUILD_THREADS, then the machine.
+            None => ParConfig::default(),
         },
         ..Default::default()
     };
@@ -336,12 +369,15 @@ fn stats_report(
             None => println!("STATS symbolic: not applicable (cannot lower); explicit fallback"),
         },
         Engine::Compiled | Engine::Reference => match session.transition_system(opts.universe) {
-            Ok(ts) => println!(
-                "STATS explicit: {} state(s) visited, {} transition(s) computed ({:?} universe)",
-                ts.len(),
-                ts.transition_count(),
-                opts.universe
-            ),
+            Ok(ts) => {
+                println!(
+                    "STATS explicit: {} state(s) visited, {} transition(s) computed ({:?} universe)",
+                    ts.len(),
+                    ts.transition_count(),
+                    opts.universe
+                );
+                println!("STATS build: {}", ts.build_stats());
+            }
             Err(e) => println!("STATS explicit: {e}"),
         },
     }
