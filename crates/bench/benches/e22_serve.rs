@@ -1,0 +1,99 @@
+//! E22 — the verification service's artifact store: one spec submitted
+//! to `unity-serve` cold (empty store: every artifact built from
+//! source) vs warm (memory layer) vs warm-from-disk (segment files
+//! decoded, the restart path).
+//!
+//! The battery is the shipped `priority_ring16.unity` — 64k reachable
+//! states, ~1M transitions, 16 leadsto checks plus a safety invariant —
+//! where `TransitionSystem::build` dominates a cold run. A warm
+//! re-submission skips the build entirely, so the gap between `cold`
+//! and the two warm variants is exactly what the store buys a client.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_serve::{CacheState, Service, ServiceConfig, VerifyRequest, VerifyResponse};
+
+const RING16: &str = include_str!("../../../examples/specs/priority_ring16.unity");
+
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "unity_bench_e22_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &std::path::Path) -> Service {
+    Service::open(ServiceConfig {
+        data_dir: dir.to_path_buf(),
+        workers: 1,
+        default_timeout: None,
+    })
+    .unwrap()
+}
+
+fn submit(service: &Service) -> VerifyResponse {
+    let resp = service.verify(VerifyRequest::new(RING16)).unwrap();
+    assert!(resp.report.all_passed(), "ring16 battery must pass");
+    resp
+}
+
+fn bench_e22(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e22_serve");
+    group.sample_size(10);
+
+    // Cold: a brand-new store every submission; the transition system,
+    // reachable set and predecessor index are all built from the spec.
+    group.bench_with_input(BenchmarkId::new("cold", "ring16"), &(), |b, ()| {
+        b.iter(|| {
+            let dir = fresh_dir();
+            let service = open(&dir);
+            let resp = submit(&service);
+            assert_eq!(resp.cache.ts_reachable, CacheState::Miss);
+            // Teardown inside the measurement (a few ms against ~100):
+            // leaking ~9 MB of segments per iteration would let disk
+            // pressure, not the store, set later samples' timings.
+            drop(service);
+            let _ = std::fs::remove_dir_all(&dir);
+            resp.seq
+        })
+    });
+
+    // Warm, memory layer: the store already holds this spec's artifacts
+    // in its in-process cache (the steady state of a long-lived daemon).
+    let dir = fresh_dir();
+    let service = open(&dir);
+    let first = submit(&service);
+    assert_eq!(first.cache.ts_reachable, CacheState::Miss);
+    group.bench_with_input(BenchmarkId::new("warm_memory", "ring16"), &(), |b, ()| {
+        b.iter(|| {
+            let resp = submit(&service);
+            assert_eq!(resp.cache.ts_reachable, CacheState::Hit);
+            resp.seq
+        })
+    });
+
+    // Warm, disk layer: the memory cache is dropped before every
+    // submission, so artifacts are decoded from segment files — the
+    // daemon-restart path.
+    group.bench_with_input(BenchmarkId::new("warm_disk", "ring16"), &(), |b, ()| {
+        b.iter(|| {
+            service.drop_memory_cache();
+            let resp = submit(&service);
+            assert_eq!(resp.cache.ts_reachable, CacheState::Hit);
+            resp.seq
+        })
+    });
+
+    group.finish();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_e22);
+criterion_main!(benches);

@@ -1,0 +1,443 @@
+//! Hand-rolled RFC 8259 JSON core shared by reports, the verdict
+//! journal, and the `unity-serve` wire protocol.
+//!
+//! The workspace deliberately carries no JSON dependency; this module
+//! is the single parser/writer behind every JSON surface in the stack.
+//! Two deliberate restrictions keep it honest for machine-to-machine
+//! use:
+//!
+//! - **Numbers are integers** ([`Json::Int`], `i128`). No schema in the
+//!   repo emits floats; derived ratios are recomputed from counters.
+//! - **Duplicate object keys are rejected.** RFC 8259 leaves duplicate
+//!   behavior implementation-defined, which is exactly the ambiguity a
+//!   replayed journal or a network peer can exploit — two parsers
+//!   disagreeing on which `"verdict"` wins is a corruption vector, so
+//!   the parser fails fast instead.
+//!
+//! The parser also rejects trailing data after the top-level value,
+//! floats, unpaired `\u` surrogates, and nesting deeper than
+//! [`MAX_DEPTH`] (hostile input fails with an error, not a stack
+//! overflow).
+//!
+//! ```
+//! use unity_mc::json::Json;
+//! let v = Json::parse("{\"a\":1,\"b\":[true,null]}").unwrap();
+//! assert_eq!(v.field("a").unwrap().as_int().unwrap(), 1);
+//! // Duplicate keys are corruption, not a preference:
+//! assert!(Json::parse("{\"a\":1,\"a\":2}").is_err());
+//! ```
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers are integers — no schema in this
+/// workspace emits floats (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number (floats are rejected at parse time).
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order. Keys are unique (the parser rejects
+    /// duplicates).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Nesting bound for the parser: far above anything the writers emit
+/// (the deepest schema nests ~6 levels), small enough that hostile
+/// input fails with an error instead of a stack overflow.
+pub const MAX_DEPTH: usize = 128;
+
+impl Json {
+    /// Parses one JSON value covering the entire input (trailing data
+    /// is an error).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object; errors on non-objects and missing
+    /// keys (parsed objects never contain duplicates).
+    pub fn field(&self, key: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            other => Err(format!("expected object with `{key}`, got {other:?}")),
+        }
+    }
+
+    /// The string payload, or an error for any other variant.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// The integer payload, or an error for any other variant.
+    pub fn as_int(&self) -> Result<i128, String> {
+        match self {
+            Json::Int(n) => Ok(*n),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    /// The boolean payload, or an error for any other variant.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    /// The array items, or an error for any other variant.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// Serializes this value back to compact JSON. `parse ∘ write` is
+    /// the identity on parsed values.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (k, (key, value)) in fields.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// [`Json::write`] into a fresh string.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (RFC 8259 escaping).
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields: Vec<(String, Json)> = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key_at = *pos;
+                let key = parse_string(bytes, pos)?;
+                if fields.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate key `{key}` at byte {key_at}"));
+                }
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if matches!(bytes.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
+        return Err(format!("floats are not part of any schema (byte {start})"));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<i128>().ok())
+        .map(Json::Int)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        // The writers never emit surrogate pairs (only
+                        // control characters); reject surrogates.
+                        out.push(
+                            char::from_u32(hex)
+                                .ok_or_else(|| format!("bad \\u codepoint at byte {pos}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged — the input is a &str, so they're
+                // valid).
+                let s = &bytes[*pos..];
+                let ch_len = match s[0] {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let ch = std::str::from_utf8(&s[..ch_len])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                out.push_str(ch);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_write_round_trips() {
+        let src = r#"{"a":1,"b":[true,false,null,-7],"c":"x\"y\n","d":{"e":[]}}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(Json::parse(&v.to_string_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("null,").is_err());
+        assert!(Json::parse("{\"a\":1}{\"b\":2}").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = Json::parse("{\"a\":1,\"a\":2}").unwrap_err();
+        assert!(err.contains("duplicate key `a`"), "{err}");
+        // Nested objects are policed too.
+        assert!(Json::parse("{\"o\":{\"k\":1,\"k\":1}}").is_err());
+        // Distinct keys are fine; same key in sibling objects is fine.
+        assert!(Json::parse("{\"a\":{\"k\":1},\"b\":{\"k\":2}}").is_ok());
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        for src in [
+            "",
+            "{",
+            "{\"a\"",
+            "{\"a\":",
+            "{\"a\":1",
+            "{\"a\":1,",
+            "[1,2",
+            "\"unterminated",
+            "\"half escape\\",
+            "tru",
+            "-",
+        ] {
+            assert!(Json::parse(src).is_err(), "accepted truncated {src:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_escapes() {
+        assert!(Json::parse("\"\\q\"").is_err(), "unknown escape");
+        assert!(Json::parse("\"\\u12\"").is_err(), "short hex");
+        assert!(Json::parse("\"\\uzzzz\"").is_err(), "non-hex");
+        assert!(Json::parse("\"\\ud800\"").is_err(), "lone surrogate");
+        assert!(Json::parse("\"\\udfff\"").is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn rejects_floats_and_bad_numbers() {
+        assert!(Json::parse("1.5").is_err());
+        assert!(Json::parse("1e3").is_err());
+        assert!(Json::parse("2E2").is_err());
+        assert!(Json::parse("--3").is_err());
+        // i128 overflow is an error, not a wrap.
+        assert!(Json::parse("170141183460469231731687303715884105728").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_errors_without_overflow() {
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        assert!(Json::parse(&"{\"k\":".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn escapes_and_unicode_survive() {
+        let v = Json::Str("tab\t nl\n q\" bs\\ nul\u{1} é€".into());
+        let s = v.to_string_compact();
+        assert_eq!(Json::parse(&s).unwrap(), v);
+        assert!(s.contains("\\u0001"));
+    }
+
+    #[test]
+    fn accepted_escape_forms_decode() {
+        let v = Json::parse("\"\\u0041\\/\\b\\f\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "A/\u{8}\u{c}");
+    }
+
+    #[test]
+    fn field_and_accessors_report_type_errors() {
+        let v = Json::parse("{\"n\":3}").unwrap();
+        assert!(v.field("missing").is_err());
+        assert!(v.field("n").unwrap().as_str().is_err());
+        assert!(v.field("n").unwrap().as_bool().is_err());
+        assert!(v.field("n").unwrap().as_arr().is_err());
+        assert_eq!(v.field("n").unwrap().as_int().unwrap(), 3);
+        assert!(Json::Null.field("n").is_err());
+    }
+}

@@ -52,11 +52,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod bmc;
 pub mod check;
 pub mod compiled;
 pub mod fair;
 pub mod hasher;
+pub mod json;
 pub mod mutate;
 pub mod parallel;
 pub mod pred;
@@ -64,6 +66,7 @@ pub mod report;
 pub mod scc;
 pub(crate) mod shard;
 pub mod space;
+pub mod spec;
 pub mod stats;
 pub mod symbolic;
 pub mod symmetry;
@@ -91,7 +94,7 @@ pub mod prelude {
         mutants, mutation_audit, mutation_audit_checks, mutation_audit_in, same_behavior,
         AuditError, Mutant, MutantOutcome, MutationKind, MutationReport, Spec,
     };
-    pub use crate::parallel::ParConfig;
+    pub use crate::parallel::{validate_build_threads_env, ParConfig};
     pub use crate::pred::PredIndex;
     pub use crate::report::{CheckReport, Report, SimCheck};
     pub use crate::space::{check_equivalent, check_valid, find_satisfying, Engine, ScanConfig};
@@ -109,7 +112,7 @@ pub mod prelude {
     pub use crate::trace::{Counterexample, McError};
     pub use crate::transition::{TransitionSystem, Universe};
     pub use crate::verifier::{
-        NamedCheck, Outcome, SessionStatus, Verdict, VerdictStats, Verifier,
+        NamedCheck, Outcome, SessionArtifacts, SessionStatus, Verdict, VerdictStats, Verifier,
     };
     pub use unity_symbolic::{OrderMode, SymStats, SymbolicOptions, SymbolicProgram};
 }

@@ -45,6 +45,36 @@ impl Default for ParConfig {
     }
 }
 
+/// Validates a `UNITY_BUILD_THREADS` value: a positive integer, like
+/// `--threads`. [`ParConfig::default`] silently ignores garbage (a
+/// library must not abort on environment noise); binaries call
+/// [`validate_build_threads_env`] up front and exit 2 instead.
+fn validate_threads_value(s: &str) -> Result<(), String> {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(()),
+        Ok(_) => Err("UNITY_BUILD_THREADS must be at least 1".into()),
+        Err(_) => Err(format!(
+            "UNITY_BUILD_THREADS must be a positive integer, got `{s}`"
+        )),
+    }
+}
+
+/// Entry-point validation of the `UNITY_BUILD_THREADS` override:
+/// `Ok(())` when the variable is unset or a positive integer, `Err`
+/// with a usage message otherwise. The binaries (`unity-check`,
+/// `unity-serve`) reject a bad override with exit code 2 — the same
+/// contract as `--threads 0` — instead of silently falling back to the
+/// machine default as [`ParConfig::default`] would.
+pub fn validate_build_threads_env() -> Result<(), String> {
+    match std::env::var("UNITY_BUILD_THREADS") {
+        Err(std::env::VarError::NotPresent) => Ok(()),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("UNITY_BUILD_THREADS is not valid UTF-8".into())
+        }
+        Ok(s) => validate_threads_value(&s),
+    }
+}
+
 impl ParConfig {
     /// A strictly sequential configuration.
     pub fn sequential() -> Self {
@@ -390,5 +420,17 @@ mod tests {
             (lo % RANGE_CHUNK != 0 || hi > 100_000 || lo >= hi).then_some((lo, hi))
         });
         assert_eq!(bad, None);
+    }
+
+    #[test]
+    fn build_threads_values_are_validated_like_dash_dash_threads() {
+        assert!(validate_threads_value("1").is_ok());
+        assert!(validate_threads_value("64").is_ok());
+        let zero = validate_threads_value("0").unwrap_err();
+        assert!(zero.contains("at least 1"), "{zero}");
+        for bad in ["", "abc", "-3", "1.5", " 2"] {
+            let err = validate_threads_value(bad).unwrap_err();
+            assert!(err.contains("positive integer"), "{bad}: {err}");
+        }
     }
 }

@@ -193,6 +193,54 @@ impl PredIndex {
     pub fn row(&self, v: u32) -> &[u32] {
         &self.edges[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
     }
+
+    /// Serializes the index into the persistent artifact payload (see
+    /// [`crate::artifact`] for the framing): the CSR offsets and edge
+    /// arrays verbatim.
+    pub fn to_artifact_bytes(&self) -> Vec<u8> {
+        let mut w = crate::artifact::ByteWriter::new();
+        w.u32_slice(&self.offsets);
+        w.u32_slice(&self.edges);
+        w.into_vec()
+    }
+
+    /// Rebuilds an index from [`PredIndex::to_artifact_bytes`] output,
+    /// validated against the transition system it must invert:
+    /// `n_states` and `n_edges` pin the shape, offsets must ascend from
+    /// 0 to `n_edges`, and every edge id must be in range. A payload
+    /// that disagrees is an error (the store treats it as a cache miss).
+    pub fn from_artifact_bytes(
+        bytes: &[u8],
+        n_states: usize,
+        n_edges: usize,
+    ) -> Result<Self, String> {
+        let mut r = crate::artifact::ByteReader::new(bytes);
+        let offsets = r.u32_vec()?;
+        let edges = r.u32_vec()?;
+        r.finish()?;
+        if offsets.len() != n_states + 1 {
+            return Err(format!(
+                "offset array covers {} states, system has {n_states}",
+                offsets.len().saturating_sub(1)
+            ));
+        }
+        if edges.len() != n_edges {
+            return Err(format!(
+                "edge array has {} entries, system has {n_edges} transitions",
+                edges.len()
+            ));
+        }
+        if offsets[0] != 0
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || *offsets.last().expect("len >= 1") as usize != n_edges
+        {
+            return Err("offsets are not ascending from 0 to the edge count".into());
+        }
+        if edges.iter().any(|&s| s as usize >= n_states) {
+            return Err("predecessor id out of range".into());
+        }
+        Ok(PredIndex { offsets, edges })
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +310,44 @@ mod tests {
                 assert_eq!(par.edges, seq.edges, "{universe:?} @ {threads}");
             }
         }
+    }
+
+    #[test]
+    fn artifact_bytes_round_trip_exactly() {
+        let p = counter(6);
+        for universe in [Universe::Reachable, Universe::AllStates] {
+            let ts = TransitionSystem::build(&p, universe, &ScanConfig::default()).unwrap();
+            let pred = PredIndex::build(&ts);
+            let bytes = pred.to_artifact_bytes();
+            let back =
+                PredIndex::from_artifact_bytes(&bytes, ts.len(), ts.transition_count()).unwrap();
+            assert_eq!(back.offsets, pred.offsets);
+            assert_eq!(back.edges, pred.edges);
+        }
+    }
+
+    #[test]
+    fn artifact_decode_rejects_mismatch_and_corruption() {
+        let p = counter(6);
+        let ts = TransitionSystem::build(&p, Universe::Reachable, &ScanConfig::default()).unwrap();
+        let pred = PredIndex::build(&ts);
+        let bytes = pred.to_artifact_bytes();
+        let (n, m) = (ts.len(), ts.transition_count());
+        // Shape disagreements.
+        assert!(PredIndex::from_artifact_bytes(&bytes, n + 1, m).is_err());
+        assert!(PredIndex::from_artifact_bytes(&bytes, n, m + 1).is_err());
+        // Truncations.
+        for cut in 0..bytes.len() {
+            assert!(
+                PredIndex::from_artifact_bytes(&bytes[..cut], n, m).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // An out-of-range edge id (last edge → n) is caught.
+        let mut bad = bytes.clone();
+        let at = bad.len() - 4;
+        bad[at..].copy_from_slice(&(n as u32).to_le_bytes());
+        assert!(PredIndex::from_artifact_bytes(&bad, n, m).is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@ use unity_core::state::State;
 use unity_core::value::Value;
 use unity_symbolic::SymStats;
 
+use crate::json::{write_string as json_string, Json};
 use crate::space::Engine;
 use crate::trace::{Counterexample, McError};
 use crate::transition::Universe;
@@ -147,8 +148,18 @@ impl Report {
     /// ([`McError::Message`] inside verdicts) come back in rendered
     /// form; everything else reconstructs exactly —
     /// `Report::from_json(&r.to_json())?.to_json() == r.to_json()`.
+    ///
+    /// The parser ([`Json::parse`]) rejects trailing garbage after the
+    /// top-level object, duplicate keys, floats, and malformed escapes
+    /// — journal replay depends on corrupt records failing here.
     pub fn from_json(src: &str) -> Result<Report, String> {
-        let root = parse_json(src)?;
+        let root = Json::parse(src)?;
+        Report::from_value(&root)
+    }
+
+    /// Reconstructs a report from an already-parsed [`Json`] value
+    /// (e.g. one field of a larger journal record).
+    pub fn from_value(root: &Json) -> Result<Report, String> {
         if root.field("schema")?.as_int()? != 1 {
             return Err("unsupported report schema".into());
         }
@@ -415,25 +426,6 @@ fn write_sim(out: &mut String, s: &SimCheck) {
     out.push('}');
 }
 
-/// Appends `s` as a JSON string literal (RFC 8259 escaping).
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
 // ---------------------------------------------------------------- reader
 
 fn read_check(j: &Json) -> Result<CheckReport, String> {
@@ -577,243 +569,6 @@ fn read_sim(j: &Json) -> Result<SimCheck, String> {
             other => Some(read_state(other)?),
         },
     })
-}
-
-// ------------------------------------------------------------ JSON core
-
-/// A parsed JSON value. Numbers are integers — the report schema emits
-/// no floats (derived ratios are recomputed from counters).
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Int(i128),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn field(&self, key: &str) -> Result<&Json, String> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("missing field `{key}`")),
-            other => Err(format!("expected object with `{key}`, got {other:?}")),
-        }
-    }
-
-    fn as_str(&self) -> Result<&str, String> {
-        match self {
-            Json::Str(s) => Ok(s),
-            other => Err(format!("expected string, got {other:?}")),
-        }
-    }
-
-    fn as_int(&self) -> Result<i128, String> {
-        match self {
-            Json::Int(n) => Ok(*n),
-            other => Err(format!("expected integer, got {other:?}")),
-        }
-    }
-
-    fn as_bool(&self) -> Result<bool, String> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            other => Err(format!("expected bool, got {other:?}")),
-        }
-    }
-
-    fn as_arr(&self) -> Result<&[Json], String> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            other => Err(format!("expected array, got {other:?}")),
-        }
-    }
-}
-
-/// Nesting bound for the parser: far above anything the writer emits
-/// (the schema nests ~6 deep), small enough that hostile input fails
-/// with an error instead of a stack overflow.
-const MAX_DEPTH: usize = 128;
-
-/// Recursive-descent JSON parser (RFC 8259, integer numbers only).
-fn parse_json(src: &str) -> Result<Json, String> {
-    let bytes = src.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos, 0)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < bytes.len() && bytes[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected `{}` at byte {}", c as char, pos))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
-    if depth > MAX_DEPTH {
-        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
-    }
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos, depth + 1)?;
-                fields.push((key, value));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos, depth + 1)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if bytes.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
-        *pos += 1;
-    }
-    if matches!(bytes.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
-        return Err(format!(
-            "floats are not part of the report schema (byte {start})"
-        ));
-    }
-    std::str::from_utf8(&bytes[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<i128>().ok())
-        .map(Json::Int)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                        // The writer never emits surrogate pairs (only
-                        // control characters); reject surrogates.
-                        out.push(
-                            char::from_u32(hex)
-                                .ok_or_else(|| format!("bad \\u codepoint at byte {pos}"))?,
-                        );
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences pass
-                // through unchanged — the input is a &str, so they're
-                // valid).
-                let s = &bytes[*pos..];
-                let ch_len = match s[0] {
-                    0x00..=0x7f => 1,
-                    0xc0..=0xdf => 2,
-                    0xe0..=0xef => 3,
-                    _ => 4,
-                };
-                let ch = std::str::from_utf8(&s[..ch_len])
-                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
-                out.push_str(ch);
-                *pos += ch_len;
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1059,6 +814,34 @@ mod tests {
         assert!(Report::from_json("{\"schema\":1.5}").is_err());
         // Hostile nesting fails with an error, not a stack overflow.
         assert!(Report::from_json(&"[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        let good = sample().to_json();
+        // Trailing garbage after the top-level object.
+        for suffix in ["x", "{}", " \n{\"schema\":1}", "null", "]"] {
+            let src = format!("{good}{suffix}");
+            assert!(Report::from_json(&src).is_err(), "accepted {suffix:?}");
+        }
+        // Truncations: every prefix of a valid report must fail, never
+        // silently parse (a torn journal record is a truncation).
+        for cut in 1..good.len() {
+            if good.is_char_boundary(cut) {
+                assert!(
+                    Report::from_json(&good[..cut]).is_err(),
+                    "accepted truncation at byte {cut}"
+                );
+            }
+        }
+        // Bad escapes inside strings.
+        assert!(Report::from_json(&good.replace("\"program\"", "\"progr\\qm\"")).is_err());
+        assert!(Report::from_json(&good.replace("\"program\"", "\"progr\\ud800m\"")).is_err());
+        // Duplicate keys: two parsers disagreeing on which wins is a
+        // corruption vector, so the parser refuses outright.
+        let dup = good.replacen("{\"schema\":1,", "{\"schema\":1,\"schema\":1,", 1);
+        let err = Report::from_json(&dup).unwrap_err();
+        assert!(err.contains("duplicate key"), "{err}");
     }
 
     #[test]

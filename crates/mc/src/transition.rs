@@ -574,6 +574,136 @@ impl TransitionSystem {
         });
         out
     }
+
+    /// Serializes the system into the persistent artifact payload
+    /// (see [`crate::artifact`] for the framing).
+    ///
+    /// Only the packed stores serialize — their state set is a `u64`
+    /// word list (or pure arithmetic), so the payload is the flat
+    /// tables verbatim. The explicit store (oversized vocabularies,
+    /// reference builders) returns `None`; those systems are rebuilt
+    /// instead of cached, exactly like an uncompilable program skips
+    /// the fast path.
+    ///
+    /// `build_ms` is construction accounting, not semantics, and is
+    /// not persisted: a restored system reports `build_ms == 0`, which
+    /// is truthful — restoring did not run the explorer.
+    pub fn to_artifact_bytes(&self) -> Option<Vec<u8>> {
+        use crate::artifact::ByteWriter;
+        let mut w = ByteWriter::new();
+        match &self.store {
+            StateStore::Explicit(_) => return None,
+            StateStore::PackedWords { words, .. } => {
+                w.u8(1);
+                w.u32(self.n_commands as u32);
+                w.u64(words.len() as u64);
+                w.u64_slice(words);
+            }
+            StateStore::PackedRange { n, .. } => {
+                w.u8(2);
+                w.u32(self.n_commands as u32);
+                w.u64(*n as u64);
+            }
+        }
+        w.u32_slice(&self.init);
+        let fair: Vec<u32> = self.fair.iter().map(|&c| c as u32).collect();
+        w.u32_slice(&fair);
+        w.u32_slice(&self.shard_bases);
+        w.u32_slice(&self.succ);
+        Some(w.into_vec())
+    }
+
+    /// Rebuilds a system from [`TransitionSystem::to_artifact_bytes`]
+    /// output, for the *same* program under the *same* configuration
+    /// (the artifact store keys payloads by spec content hash, which
+    /// pins both). The packed layout is re-derived from the program —
+    /// it is deterministic — so the payload never has to be trusted
+    /// about the vocabulary.
+    ///
+    /// Every id is bounds-checked; a payload that disagrees with the
+    /// program (command count, universe size, out-of-range ids) is an
+    /// error, which the store treats as a cache miss.
+    pub fn from_artifact_bytes(
+        program: &Program,
+        cfg: &ScanConfig,
+        bytes: &[u8],
+    ) -> Result<Self, String> {
+        use crate::artifact::ByteReader;
+        let layout = crate::compiled::try_layout(&program.vocab, cfg)
+            .ok_or("program has no packed layout; artifact cannot apply")?;
+        let mut r = ByteReader::new(bytes);
+        let kind = r.u8()?;
+        let n_commands = r.u32()? as usize;
+        if n_commands != program.commands.len() {
+            return Err(format!(
+                "artifact has {n_commands} commands, program has {}",
+                program.commands.len()
+            ));
+        }
+        let n = r.u64()? as usize;
+        let store = match kind {
+            1 => {
+                let words = r.u64_vec()?;
+                if words.len() != n {
+                    return Err(format!("artifact stores {} of {n} words", words.len()));
+                }
+                StateStore::PackedWords { layout, words }
+            }
+            2 => {
+                let size = program
+                    .vocab
+                    .space_size()
+                    .ok_or("state space size overflows")?;
+                if n as u64 != size {
+                    return Err(format!("artifact covers {n} states, product has {size}"));
+                }
+                StateStore::PackedRange { layout, n }
+            }
+            other => return Err(format!("unknown transition-store kind {other}")),
+        };
+        let init = r.u32_vec()?;
+        let fair_raw = r.u32_vec()?;
+        let shard_bases = r.u32_vec()?;
+        let succ = r.u32_vec()?;
+        r.finish()?;
+        if succ.len() != n * n_commands {
+            return Err(format!(
+                "successor table has {} entries, expected {}",
+                succ.len(),
+                n * n_commands
+            ));
+        }
+        let bound = n as u32;
+        if succ.iter().any(|&id| id >= bound) {
+            return Err("successor id out of range".into());
+        }
+        if init.iter().any(|&id| id >= bound) {
+            return Err("initial-state id out of range".into());
+        }
+        if fair_raw.iter().any(|&c| c as usize >= n_commands) {
+            return Err("fair command index out of range".into());
+        }
+        if shard_bases.is_empty()
+            || shard_bases[0] != 0
+            || shard_bases.windows(2).any(|w| w[0] > w[1])
+            || shard_bases.iter().any(|&b| b as usize > n)
+        {
+            return Err("shard bases are not ascending from 0".into());
+        }
+        Ok(TransitionSystem {
+            vocab: program.vocab.clone(),
+            store,
+            succ,
+            init,
+            n_commands,
+            fair: fair_raw.into_iter().map(|c| c as usize).collect(),
+            build: BuildStats {
+                shards: shard_bases.len() as u32,
+                ..BuildStats::default()
+            },
+            shard_bases,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -671,6 +801,74 @@ mod tests {
                 assert_eq!(ts.sat_vec(e), ts.sat_vec_with(e, &par), "{e:?}");
             }
         }
+    }
+
+    #[test]
+    fn artifact_bytes_round_trip_both_packed_stores() {
+        // Reachable = PackedWords, AllStates = PackedRange.
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 7).unwrap()).unwrap();
+        let y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+        let p = Program::builder("grid", Arc::new(v))
+            .init(and2(eq(var(x), int(2)), eq(var(y), int(0))))
+            .fair_command("ix", lt(var(x), int(7)), vec![(x, add(var(x), int(1)))])
+            .command("iy", lt(var(y), int(3)), vec![(y, add(var(y), int(1)))])
+            .build()
+            .unwrap();
+        let cfg = ScanConfig::default();
+        for universe in [Universe::Reachable, Universe::AllStates] {
+            let ts = TransitionSystem::build(&p, universe, &cfg).unwrap();
+            let bytes = ts.to_artifact_bytes().expect("packed stores serialize");
+            let back = TransitionSystem::from_artifact_bytes(&p, &cfg, &bytes).unwrap();
+            assert_eq!(back.len(), ts.len(), "{universe:?}");
+            assert_eq!(back.init, ts.init);
+            assert_eq!(back.succ, ts.succ);
+            assert_eq!(back.fair, ts.fair);
+            assert_eq!(back.n_commands, ts.n_commands);
+            assert_eq!(back.shard_bases, ts.shard_bases);
+            // States decode identically (word list / range arithmetic).
+            for id in 0..ts.len() as u32 {
+                assert_eq!(back.state(id), ts.state(id));
+            }
+            // Restored systems report zero build cost, same shard count.
+            assert_eq!(back.build_stats().build_ms, 0);
+            assert_eq!(back.build_stats().shards, ts.build_stats().shards);
+            // And the restored bytes re-serialize identically.
+            assert_eq!(back.to_artifact_bytes().unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn artifact_decode_rejects_corruption() {
+        let p = counter(9);
+        let cfg = ScanConfig::default();
+        let ts = TransitionSystem::build(&p, Universe::Reachable, &cfg).unwrap();
+        let bytes = ts.to_artifact_bytes().unwrap();
+        // Truncations fail.
+        for cut in 0..bytes.len() {
+            assert!(
+                TransitionSystem::from_artifact_bytes(&p, &cfg, &bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Unknown store kind fails.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(TransitionSystem::from_artifact_bytes(&p, &cfg, &bad).is_err());
+        // A command-count mismatch (artifact from a different program
+        // shape) fails.
+        let mut bad = bytes.clone();
+        bad[1..5].copy_from_slice(&7u32.to_le_bytes());
+        assert!(TransitionSystem::from_artifact_bytes(&p, &cfg, &bad).is_err());
+        // An out-of-range successor id fails.
+        let mut bad = bytes.clone();
+        let at = bad.len() - 4;
+        bad[at..].copy_from_slice(&(ts.len() as u32).to_le_bytes());
+        assert!(TransitionSystem::from_artifact_bytes(&p, &cfg, &bad).is_err());
+        // The reference (explicit) store does not serialize.
+        let ts_ref =
+            TransitionSystem::build(&p, Universe::Reachable, &ScanConfig::reference()).unwrap();
+        assert!(ts_ref.to_artifact_bytes().is_none());
     }
 
     #[test]

@@ -43,7 +43,7 @@ use unity_core::expr::compile::{CompiledCommand, PackedLayout};
 use unity_core::expr::Expr;
 use unity_core::program::Program;
 use unity_core::properties::Property;
-use unity_symbolic::{SymStats, SymbolicProgram};
+use unity_symbolic::{OrderMode, SymStats, SymbolicProgram};
 
 use crate::compiled::try_layout;
 use crate::report::{CheckReport, Report};
@@ -187,15 +187,49 @@ impl EngineCache {
 
     /// Whether each artifact has been built (and succeeded):
     /// `(layout, compiled commands, symbolic engine, ts-reachable,
-    /// ts-all-states)`. Introspection for tests and tuning.
-    pub(crate) fn status(&self) -> (bool, bool, bool, bool, bool) {
+    /// ts-all-states, pred-reachable, pred-all-states)`. Introspection
+    /// for tests, tuning, and the artifact store's hit/miss accounting.
+    pub(crate) fn status(&self) -> (bool, bool, bool, bool, bool, bool, bool) {
         (
             matches!(self.layout, Some(Some(_))),
             matches!(self.commands, Some(Some(_))),
             matches!(self.sym, Some(Some(_))),
             self.ts[0].is_some(),
             self.ts[1].is_some(),
+            self.pred[0].is_some(),
+            self.pred[1].is_some(),
         )
+    }
+}
+
+/// A portable snapshot of the session artifacts worth persisting: the
+/// transition systems and predecessor indexes per universe
+/// (`[Reachable, AllStates]`) plus the symbolic engine's tuned field
+/// order. This is what `unity-serve`'s content-hashed store saves after
+/// a cold run and seeds back before a warm one — a seeded session skips
+/// `TransitionSystem::build` and `PredIndex::build` entirely and starts
+/// the BDD at the previously tuned order.
+///
+/// Artifacts are program-specific: seed a session only with a snapshot
+/// exported from a session over the *same* program (the store keys
+/// snapshots by spec content hash to guarantee this).
+#[derive(Debug, Clone, Default)]
+pub struct SessionArtifacts {
+    /// Transition systems per universe (`[Reachable, AllStates]`).
+    pub ts: [Option<Arc<TransitionSystem>>; 2],
+    /// Predecessor indexes per universe (`[Reachable, AllStates]`).
+    pub pred: [Option<Arc<crate::pred::PredIndex>>; 2],
+    /// The symbolic engine's field order (a permutation of
+    /// `0..vocab.len()`), exported after sifting settled.
+    pub field_order: Option<Vec<usize>>,
+}
+
+impl SessionArtifacts {
+    /// Whether the snapshot carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ts.iter().all(Option::is_none)
+            && self.pred.iter().all(Option::is_none)
+            && self.field_order.is_none()
     }
 }
 
@@ -212,6 +246,10 @@ pub struct SessionStatus {
     pub ts_reachable: bool,
     /// Transition system over the all-states universe built.
     pub ts_all_states: bool,
+    /// Predecessor index over the reachable universe built.
+    pub pred_reachable: bool,
+    /// Predecessor index over the all-states universe built.
+    pub pred_all_states: bool,
 }
 
 /// Outcome of one property check.
@@ -383,13 +421,78 @@ impl<'p> Verifier<'p> {
 
     /// Which artifacts have been materialized so far.
     pub fn status(&self) -> SessionStatus {
-        let (layout, compiled, symbolic, ts_reachable, ts_all_states) = self.cache.status();
+        let (layout, compiled, symbolic, ts_reachable, ts_all_states, pred_reachable, pred_all) =
+            self.cache.status();
         SessionStatus {
             layout,
             compiled,
             symbolic,
             ts_reachable,
             ts_all_states,
+            pred_reachable,
+            pred_all_states: pred_all,
+        }
+    }
+
+    /// Exports the session's shareable artifacts: every memoized
+    /// transition system and predecessor index, plus the symbolic
+    /// engine's current field order. Arc-cloned, not copied — cheap to
+    /// call after every run.
+    pub fn artifacts(&self) -> SessionArtifacts {
+        SessionArtifacts {
+            ts: self.cache.ts.clone(),
+            pred: self.cache.pred.clone(),
+            field_order: match &self.cache.sym {
+                Some(Some(sym)) => Some(sym.field_order()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Seeds the session with previously exported artifacts (see
+    /// [`SessionArtifacts`]). Seeded slots satisfy the first build
+    /// request instead of running the explorer / CSR inversion, and a
+    /// seeded field order starts the BDD at the tuned permutation
+    /// (skipping the sifting warm-up).
+    ///
+    /// Snapshots that plainly disagree with the program — wrong state
+    /// arity for the universe, a field order that is not a permutation
+    /// of the vocabulary — are ignored slot by slot rather than
+    /// installed: a stale or corrupt artifact must never influence a
+    /// verdict. Already-built slots are kept (seeding is first-wins).
+    pub fn seed(&mut self, artifacts: SessionArtifacts) {
+        for (k, slot) in artifacts.ts.into_iter().enumerate() {
+            let Some(ts) = slot else { continue };
+            if ts.n_commands != self.program.commands.len()
+                || ts.vocab().len() != self.program.vocab.len()
+            {
+                continue;
+            }
+            if self.cache.ts[k].is_none() {
+                self.cache.ts[k] = Some(ts);
+            }
+        }
+        for (k, slot) in artifacts.pred.into_iter().enumerate() {
+            let Some(pred) = slot else { continue };
+            // A predecessor index only makes sense next to the matching
+            // transition system; require the shape to line up.
+            let fits = self.cache.ts[k].as_ref().is_some_and(|ts| {
+                pred.len() == ts.len() && pred.edge_count() == ts.transition_count()
+            });
+            if fits && self.cache.pred[k].is_none() {
+                self.cache.pred[k] = Some(pred);
+            }
+        }
+        if let Some(order) = artifacts.field_order {
+            let n = self.program.vocab.len();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            let is_perm = sorted == (0..n).collect::<Vec<_>>();
+            // Install only before the engine exists — a built engine's
+            // order is already at least as good as the snapshot.
+            if is_perm && self.cache.sym.is_none() {
+                self.cfg.symbolic.order = OrderMode::Fields(order);
+            }
         }
     }
 
@@ -506,7 +609,7 @@ impl<'p> Verifier<'p> {
             // the compiled scans, which themselves fall back to the
             // reference evaluator when no layout exists.
             Engine::Compiled | Engine::Symbolic => match self.cache.status() {
-                (false, _, _, _, _) if self.cache.layout_attempted() => Engine::Reference,
+                (false, ..) if self.cache.layout_attempted() => Engine::Reference,
                 _ => Engine::Compiled,
             },
         }
@@ -778,6 +881,101 @@ mod tests {
         let verdict = s.verify(&Property::Init(le(var(x), int(255))));
         assert!(verdict.passed());
         assert_eq!(verdict.engine, Engine::Reference);
+    }
+
+    #[test]
+    fn seeded_sessions_reuse_exported_artifacts() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        let prop = Property::LeadsTo(tt(), eq(var(x), int(3)));
+        // Cold session: builds ts + pred, then exports them.
+        let mut cold = Verifier::new(&p, ScanConfig::default());
+        let v1 = cold.verify(&prop);
+        assert!(v1.passed());
+        let snapshot = cold.artifacts();
+        assert!(snapshot.ts[0].is_some(), "reachable ts exported");
+        assert!(snapshot.pred[0].is_some(), "pred exported");
+        // Warm session: the seeded Arcs are served back, not rebuilt.
+        let mut warm = Verifier::new(&p, ScanConfig::default());
+        warm.seed(snapshot.clone());
+        assert!(warm.status().ts_reachable, "seed shows up in status");
+        assert!(warm.status().pred_reachable);
+        let seeded_ts = warm.transition_system(Universe::Reachable).unwrap();
+        assert!(
+            Arc::ptr_eq(&seeded_ts, snapshot.ts[0].as_ref().unwrap()),
+            "same allocation, no rebuild"
+        );
+        let v2 = warm.verify(&prop);
+        assert!(v2.passed());
+        assert_eq!(
+            v1.counterexample(),
+            v2.counterexample(),
+            "warm verdict identical"
+        );
+        // Restored-system accounting: the warm check reports the
+        // seeded system's (zero-cost) build, proving no explorer ran.
+        match v2.stats {
+            VerdictStats::Explicit { states, .. } => assert_eq!(states, 4),
+            ref other => panic!("expected explicit stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seed_rejects_mismatched_artifacts() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        let mut donor = Verifier::new(&p, ScanConfig::default());
+        let _ = donor.verify(&Property::LeadsTo(tt(), eq(var(x), int(3))));
+        let snapshot = donor.artifacts();
+
+        // A different program shape must not accept the snapshot.
+        let mut v = Vocabulary::new();
+        let y = v.declare("y", Domain::int_range(0, 7).unwrap()).unwrap();
+        let q = Program::builder("other", Arc::new(v))
+            .init(eq(var(y), int(0)))
+            .fair_command("a", lt(var(y), int(7)), vec![(y, add(var(y), int(1)))])
+            .fair_command("b", tt(), vec![(y, int(0))])
+            .build()
+            .unwrap();
+        let mut s = Verifier::new(&q, ScanConfig::default());
+        s.seed(snapshot);
+        assert!(!s.status().ts_reachable, "mismatched ts ignored");
+        assert!(!s.status().pred_reachable);
+        // The session still verifies correctly from scratch.
+        assert!(s
+            .verify(&Property::LeadsTo(tt(), eq(var(y), int(7))))
+            .failed());
+    }
+
+    #[test]
+    fn seeded_field_order_feeds_the_symbolic_engine() {
+        let p = counter();
+        let x = p.vocab.lookup("x").unwrap();
+        let mut donor = Verifier::new(&p, ScanConfig::symbolic());
+        assert!(donor
+            .verify(&Property::Invariant(le(var(x), int(3))))
+            .passed());
+        let snapshot = donor.artifacts();
+        let order = snapshot.field_order.clone().expect("engine built");
+
+        let mut warm = Verifier::new(&p, ScanConfig::symbolic());
+        warm.seed(snapshot);
+        assert!(warm
+            .verify(&Property::Invariant(le(var(x), int(3))))
+            .passed());
+        let sym = warm.symbolic().expect("lowerable");
+        assert_eq!(sym.field_order(), order, "tuned order restored");
+
+        // A non-permutation order is ignored, not installed (it would
+        // panic inside the engine otherwise).
+        let mut bad = Verifier::new(&p, ScanConfig::symbolic());
+        bad.seed(SessionArtifacts {
+            field_order: Some(vec![0, 0]),
+            ..Default::default()
+        });
+        assert!(bad
+            .verify(&Property::Invariant(le(var(x), int(3))))
+            .passed());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Hand-rolled HTTP/1.1 framing over [`std::net::TcpStream`].
+//!
+//! The repo builds fully offline, so the service speaks the smallest
+//! useful HTTP subset by hand — the same discipline as the hand-rolled
+//! RFC 8259 JSON in [`unity_mc::json`]. One request per connection,
+//! `Connection: close` semantics, `Content-Length` bodies only (no
+//! chunked encoding, no keep-alive, no TLS). Both ends are here: the
+//! server-side [`read_request`]/[`write_response`] pair and the tiny
+//! [`request`] client that `unity-check --serve` uses.
+//!
+//! Framing limits are hard errors, not truncation: header lines are
+//! capped at [`MAX_HEADER_BYTES`] and bodies at [`MAX_BODY_BYTES`], so
+//! a hostile peer cannot make the daemon buffer unbounded input.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted header line (request line included).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body. Spec files are a few kilobytes; the
+/// cap only has to dwarf real submissions.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed request: method, path, query pairs, raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased by the client convention).
+    pub method: String,
+    /// Path without the query string, e.g. `/verify`.
+    pub path: String,
+    /// Decoded `k=v` query pairs, in order. No percent-decoding: every
+    /// value the protocol puts in a query (spec hashes) is plain hex.
+    pub query: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one header line (capped, CRLF-stripped) from `r`.
+fn read_line<R: BufRead>(r: &mut R, cap: usize) -> Result<String, String> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = r.fill_buf().map_err(|e| format!("read: {e}"))?;
+        if buf.is_empty() {
+            return Err("connection closed mid-header".into());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(k) => {
+                line.extend_from_slice(&buf[..k]);
+                r.consume(k + 1);
+                break;
+            }
+            None => {
+                line.extend_from_slice(buf);
+                let n = buf.len();
+                r.consume(n);
+            }
+        }
+        if line.len() > cap {
+            return Err(format!("header line exceeds {cap} bytes"));
+        }
+    }
+    if line.len() > cap {
+        return Err(format!("header line exceeds {cap} bytes"));
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| "header line is not UTF-8".into())
+}
+
+/// Reads the header block after the request/status line, returning the
+/// `Content-Length` (0 when absent).
+fn read_headers<R: BufRead>(r: &mut R) -> Result<usize, String> {
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(r, MAX_HEADER_BYTES)?;
+        if line.is_empty() {
+            return Ok(content_length);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header line `{line}`"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(format!("body of {content_length} bytes exceeds cap"));
+            }
+        }
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request from `stream`.
+pub fn read_request(stream: &TcpStream) -> Result<Request, String> {
+    let mut r = BufReader::new(stream);
+    let request_line = read_line(&mut r, MAX_HEADER_BYTES)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(format!("malformed request line `{request_line}`")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    let content_length = read_headers(&mut r)?;
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)
+        .map_err(|e| format!("reading {content_length}-byte body: {e}"))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        body,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+/// Writes a complete JSON response and flushes. The server always
+/// closes the connection afterwards (`Connection: close`).
+pub fn write_response(mut stream: &TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// One-shot HTTP client: connects to `addr` (`host:port`), sends
+/// `method path` with an optional JSON body, and returns
+/// `(status, body)`. Blocking; the server replies exactly once per
+/// connection.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut r = BufReader::new(&stream);
+    let status_line = read_line(&mut r, MAX_HEADER_BYTES)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    let content_length = read_headers(&mut r)?;
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)
+        .map_err(|e| format!("reading {content_length}-byte response: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "response body is not UTF-8".to_string())?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_and_response_round_trip_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let req = read_request(&stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/verify");
+            assert_eq!(req.query_value("spec"), Some("abc123"));
+            assert_eq!(req.query_value("missing"), None);
+            assert_eq!(req.body, b"{\"k\":1}");
+            write_response(&stream, 200, "{\"ok\":true}").unwrap();
+        });
+        let (status, body) = request(
+            &addr.to_string(),
+            "POST",
+            "/verify?spec=abc123&flag",
+            Some("{\"k\":1}"),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        let cases: &[&[u8]] = &[
+            b"GARBAGE\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n",
+        ];
+        for raw in cases {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.write_all(raw).unwrap();
+                s.flush().unwrap();
+                // Keep the stream open until the server is done parsing.
+                let mut buf = [0u8; 1];
+                let _ = s.read(&mut buf);
+            });
+            let (stream, _) = listener.accept().unwrap();
+            assert!(
+                read_request(&stream).is_err(),
+                "accepted: {}",
+                String::from_utf8_lossy(raw)
+            );
+            drop(stream);
+            client.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Claims 10 bytes, sends 3, closes.
+            s.write_all(b"POST /v HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+                .unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        assert!(read_request(&stream).is_err());
+        client.join().unwrap();
+    }
+}

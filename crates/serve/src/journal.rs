@@ -1,0 +1,277 @@
+//! The append-only verdict journal.
+//!
+//! Every completed verification appends one line to
+//! `<data-dir>/journal.log`:
+//!
+//! ```text
+//! {"seq":N,"spec":"<32-hex content hash>","report":{...}}
+//! ```
+//!
+//! `seq` is strictly increasing from 1; `report` is the stable
+//! [`Report`] schema (the same JSON `unity-check --json` writes). The
+//! line is flushed *and* synced before the sequence number is handed
+//! out, so a `kill -9` after a response was sent cannot lose that
+//! response's record.
+//!
+//! On startup the whole file is replayed. Exactly one kind of damage is
+//! tolerated: a torn **final** line with no trailing newline — the
+//! signature of dying mid-append — which is discarded. Any other
+//! malformed line is corruption and [`Journal::open`] refuses to start,
+//! because silently skipping interior records would misnumber every
+//! later sequence. (The hardened [`unity_mc::json`] parser — duplicate
+//! keys, trailing garbage, truncated strings all rejected — is what
+//! makes this replay trustworthy.)
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use unity_mc::json::{write_string, Json};
+use unity_mc::prelude::Report;
+
+/// One replayed journal record.
+#[derive(Debug)]
+pub struct JournalRecord {
+    /// Sequence number (strictly increasing from 1).
+    pub seq: u64,
+    /// Content hash of the verified spec.
+    pub spec_hash: String,
+    /// The full verdict report.
+    pub report: Report,
+}
+
+/// The open journal: replay happens in [`Journal::open`], appends go
+/// through [`Journal::append`].
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    next_seq: u64,
+}
+
+fn parse_line(line: &[u8]) -> Result<JournalRecord, String> {
+    let text = std::str::from_utf8(line).map_err(|_| "record is not UTF-8".to_string())?;
+    let root = Json::parse(text)?;
+    let seq = u64::try_from(root.field("seq")?.as_int()?).map_err(|_| "negative seq")?;
+    if seq == 0 {
+        return Err("sequence numbers start at 1".into());
+    }
+    Ok(JournalRecord {
+        seq,
+        spec_hash: root.field("spec")?.as_str()?.to_string(),
+        report: Report::from_value(root.field("report")?)?,
+    })
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, replaying every
+    /// record. Returns the journal positioned after the last good
+    /// record, plus the replayed history in sequence order.
+    pub fn open(path: &Path) -> Result<(Journal, Vec<JournalRecord>), String> {
+        let mut records = Vec::new();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let mut last_seq = 0u64;
+        let mut pos = 0usize; // start of the first unconsumed byte
+        let mut record_no = 0usize;
+        let mut torn = false;
+        while pos < bytes.len() {
+            let newline = bytes[pos..].iter().position(|&b| b == b'\n');
+            let (line, next, terminated) = match newline {
+                Some(k) => (&bytes[pos..pos + k], pos + k + 1, true),
+                None => (&bytes[pos..], bytes.len(), false),
+            };
+            if line.is_empty() {
+                pos = next;
+                continue;
+            }
+            record_no += 1;
+            match parse_line(line) {
+                Ok(rec) => {
+                    if rec.seq <= last_seq {
+                        return Err(format!(
+                            "{}: record {record_no} has seq {} after {}",
+                            path.display(),
+                            rec.seq,
+                            last_seq
+                        ));
+                    }
+                    last_seq = rec.seq;
+                    records.push(rec);
+                    pos = next;
+                }
+                // A torn final line (no trailing newline) is the one
+                // tolerated failure: the daemon died mid-append and the
+                // record was never acknowledged. It is truncated away
+                // below so later appends start on a clean boundary.
+                Err(_) if !terminated => {
+                    torn = true;
+                    break;
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "{}: record {record_no} corrupt: {e}",
+                        path.display()
+                    ))
+                }
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if torn {
+            // `pos` is the byte offset where the torn record starts.
+            file.set_len(pos as u64)
+                .and_then(|()| file.sync_data())
+                .map_err(|e| format!("{}: truncating torn tail: {e}", path.display()))?;
+        } else if pos > 0 && bytes.last() != Some(&b'\n') {
+            // The final record parsed but lost its newline (hand-edited
+            // file): terminate it so the next append stays one-per-line.
+            file.write_all(b"\n")
+                .and_then(|()| file.sync_data())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        Ok((
+            Journal {
+                file,
+                next_seq: last_seq + 1,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one verdict, returning its sequence number. The record
+    /// is synced to disk before this returns.
+    pub fn append(&mut self, spec_hash: &str, report: &Report) -> Result<u64, String> {
+        let seq = self.next_seq;
+        let mut line = String::with_capacity(128);
+        line.push_str(&format!("{{\"seq\":{seq},\"spec\":"));
+        write_string(&mut line, spec_hash);
+        line.push_str(",\"report\":");
+        line.push_str(&report.to_json());
+        line.push_str("}\n");
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("journal append: {e}"))?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_mc::prelude::*;
+    use unity_mc::spec::load_spec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("unity_serve_journal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn tiny_report() -> Report {
+        let spec = load_spec(
+            "program P\n  var x : bool\n  init !x\n  fair cmd go: !x -> x := true\nend\n\
+             spec S\n  goal: true leadsto x\nend",
+        )
+        .unwrap();
+        let mut session = Verifier::new(&spec.system.composed, ScanConfig::default());
+        session.verify_all(&spec.checks)
+    }
+
+    #[test]
+    fn appends_replay_in_order() {
+        let path = tmp("replay.log");
+        let _ = std::fs::remove_file(&path);
+        let report = tiny_report();
+        {
+            let (mut j, replayed) = Journal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            assert_eq!(j.append("aa11", &report).unwrap(), 1);
+            assert_eq!(j.append("bb22", &report).unwrap(), 2);
+        }
+        let (j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(j.next_seq(), 3);
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(
+            (replayed[0].seq, replayed[0].spec_hash.as_str()),
+            (1, "aa11")
+        );
+        assert_eq!(
+            (replayed[1].seq, replayed[1].spec_hash.as_str()),
+            (2, "bb22")
+        );
+        assert_eq!(replayed[0].report.checks.len(), report.checks.len());
+        assert!(replayed[0].report.all_passed());
+    }
+
+    #[test]
+    fn torn_final_line_is_discarded_not_fatal() {
+        let path = tmp("torn.log");
+        let _ = std::fs::remove_file(&path);
+        let report = tiny_report();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append("aa11", &report).unwrap();
+        }
+        // Simulate dying mid-append: a prefix of a record, no newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"seq\":2,\"spec\":\"bb22\",\"repo");
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        // The next append reuses the torn record's number.
+        assert_eq!(j.append("bb22", &report).unwrap(), 2);
+    }
+
+    #[test]
+    fn interior_corruption_refuses_to_start() {
+        let path = tmp("corrupt.log");
+        let _ = std::fs::remove_file(&path);
+        let report = tiny_report();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append("aa11", &report).unwrap();
+            j.append("bb22", &report).unwrap();
+        }
+        let good = std::fs::read_to_string(&path).unwrap();
+        // Damage the FIRST line (newline preserved): not a torn tail.
+        let damaged = good.replacen("\"seq\":1", "\"seq\":", 1);
+        std::fs::write(&path, damaged).unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert!(err.contains("record 1 corrupt"), "{err}");
+
+        // Duplicate keys smuggled into a record are corruption too —
+        // the hardened parser rejects them during replay.
+        let dup = good.replacen("\"seq\":1", "\"seq\":1,\"seq\":9", 1);
+        std::fs::write(&path, dup).unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert!(err.contains("duplicate key"), "{err}");
+    }
+
+    #[test]
+    fn sequence_must_strictly_increase() {
+        let path = tmp("seq.log");
+        let _ = std::fs::remove_file(&path);
+        let report = tiny_report();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append("aa11", &report).unwrap();
+        }
+        let line = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{line}{line}")).unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert!(err.contains("seq 1 after 1"), "{err}");
+    }
+}

@@ -1,0 +1,132 @@
+//! `unity-serve` — the verification daemon.
+//!
+//! ```text
+//! unity-serve --data-dir DIR [--addr 127.0.0.1:7407] [--workers N]
+//!             [--timeout-ms MS] [--version]
+//! ```
+//!
+//! Binds the address (`:0` picks an ephemeral port), prints one
+//! `listening on http://HOST:PORT` line to stdout, and serves until
+//! killed. Artifacts and the verdict journal live under `--data-dir`;
+//! restart with the same directory and the full history replays.
+//!
+//! Exit code 2 on usage errors — including `--workers 0` and an
+//! invalid `UNITY_BUILD_THREADS` override, the same validation
+//! `unity-check` applies to `--threads`.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use unity_mc::prelude::validate_build_threads_env;
+use unity_serve::{Service, ServiceConfig};
+
+const USAGE: &str = "usage: unity-serve --data-dir DIR [--addr 127.0.0.1:7407] \
+                     [--workers N] [--timeout-ms MS] [--version]";
+
+struct Options {
+    data_dir: std::path::PathBuf,
+    addr: String,
+    workers: usize,
+    timeout_ms: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut data_dir = None;
+    let mut addr = "127.0.0.1:7407".to_string();
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
+    let mut timeout_ms = 300_000u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data-dir" => {
+                data_dir =
+                    Some(std::path::PathBuf::from(it.next().ok_or_else(|| {
+                        format!("--data-dir needs a path; {USAGE}")
+                    })?));
+            }
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("--addr needs host:port; {USAGE}"))?;
+            }
+            "--workers" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--workers needs a count; {USAGE}"))?;
+                if n == 0 {
+                    return Err(format!("--workers must be at least 1; {USAGE}"));
+                }
+                workers = n;
+            }
+            "--timeout-ms" => {
+                timeout_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--timeout-ms needs a number; {USAGE}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--version" | "-V" => {
+                println!("unity-serve {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`; {USAGE}")),
+        }
+    }
+    Ok(Options {
+        data_dir: data_dir.ok_or_else(|| format!("--data-dir is required; {USAGE}"))?,
+        addr,
+        workers,
+        timeout_ms,
+    })
+}
+
+fn main() -> ExitCode {
+    if let Err(msg) = validate_build_threads_env() {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let service = match Service::open(ServiceConfig {
+        data_dir: opts.data_dir.clone(),
+        workers: opts.workers,
+        default_timeout: (opts.timeout_ms > 0).then(|| Duration::from_millis(opts.timeout_ms)),
+    }) {
+        Ok(s) => Arc::new(s),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let replayed = service.status().verdicts;
+    let server = match unity_serve::start(Arc::clone(&service), &opts.addr) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "unity-serve listening on http://{} (data dir {}, {} worker(s), {} verdict(s) replayed)",
+        server.local_addr(),
+        opts.data_dir.display(),
+        opts.workers,
+        replayed
+    );
+    // The port line must be visible before clients try to parse it.
+    let _ = std::io::stdout().flush();
+    // Serve until killed; the accept loop runs on its own thread.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,447 @@
+//! The service wire protocol: request/response shapes and their JSON
+//! codecs, built on the hand-rolled [`unity_mc::json`] core.
+//!
+//! Three endpoints:
+//!
+//! - `POST /verify` — body [`VerifyRequest`], reply [`VerifyResponse`]
+//!   (sequence number, spec hash, per-artifact [`CacheState`], full
+//!   [`Report`]).
+//! - `GET /status` — reply [`StatusResponse`].
+//! - `GET /history?spec=<hash>` — reply: JSON array of
+//!   [`HistoryEntry`] (all specs when the query is omitted).
+//!
+//! Errors travel as `{"error": "..."}` bodies with a non-200 status.
+//! Every decoder is strict — unknown engines, missing fields, or
+//! malformed JSON are rejected, never defaulted silently (the one
+//! deliberate exception: *omitted* optional fields in
+//! [`VerifyRequest`] take documented defaults).
+
+use unity_mc::json::{write_string, Json};
+use unity_mc::prelude::{Engine, Report, Universe};
+
+/// Looks up an optional object field (absent is `None`, not an error).
+fn opt<'a>(root: &'a Json, key: &str) -> Option<&'a Json> {
+    match root {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn engine_str(e: Engine) -> &'static str {
+    match e {
+        Engine::Reference => "reference",
+        Engine::Compiled => "compiled",
+        Engine::Symbolic => "symbolic",
+    }
+}
+
+fn engine_from(s: &str) -> Result<Engine, String> {
+    match s {
+        "reference" => Ok(Engine::Reference),
+        "compiled" | "explicit" => Ok(Engine::Compiled),
+        "symbolic" => Ok(Engine::Symbolic),
+        other => Err(format!("unknown engine `{other}`")),
+    }
+}
+
+fn universe_str(u: Universe) -> &'static str {
+    match u {
+        Universe::Reachable => "reachable",
+        Universe::AllStates => "all",
+    }
+}
+
+fn universe_from(s: &str) -> Result<Universe, String> {
+    match s {
+        "reachable" => Ok(Universe::Reachable),
+        "all" => Ok(Universe::AllStates),
+        other => Err(format!("unknown universe `{other}`")),
+    }
+}
+
+/// A `POST /verify` submission: the spec source plus session options.
+#[derive(Debug, Clone)]
+pub struct VerifyRequest {
+    /// Full `.unity` file text (programs + spec blocks).
+    pub spec: String,
+    /// Evaluation engine (default: `compiled`).
+    pub engine: Engine,
+    /// Universe for `leadsto` checks (default: `reachable`).
+    pub universe: Universe,
+    /// Per-request timeout override in milliseconds (`None` uses the
+    /// daemon's `--timeout-ms`; `0` disables the timeout).
+    pub timeout_ms: Option<u64>,
+}
+
+impl VerifyRequest {
+    /// A request with default options.
+    pub fn new(spec: impl Into<String>) -> Self {
+        VerifyRequest {
+            spec: spec.into(),
+            engine: Engine::Compiled,
+            universe: Universe::Reachable,
+            timeout_ms: None,
+        }
+    }
+
+    /// Serializes to the wire form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.spec.len() + 96);
+        out.push_str("{\"spec\":");
+        write_string(&mut out, &self.spec);
+        out.push_str(",\"engine\":");
+        write_string(&mut out, engine_str(self.engine));
+        out.push_str(",\"universe\":");
+        write_string(&mut out, universe_str(self.universe));
+        if let Some(ms) = self.timeout_ms {
+            out.push_str(&format!(",\"timeout_ms\":{ms}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses the wire form. `spec` is required; the option fields
+    /// default as documented on the struct.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let root = Json::parse(src)?;
+        let spec = root.field("spec")?.as_str()?.to_string();
+        let engine = match opt(&root, "engine") {
+            Some(j) => engine_from(j.as_str()?)?,
+            None => Engine::Compiled,
+        };
+        let universe = match opt(&root, "universe") {
+            Some(j) => universe_from(j.as_str()?)?,
+            None => Universe::Reachable,
+        };
+        let timeout_ms = match opt(&root, "timeout_ms") {
+            Some(j) => Some(u64::try_from(j.as_int()?).map_err(|_| "negative timeout_ms")?),
+            None => None,
+        };
+        Ok(VerifyRequest {
+            spec,
+            engine,
+            universe,
+            timeout_ms,
+        })
+    }
+}
+
+/// Where one artifact of a verification came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// Served from the store (no rebuild).
+    Hit,
+    /// Computed by this submission and persisted.
+    Miss,
+    /// Not needed by this submission's checks/engine.
+    Unused,
+}
+
+impl CacheState {
+    fn as_str(self) -> &'static str {
+        match self {
+            CacheState::Hit => "hit",
+            CacheState::Miss => "miss",
+            CacheState::Unused => "unused",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "hit" => Ok(CacheState::Hit),
+            "miss" => Ok(CacheState::Miss),
+            "unused" => Ok(CacheState::Unused),
+            other => Err(format!("unknown cache state `{other}`")),
+        }
+    }
+}
+
+/// Per-artifact cache outcome of one `POST /verify`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// Reachable-universe transition system.
+    pub ts_reachable: CacheState,
+    /// All-states-universe transition system.
+    pub ts_all_states: CacheState,
+    /// Reachable-universe predecessor index.
+    pub pred_reachable: CacheState,
+    /// All-states-universe predecessor index.
+    pub pred_all_states: CacheState,
+    /// Tuned BDD field order for the symbolic engine.
+    pub field_order: CacheState,
+}
+
+impl CacheInfo {
+    /// All five artifacts unused (nothing built, nothing loaded).
+    pub fn unused() -> Self {
+        CacheInfo {
+            ts_reachable: CacheState::Unused,
+            ts_all_states: CacheState::Unused,
+            pred_reachable: CacheState::Unused,
+            pred_all_states: CacheState::Unused,
+            field_order: CacheState::Unused,
+        }
+    }
+
+    fn fields(&self) -> [(&'static str, CacheState); 5] {
+        [
+            ("ts_reachable", self.ts_reachable),
+            ("ts_all_states", self.ts_all_states),
+            ("pred_reachable", self.pred_reachable),
+            ("pred_all_states", self.pred_all_states),
+            ("field_order", self.field_order),
+        ]
+    }
+
+    fn write(&self, out: &mut String) {
+        out.push('{');
+        for (k, (name, state)) in self.fields().into_iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            write_string(out, name);
+            out.push(':');
+            write_string(out, state.as_str());
+        }
+        out.push('}');
+    }
+
+    fn from_value(j: &Json) -> Result<Self, String> {
+        let get = |name: &str| CacheState::from_str(j.field(name)?.as_str()?);
+        Ok(CacheInfo {
+            ts_reachable: get("ts_reachable")?,
+            ts_all_states: get("ts_all_states")?,
+            pred_reachable: get("pred_reachable")?,
+            pred_all_states: get("pred_all_states")?,
+            field_order: get("field_order")?,
+        })
+    }
+}
+
+/// The `POST /verify` reply: journal position, content hash, cache
+/// outcomes, and the complete report.
+#[derive(Debug, Clone)]
+pub struct VerifyResponse {
+    /// This verdict's journal sequence number.
+    pub seq: u64,
+    /// Content hash of the submitted spec (the store key).
+    pub spec_hash: String,
+    /// Per-artifact cache outcome.
+    pub cache: CacheInfo,
+    /// The verification report (same schema as `unity-check --json`).
+    pub report: Report,
+}
+
+impl VerifyResponse {
+    /// Serializes to the wire form.
+    pub fn to_json(&self) -> String {
+        let report = self.report.to_json();
+        let mut out = String::with_capacity(report.len() + 160);
+        out.push_str(&format!("{{\"seq\":{},\"spec\":", self.seq));
+        write_string(&mut out, &self.spec_hash);
+        out.push_str(",\"cache\":");
+        self.cache.write(&mut out);
+        out.push_str(",\"report\":");
+        out.push_str(&report);
+        out.push('}');
+        out
+    }
+
+    /// Parses the wire form.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let root = Json::parse(src)?;
+        Ok(VerifyResponse {
+            seq: u64::try_from(root.field("seq")?.as_int()?).map_err(|_| "negative seq")?,
+            spec_hash: root.field("spec")?.as_str()?.to_string(),
+            cache: CacheInfo::from_value(root.field("cache")?)?,
+            report: Report::from_value(root.field("report")?)?,
+        })
+    }
+}
+
+/// The `GET /status` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusResponse {
+    /// Distinct specs with persisted artifacts in the store.
+    pub specs: u64,
+    /// Verdicts in the journal (history length).
+    pub verdicts: u64,
+    /// Worker-pool size.
+    pub workers: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+}
+
+impl StatusResponse {
+    /// Serializes to the wire form.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"specs\":{},\"verdicts\":{},\"workers\":{},\"uptime_ms\":{}}}",
+            self.specs, self.verdicts, self.workers, self.uptime_ms
+        )
+    }
+
+    /// Parses the wire form.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let root = Json::parse(src)?;
+        let get = |name: &str| -> Result<u64, String> {
+            u64::try_from(root.field(name)?.as_int()?).map_err(|_| format!("negative {name}"))
+        };
+        Ok(StatusResponse {
+            specs: get("specs")?,
+            verdicts: get("verdicts")?,
+            workers: get("workers")?,
+            uptime_ms: get("uptime_ms")?,
+        })
+    }
+}
+
+/// One journal record summary, as returned by `GET /history`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// Journal sequence number.
+    pub seq: u64,
+    /// Content hash of the verified spec.
+    pub spec_hash: String,
+    /// Program name from the report.
+    pub program: String,
+    /// Whether every check passed.
+    pub passed: bool,
+    /// Number of checks in the report.
+    pub checks: u64,
+}
+
+impl HistoryEntry {
+    fn write(&self, out: &mut String) {
+        out.push_str(&format!("{{\"seq\":{},\"spec\":", self.seq));
+        write_string(out, &self.spec_hash);
+        out.push_str(",\"program\":");
+        write_string(out, &self.program);
+        out.push_str(&format!(
+            ",\"passed\":{},\"checks\":{}}}",
+            self.passed, self.checks
+        ));
+    }
+
+    fn from_value(j: &Json) -> Result<Self, String> {
+        Ok(HistoryEntry {
+            seq: u64::try_from(j.field("seq")?.as_int()?).map_err(|_| "negative seq")?,
+            spec_hash: j.field("spec")?.as_str()?.to_string(),
+            program: j.field("program")?.as_str()?.to_string(),
+            passed: j.field("passed")?.as_bool()?,
+            checks: u64::try_from(j.field("checks")?.as_int()?).map_err(|_| "negative checks")?,
+        })
+    }
+}
+
+/// Serializes a history listing as a JSON array.
+pub fn history_to_json(entries: &[HistoryEntry]) -> String {
+    let mut out = String::with_capacity(32 + entries.len() * 96);
+    out.push('[');
+    for (k, e) in entries.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        e.write(&mut out);
+    }
+    out.push(']');
+    out
+}
+
+/// Parses a history listing.
+pub fn history_from_json(src: &str) -> Result<Vec<HistoryEntry>, String> {
+    let root = Json::parse(src)?;
+    root.as_arr()?
+        .iter()
+        .map(HistoryEntry::from_value)
+        .collect()
+}
+
+/// An `{"error": msg}` body (the shape of every non-200 reply).
+pub fn error_body(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len() + 12);
+    out.push_str("{\"error\":");
+    write_string(&mut out, msg);
+    out.push('}');
+    out
+}
+
+/// Extracts the message from an error body, if `src` is one.
+pub fn error_message(src: &str) -> Option<String> {
+    let root = Json::parse(src).ok()?;
+    Some(root.field("error").ok()?.as_str().ok()?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_request_round_trips_and_defaults() {
+        let mut req = VerifyRequest::new("program P\nend");
+        req.engine = Engine::Symbolic;
+        req.universe = Universe::AllStates;
+        req.timeout_ms = Some(1234);
+        let back = VerifyRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(back.spec, req.spec);
+        assert_eq!(back.engine, Engine::Symbolic);
+        assert_eq!(back.universe, Universe::AllStates);
+        assert_eq!(back.timeout_ms, Some(1234));
+
+        let minimal = VerifyRequest::from_json("{\"spec\":\"x\"}").unwrap();
+        assert_eq!(minimal.engine, Engine::Compiled);
+        assert_eq!(minimal.universe, Universe::Reachable);
+        assert_eq!(minimal.timeout_ms, None);
+
+        assert!(VerifyRequest::from_json("{}").is_err(), "spec is required");
+        assert!(VerifyRequest::from_json("{\"spec\":\"x\",\"engine\":\"warp\"}").is_err());
+        assert!(VerifyRequest::from_json("{\"spec\":\"x\",\"timeout_ms\":-1}").is_err());
+    }
+
+    #[test]
+    fn status_and_history_round_trip() {
+        let status = StatusResponse {
+            specs: 3,
+            verdicts: 17,
+            workers: 2,
+            uptime_ms: 99,
+        };
+        assert_eq!(
+            StatusResponse::from_json(&status.to_json()).unwrap(),
+            status
+        );
+
+        let entries = vec![
+            HistoryEntry {
+                seq: 1,
+                spec_hash: "ab".repeat(16),
+                program: "P ∥ Q".into(),
+                passed: true,
+                checks: 4,
+            },
+            HistoryEntry {
+                seq: 2,
+                spec_hash: "cd".repeat(16),
+                program: "R".into(),
+                passed: false,
+                checks: 1,
+            },
+        ];
+        assert_eq!(
+            history_from_json(&history_to_json(&entries)).unwrap(),
+            entries
+        );
+        assert_eq!(history_from_json("[]").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn error_bodies_round_trip() {
+        let body = error_body("spec: line 3: no such variable `zz`");
+        assert_eq!(
+            error_message(&body).as_deref(),
+            Some("spec: line 3: no such variable `zz`")
+        );
+        assert_eq!(error_message("{\"ok\":true}"), None);
+        assert_eq!(error_message("not json"), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! The TCP front end: accept loop, connection threads, routing.
+//!
+//! Thread-per-connection over [`std::net::TcpListener`], capped at
+//! [`MAX_CONNECTIONS`] concurrent connections (excess submissions get
+//! an immediate `503` rather than an unbounded thread pile-up; actual
+//! verification concurrency is further bounded by the service's worker
+//! pool). One request per connection, `Connection: close`.
+//!
+//! Routes:
+//!
+//! | method & path    | handler                                  |
+//! |------------------|------------------------------------------|
+//! | `POST /verify`   | [`Service::verify`]                      |
+//! | `GET /status`    | [`Service::status`]                      |
+//! | `GET /history`   | [`Service::history`] (`?spec=` filters)  |
+//!
+//! [`Server::shutdown`] stops the accept loop deterministically (flag +
+//! self-connect) and joins it; in-flight connection threads finish
+//! their one response on their own.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, Request};
+use crate::proto::{error_body, history_to_json, VerifyRequest};
+use crate::service::{Service, ServiceError};
+
+/// Maximum concurrent connections before the server answers `503`.
+pub const MAX_CONNECTIONS: usize = 64;
+
+/// How long a connection thread waits for a slow client before giving
+/// up on the socket.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running server: accept loop on its own thread.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+/// serving `service`.
+pub fn start(service: Arc<Service>, addr: &str) -> Result<Server, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("unity-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &service, &stop2))
+        .map_err(|e| format!("spawn accept loop: {e}"))?;
+    Ok(Server {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl Server {
+    /// The bound address (the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &AtomicBool) {
+    let live = Arc::new(AtomicUsize::new(0));
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        if live.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+            let _ = write_response(&stream, 503, &error_body("connection limit reached"));
+            continue;
+        }
+        live.fetch_add(1, Ordering::SeqCst);
+        let service = Arc::clone(service);
+        let live_in_conn = Arc::clone(&live);
+        let spawned = std::thread::Builder::new()
+            .name("unity-serve-conn".into())
+            .spawn(move || {
+                handle_connection(&stream, &service);
+                live_in_conn.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn handle_connection(stream: &TcpStream, service: &Service) {
+    let _ = stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT));
+    match read_request(stream) {
+        Ok(req) => {
+            let (status, body) = route(service, &req);
+            let _ = write_response(stream, status, &body);
+        }
+        Err(e) => {
+            let _ = write_response(stream, 400, &error_body(&e));
+        }
+    }
+}
+
+/// Dispatches one parsed request to the service.
+fn route(service: &Service, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/verify") => {
+            let Ok(body) = std::str::from_utf8(&req.body) else {
+                return (400, error_body("body is not UTF-8"));
+            };
+            let vreq = match VerifyRequest::from_json(body) {
+                Ok(r) => r,
+                Err(e) => return (400, error_body(&format!("request: {e}"))),
+            };
+            match service.verify(vreq) {
+                Ok(resp) => (200, resp.to_json()),
+                Err(e @ ServiceError::BadRequest(_)) => (400, error_body(&e.to_string())),
+                Err(e @ ServiceError::Timeout(_)) => (504, error_body(&e.to_string())),
+                Err(e @ ServiceError::Internal(_)) => (500, error_body(&e.to_string())),
+            }
+        }
+        ("GET", "/status") => (200, service.status().to_json()),
+        ("GET", "/history") => (
+            200,
+            history_to_json(&service.history(req.query_value("spec"))),
+        ),
+        (_, "/verify" | "/status" | "/history") => (405, error_body("method not allowed")),
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+    use crate::proto::{history_from_json, StatusResponse, VerifyResponse};
+    use crate::service::ServiceConfig;
+
+    const SPEC: &str = "program P\n  var x : bool\n  init !x\n  fair cmd go: !x -> x := true\nend\nspec S\n  goal: true leadsto x\nend";
+
+    fn start_tmp(name: &str) -> (Server, Arc<Service>) {
+        let dir =
+            std::env::temp_dir().join(format!("unity_serve_server_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(
+            Service::open(ServiceConfig {
+                data_dir: dir,
+                workers: 2,
+                default_timeout: Some(Duration::from_secs(60)),
+            })
+            .unwrap(),
+        );
+        let server = start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        (server, service)
+    }
+
+    #[test]
+    fn the_three_endpoints_answer_over_http() {
+        let (server, _service) = start_tmp("endpoints");
+        let addr = server.local_addr().to_string();
+
+        let req = VerifyRequest::new(SPEC).to_json();
+        let (status, body) = request(&addr, "POST", "/verify", Some(&req)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let resp = VerifyResponse::from_json(&body).unwrap();
+        assert_eq!(resp.seq, 1);
+        assert!(resp.report.all_passed());
+
+        let (status, body) = request(&addr, "GET", "/status", None).unwrap();
+        assert_eq!(status, 200);
+        let st = StatusResponse::from_json(&body).unwrap();
+        assert_eq!((st.specs, st.verdicts, st.workers), (1, 1, 2));
+
+        let path = format!("/history?spec={}", resp.spec_hash);
+        let (status, body) = request(&addr, "GET", &path, None).unwrap();
+        assert_eq!(status, 200);
+        let entries = history_from_json(&body).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].spec_hash, resp.spec_hash);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_map_to_http_statuses() {
+        let (server, _service) = start_tmp("errors");
+        let addr = server.local_addr().to_string();
+
+        let (status, body) = request(&addr, "POST", "/verify", Some("not json")).unwrap();
+        assert_eq!(status, 400, "{body}");
+        let (status, _) = request(&addr, "POST", "/verify", Some("{\"spec\":\"banana\"}")).unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = request(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = request(&addr, "DELETE", "/verify", None).unwrap();
+        assert_eq!(status, 405);
+
+        server.shutdown();
+    }
+}

@@ -1,0 +1,351 @@
+//! The verification service: submissions in, cached verdicts out.
+//!
+//! [`Service`] ties the layers together. One `POST /verify` flows as:
+//!
+//! 1. content-hash the spec ([`crate::store::spec_hash`]);
+//! 2. on a pool worker (bounded, timeout-guarded, panic-contained):
+//!    parse + compose the spec, [`ArtifactStore::load`] whatever the
+//!    store holds for that hash, seed a [`Verifier`] session with it,
+//!    run every check, then export and persist the session's artifacts;
+//! 3. append the [`Report`] to the journal (synced before the sequence
+//!    number is returned) and answer with per-artifact cache outcomes.
+//!
+//! Cache accounting is taken from the session itself, not the store's
+//! claims: an artifact is a **hit** if it was installed at seed time
+//! (the session's status showed it present before any check ran), a
+//! **miss** if the session had to build it, and **unused** if the
+//! submission's checks never demanded it. A corrupt or shape-mismatched
+//! stored artifact therefore reports as the miss it operationally is.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use unity_mc::prelude::{Report, ScanConfig, SessionStatus, Verifier};
+use unity_mc::spec::load_spec;
+
+use crate::journal::Journal;
+use crate::pool::{JobOutcome, WorkerPool};
+use crate::proto::{
+    CacheInfo, CacheState, HistoryEntry, StatusResponse, VerifyRequest, VerifyResponse,
+};
+use crate::store::{spec_hash, ArtifactStore};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Root directory for the artifact store and journal.
+    pub data_dir: PathBuf,
+    /// Worker-pool size (concurrent verifications).
+    pub workers: usize,
+    /// Default per-submission timeout (`None` = unlimited; requests
+    /// can override per-call).
+    pub default_timeout: Option<Duration>,
+}
+
+/// Why a submission produced no verdict.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The submission itself is at fault (parse error, bad options).
+    BadRequest(String),
+    /// The job exceeded its deadline; reports the deadline in ms.
+    Timeout(u64),
+    /// The daemon failed (verification panic, store/journal I/O).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(m) => write!(f, "{m}"),
+            ServiceError::Timeout(ms) => write!(f, "verification exceeded {ms} ms"),
+            ServiceError::Internal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// What a verification job reports back to the request thread.
+struct JobOutput {
+    report: Report,
+    cache: CacheInfo,
+}
+
+enum JobError {
+    /// Submitter's fault: unparsable spec.
+    Spec(String),
+    /// Daemon's fault: persistence failed.
+    Store(String),
+}
+
+/// The long-running verification service (transport-agnostic; the HTTP
+/// layer in [`crate::server`] is one front end, tests drive it
+/// directly).
+pub struct Service {
+    store: Arc<ArtifactStore>,
+    journal: Mutex<Journal>,
+    history: Mutex<Vec<HistoryEntry>>,
+    pool: WorkerPool,
+    default_timeout: Option<Duration>,
+    started: Instant,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn cache_state(seeded: bool, present: bool) -> CacheState {
+    match (seeded, present) {
+        (true, _) => CacheState::Hit,
+        (false, true) => CacheState::Miss,
+        (false, false) => CacheState::Unused,
+    }
+}
+
+/// Per-artifact accounting from the session status just after seeding
+/// (`pre`) vs just after the checks (`post`), plus whether a stored
+/// field order was handed to the symbolic configuration.
+fn cache_info(pre: &SessionStatus, post: &SessionStatus, order_seeded: bool) -> CacheInfo {
+    CacheInfo {
+        ts_reachable: cache_state(pre.ts_reachable, post.ts_reachable),
+        ts_all_states: cache_state(pre.ts_all_states, post.ts_all_states),
+        pred_reachable: cache_state(pre.pred_reachable, post.pred_reachable),
+        pred_all_states: cache_state(pre.pred_all_states, post.pred_all_states),
+        field_order: cache_state(order_seeded && post.symbolic, post.symbolic),
+    }
+}
+
+impl Service {
+    /// Opens the service: creates the data dir, opens the store,
+    /// replays the journal, spawns the worker pool.
+    pub fn open(cfg: ServiceConfig) -> Result<Service, String> {
+        std::fs::create_dir_all(&cfg.data_dir)
+            .map_err(|e| format!("{}: {e}", cfg.data_dir.display()))?;
+        let store = ArtifactStore::open(cfg.data_dir.join("store"))
+            .map_err(|e| format!("artifact store: {e}"))?;
+        let (journal, replayed) = Journal::open(&cfg.data_dir.join("journal.log"))?;
+        let history = replayed
+            .into_iter()
+            .map(|rec| HistoryEntry {
+                seq: rec.seq,
+                spec_hash: rec.spec_hash,
+                program: rec.report.program.clone(),
+                passed: rec.report.all_passed(),
+                checks: rec.report.checks.len() as u64,
+            })
+            .collect();
+        Ok(Service {
+            store: Arc::new(store),
+            journal: Mutex::new(journal),
+            history: Mutex::new(history),
+            pool: WorkerPool::new(cfg.workers.max(1)),
+            default_timeout: cfg.default_timeout,
+            started: Instant::now(),
+        })
+    }
+
+    /// Verifies one submission end to end (hash → seed → check →
+    /// persist → journal). Blocking; concurrency comes from the
+    /// transport calling this from many connection threads, multiplexed
+    /// over the bounded pool.
+    pub fn verify(&self, req: VerifyRequest) -> Result<VerifyResponse, ServiceError> {
+        let hash = spec_hash(&req.spec);
+        let timeout = match req.timeout_ms {
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => self.default_timeout,
+        };
+        let store = Arc::clone(&self.store);
+        let spec_src = req.spec;
+        let (engine, universe) = (req.engine, req.universe);
+        let job_hash = hash.clone();
+        let outcome = self
+            .pool
+            .run(timeout, move || -> Result<JobOutput, JobError> {
+                let spec =
+                    load_spec(&spec_src).map_err(|e| JobError::Spec(format!("spec: {e}")))?;
+                let program = &spec.system.composed;
+                let cfg = ScanConfig {
+                    engine,
+                    ..ScanConfig::default()
+                };
+                let stored = store.load(&job_hash, program, &cfg);
+                let order_seeded = stored.field_order.is_some();
+                let mut session = Verifier::new(program, cfg).with_universe(universe);
+                session.seed(stored);
+                let pre = session.status();
+                let report = session.verify_all(&spec.checks);
+                let post = session.status();
+                store
+                    .save(&job_hash, &spec_src, &session.artifacts())
+                    .map_err(JobError::Store)?;
+                Ok(JobOutput {
+                    report,
+                    cache: cache_info(&pre, &post, order_seeded),
+                })
+            });
+        let output = match outcome {
+            JobOutcome::Completed(Ok(output)) => output,
+            JobOutcome::Completed(Err(JobError::Spec(msg))) => {
+                return Err(ServiceError::BadRequest(msg))
+            }
+            JobOutcome::Completed(Err(JobError::Store(msg))) => {
+                return Err(ServiceError::Internal(format!("artifact store: {msg}")))
+            }
+            JobOutcome::Panicked(msg) => {
+                return Err(ServiceError::Internal(format!(
+                    "verification panicked: {msg}"
+                )))
+            }
+            JobOutcome::TimedOut => {
+                return Err(ServiceError::Timeout(
+                    timeout.map(|d| d.as_millis() as u64).unwrap_or(0),
+                ))
+            }
+        };
+        // Journal before answering: the sequence number a client sees
+        // is durable by the time it sees it.
+        let seq = lock(&self.journal)
+            .append(&hash, &output.report)
+            .map_err(ServiceError::Internal)?;
+        lock(&self.history).push(HistoryEntry {
+            seq,
+            spec_hash: hash.clone(),
+            program: output.report.program.clone(),
+            passed: output.report.all_passed(),
+            checks: output.report.checks.len() as u64,
+        });
+        Ok(VerifyResponse {
+            seq,
+            spec_hash: hash,
+            cache: output.cache,
+            report: output.report,
+        })
+    }
+
+    /// The `GET /status` summary.
+    pub fn status(&self) -> StatusResponse {
+        StatusResponse {
+            specs: self.store.known_specs(),
+            verdicts: lock(&self.history).len() as u64,
+            workers: self.pool.workers() as u64,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// The verdict history, optionally restricted to one spec hash.
+    pub fn history(&self, spec: Option<&str>) -> Vec<HistoryEntry> {
+        lock(&self.history)
+            .iter()
+            .filter(|e| spec.is_none_or(|h| e.spec_hash == h))
+            .cloned()
+            .collect()
+    }
+
+    /// Test hook: drops the store's in-memory layer so the next load
+    /// decodes from segment files.
+    pub fn drop_memory_cache(&self) {
+        self.store.drop_memory_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_mc::prelude::{Engine, Universe};
+
+    const SPEC: &str = "program P\n  var a : int 0..3\n  var b : int 0..3\n  init a == 0 && b == 0\n  fair cmd right: a < 3 -> a := a + 1\n  fair cmd up: b < 3 -> b := b + 1\nend\nspec S\n  cap: invariant a <= 3\n  done: true leadsto a == 3 && b == 3\nend";
+
+    fn tmp_service(name: &str) -> Service {
+        let dir =
+            std::env::temp_dir().join(format!("unity_serve_service_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Service::open(ServiceConfig {
+            data_dir: dir,
+            workers: 2,
+            default_timeout: Some(Duration::from_secs(60)),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn cold_then_warm_submission_flips_misses_to_hits() {
+        let service = tmp_service("cold_warm");
+        let cold = service.verify(VerifyRequest::new(SPEC)).unwrap();
+        assert_eq!(cold.seq, 1);
+        assert!(cold.report.all_passed());
+        assert_eq!(cold.cache.ts_reachable, CacheState::Miss);
+        assert_eq!(cold.cache.pred_reachable, CacheState::Miss);
+        assert_eq!(cold.cache.ts_all_states, CacheState::Unused);
+        assert_eq!(cold.cache.field_order, CacheState::Unused);
+
+        let warm = service.verify(VerifyRequest::new(SPEC)).unwrap();
+        assert_eq!(warm.seq, 2);
+        assert_eq!(warm.spec_hash, cold.spec_hash);
+        assert_eq!(warm.cache.ts_reachable, CacheState::Hit);
+        assert_eq!(warm.cache.pred_reachable, CacheState::Hit);
+        // Verdicts identical witness-for-witness.
+        for (c, w) in cold.report.checks.iter().zip(&warm.report.checks) {
+            assert_eq!(c.verdict.outcome, w.verdict.outcome, "{}", c.name);
+        }
+
+        // And again with the memory layer dropped: disk segments only.
+        service.drop_memory_cache();
+        let disk = service.verify(VerifyRequest::new(SPEC)).unwrap();
+        assert_eq!(disk.cache.ts_reachable, CacheState::Hit);
+        assert_eq!(disk.cache.pred_reachable, CacheState::Hit);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_not_journaled() {
+        let service = tmp_service("bad_spec");
+        let err = service.verify(VerifyRequest::new("banana")).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest(_)), "{err}");
+        assert_eq!(service.history(None).len(), 0);
+        assert_eq!(service.status().verdicts, 0);
+    }
+
+    #[test]
+    fn history_filters_by_spec_hash() {
+        let service = tmp_service("history");
+        let a = service.verify(VerifyRequest::new(SPEC)).unwrap();
+        let other = SPEC.replace("a == 3 && b == 3", "a == 3");
+        let b = service.verify(VerifyRequest::new(other)).unwrap();
+        assert_ne!(a.spec_hash, b.spec_hash);
+        assert_eq!(service.history(None).len(), 2);
+        let filtered = service.history(Some(&a.spec_hash));
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered[0].seq, a.seq);
+        assert!(service.history(Some("ffff")).is_empty());
+        assert_eq!(service.status().specs, 2);
+    }
+
+    #[test]
+    fn failing_checks_are_verdicts_not_errors() {
+        let service = tmp_service("failing");
+        let spec = SPEC.replace("invariant a <= 3", "invariant a <= 2");
+        let resp = service.verify(VerifyRequest::new(spec)).unwrap();
+        assert!(!resp.report.all_passed());
+        assert!(resp.report.checks[0].verdict.failed());
+        let entries = service.history(Some(&resp.spec_hash));
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].passed);
+    }
+
+    #[test]
+    fn engines_and_universes_share_the_store_coherently() {
+        let service = tmp_service("engines");
+        for engine in [Engine::Compiled, Engine::Reference, Engine::Symbolic] {
+            for universe in [Universe::Reachable, Universe::AllStates] {
+                let mut req = VerifyRequest::new(SPEC);
+                req.engine = engine;
+                req.universe = universe;
+                let resp = service.verify(req).unwrap();
+                assert!(
+                    resp.report.all_passed(),
+                    "{engine:?}/{universe:?}: {:?}",
+                    resp.report.checks
+                );
+            }
+        }
+    }
+}

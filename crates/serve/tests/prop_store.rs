@@ -1,0 +1,189 @@
+//! Differential tests of the artifact store: a verdict computed through
+//! a **cold** store (nothing persisted — every artifact built from the
+//! spec) must equal one computed through a **warm** store (artifacts
+//! decoded from segment files or the memory layer) witness-for-witness,
+//! across engines × universes — plus the kill-and-restart journal
+//! replay guarantee.
+//!
+//! This is the service's core soundness obligation: caching may only
+//! change *latency*, never a verdict, a counterexample, or history.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use unity_mc::prelude::{Engine, Universe};
+use unity_serve::{CacheState, Service, ServiceConfig, VerifyRequest};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "unity_serve_prop_{}_{tag}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &std::path::Path) -> Service {
+    Service::open(ServiceConfig {
+        data_dir: dir.to_path_buf(),
+        workers: 1,
+        default_timeout: Some(Duration::from_secs(120)),
+    })
+    .unwrap()
+}
+
+/// A small two-counter spec family, parameterized so different cases
+/// hash (and verify) differently: counter bounds, a shared cap, and a
+/// possibly-false invariant threshold (exercising counterexample
+/// witnesses through the store).
+fn spec_source(xmax: i64, ymax: i64, inv_cap: i64) -> String {
+    format!(
+        "program Left\n  var x : int 0..{xmax} local\n  var total : int 0..{}\n  init x == 0 && total == 0\n  fair cmd lx: x < {xmax} -> x := x + 1, total := total + 1\nend\n\
+         program Right\n  var y : int 0..{ymax} local\n  var total : int 0..{}\n  init y == 0 && total == 0\n  fair cmd ry: y < {ymax} -> y := y + 1, total := total + 1\nend\n\
+         spec Pair\n  conserve: invariant total == sum(x, y)\n  bounded: invariant total <= {inv_cap}\n  done: true leadsto total == {}\nend",
+        xmax + ymax,
+        xmax + ymax,
+        xmax + ymax
+    )
+}
+
+/// One check's identity-relevant content: name plus the full outcome
+/// (witness states included via the derived `PartialEq`).
+fn signatures(report: &unity_mc::prelude::Report) -> Vec<(String, String)> {
+    report
+        .checks
+        .iter()
+        .map(|c| (c.name.clone(), format!("{:?}", c.verdict.outcome)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cold store ≡ warm-memory store ≡ warm-disk store ≡
+    /// restarted-process store, witness-for-witness, for every engine ×
+    /// universe combination.
+    #[test]
+    fn cold_and_warm_stores_agree_witness_for_witness(
+        xmax in 1i64..=3,
+        ymax in 1i64..=3,
+        tighten in any::<bool>(),
+        engine_pick in 0usize..3,
+        universe_pick in 0usize..2,
+    ) {
+        let engine = [Engine::Compiled, Engine::Reference, Engine::Symbolic][engine_pick];
+        let universe = [Universe::Reachable, Universe::AllStates][universe_pick];
+        // `tighten` makes the `bounded` invariant false, so witnesses
+        // (not just passes) flow through the warm path.
+        let inv_cap = if tighten { xmax + ymax - 1 } else { xmax + ymax };
+        let src = spec_source(xmax, ymax, inv_cap);
+        let request = || {
+            let mut r = VerifyRequest::new(src.clone());
+            r.engine = engine;
+            r.universe = universe;
+            r
+        };
+
+        let dir = fresh_dir("diff");
+        let service = open(&dir);
+        let cold = service.verify(request()).unwrap();
+        // Over the reachable universe the battery passes iff the cap is
+        // not tightened; over all states verdicts may differ (that is
+        // fine — the differential property below is what matters).
+        if universe == Universe::Reachable {
+            prop_assert_eq!(cold.report.all_passed(), !tighten);
+        }
+
+        let warm_memory = service.verify(request()).unwrap();
+        service.drop_memory_cache();
+        let warm_disk = service.verify(request()).unwrap();
+        drop(service);
+        let restarted = open(&dir);
+        let warm_restart = restarted.verify(request()).unwrap();
+
+        let expected = signatures(&cold.report);
+        for (tag, resp) in [
+            ("memory", &warm_memory),
+            ("disk", &warm_disk),
+            ("restart", &warm_restart),
+        ] {
+            prop_assert_eq!(
+                &signatures(&resp.report),
+                &expected,
+                "{} diverged from cold ({:?}/{:?})",
+                tag,
+                engine,
+                universe
+            );
+            prop_assert_eq!(&resp.spec_hash, &cold.spec_hash);
+        }
+
+        // The compiled engine's expensive artifacts must actually come
+        // from the store on the warm runs (for reference/symbolic the
+        // store may legitimately have nothing packable to offer).
+        if engine == Engine::Compiled {
+            let slot = match universe {
+                Universe::Reachable => warm_restart.cache.ts_reachable,
+                Universe::AllStates => warm_restart.cache.ts_all_states,
+            };
+            prop_assert_eq!(slot, CacheState::Hit, "restart should hit the disk store");
+        }
+
+        // Restart replayed the journal: the history covers all four
+        // submissions of this spec with contiguous sequence numbers.
+        let history = restarted.history(Some(&cold.spec_hash));
+        prop_assert_eq!(history.len(), 4);
+        prop_assert_eq!(
+            history.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (1..=4).collect::<Vec<_>>()
+        );
+        let cold_passed = cold.report.all_passed();
+        prop_assert!(history.iter().all(|e| e.passed == cold_passed));
+    }
+}
+
+/// Kill-and-restart: a journal torn mid-append (the `kill -9`
+/// signature) replays every acknowledged verdict and drops only the
+/// unacknowledged tail.
+#[test]
+fn journal_replay_survives_a_torn_tail() {
+    let dir = fresh_dir("torn");
+    let src_a = spec_source(2, 2, 4);
+    let src_b = spec_source(3, 1, 4);
+    let (hash_a, hash_b);
+    {
+        let service = open(&dir);
+        hash_a = service
+            .verify(VerifyRequest::new(src_a.clone()))
+            .unwrap()
+            .spec_hash;
+        hash_b = service.verify(VerifyRequest::new(src_b)).unwrap().spec_hash;
+    }
+    // Tear the journal the way an interrupted append would: a record
+    // prefix with no newline.
+    let journal = dir.join("journal.log");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let keep = bytes.len();
+    bytes.extend_from_slice(b"{\"seq\":3,\"spec\":\"dead");
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let service = open(&dir);
+    let history = service.history(None);
+    assert_eq!(history.len(), 2, "both acknowledged verdicts replayed");
+    assert_eq!(history[0].spec_hash, hash_a);
+    assert_eq!(history[1].spec_hash, hash_b);
+    assert_eq!(service.status().verdicts, 2);
+
+    // The sequence resumes where the acknowledged history ended.
+    let again = service.verify(VerifyRequest::new(src_a)).unwrap();
+    assert_eq!(again.seq, 3);
+    assert_eq!(again.spec_hash, hash_a);
+
+    // Sanity: the tear really was in the file (we did not re-read a
+    // rewritten journal).
+    assert!(std::fs::metadata(&journal).unwrap().len() > keep as u64);
+}

@@ -212,6 +212,43 @@ impl SymbolicProgram {
         self.bdd.order()
     }
 
+    /// The current order projected onto program variables: fields by
+    /// first occurrence in the level order. This is the persistable
+    /// summary of a tuned order — re-expanding it through
+    /// [`OrderMode::Fields`] recovers the canonical interleaved level
+    /// order for that field permutation (sifting moves individual bit
+    /// pairs, so the round trip is field-granular, not bit-exact; in
+    /// practice the field permutation carries nearly all of the win).
+    pub fn field_order(&self) -> Vec<usize> {
+        let layout = self.space.layout();
+        let n = self.space.n_vars();
+        // bit → owning field, by field ranges.
+        let mut field_of_bit = vec![usize::MAX; self.space.total_bits() as usize];
+        for v in 0..n {
+            let shift = layout.field_shift(v);
+            for i in 0..layout.field_bits(v) {
+                field_of_bit[(shift + i) as usize] = v;
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        for &u in self.bdd.order() {
+            let v = field_of_bit[(u / 2) as usize];
+            if v != usize::MAX && !seen[v] {
+                seen[v] = true;
+                order.push(v);
+            }
+        }
+        // Zero-bit fields (singleton domains) never appear at any
+        // level; append them so the result is a full permutation.
+        for (v, s) in seen.iter().enumerate() {
+            if !s {
+                order.push(v);
+            }
+        }
+        order
+    }
+
     /// The engine's persistent roots: every `Ref` that must survive a
     /// collection (domain, initial set, per-command relations).
     fn roots(&self) -> Vec<Ref> {
@@ -741,6 +778,36 @@ mod tests {
             .unwrap()
             .check_transient(pred)
             .unwrap()
+    }
+
+    #[test]
+    fn field_order_round_trips_through_fields_mode() {
+        let p = counter();
+        let n = p.vocab.len();
+        // A pinned permutation survives export exactly...
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let opts = SymbolicOptions {
+            order: OrderMode::Fields(perm.clone()),
+            ..Default::default()
+        };
+        let sym = SymbolicProgram::build_with(&p, &opts).unwrap();
+        assert_eq!(sym.field_order(), perm);
+        // ...and any engine's export is a permutation that reproduces
+        // its own level structure when re-imported.
+        let tuned = SymbolicProgram::build(&p).unwrap();
+        let exported = tuned.field_order();
+        let mut sorted = exported.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        let replayed = SymbolicProgram::build_with(
+            &p,
+            &SymbolicOptions {
+                order: OrderMode::Fields(exported.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(replayed.field_order(), exported);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the verification service, driven through the
+# real binaries the way an operator would use them:
+#
+#   1. start `unity-serve` on an ephemeral port over a fresh data dir
+#   2. submit the ring16 battery twice via `unity-check --serve`
+#      - the second response must answer from the artifact store
+#        (cache hits) with verdicts identical to the first
+#   3. kill the daemon with SIGKILL (no shutdown handler runs)
+#   4. restart it over the same data dir and check the journal replayed
+#      the full verdict history
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SPEC=examples/specs/priority_ring16.unity
+DATA_DIR="$(mktemp -d)"
+DAEMON_OUT="$(mktemp)"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$DATA_DIR" "$DAEMON_OUT"
+}
+trap cleanup EXIT
+
+cargo build --release -q --bin unity-check -p unity-composition --bin unity-serve -p unity-serve
+
+start_daemon() {
+    target/release/unity-serve --data-dir "$DATA_DIR" --addr 127.0.0.1:0 > "$DAEMON_OUT" &
+    DAEMON_PID=$!
+    disown "$DAEMON_PID" # silence the shell's SIGKILL job report
+    for _ in $(seq 1 50); do
+        ADDR="$(sed -n 's|.*http://\([0-9.:]*\).*|\1|p' "$DAEMON_OUT")"
+        [ -n "$ADDR" ] && return 0
+        kill -0 "$DAEMON_PID" 2>/dev/null || { echo "error: daemon died at startup" >&2; exit 1; }
+        sleep 0.1
+    done
+    echo "error: daemon never printed its address" >&2
+    exit 1
+}
+
+echo "== cold submission"
+start_daemon
+first="$(target/release/unity-check "$SPEC" --serve "$ADDR")"
+echo "$first"
+grep -q 'ts\[reachable\]=Miss' <<<"$first" || { echo "error: cold run should miss the store" >&2; exit 1; }
+
+echo "== warm submission (same daemon, same spec)"
+second="$(target/release/unity-check "$SPEC" --serve "$ADDR")"
+echo "$second"
+grep -q 'ts\[reachable\]=Hit' <<<"$second" || { echo "error: warm run should hit the store" >&2; exit 1; }
+grep -q 'pred\[reachable\]=Hit' <<<"$second" || { echo "error: warm run should hit the predecessor index" >&2; exit 1; }
+
+# Verdict lines (PASS/FAIL) must be identical cold vs warm.
+diff <(grep -E '^(PASS|FAIL)' <<<"$first") <(grep -E '^(PASS|FAIL)' <<<"$second") \
+    || { echo "error: warm verdicts diverged from cold" >&2; exit 1; }
+
+echo "== kill -9, restart over the same data dir"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+: > "$DAEMON_OUT"
+start_daemon
+grep -q '2 verdict(s) replayed' "$DAEMON_OUT" \
+    || { echo "error: restart did not replay the journal: $(cat "$DAEMON_OUT")" >&2; exit 1; }
+
+echo "== post-restart submission answers from disk"
+third="$(target/release/unity-check "$SPEC" --serve "$ADDR")"
+grep -q 'ts\[reachable\]=Hit' <<<"$third" || { echo "error: restarted daemon should hit the on-disk store" >&2; exit 1; }
+grep -q 'verdict #3' <<<"$third" || { echo "error: sequence should resume at 3, got: $third" >&2; exit 1; }
+
+echo "serve smoke: OK"

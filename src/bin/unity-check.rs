@@ -4,7 +4,7 @@
 //! unity-check FILE [--engine explicit|symbolic|reference]
 //!             [--order declaration|static|sift] [--stats]
 //!             [--universe reachable|all] [--threads N]
-//!             [--sim STEPS] [--seed N]
+//!             [--sim STEPS] [--seed N] [--serve HOST:PORT]
 //!             [--trace FILE] [--json FILE] [--list] [--quiet]
 //!             [--conserve] [--synthesize] [--mutate] [--version]
 //! ```
@@ -67,6 +67,16 @@
 //!   `leadsto` check and re-verifies it in the proof kernel;
 //! * `--mutate` runs a mutation audit of the file's own `spec` checks
 //!   and reports the kill ratio and any survivors (spec gaps).
+//!
+//! `--serve HOST:PORT` delegates the run to a `unity-serve` daemon
+//! instead of verifying locally: the file is submitted as-is over
+//! `POST /verify` (with `--engine`/`--universe` forwarded), the
+//! returned report prints like a local run plus a `CACHE` line showing
+//! which session artifacts the daemon served from its store, and the
+//! exit code contract is unchanged. The local-analysis flags
+//! (`--stats`, `--sim`, `--trace`, `--list`, `--conserve`,
+//! `--synthesize`, `--mutate`, `--order`, `--threads`) do not apply to
+//! a remote session and are rejected in combination with `--serve`.
 
 use std::process::ExitCode;
 
@@ -87,6 +97,7 @@ struct Options {
     threads: Option<usize>,
     sim_steps: u64,
     seed: u64,
+    serve: Option<String>,
     trace: Option<String>,
     json: Option<String>,
     list: bool,
@@ -99,7 +110,8 @@ struct Options {
 const USAGE: &str = "usage: unity-check FILE [--engine explicit|symbolic|reference] \
                      [--order declaration|static|sift] [--stats] \
                      [--universe reachable|all] [--threads N] [--sim STEPS] \
-                     [--seed N] [--trace FILE] [--json FILE] [--list] [--quiet] \
+                     [--seed N] [--serve HOST:PORT] [--trace FILE] [--json FILE] \
+                     [--list] [--quiet] \
                      [--conserve] [--synthesize] [--mutate] [--version]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -113,6 +125,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         threads: None,
         sim_steps: 0,
         seed: 1,
+        serve: None,
         trace: None,
         json: None,
         list: false,
@@ -122,6 +135,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         mutate: false,
     };
     let mut it = args.iter();
+    let mut order_given = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--engine" => {
@@ -133,6 +147,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--order" => {
+                order_given = true;
                 opts.order = match it.next().map(String::as_str) {
                     Some("declaration") => OrderMode::Declaration,
                     Some("static") => OrderMode::Static,
@@ -169,6 +184,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| format!("--seed needs a number; {USAGE}"))?;
+            }
+            "--serve" => {
+                opts.serve = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("--serve needs HOST:PORT; {USAGE}"))?,
+                );
             }
             "--trace" => {
                 opts.trace = Some(
@@ -213,10 +235,83 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     opts.file = file.ok_or_else(|| USAGE.to_string())?;
+    if opts.serve.is_some() {
+        // A remote session runs none of the local analysis machinery.
+        let local_only = [
+            (opts.stats, "--stats"),
+            (opts.sim_steps > 0, "--sim"),
+            (opts.trace.is_some(), "--trace"),
+            (opts.list, "--list"),
+            (opts.conserve, "--conserve"),
+            (opts.synthesize, "--synthesize"),
+            (opts.mutate, "--mutate"),
+            (opts.threads.is_some(), "--threads"),
+            (order_given, "--order"),
+        ];
+        if let Some((_, flag)) = local_only.iter().find(|(given, _)| *given) {
+            return Err(format!("{flag} does not apply with --serve; {USAGE}"));
+        }
+    }
     Ok(opts)
 }
 
+/// `--serve`: delegate the run to a `unity-serve` daemon. Prints the
+/// returned report like a local run (plus the daemon's cache line) and
+/// preserves the exit-code contract.
+fn run_remote(opts: &Options, addr: &str) -> Result<bool, String> {
+    let src = std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+    let mut req = unity_serve::VerifyRequest::new(src);
+    req.engine = opts.engine;
+    req.universe = opts.universe;
+    let (status, body) = unity_serve::http::request(addr, "POST", "/verify", Some(&req.to_json()))?;
+    if status != 200 {
+        let msg = unity_serve::proto::error_message(&body)
+            .unwrap_or_else(|| format!("HTTP {status} from {addr}"));
+        return Err(format!("{addr}: {msg}"));
+    }
+    let resp = unity_serve::VerifyResponse::from_json(&body)
+        .map_err(|e| format!("{addr}: malformed response: {e}"))?;
+    if !opts.quiet {
+        println!(
+            "verified by {addr} as spec {} (verdict #{})",
+            resp.spec_hash, resp.seq
+        );
+        let c = &resp.cache;
+        println!(
+            "CACHE ts[reachable]={:?} ts[all]={:?} pred[reachable]={:?} pred[all]={:?} order={:?}",
+            c.ts_reachable, c.ts_all_states, c.pred_reachable, c.pred_all_states, c.field_order
+        );
+    }
+    for c in &resp.report.checks {
+        match &c.verdict.outcome {
+            Outcome::Pass => {
+                if !opts.quiet {
+                    println!("PASS {}: {}", c.name, c.verdict.property);
+                }
+            }
+            Outcome::Fail { .. } => {
+                println!("FAIL {}: {}", c.name, c.verdict.property);
+            }
+            Outcome::Error { .. } => {}
+        }
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, resp.report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        if !opts.quiet {
+            println!("report written to {path}");
+        }
+    }
+    if let Some(errored) = resp.report.first_error() {
+        let error = errored.verdict.error().expect("error outcome");
+        return Err(format!("check `{}`: {error}", errored.name));
+    }
+    Ok(resp.report.all_passed())
+}
+
 fn run(opts: &Options) -> Result<bool, String> {
+    if let Some(addr) = &opts.serve {
+        return run_remote(opts, addr);
+    }
     let src = std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
     let spec = load_spec(&src).map_err(|e| format!("{}: {e}", opts.file))?;
     let vocab = spec.system.vocab().clone();
@@ -526,6 +621,12 @@ fn simulate(
 }
 
 fn main() -> ExitCode {
+    // Same contract as `--threads 0`: a bad override is a usage error,
+    // not a silent fallback to the machine default.
+    if let Err(msg) = validate_build_threads_env() {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
         Ok(o) => o,

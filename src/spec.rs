@@ -1,248 +1,9 @@
-//! Specification files: programs plus named property checks.
+//! Specification files — re-exported from [`unity_mc::spec`].
 //!
-//! A `.unity` file contains any number of `program ... end` blocks
-//! (the [`unity_core::dsl`] syntax) followed by optional `spec ... end`
-//! blocks listing properties to check on the *composition* of all
-//! programs:
-//!
-//! ```text
-//! program Counter0
-//!   var c0 : int 0..2 local
-//!   var C : int 0..4
-//!   init c0 == 0 && C == 0
-//!   fair cmd a0: c0 < 2 -> c0 := c0 + 1, C := C + 1
-//! end
-//!
-//! spec Sys
-//!   conservation: invariant C == sum(c0)
-//!   progress:     true leadsto C == 2
-//! end
-//! ```
-//!
-//! Each spec line is `[name:] <property>` with the paper's property
-//! syntax (`init`, `transient`, `stable`, `invariant`, `unchanged`,
-//! `p next q`, `p leadsto q`). `//` comments and blank lines are
-//! ignored. This is the input format of the `unity-check` binary.
+//! The loader moved into the model-checker crate so that `unity-serve`
+//! (and any other consumer below the umbrella crate) can parse `.unity`
+//! submissions without a dependency cycle. Existing
+//! `unity_composition::spec::{load_spec, SpecFile, NamedCheck}` paths
+//! keep working through this re-export.
 
-use unity_core::compose::{InitSatCheck, System};
-use unity_core::dsl;
-use unity_core::error::CoreError;
-
-// The named-check shape lives with the verifier session (spec files
-// parse straight into `Verifier::verify_all` input).
-pub use unity_mc::verifier::NamedCheck;
-
-/// A parsed specification file: the composed system plus its checks.
-#[derive(Debug)]
-pub struct SpecFile {
-    /// The composition of every `program` block (vocabularies merged by
-    /// name).
-    pub system: System,
-    /// Checks from every `spec` block, in file order.
-    pub checks: Vec<NamedCheck>,
-}
-
-fn parse_err(line: usize, msg: impl Into<String>) -> CoreError {
-    CoreError::Parse {
-        line: line.min(u32::MAX as usize) as u32,
-        col: 1,
-        msg: msg.into(),
-    }
-}
-
-/// Strips a `//` comment (the DSL has no string literals, so a bare
-/// scan is exact).
-fn uncomment(line: &str) -> &str {
-    match line.find("//") {
-        Some(k) => &line[..k],
-        None => line,
-    }
-}
-
-/// Splits `src` into `program` source text and `spec` blocks
-/// (`(name, [(line_no, text)])`).
-#[allow(clippy::type_complexity)]
-fn split_blocks(src: &str) -> Result<(String, Vec<(String, Vec<(usize, String)>)>), CoreError> {
-    #[derive(PartialEq)]
-    enum Mode {
-        Top,
-        Program,
-        Spec,
-    }
-    let mut mode = Mode::Top;
-    let mut program_src = String::new();
-    let mut specs: Vec<(String, Vec<(usize, String)>)> = Vec::new();
-    for (k, raw) in src.lines().enumerate() {
-        let line_no = k + 1;
-        let line = uncomment(raw).trim();
-        let first = line.split_whitespace().next().unwrap_or("");
-        match mode {
-            Mode::Top => match first {
-                "" => {}
-                "program" => {
-                    mode = Mode::Program;
-                    program_src.push_str(raw);
-                    program_src.push('\n');
-                }
-                "spec" => {
-                    let name = line["spec".len()..].trim();
-                    if name.is_empty() {
-                        return Err(parse_err(line_no, "spec block needs a name"));
-                    }
-                    specs.push((name.to_string(), Vec::new()));
-                    mode = Mode::Spec;
-                }
-                other => {
-                    return Err(parse_err(
-                        line_no,
-                        format!("expected `program` or `spec`, found `{other}`"),
-                    ))
-                }
-            },
-            Mode::Program => {
-                program_src.push_str(raw);
-                program_src.push('\n');
-                if first == "end" {
-                    mode = Mode::Top;
-                }
-            }
-            Mode::Spec => {
-                if first == "end" {
-                    mode = Mode::Top;
-                } else if !line.is_empty() {
-                    specs
-                        .last_mut()
-                        .expect("inside a spec block")
-                        .1
-                        .push((line_no, line.to_string()));
-                }
-            }
-        }
-    }
-    if mode != Mode::Top {
-        return Err(parse_err(
-            src.lines().count(),
-            "unterminated block (missing `end`)",
-        ));
-    }
-    Ok((program_src, specs))
-}
-
-/// Parses a full specification file and composes its programs.
-pub fn load_spec(src: &str) -> Result<SpecFile, CoreError> {
-    let (program_src, spec_blocks) = split_blocks(src)?;
-    let programs = dsl::parse_programs(&program_src)?;
-    if programs.is_empty() {
-        return Err(parse_err(1, "no `program` blocks in specification"));
-    }
-    let system = System::compose_merging(&programs, InitSatCheck::BoundedExhaustive(1 << 22))?;
-    let vocab = system.vocab().clone();
-
-    let mut checks = Vec::new();
-    let mut anon = 0usize;
-    for (_block, lines) in &spec_blocks {
-        for (line_no, text) in lines {
-            // `label: property` — a label is a leading identifier followed
-            // by `:` that is NOT a property keyword. (Property syntax never
-            // begins `ident:`.)
-            let (name, prop_text) = match text.split_once(':') {
-                Some((l, rest))
-                    if !l.trim().is_empty()
-                        && l.trim().chars().all(|c| c.is_alphanumeric() || c == '_') =>
-                {
-                    (l.trim().to_string(), rest)
-                }
-                _ => {
-                    anon += 1;
-                    (format!("check{anon}"), text.as_str())
-                }
-            };
-            let property = dsl::parse_property(prop_text, &vocab)
-                .map_err(|e| parse_err(*line_no, format!("in check `{name}`: {e}")))?;
-            checks.push(NamedCheck {
-                name,
-                property,
-                line: *line_no,
-            });
-        }
-    }
-    Ok(SpecFile { system, checks })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const TOY: &str = r#"
-// Two counters sharing C.
-program Counter0
-  var c0 : int 0..2 local
-  var C : int 0..4
-  init c0 == 0 && C == 0
-  fair cmd a0: c0 < 2 -> c0 := c0 + 1, C := C + 1
-end
-
-program Counter1
-  var c1 : int 0..2 local
-  var C : int 0..4
-  init c1 == 0 && C == 0
-  fair cmd a1: c1 < 2 -> c1 := c1 + 1, C := C + 1
-end
-
-spec Sys
-  conservation: invariant C == sum(c0, c1)
-  // an unlabeled check
-  true leadsto C == 4
-end
-"#;
-
-    #[test]
-    fn loads_programs_and_checks() {
-        let spec = load_spec(TOY).unwrap();
-        assert_eq!(spec.system.len(), 2);
-        assert_eq!(spec.checks.len(), 2);
-        assert_eq!(spec.checks[0].name, "conservation");
-        assert_eq!(spec.checks[0].property.kind(), "invariant");
-        assert_eq!(spec.checks[1].name, "check1");
-        assert_eq!(spec.checks[1].property.kind(), "leadsto");
-    }
-
-    #[test]
-    fn checks_reference_merged_vocabulary() {
-        let spec = load_spec(TOY).unwrap();
-        assert_eq!(spec.system.vocab().len(), 3, "c0, C, c1 merged");
-    }
-
-    #[test]
-    fn spec_without_name_is_rejected() {
-        let src = "program P\n  var x : bool\n  init !x\nend\nspec\n  stable x\nend";
-        let err = load_spec(src).unwrap_err();
-        assert!(err.to_string().contains("spec block needs a name"));
-    }
-
-    #[test]
-    fn unterminated_block_is_rejected() {
-        let src = "program P\n  var x : bool\n  init !x";
-        assert!(load_spec(src).is_err());
-    }
-
-    #[test]
-    fn bad_property_reports_line_and_name() {
-        let src = "program P\n  var x : bool\n  init !x\nend\nspec S\n  mystery: invariant zz\nend";
-        let err = load_spec(src).unwrap_err();
-        let msg = err.to_string();
-        assert!(msg.contains("mystery"), "{msg}");
-    }
-
-    #[test]
-    fn files_with_no_programs_are_rejected() {
-        assert!(load_spec("spec S\nend").is_err());
-        assert!(load_spec("").is_err());
-    }
-
-    #[test]
-    fn stray_toplevel_text_is_rejected() {
-        let err = load_spec("banana").unwrap_err();
-        assert!(err.to_string().contains("banana"));
-    }
-}
+pub use unity_mc::spec::{load_spec, NamedCheck, SpecFile};

@@ -1,0 +1,128 @@
+//! End-to-end tests of `unity-check --serve`: the CLI as a thin client
+//! against an in-process `unity-serve` instance.
+
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Duration;
+
+use unity_serve::{Service, ServiceConfig};
+
+fn unity_check(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_unity-check"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// Starts a server on an ephemeral port over a fresh data dir.
+fn start_server(name: &str) -> (unity_serve::Server, String) {
+    let dir = std::env::temp_dir().join(format!("unity_cli_serve_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = Arc::new(
+        Service::open(ServiceConfig {
+            data_dir: dir,
+            workers: 2,
+            default_timeout: Some(Duration::from_secs(60)),
+        })
+        .unwrap(),
+    );
+    let server = unity_serve::start(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn serve_mode_verifies_remotely_and_reports_cache_hits() {
+    let (server, addr) = start_server("roundtrip");
+
+    let out = unity_check(&["examples/specs/toy.unity", "--serve", &addr]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains(&format!("verified by {addr}")), "{stdout}");
+    assert!(stdout.contains("PASS conservation"), "{stdout}");
+    assert!(stdout.contains("CACHE"), "{stdout}");
+    assert!(stdout.contains("ts[reachable]=Miss"), "cold run: {stdout}");
+
+    // Same spec again: the daemon answers from its artifact store.
+    let out = unity_check(&["examples/specs/toy.unity", "--serve", &addr]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("ts[reachable]=Hit"), "warm run: {stdout}");
+    assert!(stdout.contains("(verdict #2)"), "{stdout}");
+
+    server.shutdown();
+}
+
+#[test]
+fn serve_mode_failing_spec_exits_one() {
+    let (server, addr) = start_server("failing");
+    let out = unity_check(&["examples/specs/broken.unity", "--serve", &addr]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL conservation"), "{stdout}");
+    server.shutdown();
+}
+
+#[test]
+fn serve_mode_json_report_round_trips() {
+    use unity_composition::unity_mc::prelude::Report;
+    let (server, addr) = start_server("json");
+    let dir = std::env::temp_dir().join(format!("unity_cli_serve_json_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("remote_report.json");
+    let out = unity_check(&[
+        "examples/specs/toy.unity",
+        "--serve",
+        &addr,
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // The remote report uses the same stable schema local runs write.
+    let report = Report::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(report.all_passed());
+    assert_eq!(report.vars, vec!["c0", "C", "c1"]);
+    let names: Vec<&str> = report.checks.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["conservation", "weakened0", "saturation"]);
+    std::fs::remove_file(&path).ok();
+    server.shutdown();
+}
+
+#[test]
+fn local_analysis_flags_are_rejected_with_serve() {
+    // No server needed: the conflict is a usage error before any I/O.
+    for flags in [
+        &["--serve", "127.0.0.1:1", "--stats"][..],
+        &["--serve", "127.0.0.1:1", "--sim", "10"][..],
+        &["--serve", "127.0.0.1:1", "--threads", "2"][..],
+        &["--serve", "127.0.0.1:1", "--list"][..],
+    ] {
+        let mut args = vec!["examples/specs/toy.unity"];
+        args.extend_from_slice(flags);
+        let out = unity_check(&args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{flags:?}: {stderr}");
+        assert!(stderr.contains("does not apply with --serve"), "{stderr}");
+    }
+}
+
+#[test]
+fn unreachable_server_is_an_infrastructure_error() {
+    // Port 1 on localhost: connection refused, exit 2 (not a verdict).
+    let out = unity_check(&["examples/specs/toy.unity", "--serve", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn build_threads_env_is_validated_like_dash_dash_threads() {
+    for bad in ["0", "abc", "-1"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_unity-check"))
+            .args(["examples/specs/toy.unity"])
+            .env("UNITY_BUILD_THREADS", bad)
+            .output()
+            .expect("binary runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "`{bad}`: {stderr}");
+        assert!(stderr.contains("UNITY_BUILD_THREADS"), "{stderr}");
+    }
+}
