@@ -33,6 +33,7 @@ fn open(dir: &std::path::Path) -> Service {
         data_dir: dir.to_path_buf(),
         workers: 1,
         default_timeout: None,
+        queue_limit: 8,
     })
     .unwrap()
 }

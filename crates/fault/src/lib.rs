@@ -1,0 +1,593 @@
+//! Deterministic fault injection: named failpoints.
+//!
+//! The service layer claims graceful degradation — torn-tail journal
+//! replay, corrupt-segment rebuild, panic-contained workers. Claims are
+//! cheap; this crate makes every such path *drivable* from a test or
+//! from the environment, so adverse interleavings are enumerated, not
+//! hoped about — the same discipline the source paper applies to
+//! program composition.
+//!
+//! A **failpoint** is a named hook compiled into production code:
+//!
+//! ```ignore
+//! unity_fault::fail_point!("journal.append.pre_fsync", |msg| Err(msg));
+//! ```
+//!
+//! With the `failpoints` cargo feature **off** (the default, and the
+//! release configuration) every `fail_point!` expansion is empty — zero
+//! instructions, zero data, nothing to misfire in production. With the
+//! feature **on** the point consults a global registry and can:
+//!
+//! | action        | effect at the callsite                            |
+//! |---------------|---------------------------------------------------|
+//! | `off`         | nothing (explicitly disables the point)           |
+//! | `return`      | evaluate the caller's recovery arm with a message |
+//! | `delay(ms)`   | sleep for `ms` milliseconds, then continue        |
+//! | `panic`       | panic (exercises `catch_unwind` containment)      |
+//! | `abort`       | `std::process::abort()` — a crash, like `kill -9` |
+//! | `truncate(n)` | at a write point: write `n` bytes, then abort     |
+//!
+//! Rules prefix actions with modifiers: `3*return` fires three times
+//! then falls through, `50%delay(10)` fires with probability 0.5
+//! (deterministic, seeded via `UNITY_FAILPOINTS_SEED`). Chains evaluate
+//! left to right: `1*panic->return` panics once, then injects errors.
+//!
+//! Configuration is per-test ([`cfg()`]/[`FailGuard`]) or inherited from
+//! the `UNITY_FAILPOINTS` environment variable
+//! (`point=rules;point=rules`), which binaries apply at startup via
+//! [`setup_from_env`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+/// Injects a failpoint.
+///
+/// `fail_point!("name")` can delay, panic, or abort. The two-argument
+/// form `fail_point!("name", |msg: String| expr)` additionally honors
+/// `return` rules by evaluating `expr` (typically an `Err`) and
+/// returning it from the enclosing function.
+///
+/// Expands to nothing unless the **calling** crate has a `failpoints`
+/// cargo feature enabled (which must forward to `unity-fault/failpoints`).
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            let _ = $crate::hit($name);
+        }
+    }};
+    ($name:expr, $recover:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(__fault_msg) = $crate::hit($name) {
+                return ($recover)(__fault_msg);
+            }
+        }
+    }};
+}
+
+/// Injects a torn write: if the named point has a `truncate(n)` rule,
+/// writes the first `n` bytes of `$bytes` to `$writer`, flushes, and
+/// aborts the process — a short write is only observable through a
+/// crash, so the two are injected as one event.
+///
+/// Expands to nothing unless the calling crate enables `failpoints`.
+#[macro_export]
+macro_rules! fail_torn_write {
+    ($name:expr, $writer:expr, $bytes:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(__fault_n) = $crate::truncate_len($name, $bytes.len()) {
+                use std::io::Write as _;
+                let _ = $writer.write_all(&$bytes[..__fault_n]);
+                let _ = $writer.flush();
+                std::process::abort();
+            }
+        }
+    }};
+}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// What a fired rule does at the callsite.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Action {
+        /// Explicitly nothing; terminates rule evaluation.
+        Off,
+        /// Hand the message to the caller's recovery arm.
+        Return(Option<String>),
+        /// Sleep this many milliseconds, then continue normally.
+        Delay(u64),
+        /// Panic with the message.
+        Panic(Option<String>),
+        /// `std::process::abort()` — the `kill -9` of failpoints.
+        Abort,
+        /// At a write point: write only this many bytes, then abort.
+        Truncate(usize),
+    }
+
+    /// One `[count*][prob%]action` clause.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Rule {
+        /// Remaining firings (`None` = unlimited).
+        pub count: Option<u64>,
+        /// Firing probability in percent (`None` = always).
+        pub prob: Option<u8>,
+        /// The action once the rule fires.
+        pub action: Action,
+    }
+
+    struct Registry {
+        points: HashMap<String, Vec<Rule>>,
+        rng: u64,
+    }
+
+    fn registry() -> MutexGuard<'static, Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY
+            .get_or_init(|| {
+                let seed = std::env::var("UNITY_FAILPOINTS_SEED")
+                    .ok()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(0x9e37_79b9_7f4a_7c15);
+                Mutex::new(Registry {
+                    points: HashMap::new(),
+                    rng: seed | 1,
+                })
+            })
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn parse_action(s: &str) -> Result<Action, String> {
+        let (head, arg) = match s.find('(') {
+            Some(k) => {
+                let inner = s[k..]
+                    .strip_prefix('(')
+                    .and_then(|r| r.strip_suffix(')'))
+                    .ok_or_else(|| format!("unbalanced parentheses in `{s}`"))?;
+                (&s[..k], Some(inner))
+            }
+            None => (s, None),
+        };
+        match (head, arg) {
+            ("off", None) => Ok(Action::Off),
+            ("return", msg) => Ok(Action::Return(msg.map(str::to_string))),
+            ("delay", Some(ms)) => Ok(Action::Delay(
+                ms.parse().map_err(|_| format!("bad delay `{ms}`"))?,
+            )),
+            ("panic", msg) => Ok(Action::Panic(msg.map(str::to_string))),
+            ("abort", None) => Ok(Action::Abort),
+            ("truncate", Some(n)) => Ok(Action::Truncate(
+                n.parse()
+                    .map_err(|_| format!("bad truncate length `{n}`"))?,
+            )),
+            _ => Err(format!("unknown failpoint action `{s}`")),
+        }
+    }
+
+    fn parse_rule(s: &str) -> Result<Rule, String> {
+        let s = s.trim();
+        let (count, rest) = match s.split_once('*') {
+            Some((n, rest)) => (
+                Some(n.parse::<u64>().map_err(|_| format!("bad count `{n}`"))?),
+                rest,
+            ),
+            None => (None, s),
+        };
+        let (prob, rest) = match rest.split_once('%') {
+            Some((p, rest)) => {
+                let p: u8 = p.parse().map_err(|_| format!("bad probability `{p}`"))?;
+                if p > 100 {
+                    return Err(format!("probability {p}% exceeds 100"));
+                }
+                (Some(p), rest)
+            }
+            None => (None, rest),
+        };
+        Ok(Rule {
+            count,
+            prob,
+            action: parse_action(rest)?,
+        })
+    }
+
+    /// Parses a rule chain: `rule[->rule...]`.
+    pub fn parse_rules(s: &str) -> Result<Vec<Rule>, String> {
+        s.split("->").map(parse_rule).collect()
+    }
+
+    /// Installs (replacing) the rule chain for `name`.
+    pub fn cfg(name: &str, rules: &str) -> Result<(), String> {
+        let parsed = parse_rules(rules).map_err(|e| format!("failpoint `{name}`: {e}"))?;
+        registry().points.insert(name.to_string(), parsed);
+        Ok(())
+    }
+
+    /// Removes the configuration for `name` (the point goes inert).
+    pub fn remove(name: &str) {
+        registry().points.remove(name);
+    }
+
+    /// Clears every configured point.
+    pub fn teardown() {
+        registry().points.clear();
+    }
+
+    /// Applies `UNITY_FAILPOINTS` (`point=rules;point=rules`). Returns
+    /// the number of points configured; malformed syntax is an error so
+    /// a typo'd schedule cannot silently test nothing.
+    pub fn setup_from_env() -> Result<usize, String> {
+        let Ok(val) = std::env::var("UNITY_FAILPOINTS") else {
+            return Ok(0);
+        };
+        let mut n = 0;
+        for clause in val.split(';').filter(|c| !c.trim().is_empty()) {
+            let (name, rules) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("UNITY_FAILPOINTS: missing `=` in `{clause}`"))?;
+            cfg(name.trim(), rules)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The configured points, for startup logging.
+    pub fn active() -> Vec<String> {
+        let mut names: Vec<String> = registry().points.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// One step of the xorshift64* stream: a deterministic percentage
+    /// roll under the seed.
+    fn roll(reg: &mut Registry) -> u64 {
+        let mut x = reg.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        reg.rng = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) % 100
+    }
+
+    /// Picks the first applicable rule for `name` and consumes one
+    /// firing from its count. Deterministic given the seed.
+    fn fire(name: &str) -> Option<Action> {
+        let mut reg = registry();
+        let rolled = roll(&mut reg);
+        let rules = reg.points.get_mut(name)?;
+        for rule in rules.iter_mut() {
+            if rule.count == Some(0) {
+                continue; // exhausted: fall through to the next rule
+            }
+            if let Some(p) = rule.prob {
+                if rolled >= u64::from(p) {
+                    return None; // declined this call; retry next call
+                }
+            }
+            if let Some(c) = &mut rule.count {
+                *c -= 1;
+            }
+            return Some(rule.action.clone());
+        }
+        None
+    }
+
+    /// The engine behind [`fail_point!`]: executes side-effect actions
+    /// (delay, panic, abort) and returns `Some(message)` for `return`
+    /// rules. `truncate` rules are ignored here — they only make sense
+    /// at a write point ([`truncate_len`]).
+    pub fn hit(name: &str) -> Option<String> {
+        match fire(name)? {
+            Action::Off | Action::Truncate(_) => None,
+            Action::Return(msg) => {
+                Some(msg.unwrap_or_else(|| format!("injected by failpoint `{name}`")))
+            }
+            Action::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            Action::Panic(msg) => {
+                let msg = msg.unwrap_or_else(|| "injected panic".into());
+                panic!("failpoint `{name}`: {msg}");
+            }
+            Action::Abort => std::process::abort(),
+        }
+    }
+
+    /// The engine behind [`fail_torn_write!`]: `Some(n)` when a
+    /// `truncate(n)` rule fires (clamped to `full`). Any other
+    /// applicable action is left **unconsumed** — a write boundary
+    /// pairs this probe with a `fail_point!` under the same name, and
+    /// only one of the two may spend a counted rule's firing.
+    pub fn truncate_len(name: &str, full: usize) -> Option<usize> {
+        let mut reg = registry();
+        let rolled = roll(&mut reg);
+        let rules = reg.points.get_mut(name)?;
+        for rule in rules.iter_mut() {
+            if rule.count == Some(0) {
+                continue; // exhausted: fall through to the next rule
+            }
+            let Action::Truncate(n) = rule.action else {
+                return None; // not a torn write; the paired fail_point! decides
+            };
+            if let Some(p) = rule.prob {
+                if rolled >= u64::from(p) {
+                    return None; // declined this call; retry next call
+                }
+            }
+            if let Some(c) = &mut rule.count {
+                *c -= 1;
+            }
+            return Some(n.min(full));
+        }
+        None
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{active, cfg, hit, parse_rules, remove, setup_from_env, teardown, truncate_len};
+
+#[cfg(feature = "failpoints")]
+pub use registry::{Action, Rule};
+
+/// Scoped failpoint configuration: installs on construction, removes on
+/// drop, so a panicking test cannot leak its faults into the next one.
+#[must_use = "the failpoint is removed when the guard drops"]
+pub struct FailGuard {
+    #[cfg(feature = "failpoints")]
+    name: String,
+}
+
+impl FailGuard {
+    /// Configures `name` with `rules` for the guard's lifetime.
+    #[cfg(feature = "failpoints")]
+    pub fn new(name: &str, rules: &str) -> Result<FailGuard, String> {
+        cfg(name, rules)?;
+        Ok(FailGuard {
+            name: name.to_string(),
+        })
+    }
+
+    /// Inert stub: without the `failpoints` feature there is nothing to
+    /// configure and the guard is empty.
+    #[cfg(not(feature = "failpoints"))]
+    pub fn new(_name: &str, _rules: &str) -> Result<FailGuard, String> {
+        Ok(FailGuard {})
+    }
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "failpoints")]
+        remove(&self.name);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inert stubs: the API surface exists without the feature so callers
+// can invoke setup/teardown unconditionally; everything is a no-op.
+// ---------------------------------------------------------------------
+
+/// No-op without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn cfg(_name: &str, _rules: &str) -> Result<(), String> {
+    Ok(())
+}
+
+/// No-op without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn remove(_name: &str) {}
+
+/// No-op without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn teardown() {}
+
+/// No-op without the `failpoints` feature (reports zero points).
+#[cfg(not(feature = "failpoints"))]
+pub fn setup_from_env() -> Result<usize, String> {
+    Ok(0)
+}
+
+/// No-op without the `failpoints` feature (reports no points).
+#[cfg(not(feature = "failpoints"))]
+pub fn active() -> Vec<String> {
+    Vec::new()
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global; tests that configure points
+    /// serialize on this (and use distinct point names besides).
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parsing_accepts_the_documented_grammar() {
+        assert_eq!(
+            parse_rules("return").unwrap(),
+            vec![Rule {
+                count: None,
+                prob: None,
+                action: Action::Return(None)
+            }]
+        );
+        assert_eq!(
+            parse_rules("2*50%delay(30)").unwrap(),
+            vec![Rule {
+                count: Some(2),
+                prob: Some(50),
+                action: Action::Delay(30)
+            }]
+        );
+        assert_eq!(
+            parse_rules("1*panic(boom)->return(io)").unwrap(),
+            vec![
+                Rule {
+                    count: Some(1),
+                    prob: None,
+                    action: Action::Panic(Some("boom".into()))
+                },
+                Rule {
+                    count: None,
+                    prob: None,
+                    action: Action::Return(Some("io".into()))
+                },
+            ]
+        );
+        assert_eq!(
+            parse_rules("truncate(12)").unwrap()[0].action,
+            Action::Truncate(12)
+        );
+        assert_eq!(parse_rules("off").unwrap()[0].action, Action::Off);
+        assert_eq!(parse_rules("abort").unwrap()[0].action, Action::Abort);
+
+        for bad in ["explode", "150%return", "x*return", "delay", "truncate"] {
+            assert!(parse_rules(bad).is_err(), "`{bad}` accepted");
+        }
+    }
+
+    #[test]
+    fn unconfigured_points_are_inert_and_counts_exhaust() {
+        let _g = serial();
+        assert_eq!(hit("test.never_configured"), None);
+
+        cfg("test.count", "2*return(x)").unwrap();
+        assert_eq!(hit("test.count").as_deref(), Some("x"));
+        assert_eq!(hit("test.count").as_deref(), Some("x"));
+        assert_eq!(hit("test.count"), None, "count exhausted");
+        remove("test.count");
+    }
+
+    #[test]
+    fn chains_fall_through_when_a_count_exhausts() {
+        let _g = serial();
+        cfg("test.chain", "1*return(first)->return(rest)").unwrap();
+        assert_eq!(hit("test.chain").as_deref(), Some("first"));
+        assert_eq!(hit("test.chain").as_deref(), Some("rest"));
+        assert_eq!(hit("test.chain").as_deref(), Some("rest"));
+        remove("test.chain");
+    }
+
+    #[test]
+    fn return_messages_default_to_naming_the_point() {
+        let _g = serial();
+        cfg("test.msg", "return").unwrap();
+        assert!(hit("test.msg").unwrap().contains("test.msg"));
+        remove("test.msg");
+    }
+
+    #[test]
+    fn probability_is_between_never_and_always() {
+        let _g = serial();
+        cfg("test.prob", "50%return").unwrap();
+        let fired = (0..200).filter(|_| hit("test.prob").is_some()).count();
+        assert!(
+            (40..=160).contains(&fired),
+            "50% fired {fired}/200 — generator broken"
+        );
+        cfg("test.prob", "0%return").unwrap();
+        assert!((0..50).all(|_| hit("test.prob").is_none()));
+        cfg("test.prob", "100%return").unwrap();
+        assert!((0..50).all(|_| hit("test.prob").is_some()));
+        remove("test.prob");
+    }
+
+    #[test]
+    fn truncate_rules_only_fire_at_write_points() {
+        let _g = serial();
+        cfg("test.trunc", "truncate(4)").unwrap();
+        assert_eq!(hit("test.trunc"), None, "hit ignores truncate");
+        assert_eq!(truncate_len("test.trunc", 100), Some(4));
+        assert_eq!(truncate_len("test.trunc", 2), Some(2), "clamped");
+        remove("test.trunc");
+
+        cfg("test.trunc2", "return(io)").unwrap();
+        assert_eq!(
+            truncate_len("test.trunc2", 10),
+            None,
+            "truncate_len ignores return"
+        );
+        remove("test.trunc2");
+    }
+
+    #[test]
+    fn guards_remove_their_point_on_drop() {
+        let _g = serial();
+        {
+            let _guard = FailGuard::new("test.guarded", "return(g)").unwrap();
+            assert_eq!(hit("test.guarded").as_deref(), Some("g"));
+        }
+        assert_eq!(hit("test.guarded"), None);
+        assert!(FailGuard::new("test.guarded", "nonsense").is_err());
+    }
+
+    #[test]
+    fn off_disables_and_reconfiguration_replaces() {
+        let _g = serial();
+        cfg("test.off", "return").unwrap();
+        cfg("test.off", "off").unwrap();
+        assert_eq!(hit("test.off"), None);
+        remove("test.off");
+    }
+
+    #[test]
+    fn env_setup_parses_schedules_and_rejects_typos() {
+        let _g = serial();
+        // `setup_from_env` reads the real environment; drive the parser
+        // directly through the same clause splitting it applies.
+        for clause in "a.b=1*return(x);c.d=50%delay(2)".split(';') {
+            let (name, rules) = clause.split_once('=').unwrap();
+            cfg(name, rules).unwrap();
+        }
+        assert!(active().contains(&"a.b".to_string()));
+        assert!(active().contains(&"c.d".to_string()));
+        assert!(cfg("a.b", "explode").is_err());
+        teardown();
+        assert!(active().is_empty());
+    }
+
+    #[test]
+    fn panic_action_panics_with_the_point_name() {
+        let _g = serial();
+        cfg("test.panic", "panic(ouch)").unwrap();
+        let err = std::panic::catch_unwind(|| hit("test.panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("test.panic") && msg.contains("ouch"), "{msg}");
+        remove("test.panic");
+    }
+
+    #[test]
+    fn macros_compile_in_both_forms() {
+        let _g = serial();
+        fn guarded() -> Result<u32, String> {
+            fail_point!("test.macro.unit");
+            fail_point!("test.macro.ret", Err);
+            Ok(7)
+        }
+        assert_eq!(guarded(), Ok(7));
+        cfg("test.macro.ret", "return(nope)").unwrap();
+        assert_eq!(guarded(), Err("nope".into()));
+        remove("test.macro.ret");
+
+        // Torn-write macro: inert without a truncate rule.
+        let mut sink = Vec::new();
+        let bytes = b"hello".to_vec();
+        fail_torn_write!("test.macro.torn", &mut sink, bytes);
+        assert!(sink.is_empty());
+    }
+}

@@ -45,6 +45,28 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// [`checksum`] rendered as fixed-width lowercase hex — the form
+/// embedded in text records (the verdict journal's per-record `crc`
+/// field), where a fixed width keeps the framing length-stable.
+pub fn checksum_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", checksum(bytes))
+}
+
+/// Parses a [`checksum_hex`] digest back to the `u64` it renders.
+/// Strict: exactly 16 lowercase hex digits, anything else is an error —
+/// a hand-mangled digest must read as corruption, not as a checksum
+/// that happens to match.
+pub fn parse_checksum_hex(s: &str) -> Result<u64, String> {
+    if s.len() != 16
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return Err(format!("`{s}` is not a 16-digit lowercase hex checksum"));
+    }
+    u64::from_str_radix(s, 16).map_err(|e| format!("`{s}`: {e}"))
+}
+
 /// The checksum a segment stores: the artifact kind chained with the
 /// payload, so a flipped kind byte is caught like flipped payload.
 fn segment_checksum(kind: u8, payload: &[u8]) -> u64 {
@@ -299,6 +321,28 @@ mod tests {
         // Truncations are caught.
         for cut in 0..seg.len() {
             assert!(decode_segment(&seg[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn checksum_hex_round_trips_and_rejects_mangled_digests() {
+        let digest = checksum_hex(b"journal record");
+        assert_eq!(digest.len(), 16);
+        assert_eq!(
+            parse_checksum_hex(&digest).unwrap(),
+            checksum(b"journal record")
+        );
+        // Leading zeros keep the width fixed.
+        assert_eq!(checksum_hex(&[]).len(), 16);
+        for bad in [
+            "",
+            "123",
+            "123456789abcdef",
+            "123456789abcdef01",
+            "123456789ABCDEF0",
+            "g23456789abcdef0",
+        ] {
+            assert!(parse_checksum_hex(bad).is_err(), "`{bad}` accepted");
         }
     }
 

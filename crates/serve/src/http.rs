@@ -5,15 +5,20 @@
 //! RFC 8259 JSON in [`unity_mc::json`]. One request per connection,
 //! `Connection: close` semantics, `Content-Length` bodies only (no
 //! chunked encoding, no keep-alive, no TLS). Both ends are here: the
-//! server-side [`read_request`]/[`write_response`] pair and the tiny
-//! [`request`] client that `unity-check --serve` uses.
+//! server-side [`read_request_within`]/[`write_response`] pair and the
+//! deadline-bounded [`request_with`] client that `unity-check --serve`
+//! builds its retry loop on.
 //!
 //! Framing limits are hard errors, not truncation: header lines are
-//! capped at [`MAX_HEADER_BYTES`] and bodies at [`MAX_BODY_BYTES`], so
-//! a hostile peer cannot make the daemon buffer unbounded input.
+//! capped at [`MAX_HEADER_BYTES`], bodies at [`MAX_BODY_BYTES`], and —
+//! slowloris defense — the *whole* request must arrive within a
+//! deadline. A hostile peer can neither make the daemon buffer
+//! unbounded input nor pin a connection thread by trickling one byte
+//! per read-timeout.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Longest accepted header line (request line included).
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -46,10 +51,23 @@ impl Request {
     }
 }
 
+/// Remaining time before `deadline`, or an error once it has passed.
+fn remaining(deadline: Option<Instant>, what: &str) -> Result<(), String> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(format!("{what}: request deadline exceeded")),
+        _ => Ok(()),
+    }
+}
+
 /// Reads one header line (capped, CRLF-stripped) from `r`.
-fn read_line<R: BufRead>(r: &mut R, cap: usize) -> Result<String, String> {
+fn read_line<R: BufRead>(
+    r: &mut R,
+    cap: usize,
+    deadline: Option<Instant>,
+) -> Result<String, String> {
     let mut line: Vec<u8> = Vec::new();
     loop {
+        remaining(deadline, "header")?;
         let buf = r.fill_buf().map_err(|e| format!("read: {e}"))?;
         if buf.is_empty() {
             return Err("connection closed mid-header".into());
@@ -79,34 +97,75 @@ fn read_line<R: BufRead>(r: &mut R, cap: usize) -> Result<String, String> {
     String::from_utf8(line).map_err(|_| "header line is not UTF-8".into())
 }
 
-/// Reads the header block after the request/status line, returning the
-/// `Content-Length` (0 when absent).
-fn read_headers<R: BufRead>(r: &mut R) -> Result<usize, String> {
-    let mut content_length = 0usize;
+/// Parsed header block: the fields this protocol cares about.
+#[derive(Debug, Default)]
+struct Headers {
+    content_length: usize,
+    retry_after: Option<u64>,
+}
+
+/// Reads the header block after the request/status line.
+fn read_headers<R: BufRead>(r: &mut R, deadline: Option<Instant>) -> Result<Headers, String> {
+    let mut headers = Headers::default();
     loop {
-        let line = read_line(r, MAX_HEADER_BYTES)?;
+        let line = read_line(r, MAX_HEADER_BYTES, deadline)?;
         if line.is_empty() {
-            return Ok(content_length);
+            return Ok(headers);
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(format!("malformed header line `{line}`"));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            headers.content_length = value
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
-            if content_length > MAX_BODY_BYTES {
-                return Err(format!("body of {content_length} bytes exceeds cap"));
+            if headers.content_length > MAX_BODY_BYTES {
+                return Err(format!(
+                    "body of {} bytes exceeds cap",
+                    headers.content_length
+                ));
             }
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            headers.retry_after = value.trim().parse::<u64>().ok();
         }
     }
 }
 
-/// Reads and parses one HTTP/1.1 request from `stream`.
-pub fn read_request(stream: &TcpStream) -> Result<Request, String> {
+/// Reads a `Content-Length` body under the deadline, in bounded chunks
+/// so a slow sender cannot overshoot the deadline by more than one
+/// socket read-timeout.
+fn read_body<R: BufRead>(
+    r: &mut R,
+    len: usize,
+    deadline: Option<Instant>,
+) -> Result<Vec<u8>, String> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        remaining(deadline, "body")?;
+        let chunk = (len - filled).min(64 * 1024);
+        match r.read(&mut body[filled..filled + chunk]) {
+            Ok(0) => {
+                return Err(format!(
+                    "connection closed at byte {filled} of {len}-byte body"
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) => return Err(format!("reading {len}-byte body: {e}")),
+        }
+    }
+    Ok(body)
+}
+
+/// Reads and parses one HTTP/1.1 request from `stream`, requiring the
+/// whole request (headers and body) to arrive within `deadline`.
+pub fn read_request_within(stream: &TcpStream, deadline: Duration) -> Result<Request, String> {
+    unity_fault::fail_point!("http.read_request", Err);
+    let deadline = Some(Instant::now() + deadline);
     let mut r = BufReader::new(stream);
-    let request_line = read_line(&mut r, MAX_HEADER_BYTES)?;
+    let request_line = read_line(&mut r, MAX_HEADER_BYTES, deadline)?;
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
@@ -127,10 +186,8 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, String> {
             None => (kv.to_string(), String::new()),
         })
         .collect();
-    let content_length = read_headers(&mut r)?;
-    let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body)
-        .map_err(|e| format!("reading {content_length}-byte body: {e}"))?;
+    let headers = read_headers(&mut r, deadline)?;
+    let body = read_body(&mut r, headers.content_length, deadline)?;
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
@@ -139,12 +196,19 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, String> {
     })
 }
 
+/// [`read_request_within`] with a generous default deadline (tests and
+/// trusted in-process callers).
+pub fn read_request(stream: &TcpStream) -> Result<Request, String> {
+    read_request_within(stream, Duration::from_secs(30))
+}
+
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -153,11 +217,25 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete JSON response and flushes. The server always
-/// closes the connection afterwards (`Connection: close`).
-pub fn write_response(mut stream: &TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// Writes a complete JSON response with an optional `Retry-After`
+/// header (load-shedding replies tell the client when to come back) and
+/// flushes. The server always closes the connection afterwards
+/// (`Connection: close`).
+pub fn write_response_with(
+    mut stream: &TcpStream,
+    status: u16,
+    retry_after: Option<u64>,
+    body: &str,
+) -> std::io::Result<()> {
+    unity_fault::fail_point!("http.write_response", |m: String| Err(
+        std::io::Error::other(m)
+    ));
+    let retry = match retry_after {
+        Some(secs) => format!("retry-after: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{retry}connection: close\r\n\r\n",
         reason(status),
         body.len()
     );
@@ -166,17 +244,72 @@ pub fn write_response(mut stream: &TcpStream, status: u16, body: &str) -> std::i
     stream.flush()
 }
 
-/// One-shot HTTP client: connects to `addr` (`host:port`), sends
-/// `method path` with an optional JSON body, and returns
-/// `(status, body)`. Blocking; the server replies exactly once per
-/// connection.
-pub fn request(
+/// [`write_response_with`] without a `Retry-After` header.
+pub fn write_response(stream: &TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response_with(stream, status, None, body)
+}
+
+/// Client-side socket policy: how long to wait for a connection and for
+/// each read/write before giving up on the attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-read/per-write socket timeout once connected.
+    pub io_timeout: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A client-side view of one HTTP exchange.
+#[derive(Debug)]
+pub struct Reply {
+    /// The response status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+    /// `Retry-After` seconds, when the server sent one (load shedding).
+    pub retry_after: Option<u64>,
+}
+
+/// One-shot HTTP client: connects to `addr` (`host:port`) under the
+/// given socket policy, sends `method path` with an optional JSON body,
+/// and returns the [`Reply`]. Blocking; the server replies exactly once
+/// per connection.
+pub fn request_with(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
-) -> Result<(u16, String), String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    opts: &ClientOptions,
+) -> Result<Reply, String> {
+    let targets: Vec<_> = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .collect();
+    let mut stream = None;
+    let mut last_err = format!("resolve {addr}: no addresses");
+    for target in targets {
+        match TcpStream::connect_timeout(&target, opts.connect_timeout) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last_err = format!("connect {addr}: {e}"),
+        }
+    }
+    let mut stream = stream.ok_or(last_err)?;
+    stream
+        .set_read_timeout(Some(opts.io_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(opts.io_timeout)))
+        .map_err(|e| format!("socket options for {addr}: {e}"))?;
     let body = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
@@ -187,24 +320,42 @@ pub fn request(
         .and_then(|()| stream.write_all(body.as_bytes()))
         .and_then(|()| stream.flush())
         .map_err(|e| format!("send to {addr}: {e}"))?;
+    let deadline = Some(Instant::now() + opts.io_timeout.max(Duration::from_secs(1)) * 4);
     let mut r = BufReader::new(&stream);
-    let status_line = read_line(&mut r, MAX_HEADER_BYTES)?;
+    let status_line = read_line(&mut r, MAX_HEADER_BYTES, deadline)?;
     let status: u16 = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
-    let content_length = read_headers(&mut r)?;
-    let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body)
-        .map_err(|e| format!("reading {content_length}-byte response: {e}"))?;
+    let headers = read_headers(&mut r, deadline)?;
+    let body = read_body(&mut r, headers.content_length, deadline)?;
     let body = String::from_utf8(body).map_err(|_| "response body is not UTF-8".to_string())?;
-    Ok((status, body))
+    Ok(Reply {
+        status,
+        body,
+        retry_after: headers.retry_after,
+    })
+}
+
+/// [`request_with`] under the default socket policy, returning the
+/// classic `(status, body)` pair.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let reply = request_with(addr, method, path, body, &ClientOptions::default())?;
+    Ok((reply.status, reply.body))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
+    use std::io::Read as _;
     use std::net::TcpListener;
 
     #[test]
@@ -230,6 +381,28 @@ mod tests {
         .unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_after_header_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let _ = read_request(&stream).unwrap();
+            write_response_with(&stream, 503, Some(7), "{\"error\":\"full\"}").unwrap();
+        });
+        let reply = request_with(
+            &addr.to_string(),
+            "GET",
+            "/status",
+            None,
+            &ClientOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.retry_after, Some(7));
         server.join().unwrap();
     }
 
@@ -278,5 +451,65 @@ mod tests {
         let (stream, _) = listener.accept().unwrap();
         assert!(read_request(&stream).is_err());
         client.join().unwrap();
+    }
+
+    #[test]
+    fn slow_header_trickle_hits_the_request_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // One byte at a time, never finishing the request line.
+            for b in b"GET /slow" {
+                if s.write_all(&[*b]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let t0 = Instant::now();
+        let err = read_request_within(&stream, Duration::from_millis(120)).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "deadline did not bound the read: {:?}",
+            t0.elapsed()
+        );
+        // Either the deadline fired or a read timed out — both are
+        // clean rejections, not hangs.
+        assert!(
+            err.contains("deadline") || err.contains("read"),
+            "unexpected error: {err}"
+        );
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn connect_timeout_bounds_unreachable_hosts() {
+        // RFC 5737 TEST-NET address. Environments differ in how they
+        // kill this (silent drop → connect timeout, admin reject →
+        // reset); what the client guarantees is a *bounded* failure.
+        let t0 = Instant::now();
+        let result = request_with(
+            "192.0.2.1:9",
+            "GET",
+            "/status",
+            None,
+            &ClientOptions {
+                connect_timeout: Duration::from_millis(150),
+                io_timeout: Duration::from_millis(150),
+            },
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "attempt not bounded: {:?}",
+            t0.elapsed()
+        );
+        assert!(result.is_err(), "TEST-NET answered a /status request");
     }
 }

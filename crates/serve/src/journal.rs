@@ -4,28 +4,42 @@
 //! `<data-dir>/journal.log`:
 //!
 //! ```text
-//! {"seq":N,"spec":"<32-hex content hash>","report":{...}}
+//! {"seq":N,"spec":"<32-hex content hash>","report":{...},"crc":"<16-hex>"}
 //! ```
 //!
 //! `seq` is strictly increasing from 1; `report` is the stable
-//! [`Report`] schema (the same JSON `unity-check --json` writes). The
-//! line is flushed *and* synced before the sequence number is handed
-//! out, so a `kill -9` after a response was sent cannot lose that
-//! response's record.
+//! [`Report`] schema (the same JSON `unity-check --json` writes); `crc`
+//! is an [`unity_mc::artifact::checksum_hex`] digest of the record
+//! bytes before the `crc` field itself, so bit rot *inside* a record is
+//! distinguishable from a malformed write. The line is flushed *and*
+//! synced before the sequence number is handed out, so a `kill -9`
+//! after a response was sent cannot lose that response's record.
 //!
 //! On startup the whole file is replayed. Exactly one kind of damage is
 //! tolerated: a torn **final** line with no trailing newline — the
 //! signature of dying mid-append — which is discarded. Any other
 //! malformed line is corruption and [`Journal::open`] refuses to start,
 //! because silently skipping interior records would misnumber every
-//! later sequence. (The hardened [`unity_mc::json`] parser — duplicate
-//! keys, trailing garbage, truncated strings all rejected — is what
-//! makes this replay trustworthy.)
+//! later sequence. The refusal is a diagnosis, not a shrug: the error
+//! names the record, its byte offset in the file, and (for digest
+//! failures) the stored versus computed checksum, so an operator can
+//! find and excise the damage with `dd`-level confidence. Records
+//! without a `crc` field (journals written before the field existed)
+//! replay without the digest check — the schema is absence-tolerant in
+//! both directions.
+//!
+//! Fault injection (`failpoints` feature, see [`unity_fault`]): the
+//! append path carries failpoints at every boundary a crash could
+//! land on — `journal.append.write` (also a torn-write point),
+//! `journal.append.pre_fsync`, `journal.append.post_fsync` — and
+//! `journal.open.read` covers replay I/O. The crash-torture suite
+//! drives each one.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
 
+use unity_mc::artifact::{checksum, checksum_hex, parse_checksum_hex};
 use unity_mc::json::{write_string, Json};
 use unity_mc::prelude::Report;
 
@@ -48,18 +62,46 @@ pub struct Journal {
     next_seq: u64,
 }
 
-fn parse_line(line: &[u8]) -> Result<JournalRecord, String> {
+/// The parse result plus the record's stored digest, if it carries one.
+struct ParsedLine {
+    record: JournalRecord,
+    crc: Option<u64>,
+}
+
+fn parse_line(line: &[u8]) -> Result<ParsedLine, String> {
     let text = std::str::from_utf8(line).map_err(|_| "record is not UTF-8".to_string())?;
     let root = Json::parse(text)?;
     let seq = u64::try_from(root.field("seq")?.as_int()?).map_err(|_| "negative seq")?;
     if seq == 0 {
         return Err("sequence numbers start at 1".into());
     }
-    Ok(JournalRecord {
-        seq,
-        spec_hash: root.field("spec")?.as_str()?.to_string(),
-        report: Report::from_value(root.field("report")?)?,
+    let crc = match root.field("crc") {
+        Ok(v) => Some(parse_checksum_hex(v.as_str()?).map_err(|e| format!("crc field: {e}"))?),
+        Err(_) => None, // pre-crc journal: accepted without the digest check
+    };
+    Ok(ParsedLine {
+        record: JournalRecord {
+            seq,
+            spec_hash: root.field("spec")?.as_str()?.to_string(),
+            report: Report::from_value(root.field("report")?)?,
+        },
+        crc,
     })
+}
+
+/// Recomputes the digest a record's `crc` field must match: the raw
+/// line bytes with the trailing `,"crc":"..."` splice removed (the
+/// writer always places `crc` last). Returns `None` when the splice
+/// point cannot be located — then the record was not written by
+/// [`Journal::append`] and the stored digest is checked against the
+/// whole-line fallback of zero, i.e. it fails loudly.
+fn recompute_crc(line: &[u8]) -> Option<u64> {
+    let marker = b",\"crc\":\"";
+    let at = line.windows(marker.len()).rposition(|w| w == marker)?;
+    let mut payload = Vec::with_capacity(at + 1);
+    payload.extend_from_slice(&line[..at]);
+    payload.push(b'}');
+    Some(checksum(&payload))
 }
 
 impl Journal {
@@ -67,6 +109,10 @@ impl Journal {
     /// record. Returns the journal positioned after the last good
     /// record, plus the replayed history in sequence order.
     pub fn open(path: &Path) -> Result<(Journal, Vec<JournalRecord>), String> {
+        unity_fault::fail_point!("journal.open.read", |m: String| Err(format!(
+            "{}: {m}",
+            path.display()
+        )));
         let mut records = Vec::new();
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
@@ -89,10 +135,23 @@ impl Journal {
             }
             record_no += 1;
             match parse_line(line) {
-                Ok(rec) => {
+                Ok(parsed) => {
+                    let rec = parsed.record;
+                    if let Some(stored) = parsed.crc {
+                        let computed = recompute_crc(line).unwrap_or(0);
+                        if stored != computed {
+                            return Err(format!(
+                                "{}: record {record_no} (seq {}) at byte offset {pos}: \
+                                 checksum mismatch (stored {:016x}, computed {computed:016x})",
+                                path.display(),
+                                rec.seq,
+                                stored,
+                            ));
+                        }
+                    }
                     if rec.seq <= last_seq {
                         return Err(format!(
-                            "{}: record {record_no} has seq {} after {}",
+                            "{}: record {record_no} at byte offset {pos} has seq {} after {}",
                             path.display(),
                             rec.seq,
                             last_seq
@@ -112,7 +171,7 @@ impl Journal {
                 }
                 Err(e) => {
                     return Err(format!(
-                        "{}: record {record_no} corrupt: {e}",
+                        "{}: record {record_no} at byte offset {pos} corrupt: {e}",
                         path.display()
                     ))
                 }
@@ -148,18 +207,47 @@ impl Journal {
     /// is synced to disk before this returns.
     pub fn append(&mut self, spec_hash: &str, report: &Report) -> Result<u64, String> {
         let seq = self.next_seq;
-        let mut line = String::with_capacity(128);
-        line.push_str(&format!("{{\"seq\":{seq},\"spec\":"));
-        write_string(&mut line, spec_hash);
-        line.push_str(",\"report\":");
-        line.push_str(&report.to_json());
-        line.push_str("}\n");
+        let mut payload = String::with_capacity(128);
+        payload.push_str(&format!("{{\"seq\":{seq},\"spec\":"));
+        write_string(&mut payload, spec_hash);
+        payload.push_str(",\"report\":");
+        payload.push_str(&report.to_json());
+        payload.push('}');
+        let digest = checksum_hex(payload.as_bytes());
+        // Splice the digest in as the final field: everything before it
+        // is exactly the payload the replay-side recompute covers.
+        let mut line = payload;
+        line.truncate(line.len() - 1);
+        line.push_str(&format!(",\"crc\":\"{digest}\"}}\n"));
+        unity_fault::fail_torn_write!("journal.append.write", self.file, line.as_bytes());
+        unity_fault::fail_point!("journal.append.write", |m: String| Err(format!(
+            "journal append: {m}"
+        )));
         self.file
             .write_all(line.as_bytes())
-            .and_then(|()| self.file.sync_data())
             .map_err(|e| format!("journal append: {e}"))?;
+        unity_fault::fail_point!("journal.append.pre_fsync", |m: String| Err(format!(
+            "journal fsync: {m}"
+        )));
+        self.file
+            .sync_data()
+            .map_err(|e| format!("journal fsync: {e}"))?;
+        unity_fault::fail_point!("journal.append.post_fsync", |m: String| Err(format!(
+            "journal post-sync: {m}"
+        )));
         self.next_seq = seq + 1;
         Ok(seq)
+    }
+
+    /// Hands out the next sequence number *without* persisting anything
+    /// — the degraded-mode path, where the disk is gone but the service
+    /// keeps answering. Numbers stay strictly increasing within the
+    /// process; they restart from the last durable record after a
+    /// restart, which is exactly the contract degraded mode advertises.
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq = seq + 1;
+        seq
     }
 
     /// The sequence number the next append will receive.
@@ -170,6 +258,8 @@ impl Journal {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use unity_mc::prelude::*;
     use unity_mc::spec::load_spec;
@@ -236,7 +326,7 @@ mod tests {
     }
 
     #[test]
-    fn interior_corruption_refuses_to_start() {
+    fn interior_corruption_refuses_to_start_naming_the_offset() {
         let path = tmp("corrupt.log");
         let _ = std::fs::remove_file(&path);
         let report = tiny_report();
@@ -250,7 +340,7 @@ mod tests {
         let damaged = good.replacen("\"seq\":1", "\"seq\":", 1);
         std::fs::write(&path, damaged).unwrap();
         let err = Journal::open(&path).unwrap_err();
-        assert!(err.contains("record 1 corrupt"), "{err}");
+        assert!(err.contains("record 1 at byte offset 0 corrupt"), "{err}");
 
         // Duplicate keys smuggled into a record are corruption too —
         // the hardened parser rejects them during replay.
@@ -258,6 +348,53 @@ mod tests {
         std::fs::write(&path, dup).unwrap();
         let err = Journal::open(&path).unwrap_err();
         assert!(err.contains("duplicate key"), "{err}");
+    }
+
+    #[test]
+    fn bit_rot_inside_a_record_is_a_named_checksum_mismatch() {
+        let path = tmp("bitrot.log");
+        let _ = std::fs::remove_file(&path);
+        let report = tiny_report();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append("aa11", &report).unwrap();
+            j.append("bb22", &report).unwrap();
+        }
+        let good = std::fs::read_to_string(&path).unwrap();
+        let second_at = good.find('\n').unwrap() + 1;
+        // Flip the spec hash of the SECOND record: still valid JSON,
+        // still seq-ordered — only the digest knows.
+        let rotted = format!(
+            "{}{}",
+            &good[..second_at],
+            good[second_at..].replacen("bb22", "bb23", 1)
+        );
+        std::fs::write(&path, rotted).unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert!(err.contains("record 2"), "{err}");
+        assert!(err.contains("seq 2"), "{err}");
+        assert!(err.contains(&format!("byte offset {second_at}")), "{err}");
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(err.contains("stored") && err.contains("computed"), "{err}");
+    }
+
+    #[test]
+    fn records_without_a_crc_field_still_replay() {
+        let path = tmp("precrc.log");
+        let _ = std::fs::remove_file(&path);
+        let report = tiny_report();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append("aa11", &report).unwrap();
+        }
+        // Strip the crc field: the pre-digest on-disk schema.
+        let good = std::fs::read_to_string(&path).unwrap();
+        let at = good.rfind(",\"crc\":\"").unwrap();
+        std::fs::write(&path, format!("{}}}\n", &good[..at])).unwrap();
+        let (j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].spec_hash, "aa11");
+        assert_eq!(j.next_seq(), 2);
     }
 
     #[test]
@@ -273,5 +410,26 @@ mod tests {
         std::fs::write(&path, format!("{line}{line}")).unwrap();
         let err = Journal::open(&path).unwrap_err();
         assert!(err.contains("seq 1 after 1"), "{err}");
+    }
+
+    #[test]
+    fn reserved_sequence_numbers_are_not_persisted() {
+        let path = tmp("reserve.log");
+        let _ = std::fs::remove_file(&path);
+        let report = tiny_report();
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            assert_eq!(j.append("aa11", &report).unwrap(), 1);
+            assert_eq!(j.reserve_seq(), 2);
+            assert_eq!(j.reserve_seq(), 3);
+            // Appends after reservations stay strictly increasing.
+            assert_eq!(j.append("bb22", &report).unwrap(), 4);
+        }
+        let (j, replayed) = Journal::open(&path).unwrap();
+        // Only the durable records replay; the reserved numbers are
+        // gone, and numbering resumes after the last durable one.
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[1].seq, 4);
+        assert_eq!(j.next_seq(), 5);
     }
 }

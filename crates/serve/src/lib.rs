@@ -25,9 +25,23 @@
 //! The daemon binary lives in `src/main.rs` (`unity-serve --data-dir
 //! DIR`); [`service::Service`] is the transport-free core, usable
 //! in-process (that is how the test suites and benches drive it).
+//!
+//! # Resilience
+//!
+//! The failure surface is explicit and tested, not hoped about. Every
+//! fallible syscall boundary carries a named [`unity_fault`] failpoint
+//! (zero-cost unless the `failpoints` feature is on); a crash-torture
+//! suite kills the real daemon binary at each one and asserts the
+//! journal/store invariants across restart. Operationally: per-socket
+//! timeouts plus a whole-request deadline (slowloris defense), bounded
+//! admission with `503` + `Retry-After` shedding, sticky degraded mode
+//! when the disk fails (answers continue, persistence stops, `GET
+//! /status` says so), idempotent retry via `request_id`, and graceful
+//! drain on `SIGTERM`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod http;
 pub mod journal;
@@ -37,7 +51,7 @@ pub mod server;
 pub mod service;
 pub mod store;
 
-pub use proto::{CacheInfo, CacheState, VerifyRequest, VerifyResponse};
-pub use server::{start, Server};
+pub use proto::{CacheInfo, CacheState, StatusResponse, VerifyRequest, VerifyResponse};
+pub use server::{start, start_with, Server, ServerOptions};
 pub use service::{Service, ServiceConfig, ServiceError};
 pub use store::spec_hash;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! unity-serve --data-dir DIR [--addr 127.0.0.1:7407] [--workers N]
-//!             [--timeout-ms MS] [--version]
+//!             [--timeout-ms MS] [--queue-limit N] [--version]
 //! ```
 //!
 //! Binds the address (`:0` picks an ephemeral port), prints one
@@ -10,9 +10,17 @@
 //! killed. Artifacts and the verdict journal live under `--data-dir`;
 //! restart with the same directory and the full history replays.
 //!
-//! Exit code 2 on usage errors — including `--workers 0` and an
-//! invalid `UNITY_BUILD_THREADS` override, the same validation
-//! `unity-check` applies to `--threads`.
+//! Exit code 2 on usage errors — including `--workers 0`, an invalid
+//! `UNITY_BUILD_THREADS` override (the same validation `unity-check`
+//! applies to `--threads`), and a malformed `UNITY_FAILPOINTS`
+//! schedule (a typo'd fault plan must not silently test nothing).
+//!
+//! **Shutdown contract**: `SIGTERM`/`SIGINT` trigger a graceful drain —
+//! stop accepting, let in-flight verifications finish (bounded), then
+//! exit 0. `kill -9` is the crash case the journal's fsync discipline
+//! exists for: restart and replay.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -23,13 +31,61 @@ use unity_mc::prelude::validate_build_threads_env;
 use unity_serve::{Service, ServiceConfig};
 
 const USAGE: &str = "usage: unity-serve --data-dir DIR [--addr 127.0.0.1:7407] \
-                     [--workers N] [--timeout-ms MS] [--version]";
+                     [--workers N] [--timeout-ms MS] [--queue-limit N] [--version]";
+
+/// How long a graceful drain waits for in-flight verifications before
+/// giving up and exiting anyway (the journal is synced per-append, so
+/// nothing durable is at risk — only the abandoned clients' responses).
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Signal plumbing: the handler only sets a flag (the one operation
+/// that is async-signal-safe *and* race-free); the main loop polls it.
+/// Raw `signal(2)` FFI keeps the workspace dependency-free — this is
+/// the binary's single unsafe block, and the library remains
+/// `#![forbid(unsafe_code)]`.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn termed() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn termed() -> bool {
+        false
+    }
+}
 
 struct Options {
     data_dir: std::path::PathBuf,
     addr: String,
     workers: usize,
     timeout_ms: u64,
+    queue_limit: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -37,6 +93,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut addr = "127.0.0.1:7407".to_string();
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
     let mut timeout_ms = 300_000u64;
+    let mut queue_limit = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -68,6 +125,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| format!("--timeout-ms needs a number; {USAGE}"))?;
             }
+            "--queue-limit" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--queue-limit needs a count; {USAGE}"))?;
+                if n == 0 {
+                    return Err(format!("--queue-limit must be at least 1; {USAGE}"));
+                }
+                queue_limit = Some(n);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             "--version" | "-V" => {
                 println!("unity-serve {}", env!("CARGO_PKG_VERSION"));
@@ -81,6 +148,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         addr,
         workers,
         timeout_ms,
+        queue_limit,
     })
 }
 
@@ -88,6 +156,24 @@ fn main() -> ExitCode {
     if let Err(msg) = validate_build_threads_env() {
         eprintln!("{msg}");
         return ExitCode::from(2);
+    }
+    // Fault schedule (no-op unless built with the `failpoints` feature
+    // AND `UNITY_FAILPOINTS` is set). Malformed schedules are a usage
+    // error: a typo must not silently run an un-faulted daemon.
+    match unity_fault::setup_from_env() {
+        Ok(0) => {}
+        Ok(n) => {
+            // Stderr, deliberately: clients parse the first stdout line
+            // for the listening address.
+            eprintln!(
+                "unity-serve: {n} failpoint(s) armed: {}",
+                unity_fault::active().join(", ")
+            );
+        }
+        Err(msg) => {
+            eprintln!("UNITY_FAILPOINTS: {msg}");
+            return ExitCode::from(2);
+        }
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -101,6 +187,9 @@ fn main() -> ExitCode {
         data_dir: opts.data_dir.clone(),
         workers: opts.workers,
         default_timeout: (opts.timeout_ms > 0).then(|| Duration::from_millis(opts.timeout_ms)),
+        queue_limit: opts
+            .queue_limit
+            .unwrap_or_else(|| ServiceConfig::default_queue_limit(opts.workers)),
     }) {
         Ok(s) => Arc::new(s),
         Err(msg) => {
@@ -116,6 +205,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    sig::install();
     println!(
         "unity-serve listening on http://{} (data dir {}, {} worker(s), {} verdict(s) replayed)",
         server.local_addr(),
@@ -125,8 +215,26 @@ fn main() -> ExitCode {
     );
     // The port line must be visible before clients try to parse it.
     let _ = std::io::stdout().flush();
-    // Serve until killed; the accept loop runs on its own thread.
-    loop {
-        std::thread::park();
+    // Serve until signalled; the accept loop runs on its own thread.
+    while !sig::termed() {
+        std::thread::sleep(Duration::from_millis(100));
     }
+    // Graceful drain: stop accepting, finish what was admitted, leave.
+    // Every journaled verdict was fsync'd when it was acked, so exiting
+    // after the drain (even an incomplete one) loses nothing durable.
+    eprintln!("unity-serve: signal received, draining...");
+    server.shutdown();
+    let drained = service.drain(DRAIN_TIMEOUT);
+    if !drained {
+        eprintln!(
+            "unity-serve: drain timed out after {}s with {} submission(s) in flight",
+            DRAIN_TIMEOUT.as_secs(),
+            service.in_flight()
+        );
+    }
+    // One breath for connection threads to flush their final response
+    // bytes (drain covers the verification, not the socket write).
+    std::thread::sleep(Duration::from_millis(50));
+    eprintln!("unity-serve: drained, exiting");
+    ExitCode::SUCCESS
 }

@@ -75,6 +75,7 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|k| {
                 let shared = Arc::clone(&shared);
+                #[allow(clippy::expect_used)] // thread spawn at startup: no caller can recover
                 std::thread::Builder::new()
                     .name(format!("unity-serve-worker-{k}"))
                     .spawn(move || worker_loop(&shared))
@@ -92,6 +93,12 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Jobs accepted but not yet picked up by a worker — the `/status`
+    /// queue-depth signal.
+    pub fn queued(&self) -> usize {
+        lock(&self.shared.queue).jobs.len()
+    }
+
     /// Runs `f` on a pool worker and waits for it, up to `timeout`
     /// (`None` waits indefinitely).
     pub fn run<T, F>(&self, timeout: Option<Duration>, f: F) -> JobOutcome<T>
@@ -105,7 +112,12 @@ impl WorkerPool {
         {
             let mut q = lock(&self.shared.queue);
             q.jobs.push_back(Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(f));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    // Inside the unwind boundary: a `panic` rule here
+                    // exercises the containment path end to end.
+                    unity_fault::fail_point!("pool.job");
+                    f()
+                }));
                 *lock(&done.0) = Some(result);
                 done.1.notify_all();
             }));
@@ -182,6 +194,8 @@ impl Drop for WorkerPool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -71,6 +71,11 @@ pub struct VerifyRequest {
     /// Per-request timeout override in milliseconds (`None` uses the
     /// daemon's `--timeout-ms`; `0` disables the timeout).
     pub timeout_ms: Option<u64>,
+    /// Client-chosen idempotency key. A retried submission carries the
+    /// same id; the server answers the duplicate from its reply cache
+    /// instead of verifying (and journaling) twice. Optional — requests
+    /// without one are never deduplicated.
+    pub request_id: Option<String>,
 }
 
 impl VerifyRequest {
@@ -81,6 +86,7 @@ impl VerifyRequest {
             engine: Engine::Compiled,
             universe: Universe::Reachable,
             timeout_ms: None,
+            request_id: None,
         }
     }
 
@@ -95,6 +101,10 @@ impl VerifyRequest {
         write_string(&mut out, universe_str(self.universe));
         if let Some(ms) = self.timeout_ms {
             out.push_str(&format!(",\"timeout_ms\":{ms}"));
+        }
+        if let Some(id) = &self.request_id {
+            out.push_str(",\"request_id\":");
+            write_string(&mut out, id);
         }
         out.push('}');
         out
@@ -117,11 +127,16 @@ impl VerifyRequest {
             Some(j) => Some(u64::try_from(j.as_int()?).map_err(|_| "negative timeout_ms")?),
             None => None,
         };
+        let request_id = match opt(&root, "request_id") {
+            Some(j) => Some(j.as_str()?.to_string()),
+            None => None,
+        };
         Ok(VerifyRequest {
             spec,
             engine,
             universe,
             timeout_ms,
+            request_id,
         })
     }
 }
@@ -260,6 +275,12 @@ impl VerifyResponse {
 }
 
 /// The `GET /status` reply.
+///
+/// The operational fields added after the first release (`last_seq`,
+/// `queue_depth`, `degraded`, `degraded_reason`) follow the project's
+/// absence-tolerant convention: writers always emit them, readers
+/// default them when absent, so a new client interrogating an old
+/// daemon (or vice versa) keeps working.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatusResponse {
     /// Distinct specs with persisted artifacts in the store.
@@ -270,28 +291,65 @@ pub struct StatusResponse {
     pub workers: u64,
     /// Milliseconds since the daemon started.
     pub uptime_ms: u64,
+    /// Highest journal sequence number handed out so far (0 = none).
+    pub last_seq: u64,
+    /// Verifications accepted but not yet started by a worker.
+    pub queue_depth: u64,
+    /// Whether persistence has been disabled after a disk error
+    /// (verdicts are still served, nothing is durable).
+    pub degraded: bool,
+    /// The first disk error that triggered degraded mode.
+    pub degraded_reason: Option<String>,
 }
 
 impl StatusResponse {
     /// Serializes to the wire form.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"specs\":{},\"verdicts\":{},\"workers\":{},\"uptime_ms\":{}}}",
-            self.specs, self.verdicts, self.workers, self.uptime_ms
-        )
+        let mut out = format!(
+            "{{\"specs\":{},\"verdicts\":{},\"workers\":{},\"uptime_ms\":{},\"last_seq\":{},\"queue_depth\":{},\"degraded\":{}",
+            self.specs,
+            self.verdicts,
+            self.workers,
+            self.uptime_ms,
+            self.last_seq,
+            self.queue_depth,
+            self.degraded
+        );
+        if let Some(reason) = &self.degraded_reason {
+            out.push_str(",\"degraded_reason\":");
+            write_string(&mut out, reason);
+        }
+        out.push('}');
+        out
     }
 
-    /// Parses the wire form.
+    /// Parses the wire form. The post-v1 fields default when absent.
     pub fn from_json(src: &str) -> Result<Self, String> {
         let root = Json::parse(src)?;
         let get = |name: &str| -> Result<u64, String> {
             u64::try_from(root.field(name)?.as_int()?).map_err(|_| format!("negative {name}"))
+        };
+        let get_opt = |name: &str| -> Result<u64, String> {
+            match opt(&root, name) {
+                Some(j) => u64::try_from(j.as_int()?).map_err(|_| format!("negative {name}")),
+                None => Ok(0),
+            }
         };
         Ok(StatusResponse {
             specs: get("specs")?,
             verdicts: get("verdicts")?,
             workers: get("workers")?,
             uptime_ms: get("uptime_ms")?,
+            last_seq: get_opt("last_seq")?,
+            queue_depth: get_opt("queue_depth")?,
+            degraded: match opt(&root, "degraded") {
+                Some(j) => j.as_bool()?,
+                None => false,
+            },
+            degraded_reason: match opt(&root, "degraded_reason") {
+                Some(j) => Some(j.as_str()?.to_string()),
+                None => None,
+            },
         })
     }
 }
@@ -374,6 +432,8 @@ pub fn error_message(src: &str) -> Option<String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -382,16 +442,19 @@ mod tests {
         req.engine = Engine::Symbolic;
         req.universe = Universe::AllStates;
         req.timeout_ms = Some(1234);
+        req.request_id = Some("abcd-42".into());
         let back = VerifyRequest::from_json(&req.to_json()).unwrap();
         assert_eq!(back.spec, req.spec);
         assert_eq!(back.engine, Engine::Symbolic);
         assert_eq!(back.universe, Universe::AllStates);
         assert_eq!(back.timeout_ms, Some(1234));
+        assert_eq!(back.request_id.as_deref(), Some("abcd-42"));
 
         let minimal = VerifyRequest::from_json("{\"spec\":\"x\"}").unwrap();
         assert_eq!(minimal.engine, Engine::Compiled);
         assert_eq!(minimal.universe, Universe::Reachable);
         assert_eq!(minimal.timeout_ms, None);
+        assert_eq!(minimal.request_id, None);
 
         assert!(VerifyRequest::from_json("{}").is_err(), "spec is required");
         assert!(VerifyRequest::from_json("{\"spec\":\"x\",\"engine\":\"warp\"}").is_err());
@@ -405,11 +468,25 @@ mod tests {
             verdicts: 17,
             workers: 2,
             uptime_ms: 99,
+            last_seq: 17,
+            queue_depth: 4,
+            degraded: true,
+            degraded_reason: Some("journal fsync: No space left on device".into()),
         };
         assert_eq!(
             StatusResponse::from_json(&status.to_json()).unwrap(),
             status
         );
+
+        // Absence tolerance: a pre-operational-fields reply (written by
+        // an older daemon) still parses, with documented defaults.
+        let old =
+            StatusResponse::from_json("{\"specs\":1,\"verdicts\":2,\"workers\":3,\"uptime_ms\":4}")
+                .unwrap();
+        assert_eq!(old.last_seq, 0);
+        assert_eq!(old.queue_depth, 0);
+        assert!(!old.degraded);
+        assert_eq!(old.degraded_reason, None);
 
         let entries = vec![
             HistoryEntry {

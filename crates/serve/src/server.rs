@@ -4,7 +4,16 @@
 //! [`MAX_CONNECTIONS`] concurrent connections (excess submissions get
 //! an immediate `503` rather than an unbounded thread pile-up; actual
 //! verification concurrency is further bounded by the service's worker
-//! pool). One request per connection, `Connection: close`.
+//! pool and its admission limit). One request per connection,
+//! `Connection: close`.
+//!
+//! Connection discipline ([`ServerOptions`]): every socket gets
+//! per-read/per-write timeouts plus a whole-request deadline, so a
+//! slowloris peer — one byte per read-timeout, forever — is cut off at
+//! the deadline instead of pinning a connection slot. Shed load
+//! (connection cap, service admission control) answers `503` with a
+//! `Retry-After` hint, which the `unity-check --serve` retry loop
+//! honors.
 //!
 //! Routes:
 //!
@@ -16,23 +25,43 @@
 //!
 //! [`Server::shutdown`] stops the accept loop deterministically (flag +
 //! self-connect) and joins it; in-flight connection threads finish
-//! their one response on their own.
+//! their one response on their own. Graceful drain for SIGTERM lives in
+//! the binary: stop accepting ([`Server::shutdown`]), then
+//! [`Service::drain`], then exit.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request_within, write_response, write_response_with, Request};
 use crate::proto::{error_body, history_to_json, VerifyRequest};
 use crate::service::{Service, ServiceError};
 
 /// Maximum concurrent connections before the server answers `503`.
 pub const MAX_CONNECTIONS: usize = 64;
 
-/// How long a connection thread waits for a slow client before giving
-/// up on the socket.
-const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Per-connection socket policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Socket read timeout (each `read` syscall).
+    pub read_timeout: Duration,
+    /// Socket write timeout (each `write` syscall).
+    pub write_timeout: Duration,
+    /// Whole-request deadline: headers + body must arrive within this,
+    /// regardless of how many tiny reads the peer spreads them over.
+    pub request_deadline: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
+        }
+    }
+}
 
 /// A running server: accept loop on its own thread.
 pub struct Server {
@@ -42,8 +71,18 @@ pub struct Server {
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-/// serving `service`.
+/// serving `service` under the default socket policy.
 pub fn start(service: Arc<Service>, addr: &str) -> Result<Server, String> {
+    start_with(service, addr, ServerOptions::default())
+}
+
+/// [`start`] with an explicit socket policy (tests tighten the
+/// deadlines to keep slowloris scenarios fast).
+pub fn start_with(
+    service: Arc<Service>,
+    addr: &str,
+    opts: ServerOptions,
+) -> Result<Server, String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener
         .local_addr()
@@ -52,7 +91,7 @@ pub fn start(service: Arc<Service>, addr: &str) -> Result<Server, String> {
     let stop2 = Arc::clone(&stop);
     let accept_thread = std::thread::Builder::new()
         .name("unity-serve-accept".into())
-        .spawn(move || accept_loop(&listener, &service, &stop2))
+        .spawn(move || accept_loop(&listener, &service, &stop2, opts))
         .map_err(|e| format!("spawn accept loop: {e}"))?;
     Ok(Server {
         addr: local,
@@ -90,7 +129,12 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    stop: &AtomicBool,
+    opts: ServerOptions,
+) {
     let live = Arc::new(AtomicUsize::new(0));
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -98,7 +142,12 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &AtomicBool
         }
         let Ok(stream) = conn else { continue };
         if live.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
-            let _ = write_response(&stream, 503, &error_body("connection limit reached"));
+            let _ = write_response_with(
+                &stream,
+                503,
+                Some(1),
+                &error_body("connection limit reached"),
+            );
             continue;
         }
         live.fetch_add(1, Ordering::SeqCst);
@@ -107,7 +156,7 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &AtomicBool
         let spawned = std::thread::Builder::new()
             .name("unity-serve-conn".into())
             .spawn(move || {
-                handle_connection(&stream, &service);
+                handle_connection(&stream, &service, opts);
                 live_in_conn.fetch_sub(1, Ordering::SeqCst);
             });
         if spawned.is_err() {
@@ -116,53 +165,67 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &AtomicBool
     }
 }
 
-fn handle_connection(stream: &TcpStream, service: &Service) {
-    let _ = stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT));
-    match read_request(stream) {
+fn handle_connection(stream: &TcpStream, service: &Service, opts: ServerOptions) {
+    let _ = stream.set_read_timeout(Some(opts.read_timeout));
+    let _ = stream.set_write_timeout(Some(opts.write_timeout));
+    match read_request_within(stream, opts.request_deadline) {
         Ok(req) => {
-            let (status, body) = route(service, &req);
-            let _ = write_response(stream, status, &body);
+            let (status, retry_after, body) = route(service, &req);
+            let _ = write_response_with(stream, status, retry_after, &body);
         }
         Err(e) => {
-            let _ = write_response(stream, 400, &error_body(&e));
+            // Malformed, oversized, or too-slow request: one clean 4xx
+            // (best-effort — the peer may already be gone) and close.
+            let status = if e.contains("deadline") { 408 } else { 400 };
+            let _ = write_response(stream, status, &error_body(&e));
         }
     }
 }
 
-/// Dispatches one parsed request to the service.
-fn route(service: &Service, req: &Request) -> (u16, String) {
+/// Dispatches one parsed request to the service. The middle element is
+/// an optional `Retry-After` value for shed load.
+fn route(service: &Service, req: &Request) -> (u16, Option<u64>, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/verify") => {
             let Ok(body) = std::str::from_utf8(&req.body) else {
-                return (400, error_body("body is not UTF-8"));
+                return (400, None, error_body("body is not UTF-8"));
             };
             let vreq = match VerifyRequest::from_json(body) {
                 Ok(r) => r,
-                Err(e) => return (400, error_body(&format!("request: {e}"))),
+                Err(e) => return (400, None, error_body(&format!("request: {e}"))),
             };
             match service.verify(vreq) {
-                Ok(resp) => (200, resp.to_json()),
-                Err(e @ ServiceError::BadRequest(_)) => (400, error_body(&e.to_string())),
-                Err(e @ ServiceError::Timeout(_)) => (504, error_body(&e.to_string())),
-                Err(e @ ServiceError::Internal(_)) => (500, error_body(&e.to_string())),
+                Ok(resp) => (200, None, resp.to_json()),
+                Err(e @ ServiceError::BadRequest(_)) => (400, None, error_body(&e.to_string())),
+                Err(e @ ServiceError::Timeout(_)) => (504, None, error_body(&e.to_string())),
+                Err(e @ ServiceError::Internal(_)) => (500, None, error_body(&e.to_string())),
+                Err(ServiceError::Overloaded(secs)) => (
+                    503,
+                    Some(secs),
+                    error_body(&ServiceError::Overloaded(secs).to_string()),
+                ),
             }
         }
-        ("GET", "/status") => (200, service.status().to_json()),
+        ("GET", "/status") => (200, None, service.status().to_json()),
         ("GET", "/history") => (
             200,
+            None,
             history_to_json(&service.history(req.query_value("spec"))),
         ),
-        (_, "/verify" | "/status" | "/history") => (405, error_body("method not allowed")),
-        _ => (404, error_body("no such endpoint")),
+        (_, "/verify" | "/status" | "/history") => (405, None, error_body("method not allowed")),
+        _ => (404, None, error_body("no such endpoint")),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::http::request;
     use crate::proto::{history_from_json, StatusResponse, VerifyResponse};
     use crate::service::ServiceConfig;
+    use std::io::Write as _;
 
     const SPEC: &str = "program P\n  var x : bool\n  init !x\n  fair cmd go: !x -> x := true\nend\nspec S\n  goal: true leadsto x\nend";
 
@@ -175,6 +238,7 @@ mod tests {
                 data_dir: dir,
                 workers: 2,
                 default_timeout: Some(Duration::from_secs(60)),
+                queue_limit: 8,
             })
             .unwrap(),
         );
@@ -198,6 +262,8 @@ mod tests {
         assert_eq!(status, 200);
         let st = StatusResponse::from_json(&body).unwrap();
         assert_eq!((st.specs, st.verdicts, st.workers), (1, 1, 2));
+        assert_eq!(st.last_seq, 1);
+        assert!(!st.degraded);
 
         let path = format!("/history?spec={}", resp.spec_hash);
         let (status, body) = request(&addr, "GET", &path, None).unwrap();
@@ -225,4 +291,56 @@ mod tests {
 
         server.shutdown();
     }
+
+    #[test]
+    fn a_slowloris_peer_is_cut_off_at_the_request_deadline() {
+        let dir = std::env::temp_dir().join(format!(
+            "unity_serve_server_{}_slowloris",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(
+            Service::open(ServiceConfig {
+                data_dir: dir,
+                workers: 1,
+                default_timeout: None,
+                queue_limit: 4,
+            })
+            .unwrap(),
+        );
+        let server = start_with(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            ServerOptions {
+                read_timeout: Duration::from_millis(50),
+                write_timeout: Duration::from_secs(5),
+                request_deadline: Duration::from_millis(200),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Trickle one byte at a time, never completing the request.
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let t0 = std::time::Instant::now();
+        for b in b"POST /verify" {
+            if sock.write_all(&[*b]).is_err() {
+                break; // server closed us: exactly the point
+            }
+            std::thread::sleep(Duration::from_millis(40));
+            if t0.elapsed() > Duration::from_secs(3) {
+                panic!("server tolerated the trickle too long");
+            }
+        }
+        drop(sock);
+
+        // The server survives and still answers honest clients.
+        let (status, _) = request(&addr.to_string(), "GET", "/status", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    // 503 + Retry-After shedding under a saturated admission queue is
+    // covered deterministically (via a `pool.job` delay failpoint) in
+    // `tests/fault_injection.rs`, which runs in its own process.
 }

@@ -16,8 +16,31 @@
 //! **miss** if the session had to build it, and **unused** if the
 //! submission's checks never demanded it. A corrupt or shape-mismatched
 //! stored artifact therefore reports as the miss it operationally is.
+//!
+//! # Resilience discipline
+//!
+//! Three behaviors added for end-to-end fault tolerance:
+//!
+//! - **Load shedding.** Admissions are bounded: when
+//!   [`ServiceConfig::queue_limit`] submissions are already in flight,
+//!   new ones are refused with [`ServiceError::Overloaded`] (the HTTP
+//!   layer turns that into `503` + `Retry-After`) instead of queueing
+//!   without bound.
+//! - **Degraded mode.** The first persistence failure — journal append,
+//!   artifact save — flips a sticky `degraded` flag. From then on the
+//!   service still *answers* (verdicts are computed and returned, with
+//!   sequence numbers from [`Journal::reserve_seq`]) but persists
+//!   nothing, and `GET /status` says so. A restart with a healthy disk
+//!   clears the mode; verdicts served while degraded were never
+//!   journaled and honestly vanish from history.
+//! - **Idempotent replay.** A request carrying a `request_id` the
+//!   service has already answered gets the cached [`VerifyResponse`]
+//!   back — same sequence number, no second verification, no second
+//!   journal record — which is what makes client-side retry safe.
 
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -31,6 +54,9 @@ use crate::proto::{
 };
 use crate::store::{spec_hash, ArtifactStore};
 
+/// Answered `request_id`s remembered for idempotent replay (FIFO).
+pub const REPLY_CACHE_SIZE: usize = 128;
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -41,6 +67,17 @@ pub struct ServiceConfig {
     /// Default per-submission timeout (`None` = unlimited; requests
     /// can override per-call).
     pub default_timeout: Option<Duration>,
+    /// Maximum submissions in flight (running + queued) before new ones
+    /// are shed with [`ServiceError::Overloaded`].
+    pub queue_limit: usize,
+}
+
+impl ServiceConfig {
+    /// The default admission bound for a pool of `workers`: the workers
+    /// themselves plus a short queue behind them.
+    pub fn default_queue_limit(workers: usize) -> usize {
+        workers.max(1) * 4
+    }
 }
 
 /// Why a submission produced no verdict.
@@ -52,6 +89,9 @@ pub enum ServiceError {
     Timeout(u64),
     /// The daemon failed (verification panic, store/journal I/O).
     Internal(String),
+    /// Admission control refused the submission; carries the suggested
+    /// `Retry-After` seconds.
+    Overloaded(u64),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -60,6 +100,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::BadRequest(m) => write!(f, "{m}"),
             ServiceError::Timeout(ms) => write!(f, "verification exceeded {ms} ms"),
             ServiceError::Internal(m) => write!(f, "{m}"),
+            ServiceError::Overloaded(secs) => {
+                write!(f, "service at capacity, retry in {secs}s")
+            }
         }
     }
 }
@@ -68,13 +111,20 @@ impl std::fmt::Display for ServiceError {
 struct JobOutput {
     report: Report,
     cache: CacheInfo,
+    /// Artifact persistence failed; the verdict itself is intact. The
+    /// request thread flips degraded mode and still answers.
+    persist_error: Option<String>,
 }
 
 enum JobError {
     /// Submitter's fault: unparsable spec.
     Spec(String),
-    /// Daemon's fault: persistence failed.
-    Store(String),
+}
+
+/// Bounded `request_id → response` memory for idempotent resubmission.
+struct ReplyCache {
+    map: HashMap<String, VerifyResponse>,
+    order: VecDeque<String>,
 }
 
 /// The long-running verification service (transport-agnostic; the HTTP
@@ -86,6 +136,10 @@ pub struct Service {
     history: Mutex<Vec<HistoryEntry>>,
     pool: WorkerPool,
     default_timeout: Option<Duration>,
+    queue_limit: usize,
+    in_flight: AtomicUsize,
+    degraded: Mutex<Option<String>>,
+    replies: Mutex<ReplyCache>,
     started: Instant,
 }
 
@@ -114,6 +168,15 @@ fn cache_info(pre: &SessionStatus, post: &SessionStatus, order_seeded: bool) -> 
     }
 }
 
+/// Decrements the in-flight gauge on every exit path, including panics.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 impl Service {
     /// Opens the service: creates the data dir, opens the store,
     /// replays the journal, spawns the worker pool.
@@ -139,6 +202,13 @@ impl Service {
             history: Mutex::new(history),
             pool: WorkerPool::new(cfg.workers.max(1)),
             default_timeout: cfg.default_timeout,
+            queue_limit: cfg.queue_limit.max(1),
+            in_flight: AtomicUsize::new(0),
+            degraded: Mutex::new(None),
+            replies: Mutex::new(ReplyCache {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
             started: Instant::now(),
         })
     }
@@ -148,6 +218,20 @@ impl Service {
     /// transport calling this from many connection threads, multiplexed
     /// over the bounded pool.
     pub fn verify(&self, req: VerifyRequest) -> Result<VerifyResponse, ServiceError> {
+        // Idempotent replay: a retried request_id is answered from the
+        // reply cache — no admission charge, no second verification.
+        if let Some(id) = &req.request_id {
+            if let Some(hit) = lock(&self.replies).map.get(id) {
+                return Ok(hit.clone());
+            }
+        }
+        // Admission control. fetch_add first, judge after: two racing
+        // submissions can't both slip under the limit.
+        let admitted = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let _guard = InFlightGuard(&self.in_flight);
+        if admitted > self.queue_limit {
+            return Err(ServiceError::Overloaded(self.retry_after_hint()));
+        }
         let hash = spec_hash(&req.spec);
         let timeout = match req.timeout_ms {
             Some(0) => None,
@@ -158,6 +242,9 @@ impl Service {
         let spec_src = req.spec;
         let (engine, universe) = (req.engine, req.universe);
         let job_hash = hash.clone();
+        // While degraded, persistence is off: the job skips the store
+        // write instead of rediscovering the dead disk on every call.
+        let skip_persist = self.degraded().is_some();
         let outcome = self
             .pool
             .run(timeout, move || -> Result<JobOutput, JobError> {
@@ -175,21 +262,24 @@ impl Service {
                 let pre = session.status();
                 let report = session.verify_all(&spec.checks);
                 let post = session.status();
-                store
-                    .save(&job_hash, &spec_src, &session.artifacts())
-                    .map_err(JobError::Store)?;
+                let persist_error = if skip_persist {
+                    None
+                } else {
+                    store
+                        .save(&job_hash, &spec_src, &session.artifacts())
+                        .err()
+                        .map(|e| format!("artifact store: {e}"))
+                };
                 Ok(JobOutput {
                     report,
                     cache: cache_info(&pre, &post, order_seeded),
+                    persist_error,
                 })
             });
         let output = match outcome {
             JobOutcome::Completed(Ok(output)) => output,
             JobOutcome::Completed(Err(JobError::Spec(msg))) => {
                 return Err(ServiceError::BadRequest(msg))
-            }
-            JobOutcome::Completed(Err(JobError::Store(msg))) => {
-                return Err(ServiceError::Internal(format!("artifact store: {msg}")))
             }
             JobOutcome::Panicked(msg) => {
                 return Err(ServiceError::Internal(format!(
@@ -202,11 +292,32 @@ impl Service {
                 ))
             }
         };
+        if let Some(msg) = output.persist_error {
+            self.enter_degraded(msg);
+        }
+        // Crashpoint: verdict computed, nothing journaled, nothing
+        // acked. The torture suite proves a crash here loses no *acked*
+        // response — the client never saw a sequence number.
+        unity_fault::fail_point!("service.verify.pre_journal");
         // Journal before answering: the sequence number a client sees
-        // is durable by the time it sees it.
-        let seq = lock(&self.journal)
-            .append(&hash, &output.report)
-            .map_err(ServiceError::Internal)?;
+        // is durable by the time it sees it — unless the disk already
+        // failed, in which case the number is reserved, not persisted,
+        // and /status says so.
+        let seq = if self.degraded().is_some() {
+            lock(&self.journal).reserve_seq()
+        } else {
+            // Bind before matching: a `match` on the locked call would
+            // keep the journal guard alive into the arms, and the
+            // error arm locks the journal again to reserve a number.
+            let appended = lock(&self.journal).append(&hash, &output.report);
+            match appended {
+                Ok(seq) => seq,
+                Err(msg) => {
+                    self.enter_degraded(msg);
+                    lock(&self.journal).reserve_seq()
+                }
+            }
+        };
         lock(&self.history).push(HistoryEntry {
             seq,
             spec_hash: hash.clone(),
@@ -214,21 +325,38 @@ impl Service {
             passed: output.report.all_passed(),
             checks: output.report.checks.len() as u64,
         });
-        Ok(VerifyResponse {
+        let response = VerifyResponse {
             seq,
             spec_hash: hash,
             cache: output.cache,
             report: output.report,
-        })
+        };
+        if let Some(id) = req.request_id {
+            let mut replies = lock(&self.replies);
+            if replies.map.insert(id.clone(), response.clone()).is_none() {
+                replies.order.push_back(id);
+                if replies.order.len() > REPLY_CACHE_SIZE {
+                    if let Some(evicted) = replies.order.pop_front() {
+                        replies.map.remove(&evicted);
+                    }
+                }
+            }
+        }
+        Ok(response)
     }
 
     /// The `GET /status` summary.
     pub fn status(&self) -> StatusResponse {
+        let degraded_reason = self.degraded();
         StatusResponse {
             specs: self.store.known_specs(),
             verdicts: lock(&self.history).len() as u64,
             workers: self.pool.workers() as u64,
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            last_seq: lock(&self.journal).next_seq().saturating_sub(1),
+            queue_depth: self.pool.queued() as u64,
+            degraded: degraded_reason.is_some(),
+            degraded_reason,
         }
     }
 
@@ -241,6 +369,47 @@ impl Service {
             .collect()
     }
 
+    /// The sticky degraded reason, if persistence has failed.
+    pub fn degraded(&self) -> Option<String> {
+        lock(&self.degraded).clone()
+    }
+
+    /// Flips degraded mode (first reason wins; later errors are noise
+    /// from the same dead disk).
+    fn enter_degraded(&self, reason: String) {
+        let mut flag = lock(&self.degraded);
+        if flag.is_none() {
+            eprintln!("unity-serve: entering degraded mode: {reason}");
+            *flag = Some(reason);
+        }
+    }
+
+    /// Submissions currently admitted (running or queued).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// The `Retry-After` hint for shed load: roughly one slot-drain per
+    /// queued job, clamped to something a client would actually wait.
+    fn retry_after_hint(&self) -> u64 {
+        (self.pool.queued() as u64 + 1).clamp(1, 30)
+    }
+
+    /// Graceful-drain support: blocks until every admitted submission
+    /// has finished (or `timeout` passes). The transport stops
+    /// accepting first, so `in_flight` can only fall. Returns whether
+    /// the service fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        true
+    }
+
     /// Test hook: drops the store's in-memory layer so the next load
     /// decodes from segment files.
     pub fn drop_memory_cache(&self) {
@@ -250,6 +419,8 @@ impl Service {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use unity_mc::prelude::{Engine, Universe};
 
@@ -263,6 +434,7 @@ mod tests {
             data_dir: dir,
             workers: 2,
             default_timeout: Some(Duration::from_secs(60)),
+            queue_limit: 8,
         })
         .unwrap()
     }
@@ -302,6 +474,7 @@ mod tests {
         assert!(matches!(err, ServiceError::BadRequest(_)), "{err}");
         assert_eq!(service.history(None).len(), 0);
         assert_eq!(service.status().verdicts, 0);
+        assert_eq!(service.in_flight(), 0, "admission gauge fully released");
     }
 
     #[test]
@@ -317,6 +490,9 @@ mod tests {
         assert_eq!(filtered[0].seq, a.seq);
         assert!(service.history(Some("ffff")).is_empty());
         assert_eq!(service.status().specs, 2);
+        assert_eq!(service.status().last_seq, 2);
+        assert_eq!(service.status().queue_depth, 0);
+        assert!(!service.status().degraded);
     }
 
     #[test]
@@ -348,4 +524,26 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn duplicate_request_ids_replay_the_same_verdict() {
+        let service = tmp_service("idempotent");
+        let mut req = VerifyRequest::new(SPEC);
+        req.request_id = Some("retry-key-1".into());
+        let first = service.verify(req.clone()).unwrap();
+        let replay = service.verify(req).unwrap();
+        assert_eq!(replay.seq, first.seq, "no second journal record");
+        assert_eq!(service.history(None).len(), 1);
+
+        // A different id is a genuinely new submission.
+        let mut req2 = VerifyRequest::new(SPEC);
+        req2.request_id = Some("retry-key-2".into());
+        let second = service.verify(req2).unwrap();
+        assert_eq!(second.seq, first.seq + 1);
+    }
+
+    // Degraded-mode, admission-shedding, and fault-injection coverage
+    // lives in `tests/fault_injection.rs`: the failpoint registry is
+    // process-global, so tests that configure points get their own test
+    // binary (their own process) instead of racing the unit tests here.
 }

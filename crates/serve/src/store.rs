@@ -85,10 +85,17 @@ fn lock(m: &Mutex<MemCache>) -> MutexGuard<'_, MemCache> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Atomic file write: temp sibling + rename.
+/// Atomic file write: temp sibling + rename. A crash anywhere in here
+/// leaves either no destination file or the complete old one — the
+/// `store.save.torn` failpoint proves it by writing a prefix of the
+/// temp file and aborting before the rename.
 fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
+    let mut f = std::fs::File::create(&tmp)?;
+    unity_fault::fail_torn_write!("store.save.torn", f, bytes);
+    std::io::Write::write_all(&mut f, bytes)?;
+    f.sync_data()?;
+    drop(f);
     std::fs::rename(&tmp, path)
 }
 
@@ -125,6 +132,9 @@ impl ArtifactStore {
         if let Some(cached) = lock(&self.mem).map.get(hash) {
             return cached.clone();
         }
+        // Injected disk-read failure: every slot is a miss, exactly the
+        // contract real read errors get below.
+        unity_fault::fail_point!("store.load.read", |_m: String| SessionArtifacts::default());
         let dir = self.spec_dir(hash);
         let mut arts = SessionArtifacts::default();
         for (k, slot) in UNIVERSE_SLOT.iter().enumerate() {
@@ -157,6 +167,10 @@ impl ArtifactStore {
     /// skipped — a hit re-persisting itself would be wasted I/O.
     pub fn save(&self, hash: &str, spec_src: &str, arts: &SessionArtifacts) -> Result<(), String> {
         let dir = self.spec_dir(hash);
+        unity_fault::fail_point!("store.save.dir", |m: String| Err(format!(
+            "{}: {m}",
+            dir.display()
+        )));
         std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         // Encoding a multi-megabyte segment just to discover the file is
         // already there would tax every warm submission, so `put` checks
@@ -166,6 +180,10 @@ impl ArtifactStore {
             if path.exists() {
                 return Ok(());
             }
+            unity_fault::fail_point!("store.save.segment", |m: String| Err(format!(
+                "{}: {m}",
+                path.display()
+            )));
             match bytes() {
                 Some(b) => write_atomic(&path, &b).map_err(|e| format!("{}: {e}", path.display())),
                 None => Ok(()),
@@ -252,6 +270,8 @@ fn decode_field_order(bytes: &[u8]) -> Option<Vec<usize>> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use unity_mc::prelude::*;
     use unity_mc::spec::load_spec;

@@ -1,0 +1,263 @@
+//! Crash-consistency torture: kill the **real daemon binary** at every
+//! persistence crashpoint and prove the journal/store invariants hold
+//! across restart.
+//!
+//! The contract under test, for every crash schedule:
+//!
+//! 1. **No acked verdict is lost** — a sequence number a client saw
+//!    before the crash is still in the history after restart.
+//! 2. **No wrong answer** — re-verifying any spec after restart yields
+//!    the same verdict the healthy daemon gave (a torn artifact segment
+//!    may cost a rebuild, never a different answer).
+//! 3. **Clean recovery** — the restarted daemon is healthy (not
+//!    degraded) and the sequence numbering stays contiguous.
+//!
+//! The daemon is spawned via `CARGO_BIN_EXE_unity-serve`, which the
+//! self-dev-dependency builds with the `failpoints` feature, so
+//! `UNITY_FAILPOINTS=<point>=1*abort` (or `1*truncate(k)` for torn
+//! writes) crashes it at exactly the chosen syscall boundary.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use unity_serve::proto::history_from_json;
+use unity_serve::{spec_hash, StatusResponse, VerifyRequest, VerifyResponse};
+
+const SPEC_A: &str = "program P\n  var a : int 0..3\n  var b : int 0..3\n  init a == 0 && b == 0\n  fair cmd right: a < 3 -> a := a + 1\n  fair cmd up: b < 3 -> b := b + 1\nend\nspec S\n  cap: invariant a <= 3\n  done: true leadsto a == 3 && b == 3\nend";
+
+/// A different hash, and a deliberately *failing* check — so "same
+/// verdict after the crash" is tested for FAIL too, not just PASS.
+const SPEC_B: &str = "program P\n  var a : int 0..3\n  var b : int 0..3\n  init a == 0 && b == 0\n  fair cmd right: a < 3 -> a := a + 1\n  fair cmd up: b < 3 -> b := b + 1\nend\nspec S\n  cap: invariant a <= 2\n  done: true leadsto a == 3\nend";
+
+/// Every crashpoint the daemon carries at a persistence boundary, with
+/// the schedule that kills it there on the first hit.
+const CRASH_SCHEDULES: &[&str] = &[
+    // Journal: before any bytes, torn mid-write, before fsync, after
+    // fsync (durable but unacked — the one case a record may survive).
+    "journal.append.write=1*abort",
+    "journal.append.write=1*truncate(25)",
+    "journal.append.pre_fsync=1*abort",
+    "journal.append.post_fsync=1*abort",
+    // Artifact store: torn segment file, crash between segments.
+    "store.save.torn=1*truncate(64)",
+    "store.save.segment=1*abort",
+    // Verdict computed and persisted, journal never reached.
+    "service.verify.pre_journal=1*abort",
+];
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "unity_torture_{}_{tag}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `unity-serve` over `dir`, optionally with a fault
+    /// schedule, and parses the listening address off the first stdout
+    /// line (the daemon's one stdout guarantee).
+    fn spawn(dir: &Path, failpoints: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_unity-serve"));
+        cmd.args([
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .env_remove("UNITY_FAILPOINTS");
+        if let Some(schedule) = failpoints {
+            cmd.env("UNITY_FAILPOINTS", schedule);
+        }
+        let mut child = cmd.spawn().expect("daemon spawns");
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        let addr = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no listening address in {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn verify(&self, spec: &str) -> Result<VerifyResponse, String> {
+        let (status, body) = unity_serve::http::request(
+            &self.addr,
+            "POST",
+            "/verify",
+            Some(&VerifyRequest::new(spec).to_json()),
+        )?;
+        if status != 200 {
+            return Err(format!("HTTP {status}: {body}"));
+        }
+        VerifyResponse::from_json(&body)
+    }
+
+    fn status(&self) -> StatusResponse {
+        let (status, body) =
+            unity_serve::http::request(&self.addr, "GET", "/status", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        StatusResponse::from_json(&body).unwrap()
+    }
+
+    fn history(&self) -> Vec<unity_serve::proto::HistoryEntry> {
+        let (status, body) =
+            unity_serve::http::request(&self.addr, "GET", "/history", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        history_from_json(&body).unwrap()
+    }
+
+    /// Waits for the armed failpoint to have killed the process; a
+    /// daemon that outlives its crash schedule is a test failure (the
+    /// point never fired — a typo'd name would otherwise pass silently).
+    fn wait_for_crash(mut self, schedule: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().unwrap() {
+                Some(status) => {
+                    assert!(
+                        !status.success(),
+                        "{schedule}: daemon exited cleanly instead of crashing"
+                    );
+                    return;
+                }
+                None if Instant::now() >= deadline => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    panic!("{schedule}: daemon survived its crash schedule");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// The `kill -9` ending — no drain, no warning.
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn every_crashpoint_preserves_acked_verdicts_and_answers() {
+    let hash_a = spec_hash(SPEC_A);
+    let hash_b = spec_hash(SPEC_B);
+
+    for schedule in CRASH_SCHEDULES {
+        let dir = fresh_dir("point");
+
+        // Phase 1 — healthy daemon: one acked verdict for spec A, then
+        // kill -9 (the baseline crash the journal always handled).
+        let daemon = Daemon::spawn(&dir, None);
+        let acked = daemon
+            .verify(SPEC_A)
+            .unwrap_or_else(|e| panic!("{schedule}: baseline: {e}"));
+        assert_eq!(acked.seq, 1, "{schedule}");
+        assert!(acked.report.all_passed(), "{schedule}");
+        daemon.kill();
+
+        // Phase 2 — armed daemon: submitting spec B trips the
+        // crashpoint. The client must NOT get an acked verdict (the
+        // crash fires before the response is written).
+        let armed = Daemon::spawn(&dir, Some(schedule));
+        let reply = armed.verify(SPEC_B);
+        assert!(
+            reply.is_err(),
+            "{schedule}: client got an ack from a crashing daemon: {reply:?}"
+        );
+        armed.wait_for_crash(schedule);
+
+        // Phase 3 — restart over the same data dir and audit.
+        let recovered = Daemon::spawn(&dir, None);
+        let status = recovered.status();
+        assert!(!status.degraded, "{schedule}: recovery must be clean");
+
+        let history = recovered.history();
+        assert!(
+            !history.is_empty() && history[0].seq == 1 && history[0].spec_hash == hash_a,
+            "{schedule}: acked verdict lost: {history:?}"
+        );
+        assert!(history[0].passed, "{schedule}: acked verdict rewritten");
+        // The unacked submission may have become durable only at the
+        // post-fsync crashpoint; anywhere else it must be absent.
+        assert!(history.len() <= 2, "{schedule}: {history:?}");
+        if let Some(extra) = history.get(1) {
+            assert_eq!(
+                (extra.seq, extra.spec_hash.as_str(), extra.passed),
+                (2, hash_b.as_str(), false),
+                "{schedule}: unexpected replayed record"
+            );
+        }
+        assert_eq!(status.last_seq, history.len() as u64, "{schedule}");
+
+        // No wrong answers: both specs re-verify to their known
+        // verdicts (a torn segment may force a rebuild — never a
+        // different outcome), and sequence numbering stays contiguous.
+        let next_seq = history.len() as u64 + 1;
+        let again_a = recovered.verify(SPEC_A).unwrap();
+        assert_eq!(again_a.spec_hash, hash_a, "{schedule}");
+        assert!(again_a.report.all_passed(), "{schedule}: verdict flipped");
+        assert_eq!(again_a.seq, next_seq, "{schedule}");
+        let again_b = recovered.verify(SPEC_B).unwrap();
+        assert_eq!(again_b.spec_hash, hash_b, "{schedule}");
+        assert!(
+            !again_b.report.all_passed(),
+            "{schedule}: failing spec must keep failing"
+        );
+        assert_eq!(again_b.seq, next_seq + 1, "{schedule}");
+
+        recovered.kill();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let dir = fresh_dir("drain");
+    let daemon = Daemon::spawn(&dir, None);
+    let acked = daemon.verify(SPEC_A).unwrap();
+    assert_eq!(acked.seq, 1);
+
+    // SIGTERM via `kill(1)` — the daemon must drain and exit 0.
+    let pid = daemon.child.id();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success());
+    let mut child = daemon.child;
+    let deadline = Instant::now() + Duration::from_secs(35);
+    let exit = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(exit.success(), "graceful drain must exit 0, got {exit:?}");
+
+    // And the drained daemon's data dir replays cleanly.
+    let restarted = Daemon::spawn(&dir, None);
+    assert_eq!(restarted.status().verdicts, 1);
+    restarted.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,235 @@
+//! Deterministic fault injection against the in-process service: the
+//! degraded-mode and load-shedding behavior that unit tests cannot
+//! exercise without racing each other.
+//!
+//! The failpoint registry is **process-global**, so every test here
+//! serializes on one mutex and tears the registry down before arming
+//! its own schedule — this integration binary is its own process,
+//! isolated from the library's unit tests.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use unity_fault::FailGuard;
+use unity_serve::{Service, ServiceConfig, ServiceError, VerifyRequest};
+
+const SPEC: &str = "program P\n  var a : int 0..3\n  var b : int 0..3\n  init a == 0 && b == 0\n  fair cmd right: a < 3 -> a := a + 1\n  fair cmd up: b < 3 -> b := b + 1\nend\nspec S\n  cap: invariant a <= 3\n  done: true leadsto a == 3 && b == 3\nend";
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serializes the test and clears any schedule a predecessor armed.
+fn serial() -> MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    unity_fault::teardown();
+    guard
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "unity_serve_fault_{}_{tag}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &std::path::Path, queue_limit: usize) -> Service {
+    Service::open(ServiceConfig {
+        data_dir: dir.to_path_buf(),
+        workers: 1,
+        default_timeout: Some(Duration::from_secs(60)),
+        queue_limit,
+    })
+    .unwrap()
+}
+
+#[test]
+fn a_dead_artifact_disk_degrades_the_service_instead_of_failing_requests() {
+    let _serial = serial();
+    let dir = fresh_dir("store");
+    let service = open(&dir, 8);
+    let _fp = FailGuard::new("store.save.dir", "return(disk full: injected)").unwrap();
+
+    // The verdict still comes back — persistence failed, answering
+    // did not.
+    let first = service.verify(VerifyRequest::new(SPEC)).unwrap();
+    assert_eq!(first.seq, 1);
+    assert!(first.report.all_passed());
+    let status = service.status();
+    assert!(status.degraded, "persist failure must flip degraded mode");
+    assert!(
+        status
+            .degraded_reason
+            .as_deref()
+            .unwrap()
+            .contains("disk full"),
+        "reason names the fault: {:?}",
+        status.degraded_reason
+    );
+
+    // Degraded is sticky; later submissions answer with reserved
+    // (unjournaled) sequence numbers and skip persistence entirely.
+    let second = service.verify(VerifyRequest::new(SPEC)).unwrap();
+    assert_eq!(second.seq, 2);
+    assert!(second.report.all_passed());
+    assert_eq!(service.status().verdicts, 2);
+
+    // A restart with a healthy disk clears the mode. Nothing served
+    // while degraded was journaled, so the history honestly restarts.
+    drop(service);
+    drop(_fp);
+    let restarted = open(&dir, 8);
+    let status = restarted.status();
+    assert!(!status.degraded);
+    assert_eq!(status.verdicts, 0, "degraded verdicts were never durable");
+    let again = restarted.verify(VerifyRequest::new(SPEC)).unwrap();
+    assert_eq!(again.seq, 1);
+    assert!(!restarted.status().degraded);
+}
+
+#[test]
+fn a_failing_journal_append_degrades_but_still_answers() {
+    let _serial = serial();
+    let dir = fresh_dir("journal");
+    let service = open(&dir, 8);
+    // `journal.append.write` fails *before* any bytes reach the file:
+    // the verdict is computed and returned, but nothing is durable.
+    let _fp = FailGuard::new("journal.append.write", "return(injected write error)").unwrap();
+
+    let resp = service.verify(VerifyRequest::new(SPEC)).unwrap();
+    assert_eq!(resp.seq, 1);
+    assert!(resp.report.all_passed());
+    let status = service.status();
+    assert!(status.degraded);
+    assert!(
+        status
+            .degraded_reason
+            .as_deref()
+            .unwrap()
+            .contains("injected"),
+        "{:?}",
+        status.degraded_reason
+    );
+
+    drop(service);
+    drop(_fp);
+    let restarted = open(&dir, 8);
+    assert!(!restarted.status().degraded);
+    assert_eq!(restarted.status().verdicts, 0);
+    // The journal file is intact (or absent) — appends work again.
+    let again = restarted.verify(VerifyRequest::new(SPEC)).unwrap();
+    assert_eq!(again.seq, 1);
+    assert_eq!(restarted.history(None).len(), 1);
+}
+
+#[test]
+fn admission_control_sheds_load_with_a_retry_hint() {
+    let _serial = serial();
+    let dir = fresh_dir("shed");
+    let service = Arc::new(open(&dir, 1));
+    // Hold the single admission slot deterministically: the first job
+    // sleeps 400 ms inside the worker before verifying.
+    let _fp = FailGuard::new("pool.job", "1*delay(400)").unwrap();
+
+    let slow = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || service.verify(VerifyRequest::new(SPEC)))
+    };
+    // Let the slow submission charge the admission gauge first.
+    while service.in_flight() == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let shed = service.verify(VerifyRequest::new(SPEC)).unwrap_err();
+    match shed {
+        ServiceError::Overloaded(secs) => {
+            assert!((1..=30).contains(&secs), "retry hint out of range: {secs}");
+        }
+        other => panic!("expected Overloaded, got: {other}"),
+    }
+
+    // The admitted submission finishes untouched, and capacity frees.
+    let first = slow.join().unwrap().unwrap();
+    assert_eq!(first.seq, 1);
+    assert!(first.report.all_passed());
+    assert_eq!(service.in_flight(), 0);
+    let second = service.verify(VerifyRequest::new(SPEC)).unwrap();
+    assert_eq!(second.seq, 2);
+}
+
+#[test]
+fn shed_load_surfaces_as_http_503_with_retry_after() {
+    let _serial = serial();
+    let dir = fresh_dir("http503");
+    let service = Arc::new(open(&dir, 1));
+    let server = unity_serve::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+    let _fp = FailGuard::new("pool.job", "1*delay(400)").unwrap();
+
+    let payload = VerifyRequest::new(SPEC).to_json();
+    let slow = {
+        let (addr, payload) = (addr.clone(), payload.clone());
+        std::thread::spawn(move || {
+            unity_serve::http::request(&addr, "POST", "/verify", Some(&payload))
+        })
+    };
+    while service.in_flight() == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let reply = unity_serve::http::request_with(
+        &addr,
+        "POST",
+        "/verify",
+        Some(&payload),
+        &unity_serve::http::ClientOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(reply.status, 503, "{}", reply.body);
+    let secs = reply.retry_after.expect("503 carries Retry-After");
+    assert!((1..=30).contains(&secs));
+    assert!(
+        unity_serve::proto::error_message(&reply.body)
+            .unwrap()
+            .contains("capacity"),
+        "{}",
+        reply.body
+    );
+
+    let (status, _) = slow.join().unwrap().unwrap();
+    assert_eq!(status, 200, "the admitted submission still completes");
+    server.shutdown();
+}
+
+#[test]
+fn a_torn_journal_write_is_recovered_on_replay() {
+    let _serial = serial();
+    let dir = fresh_dir("torn");
+    // First, two healthy acked verdicts.
+    let hash;
+    {
+        let service = open(&dir, 8);
+        hash = service.verify(VerifyRequest::new(SPEC)).unwrap().spec_hash;
+        let other = SPEC.replace("a == 3 && b == 3", "a == 3");
+        service.verify(VerifyRequest::new(other)).unwrap();
+    }
+    // Then tear the journal exactly as `fail_torn_write!` would: append
+    // a record prefix with no newline (a crash mid-`write(2)`).
+    let journal = dir.join("journal.log");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    bytes.extend_from_slice(b"{\"seq\":3,\"spec\":\"dead");
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let service = open(&dir, 8);
+    assert_eq!(service.status().verdicts, 2, "acked verdicts all replay");
+    assert!(!service.status().degraded);
+    let next = service.verify(VerifyRequest::new(SPEC)).unwrap();
+    assert_eq!(next.seq, 3, "sequence resumes after the dropped tail");
+    assert_eq!(next.spec_hash, hash);
+}

@@ -1,0 +1,183 @@
+//! Property tests of the HTTP front end's parsing discipline: whatever
+//! bytes arrive — random garbage, mutated request lines, truncated
+//! uploads, lying `content-length` headers — the server must answer
+//! with a `4xx` (or close the connection cleanly) and **stay alive**.
+//! It must never panic, hang, or produce a non-HTTP reply.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use unity_serve::{Service, ServiceConfig};
+
+/// One server for the whole test process (leaked, never shut down —
+/// the point is that no input kills it).
+fn server_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("unity_prop_http_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(
+            Service::open(ServiceConfig {
+                data_dir: dir,
+                workers: 1,
+                default_timeout: Some(Duration::from_secs(30)),
+                queue_limit: 4,
+            })
+            .unwrap(),
+        );
+        let server = unity_serve::start(service, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        Box::leak(Box::new(server));
+        addr
+    })
+}
+
+/// Writes `raw` to a fresh connection, half-closes, and drains the
+/// reply. Returns the reply bytes (possibly empty — a clean close).
+fn exchange(raw: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(server_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    // The peer may reject mid-upload (e.g. an oversized
+    // content-length); a write error then is the server being prompt,
+    // not a failure.
+    let _ = stream.write_all(raw);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    reply
+}
+
+/// The liveness oracle: after any exchange, a well-formed `GET
+/// /status` must still answer 200.
+fn assert_server_alive() {
+    let (status, body) = unity_serve::http::request(server_addr(), "GET", "/status", None).unwrap();
+    assert_eq!(status, 200, "server wedged: {body}");
+}
+
+/// Every reply must be either empty (clean close) or a valid-looking
+/// HTTP/1.1 status line; anything request-shaped enough to route still
+/// only yields an HTTP answer.
+fn assert_http_or_clean_close(raw: &[u8], reply: &[u8]) {
+    if reply.is_empty() {
+        return;
+    }
+    let text = String::from_utf8_lossy(reply);
+    assert!(
+        text.starts_with("HTTP/1.1 "),
+        "non-HTTP reply to {:?}: {:?}",
+        String::from_utf8_lossy(raw),
+        text
+    );
+}
+
+/// A plausible-but-mutated request: method and target drawn from small
+/// pools (valid and invalid mixed), body length possibly disagreeing
+/// with the header.
+fn structured() -> impl Strategy<Value = Vec<u8>> {
+    let method = prop_oneof![
+        Just("GET"),
+        Just("POST"),
+        Just("PUT"),
+        Just("get"),
+        Just("BANANA"),
+        Just(""),
+    ];
+    let target = prop_oneof![
+        Just("/verify"),
+        Just("/status"),
+        Just("/history"),
+        Just("/"),
+        Just(""),
+        Just("/verify?spec="),
+        Just("/../../etc/passwd"),
+        Just("/status extra"),
+    ];
+    let version = prop_oneof![
+        Just("HTTP/1.1"),
+        Just("HTTP/1.0"),
+        Just("HTTP/9.9"),
+        Just("SPDY/3"),
+        Just(""),
+    ];
+    (method, target, version, vec(0u8..=255, 0..128), -64i64..256).prop_map(
+        |(m, t, v, body, skew)| {
+            let claimed = (body.len() as i64 + skew).max(-1);
+            let mut raw = format!("{m} {t} {v}\r\ncontent-length: {claimed}\r\n\r\n").into_bytes();
+            raw.extend_from_slice(&body);
+            raw
+        },
+    )
+}
+
+/// A valid request truncated at an arbitrary byte — the client that
+/// died mid-upload.
+fn truncated() -> impl Strategy<Value = Vec<u8>> {
+    (vec(0u8..=255, 0..200), 0usize..260).prop_map(|(body, cut)| {
+        let mut raw = format!(
+            "POST /verify HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        raw.truncate(cut.min(raw.len()));
+        raw
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_bytes_never_kill_the_server(raw in vec(0u8..=255, 0..512)) {
+        let reply = exchange(&raw);
+        assert_http_or_clean_close(&raw, &reply);
+        assert_server_alive();
+    }
+
+    #[test]
+    fn mutated_requests_get_http_answers_or_clean_closes(raw in structured()) {
+        let reply = exchange(&raw);
+        assert_http_or_clean_close(&raw, &reply);
+        assert_server_alive();
+    }
+
+    #[test]
+    fn truncated_uploads_are_rejected_not_fatal(raw in truncated()) {
+        let reply = exchange(&raw);
+        assert_http_or_clean_close(&raw, &reply);
+        // A complete-enough prefix may parse; a cut one must be 4xx or
+        // a clean close — never 2xx (the body digest can't match) and
+        // never silence-then-panic.
+        assert_server_alive();
+    }
+}
+
+#[test]
+fn oversized_inputs_are_bounded_rejections() {
+    // A header line far past the 16 KiB cap.
+    let mut raw = b"GET /status HTTP/1.1\r\nx-padding: ".to_vec();
+    raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
+    raw.extend_from_slice(b"\r\n\r\n");
+    let reply = exchange(&raw);
+    assert_http_or_clean_close(&raw, &reply);
+
+    // A content-length past the 8 MiB body cap: rejected up front, not
+    // buffered.
+    let raw = b"POST /verify HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n".to_vec();
+    let reply = exchange(&raw);
+    let text = String::from_utf8_lossy(&reply);
+    assert!(
+        text.starts_with("HTTP/1.1 400") || reply.is_empty(),
+        "oversized body accepted: {text}"
+    );
+    assert_server_alive();
+}

@@ -32,6 +32,7 @@ fn open(dir: &std::path::Path) -> Service {
         data_dir: dir.to_path_buf(),
         workers: 1,
         default_timeout: Some(Duration::from_secs(120)),
+        queue_limit: 8,
     })
     .unwrap()
 }

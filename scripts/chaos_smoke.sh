@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Chaos smoke: the resilience contract exercised through the real
+# binaries, the way an operator would hit it:
+#
+#   1. build `unity-serve` with the `failpoints` feature and arm a
+#      crash schedule drawn from a seeded random pick of the daemon's
+#      persistence crashpoints (plus a probabilistic worker delay)
+#   2. submit specs with `unity-check --serve` until the daemon dies
+#      mid-request; count the *acked* verdicts (client exit 0)
+#   3. restart the daemon clean over the same data dir and audit:
+#      every acked verdict replayed (at most one extra — a record that
+#      became durable after fsync but before the ack), sequence
+#      numbers contiguous, next submission verifies fine
+#   4. SIGTERM the healthy daemon: it must drain and exit 0
+#
+# CHAOS_SEED pins the schedule for reproduction; default is random.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEED="${CHAOS_SEED:-$RANDOM}"
+echo "== chaos seed: $SEED (rerun with CHAOS_SEED=$SEED)"
+
+POINTS=(
+    "journal.append.write=1*abort"
+    "journal.append.write=1*truncate(25)"
+    "journal.append.pre_fsync=1*abort"
+    "journal.append.post_fsync=1*abort"
+    "store.save.torn=1*truncate(64)"
+    "store.save.segment=1*abort"
+    "service.verify.pre_journal=1*abort"
+)
+POINT="${POINTS[$((SEED % ${#POINTS[@]}))]}"
+SCHEDULE="$POINT;pool.job=25%delay(10)"
+echo "== crash schedule: $SCHEDULE"
+
+SPEC=examples/specs/toy.unity
+DATA_DIR="$(mktemp -d)"
+DAEMON_OUT="$(mktemp)"
+DAEMON_ERR="$(mktemp)"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$DATA_DIR" "$DAEMON_OUT" "$DAEMON_ERR"
+}
+trap cleanup EXIT
+
+cargo build -q -p unity-serve --features failpoints --bin unity-serve
+cargo build -q -p unity-composition --bin unity-check
+
+# start_daemon [env UNITY_FAILPOINTS already exported or not]
+start_daemon() {
+    target/debug/unity-serve --data-dir "$DATA_DIR" --addr 127.0.0.1:0 --workers 1 \
+        > "$DAEMON_OUT" 2> "$DAEMON_ERR" &
+    DAEMON_PID=$!
+    for _ in $(seq 1 50); do
+        ADDR="$(sed -n 's|.*http://\([0-9.:]*\).*|\1|p' "$DAEMON_OUT")"
+        [ -n "$ADDR" ] && return 0
+        kill -0 "$DAEMON_PID" 2>/dev/null || { echo "error: daemon died at startup" >&2; cat "$DAEMON_ERR" >&2; exit 1; }
+        sleep 0.1
+    done
+    echo "error: daemon never printed its address" >&2
+    exit 1
+}
+
+echo "== armed daemon up; submitting until the crashpoint fires"
+export UNITY_FAILPOINTS="$SCHEDULE" UNITY_FAILPOINTS_SEED="$SEED"
+start_daemon
+unset UNITY_FAILPOINTS UNITY_FAILPOINTS_SEED
+grep -q 'failpoint(s) armed' "$DAEMON_ERR" \
+    || { echo "error: daemon did not arm the failpoints (built without the feature?)" >&2; exit 1; }
+
+ACKED=0
+CRASHED=0
+for i in $(seq 1 20); do
+    if target/debug/unity-check "$SPEC" --serve "$ADDR" --quiet 2>/dev/null; then
+        ACKED=$((ACKED + 1))
+    else
+        CRASHED=1
+        break
+    fi
+done
+[ "$CRASHED" = 1 ] || { echo "error: 20 submissions and the crashpoint never fired" >&2; exit 1; }
+
+# The failed submission must be a *daemon* death, not a client quirk.
+for _ in $(seq 1 50); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$DAEMON_PID" 2>/dev/null && { echo "error: client failed but the daemon survived" >&2; exit 1; }
+DAEMON_PID=""
+echo "== daemon crashed after $ACKED acked verdict(s)"
+
+echo "== clean restart over the same data dir"
+: > "$DAEMON_OUT"; : > "$DAEMON_ERR"
+start_daemon
+REPLAYED="$(sed -n 's|.* \([0-9]*\) verdict(s) replayed.*|\1|p' "$DAEMON_OUT")"
+echo "   replayed $REPLAYED verdict(s)"
+# No acked verdict lost; at most one durable-but-unacked extra record
+# (the post-fsync crash window).
+[ "$REPLAYED" -ge "$ACKED" ] || { echo "error: lost acked verdicts ($REPLAYED < $ACKED)" >&2; exit 1; }
+[ "$REPLAYED" -le "$((ACKED + 1))" ] || { echo "error: phantom verdicts replayed ($REPLAYED > $ACKED + 1)" >&2; exit 1; }
+
+next="$(target/debug/unity-check "$SPEC" --serve "$ADDR")"
+grep -q "verdict #$((REPLAYED + 1))" <<<"$next" \
+    || { echo "error: sequence not contiguous after recovery: $next" >&2; exit 1; }
+grep -q 'PASS' <<<"$next" || { echo "error: recovered daemon returned a wrong answer: $next" >&2; exit 1; }
+
+echo "== SIGTERM: graceful drain must exit 0"
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" 2>/dev/null || RC=$?
+DAEMON_PID=""
+[ "$RC" = 0 ] || { echo "error: drain exited $RC" >&2; cat "$DAEMON_ERR" >&2; exit 1; }
+grep -q 'drained, exiting' "$DAEMON_ERR" \
+    || { echo "error: no drain notice on stderr: $(cat "$DAEMON_ERR")" >&2; exit 1; }
+
+echo "chaos smoke: OK (seed $SEED, $POINT)"

@@ -73,7 +73,12 @@
 //! `POST /verify` (with `--engine`/`--universe` forwarded), the
 //! returned report prints like a local run plus a `CACHE` line showing
 //! which session artifacts the daemon served from its store, and the
-//! exit code contract is unchanged. The local-analysis flags
+//! exit code contract is unchanged. Transient failures — connect/read
+//! errors and `503` load shedding — are retried a bounded number of
+//! times with exponential backoff (honoring the server's `Retry-After`
+//! hint); every resubmission carries the same idempotency key, so a
+//! request that committed just as its reply was lost replays the
+//! recorded verdict instead of re-verifying. The local-analysis flags
 //! (`--stats`, `--sim`, `--trace`, `--list`, `--conserve`,
 //! `--synthesize`, `--mutate`, `--order`, `--threads`) do not apply to
 //! a remote session and are rejected in combination with `--serve`.
@@ -255,15 +260,81 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Retry policy for `--serve`. Only *transient* failures are retried:
+/// transport errors (connect refused/reset, timeouts) and `503` load
+/// shedding. Any other reply — a verdict, a `4xx`, a `500` — is final
+/// on the first attempt. Both the attempt count and the total wall
+/// clock are bounded, so an unreachable daemon stays a fast exit-2
+/// infrastructure error rather than a hang.
+const RETRY_ATTEMPTS: u32 = 4;
+const RETRY_BUDGET: std::time::Duration = std::time::Duration::from_secs(10);
+const BACKOFF_BASE_MS: u64 = 100;
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// Exponential backoff with multiplicative jitter in `[0.5, 1.5)` of
+/// the base, raised to the server's `Retry-After` hint when one came
+/// back with the `503`, capped so the retry budget stays meaningful.
+fn backoff_delay(attempt: u32, hint_secs: Option<u64>, seed: &mut u64) -> std::time::Duration {
+    // xorshift64*: cheap, stateful, good enough to decorrelate clients.
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    let base = (BACKOFF_BASE_MS << attempt.min(10)).min(BACKOFF_CAP_MS);
+    let jittered = base / 2 + seed.wrapping_mul(0x2545_F491_4F6C_DD1D) % base;
+    let hinted = hint_secs.unwrap_or(0).saturating_mul(1_000);
+    std::time::Duration::from_millis(jittered.max(hinted).min(BACKOFF_CAP_MS))
+}
+
 /// `--serve`: delegate the run to a `unity-serve` daemon. Prints the
 /// returned report like a local run (plus the daemon's cache line) and
 /// preserves the exit-code contract.
 fn run_remote(opts: &Options, addr: &str) -> Result<bool, String> {
     let src = std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+    // The idempotency key is fixed before the first attempt and reused
+    // verbatim by every retry: if an earlier attempt committed but its
+    // reply was lost, the daemon replays the recorded verdict (same
+    // sequence number) instead of verifying twice.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1);
+    let request_id = format!(
+        "{}-{}-{nanos:x}",
+        unity_serve::spec_hash(&src),
+        std::process::id()
+    );
     let mut req = unity_serve::VerifyRequest::new(src);
     req.engine = opts.engine;
     req.universe = opts.universe;
-    let (status, body) = unity_serve::http::request(addr, "POST", "/verify", Some(&req.to_json()))?;
+    req.request_id = Some(request_id);
+    let payload = req.to_json();
+    let client = unity_serve::http::ClientOptions::default();
+
+    let started = std::time::Instant::now();
+    let mut seed = nanos | 1;
+    let mut attempt = 0u32;
+    let reply = loop {
+        attempt += 1;
+        let (why, hint) =
+            match unity_serve::http::request_with(addr, "POST", "/verify", Some(&payload), &client)
+            {
+                Ok(r) if r.status != 503 => break r,
+                Ok(r) => ("service at capacity (HTTP 503)".to_string(), r.retry_after),
+                Err(e) => (e, None),
+            };
+        if attempt >= RETRY_ATTEMPTS || started.elapsed() >= RETRY_BUDGET {
+            return Err(format!("{addr}: {why} (after {attempt} attempt(s))"));
+        }
+        let delay = backoff_delay(attempt, hint, &mut seed);
+        if !opts.quiet {
+            eprintln!(
+                "unity-check: {addr}: {why}; retrying in {}ms (attempt {attempt}/{RETRY_ATTEMPTS})",
+                delay.as_millis()
+            );
+        }
+        std::thread::sleep(delay);
+    };
+    let (status, body) = (reply.status, reply.body);
     if status != 200 {
         let msg = unity_serve::proto::error_message(&body)
             .unwrap_or_else(|| format!("HTTP {status} from {addr}"));

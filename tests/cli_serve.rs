@@ -23,6 +23,7 @@ fn start_server(name: &str) -> (unity_serve::Server, String) {
             data_dir: dir,
             workers: 2,
             default_timeout: Some(Duration::from_secs(60)),
+            queue_limit: 8,
         })
         .unwrap(),
     );
