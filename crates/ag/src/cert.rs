@@ -1,0 +1,428 @@
+//! Content-hashed component certificates and the discharge record.
+//!
+//! A certificate says "this *program* (identified by content hash)
+//! satisfies this *property* (canonical text) under this universe".
+//! Certificates are engine-agnostic: the three checking engines are
+//! pinned verdict-identical by the differential suites, so a fact
+//! established by any engine answers for all of them.
+//!
+//! Keying is **per component program**, not per spec file: the hash
+//! covers exactly the component's own canonical text (its name, the
+//! variables it mentions or owns, its `initially` conjunct, and its
+//! commands), rendered by *name* so it is stable under vocabulary growth
+//! caused by editing sibling components. Editing one component of an
+//! N-component system therefore invalidates exactly that component's
+//! certificates.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::hash::Hasher as _;
+
+use unity_core::expr::pretty::Render;
+use unity_core::expr::vars::free_vars;
+use unity_core::hash::FxHasher;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+
+/// Universe tag for certificates over the reachable state space
+/// (`leadsto` under `Universe::Reachable`).
+pub const UNIVERSE_REACHABLE: u8 = 0;
+/// Universe tag for certificates over all type-consistent states
+/// (`leadsto` under `Universe::AllStates`).
+pub const UNIVERSE_ALL: u8 = 1;
+/// Universe tag for the inductive safety checks, which quantify over all
+/// states regardless of the requested universe — one certificate answers
+/// for both.
+pub const UNIVERSE_INDUCTIVE: u8 = 2;
+
+/// Second-word salt of the 128-bit content hash (a fractional-sqrt
+/// constant, distinct from the spec store's salt so program hashes and
+/// spec hashes can never be confused for one another).
+const HI_SALT: u64 = 0xbb67_ae85_84ca_a73b;
+
+/// The canonical text a component is hashed over: like
+/// [`Program::listing`], but restricted to the variables the program
+/// mentions or owns, sorted by **name**. Rendering by name (never by
+/// `VarId`) keeps the hash stable when a sibling component's edit grows
+/// or reorders the shared vocabulary.
+pub fn canonical_text(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}", p.name);
+    let mut vars: Vec<VarId> = p
+        .mentioned_vars()
+        .union(&p.locals)
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    vars.sort_by(|a, b| p.vocab.name(*a).cmp(p.vocab.name(*b)));
+    for v in vars {
+        let d = p.vocab.decl(v);
+        let loc = if p.locals.contains(&v) { " local" } else { "" };
+        let _ = writeln!(out, "  var {} : {}{}", d.name, d.domain, loc);
+    }
+    let _ = writeln!(out, "  init {}", Render::new(&p.init, &p.vocab));
+    for (i, c) in p.commands.iter().enumerate() {
+        let kw = if p.fair.contains(&i) {
+            "fair cmd"
+        } else {
+            "cmd"
+        };
+        let _ = writeln!(out, "  {} {}", kw, c.display(&p.vocab));
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+/// 128-bit content hash of a component program as 32 lowercase hex
+/// digits — the certificate (and store-directory) key. Two independently
+/// salted 64-bit FxHash words over [`canonical_text`]; the second word
+/// also mixes the length, closing FxHash's trailing-padding collision.
+pub fn program_hash(p: &Program) -> String {
+    let text = canonical_text(p);
+    let bytes = text.as_bytes();
+    let mut lo = FxHasher::default();
+    lo.write(bytes);
+    let mut hi = FxHasher::default();
+    hi.write_u64(HI_SALT);
+    hi.write(bytes);
+    hi.write_u64(bytes.len() as u64);
+    format!("{:016x}{:016x}", lo.finish(), hi.finish())
+}
+
+/// The canonical text a certificate keys a property by: the rendered
+/// property followed by the domains of its free variables (sorted by
+/// name). The domain suffix matters because the inductive safety
+/// semantics quantify over the variables' *full domains* — a property
+/// mentioning a variable the program itself never touches (hence
+/// outside [`canonical_text`]) must not share a certificate with a
+/// same-named variable of a different domain.
+pub fn obligation_text(prop: &Property, vocab: &Vocabulary) -> String {
+    let mut out = prop.display(vocab).to_string();
+    let mut vs: Vec<VarId> = prop
+        .exprs()
+        .iter()
+        .flat_map(|e| free_vars(e))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    vs.sort_by(|a, b| vocab.name(*a).cmp(vocab.name(*b)));
+    for v in vs {
+        let d = vocab.decl(v);
+        let _ = write!(out, " | {} : {}", d.name, d.domain);
+    }
+    out
+}
+
+/// Identity of one certificate: program content hash × canonical
+/// property text × universe tag.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CertKey {
+    /// [`program_hash`] of the program the fact is about.
+    pub program: String,
+    /// The property, rendered canonically with variable names.
+    pub property: String,
+    /// One of [`UNIVERSE_REACHABLE`], [`UNIVERSE_ALL`],
+    /// [`UNIVERSE_INDUCTIVE`].
+    pub universe: u8,
+}
+
+/// An in-memory certificate store: established pass/fail facts about
+/// component programs, with dirty tracking so a persistence layer can
+/// write back only what this run added.
+///
+/// Only definite verdicts are stored — a check that *errors* (space
+/// bound, typing) proves nothing about the program and is never cached.
+#[derive(Debug, Default, Clone)]
+pub struct CertStore {
+    entries: BTreeMap<CertKey, bool>,
+    dirty: BTreeSet<CertKey>,
+}
+
+impl CertStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded verdict for `key`, if any.
+    pub fn get(&self, key: &CertKey) -> Option<bool> {
+        self.entries.get(key).copied()
+    }
+
+    /// Records a freshly established fact (marked dirty for
+    /// persistence). A changed verdict under the same key would mean the
+    /// content hash failed — `debug_assert`ed, last write wins.
+    pub fn insert(&mut self, key: CertKey, passed: bool) {
+        if let Some(old) = self.entries.get(&key) {
+            debug_assert_eq!(*old, passed, "conflicting certificate for {key:?}");
+        }
+        self.dirty.insert(key.clone());
+        self.entries.insert(key, passed);
+    }
+
+    /// Seeds a fact loaded from persistent storage (not marked dirty).
+    pub fn seed(&mut self, key: CertKey, passed: bool) {
+        self.entries.insert(key, passed);
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All facts, in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CertKey, bool)> {
+        self.entries.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Facts added since the last [`CertStore::clear_dirty`], in
+    /// deterministic key order — what a persistence layer should write.
+    pub fn dirty(&self) -> impl Iterator<Item = (&CertKey, bool)> {
+        self.dirty.iter().map(|k| (k, self.entries[k]))
+    }
+
+    /// Number of dirty facts.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Marks all facts persisted.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+}
+
+/// Which rule closed a compositional obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DischargeRule {
+    /// An existential property held by the named component lifts to the
+    /// system (the kernel's `lift-existential`).
+    LiftExistential {
+        /// The witnessing component index.
+        component: usize,
+    },
+    /// A universal property held by every component lifts to the system
+    /// (the kernel's `lift-universal`).
+    LiftUniversal,
+    /// A `leadsto` decided on the cone-of-influence slice — the
+    /// sub-composition of the named components over their own variables.
+    Cone {
+        /// The block of component indices forming the cone.
+        components: Vec<usize>,
+    },
+    /// The residue: no rule applied (or a component check refuted the
+    /// lift), so the property was checked in the product space.
+    ProductFallback,
+}
+
+impl DischargeRule {
+    /// Machine-readable rule name. The lift names match the proof
+    /// kernel's [`Proof::rule_name`](unity_core::proof::rules::Proof)
+    /// spellings.
+    pub fn rule_name(&self) -> &'static str {
+        match self {
+            DischargeRule::LiftExistential { .. } => "lift-existential",
+            DischargeRule::LiftUniversal => "lift-universal",
+            DischargeRule::Cone { .. } => "cone-of-influence",
+            DischargeRule::ProductFallback => "product-fallback",
+        }
+    }
+
+    /// The component indices the rule rests on (empty for
+    /// `lift-universal`, which rests on all of them, and for the product
+    /// fallback).
+    pub fn components(&self) -> &[usize] {
+        match self {
+            DischargeRule::LiftExistential { component } => std::slice::from_ref(component),
+            DischargeRule::Cone { components } => components,
+            _ => &[],
+        }
+    }
+}
+
+/// One closed obligation: the property, the rule that closed it, and
+/// whether every component fact it rests on was answered from the
+/// certificate cache (no component re-checked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discharge {
+    /// Canonical property text.
+    pub property: String,
+    /// The closing rule.
+    pub rule: DischargeRule,
+    /// Whether the obligation was closed entirely from cached
+    /// certificates.
+    pub cached: bool,
+}
+
+/// The machine-readable record of how a battery of obligations was
+/// discharged, in check order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CertChain {
+    /// One entry per obligation, in the order they were discharged.
+    pub entries: Vec<Discharge>,
+}
+
+impl CertChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a discharge record.
+    pub fn push(&mut self, d: Discharge) {
+        self.entries.push(d);
+    }
+
+    /// Number of discharged obligations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no obligations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many obligations a given rule (by [`DischargeRule::rule_name`])
+    /// closed.
+    pub fn count_rule(&self, name: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|d| d.rule.rule_name() == name)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+
+    fn two_vocab_component(order_flipped: bool) -> Program {
+        // The same component text over vocabularies that differ only in
+        // declaration order / the presence of a sibling's variable.
+        let mut v = Vocabulary::new();
+        let (x, y);
+        if order_flipped {
+            v.declare("other", Domain::Bool).unwrap();
+            y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+            x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        } else {
+            x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+            y = v.declare("y", Domain::int_range(0, 3).unwrap()).unwrap();
+        }
+        Program::builder("comp", Arc::new(v))
+            .local(x)
+            .init(and2(eq(var(x), int(0)), eq(var(y), int(0))))
+            .fair_command("step", lt(var(x), int(3)), vec![(x, add(var(x), int(1)))])
+            .command("sync", tt(), vec![(y, var(x))])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn hash_is_stable_under_vocabulary_growth_and_reorder() {
+        let a = two_vocab_component(false);
+        let b = two_vocab_component(true);
+        assert_eq!(canonical_text(&a), canonical_text(&b));
+        assert_eq!(program_hash(&a), program_hash(&b));
+        assert_eq!(program_hash(&a).len(), 32);
+    }
+
+    #[test]
+    fn hash_discriminates_content() {
+        let a = two_vocab_component(false);
+        let mut edited = a.clone();
+        edited.init = tt();
+        assert_ne!(program_hash(&a), program_hash(&edited));
+        let mut renamed = a.clone();
+        renamed.name = "comp2".into();
+        assert_ne!(program_hash(&a), program_hash(&renamed));
+    }
+
+    #[test]
+    fn obligation_text_pins_free_variable_domains() {
+        let mut v = Vocabulary::new();
+        let x = v.declare("x", Domain::int_range(0, 3).unwrap()).unwrap();
+        let mut w = Vocabulary::new();
+        let xw = w.declare("x", Domain::int_range(0, 7).unwrap()).unwrap();
+        let p = Property::Invariant(le(var(x), int(3)));
+        let pw = Property::Invariant(le(var(xw), int(3)));
+        // Same rendered property, different domain: distinct key texts.
+        assert_eq!(
+            p.display(&v).to_string(),
+            pw.display(&w).to_string(),
+            "precondition: identical rendering"
+        );
+        assert_ne!(obligation_text(&p, &v), obligation_text(&pw, &w));
+        assert!(obligation_text(&p, &v).starts_with("invariant "));
+    }
+
+    #[test]
+    fn store_tracks_dirty_facts() {
+        let mut s = CertStore::new();
+        let k = |p: &str| CertKey {
+            program: p.into(),
+            property: "stable x <= 1".into(),
+            universe: UNIVERSE_INDUCTIVE,
+        };
+        s.seed(k("a"), true);
+        assert_eq!(s.dirty_len(), 0);
+        assert_eq!(s.get(&k("a")), Some(true));
+        s.insert(k("b"), false);
+        assert_eq!(s.dirty_len(), 1);
+        assert_eq!(s.len(), 2);
+        let dirty: Vec<_> = s.dirty().collect();
+        assert_eq!(dirty, vec![(&k("b"), false)]);
+        s.clear_dirty();
+        assert_eq!(s.dirty_len(), 0);
+    }
+
+    #[test]
+    fn rules_name_themselves() {
+        assert_eq!(
+            DischargeRule::LiftExistential { component: 2 }.rule_name(),
+            "lift-existential"
+        );
+        assert_eq!(
+            DischargeRule::LiftExistential { component: 2 }.components(),
+            &[2]
+        );
+        assert_eq!(DischargeRule::LiftUniversal.rule_name(), "lift-universal");
+        assert_eq!(
+            DischargeRule::Cone {
+                components: vec![0, 3]
+            }
+            .rule_name(),
+            "cone-of-influence"
+        );
+        assert_eq!(
+            DischargeRule::ProductFallback.rule_name(),
+            "product-fallback"
+        );
+        let mut chain = CertChain::new();
+        chain.push(Discharge {
+            property: "p".into(),
+            rule: DischargeRule::LiftUniversal,
+            cached: false,
+        });
+        chain.push(Discharge {
+            property: "q".into(),
+            rule: DischargeRule::ProductFallback,
+            cached: false,
+        });
+        assert_eq!(chain.count_rule("lift-universal"), 1);
+        assert_eq!(chain.count_rule("cone-of-influence"), 0);
+        assert_eq!(chain.len(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! # unity-ag
+//!
+//! Assume-guarantee compositional verification: the planning and
+//! certificate layer that lets a checker discharge properties of a
+//! composed program **without building the product state space**.
+//!
+//! The source paper's central observation is that universal properties
+//! of `F ∥ G` follow from per-component certificates plus the
+//! union/inheritance rules, and existential properties from a single
+//! component's certificate. This crate turns that observation into
+//! machinery a model checker can drive:
+//!
+//! * [`plan`]: maps each property kind to a discharge [`plan::Strategy`]
+//!   via the paper's §2 classification ([`unity_core::classify`]) —
+//!   existential properties need *one* passing component, universal
+//!   properties need *all* components, and `leadsto` (neither class)
+//!   routes through a cone-of-influence slice.
+//! * [`mod@slice`]: computes the cone-of-influence block of a `leadsto`
+//!   property — the least set of components whose writes can influence
+//!   the predicates — and rebuilds that block over a *restricted*
+//!   vocabulary, so liveness of a local subsystem is decided in the
+//!   subsystem's exponentially smaller space.
+//! * [`cert`]: content-hashed component certificates
+//!   ([`cert::program_hash`] keys by the component's own canonical text,
+//!   not the spec file, so editing one component of an N-component
+//!   system invalidates exactly one certificate), plus the
+//!   machine-readable [`cert::CertChain`] recording *which rule closed
+//!   each obligation*.
+//!
+//! The crate depends only on `unity-core`: it plans and records, it does
+//! not check. `unity-mc`'s `CompositionalVerifier` executes plans with
+//! the three-engine `Verifier` and validates every lift through the
+//! proof kernel's `lift-universal` / `lift-existential` rules; anything
+//! the rules cannot close falls back to the product space, so the
+//! compositional verdict (and witness) is identical to the flat one by
+//! construction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cert;
+pub mod plan;
+pub mod slice;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::cert::{
+        canonical_text, obligation_text, program_hash, CertChain, CertKey, CertStore, Discharge,
+        DischargeRule, UNIVERSE_ALL, UNIVERSE_INDUCTIVE, UNIVERSE_REACHABLE,
+    };
+    pub use crate::plan::{plan, Strategy};
+    pub use crate::slice::{cone_block, Slice};
+}

@@ -1,0 +1,60 @@
+//! Discharge planning: which compositional strategy fits a property.
+//!
+//! The mapping is exactly the paper's §2 classification table
+//! ([`unity_core::classify`]): existential property types need one
+//! passing component, universal types need all components, and `leadsto`
+//! — neither existential nor universal — is routed through the
+//! cone-of-influence slice (with the product space as the residue).
+
+use unity_core::classify::{classify, PropertyClass};
+use unity_core::properties::Property;
+
+/// How a checker should attempt to discharge a property of a composition
+/// before resorting to the product space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Pass if *some* component passes (`init`, `transient`): the
+    /// witness — initial conjunct or fair command — survives composition.
+    /// If every component fails, the property may still hold of the
+    /// composition (e.g. a conjoined `initially` can entail what no
+    /// single conjunct does), so the residue is a product check, never a
+    /// refutation.
+    Existential,
+    /// Pass if *all* components pass (`next`, `stable`, `invariant`,
+    /// `unchanged`): these quantify over all commands and composition
+    /// unions command sets. A failing component usually refutes the
+    /// composition too, but the canonical witness still comes from the
+    /// product check.
+    Universal,
+    /// Decide on the cone-of-influence slice (`leadsto`): liveness is
+    /// neither existential nor universal, but it *is* local to the
+    /// components that can influence the predicates (see
+    /// [`crate::slice`]).
+    Cone,
+}
+
+/// Plans the discharge strategy for `prop` from its §2 classification.
+pub fn plan(prop: &Property) -> Strategy {
+    match classify(prop) {
+        PropertyClass::Existential => Strategy::Existential,
+        PropertyClass::Universal => Strategy::Universal,
+        PropertyClass::Neither => Strategy::Cone,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_core::expr::build::*;
+
+    #[test]
+    fn strategies_follow_the_classification_table() {
+        assert_eq!(plan(&Property::Init(tt())), Strategy::Existential);
+        assert_eq!(plan(&Property::Transient(tt())), Strategy::Existential);
+        assert_eq!(plan(&Property::Next(tt(), tt())), Strategy::Universal);
+        assert_eq!(plan(&Property::Stable(tt())), Strategy::Universal);
+        assert_eq!(plan(&Property::Invariant(tt())), Strategy::Universal);
+        assert_eq!(plan(&Property::Unchanged(int(0))), Strategy::Universal);
+        assert_eq!(plan(&Property::LeadsTo(tt(), tt())), Strategy::Cone);
+    }
+}

@@ -1,0 +1,305 @@
+//! Cone-of-influence slicing for `leadsto` obligations.
+//!
+//! `p ↦ q` is neither existential nor universal, but it *is* local: only
+//! components whose writes can (transitively) influence the predicates
+//! matter. [`cone_block`] computes that least component set as a
+//! fixpoint over write-sets, and [`Slice::build`] rebuilds the block
+//! over a **restricted vocabulary** containing only the variables the
+//! block (or the property) mentions — so the slice's state space is the
+//! block's own product, not the system's.
+//!
+//! Soundness of lifting a slice **pass** to the full composition (the
+//! only direction a checker uses — refutations are re-derived on the
+//! product for canonical witnesses): components outside the block never
+//! write a variable the block reads or the property mentions, so on the
+//! slice variables they behave as `skip`, and weak fairness of their
+//! commands adds only stutters. Any product-space violation — a
+//! reachable `p ∧ ¬q` state leading into a fair trap — therefore
+//! projects to a violation in the slice: the projected trap stays
+//! strongly connected (outside steps collapse to stutters), every block
+//! fair command keeps its in-trap successor, and the slice's initial
+//! states (block `initially` conjuncts only) are a superset of the
+//! projected product initials. Contrapositive: slice pass ⇒ product
+//! pass. The differential suite pins this end to end.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use unity_core::command::Command;
+use unity_core::compose::remap;
+use unity_core::error::CoreError;
+use unity_core::expr::{build, vars, Expr};
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+
+/// The cone-of-influence block of `seed` (typically the free variables
+/// of a property): the least set of component indices closed under "a
+/// component writing a needed variable joins, and everything it mentions
+/// becomes needed". Returned sorted.
+pub fn cone_block(components: &[Program], seed: &BTreeSet<VarId>) -> Vec<usize> {
+    let mut needed = seed.clone();
+    let mut in_block = vec![false; components.len()];
+    loop {
+        let mut changed = false;
+        for (i, p) in components.iter().enumerate() {
+            if !in_block[i] && p.write_set().iter().any(|v| needed.contains(v)) {
+                in_block[i] = true;
+                needed.extend(p.mentioned_vars());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    in_block
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i))
+        .collect()
+}
+
+/// A block of components rebuilt over a restricted vocabulary, composed
+/// by union. Expressions over the original vocabulary translate through
+/// [`Slice::remap_expr`] / [`Slice::remap_property`].
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// The component indices the slice was built from (sorted).
+    pub block: Vec<usize>,
+    /// The block programs over the restricted vocabulary, in block order.
+    pub programs: Vec<Program>,
+    /// Their union composition (no initial-satisfiability enumeration —
+    /// the product program already passed it).
+    pub composed: Program,
+    /// Old variable id → new id (entries for dropped variables are a
+    /// dummy and must never be dereferenced).
+    map: Vec<VarId>,
+    /// The original ids kept, in old-id order (= new-id order).
+    kept: Vec<VarId>,
+}
+
+impl Slice {
+    /// Builds the slice of `block` (sorted component indices into
+    /// `components`, which share one vocabulary) keeping the block's
+    /// variables plus `extra` (typically the property's free variables).
+    pub fn build(
+        components: &[Program],
+        block: &[usize],
+        extra: &BTreeSet<VarId>,
+    ) -> Result<Slice, CoreError> {
+        let full = components
+            .first()
+            .map(|p| p.vocab.clone())
+            .unwrap_or_else(|| Arc::new(Vocabulary::new()));
+        let mut keep: BTreeSet<VarId> = extra.clone();
+        for &i in block {
+            keep.extend(components[i].mentioned_vars());
+            keep.extend(components[i].locals.iter().copied());
+        }
+        let kept: Vec<VarId> = keep.iter().copied().collect();
+        let mut vocab = Vocabulary::new();
+        let mut map = vec![VarId(0); full.len().max(1)];
+        for &old in &kept {
+            let d = full.decl(old);
+            map[old.index()] = vocab.declare(&d.name, d.domain.clone())?;
+        }
+        let vocab = Arc::new(vocab);
+
+        let mut programs = Vec::with_capacity(block.len());
+        for &i in block {
+            programs.push(remap_onto(&components[i], &map, vocab.clone())?);
+        }
+
+        // Union composition, mirroring `unity_core::compose::compose`
+        // but skipping the initial-satisfiability enumeration: the
+        // product program's (stronger) init already passed it.
+        let mut commands: Vec<Command> = Vec::new();
+        let mut fair = BTreeSet::new();
+        let mut locals = BTreeSet::new();
+        let mut inits = Vec::new();
+        let mut names = Vec::new();
+        for p in &programs {
+            let base = commands.len();
+            names.push(p.name.clone());
+            commands.extend(p.commands.iter().cloned());
+            fair.extend(p.fair.iter().map(|&k| base + k));
+            locals.extend(p.locals.iter().copied());
+            if !p.init.is_true() {
+                inits.push(p.init.clone());
+            }
+        }
+        let name = if names.is_empty() {
+            "slice".to_string()
+        } else {
+            names.join(" || ")
+        };
+        let init = if inits.is_empty() {
+            build::tt()
+        } else {
+            build::and(inits)
+        };
+        let composed = Program {
+            name,
+            vocab,
+            locals,
+            init,
+            commands,
+            fair,
+        };
+        composed.validate()?;
+        Ok(Slice {
+            block: block.to_vec(),
+            programs,
+            composed,
+            map,
+            kept,
+        })
+    }
+
+    /// The restricted vocabulary.
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        &self.composed.vocab
+    }
+
+    /// The original variable ids the slice kept, in new-id order.
+    pub fn kept(&self) -> &[VarId] {
+        &self.kept
+    }
+
+    /// Translates an expression over the original vocabulary onto the
+    /// slice vocabulary. The expression must only mention kept variables
+    /// (guaranteed for the cone's seed property by construction).
+    pub fn remap_expr(&self, e: &Expr) -> Expr {
+        debug_assert!(
+            vars::free_vars(e).iter().all(|v| self.kept.contains(v)),
+            "expression mentions a variable outside the slice"
+        );
+        remap(e, &self.map)
+    }
+
+    /// Translates a property onto the slice vocabulary.
+    pub fn remap_property(&self, p: &Property) -> Property {
+        match p {
+            Property::Init(e) => Property::Init(self.remap_expr(e)),
+            Property::Transient(e) => Property::Transient(self.remap_expr(e)),
+            Property::Next(a, b) => Property::Next(self.remap_expr(a), self.remap_expr(b)),
+            Property::Stable(e) => Property::Stable(self.remap_expr(e)),
+            Property::Invariant(e) => Property::Invariant(self.remap_expr(e)),
+            Property::Unchanged(e) => Property::Unchanged(self.remap_expr(e)),
+            Property::LeadsTo(a, b) => Property::LeadsTo(self.remap_expr(a), self.remap_expr(b)),
+        }
+    }
+}
+
+fn remap_onto(p: &Program, map: &[VarId], vocab: Arc<Vocabulary>) -> Result<Program, CoreError> {
+    let mut commands = Vec::with_capacity(p.commands.len());
+    for c in &p.commands {
+        commands.push(Command::new(
+            c.name.clone(),
+            remap(&c.guard, map),
+            c.updates
+                .iter()
+                .map(|(x, e)| (map[x.index()], remap(e, map)))
+                .collect(),
+            &vocab,
+        )?);
+    }
+    let prog = Program {
+        name: p.name.clone(),
+        vocab,
+        locals: p.locals.iter().map(|l| map[l.index()]).collect(),
+        init: remap(&p.init, map),
+        commands,
+        fair: p.fair.clone(),
+    };
+    prog.validate()?;
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+
+    /// Three components over one vocabulary: two independent counters
+    /// and an observer copying the first.
+    fn rig() -> (Vec<Program>, VarId, VarId, VarId) {
+        let mut v = Vocabulary::new();
+        let a = v.declare("a", Domain::int_range(0, 3).unwrap()).unwrap();
+        let b = v.declare("b", Domain::int_range(0, 3).unwrap()).unwrap();
+        let c = v.declare("c", Domain::int_range(0, 3).unwrap()).unwrap();
+        let vocab = Arc::new(v);
+        let p0 = Program::builder("P0", vocab.clone())
+            .local(a)
+            .init(eq(var(a), int(0)))
+            .fair_command("inca", lt(var(a), int(3)), vec![(a, add(var(a), int(1)))])
+            .build()
+            .unwrap();
+        let p1 = Program::builder("P1", vocab.clone())
+            .local(b)
+            .init(eq(var(b), int(0)))
+            .fair_command("incb", lt(var(b), int(3)), vec![(b, add(var(b), int(1)))])
+            .build()
+            .unwrap();
+        let p2 = Program::builder("P2", vocab.clone())
+            .local(c)
+            .init(eq(var(c), int(0)))
+            .fair_command("copy", tt(), vec![(c, var(a))])
+            .build()
+            .unwrap();
+        (vec![p0, p1, p2], a, b, c)
+    }
+
+    #[test]
+    fn cone_is_the_least_influencing_set() {
+        let (ps, a, b, c) = rig();
+        let seed = |v: VarId| [v].into_iter().collect::<BTreeSet<_>>();
+        assert_eq!(cone_block(&ps, &seed(a)), vec![0]);
+        assert_eq!(cone_block(&ps, &seed(b)), vec![1]);
+        // c depends on a's writer transitively.
+        assert_eq!(cone_block(&ps, &seed(c)), vec![0, 2]);
+        // A variable nobody writes has an empty cone.
+        assert_eq!(cone_block(&ps, &BTreeSet::new()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn slice_restricts_the_vocabulary() {
+        let (ps, a, _b, _c) = rig();
+        let extra = [a].into_iter().collect();
+        let s = Slice::build(&ps, &[0], &extra).unwrap();
+        assert_eq!(s.vocab().len(), 1, "only `a` survives");
+        assert_eq!(s.composed.commands.len(), 1);
+        assert_eq!(s.composed.fair.len(), 1);
+        assert_eq!(s.composed.name, "P0");
+        // The remapped property type-checks on the slice vocabulary.
+        let prop = Property::LeadsTo(tt(), eq(var(a), int(3)));
+        let remapped = s.remap_property(&prop);
+        remapped.check_types(s.vocab()).unwrap();
+        // 4 initial-candidate states instead of 4^3.
+        assert_eq!(s.vocab().space_size(), Some(4));
+    }
+
+    #[test]
+    fn slice_of_two_components_unions_commands_and_rebases_fairness() {
+        let (ps, a, _b, c) = rig();
+        let extra = [a, c].into_iter().collect();
+        let s = Slice::build(&ps, &[0, 2], &extra).unwrap();
+        assert_eq!(s.vocab().len(), 2);
+        assert_eq!(s.composed.commands.len(), 2);
+        assert_eq!(s.composed.fair, [0usize, 1].into_iter().collect());
+        assert_eq!(s.composed.name, "P0 || P2");
+        assert_eq!(s.programs.len(), 2);
+    }
+
+    #[test]
+    fn empty_block_slice_is_the_skip_program() {
+        let (ps, a, ..) = rig();
+        let extra = [a].into_iter().collect();
+        let s = Slice::build(&ps, &[], &extra).unwrap();
+        assert!(s.composed.commands.is_empty());
+        assert!(s.composed.init.is_true());
+        assert_eq!(s.vocab().len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! E23 — assume-guarantee compositional verification through the serve
+//! store: the product build vs per-component discharge, cold and warm,
+//! and the headline scenario — **editing one component of a
+//! 4-component system re-verifies only that component**, answering the
+//! rest from the persistent certificate cache and never (re)building
+//! the product transition system.
+//!
+//! The workload is the 4-quadrant grid (`unity_systems::quadrants`
+//! rendered as a `.unity` spec): four disjoint `side × side` walkers,
+//! so the flat product is the *product* of the quadrant spaces while
+//! every compositional obligation lives in a single quadrant's few
+//! dozen states. The spec battery is the
+//! quadrants' default one — `init`/`invariant`/`stable`/`leadsto` per
+//! quadrant — which the assume-guarantee rules discharge completely,
+//! so `cache.ts_reachable == Unused` (the product was never opened) is
+//! asserted on every compositional submission.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unity_serve::{CacheState, Service, ServiceConfig, VerifyRequest, VerifyResponse};
+
+/// Renders the 4-quadrant grid as a `.unity` spec; `sides[i]` is
+/// quadrant `i`'s side length. Changing one entry changes exactly one
+/// component's program text (its domain bounds, guards and fuel), so
+/// its certificates — and only its — are invalidated.
+fn quadrant_spec(sides: [i64; 4]) -> String {
+    let mut src = String::new();
+    for (i, side) in sides.iter().enumerate() {
+        let m = side - 1;
+        let fuel = 2 * m;
+        src.push_str(&format!(
+            "program Quadrant{i}\n  \
+             var x{i} : int 0..{m} local\n  \
+             var y{i} : int 0..{m} local\n  \
+             var f{i} : int 0..{fuel} local\n  \
+             init x{i} == 0 && y{i} == 0 && f{i} == {fuel}\n  \
+             fair cmd east{i}: x{i} < {m} -> x{i} := x{i} + 1, f{i} := f{i} - 1\n  \
+             fair cmd north{i}: y{i} < {m} -> y{i} := y{i} + 1, f{i} := f{i} - 1\n\
+             end\n"
+        ));
+    }
+    src.push_str("spec Grid\n");
+    for (i, side) in sides.iter().enumerate() {
+        let m = side - 1;
+        let fuel = 2 * m;
+        src.push_str(&format!(
+            "  origin{i}: init x{i} == 0 && y{i} == 0 && f{i} == {fuel}\n  \
+             bounds{i}: invariant x{i} <= {m} && y{i} <= {m}\n  \
+             settled{i}: stable f{i} == 0\n  \
+             arrival{i}: true leadsto f{i} == 0\n"
+        ));
+    }
+    src.push_str("end\n");
+    src
+}
+
+// Mixed sides keep the flat product large enough to hurt (~292k
+// states, ~0.5 s a submission) while staying inside the scan limit;
+// each quadrant alone is at most 45 states, so the compositional path
+// is ~100x cheaper per cold submission.
+const BASE_SIDES: [i64; 4] = [3, 3, 2, 2];
+
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "unity_bench_e23_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &std::path::Path) -> Service {
+    Service::open(ServiceConfig {
+        data_dir: dir.to_path_buf(),
+        workers: 1,
+        default_timeout: None,
+        queue_limit: 8,
+    })
+    .unwrap()
+}
+
+fn submit(service: &Service, spec: &str, compositional: bool) -> VerifyResponse {
+    let mut req = VerifyRequest::new(spec);
+    req.compositional = compositional;
+    let resp = service.verify(req).unwrap();
+    assert!(resp.report.all_passed(), "quadrant battery must pass");
+    resp
+}
+
+fn bench_e23(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e23_compose");
+    group.sample_size(10);
+    let base = quadrant_spec(BASE_SIDES);
+
+    // Flat cold: the product transition system (side⁸ states) is built
+    // for the leadsto checks — the cost every flat submission pays.
+    group.bench_with_input(BenchmarkId::new("flat_cold", "quad4"), &(), |b, ()| {
+        b.iter(|| {
+            let dir = fresh_dir();
+            let service = open(&dir);
+            let resp = submit(&service, &base, false);
+            assert_eq!(resp.cache.ts_reachable, CacheState::Miss);
+            drop(service);
+            let _ = std::fs::remove_dir_all(&dir);
+            resp.seq
+        })
+    });
+
+    // Compositional cold: every obligation discharges in one quadrant's
+    // side² space; the product is never opened even with an empty
+    // certificate store.
+    group.bench_with_input(
+        BenchmarkId::new("compositional_cold", "quad4"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let dir = fresh_dir();
+                let service = open(&dir);
+                let resp = submit(&service, &base, true);
+                assert_eq!(resp.cache.ts_reachable, CacheState::Unused);
+                assert_eq!(resp.cache.cert_hits, 0);
+                assert!(resp.cache.cert_misses > 0);
+                drop(service);
+                let _ = std::fs::remove_dir_all(&dir);
+                resp.seq
+            })
+        },
+    );
+
+    // Compositional warm: the store answers every obligation from
+    // per-component certificates; no checking at all.
+    let dir = fresh_dir();
+    let service = open(&dir);
+    let first = submit(&service, &base, true);
+    assert!(first.cache.cert_misses > 0, "cold run seeds the store");
+    group.bench_with_input(
+        BenchmarkId::new("compositional_warm", "quad4"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let resp = submit(&service, &base, true);
+                assert_eq!(resp.cache.ts_reachable, CacheState::Unused);
+                assert_eq!(resp.cache.cert_misses, 0);
+                assert!(resp.cache.cert_hits > 0);
+                resp.seq
+            })
+        },
+    );
+
+    // The headline: edit quadrant 0 (a fresh side length every
+    // iteration, so its program text — and only its — changes) and
+    // re-verify. Quadrants 1–3 answer from certificates; only the
+    // edited quadrant is re-checked; the product is never rebuilt.
+    let edit_counter = AtomicU64::new(0);
+    group.bench_with_input(
+        BenchmarkId::new("one_component_edit", "quad4"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut sides = BASE_SIDES;
+                // 4..=19: a non-repeating run of distinct edits, none
+                // equal to any base side (so the edited quadrant always
+                // misses) and all small enough that re-checking the one
+                // edited component stays cheap.
+                sides[0] = 4 + (edit_counter.fetch_add(1, Ordering::SeqCst) % 16) as i64;
+                let edited = quadrant_spec(sides);
+                let resp = submit(&service, &edited, true);
+                assert_eq!(resp.cache.ts_reachable, CacheState::Unused);
+                assert!(resp.cache.cert_hits > 0, "unedited quadrants cached");
+                assert!(resp.cache.cert_misses > 0, "edited quadrant re-checked");
+                resp.seq
+            })
+        },
+    );
+
+    group.finish();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_e23);
+criterion_main!(benches);

@@ -55,6 +55,7 @@ pub mod dsl;
 pub mod error;
 pub mod expr;
 pub mod guarantee;
+pub mod hash;
 pub mod ident;
 pub mod program;
 pub mod proof;

@@ -165,6 +165,12 @@ impl ByteWriter {
         }
     }
 
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, bs: &[u8]) {
+        self.u64(bs.len() as u64);
+        self.buf.extend_from_slice(bs);
+    }
+
     /// The finished payload.
     pub fn into_vec(self) -> Vec<u8> {
         self.buf
@@ -232,6 +238,16 @@ impl<'a> ByteReader<'a> {
             return Err(format!("array of {n} u64s exceeds payload"));
         }
         (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a length-prefixed byte string (bounded like
+    /// [`ByteReader::u32_vec`]).
+    pub fn byte_vec(&mut self) -> Result<Vec<u8>, String> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(format!("byte string of {n} exceeds payload"));
+        }
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Asserts the payload was fully consumed — trailing bytes mean the

@@ -1,0 +1,755 @@
+//! Assume-guarantee compositional verification: discharge properties of
+//! a composed system **without building the product state space**.
+//!
+//! [`CompositionalVerifier`] executes the discharge plans of
+//! [`unity_ag`] with this crate's three-engine checkers:
+//!
+//! * **Existential** properties (`init`, `transient`) pass as soon as
+//!   *one* component passes — the witness survives composition. The
+//!   lift is validated through the proof kernel's `lift-existential`
+//!   rule before it is trusted.
+//! * **Universal** properties (`next`, `stable`, `invariant`,
+//!   `unchanged`) pass when *every* component passes, validated through
+//!   the kernel's `lift-universal` rule. Each component check runs in
+//!   the component's own (exponentially smaller) projected space.
+//! * **`leadsto`** is decided on the cone-of-influence slice — the
+//!   sub-composition of the components that can influence the property,
+//!   rebuilt over a restricted vocabulary ([`unity_ag::slice`]) — when
+//!   the cone is a proper subset of the system.
+//!
+//! Everything the rules cannot close falls back to the product space,
+//! and **every refutation is re-derived on the product**, so the
+//! compositional verdict *and witness* are identical to a flat
+//! [`Verifier`] run by construction (pinned end to end by the
+//! differential suite in `tests/prop_compositional.rs`).
+//!
+//! Component facts are cached as content-hashed certificates
+//! ([`unity_ag::cert`]): keyed by the component's own canonical text,
+//! not the spec file, so re-verifying an N-component system after a
+//! one-component edit re-checks exactly that component. The
+//! [`CertChain`] records, machine-readably, *which rule closed each
+//! obligation*.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use unity_ag::cert::{
+    obligation_text, program_hash, CertChain, CertKey, CertStore, Discharge, DischargeRule,
+    UNIVERSE_ALL, UNIVERSE_INDUCTIVE, UNIVERSE_REACHABLE,
+};
+use unity_ag::plan::{plan, Strategy};
+use unity_ag::slice::{cone_block, Slice};
+use unity_core::compose::System;
+use unity_core::expr::vars::free_vars;
+use unity_core::ident::VarId;
+use unity_core::proof::check::{check_concludes, CheckCtx};
+use unity_core::proof::rules::Proof;
+use unity_core::proof::{FactBase, Judgment};
+use unity_core::properties::Property;
+
+use crate::report::{CheckReport, Report};
+use crate::space::ScanConfig;
+use crate::trace::McError;
+use crate::transition::Universe;
+use crate::verifier::{
+    DischargeInfo, EngineCache, NamedCheck, Outcome, SessionArtifacts, SessionStatus, Verdict,
+    VerdictStats, Verifier,
+};
+
+/// Aggregate counters for one compositional session, exposed through
+/// `unity-check --compositional --stats` and the serve `/status`
+/// accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompositionalStats {
+    /// Obligations verified.
+    pub obligations: u64,
+    /// Obligations closed by the kernel's `lift-universal` rule.
+    pub lift_universal: u64,
+    /// Obligations closed by the kernel's `lift-existential` rule.
+    pub lift_existential: u64,
+    /// Obligations closed on the cone-of-influence slice.
+    pub cone: u64,
+    /// Obligations that fell back to the product space.
+    pub product_fallbacks: u64,
+    /// Component / slice checks actually run (certificate misses).
+    pub component_checks: u64,
+    /// Certificate cache hits.
+    pub cert_hits: u64,
+    /// Certificate cache misses.
+    pub cert_misses: u64,
+}
+
+/// A cached cone slice: the restricted-vocabulary sub-composition, its
+/// content hash, and its own engine session.
+struct SliceEntry {
+    slice: Slice,
+    hash: String,
+    cache: EngineCache,
+    extra: BTreeSet<VarId>,
+}
+
+/// A compositional verification session over a composed [`System`].
+///
+/// Mirrors [`Verifier`]'s session shape — per-scope engine artifacts are
+/// built lazily and memoized across checks — but the scopes are the
+/// *components* (plus cone slices), and the product session only comes
+/// into existence if some obligation actually needs it
+/// ([`CompositionalVerifier::product_status`] tells).
+pub struct CompositionalVerifier<'s> {
+    system: &'s System,
+    cfg: ScanConfig,
+    universe: Universe,
+    /// Per-component content hashes ([`program_hash`]), certificate keys.
+    hashes: Vec<String>,
+    /// Per-component engine sessions, indexed like `system.components`.
+    caches: Vec<EngineCache>,
+    product: Option<Verifier<'s>>,
+    slices: Vec<SliceEntry>,
+    certs: CertStore,
+    chain: CertChain,
+    stats: CompositionalStats,
+}
+
+impl<'s> CompositionalVerifier<'s> {
+    /// Opens a session on `system`. Nothing is built until the first
+    /// check needs it.
+    pub fn new(system: &'s System, cfg: ScanConfig) -> Self {
+        CompositionalVerifier {
+            hashes: system.components.iter().map(program_hash).collect(),
+            caches: system
+                .components
+                .iter()
+                .map(|_| EngineCache::default())
+                .collect(),
+            system,
+            cfg,
+            universe: Universe::Reachable,
+            product: None,
+            slices: Vec::new(),
+            certs: CertStore::new(),
+            chain: CertChain::new(),
+            stats: CompositionalStats::default(),
+        }
+    }
+
+    /// Sets the universe `leadsto` checks quantify over. Default:
+    /// [`Universe::Reachable`].
+    pub fn with_universe(mut self, universe: Universe) -> Self {
+        self.universe = universe;
+        self
+    }
+
+    /// Seeds the session with previously established certificates (e.g.
+    /// loaded from the serve store). Facts the session adds on top are
+    /// tracked as dirty in [`CompositionalVerifier::certs`].
+    pub fn with_certs(mut self, certs: CertStore) -> Self {
+        self.certs = certs;
+        self
+    }
+
+    /// The per-component content hashes, indexed like
+    /// `system.components` — the keys a persistence layer should file
+    /// certificates under.
+    pub fn component_hashes(&self) -> &[String] {
+        &self.hashes
+    }
+
+    /// The certificate store (seeded facts plus everything this session
+    /// established; dirty tracking identifies the latter).
+    pub fn certs(&self) -> &CertStore {
+        &self.certs
+    }
+
+    /// Mutable access to the certificate store (persistence layers call
+    /// `clear_dirty` after writing).
+    pub fn certs_mut(&mut self) -> &mut CertStore {
+        &mut self.certs
+    }
+
+    /// The machine-readable discharge record, one entry per obligation
+    /// verified so far.
+    pub fn cert_chain(&self) -> &CertChain {
+        &self.chain
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> &CompositionalStats {
+        &self.stats
+    }
+
+    /// The product session's artifact status, or `None` while no
+    /// obligation has needed the product space at all. A run that
+    /// discharged everything compositionally reports `None`; a run
+    /// whose fallbacks were all safety scans reports `Some` with
+    /// `ts_reachable == false` (scans build no transition system).
+    pub fn product_status(&self) -> Option<SessionStatus> {
+        self.product.as_ref().map(Verifier::status)
+    }
+
+    /// Exports whatever product-space artifacts the fallback path built
+    /// (`None` if no obligation touched the product). A persistence
+    /// layer can file these under the *composed* program's hash so a
+    /// later flat session of the same program starts warm.
+    pub fn product_artifacts(&self) -> Option<SessionArtifacts> {
+        self.product.as_ref().map(Verifier::artifacts)
+    }
+
+    /// Every program hash this battery's certificates can key under:
+    /// the component hashes plus the hash of each cone slice the rules
+    /// will decide `leadsto` checks on. Slices are built here (cheap —
+    /// program construction only, no state space) and memoized for the
+    /// checks that follow. A persistence layer loads certificates for
+    /// exactly these hashes before seeding
+    /// [`CompositionalVerifier::with_certs`].
+    pub fn plan_hashes(&mut self, checks: &[NamedCheck]) -> Vec<String> {
+        let n = self.system.len();
+        let mut out = self.hashes.clone();
+        for c in checks {
+            if !matches!(plan(&c.property), Strategy::Cone) {
+                continue;
+            }
+            let Property::LeadsTo(p, q) = &c.property else {
+                continue;
+            };
+            let mut seed = free_vars(p);
+            seed.extend(free_vars(q));
+            let block = cone_block(&self.system.components, &seed);
+            if block.len() >= n {
+                continue; // verify() will fall back, no slice cert
+            }
+            if let Ok(pos) = self.slice_pos(&block, &seed) {
+                let h = self.slices[pos].hash.clone();
+                if !out.contains(&h) {
+                    out.push(h);
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks one property of the composition, discharging it
+    /// compositionally when the rules allow and on the product space
+    /// otherwise. The verdict (and any witness) is identical to a flat
+    /// [`Verifier::verify`] on `system.composed`.
+    pub fn verify(&mut self, prop: &Property) -> Verdict {
+        let rendered = prop.display(self.system.vocab()).to_string();
+        let t0 = Instant::now();
+        self.stats.obligations += 1;
+        let n = self.system.len();
+        if n == 0 {
+            return self.product_fallback(rendered, prop, t0);
+        }
+        match plan(prop) {
+            Strategy::Existential => {
+                // One passing component suffices; erroring components
+                // (e.g. over the space bound) are skipped — another may
+                // still witness.
+                let mut witness = None;
+                let mut cached = true;
+                for i in 0..n {
+                    match self.component_outcome(i, prop) {
+                        Ok((true, hit)) => {
+                            cached &= hit;
+                            witness = Some(i);
+                            break;
+                        }
+                        Ok((false, hit)) => cached &= hit,
+                        Err(_) => cached = false,
+                    }
+                }
+                if let Some(i) = witness {
+                    if self.kernel_validates(prop, Some(i)) {
+                        let rule = DischargeRule::LiftExistential { component: i };
+                        return self.lifted(rendered, rule, cached, t0);
+                    }
+                }
+                self.product_fallback(rendered, prop, t0)
+            }
+            Strategy::Universal => {
+                let mut all_pass = true;
+                let mut cached = true;
+                for i in 0..n {
+                    match self.component_outcome(i, prop) {
+                        Ok((true, hit)) => cached &= hit,
+                        Ok((false, hit)) => {
+                            cached &= hit;
+                            all_pass = false;
+                            break;
+                        }
+                        Err(_) => {
+                            all_pass = false;
+                            break;
+                        }
+                    }
+                }
+                if all_pass && self.kernel_validates(prop, None) {
+                    return self.lifted(rendered, DischargeRule::LiftUniversal, cached, t0);
+                }
+                self.product_fallback(rendered, prop, t0)
+            }
+            Strategy::Cone => {
+                let Property::LeadsTo(p, q) = prop else {
+                    unreachable!("plan() routes only leadsto through the cone");
+                };
+                let mut seed = free_vars(p);
+                seed.extend(free_vars(q));
+                let block = cone_block(&self.system.components, &seed);
+                if block.len() >= n {
+                    // The cone is the whole system: slicing buys nothing.
+                    return self.product_fallback(rendered, prop, t0);
+                }
+                match self.slice_outcome(&block, &seed, prop) {
+                    Ok((true, hit)) => {
+                        let rule = DischargeRule::Cone { components: block };
+                        self.lifted(rendered, rule, hit, t0)
+                    }
+                    // A slice refutation (or error) proves nothing about
+                    // the product — its initial states over-approximate.
+                    _ => self.product_fallback(rendered, prop, t0),
+                }
+            }
+        }
+    }
+
+    /// Checks every named property and assembles the same
+    /// machine-readable [`Report`] a flat session would.
+    pub fn verify_all(&mut self, checks: &[NamedCheck]) -> Report {
+        let t0 = Instant::now();
+        let results: Vec<CheckReport> = checks
+            .iter()
+            .map(|c| CheckReport {
+                name: c.name.clone(),
+                line: c.line,
+                verdict: self.verify(&c.property),
+            })
+            .collect();
+        Report {
+            program: self.system.composed.name.clone(),
+            vars: self
+                .system
+                .vocab()
+                .iter()
+                .map(|(_, decl)| decl.name.clone())
+                .collect(),
+            engine: self.cfg.engine,
+            universe: self.universe,
+            checks: results,
+            sim: Vec::new(),
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// The pass/fail outcome of `prop` on component `i`
+    /// (`Ok((passed, from_cache))`), consulting and feeding the
+    /// certificate store. Only definite verdicts are cached; errors
+    /// propagate uncached. Safety only — `leadsto` goes through
+    /// [`CompositionalVerifier::slice_outcome`].
+    fn component_outcome(&mut self, i: usize, prop: &Property) -> Result<(bool, bool), McError> {
+        debug_assert!(!matches!(prop, Property::LeadsTo(..)));
+        let key = CertKey {
+            program: self.hashes[i].clone(),
+            property: obligation_text(prop, self.system.vocab()),
+            universe: UNIVERSE_INDUCTIVE,
+        };
+        if let Some(pass) = self.certs.get(&key) {
+            self.stats.cert_hits += 1;
+            return Ok((pass, true));
+        }
+        self.stats.cert_misses += 1;
+        self.stats.component_checks += 1;
+        let r = crate::check::check_property_in(
+            &self.system.components[i],
+            prop,
+            self.universe,
+            &self.cfg,
+            &mut self.caches[i],
+        );
+        match r {
+            Ok(()) => {
+                self.certs.insert(key, true);
+                Ok((true, false))
+            }
+            Err(McError::Refuted { .. }) => {
+                self.certs.insert(key, false);
+                Ok((false, false))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Decides a `leadsto` on the cone slice (`Ok((passed,
+    /// from_cache))`). Slice verdicts are certificates of the slice's
+    /// *own* composed program — keyed by its content hash, so any edit
+    /// to a block component invalidates them and edits outside the
+    /// block do not.
+    /// Finds or builds the memoized slice session for `(block, seed)`,
+    /// returning its index in `self.slices`.
+    fn slice_pos(&mut self, block: &[usize], seed: &BTreeSet<VarId>) -> Result<usize, McError> {
+        if let Some(pos) = self
+            .slices
+            .iter()
+            .position(|e| e.slice.block == block && e.extra == *seed)
+        {
+            return Ok(pos);
+        }
+        let slice = Slice::build(&self.system.components, block, seed).map_err(McError::Core)?;
+        self.slices.push(SliceEntry {
+            hash: program_hash(&slice.composed),
+            slice,
+            cache: EngineCache::default(),
+            extra: seed.clone(),
+        });
+        Ok(self.slices.len() - 1)
+    }
+
+    fn slice_outcome(
+        &mut self,
+        block: &[usize],
+        seed: &BTreeSet<VarId>,
+        prop: &Property,
+    ) -> Result<(bool, bool), McError> {
+        let pos = self.slice_pos(block, seed)?;
+        let sprop = self.slices[pos].slice.remap_property(prop);
+        let key = CertKey {
+            program: self.slices[pos].hash.clone(),
+            property: obligation_text(&sprop, self.slices[pos].slice.vocab()),
+            universe: match self.universe {
+                Universe::Reachable => UNIVERSE_REACHABLE,
+                Universe::AllStates => UNIVERSE_ALL,
+            },
+        };
+        if let Some(pass) = self.certs.get(&key) {
+            self.stats.cert_hits += 1;
+            return Ok((pass, true));
+        }
+        self.stats.cert_misses += 1;
+        self.stats.component_checks += 1;
+        let Property::LeadsTo(p, q) = &sprop else {
+            unreachable!("slice_outcome is only called for leadsto");
+        };
+        let SliceEntry { slice, cache, .. } = &mut self.slices[pos];
+        let r = crate::fair::check_leadsto_outcome_in(
+            &slice.composed,
+            p,
+            q,
+            self.universe,
+            &self.cfg,
+            cache,
+        );
+        match r {
+            Ok((_, None)) => {
+                self.certs.insert(key, true);
+                Ok((true, false))
+            }
+            Ok((_, Some(_))) => {
+                self.certs.insert(key, false);
+                Ok((false, false))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Kernel-validates the lift before trusting it: records the
+    /// component facts in a [`FactBase`] and checks the corresponding
+    /// `LiftUniversal` / `LiftExistential` proof concludes
+    /// `System ⊨ prop`. This is cheap (syntactic premise lookup) and
+    /// keeps the trusted core the proof kernel, not this module's
+    /// routing.
+    fn kernel_validates(&self, prop: &Property, witness: Option<usize>) -> bool {
+        let n = self.system.len();
+        let mut facts = FactBase::new();
+        let proof = match witness {
+            Some(i) => {
+                facts.record(Judgment::component(i, prop.clone()));
+                Proof::LiftExistential {
+                    component: i,
+                    sub: Box::new(Proof::premise(Judgment::component(i, prop.clone()))),
+                }
+            }
+            None => {
+                for i in 0..n {
+                    facts.record(Judgment::component(i, prop.clone()));
+                }
+                Proof::LiftUniversal {
+                    prop: prop.clone(),
+                    per_component: (0..n)
+                        .map(|i| Proof::premise(Judgment::component(i, prop.clone())))
+                        .collect(),
+                }
+            }
+        };
+        let mut ctx = CheckCtx::new(&mut facts)
+            .with_components(n)
+            .with_vocab(self.system.vocab().as_ref());
+        check_concludes(&proof, &Judgment::system(prop.clone()), &mut ctx).is_ok()
+    }
+
+    /// Assembles the passing verdict of a successful lift and records
+    /// the discharge.
+    fn lifted(
+        &mut self,
+        property: String,
+        rule: DischargeRule,
+        cached: bool,
+        t0: Instant,
+    ) -> Verdict {
+        match &rule {
+            DischargeRule::LiftUniversal => self.stats.lift_universal += 1,
+            DischargeRule::LiftExistential { .. } => self.stats.lift_existential += 1,
+            DischargeRule::Cone { .. } => self.stats.cone += 1,
+            DischargeRule::ProductFallback => unreachable!("fallbacks go through product_fallback"),
+        }
+        let discharge = DischargeInfo {
+            rule: rule.rule_name().to_string(),
+            components: rule.components().to_vec(),
+            cached,
+        };
+        self.chain.push(Discharge {
+            property: property.clone(),
+            rule,
+            cached,
+        });
+        Verdict {
+            property,
+            outcome: Outcome::Pass,
+            engine: self.cfg.engine,
+            stats: VerdictStats::Unmeasured,
+            elapsed: t0.elapsed(),
+            discharge: Some(discharge),
+        }
+    }
+
+    /// Re-derives the verdict (and canonical witness) on the product
+    /// space through a lazily opened flat [`Verifier`] session.
+    fn product_fallback(&mut self, property: String, prop: &Property, t0: Instant) -> Verdict {
+        self.stats.product_fallbacks += 1;
+        self.chain.push(Discharge {
+            property: property.clone(),
+            rule: DischargeRule::ProductFallback,
+            cached: false,
+        });
+        let universe = self.universe;
+        let session = self.product.get_or_insert_with(|| {
+            Verifier::new(&self.system.composed, self.cfg.clone()).with_universe(universe)
+        });
+        let mut v = session.verify(prop);
+        v.elapsed = t0.elapsed();
+        v.discharge = Some(DischargeInfo {
+            rule: DischargeRule::ProductFallback.rule_name().to_string(),
+            components: Vec::new(),
+            cached: false,
+        });
+        v
+    }
+}
+
+impl Verifier<'_> {
+    /// One-shot compositional run: discharges `checks` against `system`
+    /// per the assume-guarantee rules (product space only for the
+    /// residue) and returns the same [`Report`] a flat session on
+    /// `system.composed` would, plus the discharge counters.
+    pub fn verify_compositional(
+        system: &System,
+        checks: &[NamedCheck],
+        cfg: ScanConfig,
+        universe: Universe,
+    ) -> (Report, CompositionalStats) {
+        let mut cv = CompositionalVerifier::new(system, cfg).with_universe(universe);
+        let report = cv.verify_all(checks);
+        (report, cv.stats.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unity_core::compose::InitSatCheck;
+    use unity_core::domain::Domain;
+    use unity_core::expr::build::*;
+    use unity_core::ident::Vocabulary;
+    use unity_core::program::Program;
+
+    /// Two independent counters plus an observer chasing the first —
+    /// the usual three-component rig.
+    fn rig() -> (System, [unity_core::ident::VarId; 3]) {
+        let mut v = Vocabulary::new();
+        let a = v.declare("a", Domain::int_range(0, 3).unwrap()).unwrap();
+        let b = v.declare("b", Domain::int_range(0, 3).unwrap()).unwrap();
+        let c = v.declare("c", Domain::int_range(0, 3).unwrap()).unwrap();
+        let vocab = Arc::new(v);
+        let p0 = Program::builder("P0", vocab.clone())
+            .local(a)
+            .init(eq(var(a), int(0)))
+            .fair_command("inca", lt(var(a), int(3)), vec![(a, add(var(a), int(1)))])
+            .build()
+            .unwrap();
+        let p1 = Program::builder("P1", vocab.clone())
+            .local(b)
+            .init(eq(var(b), int(0)))
+            .fair_command("incb", lt(var(b), int(3)), vec![(b, add(var(b), int(1)))])
+            .build()
+            .unwrap();
+        let p2 = Program::builder("P2", vocab)
+            .local(c)
+            .init(eq(var(c), int(0)))
+            .fair_command("copy", lt(var(c), var(a)), vec![(c, add(var(c), int(1)))])
+            .build()
+            .unwrap();
+        let system = System::compose(vec![p0, p1, p2], InitSatCheck::Exhaustive).unwrap();
+        (system, [a, b, c])
+    }
+
+    #[test]
+    fn universal_properties_lift_without_touching_the_product() {
+        let (system, [a, ..]) = rig();
+        let mut cv = CompositionalVerifier::new(&system, ScanConfig::default());
+        let verdict = cv.verify(&Property::Invariant(le(var(a), int(3))));
+        assert!(verdict.passed());
+        let d = verdict.discharge.as_ref().unwrap();
+        assert_eq!(d.rule, "lift-universal");
+        assert!(!d.cached);
+        assert!(cv.product_status().is_none(), "product never opened");
+        assert_eq!(cv.stats().lift_universal, 1);
+        assert_eq!(cv.stats().component_checks, 3);
+    }
+
+    #[test]
+    fn existential_properties_lift_from_one_witness() {
+        let (system, [a, ..]) = rig();
+        let mut cv = CompositionalVerifier::new(&system, ScanConfig::default());
+        // P0's own init entails a == 0; the other components say nothing
+        // about `a`, so the witness is component 0.
+        let verdict = cv.verify(&Property::Init(eq(var(a), int(0))));
+        assert!(verdict.passed());
+        let d = verdict.discharge.as_ref().unwrap();
+        assert_eq!(d.rule, "lift-existential");
+        assert_eq!(d.components, vec![0]);
+        assert!(cv.product_status().is_none());
+        assert_eq!(cv.stats().lift_existential, 1);
+    }
+
+    #[test]
+    fn leadsto_decides_on_the_cone_slice() {
+        let (system, [a, ..]) = rig();
+        let mut cv = CompositionalVerifier::new(&system, ScanConfig::default());
+        let verdict = cv.verify(&Property::LeadsTo(tt(), eq(var(a), int(3))));
+        assert!(verdict.passed());
+        let d = verdict.discharge.as_ref().unwrap();
+        assert_eq!(d.rule, "cone-of-influence");
+        assert_eq!(d.components, vec![0], "only P0 writes a");
+        assert!(cv.product_status().is_none(), "slice, not product");
+        assert_eq!(cv.stats().cone, 1);
+    }
+
+    #[test]
+    fn refutations_fall_back_with_the_flat_witness() {
+        let (system, [a, ..]) = rig();
+        let cfg = ScanConfig::default();
+        let prop = Property::Invariant(le(var(a), int(2)));
+        let mut cv = CompositionalVerifier::new(&system, cfg.clone());
+        let compositional = cv.verify(&prop);
+        let flat = Verifier::new(&system.composed, cfg).verify(&prop);
+        assert!(compositional.failed());
+        assert_eq!(compositional.outcome, flat.outcome, "witness identical");
+        assert_eq!(
+            compositional.discharge.as_ref().unwrap().rule,
+            "product-fallback"
+        );
+        assert_eq!(cv.stats().product_fallbacks, 1);
+        assert!(cv.product_status().is_some());
+    }
+
+    #[test]
+    fn certificates_answer_repeat_obligations() {
+        let (system, [a, ..]) = rig();
+        let prop = Property::Invariant(le(var(a), int(3)));
+        let mut cv = CompositionalVerifier::new(&system, ScanConfig::default());
+        let first = cv.verify(&prop);
+        assert!(!first.discharge.as_ref().unwrap().cached);
+        let second = cv.verify(&prop);
+        assert!(second.passed());
+        assert!(second.discharge.as_ref().unwrap().cached);
+        assert_eq!(cv.stats().cert_hits, 3, "three component facts reused");
+        assert_eq!(cv.stats().component_checks, 3, "no re-check");
+        assert_eq!(cv.certs().dirty_len(), 3);
+    }
+
+    #[test]
+    fn seeded_certificates_skip_component_checks_entirely() {
+        let (system, [a, ..]) = rig();
+        let prop = Property::Invariant(le(var(a), int(3)));
+        let mut first = CompositionalVerifier::new(&system, ScanConfig::default());
+        let _ = first.verify(&prop);
+        let mut store = CertStore::new();
+        for (k, pass) in first.certs().iter() {
+            store.seed(k.clone(), pass);
+        }
+        let mut second =
+            CompositionalVerifier::new(&system, ScanConfig::default()).with_certs(store);
+        let verdict = second.verify(&prop);
+        assert!(verdict.passed());
+        assert!(verdict.discharge.as_ref().unwrap().cached);
+        assert_eq!(second.stats().component_checks, 0);
+        assert_eq!(second.certs().dirty_len(), 0, "nothing new to persist");
+    }
+
+    #[test]
+    fn chain_names_the_closing_rule_per_obligation() {
+        let (system, [a, b, ..]) = rig();
+        let checks = vec![
+            NamedCheck {
+                name: "bound".into(),
+                property: Property::Invariant(le(var(a), int(3))),
+                line: 1,
+            },
+            NamedCheck {
+                name: "start".into(),
+                property: Property::Init(eq(var(b), int(0))),
+                line: 2,
+            },
+            NamedCheck {
+                name: "live".into(),
+                property: Property::LeadsTo(tt(), eq(var(b), int(3))),
+                line: 3,
+            },
+            NamedCheck {
+                name: "broken".into(),
+                property: Property::Invariant(le(var(a), int(2))),
+                line: 4,
+            },
+        ];
+        let mut cv = CompositionalVerifier::new(&system, ScanConfig::default());
+        let report = cv.verify_all(&checks);
+        assert_eq!(report.checks.len(), 4);
+        let chain = cv.cert_chain();
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.count_rule("lift-universal"), 1);
+        assert_eq!(chain.count_rule("lift-existential"), 1);
+        assert_eq!(chain.count_rule("cone-of-influence"), 1);
+        assert_eq!(chain.count_rule("product-fallback"), 1);
+        // Every verdict carries its provenance.
+        for c in &report.checks {
+            assert!(c.verdict.discharge.is_some(), "{} lacks provenance", c.name);
+        }
+    }
+
+    #[test]
+    fn one_shot_matches_the_session() {
+        let (system, [a, ..]) = rig();
+        let checks = vec![NamedCheck {
+            name: "bound".into(),
+            property: Property::Invariant(le(var(a), int(3))),
+            line: 0,
+        }];
+        let (report, stats) = Verifier::verify_compositional(
+            &system,
+            &checks,
+            ScanConfig::default(),
+            Universe::Reachable,
+        );
+        assert!(report.all_passed());
+        assert_eq!(stats.lift_universal, 1);
+        assert_eq!(stats.obligations, 1);
+    }
+}

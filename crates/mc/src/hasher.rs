@@ -1,147 +1,8 @@
-//! A fast non-cryptographic hasher for state tables.
+//! Fast non-cryptographic hashing (re-export).
 //!
-//! State interning is the hottest hash-table workload in the checker; the
-//! default SipHash is needlessly strong for it (no untrusted input). This
-//! is the classic Fx/fxhash multiply-rotate mix, implemented locally to
-//! stay within the approved dependency set.
+//! The Fx multiply-rotate hasher moved to [`unity_core::hash`] so the
+//! compositional layer (`unity-ag`) can content-hash component programs
+//! with the same function the checker's intern tables use. This module
+//! re-exports it under the historical `unity_mc::hasher` path.
 
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// `HashMap` build-hasher alias using [`FxHasher`].
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
-
-/// A `HashMap` with the fast hasher.
-pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
-
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// Multiply-rotate hasher (word-at-a-time).
-#[derive(Debug, Default, Clone)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn add_to_hash(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
-    }
-}
-
-/// The finalized [`FxHasher`] value of a single `u64` — exactly what a
-/// `FxHashMap<u64, _>` computes for the same key, exposed so the sharded
-/// explorer can partition state words consistently with its per-shard
-/// intern tables.
-#[inline]
-pub fn hash_word(word: u64) -> u64 {
-    word.wrapping_mul(SEED)
-}
-
-/// The owning shard of a state word under a power-of-two shard count:
-/// a mask over the **high** bits of the [`hash_word`] finalizer. The
-/// multiply mixes low input bits into the high output bits, so high
-/// bits discriminate well even for small consecutive words — and they
-/// are disjoint from the low bits the intern tables' bucket index uses,
-/// keeping per-shard tables evenly loaded.
-#[inline]
-pub fn shard_of_word(word: u64, shards: u32) -> u32 {
-    debug_assert!(shards.is_power_of_two());
-    ((hash_word(word) >> (64 - shards.trailing_zeros().max(1))) & (shards as u64 - 1)) as u32
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
-        }
-        let rem = chunks.remainder();
-        if !rem.is_empty() {
-            let mut buf = [0u8; 8];
-            buf[..rem.len()].copy_from_slice(rem);
-            self.add_to_hash(u64::from_le_bytes(buf));
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add_to_hash(n);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.add_to_hash(n as u64);
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.add_to_hash(n as u64);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add_to_hash(n as u64);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_and_discriminating() {
-        let h = |bytes: &[u8]| {
-            let mut hasher = FxHasher::default();
-            hasher.write(bytes);
-            hasher.finish()
-        };
-        assert_eq!(h(b"abc"), h(b"abc"));
-        assert_ne!(h(b"abc"), h(b"abd"));
-        assert_ne!(h(b"12345678"), h(b"12345679"));
-    }
-
-    #[test]
-    fn hash_word_matches_the_hasher() {
-        for w in [0u64, 1, 42, u64::MAX, 0xdead_beef_cafe_f00d] {
-            let mut hasher = FxHasher::default();
-            hasher.write_u64(w);
-            assert_eq!(hash_word(w), hasher.finish());
-        }
-    }
-
-    #[test]
-    fn shard_of_word_is_in_range_and_balanced() {
-        for shards in [1u32, 2, 4, 8, 16, 64] {
-            let mut counts = vec![0u32; shards as usize];
-            for w in 0..4096u64 {
-                let s = shard_of_word(w, shards);
-                assert!(s < shards);
-                counts[s as usize] += 1;
-            }
-            // Consecutive words must spread: no shard may own more than
-            // 4x its fair share (the multiply-rotate mix does far
-            // better; this is a tripwire against a degenerate mask).
-            let fair = 4096 / shards;
-            assert!(
-                counts.iter().all(|&c| c <= 4 * fair),
-                "skewed shards at P={shards}: {counts:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn usable_in_hashmap() {
-        let mut m: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
-        for i in 0..1000usize {
-            m.insert(i.to_le_bytes().to_vec(), i);
-        }
-        assert_eq!(m.len(), 1000);
-        assert_eq!(m[&5usize.to_le_bytes().to_vec()], 5);
-    }
-}
+pub use unity_core::hash::{hash_word, shard_of_word, FxBuildHasher, FxHashMap, FxHasher};

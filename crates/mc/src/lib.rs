@@ -56,6 +56,7 @@ pub mod artifact;
 pub mod bmc;
 pub mod check;
 pub mod compiled;
+pub mod compositional;
 pub mod fair;
 pub mod hasher;
 pub mod json;
@@ -87,6 +88,7 @@ pub mod prelude {
         check_property, check_stable, check_transient, check_unchanged, McDischarger,
     };
     pub use crate::compiled::{scan_packed, try_layout, CompiledProgram};
+    pub use crate::compositional::{CompositionalStats, CompositionalVerifier};
     pub use crate::fair::{
         check_leadsto, check_leadsto_on, check_leadsto_on_reference, LeadsToEngine, LeadsToReport,
     };
@@ -112,7 +114,8 @@ pub mod prelude {
     pub use crate::trace::{Counterexample, McError};
     pub use crate::transition::{TransitionSystem, Universe};
     pub use crate::verifier::{
-        NamedCheck, Outcome, SessionArtifacts, SessionStatus, Verdict, VerdictStats, Verifier,
+        DischargeInfo, NamedCheck, Outcome, SessionArtifacts, SessionStatus, Verdict, VerdictStats,
+        Verifier,
     };
     pub use unity_symbolic::{OrderMode, SymStats, SymbolicOptions, SymbolicProgram};
 }

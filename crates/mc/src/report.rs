@@ -43,7 +43,7 @@ use crate::json::{write_string as json_string, Json};
 use crate::space::Engine;
 use crate::trace::{Counterexample, McError};
 use crate::transition::Universe;
-use crate::verifier::{Outcome, Verdict, VerdictStats};
+use crate::verifier::{DischargeInfo, Outcome, Verdict, VerdictStats};
 
 /// One named check's result inside a [`Report`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -261,6 +261,20 @@ fn write_check(out: &mut String, c: &CheckReport) {
         Outcome::Error { error } => json_string(out, &error.to_string()),
         _ => out.push_str("null"),
     }
+    // Additive field (schema unchanged): only compositional sessions
+    // emit it, and reports without it read back as `None`.
+    if let Some(d) = &c.verdict.discharge {
+        out.push_str(",\"discharge\":{\"rule\":");
+        json_string(out, &d.rule);
+        out.push_str(",\"components\":[");
+        for (k, i) in d.components.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{i}");
+        }
+        let _ = write!(out, "],\"cached\":{}}}", d.cached);
+    }
     out.push('}');
 }
 
@@ -448,6 +462,19 @@ fn read_check(j: &Json) -> Result<CheckReport, String> {
             engine: engine_from(j.field("engine")?.as_str()?)?,
             stats: read_stats(j.field("stats")?)?,
             elapsed: duration_from(j.field("elapsed_ns")?.as_int()?),
+            discharge: match j.field("discharge") {
+                Err(_) | Ok(Json::Null) => None,
+                Ok(d) => Some(DischargeInfo {
+                    rule: d.field("rule")?.as_str()?.to_string(),
+                    components: d
+                        .field("components")?
+                        .as_arr()?
+                        .iter()
+                        .map(|v| v.as_int().map(|n| n as usize))
+                        .collect::<Result<_, _>>()?,
+                    cached: d.field("cached")?.as_bool()?,
+                }),
+            },
         },
     })
 }
@@ -594,6 +621,11 @@ mod tests {
                             stats: SymStats::default(),
                         },
                         elapsed: Duration::from_micros(17),
+                        discharge: Some(DischargeInfo {
+                            rule: "lift-universal".into(),
+                            components: vec![0, 2],
+                            cached: true,
+                        }),
                     },
                 },
                 CheckReport {
@@ -621,6 +653,7 @@ mod tests {
                             cross_shard_edges: 0,
                         },
                         elapsed: Duration::from_nanos(123),
+                        discharge: None,
                     },
                 },
                 CheckReport {
@@ -636,6 +669,7 @@ mod tests {
                         engine: Engine::Compiled,
                         stats: VerdictStats::Unmeasured,
                         elapsed: Duration::from_nanos(7),
+                        discharge: None,
                     },
                 },
                 CheckReport {
@@ -662,6 +696,7 @@ mod tests {
                             cross_shard_edges: 9,
                         },
                         elapsed: Duration::from_nanos(50),
+                        discharge: None,
                     },
                 },
             ],
@@ -712,6 +747,7 @@ mod tests {
                     engine: Engine::Compiled,
                     stats: VerdictStats::Unmeasured,
                     elapsed: Duration::ZERO,
+                    discharge: None,
                 },
             },
             CheckReport {
@@ -730,6 +766,7 @@ mod tests {
                     engine: Engine::Reference,
                     stats: VerdictStats::Unmeasured,
                     elapsed: Duration::ZERO,
+                    discharge: None,
                 },
             },
         ];
@@ -793,6 +830,28 @@ mod tests {
                 cross_shard_edges: 0,
             }
         );
+    }
+
+    #[test]
+    fn discharge_provenance_round_trips_and_is_additive() {
+        let report = sample();
+        let json = report.to_json();
+        assert!(json.contains(
+            "\"discharge\":{\"rule\":\"lift-universal\",\"components\":[0,2],\"cached\":true}"
+        ));
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(
+            back.checks[0].verdict.discharge,
+            report.checks[0].verdict.discharge
+        );
+        assert_eq!(back.checks[1].verdict.discharge, None);
+        // Reports written before the field existed parse to `None`.
+        let stripped = json.replace(
+            ",\"discharge\":{\"rule\":\"lift-universal\",\"components\":[0,2],\"cached\":true}",
+            "",
+        );
+        let old = Report::from_json(&stripped).unwrap();
+        assert_eq!(old.checks[0].verdict.discharge, None);
     }
 
     #[test]

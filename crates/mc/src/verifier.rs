@@ -309,6 +309,26 @@ pub enum VerdictStats {
     },
 }
 
+/// Machine-readable provenance of a compositional discharge: which
+/// assume-guarantee rule closed the obligation, over which components,
+/// and whether the supporting facts came from the certificate cache.
+/// Attached to a [`Verdict`] only by
+/// [`CompositionalVerifier`](crate::compositional::CompositionalVerifier)
+/// sessions — flat sessions leave it `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DischargeInfo {
+    /// The closing rule's name: `lift-universal`, `lift-existential`,
+    /// `cone-of-influence`, or `product-fallback`.
+    pub rule: String,
+    /// The component indices the rule's evidence came from (empty for
+    /// `lift-universal`, which rests on every component, and for the
+    /// product fallback, whose evidence is the product space itself).
+    pub components: Vec<usize>,
+    /// Whether every supporting component fact was answered from the
+    /// certificate cache (no component check ran).
+    pub cached: bool,
+}
+
 /// The structured result of one property check: pass/fail with witness,
 /// the engine that decided it, cost counters, and wall time.
 ///
@@ -329,6 +349,9 @@ pub struct Verdict {
     pub stats: VerdictStats,
     /// Wall-clock time of this check.
     pub elapsed: Duration,
+    /// How a compositional session discharged this obligation (`None`
+    /// for flat sessions).
+    pub discharge: Option<DischargeInfo>,
 }
 
 impl Verdict {
@@ -636,6 +659,7 @@ impl<'p> Verifier<'p> {
             engine,
             stats,
             elapsed: t0.elapsed(),
+            discharge: None,
         }
     }
 

@@ -1,0 +1,221 @@
+//! The differential suite behind the assume-guarantee mode's core
+//! promise: on random multi-component programs, the compositional
+//! verdict **and witness** equal the flat product verdict, check for
+//! check, under every engine — and every obligation names the rule
+//! that closed it.
+//!
+//! Components are generated with honest locality (component `i` writes
+//! only its own variable, guards may read anything), so the full
+//! discharge surface is exercised: existential lifts, universal lifts,
+//! cone slices, and — whenever a guard couples components or a
+//! property straddles them — the product fallback, whose verdicts are
+//! flat verdicts by construction.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unity_core::compose::{InitSatCheck, System};
+use unity_core::domain::Domain;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+use unity_mc::prelude::*;
+
+const A: VarId = VarId(0);
+const B: VarId = VarId(1);
+const F: VarId = VarId(2);
+
+fn vocab() -> Arc<Vocabulary> {
+    let mut v = Vocabulary::new();
+    v.declare("a", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("b", Domain::int_range(0, 2).unwrap()).unwrap();
+    v.declare("f", Domain::Bool).unwrap();
+    Arc::new(v)
+}
+
+/// Guards may read any variable — cross-component reads are what make
+/// cone slices nontrivial and occasionally force the product.
+fn arb_guard() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(tt()),
+        Just(var(F)),
+        Just(not(var(F))),
+        (0i64..=2).prop_map(|k| lt(var(A), int(k))),
+        (0i64..=2).prop_map(|k| eq(var(B), int(k))),
+        (0i64..=2).prop_map(|k| ge(add(var(A), var(B)), int(k))),
+    ]
+}
+
+/// Updates for the variable component `i` owns (locality: nobody else
+/// writes it).
+fn arb_update(own: VarId) -> impl Strategy<Value = Expr> {
+    match own {
+        A => prop_oneof![
+            Just(add(var(A), int(1))),
+            Just(sub(var(A), int(1))),
+            Just(int(0)),
+            Just(var(B)),
+        ]
+        .boxed(),
+        B => prop_oneof![Just(add(var(B), int(1))), Just(var(A)), Just(int(2)),].boxed(),
+        _ => prop_oneof![Just(not(var(F))), Just(tt()), Just(ff())].boxed(),
+    }
+}
+
+/// A random component owning `own`: 1–2 commands, each writing only
+/// `own`, with its own initial condition on `own`.
+fn arb_component(name: &'static str, own: VarId, init: Expr) -> impl Strategy<Value = Program> {
+    prop::collection::vec((arb_guard(), arb_update(own), any::<bool>()), 1..3).prop_map(
+        move |cmds| {
+            let mut builder = Program::builder(name, vocab())
+                .local(own)
+                .init(init.clone());
+            for (i, (g, up, fair)) in cmds.into_iter().enumerate() {
+                builder = if fair {
+                    builder.fair_command(format!("{name}_c{i}"), g, vec![(own, up)])
+                } else {
+                    builder.command(format!("{name}_c{i}"), g, vec![(own, up)])
+                };
+            }
+            builder.build().expect("pool commands are well-typed")
+        },
+    )
+}
+
+/// A random 2- or 3-component system with honest locality.
+fn arb_system() -> impl Strategy<Value = System> {
+    (
+        arb_component("P", A, eq(var(A), int(0))),
+        arb_component("Q", B, eq(var(B), int(0))),
+        arb_component("R", F, not(var(F))),
+        any::<bool>(),
+    )
+        .prop_map(|(p, q, r, third)| {
+            let mut components = vec![p, q];
+            if third {
+                components.push(r);
+            }
+            System::compose(components, InitSatCheck::Exhaustive).expect("inits are satisfiable")
+        })
+}
+
+/// A small pool of predicates.
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..=2).prop_map(|k| eq(var(A), int(k))),
+        (0i64..=2).prop_map(|k| le(var(B), int(k))),
+        Just(var(F)),
+        Just(and2(var(F), ge(var(A), int(1)))),
+        (0i64..=4).prop_map(|k| eq(add(var(A), var(B)), int(k))),
+        Just(or2(not(var(F)), eq(var(A), var(B)))),
+    ]
+}
+
+/// One check of every property kind over random predicates — the full
+/// row of the paper's §2 table, existential through neither.
+fn arb_checks() -> impl Strategy<Value = Vec<NamedCheck>> {
+    (arb_pred(), arb_pred()).prop_map(|(p, q)| {
+        let props = [
+            ("init", Property::Init(p.clone())),
+            ("transient", Property::Transient(p.clone())),
+            ("next", Property::Next(p.clone(), q.clone())),
+            ("stable", Property::Stable(p.clone())),
+            ("invariant", Property::Invariant(p.clone())),
+            ("unchanged", Property::Unchanged(add(var(A), var(B)))),
+            ("leadsto", Property::LeadsTo(p, q)),
+        ];
+        props
+            .into_iter()
+            .enumerate()
+            .map(|(line, (name, property))| NamedCheck {
+                name: name.to_string(),
+                property,
+                line,
+            })
+            .collect()
+    })
+}
+
+const RULES: [&str; 4] = [
+    "lift-existential",
+    "lift-universal",
+    "cone-of-influence",
+    "product-fallback",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline equivalence: compositional ≡ flat, verdict and
+    /// witness, on every engine — with every obligation carrying the
+    /// name of the rule that closed it.
+    #[test]
+    fn compositional_equals_flat_on_every_engine(
+        system in arb_system(), checks in arb_checks()
+    ) {
+        for engine in [Engine::Compiled, Engine::Reference, Engine::Symbolic] {
+            let cfg = ScanConfig { engine, ..Default::default() };
+            let (comp, stats) = Verifier::verify_compositional(
+                &system, &checks, cfg.clone(), Universe::Reachable);
+            let flat = Verifier::new(&system.composed, cfg)
+                .with_universe(Universe::Reachable)
+                .verify_all(&checks);
+            prop_assert_eq!(stats.obligations, checks.len() as u64);
+            for (c, f) in comp.checks.iter().zip(&flat.checks) {
+                prop_assert_eq!(
+                    &c.verdict.outcome, &f.verdict.outcome,
+                    "{} under {:?}", c.name, engine
+                );
+                let d = c.verdict.discharge.as_ref();
+                prop_assert!(d.is_some(), "{}: no provenance", c.name);
+                let rule = d.unwrap().rule.as_str();
+                prop_assert!(RULES.contains(&rule), "{}: unknown rule {rule}", c.name);
+            }
+        }
+    }
+
+    /// Same equivalence under the all-states inductive universe (the
+    /// stabilization semantics), on the default engine.
+    #[test]
+    fn compositional_equals_flat_under_all_states(
+        system in arb_system(), checks in arb_checks()
+    ) {
+        let cfg = ScanConfig::default();
+        let (comp, _) = Verifier::verify_compositional(
+            &system, &checks, cfg.clone(), Universe::AllStates);
+        let flat = Verifier::new(&system.composed, cfg)
+            .with_universe(Universe::AllStates)
+            .verify_all(&checks);
+        for (c, f) in comp.checks.iter().zip(&flat.checks) {
+            prop_assert_eq!(
+                &c.verdict.outcome, &f.verdict.outcome,
+                "{}", c.name
+            );
+        }
+    }
+
+    /// Certificates must never change an answer: a second session
+    /// seeded with the first session's store returns identical
+    /// verdicts while re-running no component checks for cached
+    /// obligations.
+    #[test]
+    fn seeded_certificates_preserve_verdicts(
+        system in arb_system(), checks in arb_checks()
+    ) {
+        let cfg = ScanConfig::default();
+        let mut first = CompositionalVerifier::new(&system, cfg.clone());
+        let cold = first.verify_all(&checks);
+        let mut store = unity_ag::cert::CertStore::new();
+        for (k, pass) in first.certs().iter() {
+            store.seed(k.clone(), pass);
+        }
+        let mut second = CompositionalVerifier::new(&system, cfg).with_certs(store);
+        let warm = second.verify_all(&checks);
+        prop_assert_eq!(second.stats().cert_misses, 0, "everything was seeded");
+        for (c, w) in cold.checks.iter().zip(&warm.checks) {
+            prop_assert_eq!(&c.verdict.outcome, &w.verdict.outcome, "{}", c.name);
+        }
+    }
+}

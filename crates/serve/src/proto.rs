@@ -68,6 +68,10 @@ pub struct VerifyRequest {
     pub engine: Engine,
     /// Universe for `leadsto` checks (default: `reachable`).
     pub universe: Universe,
+    /// Verify compositionally (assume-guarantee discharge per
+    /// component, certificate-cached, product space only for the
+    /// residue) instead of on the flat product. Default: `false`.
+    pub compositional: bool,
     /// Per-request timeout override in milliseconds (`None` uses the
     /// daemon's `--timeout-ms`; `0` disables the timeout).
     pub timeout_ms: Option<u64>,
@@ -85,6 +89,7 @@ impl VerifyRequest {
             spec: spec.into(),
             engine: Engine::Compiled,
             universe: Universe::Reachable,
+            compositional: false,
             timeout_ms: None,
             request_id: None,
         }
@@ -99,6 +104,11 @@ impl VerifyRequest {
         write_string(&mut out, engine_str(self.engine));
         out.push_str(",\"universe\":");
         write_string(&mut out, universe_str(self.universe));
+        // Additive field: emitted only when set, so requests from this
+        // client parse on daemons that predate compositional mode.
+        if self.compositional {
+            out.push_str(",\"compositional\":true");
+        }
         if let Some(ms) = self.timeout_ms {
             out.push_str(&format!(",\"timeout_ms\":{ms}"));
         }
@@ -123,6 +133,10 @@ impl VerifyRequest {
             Some(j) => universe_from(j.as_str()?)?,
             None => Universe::Reachable,
         };
+        let compositional = match opt(&root, "compositional") {
+            Some(j) => j.as_bool()?,
+            None => false,
+        };
         let timeout_ms = match opt(&root, "timeout_ms") {
             Some(j) => Some(u64::try_from(j.as_int()?).map_err(|_| "negative timeout_ms")?),
             None => None,
@@ -135,6 +149,7 @@ impl VerifyRequest {
             spec,
             engine,
             universe,
+            compositional,
             timeout_ms,
             request_id,
         })
@@ -184,10 +199,17 @@ pub struct CacheInfo {
     pub pred_all_states: CacheState,
     /// Tuned BDD field order for the symbolic engine.
     pub field_order: CacheState,
+    /// Component-certificate cache hits (compositional submissions;
+    /// always `0` for flat ones).
+    pub cert_hits: u64,
+    /// Component-certificate cache misses — component or slice checks
+    /// that actually ran (compositional submissions; `0` for flat).
+    pub cert_misses: u64,
 }
 
 impl CacheInfo {
-    /// All five artifacts unused (nothing built, nothing loaded).
+    /// All five artifacts unused (nothing built, nothing loaded), no
+    /// certificate traffic.
     pub fn unused() -> Self {
         CacheInfo {
             ts_reachable: CacheState::Unused,
@@ -195,6 +217,8 @@ impl CacheInfo {
             pred_reachable: CacheState::Unused,
             pred_all_states: CacheState::Unused,
             field_order: CacheState::Unused,
+            cert_hits: 0,
+            cert_misses: 0,
         }
     }
 
@@ -218,17 +242,31 @@ impl CacheInfo {
             out.push(':');
             write_string(out, state.as_str());
         }
+        // Absence-tolerant additions: always written, defaulted to 0 by
+        // readers that meet a pre-certificate reply.
+        out.push_str(&format!(
+            ",\"cert_hits\":{},\"cert_misses\":{}",
+            self.cert_hits, self.cert_misses
+        ));
         out.push('}');
     }
 
     fn from_value(j: &Json) -> Result<Self, String> {
         let get = |name: &str| CacheState::from_str(j.field(name)?.as_str()?);
+        let get_count = |name: &str| -> Result<u64, String> {
+            match opt(j, name) {
+                Some(v) => u64::try_from(v.as_int()?).map_err(|_| format!("negative {name}")),
+                None => Ok(0),
+            }
+        };
         Ok(CacheInfo {
             ts_reachable: get("ts_reachable")?,
             ts_all_states: get("ts_all_states")?,
             pred_reachable: get("pred_reachable")?,
             pred_all_states: get("pred_all_states")?,
             field_order: get("field_order")?,
+            cert_hits: get_count("cert_hits")?,
+            cert_misses: get_count("cert_misses")?,
         })
     }
 }
@@ -300,19 +338,26 @@ pub struct StatusResponse {
     pub degraded: bool,
     /// The first disk error that triggered degraded mode.
     pub degraded_reason: Option<String>,
+    /// Component-certificate cache hits since startup (compositional
+    /// submissions only).
+    pub cert_hits: u64,
+    /// Component-certificate cache misses since startup.
+    pub cert_misses: u64,
 }
 
 impl StatusResponse {
     /// Serializes to the wire form.
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"specs\":{},\"verdicts\":{},\"workers\":{},\"uptime_ms\":{},\"last_seq\":{},\"queue_depth\":{},\"degraded\":{}",
+            "{{\"specs\":{},\"verdicts\":{},\"workers\":{},\"uptime_ms\":{},\"last_seq\":{},\"queue_depth\":{},\"cert_hits\":{},\"cert_misses\":{},\"degraded\":{}",
             self.specs,
             self.verdicts,
             self.workers,
             self.uptime_ms,
             self.last_seq,
             self.queue_depth,
+            self.cert_hits,
+            self.cert_misses,
             self.degraded
         );
         if let Some(reason) = &self.degraded_reason {
@@ -342,6 +387,8 @@ impl StatusResponse {
             uptime_ms: get("uptime_ms")?,
             last_seq: get_opt("last_seq")?,
             queue_depth: get_opt("queue_depth")?,
+            cert_hits: get_opt("cert_hits")?,
+            cert_misses: get_opt("cert_misses")?,
             degraded: match opt(&root, "degraded") {
                 Some(j) => j.as_bool()?,
                 None => false,
@@ -441,20 +488,26 @@ mod tests {
         let mut req = VerifyRequest::new("program P\nend");
         req.engine = Engine::Symbolic;
         req.universe = Universe::AllStates;
+        req.compositional = true;
         req.timeout_ms = Some(1234);
         req.request_id = Some("abcd-42".into());
         let back = VerifyRequest::from_json(&req.to_json()).unwrap();
         assert_eq!(back.spec, req.spec);
         assert_eq!(back.engine, Engine::Symbolic);
         assert_eq!(back.universe, Universe::AllStates);
+        assert!(back.compositional);
         assert_eq!(back.timeout_ms, Some(1234));
         assert_eq!(back.request_id.as_deref(), Some("abcd-42"));
 
         let minimal = VerifyRequest::from_json("{\"spec\":\"x\"}").unwrap();
         assert_eq!(minimal.engine, Engine::Compiled);
         assert_eq!(minimal.universe, Universe::Reachable);
+        assert!(!minimal.compositional);
         assert_eq!(minimal.timeout_ms, None);
         assert_eq!(minimal.request_id, None);
+        // Flat requests stay byte-compatible with pre-compositional
+        // daemons: the flag is only on the wire when set.
+        assert!(!VerifyRequest::new("x").to_json().contains("compositional"));
 
         assert!(VerifyRequest::from_json("{}").is_err(), "spec is required");
         assert!(VerifyRequest::from_json("{\"spec\":\"x\",\"engine\":\"warp\"}").is_err());
@@ -472,6 +525,8 @@ mod tests {
             queue_depth: 4,
             degraded: true,
             degraded_reason: Some("journal fsync: No space left on device".into()),
+            cert_hits: 12,
+            cert_misses: 5,
         };
         assert_eq!(
             StatusResponse::from_json(&status.to_json()).unwrap(),
@@ -487,6 +542,7 @@ mod tests {
         assert_eq!(old.queue_depth, 0);
         assert!(!old.degraded);
         assert_eq!(old.degraded_reason, None);
+        assert_eq!((old.cert_hits, old.cert_misses), (0, 0));
 
         let entries = vec![
             HistoryEntry {

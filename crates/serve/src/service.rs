@@ -2,11 +2,20 @@
 //!
 //! [`Service`] ties the layers together. One `POST /verify` flows as:
 //!
-//! 1. content-hash the spec ([`crate::store::spec_hash`]);
+//! 1. content-hash the spec ([`crate::store::spec_hash`]) — the
+//!    *submission* identity used for the journal, history, and reply
+//!    cache;
 //! 2. on a pool worker (bounded, timeout-guarded, panic-contained):
-//!    parse + compose the spec, [`ArtifactStore::load`] whatever the
-//!    store holds for that hash, seed a [`Verifier`] session with it,
-//!    run every check, then export and persist the session's artifacts;
+//!    parse + compose the spec, content-hash the composed *program*
+//!    ([`unity_ag::cert::program_hash`] — the *artifact* key, stable
+//!    under check-line edits), [`ArtifactStore::load`] whatever the
+//!    store holds for that program, seed a [`Verifier`] session with
+//!    it, run every check, then export and persist the session's
+//!    artifacts. A `"compositional": true` submission runs a
+//!    [`CompositionalVerifier`] instead: per-component certificates are
+//!    loaded by component hash, obligations discharge in component
+//!    spaces, and only the dirty certificates (plus any product
+//!    artifacts a fallback built) are written back;
 //! 3. append the [`Report`] to the journal (synced before the sequence
 //!    number is returned) and answer with per-artifact cache outcomes.
 //!
@@ -40,11 +49,12 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use unity_mc::prelude::{Report, ScanConfig, SessionStatus, Verifier};
+use unity_ag::cert::program_hash;
+use unity_mc::prelude::{CompositionalVerifier, Report, ScanConfig, SessionStatus, Verifier};
 use unity_mc::spec::load_spec;
 
 use crate::journal::Journal;
@@ -141,6 +151,10 @@ pub struct Service {
     degraded: Mutex<Option<String>>,
     replies: Mutex<ReplyCache>,
     started: Instant,
+    /// Cumulative certificate-cache accounting across every
+    /// compositional submission (reported by `GET /status`).
+    cert_hits: AtomicU64,
+    cert_misses: AtomicU64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -165,6 +179,8 @@ fn cache_info(pre: &SessionStatus, post: &SessionStatus, order_seeded: bool) -> 
         pred_reachable: cache_state(pre.pred_reachable, post.pred_reachable),
         pred_all_states: cache_state(pre.pred_all_states, post.pred_all_states),
         field_order: cache_state(order_seeded && post.symbolic, post.symbolic),
+        cert_hits: 0,
+        cert_misses: 0,
     }
 }
 
@@ -210,6 +226,8 @@ impl Service {
                 order: VecDeque::new(),
             }),
             started: Instant::now(),
+            cert_hits: AtomicU64::new(0),
+            cert_misses: AtomicU64::new(0),
         })
     }
 
@@ -241,7 +259,7 @@ impl Service {
         let store = Arc::clone(&self.store);
         let spec_src = req.spec;
         let (engine, universe) = (req.engine, req.universe);
-        let job_hash = hash.clone();
+        let compositional = req.compositional;
         // While degraded, persistence is off: the job skips the store
         // write instead of rediscovering the dead disk on every call.
         let skip_persist = self.degraded().is_some();
@@ -255,7 +273,50 @@ impl Service {
                     engine,
                     ..ScanConfig::default()
                 };
-                let stored = store.load(&job_hash, program, &cfg);
+                // Artifacts key by the composed *program's* content, not
+                // the spec text: editing a check line keeps the hash, so
+                // everything expensive is reused (delta keying).
+                let prog_hash = program_hash(program);
+                if compositional {
+                    let mut session =
+                        CompositionalVerifier::new(&spec.system, cfg).with_universe(universe);
+                    // Components plus the cone slices this battery will
+                    // decide on — the full certificate key space.
+                    let hashes = session.plan_hashes(&spec.checks);
+                    let seeded = store.load_certs(&hashes);
+                    let mut session = session.with_certs(seeded);
+                    let report = session.verify_all(&spec.checks);
+                    let stats = session.stats().clone();
+                    let persist_error = if skip_persist {
+                        None
+                    } else {
+                        let mut result = store.save_certs(session.certs());
+                        if result.is_ok() {
+                            // A fallback's product artifacts file under
+                            // the composed hash, warming later flat runs.
+                            if let Some(arts) = session.product_artifacts() {
+                                result = store.save(&prog_hash, &spec_src, &arts);
+                            }
+                        }
+                        result.err().map(|e| format!("artifact store: {e}"))
+                    };
+                    // Product artifacts were never seeded, so the status
+                    // after the run tells built (miss) from untouched
+                    // (unused) — `None` means the product never existed.
+                    let mut cache = cache_info(
+                        &SessionStatus::default(),
+                        &session.product_status().unwrap_or_default(),
+                        false,
+                    );
+                    cache.cert_hits = stats.cert_hits;
+                    cache.cert_misses = stats.cert_misses;
+                    return Ok(JobOutput {
+                        report,
+                        cache,
+                        persist_error,
+                    });
+                }
+                let stored = store.load(&prog_hash, program, &cfg);
                 let order_seeded = stored.field_order.is_some();
                 let mut session = Verifier::new(program, cfg).with_universe(universe);
                 session.seed(stored);
@@ -266,7 +327,7 @@ impl Service {
                     None
                 } else {
                     store
-                        .save(&job_hash, &spec_src, &session.artifacts())
+                        .save(&prog_hash, &spec_src, &session.artifacts())
                         .err()
                         .map(|e| format!("artifact store: {e}"))
                 };
@@ -292,6 +353,10 @@ impl Service {
                 ))
             }
         };
+        self.cert_hits
+            .fetch_add(output.cache.cert_hits, Ordering::Relaxed);
+        self.cert_misses
+            .fetch_add(output.cache.cert_misses, Ordering::Relaxed);
         if let Some(msg) = output.persist_error {
             self.enter_degraded(msg);
         }
@@ -349,7 +414,7 @@ impl Service {
     pub fn status(&self) -> StatusResponse {
         let degraded_reason = self.degraded();
         StatusResponse {
-            specs: self.store.known_specs(),
+            specs: self.store.known_programs(),
             verdicts: lock(&self.history).len() as u64,
             workers: self.pool.workers() as u64,
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -357,6 +422,8 @@ impl Service {
             queue_depth: self.pool.queued() as u64,
             degraded: degraded_reason.is_some(),
             degraded_reason,
+            cert_hits: self.cert_hits.load(Ordering::Relaxed),
+            cert_misses: self.cert_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -489,7 +556,10 @@ mod tests {
         assert_eq!(filtered.len(), 1);
         assert_eq!(filtered[0].seq, a.seq);
         assert!(service.history(Some("ffff")).is_empty());
-        assert_eq!(service.status().specs, 2);
+        // The two submissions differ only in a check line, so they share
+        // one *program* hash — one store directory (delta keying) — even
+        // though their spec hashes (journal identities) differ.
+        assert_eq!(service.status().specs, 1);
         assert_eq!(service.status().last_seq, 2);
         assert_eq!(service.status().queue_depth, 0);
         assert!(!service.status().degraded);
@@ -540,6 +610,68 @@ mod tests {
         req2.request_id = Some("retry-key-2".into());
         let second = service.verify(req2).unwrap();
         assert_eq!(second.seq, first.seq + 1);
+    }
+
+    #[test]
+    fn edited_checks_reuse_program_keyed_artifacts() {
+        let service = tmp_service("delta_keying");
+        let cold = service.verify(VerifyRequest::new(SPEC)).unwrap();
+        assert_eq!(cold.cache.ts_reachable, CacheState::Miss);
+
+        // Same programs, different check line: a different spec hash,
+        // but the program-keyed transition system is reused — from disk,
+        // not just the memory layer.
+        service.drop_memory_cache();
+        let edited = SPEC.replace("a == 3 && b == 3", "a == 3");
+        let warm = service.verify(VerifyRequest::new(edited)).unwrap();
+        assert_ne!(warm.spec_hash, cold.spec_hash);
+        assert_eq!(warm.cache.ts_reachable, CacheState::Hit);
+        assert_eq!(warm.cache.pred_reachable, CacheState::Hit);
+        assert!(warm.report.all_passed());
+    }
+
+    const TWO_COMPONENT_SPEC: &str = "program A\n  var a : int 0..3\n  init a == 0\n  fair cmd inc_a: a < 3 -> a := a + 1\nend\nprogram B\n  var b : int 0..3\n  init b == 0\n  fair cmd inc_b: b < 3 -> b := b + 1\nend\nspec S\n  cap_a: invariant a <= 3\n  go_a: true leadsto a == 3\nend";
+
+    #[test]
+    fn compositional_submissions_cache_certificates() {
+        let service = tmp_service("compositional");
+        let mut req = VerifyRequest::new(TWO_COMPONENT_SPEC);
+        req.compositional = true;
+
+        let cold = service.verify(req.clone()).unwrap();
+        assert!(cold.report.all_passed());
+        assert!(cold.cache.cert_misses > 0, "{:?}", cold.cache);
+        assert_eq!(cold.cache.cert_hits, 0);
+        // Every obligation discharged compositionally: the product
+        // state space was never touched.
+        assert_eq!(cold.cache.ts_reachable, CacheState::Unused);
+
+        // Re-submission answers every component fact from persisted
+        // certificates — no component re-checked.
+        let warm = service.verify(req.clone()).unwrap();
+        assert_eq!(warm.cache.cert_misses, 0, "{:?}", warm.cache);
+        assert_eq!(warm.cache.cert_hits, cold.cache.cert_misses);
+
+        // /status accumulates across submissions.
+        let status = service.status();
+        assert_eq!(status.cert_hits, warm.cache.cert_hits);
+        assert_eq!(status.cert_misses, cold.cache.cert_misses);
+
+        // Editing component B invalidates only B's certificates: A's
+        // facts (and the cone slice over A) still answer from cache.
+        let mut edited = req.clone();
+        edited.spec = TWO_COMPONENT_SPEC.replace("inc_b: b < 3", "inc_b: b < 2");
+        let partial = service.verify(edited).unwrap();
+        assert!(partial.cache.cert_hits > 0, "{:?}", partial.cache);
+        assert!(partial.cache.cert_misses > 0, "{:?}", partial.cache);
+
+        // Verdict-and-witness identical to the flat path.
+        let flat = service
+            .verify(VerifyRequest::new(TWO_COMPONENT_SPEC))
+            .unwrap();
+        for (c, f) in cold.report.checks.iter().zip(&flat.report.checks) {
+            assert_eq!(c.verdict.outcome, f.verdict.outcome, "{}", c.name);
+        }
     }
 
     // Degraded-mode, admission-shedding, and fault-injection coverage

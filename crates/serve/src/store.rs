@@ -3,14 +3,25 @@
 //! Layout under `<data-dir>/store/`:
 //!
 //! ```text
-//! store/<32-hex spec hash>/
-//!   spec.unity            # the submitted source, verbatim
+//! store/<32-hex program hash>/
+//!   spec.unity            # the source that first produced this program
 //!   ts_reachable.seg      # packed TransitionSystem, Reachable universe
 //!   ts_all_states.seg     # packed TransitionSystem, AllStates universe
 //!   pred_reachable.seg    # predecessor CSR over ts_reachable
 //!   pred_all_states.seg   # predecessor CSR over ts_all_states
 //!   field_order.seg       # tuned BDD field order (symbolic engine)
+//!   certs.seg             # component certificates (compositional runs)
 //! ```
+//!
+//! Directories are keyed by [`unity_ag::cert::program_hash`] — the
+//! content hash of the *program* (its canonical text), not the spec
+//! file. Two spec files that differ only in check lines or comments
+//! share one program hash and therefore one set of artifacts: editing a
+//! check costs nothing but the check itself (**delta keying**). The
+//! spec-file hash ([`spec_hash`]) still exists, but it identifies
+//! *submissions* — journal records, history filters, reply-cache keys —
+//! never artifacts. Component certificates use the same program-hash
+//! scheme, so one keying discipline covers every artifact kind.
 //!
 //! Every `.seg` file is a [`unity_mc::artifact`] segment: versioned
 //! magic header, artifact kind, payload length, checksum. Decoding is
@@ -28,12 +39,12 @@
 //! atomic (temp file + rename) so a crash mid-persist leaves either the
 //! old segment or the new one, not a torn file.
 
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::Hasher as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use unity_ag::cert::{CertKey, CertStore};
 use unity_core::program::Program;
 use unity_mc::artifact::{decode_segment, encode_segment, ByteReader, ByteWriter};
 use unity_mc::hasher::FxHasher;
@@ -48,15 +59,19 @@ pub const KIND_TRANSITION_SYSTEM: u8 = 1;
 pub const KIND_PRED_INDEX: u8 = 2;
 /// Segment kind byte: BDD field order.
 pub const KIND_FIELD_ORDER: u8 = 3;
+/// Segment kind byte: component certificates.
+pub const KIND_CERTS: u8 = 4;
 
 /// Universe slot names, indexed like `SessionArtifacts::ts`.
 const UNIVERSE_SLOT: [&str; 2] = ["reachable", "all_states"];
 
 /// Content hash of a spec source: two independently salted FxHash
-/// passes over the bytes, 32 hex chars. Not cryptographic — it keys a
-/// cache of operator-submitted specs — but 128 bits keep accidental
-/// collisions out of reach, and the stored `spec.unity` makes any
-/// collision observable.
+/// passes over the bytes, 32 hex chars. This is the *submission*
+/// identity — journal records, history filters, and reply-cache keys —
+/// while artifacts key by [`unity_ag::cert::program_hash`]. Not
+/// cryptographic — it names operator-submitted specs — but 128 bits
+/// keep accidental collisions out of reach, and the stored `spec.unity`
+/// makes any collision observable.
 pub fn spec_hash(src: &str) -> String {
     let bytes = src.as_bytes();
     let mut lo = FxHasher::default();
@@ -112,13 +127,13 @@ impl ArtifactStore {
         })
     }
 
-    /// The directory holding one spec's artifacts.
-    pub fn spec_dir(&self, hash: &str) -> PathBuf {
+    /// The directory holding one program's artifacts.
+    pub fn program_dir(&self, hash: &str) -> PathBuf {
         self.root.join(hash)
     }
 
-    /// Number of specs with a persisted directory.
-    pub fn known_specs(&self) -> u64 {
+    /// Number of distinct programs with a persisted directory.
+    pub fn known_programs(&self) -> u64 {
         std::fs::read_dir(&self.root)
             .map(|rd| rd.filter_map(Result::ok).count() as u64)
             .unwrap_or(0)
@@ -135,7 +150,7 @@ impl ArtifactStore {
         // Injected disk-read failure: every slot is a miss, exactly the
         // contract real read errors get below.
         unity_fault::fail_point!("store.load.read", |_m: String| SessionArtifacts::default());
-        let dir = self.spec_dir(hash);
+        let dir = self.program_dir(hash);
         let mut arts = SessionArtifacts::default();
         for (k, slot) in UNIVERSE_SLOT.iter().enumerate() {
             let ts_bytes = match std::fs::read(dir.join(format!("ts_{slot}.seg"))) {
@@ -166,7 +181,7 @@ impl ArtifactStore {
     /// session produced. Slots whose segment file already exists are
     /// skipped — a hit re-persisting itself would be wasted I/O.
     pub fn save(&self, hash: &str, spec_src: &str, arts: &SessionArtifacts) -> Result<(), String> {
-        let dir = self.spec_dir(hash);
+        let dir = self.program_dir(hash);
         unity_fault::fail_point!("store.save.dir", |m: String| Err(format!(
             "{}: {m}",
             dir.display()
@@ -218,6 +233,72 @@ impl ArtifactStore {
         Ok(())
     }
 
+    /// Loads every persisted certificate for the given component
+    /// program hashes into a seeded [`CertStore`] (nothing dirty).
+    /// Decoding is defensive like every other segment: a missing,
+    /// corrupt, or malformed `certs.seg` contributes nothing — a miss.
+    pub fn load_certs(&self, hashes: &[String]) -> CertStore {
+        unity_fault::fail_point!("store.load.read", |_m: String| CertStore::new());
+        let mut certs = CertStore::new();
+        let mut done: Vec<&str> = Vec::new();
+        for hash in hashes {
+            // Identical components share one hash and one file.
+            if done.contains(&hash.as_str()) {
+                continue;
+            }
+            done.push(hash);
+            if let Ok(bytes) = std::fs::read(self.program_dir(hash).join("certs.seg")) {
+                decode_certs(&bytes, hash, &mut certs);
+            }
+        }
+        certs
+    }
+
+    /// Persists every dirty certificate, grouped into one `certs.seg`
+    /// per component program and **merged** with whatever that file
+    /// already holds — two systems sharing a component accumulate facts
+    /// rather than clobbering each other. Callers clear the store's
+    /// dirty set after a successful write.
+    pub fn save_certs(&self, certs: &CertStore) -> Result<(), String> {
+        let mut by_program: BTreeMap<&str, Vec<(&CertKey, bool)>> = BTreeMap::new();
+        for (key, passed) in certs.dirty() {
+            by_program
+                .entry(&key.program)
+                .or_default()
+                .push((key, passed));
+        }
+        for (program, fresh) in by_program {
+            let dir = self.program_dir(program);
+            unity_fault::fail_point!("store.save.dir", |m: String| Err(format!(
+                "{}: {m}",
+                dir.display()
+            )));
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let path = dir.join("certs.seg");
+            unity_fault::fail_point!("store.save.segment", |m: String| Err(format!(
+                "{}: {m}",
+                path.display()
+            )));
+            let mut merged = CertStore::new();
+            if let Ok(bytes) = std::fs::read(&path) {
+                decode_certs(&bytes, program, &mut merged);
+            }
+            for (key, passed) in fresh {
+                merged.seed(key.clone(), passed);
+            }
+            let mut w = ByteWriter::new();
+            w.u32(merged.len() as u32);
+            for (key, passed) in merged.iter() {
+                w.u8(key.universe);
+                w.u8(u8::from(passed));
+                w.bytes(key.property.as_bytes());
+            }
+            write_atomic(&path, &encode_segment(KIND_CERTS, &w.into_vec()))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+
     fn remember(&self, hash: &str, arts: SessionArtifacts) {
         let mut mem = lock(&self.mem);
         if mem.map.insert(hash.to_string(), arts).is_none() {
@@ -253,6 +334,44 @@ fn decode_pred(bytes: &[u8], ts: &TransitionSystem) -> Option<PredIndex> {
             PredIndex::from_artifact_bytes(payload, ts.len(), ts.transition_count()).ok()
         }
         _ => None,
+    }
+}
+
+/// Decodes a certificate segment into seeded entries for `program`.
+/// Strict within the defensive contract: any malformation discards the
+/// whole file (a cache miss), never a partial read.
+fn decode_certs(bytes: &[u8], program: &str, certs: &mut CertStore) {
+    let payload = match decode_segment(bytes) {
+        Ok((KIND_CERTS, p)) => p,
+        _ => return,
+    };
+    let mut r = ByteReader::new(payload);
+    let Ok(n) = r.u32() else { return };
+    let mut decoded = Vec::new();
+    for _ in 0..n {
+        let (Ok(universe), Ok(passed), Ok(prop)) = (r.u8(), r.u8(), r.byte_vec()) else {
+            return;
+        };
+        let Ok(property) = String::from_utf8(prop) else {
+            return;
+        };
+        if passed > 1 {
+            return;
+        }
+        decoded.push((universe, passed == 1, property));
+    }
+    if r.finish().is_err() {
+        return;
+    }
+    for (universe, passed, property) in decoded {
+        certs.seed(
+            CertKey {
+                program: program.to_string(),
+                property,
+                universe,
+            },
+            passed,
+        );
     }
 }
 
@@ -328,10 +447,10 @@ mod tests {
         assert_eq!(ts.len(), produced.ts[0].as_ref().unwrap().len());
         assert!(disk.pred[0].is_some());
         assert_eq!(
-            std::fs::read_to_string(store.spec_dir(&hash).join("spec.unity")).unwrap(),
+            std::fs::read_to_string(store.program_dir(&hash).join("spec.unity")).unwrap(),
             SPEC
         );
-        assert_eq!(store.known_specs(), 1);
+        assert_eq!(store.known_programs(), 1);
     }
 
     #[test]
@@ -348,7 +467,7 @@ mod tests {
 
         // Flip one payload byte in the transition-system segment: both
         // it and the (dependent) predecessor index become misses.
-        let ts_path = store.spec_dir(&hash).join("ts_reachable.seg");
+        let ts_path = store.program_dir(&hash).join("ts_reachable.seg");
         let mut bytes = std::fs::read(&ts_path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
@@ -356,5 +475,68 @@ mod tests {
         let loaded = store.load(&hash, program, &cfg);
         assert!(loaded.ts[0].is_none());
         assert!(loaded.pred[0].is_none());
+    }
+
+    #[test]
+    fn certificates_round_trip_and_merge() {
+        let store = tmp_store("certs");
+        let key = |program: &str, prop: &str| CertKey {
+            program: program.into(),
+            property: prop.into(),
+            universe: unity_ag::cert::UNIVERSE_INDUCTIVE,
+        };
+        let h1 = "a".repeat(32);
+        let h2 = "b".repeat(32);
+        let mut fresh = CertStore::new();
+        fresh.insert(key(&h1, "invariant x <= 3 | x : int 0..3"), true);
+        fresh.insert(key(&h1, "stable x == 3 | x : int 0..3"), false);
+        fresh.insert(key(&h2, "invariant y <= 1 | y : int 0..1"), true);
+        store.save_certs(&fresh).unwrap();
+
+        // Duplicate hashes in the request are deduplicated, not re-read.
+        let loaded = store.load_certs(&[h1.clone(), h2.clone(), h1.clone()]);
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.dirty_len(), 0, "loaded facts seed, not dirty");
+        assert_eq!(
+            loaded.get(&key(&h1, "stable x == 3 | x : int 0..3")),
+            Some(false)
+        );
+
+        // A later run adds facts about h1 without clobbering the first.
+        let mut more = CertStore::new();
+        more.insert(key(&h1, "transient x == 0 | x : int 0..3"), true);
+        store.save_certs(&more).unwrap();
+        let merged = store.load_certs(std::slice::from_ref(&h1));
+        assert_eq!(merged.len(), 3);
+        assert_eq!(
+            merged.get(&key(&h1, "invariant x <= 3 | x : int 0..3")),
+            Some(true)
+        );
+        assert_eq!(
+            merged.get(&key(&h1, "transient x == 0 | x : int 0..3")),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn corrupt_cert_segments_are_misses() {
+        let store = tmp_store("corrupt_certs");
+        let h = "c".repeat(32);
+        let mut fresh = CertStore::new();
+        fresh.insert(
+            CertKey {
+                program: h.clone(),
+                property: "invariant x <= 3 | x : int 0..3".into(),
+                universe: unity_ag::cert::UNIVERSE_INDUCTIVE,
+            },
+            true,
+        );
+        store.save_certs(&fresh).unwrap();
+        let path = store.program_dir(&h).join("certs.seg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load_certs(std::slice::from_ref(&h)).is_empty());
     }
 }

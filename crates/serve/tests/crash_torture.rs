@@ -30,9 +30,11 @@ use unity_serve::{spec_hash, StatusResponse, VerifyRequest, VerifyResponse};
 
 const SPEC_A: &str = "program P\n  var a : int 0..3\n  var b : int 0..3\n  init a == 0 && b == 0\n  fair cmd right: a < 3 -> a := a + 1\n  fair cmd up: b < 3 -> b := b + 1\nend\nspec S\n  cap: invariant a <= 3\n  done: true leadsto a == 3 && b == 3\nend";
 
-/// A different hash, and a deliberately *failing* check — so "same
-/// verdict after the crash" is tested for FAIL too, not just PASS.
-const SPEC_B: &str = "program P\n  var a : int 0..3\n  var b : int 0..3\n  init a == 0 && b == 0\n  fair cmd right: a < 3 -> a := a + 1\n  fair cmd up: b < 3 -> b := b + 1\nend\nspec S\n  cap: invariant a <= 2\n  done: true leadsto a == 3\nend";
+/// A different *program* (artifacts key by program content, so `b`'s
+/// wider domain forces a fresh store directory whose segment writes the
+/// store crashpoints can hit), and a deliberately *failing* check — so
+/// "same verdict after the crash" is tested for FAIL too, not just PASS.
+const SPEC_B: &str = "program P\n  var a : int 0..3\n  var b : int 0..4\n  init a == 0 && b == 0\n  fair cmd right: a < 3 -> a := a + 1\n  fair cmd up: b < 3 -> b := b + 1\nend\nspec S\n  cap: invariant a <= 2\n  done: true leadsto a == 3\nend";
 
 /// Every crashpoint the daemon carries at a persistence boundary, with
 /// the schedule that kills it there on the first hit.

@@ -24,6 +24,11 @@
 //!   order-hostile composed workload behind the `e18_reorder` variable-
 //!   ordering experiments (declaration-order BDDs are exponential, the
 //!   dependency order is linear).
+//! * [`quadrants`] — N disjoint grid walkers whose product space is
+//!   `side²ⁿ` while each component lives in `side²` states: the
+//!   workload behind the `e23_compose` assume-guarantee experiments
+//!   (the default battery discharges without ever building the
+//!   product).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +39,7 @@ pub mod drinking;
 pub mod mirror;
 pub mod priority;
 pub mod priority_proofs;
+pub mod quadrants;
 pub mod resource;
 pub mod stabilize;
 pub mod toy_counter;
@@ -46,6 +52,7 @@ pub mod prelude {
     pub use crate::drinking::{drinking_system, DrinkGuard, DrinkingSpec, DrinkingSystem};
     pub use crate::mirror::{mirrored_rings, mirrored_rings_opaque, MirroredRings};
     pub use crate::priority::{PrioritySystem, PrioritySystemBuilder};
+    pub use crate::quadrants::{quadrant_grid, QuadrantGrid, QuadrantSpec};
     pub use crate::resource::{resource_allocator, ResourceSpec};
     pub use crate::stabilize::{stabilizing_ring, StabilizeSpec, StabilizingRing};
     pub use crate::toy_counter::{toy_system, ToySpec};

@@ -1,0 +1,278 @@
+//! The N-quadrant grid: the workload where the product build *is* the
+//! bottleneck — and assume-guarantee discharge makes it unnecessary.
+//!
+//! `n` walkers each own a private `side × side` quadrant: walker `i`
+//! moves east (`xᵢ := xᵢ+1`) or north (`yᵢ := yᵢ+1`) under weak
+//! fairness, burning one unit of fuel `fᵢ` per step, until it parks in
+//! its corner with the fuel exhausted. The quadrants share **no**
+//! variables, so each component's behaviour lives in `side²` states
+//! while the composed product is `side²ⁿ` — exponentially dominated by
+//! states that differ only in *other* quadrants' positions. A flat
+//! verifier pays for that product on every `leadsto`; the compositional
+//! verifier never builds it:
+//!
+//! * `origin(i)` (`init`) lifts existentially from quadrant `i`'s own
+//!   initial condition;
+//! * `bounds(i)` (`invariant`) and `settled(i)` (`stable`) lift
+//!   universally — quadrant `i` proves the inductive step, every other
+//!   quadrant proves locality (it never writes `i`'s variables);
+//! * `arrival(i)` (`leadsto`) is decided on the cone-of-influence
+//!   slice, which is exactly quadrant `i`'s `side²`-state grid.
+//!
+//! [`QuadrantGrid::checks`] bundles those per-quadrant obligations into
+//! the default battery — every one of them discharges without touching
+//! the product. The deliberate residue lives next door:
+//! [`QuadrantGrid::conservation`] states the per-quadrant fuel law
+//! `xᵢ + yᵢ + fᵢ = 2(side−1)`, which *other* quadrants cannot prove
+//! from their own initial conditions (the inductive base needs `i`'s
+//! init), and [`QuadrantGrid::joint_arrival`] couples all quadrants in
+//! one `leadsto` — both force the product fallback and pin the
+//! fallback contract in the tests. This system backs the `e23_compose`
+//! bench: editing one quadrant re-verifies one quadrant.
+
+use std::sync::Arc;
+
+use unity_core::compose::{InitSatCheck, System};
+use unity_core::domain::Domain;
+use unity_core::error::CoreError;
+use unity_core::expr::build::*;
+use unity_core::expr::Expr;
+use unity_core::ident::{VarId, Vocabulary};
+use unity_core::program::Program;
+use unity_core::properties::Property;
+
+/// Parameters of the quadrant grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuadrantSpec {
+    /// Number of quadrants (components).
+    pub n: usize,
+    /// Cells per side; each walker roams `side × side` positions.
+    pub side: i64,
+}
+
+impl QuadrantSpec {
+    /// Creates a spec; `n ≥ 1`, `side ≥ 2`.
+    pub fn new(n: usize, side: i64) -> Self {
+        assert!(n >= 1 && side >= 2, "need n >= 1 and side >= 2");
+        QuadrantSpec { n, side }
+    }
+
+    /// Fuel each walker starts with: `2(side − 1)` — one unit per step
+    /// of the corner-to-corner walk.
+    pub fn fuel(&self) -> i64 {
+        2 * (self.side - 1)
+    }
+}
+
+/// The built grid with its variable handles.
+#[derive(Debug, Clone)]
+pub struct QuadrantGrid {
+    /// Parameters.
+    pub spec: QuadrantSpec,
+    /// The composed system (components share the vocabulary).
+    pub system: System,
+    /// Per-quadrant x coordinates.
+    pub x: Vec<VarId>,
+    /// Per-quadrant y coordinates.
+    pub y: Vec<VarId>,
+    /// Per-quadrant fuel counters.
+    pub f: Vec<VarId>,
+}
+
+/// Builds the `n`-quadrant grid.
+pub fn quadrant_grid(spec: QuadrantSpec) -> Result<QuadrantGrid, CoreError> {
+    let m = spec.side - 1;
+    let mut vocab = Vocabulary::new();
+    let mut x = Vec::with_capacity(spec.n);
+    let mut y = Vec::with_capacity(spec.n);
+    let mut f = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        x.push(vocab.declare(&format!("x{i}"), Domain::int_range(0, m)?)?);
+        y.push(vocab.declare(&format!("y{i}"), Domain::int_range(0, m)?)?);
+        f.push(vocab.declare(&format!("f{i}"), Domain::int_range(0, spec.fuel())?)?);
+    }
+    let vocab = Arc::new(vocab);
+
+    let mut components = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let (xi, yi, fi) = (x[i], y[i], f[i]);
+        let init = and(vec![
+            eq(var(xi), int(0)),
+            eq(var(yi), int(0)),
+            eq(var(fi), int(spec.fuel())),
+        ]);
+        let program = Program::builder(format!("Quadrant{i}"), vocab.clone())
+            .local(xi)
+            .local(yi)
+            .local(fi)
+            .init(init)
+            .fair_command(
+                format!("east{i}"),
+                lt(var(xi), int(m)),
+                vec![(xi, add(var(xi), int(1))), (fi, sub(var(fi), int(1)))],
+            )
+            .fair_command(
+                format!("north{i}"),
+                lt(var(yi), int(m)),
+                vec![(yi, add(var(yi), int(1))), (fi, sub(var(fi), int(1)))],
+            )
+            .build()?;
+        components.push(program);
+    }
+    let system = System::compose(components, InitSatCheck::BoundedExhaustive(1 << 22))?;
+    Ok(QuadrantGrid {
+        spec,
+        system,
+        x,
+        y,
+        f,
+    })
+}
+
+impl QuadrantGrid {
+    /// Quadrant `i` starts at its origin with a full tank:
+    /// `init (xᵢ = 0 ∧ yᵢ = 0 ∧ fᵢ = 2(side−1))` — discharged by
+    /// `lift-existential` from component `i`'s own initial condition.
+    pub fn origin(&self, i: usize) -> Property {
+        Property::Init(and(vec![
+            eq(var(self.x[i]), int(0)),
+            eq(var(self.y[i]), int(0)),
+            eq(var(self.f[i]), int(self.spec.fuel())),
+        ]))
+    }
+
+    /// Quadrant `i` never leaves its grid:
+    /// `invariant (xᵢ ≤ side−1 ∧ yᵢ ≤ side−1)` — every component proves
+    /// it, so `lift-universal` closes it.
+    pub fn bounds(&self, i: usize) -> Property {
+        let m = self.spec.side - 1;
+        Property::Invariant(and2(le(var(self.x[i]), int(m)), le(var(self.y[i]), int(m))))
+    }
+
+    /// Once quadrant `i` parks, it stays parked: `stable (fᵢ = 0)` —
+    /// component `i` proves the guards are off at the corner, every
+    /// other component proves locality; `lift-universal` closes it.
+    pub fn settled(&self, i: usize) -> Property {
+        Property::Stable(eq(var(self.f[i]), int(0)))
+    }
+
+    /// Quadrant `i` eventually parks: `true ↦ fᵢ = 0` — decided on the
+    /// cone-of-influence slice, which is exactly quadrant `i`'s own
+    /// `side²`-state grid.
+    pub fn arrival(&self, i: usize) -> Property {
+        Property::LeadsTo(tt(), eq(var(self.f[i]), int(0)))
+    }
+
+    /// The per-quadrant fuel law `invariant xᵢ + yᵢ + fᵢ = 2(side−1)`.
+    /// True of the composition, but **not** liftable: component `j ≠ i`
+    /// cannot establish the inductive base (its initial condition says
+    /// nothing about quadrant `i`), so this is the canonical
+    /// product-fallback residue.
+    pub fn conservation(&self, i: usize) -> Property {
+        Property::Invariant(eq(
+            sum(vec![var(self.x[i]), var(self.y[i]), var(self.f[i])]),
+            int(self.spec.fuel()),
+        ))
+    }
+
+    /// All quadrants eventually park at once: `true ↦ ⋀ᵢ fᵢ = 0`. The
+    /// cone is the whole system, so slicing buys nothing and the check
+    /// falls back to the product space.
+    pub fn joint_arrival(&self) -> Property {
+        Property::LeadsTo(tt(), self.all_parked())
+    }
+
+    /// The predicate `⋀ᵢ fᵢ = 0`.
+    pub fn all_parked(&self) -> Expr {
+        and(self.f.iter().map(|&fi| eq(var(fi), int(0))).collect())
+    }
+
+    /// The default battery: `origin`, `bounds`, `settled`, `arrival`
+    /// for every quadrant — `4n` obligations, all of which the
+    /// assume-guarantee rules discharge without building the product.
+    pub fn checks(&self) -> Vec<(String, Property)> {
+        let mut out = Vec::with_capacity(4 * self.spec.n);
+        for i in 0..self.spec.n {
+            out.push((format!("origin{i}"), self.origin(i)));
+            out.push((format!("bounds{i}"), self.bounds(i)));
+            out.push((format!("settled{i}"), self.settled(i)));
+            out.push((format!("arrival{i}"), self.arrival(i)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unity_mc::prelude::*;
+
+    fn named(grid: &QuadrantGrid) -> Vec<NamedCheck> {
+        grid.checks()
+            .into_iter()
+            .enumerate()
+            .map(|(line, (name, property))| NamedCheck {
+                name,
+                property,
+                line,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn component_spaces_are_small_while_the_product_is_exponential() {
+        let grid = quadrant_grid(QuadrantSpec::new(3, 3)).unwrap();
+        assert_eq!(grid.system.len(), 3);
+        assert_eq!(grid.system.composed.commands.len(), 6);
+        // Reachable product: each quadrant independently roams its
+        // side² positions (fuel is a function of position).
+        let ts = TransitionSystem::build(
+            &grid.system.composed,
+            Universe::Reachable,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 9 * 9 * 9, "side²ⁿ reachable product states");
+    }
+
+    #[test]
+    fn default_battery_discharges_without_the_product() {
+        let grid = quadrant_grid(QuadrantSpec::new(3, 3)).unwrap();
+        let mut cv = CompositionalVerifier::new(&grid.system, ScanConfig::default());
+        let report = cv.verify_all(&named(&grid));
+        assert!(report.all_passed(), "{:?}", report.checks);
+        assert!(cv.product_status().is_none(), "product never opened");
+        let stats = cv.stats();
+        assert_eq!(stats.obligations, 12);
+        assert_eq!(stats.lift_existential, 3, "origins");
+        assert_eq!(stats.lift_universal, 6, "bounds + settled");
+        assert_eq!(stats.cone, 3, "arrivals");
+        assert_eq!(stats.product_fallbacks, 0);
+    }
+
+    #[test]
+    fn default_battery_matches_the_flat_verdicts() {
+        let grid = quadrant_grid(QuadrantSpec::new(2, 3)).unwrap();
+        let checks = named(&grid);
+        let cfg = ScanConfig::default();
+        let (comp, _) =
+            Verifier::verify_compositional(&grid.system, &checks, cfg.clone(), Universe::Reachable);
+        let flat = Verifier::new(&grid.system.composed, cfg).verify_all(&checks);
+        for (c, f) in comp.checks.iter().zip(&flat.checks) {
+            assert_eq!(c.verdict.outcome, f.verdict.outcome, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn conservation_and_joint_arrival_are_the_product_residue() {
+        let grid = quadrant_grid(QuadrantSpec::new(2, 3)).unwrap();
+        let mut cv = CompositionalVerifier::new(&grid.system, ScanConfig::default());
+        for prop in [grid.conservation(0), grid.joint_arrival()] {
+            let verdict = cv.verify(&prop);
+            assert!(verdict.passed());
+            assert_eq!(verdict.discharge.as_ref().unwrap().rule, "product-fallback");
+        }
+        assert_eq!(cv.stats().product_fallbacks, 2);
+        assert!(cv.product_status().is_some());
+    }
+}

@@ -9,7 +9,7 @@
 # set). The script fails if any summary it writes contains no benchmark
 # records — an empty artifact means the group silently did not run.
 #
-#   scripts/bench.sh                 # e6 + e8 + e17 + e19 + e20 + e21 + e22
+#   scripts/bench.sh                 # e6 + e8 + e17 + e19 + e20 + e21 + e22 + e23
 #   scripts/bench.sh e2_safety e11_projection
 set -euo pipefail
 
@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 groups=("$@")
 if [ ${#groups[@]} -eq 0 ]; then
-    groups=(e6_statespace e8_throughput e17_symbolic e19_session e20_leadsto e21_parallel_build e22_serve)
+    groups=(e6_statespace e8_throughput e17_symbolic e19_session e20_leadsto e21_parallel_build e22_serve e23_compose)
 fi
 
 for group in "${groups[@]}"; do

@@ -3,10 +3,11 @@
 //! ```text
 //! unity-check FILE [--engine explicit|symbolic|reference]
 //!             [--order declaration|static|sift] [--stats]
-//!             [--universe reachable|all] [--threads N]
-//!             [--sim STEPS] [--seed N] [--serve HOST:PORT]
-//!             [--trace FILE] [--json FILE] [--list] [--quiet]
-//!             [--conserve] [--synthesize] [--mutate] [--version]
+//!             [--universe reachable|all] [--compositional]
+//!             [--threads N] [--sim STEPS] [--seed N]
+//!             [--serve HOST:PORT] [--trace FILE] [--json FILE]
+//!             [--list] [--quiet] [--conserve] [--synthesize]
+//!             [--mutate] [--help] [--version]
 //! ```
 //!
 //! Parses the file's `program` blocks, composes them (vocabularies merged
@@ -55,6 +56,19 @@
 //! apply-cache hit rate, sift passes/swaps and GC activity for the
 //! symbolic engine.
 //!
+//! `--compositional` verifies assume-guarantee style instead of on the
+//! flat product: each obligation discharges in component state spaces
+//! (kernel-validated `lift-universal` / `lift-existential`, or the
+//! cone-of-influence slice for `leadsto`), with the product space built
+//! only for the residue. Verdicts and witnesses are identical to a flat
+//! run by construction; each `PASS` line names the rule that closed the
+//! obligation, `--json` reports carry the same provenance
+//! machine-readably, and `--stats` prints the discharge/certificate
+//! counters. Local analyses that require the flat session
+//! (`--synthesize`, `--mutate`) do not combine with it. With `--serve`
+//! the flag is forwarded: the daemon verifies compositionally and
+//! answers component obligations from its persistent certificate cache.
+//!
 //! `--sim N` additionally runs an `N`-step weakly-fair simulation
 //! (aged-lottery scheduler) with every `invariant` check attached as a
 //! runtime monitor; `--trace FILE` dumps the simulated trace as JSON.
@@ -99,6 +113,7 @@ struct Options {
     order: OrderMode,
     stats: bool,
     universe: Universe,
+    compositional: bool,
     threads: Option<usize>,
     sim_steps: u64,
     seed: u64,
@@ -114,10 +129,11 @@ struct Options {
 
 const USAGE: &str = "usage: unity-check FILE [--engine explicit|symbolic|reference] \
                      [--order declaration|static|sift] [--stats] \
-                     [--universe reachable|all] [--threads N] [--sim STEPS] \
-                     [--seed N] [--serve HOST:PORT] [--trace FILE] [--json FILE] \
-                     [--list] [--quiet] \
-                     [--conserve] [--synthesize] [--mutate] [--version]";
+                     [--universe reachable|all] [--compositional] \
+                     [--threads N] [--sim STEPS] [--seed N] \
+                     [--serve HOST:PORT] [--trace FILE] [--json FILE] \
+                     [--list] [--quiet] [--conserve] [--synthesize] \
+                     [--mutate] [--help] [--version]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut file = None;
@@ -127,6 +143,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         order: OrderMode::default(),
         stats: false,
         universe: Universe::Reachable,
+        compositional: false,
         threads: None,
         sim_steps: 0,
         seed: 1,
@@ -168,6 +185,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("bad --universe {other:?}; {USAGE}")),
                 }
             }
+            "--compositional" => opts.compositional = true,
             "--threads" => {
                 let t: usize = it
                     .next()
@@ -216,7 +234,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--conserve" => opts.conserve = true,
             "--synthesize" => opts.synthesize = true,
             "--mutate" => opts.mutate = true,
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--help" | "-h" => {
+                // Asked-for help goes to stdout and exits 0 — only
+                // *unasked* usage (bad flags, no FILE) is exit 2.
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             "--version" | "-V" => {
                 println!("unity-check {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
@@ -257,6 +280,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             return Err(format!("{flag} does not apply with --serve; {USAGE}"));
         }
     }
+    if opts.compositional {
+        // These analyses require the flat product session.
+        let flat_only = [(opts.synthesize, "--synthesize"), (opts.mutate, "--mutate")];
+        if let Some((_, flag)) = flat_only.iter().find(|(given, _)| *given) {
+            return Err(format!(
+                "{flag} does not apply with --compositional; {USAGE}"
+            ));
+        }
+    }
     Ok(opts)
 }
 
@@ -285,6 +317,15 @@ fn backoff_delay(attempt: u32, hint_secs: Option<u64>, seed: &mut u64) -> std::t
     std::time::Duration::from_millis(jittered.max(hinted).min(BACKOFF_CAP_MS))
 }
 
+/// Suffix naming the rule a compositional session closed this verdict
+/// with (` [lift-universal]` and friends); empty for flat verdicts.
+fn rule_tag(v: &Verdict) -> String {
+    v.discharge
+        .as_ref()
+        .map(|d| format!(" [{}]", d.rule))
+        .unwrap_or_default()
+}
+
 /// `--serve`: delegate the run to a `unity-serve` daemon. Prints the
 /// returned report like a local run (plus the daemon's cache line) and
 /// preserves the exit-code contract.
@@ -306,6 +347,7 @@ fn run_remote(opts: &Options, addr: &str) -> Result<bool, String> {
     let mut req = unity_serve::VerifyRequest::new(src);
     req.engine = opts.engine;
     req.universe = opts.universe;
+    req.compositional = opts.compositional;
     req.request_id = Some(request_id);
     let payload = req.to_json();
     let client = unity_serve::http::ClientOptions::default();
@@ -349,15 +391,21 @@ fn run_remote(opts: &Options, addr: &str) -> Result<bool, String> {
         );
         let c = &resp.cache;
         println!(
-            "CACHE ts[reachable]={:?} ts[all]={:?} pred[reachable]={:?} pred[all]={:?} order={:?}",
-            c.ts_reachable, c.ts_all_states, c.pred_reachable, c.pred_all_states, c.field_order
+            "CACHE ts[reachable]={:?} ts[all]={:?} pred[reachable]={:?} pred[all]={:?} order={:?} certs={}h/{}m",
+            c.ts_reachable, c.ts_all_states, c.pred_reachable, c.pred_all_states, c.field_order,
+            c.cert_hits, c.cert_misses
         );
     }
     for c in &resp.report.checks {
         match &c.verdict.outcome {
             Outcome::Pass => {
                 if !opts.quiet {
-                    println!("PASS {}: {}", c.name, c.verdict.property);
+                    println!(
+                        "PASS {}: {}{}",
+                        c.name,
+                        c.verdict.property,
+                        rule_tag(&c.verdict)
+                    );
                 }
             }
             Outcome::Fail { .. } => {
@@ -426,10 +474,13 @@ fn run(opts: &Options) -> Result<bool, String> {
         },
         ..Default::default()
     };
+    let t0 = std::time::Instant::now();
+    if opts.compositional {
+        return run_compositional(opts, &spec, cfg, t0);
+    }
     // One session serves every check and every analysis mode below: the
     // compiled pipeline, transition system + reachable set, and symbolic
     // engine are built at most once per run.
-    let t0 = std::time::Instant::now();
     let mut session = Verifier::new(&spec.system.composed, cfg).with_universe(opts.universe);
     let mut report = session.verify_all(&spec.checks);
     for c in &report.checks {
@@ -466,6 +517,80 @@ fn run(opts: &Options) -> Result<bool, String> {
     }
     if opts.mutate {
         mutate_report(&mut session, &spec);
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        if !opts.quiet {
+            println!("report written to {path}");
+        }
+    }
+    if let Some(errored) = report.first_error() {
+        let error = errored.verdict.error().expect("error outcome");
+        return Err(format!("check `{}`: {error}", errored.name));
+    }
+    Ok(report.all_passed())
+}
+
+/// `--compositional`: verify assume-guarantee style. Obligations
+/// discharge in component state spaces (or a cone-of-influence slice);
+/// the flat product is built only for the residue, so verdicts and
+/// witnesses match a flat run by construction. Every `PASS` line names
+/// the kernel rule that closed it.
+fn run_compositional(
+    opts: &Options,
+    spec: &unity_composition::spec::SpecFile,
+    cfg: ScanConfig,
+    t0: std::time::Instant,
+) -> Result<bool, String> {
+    let vocab = spec.system.vocab().clone();
+    let mut session = CompositionalVerifier::new(&spec.system, cfg).with_universe(opts.universe);
+    let mut report = session.verify_all(&spec.checks);
+    for c in &report.checks {
+        match &c.verdict.outcome {
+            Outcome::Pass => {
+                if !opts.quiet {
+                    println!(
+                        "PASS {}: {}{}",
+                        c.name,
+                        c.verdict.property,
+                        rule_tag(&c.verdict)
+                    );
+                }
+            }
+            Outcome::Fail { cex } => {
+                println!(
+                    "FAIL {}: {}{}",
+                    c.name,
+                    c.verdict.property,
+                    rule_tag(&c.verdict)
+                );
+                println!("     {}", cex.display(&vocab));
+            }
+            Outcome::Error { .. } => {}
+        }
+    }
+    if opts.stats {
+        let s = session.stats();
+        println!(
+            "STATS compositional: {} obligation(s): {} lift-universal, \
+             {} lift-existential, {} cone, {} product fallback(s); \
+             {} component check(s), {} cert hit(s), {} cert miss(es)",
+            s.obligations,
+            s.lift_universal,
+            s.lift_existential,
+            s.cone,
+            s.product_fallbacks,
+            s.component_checks,
+            s.cert_hits,
+            s.cert_misses
+        );
+    }
+    if opts.sim_steps > 0 {
+        report.sim = simulate(opts, spec)?;
+        report.elapsed = t0.elapsed();
+    }
+    if opts.conserve {
+        conserve_report(spec);
     }
     if let Some(path) = &opts.json {
         std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;

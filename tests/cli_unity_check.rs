@@ -383,6 +383,110 @@ fn unknown_flags_exit_2_even_with_file_set() {
 }
 
 #[test]
+fn help_flag_lists_every_accepted_flag() {
+    // `--help` is asked-for output: stdout, exit 0 — and the usage text
+    // must mention every flag the parser accepts, so a flag can never
+    // ship undocumented.
+    for help in [&["--help"][..], &["-h"][..]] {
+        let out = unity_check(help);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{help:?}: {stdout}");
+        for flag in [
+            "--engine",
+            "--order",
+            "--stats",
+            "--universe",
+            "--compositional",
+            "--threads",
+            "--sim",
+            "--seed",
+            "--serve",
+            "--trace",
+            "--json",
+            "--list",
+            "--quiet",
+            "--conserve",
+            "--synthesize",
+            "--mutate",
+            "--help",
+            "--version",
+        ] {
+            assert!(stdout.contains(flag), "usage text missing {flag}: {stdout}");
+        }
+    }
+}
+
+#[test]
+fn compositional_matches_flat_verdicts_and_names_rules() {
+    // The acceptance bar for assume-guarantee checking: verdicts are
+    // identical to the flat product run on every shipped spec, and each
+    // discharged obligation names the rule that closed it.
+    for spec in [
+        "examples/specs/toy.unity",
+        "examples/specs/broken.unity",
+        "examples/specs/priority_ring3.unity",
+        "examples/specs/stabilize_ring3.unity",
+    ] {
+        let flat = unity_check(&[spec]);
+        let comp = unity_check(&[spec, "--compositional"]);
+        assert_eq!(comp.status.code(), flat.status.code(), "{spec}");
+        let verdicts = |raw: &[u8]| -> Vec<String> {
+            String::from_utf8_lossy(raw)
+                .lines()
+                .filter(|l| l.starts_with("PASS") || l.starts_with("FAIL"))
+                .map(|l| l.split(':').next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(verdicts(&comp.stdout), verdicts(&flat.stdout), "{spec}");
+        // Every compositional verdict line carries its `[rule]` tag.
+        let text = String::from_utf8_lossy(&comp.stdout);
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("PASS") || l.starts_with("FAIL"))
+        {
+            assert!(line.ends_with(']'), "{spec}: no rule tag on {line:?}");
+        }
+    }
+}
+
+#[test]
+fn compositional_stats_and_json_carry_discharge_provenance() {
+    let dir = std::env::temp_dir().join("unity_check_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("compositional_report.json");
+    let out = unity_check(&[
+        "examples/specs/toy.unity",
+        "--compositional",
+        "--stats",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("STATS compositional:"), "{stdout}");
+    assert!(stdout.contains("obligation(s)"), "{stdout}");
+    assert!(stdout.contains("cert miss(es)"), "{stdout}");
+    // The JSON report records the same provenance machine-readably.
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"discharge\""), "{json}");
+    assert!(json.contains("\"rule\":"), "{json}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compositional_rejects_flat_only_analyses() {
+    for flag in ["--synthesize", "--mutate"] {
+        let out = unity_check(&["examples/specs/toy.unity", "--compositional", flag]);
+        assert_eq!(out.status.code(), Some(2), "{flag}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("does not apply with --compositional"),
+            "{flag}: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn engine_flag_selects_identical_verdicts() {
     // Every engine must agree check-for-check on the shipped specs —
     // passing and failing alike (the acceptance bar for the symbolic
